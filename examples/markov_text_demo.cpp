@@ -1,0 +1,72 @@
+// Value-level synthesis (the paper's differentiator, §3/§6): train a
+// Markov chain on free text, inspect the model, and generate new,
+// statistically similar text — deterministically per seed.
+//
+//   ./markov_text_demo [seed]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/text/builtin_dictionaries.h"
+#include "core/text/markov_model.h"
+#include "util/files.h"
+#include "util/rng.h"
+
+int main(int argc, char** argv) {
+  uint64_t seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 42;
+
+  // Train on the builtin comment corpus (a stand-in for sampling the
+  // l_comment column of a real TPC-H database).
+  pdgf::MarkovModel model;
+  model.AddSample(pdgf::BuiltinCommentCorpus());
+  model.Finalize();
+
+  std::printf("trained Markov model:\n");
+  std::printf("  vocabulary   : %zu words\n", model.word_count());
+  std::printf("  start states : %zu\n", model.start_state_count());
+  std::printf("  transitions  : %zu bigrams\n", model.transition_count());
+  std::printf(
+      "  (the paper's TPC-H comment model: ~1500 words, 95 start states)\n");
+
+  std::printf("\nsome learned transition probabilities:\n");
+  for (auto [a, b] : {std::pair<const char*, const char*>{"the", "quick"},
+                      {"regular", "deposits"},
+                      {"deposits", "haggle"},
+                      {"requests", "wake"}}) {
+    std::printf("  P(%s | %s) = %.3f\n", b, a,
+                model.TransitionProbability(a, b));
+  }
+
+  std::printf("\ngenerated comments (seed %llu):\n",
+              static_cast<unsigned long long>(seed));
+  pdgf::Xorshift64 rng(seed);
+  for (int i = 0; i < 8; ++i) {
+    std::printf("  %s\n", model.Generate(&rng, 4, 12).c_str());
+  }
+
+  // Serialize, reload, regenerate: identical output (this is what the
+  // "markov\l_comment_markovSamples.bin" artifacts of Listing 1 contain).
+  auto dir = pdgf::MakeTempDir("markov_demo_");
+  if (!dir.ok()) return 1;
+  std::string path = pdgf::JoinPath(*dir, "comment_markovSamples.bin");
+  if (!model.Save(path).ok()) return 1;
+  auto loaded = pdgf::MarkovModel::Load(path);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "%s\n", loaded.status().ToString().c_str());
+    return 1;
+  }
+  pdgf::Xorshift64 rng_a(seed);
+  pdgf::Xorshift64 rng_b(seed);
+  bool identical = true;
+  for (int i = 0; i < 100; ++i) {
+    if (model.Generate(&rng_a, 4, 12) != loaded->Generate(&rng_b, 4, 12)) {
+      identical = false;
+    }
+  }
+  auto file_size = pdgf::FileSize(path);
+  std::printf("\nmodel file: %s (%lld bytes), reload produces %s output\n",
+              path.c_str(),
+              file_size.ok() ? static_cast<long long>(*file_size) : -1,
+              identical ? "identical" : "DIFFERENT (bug!)");
+  return identical ? 0 : 1;
+}

@@ -1,0 +1,459 @@
+#include "cli/cli.h"
+
+#include <cstdlib>
+#include <map>
+
+#include "core/config.h"
+#include "core/engine.h"
+#include "core/session.h"
+#include "core/text/builtin_dictionaries.h"
+#include "dbsynth/model_builder.h"
+#include "dbsynth/profiler.h"
+#include "dbsynth/query_generator.h"
+#include "dbsynth/schema_translator.h"
+#include "dbsynth/synthesizer.h"
+#include "dbsynth/virtual_query.h"
+#include "minidb/csv.h"
+#include "minidb/persistence.h"
+#include "minidb/sql.h"
+#include "util/files.h"
+#include "util/stopwatch.h"
+#include "util/strings.h"
+
+namespace dbsynthpp_cli {
+namespace {
+
+using pdgf::Status;
+using pdgf::StatusOr;
+
+// Positional arguments plus --flag[=| ]value options.
+struct ParsedArgs {
+  std::vector<std::string> positional;
+  std::map<std::string, std::string> flags;
+
+  bool HasFlag(const std::string& name) const {
+    return flags.count(name) > 0;
+  }
+  std::string FlagOr(const std::string& name,
+                     const std::string& fallback) const {
+    auto it = flags.find(name);
+    return it == flags.end() ? fallback : it->second;
+  }
+  double NumberFlagOr(const std::string& name, double fallback) const {
+    auto it = flags.find(name);
+    return it == flags.end() ? fallback : std::atof(it->second.c_str());
+  }
+};
+
+StatusOr<ParsedArgs> ParseArgs(const std::vector<std::string>& args,
+                               size_t start) {
+  ParsedArgs parsed;
+  for (size_t i = start; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    if (arg.size() >= 2 && arg[0] == '-' && arg[1] == '-') {
+      std::string name = arg.substr(2);
+      std::string value;
+      size_t equals = name.find('=');
+      if (equals != std::string::npos) {
+        value = name.substr(equals + 1);
+        name = name.substr(0, equals);
+      } else if (name == "unsorted" || name == "explain" ||
+                 name == "histograms" || name == "execute") {
+        value = "true";  // boolean flags
+      } else {
+        if (i + 1 >= args.size()) {
+          return pdgf::InvalidArgumentError("missing value for --" + name);
+        }
+        value = args[++i];
+      }
+      parsed.flags[name] = value;
+    } else {
+      parsed.positional.push_back(arg);
+    }
+  }
+  return parsed;
+}
+
+// Loads a model and creates a session at the --sf override (if any).
+StatusOr<std::unique_ptr<pdgf::GenerationSession>> OpenSession(
+    const pdgf::SchemaDef& schema, const ParsedArgs& args) {
+  std::map<std::string, std::string> overrides;
+  if (args.HasFlag("sf")) {
+    overrides["SF"] = args.FlagOr("sf", "1");
+  }
+  return pdgf::GenerationSession::Create(&schema, overrides);
+}
+
+int Fail(const Status& status, std::string* output) {
+  output->append("error: " + status.ToString() + "\n");
+  return 1;
+}
+
+int CmdGenerate(const ParsedArgs& args, std::string* output) {
+  if (args.positional.empty()) {
+    return Fail(pdgf::InvalidArgumentError("generate requires a model file"),
+                output);
+  }
+  auto schema = pdgf::LoadSchemaFromFile(args.positional[0]);
+  if (!schema.ok()) return Fail(schema.status(), output);
+  auto session = OpenSession(*schema, args);
+  if (!session.ok()) return Fail(session.status(), output);
+  auto formatter = pdgf::MakeFormatter(args.FlagOr("format", "csv"));
+  if (!formatter.ok()) return Fail(formatter.status(), output);
+
+  pdgf::GenerationOptions options;
+  options.worker_count =
+      static_cast<int>(args.NumberFlagOr("workers", 1));
+  options.work_package_rows = static_cast<uint64_t>(
+      args.NumberFlagOr("package-rows", 10000));
+  options.node_count = static_cast<int>(args.NumberFlagOr("nodes", 1));
+  options.node_id = static_cast<int>(args.NumberFlagOr("node-id", 0));
+  options.update =
+      static_cast<uint64_t>(args.NumberFlagOr("update", 0));
+  options.sorted_output = !args.HasFlag("unsorted");
+
+  std::string out_dir = args.FlagOr("out", "generated");
+  auto stats =
+      GenerateToDirectory(**session, **formatter, out_dir, options);
+  if (!stats.ok()) return Fail(stats.status(), output);
+  output->append(pdgf::StrPrintf(
+      "generated %llu rows, %.2f MB into %s (%.3f s, %.1f MB/s)\n",
+      static_cast<unsigned long long>(stats->rows),
+      static_cast<double>(stats->bytes) / (1024 * 1024), out_dir.c_str(),
+      stats->seconds, stats->megabytes_per_second));
+  return 0;
+}
+
+int CmdPreview(const ParsedArgs& args, std::string* output) {
+  if (args.positional.size() < 2) {
+    return Fail(
+        pdgf::InvalidArgumentError("preview requires a model and a table"),
+        output);
+  }
+  auto schema = pdgf::LoadSchemaFromFile(args.positional[0]);
+  if (!schema.ok()) return Fail(schema.status(), output);
+  auto session = OpenSession(*schema, args);
+  if (!session.ok()) return Fail(session.status(), output);
+  int table = schema->FindTableIndex(args.positional[1]);
+  if (table < 0) {
+    return Fail(pdgf::NotFoundError("no table '" + args.positional[1] + "'"),
+                output);
+  }
+  // Header.
+  const pdgf::TableDef& table_def =
+      schema->tables[static_cast<size_t>(table)];
+  for (size_t f = 0; f < table_def.fields.size(); ++f) {
+    if (f > 0) output->append(" | ");
+    output->append(table_def.fields[f].name);
+  }
+  output->push_back('\n');
+  uint64_t rows = static_cast<uint64_t>(args.NumberFlagOr("rows", 10));
+  for (const auto& row : (*session)->Preview(table, rows)) {
+    for (size_t f = 0; f < row.size(); ++f) {
+      if (f > 0) output->append(" | ");
+      output->append(row[f]);
+    }
+    output->push_back('\n');
+  }
+  return 0;
+}
+
+int CmdDdl(const ParsedArgs& args, std::string* output) {
+  if (args.positional.empty()) {
+    return Fail(pdgf::InvalidArgumentError("ddl requires a model file"),
+                output);
+  }
+  auto schema = pdgf::LoadSchemaFromFile(args.positional[0]);
+  if (!schema.ok()) return Fail(schema.status(), output);
+  output->append(dbsynth::TranslateToSqlDdl(*schema));
+  return 0;
+}
+
+int CmdValidate(const ParsedArgs& args, std::string* output) {
+  if (args.positional.empty()) {
+    return Fail(pdgf::InvalidArgumentError("validate requires a model file"),
+                output);
+  }
+  auto schema = pdgf::LoadSchemaFromFile(args.positional[0]);
+  if (!schema.ok()) return Fail(schema.status(), output);
+  auto session = OpenSession(*schema, args);
+  if (!session.ok()) return Fail(session.status(), output);
+  uint64_t total_rows = 0;
+  double total_mb = 0;
+  for (size_t t = 0; t < schema->tables.size(); ++t) {
+    uint64_t rows = (*session)->TableRows(static_cast<int>(t));
+    total_rows += rows;
+    // Touch the generators of the first row to surface runtime issues,
+    // and estimate the CSV volume from sampled rows.
+    std::vector<pdgf::Value> row;
+    if (rows > 0) {
+      (*session)->GenerateRow(static_cast<int>(t), 0, 0, &row);
+    }
+    double table_mb = static_cast<double>(rows) *
+                      (*session)->EstimateRowBytes(static_cast<int>(t)) /
+                      (1024.0 * 1024.0);
+    total_mb += table_mb;
+    output->append(pdgf::StrPrintf(
+        "  %-24s %12llu rows  %zu fields  ~%.1f MB\n",
+        schema->tables[t].name.c_str(),
+        static_cast<unsigned long long>(rows),
+        schema->tables[t].fields.size(), table_mb));
+  }
+  output->append(pdgf::StrPrintf(
+      "model ok: %zu tables, %llu total rows, ~%.1f MB as CSV\n",
+      schema->tables.size(),
+      static_cast<unsigned long long>(total_rows), total_mb));
+  return 0;
+}
+
+int CmdExtract(const ParsedArgs& args, std::string* output) {
+  std::string ddl_path = args.FlagOr("schema", "");
+  std::string csv_dir = args.FlagOr("csv-dir", "");
+  std::string out_path = args.FlagOr("out", "model.xml");
+  if (ddl_path.empty() || csv_dir.empty()) {
+    return Fail(pdgf::InvalidArgumentError(
+                    "extract requires --schema and --csv-dir"),
+                output);
+  }
+  // Materialize the source database.
+  auto ddl = pdgf::ReadFileToString(ddl_path);
+  if (!ddl.ok()) return Fail(ddl.status(), output);
+  minidb::Database database;
+  auto created = minidb::ExecuteSqlScript(&database, *ddl);
+  if (!created.ok()) return Fail(created.status(), output);
+  minidb::CsvOptions csv_options;
+  csv_options.null_marker = args.FlagOr("null-marker", "");
+  for (const std::string& table : database.TableNames()) {
+    std::string path = pdgf::JoinPath(csv_dir, table + ".csv");
+    if (!pdgf::PathExists(path)) {
+      output->append("  (no data file for " + table + ", left empty)\n");
+      continue;
+    }
+    auto loaded = minidb::LoadCsvFileIntoTable(
+        path, database.GetTable(table), csv_options);
+    if (!loaded.ok()) return Fail(loaded.status(), output);
+    output->append(pdgf::StrPrintf(
+        "  loaded %-20s %10llu rows\n", table.c_str(),
+        static_cast<unsigned long long>(*loaded)));
+  }
+  // Profile + build the model (Figure 3).
+  dbsynth::MiniDbConnection connection(&database);
+  dbsynth::ExtractionOptions extraction;
+  extraction.extract_histograms = args.HasFlag("histograms");
+  double fraction = args.NumberFlagOr("sample", 1.0);
+  if (fraction >= 1.0) {
+    extraction.sampling.strategy = dbsynth::SamplingSpec::Strategy::kFull;
+  } else {
+    extraction.sampling.strategy =
+        dbsynth::SamplingSpec::Strategy::kFraction;
+    extraction.sampling.fraction = fraction;
+  }
+  auto profile = ProfileDatabase(&connection, extraction);
+  if (!profile.ok()) return Fail(profile.status(), output);
+  dbsynth::ModelBuildOptions model_options;
+  model_options.seed =
+      static_cast<uint64_t>(args.NumberFlagOr("seed", 123456789));
+  model_options.artifact_dir = args.FlagOr("artifacts", "");
+  auto model = BuildModel(*profile, model_options);
+  if (!model.ok()) return Fail(model.status(), output);
+  if (args.HasFlag("explain")) {
+    for (const dbsynth::ModelDecision& decision : model->decisions) {
+      output->append(pdgf::StrPrintf(
+          "  %-14s %-20s %-28s %s\n", decision.table.c_str(),
+          decision.column.c_str(), decision.generator.c_str(),
+          decision.reason.c_str()));
+    }
+  }
+  Status saved = pdgf::SaveSchemaToFile(model->schema, out_path);
+  if (!saved.ok()) return Fail(saved, output);
+  output->append(pdgf::StrPrintf(
+      "wrote model with %zu tables to %s (extraction %.1f ms)\n",
+      model->schema.tables.size(), out_path.c_str(),
+      profile->timings.total() * 1e3));
+  return 0;
+}
+
+// The full Figure-3 pipeline as one command: materialize the source,
+// profile it, build a model, regenerate at --sf, save the synthetic
+// database as a directory (schema.sql + CSVs).
+int CmdSynthesize(const ParsedArgs& args, std::string* output) {
+  std::string ddl_path = args.FlagOr("schema", "");
+  std::string csv_dir = args.FlagOr("csv-dir", "");
+  std::string out_dir = args.FlagOr("out-dir", "synthetic");
+  if (ddl_path.empty() || csv_dir.empty()) {
+    return Fail(pdgf::InvalidArgumentError(
+                    "synthesize requires --schema and --csv-dir"),
+                output);
+  }
+  auto ddl = pdgf::ReadFileToString(ddl_path);
+  if (!ddl.ok()) return Fail(ddl.status(), output);
+  minidb::Database source;
+  auto created = minidb::ExecuteSqlScript(&source, *ddl);
+  if (!created.ok()) return Fail(created.status(), output);
+  minidb::CsvOptions csv_options;
+  csv_options.null_marker = args.FlagOr("null-marker", "");
+  for (const std::string& table : source.TableNames()) {
+    std::string path = pdgf::JoinPath(csv_dir, table + ".csv");
+    if (!pdgf::PathExists(path)) continue;
+    auto loaded = minidb::LoadCsvFileIntoTable(
+        path, source.GetTable(table), csv_options);
+    if (!loaded.ok()) return Fail(loaded.status(), output);
+  }
+
+  dbsynth::MiniDbConnection connection(&source);
+  minidb::Database target;
+  dbsynth::SynthesizeOptions options;
+  options.scale_factor = args.NumberFlagOr("sf", 1.0);
+  options.extraction.extract_histograms = args.HasFlag("histograms");
+  double fraction = args.NumberFlagOr("sample", 1.0);
+  if (fraction >= 1.0) {
+    options.extraction.sampling.strategy =
+        dbsynth::SamplingSpec::Strategy::kFull;
+  } else {
+    options.extraction.sampling.strategy =
+        dbsynth::SamplingSpec::Strategy::kFraction;
+    options.extraction.sampling.fraction = fraction;
+  }
+  options.model.seed =
+      static_cast<uint64_t>(args.NumberFlagOr("seed", 123456789));
+  auto report = SynthesizeDatabase(&connection, &target, options);
+  if (!report.ok()) return Fail(report.status(), output);
+
+  Status saved = minidb::SaveDatabase(target, out_dir);
+  if (!saved.ok()) return Fail(saved, output);
+  if (args.HasFlag("model-out")) {
+    Status model_saved = pdgf::SaveSchemaToFile(
+        report->schema, args.FlagOr("model-out", "model.xml"));
+    if (!model_saved.ok()) return Fail(model_saved, output);
+  }
+  output->append(pdgf::StrPrintf(
+      "synthesized %llu rows at SF %.3g into %s (extraction %.1f ms, "
+      "generate+load %.1f ms)\n",
+      static_cast<unsigned long long>(report->rows_loaded),
+      options.scale_factor, out_dir.c_str(),
+      report->timings.total() * 1e3, report->generate_seconds * 1e3));
+  return 0;
+}
+
+int CmdQuery(const ParsedArgs& args, std::string* output) {
+  if (args.positional.size() < 2) {
+    return Fail(
+        pdgf::InvalidArgumentError("query requires a model and a SELECT"),
+        output);
+  }
+  auto schema = pdgf::LoadSchemaFromFile(args.positional[0]);
+  if (!schema.ok()) return Fail(schema.status(), output);
+  auto session = OpenSession(*schema, args);
+  if (!session.ok()) return Fail(session.status(), output);
+  auto result = dbsynth::ExecuteQueryWithoutData(
+      **session, args.positional[1],
+      static_cast<uint64_t>(args.NumberFlagOr("update", 0)));
+  if (!result.ok()) return Fail(result.status(), output);
+  output->append(result->ToString());
+  return 0;
+}
+
+int CmdWorkload(const ParsedArgs& args, std::string* output) {
+  if (args.positional.empty()) {
+    return Fail(pdgf::InvalidArgumentError("workload requires a model file"),
+                output);
+  }
+  auto schema = pdgf::LoadSchemaFromFile(args.positional[0]);
+  if (!schema.ok()) return Fail(schema.status(), output);
+  auto session = OpenSession(*schema, args);
+  if (!session.ok()) return Fail(session.status(), output);
+  dbsynth::QueryWorkloadOptions workload_options;
+  workload_options.seed =
+      static_cast<uint64_t>(args.NumberFlagOr("seed", 424243));
+  dbsynth::QueryGenerator generator(session->get(), workload_options);
+  uint64_t count = static_cast<uint64_t>(args.NumberFlagOr("count", 10));
+  if (!args.HasFlag("execute")) {
+    for (const std::string& sql : generator.Workload(count)) {
+      output->append(sql);
+      output->append(";\n");
+    }
+    return 0;
+  }
+  // Driver mode (the paper's §7 vision: automate the complete
+  // benchmarking process): execute every query against the virtual
+  // generator stream and report latency and result size.
+  output->append(pdgf::StrPrintf("%4s %10s %8s  %s\n", "q#", "ms", "rows",
+                                 "query"));
+  double total_ms = 0;
+  for (uint64_t i = 0; i < count; ++i) {
+    std::string sql = generator.Query(i);
+    pdgf::Stopwatch stopwatch;
+    auto result = dbsynth::ExecuteQueryWithoutData(**session, sql);
+    double ms = stopwatch.ElapsedMillis();
+    if (!result.ok()) return Fail(result.status(), output);
+    total_ms += ms;
+    output->append(pdgf::StrPrintf("%4llu %10.2f %8zu  %.80s\n",
+                                   static_cast<unsigned long long>(i), ms,
+                                   result->rows.size(), sql.c_str()));
+  }
+  output->append(pdgf::StrPrintf(
+      "total: %.1f ms over %llu queries (no data was materialized)\n",
+      total_ms, static_cast<unsigned long long>(count)));
+  return 0;
+}
+
+int CmdDictionaries(std::string* output) {
+  for (const std::string& name : pdgf::BuiltinDictionaryNames()) {
+    const pdgf::Dictionary* dictionary =
+        pdgf::FindBuiltinDictionary(name);
+    output->append(pdgf::StrPrintf("  %-22s %6zu entries\n", name.c_str(),
+                                   dictionary->size()));
+  }
+  return 0;
+}
+
+}  // namespace
+
+std::string UsageText() {
+  return
+      "dbsynthpp — synthesize big, realistic test data (PDGF + DBSynth)\n"
+      "\n"
+      "usage: dbsynthpp <command> [args]\n"
+      "  generate <model.xml> [--sf X] [--format csv|tsv|json|xml|sql]\n"
+      "           [--out DIR] [--workers N] [--package-rows N]\n"
+      "           [--nodes N --node-id I] [--update U] [--unsorted]\n"
+      "  preview  <model.xml> <table> [--rows N] [--sf X]\n"
+      "  ddl      <model.xml>\n"
+      "  validate <model.xml> [--sf X]\n"
+      "  extract  --schema schema.sql --csv-dir DIR --out model.xml\n"
+      "           [--sample FRACTION] [--artifacts DIR] [--seed S]\n"
+      "           [--null-marker M] [--explain] [--histograms]\n"
+      "  synthesize --schema schema.sql --csv-dir DIR [--out-dir DIR]\n"
+      "           [--sf X] [--sample FRACTION] [--histograms]\n"
+      "           [--model-out model.xml] [--seed S]\n"
+      "  query    <model.xml> <SQL> [--sf X] [--update U]\n"
+      "  workload <model.xml> [--count N] [--seed S] [--execute]\n"
+      "  dictionaries\n";
+}
+
+int RunCli(const std::vector<std::string>& args, std::string* output) {
+  if (args.empty()) {
+    output->append(UsageText());
+    return 2;
+  }
+  const std::string& command = args[0];
+  auto parsed = ParseArgs(args, 1);
+  if (!parsed.ok()) return Fail(parsed.status(), output);
+  if (command == "generate") return CmdGenerate(*parsed, output);
+  if (command == "preview") return CmdPreview(*parsed, output);
+  if (command == "ddl") return CmdDdl(*parsed, output);
+  if (command == "validate") return CmdValidate(*parsed, output);
+  if (command == "extract") return CmdExtract(*parsed, output);
+  if (command == "synthesize") return CmdSynthesize(*parsed, output);
+  if (command == "query") return CmdQuery(*parsed, output);
+  if (command == "workload") return CmdWorkload(*parsed, output);
+  if (command == "dictionaries") return CmdDictionaries(output);
+  if (command == "help" || command == "--help" || command == "-h") {
+    output->append(UsageText());
+    return 0;
+  }
+  output->append("unknown command '" + command + "'\n\n" + UsageText());
+  return 2;
+}
+
+}  // namespace dbsynthpp_cli

@@ -1,0 +1,40 @@
+#ifndef DBSYNTHPP_CLI_CLI_H_
+#define DBSYNTHPP_CLI_CLI_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace dbsynthpp_cli {
+
+// The command-line front end — the scriptable counterpart of the demo's
+// GUI wizard (paper §5, Figures 10-12). Commands:
+//
+//   generate <model.xml> [--sf X] [--format csv|tsv|json|xml|sql]
+//            [--out DIR] [--workers N] [--package-rows N]
+//            [--nodes N] [--node-id I] [--update U] [--unsorted]
+//   preview  <model.xml> <table> [--rows N] [--sf X]
+//   ddl      <model.xml>
+//   validate <model.xml> [--sf X]
+//   extract  --schema schema.sql --csv-dir DIR --out model.xml
+//            [--sample FRACTION] [--artifacts DIR] [--seed S]
+//            [--null-marker M] [--explain]
+//   query    <model.xml> <SQL> [--sf X] [--update U]
+//   workload <model.xml> [--count N] [--seed S]
+//   dictionaries
+//
+// `extract` stands in for the JDBC connection of Figure 3: the source
+// database is materialized in MiniDB from a DDL script plus one CSV file
+// per table ("<csv-dir>/<table>.csv"), then profiled.
+
+// Executes one CLI invocation. Human-readable output is appended to
+// `*output`; the return value is the process exit status (0 on success).
+int RunCli(const std::vector<std::string>& args, std::string* output);
+
+// Renders the usage text.
+std::string UsageText();
+
+}  // namespace dbsynthpp_cli
+
+#endif  // DBSYNTHPP_CLI_CLI_H_

@@ -1,0 +1,177 @@
+#include "common/date.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace pdgf {
+namespace {
+
+// Howard Hinnant's days_from_civil: days since 1970-01-01 for a civil date.
+int64_t DaysFromCivil(int64_t y, unsigned m, unsigned d) {
+  y -= m <= 2;
+  const int64_t era = (y >= 0 ? y : y - 399) / 400;
+  const unsigned yoe = static_cast<unsigned>(y - era * 400);             // [0, 399]
+  const unsigned doy = (153 * (m + (m > 2 ? -3 : 9)) + 2) / 5 + d - 1;   // [0, 365]
+  const unsigned doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;            // [0, 146096]
+  return era * 146097 + static_cast<int64_t>(doe) - 719468;
+}
+
+// Howard Hinnant's civil_from_days.
+void CivilFromDays(int64_t z, int* year, int* month, int* day) {
+  z += 719468;
+  const int64_t era = (z >= 0 ? z : z - 146096) / 146097;
+  const unsigned doe = static_cast<unsigned>(z - era * 146097);           // [0, 146096]
+  const unsigned yoe =
+      (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;              // [0, 399]
+  const int64_t y = static_cast<int64_t>(yoe) + era * 400;
+  const unsigned doy = doe - (365 * yoe + yoe / 4 - yoe / 100);           // [0, 365]
+  const unsigned mp = (5 * doy + 2) / 153;                                // [0, 11]
+  const unsigned d = doy - (153 * mp + 2) / 5 + 1;                        // [1, 31]
+  const unsigned m = mp + (mp < 10 ? 3 : -9);                             // [1, 12]
+  *year = static_cast<int>(y + (m <= 2));
+  *month = static_cast<int>(m);
+  *day = static_cast<int>(d);
+}
+
+bool IsLeapYear(int year) {
+  return (year % 4 == 0 && year % 100 != 0) || year % 400 == 0;
+}
+
+int DaysInMonth(int year, int month) {
+  static const int kDays[] = {31, 28, 31, 30, 31, 30, 31, 31, 30, 31, 30, 31};
+  if (month < 1 || month > 12) return 0;
+  if (month == 2 && IsLeapYear(year)) return 29;
+  return kDays[month - 1];
+}
+
+}  // namespace
+
+Date Date::FromCivil(int year, int month, int day) {
+  return Date(DaysFromCivil(year, static_cast<unsigned>(month),
+                            static_cast<unsigned>(day)));
+}
+
+bool Date::IsValidCivil(int year, int month, int day) {
+  return month >= 1 && month <= 12 && day >= 1 &&
+         day <= DaysInMonth(year, month);
+}
+
+StatusOr<Date> Date::Parse(std::string_view text) {
+  int year = 0;
+  int month = 0;
+  int day = 0;
+  // Expected layout: YYYY-MM-DD (4+ digit year allowed, '-' separated).
+  size_t first_dash = text.find('-', 1);  // skip a potential leading '-'.
+  if (first_dash == std::string_view::npos) {
+    return ParseError("not a date: '" + std::string(text) + "'");
+  }
+  size_t second_dash = text.find('-', first_dash + 1);
+  if (second_dash == std::string_view::npos) {
+    return ParseError("not a date: '" + std::string(text) + "'");
+  }
+  auto parse_int = [](std::string_view s, int* out) {
+    if (s.empty()) return false;
+    size_t i = 0;
+    bool negative = false;
+    if (s[0] == '-') {
+      negative = true;
+      i = 1;
+      if (s.size() == 1) return false;
+    }
+    int64_t v = 0;
+    for (; i < s.size(); ++i) {
+      if (s[i] < '0' || s[i] > '9') return false;
+      v = v * 10 + (s[i] - '0');
+      if (v > 1000000) return false;
+    }
+    *out = static_cast<int>(negative ? -v : v);
+    return true;
+  };
+  if (!parse_int(text.substr(0, first_dash), &year) ||
+      !parse_int(text.substr(first_dash + 1, second_dash - first_dash - 1),
+                 &month) ||
+      !parse_int(text.substr(second_dash + 1), &day)) {
+    return ParseError("not a date: '" + std::string(text) + "'");
+  }
+  if (!IsValidCivil(year, month, day)) {
+    return ParseError("invalid calendar day: '" + std::string(text) + "'");
+  }
+  return Date::FromCivil(year, month, day);
+}
+
+int Date::year() const {
+  int y, m, d;
+  CivilFromDays(days_, &y, &m, &d);
+  return y;
+}
+
+int Date::month() const {
+  int y, m, d;
+  CivilFromDays(days_, &y, &m, &d);
+  return m;
+}
+
+int Date::day() const {
+  int y, m, d;
+  CivilFromDays(days_, &y, &m, &d);
+  return d;
+}
+
+int Date::day_of_week() const {
+  // 1970-01-01 was a Thursday (4).
+  int64_t dow = (days_ + 4) % 7;
+  if (dow < 0) dow += 7;
+  return static_cast<int>(dow);
+}
+
+std::string Date::ToString() const {
+  int y, m, d;
+  CivilFromDays(days_, &y, &m, &d);
+  char buffer[16];
+  std::snprintf(buffer, sizeof(buffer), "%04d-%02d-%02d", y, m, d);
+  return buffer;
+}
+
+std::string Date::Format(std::string_view format) const {
+  int y, m, d;
+  CivilFromDays(days_, &y, &m, &d);
+  std::string result;
+  result.reserve(format.size() + 8);
+  char buffer[16];
+  for (size_t i = 0; i < format.size(); ++i) {
+    if (format[i] != '%' || i + 1 >= format.size()) {
+      result.push_back(format[i]);
+      continue;
+    }
+    ++i;
+    switch (format[i]) {
+      case 'Y':
+        std::snprintf(buffer, sizeof(buffer), "%04d", y);
+        result += buffer;
+        break;
+      case 'y':
+        std::snprintf(buffer, sizeof(buffer), "%02d", ((y % 100) + 100) % 100);
+        result += buffer;
+        break;
+      case 'm':
+        std::snprintf(buffer, sizeof(buffer), "%02d", m);
+        result += buffer;
+        break;
+      case 'd':
+        std::snprintf(buffer, sizeof(buffer), "%02d", d);
+        result += buffer;
+        break;
+      case '%':
+        result.push_back('%');
+        break;
+      default:
+        // Unknown directive: emit verbatim so mistakes are visible.
+        result.push_back('%');
+        result.push_back(format[i]);
+        break;
+    }
+  }
+  return result;
+}
+
+}  // namespace pdgf

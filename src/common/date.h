@@ -1,0 +1,62 @@
+#ifndef DBSYNTHPP_COMMON_DATE_H_
+#define DBSYNTHPP_COMMON_DATE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace pdgf {
+
+// A calendar date stored as days since the civil epoch 1970-01-01
+// (negative for earlier dates). Conversion uses Howard Hinnant's civil
+// calendar algorithms, exact over the proleptic Gregorian calendar.
+class Date {
+ public:
+  // Default: the epoch, 1970-01-01.
+  Date() : days_(0) {}
+  explicit Date(int64_t days_since_epoch) : days_(days_since_epoch) {}
+
+  // Builds a date from a civil year/month/day triple. Does not validate;
+  // out-of-range month/day values are normalized by the day arithmetic
+  // (e.g. month 13 rolls into the next year). Use IsValidCivil to check.
+  static Date FromCivil(int year, int month, int day);
+
+  // True if (year, month, day) denotes an actual calendar day.
+  static bool IsValidCivil(int year, int month, int day);
+
+  // Parses "YYYY-MM-DD". Returns an error for malformed or invalid dates.
+  static StatusOr<Date> Parse(std::string_view text);
+
+  int64_t days_since_epoch() const { return days_; }
+
+  // Civil components.
+  int year() const;
+  int month() const;   // 1..12
+  int day() const;     // 1..31
+  int day_of_week() const;  // 0 = Sunday .. 6 = Saturday
+
+  // ISO "YYYY-MM-DD".
+  std::string ToString() const;
+
+  // Formats with a strftime-like subset: %Y %m %d %y plus literal chars.
+  // E.g. "%m/%d/%Y" -> "11/30/2014" (the paper's Figure 9 date format).
+  std::string Format(std::string_view format) const;
+
+  Date AddDays(int64_t days) const { return Date(days_ + days); }
+
+  bool operator==(const Date& other) const { return days_ == other.days_; }
+  bool operator!=(const Date& other) const { return days_ != other.days_; }
+  bool operator<(const Date& other) const { return days_ < other.days_; }
+  bool operator<=(const Date& other) const { return days_ <= other.days_; }
+  bool operator>(const Date& other) const { return days_ > other.days_; }
+  bool operator>=(const Date& other) const { return days_ >= other.days_; }
+
+ private:
+  int64_t days_;
+};
+
+}  // namespace pdgf
+
+#endif  // DBSYNTHPP_COMMON_DATE_H_

@@ -1,0 +1,120 @@
+#ifndef DBSYNTHPP_COMMON_STATUS_H_
+#define DBSYNTHPP_COMMON_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace pdgf {
+
+// Error codes used across the project. Modeled after the usual canonical
+// code set; only the codes the project actually raises are defined.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kFailedPrecondition,
+  kUnimplemented,
+  kInternal,
+  kIoError,
+  kParseError,
+};
+
+// Returns a stable human-readable name ("InvalidArgument", ...) for `code`.
+const char* StatusCodeName(StatusCode code);
+
+// A lightweight status type: either OK or an error code plus message.
+// Used instead of exceptions for all expected failure paths (bad config,
+// malformed SQL, missing files, ...).
+class Status {
+ public:
+  // Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+Status InvalidArgumentError(std::string message);
+Status NotFoundError(std::string message);
+Status AlreadyExistsError(std::string message);
+Status OutOfRangeError(std::string message);
+Status FailedPreconditionError(std::string message);
+Status UnimplementedError(std::string message);
+Status InternalError(std::string message);
+Status IoError(std::string message);
+Status ParseError(std::string message);
+
+// Minimal StatusOr: holds either a value or an error status. The value is
+// only accessible when `ok()`.
+template <typename T>
+class StatusOr {
+ public:
+  // Intentionally implicit so functions can `return value;` / `return status;`.
+  StatusOr(const T& value) : value_(value) {}          // NOLINT
+  StatusOr(T&& value) : value_(std::move(value)) {}    // NOLINT
+  StatusOr(Status status) : status_(std::move(status)) {}  // NOLINT
+
+  bool ok() const { return status_.ok() && value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& { return *value_; }
+  T& value() & { return *value_; }
+  T&& value() && { return *std::move(value_); }
+
+  const T& operator*() const& { return *value_; }
+  T& operator*() & { return *value_; }
+  const T* operator->() const { return &*value_; }
+  T* operator->() { return &*value_; }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+// Propagates an error status out of the current function.
+#define PDGF_RETURN_IF_ERROR(expr)                   \
+  do {                                               \
+    ::pdgf::Status pdgf_status_internal = (expr);    \
+    if (!pdgf_status_internal.ok()) {                \
+      return pdgf_status_internal;                   \
+    }                                                \
+  } while (false)
+
+// Evaluates a StatusOr expression, propagating errors and otherwise
+// assigning the contained value to `lhs`.
+#define PDGF_ASSIGN_OR_RETURN(lhs, expr)             \
+  PDGF_ASSIGN_OR_RETURN_IMPL_(                       \
+      PDGF_STATUS_CONCAT_(status_or_, __LINE__), lhs, expr)
+
+#define PDGF_ASSIGN_OR_RETURN_IMPL_(var, lhs, expr)  \
+  auto var = (expr);                                 \
+  if (!var.ok()) {                                   \
+    return var.status();                             \
+  }                                                  \
+  lhs = std::move(var).value()
+
+#define PDGF_STATUS_CONCAT_(a, b) PDGF_STATUS_CONCAT_IMPL_(a, b)
+#define PDGF_STATUS_CONCAT_IMPL_(a, b) a##b
+
+}  // namespace pdgf
+
+#endif  // DBSYNTHPP_COMMON_STATUS_H_

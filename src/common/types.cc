@@ -1,0 +1,88 @@
+#include "common/types.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace pdgf {
+
+const char* DataTypeName(DataType type) {
+  switch (type) {
+    case DataType::kBoolean:
+      return "BOOLEAN";
+    case DataType::kSmallInt:
+      return "SMALLINT";
+    case DataType::kInteger:
+      return "INTEGER";
+    case DataType::kBigInt:
+      return "BIGINT";
+    case DataType::kFloat:
+      return "FLOAT";
+    case DataType::kDouble:
+      return "DOUBLE";
+    case DataType::kDecimal:
+      return "DECIMAL";
+    case DataType::kChar:
+      return "CHAR";
+    case DataType::kVarchar:
+      return "VARCHAR";
+    case DataType::kDate:
+      return "DATE";
+  }
+  return "UNKNOWN";
+}
+
+StatusOr<DataType> ParseDataType(std::string_view name) {
+  std::string upper(name);
+  std::transform(upper.begin(), upper.end(), upper.begin(),
+                 [](unsigned char c) { return std::toupper(c); });
+  // Strip a parenthesized size suffix, e.g. "VARCHAR(44)".
+  size_t paren = upper.find('(');
+  if (paren != std::string::npos) {
+    upper = upper.substr(0, paren);
+  }
+  // Trim surrounding whitespace.
+  size_t begin = upper.find_first_not_of(" \t");
+  size_t end = upper.find_last_not_of(" \t");
+  if (begin == std::string::npos) {
+    return ParseError("empty type name");
+  }
+  upper = upper.substr(begin, end - begin + 1);
+
+  if (upper == "BOOLEAN" || upper == "BOOL") return DataType::kBoolean;
+  if (upper == "SMALLINT" || upper == "INT2") return DataType::kSmallInt;
+  if (upper == "INTEGER" || upper == "INT" || upper == "INT4") {
+    return DataType::kInteger;
+  }
+  if (upper == "BIGINT" || upper == "INT8") return DataType::kBigInt;
+  if (upper == "FLOAT" || upper == "REAL") return DataType::kFloat;
+  if (upper == "DOUBLE" || upper == "DOUBLE PRECISION") {
+    return DataType::kDouble;
+  }
+  if (upper == "DECIMAL" || upper == "NUMERIC") return DataType::kDecimal;
+  if (upper == "CHAR" || upper == "CHARACTER") return DataType::kChar;
+  if (upper == "VARCHAR" || upper == "CHARACTER VARYING" || upper == "TEXT") {
+    return DataType::kVarchar;
+  }
+  if (upper == "DATE") return DataType::kDate;
+  return ParseError("unknown SQL type: '" + std::string(name) + "'");
+}
+
+bool IsIntegerType(DataType type) {
+  return type == DataType::kSmallInt || type == DataType::kInteger ||
+         type == DataType::kBigInt;
+}
+
+bool IsFloatingType(DataType type) {
+  return type == DataType::kFloat || type == DataType::kDouble ||
+         type == DataType::kDecimal;
+}
+
+bool IsNumericType(DataType type) {
+  return IsIntegerType(type) || IsFloatingType(type);
+}
+
+bool IsTextType(DataType type) {
+  return type == DataType::kChar || type == DataType::kVarchar;
+}
+
+}  // namespace pdgf

@@ -1,0 +1,47 @@
+#ifndef DBSYNTHPP_COMMON_TYPES_H_
+#define DBSYNTHPP_COMMON_TYPES_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace pdgf {
+
+// SQL-92 column types supported throughout the project (PDGF models,
+// MiniDB catalogs, DBSynth extraction). The numeric family is collapsed
+// onto the widest representation of each kind.
+enum class DataType {
+  kBoolean,
+  kSmallInt,   // 16 bit
+  kInteger,    // 32 bit
+  kBigInt,     // 64 bit
+  kFloat,      // stored as double
+  kDouble,
+  kDecimal,    // fixed point, precision/scale tracked per column
+  kChar,       // fixed length
+  kVarchar,
+  kDate,
+};
+
+// Returns the canonical SQL name, e.g. "BIGINT", "VARCHAR".
+const char* DataTypeName(DataType type);
+
+// Parses a SQL type name (case-insensitive). Accepts the canonical names
+// plus common aliases: INT, INT2/4/8, REAL, NUMERIC, TEXT, CHARACTER,
+// "CHARACTER VARYING", "DOUBLE PRECISION".
+StatusOr<DataType> ParseDataType(std::string_view name);
+
+// True for SMALLINT/INTEGER/BIGINT.
+bool IsIntegerType(DataType type);
+// True for FLOAT/DOUBLE/DECIMAL.
+bool IsFloatingType(DataType type);
+// True for any numeric type (integer or floating).
+bool IsNumericType(DataType type);
+// True for CHAR/VARCHAR.
+bool IsTextType(DataType type);
+
+}  // namespace pdgf
+
+#endif  // DBSYNTHPP_COMMON_TYPES_H_

@@ -1,0 +1,340 @@
+#include "common/value.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace pdgf {
+namespace {
+
+// 64-bit avalanche mixer (splitmix64 finalizer).
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+uint64_t HashBytes(const char* data, size_t size) {
+  // FNV-1a with a 64-bit finishing mix.
+  uint64_t h = 1469598103934665603ULL;
+  for (size_t i = 0; i < size; ++i) {
+    h ^= static_cast<unsigned char>(data[i]);
+    h *= 1099511628211ULL;
+  }
+  return Mix64(h);
+}
+
+bool ParseInt64(std::string_view text, int64_t* out) {
+  if (text.empty()) return false;
+  errno = 0;
+  char buffer[32];
+  if (text.size() >= sizeof(buffer)) return false;
+  std::memcpy(buffer, text.data(), text.size());
+  buffer[text.size()] = '\0';
+  char* end = nullptr;
+  long long v = std::strtoll(buffer, &end, 10);
+  if (errno != 0 || end != buffer + text.size()) return false;
+  *out = v;
+  return true;
+}
+
+bool ParseDoubleText(std::string_view text, double* out) {
+  if (text.empty()) return false;
+  char buffer[64];
+  if (text.size() >= sizeof(buffer)) return false;
+  std::memcpy(buffer, text.data(), text.size());
+  buffer[text.size()] = '\0';
+  errno = 0;
+  char* end = nullptr;
+  double v = std::strtod(buffer, &end);
+  if (errno != 0 || end != buffer + text.size()) return false;
+  *out = v;
+  return true;
+}
+
+}  // namespace
+
+void AppendDoubleText(double v, std::string* out) {
+  char buffer[40];
+  // Shortest representation that round-trips: try increasing precision.
+  for (int precision = 6; precision <= 17; precision += precision < 15 ? 9 : 2) {
+    int n = std::snprintf(buffer, sizeof(buffer), "%.*g", precision, v);
+    double parsed = std::strtod(buffer, nullptr);
+    if (parsed == v || precision >= 17) {
+      out->append(buffer, static_cast<size_t>(n));
+      return;
+    }
+  }
+}
+
+void AppendDecimalText(int64_t unscaled, int scale, std::string* out) {
+  if (scale <= 0) {
+    char buffer[24];
+    int n = std::snprintf(buffer, sizeof(buffer), "%lld",
+                          static_cast<long long>(unscaled));
+    out->append(buffer, static_cast<size_t>(n));
+    return;
+  }
+  bool negative = unscaled < 0;
+  uint64_t magnitude = negative ? 0ULL - static_cast<uint64_t>(unscaled)
+                                : static_cast<uint64_t>(unscaled);
+  uint64_t pow10 = 1;
+  for (int i = 0; i < scale; ++i) pow10 *= 10;
+  uint64_t whole = magnitude / pow10;
+  uint64_t frac = magnitude % pow10;
+  char buffer[48];
+  int n = std::snprintf(buffer, sizeof(buffer), "%s%llu.%0*llu",
+                        negative ? "-" : "", static_cast<unsigned long long>(whole),
+                        scale, static_cast<unsigned long long>(frac));
+  out->append(buffer, static_cast<size_t>(n));
+}
+
+Value Value::Bool(bool v) {
+  Value value;
+  value.SetBool(v);
+  return value;
+}
+
+Value Value::Int(int64_t v) {
+  Value value;
+  value.SetInt(v);
+  return value;
+}
+
+Value Value::Double(double v) {
+  Value value;
+  value.SetDouble(v);
+  return value;
+}
+
+Value Value::Decimal(int64_t unscaled, int scale) {
+  Value value;
+  value.SetDecimal(unscaled, scale);
+  return value;
+}
+
+Value Value::String(std::string v) {
+  Value value;
+  value.SetStringMove(std::move(v));
+  return value;
+}
+
+Value Value::String(std::string_view v) {
+  Value value;
+  value.SetString(v);
+  return value;
+}
+
+Value Value::FromDate(Date d) {
+  Value value;
+  value.SetDate(d);
+  return value;
+}
+
+double Value::AsDouble() const {
+  switch (kind_) {
+    case Kind::kNull:
+    case Kind::kString:
+      return 0.0;
+    case Kind::kBool:
+    case Kind::kInt:
+    case Kind::kDate:
+      return static_cast<double>(int_);
+    case Kind::kDouble:
+      return double_;
+    case Kind::kDecimal: {
+      double divisor = 1.0;
+      for (int i = 0; i < scale_; ++i) divisor *= 10.0;
+      return static_cast<double>(int_) / divisor;
+    }
+  }
+  return 0.0;
+}
+
+int64_t Value::AsInt() const {
+  switch (kind_) {
+    case Kind::kNull:
+    case Kind::kString:
+      return 0;
+    case Kind::kBool:
+    case Kind::kInt:
+    case Kind::kDate:
+      return int_;
+    case Kind::kDouble:
+      return static_cast<int64_t>(double_);
+    case Kind::kDecimal: {
+      int64_t divisor = 1;
+      for (int i = 0; i < scale_; ++i) divisor *= 10;
+      return int_ / divisor;
+    }
+  }
+  return 0;
+}
+
+void Value::AppendText(std::string* out) const {
+  switch (kind_) {
+    case Kind::kNull:
+      return;
+    case Kind::kBool:
+      out->append(int_ != 0 ? "true" : "false");
+      return;
+    case Kind::kInt: {
+      char buffer[24];
+      int n = std::snprintf(buffer, sizeof(buffer), "%lld",
+                            static_cast<long long>(int_));
+      out->append(buffer, static_cast<size_t>(n));
+      return;
+    }
+    case Kind::kDouble:
+      AppendDoubleText(double_, out);
+      return;
+    case Kind::kDecimal:
+      AppendDecimalText(int_, scale_, out);
+      return;
+    case Kind::kString:
+      out->append(string_);
+      return;
+    case Kind::kDate:
+      out->append(Date(int_).ToString());
+      return;
+  }
+}
+
+std::string Value::ToText() const {
+  std::string out;
+  AppendText(&out);
+  return out;
+}
+
+StatusOr<Value> Value::ParseAs(DataType type, std::string_view text,
+                               int decimal_scale) {
+  switch (type) {
+    case DataType::kBoolean: {
+      if (text == "true" || text == "TRUE" || text == "t" || text == "1") {
+        return Value::Bool(true);
+      }
+      if (text == "false" || text == "FALSE" || text == "f" || text == "0") {
+        return Value::Bool(false);
+      }
+      return ParseError("not a boolean: '" + std::string(text) + "'");
+    }
+    case DataType::kSmallInt:
+    case DataType::kInteger:
+    case DataType::kBigInt: {
+      int64_t v = 0;
+      if (!ParseInt64(text, &v)) {
+        return ParseError("not an integer: '" + std::string(text) + "'");
+      }
+      return Value::Int(v);
+    }
+    case DataType::kFloat:
+    case DataType::kDouble: {
+      double v = 0;
+      if (!ParseDoubleText(text, &v)) {
+        return ParseError("not a double: '" + std::string(text) + "'");
+      }
+      return Value::Double(v);
+    }
+    case DataType::kDecimal: {
+      double v = 0;
+      if (!ParseDoubleText(text, &v)) {
+        return ParseError("not a decimal: '" + std::string(text) + "'");
+      }
+      double pow10 = 1.0;
+      for (int i = 0; i < decimal_scale; ++i) pow10 *= 10.0;
+      return Value::Decimal(static_cast<int64_t>(std::llround(v * pow10)),
+                            decimal_scale);
+    }
+    case DataType::kChar:
+    case DataType::kVarchar:
+      return Value::String(text);
+    case DataType::kDate: {
+      PDGF_ASSIGN_OR_RETURN(Date d, Date::Parse(text));
+      return Value::FromDate(d);
+    }
+  }
+  return ParseError("unsupported type");
+}
+
+int Value::Compare(const Value& other) const {
+  if (kind_ == Kind::kNull || other.kind_ == Kind::kNull) {
+    if (kind_ == other.kind_) return 0;
+    return kind_ == Kind::kNull ? -1 : 1;
+  }
+  bool this_text = kind_ == Kind::kString;
+  bool other_text = other.kind_ == Kind::kString;
+  if (this_text && other_text) {
+    int cmp = string_.compare(other.string_);
+    return cmp < 0 ? -1 : (cmp > 0 ? 1 : 0);
+  }
+  if (this_text != other_text) {
+    // Mixed string/number: rank by kind class (numbers sort before
+    // strings, as in SQLite). Comparing renderings instead would break
+    // transitivity ("10" < "2" textually but 10 > 2 numerically).
+    return this_text ? 1 : -1;
+  }
+  // Both numeric-like (bool/int/double/decimal/date).
+  if ((kind_ == Kind::kInt || kind_ == Kind::kBool || kind_ == Kind::kDate) &&
+      (other.kind_ == Kind::kInt || other.kind_ == Kind::kBool ||
+       other.kind_ == Kind::kDate)) {
+    if (int_ < other.int_) return -1;
+    if (int_ > other.int_) return 1;
+    return 0;
+  }
+  double lhs = AsDouble();
+  double rhs = other.AsDouble();
+  if (lhs < rhs) return -1;
+  if (lhs > rhs) return 1;
+  return 0;
+}
+
+bool Value::operator==(const Value& other) const {
+  if (kind_ != other.kind_) {
+    // Numeric kinds may still be equal across representations.
+    if (is_null() || other.is_null()) return false;
+    if (kind_ == Kind::kString || other.kind_ == Kind::kString) return false;
+    return Compare(other) == 0;
+  }
+  switch (kind_) {
+    case Kind::kNull:
+      return true;
+    case Kind::kBool:
+    case Kind::kInt:
+    case Kind::kDate:
+      return int_ == other.int_;
+    case Kind::kDouble:
+      return double_ == other.double_;
+    case Kind::kDecimal:
+      return int_ == other.int_ && scale_ == other.scale_;
+    case Kind::kString:
+      return string_ == other.string_;
+  }
+  return false;
+}
+
+uint64_t Value::Hash() const {
+  switch (kind_) {
+    case Kind::kNull:
+      return 0x5d5d5d5d5d5d5d5dULL;
+    case Kind::kBool:
+    case Kind::kInt:
+    case Kind::kDate:
+      return Mix64(static_cast<uint64_t>(int_) ^
+                   (static_cast<uint64_t>(kind_) << 56));
+    case Kind::kDouble: {
+      uint64_t bits;
+      std::memcpy(&bits, &double_, sizeof(bits));
+      return Mix64(bits ^ 0xd0d0d0d0ULL);
+    }
+    case Kind::kDecimal:
+      return Mix64(static_cast<uint64_t>(int_) * 31 +
+                   static_cast<uint64_t>(scale_));
+    case Kind::kString:
+      return HashBytes(string_.data(), string_.size());
+  }
+  return 0;
+}
+
+}  // namespace pdgf

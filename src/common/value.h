@@ -1,0 +1,150 @@
+#ifndef DBSYNTHPP_COMMON_VALUE_H_
+#define DBSYNTHPP_COMMON_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/date.h"
+#include "common/status.h"
+#include "common/types.h"
+
+namespace pdgf {
+
+// A dynamically typed cell value: the unit of data exchanged between
+// generators, formatters, MiniDB and DBSynth.
+//
+// Layout note: all storage members are plain fields (no union / variant)
+// so a Value can be reused row after row without reallocating its string
+// buffer — generation reuses one row of Values per worker, which is what
+// keeps per-value cost in the nanosecond range (paper §4).
+class Value {
+ public:
+  enum class Kind : uint8_t {
+    kNull,
+    kBool,
+    kInt,      // SMALLINT/INTEGER/BIGINT payloads
+    kDouble,   // FLOAT/DOUBLE payloads
+    kDecimal,  // fixed point: unscaled int64 + decimal scale
+    kString,   // CHAR/VARCHAR payloads
+    kDate,
+  };
+
+  // Default: NULL.
+  Value() : kind_(Kind::kNull), scale_(0), int_(0), double_(0) {}
+
+  Value(const Value&) = default;
+  Value(Value&&) = default;
+  Value& operator=(const Value&) = default;
+  Value& operator=(Value&&) = default;
+
+  static Value Null() { return Value(); }
+  static Value Bool(bool v);
+  static Value Int(int64_t v);
+  static Value Double(double v);
+  // A fixed-point value: `unscaled` * 10^-`scale`, e.g. (12345, 2) == 123.45.
+  static Value Decimal(int64_t unscaled, int scale);
+  static Value String(std::string v);
+  static Value String(std::string_view v);
+  static Value String(const char* v) { return String(std::string_view(v)); }
+  static Value FromDate(Date d);
+
+  // In-place setters (preserve the string buffer's capacity).
+  void SetNull() { kind_ = Kind::kNull; }
+  void SetBool(bool v) {
+    kind_ = Kind::kBool;
+    int_ = v ? 1 : 0;
+  }
+  void SetInt(int64_t v) {
+    kind_ = Kind::kInt;
+    int_ = v;
+  }
+  void SetDouble(double v) {
+    kind_ = Kind::kDouble;
+    double_ = v;
+  }
+  void SetDecimal(int64_t unscaled, int scale) {
+    kind_ = Kind::kDecimal;
+    int_ = unscaled;
+    scale_ = static_cast<int8_t>(scale);
+  }
+  void SetString(std::string_view v) {
+    kind_ = Kind::kString;
+    string_.assign(v.data(), v.size());
+  }
+  void SetStringMove(std::string&& v) {
+    kind_ = Kind::kString;
+    string_ = std::move(v);
+  }
+  void SetDate(Date d) {
+    kind_ = Kind::kDate;
+    int_ = d.days_since_epoch();
+  }
+  // Exposes the string buffer for direct appends; sets kind to kString and
+  // clears previous content.
+  std::string* MutableString() {
+    kind_ = Kind::kString;
+    string_.clear();
+    return &string_;
+  }
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+
+  // Typed accessors; behaviour is undefined unless kind() matches.
+  bool bool_value() const { return int_ != 0; }
+  int64_t int_value() const { return int_; }
+  double double_value() const { return double_; }
+  int64_t decimal_unscaled() const { return int_; }
+  int decimal_scale() const { return scale_; }
+  const std::string& string_value() const { return string_; }
+  Date date_value() const { return Date(int_); }
+
+  // Numeric view: int/bool/date as their integer, decimal scaled, double
+  // as-is. Returns 0.0 for NULL and strings.
+  double AsDouble() const;
+  // Integer view with truncation for doubles/decimals; 0 for NULL/strings.
+  int64_t AsInt() const;
+
+  // Canonical text rendering: "NULL" distinct from empty string is NOT
+  // produced here — NULL renders as "" and callers that need an explicit
+  // marker must check is_null(). Doubles use shortest round-trip via %.17g
+  // trimmed; decimals render with their scale; dates as ISO.
+  std::string ToText() const;
+  // Appends ToText() rendering to `out` without intermediate allocations.
+  void AppendText(std::string* out) const;
+
+  // Parses `text` as a value of `type` ("" and "NULL" are not special —
+  // use the nullable-aware helpers in CSV / SQL layers for that).
+  static StatusOr<Value> ParseAs(DataType type, std::string_view text,
+                                 int decimal_scale = 2);
+
+  // Total-order comparison used by MiniDB ORDER BY and min/max statistics:
+  // NULL sorts first, then all numeric kinds (by numeric value; dates and
+  // booleans count as numeric), then strings (lexicographically). Ranking
+  // the kind classes keeps the order transitive across mixed kinds.
+  int Compare(const Value& other) const;
+
+  bool operator==(const Value& other) const;
+  bool operator!=(const Value& other) const { return !(*this == other); }
+  bool operator<(const Value& other) const { return Compare(other) < 0; }
+
+  // Stable 64-bit hash (for distinct counting and dictionaries).
+  uint64_t Hash() const;
+
+ private:
+  Kind kind_;
+  int8_t scale_;  // decimal scale, only meaningful for kDecimal
+  int64_t int_;
+  double double_;
+  std::string string_;
+};
+
+// Renders a double like ToText() does, appending to `out`.
+void AppendDoubleText(double v, std::string* out);
+// Renders a decimal (`unscaled` * 10^-`scale`), appending to `out`.
+void AppendDecimalText(int64_t unscaled, int scale, std::string* out);
+
+}  // namespace pdgf
+
+#endif  // DBSYNTHPP_COMMON_VALUE_H_

@@ -1,0 +1,175 @@
+#include "core/config.h"
+
+#include <cstdlib>
+
+#include "core/generator.h"
+#include "util/files.h"
+#include "util/strings.h"
+#include "util/xml.h"
+
+namespace pdgf {
+namespace {
+
+StatusOr<FieldDef> ParseField(const XmlElement& element,
+                              const ConfigLoadContext& context) {
+  FieldDef field;
+  field.name = element.AttributeOr("name", "");
+  if (field.name.empty()) {
+    return ParseError("<field> requires a name attribute");
+  }
+  std::string type_name = element.AttributeOr("type", "VARCHAR");
+  PDGF_ASSIGN_OR_RETURN(field.type, ParseDataType(type_name));
+  field.size = std::atoi(element.AttributeOr("size", "0").c_str());
+  field.scale = std::atoi(element.AttributeOr("scale", "2").c_str());
+  field.primary = element.AttributeOr("primary", "false") == "true";
+  field.nullable = element.AttributeOr("nullable", "true") != "false";
+  field.mutable_across_updates =
+      element.AttributeOr("mutable", "false") == "true";
+  // The generator is the first child that the registry knows.
+  const GeneratorRegistry& registry = GeneratorRegistry::Global();
+  for (const auto& child : element.children()) {
+    if (registry.Contains(child->name())) {
+      PDGF_ASSIGN_OR_RETURN(field.generator,
+                            registry.Create(*child, context));
+      break;
+    }
+  }
+  if (field.generator == nullptr) {
+    return ParseError("field '" + field.name +
+                      "' has no recognized generator element");
+  }
+  return field;
+}
+
+StatusOr<TableDef> ParseTable(const XmlElement& element,
+                              const ConfigLoadContext& context) {
+  TableDef table;
+  table.name = element.AttributeOr("name", "");
+  if (table.name.empty()) {
+    return ParseError("<table> requires a name attribute");
+  }
+  table.size_expression =
+      std::string(StripWhitespace(element.ChildTextOr("size", "1")));
+  table.updates_expression =
+      std::string(StripWhitespace(element.ChildTextOr("updates", "1")));
+  std::string fraction =
+      std::string(StripWhitespace(element.ChildTextOr("update_fraction", "")));
+  if (!fraction.empty()) {
+    table.update_fraction = std::strtod(fraction.c_str(), nullptr);
+  }
+  for (const XmlElement* field_element : element.FindChildren("field")) {
+    PDGF_ASSIGN_OR_RETURN(FieldDef field,
+                          ParseField(*field_element, context));
+    table.fields.push_back(std::move(field));
+  }
+  if (table.fields.empty()) {
+    return ParseError("table '" + table.name + "' has no fields");
+  }
+  return table;
+}
+
+}  // namespace
+
+StatusOr<SchemaDef> LoadSchemaFromXml(std::string_view xml,
+                                      const ConfigLoadContext& context) {
+  PDGF_ASSIGN_OR_RETURN(XmlDocument document, XmlDocument::Parse(xml));
+  const XmlElement* root = document.root();
+  if (root == nullptr || root->name() != "schema") {
+    return ParseError("model root element must be <schema>");
+  }
+  SchemaDef schema;
+  schema.name = root->AttributeOr("name", "model");
+  std::string seed_text =
+      std::string(StripWhitespace(root->ChildTextOr("seed", "123456789")));
+  schema.seed = std::strtoull(seed_text.c_str(), nullptr, 10);
+  const XmlElement* rng = root->FindChild("rng");
+  if (rng != nullptr) {
+    schema.rng_name = rng->AttributeOr("name", "PdgfDefaultRandom");
+  }
+  if (schema.rng_name != "PdgfDefaultRandom") {
+    return InvalidArgumentError("unknown rng '" + schema.rng_name + "'");
+  }
+  for (const XmlElement* property : root->FindChildren("property")) {
+    PropertyDef def;
+    def.name = property->AttributeOr("name", "");
+    if (def.name.empty()) {
+      return ParseError("<property> requires a name attribute");
+    }
+    def.type = property->AttributeOr("type", "double");
+    def.expression = std::string(StripWhitespace(property->text()));
+    schema.properties.push_back(std::move(def));
+  }
+  for (const XmlElement* table_element : root->FindChildren("table")) {
+    PDGF_ASSIGN_OR_RETURN(TableDef table,
+                          ParseTable(*table_element, context));
+    if (schema.FindTable(table.name) != nullptr) {
+      return ParseError("duplicate table '" + table.name + "'");
+    }
+    schema.tables.push_back(std::move(table));
+  }
+  if (schema.tables.empty()) {
+    return ParseError("model defines no tables");
+  }
+  return schema;
+}
+
+StatusOr<SchemaDef> LoadSchemaFromFile(const std::string& path) {
+  PDGF_ASSIGN_OR_RETURN(std::string contents, ReadFileToString(path));
+  ConfigLoadContext context;
+  size_t slash = path.rfind('/');
+  if (slash != std::string::npos) {
+    context.base_dir = path.substr(0, slash);
+  }
+  return LoadSchemaFromXml(contents, context);
+}
+
+std::string SchemaToXml(const SchemaDef& schema) {
+  XmlDocument document(std::make_unique<XmlElement>("schema"));
+  XmlElement* root = document.mutable_root();
+  root->SetAttribute("name", schema.name);
+  root->AddChild("seed")->set_text(std::to_string(schema.seed));
+  root->AddChild("rng")->SetAttribute("name", schema.rng_name);
+  for (const PropertyDef& property : schema.properties) {
+    XmlElement* element = root->AddChild("property");
+    element->SetAttribute("name", property.name);
+    element->SetAttribute("type", property.type);
+    element->set_text(property.expression);
+  }
+  for (const TableDef& table : schema.tables) {
+    XmlElement* table_element = root->AddChild("table");
+    table_element->SetAttribute("name", table.name);
+    table_element->AddChild("size")->set_text(table.size_expression);
+    if (table.updates_expression != "1") {
+      table_element->AddChild("updates")->set_text(table.updates_expression);
+      table_element->AddChild("update_fraction")
+          ->set_text(StrPrintf("%.17g", table.update_fraction));
+    }
+    for (const FieldDef& field : table.fields) {
+      XmlElement* field_element = table_element->AddChild("field");
+      field_element->SetAttribute("name", field.name);
+      if (field.size > 0) {
+        field_element->SetAttribute("size", std::to_string(field.size));
+      }
+      field_element->SetAttribute("type", DataTypeName(field.type));
+      if (field.type == DataType::kDecimal) {
+        field_element->SetAttribute("scale", std::to_string(field.scale));
+      }
+      field_element->SetAttribute("primary",
+                                  field.primary ? "true" : "false");
+      if (!field.nullable) field_element->SetAttribute("nullable", "false");
+      if (field.mutable_across_updates) {
+        field_element->SetAttribute("mutable", "true");
+      }
+      if (field.generator != nullptr) {
+        field.generator->WriteConfig(field_element);
+      }
+    }
+  }
+  return document.Serialize();
+}
+
+Status SaveSchemaToFile(const SchemaDef& schema, const std::string& path) {
+  return WriteStringToFile(path, SchemaToXml(schema));
+}
+
+}  // namespace pdgf

@@ -1,0 +1,48 @@
+#ifndef DBSYNTHPP_CORE_CONFIG_H_
+#define DBSYNTHPP_CORE_CONFIG_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "core/generator_registry.h"
+#include "core/schema.h"
+
+namespace pdgf {
+
+// (De)serialization of generation models to the XML configuration format
+// of paper Listing 1:
+//
+//   <schema name="tpch">
+//     <seed>123456789</seed>
+//     <rng name="PdgfDefaultRandom"/>
+//     <property name="SF" type="double">1</property>
+//     <table name="lineitem">
+//       <size>${lineitem_size}</size>
+//       <field name="l_orderkey" size="19" type="BIGINT" primary="true">
+//         <gen_IdGenerator/>
+//       </field>
+//       ...
+//     </table>
+//   </schema>
+//
+// Optional per-table children: <updates>expr</updates> and
+// <update_fraction>0.1</update_fraction>. Optional field attributes:
+// nullable="false", mutable="true", scale="2".
+
+// Parses a model from XML text. `context.base_dir` resolves relative
+// artifact paths (Markov model / dictionary files).
+StatusOr<SchemaDef> LoadSchemaFromXml(std::string_view xml,
+                                      const ConfigLoadContext& context = {});
+
+// Loads a model file; artifact paths resolve relative to its directory.
+StatusOr<SchemaDef> LoadSchemaFromFile(const std::string& path);
+
+// Serializes a model (round-trips through LoadSchemaFromXml).
+std::string SchemaToXml(const SchemaDef& schema);
+
+Status SaveSchemaToFile(const SchemaDef& schema, const std::string& path);
+
+}  // namespace pdgf
+
+#endif  // DBSYNTHPP_CORE_CONFIG_H_

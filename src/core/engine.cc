@@ -1,0 +1,269 @@
+#include "core/engine.h"
+
+#include <atomic>
+#include <map>
+#include <mutex>
+#include <thread>
+
+#include "util/files.h"
+#include "util/stopwatch.h"
+
+namespace pdgf {
+namespace {
+
+// One schedulable unit: a row range of one table.
+struct WorkPackage {
+  int table_index;
+  uint64_t begin_row;
+  uint64_t end_row;
+  uint64_t sequence;  // package order within its table
+};
+
+// Per-table output state: serializes writes and, in sorted mode, reorders
+// completed packages so the file is written in row order.
+class TableOutput {
+ public:
+  TableOutput(std::unique_ptr<Sink> sink, bool sorted)
+      : sink_(std::move(sink)), sorted_(sorted) {}
+
+  Status Deliver(uint64_t sequence, std::string buffer) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!sorted_) {
+      return sink_->Write(buffer);
+    }
+    pending_.emplace(sequence, std::move(buffer));
+    while (!pending_.empty() && pending_.begin()->first == next_sequence_) {
+      Status status = sink_->Write(pending_.begin()->second);
+      if (!status.ok()) return status;
+      pending_.erase(pending_.begin());
+      ++next_sequence_;
+    }
+    return Status::Ok();
+  }
+
+  Status WriteDirect(std::string_view data) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return sink_->Write(data);
+  }
+
+  Status Close() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (sorted_ && !pending_.empty()) {
+      return InternalError("packages missing at close");
+    }
+    return sink_->Close();
+  }
+
+  uint64_t bytes_written() const { return sink_->bytes_written(); }
+
+ private:
+  std::unique_ptr<Sink> sink_;
+  bool sorted_;
+  std::mutex mutex_;
+  std::map<uint64_t, std::string> pending_;
+  uint64_t next_sequence_ = 0;
+};
+
+}  // namespace
+
+void NodeShare(uint64_t rows, int node_count, int node_id, uint64_t* begin,
+               uint64_t* end) {
+  if (node_count < 1) node_count = 1;
+  if (node_id < 0) node_id = 0;
+  if (node_id >= node_count) node_id = node_count - 1;
+  uint64_t n = static_cast<uint64_t>(node_count);
+  uint64_t i = static_cast<uint64_t>(node_id);
+  *begin = rows * i / n;
+  *end = rows * (i + 1) / n;
+}
+
+GenerationEngine::GenerationEngine(const GenerationSession* session,
+                                   const RowFormatter* formatter,
+                                   SinkFactory sink_factory,
+                                   GenerationOptions options)
+    : session_(session),
+      formatter_(formatter),
+      sink_factory_(std::move(sink_factory)),
+      options_(options) {}
+
+Status GenerationEngine::Run(ProgressTracker* progress) {
+  const SchemaDef& schema = session_->schema();
+  if (options_.worker_count < 1) options_.worker_count = 1;
+  if (options_.work_package_rows < 1) options_.work_package_rows = 1;
+
+  // Open sinks and emit headers.
+  std::vector<std::unique_ptr<TableOutput>> outputs;
+  outputs.reserve(schema.tables.size());
+  for (const TableDef& table : schema.tables) {
+    PDGF_ASSIGN_OR_RETURN(std::unique_ptr<Sink> sink, sink_factory_(table));
+    auto output = std::make_unique<TableOutput>(std::move(sink),
+                                                options_.sorted_output);
+    std::string header;
+    formatter_->AppendHeader(table, &header);
+    if (!header.empty()) {
+      PDGF_RETURN_IF_ERROR(output->WriteDirect(header));
+    }
+    outputs.push_back(std::move(output));
+  }
+
+  // Meta-scheduler: node-local ranges; scheduler: packages.
+  std::vector<WorkPackage> packages;
+  for (size_t t = 0; t < schema.tables.size(); ++t) {
+    uint64_t rows = session_->TableRows(static_cast<int>(t));
+    uint64_t begin = 0;
+    uint64_t end = rows;
+    NodeShare(rows, options_.node_count, options_.node_id, &begin, &end);
+    uint64_t sequence = 0;
+    for (uint64_t start = begin; start < end;
+         start += options_.work_package_rows) {
+      uint64_t stop = start + options_.work_package_rows;
+      if (stop > end) stop = end;
+      packages.push_back(
+          WorkPackage{static_cast<int>(t), start, stop, sequence++});
+    }
+  }
+
+  Stopwatch stopwatch;
+  std::atomic<size_t> next_package{0};
+  std::atomic<bool> failed{false};
+  std::mutex error_mutex;
+  Status first_error;
+  std::atomic<uint64_t> total_rows{0};
+
+  auto worker_main = [&]() {
+    std::vector<Value> row;
+    std::string buffer;
+    while (true) {
+      if (failed.load(std::memory_order_relaxed)) return;
+      size_t index = next_package.fetch_add(1, std::memory_order_relaxed);
+      if (index >= packages.size()) return;
+      const WorkPackage& package = packages[index];
+      const TableDef& table =
+          schema.tables[static_cast<size_t>(package.table_index)];
+      buffer.clear();
+      uint64_t rows_in_package = 0;
+      for (uint64_t r = package.begin_row; r < package.end_row; ++r) {
+        if (options_.update > 0 &&
+            !session_->RowChangesInUpdate(package.table_index, r,
+                                          options_.update)) {
+          continue;
+        }
+        session_->GenerateRow(package.table_index, r, options_.update, &row);
+        formatter_->AppendRow(table, row, &buffer);
+        ++rows_in_package;
+      }
+      Status status =
+          outputs[static_cast<size_t>(package.table_index)]->Deliver(
+              package.sequence, buffer);
+      if (!status.ok()) {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (first_error.ok()) first_error = status;
+        failed.store(true, std::memory_order_relaxed);
+        return;
+      }
+      total_rows.fetch_add(rows_in_package, std::memory_order_relaxed);
+      if (progress != nullptr) {
+        progress->Add(static_cast<size_t>(package.table_index),
+                      rows_in_package, buffer.size());
+      }
+    }
+  };
+
+  if (options_.worker_count == 1) {
+    worker_main();
+  } else {
+    std::vector<std::thread> workers;
+    workers.reserve(static_cast<size_t>(options_.worker_count));
+    for (int w = 0; w < options_.worker_count; ++w) {
+      workers.emplace_back(worker_main);
+    }
+    for (std::thread& worker : workers) {
+      worker.join();
+    }
+  }
+  if (failed.load()) return first_error;
+
+  // Footers and close.
+  uint64_t bytes = 0;
+  for (size_t t = 0; t < schema.tables.size(); ++t) {
+    std::string footer;
+    formatter_->AppendFooter(schema.tables[t], &footer);
+    if (!footer.empty()) {
+      PDGF_RETURN_IF_ERROR(outputs[t]->WriteDirect(footer));
+    }
+    PDGF_RETURN_IF_ERROR(outputs[t]->Close());
+    bytes += outputs[t]->bytes_written();
+  }
+
+  stats_.rows = total_rows.load();
+  stats_.bytes = bytes;
+  stats_.seconds = stopwatch.ElapsedSeconds();
+  stats_.packages = packages.size();
+  stats_.megabytes_per_second =
+      stats_.seconds > 0
+          ? static_cast<double>(bytes) / (1024.0 * 1024.0) / stats_.seconds
+          : 0;
+  return Status::Ok();
+}
+
+StatusOr<std::string> GenerateTableToString(const GenerationSession& session,
+                                            int table_index,
+                                            const RowFormatter& formatter,
+                                            uint64_t update) {
+  const TableDef& table =
+      session.schema().tables[static_cast<size_t>(table_index)];
+  std::string out;
+  formatter.AppendHeader(table, &out);
+  std::vector<Value> row;
+  uint64_t rows = session.TableRows(table_index);
+  for (uint64_t r = 0; r < rows; ++r) {
+    if (update > 0 && !session.RowChangesInUpdate(table_index, r, update)) {
+      continue;
+    }
+    session.GenerateRow(table_index, r, update, &row);
+    formatter.AppendRow(table, row, &out);
+  }
+  formatter.AppendFooter(table, &out);
+  return out;
+}
+
+StatusOr<GenerationEngine::Stats> GenerateToDirectory(
+    const GenerationSession& session, const RowFormatter& formatter,
+    const std::string& directory, GenerationOptions options,
+    ProgressTracker* progress) {
+  PDGF_RETURN_IF_ERROR(MakeDirectories(directory));
+  std::string extension = formatter.FileExtension();
+  // Under the meta-scheduler every node writes its own chunk file
+  // ("<table>.<ext>.<node>"), so all nodes may target one directory;
+  // single-node runs produce plain "<table>.<ext>".
+  std::string node_suffix;
+  if (options.node_count > 1) {
+    node_suffix = "." + std::to_string(options.node_id + 1);
+  }
+  SinkFactory factory =
+      [&directory, &extension,
+       &node_suffix](const TableDef& table) -> StatusOr<std::unique_ptr<Sink>> {
+    PDGF_ASSIGN_OR_RETURN(
+        std::unique_ptr<FileSink> sink,
+        FileSink::Open(JoinPath(
+            directory, table.name + "." + extension + node_suffix)));
+    return std::unique_ptr<Sink>(std::move(sink));
+  };
+  GenerationEngine engine(&session, &formatter, factory, options);
+  PDGF_RETURN_IF_ERROR(engine.Run(progress));
+  return engine.stats();
+}
+
+StatusOr<GenerationEngine::Stats> GenerateToNull(
+    const GenerationSession& session, const RowFormatter& formatter,
+    GenerationOptions options, ProgressTracker* progress) {
+  SinkFactory factory =
+      [](const TableDef&) -> StatusOr<std::unique_ptr<Sink>> {
+    return std::unique_ptr<Sink>(new NullSink());
+  };
+  GenerationEngine engine(&session, &formatter, factory, options);
+  PDGF_RETURN_IF_ERROR(engine.Run(progress));
+  return engine.stats();
+}
+
+}  // namespace pdgf

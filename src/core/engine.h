@@ -1,0 +1,101 @@
+#ifndef DBSYNTHPP_CORE_ENGINE_H_
+#define DBSYNTHPP_CORE_ENGINE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/output/formatter.h"
+#include "core/output/sink.h"
+#include "core/progress.h"
+#include "core/session.h"
+
+namespace pdgf {
+
+// Controls a generation run (Figure 2: controller, meta scheduler,
+// scheduler, workers, output system).
+struct GenerationOptions {
+  // Worker threads on this node.
+  int worker_count = 1;
+  // Rows per work package — the scheduler's unit of dispatch.
+  uint64_t work_package_rows = 10000;
+  // When true, completed packages are written in row order, producing the
+  // same single sorted file regardless of parallelism (PDGF "writes
+  // sorted output into a single file", §4). When false packages are
+  // written as they finish (faster, nondeterministic order).
+  bool sorted_output = true;
+  // Meta-scheduler partitioning: this process generates the node_id-th of
+  // node_count shares of every table. Shares are contiguous row ranges;
+  // running all node_ids produces the complete data set.
+  int node_count = 1;
+  int node_id = 0;
+  // Abstract time unit to generate. 0 = base data; u > 0 generates the
+  // update stream of time unit u (only rows selected by the update black
+  // box, with mutable fields regenerated for that unit).
+  uint64_t update = 0;
+};
+
+// Creates the sink for a table. Invoked once per table at run start.
+using SinkFactory = std::function<StatusOr<std::unique_ptr<Sink>>(
+    const TableDef& table)>;
+
+// Executes a generation run: schedules work packages over worker
+// threads, formats rows, and writes them to per-table sinks.
+class GenerationEngine {
+ public:
+  struct Stats {
+    uint64_t rows = 0;
+    uint64_t bytes = 0;
+    double seconds = 0;
+    double megabytes_per_second = 0;
+    uint64_t packages = 0;
+  };
+
+  GenerationEngine(const GenerationSession* session,
+                   const RowFormatter* formatter, SinkFactory sink_factory,
+                   GenerationOptions options);
+
+  // Runs to completion. `progress` may be null. Returns the first error
+  // encountered (generation stops early on error).
+  Status Run(ProgressTracker* progress = nullptr);
+
+  const Stats& stats() const { return stats_; }
+
+ private:
+  const GenerationSession* session_;
+  const RowFormatter* formatter_;
+  SinkFactory sink_factory_;
+  GenerationOptions options_;
+  Stats stats_;
+};
+
+// Convenience helpers -------------------------------------------------
+
+// Generates one table single-threaded into a string (tests, previews).
+StatusOr<std::string> GenerateTableToString(const GenerationSession& session,
+                                            int table_index,
+                                            const RowFormatter& formatter,
+                                            uint64_t update = 0);
+
+// Generates every table of `session` through `formatter` into files named
+// "<dir>/<table>.<ext>". Returns engine stats.
+StatusOr<GenerationEngine::Stats> GenerateToDirectory(
+    const GenerationSession& session, const RowFormatter& formatter,
+    const std::string& directory, GenerationOptions options,
+    ProgressTracker* progress = nullptr);
+
+// Generates every table, discarding the bytes (CPU-bound measurement).
+StatusOr<GenerationEngine::Stats> GenerateToNull(
+    const GenerationSession& session, const RowFormatter& formatter,
+    GenerationOptions options, ProgressTracker* progress = nullptr);
+
+// The node-local row range of a table under the meta-scheduler split.
+void NodeShare(uint64_t rows, int node_count, int node_id, uint64_t* begin,
+               uint64_t* end);
+
+}  // namespace pdgf
+
+#endif  // DBSYNTHPP_CORE_ENGINE_H_

@@ -1,0 +1,90 @@
+#ifndef DBSYNTHPP_CORE_GENERATOR_H_
+#define DBSYNTHPP_CORE_GENERATOR_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "common/value.h"
+#include "util/rng.h"
+
+namespace pdgf {
+
+class GenerationSession;
+class XmlElement;
+
+// Per-field evaluation context handed to a Generator. Carries the PRNG
+// stream for the current (table, column, update, row) coordinate — the
+// leaf of the seeding hierarchy in Figure 1 — plus the hooks needed by
+// meta and reference generators.
+//
+// Contexts are tiny and created on the stack per field; sub-generators
+// get derived child contexts so sibling subtrees consume independent
+// random streams regardless of how many draws each makes.
+class GeneratorContext {
+ public:
+  GeneratorContext() = default;
+  GeneratorContext(const GenerationSession* session, int table_index,
+                   uint64_t row, uint64_t update, uint64_t field_seed)
+      : rng_(field_seed),
+        session_(session),
+        table_index_(table_index),
+        row_(row),
+        update_(update),
+        field_seed_(field_seed) {}
+
+  Xorshift64& rng() { return rng_; }
+  const GenerationSession* session() const { return session_; }
+  int table_index() const { return table_index_; }
+  uint64_t row() const { return row_; }
+  uint64_t update() const { return update_; }
+  uint64_t field_seed() const { return field_seed_; }
+
+  // Context for sub-generator `child_index`: same coordinate, independent
+  // stream derived from this field's seed.
+  GeneratorContext Child(uint32_t child_index) const {
+    return GeneratorContext(
+        session_, table_index_, row_, update_,
+        DeriveSeed(field_seed_, 0xc1d0000000000000ULL + child_index));
+  }
+
+ private:
+  Xorshift64 rng_;
+  const GenerationSession* session_ = nullptr;
+  int table_index_ = -1;
+  uint64_t row_ = 0;
+  uint64_t update_ = 0;
+  uint64_t field_seed_ = 0;
+};
+
+// A field value generator (paper §2): a pure function from a
+// GeneratorContext to a Value. Implementations must be immutable after
+// construction and thread-safe — the same Generator instance is invoked
+// concurrently from every worker.
+class Generator {
+ public:
+  virtual ~Generator() = default;
+
+  Generator(const Generator&) = delete;
+  Generator& operator=(const Generator&) = delete;
+
+  // Produces the value for the context's coordinate into `*out`. `out`
+  // may hold a previous row's value; implementations overwrite it.
+  virtual void Generate(GeneratorContext* context, Value* out) const = 0;
+
+  // The XML tag this generator (de)serializes as, e.g. "gen_IdGenerator".
+  virtual std::string ConfigName() const = 0;
+
+  // Serializes parameters as a child element of `parent`.
+  virtual void WriteConfig(XmlElement* parent) const = 0;
+
+ protected:
+  Generator() = default;
+};
+
+using GeneratorPtr = std::unique_ptr<Generator>;
+
+}  // namespace pdgf
+
+#endif  // DBSYNTHPP_CORE_GENERATOR_H_

@@ -1,0 +1,480 @@
+#include "core/generator_registry.h"
+
+#include <cstdlib>
+#include <mutex>
+
+#include "core/generators/generators.h"
+#include "core/text/builtin_dictionaries.h"
+#include "util/strings.h"
+#include "util/xml.h"
+
+namespace pdgf {
+namespace {
+
+// Reads a numeric parameter from an attribute or a child element's text
+// ("<min>5</min>" or min="5"), with a default.
+StatusOr<double> NumberParam(const XmlElement& element, const char* name,
+                             double default_value) {
+  const std::string* attribute = element.FindAttribute(name);
+  std::string text;
+  if (attribute != nullptr) {
+    text = *attribute;
+  } else {
+    const XmlElement* child = element.FindChild(name);
+    if (child == nullptr) return default_value;
+    text = std::string(StripWhitespace(child->text()));
+  }
+  char* end = nullptr;
+  double value = std::strtod(text.c_str(), &end);
+  if (end != text.c_str() + text.size() || text.empty()) {
+    return ParseError(std::string("bad numeric parameter '") + name + "': '" +
+                      text + "' in <" + element.name() + ">");
+  }
+  return value;
+}
+
+std::string TextParam(const XmlElement& element, const char* name,
+                      std::string_view default_value) {
+  const std::string* attribute = element.FindAttribute(name);
+  if (attribute != nullptr) return *attribute;
+  const XmlElement* child = element.FindChild(name);
+  if (child != nullptr) return std::string(StripWhitespace(child->text()));
+  return std::string(default_value);
+}
+
+// Parses the first child element that is itself a registered generator.
+StatusOr<GeneratorPtr> ParseInnerGenerator(const XmlElement& element,
+                                           const ConfigLoadContext& context,
+                                           const GeneratorRegistry& registry) {
+  for (const auto& child : element.children()) {
+    if (registry.Contains(child->name())) {
+      return registry.Create(*child, context);
+    }
+  }
+  return ParseError("<" + element.name() +
+                    "> requires a nested generator element");
+}
+
+// Parses all registered-generator children, in order.
+StatusOr<std::vector<GeneratorPtr>> ParseChildGenerators(
+    const XmlElement& element, const ConfigLoadContext& context,
+    const GeneratorRegistry& registry) {
+  std::vector<GeneratorPtr> children;
+  for (const auto& child : element.children()) {
+    if (registry.Contains(child->name())) {
+      PDGF_ASSIGN_OR_RETURN(GeneratorPtr generator,
+                            registry.Create(*child, context));
+      children.push_back(std::move(generator));
+    }
+  }
+  return children;
+}
+
+void RegisterAll(GeneratorRegistry* registry) {
+  registry->Register(
+      "gen_IdGenerator",
+      [](const XmlElement& element,
+         const ConfigLoadContext&) -> StatusOr<GeneratorPtr> {
+        PDGF_ASSIGN_OR_RETURN(double start, NumberParam(element, "start", 1));
+        PDGF_ASSIGN_OR_RETURN(double step, NumberParam(element, "step", 1));
+        return GeneratorPtr(new IdGenerator(static_cast<int64_t>(start),
+                                            static_cast<int64_t>(step)));
+      });
+
+  registry->Register(
+      "gen_LongGenerator",
+      [](const XmlElement& element,
+         const ConfigLoadContext&) -> StatusOr<GeneratorPtr> {
+        PDGF_ASSIGN_OR_RETURN(double min, NumberParam(element, "min", 0));
+        PDGF_ASSIGN_OR_RETURN(double max,
+                              NumberParam(element, "max", 1u << 30));
+        return GeneratorPtr(new LongGenerator(static_cast<int64_t>(min),
+                                              static_cast<int64_t>(max)));
+      });
+
+  registry->Register(
+      "gen_DoubleGenerator",
+      [](const XmlElement& element,
+         const ConfigLoadContext&) -> StatusOr<GeneratorPtr> {
+        PDGF_ASSIGN_OR_RETURN(double min, NumberParam(element, "min", 0));
+        PDGF_ASSIGN_OR_RETURN(double max, NumberParam(element, "max", 1));
+        PDGF_ASSIGN_OR_RETURN(double places,
+                              NumberParam(element, "places", -1));
+        return GeneratorPtr(
+            new DoubleGenerator(min, max, static_cast<int>(places)));
+      });
+
+  registry->Register(
+      "gen_DateGenerator",
+      [](const XmlElement& element,
+         const ConfigLoadContext&) -> StatusOr<GeneratorPtr> {
+        std::string min_text = TextParam(element, "min", "1992-01-01");
+        std::string max_text = TextParam(element, "max", "1998-12-31");
+        PDGF_ASSIGN_OR_RETURN(Date min, Date::Parse(min_text));
+        PDGF_ASSIGN_OR_RETURN(Date max, Date::Parse(max_text));
+        std::string format = TextParam(element, "format", "");
+        return GeneratorPtr(new DateGenerator(min, max, std::move(format)));
+      });
+
+  registry->Register(
+      "gen_RandomStringGenerator",
+      [](const XmlElement& element,
+         const ConfigLoadContext&) -> StatusOr<GeneratorPtr> {
+        PDGF_ASSIGN_OR_RETURN(double min, NumberParam(element, "min", 1));
+        PDGF_ASSIGN_OR_RETURN(double max, NumberParam(element, "max", 20));
+        std::string charset = TextParam(
+            element, "charset", RandomStringGenerator::kDefaultCharset);
+        if (charset.empty()) {
+          return ParseError("empty charset in gen_RandomStringGenerator");
+        }
+        return GeneratorPtr(new RandomStringGenerator(
+            static_cast<int>(min), static_cast<int>(max),
+            std::move(charset)));
+      });
+
+  registry->Register(
+      "gen_PatternStringGenerator",
+      [](const XmlElement& element,
+         const ConfigLoadContext&) -> StatusOr<GeneratorPtr> {
+        std::string pattern = TextParam(element, "pattern", "");
+        if (pattern.empty()) {
+          return ParseError("gen_PatternStringGenerator requires a pattern");
+        }
+        return GeneratorPtr(new PatternStringGenerator(std::move(pattern)));
+      });
+
+  registry->Register(
+      "gen_StaticValueGenerator",
+      [](const XmlElement& element,
+         const ConfigLoadContext&) -> StatusOr<GeneratorPtr> {
+        std::string type = element.AttributeOr("type", "string");
+        std::string text(StripWhitespace(element.text()));
+        bool cache = element.AttributeOr("cache", "true") != "false";
+        Value value;
+        if (type == "null") {
+          value.SetNull();
+        } else if (type == "long") {
+          value.SetInt(std::strtoll(text.c_str(), nullptr, 10));
+        } else if (type == "double") {
+          value.SetDouble(std::strtod(text.c_str(), nullptr));
+        } else {
+          value.SetString(text);
+        }
+        return GeneratorPtr(new StaticValueGenerator(std::move(value), cache));
+      });
+
+  registry->Register(
+      "gen_BooleanGenerator",
+      [](const XmlElement& element,
+         const ConfigLoadContext&) -> StatusOr<GeneratorPtr> {
+        PDGF_ASSIGN_OR_RETURN(double probability,
+                              NumberParam(element, "probability", 0.5));
+        return GeneratorPtr(new BooleanGenerator(probability));
+      });
+
+  registry->Register(
+      "gen_HistogramGenerator",
+      [](const XmlElement& element,
+         const ConfigLoadContext&) -> StatusOr<GeneratorPtr> {
+        PDGF_ASSIGN_OR_RETURN(double min, NumberParam(element, "min", 0));
+        PDGF_ASSIGN_OR_RETURN(double max, NumberParam(element, "max", 1));
+        PDGF_ASSIGN_OR_RETURN(double places,
+                              NumberParam(element, "places", 2));
+        std::string output_name = element.AttributeOr("output", "double");
+        HistogramGenerator::Output output;
+        if (output_name == "long") {
+          output = HistogramGenerator::Output::kLong;
+        } else if (output_name == "double") {
+          output = HistogramGenerator::Output::kDouble;
+        } else if (output_name == "decimal") {
+          output = HistogramGenerator::Output::kDecimal;
+        } else if (output_name == "date") {
+          output = HistogramGenerator::Output::kDate;
+        } else {
+          return ParseError("unknown histogram output '" + output_name +
+                            "'");
+        }
+        const XmlElement* buckets = element.FindChild("buckets");
+        if (buckets == nullptr) {
+          return ParseError("gen_HistogramGenerator requires <buckets>");
+        }
+        std::vector<double> weights;
+        for (const std::string& piece :
+             SplitWhitespace(buckets->text())) {
+          char* end = nullptr;
+          double weight = std::strtod(piece.c_str(), &end);
+          if (end != piece.c_str() + piece.size() || weight < 0) {
+            return ParseError("bad histogram bucket weight '" + piece +
+                              "'");
+          }
+          weights.push_back(weight);
+        }
+        if (weights.empty()) {
+          return ParseError("empty histogram bucket list");
+        }
+        return GeneratorPtr(new HistogramGenerator(
+            min, max, std::move(weights), output,
+            static_cast<int>(places)));
+      });
+
+  registry->Register(
+      "gen_DictListGenerator",
+      [](const XmlElement& element,
+         const ConfigLoadContext& context) -> StatusOr<GeneratorPtr> {
+        std::string method_name = element.AttributeOr("method", "cumulative");
+        DictListGenerator::Method method =
+            DictListGenerator::Method::kCumulative;
+        if (method_name == "alias") {
+          method = DictListGenerator::Method::kAlias;
+        } else if (method_name == "uniform") {
+          method = DictListGenerator::Method::kUniform;
+        } else if (method_name == "byrow") {
+          method = DictListGenerator::Method::kByRow;
+        } else if (method_name != "cumulative") {
+          return ParseError("unknown dictionary sampling method '" +
+                            method_name + "'");
+        }
+        PDGF_ASSIGN_OR_RETURN(double skew, NumberParam(element, "skew", 0));
+        std::string builtin = element.AttributeOr("builtin", "");
+        if (!builtin.empty()) {
+          const Dictionary* dictionary = FindBuiltinDictionary(builtin);
+          if (dictionary == nullptr) {
+            return NotFoundError("unknown builtin dictionary '" + builtin +
+                                 "'");
+          }
+          return GeneratorPtr(
+              new DictListGenerator(dictionary, builtin, method, skew));
+        }
+        const XmlElement* file = element.FindChild("file");
+        if (file != nullptr) {
+          std::string path(StripWhitespace(file->text()));
+          PDGF_ASSIGN_OR_RETURN(
+              Dictionary dictionary,
+              Dictionary::FromFile(context.ResolvePath(path)));
+          return GeneratorPtr(new DictListGenerator(
+              std::make_shared<Dictionary>(std::move(dictionary)), path,
+              method, skew));
+        }
+        const XmlElement* entries = element.FindChild("entries");
+        if (entries != nullptr) {
+          auto dictionary = std::make_shared<Dictionary>();
+          for (const XmlElement* entry : entries->FindChildren("entry")) {
+            double weight = 1.0;
+            const std::string* weight_attribute =
+                entry->FindAttribute("weight");
+            if (weight_attribute != nullptr) {
+              weight = std::strtod(weight_attribute->c_str(), nullptr);
+            }
+            dictionary->Add(std::string(StripWhitespace(entry->text())),
+                            weight);
+          }
+          if (dictionary->empty()) {
+            return ParseError("empty inline dictionary");
+          }
+          dictionary->Finalize();
+          return GeneratorPtr(
+              new DictListGenerator(std::move(dictionary), "", method, skew));
+        }
+        return ParseError(
+            "gen_DictListGenerator requires builtin=, <file> or <entries>");
+      });
+
+  registry->Register(
+      "gen_NameGenerator",
+      [](const XmlElement&, const ConfigLoadContext&) -> StatusOr<GeneratorPtr> {
+        return GeneratorPtr(new NameGenerator());
+      });
+  registry->Register(
+      "gen_AddressGenerator",
+      [](const XmlElement&, const ConfigLoadContext&) -> StatusOr<GeneratorPtr> {
+        return GeneratorPtr(new AddressGenerator());
+      });
+  registry->Register(
+      "gen_EmailGenerator",
+      [](const XmlElement&, const ConfigLoadContext&) -> StatusOr<GeneratorPtr> {
+        return GeneratorPtr(new EmailGenerator());
+      });
+  registry->Register(
+      "gen_UrlGenerator",
+      [](const XmlElement&, const ConfigLoadContext&) -> StatusOr<GeneratorPtr> {
+        return GeneratorPtr(new UrlGenerator());
+      });
+
+  registry->Register(
+      "gen_DefaultReferenceGenerator",
+      [](const XmlElement& element,
+         const ConfigLoadContext&) -> StatusOr<GeneratorPtr> {
+        const XmlElement* reference = element.FindChild("reference");
+        if (reference == nullptr) {
+          return ParseError(
+              "gen_DefaultReferenceGenerator requires a <reference>");
+        }
+        std::string table = reference->AttributeOr("table", "");
+        std::string field = reference->AttributeOr("field", "");
+        if (table.empty() || field.empty()) {
+          return ParseError("<reference> requires table= and field=");
+        }
+        DefaultReferenceGenerator::Distribution distribution =
+            DefaultReferenceGenerator::Distribution::kUniform;
+        double skew = 0;
+        if (element.AttributeOr("distribution", "uniform") == "zipf") {
+          distribution = DefaultReferenceGenerator::Distribution::kZipf;
+          PDGF_ASSIGN_OR_RETURN(skew, NumberParam(element, "skew", 1.0));
+        }
+        return GeneratorPtr(new DefaultReferenceGenerator(
+            std::move(table), std::move(field), distribution, skew));
+      });
+
+  registry->Register(
+      "gen_NullGenerator",
+      [registry](const XmlElement& element,
+                 const ConfigLoadContext& context) -> StatusOr<GeneratorPtr> {
+        PDGF_ASSIGN_OR_RETURN(double probability,
+                              NumberParam(element, "probability", 0));
+        PDGF_ASSIGN_OR_RETURN(
+            GeneratorPtr inner,
+            ParseInnerGenerator(element, context, *registry));
+        return GeneratorPtr(new NullGenerator(probability, std::move(inner)));
+      });
+
+  registry->Register(
+      "gen_SequentialGenerator",
+      [registry](const XmlElement& element,
+                 const ConfigLoadContext& context) -> StatusOr<GeneratorPtr> {
+        PDGF_ASSIGN_OR_RETURN(
+            std::vector<GeneratorPtr> children,
+            ParseChildGenerators(element, context, *registry));
+        if (children.empty()) {
+          return ParseError("gen_SequentialGenerator requires children");
+        }
+        return GeneratorPtr(new SequentialGenerator(
+            std::move(children), element.AttributeOr("separator", ""),
+            element.AttributeOr("prefix", ""),
+            element.AttributeOr("suffix", "")));
+      });
+
+  registry->Register(
+      "gen_ConditionalGenerator",
+      [registry](const XmlElement& element,
+                 const ConfigLoadContext& context) -> StatusOr<GeneratorPtr> {
+        std::vector<ConditionalGenerator::Branch> branches;
+        for (const XmlElement* case_element : element.FindChildren("case")) {
+          double weight =
+              std::strtod(case_element->AttributeOr("weight", "1").c_str(),
+                          nullptr);
+          PDGF_ASSIGN_OR_RETURN(
+              GeneratorPtr inner,
+              ParseInnerGenerator(*case_element, context, *registry));
+          branches.push_back(
+              ConditionalGenerator::Branch{weight, std::move(inner)});
+        }
+        if (branches.empty()) {
+          return ParseError("gen_ConditionalGenerator requires <case> children");
+        }
+        return GeneratorPtr(new ConditionalGenerator(std::move(branches)));
+      });
+
+  registry->Register(
+      "gen_PaddingGenerator",
+      [registry](const XmlElement& element,
+                 const ConfigLoadContext& context) -> StatusOr<GeneratorPtr> {
+        PDGF_ASSIGN_OR_RETURN(double width, NumberParam(element, "width", 0));
+        std::string pad = element.AttributeOr("pad", "0");
+        bool pad_left = element.AttributeOr("side", "left") != "right";
+        PDGF_ASSIGN_OR_RETURN(
+            GeneratorPtr inner,
+            ParseInnerGenerator(element, context, *registry));
+        return GeneratorPtr(new PaddingGenerator(
+            std::move(inner), static_cast<int>(width),
+            pad.empty() ? '0' : pad[0], pad_left));
+      });
+
+  registry->Register(
+      "gen_FormulaGenerator",
+      [registry](const XmlElement& element,
+                 const ConfigLoadContext& context) -> StatusOr<GeneratorPtr> {
+        std::string expression = element.AttributeOr("expression", "");
+        if (expression.empty()) {
+          return ParseError("gen_FormulaGenerator requires expression=");
+        }
+        PDGF_ASSIGN_OR_RETURN(
+            std::vector<GeneratorPtr> children,
+            ParseChildGenerators(element, context, *registry));
+        bool round_to_long = element.AttributeOr("round", "") == "long";
+        return GeneratorPtr(new FormulaGenerator(
+            std::move(expression), std::move(children), round_to_long));
+      });
+
+  registry->Register(
+      "gen_MarkovChainGenerator",
+      [](const XmlElement& element,
+         const ConfigLoadContext& context) -> StatusOr<GeneratorPtr> {
+        PDGF_ASSIGN_OR_RETURN(double min, NumberParam(element, "min", 1));
+        PDGF_ASSIGN_OR_RETURN(double max, NumberParam(element, "max", 10));
+        const XmlElement* file = element.FindChild("file");
+        if (file != nullptr) {
+          std::string path(StripWhitespace(file->text()));
+          return MarkovChainGenerator::FromFile(context.ResolvePath(path),
+                                                static_cast<int>(min),
+                                                static_cast<int>(max));
+        }
+        const XmlElement* corpus = element.FindChild("corpus");
+        if (corpus != nullptr) {
+          return MarkovChainGenerator::FromCorpus(corpus->text(),
+                                                  static_cast<int>(min),
+                                                  static_cast<int>(max));
+        }
+        // Fall back to the builtin corpus.
+        return MarkovChainGenerator::FromCorpus(BuiltinCommentCorpus(),
+                                                static_cast<int>(min),
+                                                static_cast<int>(max));
+      });
+}
+
+}  // namespace
+
+std::string ConfigLoadContext::ResolvePath(const std::string& path) const {
+  if (path.empty() || path[0] == '/' || base_dir.empty()) return path;
+  std::string resolved = base_dir;
+  if (resolved.back() != '/') resolved.push_back('/');
+  resolved += path;
+  return resolved;
+}
+
+GeneratorRegistry& GeneratorRegistry::Global() {
+  static GeneratorRegistry& registry = *new GeneratorRegistry();
+  static std::once_flag once;
+  std::call_once(once, [] { RegisterAll(&registry); });
+  return registry;
+}
+
+void GeneratorRegistry::Register(const std::string& config_name,
+                                 Factory factory) {
+  factories_[config_name] = std::move(factory);
+}
+
+bool GeneratorRegistry::Contains(const std::string& config_name) const {
+  return factories_.count(config_name) > 0;
+}
+
+StatusOr<GeneratorPtr> GeneratorRegistry::Create(
+    const XmlElement& element, const ConfigLoadContext& context) const {
+  auto it = factories_.find(element.name());
+  if (it == factories_.end()) {
+    return NotFoundError("unknown generator '" + element.name() + "'");
+  }
+  return it->second(element, context);
+}
+
+std::vector<std::string> GeneratorRegistry::Names() const {
+  std::vector<std::string> names;
+  names.reserve(factories_.size());
+  for (const auto& [name, factory] : factories_) {
+    names.push_back(name);
+  }
+  return names;
+}
+
+void RegisterBuiltinGenerators() { GeneratorRegistry::Global(); }
+
+}  // namespace pdgf

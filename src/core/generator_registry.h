@@ -1,0 +1,60 @@
+#ifndef DBSYNTHPP_CORE_GENERATOR_REGISTRY_H_
+#define DBSYNTHPP_CORE_GENERATOR_REGISTRY_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/generator.h"
+
+namespace pdgf {
+
+class XmlElement;
+
+// Context handed to generator factories while loading a model
+// configuration; resolves artifact references (Markov model files,
+// dictionary files) relative to the model's directory.
+struct ConfigLoadContext {
+  std::string base_dir;  // directory of the model file; "" = cwd
+
+  // Resolves `path` against base_dir unless absolute.
+  std::string ResolvePath(const std::string& path) const;
+};
+
+// Maps XML tag names (e.g. "gen_IdGenerator") to factories, realizing
+// the plugin interface of PDGF's architecture (Figure 2 tags generators
+// as plugins). All built-in generators are pre-registered; callers may
+// register additional ones.
+class GeneratorRegistry {
+ public:
+  using Factory = std::function<StatusOr<GeneratorPtr>(
+      const XmlElement& element, const ConfigLoadContext& context)>;
+
+  // The process-wide registry with built-ins registered.
+  static GeneratorRegistry& Global();
+
+  // Registers a factory; replaces any existing registration.
+  void Register(const std::string& config_name, Factory factory);
+
+  bool Contains(const std::string& config_name) const;
+
+  // Instantiates the generator described by `element` (whose tag is the
+  // config name).
+  StatusOr<GeneratorPtr> Create(const XmlElement& element,
+                                const ConfigLoadContext& context) const;
+
+  // Registered tag names, sorted.
+  std::vector<std::string> Names() const;
+
+ private:
+  GeneratorRegistry() = default;
+
+  std::map<std::string, Factory> factories_;
+};
+
+}  // namespace pdgf
+
+#endif  // DBSYNTHPP_CORE_GENERATOR_REGISTRY_H_

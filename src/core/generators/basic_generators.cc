@@ -1,0 +1,197 @@
+#include <cmath>
+
+#include "core/generators/generators.h"
+#include "util/strings.h"
+#include "util/xml.h"
+
+namespace pdgf {
+
+// ----------------------------------------------------------------- Id --
+
+void IdGenerator::Generate(GeneratorContext* context, Value* out) const {
+  out->SetInt(start_ + static_cast<int64_t>(context->row()) * step_);
+}
+
+void IdGenerator::WriteConfig(XmlElement* parent) const {
+  XmlElement* element = parent->AddChild(ConfigName());
+  if (start_ != 1) element->SetAttribute("start", std::to_string(start_));
+  if (step_ != 1) element->SetAttribute("step", std::to_string(step_));
+}
+
+// --------------------------------------------------------------- Long --
+
+void LongGenerator::Generate(GeneratorContext* context, Value* out) const {
+  out->SetInt(context->rng().NextInRange(min_, max_));
+}
+
+void LongGenerator::WriteConfig(XmlElement* parent) const {
+  XmlElement* element = parent->AddChild(ConfigName());
+  element->AddChild("min")->set_text(std::to_string(min_));
+  element->AddChild("max")->set_text(std::to_string(max_));
+}
+
+// ------------------------------------------------------------- Double --
+
+void DoubleGenerator::Generate(GeneratorContext* context, Value* out) const {
+  double value = min_ + context->rng().NextDouble() * (max_ - min_);
+  if (places_ < 0) {
+    out->SetDouble(value);
+    return;
+  }
+  double pow10 = 1.0;
+  for (int i = 0; i < places_; ++i) pow10 *= 10.0;
+  out->SetDecimal(static_cast<int64_t>(std::llround(value * pow10)), places_);
+}
+
+void DoubleGenerator::WriteConfig(XmlElement* parent) const {
+  XmlElement* element = parent->AddChild(ConfigName());
+  element->AddChild("min")->set_text(StrPrintf("%.17g", min_));
+  element->AddChild("max")->set_text(StrPrintf("%.17g", max_));
+  if (places_ >= 0) {
+    element->SetAttribute("places", std::to_string(places_));
+  }
+}
+
+// --------------------------------------------------------------- Date --
+
+void DateGenerator::Generate(GeneratorContext* context, Value* out) const {
+  int64_t days = context->rng().NextInRange(min_.days_since_epoch(),
+                                            max_.days_since_epoch());
+  if (format_.empty()) {
+    out->SetDate(Date(days));
+    return;
+  }
+  // Pre-formatted date string (eager formatting, paper Fig. 9).
+  std::string* buffer = out->MutableString();
+  *buffer = Date(days).Format(format_);
+}
+
+void DateGenerator::WriteConfig(XmlElement* parent) const {
+  XmlElement* element = parent->AddChild(ConfigName());
+  element->AddChild("min")->set_text(min_.ToString());
+  element->AddChild("max")->set_text(max_.ToString());
+  if (!format_.empty()) {
+    element->SetAttribute("format", format_);
+  }
+}
+
+// ------------------------------------------------------- RandomString --
+
+void RandomStringGenerator::Generate(GeneratorContext* context,
+                                     Value* out) const {
+  int length = static_cast<int>(
+      context->rng().NextInRange(min_length_, max_length_));
+  std::string* buffer = out->MutableString();
+  buffer->reserve(static_cast<size_t>(length));
+  for (int i = 0; i < length; ++i) {
+    buffer->push_back(
+        charset_[context->rng().NextBounded(charset_.size())]);
+  }
+}
+
+void RandomStringGenerator::WriteConfig(XmlElement* parent) const {
+  XmlElement* element = parent->AddChild(ConfigName());
+  element->AddChild("min")->set_text(std::to_string(min_length_));
+  element->AddChild("max")->set_text(std::to_string(max_length_));
+  if (charset_ != kDefaultCharset) {
+    element->SetAttribute("charset", charset_);
+  }
+}
+
+// ------------------------------------------------------ PatternString --
+
+void PatternStringGenerator::Generate(GeneratorContext* context,
+                                      Value* out) const {
+  std::string* buffer = out->MutableString();
+  buffer->reserve(pattern_.size());
+  for (char c : pattern_) {
+    switch (c) {
+      case '#':
+        buffer->push_back(
+            static_cast<char>('0' + context->rng().NextBounded(10)));
+        break;
+      case '?':
+        buffer->push_back(
+            static_cast<char>('A' + context->rng().NextBounded(26)));
+        break;
+      case '*':
+        buffer->push_back(
+            static_cast<char>('a' + context->rng().NextBounded(26)));
+        break;
+      default:
+        buffer->push_back(c);
+    }
+  }
+}
+
+void PatternStringGenerator::WriteConfig(XmlElement* parent) const {
+  XmlElement* element = parent->AddChild(ConfigName());
+  element->SetAttribute("pattern", pattern_);
+}
+
+// -------------------------------------------------------- StaticValue --
+
+StaticValueGenerator::StaticValueGenerator(Value value, bool cache)
+    : value_(std::move(value)), text_(value_.ToText()), cache_(cache) {}
+
+void StaticValueGenerator::Generate(GeneratorContext* context,
+                                    Value* out) const {
+  (void)context;
+  if (cache_) {
+    *out = value_;
+    return;
+  }
+  // Uncached mode: re-materialize the value from its textual form every
+  // call (the "Static Value (no Cache)" baseline of Figure 7).
+  switch (value_.kind()) {
+    case Value::Kind::kNull:
+      out->SetNull();
+      break;
+    case Value::Kind::kInt: {
+      int64_t v = 0;
+      for (char c : text_) {
+        if (c == '-') continue;
+        v = v * 10 + (c - '0');
+      }
+      if (!text_.empty() && text_[0] == '-') v = -v;
+      out->SetInt(v);
+      break;
+    }
+    default:
+      out->SetString(text_);
+      break;
+  }
+}
+
+void StaticValueGenerator::WriteConfig(XmlElement* parent) const {
+  XmlElement* element = parent->AddChild(ConfigName());
+  switch (value_.kind()) {
+    case Value::Kind::kNull:
+      element->SetAttribute("type", "null");
+      break;
+    case Value::Kind::kInt:
+      element->SetAttribute("type", "long");
+      break;
+    case Value::Kind::kDouble:
+      element->SetAttribute("type", "double");
+      break;
+    default:
+      element->SetAttribute("type", "string");
+      break;
+  }
+  element->set_text(text_);
+  if (!cache_) element->SetAttribute("cache", "false");
+}
+
+// ------------------------------------------------------------ Boolean --
+
+void BooleanGenerator::Generate(GeneratorContext* context, Value* out) const {
+  out->SetBool(context->rng().NextDouble() < true_probability_);
+}
+
+void BooleanGenerator::WriteConfig(XmlElement* parent) const {
+  XmlElement* element = parent->AddChild(ConfigName());
+  element->SetAttribute("probability", StrPrintf("%.17g", true_probability_));
+}
+
+}  // namespace pdgf

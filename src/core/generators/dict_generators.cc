@@ -1,0 +1,201 @@
+#include <cstdio>
+
+#include "core/generators/generators.h"
+#include "core/text/builtin_dictionaries.h"
+#include "util/strings.h"
+#include "util/xml.h"
+
+namespace pdgf {
+
+// ----------------------------------------------------------- DictList --
+
+DictListGenerator::DictListGenerator(const Dictionary* dictionary,
+                                     std::string source_builtin,
+                                     Method method, double skew)
+    : owned_(nullptr),
+      dictionary_(dictionary),
+      builtin_name_(std::move(source_builtin)),
+      method_(method),
+      skew_(skew) {
+  if (skew_ > 0 && dictionary_ != nullptr && !dictionary_->empty()) {
+    zipf_ = std::make_unique<ZipfDistribution>(dictionary_->size(), skew_);
+  }
+}
+
+DictListGenerator::DictListGenerator(
+    std::shared_ptr<const Dictionary> dictionary, std::string source_file,
+    Method method, double skew)
+    : owned_(std::move(dictionary)),
+      dictionary_(owned_.get()),
+      file_name_(std::move(source_file)),
+      method_(method),
+      skew_(skew) {
+  if (skew_ > 0 && dictionary_ != nullptr && !dictionary_->empty()) {
+    zipf_ = std::make_unique<ZipfDistribution>(dictionary_->size(), skew_);
+  }
+}
+
+void DictListGenerator::Generate(GeneratorContext* context,
+                                 Value* out) const {
+  if (dictionary_ == nullptr || dictionary_->empty()) {
+    out->SetNull();
+    return;
+  }
+  if (zipf_ != nullptr) {
+    out->SetString(dictionary_->value(zipf_->Sample(&context->rng())));
+    return;
+  }
+  switch (method_) {
+    case Method::kCumulative:
+      out->SetString(dictionary_->Sample(&context->rng()));
+      break;
+    case Method::kAlias:
+      out->SetString(dictionary_->SampleAlias(&context->rng()));
+      break;
+    case Method::kUniform:
+      out->SetString(dictionary_->SampleUniform(&context->rng()));
+      break;
+    case Method::kByRow:
+      // Deterministic row -> entry mapping (e.g. nation keys -> names).
+      out->SetString(
+          dictionary_->value(context->row() % dictionary_->size()));
+      break;
+  }
+}
+
+void DictListGenerator::WriteConfig(XmlElement* parent) const {
+  XmlElement* element = parent->AddChild(ConfigName());
+  if (!builtin_name_.empty()) {
+    element->SetAttribute("builtin", builtin_name_);
+  } else if (!file_name_.empty()) {
+    element->AddChild("file")->set_text(file_name_);
+  } else if (dictionary_ != nullptr) {
+    // Inline dictionary.
+    XmlElement* entries = element->AddChild("entries");
+    for (size_t i = 0; i < dictionary_->size(); ++i) {
+      XmlElement* entry = entries->AddChild("entry");
+      entry->set_text(dictionary_->value(i));
+      if (dictionary_->weight(i) != 1.0) {
+        entry->SetAttribute("weight",
+                            StrPrintf("%.17g", dictionary_->weight(i)));
+      }
+    }
+  }
+  switch (method_) {
+    case Method::kCumulative:
+      break;  // default
+    case Method::kAlias:
+      element->SetAttribute("method", "alias");
+      break;
+    case Method::kUniform:
+      element->SetAttribute("method", "uniform");
+      break;
+    case Method::kByRow:
+      element->SetAttribute("method", "byrow");
+      break;
+  }
+  if (skew_ > 0) element->SetAttribute("skew", StrPrintf("%.17g", skew_));
+}
+
+// --------------------------------------------------------------- Name --
+
+NameGenerator::NameGenerator()
+    : first_names_(FindBuiltinDictionary("first_names")),
+      last_names_(FindBuiltinDictionary("last_names")) {}
+
+void NameGenerator::Generate(GeneratorContext* context, Value* out) const {
+  std::string* buffer = out->MutableString();
+  buffer->append(first_names_->SampleUniform(&context->rng()));
+  buffer->push_back(' ');
+  buffer->append(last_names_->SampleUniform(&context->rng()));
+}
+
+void NameGenerator::WriteConfig(XmlElement* parent) const {
+  parent->AddChild(ConfigName());
+}
+
+// ------------------------------------------------------------ Address --
+
+AddressGenerator::AddressGenerator()
+    : streets_(FindBuiltinDictionary("streets")),
+      street_suffixes_(FindBuiltinDictionary("street_suffixes")),
+      cities_(FindBuiltinDictionary("cities")),
+      states_(FindBuiltinDictionary("states")) {}
+
+void AddressGenerator::Generate(GeneratorContext* context, Value* out) const {
+  Xorshift64& rng = context->rng();
+  std::string* buffer = out->MutableString();
+  char number[8];
+  std::snprintf(number, sizeof(number), "%d",
+                static_cast<int>(rng.NextInRange(1, 9999)));
+  buffer->append(number);
+  buffer->push_back(' ');
+  buffer->append(streets_->SampleUniform(&rng));
+  buffer->push_back(' ');
+  buffer->append(street_suffixes_->SampleUniform(&rng));
+  buffer->append(", ");
+  buffer->append(cities_->SampleUniform(&rng));
+  buffer->append(", ");
+  buffer->append(states_->SampleUniform(&rng));
+  char zip[8];
+  std::snprintf(zip, sizeof(zip), " %05d",
+                static_cast<int>(rng.NextInRange(501, 99950)));
+  buffer->append(zip);
+}
+
+void AddressGenerator::WriteConfig(XmlElement* parent) const {
+  parent->AddChild(ConfigName());
+}
+
+// -------------------------------------------------------------- Email --
+
+EmailGenerator::EmailGenerator()
+    : first_names_(FindBuiltinDictionary("first_names")),
+      last_names_(FindBuiltinDictionary("last_names")),
+      domains_(FindBuiltinDictionary("email_domains")) {}
+
+void EmailGenerator::Generate(GeneratorContext* context, Value* out) const {
+  Xorshift64& rng = context->rng();
+  std::string* buffer = out->MutableString();
+  std::string first = AsciiLower(first_names_->SampleUniform(&rng));
+  std::string last = AsciiLower(last_names_->SampleUniform(&rng));
+  buffer->append(first);
+  buffer->push_back('.');
+  buffer->append(last);
+  // Disambiguating digits keep the domain large in scale-out scenarios.
+  char digits[8];
+  std::snprintf(digits, sizeof(digits), "%d",
+                static_cast<int>(rng.NextInRange(0, 999)));
+  buffer->append(digits);
+  buffer->push_back('@');
+  buffer->append(domains_->SampleUniform(&rng));
+}
+
+void EmailGenerator::WriteConfig(XmlElement* parent) const {
+  parent->AddChild(ConfigName());
+}
+
+// ---------------------------------------------------------------- Url --
+
+UrlGenerator::UrlGenerator()
+    : words_(FindBuiltinDictionary("url_words")),
+      domains_(FindBuiltinDictionary("email_domains")) {}
+
+void UrlGenerator::Generate(GeneratorContext* context, Value* out) const {
+  Xorshift64& rng = context->rng();
+  std::string* buffer = out->MutableString();
+  buffer->append("http://www.");
+  buffer->append(domains_->SampleUniform(&rng));
+  buffer->push_back('/');
+  buffer->append(words_->SampleUniform(&rng));
+  if (rng.NextDouble() < 0.5) {
+    buffer->push_back('/');
+    buffer->append(words_->SampleUniform(&rng));
+  }
+}
+
+void UrlGenerator::WriteConfig(XmlElement* parent) const {
+  parent->AddChild(ConfigName());
+}
+
+}  // namespace pdgf

@@ -1,0 +1,523 @@
+#ifndef DBSYNTHPP_CORE_GENERATORS_GENERATORS_H_
+#define DBSYNTHPP_CORE_GENERATORS_GENERATORS_H_
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/date.h"
+#include "common/status.h"
+#include "core/generator.h"
+#include "core/text/dictionary.h"
+#include "core/text/markov_model.h"
+
+namespace pdgf {
+
+// ---------------------------------------------------------------------------
+// Basic generators (paper §2: "simple generators, like number generators,
+// generators based on dictionaries, or reference generators").
+// ---------------------------------------------------------------------------
+
+// Sequential surrogate keys: value = start + row * step. DBSynth assigns
+// this to columns whose name matches key/id heuristics (paper §3).
+class IdGenerator final : public Generator {
+ public:
+  explicit IdGenerator(int64_t start = 1, int64_t step = 1)
+      : start_(start), step_(step) {}
+
+  void Generate(GeneratorContext* context, Value* out) const override;
+  std::string ConfigName() const override { return "gen_IdGenerator"; }
+  void WriteConfig(XmlElement* parent) const override;
+
+  int64_t start() const { return start_; }
+  int64_t step() const { return step_; }
+
+ private:
+  int64_t start_;
+  int64_t step_;
+};
+
+// Uniform integers in [min, max].
+class LongGenerator final : public Generator {
+ public:
+  LongGenerator(int64_t min, int64_t max) : min_(min), max_(max) {}
+
+  void Generate(GeneratorContext* context, Value* out) const override;
+  std::string ConfigName() const override { return "gen_LongGenerator"; }
+  void WriteConfig(XmlElement* parent) const override;
+
+  int64_t min() const { return min_; }
+  int64_t max() const { return max_; }
+
+ private:
+  int64_t min_;
+  int64_t max_;
+};
+
+// Uniform doubles in [min, max). With places >= 0 the value is emitted as
+// a fixed-point DECIMAL with that scale (paper Fig. 9 "Double (4 places)").
+class DoubleGenerator final : public Generator {
+ public:
+  DoubleGenerator(double min, double max, int places = -1)
+      : min_(min), max_(max), places_(places) {}
+
+  void Generate(GeneratorContext* context, Value* out) const override;
+  std::string ConfigName() const override { return "gen_DoubleGenerator"; }
+  void WriteConfig(XmlElement* parent) const override;
+
+  double min() const { return min_; }
+  double max() const { return max_; }
+  int places() const { return places_; }
+
+ private:
+  double min_;
+  double max_;
+  int places_;
+};
+
+// Uniform dates in [min, max]. With a non-empty `format` the value is a
+// pre-formatted string (e.g. "%m/%d/%Y" -> "11/30/2014", Fig. 9); with an
+// empty format it is a DATE value formatted lazily by the output system.
+class DateGenerator final : public Generator {
+ public:
+  DateGenerator(Date min, Date max, std::string format = "")
+      : min_(min), max_(max), format_(std::move(format)) {}
+
+  void Generate(GeneratorContext* context, Value* out) const override;
+  std::string ConfigName() const override { return "gen_DateGenerator"; }
+  void WriteConfig(XmlElement* parent) const override;
+
+  Date min() const { return min_; }
+  Date max() const { return max_; }
+  const std::string& format() const { return format_; }
+
+ private:
+  Date min_;
+  Date max_;
+  std::string format_;
+};
+
+// Random strings of length in [min_length, max_length] over `charset`.
+// The fallback when DBSynth knows nothing about a text column (paper §3:
+// "In case nothing is found a random string is generated").
+class RandomStringGenerator final : public Generator {
+ public:
+  static constexpr const char* kDefaultCharset =
+      "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789";
+
+  RandomStringGenerator(int min_length, int max_length,
+                        std::string charset = kDefaultCharset)
+      : min_length_(min_length),
+        max_length_(max_length),
+        charset_(std::move(charset)) {}
+
+  void Generate(GeneratorContext* context, Value* out) const override;
+  std::string ConfigName() const override {
+    return "gen_RandomStringGenerator";
+  }
+  void WriteConfig(XmlElement* parent) const override;
+
+  int min_length() const { return min_length_; }
+  int max_length() const { return max_length_; }
+
+ private:
+  int min_length_;
+  int max_length_;
+  std::string charset_;
+};
+
+// Pattern strings: '#' -> random digit, '?' -> random upper-case letter,
+// '*' -> random lower-case letter, anything else literal. Used for phone
+// numbers, zip codes, plates, ...
+class PatternStringGenerator final : public Generator {
+ public:
+  explicit PatternStringGenerator(std::string pattern)
+      : pattern_(std::move(pattern)) {}
+
+  void Generate(GeneratorContext* context, Value* out) const override;
+  std::string ConfigName() const override {
+    return "gen_PatternStringGenerator";
+  }
+  void WriteConfig(XmlElement* parent) const override;
+
+  const std::string& pattern() const { return pattern_; }
+
+ private:
+  std::string pattern_;
+};
+
+// A constant value. With caching (default) the Value is parsed once at
+// construction; without, it is re-materialized on every call — the
+// difference is the "Static Value (no Cache)" base-overhead measurement
+// of Figure 7.
+class StaticValueGenerator final : public Generator {
+ public:
+  StaticValueGenerator(Value value, bool cache = true);
+
+  void Generate(GeneratorContext* context, Value* out) const override;
+  std::string ConfigName() const override {
+    return "gen_StaticValueGenerator";
+  }
+  void WriteConfig(XmlElement* parent) const override;
+
+ private:
+  Value value_;
+  std::string text_;  // textual form, re-parsed when cache_ is false
+  bool cache_;
+};
+
+// Bernoulli booleans.
+class BooleanGenerator final : public Generator {
+ public:
+  explicit BooleanGenerator(double true_probability = 0.5)
+      : true_probability_(true_probability) {}
+
+  void Generate(GeneratorContext* context, Value* out) const override;
+  std::string ConfigName() const override { return "gen_BooleanGenerator"; }
+  void WriteConfig(XmlElement* parent) const override;
+
+ private:
+  double true_probability_;
+};
+
+// Piecewise-uniform values from an extracted equi-width histogram: the
+// distribution DBSynth reads from the source database's statistics
+// (paper §3: "Possible information includes min/max constraints,
+// histograms, ..."). A bucket is drawn by weight, then a point uniform
+// within it.
+class HistogramGenerator final : public Generator {
+ public:
+  enum class Output { kLong, kDouble, kDecimal, kDate };
+
+  // `bucket_weights[i]` is the relative mass of the i-th of N equal-width
+  // buckets over [min, max).
+  HistogramGenerator(double min, double max,
+                     std::vector<double> bucket_weights, Output output,
+                     int places = 2);
+
+  void Generate(GeneratorContext* context, Value* out) const override;
+  std::string ConfigName() const override {
+    return "gen_HistogramGenerator";
+  }
+  void WriteConfig(XmlElement* parent) const override;
+
+  size_t bucket_count() const { return weights_.size(); }
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  double min_;
+  double max_;
+  std::vector<double> weights_;
+  std::vector<double> cumulative_;
+  double total_weight_ = 0;
+  Output output_;
+  int places_;
+};
+
+// ---------------------------------------------------------------------------
+// Dictionary-backed generators.
+// ---------------------------------------------------------------------------
+
+// Draws from a dictionary: builtin (by name), loaded from file, or inline.
+// Sampling honours entry weights (DBSynth stores extracted value
+// probabilities, paper §3); `skew` > 0 overlays a Zipf distribution over
+// the entry ranks instead; `method` selects the weighted-sampling backend.
+class DictListGenerator final : public Generator {
+ public:
+  enum class Method { kCumulative, kAlias, kUniform, kByRow };
+
+  // Dictionary owned elsewhere (builtin): non-owning.
+  DictListGenerator(const Dictionary* dictionary, std::string source_builtin,
+                    Method method = Method::kCumulative, double skew = 0);
+  // Owning variant (file or inline dictionaries).
+  DictListGenerator(std::shared_ptr<const Dictionary> dictionary,
+                    std::string source_file, Method method, double skew);
+
+  void Generate(GeneratorContext* context, Value* out) const override;
+  std::string ConfigName() const override { return "gen_DictListGenerator"; }
+  void WriteConfig(XmlElement* parent) const override;
+
+  const Dictionary& dictionary() const { return *dictionary_; }
+  Method method() const { return method_; }
+
+ private:
+  std::shared_ptr<const Dictionary> owned_;
+  const Dictionary* dictionary_;
+  std::string builtin_name_;  // non-empty if from a builtin
+  std::string file_name_;     // non-empty if from a file
+  Method method_;
+  double skew_;
+  std::unique_ptr<ZipfDistribution> zipf_;
+};
+
+// first_name last_name from the builtin name dictionaries.
+class NameGenerator final : public Generator {
+ public:
+  NameGenerator();
+
+  void Generate(GeneratorContext* context, Value* out) const override;
+  std::string ConfigName() const override { return "gen_NameGenerator"; }
+  void WriteConfig(XmlElement* parent) const override;
+
+ private:
+  const Dictionary* first_names_;
+  const Dictionary* last_names_;
+};
+
+// "123 Maple Street, Springfield, NY 10482"-style addresses.
+class AddressGenerator final : public Generator {
+ public:
+  AddressGenerator();
+
+  void Generate(GeneratorContext* context, Value* out) const override;
+  std::string ConfigName() const override { return "gen_AddressGenerator"; }
+  void WriteConfig(XmlElement* parent) const override;
+
+ private:
+  const Dictionary* streets_;
+  const Dictionary* street_suffixes_;
+  const Dictionary* cities_;
+  const Dictionary* states_;
+};
+
+// "first.last@domain" emails from builtin dictionaries.
+class EmailGenerator final : public Generator {
+ public:
+  EmailGenerator();
+
+  void Generate(GeneratorContext* context, Value* out) const override;
+  std::string ConfigName() const override { return "gen_EmailGenerator"; }
+  void WriteConfig(XmlElement* parent) const override;
+
+ private:
+  const Dictionary* first_names_;
+  const Dictionary* last_names_;
+  const Dictionary* domains_;
+};
+
+// "http://www.word.domain/word" URLs.
+class UrlGenerator final : public Generator {
+ public:
+  UrlGenerator();
+
+  void Generate(GeneratorContext* context, Value* out) const override;
+  std::string ConfigName() const override { return "gen_UrlGenerator"; }
+  void WriteConfig(XmlElement* parent) const override;
+
+ private:
+  const Dictionary* words_;
+  const Dictionary* domains_;
+};
+
+// ---------------------------------------------------------------------------
+// Reference generator: the computed-reference strategy (paper §6 class 3,
+// "the fastest way of generating correct references ... first implemented
+// in PDGF").
+// ---------------------------------------------------------------------------
+
+// Generates a value of the referenced column for a pseudo-random row of
+// the referenced table, by *recomputing* that field — no tracking, no
+// re-reading (paper §4: computation is ~5000x faster than re-reading).
+class DefaultReferenceGenerator final : public Generator {
+ public:
+  enum class Distribution { kUniform, kZipf };
+
+  DefaultReferenceGenerator(std::string table, std::string field,
+                            Distribution distribution = Distribution::kUniform,
+                            double skew = 0);
+  ~DefaultReferenceGenerator() override;
+
+  void Generate(GeneratorContext* context, Value* out) const override;
+  std::string ConfigName() const override {
+    return "gen_DefaultReferenceGenerator";
+  }
+  void WriteConfig(XmlElement* parent) const override;
+
+  const std::string& table() const { return table_; }
+  const std::string& field() const { return field_; }
+
+ private:
+  // The Zipf table depends on the referenced table's row count, which
+  // changes when the same schema is resolved at another scale factor;
+  // entries are therefore keyed by size and swapped atomically. A
+  // entries are parked on a retirement list (freed with the generator)
+  // because concurrent readers may still hold pointers to them; the list
+  // is bounded by the number of distinct scale factors used.
+  struct ZipfState {
+    uint64_t rows;
+    ZipfDistribution distribution;
+  };
+
+  const ZipfState* ZipfFor(uint64_t rows) const;
+
+  std::string table_;
+  std::string field_;
+  Distribution distribution_;
+  double skew_;
+  // Referenced table/field indices are a pure function of the schema
+  // that owns this generator; resolved once.
+  mutable std::once_flag resolve_once_;
+  mutable int ref_table_index_ = -1;
+  mutable int ref_field_index_ = -1;
+  mutable std::atomic<ZipfState*> zipf_{nullptr};
+  // Cold path only (size changes); guards retired_.
+  mutable std::mutex retired_mutex_;
+  mutable std::vector<std::unique_ptr<ZipfState>> retired_;
+};
+
+// ---------------------------------------------------------------------------
+// Meta generators (paper §2: "meta generators, which can concatenate
+// results from other generators or execute different generators based on
+// certain conditions"; [18]).
+// ---------------------------------------------------------------------------
+
+// NULLs with probability p, else delegates to the wrapped generator
+// (Listing 1 wraps the Markov generator of l_comment in a NullGenerator).
+class NullGenerator final : public Generator {
+ public:
+  NullGenerator(double probability, GeneratorPtr inner);
+
+  void Generate(GeneratorContext* context, Value* out) const override;
+  std::string ConfigName() const override { return "gen_NullGenerator"; }
+  void WriteConfig(XmlElement* parent) const override;
+
+  double probability() const { return probability_; }
+  const Generator* inner() const { return inner_.get(); }
+
+ private:
+  double probability_;
+  GeneratorPtr inner_;
+};
+
+// Concatenates child results (textually, with optional separator /
+// prefix / suffix) — Figure 9's "Sequential (2 double + long)".
+class SequentialGenerator final : public Generator {
+ public:
+  SequentialGenerator(std::vector<GeneratorPtr> children,
+                      std::string separator = "", std::string prefix = "",
+                      std::string suffix = "");
+
+  void Generate(GeneratorContext* context, Value* out) const override;
+  std::string ConfigName() const override {
+    return "gen_SequentialGenerator";
+  }
+  void WriteConfig(XmlElement* parent) const override;
+
+  size_t child_count() const { return children_.size(); }
+
+ private:
+  std::vector<GeneratorPtr> children_;
+  std::string separator_;
+  std::string prefix_;
+  std::string suffix_;
+};
+
+// Executes one of its children, chosen pseudo-randomly by weight — the
+// "execute different generators based on certain conditions" meta
+// generator.
+class ConditionalGenerator final : public Generator {
+ public:
+  struct Branch {
+    double weight;
+    GeneratorPtr generator;
+  };
+
+  explicit ConditionalGenerator(std::vector<Branch> branches);
+
+  void Generate(GeneratorContext* context, Value* out) const override;
+  std::string ConfigName() const override {
+    return "gen_ConditionalGenerator";
+  }
+  void WriteConfig(XmlElement* parent) const override;
+
+  size_t branch_count() const { return branches_.size(); }
+
+ private:
+  std::vector<Branch> branches_;
+  std::vector<double> cumulative_;
+  double total_weight_;
+};
+
+// Pads the child's text rendering to a fixed width.
+class PaddingGenerator final : public Generator {
+ public:
+  PaddingGenerator(GeneratorPtr inner, int width, char pad_char = '0',
+                   bool pad_left = true);
+
+  void Generate(GeneratorContext* context, Value* out) const override;
+  std::string ConfigName() const override { return "gen_PaddingGenerator"; }
+  void WriteConfig(XmlElement* parent) const override;
+
+ private:
+  GeneratorPtr inner_;
+  int width_;
+  char pad_char_;
+  bool pad_left_;
+};
+
+// Evaluates an arithmetic expression over its children's numeric values
+// and the row number: ${row} is the 0-based row, ${child0}..${childN}
+// the children. `round_to_long` emits an integer.
+class FormulaGenerator final : public Generator {
+ public:
+  FormulaGenerator(std::string expression, std::vector<GeneratorPtr> children,
+                   bool round_to_long = false);
+
+  void Generate(GeneratorContext* context, Value* out) const override;
+  std::string ConfigName() const override { return "gen_FormulaGenerator"; }
+  void WriteConfig(XmlElement* parent) const override;
+
+ private:
+  std::string expression_;
+  std::vector<GeneratorPtr> children_;
+  bool round_to_long_;
+};
+
+// ---------------------------------------------------------------------------
+// Markov chain text generator (paper §3).
+// ---------------------------------------------------------------------------
+
+// Generates free text of min..max words from a Markov model. The model
+// may come from a DBSynth-extracted binary file (Listing 1's
+// "markov\l_comment_markovSamples.bin"), an inline corpus, or the builtin
+// corpus.
+class MarkovChainGenerator final : public Generator {
+ public:
+  MarkovChainGenerator(std::shared_ptr<const MarkovModel> model,
+                       int min_words, int max_words,
+                       std::string model_file = "");
+
+  // Trains a model from `corpus` and wraps it.
+  static StatusOr<GeneratorPtr> FromCorpus(std::string_view corpus,
+                                           int min_words, int max_words);
+  // Loads a serialized model file.
+  static StatusOr<GeneratorPtr> FromFile(const std::string& path,
+                                         int min_words, int max_words);
+
+  void Generate(GeneratorContext* context, Value* out) const override;
+  std::string ConfigName() const override {
+    return "gen_MarkovChainGenerator";
+  }
+  void WriteConfig(XmlElement* parent) const override;
+
+  const MarkovModel& model() const { return *model_; }
+  int min_words() const { return min_words_; }
+  int max_words() const { return max_words_; }
+
+ private:
+  std::shared_ptr<const MarkovModel> model_;
+  int min_words_;
+  int max_words_;
+  std::string model_file_;  // non-empty if loaded from a file
+};
+
+// Registers every generator above with GeneratorRegistry::Global().
+// Called automatically by the registry; safe to call repeatedly.
+void RegisterBuiltinGenerators();
+
+}  // namespace pdgf
+
+#endif  // DBSYNTHPP_CORE_GENERATORS_GENERATORS_H_

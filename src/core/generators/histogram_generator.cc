@@ -1,0 +1,92 @@
+#include <cmath>
+
+#include "core/generators/generators.h"
+#include "util/strings.h"
+#include "util/xml.h"
+
+namespace pdgf {
+
+HistogramGenerator::HistogramGenerator(double min, double max,
+                                       std::vector<double> bucket_weights,
+                                       Output output, int places)
+    : min_(min),
+      max_(max < min ? min : max),
+      weights_(std::move(bucket_weights)),
+      output_(output),
+      places_(places) {
+  cumulative_.reserve(weights_.size());
+  total_weight_ = 0;
+  for (double weight : weights_) {
+    total_weight_ += weight > 0 ? weight : 0;
+    cumulative_.push_back(total_weight_);
+  }
+}
+
+void HistogramGenerator::Generate(GeneratorContext* context,
+                                  Value* out) const {
+  double value;
+  if (weights_.empty() || total_weight_ <= 0 || max_ <= min_) {
+    value = min_;
+  } else {
+    // Pick a bucket by weight, then a uniform point inside it — the
+    // piecewise-uniform distribution the extracted histogram encodes.
+    double target = context->rng().NextDouble() * total_weight_;
+    size_t bucket = 0;
+    while (bucket + 1 < cumulative_.size() &&
+           target >= cumulative_[bucket]) {
+      ++bucket;
+    }
+    double width = (max_ - min_) / static_cast<double>(weights_.size());
+    value = min_ + (static_cast<double>(bucket) +
+                    context->rng().NextDouble()) *
+                       width;
+  }
+  switch (output_) {
+    case Output::kLong:
+      out->SetInt(static_cast<int64_t>(std::llround(value)));
+      return;
+    case Output::kDouble:
+      out->SetDouble(value);
+      return;
+    case Output::kDecimal: {
+      double pow10 = 1.0;
+      for (int i = 0; i < places_; ++i) pow10 *= 10.0;
+      out->SetDecimal(static_cast<int64_t>(std::llround(value * pow10)),
+                      places_);
+      return;
+    }
+    case Output::kDate:
+      out->SetDate(Date(static_cast<int64_t>(std::llround(value))));
+      return;
+  }
+}
+
+void HistogramGenerator::WriteConfig(XmlElement* parent) const {
+  XmlElement* element = parent->AddChild(ConfigName());
+  element->AddChild("min")->set_text(StrPrintf("%.17g", min_));
+  element->AddChild("max")->set_text(StrPrintf("%.17g", max_));
+  switch (output_) {
+    case Output::kLong:
+      element->SetAttribute("output", "long");
+      break;
+    case Output::kDouble:
+      element->SetAttribute("output", "double");
+      break;
+    case Output::kDecimal:
+      element->SetAttribute("output", "decimal");
+      element->SetAttribute("places", std::to_string(places_));
+      break;
+    case Output::kDate:
+      element->SetAttribute("output", "date");
+      break;
+  }
+  XmlElement* buckets = element->AddChild("buckets");
+  std::string text;
+  for (size_t i = 0; i < weights_.size(); ++i) {
+    if (i > 0) text.push_back(' ');
+    text += StrPrintf("%.17g", weights_[i]);
+  }
+  buckets->set_text(text);
+}
+
+}  // namespace pdgf

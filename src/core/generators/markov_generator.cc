@@ -1,0 +1,52 @@
+#include "core/generators/generators.h"
+#include "util/xml.h"
+
+namespace pdgf {
+
+MarkovChainGenerator::MarkovChainGenerator(
+    std::shared_ptr<const MarkovModel> model, int min_words, int max_words,
+    std::string model_file)
+    : model_(std::move(model)),
+      min_words_(min_words),
+      max_words_(max_words),
+      model_file_(std::move(model_file)) {}
+
+StatusOr<GeneratorPtr> MarkovChainGenerator::FromCorpus(
+    std::string_view corpus, int min_words, int max_words) {
+  auto model = std::make_shared<MarkovModel>();
+  model->AddSample(corpus);
+  model->Finalize();
+  if (model->word_count() == 0) {
+    return InvalidArgumentError("empty Markov training corpus");
+  }
+  return GeneratorPtr(
+      new MarkovChainGenerator(std::move(model), min_words, max_words));
+}
+
+StatusOr<GeneratorPtr> MarkovChainGenerator::FromFile(const std::string& path,
+                                                      int min_words,
+                                                      int max_words) {
+  PDGF_ASSIGN_OR_RETURN(MarkovModel model, MarkovModel::Load(path));
+  auto shared = std::make_shared<MarkovModel>(std::move(model));
+  return GeneratorPtr(
+      new MarkovChainGenerator(std::move(shared), min_words, max_words, path));
+}
+
+void MarkovChainGenerator::Generate(GeneratorContext* context,
+                                    Value* out) const {
+  out->SetStringMove(
+      model_->Generate(&context->rng(), min_words_, max_words_));
+}
+
+void MarkovChainGenerator::WriteConfig(XmlElement* parent) const {
+  XmlElement* element = parent->AddChild(ConfigName());
+  element->AddChild("min")->set_text(std::to_string(min_words_));
+  element->AddChild("max")->set_text(std::to_string(max_words_));
+  if (!model_file_.empty()) {
+    element->AddChild("file")->set_text(model_file_);
+  } else {
+    element->SetAttribute("builtin", "true");
+  }
+}
+
+}  // namespace pdgf

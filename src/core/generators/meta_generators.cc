@@ -1,0 +1,190 @@
+#include <cmath>
+
+#include "core/generators/generators.h"
+#include "util/expression.h"
+#include "util/strings.h"
+#include "util/xml.h"
+
+namespace pdgf {
+
+// --------------------------------------------------------------- Null --
+
+NullGenerator::NullGenerator(double probability, GeneratorPtr inner)
+    : probability_(probability), inner_(std::move(inner)) {}
+
+void NullGenerator::Generate(GeneratorContext* context, Value* out) const {
+  // One uniform draw decides NULL-ness; the wrapped generator runs in an
+  // independent child stream so that the NULL decision never perturbs
+  // the inner value sequence.
+  if (context->rng().NextDouble() < probability_) {
+    out->SetNull();
+    return;
+  }
+  GeneratorContext child = context->Child(0);
+  inner_->Generate(&child, out);
+}
+
+void NullGenerator::WriteConfig(XmlElement* parent) const {
+  XmlElement* element = parent->AddChild(ConfigName());
+  element->SetAttribute("probability", StrPrintf("%.17g", probability_));
+  inner_->WriteConfig(element);
+}
+
+// --------------------------------------------------------- Sequential --
+
+SequentialGenerator::SequentialGenerator(std::vector<GeneratorPtr> children,
+                                         std::string separator,
+                                         std::string prefix,
+                                         std::string suffix)
+    : children_(std::move(children)),
+      separator_(std::move(separator)),
+      prefix_(std::move(prefix)),
+      suffix_(std::move(suffix)) {}
+
+void SequentialGenerator::Generate(GeneratorContext* context,
+                                   Value* out) const {
+  // Children render into a scratch Value, then concatenate textually.
+  Value scratch;
+  std::string result;
+  result.append(prefix_);
+  for (size_t i = 0; i < children_.size(); ++i) {
+    if (i > 0) result.append(separator_);
+    GeneratorContext child = context->Child(static_cast<uint32_t>(i));
+    children_[i]->Generate(&child, &scratch);
+    scratch.AppendText(&result);
+  }
+  result.append(suffix_);
+  out->SetStringMove(std::move(result));
+}
+
+void SequentialGenerator::WriteConfig(XmlElement* parent) const {
+  XmlElement* element = parent->AddChild(ConfigName());
+  if (!separator_.empty()) element->SetAttribute("separator", separator_);
+  if (!prefix_.empty()) element->SetAttribute("prefix", prefix_);
+  if (!suffix_.empty()) element->SetAttribute("suffix", suffix_);
+  for (const GeneratorPtr& child : children_) {
+    child->WriteConfig(element);
+  }
+}
+
+// -------------------------------------------------------- Conditional --
+
+ConditionalGenerator::ConditionalGenerator(std::vector<Branch> branches)
+    : branches_(std::move(branches)), total_weight_(0) {
+  cumulative_.reserve(branches_.size());
+  for (const Branch& branch : branches_) {
+    total_weight_ += branch.weight > 0 ? branch.weight : 0;
+    cumulative_.push_back(total_weight_);
+  }
+}
+
+void ConditionalGenerator::Generate(GeneratorContext* context,
+                                    Value* out) const {
+  if (branches_.empty() || total_weight_ <= 0) {
+    out->SetNull();
+    return;
+  }
+  double pick = context->rng().NextDouble() * total_weight_;
+  size_t index = 0;
+  while (index + 1 < cumulative_.size() && pick >= cumulative_[index]) {
+    ++index;
+  }
+  GeneratorContext child = context->Child(static_cast<uint32_t>(index));
+  branches_[index].generator->Generate(&child, out);
+}
+
+void ConditionalGenerator::WriteConfig(XmlElement* parent) const {
+  XmlElement* element = parent->AddChild(ConfigName());
+  for (const Branch& branch : branches_) {
+    XmlElement* case_element = element->AddChild("case");
+    case_element->SetAttribute("weight", StrPrintf("%.17g", branch.weight));
+    branch.generator->WriteConfig(case_element);
+  }
+}
+
+// ------------------------------------------------------------ Padding --
+
+PaddingGenerator::PaddingGenerator(GeneratorPtr inner, int width,
+                                   char pad_char, bool pad_left)
+    : inner_(std::move(inner)),
+      width_(width),
+      pad_char_(pad_char),
+      pad_left_(pad_left) {}
+
+void PaddingGenerator::Generate(GeneratorContext* context, Value* out) const {
+  Value scratch;
+  GeneratorContext child = context->Child(0);
+  inner_->Generate(&child, &scratch);
+  std::string text = scratch.ToText();
+  if (static_cast<int>(text.size()) < width_) {
+    size_t pad = static_cast<size_t>(width_) - text.size();
+    if (pad_left_) {
+      text.insert(0, pad, pad_char_);
+    } else {
+      text.append(pad, pad_char_);
+    }
+  }
+  out->SetStringMove(std::move(text));
+}
+
+void PaddingGenerator::WriteConfig(XmlElement* parent) const {
+  XmlElement* element = parent->AddChild(ConfigName());
+  element->SetAttribute("width", std::to_string(width_));
+  element->SetAttribute("pad", std::string(1, pad_char_));
+  element->SetAttribute("side", pad_left_ ? "left" : "right");
+  inner_->WriteConfig(element);
+}
+
+// ------------------------------------------------------------ Formula --
+
+FormulaGenerator::FormulaGenerator(std::string expression,
+                                   std::vector<GeneratorPtr> children,
+                                   bool round_to_long)
+    : expression_(std::move(expression)),
+      children_(std::move(children)),
+      round_to_long_(round_to_long) {}
+
+void FormulaGenerator::Generate(GeneratorContext* context, Value* out) const {
+  // Evaluate children once, then the expression over their values.
+  Value scratch;
+  std::vector<double> child_values(children_.size());
+  for (size_t i = 0; i < children_.size(); ++i) {
+    GeneratorContext child = context->Child(static_cast<uint32_t>(i));
+    children_[i]->Generate(&child, &scratch);
+    child_values[i] = scratch.AsDouble();
+  }
+  uint64_t row = context->row();
+  VariableResolver resolver =
+      [&child_values, row](std::string_view name) -> StatusOr<double> {
+    if (name == "row") return static_cast<double>(row);
+    if (StartsWith(name, "child")) {
+      int index = std::atoi(std::string(name.substr(5)).c_str());
+      if (index >= 0 && static_cast<size_t>(index) < child_values.size()) {
+        return child_values[static_cast<size_t>(index)];
+      }
+    }
+    return NotFoundError("unknown formula variable '" + std::string(name) +
+                         "'");
+  };
+  StatusOr<double> value = EvaluateExpression(expression_, resolver);
+  if (!value.ok()) {
+    out->SetNull();
+    return;
+  }
+  if (round_to_long_) {
+    out->SetInt(static_cast<int64_t>(std::llround(*value)));
+  } else {
+    out->SetDouble(*value);
+  }
+}
+
+void FormulaGenerator::WriteConfig(XmlElement* parent) const {
+  XmlElement* element = parent->AddChild(ConfigName());
+  element->SetAttribute("expression", expression_);
+  if (round_to_long_) element->SetAttribute("round", "long");
+  for (const GeneratorPtr& child : children_) {
+    child->WriteConfig(element);
+  }
+}
+
+}  // namespace pdgf

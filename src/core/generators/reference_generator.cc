@@ -1,0 +1,107 @@
+#include "core/generators/generators.h"
+#include "core/session.h"
+#include "util/strings.h"
+#include "util/xml.h"
+
+namespace pdgf {
+
+DefaultReferenceGenerator::DefaultReferenceGenerator(std::string table,
+                                                     std::string field,
+                                                     Distribution distribution,
+                                                     double skew)
+    : table_(std::move(table)),
+      field_(std::move(field)),
+      distribution_(distribution),
+      skew_(skew) {}
+
+DefaultReferenceGenerator::~DefaultReferenceGenerator() {
+  // Safe: no generation is in flight at destruction time.
+  delete zipf_.load(std::memory_order_acquire);
+}
+
+const DefaultReferenceGenerator::ZipfState*
+DefaultReferenceGenerator::ZipfFor(uint64_t rows) const {
+  ZipfState* state = zipf_.load(std::memory_order_acquire);
+  if (state != nullptr && state->rows == rows) return state;
+  // Build a table for this size and publish it. A racing thread may
+  // publish first; then our copy is discarded. A *replaced* entry (size
+  // change between runs) moves to the retirement list — readers may
+  // still hold pointers to it.
+  ZipfState* fresh = new ZipfState{rows, ZipfDistribution(rows, skew_)};
+  if (zipf_.compare_exchange_strong(state, fresh,
+                                    std::memory_order_acq_rel)) {
+    if (state != nullptr) {
+      std::lock_guard<std::mutex> lock(retired_mutex_);
+      retired_.emplace_back(state);
+    }
+    return fresh;
+  }
+  delete fresh;
+  // Another thread installed a state; it may still be for a different
+  // size (two sessions used concurrently) — in that rare case fall back
+  // to an uncached distribution via recursion-free retry.
+  state = zipf_.load(std::memory_order_acquire);
+  if (state->rows == rows) return state;
+  return nullptr;
+}
+
+void DefaultReferenceGenerator::Generate(GeneratorContext* context,
+                                         Value* out) const {
+  const GenerationSession* session = context->session();
+  if (session == nullptr) {
+    out->SetNull();
+    return;
+  }
+  // The referenced coordinates are a pure function of the schema that
+  // owns this generator; resolve them once.
+  std::call_once(resolve_once_, [this, session] {
+    ref_table_index_ = session->schema().FindTableIndex(table_);
+    if (ref_table_index_ >= 0) {
+      ref_field_index_ =
+          session->schema()
+              .tables[static_cast<size_t>(ref_table_index_)]
+              .FindFieldIndex(field_);
+    }
+  });
+  if (ref_table_index_ < 0 || ref_field_index_ < 0) {
+    out->SetNull();
+    return;
+  }
+  uint64_t rows = session->TableRows(ref_table_index_);
+  if (rows == 0) {
+    out->SetNull();
+    return;
+  }
+  uint64_t target_row;
+  if (distribution_ == Distribution::kZipf && skew_ > 0) {
+    const ZipfState* state = ZipfFor(rows);
+    if (state != nullptr) {
+      target_row = state->distribution.Sample(&context->rng());
+    } else {
+      // Contended cache miss (concurrent sessions at different scales):
+      // sample from a stack-local distribution.
+      ZipfDistribution distribution(rows, skew_);
+      target_row = distribution.Sample(&context->rng());
+    }
+  } else {
+    target_row = context->rng().NextBounded(rows);
+  }
+  // Recompute the referenced field's value at the chosen row (update 0 —
+  // references are resolved against the base data). This is the
+  // computed-reference strategy: no tracking tables, no re-reads.
+  session->GenerateField(ref_table_index_, ref_field_index_, target_row,
+                         /*update=*/0, out);
+}
+
+void DefaultReferenceGenerator::WriteConfig(XmlElement* parent) const {
+  XmlElement* element = parent->AddChild(ConfigName());
+  XmlElement* reference = element->AddChild("reference");
+  reference->SetAttribute("table", table_);
+  reference->SetAttribute("field", field_);
+  if (distribution_ == Distribution::kZipf) {
+    element->SetAttribute("distribution", "zipf");
+    element->SetAttribute("skew", StrPrintf("%.17g", skew_));
+  }
+}
+
+}  // namespace pdgf

@@ -1,0 +1,244 @@
+#include "core/output/formatter.h"
+
+#include "util/strings.h"
+#include "util/xml.h"
+
+namespace pdgf {
+namespace {
+
+// Appends a JSON string literal.
+void AppendJsonString(std::string_view in, std::string* out) {
+  out->push_back('"');
+  for (char c : in) {
+    switch (c) {
+      case '"':
+        out->append("\\\"");
+        break;
+      case '\\':
+        out->append("\\\\");
+        break;
+      case '\n':
+        out->append("\\n");
+        break;
+      case '\r':
+        out->append("\\r");
+        break;
+      case '\t':
+        out->append("\\t");
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out->append(buffer);
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+// Appends a SQL literal for `value`.
+void AppendSqlLiteral(const Value& value, std::string* out) {
+  if (value.is_null()) {
+    out->append("NULL");
+    return;
+  }
+  switch (value.kind()) {
+    case Value::Kind::kString: {
+      out->push_back('\'');
+      for (char c : value.string_value()) {
+        if (c == '\'') out->push_back('\'');
+        out->push_back(c);
+      }
+      out->push_back('\'');
+      return;
+    }
+    case Value::Kind::kDate:
+      out->push_back('\'');
+      value.AppendText(out);
+      out->push_back('\'');
+      return;
+    default:
+      value.AppendText(out);
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- CSV --
+
+void CsvFormatter::AppendRow(const TableDef& table,
+                             const std::vector<Value>& row,
+                             std::string* out) const {
+  (void)table;
+  for (size_t i = 0; i < row.size(); ++i) {
+    if (i > 0) out->push_back(delimiter_);
+    const Value& value = row[i];
+    if (value.is_null()) {
+      out->append(null_marker_);
+      continue;
+    }
+    if (value.kind() == Value::Kind::kString) {
+      const std::string& text = value.string_value();
+      bool needs_quoting =
+          text.find(delimiter_) != std::string::npos ||
+          text.find(quote_) != std::string::npos ||
+          text.find('\n') != std::string::npos ||
+          (!null_marker_.empty() && text == null_marker_);
+      if (needs_quoting) {
+        out->push_back(quote_);
+        for (char c : text) {
+          if (c == quote_) out->push_back(quote_);
+          out->push_back(c);
+        }
+        out->push_back(quote_);
+        continue;
+      }
+    }
+    value.AppendText(out);
+  }
+  out->push_back('\n');
+}
+
+// --------------------------------------------------------------- JSON --
+
+void JsonFormatter::AppendRow(const TableDef& table,
+                              const std::vector<Value>& row,
+                              std::string* out) const {
+  out->push_back('{');
+  for (size_t i = 0; i < row.size() && i < table.fields.size(); ++i) {
+    if (i > 0) out->push_back(',');
+    AppendJsonString(table.fields[i].name, out);
+    out->push_back(':');
+    const Value& value = row[i];
+    switch (value.kind()) {
+      case Value::Kind::kNull:
+        out->append("null");
+        break;
+      case Value::Kind::kBool:
+        out->append(value.bool_value() ? "true" : "false");
+        break;
+      case Value::Kind::kInt:
+      case Value::Kind::kDouble:
+      case Value::Kind::kDecimal:
+        value.AppendText(out);
+        break;
+      case Value::Kind::kString:
+        AppendJsonString(value.string_value(), out);
+        break;
+      case Value::Kind::kDate: {
+        std::string text;
+        value.AppendText(&text);
+        AppendJsonString(text, out);
+        break;
+      }
+    }
+  }
+  out->append("}\n");
+}
+
+// ---------------------------------------------------------------- XML --
+
+void XmlFormatter::AppendHeader(const TableDef& table,
+                                std::string* out) const {
+  out->append("<table name=\"");
+  XmlEscape(table.name, out);
+  out->append("\">\n");
+}
+
+void XmlFormatter::AppendFooter(const TableDef& table,
+                                std::string* out) const {
+  (void)table;
+  out->append("</table>\n");
+}
+
+void XmlFormatter::AppendRow(const TableDef& table,
+                             const std::vector<Value>& row,
+                             std::string* out) const {
+  out->append("  <row>");
+  for (size_t i = 0; i < row.size() && i < table.fields.size(); ++i) {
+    const std::string& field_name = table.fields[i].name;
+    if (row[i].is_null()) {
+      out->push_back('<');
+      out->append(field_name);
+      out->append(" null=\"true\"/>");
+      continue;
+    }
+    out->push_back('<');
+    out->append(field_name);
+    out->push_back('>');
+    std::string text;
+    row[i].AppendText(&text);
+    XmlEscape(text, out);
+    out->append("</");
+    out->append(field_name);
+    out->push_back('>');
+  }
+  out->append("</row>\n");
+}
+
+// ---------------------------------------------------------------- SQL --
+
+void SqlInsertFormatter::AppendRow(const TableDef& table,
+                                   const std::vector<Value>& row,
+                                   std::string* out) const {
+  out->append("INSERT INTO ");
+  out->append(table.name);
+  out->append(" VALUES (");
+  for (size_t i = 0; i < row.size(); ++i) {
+    if (i > 0) out->append(", ");
+    AppendSqlLiteral(row[i], out);
+  }
+  out->append(");\n");
+}
+
+void SqlInsertFormatter::AppendBatch(
+    const TableDef& table, const std::vector<std::vector<Value>>& rows,
+    std::string* out) const {
+  for (size_t start = 0; start < rows.size();
+       start += static_cast<size_t>(batch_rows_)) {
+    out->append("INSERT INTO ");
+    out->append(table.name);
+    out->append(" VALUES ");
+    size_t end = start + static_cast<size_t>(batch_rows_);
+    if (end > rows.size()) end = rows.size();
+    for (size_t r = start; r < end; ++r) {
+      if (r > start) out->append(", ");
+      out->push_back('(');
+      for (size_t i = 0; i < rows[r].size(); ++i) {
+        if (i > 0) out->append(", ");
+        AppendSqlLiteral(rows[r][i], out);
+      }
+      out->push_back(')');
+    }
+    out->append(";\n");
+  }
+}
+
+StatusOr<std::unique_ptr<RowFormatter>> MakeFormatter(
+    const std::string& name) {
+  if (name == "csv" || name.empty()) {
+    return std::unique_ptr<RowFormatter>(new CsvFormatter());
+  }
+  if (StartsWith(name, "csv,") && name.size() == 5) {
+    return std::unique_ptr<RowFormatter>(new CsvFormatter(name[4]));
+  }
+  if (name == "tsv") {
+    return std::unique_ptr<RowFormatter>(new CsvFormatter('\t'));
+  }
+  if (name == "json") {
+    return std::unique_ptr<RowFormatter>(new JsonFormatter());
+  }
+  if (name == "xml") {
+    return std::unique_ptr<RowFormatter>(new XmlFormatter());
+  }
+  if (name == "sql") {
+    return std::unique_ptr<RowFormatter>(new SqlInsertFormatter());
+  }
+  return InvalidArgumentError("unknown formatter '" + name + "'");
+}
+
+}  // namespace pdgf

@@ -1,0 +1,121 @@
+#ifndef DBSYNTHPP_CORE_OUTPUT_FORMATTER_H_
+#define DBSYNTHPP_CORE_OUTPUT_FORMATTER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/value.h"
+#include "core/schema.h"
+
+namespace pdgf {
+
+// Renders generated rows into an output byte format. PDGF formats lazily:
+// generators produce typed Values and the formatter renders them exactly
+// once, at output time (paper §4: "PDGF does lazy formatting ... even
+// very complex values will only be formatted once").
+//
+// Formatters are stateless w.r.t. rows and shared across workers; each
+// worker appends into its own buffer.
+class RowFormatter {
+ public:
+  virtual ~RowFormatter() = default;
+
+  RowFormatter(const RowFormatter&) = delete;
+  RowFormatter& operator=(const RowFormatter&) = delete;
+
+  // Emitted once before the first row of a table.
+  virtual void AppendHeader(const TableDef& table, std::string* out) const {
+    (void)table;
+    (void)out;
+  }
+  // Emitted once after the last row.
+  virtual void AppendFooter(const TableDef& table, std::string* out) const {
+    (void)table;
+    (void)out;
+  }
+  // Appends one rendered row (including the row terminator).
+  virtual void AppendRow(const TableDef& table,
+                         const std::vector<Value>& row,
+                         std::string* out) const = 0;
+
+  // Suggested file extension without dot ("csv", "json", ...).
+  virtual std::string FileExtension() const = 0;
+
+ protected:
+  RowFormatter() = default;
+};
+
+// Delimiter-separated values. Fields containing the delimiter, quote or
+// newline are quoted; quotes are doubled. NULL renders as `null_marker`
+// (unquoted, distinguishable from the empty string).
+class CsvFormatter final : public RowFormatter {
+ public:
+  explicit CsvFormatter(char delimiter = '|', char quote = '"',
+                        std::string null_marker = "")
+      : delimiter_(delimiter),
+        quote_(quote),
+        null_marker_(std::move(null_marker)) {}
+
+  void AppendRow(const TableDef& table, const std::vector<Value>& row,
+                 std::string* out) const override;
+  std::string FileExtension() const override { return "csv"; }
+
+ private:
+  char delimiter_;
+  char quote_;
+  std::string null_marker_;
+};
+
+// One JSON object per line (JSON Lines).
+class JsonFormatter final : public RowFormatter {
+ public:
+  JsonFormatter() = default;
+
+  void AppendRow(const TableDef& table, const std::vector<Value>& row,
+                 std::string* out) const override;
+  std::string FileExtension() const override { return "json"; }
+};
+
+// <table><row><field>..</field>..</row>..</table> XML.
+class XmlFormatter final : public RowFormatter {
+ public:
+  XmlFormatter() = default;
+
+  void AppendHeader(const TableDef& table, std::string* out) const override;
+  void AppendFooter(const TableDef& table, std::string* out) const override;
+  void AppendRow(const TableDef& table, const std::vector<Value>& row,
+                 std::string* out) const override;
+  std::string FileExtension() const override { return "xml"; }
+};
+
+// INSERT INTO t VALUES (...); statements. AppendRow emits one statement
+// per row (formatters are shared across workers and therefore stateless);
+// AppendBatch groups `batch_rows` rows per statement for callers that
+// hold a batch, like the SQL load path of the schema translator.
+class SqlInsertFormatter final : public RowFormatter {
+ public:
+  explicit SqlInsertFormatter(int batch_rows = 1)
+      : batch_rows_(batch_rows < 1 ? 1 : batch_rows) {}
+
+  void AppendRow(const TableDef& table, const std::vector<Value>& row,
+                 std::string* out) const override;
+  std::string FileExtension() const override { return "sql"; }
+
+  // Appends INSERTs covering all `rows`, `batch_rows` per statement.
+  void AppendBatch(const TableDef& table,
+                   const std::vector<std::vector<Value>>& rows,
+                   std::string* out) const;
+
+ private:
+  int batch_rows_;
+};
+
+// Creates the formatter named `name`: "csv" (default sep '|'), "csv,<sep>",
+// "tsv", "json", "xml", "sql".
+StatusOr<std::unique_ptr<RowFormatter>> MakeFormatter(
+    const std::string& name);
+
+}  // namespace pdgf
+
+#endif  // DBSYNTHPP_CORE_OUTPUT_FORMATTER_H_

@@ -1,0 +1,69 @@
+#include "core/output/sink.h"
+
+#include <errno.h>
+#include <string.h>
+#include <time.h>
+
+namespace pdgf {
+
+StatusOr<std::unique_ptr<FileSink>> FileSink::Open(const std::string& path) {
+  FILE* file = fopen(path.c_str(), "wb");
+  if (file == nullptr) {
+    return IoError("cannot create '" + path + "': " + strerror(errno));
+  }
+  // A generous stdio buffer keeps write syscalls rare.
+  setvbuf(file, nullptr, _IOFBF, 1 << 20);
+  return std::unique_ptr<FileSink>(new FileSink(path, file));
+}
+
+FileSink::~FileSink() {
+  if (file_ != nullptr) {
+    fclose(file_);
+  }
+}
+
+Status FileSink::Write(std::string_view data) {
+  if (file_ == nullptr) {
+    return FailedPreconditionError("sink already closed: " + path_);
+  }
+  size_t written = fwrite(data.data(), 1, data.size(), file_);
+  if (written != data.size()) {
+    return IoError("short write to '" + path_ + "'");
+  }
+  AddBytes(data.size());
+  return Status::Ok();
+}
+
+Status FileSink::Close() {
+  if (file_ == nullptr) return Status::Ok();
+  int result = fclose(file_);
+  file_ = nullptr;
+  if (result != 0) {
+    return IoError("close failed for '" + path_ + "'");
+  }
+  return Status::Ok();
+}
+
+ThrottledSink::ThrottledSink(double bytes_per_second, double latency_seconds)
+    : bytes_per_second_(bytes_per_second > 0 ? bytes_per_second : 1),
+      latency_seconds_(latency_seconds) {}
+
+Status ThrottledSink::Write(std::string_view data) {
+  debt_seconds_ +=
+      latency_seconds_ + static_cast<double>(data.size()) / bytes_per_second_;
+  // Sleep in >=1ms chunks so tiny writes accumulate debt instead of
+  // spamming the scheduler.
+  if (debt_seconds_ >= 0.001) {
+    struct timespec ts;
+    ts.tv_sec = static_cast<time_t>(debt_seconds_);
+    ts.tv_nsec =
+        static_cast<long>((debt_seconds_ - static_cast<double>(ts.tv_sec)) *
+                          1e9);
+    nanosleep(&ts, nullptr);
+    debt_seconds_ = 0;
+  }
+  AddBytes(data.size());
+  return Status::Ok();
+}
+
+}  // namespace pdgf

@@ -1,0 +1,116 @@
+#ifndef DBSYNTHPP_CORE_OUTPUT_SINK_H_
+#define DBSYNTHPP_CORE_OUTPUT_SINK_H_
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace pdgf {
+
+// Destination for formatted output bytes (Figure 2's output system fans
+// out to files, databases, streams, ...). A sink instance belongs to one
+// table; the engine serializes Write calls per sink, so implementations
+// need no internal locking (bytes_written is atomic for the benefit of
+// progress monitoring from other threads).
+class Sink {
+ public:
+  virtual ~Sink() = default;
+
+  Sink(const Sink&) = delete;
+  Sink& operator=(const Sink&) = delete;
+
+  virtual Status Write(std::string_view data) = 0;
+  virtual Status Close() { return Status::Ok(); }
+
+  uint64_t bytes_written() const {
+    return bytes_written_.load(std::memory_order_relaxed);
+  }
+
+ protected:
+  Sink() = default;
+
+  void AddBytes(uint64_t bytes) {
+    bytes_written_.fetch_add(bytes, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<uint64_t> bytes_written_{0};
+};
+
+// Buffered file sink.
+class FileSink final : public Sink {
+ public:
+  // Opens (creates/truncates) `path`; check ok() before use.
+  static StatusOr<std::unique_ptr<FileSink>> Open(const std::string& path);
+
+  ~FileSink() override;
+
+  Status Write(std::string_view data) override;
+  Status Close() override;
+
+  const std::string& path() const { return path_; }
+
+ private:
+  FileSink(std::string path, FILE* file)
+      : path_(std::move(path)), file_(file) {}
+
+  std::string path_;
+  FILE* file_;
+};
+
+// Discards bytes, counting them — the "/dev/null" sink the paper uses to
+// measure CPU-bound generation throughput (§4: "generated data was
+// written to /dev/null to ensure the throughput was not I/O bound").
+class NullSink final : public Sink {
+ public:
+  NullSink() = default;
+
+  Status Write(std::string_view data) override {
+    AddBytes(data.size());
+    return Status::Ok();
+  }
+};
+
+// Collects bytes in memory (tests, previews).
+class MemorySink final : public Sink {
+ public:
+  MemorySink() = default;
+
+  Status Write(std::string_view data) override {
+    buffer_.append(data);
+    AddBytes(data.size());
+    return Status::Ok();
+  }
+
+  const std::string& contents() const { return buffer_; }
+
+ private:
+  std::string buffer_;
+};
+
+// A sink that simulates a slow device by charging a fixed latency per
+// write call plus a throughput-bound delay per byte, then discarding the
+// data. Used by the Figure-6 harness to reproduce "disk-bound" operation
+// deterministically on any machine.
+class ThrottledSink final : public Sink {
+ public:
+  // `bytes_per_second` caps throughput; `latency_seconds` is charged per
+  // Write call.
+  ThrottledSink(double bytes_per_second, double latency_seconds = 0);
+
+  Status Write(std::string_view data) override;
+
+ private:
+  double bytes_per_second_;
+  double latency_seconds_;
+  double debt_seconds_ = 0;  // accumulated unslept delay
+};
+
+}  // namespace pdgf
+
+#endif  // DBSYNTHPP_CORE_OUTPUT_SINK_H_

@@ -1,0 +1,69 @@
+#include "core/progress.h"
+
+#include "util/strings.h"
+
+namespace pdgf {
+
+ProgressTracker::ProgressTracker(std::vector<std::string> table_names,
+                                 std::vector<uint64_t> table_rows)
+    : table_names_(std::move(table_names)),
+      table_rows_(std::move(table_rows)),
+      rows_done_(new std::atomic<uint64_t>[table_names_.size()]),
+      bytes_(new std::atomic<uint64_t>[table_names_.size()]) {
+  for (size_t i = 0; i < table_names_.size(); ++i) {
+    rows_done_[i].store(0, std::memory_order_relaxed);
+    bytes_[i].store(0, std::memory_order_relaxed);
+  }
+}
+
+ProgressTracker::Snapshot ProgressTracker::TakeSnapshot() const {
+  Snapshot snapshot;
+  snapshot.elapsed_seconds = stopwatch_.ElapsedSeconds();
+  for (size_t i = 0; i < table_names_.size(); ++i) {
+    TableProgress table;
+    table.table = table_names_[i];
+    table.rows_done = rows_done_[i].load(std::memory_order_relaxed);
+    table.rows_total = table_rows_[i];
+    table.bytes = bytes_[i].load(std::memory_order_relaxed);
+    table.fraction =
+        table.rows_total == 0
+            ? 1.0
+            : static_cast<double>(table.rows_done) /
+                  static_cast<double>(table.rows_total);
+    snapshot.rows_done += table.rows_done;
+    snapshot.rows_total += table.rows_total;
+    snapshot.bytes += table.bytes;
+    snapshot.tables.push_back(std::move(table));
+  }
+  snapshot.fraction = snapshot.rows_total == 0
+                          ? 1.0
+                          : static_cast<double>(snapshot.rows_done) /
+                                static_cast<double>(snapshot.rows_total);
+  if (snapshot.elapsed_seconds > 0) {
+    snapshot.rows_per_second =
+        static_cast<double>(snapshot.rows_done) / snapshot.elapsed_seconds;
+    snapshot.megabytes_per_second = static_cast<double>(snapshot.bytes) /
+                                    (1024.0 * 1024.0) /
+                                    snapshot.elapsed_seconds;
+  }
+  return snapshot;
+}
+
+std::string ProgressTracker::Format(const Snapshot& snapshot) {
+  std::string out = StrPrintf(
+      "total: %5.1f%%  %llu/%llu rows  %.1f MB  %.0f rows/s  %.1f MB/s\n",
+      snapshot.fraction * 100.0,
+      static_cast<unsigned long long>(snapshot.rows_done),
+      static_cast<unsigned long long>(snapshot.rows_total),
+      static_cast<double>(snapshot.bytes) / (1024.0 * 1024.0),
+      snapshot.rows_per_second, snapshot.megabytes_per_second);
+  for (const TableProgress& table : snapshot.tables) {
+    out += StrPrintf("  %-20s %5.1f%%  %llu/%llu rows\n", table.table.c_str(),
+                     table.fraction * 100.0,
+                     static_cast<unsigned long long>(table.rows_done),
+                     static_cast<unsigned long long>(table.rows_total));
+  }
+  return out;
+}
+
+}  // namespace pdgf

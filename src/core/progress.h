@@ -1,0 +1,65 @@
+#ifndef DBSYNTHPP_CORE_PROGRESS_H_
+#define DBSYNTHPP_CORE_PROGRESS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/stopwatch.h"
+
+namespace pdgf {
+
+// Live generation progress, the library equivalent of the JMX counters
+// PDGF exposes to Java Mission Control (paper §5, Figure 11): per-table
+// and total row/byte counters plus derived throughput. All methods are
+// thread-safe; workers update, any thread may snapshot.
+class ProgressTracker {
+ public:
+  struct TableProgress {
+    std::string table;
+    uint64_t rows_done = 0;
+    uint64_t rows_total = 0;
+    uint64_t bytes = 0;
+    double fraction = 0;  // rows_done / rows_total (1.0 when total is 0)
+  };
+
+  struct Snapshot {
+    std::vector<TableProgress> tables;
+    uint64_t rows_done = 0;
+    uint64_t rows_total = 0;
+    uint64_t bytes = 0;
+    double elapsed_seconds = 0;
+    double rows_per_second = 0;
+    double megabytes_per_second = 0;
+    double fraction = 0;
+  };
+
+  // `table_names[i]` / `table_rows[i]` describe the tables to track.
+  ProgressTracker(std::vector<std::string> table_names,
+                  std::vector<uint64_t> table_rows);
+
+  // Records `rows` generated rows / `bytes` output bytes for table `i`.
+  void Add(size_t table_index, uint64_t rows, uint64_t bytes) {
+    rows_done_[table_index].fetch_add(rows, std::memory_order_relaxed);
+    bytes_[table_index].fetch_add(bytes, std::memory_order_relaxed);
+  }
+
+  Snapshot TakeSnapshot() const;
+
+  // Renders a one-line-per-table progress report.
+  static std::string Format(const Snapshot& snapshot);
+
+ private:
+  std::vector<std::string> table_names_;
+  std::vector<uint64_t> table_rows_;
+  // unique_ptr-wrapped because atomics are not movable.
+  std::unique_ptr<std::atomic<uint64_t>[]> rows_done_;
+  std::unique_ptr<std::atomic<uint64_t>[]> bytes_;
+  Stopwatch stopwatch_;
+};
+
+}  // namespace pdgf
+
+#endif  // DBSYNTHPP_CORE_PROGRESS_H_

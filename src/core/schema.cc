@@ -1,0 +1,58 @@
+#include "core/schema.h"
+
+#include "core/generator.h"
+
+namespace pdgf {
+
+int TableDef::FindFieldIndex(std::string_view field_name) const {
+  for (size_t i = 0; i < fields.size(); ++i) {
+    if (fields[i].name == field_name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+const FieldDef* TableDef::FindField(std::string_view field_name) const {
+  int index = FindFieldIndex(field_name);
+  return index < 0 ? nullptr : &fields[static_cast<size_t>(index)];
+}
+
+int SchemaDef::FindTableIndex(std::string_view table_name) const {
+  for (size_t i = 0; i < tables.size(); ++i) {
+    if (tables[i].name == table_name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+const TableDef* SchemaDef::FindTable(std::string_view table_name) const {
+  int index = FindTableIndex(table_name);
+  return index < 0 ? nullptr : &tables[static_cast<size_t>(index)];
+}
+
+TableDef* SchemaDef::FindTable(std::string_view table_name) {
+  int index = FindTableIndex(table_name);
+  return index < 0 ? nullptr : &tables[static_cast<size_t>(index)];
+}
+
+void SchemaDef::SetProperty(std::string_view property_name,
+                            std::string expression) {
+  for (PropertyDef& property : properties) {
+    if (property.name == property_name) {
+      property.expression = std::move(expression);
+      return;
+    }
+  }
+  PropertyDef property;
+  property.name = std::string(property_name);
+  property.expression = std::move(expression);
+  properties.push_back(std::move(property));
+}
+
+const PropertyDef* SchemaDef::FindProperty(
+    std::string_view property_name) const {
+  for (const PropertyDef& property : properties) {
+    if (property.name == property_name) return &property;
+  }
+  return nullptr;
+}
+
+}  // namespace pdgf

@@ -1,0 +1,89 @@
+#ifndef DBSYNTHPP_CORE_SCHEMA_H_
+#define DBSYNTHPP_CORE_SCHEMA_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "core/generator.h"
+
+namespace pdgf {
+
+// One column of a generated table: SQL type metadata plus the generator
+// tree that produces its values (paper Listing 1, <field> entries).
+struct FieldDef {
+  std::string name;
+  DataType type = DataType::kVarchar;
+  int size = 0;       // display width / max length; 0 = unspecified
+  int scale = 2;      // decimal scale (kDecimal only)
+  bool primary = false;
+  bool nullable = true;
+  // When false the field keeps its update-0 value in every abstract time
+  // unit (e.g. a key); when true its value may differ per update.
+  bool mutable_across_updates = false;
+  std::unique_ptr<Generator> generator;
+
+  FieldDef() = default;
+  FieldDef(FieldDef&&) = default;
+  FieldDef& operator=(FieldDef&&) = default;
+};
+
+// One table: a size expression (evaluated against the model properties,
+// e.g. "6000000 * ${SF}") and its fields.
+struct TableDef {
+  std::string name;
+  std::string size_expression = "1";
+  // Number of abstract time units (updates) generated for this table; the
+  // expression may reference properties. "1" means static data only.
+  std::string updates_expression = "1";
+  // Fraction of rows that receive a changed value in each update > 0.
+  double update_fraction = 0.1;
+  std::vector<FieldDef> fields;
+
+  TableDef() = default;
+  TableDef(TableDef&&) = default;
+  TableDef& operator=(TableDef&&) = default;
+
+  // Index of the field with `name`, or -1.
+  int FindFieldIndex(std::string_view field_name) const;
+  const FieldDef* FindField(std::string_view field_name) const;
+};
+
+// A model property: a named numeric expression that other expressions can
+// reference as ${name}; overridable at generation time ("command line"
+// overrides in the paper).
+struct PropertyDef {
+  std::string name;
+  std::string type = "double";  // "double" | "long" — documentation only
+  std::string expression;
+};
+
+// The full generation model (paper Listing 1 <schema>): project seed,
+// PRNG choice, properties and tables.
+struct SchemaDef {
+  std::string name;
+  uint64_t seed = 123456789;
+  std::string rng_name = "PdgfDefaultRandom";
+  std::vector<PropertyDef> properties;
+  std::vector<TableDef> tables;
+
+  SchemaDef() = default;
+  SchemaDef(SchemaDef&&) = default;
+  SchemaDef& operator=(SchemaDef&&) = default;
+
+  int FindTableIndex(std::string_view table_name) const;
+  const TableDef* FindTable(std::string_view table_name) const;
+  TableDef* FindTable(std::string_view table_name);
+
+  // Adds or replaces a property.
+  void SetProperty(std::string_view property_name, std::string expression);
+  const PropertyDef* FindProperty(std::string_view property_name) const;
+};
+
+}  // namespace pdgf
+
+#endif  // DBSYNTHPP_CORE_SCHEMA_H_

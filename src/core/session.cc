@@ -1,0 +1,246 @@
+#include "core/session.h"
+
+#include <cmath>
+
+#include "util/expression.h"
+
+namespace pdgf {
+namespace {
+
+// Level tags keep the hierarchy's derivations domain-separated.
+constexpr uint64_t kTableLevel = 0x7ab1e00000000001ULL;
+constexpr uint64_t kColumnLevel = 0xc01a00000000002ULL;
+constexpr uint64_t kUpdateLevel = 0x0bd8000000000003ULL;
+constexpr uint64_t kRowLevel = 0x20e000000000004ULL;
+constexpr uint64_t kUpdateSelectLevel = 0x5e1ec7000000005ULL;
+
+}  // namespace
+
+StatusOr<std::unique_ptr<GenerationSession>> GenerationSession::Create(
+    const SchemaDef* schema,
+    const std::map<std::string, std::string>& overrides) {
+  if (schema == nullptr) {
+    return InvalidArgumentError("schema must not be null");
+  }
+  for (const auto& [name, expression] : overrides) {
+    if (schema->FindProperty(name) == nullptr) {
+      return NotFoundError("override for unknown property '" + name + "'");
+    }
+  }
+  auto session = std::unique_ptr<GenerationSession>(new GenerationSession());
+  session->schema_ = schema;
+
+  // Resolve properties. Expressions may reference earlier (or later)
+  // properties; iterate until a fixpoint, bounded by the property count.
+  auto effective_expression =
+      [&overrides](const PropertyDef& property) -> const std::string& {
+    auto it = overrides.find(property.name);
+    return it != overrides.end() ? it->second : property.expression;
+  };
+  const size_t property_count = schema->properties.size();
+  size_t resolved_previous = 0;
+  for (size_t round = 0; round <= property_count; ++round) {
+    for (const PropertyDef& property : schema->properties) {
+      if (session->property_values_.count(property.name) > 0) continue;
+      VariableResolver resolver =
+          [&session](std::string_view name) -> StatusOr<double> {
+        auto it = session->property_values_.find(name);
+        if (it == session->property_values_.end()) {
+          return NotFoundError("unresolved property '" + std::string(name) +
+                               "'");
+        }
+        return it->second;
+      };
+      StatusOr<double> value =
+          EvaluateExpression(effective_expression(property), resolver);
+      if (value.ok()) {
+        session->property_values_.emplace(property.name, *value);
+      }
+    }
+    if (session->property_values_.size() == property_count) break;
+    if (session->property_values_.size() == resolved_previous) {
+      // No progress: a real error (cycle or bad expression). Re-evaluate
+      // one failing property to surface its message.
+      for (const PropertyDef& property : schema->properties) {
+        if (session->property_values_.count(property.name) > 0) continue;
+        VariableResolver resolver =
+            [&session](std::string_view name) -> StatusOr<double> {
+          auto it = session->property_values_.find(name);
+          if (it == session->property_values_.end()) {
+            return NotFoundError("unresolved property '" + std::string(name) +
+                                 "'");
+          }
+          return it->second;
+        };
+        StatusOr<double> value =
+            EvaluateExpression(effective_expression(property), resolver);
+        if (!value.ok()) {
+          return Status(value.status().code(),
+                        "property '" + property.name +
+                            "': " + value.status().message());
+        }
+      }
+    }
+    resolved_previous = session->property_values_.size();
+  }
+
+  // Table sizes, update counts and seeds.
+  VariableResolver property_resolver =
+      [&session](std::string_view name) -> StatusOr<double> {
+    auto it = session->property_values_.find(name);
+    if (it == session->property_values_.end()) {
+      return NotFoundError("unknown property '" + std::string(name) + "'");
+    }
+    return it->second;
+  };
+  session->table_seeds_.reserve(schema->tables.size());
+  for (const TableDef& table : schema->tables) {
+    StatusOr<double> size =
+        EvaluateExpression(table.size_expression, property_resolver);
+    if (!size.ok()) {
+      return Status(size.status().code(),
+                    "table '" + table.name +
+                        "' size: " + size.status().message());
+    }
+    if (*size < 0 || !std::isfinite(*size)) {
+      return InvalidArgumentError("table '" + table.name +
+                                  "' size is negative or non-finite");
+    }
+    session->table_rows_.push_back(
+        static_cast<uint64_t>(std::llround(*size)));
+
+    StatusOr<double> updates =
+        EvaluateExpression(table.updates_expression, property_resolver);
+    if (!updates.ok()) {
+      return Status(updates.status().code(),
+                    "table '" + table.name +
+                        "' updates: " + updates.status().message());
+    }
+    uint64_t update_count =
+        *updates < 1 ? 1 : static_cast<uint64_t>(std::llround(*updates));
+    session->table_updates_.push_back(update_count);
+    session->table_update_fractions_.push_back(table.update_fraction);
+
+    uint64_t table_seed =
+        DeriveSeed(schema->seed ^ kTableLevel, HashName(table.name));
+    session->table_seeds_.push_back(table_seed);
+    std::vector<uint64_t> column_seeds;
+    column_seeds.reserve(table.fields.size());
+    for (const FieldDef& field : table.fields) {
+      column_seeds.push_back(
+          DeriveSeed(table_seed ^ kColumnLevel, HashName(field.name)));
+    }
+    session->column_seeds_.push_back(std::move(column_seeds));
+  }
+  return session;
+}
+
+StatusOr<double> GenerationSession::Property(std::string_view name) const {
+  auto it = property_values_.find(name);
+  if (it == property_values_.end()) {
+    return NotFoundError("unknown property '" + std::string(name) + "'");
+  }
+  return it->second;
+}
+
+uint64_t GenerationSession::FieldSeed(int table_index, int field_index,
+                                      uint64_t row, uint64_t update) const {
+  uint64_t column_seed =
+      column_seeds_[static_cast<size_t>(table_index)]
+                   [static_cast<size_t>(field_index)];
+  uint64_t update_seed = DeriveSeed(column_seed ^ kUpdateLevel, update);
+  return DeriveSeed(update_seed ^ kRowLevel, row);
+}
+
+void GenerationSession::GenerateField(int table_index, int field_index,
+                                      uint64_t row, uint64_t update,
+                                      Value* out) const {
+  const FieldDef& field = schema_->tables[static_cast<size_t>(table_index)]
+                              .fields[static_cast<size_t>(field_index)];
+  if (!field.mutable_across_updates) {
+    update = 0;
+  } else if (update > 0) {
+    // Point-in-time semantics: a mutable field's value at time unit t is
+    // the value written by the LAST update that selected this row (the
+    // update black box selects a subset per unit). Unit 0 — the base
+    // load — always applies.
+    while (update > 0 && !RowChangesInUpdate(table_index, row, update)) {
+      --update;
+    }
+  }
+  GeneratorContext context(this, table_index, row, update,
+                           FieldSeed(table_index, field_index, row, update));
+  if (field.generator == nullptr) {
+    out->SetNull();
+    return;
+  }
+  field.generator->Generate(&context, out);
+}
+
+void GenerationSession::GenerateRow(int table_index, uint64_t row,
+                                    uint64_t update,
+                                    std::vector<Value>* out) const {
+  const TableDef& table = schema_->tables[static_cast<size_t>(table_index)];
+  out->resize(table.fields.size());
+  for (size_t f = 0; f < table.fields.size(); ++f) {
+    GenerateField(table_index, static_cast<int>(f), row, update,
+                  &(*out)[f]);
+  }
+}
+
+bool GenerationSession::RowChangesInUpdate(int table_index, uint64_t row,
+                                           uint64_t update) const {
+  if (update == 0) return true;  // the base data "changes into existence"
+  double fraction =
+      table_update_fractions_[static_cast<size_t>(table_index)];
+  if (fraction >= 1.0) return true;
+  if (fraction <= 0.0) return false;
+  uint64_t selector = DeriveSeed(
+      table_seeds_[static_cast<size_t>(table_index)] ^ kUpdateSelectLevel,
+      DeriveSeed(update, row));
+  // Map to [0,1) and compare against the fraction.
+  double u = static_cast<double>(selector >> 11) * 0x1.0p-53;
+  return u < fraction;
+}
+
+std::vector<std::vector<std::string>> GenerationSession::Preview(
+    int table_index, uint64_t limit) const {
+  std::vector<std::vector<std::string>> rows;
+  uint64_t count = TableRows(table_index);
+  if (limit < count) count = limit;
+  std::vector<Value> row;
+  for (uint64_t r = 0; r < count; ++r) {
+    GenerateRow(table_index, r, 0, &row);
+    std::vector<std::string> formatted;
+    formatted.reserve(row.size());
+    for (const Value& value : row) {
+      formatted.push_back(value.is_null() ? "NULL" : value.ToText());
+    }
+    rows.push_back(std::move(formatted));
+  }
+  return rows;
+}
+
+double GenerationSession::EstimateRowBytes(int table_index) const {
+  const TableDef& table = schema_->tables[static_cast<size_t>(table_index)];
+  uint64_t rows = TableRows(table_index);
+  uint64_t sample = rows < 64 ? rows : 64;
+  if (sample == 0) return 1.0;
+  uint64_t stride = rows / sample;
+  if (stride == 0) stride = 1;
+  std::vector<Value> row;
+  uint64_t total = 0;
+  for (uint64_t i = 0; i < sample; ++i) {
+    GenerateRow(table_index, i * stride, 0, &row);
+    uint64_t bytes = row.empty() ? 0 : row.size() - 1;  // separators
+    for (const Value& value : row) {
+      bytes += value.ToText().size();
+    }
+    total += bytes + 1;  // newline
+  }
+  double estimate = static_cast<double>(total) / static_cast<double>(sample);
+  (void)table;
+  return estimate < 1.0 ? 1.0 : estimate;
+}
+
+}  // namespace pdgf

@@ -1,0 +1,90 @@
+#ifndef DBSYNTHPP_CORE_SESSION_H_
+#define DBSYNTHPP_CORE_SESSION_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/value.h"
+#include "core/generator.h"
+#include "core/schema.h"
+
+namespace pdgf {
+
+// A SchemaDef resolved for generation: property expressions evaluated
+// (with optional command-line-style overrides), table sizes and update
+// counts computed, and the seeding hierarchy's table/column seeds cached
+// (paper §2: "most of the seeds can be cached and the cost for
+// generating single values is very low").
+//
+// A session is immutable and thread-safe; all workers share one.
+class GenerationSession {
+ public:
+  // `overrides` replaces property expressions by name before evaluation
+  // (e.g. {"SF", "10"}), mirroring PDGF's command-line interface.
+  static StatusOr<std::unique_ptr<GenerationSession>> Create(
+      const SchemaDef* schema,
+      const std::map<std::string, std::string>& overrides = {});
+
+  const SchemaDef& schema() const { return *schema_; }
+
+  // Resolved numeric property value.
+  StatusOr<double> Property(std::string_view name) const;
+
+  // Row count of table `table_index` after size-expression evaluation.
+  uint64_t TableRows(int table_index) const {
+    return table_rows_[static_cast<size_t>(table_index)];
+  }
+  // Number of abstract time units for the table (>= 1).
+  uint64_t TableUpdates(int table_index) const {
+    return table_updates_[static_cast<size_t>(table_index)];
+  }
+
+  // The per-field seed: the leaf of the Figure-1 hierarchy
+  // (project -> table -> column -> update -> row).
+  uint64_t FieldSeed(int table_index, int field_index, uint64_t row,
+                     uint64_t update) const;
+
+  // Generates one field value. `update` is clamped to 0 for fields not
+  // marked mutable_across_updates.
+  void GenerateField(int table_index, int field_index, uint64_t row,
+                     uint64_t update, Value* out) const;
+
+  // Generates a full row into `out` (resized to the field count).
+  void GenerateRow(int table_index, uint64_t row, uint64_t update,
+                   std::vector<Value>* out) const;
+
+  // True if `row` of the table changes its mutable fields in time unit
+  // `update` (> 0): PDGF's update black box selects a deterministic
+  // pseudo-random subset of rows per time unit.
+  bool RowChangesInUpdate(int table_index, uint64_t row,
+                          uint64_t update) const;
+
+  // Convenience: formats the first `limit` rows of a table for quick
+  // inspection ("preview generation", paper §4: shows samples of the
+  // generated data instantaneously).
+  std::vector<std::vector<std::string>> Preview(int table_index,
+                                                uint64_t limit) const;
+
+  // Estimated bytes per row of a table when CSV-formatted; used for
+  // throughput accounting and work-package sizing heuristics.
+  double EstimateRowBytes(int table_index) const;
+
+ private:
+  GenerationSession() = default;
+
+  const SchemaDef* schema_ = nullptr;
+  std::map<std::string, double, std::less<>> property_values_;
+  std::vector<uint64_t> table_seeds_;
+  std::vector<std::vector<uint64_t>> column_seeds_;
+  std::vector<uint64_t> table_rows_;
+  std::vector<uint64_t> table_updates_;
+  std::vector<double> table_update_fractions_;
+};
+
+}  // namespace pdgf
+
+#endif  // DBSYNTHPP_CORE_SESSION_H_

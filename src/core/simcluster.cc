@@ -1,0 +1,52 @@
+#include "core/simcluster.h"
+
+#include <algorithm>
+
+namespace pdgf {
+
+double EffectiveCapacity(const SimulatedMachine& machine, int workers) {
+  if (workers < 1) return 0;
+  int cores = machine.physical_cores < 1 ? 1 : machine.physical_cores;
+  int threads = machine.hardware_threads < cores ? cores
+                                                 : machine.hardware_threads;
+  double full_lanes = static_cast<double>(std::min(workers, cores));
+  int smt_workers = std::min(std::max(workers - cores, 0), threads - cores);
+  double capacity =
+      full_lanes + machine.smt_efficiency * static_cast<double>(smt_workers);
+  // Beyond the hardware-thread count extra workers add nothing (they only
+  // time-slice), and oversubscription costs a little.
+  if (workers > threads) {
+    capacity *= 0.99;
+  }
+  if (workers == cores || workers == threads) {
+    capacity *= 1.0 - machine.scheduler_interference;
+  }
+  return capacity;
+}
+
+double EstimateParallelWallClock(const std::vector<double>& lane_seconds,
+                                 const SimulatedMachine& machine,
+                                 int workers) {
+  if (lane_seconds.empty()) return 0;
+  double total = 0;
+  double longest = 0;
+  for (double lane : lane_seconds) {
+    total += lane;
+    longest = std::max(longest, lane);
+  }
+  double capacity = EffectiveCapacity(machine, workers);
+  if (capacity <= 0) capacity = 1;
+  // Work conservation: total busy time spread over the capacity, but no
+  // faster than the longest indivisible lane.
+  return std::max(total / capacity, longest);
+}
+
+double EstimateClusterWallClock(const std::vector<double>& node_seconds) {
+  double wall = 0;
+  for (double node : node_seconds) {
+    wall = std::max(wall, node);
+  }
+  return wall;
+}
+
+}  // namespace pdgf

@@ -1,0 +1,48 @@
+#ifndef DBSYNTHPP_CORE_SIMCLUSTER_H_
+#define DBSYNTHPP_CORE_SIMCLUSTER_H_
+
+#include <vector>
+
+namespace pdgf {
+
+// Timing model for parallel hardware this container does not have
+// (DESIGN.md substitution S20). PDGF's generation is embarrassingly
+// parallel and share-nothing — node/worker partitions exchange no data —
+// so the wall clock of a real parallel run is determined by per-partition
+// busy times, which we *measure* sequentially, and by how many partitions
+// the hardware can run concurrently, which we *model* here.
+struct SimulatedMachine {
+  // Physical cores per node (the paper's single node: 2 sockets x 8).
+  int physical_cores = 16;
+  // Hardware threads per node (SMT doubles the cores).
+  int hardware_threads = 32;
+  // Marginal throughput of an SMT sibling relative to a full core. The
+  // paper observes throughput "further increases with the number of
+  // hardware threads (32), but not as significantly as for the cores".
+  double smt_efficiency = 0.35;
+  // Relative capacity lost when the worker count exactly matches the
+  // core or hardware-thread count: PDGF's internal scheduling and I/O
+  // threads then compete with workers ("scheduling exactly the same
+  // number of workers as the number of system cores or threads is not
+  // optimal", paper §4).
+  double scheduler_interference = 0.06;
+};
+
+// Effective parallel capacity (in units of one core's throughput) of
+// `workers` worker threads on `machine`.
+double EffectiveCapacity(const SimulatedMachine& machine, int workers);
+
+// Estimates the parallel wall clock of running `lane_seconds` (measured
+// sequential busy time per worker partition) with `workers` threads on
+// `machine`: work conservation bounded below by the longest single lane.
+double EstimateParallelWallClock(const std::vector<double>& lane_seconds,
+                                 const SimulatedMachine& machine,
+                                 int workers);
+
+// Estimates the wall clock of a shared-nothing multi-node run from the
+// measured per-node busy times: the slowest node finishes last.
+double EstimateClusterWallClock(const std::vector<double>& node_seconds);
+
+}  // namespace pdgf
+
+#endif  // DBSYNTHPP_CORE_SIMCLUSTER_H_

@@ -1,0 +1,298 @@
+#include "core/text/builtin_dictionaries.h"
+
+#include <algorithm>
+#include <map>
+
+namespace pdgf {
+namespace {
+
+Dictionary MakeDictionary(const char* const* values, size_t count) {
+  Dictionary dictionary;
+  for (size_t i = 0; i < count; ++i) {
+    dictionary.Add(values[i]);
+  }
+  dictionary.Finalize();
+  return dictionary;
+}
+
+const char* const kFirstNames[] = {
+    "James",   "Mary",     "Robert",  "Patricia", "John",    "Jennifer",
+    "Michael", "Linda",    "David",   "Elizabeth", "William", "Barbara",
+    "Richard", "Susan",    "Joseph",  "Jessica",  "Thomas",  "Sarah",
+    "Charles", "Karen",    "Chris",   "Lisa",     "Daniel",  "Nancy",
+    "Matthew", "Betty",    "Anthony", "Margaret", "Mark",    "Sandra",
+    "Donald",  "Ashley",   "Steven",  "Kimberly", "Paul",    "Emily",
+    "Andrew",  "Donna",    "Joshua",  "Michelle", "Kenneth", "Dorothy",
+    "Kevin",   "Carol",    "Brian",   "Amanda",   "George",  "Melissa",
+    "Edward",  "Deborah",  "Ronald",  "Stephanie", "Timothy", "Rebecca",
+    "Jason",   "Sharon",   "Jeffrey", "Laura",    "Ryan",    "Cynthia",
+    "Jacob",   "Kathleen", "Gary",    "Amy",      "Nicholas", "Angela",
+    "Eric",    "Shirley",  "Jonathan", "Anna",    "Stephen", "Brenda",
+    "Larry",   "Pamela",   "Justin",  "Emma",     "Scott",   "Nicole",
+    "Brandon", "Helen",    "Benjamin", "Samantha", "Samuel", "Katherine",
+    "Gregory", "Christine", "Frank",  "Debra",    "Alexander", "Rachel",
+    "Raymond", "Catherine", "Patrick", "Carolyn", "Jack",    "Janet",
+    "Dennis",  "Ruth",     "Jerry",   "Maria",    "Tyler",   "Heather",
+};
+
+const char* const kLastNames[] = {
+    "Smith",    "Johnson",  "Williams", "Brown",    "Jones",    "Garcia",
+    "Miller",   "Davis",    "Rodriguez", "Martinez", "Hernandez", "Lopez",
+    "Gonzalez", "Wilson",   "Anderson", "Thomas",   "Taylor",   "Moore",
+    "Jackson",  "Martin",   "Lee",      "Perez",    "Thompson", "White",
+    "Harris",   "Sanchez",  "Clark",    "Ramirez",  "Lewis",    "Robinson",
+    "Walker",   "Young",    "Allen",    "King",     "Wright",   "Scott",
+    "Torres",   "Nguyen",   "Hill",     "Flores",   "Green",    "Adams",
+    "Nelson",   "Baker",    "Hall",     "Rivera",   "Campbell", "Mitchell",
+    "Carter",   "Roberts",  "Gomez",    "Phillips", "Evans",    "Turner",
+    "Diaz",     "Parker",   "Cruz",     "Edwards",  "Collins",  "Reyes",
+    "Stewart",  "Morris",   "Morales",  "Murphy",   "Cook",     "Rogers",
+    "Gutierrez", "Ortiz",   "Morgan",   "Cooper",   "Peterson", "Bailey",
+    "Reed",     "Kelly",    "Howard",   "Ramos",    "Kim",      "Cox",
+    "Ward",     "Richardson", "Watson", "Brooks",   "Chavez",   "Wood",
+    "James",    "Bennett",  "Gray",     "Mendoza",  "Ruiz",     "Hughes",
+    "Price",    "Alvarez",  "Castillo", "Sanders",  "Patel",    "Myers",
+};
+
+const char* const kCities[] = {
+    "Springfield", "Riverton",  "Fairview",   "Kingsport",  "Lakewood",
+    "Maplewood",   "Oakdale",   "Brookfield", "Greenville", "Bristol",
+    "Clinton",     "Georgetown", "Salem",     "Madison",    "Arlington",
+    "Ashland",     "Burlington", "Manchester", "Milton",    "Newport",
+    "Auburn",      "Centerville", "Clayton",  "Dayton",     "Dover",
+    "Franklin",    "Hudson",    "Jackson",    "Lebanon",    "Lexington",
+    "Marion",      "Milford",   "Monroe",     "Newton",     "Oxford",
+    "Princeton",   "Richmond",  "Troy",       "Vernon",     "Winchester",
+    "Harborview",  "Eastfield", "Westbrook",  "Northgate",  "Southport",
+    "Cedar Falls", "Elm Grove", "Pine Bluff", "Stonebridge", "Ironwood",
+};
+
+const char* const kStreets[] = {
+    "Main",    "Oak",     "Pine",    "Maple",  "Cedar",   "Elm",
+    "Washington", "Lake", "Hill",    "Walnut", "Spring",  "North",
+    "Ridge",   "Church",  "Willow",  "Mill",   "Sunset",  "Railroad",
+    "Jackson", "River",   "Highland", "Forest", "Jefferson", "Center",
+    "Franklin", "Park",   "Meadow",  "Chestnut", "Birch", "Hickory",
+    "Dogwood", "Locust",  "Poplar",  "Sycamore", "Juniper", "Magnolia",
+};
+
+const char* const kStreetSuffixes[] = {
+    "Street", "Avenue", "Boulevard", "Drive", "Lane",
+    "Road",   "Court",  "Place",     "Way",   "Terrace",
+};
+
+const char* const kCountries[] = {
+    "Algeria",   "Argentina", "Brazil",   "Canada",        "China",
+    "Egypt",     "Ethiopia",  "France",   "Germany",       "India",
+    "Indonesia", "Iran",      "Iraq",     "Japan",         "Jordan",
+    "Kenya",     "Morocco",   "Mozambique", "Peru",        "Romania",
+    "Russia",    "Saudi Arabia", "United Kingdom", "United States",
+    "Vietnam",
+};
+
+// The 25 TPC-H nations.
+const char* const kNations[] = {
+    "ALGERIA", "ARGENTINA", "BRAZIL",  "CANADA",  "EGYPT",
+    "ETHIOPIA", "FRANCE",   "GERMANY", "INDIA",   "INDONESIA",
+    "IRAN",    "IRAQ",      "JAPAN",   "JORDAN",  "KENYA",
+    "MOROCCO", "MOZAMBIQUE", "PERU",   "CHINA",   "ROMANIA",
+    "SAUDI ARABIA", "VIETNAM", "RUSSIA", "UNITED KINGDOM",
+    "UNITED STATES",
+};
+
+const char* const kRegions[] = {
+    "AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST",
+};
+
+const char* const kStates[] = {
+    "AL", "AK", "AZ", "AR", "CA", "CO", "CT", "DE", "FL", "GA",
+    "HI", "ID", "IL", "IN", "IA", "KS", "KY", "LA", "ME", "MD",
+    "MA", "MI", "MN", "MS", "MO", "MT", "NE", "NV", "NH", "NJ",
+    "NM", "NY", "NC", "ND", "OH", "OK", "OR", "PA", "RI", "SC",
+    "SD", "TN", "TX", "UT", "VT", "VA", "WA", "WV", "WI", "WY",
+};
+
+const char* const kCompanySuffixes[] = {
+    "Inc", "LLC", "Corp", "Ltd", "Group", "Holdings", "Partners",
+    "Industries", "Systems", "Solutions",
+};
+
+const char* const kColors[] = {
+    "almond",  "antique", "aquamarine", "azure",   "beige",   "bisque",
+    "black",   "blanched", "blue",      "blush",   "brown",   "burlywood",
+    "burnished", "chartreuse", "chiffon", "chocolate", "coral", "cornflower",
+    "cornsilk", "cream",  "cyan",       "dark",    "deep",    "dim",
+    "dodger",  "drab",    "firebrick",  "floral",  "forest",  "frosted",
+    "gainsboro", "ghost", "goldenrod",  "green",   "grey",    "honeydew",
+    "hot",     "indian",  "ivory",      "khaki",   "lace",    "lavender",
+    "lawn",    "lemon",   "light",      "lime",    "linen",   "magenta",
+    "maroon",  "medium",  "metallic",   "midnight", "mint",   "misty",
+    "moccasin", "navajo", "navy",       "olive",   "orange",  "orchid",
+    "pale",    "papaya",  "peach",      "peru",    "pink",    "plum",
+    "powder",  "puff",    "purple",     "red",     "rose",    "rosy",
+    "royal",   "saddle",  "salmon",     "sandy",   "seashell", "sienna",
+    "sky",     "slate",   "smoke",      "snow",    "spring",  "steel",
+    "tan",     "thistle", "tomato",     "turquoise", "violet", "wheat",
+    "white",   "yellow",
+};
+
+const char* const kAdjectives[] = {
+    "quick",  "final",   "regular", "special", "express", "pending",
+    "bold",   "careful", "daring",  "even",    "furious", "ironic",
+    "quiet",  "ruthless", "silent", "slow",    "sly",     "stealthy",
+    "thin",   "unusual", "blithe",  "busy",    "close",   "dogged",
+};
+
+const char* const kNouns[] = {
+    "accounts",  "deposits", "packages", "requests",  "instructions",
+    "foxes",     "ideas",    "theodolites", "pinto beans", "platelets",
+    "dependencies", "excuses", "asymptotes", "courts",  "dolphins",
+    "multipliers", "sauternes", "warthogs", "frets",    "dinos",
+    "attainments", "sentiments", "waters", "realms",    "braids",
+    "hockey players", "escapades", "frays", "decoys",   "grouches",
+};
+
+const char* const kVerbs[] = {
+    "sleep",  "wake",  "nag",     "haggle", "cajole",  "detect",
+    "integrate", "use", "maintain", "snooze", "boost", "doze",
+    "engage", "affix", "breach",  "doubt",  "lose",    "print",
+    "promise", "run",  "solve",   "wake",   "x-ray",   "play",
+};
+
+const char* const kAdverbs[] = {
+    "quickly",  "finally",  "carefully", "blithely", "furiously",
+    "slyly",    "silently", "daringly",  "evenly",   "boldly",
+    "ruthlessly", "stealthily", "thinly", "closely", "doggedly",
+};
+
+const char* const kPrepositions[] = {
+    "about", "above", "according to", "across", "after",  "against",
+    "along", "among", "around",       "at",     "before", "behind",
+    "beneath", "beside", "besides",   "between", "beyond", "during",
+    "except", "for",  "from",         "inside", "instead of", "near",
+    "outside", "over", "through",     "toward", "under",  "without",
+};
+
+const char* const kEmailDomains[] = {
+    "example.com",  "mail.example.org", "post.example.net",
+    "corp.example", "inbox.example.io", "mx.example.co",
+};
+
+const char* const kUrlWords[] = {
+    "home",    "products", "catalog", "news",   "shop",   "support",
+    "account", "search",   "docs",    "about",  "events", "press",
+    "careers", "blog",     "store",   "help",   "media",  "forum",
+};
+
+const char* const kProductCategories[] = {
+    "Books", "Electronics", "Clothing", "Home & Garden", "Sports",
+    "Toys",  "Automotive",  "Grocery",  "Health",        "Music",
+    "Office", "Jewelry",    "Shoes",    "Outdoors",      "Tools",
+};
+
+const char* const kMarketSegments[] = {
+    "AUTOMOBILE", "BUILDING", "FURNITURE", "HOUSEHOLD", "MACHINERY",
+};
+
+const char* const kShipModes[] = {
+    "AIR", "FOB", "MAIL", "RAIL", "REG AIR", "SHIP", "TRUCK",
+};
+
+const char* const kOrderPriorities[] = {
+    "1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW",
+};
+
+// Lazily built registry; function-local static reference avoids the
+// static-destruction-order pitfalls flagged by the style guide.
+const std::map<std::string, Dictionary, std::less<>>& Registry() {
+  static const auto& registry = *new std::map<std::string, Dictionary,
+                                              std::less<>>([] {
+    std::map<std::string, Dictionary, std::less<>> dictionaries;
+    auto add = [&dictionaries](const char* name, const char* const* values,
+                               size_t count) {
+      dictionaries.emplace(name, MakeDictionary(values, count));
+    };
+    add("first_names", kFirstNames, std::size(kFirstNames));
+    add("last_names", kLastNames, std::size(kLastNames));
+    add("cities", kCities, std::size(kCities));
+    add("streets", kStreets, std::size(kStreets));
+    add("street_suffixes", kStreetSuffixes, std::size(kStreetSuffixes));
+    add("countries", kCountries, std::size(kCountries));
+    add("nations", kNations, std::size(kNations));
+    add("regions", kRegions, std::size(kRegions));
+    add("states", kStates, std::size(kStates));
+    add("company_suffixes", kCompanySuffixes, std::size(kCompanySuffixes));
+    add("colors", kColors, std::size(kColors));
+    add("adjectives", kAdjectives, std::size(kAdjectives));
+    add("nouns", kNouns, std::size(kNouns));
+    add("verbs", kVerbs, std::size(kVerbs));
+    add("adverbs", kAdverbs, std::size(kAdverbs));
+    add("prepositions", kPrepositions, std::size(kPrepositions));
+    add("email_domains", kEmailDomains, std::size(kEmailDomains));
+    add("url_words", kUrlWords, std::size(kUrlWords));
+    add("product_categories", kProductCategories,
+        std::size(kProductCategories));
+    add("market_segments", kMarketSegments, std::size(kMarketSegments));
+    add("ship_modes", kShipModes, std::size(kShipModes));
+    add("order_priorities", kOrderPriorities, std::size(kOrderPriorities));
+    return dictionaries;
+  }());
+  return registry;
+}
+
+}  // namespace
+
+const Dictionary* FindBuiltinDictionary(std::string_view name) {
+  const auto& registry = Registry();
+  auto it = registry.find(name);
+  return it == registry.end() ? nullptr : &it->second;
+}
+
+std::vector<std::string> BuiltinDictionaryNames() {
+  std::vector<std::string> names;
+  for (const auto& [name, dictionary] : Registry()) {
+    names.push_back(name);
+  }
+  return names;
+}
+
+std::string_view BuiltinCommentCorpus() {
+  // Deliberately in the register of TPC-H comments: short clauses built
+  // from adverb/adjective/noun/verb stock phrases.
+  static constexpr std::string_view kCorpus =
+      "the quick foxes sleep blithely. regular deposits haggle carefully. "
+      "final requests wake furiously across the silent platelets. "
+      "express instructions nag slyly among the pending accounts. "
+      "bold ideas cajole quickly above the even theodolites. "
+      "careful packages boost daringly. the furious excuses detect slowly "
+      "according to the special requests. pinto beans sleep evenly. "
+      "ironic dependencies integrate ruthlessly along the quiet courts. "
+      "stealthy dolphins snooze silently behind the unusual asymptotes. "
+      "blithe multipliers doze finally beneath the close sauternes. "
+      "busy warthogs haggle boldly near the dogged frets. "
+      "the slow dinos engage carefully. quiet attainments affix blithely "
+      "inside the regular sentiments. sly waters breach furiously. "
+      "thin realms doubt quickly about the final braids. "
+      "the special hockey players lose evenly. daring escapades print "
+      "slyly between the express frays. even decoys promise silently. "
+      "furious grouches run carefully around the bold accounts. "
+      "pending packages solve ruthlessly during the ironic requests. "
+      "unusual deposits wake stealthily without the careful foxes. "
+      "the regular ideas x-ray thinly toward the busy platelets. "
+      "silent instructions play closely beyond the quick theodolites. "
+      "final pinto beans nag doggedly over the sly dependencies. "
+      "express courts cajole blithely except the stealthy dolphins. "
+      "the bold asymptotes sleep quickly. careful multipliers haggle "
+      "furiously beside the thin sauternes. quiet warthogs boost evenly. "
+      "slow frets detect daringly among the blithe dinos. "
+      "ironic attainments snooze boldly underneath the busy sentiments. "
+      "the unusual waters doze carefully. dogged realms integrate slyly "
+      "after the even braids. special escapades use silently. "
+      "regular decoys maintain ruthlessly before the final grouches. "
+      "quick requests engage stealthily against the pending accounts. "
+      "furiously bold deposits affix closely along the silent packages. "
+      "the careful excuses breach thinly near the express ideas.";
+  return kCorpus;
+}
+
+}  // namespace pdgf

@@ -1,0 +1,35 @@
+#ifndef DBSYNTHPP_CORE_TEXT_BUILTIN_DICTIONARIES_H_
+#define DBSYNTHPP_CORE_TEXT_BUILTIN_DICTIONARIES_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/text/dictionary.h"
+
+namespace pdgf {
+
+// PDGF ships built-in dictionaries so that models can produce plausible
+// semantic values (names, addresses, URLs, ...) even when the original
+// data cannot be sampled (paper §3: "DBSynth falls back to ... predefined
+// generators for URLs, addresses, etc." and "uses its built in
+// dictionaries to increase the value domain in scale out scenarios").
+//
+// Returns the named dictionary, or nullptr for unknown names. Valid
+// names: first_names, last_names, cities, streets, street_suffixes,
+// countries, nations, regions, states, company_suffixes, colors,
+// adjectives, nouns, verbs, adverbs, email_domains, url_words,
+// product_categories, market_segments, ship_modes, order_priorities.
+const Dictionary* FindBuiltinDictionary(std::string_view name);
+
+// All registered dictionary names (sorted), for discovery/UI.
+std::vector<std::string> BuiltinDictionaryNames();
+
+// A built-in English sample corpus used to bootstrap Markov models when a
+// model does not ship an extracted one (and used by tests/benches). The
+// text deliberately mimics the register of TPC-H comment columns.
+std::string_view BuiltinCommentCorpus();
+
+}  // namespace pdgf
+
+#endif  // DBSYNTHPP_CORE_TEXT_BUILTIN_DICTIONARIES_H_

@@ -1,0 +1,157 @@
+#include "core/text/dictionary.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/files.h"
+#include "util/strings.h"
+
+namespace pdgf {
+
+void Dictionary::Add(std::string value, double weight) {
+  if (weight <= 0) weight = 1e-12;
+  entries_.push_back(Entry{std::move(value), weight});
+  finalized_ = false;
+}
+
+StatusOr<Dictionary> Dictionary::FromText(std::string_view text) {
+  Dictionary dictionary;
+  size_t start = 0;
+  while (start <= text.size()) {
+    size_t end = text.find('\n', start);
+    if (end == std::string_view::npos) end = text.size();
+    std::string_view line = text.substr(start, end - start);
+    start = end + 1;
+    line = StripWhitespace(line);
+    if (line.empty() || line[0] == '#') {
+      if (end == text.size()) break;
+      continue;
+    }
+    size_t tab = line.find('\t');
+    if (tab == std::string_view::npos) {
+      dictionary.Add(std::string(line));
+    } else {
+      std::string_view value = StripWhitespace(line.substr(0, tab));
+      std::string_view weight_text = StripWhitespace(line.substr(tab + 1));
+      char* parse_end = nullptr;
+      std::string weight_string(weight_text);
+      double weight = std::strtod(weight_string.c_str(), &parse_end);
+      if (parse_end != weight_string.c_str() + weight_string.size() ||
+          weight <= 0) {
+        return ParseError("bad dictionary weight: '" + weight_string + "'");
+      }
+      dictionary.Add(std::string(value), weight);
+    }
+    if (end == text.size()) break;
+  }
+  dictionary.Finalize();
+  return dictionary;
+}
+
+StatusOr<Dictionary> Dictionary::FromFile(const std::string& path) {
+  PDGF_ASSIGN_OR_RETURN(std::string contents, ReadFileToString(path));
+  return FromText(contents);
+}
+
+Status Dictionary::SaveToFile(const std::string& path) const {
+  std::string out;
+  bool uniform = true;
+  for (const Entry& entry : entries_) {
+    if (entry.weight != entries_.front().weight) {
+      uniform = false;
+      break;
+    }
+  }
+  for (const Entry& entry : entries_) {
+    out.append(entry.value);
+    if (!uniform) {
+      out.push_back('\t');
+      char buffer[40];
+      std::snprintf(buffer, sizeof(buffer), "%.17g", entry.weight);
+      out.append(buffer);
+    }
+    out.push_back('\n');
+  }
+  return WriteStringToFile(path, out);
+}
+
+void Dictionary::Finalize() {
+  if (finalized_) return;
+  cumulative_.resize(entries_.size());
+  total_weight_ = 0;
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    total_weight_ += entries_[i].weight;
+    cumulative_[i] = total_weight_;
+  }
+  // Alias table (Walker / Vose).
+  size_t n = entries_.size();
+  alias_probability_.assign(n, 1.0);
+  alias_index_.assign(n, 0);
+  if (n > 0 && total_weight_ > 0) {
+    std::vector<double> scaled(n);
+    for (size_t i = 0; i < n; ++i) {
+      scaled[i] = entries_[i].weight * static_cast<double>(n) / total_weight_;
+      alias_index_[i] = static_cast<uint32_t>(i);
+    }
+    std::vector<uint32_t> small, large;
+    small.reserve(n);
+    large.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      (scaled[i] < 1.0 ? small : large).push_back(static_cast<uint32_t>(i));
+    }
+    while (!small.empty() && !large.empty()) {
+      uint32_t s = small.back();
+      small.pop_back();
+      uint32_t l = large.back();
+      large.pop_back();
+      alias_probability_[s] = scaled[s];
+      alias_index_[s] = l;
+      scaled[l] = scaled[l] + scaled[s] - 1.0;
+      (scaled[l] < 1.0 ? small : large).push_back(l);
+    }
+    // Leftovers get probability 1 (numerical residue).
+    for (uint32_t s : small) alias_probability_[s] = 1.0;
+    for (uint32_t l : large) alias_probability_[l] = 1.0;
+  }
+  finalized_ = true;
+}
+
+size_t Dictionary::SampleIndex(Xorshift64* rng) const {
+  if (entries_.empty()) return 0;
+  double target = rng->NextDouble() * total_weight_;
+  auto it = std::upper_bound(cumulative_.begin(), cumulative_.end(), target);
+  size_t index = static_cast<size_t>(it - cumulative_.begin());
+  if (index >= entries_.size()) index = entries_.size() - 1;
+  return index;
+}
+
+size_t Dictionary::SampleAliasIndex(Xorshift64* rng) const {
+  if (entries_.empty()) return 0;
+  uint64_t slot = rng->NextBounded(entries_.size());
+  double coin = rng->NextDouble();
+  if (coin < alias_probability_[slot]) return slot;
+  return alias_index_[slot];
+}
+
+const std::string& Dictionary::Sample(Xorshift64* rng) const {
+  return entries_[SampleIndex(rng)].value;
+}
+
+const std::string& Dictionary::SampleAlias(Xorshift64* rng) const {
+  return entries_[SampleAliasIndex(rng)].value;
+}
+
+const std::string& Dictionary::SampleUniform(Xorshift64* rng) const {
+  return entries_[rng->NextBounded(entries_.size())].value;
+}
+
+int Dictionary::Find(std::string_view value) const {
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    if (entries_[i].value == value) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+}  // namespace pdgf

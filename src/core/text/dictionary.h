@@ -1,0 +1,79 @@
+#ifndef DBSYNTHPP_CORE_TEXT_DICTIONARY_H_
+#define DBSYNTHPP_CORE_TEXT_DICTIONARY_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "util/rng.h"
+
+namespace pdgf {
+
+// A weighted list of string values, the model DBSynth extracts for
+// single-word text columns (paper §3) and the backing store of the
+// DictList generator. Sampling reproduces the extracted relative
+// frequencies.
+//
+// Two sampling backends are provided — binary search over the cumulative
+// weight table (default) and Walker's alias method — so the design choice
+// can be benchmarked (bench_ablation_dict).
+class Dictionary {
+ public:
+  Dictionary() = default;
+
+  // Adds an entry. Call Finalize() before sampling.
+  void Add(std::string value, double weight = 1.0);
+
+  // Loads "value" or "value<TAB>weight" lines. '#'-prefixed lines are
+  // comments. The dictionary is finalized on return.
+  static StatusOr<Dictionary> FromFile(const std::string& path);
+  // Same format, from a string.
+  static StatusOr<Dictionary> FromText(std::string_view text);
+
+  // Saves in the FromFile format (weights included when non-uniform).
+  Status SaveToFile(const std::string& path) const;
+
+  // Builds the cumulative and alias tables. Idempotent.
+  void Finalize();
+
+  size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+  const std::string& value(size_t index) const { return entries_[index].value; }
+  double weight(size_t index) const { return entries_[index].weight; }
+  double total_weight() const { return total_weight_; }
+
+  // Weighted sample via cumulative binary search. Requires Finalize().
+  const std::string& Sample(Xorshift64* rng) const;
+  // Weighted sample via the alias table. Requires Finalize().
+  const std::string& SampleAlias(Xorshift64* rng) const;
+  // Uniform sample ignoring weights.
+  const std::string& SampleUniform(Xorshift64* rng) const;
+
+  // Index lookup variants (used by tests and by generators that need the
+  // index rather than the string).
+  size_t SampleIndex(Xorshift64* rng) const;
+  size_t SampleAliasIndex(Xorshift64* rng) const;
+
+  // Returns the index of `value`, or -1. Linear scan; intended for tests.
+  int Find(std::string_view value) const;
+
+ private:
+  struct Entry {
+    std::string value;
+    double weight;
+  };
+
+  std::vector<Entry> entries_;
+  std::vector<double> cumulative_;
+  double total_weight_ = 0;
+  bool finalized_ = false;
+  // Alias method tables.
+  std::vector<double> alias_probability_;
+  std::vector<uint32_t> alias_index_;
+};
+
+}  // namespace pdgf
+
+#endif  // DBSYNTHPP_CORE_TEXT_DICTIONARY_H_

@@ -1,0 +1,335 @@
+#include "core/text/markov_model.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstring>
+
+#include "util/files.h"
+
+namespace pdgf {
+namespace {
+
+constexpr char kMagic[8] = {'P', 'D', 'G', 'F', 'M', 'K', 'V', '1'};
+
+void PutU32(std::string* out, uint32_t v) {
+  char buffer[4];
+  std::memcpy(buffer, &v, 4);
+  out->append(buffer, 4);
+}
+
+void PutU64(std::string* out, uint64_t v) {
+  char buffer[8];
+  std::memcpy(buffer, &v, 8);
+  out->append(buffer, 8);
+}
+
+bool GetU32(std::string_view data, size_t* pos, uint32_t* v) {
+  if (*pos + 4 > data.size()) return false;
+  std::memcpy(v, data.data() + *pos, 4);
+  *pos += 4;
+  return true;
+}
+
+bool GetU64(std::string_view data, size_t* pos, uint64_t* v) {
+  if (*pos + 8 > data.size()) return false;
+  std::memcpy(v, data.data() + *pos, 8);
+  *pos += 8;
+  return true;
+}
+
+bool IsSentenceEnd(char c) { return c == '.' || c == '!' || c == '?'; }
+
+}  // namespace
+
+int32_t MarkovModel::InternWord(std::string_view word) {
+  auto it = word_ids_.find(std::string(word));
+  if (it != word_ids_.end()) return it->second;
+  int32_t id = static_cast<int32_t>(words_.size());
+  words_.emplace_back(word);
+  word_ids_.emplace(words_.back(), id);
+  raw_transitions_.emplace_back();
+  raw_end_counts_.push_back(0);
+  return id;
+}
+
+int32_t MarkovModel::FindWord(std::string_view word) const {
+  auto it = word_ids_.find(std::string(word));
+  return it == word_ids_.end() ? -1 : it->second;
+}
+
+void MarkovModel::AddSample(std::string_view text) {
+  std::vector<std::string_view> tokens;
+  size_t i = 0;
+  while (i < text.size()) {
+    while (i < text.size() &&
+           (std::isspace(static_cast<unsigned char>(text[i])) != 0)) {
+      ++i;
+    }
+    size_t start = i;
+    bool sentence_end = false;
+    while (i < text.size() &&
+           std::isspace(static_cast<unsigned char>(text[i])) == 0) {
+      ++i;
+    }
+    size_t end = i;
+    // Strip trailing sentence punctuation from the token.
+    while (end > start && IsSentenceEnd(text[end - 1])) {
+      --end;
+      sentence_end = true;
+    }
+    if (end > start) {
+      tokens.push_back(text.substr(start, end - start));
+    }
+    if (sentence_end && !tokens.empty()) {
+      TrainSentence(tokens);
+      tokens.clear();
+    }
+  }
+  if (!tokens.empty()) {
+    TrainSentence(tokens);
+  }
+}
+
+void MarkovModel::TrainSentence(const std::vector<std::string_view>& tokens) {
+  if (tokens.empty()) return;
+  finalized_ = false;
+  int32_t previous = -1;
+  for (size_t i = 0; i < tokens.size(); ++i) {
+    int32_t id = InternWord(tokens[i]);
+    if (i == 0) {
+      ++raw_starts_[id];
+    } else {
+      ++raw_transitions_[static_cast<size_t>(previous)][id];
+    }
+    previous = id;
+  }
+  ++raw_end_counts_[static_cast<size_t>(previous)];
+}
+
+void MarkovModel::Finalize() {
+  transitions_.clear();
+  transitions_.resize(words_.size());
+  for (size_t w = 0; w < words_.size(); ++w) {
+    // Deterministic ordering: sort successors by id.
+    std::vector<std::pair<int32_t, uint64_t>> sorted(
+        raw_transitions_[w].begin(), raw_transitions_[w].end());
+    std::sort(sorted.begin(), sorted.end());
+    TransitionTable& table = transitions_[w];
+    table.next.reserve(sorted.size());
+    table.cumulative.reserve(sorted.size());
+    uint64_t running = 0;
+    for (const auto& [next_id, count] : sorted) {
+      running += count;
+      table.next.push_back(next_id);
+      table.cumulative.push_back(running);
+    }
+    table.end_weight = raw_end_counts_[w];
+    table.total = running + table.end_weight;
+  }
+  std::vector<std::pair<int32_t, uint64_t>> starts(raw_starts_.begin(),
+                                                   raw_starts_.end());
+  std::sort(starts.begin(), starts.end());
+  start_words_.clear();
+  start_cumulative_.clear();
+  start_total_ = 0;
+  for (const auto& [id, count] : starts) {
+    start_total_ += count;
+    start_words_.push_back(id);
+    start_cumulative_.push_back(start_total_);
+  }
+  start_entries_ = start_words_.size();
+  finalized_ = true;
+}
+
+size_t MarkovModel::transition_count() const {
+  size_t count = 0;
+  for (const TransitionTable& table : transitions_) {
+    count += table.next.size();
+  }
+  return count;
+}
+
+double MarkovModel::TransitionProbability(std::string_view first,
+                                          std::string_view second) const {
+  int32_t a = FindWord(first);
+  int32_t b = FindWord(second);
+  if (a < 0 || b < 0) return 0;
+  const TransitionTable& table = transitions_[static_cast<size_t>(a)];
+  if (table.total == 0) return 0;
+  uint64_t previous = 0;
+  for (size_t i = 0; i < table.next.size(); ++i) {
+    uint64_t weight = table.cumulative[i] - previous;
+    if (table.next[i] == b) {
+      return static_cast<double>(weight) / static_cast<double>(table.total);
+    }
+    previous = table.cumulative[i];
+  }
+  return 0;
+}
+
+std::string MarkovModel::Generate(Xorshift64* rng, int min_words,
+                                  int max_words) const {
+  std::string out;
+  if (!finalized_ || start_words_.empty() || max_words <= 0) return out;
+  if (min_words < 1) min_words = 1;
+  if (max_words < min_words) max_words = min_words;
+  // Target length drawn uniformly; the chain may end sentences early and
+  // restart, mimicking multi-sentence comment fields.
+  int target =
+      static_cast<int>(rng->NextInRange(min_words, max_words));
+  int produced = 0;
+  int32_t current = -1;
+  while (produced < target) {
+    if (current < 0) {
+      // Draw a start state.
+      uint64_t pick = rng->NextBounded(start_total_) + 1;
+      auto it = std::lower_bound(start_cumulative_.begin(),
+                                 start_cumulative_.end(), pick);
+      current = start_words_[static_cast<size_t>(
+          it - start_cumulative_.begin())];
+    } else {
+      const TransitionTable& table =
+          transitions_[static_cast<size_t>(current)];
+      if (table.total == 0) {
+        current = -1;
+        continue;
+      }
+      uint64_t pick = rng->NextBounded(table.total) + 1;
+      if (pick > (table.next.empty() ? 0 : table.cumulative.back())) {
+        // End-of-sentence: restart (unless we have enough words).
+        current = -1;
+        continue;
+      }
+      auto it = std::lower_bound(table.cumulative.begin(),
+                                 table.cumulative.end(), pick);
+      current = table.next[static_cast<size_t>(it - table.cumulative.begin())];
+    }
+    if (produced > 0) out.push_back(' ');
+    out.append(words_[static_cast<size_t>(current)]);
+    ++produced;
+  }
+  return out;
+}
+
+std::string MarkovModel::SerializeToString() const {
+  std::string out;
+  out.append(kMagic, sizeof(kMagic));
+  PutU32(&out, static_cast<uint32_t>(words_.size()));
+  for (const std::string& word : words_) {
+    PutU32(&out, static_cast<uint32_t>(word.size()));
+    out.append(word);
+  }
+  // Start states.
+  PutU32(&out, static_cast<uint32_t>(start_words_.size()));
+  for (size_t i = 0; i < start_words_.size(); ++i) {
+    PutU32(&out, static_cast<uint32_t>(start_words_[i]));
+    PutU64(&out, start_cumulative_[i]);
+  }
+  // Transitions.
+  for (const TransitionTable& table : transitions_) {
+    PutU32(&out, static_cast<uint32_t>(table.next.size()));
+    PutU64(&out, table.end_weight);
+    for (size_t i = 0; i < table.next.size(); ++i) {
+      PutU32(&out, static_cast<uint32_t>(table.next[i]));
+      PutU64(&out, table.cumulative[i]);
+    }
+  }
+  return out;
+}
+
+StatusOr<MarkovModel> MarkovModel::ParseFromString(std::string_view data) {
+  MarkovModel model;
+  size_t pos = 0;
+  if (data.size() < sizeof(kMagic) ||
+      std::memcmp(data.data(), kMagic, sizeof(kMagic)) != 0) {
+    return ParseError("not a Markov model file (bad magic)");
+  }
+  pos = sizeof(kMagic);
+  uint32_t word_count = 0;
+  if (!GetU32(data, &pos, &word_count)) return ParseError("truncated model");
+  // Sanity bound before reserving: every word record needs >= 4 bytes.
+  if (static_cast<uint64_t>(word_count) * 4 > data.size() - pos) {
+    return ParseError("corrupt model (word count exceeds file size)");
+  }
+  model.words_.reserve(word_count);
+  for (uint32_t w = 0; w < word_count; ++w) {
+    uint32_t length = 0;
+    if (!GetU32(data, &pos, &length) || pos + length > data.size()) {
+      return ParseError("truncated model (words)");
+    }
+    model.words_.emplace_back(data.substr(pos, length));
+    model.word_ids_.emplace(model.words_.back(), static_cast<int32_t>(w));
+    pos += length;
+  }
+  uint32_t start_count = 0;
+  if (!GetU32(data, &pos, &start_count)) return ParseError("truncated model");
+  // Each start record is 12 bytes.
+  if (static_cast<uint64_t>(start_count) * 12 > data.size() - pos) {
+    return ParseError("corrupt model (start count exceeds file size)");
+  }
+  model.start_words_.reserve(start_count);
+  model.start_cumulative_.reserve(start_count);
+  for (uint32_t i = 0; i < start_count; ++i) {
+    uint32_t id = 0;
+    uint64_t cumulative = 0;
+    if (!GetU32(data, &pos, &id) || !GetU64(data, &pos, &cumulative)) {
+      return ParseError("truncated model (starts)");
+    }
+    if (id >= word_count) return ParseError("corrupt model (start id)");
+    if (!model.start_cumulative_.empty() &&
+        cumulative <= model.start_cumulative_.back()) {
+      return ParseError("corrupt model (start weights not increasing)");
+    }
+    model.start_words_.push_back(static_cast<int32_t>(id));
+    model.start_cumulative_.push_back(cumulative);
+  }
+  model.start_total_ =
+      model.start_cumulative_.empty() ? 0 : model.start_cumulative_.back();
+  model.start_entries_ = model.start_words_.size();
+  model.transitions_.resize(word_count);
+  for (uint32_t w = 0; w < word_count; ++w) {
+    uint32_t edge_count = 0;
+    uint64_t end_weight = 0;
+    if (!GetU32(data, &pos, &edge_count) || !GetU64(data, &pos, &end_weight)) {
+      return ParseError("truncated model (transitions)");
+    }
+    // Each edge record is 12 bytes.
+    if (static_cast<uint64_t>(edge_count) * 12 > data.size() - pos) {
+      return ParseError("corrupt model (edge count exceeds file size)");
+    }
+    TransitionTable& table = model.transitions_[w];
+    table.end_weight = end_weight;
+    table.next.reserve(edge_count);
+    table.cumulative.reserve(edge_count);
+    for (uint32_t e = 0; e < edge_count; ++e) {
+      uint32_t id = 0;
+      uint64_t cumulative = 0;
+      if (!GetU32(data, &pos, &id) || !GetU64(data, &pos, &cumulative)) {
+        return ParseError("truncated model (edges)");
+      }
+      if (id >= word_count) return ParseError("corrupt model (edge id)");
+      if (!table.cumulative.empty() &&
+          cumulative <= table.cumulative.back()) {
+        return ParseError("corrupt model (edge weights not increasing)");
+      }
+      table.next.push_back(static_cast<int32_t>(id));
+      table.cumulative.push_back(cumulative);
+    }
+    table.total =
+        (table.next.empty() ? 0 : table.cumulative.back()) + end_weight;
+  }
+  if (pos != data.size()) return ParseError("trailing bytes in model file");
+  model.finalized_ = true;
+  return model;
+}
+
+Status MarkovModel::Save(const std::string& path) const {
+  return WriteStringToFile(path, SerializeToString());
+}
+
+StatusOr<MarkovModel> MarkovModel::Load(const std::string& path) {
+  PDGF_ASSIGN_OR_RETURN(std::string data, ReadFileToString(path));
+  return ParseFromString(data);
+}
+
+}  // namespace pdgf

@@ -1,0 +1,95 @@
+#ifndef DBSYNTHPP_CORE_TEXT_MARKOV_MODEL_H_
+#define DBSYNTHPP_CORE_TEXT_MARKOV_MODEL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "util/rng.h"
+
+namespace pdgf {
+
+// A first-order word-level Markov chain: the model DBSynth builds from
+// sampled free-text columns and the MarkovChainGenerator replays
+// (paper §3: "analyzes the word combination frequencies and
+// probabilities"; the TPC-H comment model has ~1500 words and 95 start
+// states).
+//
+// Training accumulates start-state counts and word→word transition
+// counts (plus an end-of-sentence weight per word). Finalize() freezes
+// cumulative tables for O(log k) sampling. Models serialize to a compact
+// binary format (the "markovSamples.bin" files of Listing 1).
+class MarkovModel {
+ public:
+  MarkovModel() = default;
+
+  MarkovModel(MarkovModel&&) = default;
+  MarkovModel& operator=(MarkovModel&&) = default;
+
+  // Adds one text sample; it is tokenized on whitespace. Sentences
+  // (separated by '.', '!', '?') are trained independently.
+  void AddSample(std::string_view text);
+
+  // Freezes the model for sampling. Further AddSample calls are invalid.
+  void Finalize();
+  bool finalized() const { return finalized_; }
+
+  // Generates text with a word count in [min_words, max_words]. If the
+  // chain reaches a word with no outgoing transition before min_words, a
+  // fresh start state is drawn (deterministically from `rng`).
+  std::string Generate(Xorshift64* rng, int min_words, int max_words) const;
+
+  // Vocabulary size (distinct words seen).
+  size_t word_count() const { return words_.size(); }
+  // Number of distinct sentence-starting words.
+  size_t start_state_count() const { return start_entries_; }
+  // Total transition edges (distinct word bigrams).
+  size_t transition_count() const;
+
+  // Probability that `second` follows `first` among observed successors,
+  // or 0. For tests and model inspection.
+  double TransitionProbability(std::string_view first,
+                               std::string_view second) const;
+
+  // Binary (de)serialization.
+  Status Save(const std::string& path) const;
+  static StatusOr<MarkovModel> Load(const std::string& path);
+
+  // Serializes into a string (same format as Save).
+  std::string SerializeToString() const;
+  static StatusOr<MarkovModel> ParseFromString(std::string_view data);
+
+ private:
+  int32_t InternWord(std::string_view word);
+  int32_t FindWord(std::string_view word) const;
+  void TrainSentence(const std::vector<std::string_view>& tokens);
+
+  struct TransitionTable {
+    // Successor word ids with cumulative counts; parallel arrays.
+    std::vector<int32_t> next;
+    std::vector<uint64_t> cumulative;
+    uint64_t total = 0;       // including end-of-sentence weight
+    uint64_t end_weight = 0;  // times the word terminated a sentence
+  };
+
+  std::vector<std::string> words_;
+  std::unordered_map<std::string, int32_t> word_ids_;
+  // During training: raw counts. After Finalize(): cumulative tables.
+  std::vector<std::unordered_map<int32_t, uint64_t>> raw_transitions_;
+  std::vector<uint64_t> raw_end_counts_;
+  std::unordered_map<int32_t, uint64_t> raw_starts_;
+
+  std::vector<TransitionTable> transitions_;
+  std::vector<int32_t> start_words_;
+  std::vector<uint64_t> start_cumulative_;
+  uint64_t start_total_ = 0;
+  size_t start_entries_ = 0;
+  bool finalized_ = false;
+};
+
+}  // namespace pdgf
+
+#endif  // DBSYNTHPP_CORE_TEXT_MARKOV_MODEL_H_

@@ -1,0 +1,153 @@
+#include "dbsynth/connection.h"
+
+#include "minidb/sql.h"
+#include "util/rng.h"
+
+namespace dbsynth {
+
+using pdgf::Status;
+using pdgf::StatusOr;
+using pdgf::Value;
+
+std::vector<std::string> MiniDbConnection::ListTables() {
+  return database_->TableNames();
+}
+
+StatusOr<minidb::TableSchema> MiniDbConnection::GetTableSchema(
+    const std::string& table) {
+  const minidb::Table* t = database_->GetTable(table);
+  if (t == nullptr) {
+    return pdgf::NotFoundError("table '" + table + "' does not exist");
+  }
+  return t->schema();
+}
+
+StatusOr<uint64_t> MiniDbConnection::GetRowCount(const std::string& table) {
+  PDGF_ASSIGN_OR_RETURN(
+      minidb::ResultSet result,
+      minidb::ExecuteSql(database_, "SELECT COUNT(*) FROM " + table));
+  return static_cast<uint64_t>(result.At(0, "count").AsInt());
+}
+
+StatusOr<uint64_t> MiniDbConnection::GetNullCount(const std::string& table,
+                                                  const std::string& column) {
+  PDGF_ASSIGN_OR_RETURN(
+      minidb::ResultSet result,
+      minidb::ExecuteSql(database_, "SELECT COUNT(*) FROM " + table +
+                                        " WHERE " + column + " IS NULL"));
+  return static_cast<uint64_t>(result.At(0, "count").AsInt());
+}
+
+StatusOr<std::pair<Value, Value>> MiniDbConnection::GetMinMax(
+    const std::string& table, const std::string& column) {
+  PDGF_ASSIGN_OR_RETURN(
+      minidb::ResultSet result,
+      minidb::ExecuteSql(database_, "SELECT MIN(" + column + "), MAX(" +
+                                        column + ") FROM " + table));
+  return std::make_pair(result.At(0, "min_" + column),
+                        result.At(0, "max_" + column));
+}
+
+StatusOr<minidb::Histogram> MiniDbConnection::GetHistogram(
+    const std::string& table, const std::string& column,
+    int bucket_count) {
+  const minidb::Table* t = database_->GetTable(table);
+  if (t == nullptr) {
+    return pdgf::NotFoundError("table '" + table + "' does not exist");
+  }
+  int index = t->schema().FindColumn(column);
+  if (index < 0) {
+    return pdgf::NotFoundError("column '" + column + "' does not exist");
+  }
+  minidb::Histogram histogram;
+  const minidb::ColumnDef& def =
+      t->schema().columns[static_cast<size_t>(index)];
+  if (bucket_count < 1 ||
+      (!pdgf::IsNumericType(def.type) &&
+       def.type != pdgf::DataType::kDate)) {
+    return histogram;  // empty: not histogrammable
+  }
+  PDGF_ASSIGN_OR_RETURN(auto min_max, GetMinMax(table, column));
+  if (min_max.first.is_null() ||
+      min_max.second.AsDouble() <= min_max.first.AsDouble()) {
+    return histogram;  // empty or degenerate range
+  }
+  histogram.min = min_max.first.AsDouble();
+  histogram.max = min_max.second.AsDouble();
+  histogram.buckets.assign(static_cast<size_t>(bucket_count), 0);
+  t->Scan([&histogram, index](const minidb::Row& row) {
+    const pdgf::Value& value = row[static_cast<size_t>(index)];
+    if (value.is_null()) return true;
+    double fraction = (value.AsDouble() - histogram.min) /
+                      (histogram.max - histogram.min);
+    size_t bucket = static_cast<size_t>(
+        fraction * static_cast<double>(histogram.buckets.size()));
+    if (bucket >= histogram.buckets.size()) {
+      bucket = histogram.buckets.size() - 1;
+    }
+    ++histogram.buckets[bucket];
+    ++histogram.total;
+    return true;
+  });
+  return histogram;
+}
+
+Status MiniDbConnection::SampleRows(
+    const std::string& table, const SamplingSpec& spec,
+    const std::function<void(const minidb::Row&)>& visitor) {
+  const minidb::Table* t = database_->GetTable(table);
+  if (t == nullptr) {
+    return pdgf::NotFoundError("table '" + table + "' does not exist");
+  }
+  switch (spec.strategy) {
+    case SamplingSpec::Strategy::kFull:
+      t->Scan([&](const minidb::Row& row) {
+        visitor(row);
+        return true;
+      });
+      return Status::Ok();
+    case SamplingSpec::Strategy::kFirstN: {
+      uint64_t remaining = spec.limit;
+      t->Scan([&](const minidb::Row& row) {
+        if (remaining == 0) return false;
+        visitor(row);
+        --remaining;
+        return true;
+      });
+      return Status::Ok();
+    }
+    case SamplingSpec::Strategy::kFraction: {
+      pdgf::Xorshift64 rng(spec.seed ^ pdgf::HashName(table));
+      double fraction = spec.fraction;
+      t->Scan([&](const minidb::Row& row) {
+        if (rng.NextDouble() < fraction) visitor(row);
+        return true;
+      });
+      return Status::Ok();
+    }
+    case SamplingSpec::Strategy::kReservoir: {
+      // Vitter's algorithm R; visitor runs over the final reservoir.
+      pdgf::Xorshift64 rng(spec.seed ^ pdgf::HashName(table));
+      std::vector<minidb::Row> reservoir;
+      reservoir.reserve(spec.limit);
+      uint64_t seen = 0;
+      t->Scan([&](const minidb::Row& row) {
+        ++seen;
+        if (reservoir.size() < spec.limit) {
+          reservoir.push_back(row);
+        } else {
+          uint64_t j = rng.NextBounded(seen);
+          if (j < spec.limit) reservoir[j] = row;
+        }
+        return true;
+      });
+      for (const minidb::Row& row : reservoir) {
+        visitor(row);
+      }
+      return Status::Ok();
+    }
+  }
+  return pdgf::InternalError("unhandled sampling strategy");
+}
+
+}  // namespace dbsynth

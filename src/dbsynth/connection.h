@@ -1,0 +1,105 @@
+#ifndef DBSYNTHPP_DBSYNTH_CONNECTION_H_
+#define DBSYNTHPP_DBSYNTH_CONNECTION_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "common/value.h"
+#include "minidb/database.h"
+#include "minidb/stats.h"
+
+namespace dbsynth {
+
+// How DBSynth samples the source data (paper §3: "Users can specify the
+// amount of data sampled and the sampling strategy").
+struct SamplingSpec {
+  enum class Strategy {
+    kFull,       // every row
+    kFraction,   // Bernoulli sample with probability `fraction`
+    kFirstN,     // the first `limit` rows
+    kReservoir,  // uniform `limit`-row reservoir sample
+  };
+
+  Strategy strategy = Strategy::kFraction;
+  double fraction = 0.01;
+  uint64_t limit = 10000;
+  uint64_t seed = 42;  // randomized strategies are deterministic per seed
+};
+
+// The database-access surface DBSynth needs — the role JDBC plays in the
+// paper (Figure 3). Each method corresponds to one metadata/data query
+// against the source system; the profiler times them per phase.
+class SourceConnection {
+ public:
+  virtual ~SourceConnection() = default;
+
+  SourceConnection(const SourceConnection&) = delete;
+  SourceConnection& operator=(const SourceConnection&) = delete;
+
+  // Schema phase.
+  virtual std::vector<std::string> ListTables() = 0;
+  virtual pdgf::StatusOr<minidb::TableSchema> GetTableSchema(
+      const std::string& table) = 0;
+
+  // Size phase.
+  virtual pdgf::StatusOr<uint64_t> GetRowCount(const std::string& table) = 0;
+
+  // NULL-probability phase.
+  virtual pdgf::StatusOr<uint64_t> GetNullCount(const std::string& table,
+                                                const std::string& column) = 0;
+
+  // Min/max phase. Returns (min, max); both NULL for an all-NULL column.
+  virtual pdgf::StatusOr<std::pair<pdgf::Value, pdgf::Value>> GetMinMax(
+      const std::string& table, const std::string& column) = 0;
+
+  // Histogram phase: an equi-width histogram over a numeric/date column
+  // (paper §3 lists histograms among the extractable statistics). An
+  // empty histogram (no buckets) signals a non-histogrammable column.
+  virtual pdgf::StatusOr<minidb::Histogram> GetHistogram(
+      const std::string& table, const std::string& column,
+      int bucket_count) = 0;
+
+  // Sampling phase: invokes `visitor` for each sampled row.
+  virtual pdgf::Status SampleRows(
+      const std::string& table, const SamplingSpec& spec,
+      const std::function<void(const minidb::Row&)>& visitor) = 0;
+
+ protected:
+  SourceConnection() = default;
+};
+
+// SourceConnection over an embedded MiniDB instance. Metadata probes are
+// issued as real SQL (SELECT COUNT/MIN/MAX...) so the access pattern —
+// and its cost profile — mirrors profiling a live DBMS through JDBC.
+class MiniDbConnection final : public SourceConnection {
+ public:
+  // `database` must outlive the connection.
+  explicit MiniDbConnection(minidb::Database* database)
+      : database_(database) {}
+
+  std::vector<std::string> ListTables() override;
+  pdgf::StatusOr<minidb::TableSchema> GetTableSchema(
+      const std::string& table) override;
+  pdgf::StatusOr<uint64_t> GetRowCount(const std::string& table) override;
+  pdgf::StatusOr<uint64_t> GetNullCount(const std::string& table,
+                                        const std::string& column) override;
+  pdgf::StatusOr<std::pair<pdgf::Value, pdgf::Value>> GetMinMax(
+      const std::string& table, const std::string& column) override;
+  pdgf::StatusOr<minidb::Histogram> GetHistogram(
+      const std::string& table, const std::string& column,
+      int bucket_count) override;
+  pdgf::Status SampleRows(
+      const std::string& table, const SamplingSpec& spec,
+      const std::function<void(const minidb::Row&)>& visitor) override;
+
+ private:
+  minidb::Database* database_;
+};
+
+}  // namespace dbsynth
+
+#endif  // DBSYNTHPP_DBSYNTH_CONNECTION_H_

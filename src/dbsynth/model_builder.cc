@@ -1,0 +1,413 @@
+#include "dbsynth/model_builder.h"
+
+#include <algorithm>
+#include <map>
+
+#include "core/generators/generators.h"
+#include "core/text/builtin_dictionaries.h"
+#include "dbsynth/rules.h"
+#include "util/files.h"
+#include "util/strings.h"
+
+namespace dbsynth {
+
+using pdgf::DataType;
+using pdgf::GeneratorPtr;
+using pdgf::Status;
+using pdgf::StatusOr;
+using pdgf::Value;
+
+namespace {
+
+// Defaults when min/max extraction was off or the column was all NULL.
+int64_t MinIntOr(const ColumnProfile& column, int64_t fallback) {
+  return column.min.is_null() ? fallback : column.min.AsInt();
+}
+int64_t MaxIntOr(const ColumnProfile& column, int64_t fallback) {
+  return column.max.is_null() ? fallback : column.max.AsInt();
+}
+double MinDoubleOr(const ColumnProfile& column, double fallback) {
+  return column.min.is_null() ? fallback : column.min.AsDouble();
+}
+double MaxDoubleOr(const ColumnProfile& column, double fallback) {
+  return column.max.is_null() ? fallback : column.max.AsDouble();
+}
+
+// Builds a weighted dictionary from sampled values.
+pdgf::Dictionary BuildSampleDictionary(
+    const std::vector<std::string>& samples) {
+  std::map<std::string, uint64_t> counts;
+  for (const std::string& sample : samples) {
+    ++counts[sample];
+  }
+  pdgf::Dictionary dictionary;
+  for (const auto& [value, count] : counts) {
+    dictionary.Add(value, static_cast<double>(count));
+  }
+  dictionary.Finalize();
+  return dictionary;
+}
+
+// Builds a HistogramGenerator from an extracted profile, or null when no
+// usable histogram is available.
+GeneratorPtr HistogramGeneratorFor(const ColumnProfile& profile,
+                                   pdgf::HistogramGenerator::Output output,
+                                   int places) {
+  if (!profile.has_histogram || profile.histogram.total == 0 ||
+      profile.histogram.buckets.size() < 2) {
+    return nullptr;
+  }
+  std::vector<double> weights;
+  weights.reserve(profile.histogram.buckets.size());
+  for (uint64_t count : profile.histogram.buckets) {
+    weights.push_back(static_cast<double>(count));
+  }
+  return GeneratorPtr(new pdgf::HistogramGenerator(
+      profile.histogram.min, profile.histogram.max, std::move(weights),
+      output, places));
+}
+
+// The builtin-dictionary generator for a name category, or null.
+GeneratorPtr BuiltinCategoryGenerator(NameCategory category) {
+  switch (category) {
+    case NameCategory::kName:
+      return GeneratorPtr(new pdgf::NameGenerator());
+    case NameCategory::kAddress:
+      return GeneratorPtr(new pdgf::AddressGenerator());
+    case NameCategory::kEmail:
+      return GeneratorPtr(new pdgf::EmailGenerator());
+    case NameCategory::kUrl:
+      return GeneratorPtr(new pdgf::UrlGenerator());
+    case NameCategory::kPhone:
+      return GeneratorPtr(new pdgf::PatternStringGenerator("##-###-###-####"));
+    case NameCategory::kZip:
+      return GeneratorPtr(new pdgf::PatternStringGenerator("#####"));
+    case NameCategory::kCity: {
+      const pdgf::Dictionary* cities =
+          pdgf::FindBuiltinDictionary("cities");
+      return GeneratorPtr(new pdgf::DictListGenerator(cities, "cities"));
+    }
+    case NameCategory::kState: {
+      const pdgf::Dictionary* states =
+          pdgf::FindBuiltinDictionary("states");
+      return GeneratorPtr(new pdgf::DictListGenerator(states, "states"));
+    }
+    case NameCategory::kCountry: {
+      const pdgf::Dictionary* nations =
+          pdgf::FindBuiltinDictionary("nations");
+      return GeneratorPtr(new pdgf::DictListGenerator(nations, "nations"));
+    }
+    default:
+      return nullptr;
+  }
+}
+
+// Context shared by the per-column generator choice.
+struct BuildContext {
+  const ModelBuildOptions* options;
+  std::vector<ModelDecision>* decisions;
+
+  void Explain(const std::string& table, const std::string& column,
+               const std::string& generator, const std::string& reason) {
+    decisions->push_back(ModelDecision{table, column, generator, reason});
+  }
+};
+
+StatusOr<GeneratorPtr> ChooseTextGenerator(BuildContext* context,
+                                           const TableProfile& table,
+                                           const minidb::ColumnDef& column,
+                                           const ColumnProfile& profile) {
+  const ModelBuildOptions& options = *context->options;
+  // Sampled data beats heuristics (paper §3: dictionaries and Markov
+  // chains are built "if sampling the database is permissible").
+  if (!profile.samples.empty()) {
+    bool multi_word = profile.avg_word_count >= options.markov_min_avg_words;
+    if (multi_word) {
+      auto model = std::make_shared<pdgf::MarkovModel>();
+      for (const std::string& sample : profile.samples) {
+        model->AddSample(sample);
+      }
+      model->Finalize();
+      int max_words = profile.max_word_count > 0
+                          ? static_cast<int>(profile.max_word_count)
+                          : options.markov_fallback_max_words;
+      std::string model_file;
+      if (!options.artifact_dir.empty()) {
+        std::string file_name =
+            table.schema.name + "_" + column.name + "_markovSamples.bin";
+        std::string path =
+            pdgf::JoinPath(options.artifact_dir, file_name);
+        PDGF_RETURN_IF_ERROR(model->Save(path));
+        model_file = file_name;
+      }
+      context->Explain(
+          table.schema.name, column.name, "gen_MarkovChainGenerator",
+          pdgf::StrPrintf(
+              "multi-word text (avg %.1f words); Markov model with %zu "
+              "words, %zu start states",
+              profile.avg_word_count, model->word_count(),
+              model->start_state_count()));
+      return GeneratorPtr(new pdgf::MarkovChainGenerator(
+          std::move(model), 1, max_words, std::move(model_file)));
+    }
+    double distinct_ratio =
+        profile.samples.empty()
+            ? 1.0
+            : static_cast<double>(profile.sample_distinct) /
+                  static_cast<double>(profile.samples.size());
+    if (profile.sample_distinct <= options.dictionary_max_entries &&
+        distinct_ratio <= options.dictionary_distinct_ratio) {
+      pdgf::Dictionary dictionary = BuildSampleDictionary(profile.samples);
+      context->Explain(
+          table.schema.name, column.name, "gen_DictListGenerator",
+          pdgf::StrPrintf(
+              "categorical text: %zu distinct values in %zu samples "
+              "(ratio %.2f)",
+              static_cast<size_t>(profile.sample_distinct),
+              profile.samples.size(), distinct_ratio));
+      if (!options.artifact_dir.empty()) {
+        std::string file_name =
+            table.schema.name + "_" + column.name + ".dict";
+        std::string path = pdgf::JoinPath(options.artifact_dir, file_name);
+        PDGF_RETURN_IF_ERROR(dictionary.SaveToFile(path));
+        return GeneratorPtr(new pdgf::DictListGenerator(
+            std::make_shared<pdgf::Dictionary>(std::move(dictionary)),
+            file_name, pdgf::DictListGenerator::Method::kCumulative, 0));
+      }
+      return GeneratorPtr(new pdgf::DictListGenerator(
+          std::make_shared<pdgf::Dictionary>(std::move(dictionary)),
+          std::string(), pdgf::DictListGenerator::Method::kCumulative, 0));
+    }
+    // High-cardinality single-word text: random strings sized like the
+    // samples.
+    int min_length = 1;
+    int max_length = std::max(
+        1, static_cast<int>(profile.avg_length * 2 + 1));
+    if (column.size > 0) max_length = std::min(max_length, column.size);
+    context->Explain(table.schema.name, column.name,
+                     "gen_RandomStringGenerator",
+                     pdgf::StrPrintf(
+                         "high-cardinality text (%zu distinct); random "
+                         "strings of %d..%d chars",
+                         static_cast<size_t>(profile.sample_distinct),
+                         min_length, max_length));
+    return GeneratorPtr(
+        new pdgf::RandomStringGenerator(min_length, max_length));
+  }
+
+  // No samples: keyword-based high-level generators (paper §3: "the
+  // column name is parsed to determine whether a matching high level
+  // generator construct exists, e.g., names, addresses, comment").
+  NameCategory category = ClassifyColumnName(column.name);
+  if (category == NameCategory::kComment) {
+    StatusOr<GeneratorPtr> markov = pdgf::MarkovChainGenerator::FromCorpus(
+        pdgf::BuiltinCommentCorpus(), 1,
+        context->options->markov_fallback_max_words);
+    if (markov.ok()) {
+      context->Explain(table.schema.name, column.name,
+                       "gen_MarkovChainGenerator",
+                       "name matches 'comment'; builtin corpus");
+      return std::move(*markov);
+    }
+  }
+  GeneratorPtr builtin = BuiltinCategoryGenerator(category);
+  if (builtin != nullptr) {
+    context->Explain(table.schema.name, column.name, builtin->ConfigName(),
+                     std::string("name matches '") +
+                         NameCategoryLabel(category) + "'");
+    return builtin;
+  }
+  int max_length = column.size > 0 ? column.size : 20;
+  context->Explain(table.schema.name, column.name,
+                   "gen_RandomStringGenerator",
+                   "no rule matched; random string fallback");
+  return GeneratorPtr(new pdgf::RandomStringGenerator(1, max_length));
+}
+
+StatusOr<GeneratorPtr> ChooseGenerator(BuildContext* context,
+                                       const TableProfile& table,
+                                       size_t column_index) {
+  const minidb::ColumnDef& column = table.schema.columns[column_index];
+  const ColumnProfile& profile = table.columns[column_index];
+
+  // Rule 1: referential integrity wins over everything — "a reference
+  // will always be generated by a reference generator independent of its
+  // type" (paper §3).
+  if (column.is_foreign_key()) {
+    context->Explain(table.schema.name, column.name,
+                     "gen_DefaultReferenceGenerator",
+                     "foreign key to " + column.ref_table + "." +
+                         column.ref_column);
+    return GeneratorPtr(new pdgf::DefaultReferenceGenerator(
+        column.ref_table, column.ref_column));
+  }
+
+  NameCategory category = ClassifyColumnName(column.name);
+
+  // Rule 2: numeric key/id columns get an ID generator.
+  if (pdgf::IsIntegerType(column.type) &&
+      (category == NameCategory::kKey || column.primary_key)) {
+    context->Explain(table.schema.name, column.name, "gen_IdGenerator",
+                     column.primary_key ? "primary key column"
+                                        : "column name matches key/id");
+    return GeneratorPtr(new pdgf::IdGenerator(1, 1));
+  }
+
+  // Rule 3: data-type driven generators, parameterized by extracted
+  // statistics.
+  switch (column.type) {
+    case DataType::kBoolean:
+      context->Explain(table.schema.name, column.name,
+                       "gen_BooleanGenerator", "boolean column");
+      return GeneratorPtr(new pdgf::BooleanGenerator(0.5));
+    case DataType::kSmallInt:
+    case DataType::kInteger:
+    case DataType::kBigInt: {
+      if (GeneratorPtr histogram = HistogramGeneratorFor(
+              profile, pdgf::HistogramGenerator::Output::kLong, 0)) {
+        context->Explain(table.schema.name, column.name,
+                         "gen_HistogramGenerator",
+                         pdgf::StrPrintf(
+                             "integer with %zu-bucket extracted histogram",
+                             profile.histogram.buckets.size()));
+        return histogram;
+      }
+      int64_t min = MinIntOr(profile, 0);
+      int64_t max = MaxIntOr(profile, 1000000);
+      context->Explain(table.schema.name, column.name, "gen_LongGenerator",
+                       pdgf::StrPrintf("integer in [%lld, %lld]",
+                                       static_cast<long long>(min),
+                                       static_cast<long long>(max)));
+      return GeneratorPtr(new pdgf::LongGenerator(min, max));
+    }
+    case DataType::kFloat:
+    case DataType::kDouble: {
+      if (GeneratorPtr histogram = HistogramGeneratorFor(
+              profile, pdgf::HistogramGenerator::Output::kDouble, 0)) {
+        context->Explain(table.schema.name, column.name,
+                         "gen_HistogramGenerator",
+                         pdgf::StrPrintf(
+                             "double with %zu-bucket extracted histogram",
+                             profile.histogram.buckets.size()));
+        return histogram;
+      }
+      double min = MinDoubleOr(profile, 0);
+      double max = MaxDoubleOr(profile, 1);
+      context->Explain(table.schema.name, column.name,
+                       "gen_DoubleGenerator",
+                       pdgf::StrPrintf("double in [%g, %g]", min, max));
+      return GeneratorPtr(new pdgf::DoubleGenerator(min, max));
+    }
+    case DataType::kDecimal: {
+      if (GeneratorPtr histogram = HistogramGeneratorFor(
+              profile, pdgf::HistogramGenerator::Output::kDecimal,
+              column.scale)) {
+        context->Explain(table.schema.name, column.name,
+                         "gen_HistogramGenerator",
+                         pdgf::StrPrintf(
+                             "decimal with %zu-bucket extracted histogram",
+                             profile.histogram.buckets.size()));
+        return histogram;
+      }
+      double min = MinDoubleOr(profile, 0);
+      double max = MaxDoubleOr(profile, 10000);
+      context->Explain(
+          table.schema.name, column.name, "gen_DoubleGenerator",
+          pdgf::StrPrintf("decimal(%d) in [%g, %g]", column.scale, min, max));
+      return GeneratorPtr(
+          new pdgf::DoubleGenerator(min, max, column.scale));
+    }
+    case DataType::kDate: {
+      if (GeneratorPtr histogram = HistogramGeneratorFor(
+              profile, pdgf::HistogramGenerator::Output::kDate, 0)) {
+        context->Explain(table.schema.name, column.name,
+                         "gen_HistogramGenerator",
+                         pdgf::StrPrintf(
+                             "date with %zu-bucket extracted histogram",
+                             profile.histogram.buckets.size()));
+        return histogram;
+      }
+      pdgf::Date min = profile.min.kind() == Value::Kind::kDate
+                           ? profile.min.date_value()
+                           : pdgf::Date::FromCivil(1992, 1, 1);
+      pdgf::Date max = profile.max.kind() == Value::Kind::kDate
+                           ? profile.max.date_value()
+                           : pdgf::Date::FromCivil(1998, 12, 31);
+      context->Explain(table.schema.name, column.name, "gen_DateGenerator",
+                       "date in [" + min.ToString() + ", " + max.ToString() +
+                           "]");
+      return GeneratorPtr(new pdgf::DateGenerator(min, max));
+    }
+    case DataType::kChar:
+    case DataType::kVarchar:
+      return ChooseTextGenerator(context, table, column, profile);
+  }
+  return pdgf::InternalError("unhandled column type");
+}
+
+}  // namespace
+
+StatusOr<ModelBuildResult> BuildModel(const DatabaseProfile& profile,
+                                      const ModelBuildOptions& options) {
+  ModelBuildResult result;
+  pdgf::SchemaDef& schema = result.schema;
+  schema.name = "dbsynth_model";
+  schema.seed = options.seed;
+
+  if (!options.artifact_dir.empty()) {
+    PDGF_RETURN_IF_ERROR(pdgf::MakeDirectories(options.artifact_dir));
+  }
+
+  // The scale factor property, then one size property per table — the
+  // "centralized point in the model" for scaling (paper §3).
+  pdgf::PropertyDef scale;
+  scale.name = options.scale_property;
+  scale.type = "double";
+  scale.expression = "1";
+  schema.properties.push_back(std::move(scale));
+
+  BuildContext context{&options, &result.decisions};
+
+  for (const TableProfile& table : profile.tables) {
+    pdgf::PropertyDef size_property;
+    size_property.name = table.schema.name + "_size";
+    size_property.type = "double";
+    size_property.expression =
+        pdgf::StrPrintf("%llu * ${%s}",
+                        static_cast<unsigned long long>(table.row_count),
+                        options.scale_property.c_str());
+    schema.properties.push_back(std::move(size_property));
+
+    pdgf::TableDef table_def;
+    table_def.name = table.schema.name;
+    table_def.size_expression = "${" + table.schema.name + "_size}";
+    for (size_t c = 0; c < table.schema.columns.size(); ++c) {
+      const minidb::ColumnDef& column = table.schema.columns[c];
+      const ColumnProfile& column_profile = table.columns[c];
+      pdgf::FieldDef field;
+      field.name = column.name;
+      field.type = column.type;
+      field.size = column.size;
+      field.scale = column.scale;
+      field.primary = column.primary_key;
+      field.nullable = column.nullable;
+      PDGF_ASSIGN_OR_RETURN(field.generator,
+                            ChooseGenerator(&context, table, c));
+      // Rule 4: observed NULLs wrap the generator in a NullGenerator with
+      // the extracted probability (Listing 1's l_comment pattern).
+      double null_probability = column_profile.null_probability();
+      if (null_probability > 0) {
+        field.generator = GeneratorPtr(new pdgf::NullGenerator(
+            null_probability, std::move(field.generator)));
+        context.Explain(table.schema.name, column.name, "gen_NullGenerator",
+                        pdgf::StrPrintf("NULL probability %.4f",
+                                        null_probability));
+      }
+      table_def.fields.push_back(std::move(field));
+    }
+    schema.tables.push_back(std::move(table_def));
+  }
+  return result;
+}
+
+}  // namespace dbsynth

@@ -1,0 +1,64 @@
+#ifndef DBSYNTHPP_DBSYNTH_MODEL_BUILDER_H_
+#define DBSYNTHPP_DBSYNTH_MODEL_BUILDER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/schema.h"
+#include "dbsynth/profiler.h"
+
+namespace dbsynth {
+
+// Controls the profile -> PDGF-model translation (Figure 3 "Model
+// Creation" + "Data Extraction" outputs).
+struct ModelBuildOptions {
+  // Project seed of the generated model.
+  uint64_t seed = 123456789;
+  // The scale-factor property; every table size becomes
+  // "<original rows> * ${SF}" so the data set scales linearly, matching
+  // the paper's generated TPC-H configuration (Listing 1).
+  std::string scale_property = "SF";
+
+  // Directory for extracted artifacts (Markov models, dictionaries).
+  // When empty, dictionaries are embedded inline in the model XML and
+  // Markov models are kept in memory (the model then regenerates its
+  // chains from the builtin corpus if re-loaded from XML).
+  std::string artifact_dir;
+
+  // Text-column modeling thresholds.
+  // A sampled text column becomes a dictionary when its distinct-value
+  // ratio is at most this (clearly categorical data)...
+  double dictionary_distinct_ratio = 0.5;
+  // ...and it has at most this many distinct sampled values.
+  uint64_t dictionary_max_entries = 5000;
+  // Multi-word text (avg words >= this) becomes a Markov chain.
+  double markov_min_avg_words = 1.5;
+  // Word-count bounds for Markov generators when the profile lacks them.
+  int markov_fallback_max_words = 10;
+};
+
+// One human-readable generator decision, for the demo's "explain the
+// generated model" step.
+struct ModelDecision {
+  std::string table;
+  std::string column;
+  std::string generator;
+  std::string reason;
+};
+
+struct ModelBuildResult {
+  pdgf::SchemaDef schema;
+  std::vector<ModelDecision> decisions;
+};
+
+// Translates an extraction profile into a PDGF generation model,
+// applying DBSynth's rules: referential-integrity constraints first,
+// then data types, then column-name keywords, then sampled-data models
+// (paper §3).
+pdgf::StatusOr<ModelBuildResult> BuildModel(const DatabaseProfile& profile,
+                                            const ModelBuildOptions& options);
+
+}  // namespace dbsynth
+
+#endif  // DBSYNTHPP_DBSYNTH_MODEL_BUILDER_H_

@@ -1,0 +1,168 @@
+#include "dbsynth/profiler.h"
+
+#include <unordered_set>
+
+#include "util/stopwatch.h"
+#include "util/strings.h"
+
+namespace dbsynth {
+
+using pdgf::Status;
+using pdgf::StatusOr;
+using pdgf::Value;
+
+const TableProfile* DatabaseProfile::FindTable(std::string_view name) const {
+  for (const TableProfile& table : tables) {
+    if (pdgf::EqualsIgnoreCase(table.schema.name, name)) return &table;
+  }
+  return nullptr;
+}
+
+StatusOr<DatabaseProfile> ProfileDatabase(SourceConnection* connection,
+                                          const ExtractionOptions& options) {
+  DatabaseProfile profile;
+  pdgf::Stopwatch stopwatch;
+
+  // Phase 1: schema information.
+  stopwatch.Restart();
+  for (const std::string& name : connection->ListTables()) {
+    TableProfile table;
+    PDGF_ASSIGN_OR_RETURN(table.schema, connection->GetTableSchema(name));
+    table.columns.resize(table.schema.columns.size());
+    profile.tables.push_back(std::move(table));
+  }
+  profile.timings.schema_seconds = stopwatch.ElapsedSeconds();
+
+  // Phase 2: table sizes.
+  if (options.extract_sizes) {
+    stopwatch.Restart();
+    for (TableProfile& table : profile.tables) {
+      PDGF_ASSIGN_OR_RETURN(table.row_count,
+                            connection->GetRowCount(table.schema.name));
+      for (ColumnProfile& column : table.columns) {
+        column.row_count = table.row_count;
+      }
+    }
+    profile.timings.sizes_seconds = stopwatch.ElapsedSeconds();
+  }
+
+  // Phase 3: NULL probabilities (only for nullable columns; NOT NULL is
+  // already known from the schema).
+  if (options.extract_null_probabilities) {
+    stopwatch.Restart();
+    for (TableProfile& table : profile.tables) {
+      for (size_t c = 0; c < table.schema.columns.size(); ++c) {
+        if (!table.schema.columns[c].nullable) continue;
+        PDGF_ASSIGN_OR_RETURN(
+            table.columns[c].null_count,
+            connection->GetNullCount(table.schema.name,
+                                     table.schema.columns[c].name));
+      }
+    }
+    profile.timings.null_seconds = stopwatch.ElapsedSeconds();
+  }
+
+  // Phase 4: min/max constraints.
+  if (options.extract_min_max) {
+    stopwatch.Restart();
+    for (TableProfile& table : profile.tables) {
+      for (size_t c = 0; c < table.schema.columns.size(); ++c) {
+        PDGF_ASSIGN_OR_RETURN(
+            auto min_max,
+            connection->GetMinMax(table.schema.name,
+                                  table.schema.columns[c].name));
+        table.columns[c].min = std::move(min_max.first);
+        table.columns[c].max = std::move(min_max.second);
+      }
+    }
+    profile.timings.minmax_seconds = stopwatch.ElapsedSeconds();
+  }
+
+  // Phase 4b: histograms (optional; one scan per numeric/date column).
+  if (options.extract_histograms) {
+    stopwatch.Restart();
+    for (TableProfile& table : profile.tables) {
+      for (size_t c = 0; c < table.schema.columns.size(); ++c) {
+        const minidb::ColumnDef& column = table.schema.columns[c];
+        if (!pdgf::IsNumericType(column.type) &&
+            column.type != pdgf::DataType::kDate) {
+          continue;
+        }
+        PDGF_ASSIGN_OR_RETURN(
+            minidb::Histogram histogram,
+            connection->GetHistogram(table.schema.name, column.name,
+                                     options.histogram_buckets));
+        if (!histogram.buckets.empty() && histogram.total > 0) {
+          table.columns[c].histogram = std::move(histogram);
+          table.columns[c].has_histogram = true;
+        }
+      }
+    }
+    profile.timings.histogram_seconds = stopwatch.ElapsedSeconds();
+  }
+
+  // Phase 5: data sampling for dictionaries and Markov chains.
+  if (options.sample_data) {
+    stopwatch.Restart();
+    for (TableProfile& table : profile.tables) {
+      const size_t column_count = table.schema.columns.size();
+      std::vector<bool> is_text(column_count);
+      std::vector<std::unordered_set<uint64_t>> distinct(column_count);
+      std::vector<uint64_t> length_sums(column_count, 0);
+      std::vector<uint64_t> word_sums(column_count, 0);
+      std::vector<uint64_t> non_null(column_count, 0);
+      for (size_t c = 0; c < column_count; ++c) {
+        is_text[c] = pdgf::IsTextType(table.schema.columns[c].type);
+      }
+      uint64_t visited = 0;
+      Status sample_status = connection->SampleRows(
+          table.schema.name, options.sampling,
+          [&](const minidb::Row& row) {
+            ++visited;
+            for (size_t c = 0; c < column_count && c < row.size(); ++c) {
+              if (!is_text[c] || row[c].is_null()) continue;
+              const std::string& text = row[c].string_value();
+              ColumnProfile& column = table.columns[c];
+              ++non_null[c];
+              distinct[c].insert(row[c].Hash());
+              length_sums[c] += text.size();
+              uint64_t words = 0;
+              bool in_word = false;
+              for (char ch : text) {
+                if (ch == ' ' || ch == '\t') {
+                  in_word = false;
+                } else if (!in_word) {
+                  in_word = true;
+                  ++words;
+                }
+              }
+              word_sums[c] += words;
+              if (words > column.max_word_count) {
+                column.max_word_count = words;
+              }
+              if (column.samples.size() < options.max_samples_per_column) {
+                column.samples.push_back(text);
+              }
+            }
+            return;
+          });
+      PDGF_RETURN_IF_ERROR(sample_status);
+      for (size_t c = 0; c < column_count; ++c) {
+        ColumnProfile& column = table.columns[c];
+        column.sampled_rows = visited;
+        column.sample_distinct = distinct[c].size();
+        if (non_null[c] > 0) {
+          column.avg_length = static_cast<double>(length_sums[c]) /
+                              static_cast<double>(non_null[c]);
+          column.avg_word_count = static_cast<double>(word_sums[c]) /
+                                  static_cast<double>(non_null[c]);
+        }
+      }
+    }
+    profile.timings.sampling_seconds = stopwatch.ElapsedSeconds();
+  }
+
+  return profile;
+}
+
+}  // namespace dbsynth

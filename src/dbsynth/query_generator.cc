@@ -1,0 +1,206 @@
+#include "dbsynth/query_generator.h"
+
+#include <algorithm>
+
+#include "util/rng.h"
+#include "util/strings.h"
+
+namespace dbsynth {
+namespace {
+
+using pdgf::FieldDef;
+using pdgf::TableDef;
+using pdgf::Value;
+using pdgf::Xorshift64;
+
+// Renders a value as a SQL literal of its column.
+std::string SqlLiteral(const Value& value) {
+  if (value.is_null()) return "NULL";
+  switch (value.kind()) {
+    case Value::Kind::kString: {
+      std::string out = "'";
+      for (char c : value.string_value()) {
+        if (c == '\'') out.push_back('\'');
+        out.push_back(c);
+      }
+      out.push_back('\'');
+      return out;
+    }
+    case Value::Kind::kDate:
+      return "DATE '" + value.ToText() + "'";
+    case Value::Kind::kBool:
+      return value.bool_value() ? "TRUE" : "FALSE";
+    default:
+      return value.ToText();
+  }
+}
+
+bool IsCategorical(const FieldDef& field) {
+  // GROUP BY targets: short text columns (dictionary-like).
+  return pdgf::IsTextType(field.type) &&
+         (field.size == 0 || field.size <= 30);
+}
+
+bool IsAggregatable(const FieldDef& field) {
+  return pdgf::IsNumericType(field.type);
+}
+
+bool IsComparable(const FieldDef& field) {
+  return pdgf::IsNumericType(field.type) ||
+         field.type == pdgf::DataType::kDate;
+}
+
+}  // namespace
+
+QueryGenerator::QueryGenerator(const pdgf::GenerationSession* session,
+                               QueryWorkloadOptions options)
+    : session_(session), options_(options) {}
+
+std::string QueryGenerator::Query(uint64_t index) const {
+  const pdgf::SchemaDef& schema = session_->schema();
+  Xorshift64 rng(pdgf::DeriveSeed(schema.seed ^ options_.seed, index));
+
+  // Pick a non-empty table.
+  int table_index = 0;
+  for (int attempt = 0; attempt < 16; ++attempt) {
+    table_index =
+        static_cast<int>(rng.NextBounded(schema.tables.size()));
+    if (session_->TableRows(table_index) > 0) break;
+  }
+  const TableDef& table =
+      schema.tables[static_cast<size_t>(table_index)];
+  uint64_t rows = session_->TableRows(table_index);
+
+  // An in-domain constant: run the column's generator at a random row.
+  auto constant_for = [&](int field_index) {
+    Value value;
+    uint64_t probe_row = rng.NextBounded(rows == 0 ? 1 : rows);
+    session_->GenerateField(table_index, field_index, probe_row, 0,
+                            &value);
+    return value;
+  };
+
+  // WHERE clause: conjunctive predicates over comparable/text columns.
+  std::vector<int> predicate_fields;
+  for (size_t f = 0; f < table.fields.size(); ++f) {
+    if (IsComparable(table.fields[f]) ||
+        pdgf::IsTextType(table.fields[f].type)) {
+      predicate_fields.push_back(static_cast<int>(f));
+    }
+  }
+  std::string where;
+  int predicate_count = static_cast<int>(
+      rng.NextBounded(static_cast<uint64_t>(options_.max_predicates) + 1));
+  for (int p = 0;
+       p < predicate_count && !predicate_fields.empty(); ++p) {
+    int field_index = predicate_fields[rng.NextBounded(
+        predicate_fields.size())];
+    const FieldDef& field =
+        table.fields[static_cast<size_t>(field_index)];
+    Value constant = constant_for(field_index);
+    std::string predicate;
+    if (constant.is_null()) {
+      predicate = field.name + " IS NOT NULL";
+    } else if (IsComparable(field)) {
+      switch (rng.NextBounded(3)) {
+        case 0:
+          predicate = field.name + " <= " + SqlLiteral(constant);
+          break;
+        case 1:
+          predicate = field.name + " >= " + SqlLiteral(constant);
+          break;
+        default: {
+          Value other = constant_for(field_index);
+          if (other.is_null()) other = constant;
+          const Value& lo =
+              constant.Compare(other) <= 0 ? constant : other;
+          const Value& hi =
+              constant.Compare(other) <= 0 ? other : constant;
+          predicate = field.name + " BETWEEN " + SqlLiteral(lo) +
+                      " AND " + SqlLiteral(hi);
+        }
+      }
+    } else {
+      // Text: equality against a generated value, or a LIKE prefix.
+      if (rng.NextDouble() < 0.5 ||
+          constant.string_value().size() < 2) {
+        predicate = field.name + " = " + SqlLiteral(constant);
+      } else {
+        std::string prefix = constant.string_value().substr(
+            0, 1 + rng.NextBounded(3));
+        Value like_value = Value::String(prefix + "%");
+        predicate = field.name + " LIKE " + SqlLiteral(like_value);
+      }
+    }
+    where += (where.empty() ? " WHERE " : " AND ") + predicate;
+  }
+
+  // Shape: aggregate or projection.
+  if (rng.NextDouble() < options_.aggregate_probability) {
+    std::vector<int> aggregate_fields;
+    for (size_t f = 0; f < table.fields.size(); ++f) {
+      if (IsAggregatable(table.fields[f])) {
+        aggregate_fields.push_back(static_cast<int>(f));
+      }
+    }
+    std::string select_list = "COUNT(*)";
+    if (!aggregate_fields.empty()) {
+      const FieldDef& field = table.fields[static_cast<size_t>(
+          aggregate_fields[rng.NextBounded(aggregate_fields.size())])];
+      static constexpr const char* kFunctions[] = {"SUM", "AVG", "MIN",
+                                                   "MAX"};
+      select_list += pdgf::StrPrintf(
+          ", %s(%s)", kFunctions[rng.NextBounded(4)], field.name.c_str());
+    }
+    // Optional GROUP BY over a categorical column.
+    std::vector<int> group_fields;
+    for (size_t f = 0; f < table.fields.size(); ++f) {
+      if (IsCategorical(table.fields[f])) {
+        group_fields.push_back(static_cast<int>(f));
+      }
+    }
+    if (!group_fields.empty() &&
+        rng.NextDouble() < options_.group_by_probability) {
+      const FieldDef& field = table.fields[static_cast<size_t>(
+          group_fields[rng.NextBounded(group_fields.size())])];
+      return "SELECT " + field.name + ", " + select_list + " FROM " +
+             table.name + where + " GROUP BY " + field.name +
+             " ORDER BY " + field.name;
+    }
+    return "SELECT " + select_list + " FROM " + table.name + where;
+  }
+
+  // Projection: 1..3 columns, optional ORDER BY + LIMIT.
+  size_t column_count = 1 + rng.NextBounded(
+      std::min<size_t>(3, table.fields.size()));
+  std::vector<std::string> columns;
+  for (size_t c = 0; c < column_count; ++c) {
+    columns.push_back(
+        table.fields[rng.NextBounded(table.fields.size())].name);
+  }
+  std::sort(columns.begin(), columns.end());
+  columns.erase(std::unique(columns.begin(), columns.end()),
+                columns.end());
+  std::string sql =
+      "SELECT " + pdgf::Join(columns, ", ") + " FROM " + table.name + where;
+  if (rng.NextDouble() < options_.order_by_probability) {
+    sql += " ORDER BY " + columns[rng.NextBounded(columns.size())];
+    if (rng.NextDouble() < 0.5) sql += " DESC";
+  }
+  sql += pdgf::StrPrintf(
+      " LIMIT %d",
+      1 + static_cast<int>(
+              rng.NextBounded(static_cast<uint64_t>(options_.limit_max))));
+  return sql;
+}
+
+std::vector<std::string> QueryGenerator::Workload(uint64_t count) const {
+  std::vector<std::string> queries;
+  queries.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    queries.push_back(Query(i));
+  }
+  return queries;
+}
+
+}  // namespace dbsynth

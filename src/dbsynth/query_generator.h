@@ -1,0 +1,57 @@
+#ifndef DBSYNTHPP_DBSYNTH_QUERY_GENERATOR_H_
+#define DBSYNTHPP_DBSYNTH_QUERY_GENERATOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/session.h"
+
+namespace dbsynth {
+
+// Deterministic query-workload generation from a data model — the
+// paper's future-work direction of automating the complete benchmarking
+// process (§7: "we will generate the queries consistently using PDGF").
+//
+// Queries are pure functions of (model, seed, query index), exactly like
+// data values: predicate constants are obtained by *running the model's
+// own generators* at pseudo-random rows, so every constant is in-domain
+// and the whole workload regenerates identically on any machine. SELECT
+// shapes cover projections, conjunctive range/equality predicates,
+// global aggregates, GROUP BY over categorical columns, ORDER BY and
+// LIMIT — the subset MiniDB executes.
+struct QueryWorkloadOptions {
+  uint64_t seed = 424243;
+  // Probability that a query aggregates instead of projecting rows.
+  double aggregate_probability = 0.5;
+  // Probability that an aggregate query groups by a categorical column.
+  double group_by_probability = 0.4;
+  // Predicates per query are uniform in [0, max_predicates].
+  int max_predicates = 2;
+  // Probability of ORDER BY (projection queries).
+  double order_by_probability = 0.4;
+  // LIMIT drawn from [1, limit_max] for projection queries.
+  int limit_max = 100;
+};
+
+class QueryGenerator {
+ public:
+  // `session` must outlive the generator.
+  QueryGenerator(const pdgf::GenerationSession* session,
+                 QueryWorkloadOptions options = {});
+
+  // The `index`-th query of the workload; deterministic per
+  // (model seed, options.seed, index).
+  std::string Query(uint64_t index) const;
+
+  // Queries [0, count).
+  std::vector<std::string> Workload(uint64_t count) const;
+
+ private:
+  const pdgf::GenerationSession* session_;
+  QueryWorkloadOptions options_;
+};
+
+}  // namespace dbsynth
+
+#endif  // DBSYNTHPP_DBSYNTH_QUERY_GENERATOR_H_

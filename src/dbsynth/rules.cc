@@ -1,0 +1,123 @@
+#include "dbsynth/rules.h"
+
+#include "util/strings.h"
+
+namespace dbsynth {
+namespace {
+
+bool HasWord(const std::string& lower, std::string_view word) {
+  return lower.find(word) != std::string::npos;
+}
+
+bool EndsWithWord(const std::string& lower, std::string_view word) {
+  return pdgf::EndsWith(lower, word);
+}
+
+}  // namespace
+
+NameCategory ClassifyColumnName(std::string_view column_name) {
+  std::string lower = pdgf::AsciiLower(column_name);
+  // Key/id columns: the paper's canonical example. Match suffixes so that
+  // "l_orderkey", "cust_id", "order_no" hit but "idea" does not.
+  if (EndsWithWord(lower, "key") || EndsWithWord(lower, "_id") ||
+      lower == "id" || EndsWithWord(lower, "_no") ||
+      EndsWithWord(lower, "number") || EndsWithWord(lower, "_sk")) {
+    return NameCategory::kKey;
+  }
+  if (HasWord(lower, "email") || HasWord(lower, "e_mail")) {
+    return NameCategory::kEmail;
+  }
+  if (HasWord(lower, "url") || HasWord(lower, "link") ||
+      HasWord(lower, "website") || HasWord(lower, "homepage")) {
+    return NameCategory::kUrl;
+  }
+  if (HasWord(lower, "phone") || HasWord(lower, "fax") ||
+      HasWord(lower, "mobile")) {
+    return NameCategory::kPhone;
+  }
+  if (HasWord(lower, "zip") || HasWord(lower, "postal")) {
+    return NameCategory::kZip;
+  }
+  if (HasWord(lower, "address") || EndsWithWord(lower, "addr") ||
+      HasWord(lower, "street")) {
+    return NameCategory::kAddress;
+  }
+  if (HasWord(lower, "city") || HasWord(lower, "town")) {
+    return NameCategory::kCity;
+  }
+  if (HasWord(lower, "state") || HasWord(lower, "province")) {
+    return NameCategory::kState;
+  }
+  if (HasWord(lower, "country") || HasWord(lower, "nation")) {
+    return NameCategory::kCountry;
+  }
+  if (HasWord(lower, "comment") || HasWord(lower, "description") ||
+      HasWord(lower, "remark") || HasWord(lower, "note") ||
+      HasWord(lower, "review") || EndsWithWord(lower, "text") ||
+      HasWord(lower, "summary")) {
+    return NameCategory::kComment;
+  }
+  if (HasWord(lower, "name") || HasWord(lower, "title")) {
+    return NameCategory::kName;
+  }
+  if (HasWord(lower, "date") || HasWord(lower, "_dt") ||
+      EndsWithWord(lower, "time")) {
+    return NameCategory::kDate;
+  }
+  if (HasWord(lower, "price") || HasWord(lower, "cost") ||
+      HasWord(lower, "amount") || HasWord(lower, "total") ||
+      HasWord(lower, "charge") || HasWord(lower, "balance") ||
+      HasWord(lower, "tax") || HasWord(lower, "discount") ||
+      HasWord(lower, "salary") || HasWord(lower, "revenue")) {
+    return NameCategory::kPrice;
+  }
+  if (HasWord(lower, "quantity") || EndsWithWord(lower, "qty") ||
+      EndsWithWord(lower, "count") || EndsWithWord(lower, "cnt")) {
+    return NameCategory::kQuantity;
+  }
+  if (HasWord(lower, "flag") || pdgf::StartsWith(lower, "is_") ||
+      pdgf::StartsWith(lower, "has_")) {
+    return NameCategory::kFlag;
+  }
+  return NameCategory::kNone;
+}
+
+const char* NameCategoryLabel(NameCategory category) {
+  switch (category) {
+    case NameCategory::kNone:
+      return "none";
+    case NameCategory::kKey:
+      return "key";
+    case NameCategory::kName:
+      return "name";
+    case NameCategory::kAddress:
+      return "address";
+    case NameCategory::kCity:
+      return "city";
+    case NameCategory::kState:
+      return "state";
+    case NameCategory::kCountry:
+      return "country";
+    case NameCategory::kZip:
+      return "zip";
+    case NameCategory::kPhone:
+      return "phone";
+    case NameCategory::kEmail:
+      return "email";
+    case NameCategory::kUrl:
+      return "url";
+    case NameCategory::kComment:
+      return "comment";
+    case NameCategory::kDate:
+      return "date";
+    case NameCategory::kPrice:
+      return "price";
+    case NameCategory::kQuantity:
+      return "quantity";
+    case NameCategory::kFlag:
+      return "flag";
+  }
+  return "none";
+}
+
+}  // namespace dbsynth

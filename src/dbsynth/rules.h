@@ -1,0 +1,42 @@
+#ifndef DBSYNTHPP_DBSYNTH_RULES_H_
+#define DBSYNTHPP_DBSYNTH_RULES_H_
+
+#include <string>
+#include <string_view>
+
+namespace dbsynth {
+
+// DBSynth's rule-based system "searches for key words in the schema
+// information and adds predefined generation rules to the data model"
+// (paper §3: e.g. "numeric columns with name key or id will be generated
+// with an ID generator"). This is the keyword classifier those rules
+// share.
+enum class NameCategory {
+  kNone,
+  kKey,       // *key, *id, *_no, *number (numeric surrogate keys)
+  kName,      // *name
+  kAddress,   // *address, *addr, *street
+  kCity,
+  kState,
+  kCountry,   // country / nation
+  kZip,       // *zip*, *postal*
+  kPhone,
+  kEmail,
+  kUrl,       // *url*, *link*, *website*
+  kComment,   // *comment*, *description*, *remark*, *note*, *text*, *review*
+  kDate,
+  kPrice,     // *price*, *cost*, *amount*, *total*, *charge*, *balance*
+  kQuantity,  // *qty*, *quantity*, *count*
+  kFlag,      // *flag*, is_*
+};
+
+// Classifies a column name (case-insensitive, matches common naming
+// conventions like l_orderkey, c_name, CUST_ADDRESS).
+NameCategory ClassifyColumnName(std::string_view column_name);
+
+// Human-readable category name (for explain/debug output).
+const char* NameCategoryLabel(NameCategory category);
+
+}  // namespace dbsynth
+
+#endif  // DBSYNTHPP_DBSYNTH_RULES_H_

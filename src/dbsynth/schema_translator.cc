@@ -1,0 +1,205 @@
+#include "dbsynth/schema_translator.h"
+
+#include <vector>
+
+#include "core/generators/generators.h"
+#include "core/output/formatter.h"
+#include "minidb/sql.h"
+
+namespace dbsynth {
+
+using pdgf::Status;
+using pdgf::StatusOr;
+
+namespace {
+
+// Unwraps NullGenerator layers to find a reference generator, if any.
+const pdgf::DefaultReferenceGenerator* FindReference(
+    const pdgf::Generator* generator) {
+  while (generator != nullptr) {
+    if (const auto* reference =
+            dynamic_cast<const pdgf::DefaultReferenceGenerator*>(generator)) {
+      return reference;
+    }
+    if (const auto* null_wrapper =
+            dynamic_cast<const pdgf::NullGenerator*>(generator)) {
+      generator = null_wrapper->inner();
+      continue;
+    }
+    return nullptr;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+minidb::TableSchema TranslateTable(const pdgf::SchemaDef& schema,
+                                   const pdgf::TableDef& table) {
+  (void)schema;
+  minidb::TableSchema target;
+  target.name = table.name;
+  for (const pdgf::FieldDef& field : table.fields) {
+    minidb::ColumnDef column;
+    column.name = field.name;
+    column.type = field.type;
+    column.size = field.size;
+    column.scale = field.scale;
+    column.nullable = field.nullable && !field.primary;
+    column.primary_key = field.primary;
+    const pdgf::DefaultReferenceGenerator* reference =
+        FindReference(field.generator.get());
+    if (reference != nullptr) {
+      column.ref_table = reference->table();
+      column.ref_column = reference->field();
+    }
+    target.columns.push_back(std::move(column));
+  }
+  return target;
+}
+
+std::string TranslateToSqlDdl(const pdgf::SchemaDef& schema) {
+  std::string ddl;
+  for (const pdgf::TableDef& table : schema.tables) {
+    ddl += minidb::BuildCreateTableSql(TranslateTable(schema, table));
+    ddl += ";\n";
+  }
+  return ddl;
+}
+
+Status CreateTargetSchema(const pdgf::SchemaDef& schema,
+                          minidb::Database* target, bool replace) {
+  if (replace) {
+    for (const pdgf::TableDef& table : schema.tables) {
+      if (target->GetTable(table.name) != nullptr) {
+        PDGF_RETURN_IF_ERROR(target->DropTable(table.name));
+      }
+    }
+  }
+  // Create in dependency order (FK targets first).
+  std::vector<minidb::TableSchema> pending;
+  pending.reserve(schema.tables.size());
+  for (const pdgf::TableDef& table : schema.tables) {
+    pending.push_back(TranslateTable(schema, table));
+  }
+  while (!pending.empty()) {
+    bool progressed = false;
+    for (size_t i = 0; i < pending.size(); ++i) {
+      bool ready = true;
+      for (const minidb::ColumnDef& column : pending[i].columns) {
+        if (column.is_foreign_key() &&
+            target->GetTable(column.ref_table) == nullptr &&
+            column.ref_table != pending[i].name) {
+          ready = false;
+          break;
+        }
+      }
+      if (!ready) continue;
+      PDGF_RETURN_IF_ERROR(target->CreateTable(std::move(pending[i])));
+      pending.erase(pending.begin() + static_cast<long>(i));
+      progressed = true;
+      break;
+    }
+    if (!progressed) {
+      return pdgf::FailedPreconditionError(
+          "cyclic foreign-key dependencies between tables");
+    }
+  }
+  return Status::Ok();
+}
+
+StatusOr<uint64_t> BulkLoadGeneratedData(
+    const pdgf::GenerationSession& session, minidb::Database* target) {
+  uint64_t loaded = 0;
+  const pdgf::SchemaDef& schema = session.schema();
+  for (size_t t = 0; t < schema.tables.size(); ++t) {
+    minidb::Table* table = target->GetTable(schema.tables[t].name);
+    if (table == nullptr) {
+      return pdgf::NotFoundError("target table '" + schema.tables[t].name +
+                                 "' does not exist");
+    }
+    uint64_t rows = session.TableRows(static_cast<int>(t));
+    table->Reserve(table->row_count() + rows);
+    std::vector<pdgf::Value> row;
+    for (uint64_t r = 0; r < rows; ++r) {
+      session.GenerateRow(static_cast<int>(t), r, 0, &row);
+      PDGF_RETURN_IF_ERROR(table->Insert(row));
+      ++loaded;
+    }
+  }
+  return loaded;
+}
+
+StatusOr<uint64_t> SqlLoadGeneratedData(const pdgf::GenerationSession& session,
+                                        minidb::Database* target,
+                                        int batch_rows) {
+  if (batch_rows < 1) batch_rows = 1;
+  uint64_t loaded = 0;
+  const pdgf::SchemaDef& schema = session.schema();
+  pdgf::SqlInsertFormatter formatter(batch_rows);
+  for (size_t t = 0; t < schema.tables.size(); ++t) {
+    const pdgf::TableDef& table = schema.tables[t];
+    uint64_t rows = session.TableRows(static_cast<int>(t));
+    std::vector<std::vector<pdgf::Value>> batch;
+    batch.reserve(static_cast<size_t>(batch_rows));
+    std::vector<pdgf::Value> row;
+    for (uint64_t r = 0; r < rows; ++r) {
+      session.GenerateRow(static_cast<int>(t), r, 0, &row);
+      batch.push_back(row);
+      if (batch.size() == static_cast<size_t>(batch_rows) || r + 1 == rows) {
+        std::string sql;
+        formatter.AppendBatch(table, batch, &sql);
+        PDGF_ASSIGN_OR_RETURN(auto results,
+                              minidb::ExecuteSqlScript(target, sql));
+        for (const minidb::ResultSet& result : results) {
+          loaded += result.affected_rows;
+        }
+        batch.clear();
+      }
+    }
+  }
+  return loaded;
+}
+
+StatusOr<uint64_t> ApplyUpdateStream(const pdgf::GenerationSession& session,
+                                     minidb::Database* target,
+                                     uint64_t update) {
+  if (update == 0) {
+    return pdgf::InvalidArgumentError(
+        "update 0 is the base load; use BulkLoadGeneratedData");
+  }
+  uint64_t rewritten = 0;
+  const pdgf::SchemaDef& schema = session.schema();
+  for (size_t t = 0; t < schema.tables.size(); ++t) {
+    int table_index = static_cast<int>(t);
+    if (session.TableUpdates(table_index) <= 1) {
+      continue;  // static table: no update stream
+    }
+    minidb::Table* table = target->GetTable(schema.tables[t].name);
+    if (table == nullptr) {
+      return pdgf::NotFoundError("target table '" + schema.tables[t].name +
+                                 "' does not exist");
+    }
+    uint64_t rows = session.TableRows(table_index);
+    if (table->row_count() < rows) {
+      return pdgf::FailedPreconditionError(
+          "target table '" + schema.tables[t].name +
+          "' is smaller than the base data; load it first");
+    }
+    std::vector<pdgf::Value> generated;
+    for (uint64_t r = 0; r < rows; ++r) {
+      if (!session.RowChangesInUpdate(table_index, r, update)) continue;
+      session.GenerateRow(table_index, r, update, &generated);
+      minidb::Row* row = table->MutableRow(static_cast<size_t>(r));
+      for (size_t c = 0;
+           c < row->size() && c < generated.size(); ++c) {
+        PDGF_ASSIGN_OR_RETURN(
+            (*row)[c],
+            minidb::CoerceValue(table->schema().columns[c], generated[c]));
+      }
+      ++rewritten;
+    }
+  }
+  return rewritten;
+}
+
+}  // namespace dbsynth

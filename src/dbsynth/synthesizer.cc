@@ -1,0 +1,49 @@
+#include "dbsynth/synthesizer.h"
+
+#include "core/session.h"
+#include "dbsynth/schema_translator.h"
+#include "util/stopwatch.h"
+#include "util/strings.h"
+
+namespace dbsynth {
+
+pdgf::StatusOr<SynthesizeReport> SynthesizeDatabase(
+    SourceConnection* source, minidb::Database* target,
+    const SynthesizeOptions& options) {
+  SynthesizeReport report;
+
+  // Extract (Figure 3: model creation + data extraction).
+  PDGF_ASSIGN_OR_RETURN(DatabaseProfile profile,
+                        ProfileDatabase(source, options.extraction));
+  report.timings = profile.timings;
+
+  // Build the PDGF model.
+  PDGF_ASSIGN_OR_RETURN(ModelBuildResult model,
+                        BuildModel(profile, options.model));
+  report.decisions = std::move(model.decisions);
+  report.schema = std::move(model.schema);
+
+  // Resolve at the requested scale factor.
+  std::map<std::string, std::string> overrides;
+  overrides[options.model.scale_property] =
+      pdgf::StrPrintf("%.17g", options.scale_factor);
+  PDGF_ASSIGN_OR_RETURN(
+      std::unique_ptr<pdgf::GenerationSession> session,
+      pdgf::GenerationSession::Create(&report.schema, overrides));
+
+  // Translate the schema into the target database and load.
+  PDGF_RETURN_IF_ERROR(
+      CreateTargetSchema(report.schema, target, /*replace=*/true));
+  pdgf::Stopwatch stopwatch;
+  if (options.use_sql_load) {
+    PDGF_ASSIGN_OR_RETURN(report.rows_loaded,
+                          SqlLoadGeneratedData(*session, target));
+  } else {
+    PDGF_ASSIGN_OR_RETURN(report.rows_loaded,
+                          BulkLoadGeneratedData(*session, target));
+  }
+  report.generate_seconds = stopwatch.ElapsedSeconds();
+  return report;
+}
+
+}  // namespace dbsynth

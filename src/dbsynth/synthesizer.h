@@ -1,0 +1,54 @@
+#ifndef DBSYNTHPP_DBSYNTH_SYNTHESIZER_H_
+#define DBSYNTHPP_DBSYNTH_SYNTHESIZER_H_
+
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "core/schema.h"
+#include "dbsynth/connection.h"
+#include "dbsynth/model_builder.h"
+#include "dbsynth/profiler.h"
+#include "minidb/database.h"
+
+namespace dbsynth {
+
+// The end-to-end DBSynth workflow of Figure 3, as one call:
+//
+//   source DB --(profile)--> metadata + samples
+//             --(build)----> PDGF model (+ dictionaries, Markov chains)
+//             --(generate)-> synthetic rows, scaled by `scale_factor`
+//             --(translate/load)--> target DB
+//
+// Individual stages remain available through profiler.h, model_builder.h
+// and schema_translator.h for custom pipelines.
+
+struct SynthesizeOptions {
+  ExtractionOptions extraction;
+  ModelBuildOptions model;
+  // Scale applied when regenerating: 1.0 reproduces the original sizes,
+  // 10.0 a ten-fold data set, etc.
+  double scale_factor = 1.0;
+  // Load path: bulk (fast) or SQL INSERT statements.
+  bool use_sql_load = false;
+};
+
+struct SynthesizeReport {
+  pdgf::SchemaDef schema;
+  std::vector<ModelDecision> decisions;
+  ExtractionTimings timings;
+  uint64_t rows_loaded = 0;
+  double generate_seconds = 0;
+};
+
+// Profiles `source`, builds a model, generates data at
+// `options.scale_factor` and loads it into `target`. `target` may be the
+// same Database as the source's backing store only if table names do not
+// collide.
+pdgf::StatusOr<SynthesizeReport> SynthesizeDatabase(
+    SourceConnection* source, minidb::Database* target,
+    const SynthesizeOptions& options);
+
+}  // namespace dbsynth
+
+#endif  // DBSYNTHPP_DBSYNTH_SYNTHESIZER_H_

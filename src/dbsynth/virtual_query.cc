@@ -1,0 +1,62 @@
+#include "dbsynth/virtual_query.h"
+
+#include "dbsynth/schema_translator.h"
+#include "minidb/sql_parser.h"
+
+namespace dbsynth {
+
+GeneratedTableSource::GeneratedTableSource(
+    const pdgf::GenerationSession* session, int table_index,
+    uint64_t update)
+    : session_(session),
+      table_index_(table_index),
+      update_(update),
+      schema_(TranslateTable(
+          session->schema(),
+          session->schema().tables[static_cast<size_t>(table_index)])) {}
+
+uint64_t GeneratedTableSource::row_count() const {
+  return session_->TableRows(table_index_);
+}
+
+void GeneratedTableSource::Scan(
+    const std::function<bool(const minidb::Row&)>& visitor) const {
+  uint64_t rows = session_->TableRows(table_index_);
+  std::vector<pdgf::Value> row;
+  minidb::Row coerced(schema_.columns.size());
+  for (uint64_t r = 0; r < rows; ++r) {
+    if (update_ > 0 &&
+        !session_->RowChangesInUpdate(table_index_, r, update_)) {
+      continue;
+    }
+    session_->GenerateRow(table_index_, r, update_, &row);
+    // Coerce to the column storage types so results are identical to
+    // querying a database the generated data was loaded into.
+    for (size_t c = 0; c < coerced.size() && c < row.size(); ++c) {
+      auto value = minidb::CoerceValue(schema_.columns[c], row[c]);
+      coerced[c] = value.ok() ? std::move(*value) : row[c];
+    }
+    if (!visitor(coerced)) return;
+  }
+}
+
+pdgf::StatusOr<minidb::ResultSet> ExecuteQueryWithoutData(
+    const pdgf::GenerationSession& session, std::string_view sql,
+    uint64_t update) {
+  PDGF_ASSIGN_OR_RETURN(minidb::Statement statement,
+                        minidb::ParseSql(sql));
+  const auto* select = std::get_if<minidb::SelectStatement>(&statement);
+  if (select == nullptr) {
+    return pdgf::InvalidArgumentError(
+        "queries without data must be SELECT statements");
+  }
+  int table_index = session.schema().FindTableIndex(select->table);
+  if (table_index < 0) {
+    return pdgf::NotFoundError("model has no table '" + select->table +
+                               "'");
+  }
+  GeneratedTableSource source(&session, table_index, update);
+  return minidb::ExecuteSelectOnSource(source, *select);
+}
+
+}  // namespace dbsynth

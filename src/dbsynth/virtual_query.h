@@ -1,0 +1,54 @@
+#ifndef DBSYNTHPP_DBSYNTH_VIRTUAL_QUERY_H_
+#define DBSYNTHPP_DBSYNTH_VIRTUAL_QUERY_H_
+
+#include <string_view>
+
+#include "common/status.h"
+#include "core/session.h"
+#include "minidb/sql.h"
+
+namespace dbsynth {
+
+// Query execution without data generation — the paper's future-work
+// feature (§6: "Given the deterministic approach of data generation, our
+// tool will then also be able to directly execute the query without ever
+// generating the data, which can be used to verify results for
+// correctness").
+//
+// A GeneratedTableSource streams a model table's rows straight out of
+// the generators into the SQL executor: nothing is written, nothing is
+// stored; memory use is one row. Because generation is deterministic,
+// the result is identical to loading the generated data into a database
+// and querying it there (tested in tests/dbsynth/virtual_query_test.cc).
+class GeneratedTableSource final : public minidb::RowSource {
+ public:
+  // `session` must outlive the source. `table_index` selects the model
+  // table to expose; `update` > 0 streams that time unit's update rows
+  // instead of the base data.
+  GeneratedTableSource(const pdgf::GenerationSession* session,
+                       int table_index, uint64_t update = 0);
+
+  const minidb::TableSchema& schema() const override { return schema_; }
+  void Scan(const std::function<bool(const minidb::Row&)>& visitor)
+      const override;
+
+  // Rows this source will stream.
+  uint64_t row_count() const;
+
+ private:
+  const pdgf::GenerationSession* session_;
+  int table_index_;
+  uint64_t update_;
+  minidb::TableSchema schema_;
+};
+
+// Parses a SELECT whose FROM names a table of the session's model and
+// executes it over generated rows. With `update` > 0 the query runs over
+// that time unit's update stream instead of the base data.
+pdgf::StatusOr<minidb::ResultSet> ExecuteQueryWithoutData(
+    const pdgf::GenerationSession& session, std::string_view sql,
+    uint64_t update = 0);
+
+}  // namespace dbsynth
+
+#endif  // DBSYNTHPP_DBSYNTH_VIRTUAL_QUERY_H_

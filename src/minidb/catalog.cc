@@ -1,0 +1,22 @@
+#include "minidb/catalog.h"
+
+#include "util/strings.h"
+
+namespace minidb {
+
+int TableSchema::FindColumn(std::string_view column_name) const {
+  for (size_t i = 0; i < columns.size(); ++i) {
+    if (pdgf::EqualsIgnoreCase(columns[i].name, column_name)) {
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+const ColumnDef* TableSchema::FindColumnDef(
+    std::string_view column_name) const {
+  int index = FindColumn(column_name);
+  return index < 0 ? nullptr : &columns[static_cast<size_t>(index)];
+}
+
+}  // namespace minidb

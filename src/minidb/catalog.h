@@ -1,0 +1,40 @@
+#ifndef DBSYNTHPP_MINIDB_CATALOG_H_
+#define DBSYNTHPP_MINIDB_CATALOG_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/types.h"
+
+namespace minidb {
+
+// Column metadata, including the constraint information DBSynth's model
+// creation consumes (paper §3: schema information, referential-integrity
+// constraints, NULL-ability).
+struct ColumnDef {
+  std::string name;
+  pdgf::DataType type = pdgf::DataType::kVarchar;
+  int size = 0;   // CHAR/VARCHAR length or numeric display width
+  int scale = 2;  // DECIMAL scale
+  bool nullable = true;
+  bool primary_key = false;
+  std::string ref_table;   // non-empty if this column REFERENCES
+  std::string ref_column;
+
+  bool is_foreign_key() const { return !ref_table.empty(); }
+};
+
+// Table metadata.
+struct TableSchema {
+  std::string name;
+  std::vector<ColumnDef> columns;
+
+  // Index of the column with `column_name` (case-insensitive), or -1.
+  int FindColumn(std::string_view column_name) const;
+  const ColumnDef* FindColumnDef(std::string_view column_name) const;
+};
+
+}  // namespace minidb
+
+#endif  // DBSYNTHPP_MINIDB_CATALOG_H_

@@ -1,0 +1,156 @@
+#include "minidb/csv.h"
+
+#include "util/files.h"
+
+namespace minidb {
+
+using pdgf::Status;
+using pdgf::StatusOr;
+using pdgf::Value;
+
+namespace {
+
+// Splits one CSV record honoring quoting. Returns false at end of input.
+// `pos` advances past the record's newline.
+bool NextRecord(std::string_view text, size_t* pos,
+                const CsvOptions& options,
+                std::vector<std::pair<std::string, bool>>* cells) {
+  if (*pos >= text.size()) return false;
+  cells->clear();
+  std::string cell;
+  bool quoted = false;       // current cell was quoted
+  bool in_quotes = false;
+  while (*pos < text.size()) {
+    char c = text[*pos];
+    if (in_quotes) {
+      if (c == options.quote) {
+        if (*pos + 1 < text.size() && text[*pos + 1] == options.quote) {
+          cell.push_back(options.quote);
+          *pos += 2;
+          continue;
+        }
+        in_quotes = false;
+        ++*pos;
+        continue;
+      }
+      cell.push_back(c);
+      ++*pos;
+      continue;
+    }
+    if (c == options.quote && cell.empty()) {
+      in_quotes = true;
+      quoted = true;
+      ++*pos;
+      continue;
+    }
+    if (c == options.delimiter) {
+      cells->emplace_back(std::move(cell), quoted);
+      cell.clear();
+      quoted = false;
+      ++*pos;
+      continue;
+    }
+    if (c == '\n') {
+      ++*pos;
+      break;
+    }
+    if (c == '\r') {
+      ++*pos;
+      continue;
+    }
+    cell.push_back(c);
+    ++*pos;
+  }
+  cells->emplace_back(std::move(cell), quoted);
+  return true;
+}
+
+}  // namespace
+
+StatusOr<uint64_t> LoadCsvIntoTable(std::string_view text, Table* table,
+                                    const CsvOptions& options) {
+  const TableSchema& schema = table->schema();
+  size_t pos = 0;
+  std::vector<std::pair<std::string, bool>> cells;
+  uint64_t loaded = 0;
+  bool skip_header = options.has_header;
+  while (NextRecord(text, &pos, options, &cells)) {
+    if (skip_header) {
+      skip_header = false;
+      continue;
+    }
+    // A trailing empty record (e.g. final newline) is skipped.
+    if (cells.size() == 1 && cells[0].first.empty() && pos >= text.size()) {
+      break;
+    }
+    if (cells.size() != schema.columns.size()) {
+      return pdgf::ParseError(
+          "CSV row " + std::to_string(loaded + 1) + " has " +
+          std::to_string(cells.size()) + " cells, expected " +
+          std::to_string(schema.columns.size()));
+    }
+    Row row;
+    row.reserve(cells.size());
+    for (size_t i = 0; i < cells.size(); ++i) {
+      const auto& [cell_text, quoted] = cells[i];
+      const ColumnDef& column = schema.columns[i];
+      if (!quoted && cell_text == options.null_marker && column.nullable) {
+        row.push_back(Value::Null());
+        continue;
+      }
+      StatusOr<Value> value =
+          Value::ParseAs(column.type, cell_text, column.scale);
+      if (!value.ok()) {
+        return Status(value.status().code(),
+                      "CSV row " + std::to_string(loaded + 1) + ", column " +
+                          column.name + ": " + value.status().message());
+      }
+      row.push_back(std::move(*value));
+    }
+    PDGF_RETURN_IF_ERROR(table->Insert(std::move(row)));
+    ++loaded;
+  }
+  return loaded;
+}
+
+StatusOr<uint64_t> LoadCsvFileIntoTable(const std::string& path, Table* table,
+                                        const CsvOptions& options) {
+  PDGF_ASSIGN_OR_RETURN(std::string contents, pdgf::ReadFileToString(path));
+  return LoadCsvIntoTable(contents, table, options);
+}
+
+std::string TableToCsv(const Table& table, const CsvOptions& options) {
+  std::string out;
+  table.Scan([&](const Row& row) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) out.push_back(options.delimiter);
+      if (row[i].is_null()) {
+        out.append(options.null_marker);
+        continue;
+      }
+      if (row[i].kind() == Value::Kind::kString) {
+        const std::string& text = row[i].string_value();
+        bool needs_quoting =
+            text.find(options.delimiter) != std::string::npos ||
+            text.find(options.quote) != std::string::npos ||
+            text.find('\n') != std::string::npos ||
+            (!options.null_marker.empty() && text == options.null_marker);
+        if (needs_quoting) {
+          out.push_back(options.quote);
+          for (char c : text) {
+            if (c == options.quote) out.push_back(options.quote);
+            out.push_back(c);
+          }
+          out.push_back(options.quote);
+          continue;
+        }
+      }
+      row[i].AppendText(&out);
+    }
+    out.push_back('\n');
+    return true;
+  });
+  return out;
+}
+
+}  // namespace minidb

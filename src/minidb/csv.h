@@ -1,0 +1,39 @@
+#ifndef DBSYNTHPP_MINIDB_CSV_H_
+#define DBSYNTHPP_MINIDB_CSV_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "minidb/database.h"
+
+namespace minidb {
+
+// CSV import/export: the bulk-load path between PDGF output and MiniDB
+// ("the data can be loaded into the target database ... using a bulk
+// load option", paper §3).
+
+struct CsvOptions {
+  char delimiter = '|';
+  char quote = '"';
+  // Unquoted cells equal to this marker load as NULL.
+  std::string null_marker;
+  bool has_header = false;
+};
+
+// Parses `text` and appends the rows to `table`, coercing cells to the
+// column types. Returns the number of rows loaded.
+pdgf::StatusOr<uint64_t> LoadCsvIntoTable(std::string_view text, Table* table,
+                                          const CsvOptions& options = {});
+
+// Loads a CSV file into `table`.
+pdgf::StatusOr<uint64_t> LoadCsvFileIntoTable(const std::string& path,
+                                              Table* table,
+                                              const CsvOptions& options = {});
+
+// Renders the table as CSV (no header).
+std::string TableToCsv(const Table& table, const CsvOptions& options = {});
+
+}  // namespace minidb
+
+#endif  // DBSYNTHPP_MINIDB_CSV_H_

@@ -1,0 +1,69 @@
+#include "minidb/database.h"
+
+#include "util/strings.h"
+
+namespace minidb {
+
+pdgf::Status Database::CreateTable(TableSchema schema) {
+  if (schema.name.empty()) {
+    return pdgf::InvalidArgumentError("table name must not be empty");
+  }
+  if (GetTable(schema.name) != nullptr) {
+    return pdgf::AlreadyExistsError("table '" + schema.name +
+                                    "' already exists");
+  }
+  if (schema.columns.empty()) {
+    return pdgf::InvalidArgumentError("table '" + schema.name +
+                                      "' has no columns");
+  }
+  for (const ColumnDef& column : schema.columns) {
+    if (!column.is_foreign_key()) continue;
+    const Table* target = GetTable(column.ref_table);
+    if (target == nullptr) {
+      return pdgf::NotFoundError("foreign key target table '" +
+                                 column.ref_table + "' does not exist");
+    }
+    if (target->schema().FindColumn(column.ref_column) < 0) {
+      return pdgf::NotFoundError("foreign key target column '" +
+                                 column.ref_table + "." + column.ref_column +
+                                 "' does not exist");
+    }
+  }
+  tables_.push_back(std::make_unique<Table>(std::move(schema)));
+  return pdgf::Status::Ok();
+}
+
+pdgf::Status Database::DropTable(const std::string& name) {
+  for (size_t i = 0; i < tables_.size(); ++i) {
+    if (pdgf::EqualsIgnoreCase(tables_[i]->name(), name)) {
+      tables_.erase(tables_.begin() + static_cast<long>(i));
+      return pdgf::Status::Ok();
+    }
+  }
+  return pdgf::NotFoundError("table '" + name + "' does not exist");
+}
+
+Table* Database::GetTable(std::string_view name) {
+  for (const auto& table : tables_) {
+    if (pdgf::EqualsIgnoreCase(table->name(), name)) return table.get();
+  }
+  return nullptr;
+}
+
+const Table* Database::GetTable(std::string_view name) const {
+  for (const auto& table : tables_) {
+    if (pdgf::EqualsIgnoreCase(table->name(), name)) return table.get();
+  }
+  return nullptr;
+}
+
+std::vector<std::string> Database::TableNames() const {
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& table : tables_) {
+    names.push_back(table->name());
+  }
+  return names;
+}
+
+}  // namespace minidb

@@ -1,0 +1,50 @@
+#ifndef DBSYNTHPP_MINIDB_DATABASE_H_
+#define DBSYNTHPP_MINIDB_DATABASE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "minidb/table.h"
+
+namespace minidb {
+
+// An embedded, in-memory relational database. Stands in for the JDBC-
+// reachable PostgreSQL/MySQL instances of the paper (DESIGN.md
+// substitution S11): it exposes exactly the surface DBSynth profiles —
+// catalog metadata with PK/FK constraints, scans for sampling, and a SQL
+// subset for DDL/DML/verification queries.
+//
+// Not thread-safe; callers serialize access (DBSynth and the examples
+// use a single connection).
+class Database {
+ public:
+  Database() = default;
+
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+  Database(Database&&) = default;
+  Database& operator=(Database&&) = default;
+
+  // Creates a table; fails on duplicates or FK targets that don't exist.
+  pdgf::Status CreateTable(TableSchema schema);
+  pdgf::Status DropTable(const std::string& name);
+
+  // nullptr when absent (name match is case-insensitive).
+  Table* GetTable(std::string_view name);
+  const Table* GetTable(std::string_view name) const;
+
+  // Table names in creation order.
+  std::vector<std::string> TableNames() const;
+  size_t table_count() const { return tables_.size(); }
+
+ private:
+  // Creation-ordered list; lookups scan (table counts are small).
+  std::vector<std::unique_ptr<Table>> tables_;
+};
+
+}  // namespace minidb
+
+#endif  // DBSYNTHPP_MINIDB_DATABASE_H_

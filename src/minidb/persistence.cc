@@ -1,0 +1,96 @@
+#include "minidb/persistence.h"
+
+#include <vector>
+
+#include "minidb/sql.h"
+#include "util/files.h"
+#include "util/strings.h"
+
+namespace minidb {
+
+CsvOptions PersistenceCsvOptions() {
+  CsvOptions options;
+  options.delimiter = '|';
+  options.null_marker = "\\N";
+  return options;
+}
+
+pdgf::Status SaveDatabase(const Database& database,
+                          const std::string& directory,
+                          const CsvOptions& options) {
+  PDGF_RETURN_IF_ERROR(pdgf::MakeDirectories(directory));
+
+  // DDL in dependency order: a table is emitted once every FK target of
+  // it has been emitted (self-references allowed).
+  std::vector<const Table*> pending;
+  for (const std::string& name : database.TableNames()) {
+    pending.push_back(database.GetTable(name));
+  }
+  std::vector<const Table*> ordered;
+  auto emitted = [&ordered](const std::string& name) {
+    for (const Table* table : ordered) {
+      if (pdgf::EqualsIgnoreCase(table->name(), name)) return true;
+    }
+    return false;
+  };
+  while (!pending.empty()) {
+    bool progressed = false;
+    for (size_t i = 0; i < pending.size(); ++i) {
+      bool ready = true;
+      for (const ColumnDef& column : pending[i]->schema().columns) {
+        if (column.is_foreign_key() && !emitted(column.ref_table) &&
+            !pdgf::EqualsIgnoreCase(column.ref_table, pending[i]->name())) {
+          ready = false;
+          break;
+        }
+      }
+      if (!ready) continue;
+      ordered.push_back(pending[i]);
+      pending.erase(pending.begin() + static_cast<long>(i));
+      progressed = true;
+      break;
+    }
+    if (!progressed) {
+      return pdgf::FailedPreconditionError(
+          "cyclic foreign keys; cannot order schema.sql");
+    }
+  }
+
+  std::string ddl;
+  for (const Table* table : ordered) {
+    ddl += BuildCreateTableSql(table->schema());
+    ddl += ";\n";
+  }
+  PDGF_RETURN_IF_ERROR(pdgf::WriteStringToFile(
+      pdgf::JoinPath(directory, "schema.sql"), ddl));
+
+  for (const Table* table : ordered) {
+    PDGF_RETURN_IF_ERROR(pdgf::WriteStringToFile(
+        pdgf::JoinPath(directory, table->name() + ".csv"),
+        TableToCsv(*table, options)));
+  }
+  return pdgf::Status::Ok();
+}
+
+pdgf::StatusOr<Database> LoadDatabase(const std::string& directory,
+                                      const CsvOptions& options) {
+  PDGF_ASSIGN_OR_RETURN(
+      std::string ddl,
+      pdgf::ReadFileToString(pdgf::JoinPath(directory, "schema.sql")));
+  Database database;
+  {
+    auto created = ExecuteSqlScript(&database, ddl);
+    if (!created.ok()) return created.status();
+  }
+  for (const std::string& name : database.TableNames()) {
+    std::string path = pdgf::JoinPath(directory, name + ".csv");
+    if (!pdgf::PathExists(path)) continue;  // schema-only table
+    PDGF_ASSIGN_OR_RETURN(
+        uint64_t loaded,
+        LoadCsvFileIntoTable(path, database.GetTable(name), options));
+    (void)loaded;
+  }
+  return database;
+}
+
+}  // namespace minidb

@@ -1,0 +1,38 @@
+#ifndef DBSYNTHPP_MINIDB_PERSISTENCE_H_
+#define DBSYNTHPP_MINIDB_PERSISTENCE_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "minidb/csv.h"
+#include "minidb/database.h"
+
+namespace minidb {
+
+// Directory-based persistence: a database serializes to
+//
+//   <directory>/schema.sql    CREATE TABLE script, FK targets first
+//   <directory>/<table>.csv   one data file per table
+//
+// — exactly the layout the dbsynthpp CLI's `extract --csv-dir` consumes,
+// so a saved database can be re-profiled, shipped, or diffed as text.
+
+// Default CSV dialect for persistence: '|' separated with "\N" NULLs
+// (NULL must be distinguishable from the empty string to round-trip).
+CsvOptions PersistenceCsvOptions();
+
+// Writes `database` to `directory` (created if missing; existing files
+// are overwritten).
+pdgf::Status SaveDatabase(const Database& database,
+                          const std::string& directory,
+                          const CsvOptions& options = PersistenceCsvOptions());
+
+// Reads a database previously written by SaveDatabase. Tables listed in
+// schema.sql without a data file load empty.
+pdgf::StatusOr<Database> LoadDatabase(
+    const std::string& directory,
+    const CsvOptions& options = PersistenceCsvOptions());
+
+}  // namespace minidb
+
+#endif  // DBSYNTHPP_MINIDB_PERSISTENCE_H_

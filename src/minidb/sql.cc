@@ -1,0 +1,611 @@
+#include "minidb/sql.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <unordered_set>
+
+#include "minidb/sql_parser.h"
+#include "util/strings.h"
+
+namespace minidb {
+
+using pdgf::Status;
+using pdgf::StatusOr;
+using pdgf::Value;
+
+namespace {
+
+// Evaluates one condition against a row; `index` is the pre-resolved
+// column position of condition.column.
+StatusOr<bool> EvalCondition(const TableSchema& schema, const Row& row,
+                             const Condition& condition, int index) {
+  const Value& value = row[static_cast<size_t>(index)];
+  switch (condition.op) {
+    case Condition::Op::kIsNull:
+      return value.is_null();
+    case Condition::Op::kIsNotNull:
+      return !value.is_null();
+    default:
+      break;
+  }
+  if (value.is_null()) return false;  // SQL three-valued logic: unknown
+  // Coerce the literal to the column type for sane comparisons
+  // (e.g. date strings against DATE columns).
+  const ColumnDef& column = schema.columns[static_cast<size_t>(index)];
+  Value literal = condition.operand;
+  StatusOr<Value> coerced = CoerceValue(column, literal);
+  if (coerced.ok()) literal = *coerced;
+  switch (condition.op) {
+    case Condition::Op::kEq:
+      return value.Compare(literal) == 0;
+    case Condition::Op::kNe:
+      return value.Compare(literal) != 0;
+    case Condition::Op::kLt:
+      return value.Compare(literal) < 0;
+    case Condition::Op::kLe:
+      return value.Compare(literal) <= 0;
+    case Condition::Op::kGt:
+      return value.Compare(literal) > 0;
+    case Condition::Op::kGe:
+      return value.Compare(literal) >= 0;
+    case Condition::Op::kBetween: {
+      Value upper = condition.operand2;
+      StatusOr<Value> coerced_upper = CoerceValue(column, upper);
+      if (coerced_upper.ok()) upper = *coerced_upper;
+      return value.Compare(literal) >= 0 && value.Compare(upper) <= 0;
+    }
+    case Condition::Op::kLike:
+    case Condition::Op::kNotLike: {
+      if (condition.operand.kind() != Value::Kind::kString) {
+        return pdgf::InvalidArgumentError("LIKE pattern must be a string");
+      }
+      std::string text = value.kind() == Value::Kind::kString
+                             ? value.string_value()
+                             : value.ToText();
+      bool match = LikeMatch(text, condition.operand.string_value());
+      return condition.op == Condition::Op::kLike ? match : !match;
+    }
+    case Condition::Op::kIsNull:
+    case Condition::Op::kIsNotNull:
+      break;  // handled above
+  }
+  return false;
+}
+
+// Accumulates one aggregate over a group.
+struct AggregateState {
+  uint64_t count = 0;
+  double sum = 0;
+  bool has_value = false;
+  Value min;
+  Value max;
+  std::unordered_set<uint64_t> distinct_hashes;
+
+  void Accumulate(const SelectItem& item, const Row& row, int column_index) {
+    if (item.count_star) {
+      ++count;
+      return;
+    }
+    const Value& value = row[static_cast<size_t>(column_index)];
+    if (value.is_null()) return;  // SQL aggregates skip NULLs
+    if (item.distinct) {
+      if (!distinct_hashes.insert(value.Hash()).second) return;
+    }
+    ++count;
+    sum += value.AsDouble();
+    if (!has_value || value.Compare(min) < 0) min = value;
+    if (!has_value || value.Compare(max) > 0) max = value;
+    has_value = true;
+  }
+
+  Value Result(const SelectItem& item) const {
+    switch (item.aggregate) {
+      case AggregateFunction::kCount:
+        return Value::Int(static_cast<int64_t>(count));
+      case AggregateFunction::kSum:
+        return has_value ? Value::Double(sum) : Value::Null();
+      case AggregateFunction::kAvg:
+        return has_value
+                   ? Value::Double(sum / static_cast<double>(count))
+                   : Value::Null();
+      case AggregateFunction::kMin:
+        return has_value ? min : Value::Null();
+      case AggregateFunction::kMax:
+        return has_value ? max : Value::Null();
+      case AggregateFunction::kNone:
+        break;
+    }
+    return Value::Null();
+  }
+};
+
+StatusOr<ResultSet> ExecuteSelectImpl(const RowSource& source,
+                                      const SelectStatement& statement) {
+  const TableSchema& schema = source.schema();
+
+  bool any_aggregate = false;
+  for (const SelectItem& item : statement.items) {
+    if (item.aggregate != AggregateFunction::kNone) any_aggregate = true;
+  }
+  bool grouped = !statement.group_by.empty();
+  if (grouped && !any_aggregate) {
+    return pdgf::InvalidArgumentError(
+        "GROUP BY requires aggregate select items");
+  }
+
+  // Expand '*' and resolve column indices.
+  std::vector<SelectItem> items;
+  for (const SelectItem& item : statement.items) {
+    if (item.star) {
+      if (any_aggregate) {
+        return pdgf::InvalidArgumentError("cannot mix * with aggregates");
+      }
+      for (const ColumnDef& column : schema.columns) {
+        SelectItem expanded;
+        expanded.column = column.name;
+        items.push_back(std::move(expanded));
+      }
+    } else {
+      items.push_back(item);
+    }
+  }
+  std::vector<int> item_columns(items.size(), -1);
+  for (size_t i = 0; i < items.size(); ++i) {
+    if (items[i].count_star) continue;
+    item_columns[i] = schema.FindColumn(items[i].column);
+    if (item_columns[i] < 0) {
+      return pdgf::NotFoundError("unknown column '" + items[i].column + "'");
+    }
+    if (grouped && items[i].aggregate == AggregateFunction::kNone &&
+        !pdgf::EqualsIgnoreCase(items[i].column, statement.group_by)) {
+      return pdgf::InvalidArgumentError(
+          "non-aggregate select item '" + items[i].column +
+          "' must be the GROUP BY column");
+    }
+  }
+  int group_column = -1;
+  if (grouped) {
+    group_column = schema.FindColumn(statement.group_by);
+    if (group_column < 0) {
+      return pdgf::NotFoundError("unknown GROUP BY column '" +
+                                 statement.group_by + "'");
+    }
+  }
+
+  ResultSet result;
+  for (const SelectItem& item : items) {
+    result.columns.push_back(item.DisplayName());
+  }
+
+  // Resolve WHERE columns once; FindColumn in the per-row path would
+  // dominate scan cost.
+  std::vector<int> condition_columns(statement.conditions.size());
+  for (size_t i = 0; i < statement.conditions.size(); ++i) {
+    condition_columns[i] =
+        schema.FindColumn(statement.conditions[i].column);
+    if (condition_columns[i] < 0) {
+      return pdgf::NotFoundError("unknown column '" +
+                                 statement.conditions[i].column +
+                                 "' in WHERE");
+    }
+  }
+
+  // ORDER BY may name a table column absent from the projection; carry it
+  // as a hidden trailing column and strip it after sorting.
+  bool hidden_order_column = false;
+  if (!statement.order_by.empty() && !any_aggregate) {
+    bool in_output = false;
+    for (size_t i = 0; i < items.size(); ++i) {
+      if (pdgf::EqualsIgnoreCase(result.columns[i], statement.order_by) ||
+          pdgf::EqualsIgnoreCase(items[i].column, statement.order_by)) {
+        in_output = true;
+        break;
+      }
+    }
+    if (!in_output) {
+      int column = schema.FindColumn(statement.order_by);
+      if (column < 0) {
+        return pdgf::NotFoundError("unknown ORDER BY column '" +
+                                   statement.order_by + "'");
+      }
+      SelectItem hidden;
+      hidden.column = statement.order_by;
+      items.push_back(std::move(hidden));
+      item_columns.push_back(column);
+      hidden_order_column = true;
+    }
+  }
+
+  // Scan with filtering.
+  Status scan_error;
+  if (!any_aggregate) {
+    source.Scan([&](const Row& row) {
+      for (size_t ci = 0; ci < statement.conditions.size(); ++ci) {
+        StatusOr<bool> match = EvalCondition(
+            schema, row, statement.conditions[ci], condition_columns[ci]);
+        if (!match.ok()) {
+          scan_error = match.status();
+          return false;
+        }
+        if (!*match) return true;
+      }
+      Row out;
+      out.reserve(items.size());
+      for (size_t i = 0; i < items.size(); ++i) {
+        out.push_back(row[static_cast<size_t>(item_columns[i])]);
+      }
+      result.rows.push_back(std::move(out));
+      // Fast path: ORDER BY absent and LIMIT reached.
+      if (statement.order_by.empty() && statement.limit >= 0 &&
+          result.rows.size() >= static_cast<size_t>(statement.limit)) {
+        return false;
+      }
+      return true;
+    });
+    if (!scan_error.ok()) return scan_error;
+  } else {
+    // Aggregation, optionally grouped. Group keys keep first-seen order.
+    std::map<std::string, size_t> group_index;
+    std::vector<Value> group_keys;
+    std::vector<std::vector<AggregateState>> groups;
+    if (!grouped) {
+      // Global aggregation: one pre-allocated group, no keying per row.
+      groups.emplace_back(items.size());
+      group_keys.push_back(Value::Null());
+    }
+    auto group_for = [&](const Row& row) -> std::vector<AggregateState>& {
+      if (!grouped) return groups[0];
+      const Value& value = row[static_cast<size_t>(group_column)];
+      std::string key = value.is_null() ? "\x01NULL" : value.ToText();
+      if (value.kind() == Value::Kind::kString) key.insert(0, "s:");
+      auto it = group_index.find(key);
+      if (it == group_index.end()) {
+        it = group_index.emplace(std::move(key), groups.size()).first;
+        groups.emplace_back(items.size());
+        group_keys.push_back(value);
+      }
+      return groups[it->second];
+    };
+    source.Scan([&](const Row& row) {
+      for (size_t ci = 0; ci < statement.conditions.size(); ++ci) {
+        StatusOr<bool> match = EvalCondition(
+            schema, row, statement.conditions[ci], condition_columns[ci]);
+        if (!match.ok()) {
+          scan_error = match.status();
+          return false;
+        }
+        if (!*match) return true;
+      }
+      std::vector<AggregateState>& states = group_for(row);
+      for (size_t i = 0; i < items.size(); ++i) {
+        if (items[i].aggregate != AggregateFunction::kNone) {
+          states[i].Accumulate(items[i], row, item_columns[i]);
+        }
+      }
+      return true;
+    });
+    if (!scan_error.ok()) return scan_error;
+    if (groups.empty() && !grouped) {
+      // Global aggregate over an empty input still yields one row.
+      groups.emplace_back(items.size());
+      group_keys.push_back(Value::Null());
+    }
+    for (size_t g = 0; g < groups.size(); ++g) {
+      Row out;
+      out.reserve(items.size());
+      for (size_t i = 0; i < items.size(); ++i) {
+        if (items[i].aggregate == AggregateFunction::kNone) {
+          out.push_back(group_keys[g]);
+        } else {
+          out.push_back(groups[g][i].Result(items[i]));
+        }
+      }
+      result.rows.push_back(std::move(out));
+    }
+  }
+
+  // ORDER BY an output column (or the hidden trailing sort column).
+  if (!statement.order_by.empty()) {
+    int order_index = -1;
+    if (hidden_order_column) {
+      order_index = static_cast<int>(items.size()) - 1;
+    }
+    for (size_t i = 0;
+         order_index < 0 && i < result.columns.size(); ++i) {
+      if (pdgf::EqualsIgnoreCase(result.columns[i], statement.order_by) ||
+          (i < items.size() &&
+           pdgf::EqualsIgnoreCase(items[i].column, statement.order_by))) {
+        order_index = static_cast<int>(i);
+        break;
+      }
+    }
+    if (order_index < 0) {
+      return pdgf::NotFoundError("unknown ORDER BY column '" +
+                                 statement.order_by + "'");
+    }
+    bool desc = statement.order_desc;
+    std::stable_sort(result.rows.begin(), result.rows.end(),
+                     [order_index, desc](const Row& a, const Row& b) {
+                       int cmp = a[static_cast<size_t>(order_index)].Compare(
+                           b[static_cast<size_t>(order_index)]);
+                       return desc ? cmp > 0 : cmp < 0;
+                     });
+  }
+  if (statement.limit >= 0 &&
+      result.rows.size() > static_cast<size_t>(statement.limit)) {
+    result.rows.resize(static_cast<size_t>(statement.limit));
+  }
+  if (hidden_order_column) {
+    for (Row& row : result.rows) {
+      row.pop_back();
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
+std::string SelectItem::DisplayName() const {
+  if (!alias.empty()) return alias;
+  switch (aggregate) {
+    case AggregateFunction::kNone:
+      return column;
+    case AggregateFunction::kCount:
+      if (count_star) return "count";
+      return distinct ? "count_distinct_" + column : "count_" + column;
+    case AggregateFunction::kSum:
+      return "sum_" + column;
+    case AggregateFunction::kAvg:
+      return "avg_" + column;
+    case AggregateFunction::kMin:
+      return "min_" + column;
+    case AggregateFunction::kMax:
+      return "max_" + column;
+  }
+  return column;
+}
+
+bool LikeMatch(std::string_view text, std::string_view pattern) {
+  // Iterative matcher with backtracking over the last '%'.
+  size_t t = 0, p = 0;
+  size_t star_p = std::string_view::npos, star_t = 0;
+  while (t < text.size()) {
+    if (p < pattern.size() &&
+        (pattern[p] == '_' || pattern[p] == text[t])) {
+      ++t;
+      ++p;
+    } else if (p < pattern.size() && pattern[p] == '%') {
+      star_p = p++;
+      star_t = t;
+    } else if (star_p != std::string_view::npos) {
+      p = star_p + 1;
+      t = ++star_t;
+    } else {
+      return false;
+    }
+  }
+  while (p < pattern.size() && pattern[p] == '%') ++p;
+  return p == pattern.size();
+}
+
+std::string ResultSet::ToString() const {
+  std::vector<size_t> widths(columns.size());
+  std::vector<std::vector<std::string>> rendered;
+  for (size_t i = 0; i < columns.size(); ++i) {
+    widths[i] = columns[i].size();
+  }
+  for (const Row& row : rows) {
+    std::vector<std::string> line;
+    for (size_t i = 0; i < row.size() && i < columns.size(); ++i) {
+      std::string text = row[i].is_null() ? "NULL" : row[i].ToText();
+      widths[i] = std::max(widths[i], text.size());
+      line.push_back(std::move(text));
+    }
+    rendered.push_back(std::move(line));
+  }
+  std::string out;
+  for (size_t i = 0; i < columns.size(); ++i) {
+    out += pdgf::StrPrintf("%-*s", static_cast<int>(widths[i]) + 2,
+                           columns[i].c_str());
+  }
+  out.push_back('\n');
+  for (const auto& line : rendered) {
+    for (size_t i = 0; i < line.size(); ++i) {
+      out += pdgf::StrPrintf("%-*s", static_cast<int>(widths[i]) + 2,
+                             line[i].c_str());
+    }
+    out.push_back('\n');
+  }
+  return out;
+}
+
+pdgf::Value ResultSet::At(size_t row, std::string_view column) const {
+  if (row >= rows.size()) return Value::Null();
+  for (size_t i = 0; i < columns.size(); ++i) {
+    if (pdgf::EqualsIgnoreCase(columns[i], column)) {
+      return i < rows[row].size() ? rows[row][i] : Value::Null();
+    }
+  }
+  return Value::Null();
+}
+
+pdgf::StatusOr<ResultSet> ExecuteSelectOnSource(
+    const RowSource& source, const SelectStatement& statement) {
+  return ExecuteSelectImpl(source, statement);
+}
+
+pdgf::StatusOr<ResultSet> ExecuteSqlOnSource(const RowSource& source,
+                                             std::string_view sql) {
+  PDGF_ASSIGN_OR_RETURN(Statement statement, ParseSql(sql));
+  const auto* select = std::get_if<SelectStatement>(&statement);
+  if (select == nullptr) {
+    return pdgf::InvalidArgumentError(
+        "only SELECT statements can run on a row source");
+  }
+  return ExecuteSelectImpl(source, *select);
+}
+
+pdgf::StatusOr<ResultSet> ExecuteStatement(Database* database,
+                                           const Statement& statement) {
+  ResultSet result;
+  if (const auto* create = std::get_if<CreateTableStatement>(&statement)) {
+    PDGF_RETURN_IF_ERROR(database->CreateTable(create->schema));
+    return result;
+  }
+  if (const auto* drop = std::get_if<DropTableStatement>(&statement)) {
+    PDGF_RETURN_IF_ERROR(database->DropTable(drop->table));
+    return result;
+  }
+  if (const auto* insert = std::get_if<InsertStatement>(&statement)) {
+    Table* table = database->GetTable(insert->table);
+    if (table == nullptr) {
+      return pdgf::NotFoundError("table '" + insert->table +
+                                 "' does not exist");
+    }
+    for (const std::vector<Value>& row : insert->rows) {
+      PDGF_RETURN_IF_ERROR(table->Insert(row));
+    }
+    result.affected_rows = insert->rows.size();
+    return result;
+  }
+  if (const auto* update = std::get_if<UpdateStatement>(&statement)) {
+    Table* table = database->GetTable(update->table);
+    if (table == nullptr) {
+      return pdgf::NotFoundError("table '" + update->table +
+                                 "' does not exist");
+    }
+    const TableSchema& schema = table->schema();
+    // Resolve SET targets and coerce the assigned literals once.
+    std::vector<int> set_columns(update->columns.size());
+    std::vector<Value> set_values(update->values.size());
+    for (size_t i = 0; i < update->columns.size(); ++i) {
+      set_columns[i] = schema.FindColumn(update->columns[i]);
+      if (set_columns[i] < 0) {
+        return pdgf::NotFoundError("unknown column '" + update->columns[i] +
+                                   "' in SET");
+      }
+      PDGF_ASSIGN_OR_RETURN(
+          set_values[i],
+          CoerceValue(schema.columns[static_cast<size_t>(set_columns[i])],
+                      update->values[i]));
+    }
+    std::vector<int> condition_columns(update->conditions.size());
+    for (size_t i = 0; i < update->conditions.size(); ++i) {
+      condition_columns[i] =
+          schema.FindColumn(update->conditions[i].column);
+      if (condition_columns[i] < 0) {
+        return pdgf::NotFoundError("unknown column '" +
+                                   update->conditions[i].column +
+                                   "' in WHERE");
+      }
+    }
+    for (size_t r = 0; r < table->row_count(); ++r) {
+      bool matches = true;
+      for (size_t ci = 0; ci < update->conditions.size() && matches; ++ci) {
+        PDGF_ASSIGN_OR_RETURN(
+            matches, EvalCondition(schema, table->row(r),
+                                   update->conditions[ci],
+                                   condition_columns[ci]));
+      }
+      if (!matches) continue;
+      Row* row = table->MutableRow(r);
+      for (size_t i = 0; i < set_columns.size(); ++i) {
+        (*row)[static_cast<size_t>(set_columns[i])] = set_values[i];
+      }
+      ++result.affected_rows;
+    }
+    return result;
+  }
+  if (const auto* erase = std::get_if<DeleteStatement>(&statement)) {
+    Table* table = database->GetTable(erase->table);
+    if (table == nullptr) {
+      return pdgf::NotFoundError("table '" + erase->table +
+                                 "' does not exist");
+    }
+    const TableSchema& schema = table->schema();
+    std::vector<int> condition_columns(erase->conditions.size());
+    for (size_t i = 0; i < erase->conditions.size(); ++i) {
+      condition_columns[i] = schema.FindColumn(erase->conditions[i].column);
+      if (condition_columns[i] < 0) {
+        return pdgf::NotFoundError("unknown column '" +
+                                   erase->conditions[i].column +
+                                   "' in WHERE");
+      }
+    }
+    std::vector<size_t> doomed;
+    for (size_t r = 0; r < table->row_count(); ++r) {
+      bool matches = true;
+      for (size_t ci = 0; ci < erase->conditions.size() && matches; ++ci) {
+        PDGF_ASSIGN_OR_RETURN(
+            matches, EvalCondition(schema, table->row(r),
+                                   erase->conditions[ci],
+                                   condition_columns[ci]));
+      }
+      if (matches) doomed.push_back(r);
+    }
+    table->EraseRows(doomed);
+    result.affected_rows = doomed.size();
+    return result;
+  }
+  if (const auto* select = std::get_if<SelectStatement>(&statement)) {
+    const Table* table = database->GetTable(select->table);
+    if (table == nullptr) {
+      return pdgf::NotFoundError("table '" + select->table +
+                                 "' does not exist");
+    }
+    TableRowSource source(table);
+    return ExecuteSelectImpl(source, *select);
+  }
+  return pdgf::InternalError("unhandled statement kind");
+}
+
+pdgf::StatusOr<ResultSet> ExecuteSql(Database* database,
+                                     std::string_view sql) {
+  PDGF_ASSIGN_OR_RETURN(Statement statement, ParseSql(sql));
+  return ExecuteStatement(database, statement);
+}
+
+pdgf::StatusOr<std::vector<ResultSet>> ExecuteSqlScript(
+    Database* database, std::string_view sql) {
+  PDGF_ASSIGN_OR_RETURN(std::vector<Statement> statements,
+                        ParseSqlScript(sql));
+  std::vector<ResultSet> results;
+  for (const Statement& statement : statements) {
+    PDGF_ASSIGN_OR_RETURN(ResultSet result,
+                          ExecuteStatement(database, statement));
+    results.push_back(std::move(result));
+  }
+  return results;
+}
+
+std::string BuildCreateTableSql(const TableSchema& schema) {
+  std::string sql = "CREATE TABLE " + schema.name + " (";
+  for (size_t i = 0; i < schema.columns.size(); ++i) {
+    const ColumnDef& column = schema.columns[i];
+    if (i > 0) sql += ", ";
+    sql += column.name;
+    sql.push_back(' ');
+    sql += pdgf::DataTypeName(column.type);
+    if (column.type == pdgf::DataType::kDecimal) {
+      sql += pdgf::StrPrintf("(%d,%d)", column.size > 0 ? column.size : 15,
+                             column.scale);
+    } else if ((column.type == pdgf::DataType::kChar ||
+                column.type == pdgf::DataType::kVarchar) &&
+               column.size > 0) {
+      sql += pdgf::StrPrintf("(%d)", column.size);
+    }
+    if (column.primary_key) {
+      sql += " PRIMARY KEY";
+    } else if (!column.nullable) {
+      sql += " NOT NULL";
+    }
+    if (column.is_foreign_key()) {
+      sql += " REFERENCES " + column.ref_table + "(" + column.ref_column + ")";
+    }
+  }
+  sql += ")";
+  return sql;
+}
+
+}  // namespace minidb

@@ -1,0 +1,90 @@
+#ifndef DBSYNTHPP_MINIDB_SQL_H_
+#define DBSYNTHPP_MINIDB_SQL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "minidb/database.h"
+#include "minidb/sql_ast.h"
+
+namespace minidb {
+
+// The result of executing one statement. DDL/DML statements produce no
+// columns and set `affected_rows`; SELECT fills columns and rows.
+struct ResultSet {
+  std::vector<std::string> columns;
+  std::vector<Row> rows;
+  uint64_t affected_rows = 0;
+
+  // Renders an aligned ASCII table (NULL shown as "NULL").
+  std::string ToString() const;
+
+  // Value at (row, column-name); NULL Value when out of range.
+  pdgf::Value At(size_t row, std::string_view column) const;
+};
+
+// Abstract row stream for SELECT execution. A real Table is one source;
+// virtual sources (e.g. rows computed on the fly by a data generator)
+// implement the same interface, which is what enables executing queries
+// "without ever generating the data" (paper §6).
+class RowSource {
+ public:
+  virtual ~RowSource() = default;
+
+  RowSource(const RowSource&) = delete;
+  RowSource& operator=(const RowSource&) = delete;
+
+  virtual const TableSchema& schema() const = 0;
+  // Invokes `visitor` per row; stops early when it returns false.
+  virtual void Scan(
+      const std::function<bool(const Row&)>& visitor) const = 0;
+
+ protected:
+  RowSource() = default;
+};
+
+// A RowSource view over a stored table (non-owning).
+class TableRowSource final : public RowSource {
+ public:
+  explicit TableRowSource(const Table* table) : table_(table) {}
+
+  const TableSchema& schema() const override { return table_->schema(); }
+  void Scan(
+      const std::function<bool(const Row&)>& visitor) const override {
+    table_->Scan(visitor);
+  }
+
+ private:
+  const Table* table_;
+};
+
+// Executes a parsed SELECT against an arbitrary row source. The
+// statement's FROM name is not checked against the source.
+pdgf::StatusOr<ResultSet> ExecuteSelectOnSource(
+    const RowSource& source, const SelectStatement& statement);
+
+// Parses `sql` (must be a single SELECT) and executes it on `source`.
+pdgf::StatusOr<ResultSet> ExecuteSqlOnSource(const RowSource& source,
+                                             std::string_view sql);
+
+// Parses and executes a single SQL statement against `database`.
+pdgf::StatusOr<ResultSet> ExecuteSql(Database* database,
+                                     std::string_view sql);
+
+// Executes a ';'-separated script; stops at the first error.
+pdgf::StatusOr<std::vector<ResultSet>> ExecuteSqlScript(Database* database,
+                                                        std::string_view sql);
+
+// Executes an already-parsed statement.
+pdgf::StatusOr<ResultSet> ExecuteStatement(Database* database,
+                                           const Statement& statement);
+
+// Renders a CREATE TABLE statement for `schema` (used by the DBSynth
+// schema translator and by tests).
+std::string BuildCreateTableSql(const TableSchema& schema);
+
+}  // namespace minidb
+
+#endif  // DBSYNTHPP_MINIDB_SQL_H_

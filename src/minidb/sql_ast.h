@@ -1,0 +1,101 @@
+#ifndef DBSYNTHPP_MINIDB_SQL_AST_H_
+#define DBSYNTHPP_MINIDB_SQL_AST_H_
+
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/value.h"
+#include "minidb/catalog.h"
+
+namespace minidb {
+
+// Statement ASTs for the supported SQL subset:
+//   CREATE TABLE t (col TYPE[(n[,s])] [NOT NULL] [PRIMARY KEY]
+//                   [REFERENCES t2(c2)], ...)
+//   DROP TABLE t
+//   INSERT INTO t VALUES (lit, ...)[, (lit, ...)]...
+//   SELECT */items FROM t [WHERE cond [AND cond]...] [GROUP BY col]
+//          [ORDER BY item [ASC|DESC]] [LIMIT n]
+// with items: col | COUNT(*) | COUNT([DISTINCT] col) | SUM/AVG/MIN/MAX(col).
+
+struct CreateTableStatement {
+  TableSchema schema;
+};
+
+struct DropTableStatement {
+  std::string table;
+};
+
+struct InsertStatement {
+  std::string table;
+  std::vector<std::vector<pdgf::Value>> rows;
+};
+
+struct UpdateStatement {
+  std::string table;
+  // Parallel lists: SET column = literal assignments.
+  std::vector<std::string> columns;
+  std::vector<pdgf::Value> values;
+  std::vector<struct Condition> conditions;  // conjunctive WHERE
+};
+
+struct DeleteStatement {
+  std::string table;
+  std::vector<struct Condition> conditions;
+};
+
+enum class AggregateFunction { kNone, kCount, kSum, kAvg, kMin, kMax };
+
+struct SelectItem {
+  bool star = false;                // "*" (only without aggregates)
+  AggregateFunction aggregate = AggregateFunction::kNone;
+  bool count_star = false;          // COUNT(*)
+  bool distinct = false;            // COUNT(DISTINCT col)
+  std::string column;               // source column (when not star/count*)
+  std::string alias;                // output name
+
+  std::string DisplayName() const;
+};
+
+struct Condition {
+  enum class Op {
+    kEq,
+    kNe,
+    kLt,
+    kLe,
+    kGt,
+    kGe,
+    kIsNull,
+    kIsNotNull,
+    kBetween,
+    kLike,
+    kNotLike,
+  };
+
+  std::string column;
+  Op op = Op::kEq;
+  pdgf::Value operand;   // unused for IS [NOT] NULL
+  pdgf::Value operand2;  // BETWEEN upper bound
+};
+
+struct SelectStatement {
+  std::vector<SelectItem> items;
+  std::string table;
+  std::vector<Condition> conditions;  // conjunctive
+  std::string group_by;               // empty = none
+  std::string order_by;               // output-column name; empty = none
+  bool order_desc = false;
+  int64_t limit = -1;                 // -1 = no limit
+};
+
+using Statement =
+    std::variant<CreateTableStatement, DropTableStatement, InsertStatement,
+                 UpdateStatement, DeleteStatement, SelectStatement>;
+
+// Matches SQL LIKE patterns: '%' any run, '_' any single char.
+bool LikeMatch(std::string_view text, std::string_view pattern);
+
+}  // namespace minidb
+
+#endif  // DBSYNTHPP_MINIDB_SQL_AST_H_

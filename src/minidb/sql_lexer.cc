@@ -1,0 +1,116 @@
+#include "minidb/sql_lexer.h"
+
+#include <cctype>
+
+namespace minidb {
+
+pdgf::StatusOr<std::vector<Token>> LexSql(std::string_view sql) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  while (i < sql.size()) {
+    char c = sql[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // Line comments.
+    if (c == '-' && i + 1 < sql.size() && sql[i + 1] == '-') {
+      while (i < sql.size() && sql[i] != '\n') ++i;
+      continue;
+    }
+    size_t start = i;
+    // Identifiers / keywords.
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      while (i < sql.size() &&
+             (std::isalnum(static_cast<unsigned char>(sql[i])) ||
+              sql[i] == '_')) {
+        ++i;
+      }
+      tokens.push_back(
+          Token{TokenKind::kIdentifier,
+                std::string(sql.substr(start, i - start)), start});
+      continue;
+    }
+    // Quoted identifiers.
+    if (c == '"') {
+      ++i;
+      std::string text;
+      while (i < sql.size() && sql[i] != '"') {
+        text.push_back(sql[i]);
+        ++i;
+      }
+      if (i >= sql.size()) {
+        return pdgf::ParseError("unterminated quoted identifier");
+      }
+      ++i;
+      tokens.push_back(Token{TokenKind::kIdentifier, std::move(text), start});
+      continue;
+    }
+    // Numbers (including leading '.', exponents, and signs are handled by
+    // the parser as unary minus).
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < sql.size() &&
+         std::isdigit(static_cast<unsigned char>(sql[i + 1])))) {
+      while (i < sql.size() &&
+             (std::isdigit(static_cast<unsigned char>(sql[i])) ||
+              sql[i] == '.' || sql[i] == 'e' || sql[i] == 'E' ||
+              ((sql[i] == '+' || sql[i] == '-') && i > start &&
+               (sql[i - 1] == 'e' || sql[i - 1] == 'E')))) {
+        ++i;
+      }
+      tokens.push_back(Token{TokenKind::kNumber,
+                             std::string(sql.substr(start, i - start)),
+                             start});
+      continue;
+    }
+    // String literals with '' escaping.
+    if (c == '\'') {
+      ++i;
+      std::string text;
+      while (i < sql.size()) {
+        if (sql[i] == '\'') {
+          if (i + 1 < sql.size() && sql[i + 1] == '\'') {
+            text.push_back('\'');
+            i += 2;
+            continue;
+          }
+          break;
+        }
+        text.push_back(sql[i]);
+        ++i;
+      }
+      if (i >= sql.size()) {
+        return pdgf::ParseError("unterminated string literal");
+      }
+      ++i;
+      tokens.push_back(Token{TokenKind::kString, std::move(text), start});
+      continue;
+    }
+    // Multi-char operators.
+    if (c == '<' || c == '>' || c == '!') {
+      std::string text(1, c);
+      if (i + 1 < sql.size() &&
+          (sql[i + 1] == '=' || (c == '<' && sql[i + 1] == '>'))) {
+        text.push_back(sql[i + 1]);
+        i += 2;
+      } else {
+        ++i;
+      }
+      tokens.push_back(Token{TokenKind::kSymbol, std::move(text), start});
+      continue;
+    }
+    // Single-char symbols.
+    if (c == '(' || c == ')' || c == ',' || c == ';' || c == '*' ||
+        c == '=' || c == '.' || c == '-' || c == '+' || c == '/') {
+      tokens.push_back(Token{TokenKind::kSymbol, std::string(1, c), start});
+      ++i;
+      continue;
+    }
+    return pdgf::ParseError(std::string("unexpected character '") + c +
+                            "' in SQL at offset " + std::to_string(i));
+  }
+  tokens.push_back(Token{TokenKind::kEnd, "", sql.size()});
+  return tokens;
+}
+
+}  // namespace minidb

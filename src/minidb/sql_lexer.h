@@ -1,0 +1,38 @@
+#ifndef DBSYNTHPP_MINIDB_SQL_LEXER_H_
+#define DBSYNTHPP_MINIDB_SQL_LEXER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace minidb {
+
+// SQL token kinds. Keywords are delivered as kIdentifier; the parser
+// matches them case-insensitively.
+enum class TokenKind {
+  kIdentifier,
+  kNumber,   // integer or decimal literal text
+  kString,   // contents with '' unescaped
+  kSymbol,   // one of ( ) , ; * = . or the multi-char <= >= <> != < >
+  kEnd,
+};
+
+struct Token {
+  TokenKind kind;
+  std::string text;
+  size_t offset;  // byte offset in the input, for error messages
+
+  bool Is(TokenKind k, std::string_view t) const {
+    return kind == k && text == t;
+  }
+};
+
+// Tokenizes `sql`. Handles line comments (--), quoted identifiers
+// ("name"), string literals with doubled quotes, and numeric literals.
+pdgf::StatusOr<std::vector<Token>> LexSql(std::string_view sql);
+
+}  // namespace minidb
+
+#endif  // DBSYNTHPP_MINIDB_SQL_LEXER_H_

@@ -1,0 +1,458 @@
+#include "minidb/sql_parser.h"
+
+#include <cstdlib>
+
+#include "minidb/sql_lexer.h"
+#include "util/strings.h"
+
+namespace minidb {
+namespace {
+
+using pdgf::EqualsIgnoreCase;
+using pdgf::Status;
+using pdgf::StatusOr;
+using pdgf::Value;
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  StatusOr<Statement> ParseStatement() {
+    if (IsKeyword("CREATE")) return ParseCreateTable();
+    if (IsKeyword("DROP")) return ParseDropTable();
+    if (IsKeyword("INSERT")) return ParseInsert();
+    if (IsKeyword("UPDATE")) return ParseUpdate();
+    if (IsKeyword("DELETE")) return ParseDelete();
+    if (IsKeyword("SELECT")) return ParseSelect();
+    return Error("expected CREATE, DROP, INSERT, UPDATE, DELETE or SELECT");
+  }
+
+  StatusOr<Statement> ParseFull() {
+    PDGF_ASSIGN_OR_RETURN(Statement statement, ParseStatement());
+    ConsumeSymbol(";");
+    if (!AtEnd()) return Error("unexpected input after statement");
+    return statement;
+  }
+
+ private:
+  const Token& Current() const { return tokens_[pos_]; }
+  bool AtEnd() const { return Current().kind == TokenKind::kEnd; }
+
+  Status Error(const std::string& message) const {
+    return pdgf::ParseError("SQL: " + message + " near '" + Current().text +
+                            "' (offset " +
+                            std::to_string(Current().offset) + ")");
+  }
+
+  bool IsKeyword(std::string_view keyword) const {
+    return Current().kind == TokenKind::kIdentifier &&
+           EqualsIgnoreCase(Current().text, keyword);
+  }
+
+  bool ConsumeKeyword(std::string_view keyword) {
+    if (IsKeyword(keyword)) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Status ExpectKeyword(std::string_view keyword) {
+    if (!ConsumeKeyword(keyword)) {
+      return Error("expected " + std::string(keyword));
+    }
+    return Status::Ok();
+  }
+
+  bool IsSymbol(std::string_view symbol) const {
+    return Current().kind == TokenKind::kSymbol && Current().text == symbol;
+  }
+
+  bool ConsumeSymbol(std::string_view symbol) {
+    if (IsSymbol(symbol)) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Status ExpectSymbol(std::string_view symbol) {
+    if (!ConsumeSymbol(symbol)) {
+      return Error("expected '" + std::string(symbol) + "'");
+    }
+    return Status::Ok();
+  }
+
+  StatusOr<std::string> ExpectIdentifier() {
+    if (Current().kind != TokenKind::kIdentifier) {
+      return Error("expected identifier");
+    }
+    std::string text = Current().text;
+    ++pos_;
+    return text;
+  }
+
+  // Parses a literal: number (optional unary minus), string, NULL,
+  // TRUE/FALSE, or DATE 'yyyy-mm-dd'.
+  StatusOr<Value> ParseLiteral() {
+    if (ConsumeKeyword("NULL")) return Value::Null();
+    if (ConsumeKeyword("TRUE")) return Value::Bool(true);
+    if (ConsumeKeyword("FALSE")) return Value::Bool(false);
+    if (ConsumeKeyword("DATE")) {
+      if (Current().kind != TokenKind::kString) {
+        return Error("expected date string after DATE");
+      }
+      PDGF_ASSIGN_OR_RETURN(pdgf::Date date,
+                            pdgf::Date::Parse(Current().text));
+      ++pos_;
+      return Value::FromDate(date);
+    }
+    bool negative = false;
+    if (ConsumeSymbol("-")) negative = true;
+    if (Current().kind == TokenKind::kNumber) {
+      const std::string& text = Current().text;
+      Value value;
+      if (text.find('.') == std::string::npos &&
+          text.find('e') == std::string::npos &&
+          text.find('E') == std::string::npos) {
+        int64_t v = std::strtoll(text.c_str(), nullptr, 10);
+        value = Value::Int(negative ? -v : v);
+      } else {
+        double v = std::strtod(text.c_str(), nullptr);
+        value = Value::Double(negative ? -v : v);
+      }
+      ++pos_;
+      return value;
+    }
+    if (negative) return Error("expected number after '-'");
+    if (Current().kind == TokenKind::kString) {
+      Value value = Value::String(Current().text);
+      ++pos_;
+      return value;
+    }
+    return Error("expected literal");
+  }
+
+  StatusOr<Statement> ParseCreateTable() {
+    PDGF_RETURN_IF_ERROR(ExpectKeyword("CREATE"));
+    PDGF_RETURN_IF_ERROR(ExpectKeyword("TABLE"));
+    CreateTableStatement statement;
+    PDGF_ASSIGN_OR_RETURN(statement.schema.name, ExpectIdentifier());
+    PDGF_RETURN_IF_ERROR(ExpectSymbol("("));
+    while (true) {
+      // Table-level PRIMARY KEY (col[, col...]).
+      if (IsKeyword("PRIMARY")) {
+        ++pos_;
+        PDGF_RETURN_IF_ERROR(ExpectKeyword("KEY"));
+        PDGF_RETURN_IF_ERROR(ExpectSymbol("("));
+        while (true) {
+          PDGF_ASSIGN_OR_RETURN(std::string column, ExpectIdentifier());
+          int index = statement.schema.FindColumn(column);
+          if (index < 0) return Error("unknown PRIMARY KEY column " + column);
+          statement.schema.columns[static_cast<size_t>(index)].primary_key =
+              true;
+          statement.schema.columns[static_cast<size_t>(index)].nullable =
+              false;
+          if (!ConsumeSymbol(",")) break;
+        }
+        PDGF_RETURN_IF_ERROR(ExpectSymbol(")"));
+      } else {
+        ColumnDef column;
+        PDGF_ASSIGN_OR_RETURN(column.name, ExpectIdentifier());
+        PDGF_ASSIGN_OR_RETURN(std::string type_name, ExpectIdentifier());
+        // Two-word types: DOUBLE PRECISION / CHARACTER VARYING.
+        if (EqualsIgnoreCase(type_name, "DOUBLE") && IsKeyword("PRECISION")) {
+          ++pos_;
+          type_name = "DOUBLE PRECISION";
+        } else if (EqualsIgnoreCase(type_name, "CHARACTER") &&
+                   IsKeyword("VARYING")) {
+          ++pos_;
+          type_name = "CHARACTER VARYING";
+        }
+        PDGF_ASSIGN_OR_RETURN(column.type, pdgf::ParseDataType(type_name));
+        if (ConsumeSymbol("(")) {
+          if (Current().kind != TokenKind::kNumber) {
+            return Error("expected size");
+          }
+          column.size = std::atoi(Current().text.c_str());
+          ++pos_;
+          if (ConsumeSymbol(",")) {
+            if (Current().kind != TokenKind::kNumber) {
+              return Error("expected scale");
+            }
+            column.scale = std::atoi(Current().text.c_str());
+            ++pos_;
+          }
+          PDGF_RETURN_IF_ERROR(ExpectSymbol(")"));
+        }
+        // Column constraints, any order.
+        while (true) {
+          if (ConsumeKeyword("NOT")) {
+            PDGF_RETURN_IF_ERROR(ExpectKeyword("NULL"));
+            column.nullable = false;
+            continue;
+          }
+          if (ConsumeKeyword("PRIMARY")) {
+            PDGF_RETURN_IF_ERROR(ExpectKeyword("KEY"));
+            column.primary_key = true;
+            column.nullable = false;
+            continue;
+          }
+          if (ConsumeKeyword("REFERENCES")) {
+            PDGF_ASSIGN_OR_RETURN(column.ref_table, ExpectIdentifier());
+            PDGF_RETURN_IF_ERROR(ExpectSymbol("("));
+            PDGF_ASSIGN_OR_RETURN(column.ref_column, ExpectIdentifier());
+            PDGF_RETURN_IF_ERROR(ExpectSymbol(")"));
+            continue;
+          }
+          break;
+        }
+        statement.schema.columns.push_back(std::move(column));
+      }
+      if (!ConsumeSymbol(",")) break;
+    }
+    PDGF_RETURN_IF_ERROR(ExpectSymbol(")"));
+    return Statement(std::move(statement));
+  }
+
+  StatusOr<Statement> ParseDropTable() {
+    PDGF_RETURN_IF_ERROR(ExpectKeyword("DROP"));
+    PDGF_RETURN_IF_ERROR(ExpectKeyword("TABLE"));
+    DropTableStatement statement;
+    PDGF_ASSIGN_OR_RETURN(statement.table, ExpectIdentifier());
+    return Statement(std::move(statement));
+  }
+
+  StatusOr<Statement> ParseInsert() {
+    PDGF_RETURN_IF_ERROR(ExpectKeyword("INSERT"));
+    PDGF_RETURN_IF_ERROR(ExpectKeyword("INTO"));
+    InsertStatement statement;
+    PDGF_ASSIGN_OR_RETURN(statement.table, ExpectIdentifier());
+    PDGF_RETURN_IF_ERROR(ExpectKeyword("VALUES"));
+    while (true) {
+      PDGF_RETURN_IF_ERROR(ExpectSymbol("("));
+      std::vector<Value> row;
+      while (true) {
+        PDGF_ASSIGN_OR_RETURN(Value value, ParseLiteral());
+        row.push_back(std::move(value));
+        if (!ConsumeSymbol(",")) break;
+      }
+      PDGF_RETURN_IF_ERROR(ExpectSymbol(")"));
+      statement.rows.push_back(std::move(row));
+      if (!ConsumeSymbol(",")) break;
+    }
+    return Statement(std::move(statement));
+  }
+
+  StatusOr<Statement> ParseUpdate() {
+    PDGF_RETURN_IF_ERROR(ExpectKeyword("UPDATE"));
+    UpdateStatement statement;
+    PDGF_ASSIGN_OR_RETURN(statement.table, ExpectIdentifier());
+    PDGF_RETURN_IF_ERROR(ExpectKeyword("SET"));
+    while (true) {
+      PDGF_ASSIGN_OR_RETURN(std::string column, ExpectIdentifier());
+      PDGF_RETURN_IF_ERROR(ExpectSymbol("="));
+      PDGF_ASSIGN_OR_RETURN(Value value, ParseLiteral());
+      statement.columns.push_back(std::move(column));
+      statement.values.push_back(std::move(value));
+      if (!ConsumeSymbol(",")) break;
+    }
+    if (ConsumeKeyword("WHERE")) {
+      while (true) {
+        PDGF_ASSIGN_OR_RETURN(Condition condition, ParseCondition());
+        statement.conditions.push_back(std::move(condition));
+        if (!ConsumeKeyword("AND")) break;
+      }
+    }
+    return Statement(std::move(statement));
+  }
+
+  StatusOr<Statement> ParseDelete() {
+    PDGF_RETURN_IF_ERROR(ExpectKeyword("DELETE"));
+    PDGF_RETURN_IF_ERROR(ExpectKeyword("FROM"));
+    DeleteStatement statement;
+    PDGF_ASSIGN_OR_RETURN(statement.table, ExpectIdentifier());
+    if (ConsumeKeyword("WHERE")) {
+      while (true) {
+        PDGF_ASSIGN_OR_RETURN(Condition condition, ParseCondition());
+        statement.conditions.push_back(std::move(condition));
+        if (!ConsumeKeyword("AND")) break;
+      }
+    }
+    return Statement(std::move(statement));
+  }
+
+  StatusOr<SelectItem> ParseSelectItem() {
+    SelectItem item;
+    if (ConsumeSymbol("*")) {
+      item.star = true;
+      return item;
+    }
+    static constexpr struct {
+      const char* name;
+      AggregateFunction func;
+    } kAggregates[] = {
+        {"COUNT", AggregateFunction::kCount},
+        {"SUM", AggregateFunction::kSum},
+        {"AVG", AggregateFunction::kAvg},
+        {"MIN", AggregateFunction::kMin},
+        {"MAX", AggregateFunction::kMax},
+    };
+    for (const auto& aggregate : kAggregates) {
+      if (IsKeyword(aggregate.name) && pos_ + 1 < tokens_.size() &&
+          tokens_[pos_ + 1].Is(TokenKind::kSymbol, "(")) {
+        pos_ += 2;
+        item.aggregate = aggregate.func;
+        if (item.aggregate == AggregateFunction::kCount &&
+            ConsumeSymbol("*")) {
+          item.count_star = true;
+        } else {
+          if (ConsumeKeyword("DISTINCT")) item.distinct = true;
+          PDGF_ASSIGN_OR_RETURN(item.column, ExpectIdentifier());
+        }
+        PDGF_RETURN_IF_ERROR(ExpectSymbol(")"));
+        if (ConsumeKeyword("AS")) {
+          PDGF_ASSIGN_OR_RETURN(item.alias, ExpectIdentifier());
+        }
+        return item;
+      }
+    }
+    PDGF_ASSIGN_OR_RETURN(item.column, ExpectIdentifier());
+    if (ConsumeKeyword("AS")) {
+      PDGF_ASSIGN_OR_RETURN(item.alias, ExpectIdentifier());
+    }
+    return item;
+  }
+
+  StatusOr<Condition> ParseCondition() {
+    Condition condition;
+    PDGF_ASSIGN_OR_RETURN(condition.column, ExpectIdentifier());
+    if (ConsumeKeyword("IS")) {
+      if (ConsumeKeyword("NOT")) {
+        PDGF_RETURN_IF_ERROR(ExpectKeyword("NULL"));
+        condition.op = Condition::Op::kIsNotNull;
+      } else {
+        PDGF_RETURN_IF_ERROR(ExpectKeyword("NULL"));
+        condition.op = Condition::Op::kIsNull;
+      }
+      return condition;
+    }
+    if (ConsumeKeyword("BETWEEN")) {
+      condition.op = Condition::Op::kBetween;
+      PDGF_ASSIGN_OR_RETURN(condition.operand, ParseLiteral());
+      PDGF_RETURN_IF_ERROR(ExpectKeyword("AND"));
+      PDGF_ASSIGN_OR_RETURN(condition.operand2, ParseLiteral());
+      return condition;
+    }
+    bool negated = ConsumeKeyword("NOT");
+    if (ConsumeKeyword("LIKE")) {
+      condition.op =
+          negated ? Condition::Op::kNotLike : Condition::Op::kLike;
+      PDGF_ASSIGN_OR_RETURN(condition.operand, ParseLiteral());
+      return condition;
+    }
+    if (negated) return Error("expected LIKE after NOT");
+    if (Current().kind != TokenKind::kSymbol) {
+      return Error("expected comparison operator");
+    }
+    const std::string& op = Current().text;
+    if (op == "=") {
+      condition.op = Condition::Op::kEq;
+    } else if (op == "<>" || op == "!=") {
+      condition.op = Condition::Op::kNe;
+    } else if (op == "<") {
+      condition.op = Condition::Op::kLt;
+    } else if (op == "<=") {
+      condition.op = Condition::Op::kLe;
+    } else if (op == ">") {
+      condition.op = Condition::Op::kGt;
+    } else if (op == ">=") {
+      condition.op = Condition::Op::kGe;
+    } else {
+      return Error("unknown operator '" + op + "'");
+    }
+    ++pos_;
+    PDGF_ASSIGN_OR_RETURN(condition.operand, ParseLiteral());
+    return condition;
+  }
+
+  StatusOr<Statement> ParseSelect() {
+    PDGF_RETURN_IF_ERROR(ExpectKeyword("SELECT"));
+    SelectStatement statement;
+    while (true) {
+      PDGF_ASSIGN_OR_RETURN(SelectItem item, ParseSelectItem());
+      statement.items.push_back(std::move(item));
+      if (!ConsumeSymbol(",")) break;
+    }
+    PDGF_RETURN_IF_ERROR(ExpectKeyword("FROM"));
+    PDGF_ASSIGN_OR_RETURN(statement.table, ExpectIdentifier());
+    if (ConsumeKeyword("WHERE")) {
+      while (true) {
+        PDGF_ASSIGN_OR_RETURN(Condition condition, ParseCondition());
+        statement.conditions.push_back(std::move(condition));
+        if (!ConsumeKeyword("AND")) break;
+      }
+    }
+    if (ConsumeKeyword("GROUP")) {
+      PDGF_RETURN_IF_ERROR(ExpectKeyword("BY"));
+      PDGF_ASSIGN_OR_RETURN(statement.group_by, ExpectIdentifier());
+    }
+    if (ConsumeKeyword("ORDER")) {
+      PDGF_RETURN_IF_ERROR(ExpectKeyword("BY"));
+      PDGF_ASSIGN_OR_RETURN(statement.order_by, ExpectIdentifier());
+      if (ConsumeKeyword("DESC")) {
+        statement.order_desc = true;
+      } else {
+        ConsumeKeyword("ASC");
+      }
+    }
+    if (ConsumeKeyword("LIMIT")) {
+      if (Current().kind != TokenKind::kNumber) {
+        return Error("expected LIMIT count");
+      }
+      statement.limit = std::strtoll(Current().text.c_str(), nullptr, 10);
+      ++pos_;
+    }
+    return Statement(std::move(statement));
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+pdgf::StatusOr<Statement> ParseSql(std::string_view sql) {
+  PDGF_ASSIGN_OR_RETURN(std::vector<Token> tokens, LexSql(sql));
+  Parser parser(std::move(tokens));
+  return parser.ParseFull();
+}
+
+pdgf::StatusOr<std::vector<Statement>> ParseSqlScript(std::string_view sql) {
+  // Split on ';' outside string literals.
+  std::vector<Statement> statements;
+  std::string current;
+  bool in_string = false;
+  for (size_t i = 0; i < sql.size(); ++i) {
+    char c = sql[i];
+    if (c == '\'') in_string = !in_string;
+    if (c == ';' && !in_string) {
+      std::string_view piece = pdgf::StripWhitespace(current);
+      if (!piece.empty()) {
+        PDGF_ASSIGN_OR_RETURN(Statement statement, ParseSql(piece));
+        statements.push_back(std::move(statement));
+      }
+      current.clear();
+      continue;
+    }
+    current.push_back(c);
+  }
+  std::string_view piece = pdgf::StripWhitespace(current);
+  if (!piece.empty()) {
+    PDGF_ASSIGN_OR_RETURN(Statement statement, ParseSql(piece));
+    statements.push_back(std::move(statement));
+  }
+  return statements;
+}
+
+}  // namespace minidb

@@ -1,0 +1,21 @@
+#ifndef DBSYNTHPP_MINIDB_SQL_PARSER_H_
+#define DBSYNTHPP_MINIDB_SQL_PARSER_H_
+
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "minidb/sql_ast.h"
+
+namespace minidb {
+
+// Parses one SQL statement (an optional trailing ';' is accepted).
+pdgf::StatusOr<Statement> ParseSql(std::string_view sql);
+
+// Parses a ';'-separated script into statements; empty statements are
+// skipped.
+pdgf::StatusOr<std::vector<Statement>> ParseSqlScript(std::string_view sql);
+
+}  // namespace minidb
+
+#endif  // DBSYNTHPP_MINIDB_SQL_PARSER_H_

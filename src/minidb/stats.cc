@@ -1,0 +1,158 @@
+#include "minidb/stats.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "util/strings.h"
+
+namespace minidb {
+
+using pdgf::Value;
+
+const ColumnStats* TableStats::FindColumn(std::string_view name) const {
+  for (const ColumnStats& column : columns) {
+    if (pdgf::EqualsIgnoreCase(column.column, name)) return &column;
+  }
+  return nullptr;
+}
+
+TableStats AnalyzeTable(const Table& table, int histogram_buckets,
+                        int top_k) {
+  const TableSchema& schema = table.schema();
+  TableStats stats;
+  stats.table = schema.name;
+  stats.row_count = table.row_count();
+
+  size_t column_count = schema.columns.size();
+  std::vector<ColumnStats> columns(column_count);
+  std::vector<std::unordered_set<uint64_t>> distinct(column_count);
+  std::vector<double> sums(column_count, 0);
+  std::vector<double> length_sums(column_count, 0);
+  std::vector<double> word_sums(column_count, 0);
+  std::vector<std::unordered_map<std::string, uint64_t>> value_counts(
+      column_count);
+
+  for (size_t c = 0; c < column_count; ++c) {
+    columns[c].column = schema.columns[c].name;
+    columns[c].type = schema.columns[c].type;
+    columns[c].row_count = stats.row_count;
+  }
+
+  bool numericish[64] = {};
+  for (size_t c = 0; c < column_count && c < 64; ++c) {
+    numericish[c] = pdgf::IsNumericType(schema.columns[c].type) ||
+                    schema.columns[c].type == pdgf::DataType::kDate;
+  }
+
+  // Pass 1: everything except histograms (which need min/max first).
+  table.Scan([&](const Row& row) {
+    for (size_t c = 0; c < column_count; ++c) {
+      const Value& value = row[c];
+      ColumnStats& cs = columns[c];
+      if (value.is_null()) {
+        ++cs.null_count;
+        continue;
+      }
+      distinct[c].insert(value.Hash());
+      if (cs.min.is_null() || value.Compare(cs.min) < 0) cs.min = value;
+      if (cs.max.is_null() || value.Compare(cs.max) > 0) cs.max = value;
+      if (c < 64 && numericish[c]) {
+        sums[c] += value.AsDouble();
+      }
+      if (value.kind() == Value::Kind::kString) {
+        const std::string& text = value.string_value();
+        length_sums[c] += static_cast<double>(text.size());
+        // Count whitespace-separated words.
+        size_t words = 0;
+        bool in_word = false;
+        for (char ch : text) {
+          if (ch == ' ' || ch == '\t') {
+            in_word = false;
+          } else if (!in_word) {
+            in_word = true;
+            ++words;
+          }
+        }
+        cs.max_word_count =
+            std::max(cs.max_word_count, static_cast<double>(words));
+        word_sums[c] += static_cast<double>(words);
+        // Track value frequencies for top-k (bounded: stop adding new
+        // keys past a cap to bound memory; counts for seen keys stay
+        // exact, which suffices for dictionary-ish columns).
+        auto& counts = value_counts[c];
+        auto it = counts.find(text);
+        if (it != counts.end()) {
+          ++it->second;
+        } else if (counts.size() < 100000) {
+          counts.emplace(text, 1);
+        }
+      }
+    }
+    return true;
+  });
+
+  for (size_t c = 0; c < column_count; ++c) {
+    ColumnStats& cs = columns[c];
+    cs.distinct_count = distinct[c].size();
+    uint64_t non_null = cs.row_count - cs.null_count;
+    if (non_null > 0 && c < 64 && numericish[c]) {
+      cs.mean = sums[c] / static_cast<double>(non_null);
+    }
+    if (non_null > 0 && pdgf::IsTextType(cs.type)) {
+      cs.avg_length = length_sums[c] / static_cast<double>(non_null);
+      cs.avg_word_count = word_sums[c] / static_cast<double>(non_null);
+    }
+    // Top-k most frequent text values.
+    if (!value_counts[c].empty()) {
+      std::vector<std::pair<std::string, uint64_t>> pairs(
+          value_counts[c].begin(), value_counts[c].end());
+      std::sort(pairs.begin(), pairs.end(),
+                [](const auto& a, const auto& b) {
+                  if (a.second != b.second) return a.second > b.second;
+                  return a.first < b.first;
+                });
+      if (static_cast<int>(pairs.size()) > top_k) {
+        pairs.resize(static_cast<size_t>(top_k));
+      }
+      cs.top_values = std::move(pairs);
+    }
+  }
+
+  // Pass 2: histograms for numeric/date columns with a real range.
+  if (histogram_buckets > 0) {
+    for (size_t c = 0; c < column_count && c < 64; ++c) {
+      ColumnStats& cs = columns[c];
+      if (!numericish[c] || cs.min.is_null()) continue;
+      double lo = cs.min.AsDouble();
+      double hi = cs.max.AsDouble();
+      if (hi <= lo) continue;
+      cs.has_histogram = true;
+      cs.histogram.min = lo;
+      cs.histogram.max = hi;
+      cs.histogram.buckets.assign(static_cast<size_t>(histogram_buckets), 0);
+    }
+    table.Scan([&](const Row& row) {
+      for (size_t c = 0; c < column_count && c < 64; ++c) {
+        ColumnStats& cs = columns[c];
+        if (!cs.has_histogram || row[c].is_null()) continue;
+        double v = row[c].AsDouble();
+        double fraction =
+            (v - cs.histogram.min) / (cs.histogram.max - cs.histogram.min);
+        size_t bucket = static_cast<size_t>(
+            fraction * static_cast<double>(cs.histogram.buckets.size()));
+        if (bucket >= cs.histogram.buckets.size()) {
+          bucket = cs.histogram.buckets.size() - 1;
+        }
+        ++cs.histogram.buckets[bucket];
+        ++cs.histogram.total;
+      }
+      return true;
+    });
+  }
+
+  stats.columns = std::move(columns);
+  return stats;
+}
+
+}  // namespace minidb

@@ -1,0 +1,75 @@
+#ifndef DBSYNTHPP_MINIDB_STATS_H_
+#define DBSYNTHPP_MINIDB_STATS_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/value.h"
+#include "minidb/table.h"
+
+namespace minidb {
+
+// Equi-width histogram over a numeric/date column's value range.
+struct Histogram {
+  double min = 0;
+  double max = 0;
+  std::vector<uint64_t> buckets;
+  uint64_t total = 0;
+
+  double BucketWidth() const {
+    return buckets.empty()
+               ? 0
+               : (max - min) / static_cast<double>(buckets.size());
+  }
+  // Fraction of values in bucket `i`.
+  double Fraction(size_t i) const {
+    return total == 0 ? 0
+                      : static_cast<double>(buckets[i]) /
+                            static_cast<double>(total);
+  }
+};
+
+// The per-column statistics DBSynth extracts from the source database
+// (paper §3: min/max constraints, histograms, NULL probabilities, and
+// "statistic information collected by the database system").
+struct ColumnStats {
+  std::string column;
+  pdgf::DataType type = pdgf::DataType::kVarchar;
+  uint64_t row_count = 0;
+  uint64_t null_count = 0;
+  uint64_t distinct_count = 0;  // exact (hash-set based)
+  pdgf::Value min;              // NULL when the column is all-NULL
+  pdgf::Value max;
+  double mean = 0;              // numeric/date columns
+  bool has_histogram = false;
+  Histogram histogram;
+  // Most frequent values with counts, descending (text columns).
+  std::vector<std::pair<std::string, uint64_t>> top_values;
+  double avg_length = 0;  // text columns
+  double max_word_count = 0;  // text columns: max whitespace tokens
+  double avg_word_count = 0;
+
+  double null_fraction() const {
+    return row_count == 0 ? 0
+                          : static_cast<double>(null_count) /
+                                static_cast<double>(row_count);
+  }
+};
+
+struct TableStats {
+  std::string table;
+  uint64_t row_count = 0;
+  std::vector<ColumnStats> columns;
+
+  const ColumnStats* FindColumn(std::string_view name) const;
+};
+
+// Scans the table once and computes all column statistics ("ANALYZE").
+TableStats AnalyzeTable(const Table& table, int histogram_buckets = 32,
+                        int top_k = 20);
+
+}  // namespace minidb
+
+#endif  // DBSYNTHPP_MINIDB_STATS_H_

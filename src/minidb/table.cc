@@ -1,0 +1,137 @@
+#include "minidb/table.h"
+
+#include <cmath>
+
+namespace minidb {
+
+using pdgf::DataType;
+using pdgf::Value;
+
+pdgf::StatusOr<Value> CoerceValue(const ColumnDef& column,
+                                  const Value& value) {
+  if (value.is_null()) {
+    if (!column.nullable) {
+      return pdgf::InvalidArgumentError("NULL in NOT NULL column '" +
+                                        column.name + "'");
+    }
+    return Value::Null();
+  }
+  switch (column.type) {
+    case DataType::kBoolean:
+      switch (value.kind()) {
+        case Value::Kind::kBool:
+          return value;
+        case Value::Kind::kInt:
+          return Value::Bool(value.int_value() != 0);
+        default:
+          break;
+      }
+      break;
+    case DataType::kSmallInt:
+    case DataType::kInteger:
+    case DataType::kBigInt:
+      switch (value.kind()) {
+        case Value::Kind::kInt:
+          return value;
+        case Value::Kind::kBool:
+          return Value::Int(value.bool_value() ? 1 : 0);
+        case Value::Kind::kDouble:
+        case Value::Kind::kDecimal:
+          return Value::Int(value.AsInt());
+        default:
+          break;
+      }
+      break;
+    case DataType::kFloat:
+    case DataType::kDouble:
+      switch (value.kind()) {
+        case Value::Kind::kDouble:
+          return value;
+        case Value::Kind::kInt:
+        case Value::Kind::kDecimal:
+          return Value::Double(value.AsDouble());
+        default:
+          break;
+      }
+      break;
+    case DataType::kDecimal:
+      switch (value.kind()) {
+        case Value::Kind::kDecimal:
+          if (value.decimal_scale() == column.scale) return value;
+          return Value::Decimal(
+              static_cast<int64_t>(
+                  std::llround(value.AsDouble() *
+                               std::pow(10.0, column.scale))),
+              column.scale);
+        case Value::Kind::kInt:
+        case Value::Kind::kDouble:
+          return Value::Decimal(
+              static_cast<int64_t>(
+                  std::llround(value.AsDouble() *
+                               std::pow(10.0, column.scale))),
+              column.scale);
+        default:
+          break;
+      }
+      break;
+    case DataType::kChar:
+    case DataType::kVarchar:
+      if (value.kind() == Value::Kind::kString) return value;
+      // Any scalar renders to text.
+      return Value::String(value.ToText());
+    case DataType::kDate:
+      switch (value.kind()) {
+        case Value::Kind::kDate:
+          return value;
+        case Value::Kind::kString: {
+          PDGF_ASSIGN_OR_RETURN(pdgf::Date date,
+                                pdgf::Date::Parse(value.string_value()));
+          return Value::FromDate(date);
+        }
+        default:
+          break;
+      }
+      break;
+  }
+  return pdgf::InvalidArgumentError(
+      "cannot store a value of this kind in column '" + column.name +
+      "' of type " + pdgf::DataTypeName(column.type));
+}
+
+pdgf::Status Table::Insert(Row row) {
+  if (row.size() != schema_.columns.size()) {
+    return pdgf::InvalidArgumentError(
+        "row arity " + std::to_string(row.size()) + " != column count " +
+        std::to_string(schema_.columns.size()) + " for table '" +
+        schema_.name + "'");
+  }
+  for (size_t i = 0; i < row.size(); ++i) {
+    PDGF_ASSIGN_OR_RETURN(row[i], CoerceValue(schema_.columns[i], row[i]));
+  }
+  rows_.push_back(std::move(row));
+  return pdgf::Status::Ok();
+}
+
+void Table::EraseRows(const std::vector<size_t>& sorted_indices) {
+  if (sorted_indices.empty()) return;
+  // Single compaction pass: copy surviving rows over the gaps.
+  size_t write = sorted_indices.front();
+  size_t next_to_skip = 0;
+  for (size_t read = write; read < rows_.size(); ++read) {
+    if (next_to_skip < sorted_indices.size() &&
+        sorted_indices[next_to_skip] == read) {
+      ++next_to_skip;
+      continue;
+    }
+    rows_[write++] = std::move(rows_[read]);
+  }
+  rows_.resize(write);
+}
+
+void Table::Scan(const std::function<bool(const Row&)>& visitor) const {
+  for (const Row& row : rows_) {
+    if (!visitor(row)) return;
+  }
+}
+
+}  // namespace minidb

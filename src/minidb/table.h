@@ -1,0 +1,61 @@
+#ifndef DBSYNTHPP_MINIDB_TABLE_H_
+#define DBSYNTHPP_MINIDB_TABLE_H_
+
+#include <functional>
+#include <vector>
+
+#include "common/status.h"
+#include "common/value.h"
+#include "minidb/catalog.h"
+
+namespace minidb {
+
+using Row = std::vector<pdgf::Value>;
+
+// Coerces `value` to the storage representation of `column` (int widths
+// collapse to kInt, FLOAT to kDouble, DECIMAL rescaled to the column
+// scale, CHAR padded semantics are left to clients). Returns an error on
+// incompatible kinds or NOT NULL violations.
+pdgf::StatusOr<pdgf::Value> CoerceValue(const ColumnDef& column,
+                                        const pdgf::Value& value);
+
+// Row storage for one table: an append-only heap of typed rows.
+class Table {
+ public:
+  explicit Table(TableSchema schema) : schema_(std::move(schema)) {}
+
+  Table(Table&&) = default;
+  Table& operator=(Table&&) = default;
+
+  const TableSchema& schema() const { return schema_; }
+  const std::string& name() const { return schema_.name; }
+
+  size_t row_count() const { return rows_.size(); }
+
+  // Validates arity, NOT NULL constraints and type-coerces each cell.
+  pdgf::Status Insert(Row row);
+  // Appends without validation (bulk load fast path; caller guarantees
+  // rows are already coerced).
+  void InsertUnchecked(Row row) { rows_.push_back(std::move(row)); }
+
+  const Row& row(size_t index) const { return rows_[index]; }
+  // Mutable access for UPDATE execution. Callers must keep the schema's
+  // invariants (use CoerceValue for assigned cells).
+  Row* MutableRow(size_t index) { return &rows_[index]; }
+  // Removes the rows at `sorted_indices` (ascending, in-range).
+  void EraseRows(const std::vector<size_t>& sorted_indices);
+
+  // Invokes `visitor` for each row; stops early when it returns false.
+  void Scan(const std::function<bool(const Row&)>& visitor) const;
+
+  void Clear() { rows_.clear(); }
+  void Reserve(size_t rows) { rows_.reserve(rows); }
+
+ private:
+  TableSchema schema_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace minidb
+
+#endif  // DBSYNTHPP_MINIDB_TABLE_H_

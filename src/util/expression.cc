@@ -1,0 +1,271 @@
+#include "util/expression.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+#include <vector>
+
+namespace pdgf {
+namespace {
+
+// Recursive-descent evaluator over the raw expression text.
+class Parser {
+ public:
+  Parser(std::string_view text, const VariableResolver& resolver)
+      : text_(text), resolver_(resolver) {}
+
+  StatusOr<double> Run() {
+    PDGF_ASSIGN_OR_RETURN(double value, ParseExpr());
+    SkipSpace();
+    if (pos_ != text_.size()) {
+      return ParseError("unexpected trailing input in expression: '" +
+                        std::string(text_.substr(pos_)) + "'");
+    }
+    return value;
+  }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Peek(char c) {
+    SkipSpace();
+    return pos_ < text_.size() && text_[pos_] == c;
+  }
+
+  bool Consume(char c) {
+    if (Peek(c)) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  StatusOr<double> ParseExpr() {
+    PDGF_ASSIGN_OR_RETURN(double value, ParseTerm());
+    while (true) {
+      if (Consume('+')) {
+        PDGF_ASSIGN_OR_RETURN(double rhs, ParseTerm());
+        value += rhs;
+      } else if (Consume('-')) {
+        PDGF_ASSIGN_OR_RETURN(double rhs, ParseTerm());
+        value -= rhs;
+      } else {
+        return value;
+      }
+    }
+  }
+
+  StatusOr<double> ParseTerm() {
+    PDGF_ASSIGN_OR_RETURN(double value, ParseUnary());
+    while (true) {
+      if (Consume('*')) {
+        PDGF_ASSIGN_OR_RETURN(double rhs, ParseUnary());
+        value *= rhs;
+      } else if (Consume('/')) {
+        PDGF_ASSIGN_OR_RETURN(double rhs, ParseUnary());
+        if (rhs == 0) return InvalidArgumentError("division by zero");
+        value /= rhs;
+      } else if (Consume('%')) {
+        PDGF_ASSIGN_OR_RETURN(double rhs, ParseUnary());
+        if (rhs == 0) return InvalidArgumentError("modulo by zero");
+        value = std::fmod(value, rhs);
+      } else {
+        return value;
+      }
+    }
+  }
+
+  StatusOr<double> ParseUnary() {
+    if (Consume('-')) {
+      PDGF_ASSIGN_OR_RETURN(double value, ParseUnary());
+      return -value;
+    }
+    return ParsePrimary();
+  }
+
+  StatusOr<double> ParsePrimary() {
+    SkipSpace();
+    if (pos_ >= text_.size()) {
+      return ParseError("unexpected end of expression");
+    }
+    char c = text_[pos_];
+    if (c == '(') {
+      ++pos_;
+      PDGF_ASSIGN_OR_RETURN(double value, ParseExpr());
+      if (!Consume(')')) return ParseError("missing ')'");
+      return value;
+    }
+    if (c == '$') {
+      return ParseVariable();
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) || c == '.') {
+      return ParseNumber();
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      return ParseFunction();
+    }
+    return ParseError(std::string("unexpected character '") + c +
+                      "' in expression");
+  }
+
+  StatusOr<double> ParseNumber() {
+    size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            ((text_[pos_] == '+' || text_[pos_] == '-') && pos_ > start &&
+             (text_[pos_ - 1] == 'e' || text_[pos_ - 1] == 'E')))) {
+      ++pos_;
+    }
+    std::string token(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    double value = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size()) {
+      return ParseError("bad number: '" + token + "'");
+    }
+    return value;
+  }
+
+  StatusOr<double> ParseVariable() {
+    // "${NAME}"
+    if (pos_ + 1 >= text_.size() || text_[pos_ + 1] != '{') {
+      return ParseError("expected '${' in variable reference");
+    }
+    size_t close = text_.find('}', pos_ + 2);
+    if (close == std::string_view::npos) {
+      return ParseError("unterminated variable reference");
+    }
+    std::string_view name = text_.substr(pos_ + 2, close - pos_ - 2);
+    pos_ = close + 1;
+    if (!resolver_) {
+      return InvalidArgumentError("no resolver for variable '" +
+                                  std::string(name) + "'");
+    }
+    return resolver_(name);
+  }
+
+  StatusOr<double> ParseFunction() {
+    size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '_')) {
+      ++pos_;
+    }
+    std::string name(text_.substr(start, pos_ - start));
+    if (!Consume('(')) {
+      return ParseError("expected '(' after function name '" + name + "'");
+    }
+    std::vector<double> args;
+    if (!Peek(')')) {
+      while (true) {
+        PDGF_ASSIGN_OR_RETURN(double arg, ParseExpr());
+        args.push_back(arg);
+        if (!Consume(',')) break;
+      }
+    }
+    if (!Consume(')')) return ParseError("missing ')' in call to " + name);
+    return Apply(name, args);
+  }
+
+  StatusOr<double> Apply(const std::string& name,
+                         const std::vector<double>& args) {
+    auto need = [&](size_t n) -> Status {
+      if (args.size() != n) {
+        return InvalidArgumentError("function " + name + " expects " +
+                                    std::to_string(n) + " argument(s)");
+      }
+      return Status::Ok();
+    };
+    if (name == "ceil") {
+      PDGF_RETURN_IF_ERROR(need(1));
+      return std::ceil(args[0]);
+    }
+    if (name == "floor") {
+      PDGF_RETURN_IF_ERROR(need(1));
+      return std::floor(args[0]);
+    }
+    if (name == "round") {
+      PDGF_RETURN_IF_ERROR(need(1));
+      return std::round(args[0]);
+    }
+    if (name == "abs") {
+      PDGF_RETURN_IF_ERROR(need(1));
+      return std::fabs(args[0]);
+    }
+    if (name == "sqrt") {
+      PDGF_RETURN_IF_ERROR(need(1));
+      return std::sqrt(args[0]);
+    }
+    if (name == "log") {
+      PDGF_RETURN_IF_ERROR(need(1));
+      return std::log(args[0]);
+    }
+    if (name == "log10") {
+      PDGF_RETURN_IF_ERROR(need(1));
+      return std::log10(args[0]);
+    }
+    if (name == "exp") {
+      PDGF_RETURN_IF_ERROR(need(1));
+      return std::exp(args[0]);
+    }
+    if (name == "pow") {
+      PDGF_RETURN_IF_ERROR(need(2));
+      return std::pow(args[0], args[1]);
+    }
+    if (name == "min") {
+      PDGF_RETURN_IF_ERROR(need(2));
+      return std::fmin(args[0], args[1]);
+    }
+    if (name == "max") {
+      PDGF_RETURN_IF_ERROR(need(2));
+      return std::fmax(args[0], args[1]);
+    }
+    return InvalidArgumentError("unknown function '" + name + "'");
+  }
+
+  std::string_view text_;
+  const VariableResolver& resolver_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+StatusOr<double> EvaluateExpression(std::string_view expression,
+                                    const VariableResolver& resolver) {
+  Parser parser(expression, resolver);
+  return parser.Run();
+}
+
+StatusOr<double> EvaluateExpression(std::string_view expression) {
+  return EvaluateExpression(expression, VariableResolver());
+}
+
+std::vector<std::string> ExtractVariableReferences(
+    std::string_view expression) {
+  std::vector<std::string> names;
+  size_t pos = 0;
+  while (true) {
+    size_t open = expression.find("${", pos);
+    if (open == std::string_view::npos) break;
+    size_t close = expression.find('}', open + 2);
+    if (close == std::string_view::npos) break;
+    std::string name(expression.substr(open + 2, close - open - 2));
+    bool seen = false;
+    for (const std::string& existing : names) {
+      if (existing == name) {
+        seen = true;
+        break;
+      }
+    }
+    if (!seen) names.push_back(std::move(name));
+    pos = close + 1;
+  }
+  return names;
+}
+
+}  // namespace pdgf

@@ -1,0 +1,42 @@
+#ifndef DBSYNTHPP_UTIL_EXPRESSION_H_
+#define DBSYNTHPP_UTIL_EXPRESSION_H_
+
+#include <functional>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace pdgf {
+
+// Evaluates the arithmetic expressions used in PDGF models for property
+// values and table sizes, e.g. "6000000 * ${SF}" (paper Listing 1).
+//
+// Grammar:
+//   expr    := term  (('+' | '-') term)*
+//   term    := unary (('*' | '/' | '%') unary)*
+//   unary   := '-' unary | primary
+//   primary := NUMBER | '${' NAME '}' | FUNC '(' expr (',' expr)* ')'
+//            | '(' expr ')'
+// Functions: ceil floor round abs sqrt log log10 exp pow min max.
+//
+// `resolver` maps a ${NAME} reference to its numeric value; it returns an
+// error status for unknown names (which is propagated).
+using VariableResolver =
+    std::function<StatusOr<double>(std::string_view name)>;
+
+// Evaluates `expression` to a double.
+StatusOr<double> EvaluateExpression(std::string_view expression,
+                                    const VariableResolver& resolver);
+
+// Convenience for expressions without variables.
+StatusOr<double> EvaluateExpression(std::string_view expression);
+
+// Lists the ${NAME} references appearing in `expression`, in order of
+// first appearance (used for dependency-ordering property evaluation).
+std::vector<std::string> ExtractVariableReferences(
+    std::string_view expression);
+
+}  // namespace pdgf
+
+#endif  // DBSYNTHPP_UTIL_EXPRESSION_H_

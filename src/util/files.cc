@@ -1,0 +1,112 @@
+#include "util/files.h"
+
+#include <errno.h>
+#include <stdio.h>
+#include <stdlib.h>
+#include <string.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+namespace pdgf {
+
+StatusOr<std::string> ReadFileToString(const std::string& path) {
+  FILE* file = fopen(path.c_str(), "rb");
+  if (file == nullptr) {
+    return IoError("cannot open '" + path + "': " + strerror(errno));
+  }
+  std::string contents;
+  char buffer[1 << 16];
+  size_t read_bytes;
+  while ((read_bytes = fread(buffer, 1, sizeof(buffer), file)) > 0) {
+    contents.append(buffer, read_bytes);
+  }
+  bool failed = ferror(file) != 0;
+  fclose(file);
+  if (failed) {
+    return IoError("read error on '" + path + "'");
+  }
+  return contents;
+}
+
+Status WriteStringToFile(const std::string& path, std::string_view contents) {
+  FILE* file = fopen(path.c_str(), "wb");
+  if (file == nullptr) {
+    return IoError("cannot create '" + path + "': " + strerror(errno));
+  }
+  size_t written = fwrite(contents.data(), 1, contents.size(), file);
+  bool ok = written == contents.size() && fclose(file) == 0;
+  if (!ok) {
+    return IoError("write error on '" + path + "'");
+  }
+  return Status::Ok();
+}
+
+Status MakeDirectories(const std::string& path) {
+  if (path.empty()) return InvalidArgumentError("empty path");
+  std::string partial;
+  partial.reserve(path.size());
+  size_t i = 0;
+  if (path[0] == '/') {
+    partial.push_back('/');
+    i = 1;
+  }
+  while (i <= path.size()) {
+    if (i == path.size() || path[i] == '/') {
+      if (!partial.empty() && partial != "/") {
+        if (mkdir(partial.c_str(), 0755) != 0 && errno != EEXIST) {
+          return IoError("mkdir '" + partial + "': " + strerror(errno));
+        }
+      }
+      if (i < path.size()) partial.push_back('/');
+    } else {
+      partial.push_back(path[i]);
+    }
+    ++i;
+  }
+  return Status::Ok();
+}
+
+bool PathExists(const std::string& path) {
+  struct stat st;
+  return stat(path.c_str(), &st) == 0;
+}
+
+StatusOr<int64_t> FileSize(const std::string& path) {
+  struct stat st;
+  if (stat(path.c_str(), &st) != 0) {
+    return IoError("stat '" + path + "': " + strerror(errno));
+  }
+  return static_cast<int64_t>(st.st_size);
+}
+
+Status RemoveFile(const std::string& path) {
+  if (unlink(path.c_str()) != 0 && errno != ENOENT) {
+    return IoError("unlink '" + path + "': " + strerror(errno));
+  }
+  return Status::Ok();
+}
+
+std::string JoinPath(std::string_view a, std::string_view b) {
+  if (a.empty()) return std::string(b);
+  if (b.empty()) return std::string(a);
+  std::string out(a);
+  if (out.back() == '/') out.pop_back();
+  out.push_back('/');
+  if (b.front() == '/') b.remove_prefix(1);
+  out.append(b);
+  return out;
+}
+
+StatusOr<std::string> MakeTempDir(const std::string& prefix) {
+  const char* base = getenv("TMPDIR");
+  std::string tmpl = JoinPath(base != nullptr ? base : "/tmp",
+                              prefix + "XXXXXX");
+  std::string buffer = tmpl;
+  if (mkdtemp(buffer.data()) == nullptr) {
+    return IoError("mkdtemp '" + tmpl + "': " + strerror(errno));
+  }
+  return buffer;
+}
+
+}  // namespace pdgf

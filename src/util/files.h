@@ -1,0 +1,42 @@
+#ifndef DBSYNTHPP_UTIL_FILES_H_
+#define DBSYNTHPP_UTIL_FILES_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace pdgf {
+
+// POSIX file helpers. <filesystem> is deliberately avoided (style-guide
+// disallowed feature); this project only needs flat path handling.
+
+// Reads a whole file into a string.
+StatusOr<std::string> ReadFileToString(const std::string& path);
+
+// Writes (create/truncate) `contents` to `path`.
+Status WriteStringToFile(const std::string& path, std::string_view contents);
+
+// Creates a directory and any missing parents (mkdir -p).
+Status MakeDirectories(const std::string& path);
+
+// True if the path exists (any file type).
+bool PathExists(const std::string& path);
+
+// File size in bytes, or an error.
+StatusOr<int64_t> FileSize(const std::string& path);
+
+// Deletes a file; missing files are not an error.
+Status RemoveFile(const std::string& path);
+
+// Joins two path fragments with exactly one '/'.
+std::string JoinPath(std::string_view a, std::string_view b);
+
+// Returns a fresh subdirectory under the system temp dir; the directory
+// is created. `prefix` becomes part of the name.
+StatusOr<std::string> MakeTempDir(const std::string& prefix);
+
+}  // namespace pdgf
+
+#endif  // DBSYNTHPP_UTIL_FILES_H_

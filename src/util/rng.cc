@@ -1,0 +1,59 @@
+#include "util/rng.h"
+
+#include <cmath>
+
+namespace pdgf {
+
+double Xorshift64::NextGaussian() {
+  // Box-Muller transform; consumes exactly two uniform draws.
+  double u1 = NextDouble();
+  double u2 = NextDouble();
+  if (u1 <= 0.0) u1 = 0x1.0p-53;
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
+}
+
+double Xorshift64::NextExponential(double lambda) {
+  double u = NextDouble();
+  if (u <= 0.0) u = 0x1.0p-53;
+  if (lambda <= 0.0) lambda = 1.0;
+  return -std::log(u) / lambda;
+}
+
+ZipfDistribution::ZipfDistribution(uint64_t n, double theta)
+    : n_(n == 0 ? 1 : n), theta_(theta) {
+  if (theta_ < 0) theta_ = 0;
+  // Rejection-inversion precomputation (Hörmann & Derflinger 1996).
+  h_x1_ = Harmonic(1.5) - 1.0;
+  h_n_ = Harmonic(static_cast<double>(n_) + 0.5);
+  s_ = 2.0 - HarmonicInverse(Harmonic(2.5) - std::pow(2.0, -theta_));
+}
+
+double ZipfDistribution::Harmonic(double x) const {
+  // H(x) = integral of t^-theta dt (antiderivative), the continuous
+  // approximation used by rejection-inversion.
+  if (theta_ == 1.0) return std::log(x);
+  return (std::pow(x, 1.0 - theta_) - 1.0) / (1.0 - theta_);
+}
+
+double ZipfDistribution::HarmonicInverse(double y) const {
+  if (theta_ == 1.0) return std::exp(y);
+  return std::pow(1.0 + y * (1.0 - theta_), 1.0 / (1.0 - theta_));
+}
+
+uint64_t ZipfDistribution::Sample(Xorshift64* rng) const {
+  if (n_ <= 1) return 0;
+  while (true) {
+    double u = h_n_ + rng->NextDouble() * (h_x1_ - h_n_);
+    double x = HarmonicInverse(u);
+    double k = std::floor(x + 0.5);
+    if (k < 1.0) k = 1.0;
+    if (k > static_cast<double>(n_)) k = static_cast<double>(n_);
+    if (k - x <= s_ ||
+        u >= Harmonic(k + 0.5) - std::pow(k, -theta_)) {
+      // Ranks are 1-based internally; expose 0-based indices.
+      return static_cast<uint64_t>(k) - 1;
+    }
+  }
+}
+
+}  // namespace pdgf

@@ -1,0 +1,127 @@
+#ifndef DBSYNTHPP_UTIL_RNG_H_
+#define DBSYNTHPP_UTIL_RNG_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace pdgf {
+
+// Pseudo-random primitives underlying PDGF's computation-based generation
+// strategy (paper §2): xorshift generators that "behave like hash
+// functions". Seeds are derived, not sequential, so any (table, column,
+// update, row) coordinate can be evaluated independently — that is what
+// makes generation embarrassingly parallel and references computable.
+
+// splitmix64 finalizer: a full-avalanche 64-bit mixer.
+inline uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+// Combines a parent seed with a child coordinate into a child seed.
+// This is the edge relation of the seeding hierarchy in Figure 1.
+inline uint64_t DeriveSeed(uint64_t parent_seed, uint64_t child_key) {
+  return Mix64(parent_seed ^ Mix64(child_key + 0x632be59bd9b4e019ULL));
+}
+
+// Stable FNV-1a hash of a name, used to derive table/column seeds from
+// identifiers so that model edits (reordering tables) do not shift seeds.
+inline uint64_t HashName(std::string_view name) {
+  uint64_t h = 1469598103934665603ULL;
+  for (char c : name) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  return Mix64(h);
+}
+
+// "PdgfDefaultRandom": an xorshift64* stream. Extremely cheap per draw
+// (three shifts, two xors, one multiply) and stateless to construct from
+// any seed, matching the paper's custom xorshift PRNG.
+class Xorshift64 {
+ public:
+  Xorshift64() : state_(0x9e3779b97f4a7c15ULL) {}
+  explicit Xorshift64(uint64_t seed) { Reseed(seed); }
+
+  // Re-initializes the stream; a zero seed is remapped (xorshift state
+  // must be non-zero).
+  void Reseed(uint64_t seed) {
+    state_ = Mix64(seed);
+    if (state_ == 0) state_ = 0x9e3779b97f4a7c15ULL;
+  }
+
+  uint64_t Next() {
+    uint64_t x = state_;
+    x ^= x >> 12;
+    x ^= x << 25;
+    x ^= x >> 27;
+    state_ = x;
+    return x * 0x2545f4914f6cdd1dULL;
+  }
+
+  // Uniform in [0, bound); bound == 0 yields 0. Uses Lemire's
+  // multiply-shift rejection-free mapping (bias < 2^-64 * bound,
+  // negligible for generation purposes).
+  uint64_t NextBounded(uint64_t bound) {
+    if (bound == 0) return 0;
+    unsigned __int128 product =
+        static_cast<unsigned __int128>(Next()) * bound;
+    return static_cast<uint64_t>(product >> 64);
+  }
+
+  // Uniform integer in the inclusive range [lo, hi].
+  int64_t NextInRange(int64_t lo, int64_t hi) {
+    if (hi <= lo) return lo;
+    uint64_t span = static_cast<uint64_t>(hi) - static_cast<uint64_t>(lo) + 1;
+    return lo + static_cast<int64_t>(NextBounded(span));
+  }
+
+  // Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+  // Standard-normal variate (Box-Muller, one value per call; the twin
+  // variate is discarded to keep the stream's consumption deterministic:
+  // exactly two draws per call).
+  double NextGaussian();
+
+  // Exponential variate with rate lambda (one draw).
+  double NextExponential(double lambda);
+
+  uint64_t state() const { return state_; }
+
+ private:
+  uint64_t state_;
+};
+
+// Draws from a bounded Zipf-like (power-law) distribution over
+// [0, n): P(k) proportional to 1/(k+1)^theta. Used for skewed reference
+// and dictionary sampling. Uses the rejection-inversion method of
+// W. Hörmann & G. Derflinger, exact for theta != 1 handled via the
+// generalized harmonic approximation.
+class ZipfDistribution {
+ public:
+  ZipfDistribution(uint64_t n, double theta);
+
+  uint64_t Sample(Xorshift64* rng) const;
+
+  uint64_t n() const { return n_; }
+  double theta() const { return theta_; }
+
+ private:
+  double Harmonic(double x) const;     // integral approximation of sum 1/k^theta
+  double HarmonicInverse(double y) const;
+
+  uint64_t n_;
+  double theta_;
+  double h_x1_;
+  double h_n_;
+  double s_;
+};
+
+}  // namespace pdgf
+
+#endif  // DBSYNTHPP_UTIL_RNG_H_

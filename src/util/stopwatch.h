@@ -1,0 +1,37 @@
+#ifndef DBSYNTHPP_UTIL_STOPWATCH_H_
+#define DBSYNTHPP_UTIL_STOPWATCH_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace pdgf {
+
+// Monotonic wall-clock stopwatch used by the benchmark harnesses and
+// progress monitoring.
+class Stopwatch {
+ public:
+  Stopwatch() { Restart(); }
+
+  void Restart() { start_ = std::chrono::steady_clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+  int64_t ElapsedNanos() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace pdgf
+
+#endif  // DBSYNTHPP_UTIL_STOPWATCH_H_

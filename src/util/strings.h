@@ -1,0 +1,44 @@
+#ifndef DBSYNTHPP_UTIL_STRINGS_H_
+#define DBSYNTHPP_UTIL_STRINGS_H_
+
+#include <cstdarg>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pdgf {
+
+// Removes leading and trailing ASCII whitespace.
+std::string_view StripWhitespace(std::string_view s);
+
+// Lower/upper-case ASCII copies.
+std::string AsciiLower(std::string_view s);
+std::string AsciiUpper(std::string_view s);
+
+// Case-insensitive ASCII equality.
+bool EqualsIgnoreCase(std::string_view a, std::string_view b);
+
+// True if `s` starts with / ends with / contains `piece` (case-sensitive).
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+bool ContainsIgnoreCase(std::string_view haystack, std::string_view needle);
+
+// Splits on a single character. Keeps empty pieces.
+std::vector<std::string> Split(std::string_view s, char sep);
+// Splits on any ASCII whitespace run. Drops empty pieces.
+std::vector<std::string> SplitWhitespace(std::string_view s);
+
+// Joins pieces with a separator.
+std::string Join(const std::vector<std::string>& pieces,
+                 std::string_view separator);
+
+// printf-style formatting into a std::string.
+std::string StrPrintf(const char* format, ...)
+    __attribute__((format(printf, 1, 2)));
+
+// Repeats `piece` `count` times.
+std::string Repeat(std::string_view piece, size_t count);
+
+}  // namespace pdgf
+
+#endif  // DBSYNTHPP_UTIL_STRINGS_H_

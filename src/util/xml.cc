@@ -1,0 +1,381 @@
+#include "util/xml.h"
+
+#include <cctype>
+
+namespace pdgf {
+namespace {
+
+bool IsNameStartChar(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == ':';
+}
+
+bool IsNameChar(char c) {
+  return IsNameStartChar(c) || std::isdigit(static_cast<unsigned char>(c)) ||
+         c == '-' || c == '.';
+}
+
+// Streaming parser with position/line tracking.
+class XmlParser {
+ public:
+  explicit XmlParser(std::string_view input) : input_(input) {}
+
+  StatusOr<XmlDocument> Parse() {
+    SkipMisc();
+    if (pos_ >= input_.size() || input_[pos_] != '<') {
+      return Error("expected root element");
+    }
+    PDGF_ASSIGN_OR_RETURN(std::unique_ptr<XmlElement> root, ParseElement());
+    SkipMisc();
+    if (pos_ != input_.size()) {
+      return Error("content after root element");
+    }
+    return XmlDocument(std::move(root));
+  }
+
+ private:
+  Status Error(const std::string& message) const {
+    return ParseError("XML line " + std::to_string(line_) + ": " + message);
+  }
+
+  void Advance() {
+    if (pos_ < input_.size() && input_[pos_] == '\n') ++line_;
+    ++pos_;
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < input_.size() &&
+           std::isspace(static_cast<unsigned char>(input_[pos_]))) {
+      Advance();
+    }
+  }
+
+  // Skips whitespace, comments, the XML declaration and DOCTYPE-ish
+  // constructs between top-level items.
+  void SkipMisc() {
+    while (true) {
+      SkipWhitespace();
+      if (pos_ + 3 < input_.size() && input_.substr(pos_, 4) == "<!--") {
+        SkipComment();
+        continue;
+      }
+      if (pos_ + 1 < input_.size() && input_.substr(pos_, 2) == "<?") {
+        while (pos_ < input_.size() &&
+               !(input_[pos_] == '?' && pos_ + 1 < input_.size() &&
+                 input_[pos_ + 1] == '>')) {
+          Advance();
+        }
+        Advance();
+        Advance();
+        continue;
+      }
+      if (pos_ + 1 < input_.size() && input_.substr(pos_, 2) == "<!") {
+        while (pos_ < input_.size() && input_[pos_] != '>') Advance();
+        Advance();
+        continue;
+      }
+      return;
+    }
+  }
+
+  void SkipComment() {
+    pos_ += 4;  // "<!--"
+    while (pos_ + 2 < input_.size() && input_.substr(pos_, 3) != "-->") {
+      Advance();
+    }
+    pos_ += 3;
+  }
+
+  StatusOr<std::string> ParseName() {
+    if (pos_ >= input_.size() || !IsNameStartChar(input_[pos_])) {
+      return Error("expected name");
+    }
+    size_t start = pos_;
+    while (pos_ < input_.size() && IsNameChar(input_[pos_])) Advance();
+    return std::string(input_.substr(start, pos_ - start));
+  }
+
+  StatusOr<std::string> DecodeEntities(std::string_view raw) {
+    std::string out;
+    out.reserve(raw.size());
+    for (size_t i = 0; i < raw.size(); ++i) {
+      if (raw[i] != '&') {
+        out.push_back(raw[i]);
+        continue;
+      }
+      size_t semi = raw.find(';', i + 1);
+      if (semi == std::string_view::npos) {
+        return Error("unterminated entity");
+      }
+      std::string_view entity = raw.substr(i + 1, semi - i - 1);
+      if (entity == "lt") {
+        out.push_back('<');
+      } else if (entity == "gt") {
+        out.push_back('>');
+      } else if (entity == "amp") {
+        out.push_back('&');
+      } else if (entity == "quot") {
+        out.push_back('"');
+      } else if (entity == "apos") {
+        out.push_back('\'');
+      } else if (!entity.empty() && entity[0] == '#') {
+        long code = 0;
+        if (entity.size() > 1 && (entity[1] == 'x' || entity[1] == 'X')) {
+          code = std::strtol(std::string(entity.substr(2)).c_str(), nullptr, 16);
+        } else {
+          code = std::strtol(std::string(entity.substr(1)).c_str(), nullptr, 10);
+        }
+        if (code <= 0 || code > 0x10FFFF) return Error("bad character reference");
+        // Encode as UTF-8.
+        if (code < 0x80) {
+          out.push_back(static_cast<char>(code));
+        } else if (code < 0x800) {
+          out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+          out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+        } else if (code < 0x10000) {
+          out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+          out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+          out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+        } else {
+          out.push_back(static_cast<char>(0xF0 | (code >> 18)));
+          out.push_back(static_cast<char>(0x80 | ((code >> 12) & 0x3F)));
+          out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+          out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+        }
+      } else {
+        return Error("unknown entity '&" + std::string(entity) + ";'");
+      }
+      i = semi;
+    }
+    return out;
+  }
+
+  StatusOr<std::unique_ptr<XmlElement>> ParseElement() {
+    // At '<'.
+    Advance();
+    PDGF_ASSIGN_OR_RETURN(std::string name, ParseName());
+    auto element = std::make_unique<XmlElement>(name);
+    // Attributes.
+    while (true) {
+      SkipWhitespace();
+      if (pos_ >= input_.size()) return Error("unterminated start tag");
+      if (input_[pos_] == '/') {
+        Advance();
+        if (pos_ >= input_.size() || input_[pos_] != '>') {
+          return Error("expected '>' after '/'");
+        }
+        Advance();
+        return element;
+      }
+      if (input_[pos_] == '>') {
+        Advance();
+        break;
+      }
+      PDGF_ASSIGN_OR_RETURN(std::string attr_name, ParseName());
+      SkipWhitespace();
+      if (pos_ >= input_.size() || input_[pos_] != '=') {
+        return Error("expected '=' after attribute name '" + attr_name + "'");
+      }
+      Advance();
+      SkipWhitespace();
+      if (pos_ >= input_.size() ||
+          (input_[pos_] != '"' && input_[pos_] != '\'')) {
+        return Error("expected quoted attribute value");
+      }
+      char quote = input_[pos_];
+      Advance();
+      size_t start = pos_;
+      while (pos_ < input_.size() && input_[pos_] != quote) Advance();
+      if (pos_ >= input_.size()) return Error("unterminated attribute value");
+      PDGF_ASSIGN_OR_RETURN(
+          std::string value,
+          DecodeEntities(input_.substr(start, pos_ - start)));
+      Advance();  // closing quote
+      element->SetAttribute(std::move(attr_name), std::move(value));
+    }
+    // Content.
+    while (true) {
+      size_t start = pos_;
+      while (pos_ < input_.size() && input_[pos_] != '<') Advance();
+      if (pos_ > start) {
+        PDGF_ASSIGN_OR_RETURN(
+            std::string text,
+            DecodeEntities(input_.substr(start, pos_ - start)));
+        element->AppendText(text);
+      }
+      if (pos_ >= input_.size()) {
+        return Error("unterminated element <" + name + ">");
+      }
+      if (pos_ + 3 < input_.size() && input_.substr(pos_, 4) == "<!--") {
+        SkipComment();
+        continue;
+      }
+      if (pos_ + 1 < input_.size() && input_[pos_ + 1] == '/') {
+        // End tag.
+        pos_ += 2;
+        PDGF_ASSIGN_OR_RETURN(std::string end_name, ParseName());
+        if (end_name != name) {
+          return Error("mismatched end tag </" + end_name + "> for <" + name +
+                       ">");
+        }
+        SkipWhitespace();
+        if (pos_ >= input_.size() || input_[pos_] != '>') {
+          return Error("expected '>' in end tag");
+        }
+        Advance();
+        return element;
+      }
+      PDGF_ASSIGN_OR_RETURN(std::unique_ptr<XmlElement> child, ParseElement());
+      element->AdoptChild(std::move(child));
+    }
+  }
+
+  std::string_view input_;
+  size_t pos_ = 0;
+  int line_ = 1;
+};
+
+}  // namespace
+
+const std::string* XmlElement::FindAttribute(std::string_view name) const {
+  for (const auto& [attr_name, attr_value] : attributes_) {
+    if (attr_name == name) return &attr_value;
+  }
+  return nullptr;
+}
+
+std::string XmlElement::AttributeOr(std::string_view name,
+                                    std::string_view default_value) const {
+  const std::string* value = FindAttribute(name);
+  return value != nullptr ? *value : std::string(default_value);
+}
+
+void XmlElement::SetAttribute(std::string name, std::string value) {
+  for (auto& [attr_name, attr_value] : attributes_) {
+    if (attr_name == name) {
+      attr_value = std::move(value);
+      return;
+    }
+  }
+  attributes_.emplace_back(std::move(name), std::move(value));
+}
+
+XmlElement* XmlElement::AddChild(std::string name) {
+  children_.push_back(std::make_unique<XmlElement>(std::move(name)));
+  return children_.back().get();
+}
+
+const XmlElement* XmlElement::FindChild(std::string_view name) const {
+  for (const auto& child : children_) {
+    if (child->name() == name) return child.get();
+  }
+  return nullptr;
+}
+
+XmlElement* XmlElement::FindChild(std::string_view name) {
+  for (auto& child : children_) {
+    if (child->name() == name) return child.get();
+  }
+  return nullptr;
+}
+
+std::vector<const XmlElement*> XmlElement::FindChildren(
+    std::string_view name) const {
+  std::vector<const XmlElement*> result;
+  for (const auto& child : children_) {
+    if (child->name() == name) result.push_back(child.get());
+  }
+  return result;
+}
+
+std::string XmlElement::ChildTextOr(std::string_view name,
+                                    std::string_view default_value) const {
+  const XmlElement* child = FindChild(name);
+  return child != nullptr ? child->text() : std::string(default_value);
+}
+
+void XmlEscape(std::string_view in, std::string* out) {
+  for (char c : in) {
+    switch (c) {
+      case '<':
+        out->append("&lt;");
+        break;
+      case '>':
+        out->append("&gt;");
+        break;
+      case '&':
+        out->append("&amp;");
+        break;
+      case '"':
+        out->append("&quot;");
+        break;
+      case '\'':
+        out->append("&apos;");
+        break;
+      default:
+        out->push_back(c);
+    }
+  }
+}
+
+void XmlElement::Serialize(std::string* out, int indent) const {
+  out->append(static_cast<size_t>(indent) * 2, ' ');
+  out->push_back('<');
+  out->append(name_);
+  for (const auto& [attr_name, attr_value] : attributes_) {
+    out->push_back(' ');
+    out->append(attr_name);
+    out->append("=\"");
+    XmlEscape(attr_value, out);
+    out->push_back('"');
+  }
+  std::string_view trimmed_text = text_;
+  // Trim pure-formatting whitespace around text for pretty output.
+  while (!trimmed_text.empty() &&
+         std::isspace(static_cast<unsigned char>(trimmed_text.front()))) {
+    trimmed_text.remove_prefix(1);
+  }
+  while (!trimmed_text.empty() &&
+         std::isspace(static_cast<unsigned char>(trimmed_text.back()))) {
+    trimmed_text.remove_suffix(1);
+  }
+  if (children_.empty() && trimmed_text.empty()) {
+    out->append("/>\n");
+    return;
+  }
+  out->push_back('>');
+  if (children_.empty()) {
+    XmlEscape(trimmed_text, out);
+    out->append("</");
+    out->append(name_);
+    out->append(">\n");
+    return;
+  }
+  out->push_back('\n');
+  if (!trimmed_text.empty()) {
+    out->append(static_cast<size_t>(indent + 1) * 2, ' ');
+    XmlEscape(trimmed_text, out);
+    out->push_back('\n');
+  }
+  for (const auto& child : children_) {
+    child->Serialize(out, indent + 1);
+  }
+  out->append(static_cast<size_t>(indent) * 2, ' ');
+  out->append("</");
+  out->append(name_);
+  out->append(">\n");
+}
+
+StatusOr<XmlDocument> XmlDocument::Parse(std::string_view input) {
+  XmlParser parser(input);
+  return parser.Parse();
+}
+
+std::string XmlDocument::Serialize() const {
+  std::string out = "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n";
+  if (root_ != nullptr) {
+    root_->Serialize(&out, 0);
+  }
+  return out;
+}
+
+}  // namespace pdgf

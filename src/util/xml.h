@@ -1,0 +1,103 @@
+#ifndef DBSYNTHPP_UTIL_XML_H_
+#define DBSYNTHPP_UTIL_XML_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace pdgf {
+
+// A small XML subset sufficient for PDGF model configuration files
+// (paper Listing 1): elements, attributes, character data, comments and
+// the XML declaration. Namespaces, CDATA, DTDs and processing
+// instructions other than the declaration are not supported.
+class XmlElement {
+ public:
+  explicit XmlElement(std::string name) : name_(std::move(name)) {}
+
+  XmlElement(const XmlElement&) = delete;
+  XmlElement& operator=(const XmlElement&) = delete;
+
+  const std::string& name() const { return name_; }
+
+  // Attributes (ordered as written).
+  const std::vector<std::pair<std::string, std::string>>& attributes() const {
+    return attributes_;
+  }
+  // Returns the attribute value or nullptr.
+  const std::string* FindAttribute(std::string_view name) const;
+  // Returns the attribute value or `default_value`.
+  std::string AttributeOr(std::string_view name,
+                          std::string_view default_value) const;
+  bool HasAttribute(std::string_view name) const {
+    return FindAttribute(name) != nullptr;
+  }
+  void SetAttribute(std::string name, std::string value);
+
+  // Concatenated character data directly inside this element, with
+  // entities decoded; surrounding whitespace preserved.
+  const std::string& text() const { return text_; }
+  void set_text(std::string text) { text_ = std::move(text); }
+  void AppendText(std::string_view text) { text_.append(text); }
+
+  // Children in document order.
+  const std::vector<std::unique_ptr<XmlElement>>& children() const {
+    return children_;
+  }
+  // Adds a child element and returns a pointer to it.
+  XmlElement* AddChild(std::string name);
+  // Adopts an already-built child element.
+  void AdoptChild(std::unique_ptr<XmlElement> child) {
+    children_.push_back(std::move(child));
+  }
+  // First child with the given tag name, or nullptr.
+  const XmlElement* FindChild(std::string_view name) const;
+  XmlElement* FindChild(std::string_view name);
+  // All children with the given tag name.
+  std::vector<const XmlElement*> FindChildren(std::string_view name) const;
+  // Text of the first child with the given tag, or `default_value`.
+  std::string ChildTextOr(std::string_view name,
+                          std::string_view default_value) const;
+
+  // Serializes this element (and subtree) with 2-space indentation.
+  void Serialize(std::string* out, int indent) const;
+
+ private:
+  std::string name_;
+  std::vector<std::pair<std::string, std::string>> attributes_;
+  std::string text_;
+  std::vector<std::unique_ptr<XmlElement>> children_;
+};
+
+class XmlDocument {
+ public:
+  XmlDocument() = default;
+  explicit XmlDocument(std::unique_ptr<XmlElement> root)
+      : root_(std::move(root)) {}
+
+  XmlDocument(XmlDocument&&) = default;
+  XmlDocument& operator=(XmlDocument&&) = default;
+
+  // Parses a document; returns an error with a line number on failure.
+  static StatusOr<XmlDocument> Parse(std::string_view input);
+
+  const XmlElement* root() const { return root_.get(); }
+  XmlElement* mutable_root() { return root_.get(); }
+
+  // Serializes including an XML declaration.
+  std::string Serialize() const;
+
+ private:
+  std::unique_ptr<XmlElement> root_;
+};
+
+// Escapes &<>"' for use in attribute values / character data.
+void XmlEscape(std::string_view in, std::string* out);
+
+}  // namespace pdgf
+
+#endif  // DBSYNTHPP_UTIL_XML_H_

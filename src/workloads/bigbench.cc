@@ -1,0 +1,272 @@
+#include "workloads/bigbench.h"
+
+#include "core/generators/generators.h"
+#include "core/text/builtin_dictionaries.h"
+
+namespace workloads {
+
+using pdgf::DataType;
+using pdgf::Date;
+using pdgf::FieldDef;
+using pdgf::GeneratorPtr;
+using pdgf::PropertyDef;
+using pdgf::SchemaDef;
+using pdgf::TableDef;
+
+namespace {
+
+std::shared_ptr<const pdgf::MarkovModel> ReviewModel() {
+  static const auto& model = *new std::shared_ptr<const pdgf::MarkovModel>(
+      [] {
+        auto m = std::make_shared<pdgf::MarkovModel>();
+        m->AddSample(pdgf::BuiltinCommentCorpus());
+        m->Finalize();
+        return m;
+      }());
+  return model;
+}
+
+FieldDef Field(const char* name, DataType type, int size,
+               GeneratorPtr generator, bool primary = false) {
+  FieldDef field;
+  field.name = name;
+  field.type = type;
+  field.size = size;
+  field.primary = primary;
+  field.nullable = !primary;
+  field.generator = std::move(generator);
+  return field;
+}
+
+GeneratorPtr Id() { return GeneratorPtr(new pdgf::IdGenerator(1, 1)); }
+
+GeneratorPtr Ref(const char* table, const char* field) {
+  return GeneratorPtr(new pdgf::DefaultReferenceGenerator(table, field));
+}
+
+GeneratorPtr SkewedRef(const char* table, const char* field, double theta) {
+  return GeneratorPtr(new pdgf::DefaultReferenceGenerator(
+      table, field, pdgf::DefaultReferenceGenerator::Distribution::kZipf,
+      theta));
+}
+
+GeneratorPtr Long(int64_t min, int64_t max) {
+  return GeneratorPtr(new pdgf::LongGenerator(min, max));
+}
+
+GeneratorPtr Money(double min, double max) {
+  return GeneratorPtr(new pdgf::DoubleGenerator(min, max, 2));
+}
+
+GeneratorPtr Builtin(const char* name) {
+  return GeneratorPtr(new pdgf::DictListGenerator(
+      pdgf::FindBuiltinDictionary(name), name,
+      pdgf::DictListGenerator::Method::kUniform, 0));
+}
+
+GeneratorPtr DateIn(int y1, int y2) {
+  return GeneratorPtr(new pdgf::DateGenerator(Date::FromCivil(y1, 1, 1),
+                                              Date::FromCivil(y2, 12, 31)));
+}
+
+}  // namespace
+
+SchemaDef BuildBigBenchSchema() {
+  SchemaDef schema;
+  schema.name = "bigbench";
+  schema.seed = 987654321;
+
+  auto property = [&schema](const char* name, const char* expression) {
+    PropertyDef def;
+    def.name = name;
+    def.type = "double";
+    def.expression = expression;
+    schema.properties.push_back(std::move(def));
+  };
+  property("SF", "1");
+  property("customer_size", "100000 * ${SF}");
+  property("item_size", "18000 * ${SF}");
+  property("store_size", "max(12, 12 * ${SF})");
+  property("web_page_size", "max(60, 60 * ${SF})");
+  property("web_sales_size", "500000 * ${SF}");
+  property("web_clickstreams_size", "2000000 * ${SF}");
+  property("product_reviews_size", "150000 * ${SF}");
+
+  // customer -------------------------------------------------------------
+  {
+    TableDef table;
+    table.name = "customer";
+    table.size_expression = "${customer_size}";
+    table.fields.push_back(
+        Field("c_customer_sk", DataType::kBigInt, 19, Id(), true));
+    table.fields.push_back(Field("c_name", DataType::kVarchar, 50,
+                                 GeneratorPtr(new pdgf::NameGenerator())));
+    table.fields.push_back(Field("c_email_address", DataType::kVarchar, 60,
+                                 GeneratorPtr(new pdgf::EmailGenerator())));
+    table.fields.push_back(
+        Field("c_address", DataType::kVarchar, 80,
+              GeneratorPtr(new pdgf::AddressGenerator())));
+    table.fields.push_back(
+        Field("c_birth_year", DataType::kInteger, 4, Long(1930, 2005)));
+    table.fields.push_back(Field(
+        "c_gender", DataType::kChar, 1,
+        [] {
+          auto dictionary = std::make_shared<pdgf::Dictionary>();
+          dictionary->Add("M", 0.49);
+          dictionary->Add("F", 0.49);
+          dictionary->Add("U", 0.02);
+          dictionary->Finalize();
+          return GeneratorPtr(new pdgf::DictListGenerator(
+              std::move(dictionary), "",
+              pdgf::DictListGenerator::Method::kCumulative, 0));
+        }()));
+    table.fields.push_back(
+        Field("c_acctbal", DataType::kDecimal, 15, Money(0, 50000)));
+    schema.tables.push_back(std::move(table));
+  }
+
+  // item -----------------------------------------------------------------
+  {
+    TableDef table;
+    table.name = "item";
+    table.size_expression = "${item_size}";
+    table.fields.push_back(
+        Field("i_item_sk", DataType::kBigInt, 19, Id(), true));
+    {
+      std::vector<GeneratorPtr> words;
+      words.push_back(Builtin("adjectives"));
+      words.push_back(Builtin("colors"));
+      words.push_back(Builtin("nouns"));
+      table.fields.push_back(
+          Field("i_product_name", DataType::kVarchar, 60,
+                GeneratorPtr(new pdgf::SequentialGenerator(std::move(words),
+                                                           " ", "", ""))));
+    }
+    table.fields.push_back(Field("i_category", DataType::kVarchar, 20,
+                                 Builtin("product_categories")));
+    table.fields.push_back(
+        Field("i_current_price", DataType::kDecimal, 15, Money(0.5, 999)));
+    table.fields.push_back(
+        Field("i_wholesale_cost", DataType::kDecimal, 15, Money(0.2, 700)));
+    schema.tables.push_back(std::move(table));
+  }
+
+  // store ------------------------------------------------------------------
+  {
+    TableDef table;
+    table.name = "store";
+    table.size_expression = "${store_size}";
+    table.fields.push_back(
+        Field("s_store_sk", DataType::kBigInt, 19, Id(), true));
+    table.fields.push_back(Field("s_city", DataType::kVarchar, 30,
+                                 Builtin("cities")));
+    table.fields.push_back(
+        Field("s_state", DataType::kChar, 2, Builtin("states")));
+    table.fields.push_back(
+        Field("s_floor_space", DataType::kInteger, 10,
+              Long(5000, 1000000)));
+    schema.tables.push_back(std::move(table));
+  }
+
+  // web_page ---------------------------------------------------------------
+  {
+    TableDef table;
+    table.name = "web_page";
+    table.size_expression = "${web_page_size}";
+    table.fields.push_back(
+        Field("wp_web_page_sk", DataType::kBigInt, 19, Id(), true));
+    table.fields.push_back(Field("wp_url", DataType::kVarchar, 80,
+                                 GeneratorPtr(new pdgf::UrlGenerator())));
+    table.fields.push_back(
+        Field("wp_type", DataType::kVarchar, 12,
+              [] {
+                auto dictionary = std::make_shared<pdgf::Dictionary>();
+                dictionary->Add("order", 2);
+                dictionary->Add("product", 5);
+                dictionary->Add("search", 3);
+                dictionary->Add("review", 1);
+                dictionary->Finalize();
+                return GeneratorPtr(new pdgf::DictListGenerator(
+                    std::move(dictionary), "",
+                    pdgf::DictListGenerator::Method::kCumulative, 0));
+              }()));
+    schema.tables.push_back(std::move(table));
+  }
+
+  // web_sales ----------------------------------------------------------------
+  {
+    TableDef table;
+    table.name = "web_sales";
+    table.size_expression = "${web_sales_size}";
+    table.fields.push_back(
+        Field("ws_order_number", DataType::kBigInt, 19, Id(), true));
+    table.fields.push_back(Field("ws_item_sk", DataType::kBigInt, 19,
+                                 SkewedRef("item", "i_item_sk", 0.8)));
+    table.fields.push_back(
+        Field("ws_customer_sk", DataType::kBigInt, 19,
+              Ref("customer", "c_customer_sk")));
+    table.fields.push_back(Field("ws_web_page_sk", DataType::kBigInt, 19,
+                                 Ref("web_page", "wp_web_page_sk")));
+    table.fields.push_back(
+        Field("ws_quantity", DataType::kInteger, 10, Long(1, 20)));
+    table.fields.push_back(
+        Field("ws_sales_price", DataType::kDecimal, 15, Money(0.5, 999)));
+    table.fields.push_back(
+        Field("ws_sold_date", DataType::kDate, 10, DateIn(2010, 2014)));
+    schema.tables.push_back(std::move(table));
+  }
+
+  // web_clickstreams (semi-structured; the big table) -------------------------
+  {
+    TableDef table;
+    table.name = "web_clickstreams";
+    table.size_expression = "${web_clickstreams_size}";
+    table.fields.push_back(
+        Field("wcs_click_sk", DataType::kBigInt, 19, Id(), true));
+    table.fields.push_back(
+        Field("wcs_user_sk", DataType::kBigInt, 19,
+              [] {
+                // 5% anonymous sessions: NULL user (paper: big data sets
+                // keep every interaction, not just purchases).
+                return GeneratorPtr(new pdgf::NullGenerator(
+                    0.05, GeneratorPtr(new pdgf::DefaultReferenceGenerator(
+                              "customer", "c_customer_sk"))));
+              }()));
+    table.fields.push_back(Field("wcs_item_sk", DataType::kBigInt, 19,
+                                 SkewedRef("item", "i_item_sk", 0.9)));
+    table.fields.push_back(Field("wcs_web_page_sk", DataType::kBigInt, 19,
+                                 Ref("web_page", "wp_web_page_sk")));
+    table.fields.push_back(
+        Field("wcs_click_date", DataType::kDate, 10, DateIn(2012, 2014)));
+    table.fields.push_back(
+        Field("wcs_click_time", DataType::kInteger, 10, Long(0, 86399)));
+    schema.tables.push_back(std::move(table));
+  }
+
+  // product_reviews (unstructured text referencing structured data) -----------
+  {
+    TableDef table;
+    table.name = "product_reviews";
+    table.size_expression = "${product_reviews_size}";
+    table.fields.push_back(
+        Field("pr_review_sk", DataType::kBigInt, 19, Id(), true));
+    table.fields.push_back(Field("pr_item_sk", DataType::kBigInt, 19,
+                                 SkewedRef("item", "i_item_sk", 0.7)));
+    table.fields.push_back(
+        Field("pr_user_sk", DataType::kBigInt, 19,
+              Ref("customer", "c_customer_sk")));
+    table.fields.push_back(
+        Field("pr_review_rating", DataType::kInteger, 1, Long(1, 5)));
+    table.fields.push_back(
+        Field("pr_review_content", DataType::kVarchar, 2000,
+              GeneratorPtr(new pdgf::MarkovChainGenerator(ReviewModel(), 20,
+                                                          120))));
+    table.fields.push_back(
+        Field("pr_review_date", DataType::kDate, 10, DateIn(2010, 2014)));
+    schema.tables.push_back(std::move(table));
+  }
+
+  return schema;
+}
+
+}  // namespace workloads

@@ -1,0 +1,27 @@
+#ifndef DBSYNTHPP_WORKLOADS_BIGBENCH_H_
+#define DBSYNTHPP_WORKLOADS_BIGBENCH_H_
+
+#include "core/schema.h"
+
+namespace workloads {
+
+// A BigBench-style big-data retail model (paper §4 generates a BigBench
+// data set for the Figure-4 scale-out experiment; [7]): structured retail
+// tables plus the semi-structured clickstream and unstructured product
+// reviews that characterize the benchmark, including the
+// structured-to-text references the paper highlights against BDGS
+// (§6: "references from structured data into text").
+//
+// Tables (rows at ${SF} = 1):
+//   customer          100000   demographics, semantic generators
+//   item               18000   categories, prices
+//   store                 12
+//   web_page              60
+//   web_sales         500000   fact table referencing all dimensions
+//   web_clickstreams 2000000   semi-structured click events
+//   product_reviews   150000   free-text reviews (Markov) referencing items
+pdgf::SchemaDef BuildBigBenchSchema();
+
+}  // namespace workloads
+
+#endif  // DBSYNTHPP_WORKLOADS_BIGBENCH_H_

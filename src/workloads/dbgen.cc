@@ -1,0 +1,286 @@
+#include "workloads/dbgen.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+
+#include "util/files.h"
+#include "util/stopwatch.h"
+
+namespace workloads {
+namespace {
+
+// dbgen's RANDOM(): a 48-bit LCG (same multiplier/increment family as the
+// original's rnd.c).
+class Lcg48 {
+ public:
+  explicit Lcg48(uint64_t seed) : state_(seed & kMask) {}
+
+  int64_t Next(int64_t low, int64_t high) {
+    state_ = (state_ * 0x5DEECE66DULL + 0xB) & kMask;
+    if (high <= low) return low;
+    return low + static_cast<int64_t>(state_ %
+                                      static_cast<uint64_t>(high - low + 1));
+  }
+
+ private:
+  static constexpr uint64_t kMask = (1ULL << 48) - 1;
+  uint64_t state_;
+};
+
+const char* const kSegments[] = {"AUTOMOBILE", "BUILDING", "FURNITURE",
+                                 "HOUSEHOLD", "MACHINERY"};
+const char* const kPriorities[] = {"1-URGENT", "2-HIGH", "3-MEDIUM",
+                                   "4-NOT SPECIFIED", "5-LOW"};
+const char* const kModes[] = {"AIR", "FOB", "MAIL", "RAIL",
+                              "REG AIR", "SHIP", "TRUCK"};
+const char* const kInstructs[] = {"DELIVER IN PERSON", "COLLECT COD",
+                                  "NONE", "TAKE BACK RETURN"};
+const char* const kWords[] = {
+    "the", "quick",   "foxes",   "sleep",   "blithely", "regular",
+    "deposits", "haggle", "carefully", "final", "requests", "wake",
+    "furiously", "across", "silent", "platelets", "express", "ideas",
+    "cajole", "accounts", "bold",  "theodolites", "even", "packages"};
+
+// Writer: file-backed or counting-only.
+class Out {
+ public:
+  static pdgf::StatusOr<Out> Make(const DbgenOptions& options,
+                                  const std::string& table) {
+    Out out;
+    if (options.to_null) return out;
+    std::string path = pdgf::JoinPath(options.output_dir, table + ".tbl");
+    if (options.instance_count > 1) {
+      path += "." + std::to_string(options.instance_id + 1);
+    }
+    out.file_ = fopen(path.c_str(), "wb");
+    if (out.file_ == nullptr) {
+      return pdgf::IoError("dbgen: cannot create " + path);
+    }
+    setvbuf(out.file_, nullptr, _IOFBF, 1 << 20);
+    return out;
+  }
+
+  Out(Out&& other) noexcept : file_(other.file_), bytes_(other.bytes_) {
+    other.file_ = nullptr;
+  }
+  Out(const Out&) = delete;
+  Out& operator=(const Out&) = delete;
+  Out& operator=(Out&&) = delete;
+  ~Out() {
+    if (file_ != nullptr) fclose(file_);
+  }
+
+  void Write(const char* data, size_t size) {
+    if (file_ != nullptr) fwrite(data, 1, size, file_);
+    bytes_ += size;
+  }
+
+  uint64_t bytes() const { return bytes_; }
+
+ private:
+  Out() = default;
+
+  FILE* file_ = nullptr;
+  uint64_t bytes_ = 0;
+};
+
+// Fills `buffer` with a dbgen-style comment of about `target` chars.
+size_t MakeComment(Lcg48* rng, char* buffer, size_t capacity,
+                   size_t target) {
+  size_t length = 0;
+  while (length < target && length + 12 < capacity) {
+    const char* word =
+        kWords[rng->Next(0, static_cast<int64_t>(std::size(kWords)) - 1)];
+    size_t word_length = std::strlen(word);
+    if (length > 0) buffer[length++] = ' ';
+    std::memcpy(buffer + length, word, word_length);
+    length += word_length;
+  }
+  return length;
+}
+
+// Key range of this instance for a table of `rows` rows.
+void InstanceRange(uint64_t rows, const DbgenOptions& options,
+                   uint64_t* begin, uint64_t* end) {
+  uint64_t n = static_cast<uint64_t>(
+      options.instance_count < 1 ? 1 : options.instance_count);
+  uint64_t i = static_cast<uint64_t>(options.instance_id);
+  if (i >= n) i = n - 1;
+  *begin = rows * i / n;
+  *end = rows * (i + 1) / n;
+}
+
+}  // namespace
+
+pdgf::StatusOr<DbgenStats> RunDbgen(const DbgenOptions& options) {
+  if (!options.to_null) {
+    PDGF_RETURN_IF_ERROR(pdgf::MakeDirectories(options.output_dir));
+  }
+  pdgf::Stopwatch stopwatch;
+  DbgenStats stats;
+  double sf = options.scale_factor;
+  char line[1024];
+  char comment[512];
+
+  const uint64_t suppliers = static_cast<uint64_t>(10000 * sf) + 1;
+  const uint64_t parts = static_cast<uint64_t>(200000 * sf) + 1;
+  const uint64_t customers = static_cast<uint64_t>(150000 * sf) + 1;
+  const uint64_t orders = static_cast<uint64_t>(1500000 * sf) + 1;
+
+  // supplier -----------------------------------------------------------
+  if (!options.big_tables_only) {
+    PDGF_ASSIGN_OR_RETURN(Out out, Out::Make(options, "supplier"));
+    uint64_t begin, end;
+    InstanceRange(suppliers, options, &begin, &end);
+    for (uint64_t i = begin; i < end; ++i) {
+      Lcg48 rng(i * 2 + 17);
+      size_t comment_length =
+          MakeComment(&rng, comment, sizeof(comment), 60);
+      comment[comment_length] = '\0';
+      int n = snprintf(
+          line, sizeof(line),
+          "%" PRIu64 "|Supplier#%09" PRIu64
+          "|addr%" PRIu64 "xYzW|%" PRId64 "|%02" PRId64
+          "-%03" PRId64 "-%03" PRId64 "-%04" PRId64 "|%" PRId64
+          ".%02" PRId64 "|%s\n",
+          i + 1, i + 1, i, rng.Next(0, 24), rng.Next(10, 34),
+          rng.Next(100, 999), rng.Next(100, 999), rng.Next(1000, 9999),
+          rng.Next(-999, 9999), rng.Next(0, 99), comment);
+      out.Write(line, static_cast<size_t>(n));
+      ++stats.rows;
+    }
+    stats.bytes += out.bytes();
+  }
+
+  // part ---------------------------------------------------------------
+  if (!options.big_tables_only) {
+    PDGF_ASSIGN_OR_RETURN(Out out, Out::Make(options, "part"));
+    uint64_t begin, end;
+    InstanceRange(parts, options, &begin, &end);
+    for (uint64_t i = begin; i < end; ++i) {
+      Lcg48 rng(i * 3 + 29);
+      size_t comment_length =
+          MakeComment(&rng, comment, sizeof(comment), 12);
+      comment[comment_length] = '\0';
+      int64_t m = rng.Next(1, 5);
+      int n = snprintf(
+          line, sizeof(line),
+          "%" PRIu64 "|part name %" PRIu64
+          "|Manufacturer#%" PRId64 "|Brand#%" PRId64 "%" PRId64
+          "|STANDARD PLATED TIN|%" PRId64 "|SM BOX|%" PRIu64
+          ".%02" PRIu64 "|%s\n",
+          i + 1, i, m, m, rng.Next(1, 5), rng.Next(1, 50),
+          (90000 + (i / 10) % 20001 + 100 * (i % 1000)) / 100,
+          (90000 + (i / 10) % 20001 + 100 * (i % 1000)) % 100, comment);
+      out.Write(line, static_cast<size_t>(n));
+      ++stats.rows;
+    }
+    stats.bytes += out.bytes();
+  }
+
+  // partsupp -----------------------------------------------------------
+  {
+    PDGF_ASSIGN_OR_RETURN(Out out, Out::Make(options, "partsupp"));
+    uint64_t begin, end;
+    InstanceRange(parts, options, &begin, &end);
+    for (uint64_t i = begin; i < end; ++i) {
+      for (int s = 0; s < 4; ++s) {
+        Lcg48 rng(i * 7 + static_cast<uint64_t>(s) + 3);
+        size_t comment_length =
+            MakeComment(&rng, comment, sizeof(comment), 120);
+        comment[comment_length] = '\0';
+        int n = snprintf(line, sizeof(line),
+                         "%" PRIu64 "|%" PRId64 "|%" PRId64 "|%" PRId64
+                         ".%02" PRId64 "|%s\n",
+                         i + 1,
+                         rng.Next(1, static_cast<int64_t>(suppliers)),
+                         rng.Next(1, 9999), rng.Next(1, 999),
+                         rng.Next(0, 99), comment);
+        out.Write(line, static_cast<size_t>(n));
+        ++stats.rows;
+      }
+    }
+    stats.bytes += out.bytes();
+  }
+
+  // customer -----------------------------------------------------------
+  if (!options.big_tables_only) {
+    PDGF_ASSIGN_OR_RETURN(Out out, Out::Make(options, "customer"));
+    uint64_t begin, end;
+    InstanceRange(customers, options, &begin, &end);
+    for (uint64_t i = begin; i < end; ++i) {
+      Lcg48 rng(i * 11 + 41);
+      size_t comment_length =
+          MakeComment(&rng, comment, sizeof(comment), 70);
+      comment[comment_length] = '\0';
+      int n = snprintf(
+          line, sizeof(line),
+          "%" PRIu64 "|Customer#%09" PRIu64 "|addr%" PRIu64
+          "IVhzIApeRb|%" PRId64 "|%02" PRId64 "-%03" PRId64 "-%03" PRId64
+          "-%04" PRId64 "|%" PRId64 ".%02" PRId64 "|%s|%s\n",
+          i + 1, i + 1, i, rng.Next(0, 24), rng.Next(10, 34),
+          rng.Next(100, 999), rng.Next(100, 999), rng.Next(1000, 9999),
+          rng.Next(-999, 9999), rng.Next(0, 99),
+          kSegments[rng.Next(0, 4)], comment);
+      out.Write(line, static_cast<size_t>(n));
+      ++stats.rows;
+    }
+    stats.bytes += out.bytes();
+  }
+
+  // orders + lineitem (interleaved, exactly like dbgen generates the
+  // order with its line items in one pass) --------------------------------
+  {
+    PDGF_ASSIGN_OR_RETURN(Out orders_out, Out::Make(options, "orders"));
+    PDGF_ASSIGN_OR_RETURN(Out lineitem_out, Out::Make(options, "lineitem"));
+    uint64_t begin, end;
+    InstanceRange(orders, options, &begin, &end);
+    for (uint64_t i = begin; i < end; ++i) {
+      Lcg48 rng(i * 13 + 7);
+      size_t comment_length =
+          MakeComment(&rng, comment, sizeof(comment), 48);
+      comment[comment_length] = '\0';
+      int64_t order_date = rng.Next(0, 2405);  // days since 1992-01-01
+      int year = 1992 + static_cast<int>(order_date / 365);
+      int month = 1 + static_cast<int>((order_date / 30) % 12);
+      int day = 1 + static_cast<int>(order_date % 28);
+      int n = snprintf(
+          line, sizeof(line),
+          "%" PRIu64 "|%" PRId64 "|%c|%" PRId64 ".%02" PRId64
+          "|%04d-%02d-%02d|%s|Clerk#%09" PRId64 "|0|%s\n",
+          i + 1, rng.Next(1, static_cast<int64_t>(customers)),
+          "FOP"[rng.Next(0, 2)], rng.Next(857, 555285), rng.Next(0, 99),
+          year, month, day, kPriorities[rng.Next(0, 4)],
+          rng.Next(1, 1000), comment);
+      orders_out.Write(line, static_cast<size_t>(n));
+      ++stats.rows;
+      int64_t lines = rng.Next(1, 7);
+      for (int64_t l = 0; l < lines; ++l) {
+        size_t line_comment_length =
+            MakeComment(&rng, comment, sizeof(comment), 26);
+        comment[line_comment_length] = '\0';
+        int n2 = snprintf(
+            line, sizeof(line),
+            "%" PRIu64 "|%" PRId64 "|%" PRId64 "|%" PRId64 "|%" PRId64
+            "|%" PRId64 ".%02" PRId64 "|0.%02" PRId64 "|0.%02" PRId64
+            "|%c|%c|%04d-%02d-%02d|%04d-%02d-%02d|%04d-%02d-%02d|%s|%s|%s\n",
+            i + 1, rng.Next(1, static_cast<int64_t>(parts)),
+            rng.Next(1, static_cast<int64_t>(suppliers)), l + 1,
+            rng.Next(1, 50), rng.Next(900, 104950), rng.Next(0, 99),
+            rng.Next(0, 10), rng.Next(0, 8), "RAN"[rng.Next(0, 2)],
+            "OF"[rng.Next(0, 1)], year, month, day, year, month, day, year,
+            month, day, kInstructs[rng.Next(0, 3)], kModes[rng.Next(0, 6)],
+            comment);
+        lineitem_out.Write(line, static_cast<size_t>(n2));
+        ++stats.rows;
+      }
+    }
+    stats.bytes += orders_out.bytes() + lineitem_out.bytes();
+  }
+
+  stats.seconds = stopwatch.ElapsedSeconds();
+  return stats;
+}
+
+}  // namespace workloads

@@ -1,0 +1,45 @@
+#ifndef DBSYNTHPP_WORKLOADS_DBGEN_H_
+#define DBSYNTHPP_WORKLOADS_DBGEN_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+
+namespace workloads {
+
+// A hard-coded TPC-H `.tbl` generator in the style of the original TPC
+// dbgen: per-table loops, a 48-bit linear-congruential RNG, direct
+// snprintf formatting, eager (non-lazy) string assembly, and
+// non-transparent parallelization — each parallel instance is an
+// independent run that writes its own chunk files (paper §4: "for each
+// parallel stream a new instance is started, which writes its own
+// files"). It is the comparison baseline of Figure 6 and the §6 example
+// of a fast but non-generic, non-adaptable generator.
+struct DbgenOptions {
+  double scale_factor = 0.01;
+  // Output directory; ignored when to_null is set.
+  std::string output_dir = "dbgen_out";
+  // Non-transparent parallelism: instance `instance_id` of
+  // `instance_count` generates its key range into "<table>.tbl.<id>".
+  int instance_count = 1;
+  int instance_id = 0;
+  // Discard bytes instead of writing files (CPU-bound measurement).
+  bool to_null = false;
+  // Restrict generation to the big tables (orders+lineitem+partsupp),
+  // matching quick benchmarking runs.
+  bool big_tables_only = false;
+};
+
+struct DbgenStats {
+  uint64_t rows = 0;
+  uint64_t bytes = 0;
+  double seconds = 0;
+};
+
+// Runs the generator; returns row/byte counts and elapsed time.
+pdgf::StatusOr<DbgenStats> RunDbgen(const DbgenOptions& options);
+
+}  // namespace workloads
+
+#endif  // DBSYNTHPP_WORKLOADS_DBGEN_H_

@@ -1,0 +1,148 @@
+#include "workloads/imdb.h"
+
+#include "core/text/builtin_dictionaries.h"
+#include "core/text/markov_model.h"
+#include "minidb/sql.h"
+#include "util/rng.h"
+#include "util/strings.h"
+
+namespace workloads {
+
+using pdgf::Status;
+using pdgf::Value;
+
+namespace {
+
+constexpr const char* kDdl = R"sql(
+CREATE TABLE title (
+  title_id BIGINT PRIMARY KEY,
+  title VARCHAR(100) NOT NULL,
+  production_year INTEGER,
+  genre VARCHAR(20),
+  runtime_minutes INTEGER,
+  plot VARCHAR(2000)
+);
+CREATE TABLE person (
+  person_id BIGINT PRIMARY KEY,
+  name VARCHAR(60) NOT NULL,
+  birth_year INTEGER,
+  gender CHAR(1)
+);
+CREATE TABLE cast_info (
+  cast_id BIGINT PRIMARY KEY,
+  title_id BIGINT NOT NULL REFERENCES title(title_id),
+  person_id BIGINT NOT NULL REFERENCES person(person_id),
+  role VARCHAR(20),
+  billing_position INTEGER
+);
+CREATE TABLE movie_rating (
+  rating_id BIGINT PRIMARY KEY,
+  title_id BIGINT NOT NULL REFERENCES title(title_id),
+  rating DOUBLE,
+  votes INTEGER
+);
+)sql";
+
+const char* const kGenres[] = {"Drama",  "Comedy",   "Action", "Thriller",
+                               "Horror", "Romance",  "Sci-Fi", "Documentary",
+                               "Crime",  "Animation"};
+const char* const kRoles[] = {"actor",   "actress", "director",
+                              "producer", "writer",  "composer"};
+
+}  // namespace
+
+Status PopulateImdbDatabase(minidb::Database* database, double scale,
+                            uint64_t seed) {
+  {
+    auto created = minidb::ExecuteSqlScript(database, kDdl);
+    if (!created.ok()) return created.status();
+  }
+
+  const uint64_t titles = static_cast<uint64_t>(2000 * scale) + 1;
+  const uint64_t persons = static_cast<uint64_t>(3000 * scale) + 1;
+  const uint64_t casts = static_cast<uint64_t>(8000 * scale) + 1;
+  const uint64_t ratings = static_cast<uint64_t>(1600 * scale) + 1;
+
+  pdgf::Xorshift64 rng(seed);
+  const pdgf::Dictionary* adjectives =
+      pdgf::FindBuiltinDictionary("adjectives");
+  const pdgf::Dictionary* nouns = pdgf::FindBuiltinDictionary("nouns");
+  const pdgf::Dictionary* first_names =
+      pdgf::FindBuiltinDictionary("first_names");
+  const pdgf::Dictionary* last_names =
+      pdgf::FindBuiltinDictionary("last_names");
+  pdgf::MarkovModel plots;
+  plots.AddSample(pdgf::BuiltinCommentCorpus());
+  plots.Finalize();
+
+  minidb::Table* title = database->GetTable("title");
+  for (uint64_t i = 0; i < titles; ++i) {
+    minidb::Row row;
+    row.push_back(Value::Int(static_cast<int64_t>(i + 1)));
+    std::string name = "The " + adjectives->SampleUniform(&rng) + " " +
+                       nouns->SampleUniform(&rng);
+    if (rng.NextDouble() < 0.2) {
+      name += pdgf::StrPrintf(" %d", static_cast<int>(rng.NextInRange(2, 5)));
+    }
+    row.push_back(Value::String(std::move(name)));
+    // 8% of production years unknown.
+    row.push_back(rng.NextDouble() < 0.08
+                      ? Value::Null()
+                      : Value::Int(rng.NextInRange(1920, 2014)));
+    row.push_back(
+        Value::String(kGenres[rng.NextBounded(std::size(kGenres))]));
+    row.push_back(Value::Int(rng.NextInRange(60, 210)));
+    // 15% of plots missing; the rest free text.
+    row.push_back(rng.NextDouble() < 0.15
+                      ? Value::Null()
+                      : Value::String(plots.Generate(&rng, 15, 80)));
+    PDGF_RETURN_IF_ERROR(title->Insert(std::move(row)));
+  }
+
+  minidb::Table* person = database->GetTable("person");
+  for (uint64_t i = 0; i < persons; ++i) {
+    minidb::Row row;
+    row.push_back(Value::Int(static_cast<int64_t>(i + 1)));
+    row.push_back(Value::String(first_names->SampleUniform(&rng) + " " +
+                                last_names->SampleUniform(&rng)));
+    row.push_back(rng.NextDouble() < 0.25
+                      ? Value::Null()
+                      : Value::Int(rng.NextInRange(1900, 1995)));
+    row.push_back(Value::String(rng.NextDouble() < 0.5 ? "M" : "F"));
+    PDGF_RETURN_IF_ERROR(person->Insert(std::move(row)));
+  }
+
+  minidb::Table* cast_info = database->GetTable("cast_info");
+  for (uint64_t i = 0; i < casts; ++i) {
+    minidb::Row row;
+    row.push_back(Value::Int(static_cast<int64_t>(i + 1)));
+    // Popular movies accumulate more cast entries (mild skew via min of
+    // two uniforms).
+    uint64_t t = std::min(rng.NextBounded(titles), rng.NextBounded(titles));
+    row.push_back(Value::Int(static_cast<int64_t>(t + 1)));
+    row.push_back(
+        Value::Int(static_cast<int64_t>(rng.NextBounded(persons) + 1)));
+    row.push_back(Value::String(kRoles[rng.NextBounded(std::size(kRoles))]));
+    row.push_back(Value::Int(rng.NextInRange(1, 30)));
+    PDGF_RETURN_IF_ERROR(cast_info->Insert(std::move(row)));
+  }
+
+  minidb::Table* movie_rating = database->GetTable("movie_rating");
+  for (uint64_t i = 0; i < ratings; ++i) {
+    minidb::Row row;
+    row.push_back(Value::Int(static_cast<int64_t>(i + 1)));
+    row.push_back(
+        Value::Int(static_cast<int64_t>(rng.NextBounded(titles) + 1)));
+    // Ratings cluster around 6.5.
+    double r = 6.5 + rng.NextGaussian() * 1.4;
+    if (r < 1) r = 1;
+    if (r > 10) r = 10;
+    row.push_back(Value::Double(r));
+    row.push_back(Value::Int(rng.NextInRange(5, 2000000)));
+    PDGF_RETURN_IF_ERROR(movie_rating->Insert(std::move(row)));
+  }
+
+  return Status::Ok();
+}
+
+}  // namespace workloads

@@ -1,0 +1,30 @@
+#ifndef DBSYNTHPP_WORKLOADS_IMDB_H_
+#define DBSYNTHPP_WORKLOADS_IMDB_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "minidb/database.h"
+
+namespace workloads {
+
+// Builds and populates an IMDb-style "original" database inside a MiniDB
+// instance — the stand-in for the paper's demo source (§5: "the publicly
+// available parts of the IMDb database ... hosted in a MySQL database").
+// The data is synthesized here with an independent seed and generator set
+// so that DBSynth's extraction runs against a database whose content it
+// has no prior knowledge of.
+//
+// Tables: title (movies with production years and free-text plots),
+// person (actors/directors), cast_info (N:M with roles, referencing both),
+// movie_rating (1:1-ish ratings with NULLs for unrated titles).
+//
+// `scale` multiplies the base row counts (1.0 => 2000 titles, 3000
+// persons, 8000 cast entries, 1600 ratings).
+pdgf::Status PopulateImdbDatabase(minidb::Database* database,
+                                  double scale = 1.0,
+                                  uint64_t seed = 20150531);
+
+}  // namespace workloads
+
+#endif  // DBSYNTHPP_WORKLOADS_IMDB_H_

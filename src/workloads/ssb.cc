@@ -1,0 +1,260 @@
+#include "workloads/ssb.h"
+
+#include "core/generators/generators.h"
+#include "core/text/builtin_dictionaries.h"
+
+namespace workloads {
+
+using pdgf::DataType;
+using pdgf::Date;
+using pdgf::FieldDef;
+using pdgf::GeneratorPtr;
+using pdgf::PropertyDef;
+using pdgf::SchemaDef;
+using pdgf::TableDef;
+
+namespace {
+
+FieldDef Field(const char* name, DataType type, int size,
+               GeneratorPtr generator, bool primary = false) {
+  FieldDef field;
+  field.name = name;
+  field.type = type;
+  field.size = size;
+  field.primary = primary;
+  field.nullable = !primary;
+  field.generator = std::move(generator);
+  return field;
+}
+
+GeneratorPtr Id(int64_t start = 1) {
+  return GeneratorPtr(new pdgf::IdGenerator(start, 1));
+}
+
+GeneratorPtr Long(int64_t min, int64_t max) {
+  return GeneratorPtr(new pdgf::LongGenerator(min, max));
+}
+
+GeneratorPtr Ref(const char* table, const char* field, bool skewed) {
+  if (skewed) {
+    return GeneratorPtr(new pdgf::DefaultReferenceGenerator(
+        table, field, pdgf::DefaultReferenceGenerator::Distribution::kZipf,
+        1.0));
+  }
+  return GeneratorPtr(new pdgf::DefaultReferenceGenerator(table, field));
+}
+
+GeneratorPtr Builtin(const char* name, double skew = 0) {
+  return GeneratorPtr(new pdgf::DictListGenerator(
+      pdgf::FindBuiltinDictionary(name), name,
+      pdgf::DictListGenerator::Method::kUniform, skew));
+}
+
+GeneratorPtr Money(double min, double max) {
+  return GeneratorPtr(new pdgf::DoubleGenerator(min, max, 2));
+}
+
+GeneratorPtr Tagged(const char* prefix, int width) {
+  std::vector<GeneratorPtr> children;
+  children.push_back(GeneratorPtr(
+      new pdgf::PaddingGenerator(Id(), width, '0', true)));
+  return GeneratorPtr(new pdgf::SequentialGenerator(
+      std::move(children), "", std::string(prefix) + "#", ""));
+}
+
+}  // namespace
+
+SchemaDef BuildSsbSchema(SsbSkew skew) {
+  const bool skewed_refs = skew != SsbSkew::kUniform;
+  const bool skewed_values = skew == SsbSkew::kSkewedValues;
+
+  SchemaDef schema;
+  schema.name = "ssb";
+  schema.seed = 19940525;
+
+  auto property = [&schema](const char* name, const char* expression) {
+    PropertyDef def;
+    def.name = name;
+    def.type = "double";
+    def.expression = expression;
+    schema.properties.push_back(std::move(def));
+  };
+  property("SF", "1");
+  property("date_size", "2556");  // 7 years, fixed
+  property("supplier_size", "2000 * ${SF}");
+  property("customer_size", "30000 * ${SF}");
+  property("part_size", "200000 * ${SF}");
+  property("lineorder_size", "6000000 * ${SF}");
+
+  // date dimension: one row per day from 1992-01-01 ------------------
+  {
+    TableDef table;
+    table.name = "ddate";  // "date" collides with the SQL type keyword
+    table.size_expression = "${date_size}";
+    table.fields.push_back(
+        Field("d_datekey", DataType::kBigInt, 19, Id(0), true));
+    // d_date derives from the row: epoch 1992-01-01 is day 8035.
+    table.fields.push_back(Field(
+        "d_dayofweek", DataType::kInteger, 1,
+        GeneratorPtr(new pdgf::FormulaGenerator("(${row} + 3) % 7 + 1", {},
+                                                /*round_to_long=*/true))));
+    table.fields.push_back(
+        Field("d_year", DataType::kInteger, 4,
+              GeneratorPtr(new pdgf::FormulaGenerator(
+                  "1992 + floor(${row} / 365.25)", {}, true))));
+    table.fields.push_back(
+        Field("d_month", DataType::kInteger, 2,
+              GeneratorPtr(new pdgf::FormulaGenerator(
+                  "floor((${row} % 365.25) / 30.44) % 12 + 1", {}, true))));
+    schema.tables.push_back(std::move(table));
+  }
+
+  // supplier ----------------------------------------------------------
+  {
+    TableDef table;
+    table.name = "supplier";
+    table.size_expression = "${supplier_size}";
+    table.fields.push_back(
+        Field("s_suppkey", DataType::kBigInt, 19, Id(), true));
+    table.fields.push_back(
+        Field("s_name", DataType::kChar, 25, Tagged("Supplier", 9)));
+    table.fields.push_back(
+        Field("s_city", DataType::kChar, 10, Builtin("cities")));
+    table.fields.push_back(
+        Field("s_nation", DataType::kChar, 15, Builtin("nations")));
+    table.fields.push_back(
+        Field("s_region", DataType::kChar, 12, Builtin("regions")));
+    table.fields.push_back(
+        Field("s_phone", DataType::kChar, 15,
+              GeneratorPtr(new pdgf::PatternStringGenerator(
+                  "##-###-###-####"))));
+    schema.tables.push_back(std::move(table));
+  }
+
+  // customer ----------------------------------------------------------
+  {
+    TableDef table;
+    table.name = "customer";
+    table.size_expression = "${customer_size}";
+    table.fields.push_back(
+        Field("c_custkey", DataType::kBigInt, 19, Id(), true));
+    table.fields.push_back(
+        Field("c_name", DataType::kVarchar, 25, Tagged("Customer", 9)));
+    table.fields.push_back(
+        Field("c_city", DataType::kChar, 10, Builtin("cities")));
+    table.fields.push_back(
+        Field("c_nation", DataType::kChar, 15, Builtin("nations")));
+    table.fields.push_back(
+        Field("c_region", DataType::kChar, 12, Builtin("regions")));
+    table.fields.push_back(Field("c_mktsegment", DataType::kChar, 10,
+                                 Builtin("market_segments")));
+    schema.tables.push_back(std::move(table));
+  }
+
+  // part ---------------------------------------------------------------
+  {
+    TableDef table;
+    table.name = "part";
+    table.size_expression = "${part_size}";
+    table.fields.push_back(
+        Field("p_partkey", DataType::kBigInt, 19, Id(), true));
+    {
+      std::vector<GeneratorPtr> words;
+      words.push_back(Builtin("colors"));
+      words.push_back(Builtin("colors"));
+      table.fields.push_back(
+          Field("p_name", DataType::kVarchar, 22,
+                GeneratorPtr(new pdgf::SequentialGenerator(
+                    std::move(words), " ", "", ""))));
+    }
+    {
+      std::vector<GeneratorPtr> children;
+      children.push_back(Long(1, 5));
+      table.fields.push_back(Field(
+          "p_mfgr", DataType::kChar, 6,
+          GeneratorPtr(new pdgf::SequentialGenerator(std::move(children),
+                                                     "", "MFGR#", ""))));
+    }
+    {
+      std::vector<GeneratorPtr> children;
+      children.push_back(Long(1, 5));
+      children.push_back(Long(1, 5));
+      table.fields.push_back(Field(
+          "p_category", DataType::kChar, 7,
+          GeneratorPtr(new pdgf::SequentialGenerator(std::move(children),
+                                                     "", "MFGR#", ""))));
+    }
+    table.fields.push_back(
+        Field("p_color", DataType::kVarchar, 11,
+              Builtin("colors", skewed_values ? 0.9 : 0)));
+    table.fields.push_back(
+        Field("p_size", DataType::kInteger, 2, Long(1, 50)));
+    schema.tables.push_back(std::move(table));
+  }
+
+  // lineorder (the fact table) -----------------------------------------
+  {
+    TableDef table;
+    table.name = "lineorder";
+    table.size_expression = "${lineorder_size}";
+    table.fields.push_back(
+        Field("lo_orderkey", DataType::kBigInt, 19,
+              GeneratorPtr(new pdgf::FormulaGenerator(
+                  "floor(${row}/4)+1", {}, true))));
+    table.fields.push_back(
+        Field("lo_linenumber", DataType::kInteger, 1,
+              GeneratorPtr(new pdgf::FormulaGenerator("${row} % 4 + 1", {},
+                                                      true))));
+    table.fields.push_back(Field("lo_custkey", DataType::kBigInt, 19,
+                                 Ref("customer", "c_custkey",
+                                     skewed_refs)));
+    table.fields.push_back(Field("lo_partkey", DataType::kBigInt, 19,
+                                 Ref("part", "p_partkey", skewed_refs)));
+    table.fields.push_back(Field("lo_suppkey", DataType::kBigInt, 19,
+                                 Ref("supplier", "s_suppkey",
+                                     skewed_refs)));
+    table.fields.push_back(Field("lo_orderdatekey", DataType::kBigInt, 19,
+                                 Ref("ddate", "d_datekey", false)));
+    // Values: uniform in the spec; Zipf-clustered in the skewed-values
+    // variant (most rows share few quantity/discount points).
+    if (skewed_values) {
+      auto quantities = std::make_shared<pdgf::Dictionary>();
+      for (int q = 1; q <= 50; ++q) {
+        quantities->Add(std::to_string(q));
+      }
+      quantities->Finalize();
+      table.fields.push_back(Field(
+          "lo_quantity", DataType::kInteger, 2,
+          GeneratorPtr(new pdgf::DictListGenerator(
+              std::move(quantities), "",
+              pdgf::DictListGenerator::Method::kCumulative, 1.2))));
+      auto discounts = std::make_shared<pdgf::Dictionary>();
+      for (int d = 0; d <= 10; ++d) {
+        discounts->Add(std::to_string(d));
+      }
+      discounts->Finalize();
+      table.fields.push_back(Field(
+          "lo_discount", DataType::kInteger, 2,
+          GeneratorPtr(new pdgf::DictListGenerator(
+              std::move(discounts), "",
+              pdgf::DictListGenerator::Method::kCumulative, 1.2))));
+    } else {
+      table.fields.push_back(
+          Field("lo_quantity", DataType::kInteger, 2, Long(1, 50)));
+      table.fields.push_back(
+          Field("lo_discount", DataType::kInteger, 2, Long(0, 10)));
+    }
+    table.fields.push_back(Field("lo_extendedprice", DataType::kDecimal,
+                                 15, Money(900.0, 104950.0)));
+    table.fields.push_back(
+        Field("lo_revenue", DataType::kDecimal, 15,
+              Money(800.0, 104000.0)));
+    table.fields.push_back(Field("lo_shipmode", DataType::kChar, 10,
+                                 Builtin("ship_modes")));
+    schema.tables.push_back(std::move(table));
+  }
+
+  return schema;
+}
+
+}  // namespace workloads

@@ -1,0 +1,31 @@
+#ifndef DBSYNTHPP_WORKLOADS_SSB_H_
+#define DBSYNTHPP_WORKLOADS_SSB_H_
+
+#include "core/schema.h"
+
+namespace workloads {
+
+// The Star Schema Benchmark data set as a PDGF model. The paper lists
+// SSB among PDGF's implemented benchmarks (§2) and cites "Variations of
+// the Star Schema Benchmark to Test Data Skew" [19]; the `skew`
+// parameter reproduces those variations: reference and value
+// distributions switch from the spec's uniform draws to Zipf.
+enum class SsbSkew {
+  // The original benchmark: uniform foreign keys and values.
+  kUniform,
+  // Zipf-distributed foreign keys (popular customers/parts/suppliers
+  // accumulate most lineorders) — the [19] "skewed references" variant.
+  kSkewedReferences,
+  // Additionally Zipf-skews categorical values (discounts, quantities
+  // cluster on few points) — the [19] "skewed values" variant.
+  kSkewedValues,
+};
+
+// Tables (rows at ${SF} = 1): date 2556 (fixed, 7 years), supplier
+// 2000 * SF, customer 30000 * SF, part 200000 * SF, lineorder
+// 6000000 * SF.
+pdgf::SchemaDef BuildSsbSchema(SsbSkew skew = SsbSkew::kUniform);
+
+}  // namespace workloads
+
+#endif  // DBSYNTHPP_WORKLOADS_SSB_H_

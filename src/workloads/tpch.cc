@@ -1,0 +1,402 @@
+#include "workloads/tpch.h"
+
+#include "core/generators/generators.h"
+#include "core/text/builtin_dictionaries.h"
+
+namespace workloads {
+
+using pdgf::DataType;
+using pdgf::Date;
+using pdgf::Dictionary;
+using pdgf::FieldDef;
+using pdgf::GeneratorPtr;
+using pdgf::PropertyDef;
+using pdgf::SchemaDef;
+using pdgf::TableDef;
+
+namespace {
+
+// Shared Markov generator trained once on the builtin corpus; comment
+// columns clone the shared model pointer.
+std::shared_ptr<const pdgf::MarkovModel> CommentModel() {
+  static const auto& model = *new std::shared_ptr<const pdgf::MarkovModel>(
+      [] {
+        auto m = std::make_shared<pdgf::MarkovModel>();
+        m->AddSample(pdgf::BuiltinCommentCorpus());
+        m->Finalize();
+        return m;
+      }());
+  return model;
+}
+
+GeneratorPtr Comment(int min_words, int max_words) {
+  return GeneratorPtr(
+      new pdgf::MarkovChainGenerator(CommentModel(), min_words, max_words));
+}
+
+GeneratorPtr NullableComment(double null_probability, int min_words,
+                             int max_words) {
+  // Listing 1's l_comment: a NullGenerator wrapping the Markov generator.
+  return GeneratorPtr(new pdgf::NullGenerator(
+      null_probability, Comment(min_words, max_words)));
+}
+
+GeneratorPtr Id() { return GeneratorPtr(new pdgf::IdGenerator(1, 1)); }
+
+GeneratorPtr IdFrom(int64_t start) {
+  return GeneratorPtr(new pdgf::IdGenerator(start, 1));
+}
+
+GeneratorPtr Ref(const char* table, const char* field) {
+  return GeneratorPtr(new pdgf::DefaultReferenceGenerator(table, field));
+}
+
+GeneratorPtr Long(int64_t min, int64_t max) {
+  return GeneratorPtr(new pdgf::LongGenerator(min, max));
+}
+
+GeneratorPtr Money(double min, double max) {
+  return GeneratorPtr(new pdgf::DoubleGenerator(min, max, 2));
+}
+
+GeneratorPtr DateIn(int y1, int m1, int d1, int y2, int m2, int d2) {
+  return GeneratorPtr(new pdgf::DateGenerator(Date::FromCivil(y1, m1, d1),
+                                              Date::FromCivil(y2, m2, d2)));
+}
+
+GeneratorPtr VString(int min_length, int max_length) {
+  return GeneratorPtr(
+      new pdgf::RandomStringGenerator(min_length, max_length));
+}
+
+GeneratorPtr Phone() {
+  return GeneratorPtr(new pdgf::PatternStringGenerator("##-###-###-####"));
+}
+
+GeneratorPtr Builtin(const char* name,
+                     pdgf::DictListGenerator::Method method =
+                         pdgf::DictListGenerator::Method::kUniform) {
+  return GeneratorPtr(new pdgf::DictListGenerator(
+      pdgf::FindBuiltinDictionary(name), name, method, 0));
+}
+
+GeneratorPtr InlineDict(std::initializer_list<const char*> values) {
+  auto dictionary = std::make_shared<Dictionary>();
+  for (const char* value : values) {
+    dictionary->Add(value);
+  }
+  dictionary->Finalize();
+  return GeneratorPtr(new pdgf::DictListGenerator(
+      std::move(dictionary), "", pdgf::DictListGenerator::Method::kUniform,
+      0));
+}
+
+GeneratorPtr WeightedDict(
+    std::initializer_list<std::pair<const char*, double>> values) {
+  auto dictionary = std::make_shared<Dictionary>();
+  for (const auto& [value, weight] : values) {
+    dictionary->Add(value, weight);
+  }
+  dictionary->Finalize();
+  return GeneratorPtr(new pdgf::DictListGenerator(
+      std::move(dictionary), "",
+      pdgf::DictListGenerator::Method::kCumulative, 0));
+}
+
+// "Prefix#000000001"-style identifiers (Supplier#, Customer#, Clerk#).
+GeneratorPtr TaggedId(const char* prefix, GeneratorPtr number, int width) {
+  std::vector<GeneratorPtr> children;
+  children.push_back(GeneratorPtr(
+      new pdgf::PaddingGenerator(std::move(number), width, '0', true)));
+  return GeneratorPtr(new pdgf::SequentialGenerator(
+      std::move(children), "", std::string(prefix) + "#", ""));
+}
+
+FieldDef Field(const char* name, DataType type, int size,
+               GeneratorPtr generator, bool primary = false) {
+  FieldDef field;
+  field.name = name;
+  field.type = type;
+  field.size = size;
+  field.primary = primary;
+  field.nullable = !primary;
+  field.generator = std::move(generator);
+  return field;
+}
+
+}  // namespace
+
+SchemaDef BuildTpchSchema() {
+  SchemaDef schema;
+  schema.name = "tpch";
+  schema.seed = 123456789;  // Listing 1's project seed
+
+  auto property = [&schema](const char* name, const char* expression) {
+    PropertyDef def;
+    def.name = name;
+    def.type = "double";
+    def.expression = expression;
+    schema.properties.push_back(std::move(def));
+  };
+  property("SF", "1");
+  property("region_size", "5");
+  property("nation_size", "25");
+  property("supplier_size", "10000 * ${SF}");
+  property("customer_size", "150000 * ${SF}");
+  property("part_size", "200000 * ${SF}");
+  property("partsupp_size", "800000 * ${SF}");
+  property("orders_size", "1500000 * ${SF}");
+  property("lineitem_size", "6000000 * ${SF}");
+
+  // region -------------------------------------------------------------
+  {
+    TableDef table;
+    table.name = "region";
+    table.size_expression = "${region_size}";
+    table.fields.push_back(Field("r_regionkey", DataType::kBigInt, 19,
+                                 IdFrom(0), /*primary=*/true));
+    table.fields.push_back(
+        Field("r_name", DataType::kChar, 25,
+              Builtin("regions", pdgf::DictListGenerator::Method::kByRow)));
+    table.fields.push_back(
+        Field("r_comment", DataType::kVarchar, 152, Comment(5, 16)));
+    schema.tables.push_back(std::move(table));
+  }
+
+  // nation -------------------------------------------------------------
+  {
+    TableDef table;
+    table.name = "nation";
+    table.size_expression = "${nation_size}";
+    table.fields.push_back(Field("n_nationkey", DataType::kBigInt, 19,
+                                 IdFrom(0), /*primary=*/true));
+    table.fields.push_back(
+        Field("n_name", DataType::kChar, 25,
+              Builtin("nations", pdgf::DictListGenerator::Method::kByRow)));
+    table.fields.push_back(Field("n_regionkey", DataType::kBigInt, 19,
+                                 Ref("region", "r_regionkey")));
+    table.fields.push_back(
+        Field("n_comment", DataType::kVarchar, 152, Comment(5, 16)));
+    schema.tables.push_back(std::move(table));
+  }
+
+  // supplier -----------------------------------------------------------
+  {
+    TableDef table;
+    table.name = "supplier";
+    table.size_expression = "${supplier_size}";
+    table.fields.push_back(Field("s_suppkey", DataType::kBigInt, 19, Id(),
+                                 /*primary=*/true));
+    table.fields.push_back(
+        Field("s_name", DataType::kChar, 25, TaggedId("Supplier", Id(), 9)));
+    table.fields.push_back(
+        Field("s_address", DataType::kVarchar, 40, VString(10, 40)));
+    table.fields.push_back(Field("s_nationkey", DataType::kBigInt, 19,
+                                 Ref("nation", "n_nationkey")));
+    table.fields.push_back(Field("s_phone", DataType::kChar, 15, Phone()));
+    table.fields.push_back(Field("s_acctbal", DataType::kDecimal, 15,
+                                 Money(-999.99, 9999.99)));
+    table.fields.push_back(
+        Field("s_comment", DataType::kVarchar, 101, Comment(4, 12)));
+    schema.tables.push_back(std::move(table));
+  }
+
+  // part ---------------------------------------------------------------
+  {
+    TableDef table;
+    table.name = "part";
+    table.size_expression = "${part_size}";
+    table.fields.push_back(Field("p_partkey", DataType::kBigInt, 19, Id(),
+                                 /*primary=*/true));
+    // p_name: five words from the color dictionary.
+    {
+      std::vector<GeneratorPtr> words;
+      for (int i = 0; i < 5; ++i) {
+        words.push_back(Builtin("colors"));
+      }
+      table.fields.push_back(
+          Field("p_name", DataType::kVarchar, 55,
+                GeneratorPtr(new pdgf::SequentialGenerator(std::move(words),
+                                                           " ", "", ""))));
+    }
+    {
+      std::vector<GeneratorPtr> children;
+      children.push_back(Long(1, 5));
+      table.fields.push_back(Field(
+          "p_mfgr", DataType::kChar, 25,
+          GeneratorPtr(new pdgf::SequentialGenerator(
+              std::move(children), "", "Manufacturer#", ""))));
+    }
+    {
+      std::vector<GeneratorPtr> children;
+      children.push_back(Long(1, 5));
+      children.push_back(Long(1, 5));
+      table.fields.push_back(
+          Field("p_brand", DataType::kChar, 10,
+                GeneratorPtr(new pdgf::SequentialGenerator(
+                    std::move(children), "", "Brand#", ""))));
+    }
+    {
+      std::vector<GeneratorPtr> syllables;
+      syllables.push_back(InlineDict(
+          {"STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY", "PROMO"}));
+      syllables.push_back(InlineDict(
+          {"ANODIZED", "BURNISHED", "PLATED", "POLISHED", "BRUSHED"}));
+      syllables.push_back(
+          InlineDict({"TIN", "NICKEL", "BRASS", "STEEL", "COPPER"}));
+      table.fields.push_back(
+          Field("p_type", DataType::kVarchar, 25,
+                GeneratorPtr(new pdgf::SequentialGenerator(
+                    std::move(syllables), " ", "", ""))));
+    }
+    table.fields.push_back(
+        Field("p_size", DataType::kInteger, 10, Long(1, 50)));
+    {
+      std::vector<GeneratorPtr> syllables;
+      syllables.push_back(InlineDict({"SM", "LG", "MED", "JUMBO", "WRAP"}));
+      syllables.push_back(InlineDict(
+          {"CASE", "BOX", "BAG", "JAR", "PKG", "PACK", "CAN", "DRUM"}));
+      table.fields.push_back(
+          Field("p_container", DataType::kChar, 10,
+                GeneratorPtr(new pdgf::SequentialGenerator(
+                    std::move(syllables), " ", "", ""))));
+    }
+    // The spec's retail-price formula over the part key.
+    table.fields.push_back(Field(
+        "p_retailprice", DataType::kDecimal, 15,
+        GeneratorPtr(new pdgf::FormulaGenerator(
+            "(90000 + floor(floor((${row}+1)/10) % 20001) + "
+            "100*((${row}+1) % 1000))/100",
+            {}, false))));
+    table.fields.push_back(
+        Field("p_comment", DataType::kVarchar, 23, Comment(1, 5)));
+    schema.tables.push_back(std::move(table));
+  }
+
+  // partsupp -----------------------------------------------------------
+  {
+    TableDef table;
+    table.name = "partsupp";
+    table.size_expression = "${partsupp_size}";
+    // Four rows per part: ps_partkey = row/4 + 1, exactly covering every
+    // part (the spec's grouping, without its supplier permutation).
+    table.fields.push_back(Field(
+        "ps_partkey", DataType::kBigInt, 19,
+        GeneratorPtr(new pdgf::FormulaGenerator("floor(${row}/4)+1", {},
+                                                /*round_to_long=*/true))));
+    table.fields.push_back(Field("ps_suppkey", DataType::kBigInt, 19,
+                                 Ref("supplier", "s_suppkey")));
+    table.fields.push_back(
+        Field("ps_availqty", DataType::kInteger, 10, Long(1, 9999)));
+    table.fields.push_back(Field("ps_supplycost", DataType::kDecimal, 15,
+                                 Money(1.00, 1000.00)));
+    table.fields.push_back(
+        Field("ps_comment", DataType::kVarchar, 199, Comment(8, 24)));
+    schema.tables.push_back(std::move(table));
+  }
+
+  // customer -----------------------------------------------------------
+  {
+    TableDef table;
+    table.name = "customer";
+    table.size_expression = "${customer_size}";
+    table.fields.push_back(Field("c_custkey", DataType::kBigInt, 19, Id(),
+                                 /*primary=*/true));
+    table.fields.push_back(
+        Field("c_name", DataType::kVarchar, 25,
+              TaggedId("Customer", Id(), 9)));
+    table.fields.push_back(
+        Field("c_address", DataType::kVarchar, 40, VString(10, 40)));
+    table.fields.push_back(Field("c_nationkey", DataType::kBigInt, 19,
+                                 Ref("nation", "n_nationkey")));
+    table.fields.push_back(Field("c_phone", DataType::kChar, 15, Phone()));
+    table.fields.push_back(Field("c_acctbal", DataType::kDecimal, 15,
+                                 Money(-999.99, 9999.99)));
+    table.fields.push_back(Field("c_mktsegment", DataType::kChar, 10,
+                                 Builtin("market_segments")));
+    table.fields.push_back(
+        Field("c_comment", DataType::kVarchar, 117, Comment(5, 14)));
+    schema.tables.push_back(std::move(table));
+  }
+
+  // orders -------------------------------------------------------------
+  {
+    TableDef table;
+    table.name = "orders";
+    table.size_expression = "${orders_size}";
+    table.fields.push_back(Field("o_orderkey", DataType::kBigInt, 19, Id(),
+                                 /*primary=*/true));
+    table.fields.push_back(Field("o_custkey", DataType::kBigInt, 19,
+                                 Ref("customer", "c_custkey")));
+    table.fields.push_back(Field("o_orderstatus", DataType::kChar, 1,
+                                 WeightedDict({{"F", 0.487},
+                                               {"O", 0.487},
+                                               {"P", 0.026}})));
+    table.fields.push_back(Field("o_totalprice", DataType::kDecimal, 15,
+                                 Money(857.71, 555285.16)));
+    table.fields.push_back(Field("o_orderdate", DataType::kDate, 10,
+                                 DateIn(1992, 1, 1, 1998, 8, 2)));
+    table.fields.push_back(Field("o_orderpriority", DataType::kChar, 15,
+                                 Builtin("order_priorities")));
+    table.fields.push_back(
+        Field("o_clerk", DataType::kChar, 15,
+              TaggedId("Clerk", Long(1, 1000), 9)));
+    table.fields.push_back(
+        Field("o_shippriority", DataType::kInteger, 10,
+              GeneratorPtr(new pdgf::StaticValueGenerator(
+                  pdgf::Value::Int(0), /*cache=*/true))));
+    table.fields.push_back(
+        Field("o_comment", DataType::kVarchar, 79, Comment(4, 12)));
+    schema.tables.push_back(std::move(table));
+  }
+
+  // lineitem (Listing 1) -------------------------------------------------
+  {
+    TableDef table;
+    table.name = "lineitem";
+    table.size_expression = "${lineitem_size}";
+    table.fields.push_back(Field("l_orderkey", DataType::kBigInt, 19,
+                                 Ref("orders", "o_orderkey")));
+    table.fields.push_back(Field("l_partkey", DataType::kBigInt, 19,
+                                 Ref("partsupp", "ps_partkey")));
+    table.fields.push_back(Field("l_suppkey", DataType::kBigInt, 19,
+                                 Ref("supplier", "s_suppkey")));
+    table.fields.push_back(
+        Field("l_linenumber", DataType::kInteger, 10, Long(1, 7)));
+    table.fields.push_back(
+        Field("l_quantity", DataType::kDecimal, 15, Money(1, 50)));
+    table.fields.push_back(Field("l_extendedprice", DataType::kDecimal, 15,
+                                 Money(900.00, 104950.00)));
+    table.fields.push_back(
+        Field("l_discount", DataType::kDecimal, 15,
+              GeneratorPtr(new pdgf::DoubleGenerator(0.0, 0.10, 2))));
+    table.fields.push_back(
+        Field("l_tax", DataType::kDecimal, 15,
+              GeneratorPtr(new pdgf::DoubleGenerator(0.0, 0.08, 2))));
+    table.fields.push_back(Field("l_returnflag", DataType::kChar, 1,
+                                 WeightedDict({{"R", 0.25},
+                                               {"A", 0.25},
+                                               {"N", 0.50}})));
+    table.fields.push_back(Field("l_linestatus", DataType::kChar, 1,
+                                 WeightedDict({{"O", 0.5}, {"F", 0.5}})));
+    table.fields.push_back(Field("l_shipdate", DataType::kDate, 10,
+                                 DateIn(1992, 1, 2, 1998, 12, 1)));
+    table.fields.push_back(Field("l_commitdate", DataType::kDate, 10,
+                                 DateIn(1992, 1, 31, 1998, 10, 31)));
+    table.fields.push_back(Field("l_receiptdate", DataType::kDate, 10,
+                                 DateIn(1992, 1, 3, 1998, 12, 31)));
+    table.fields.push_back(Field("l_shipinstruct", DataType::kChar, 25,
+                                 InlineDict({"DELIVER IN PERSON",
+                                             "COLLECT COD", "NONE",
+                                             "TAKE BACK RETURN"})));
+    table.fields.push_back(Field("l_shipmode", DataType::kChar, 10,
+                                 Builtin("ship_modes")));
+    table.fields.push_back(Field("l_comment", DataType::kVarchar, 44,
+                                 NullableComment(0.0, 1, 10)));
+    schema.tables.push_back(std::move(table));
+  }
+
+  return schema;
+}
+
+}  // namespace workloads

@@ -1,0 +1,309 @@
+#include "cli/cli.h"
+
+#include <gtest/gtest.h>
+
+#include "core/config.h"
+#include "util/files.h"
+#include "util/strings.h"
+#include "workloads/tpch.h"
+
+namespace dbsynthpp_cli {
+namespace {
+
+class CliTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    auto dir = pdgf::MakeTempDir("cli_test_");
+    ASSERT_TRUE(dir.ok());
+    dir_ = new std::string(*dir);
+    // A TPC-H model file for the model-driven commands.
+    pdgf::SchemaDef schema = workloads::BuildTpchSchema();
+    schema.SetProperty("SF", "0.0002");
+    model_path_ = new std::string(pdgf::JoinPath(*dir_, "tpch.xml"));
+    ASSERT_TRUE(pdgf::SaveSchemaToFile(schema, *model_path_).ok());
+  }
+
+  static void TearDownTestSuite() {
+    delete dir_;
+    dir_ = nullptr;
+    delete model_path_;
+    model_path_ = nullptr;
+  }
+
+  static int Run(const std::vector<std::string>& args, std::string* out) {
+    out->clear();
+    return RunCli(args, out);
+  }
+
+  static std::string* dir_;
+  static std::string* model_path_;
+};
+
+std::string* CliTest::dir_ = nullptr;
+std::string* CliTest::model_path_ = nullptr;
+
+TEST_F(CliTest, NoArgumentsPrintsUsage) {
+  std::string out;
+  EXPECT_EQ(Run({}, &out), 2);
+  EXPECT_NE(out.find("usage:"), std::string::npos);
+}
+
+TEST_F(CliTest, HelpSucceeds) {
+  std::string out;
+  EXPECT_EQ(Run({"help"}, &out), 0);
+  EXPECT_NE(out.find("generate"), std::string::npos);
+}
+
+TEST_F(CliTest, UnknownCommandFails) {
+  std::string out;
+  EXPECT_EQ(Run({"frobnicate"}, &out), 2);
+  EXPECT_NE(out.find("unknown command"), std::string::npos);
+}
+
+TEST_F(CliTest, ValidateReportsTables) {
+  std::string out;
+  EXPECT_EQ(Run({"validate", *model_path_}, &out), 0);
+  EXPECT_NE(out.find("model ok: 8 tables"), std::string::npos);
+  EXPECT_NE(out.find("lineitem"), std::string::npos);
+}
+
+TEST_F(CliTest, ValidateRejectsMissingAndBrokenModels) {
+  std::string out;
+  EXPECT_EQ(Run({"validate", pdgf::JoinPath(*dir_, "nope.xml")}, &out), 1);
+  EXPECT_NE(out.find("error:"), std::string::npos);
+  std::string broken = pdgf::JoinPath(*dir_, "broken.xml");
+  ASSERT_TRUE(pdgf::WriteStringToFile(broken, "<schema>").ok());
+  EXPECT_EQ(Run({"validate", broken}, &out), 1);
+}
+
+TEST_F(CliTest, PreviewShowsRows) {
+  std::string out;
+  EXPECT_EQ(Run({"preview", *model_path_, "nation", "--rows", "3"}, &out),
+            0);
+  auto lines = pdgf::Split(out, '\n');
+  ASSERT_GE(lines.size(), 4u);
+  EXPECT_NE(lines[0].find("n_name"), std::string::npos);
+  EXPECT_NE(out.find("ALGERIA"), std::string::npos);
+}
+
+TEST_F(CliTest, GenerateWritesFiles) {
+  std::string out;
+  std::string out_dir = pdgf::JoinPath(*dir_, "generated");
+  EXPECT_EQ(Run({"generate", *model_path_, "--out", out_dir, "--workers",
+                 "2"},
+                &out),
+            0);
+  EXPECT_NE(out.find("generated"), std::string::npos);
+  EXPECT_TRUE(pdgf::PathExists(pdgf::JoinPath(out_dir, "lineitem.csv")));
+  EXPECT_TRUE(pdgf::PathExists(pdgf::JoinPath(out_dir, "region.csv")));
+}
+
+TEST_F(CliTest, GenerateSupportsFormatsAndNodes) {
+  std::string out;
+  std::string out_dir = pdgf::JoinPath(*dir_, "json_node0");
+  EXPECT_EQ(Run({"generate", *model_path_, "--out", out_dir, "--format",
+                 "json", "--nodes", "4", "--node-id", "0"},
+                &out),
+            0);
+  // Multi-node runs write per-node chunk files, dbgen-style.
+  auto contents = pdgf::ReadFileToString(
+      pdgf::JoinPath(out_dir, "lineitem.json.1"));
+  ASSERT_TRUE(contents.ok());
+  EXPECT_NE(contents->find("\"l_orderkey\":"), std::string::npos);
+  // Node 0 of 4 produces about a quarter of the rows.
+  size_t lines = pdgf::Split(*contents, '\n').size() - 1;
+  EXPECT_NEAR(static_cast<double>(lines), 1200 / 4.0, 2.0);
+}
+
+TEST_F(CliTest, GenerateUpdateStream) {
+  // A model with updates: unit 2's stream contains only changed rows.
+  pdgf::SchemaDef schema = workloads::BuildTpchSchema();
+  schema.SetProperty("SF", "0.0002");
+  pdgf::TableDef* lineitem = schema.FindTable("lineitem");
+  lineitem->updates_expression = "3";
+  lineitem->update_fraction = 0.2;
+  int comment_field = lineitem->FindFieldIndex("l_comment");
+  ASSERT_GE(comment_field, 0);
+  lineitem->fields[static_cast<size_t>(comment_field)]
+      .mutable_across_updates = true;
+  std::string updatable_model = pdgf::JoinPath(*dir_, "tpch_upd.xml");
+  ASSERT_TRUE(pdgf::SaveSchemaToFile(schema, updatable_model).ok());
+
+  std::string base_dir = pdgf::JoinPath(*dir_, "upd_base");
+  std::string stream_dir = pdgf::JoinPath(*dir_, "upd_stream");
+  std::string out;
+  ASSERT_EQ(Run({"generate", updatable_model, "--out", base_dir}, &out), 0);
+  ASSERT_EQ(Run({"generate", updatable_model, "--out", stream_dir,
+                 "--update", "2"},
+                &out),
+            0);
+  auto base = pdgf::ReadFileToString(
+      pdgf::JoinPath(base_dir, "lineitem.csv"));
+  auto stream = pdgf::ReadFileToString(
+      pdgf::JoinPath(stream_dir, "lineitem.csv"));
+  ASSERT_TRUE(base.ok());
+  ASSERT_TRUE(stream.ok());
+  size_t base_rows = pdgf::Split(*base, '\n').size();
+  size_t stream_rows = pdgf::Split(*stream, '\n').size();
+  EXPECT_LT(stream_rows, base_rows / 2);
+  EXPECT_GT(stream_rows, 10u);
+}
+
+TEST_F(CliTest, DdlPrintsCreateTables) {
+  std::string out;
+  EXPECT_EQ(Run({"ddl", *model_path_}, &out), 0);
+  EXPECT_NE(out.find("CREATE TABLE lineitem"), std::string::npos);
+  EXPECT_NE(out.find("REFERENCES orders(o_orderkey)"), std::string::npos);
+}
+
+TEST_F(CliTest, QueryWithoutDataWorks) {
+  std::string out;
+  EXPECT_EQ(Run({"query", *model_path_,
+                 "SELECT COUNT(*) FROM lineitem WHERE l_quantity < 10"},
+                &out),
+            0);
+  EXPECT_NE(out.find("count"), std::string::npos);
+  // Bad SQL surfaces as an error exit.
+  EXPECT_EQ(Run({"query", *model_path_, "DROP TABLE lineitem"}, &out), 1);
+}
+
+TEST_F(CliTest, WorkloadEmitsQueries) {
+  std::string out;
+  EXPECT_EQ(Run({"workload", *model_path_, "--count", "5"}, &out), 0);
+  auto lines = pdgf::Split(out, '\n');
+  int selects = 0;
+  for (const std::string& line : lines) {
+    if (pdgf::StartsWith(line, "SELECT ")) ++selects;
+  }
+  EXPECT_EQ(selects, 5);
+  // Deterministic across invocations.
+  std::string out2;
+  EXPECT_EQ(Run({"workload", *model_path_, "--count", "5"}, &out2), 0);
+  EXPECT_EQ(out, out2);
+}
+
+TEST_F(CliTest, WorkloadExecuteDriverMode) {
+  std::string out;
+  ASSERT_EQ(Run({"workload", *model_path_, "--count", "6", "--execute"},
+                &out),
+            0)
+      << out;
+  EXPECT_NE(out.find("total:"), std::string::npos);
+  EXPECT_NE(out.find("no data was materialized"), std::string::npos);
+  // One result line per query plus header and total.
+  EXPECT_EQ(pdgf::Split(out, '\n').size(), 6u + 3);
+}
+
+TEST_F(CliTest, DictionariesLists) {
+  std::string out;
+  EXPECT_EQ(Run({"dictionaries"}, &out), 0);
+  EXPECT_NE(out.find("first_names"), std::string::npos);
+  EXPECT_NE(out.find("nations"), std::string::npos);
+}
+
+TEST_F(CliTest, ExtractRoundTrip) {
+  // Build a mini source: DDL + CSV, extract a model, then validate it.
+  std::string src_dir = pdgf::JoinPath(*dir_, "extract_src");
+  ASSERT_TRUE(pdgf::MakeDirectories(src_dir).ok());
+  std::string ddl_path = pdgf::JoinPath(src_dir, "schema.sql");
+  ASSERT_TRUE(pdgf::WriteStringToFile(
+                  ddl_path,
+                  "CREATE TABLE pets (pet_id BIGINT PRIMARY KEY, "
+                  "species VARCHAR(10), weight DOUBLE);")
+                  .ok());
+  std::string csv;
+  const char* species[] = {"cat", "dog", "fish"};
+  for (int i = 0; i < 60; ++i) {
+    csv += pdgf::StrPrintf("%d|%s|%.1f\n", i + 1, species[i % 3],
+                           1.0 + i * 0.5);
+  }
+  ASSERT_TRUE(
+      pdgf::WriteStringToFile(pdgf::JoinPath(src_dir, "pets.csv"), csv)
+          .ok());
+
+  std::string model_out = pdgf::JoinPath(src_dir, "pets_model.xml");
+  std::string out;
+  EXPECT_EQ(Run({"extract", "--schema", ddl_path, "--csv-dir", src_dir,
+                 "--out", model_out, "--explain"},
+                &out),
+            0)
+      << out;
+  EXPECT_NE(out.find("loaded pets"), std::string::npos);
+  EXPECT_NE(out.find("gen_IdGenerator"), std::string::npos);
+  EXPECT_TRUE(pdgf::PathExists(model_out));
+
+  // The extracted model validates, previews and queries.
+  EXPECT_EQ(Run({"validate", model_out}, &out), 0);
+  EXPECT_NE(out.find("pets"), std::string::npos);
+  EXPECT_EQ(Run({"query", model_out, "SELECT COUNT(*) FROM pets"}, &out),
+            0);
+  EXPECT_NE(out.find("60"), std::string::npos);
+  // Scaled regeneration via --sf.
+  EXPECT_EQ(
+      Run({"query", model_out, "SELECT COUNT(*) FROM pets", "--sf", "2"},
+          &out),
+      0);
+  EXPECT_NE(out.find("120"), std::string::npos);
+}
+
+TEST_F(CliTest, SynthesizeEndToEnd) {
+  // Source directory: DDL + CSV.
+  std::string src_dir = pdgf::JoinPath(*dir_, "synth_src");
+  ASSERT_TRUE(pdgf::MakeDirectories(src_dir).ok());
+  std::string ddl_path = pdgf::JoinPath(src_dir, "schema.sql");
+  ASSERT_TRUE(pdgf::WriteStringToFile(
+                  ddl_path,
+                  "CREATE TABLE sensors (sensor_id BIGINT PRIMARY KEY, "
+                  "site VARCHAR(8), reading DOUBLE);")
+                  .ok());
+  std::string csv;
+  const char* sites[] = {"north", "south"};
+  for (int i = 0; i < 80; ++i) {
+    csv += pdgf::StrPrintf("%d|%s|%.2f\n", i + 1, sites[i % 2],
+                           20.0 + (i % 10));
+  }
+  ASSERT_TRUE(pdgf::WriteStringToFile(
+                  pdgf::JoinPath(src_dir, "sensors.csv"), csv)
+                  .ok());
+
+  // Synthesize at 2x with the model written alongside.
+  std::string out_dir = pdgf::JoinPath(src_dir, "synthetic");
+  std::string model_out = pdgf::JoinPath(src_dir, "model.xml");
+  std::string out;
+  ASSERT_EQ(Run({"synthesize", "--schema", ddl_path, "--csv-dir", src_dir,
+                 "--out-dir", out_dir, "--sf", "2", "--model-out",
+                 model_out},
+                &out),
+            0)
+      << out;
+  EXPECT_NE(out.find("synthesized 160 rows"), std::string::npos) << out;
+  EXPECT_TRUE(pdgf::PathExists(pdgf::JoinPath(out_dir, "schema.sql")));
+  EXPECT_TRUE(pdgf::PathExists(pdgf::JoinPath(out_dir, "sensors.csv")));
+  EXPECT_TRUE(pdgf::PathExists(model_out));
+
+  // The synthetic directory is itself a valid extract source: close the
+  // loop by extracting a model from it.
+  std::string second_model = pdgf::JoinPath(src_dir, "model2.xml");
+  ASSERT_EQ(Run({"extract", "--schema",
+                 pdgf::JoinPath(out_dir, "schema.sql"), "--csv-dir",
+                 out_dir, "--out", second_model},
+                &out),
+            0)
+      << out;
+  EXPECT_EQ(Run({"query", second_model, "SELECT COUNT(*) FROM sensors"},
+                &out),
+            0);
+  EXPECT_NE(out.find("160"), std::string::npos) << out;
+}
+
+TEST_F(CliTest, FlagParsingVariants) {
+  std::string out;
+  // --flag=value form.
+  EXPECT_EQ(Run({"preview", *model_path_, "region", "--rows=2"}, &out), 0);
+  EXPECT_EQ(pdgf::Split(out, '\n').size(), 4u);  // header + 2 + empty
+  // Missing flag value.
+  EXPECT_EQ(Run({"preview", *model_path_, "region", "--rows"}, &out), 1);
+}
+
+}  // namespace
+}  // namespace dbsynthpp_cli

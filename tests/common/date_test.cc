@@ -1,0 +1,115 @@
+#include "common/date.h"
+
+#include <gtest/gtest.h>
+
+namespace pdgf {
+namespace {
+
+TEST(DateTest, EpochIs1970) {
+  Date epoch;
+  EXPECT_EQ(epoch.days_since_epoch(), 0);
+  EXPECT_EQ(epoch.year(), 1970);
+  EXPECT_EQ(epoch.month(), 1);
+  EXPECT_EQ(epoch.day(), 1);
+  EXPECT_EQ(epoch.ToString(), "1970-01-01");
+}
+
+TEST(DateTest, KnownDates) {
+  EXPECT_EQ(Date::FromCivil(2000, 3, 1).ToString(), "2000-03-01");
+  EXPECT_EQ(Date::FromCivil(1992, 1, 1).ToString(), "1992-01-01");
+  EXPECT_EQ(Date::FromCivil(1998, 12, 31).ToString(), "1998-12-31");
+  // 2000-01-01 is 10957 days after the epoch.
+  EXPECT_EQ(Date::FromCivil(2000, 1, 1).days_since_epoch(), 10957);
+}
+
+TEST(DateTest, PreEpochDates) {
+  Date date = Date::FromCivil(1969, 12, 31);
+  EXPECT_EQ(date.days_since_epoch(), -1);
+  EXPECT_EQ(date.ToString(), "1969-12-31");
+  EXPECT_EQ(Date::FromCivil(1900, 1, 1).ToString(), "1900-01-01");
+}
+
+TEST(DateTest, DayOfWeek) {
+  // 1970-01-01 was a Thursday.
+  EXPECT_EQ(Date().day_of_week(), 4);
+  // 2015-05-31 (the paper's conference date) was a Sunday.
+  EXPECT_EQ(Date::FromCivil(2015, 5, 31).day_of_week(), 0);
+}
+
+TEST(DateTest, LeapYearHandling) {
+  EXPECT_TRUE(Date::IsValidCivil(2000, 2, 29));   // divisible by 400
+  EXPECT_FALSE(Date::IsValidCivil(1900, 2, 29));  // divisible by 100 only
+  EXPECT_TRUE(Date::IsValidCivil(2012, 2, 29));
+  EXPECT_FALSE(Date::IsValidCivil(2013, 2, 29));
+  EXPECT_EQ(Date::FromCivil(2012, 2, 29).AddDays(1).ToString(),
+            "2012-03-01");
+}
+
+TEST(DateTest, ParseValid) {
+  auto date = Date::Parse("2014-11-30");
+  ASSERT_TRUE(date.ok());
+  EXPECT_EQ(date->year(), 2014);
+  EXPECT_EQ(date->month(), 11);
+  EXPECT_EQ(date->day(), 30);
+}
+
+TEST(DateTest, ParseRejectsGarbage) {
+  EXPECT_FALSE(Date::Parse("").ok());
+  EXPECT_FALSE(Date::Parse("2014").ok());
+  EXPECT_FALSE(Date::Parse("2014-13-01").ok());
+  EXPECT_FALSE(Date::Parse("2014-02-30").ok());
+  EXPECT_FALSE(Date::Parse("abcd-ef-gh").ok());
+  EXPECT_FALSE(Date::Parse("2014-11-30x").ok());
+}
+
+TEST(DateTest, FormatDirectives) {
+  Date date = Date::FromCivil(2014, 11, 30);
+  // The paper's Figure 9 date format.
+  EXPECT_EQ(date.Format("%m/%d/%Y"), "11/30/2014");
+  EXPECT_EQ(date.Format("%Y-%m-%d"), "2014-11-30");
+  EXPECT_EQ(date.Format("%d.%m.%y"), "30.11.14");
+  EXPECT_EQ(date.Format("100%%"), "100%");
+  EXPECT_EQ(date.Format("year %Y!"), "year 2014!");
+}
+
+TEST(DateTest, ComparisonOperators) {
+  Date a = Date::FromCivil(1995, 6, 1);
+  Date b = Date::FromCivil(1995, 6, 2);
+  EXPECT_LT(a, b);
+  EXPECT_LE(a, a);
+  EXPECT_GT(b, a);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(a, Date::FromCivil(1995, 6, 1));
+}
+
+// Property: civil -> days -> civil round-trips for a dense range of days.
+class DateRoundTripTest : public ::testing::TestWithParam<int64_t> {};
+
+TEST_P(DateRoundTripTest, DaysToCivilToDays) {
+  int64_t days = GetParam();
+  Date date(days);
+  Date rebuilt = Date::FromCivil(date.year(), date.month(), date.day());
+  EXPECT_EQ(rebuilt.days_since_epoch(), days);
+  EXPECT_TRUE(Date::IsValidCivil(date.year(), date.month(), date.day()));
+  // Parse(ToString()) is the identity.
+  auto parsed = Date::Parse(date.ToString());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->days_since_epoch(), days);
+}
+
+INSTANTIATE_TEST_SUITE_P(DenseSweep, DateRoundTripTest,
+                         ::testing::Range<int64_t>(-3700, 30000, 733));
+
+// Property: consecutive days are strictly increasing in civil order.
+TEST(DateTest, MonotoneOverDecades) {
+  Date previous(-10000);
+  for (int64_t d = -9999; d < 20000; d += 17) {
+    Date current(d);
+    int cmp_year = current.year() - previous.year();
+    EXPECT_GE(cmp_year, 0);
+    previous = current;
+  }
+}
+
+}  // namespace
+}  // namespace pdgf

@@ -1,0 +1,67 @@
+#include "common/types.h"
+
+#include <gtest/gtest.h>
+
+namespace pdgf {
+namespace {
+
+TEST(TypesTest, CanonicalNamesRoundTrip) {
+  for (DataType type :
+       {DataType::kBoolean, DataType::kSmallInt, DataType::kInteger,
+        DataType::kBigInt, DataType::kFloat, DataType::kDouble,
+        DataType::kDecimal, DataType::kChar, DataType::kVarchar,
+        DataType::kDate}) {
+    auto parsed = ParseDataType(DataTypeName(type));
+    ASSERT_TRUE(parsed.ok()) << DataTypeName(type);
+    EXPECT_EQ(*parsed, type);
+  }
+}
+
+struct AliasCase {
+  const char* name;
+  DataType expected;
+};
+
+class TypeAliasTest : public ::testing::TestWithParam<AliasCase> {};
+
+TEST_P(TypeAliasTest, ParsesAlias) {
+  auto parsed = ParseDataType(GetParam().name);
+  ASSERT_TRUE(parsed.ok()) << GetParam().name;
+  EXPECT_EQ(*parsed, GetParam().expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Aliases, TypeAliasTest,
+    ::testing::Values(AliasCase{"int", DataType::kInteger},
+                      AliasCase{"INT4", DataType::kInteger},
+                      AliasCase{"int8", DataType::kBigInt},
+                      AliasCase{"INT2", DataType::kSmallInt},
+                      AliasCase{"real", DataType::kFloat},
+                      AliasCase{"double precision", DataType::kDouble},
+                      AliasCase{"NUMERIC", DataType::kDecimal},
+                      AliasCase{"text", DataType::kVarchar},
+                      AliasCase{"CHARACTER VARYING", DataType::kVarchar},
+                      AliasCase{"character", DataType::kChar},
+                      AliasCase{"bool", DataType::kBoolean},
+                      AliasCase{"VARCHAR(44)", DataType::kVarchar},
+                      AliasCase{"DECIMAL(15,2)", DataType::kDecimal},
+                      AliasCase{"  bigint  ", DataType::kBigInt}));
+
+TEST(TypesTest, RejectsUnknown) {
+  EXPECT_FALSE(ParseDataType("BLOB").ok());
+  EXPECT_FALSE(ParseDataType("").ok());
+  EXPECT_FALSE(ParseDataType("   ").ok());
+}
+
+TEST(TypesTest, Predicates) {
+  EXPECT_TRUE(IsIntegerType(DataType::kBigInt));
+  EXPECT_FALSE(IsIntegerType(DataType::kDouble));
+  EXPECT_TRUE(IsFloatingType(DataType::kDecimal));
+  EXPECT_TRUE(IsNumericType(DataType::kSmallInt));
+  EXPECT_FALSE(IsNumericType(DataType::kVarchar));
+  EXPECT_TRUE(IsTextType(DataType::kChar));
+  EXPECT_FALSE(IsTextType(DataType::kDate));
+}
+
+}  // namespace
+}  // namespace pdgf

@@ -1,0 +1,109 @@
+// Property tests for Value's total order: reflexivity, antisymmetry and
+// transitivity over randomly generated values of every kind. MiniDB's
+// ORDER BY, min/max statistics and group keys all assume these hold.
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/value.h"
+#include "util/rng.h"
+
+namespace pdgf {
+namespace {
+
+Value RandomValue(Xorshift64* rng) {
+  switch (rng->NextBounded(7)) {
+    case 0:
+      return Value::Null();
+    case 1:
+      return Value::Bool(rng->NextBounded(2) == 1);
+    case 2:
+      return Value::Int(rng->NextInRange(-1000, 1000));
+    case 3:
+      return Value::Double(rng->NextDouble() * 200 - 100);
+    case 4:
+      return Value::Decimal(rng->NextInRange(-100000, 100000),
+                            static_cast<int>(rng->NextBounded(4)));
+    case 5: {
+      std::string text;
+      size_t length = rng->NextBounded(6);
+      for (size_t i = 0; i < length; ++i) {
+        text.push_back(static_cast<char>('a' + rng->NextBounded(4)));
+      }
+      return Value::String(std::move(text));
+    }
+    default:
+      return Value::FromDate(
+          Date(rng->NextInRange(-1000, 20000)));
+  }
+}
+
+class ValueOrderPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ValueOrderPropertyTest, ReflexiveAndConsistentWithEquality) {
+  Xorshift64 rng(GetParam());
+  for (int i = 0; i < 500; ++i) {
+    Value v = RandomValue(&rng);
+    EXPECT_EQ(v.Compare(v), 0);
+    Value w = RandomValue(&rng);
+    if (v == w) {
+      EXPECT_EQ(v.Compare(w), 0) << v.ToText() << " vs " << w.ToText();
+      EXPECT_EQ(v.Hash() == w.Hash(), v.kind() == w.kind() ? true : v.Hash() == w.Hash())
+          << "hash may differ across kinds but not within";
+    }
+  }
+}
+
+TEST_P(ValueOrderPropertyTest, Antisymmetric) {
+  Xorshift64 rng(GetParam() + 1);
+  for (int i = 0; i < 1000; ++i) {
+    Value a = RandomValue(&rng);
+    Value b = RandomValue(&rng);
+    int ab = a.Compare(b);
+    int ba = b.Compare(a);
+    EXPECT_EQ(ab, -ba) << a.ToText() << " vs " << b.ToText();
+  }
+}
+
+TEST_P(ValueOrderPropertyTest, TransitiveOverRandomTriples) {
+  Xorshift64 rng(GetParam() + 2);
+  int checked = 0;
+  for (int i = 0; i < 3000; ++i) {
+    Value a = RandomValue(&rng);
+    Value b = RandomValue(&rng);
+    Value c = RandomValue(&rng);
+    if (a.Compare(b) <= 0 && b.Compare(c) <= 0) {
+      EXPECT_LE(a.Compare(c), 0)
+          << a.ToText() << " <= " << b.ToText() << " <= " << c.ToText();
+      ++checked;
+    }
+  }
+  EXPECT_GT(checked, 300);
+}
+
+TEST_P(ValueOrderPropertyTest, HashEqualForEqualValuesOfSameKind) {
+  Xorshift64 rng(GetParam() + 3);
+  for (int i = 0; i < 500; ++i) {
+    Value a = RandomValue(&rng);
+    Value b = a;
+    EXPECT_EQ(a.Hash(), b.Hash());
+  }
+}
+
+TEST_P(ValueOrderPropertyTest, NullIsTheMinimum) {
+  Xorshift64 rng(GetParam() + 4);
+  Value null_value = Value::Null();
+  for (int i = 0; i < 300; ++i) {
+    Value v = RandomValue(&rng);
+    if (v.is_null()) continue;
+    EXPECT_LT(null_value.Compare(v), 0) << v.ToText();
+    EXPECT_GT(v.Compare(null_value), 0) << v.ToText();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ValueOrderPropertyTest,
+                         ::testing::Values(11, 222, 3333));
+
+}  // namespace
+}  // namespace pdgf

@@ -1,0 +1,147 @@
+#include "common/value.h"
+
+#include <gtest/gtest.h>
+
+namespace pdgf {
+namespace {
+
+TEST(ValueTest, DefaultIsNull) {
+  Value value;
+  EXPECT_TRUE(value.is_null());
+  EXPECT_EQ(value.kind(), Value::Kind::kNull);
+  EXPECT_EQ(value.ToText(), "");
+}
+
+TEST(ValueTest, IntRendering) {
+  EXPECT_EQ(Value::Int(0).ToText(), "0");
+  EXPECT_EQ(Value::Int(-42).ToText(), "-42");
+  EXPECT_EQ(Value::Int(9223372036854775807LL).ToText(),
+            "9223372036854775807");
+}
+
+TEST(ValueTest, DoubleRenderingRoundTrips) {
+  for (double v : {0.0, 1.5, -3.25, 0.1, 1e20, 123456.789, 1e-9}) {
+    std::string text = Value::Double(v).ToText();
+    EXPECT_EQ(std::strtod(text.c_str(), nullptr), v) << text;
+  }
+}
+
+TEST(ValueTest, DecimalRendering) {
+  EXPECT_EQ(Value::Decimal(12345, 2).ToText(), "123.45");
+  EXPECT_EQ(Value::Decimal(-12345, 2).ToText(), "-123.45");
+  EXPECT_EQ(Value::Decimal(5, 2).ToText(), "0.05");
+  EXPECT_EQ(Value::Decimal(5, 0).ToText(), "5");
+  EXPECT_EQ(Value::Decimal(1200, 4).ToText(), "0.1200");
+}
+
+TEST(ValueTest, DateValue) {
+  Value value = Value::FromDate(Date::FromCivil(1995, 7, 16));
+  EXPECT_EQ(value.kind(), Value::Kind::kDate);
+  EXPECT_EQ(value.ToText(), "1995-07-16");
+  EXPECT_EQ(value.date_value().year(), 1995);
+}
+
+TEST(ValueTest, BoolRendering) {
+  EXPECT_EQ(Value::Bool(true).ToText(), "true");
+  EXPECT_EQ(Value::Bool(false).ToText(), "false");
+}
+
+TEST(ValueTest, NumericViews) {
+  EXPECT_DOUBLE_EQ(Value::Decimal(12345, 2).AsDouble(), 123.45);
+  EXPECT_EQ(Value::Decimal(12345, 2).AsInt(), 123);
+  EXPECT_EQ(Value::Double(2.9).AsInt(), 2);
+  EXPECT_DOUBLE_EQ(Value::Int(7).AsDouble(), 7.0);
+  EXPECT_EQ(Value::Null().AsInt(), 0);
+  EXPECT_EQ(Value::String("abc").AsInt(), 0);
+}
+
+TEST(ValueTest, InPlaceSettersReuseBuffer) {
+  Value value = Value::String("hello world, a long enough string");
+  const char* data_before = value.string_value().data();
+  value.SetInt(5);
+  value.SetString("short");
+  // The capacity from the first string should be reused.
+  EXPECT_EQ(value.string_value(), "short");
+  EXPECT_EQ(value.string_value().data(), data_before);
+}
+
+TEST(ValueTest, CompareNullsFirst) {
+  EXPECT_LT(Value::Null().Compare(Value::Int(0)), 0);
+  EXPECT_GT(Value::Int(0).Compare(Value::Null()), 0);
+  EXPECT_EQ(Value::Null().Compare(Value::Null()), 0);
+}
+
+TEST(ValueTest, CompareNumericAcrossKinds) {
+  EXPECT_EQ(Value::Int(2).Compare(Value::Double(2.0)), 0);
+  EXPECT_LT(Value::Int(2).Compare(Value::Decimal(250, 2)), 0);   // 2 < 2.5
+  EXPECT_GT(Value::Double(3.0).Compare(Value::Decimal(250, 2)), 0);
+}
+
+TEST(ValueTest, CompareStrings) {
+  EXPECT_LT(Value::String("abc").Compare(Value::String("abd")), 0);
+  EXPECT_EQ(Value::String("x").Compare(Value::String("x")), 0);
+}
+
+TEST(ValueTest, EqualityMixedKinds) {
+  EXPECT_EQ(Value::Int(2), Value::Double(2.0));
+  EXPECT_NE(Value::Int(2), Value::String("2"));
+  EXPECT_NE(Value::Null(), Value::Int(0));
+  EXPECT_EQ(Value::Decimal(200, 2), Value::Int(2));
+}
+
+TEST(ValueTest, HashDistinguishesValues) {
+  EXPECT_NE(Value::Int(1).Hash(), Value::Int(2).Hash());
+  EXPECT_NE(Value::String("a").Hash(), Value::String("b").Hash());
+  EXPECT_EQ(Value::String("same").Hash(), Value::String("same").Hash());
+  EXPECT_NE(Value::Null().Hash(), Value::Int(0).Hash());
+}
+
+TEST(ValueParseTest, ParsesEveryType) {
+  EXPECT_EQ(Value::ParseAs(DataType::kBigInt, "123")->int_value(), 123);
+  EXPECT_EQ(Value::ParseAs(DataType::kInteger, "-5")->int_value(), -5);
+  EXPECT_DOUBLE_EQ(Value::ParseAs(DataType::kDouble, "2.5")->double_value(),
+                   2.5);
+  Value decimal = *Value::ParseAs(DataType::kDecimal, "123.45", 2);
+  EXPECT_EQ(decimal.decimal_unscaled(), 12345);
+  EXPECT_EQ(decimal.decimal_scale(), 2);
+  EXPECT_EQ(Value::ParseAs(DataType::kVarchar, "text")->string_value(),
+            "text");
+  EXPECT_TRUE(Value::ParseAs(DataType::kBoolean, "true")->bool_value());
+  EXPECT_FALSE(Value::ParseAs(DataType::kBoolean, "f")->bool_value());
+  EXPECT_EQ(Value::ParseAs(DataType::kDate, "1996-04-12")->ToText(),
+            "1996-04-12");
+}
+
+TEST(ValueParseTest, RejectsMalformed) {
+  EXPECT_FALSE(Value::ParseAs(DataType::kBigInt, "12x").ok());
+  EXPECT_FALSE(Value::ParseAs(DataType::kBigInt, "").ok());
+  EXPECT_FALSE(Value::ParseAs(DataType::kDouble, "nope").ok());
+  EXPECT_FALSE(Value::ParseAs(DataType::kBoolean, "maybe").ok());
+  EXPECT_FALSE(Value::ParseAs(DataType::kDate, "1996-13-12").ok());
+}
+
+// Property sweep: decimal rendering matches the scaled double.
+class DecimalRenderTest
+    : public ::testing::TestWithParam<std::pair<int64_t, int>> {};
+
+TEST_P(DecimalRenderTest, MatchesScaledDouble) {
+  auto [unscaled, scale] = GetParam();
+  Value value = Value::Decimal(unscaled, scale);
+  double expected = static_cast<double>(unscaled);
+  for (int i = 0; i < scale; ++i) expected /= 10;
+  EXPECT_NEAR(std::strtod(value.ToText().c_str(), nullptr), expected,
+              1e-9 * std::abs(expected) + 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, DecimalRenderTest,
+    ::testing::Values(std::pair<int64_t, int>{0, 2},
+                      std::pair<int64_t, int>{1, 4},
+                      std::pair<int64_t, int>{-1, 4},
+                      std::pair<int64_t, int>{999999999, 2},
+                      std::pair<int64_t, int>{-999999999, 6},
+                      std::pair<int64_t, int>{105000, 2},
+                      std::pair<int64_t, int>{7, 0}));
+
+}  // namespace
+}  // namespace pdgf

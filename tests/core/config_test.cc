@@ -1,0 +1,217 @@
+#include "core/config.h"
+
+#include <gtest/gtest.h>
+
+#include "core/generators/generators.h"
+#include "core/session.h"
+#include "util/strings.h"
+#include "core/text/markov_model.h"
+#include "util/files.h"
+
+namespace pdgf {
+namespace {
+
+// A config in the shape of the paper's Listing 1.
+constexpr const char* kListing1 = R"xml(<?xml version="1.0" encoding="UTF-8"?>
+<schema name="tpch">
+  <seed>12456789</seed>
+  <rng name="PdgfDefaultRandom"></rng>
+  <property name="SF" type="double">1</property>
+  <property name="lineitem_size" type="double">6000000 * ${SF}</property>
+  <table name="lineitem">
+    <size>${lineitem_size}</size>
+    <field name="l_orderkey" size="19" type="BIGINT" primary="true">
+      <gen_IdGenerator></gen_IdGenerator>
+    </field>
+    <field name="l_partkey" size="19" type="BIGINT" primary="false">
+      <gen_DefaultReferenceGenerator>
+        <reference table="partsupp" field="ps_partkey"></reference>
+      </gen_DefaultReferenceGenerator>
+    </field>
+    <field name="l_comment" size="44" type="VARCHAR" primary="false">
+      <gen_NullGenerator probability="0.0">
+        <gen_MarkovChainGenerator>
+          <min>1</min>
+          <max>10</max>
+        </gen_MarkovChainGenerator>
+      </gen_NullGenerator>
+    </field>
+  </table>
+  <table name="partsupp">
+    <size>800000 * ${SF}</size>
+    <field name="ps_partkey" size="19" type="BIGINT" primary="true">
+      <gen_IdGenerator/>
+    </field>
+  </table>
+</schema>
+)xml";
+
+TEST(ConfigTest, ParsesListing1Shape) {
+  auto schema = LoadSchemaFromXml(kListing1);
+  ASSERT_TRUE(schema.ok()) << schema.status().ToString();
+  EXPECT_EQ(schema->name, "tpch");
+  EXPECT_EQ(schema->seed, 12456789u);
+  EXPECT_EQ(schema->rng_name, "PdgfDefaultRandom");
+  ASSERT_EQ(schema->properties.size(), 2u);
+  EXPECT_EQ(schema->properties[1].expression, "6000000 * ${SF}");
+  ASSERT_EQ(schema->tables.size(), 2u);
+  const TableDef& lineitem = schema->tables[0];
+  EXPECT_EQ(lineitem.size_expression, "${lineitem_size}");
+  ASSERT_EQ(lineitem.fields.size(), 3u);
+  EXPECT_EQ(lineitem.fields[0].name, "l_orderkey");
+  EXPECT_TRUE(lineitem.fields[0].primary);
+  EXPECT_EQ(lineitem.fields[0].type, DataType::kBigInt);
+  EXPECT_EQ(lineitem.fields[0].size, 19);
+  EXPECT_EQ(lineitem.fields[0].generator->ConfigName(), "gen_IdGenerator");
+  EXPECT_EQ(lineitem.fields[1].generator->ConfigName(),
+            "gen_DefaultReferenceGenerator");
+  EXPECT_EQ(lineitem.fields[2].generator->ConfigName(), "gen_NullGenerator");
+}
+
+TEST(ConfigTest, ParsedModelGenerates) {
+  auto schema = LoadSchemaFromXml(kListing1);
+  ASSERT_TRUE(schema.ok());
+  // Shrink via override so the test stays fast.
+  auto session = GenerationSession::Create(&*schema, {{"SF", "0.00001"}});
+  ASSERT_TRUE(session.ok()) << session.status().ToString();
+  EXPECT_EQ((*session)->TableRows(0), 60u);
+  std::vector<Value> row;
+  (*session)->GenerateRow(0, 0, 0, &row);
+  ASSERT_EQ(row.size(), 3u);
+  EXPECT_EQ(row[0].int_value(), 1);
+  EXPECT_FALSE(row[2].is_null());
+  EXPECT_EQ(row[2].kind(), Value::Kind::kString);
+}
+
+TEST(ConfigTest, RoundTripThroughXml) {
+  auto schema = LoadSchemaFromXml(kListing1);
+  ASSERT_TRUE(schema.ok());
+  std::string xml = SchemaToXml(*schema);
+  auto reparsed = LoadSchemaFromXml(xml);
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status().ToString();
+  EXPECT_EQ(reparsed->name, schema->name);
+  EXPECT_EQ(reparsed->seed, schema->seed);
+  ASSERT_EQ(reparsed->tables.size(), schema->tables.size());
+  for (size_t t = 0; t < schema->tables.size(); ++t) {
+    const TableDef& a = schema->tables[t];
+    const TableDef& b = reparsed->tables[t];
+    EXPECT_EQ(a.name, b.name);
+    EXPECT_EQ(a.size_expression, b.size_expression);
+    ASSERT_EQ(a.fields.size(), b.fields.size());
+    for (size_t f = 0; f < a.fields.size(); ++f) {
+      EXPECT_EQ(a.fields[f].name, b.fields[f].name);
+      EXPECT_EQ(a.fields[f].type, b.fields[f].type);
+      EXPECT_EQ(a.fields[f].primary, b.fields[f].primary);
+      EXPECT_EQ(a.fields[f].generator->ConfigName(),
+                b.fields[f].generator->ConfigName());
+    }
+  }
+}
+
+TEST(ConfigTest, RoundTripPreservesGeneratedValues) {
+  auto schema = LoadSchemaFromXml(kListing1);
+  ASSERT_TRUE(schema.ok());
+  auto reparsed = LoadSchemaFromXml(SchemaToXml(*schema));
+  ASSERT_TRUE(reparsed.ok());
+  auto s1 = GenerationSession::Create(&*schema, {{"SF", "0.00001"}});
+  auto s2 = GenerationSession::Create(&*reparsed, {{"SF", "0.00001"}});
+  ASSERT_TRUE(s1.ok());
+  ASSERT_TRUE(s2.ok());
+  std::vector<Value> r1, r2;
+  for (uint64_t row = 0; row < 20; ++row) {
+    (*s1)->GenerateRow(0, row, 0, &r1);
+    (*s2)->GenerateRow(0, row, 0, &r2);
+    ASSERT_EQ(r1.size(), r2.size());
+    for (size_t f = 0; f < 2; ++f) {  // deterministic fields
+      EXPECT_EQ(r1[f], r2[f]) << "row " << row << " field " << f;
+    }
+  }
+}
+
+TEST(ConfigTest, RejectsBrokenModels) {
+  EXPECT_FALSE(LoadSchemaFromXml("<notschema/>").ok());
+  EXPECT_FALSE(LoadSchemaFromXml("<schema name=\"x\"></schema>").ok());
+  // Table without fields.
+  EXPECT_FALSE(
+      LoadSchemaFromXml("<schema><table name=\"t\"><size>1</size></table>"
+                        "</schema>")
+          .ok());
+  // Field without generator.
+  EXPECT_FALSE(LoadSchemaFromXml("<schema><table name=\"t\"><size>1</size>"
+                                 "<field name=\"f\" type=\"BIGINT\"/>"
+                                 "</table></schema>")
+                   .ok());
+  // Unknown type.
+  EXPECT_FALSE(
+      LoadSchemaFromXml("<schema><table name=\"t\"><size>1</size>"
+                        "<field name=\"f\" type=\"BLOB\"><gen_IdGenerator/>"
+                        "</field></table></schema>")
+          .ok());
+  // Duplicate table.
+  EXPECT_FALSE(LoadSchemaFromXml(
+                   "<schema><table name=\"t\"><size>1</size>"
+                   "<field name=\"f\" type=\"BIGINT\"><gen_IdGenerator/>"
+                   "</field></table><table name=\"t\"><size>1</size>"
+                   "<field name=\"f\" type=\"BIGINT\"><gen_IdGenerator/>"
+                   "</field></table></schema>")
+                   .ok());
+  // Unknown rng.
+  EXPECT_FALSE(
+      LoadSchemaFromXml("<schema><rng name=\"MT19937\"/><table name=\"t\">"
+                        "<size>1</size><field name=\"f\" type=\"BIGINT\">"
+                        "<gen_IdGenerator/></field></table></schema>")
+          .ok());
+}
+
+TEST(ConfigTest, FileRoundTripWithArtifacts) {
+  auto dir = MakeTempDir("pdgf_config_");
+  ASSERT_TRUE(dir.ok());
+  // Train and save a Markov model next to the config file.
+  MarkovModel model;
+  model.AddSample("red green blue. red blue green.");
+  model.Finalize();
+  ASSERT_TRUE(model.Save(JoinPath(*dir, "colors.bin")).ok());
+
+  std::string config_xml =
+      "<schema name=\"m\"><seed>1</seed>"
+      "<table name=\"t\"><size>5</size>"
+      "<field name=\"c\" type=\"VARCHAR\">"
+      "<gen_MarkovChainGenerator><min>2</min><max>4</max>"
+      "<file>colors.bin</file></gen_MarkovChainGenerator>"
+      "</field></table></schema>";
+  std::string config_path = JoinPath(*dir, "model.xml");
+  ASSERT_TRUE(WriteStringToFile(config_path, config_xml).ok());
+
+  // Relative artifact paths resolve against the config's directory.
+  auto schema = LoadSchemaFromFile(config_path);
+  ASSERT_TRUE(schema.ok()) << schema.status().ToString();
+  auto session = GenerationSession::Create(&*schema);
+  ASSERT_TRUE(session.ok());
+  Value value;
+  (*session)->GenerateField(0, 0, 0, 0, &value);
+  ASSERT_FALSE(value.is_null());
+  // Generated words come from the trained model's vocabulary.
+  for (const std::string& word : SplitWhitespace(value.string_value())) {
+    EXPECT_TRUE(word == "red" || word == "green" || word == "blue") << word;
+  }
+}
+
+TEST(ConfigTest, GeneratorRegistryKnowsAllBuiltins) {
+  GeneratorRegistry& registry = GeneratorRegistry::Global();
+  for (const char* name :
+       {"gen_IdGenerator", "gen_LongGenerator", "gen_DoubleGenerator",
+        "gen_DateGenerator", "gen_RandomStringGenerator",
+        "gen_PatternStringGenerator", "gen_StaticValueGenerator",
+        "gen_BooleanGenerator", "gen_DictListGenerator", "gen_NameGenerator",
+        "gen_AddressGenerator", "gen_EmailGenerator", "gen_UrlGenerator",
+        "gen_DefaultReferenceGenerator", "gen_NullGenerator",
+        "gen_SequentialGenerator", "gen_ConditionalGenerator",
+        "gen_PaddingGenerator", "gen_FormulaGenerator",
+        "gen_MarkovChainGenerator"}) {
+    EXPECT_TRUE(registry.Contains(name)) << name;
+  }
+  EXPECT_GE(registry.Names().size(), 20u);
+}
+
+}  // namespace
+}  // namespace pdgf

@@ -1,0 +1,159 @@
+#include "core/text/dictionary.h"
+
+#include <map>
+
+#include <gtest/gtest.h>
+
+#include "core/text/builtin_dictionaries.h"
+#include "util/files.h"
+
+namespace pdgf {
+namespace {
+
+Dictionary MakeWeighted() {
+  Dictionary dictionary;
+  dictionary.Add("common", 8.0);
+  dictionary.Add("medium", 2.0);
+  dictionary.Add("rare", 0.5);
+  dictionary.Finalize();
+  return dictionary;
+}
+
+TEST(DictionaryTest, BasicAccessors) {
+  Dictionary dictionary = MakeWeighted();
+  EXPECT_EQ(dictionary.size(), 3u);
+  EXPECT_EQ(dictionary.value(0), "common");
+  EXPECT_DOUBLE_EQ(dictionary.weight(2), 0.5);
+  EXPECT_DOUBLE_EQ(dictionary.total_weight(), 10.5);
+  EXPECT_EQ(dictionary.Find("rare"), 2);
+  EXPECT_EQ(dictionary.Find("absent"), -1);
+}
+
+TEST(DictionaryTest, WeightedSamplingMatchesWeights) {
+  Dictionary dictionary = MakeWeighted();
+  Xorshift64 rng(9);
+  std::map<std::string, int> counts;
+  const int draws = 21000;
+  for (int i = 0; i < draws; ++i) {
+    ++counts[dictionary.Sample(&rng)];
+  }
+  // Expected fractions: 8/10.5, 2/10.5, 0.5/10.5.
+  EXPECT_NEAR(counts["common"] / static_cast<double>(draws), 8 / 10.5, 0.02);
+  EXPECT_NEAR(counts["medium"] / static_cast<double>(draws), 2 / 10.5, 0.02);
+  EXPECT_NEAR(counts["rare"] / static_cast<double>(draws), 0.5 / 10.5, 0.01);
+}
+
+TEST(DictionaryTest, AliasSamplingMatchesCumulative) {
+  // Both backends must realize the same distribution.
+  Dictionary dictionary = MakeWeighted();
+  Xorshift64 rng(10);
+  std::map<std::string, int> counts;
+  const int draws = 21000;
+  for (int i = 0; i < draws; ++i) {
+    ++counts[dictionary.SampleAlias(&rng)];
+  }
+  EXPECT_NEAR(counts["common"] / static_cast<double>(draws), 8 / 10.5, 0.02);
+  EXPECT_NEAR(counts["rare"] / static_cast<double>(draws), 0.5 / 10.5, 0.01);
+}
+
+TEST(DictionaryTest, UniformSamplingIgnoresWeights) {
+  Dictionary dictionary = MakeWeighted();
+  Xorshift64 rng(11);
+  std::map<std::string, int> counts;
+  const int draws = 30000;
+  for (int i = 0; i < draws; ++i) {
+    ++counts[dictionary.SampleUniform(&rng)];
+  }
+  for (const auto& [value, count] : counts) {
+    EXPECT_NEAR(count / static_cast<double>(draws), 1.0 / 3, 0.02) << value;
+  }
+}
+
+TEST(DictionaryTest, FromTextParsesWeightsAndComments) {
+  auto dictionary = Dictionary::FromText(
+      "# a comment\n"
+      "alpha\t3\n"
+      "beta\n"
+      "\n"
+      "gamma\t0.5\n");
+  ASSERT_TRUE(dictionary.ok()) << dictionary.status().ToString();
+  EXPECT_EQ(dictionary->size(), 3u);
+  EXPECT_DOUBLE_EQ(dictionary->weight(0), 3.0);
+  EXPECT_DOUBLE_EQ(dictionary->weight(1), 1.0);
+  EXPECT_DOUBLE_EQ(dictionary->weight(2), 0.5);
+}
+
+TEST(DictionaryTest, FromTextRejectsBadWeight) {
+  EXPECT_FALSE(Dictionary::FromText("value\tnotanumber\n").ok());
+  EXPECT_FALSE(Dictionary::FromText("value\t-1\n").ok());
+}
+
+TEST(DictionaryTest, FileRoundTrip) {
+  auto dir = MakeTempDir("pdgf_dict_");
+  ASSERT_TRUE(dir.ok());
+  std::string path = JoinPath(*dir, "test.dict");
+  Dictionary original = MakeWeighted();
+  ASSERT_TRUE(original.SaveToFile(path).ok());
+  auto loaded = Dictionary::FromFile(path);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded->size(), original.size());
+  for (size_t i = 0; i < original.size(); ++i) {
+    EXPECT_EQ(loaded->value(i), original.value(i));
+    EXPECT_DOUBLE_EQ(loaded->weight(i), original.weight(i));
+  }
+}
+
+TEST(DictionaryTest, UniformFileOmitsWeights) {
+  auto dir = MakeTempDir("pdgf_dict_u_");
+  ASSERT_TRUE(dir.ok());
+  Dictionary dictionary;
+  dictionary.Add("a");
+  dictionary.Add("b");
+  dictionary.Finalize();
+  std::string path = JoinPath(*dir, "uniform.dict");
+  ASSERT_TRUE(dictionary.SaveToFile(path).ok());
+  auto contents = ReadFileToString(path);
+  ASSERT_TRUE(contents.ok());
+  EXPECT_EQ(*contents, "a\nb\n");
+}
+
+TEST(BuiltinDictionariesTest, KnownNamesResolve) {
+  for (const char* name :
+       {"first_names", "last_names", "cities", "streets", "countries",
+        "nations", "regions", "states", "colors", "ship_modes",
+        "market_segments", "order_priorities", "email_domains"}) {
+    const Dictionary* dictionary = FindBuiltinDictionary(name);
+    ASSERT_NE(dictionary, nullptr) << name;
+    EXPECT_GT(dictionary->size(), 0u) << name;
+  }
+  EXPECT_EQ(FindBuiltinDictionary("no_such_dictionary"), nullptr);
+}
+
+TEST(BuiltinDictionariesTest, TpchDictionariesHaveSpecCardinalities) {
+  EXPECT_EQ(FindBuiltinDictionary("nations")->size(), 25u);
+  EXPECT_EQ(FindBuiltinDictionary("regions")->size(), 5u);
+  EXPECT_EQ(FindBuiltinDictionary("market_segments")->size(), 5u);
+  EXPECT_EQ(FindBuiltinDictionary("ship_modes")->size(), 7u);
+  EXPECT_EQ(FindBuiltinDictionary("order_priorities")->size(), 5u);
+  EXPECT_EQ(FindBuiltinDictionary("states")->size(), 50u);
+}
+
+TEST(BuiltinDictionariesTest, NamesListIsSortedAndComplete) {
+  auto names = BuiltinDictionaryNames();
+  EXPECT_GE(names.size(), 20u);
+  for (size_t i = 1; i < names.size(); ++i) {
+    EXPECT_LT(names[i - 1], names[i]);
+  }
+  for (const std::string& name : names) {
+    EXPECT_NE(FindBuiltinDictionary(name), nullptr) << name;
+  }
+}
+
+TEST(BuiltinDictionariesTest, CorpusIsSentenceStructured) {
+  std::string_view corpus = BuiltinCommentCorpus();
+  EXPECT_GT(corpus.size(), 1000u);
+  EXPECT_NE(corpus.find(". "), std::string_view::npos);
+}
+
+}  // namespace
+}  // namespace pdgf

@@ -1,0 +1,174 @@
+// Engine stress and edge-condition tests: degenerate table sizes, many
+// tables, extreme package sizes, and oversubscribed worker counts.
+
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "core/generators/generators.h"
+#include "util/strings.h"
+
+namespace pdgf {
+namespace {
+
+// N tables with sizes 0, 1, 2, ..., N-1.
+SchemaDef MakeManyTables(int table_count) {
+  SchemaDef schema;
+  schema.name = "stress";
+  schema.seed = 3;
+  for (int t = 0; t < table_count; ++t) {
+    TableDef table;
+    table.name = "t" + std::to_string(t);
+    table.size_expression = std::to_string(t);
+    FieldDef field;
+    field.name = "v";
+    field.type = DataType::kBigInt;
+    field.generator = GeneratorPtr(new IdGenerator(1, 1));
+    table.fields.push_back(std::move(field));
+    schema.tables.push_back(std::move(table));
+  }
+  return schema;
+}
+
+TEST(EngineStressTest, EmptyAndTinyTables) {
+  SchemaDef schema = MakeManyTables(20);
+  auto session = GenerationSession::Create(&schema);
+  ASSERT_TRUE(session.ok());
+  CsvFormatter formatter;
+  GenerationOptions options;
+  options.worker_count = 4;
+  options.work_package_rows = 3;
+  auto stats = GenerateToNull(**session, formatter, options);
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  // Sum of 0..19 = 190 rows.
+  EXPECT_EQ(stats->rows, 190u);
+}
+
+TEST(EngineStressTest, EmptySchemaTableProducesHeaderOnly) {
+  SchemaDef schema = MakeManyTables(1);  // one table with 0 rows
+  auto session = GenerationSession::Create(&schema);
+  ASSERT_TRUE(session.ok());
+  XmlFormatter formatter;  // has header/footer
+  auto output = GenerateTableToString(**session, 0, formatter);
+  ASSERT_TRUE(output.ok());
+  EXPECT_EQ(*output, "<table name=\"t0\">\n</table>\n");
+}
+
+TEST(EngineStressTest, PackageLargerThanEveryTable) {
+  SchemaDef schema = MakeManyTables(6);
+  auto session = GenerationSession::Create(&schema);
+  ASSERT_TRUE(session.ok());
+  CsvFormatter formatter;
+  GenerationOptions options;
+  options.work_package_rows = 1000000;
+  options.worker_count = 8;
+  auto stats = GenerateToNull(**session, formatter, options);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->rows, 15u);
+  EXPECT_EQ(stats->packages, 5u);  // t0 is empty -> no package
+}
+
+TEST(EngineStressTest, WorkersFarExceedPackages) {
+  SchemaDef schema = MakeManyTables(3);
+  auto session = GenerationSession::Create(&schema);
+  ASSERT_TRUE(session.ok());
+  CsvFormatter formatter;
+  GenerationOptions options;
+  options.worker_count = 64;
+  options.work_package_rows = 1;
+  auto stats = GenerateToNull(**session, formatter, options);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->rows, 3u);
+}
+
+TEST(EngineStressTest, ZeroAndNegativeOptionValuesAreClamped) {
+  SchemaDef schema = MakeManyTables(4);
+  auto session = GenerationSession::Create(&schema);
+  ASSERT_TRUE(session.ok());
+  CsvFormatter formatter;
+  GenerationOptions options;
+  options.worker_count = 0;
+  options.work_package_rows = 0;
+  auto stats = GenerateToNull(**session, formatter, options);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->rows, 6u);
+}
+
+TEST(EngineStressTest, NodeIdOutOfRangeClamps) {
+  SchemaDef schema = MakeManyTables(4);
+  auto session = GenerationSession::Create(&schema);
+  ASSERT_TRUE(session.ok());
+  uint64_t begin = 0;
+  uint64_t end = 0;
+  NodeShare(100, 4, 7, &begin, &end);   // node id beyond count
+  EXPECT_EQ(begin, 75u);
+  EXPECT_EQ(end, 100u);
+  NodeShare(100, 0, 0, &begin, &end);   // zero nodes
+  EXPECT_EQ(begin, 0u);
+  EXPECT_EQ(end, 100u);
+  NodeShare(100, 4, -2, &begin, &end);  // negative id
+  EXPECT_EQ(begin, 0u);
+  EXPECT_EQ(end, 25u);
+}
+
+TEST(EngineStressTest, WideRowsWithEveryValueKind) {
+  SchemaDef schema;
+  schema.name = "wide";
+  schema.seed = 8;
+  TableDef table;
+  table.name = "wide";
+  table.size_expression = "200";
+  struct Spec {
+    const char* name;
+    DataType type;
+    Generator* generator;
+  };
+  const Spec specs[] = {
+      {"f_id", DataType::kBigInt, new IdGenerator()},
+      {"f_long", DataType::kBigInt, new LongGenerator(-100, 100)},
+      {"f_double", DataType::kDouble, new DoubleGenerator(0, 1)},
+      {"f_decimal", DataType::kDecimal, new DoubleGenerator(0, 10, 2)},
+      {"f_date", DataType::kDate,
+       new DateGenerator(Date::FromCivil(2000, 1, 1),
+                         Date::FromCivil(2001, 1, 1))},
+      {"f_bool", DataType::kBoolean, new BooleanGenerator(0.5)},
+      {"f_string", DataType::kVarchar, new RandomStringGenerator(1, 30)},
+      {"f_null", DataType::kVarchar,
+       new NullGenerator(1.0, GeneratorPtr(new IdGenerator()))},
+  };
+  for (const Spec& spec : specs) {
+    FieldDef field;
+    field.name = spec.name;
+    field.type = spec.type;
+    field.generator = GeneratorPtr(spec.generator);
+    table.fields.push_back(std::move(field));
+  }
+  schema.tables.push_back(std::move(table));
+
+  auto session = GenerationSession::Create(&schema);
+  ASSERT_TRUE(session.ok());
+  // Every formatter handles every kind without error.
+  for (const char* format : {"csv", "tsv", "json", "xml", "sql"}) {
+    auto formatter = MakeFormatter(format);
+    ASSERT_TRUE(formatter.ok());
+    auto output = GenerateTableToString(**session, 0, **formatter);
+    ASSERT_TRUE(output.ok()) << format;
+    EXPECT_GT(output->size(), 200u * 8) << format;
+  }
+}
+
+TEST(EngineStressTest, RepeatedRunsOnSameSessionAreIndependent) {
+  SchemaDef schema = MakeManyTables(5);
+  auto session = GenerationSession::Create(&schema);
+  ASSERT_TRUE(session.ok());
+  CsvFormatter formatter;
+  GenerationOptions options;
+  options.worker_count = 2;
+  for (int run = 0; run < 5; ++run) {
+    auto stats = GenerateToNull(**session, formatter, options);
+    ASSERT_TRUE(stats.ok());
+    EXPECT_EQ(stats->rows, 10u);
+  }
+}
+
+}  // namespace
+}  // namespace pdgf

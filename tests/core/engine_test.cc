@@ -1,0 +1,333 @@
+#include "core/engine.h"
+
+#include <algorithm>
+#include <map>
+
+#include <gtest/gtest.h>
+
+#include "core/generators/generators.h"
+#include "util/files.h"
+#include "util/strings.h"
+
+namespace pdgf {
+namespace {
+
+// Two tables: 1000 rows and 123 rows, mixed types.
+SchemaDef MakeSchema() {
+  SchemaDef schema;
+  schema.name = "engine";
+  schema.seed = 11;
+
+  TableDef big;
+  big.name = "big";
+  big.size_expression = "1000";
+  FieldDef id;
+  id.name = "id";
+  id.type = DataType::kBigInt;
+  id.generator = GeneratorPtr(new IdGenerator(1, 1));
+  big.fields.push_back(std::move(id));
+  FieldDef payload;
+  payload.name = "payload";
+  payload.type = DataType::kVarchar;
+  payload.generator = GeneratorPtr(new RandomStringGenerator(5, 20));
+  big.fields.push_back(std::move(payload));
+  schema.tables.push_back(std::move(big));
+
+  TableDef small;
+  small.name = "small";
+  small.size_expression = "123";
+  FieldDef value;
+  value.name = "value";
+  value.type = DataType::kBigInt;
+  value.generator = GeneratorPtr(new LongGenerator(0, 99));
+  small.fields.push_back(std::move(value));
+  schema.tables.push_back(std::move(small));
+  return schema;
+}
+
+// A sink writing into an external string that outlives the engine (the
+// engine owns and destroys its sinks when Run() finishes).
+class CaptureSink final : public Sink {
+ public:
+  explicit CaptureSink(std::string* out) : out_(out) {}
+
+  Status Write(std::string_view data) override {
+    out_->append(data);
+    return Status::Ok();
+  }
+
+ private:
+  std::string* out_;
+};
+
+// Runs the engine into per-table capture buffers.
+std::map<std::string, std::string> RunToMemory(
+    const GenerationSession& session, GenerationOptions options,
+    const RowFormatter& formatter) {
+  std::map<std::string, std::string> outputs;
+  SinkFactory factory =
+      [&outputs](const TableDef& table) -> StatusOr<std::unique_ptr<Sink>> {
+    return std::unique_ptr<Sink>(new CaptureSink(&outputs[table.name]));
+  };
+  GenerationEngine engine(&session, &formatter, factory, options);
+  Status status = engine.Run();
+  EXPECT_TRUE(status.ok()) << status.ToString();
+  return outputs;
+}
+
+TEST(EngineTest, GeneratesAllRowsSingleThreaded) {
+  SchemaDef schema = MakeSchema();
+  auto session = GenerationSession::Create(&schema);
+  ASSERT_TRUE(session.ok());
+  CsvFormatter formatter;
+  GenerationOptions options;
+  options.work_package_rows = 64;
+  auto outputs = RunToMemory(**session, options, formatter);
+  EXPECT_EQ(Split(outputs["big"], '\n').size() - 1, 1000u);
+  EXPECT_EQ(Split(outputs["small"], '\n').size() - 1, 123u);
+  // Sorted output: row ids are in order.
+  auto lines = Split(outputs["big"], '\n');
+  EXPECT_TRUE(StartsWith(lines[0], "1|"));
+  EXPECT_TRUE(StartsWith(lines[499], "500|"));
+  EXPECT_TRUE(StartsWith(lines[999], "1000|"));
+}
+
+// The core PDGF property: output is byte-identical for any worker count
+// and any package size (paper §2: repeatable, parallel generation).
+class EngineDeterminismTest
+    : public ::testing::TestWithParam<std::pair<int, uint64_t>> {};
+
+TEST_P(EngineDeterminismTest, OutputIndependentOfParallelism) {
+  auto [workers, package_rows] = GetParam();
+  SchemaDef schema = MakeSchema();
+  auto session = GenerationSession::Create(&schema);
+  ASSERT_TRUE(session.ok());
+  CsvFormatter formatter;
+
+  GenerationOptions reference_options;
+  reference_options.worker_count = 1;
+  reference_options.work_package_rows = 1000000;  // one package per table
+  auto reference = RunToMemory(**session, reference_options, formatter);
+
+  GenerationOptions options;
+  options.worker_count = workers;
+  options.work_package_rows = package_rows;
+  auto outputs = RunToMemory(**session, options, formatter);
+
+  EXPECT_EQ(outputs["big"], reference["big"]);
+  EXPECT_EQ(outputs["small"], reference["small"]);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    WorkerAndPackageSweep, EngineDeterminismTest,
+    ::testing::Values(std::pair<int, uint64_t>{1, 7},
+                      std::pair<int, uint64_t>{2, 64},
+                      std::pair<int, uint64_t>{4, 100},
+                      std::pair<int, uint64_t>{8, 1},
+                      std::pair<int, uint64_t>{3, 999},
+                      std::pair<int, uint64_t>{16, 13}));
+
+TEST(EngineTest, NodePartitionsCoverExactlyTheDataSet) {
+  SchemaDef schema = MakeSchema();
+  auto session = GenerationSession::Create(&schema);
+  ASSERT_TRUE(session.ok());
+  CsvFormatter formatter;
+
+  GenerationOptions whole_options;
+  whole_options.work_package_rows = 50;
+  auto whole = RunToMemory(**session, whole_options, formatter);
+
+  // Concatenating every node's share must reproduce the whole file.
+  const int nodes = 4;
+  std::string big_concat, small_concat;
+  for (int node = 0; node < nodes; ++node) {
+    GenerationOptions options;
+    options.node_count = nodes;
+    options.node_id = node;
+    options.work_package_rows = 37;
+    options.worker_count = 2;
+    auto part = RunToMemory(**session, options, formatter);
+    big_concat += part["big"];
+    small_concat += part["small"];
+  }
+  EXPECT_EQ(big_concat, whole["big"]);
+  EXPECT_EQ(small_concat, whole["small"]);
+}
+
+TEST(NodeShareTest, SharesPartitionWithoutGapsOrOverlap) {
+  for (uint64_t rows : {0ULL, 1ULL, 7ULL, 1000ULL, 999983ULL}) {
+    for (int nodes : {1, 2, 3, 24}) {
+      uint64_t covered = 0;
+      uint64_t previous_end = 0;
+      for (int node = 0; node < nodes; ++node) {
+        uint64_t begin, end;
+        NodeShare(rows, nodes, node, &begin, &end);
+        EXPECT_EQ(begin, previous_end);
+        EXPECT_LE(begin, end);
+        covered += end - begin;
+        previous_end = end;
+      }
+      EXPECT_EQ(covered, rows);
+      EXPECT_EQ(previous_end, rows);
+    }
+  }
+}
+
+TEST(EngineTest, UnsortedModeContainsSameRows) {
+  SchemaDef schema = MakeSchema();
+  auto session = GenerationSession::Create(&schema);
+  ASSERT_TRUE(session.ok());
+  CsvFormatter formatter;
+
+  GenerationOptions sorted_options;
+  sorted_options.work_package_rows = 50;
+  sorted_options.worker_count = 4;
+  auto sorted = RunToMemory(**session, sorted_options, formatter);
+
+  GenerationOptions unsorted_options = sorted_options;
+  unsorted_options.sorted_output = false;
+  auto unsorted = RunToMemory(**session, unsorted_options, formatter);
+
+  auto sorted_lines = Split(sorted["big"], '\n');
+  auto unsorted_lines = Split(unsorted["big"], '\n');
+  std::sort(sorted_lines.begin(), sorted_lines.end());
+  std::sort(unsorted_lines.begin(), unsorted_lines.end());
+  EXPECT_EQ(sorted_lines, unsorted_lines);
+}
+
+TEST(EngineTest, StatsAreConsistent) {
+  SchemaDef schema = MakeSchema();
+  auto session = GenerationSession::Create(&schema);
+  ASSERT_TRUE(session.ok());
+  CsvFormatter formatter;
+  auto stats = GenerateToNull(**session, formatter, GenerationOptions{});
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->rows, 1123u);
+  EXPECT_GT(stats->bytes, 1123u * 3);
+  EXPECT_GT(stats->seconds, 0.0);
+  EXPECT_GT(stats->megabytes_per_second, 0.0);
+}
+
+TEST(EngineTest, GenerateToDirectoryWritesFiles) {
+  auto dir = MakeTempDir("pdgf_engine_");
+  ASSERT_TRUE(dir.ok());
+  SchemaDef schema = MakeSchema();
+  auto session = GenerationSession::Create(&schema);
+  ASSERT_TRUE(session.ok());
+  CsvFormatter formatter;
+  GenerationOptions options;
+  options.worker_count = 2;
+  options.work_package_rows = 100;
+  auto stats =
+      GenerateToDirectory(**session, formatter, JoinPath(*dir, "out"),
+                          options);
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  auto big = ReadFileToString(JoinPath(*dir, "out/big.csv"));
+  ASSERT_TRUE(big.ok());
+  EXPECT_EQ(Split(*big, '\n').size() - 1, 1000u);
+  EXPECT_TRUE(PathExists(JoinPath(*dir, "out/small.csv")));
+  auto size = FileSize(JoinPath(*dir, "out/big.csv"));
+  ASSERT_TRUE(size.ok());
+  EXPECT_GT(*size, 0);
+}
+
+TEST(EngineTest, MultiNodeRunsWriteChunkFiles) {
+  // All nodes can share one output directory: each writes
+  // "<table>.<ext>.<node>", and the concatenated chunks equal the
+  // single-node file (dbgen's non-transparent layout, but deterministic).
+  auto dir = MakeTempDir("pdgf_engine_nodes_");
+  ASSERT_TRUE(dir.ok());
+  SchemaDef schema = MakeSchema();
+  auto session = GenerationSession::Create(&schema);
+  ASSERT_TRUE(session.ok());
+  CsvFormatter formatter;
+
+  GenerationOptions whole;
+  auto whole_stats = GenerateToDirectory(**session, formatter,
+                                         JoinPath(*dir, "whole"), whole);
+  ASSERT_TRUE(whole_stats.ok());
+
+  std::string stitched;
+  for (int node = 0; node < 3; ++node) {
+    GenerationOptions options;
+    options.node_count = 3;
+    options.node_id = node;
+    auto stats = GenerateToDirectory(**session, formatter,
+                                     JoinPath(*dir, "chunks"), options);
+    ASSERT_TRUE(stats.ok());
+    auto chunk = ReadFileToString(JoinPath(
+        *dir, "chunks/big.csv." + std::to_string(node + 1)));
+    ASSERT_TRUE(chunk.ok());
+    stitched += *chunk;
+  }
+  auto whole_file = ReadFileToString(JoinPath(*dir, "whole/big.csv"));
+  ASSERT_TRUE(whole_file.ok());
+  EXPECT_EQ(stitched, *whole_file);
+}
+
+TEST(EngineTest, SinkFailurePropagates) {
+  SchemaDef schema = MakeSchema();
+  auto session = GenerationSession::Create(&schema);
+  ASSERT_TRUE(session.ok());
+  CsvFormatter formatter;
+
+  // A sink that fails after the first write.
+  class FailingSink : public Sink {
+   public:
+    Status Write(std::string_view data) override {
+      (void)data;
+      if (++writes_ > 1) return IoError("disk full (injected)");
+      return Status::Ok();
+    }
+
+   private:
+    int writes_ = 0;
+  };
+
+  SinkFactory factory =
+      [](const TableDef&) -> StatusOr<std::unique_ptr<Sink>> {
+    return std::unique_ptr<Sink>(new FailingSink());
+  };
+  GenerationOptions options;
+  options.work_package_rows = 10;
+  options.worker_count = 2;
+  GenerationEngine engine(&**session, &formatter, factory, options);
+  Status status = engine.Run();
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kIoError);
+}
+
+TEST(EngineTest, ProgressTrackerSeesAllRows) {
+  SchemaDef schema = MakeSchema();
+  auto session = GenerationSession::Create(&schema);
+  ASSERT_TRUE(session.ok());
+  CsvFormatter formatter;
+  ProgressTracker progress({"big", "small"}, {1000, 123});
+  GenerationOptions options;
+  options.worker_count = 2;
+  options.work_package_rows = 100;
+  auto stats = GenerateToNull(**session, formatter, options, &progress);
+  ASSERT_TRUE(stats.ok());
+  auto snapshot = progress.TakeSnapshot();
+  EXPECT_EQ(snapshot.rows_done, 1123u);
+  EXPECT_DOUBLE_EQ(snapshot.fraction, 1.0);
+  EXPECT_EQ(snapshot.tables[0].rows_done, 1000u);
+  EXPECT_EQ(snapshot.tables[1].rows_done, 123u);
+}
+
+TEST(EngineTest, GenerateTableToStringMatchesEngine) {
+  SchemaDef schema = MakeSchema();
+  auto session = GenerationSession::Create(&schema);
+  ASSERT_TRUE(session.ok());
+  CsvFormatter formatter;
+  auto direct = GenerateTableToString(**session, 0, formatter);
+  ASSERT_TRUE(direct.ok());
+  GenerationOptions options;
+  options.worker_count = 3;
+  options.work_package_rows = 11;
+  auto outputs = RunToMemory(**session, options, formatter);
+  EXPECT_EQ(*direct, outputs["big"]);
+}
+
+}  // namespace
+}  // namespace pdgf

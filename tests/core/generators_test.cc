@@ -1,0 +1,390 @@
+#include "core/generators/generators.h"
+
+#include <cctype>
+#include <map>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "core/text/builtin_dictionaries.h"
+#include "util/strings.h"
+
+namespace pdgf {
+namespace {
+
+// Evaluates `generator` at (row, seed-derived-from-row) like the session
+// does, without needing a schema.
+Value Eval(const Generator& generator, uint64_t row, uint64_t seed = 1000) {
+  GeneratorContext context(nullptr, 0, row, 0, DeriveSeed(seed, row));
+  Value value;
+  generator.Generate(&context, &value);
+  return value;
+}
+
+TEST(IdGeneratorTest, SequentialFromStart) {
+  IdGenerator generator(1, 1);
+  EXPECT_EQ(Eval(generator, 0).int_value(), 1);
+  EXPECT_EQ(Eval(generator, 41).int_value(), 42);
+  IdGenerator offset(100, 5);
+  EXPECT_EQ(Eval(offset, 0).int_value(), 100);
+  EXPECT_EQ(Eval(offset, 3).int_value(), 115);
+  IdGenerator zero_based(0, 1);
+  EXPECT_EQ(Eval(zero_based, 7).int_value(), 7);
+}
+
+TEST(LongGeneratorTest, StaysInRangeAndCoversIt) {
+  LongGenerator generator(-5, 5);
+  std::set<int64_t> seen;
+  for (uint64_t row = 0; row < 2000; ++row) {
+    int64_t v = Eval(generator, row).int_value();
+    ASSERT_GE(v, -5);
+    ASSERT_LE(v, 5);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 11u);  // all values hit
+}
+
+TEST(LongGeneratorTest, DeterministicPerRow) {
+  LongGenerator generator(0, 1000000);
+  EXPECT_EQ(Eval(generator, 7).int_value(), Eval(generator, 7).int_value());
+  EXPECT_NE(Eval(generator, 7).int_value(), Eval(generator, 8).int_value());
+}
+
+TEST(DoubleGeneratorTest, RawDoubleRange) {
+  DoubleGenerator generator(2.5, 3.5);
+  for (uint64_t row = 0; row < 500; ++row) {
+    Value v = Eval(generator, row);
+    ASSERT_EQ(v.kind(), Value::Kind::kDouble);
+    ASSERT_GE(v.double_value(), 2.5);
+    ASSERT_LT(v.double_value(), 3.5);
+  }
+}
+
+TEST(DoubleGeneratorTest, PlacesProduceDecimals) {
+  DoubleGenerator generator(0, 100, 2);
+  for (uint64_t row = 0; row < 100; ++row) {
+    Value v = Eval(generator, row);
+    ASSERT_EQ(v.kind(), Value::Kind::kDecimal);
+    EXPECT_EQ(v.decimal_scale(), 2);
+    EXPECT_GE(v.AsDouble(), 0.0);
+    EXPECT_LE(v.AsDouble(), 100.0);
+    // Exactly 2 fractional digits in the rendering.
+    std::string text = v.ToText();
+    size_t dot = text.find('.');
+    ASSERT_NE(dot, std::string::npos) << text;
+    EXPECT_EQ(text.size() - dot - 1, 2u) << text;
+  }
+}
+
+TEST(DateGeneratorTest, RangeAndLazyValue) {
+  Date min = Date::FromCivil(1992, 1, 1);
+  Date max = Date::FromCivil(1998, 12, 31);
+  DateGenerator generator(min, max);
+  for (uint64_t row = 0; row < 300; ++row) {
+    Value v = Eval(generator, row);
+    ASSERT_EQ(v.kind(), Value::Kind::kDate);
+    EXPECT_GE(v.date_value(), min);
+    EXPECT_LE(v.date_value(), max);
+  }
+}
+
+TEST(DateGeneratorTest, EagerFormatting) {
+  DateGenerator generator(Date::FromCivil(2014, 11, 30),
+                          Date::FromCivil(2014, 11, 30), "%m/%d/%Y");
+  Value v = Eval(generator, 0);
+  ASSERT_EQ(v.kind(), Value::Kind::kString);
+  EXPECT_EQ(v.string_value(), "11/30/2014");
+}
+
+TEST(RandomStringGeneratorTest, LengthAndCharset) {
+  RandomStringGenerator generator(3, 8, "ab");
+  std::set<size_t> lengths;
+  for (uint64_t row = 0; row < 500; ++row) {
+    Value v = Eval(generator, row);
+    const std::string& text = v.string_value();
+    ASSERT_GE(text.size(), 3u);
+    ASSERT_LE(text.size(), 8u);
+    lengths.insert(text.size());
+    for (char c : text) {
+      ASSERT_TRUE(c == 'a' || c == 'b') << text;
+    }
+  }
+  EXPECT_EQ(lengths.size(), 6u);  // every length occurs
+}
+
+TEST(PatternStringGeneratorTest, PatternClasses) {
+  PatternStringGenerator generator("##-??*x");
+  for (uint64_t row = 0; row < 200; ++row) {
+    const std::string text = Eval(generator, row).string_value();
+    ASSERT_EQ(text.size(), 7u);
+    EXPECT_TRUE(std::isdigit(static_cast<unsigned char>(text[0])));
+    EXPECT_TRUE(std::isdigit(static_cast<unsigned char>(text[1])));
+    EXPECT_EQ(text[2], '-');
+    EXPECT_TRUE(std::isupper(static_cast<unsigned char>(text[3])));
+    EXPECT_TRUE(std::isupper(static_cast<unsigned char>(text[4])));
+    EXPECT_TRUE(std::islower(static_cast<unsigned char>(text[5])));
+    EXPECT_EQ(text[6], 'x');
+  }
+}
+
+TEST(StaticValueGeneratorTest, CachedAndUncachedAgree) {
+  StaticValueGenerator cached(Value::Int(-1234), /*cache=*/true);
+  StaticValueGenerator uncached(Value::Int(-1234), /*cache=*/false);
+  for (uint64_t row = 0; row < 10; ++row) {
+    EXPECT_EQ(Eval(cached, row).int_value(), -1234);
+    EXPECT_EQ(Eval(uncached, row).int_value(), -1234);
+  }
+  StaticValueGenerator text(Value::String("fixed"), /*cache=*/false);
+  EXPECT_EQ(Eval(text, 3).string_value(), "fixed");
+  StaticValueGenerator null_value(Value::Null(), /*cache=*/false);
+  EXPECT_TRUE(Eval(null_value, 0).is_null());
+}
+
+TEST(BooleanGeneratorTest, ProbabilityRespected) {
+  BooleanGenerator generator(0.25);
+  int trues = 0;
+  const int rows = 8000;
+  for (uint64_t row = 0; row < rows; ++row) {
+    if (Eval(generator, row).bool_value()) ++trues;
+  }
+  EXPECT_NEAR(trues / static_cast<double>(rows), 0.25, 0.02);
+}
+
+TEST(DictListGeneratorTest, WeightedFrequencies) {
+  auto dictionary = std::make_shared<Dictionary>();
+  dictionary->Add("hot", 9);
+  dictionary->Add("cold", 1);
+  dictionary->Finalize();
+  DictListGenerator generator(std::move(dictionary), "",
+                              DictListGenerator::Method::kCumulative, 0);
+  std::map<std::string, int> counts;
+  const int rows = 10000;
+  for (uint64_t row = 0; row < rows; ++row) {
+    ++counts[Eval(generator, row).string_value()];
+  }
+  EXPECT_NEAR(counts["hot"] / static_cast<double>(rows), 0.9, 0.02);
+}
+
+TEST(DictListGeneratorTest, ByRowMapsDeterministically) {
+  const Dictionary* regions = FindBuiltinDictionary("regions");
+  DictListGenerator generator(regions, "regions",
+                              DictListGenerator::Method::kByRow, 0);
+  for (uint64_t row = 0; row < 10; ++row) {
+    EXPECT_EQ(Eval(generator, row).string_value(),
+              regions->value(row % regions->size()));
+  }
+}
+
+TEST(DictListGeneratorTest, SkewConcentratesOnHead) {
+  auto dictionary = std::make_shared<Dictionary>();
+  for (int i = 0; i < 100; ++i) {
+    dictionary->Add("entry" + std::to_string(i));
+  }
+  dictionary->Finalize();
+  DictListGenerator generator(std::move(dictionary), "",
+                              DictListGenerator::Method::kCumulative, 1.0);
+  std::map<std::string, int> counts;
+  for (uint64_t row = 0; row < 20000; ++row) {
+    ++counts[Eval(generator, row).string_value()];
+  }
+  EXPECT_GT(counts["entry0"], counts["entry50"] * 3);
+}
+
+TEST(DictListGeneratorTest, EmptyDictionaryYieldsNull) {
+  auto dictionary = std::make_shared<Dictionary>();
+  dictionary->Finalize();
+  DictListGenerator generator(std::move(dictionary), "",
+                              DictListGenerator::Method::kCumulative, 0);
+  EXPECT_TRUE(Eval(generator, 0).is_null());
+}
+
+TEST(SemanticGeneratorsTest, NameIsFirstSpaceLast) {
+  NameGenerator generator;
+  for (uint64_t row = 0; row < 50; ++row) {
+    const std::string name = Eval(generator, row).string_value();
+    auto words = SplitWhitespace(name);
+    ASSERT_EQ(words.size(), 2u) << name;
+    EXPECT_GE(FindBuiltinDictionary("first_names")->Find(words[0]), 0);
+    EXPECT_GE(FindBuiltinDictionary("last_names")->Find(words[1]), 0);
+  }
+}
+
+TEST(SemanticGeneratorsTest, EmailShape) {
+  EmailGenerator generator;
+  for (uint64_t row = 0; row < 50; ++row) {
+    const std::string email = Eval(generator, row).string_value();
+    size_t at = email.find('@');
+    ASSERT_NE(at, std::string::npos) << email;
+    EXPECT_NE(email.find('.', 0), std::string::npos);
+    EXPECT_GT(at, 2u);
+    EXPECT_LT(at, email.size() - 3);
+  }
+}
+
+TEST(SemanticGeneratorsTest, UrlShape) {
+  UrlGenerator generator;
+  for (uint64_t row = 0; row < 50; ++row) {
+    const std::string url = Eval(generator, row).string_value();
+    EXPECT_TRUE(StartsWith(url, "http://www.")) << url;
+    EXPECT_NE(url.find('/', 11), std::string::npos) << url;
+  }
+}
+
+TEST(SemanticGeneratorsTest, AddressHasCityAndState) {
+  AddressGenerator generator;
+  const std::string address = Eval(generator, 3).string_value();
+  // "123 Maple Street, Springfield, NY 10482"
+  EXPECT_NE(address.find(", "), std::string::npos) << address;
+  EXPECT_TRUE(std::isdigit(static_cast<unsigned char>(address[0])));
+  EXPECT_TRUE(std::isdigit(static_cast<unsigned char>(address.back())));
+}
+
+TEST(NullGeneratorTest, ProbabilityZeroAndOne) {
+  NullGenerator never(0.0, GeneratorPtr(new IdGenerator(1, 1)));
+  NullGenerator always(1.0, GeneratorPtr(new IdGenerator(1, 1)));
+  for (uint64_t row = 0; row < 100; ++row) {
+    EXPECT_FALSE(Eval(never, row).is_null());
+    EXPECT_TRUE(Eval(always, row).is_null());
+  }
+}
+
+TEST(NullGeneratorTest, FractionalProbability) {
+  NullGenerator generator(0.3, GeneratorPtr(new LongGenerator(0, 9)));
+  int nulls = 0;
+  const int rows = 10000;
+  for (uint64_t row = 0; row < rows; ++row) {
+    if (Eval(generator, row).is_null()) ++nulls;
+  }
+  EXPECT_NEAR(nulls / static_cast<double>(rows), 0.3, 0.02);
+}
+
+TEST(NullGeneratorTest, InnerStreamIndependentOfNullDraw) {
+  // The wrapped generator runs in a child stream, so for rows where the
+  // value is non-NULL it must equal the unwrapped generator evaluated in
+  // that same child stream.
+  LongGenerator inner_reference(0, 1 << 30);
+  NullGenerator wrapped(0.5, GeneratorPtr(new LongGenerator(0, 1 << 30)));
+  for (uint64_t row = 0; row < 50; ++row) {
+    Value wrapped_value = Eval(wrapped, row);
+    if (wrapped_value.is_null()) continue;
+    GeneratorContext context(nullptr, 0, row, 0, DeriveSeed(1000, row));
+    GeneratorContext child = context.Child(0);
+    Value direct;
+    inner_reference.Generate(&child, &direct);
+    EXPECT_EQ(wrapped_value.int_value(), direct.int_value());
+  }
+}
+
+TEST(SequentialGeneratorTest, ConcatenatesChildren) {
+  std::vector<GeneratorPtr> children;
+  children.push_back(GeneratorPtr(new StaticValueGenerator(
+      Value::String("A"), true)));
+  children.push_back(GeneratorPtr(new IdGenerator(1, 1)));
+  SequentialGenerator generator(std::move(children), "-", "[", "]");
+  EXPECT_EQ(Eval(generator, 4).string_value(), "[A-5]");
+}
+
+TEST(SequentialGeneratorTest, ChildrenUseIndependentStreams) {
+  // Two identical Long children must (w.h.p.) produce different values in
+  // the same row.
+  std::vector<GeneratorPtr> children;
+  children.push_back(GeneratorPtr(new LongGenerator(0, 1 << 30)));
+  children.push_back(GeneratorPtr(new LongGenerator(0, 1 << 30)));
+  SequentialGenerator generator(std::move(children), "|", "", "");
+  int equal = 0;
+  for (uint64_t row = 0; row < 100; ++row) {
+    std::string text = Eval(generator, row).string_value();
+    auto parts = Split(text, '|');
+    ASSERT_EQ(parts.size(), 2u);
+    if (parts[0] == parts[1]) ++equal;
+  }
+  EXPECT_LE(equal, 1);
+}
+
+TEST(ConditionalGeneratorTest, WeightsRespected) {
+  std::vector<ConditionalGenerator::Branch> branches;
+  branches.push_back({3.0, GeneratorPtr(new StaticValueGenerator(
+                               Value::String("often"), true))});
+  branches.push_back({1.0, GeneratorPtr(new StaticValueGenerator(
+                               Value::String("rarely"), true))});
+  ConditionalGenerator generator(std::move(branches));
+  std::map<std::string, int> counts;
+  const int rows = 8000;
+  for (uint64_t row = 0; row < rows; ++row) {
+    ++counts[Eval(generator, row).string_value()];
+  }
+  EXPECT_NEAR(counts["often"] / static_cast<double>(rows), 0.75, 0.02);
+}
+
+TEST(ConditionalGeneratorTest, EmptyBranchesYieldNull) {
+  ConditionalGenerator generator({});
+  EXPECT_TRUE(Eval(generator, 0).is_null());
+}
+
+TEST(PaddingGeneratorTest, PadsLeftAndRight) {
+  PaddingGenerator left(GeneratorPtr(new IdGenerator(1, 1)), 9, '0', true);
+  EXPECT_EQ(Eval(left, 41).string_value(), "000000042");
+  PaddingGenerator right(GeneratorPtr(new IdGenerator(1, 1)), 5, '_', false);
+  EXPECT_EQ(Eval(right, 41).string_value(), "42___");
+  // Longer-than-width values pass through unchanged.
+  PaddingGenerator narrow(GeneratorPtr(new IdGenerator(100000, 1)), 3, '0',
+                          true);
+  EXPECT_EQ(Eval(narrow, 0).string_value(), "100000");
+}
+
+TEST(FormulaGeneratorTest, RowVariable) {
+  FormulaGenerator generator("floor(${row}/4)+1", {}, true);
+  EXPECT_EQ(Eval(generator, 0).int_value(), 1);
+  EXPECT_EQ(Eval(generator, 3).int_value(), 1);
+  EXPECT_EQ(Eval(generator, 4).int_value(), 2);
+  EXPECT_EQ(Eval(generator, 11).int_value(), 3);
+}
+
+TEST(FormulaGeneratorTest, ChildVariables) {
+  std::vector<GeneratorPtr> children;
+  children.push_back(GeneratorPtr(new StaticValueGenerator(
+      Value::Int(10), true)));
+  children.push_back(GeneratorPtr(new StaticValueGenerator(
+      Value::Int(4), true)));
+  FormulaGenerator generator("${child0} * ${child1} + ${row}",
+                             std::move(children), true);
+  EXPECT_EQ(Eval(generator, 2).int_value(), 42);
+}
+
+TEST(FormulaGeneratorTest, BadExpressionYieldsNull) {
+  FormulaGenerator generator("${unknown_var}", {}, false);
+  EXPECT_TRUE(Eval(generator, 0).is_null());
+}
+
+TEST(MarkovChainGeneratorTest, FromCorpusGenerates) {
+  auto generator = MarkovChainGenerator::FromCorpus(
+      "alpha beta gamma. alpha gamma beta.", 2, 6);
+  ASSERT_TRUE(generator.ok());
+  for (uint64_t row = 0; row < 100; ++row) {
+    const std::string text = Eval(**generator, row).string_value();
+    size_t words = SplitWhitespace(text).size();
+    EXPECT_GE(words, 2u);
+    EXPECT_LE(words, 6u);
+  }
+}
+
+TEST(MarkovChainGeneratorTest, EmptyCorpusRejected) {
+  EXPECT_FALSE(MarkovChainGenerator::FromCorpus("", 1, 5).ok());
+  EXPECT_FALSE(MarkovChainGenerator::FromCorpus("   \n  ", 1, 5).ok());
+}
+
+TEST(ChildContextTest, SiblingsAndDepthsAreIndependent) {
+  GeneratorContext context(nullptr, 0, 5, 0, 777);
+  GeneratorContext child0 = context.Child(0);
+  GeneratorContext child1 = context.Child(1);
+  GeneratorContext grandchild = child0.Child(0);
+  std::set<uint64_t> seeds = {context.field_seed(), child0.field_seed(),
+                              child1.field_seed(), grandchild.field_seed()};
+  EXPECT_EQ(seeds.size(), 4u);
+  // Coordinates propagate.
+  EXPECT_EQ(child0.row(), 5u);
+  EXPECT_EQ(grandchild.row(), 5u);
+}
+
+}  // namespace
+}  // namespace pdgf

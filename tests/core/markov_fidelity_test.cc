@@ -1,0 +1,126 @@
+// Statistical-fidelity tests for the Markov text model: generated text
+// must reproduce the trained transition distribution (the property that
+// makes DBSynth's synthetic comments "realistic", paper §3).
+
+#include <cmath>
+#include <map>
+
+#include <gtest/gtest.h>
+
+#include "core/text/markov_model.h"
+#include "util/strings.h"
+
+namespace pdgf {
+namespace {
+
+TEST(MarkovFidelityTest, TransitionFrequenciesReproduceTraining) {
+  // Train with exact 3:1 odds: "go left" x3, "go right" x1, repeated so
+  // counts are large.
+  MarkovModel model;
+  for (int i = 0; i < 50; ++i) {
+    model.AddSample("go left. go left. go left. go right.");
+  }
+  model.Finalize();
+  ASSERT_NEAR(model.TransitionProbability("go", "left"), 0.75, 1e-12);
+
+  Xorshift64 rng(2024);
+  int left = 0;
+  int right = 0;
+  for (int i = 0; i < 4000; ++i) {
+    std::string text = model.Generate(&rng, 2, 2);
+    auto words = SplitWhitespace(text);
+    ASSERT_EQ(words.size(), 2u);
+    EXPECT_EQ(words[0], "go");
+    if (words[1] == "left") ++left;
+    if (words[1] == "right") ++right;
+  }
+  EXPECT_EQ(left + right, 4000);
+  EXPECT_NEAR(left / 4000.0, 0.75, 0.02);
+}
+
+TEST(MarkovFidelityTest, StartStateFrequenciesReproduceTraining) {
+  MarkovModel model;
+  for (int i = 0; i < 10; ++i) {
+    model.AddSample("alpha x. alpha y. alpha z. beta x.");
+  }
+  model.Finalize();
+  Xorshift64 rng(7);
+  std::map<std::string, int> starts;
+  for (int i = 0; i < 4000; ++i) {
+    std::string text = model.Generate(&rng, 1, 1);
+    ++starts[text];
+  }
+  // Starts: alpha 3/4, beta 1/4.
+  EXPECT_NEAR(starts["alpha"] / 4000.0, 0.75, 0.02);
+  EXPECT_NEAR(starts["beta"] / 4000.0, 0.25, 0.02);
+}
+
+TEST(MarkovFidelityTest, ChiSquareOverBigramDistribution) {
+  // Every training sentence finishes with the dedicated terminal word
+  // "end", so "end" is the only word with end-of-sentence mass: every
+  // generated bigram whose first word is not "end" is a pure chain
+  // transition and its conditional probability is exactly the trained
+  // one. Transition structure:
+  //   a -> b (2/3), a -> c (1/3)
+  //   b -> a (1/3), b -> end (2/3)
+  //   c -> end (1)
+  MarkovModel model;
+  for (int i = 0; i < 20; ++i) {
+    model.AddSample("a b end. a c end. a b a end. b a b end.");
+  }
+  model.Finalize();
+  ASSERT_NEAR(model.TransitionProbability("a", "b"), 3.0 / 5, 1e-12);
+  ASSERT_DOUBLE_EQ(model.TransitionProbability("end", "a"), 0.0);
+
+  Xorshift64 rng(99);
+  std::map<std::pair<std::string, std::string>, int> observed;
+  std::map<std::string, int> first_totals;
+  for (int i = 0; i < 3000; ++i) {
+    std::string text = model.Generate(&rng, 8, 8);
+    auto words = SplitWhitespace(text);
+    for (size_t w = 0; w + 1 < words.size(); ++w) {
+      if (words[w] == "end") continue;  // restart boundary
+      ++observed[{words[w], words[w + 1]}];
+      ++first_totals[words[w]];
+    }
+  }
+
+  double chi2 = 0;
+  int cells = 0;
+  for (const auto& [bigram, count] : observed) {
+    double conditional =
+        model.TransitionProbability(bigram.first, bigram.second);
+    ASSERT_GT(conditional, 0.0)
+        << "unseen bigram generated: " << bigram.first << " -> "
+        << bigram.second;
+    double expected = first_totals[bigram.first] * conditional;
+    if (expected < 20) continue;
+    chi2 += (count - expected) * (count - expected) / expected;
+    ++cells;
+  }
+  ASSERT_GT(cells, 3);
+  // chi-square with ~5 effective dof; 20 is far beyond the 99.9th
+  // percentile, so this only trips on real distribution bugs.
+  EXPECT_LT(chi2, 20.0) << "chi2=" << chi2 << " cells=" << cells;
+}
+
+TEST(MarkovFidelityTest, LengthDistributionIsUniformOverRange) {
+  MarkovModel model;
+  model.AddSample("w w w w w w w w.");
+  model.Finalize();
+  Xorshift64 rng(5);
+  std::map<size_t, int> lengths;
+  const int draws = 9000;
+  for (int i = 0; i < draws; ++i) {
+    lengths[SplitWhitespace(model.Generate(&rng, 3, 11)).size()]++;
+  }
+  // 9 possible lengths, ~1000 each.
+  ASSERT_EQ(lengths.size(), 9u);
+  for (const auto& [length, count] : lengths) {
+    EXPECT_NEAR(count / static_cast<double>(draws), 1.0 / 9, 0.02)
+        << length;
+  }
+}
+
+}  // namespace
+}  // namespace pdgf

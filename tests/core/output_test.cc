@@ -1,0 +1,170 @@
+#include "core/output/formatter.h"
+
+#include <gtest/gtest.h>
+
+#include "core/output/sink.h"
+#include "util/files.h"
+#include "util/stopwatch.h"
+#include "util/strings.h"
+
+namespace pdgf {
+namespace {
+
+TableDef MakeTable() {
+  TableDef table;
+  table.name = "t";
+  for (const char* name : {"a", "b", "c"}) {
+    FieldDef field;
+    field.name = name;
+    table.fields.push_back(std::move(field));
+  }
+  return table;
+}
+
+std::vector<Value> MakeRow() {
+  return {Value::Int(1), Value::String("x|y"), Value::Null()};
+}
+
+TEST(CsvFormatterTest, DelimiterQuotingAndNull) {
+  CsvFormatter formatter('|', '"', "");
+  std::string out;
+  formatter.AppendRow(MakeTable(), MakeRow(), &out);
+  EXPECT_EQ(out, "1|\"x|y\"|\n");
+}
+
+TEST(CsvFormatterTest, NullMarkerDistinctFromString) {
+  CsvFormatter formatter(',', '"', "NULL");
+  std::string out;
+  formatter.AppendRow(MakeTable(),
+                      {Value::Null(), Value::String("NULL"), Value::Int(2)},
+                      &out);
+  // The literal string "NULL" is quoted; the SQL NULL is bare.
+  EXPECT_EQ(out, "NULL,\"NULL\",2\n");
+}
+
+TEST(CsvFormatterTest, QuoteDoubling) {
+  CsvFormatter formatter(',', '"', "");
+  std::string out;
+  formatter.AppendRow(MakeTable(),
+                      {Value::String("say \"hi\""), Value::Int(1),
+                       Value::Int(2)},
+                      &out);
+  EXPECT_EQ(out, "\"say \"\"hi\"\"\",1,2\n");
+}
+
+TEST(JsonFormatterTest, TypedFields) {
+  JsonFormatter formatter;
+  std::string out;
+  formatter.AppendRow(MakeTable(),
+                      {Value::Int(5), Value::String("a\"b"),
+                       Value::Null()},
+                      &out);
+  EXPECT_EQ(out, "{\"a\":5,\"b\":\"a\\\"b\",\"c\":null}\n");
+}
+
+TEST(JsonFormatterTest, DatesBoolsDecimals) {
+  JsonFormatter formatter;
+  std::string out;
+  formatter.AppendRow(MakeTable(),
+                      {Value::FromDate(Date::FromCivil(1996, 4, 12)),
+                       Value::Bool(true), Value::Decimal(12345, 2)},
+                      &out);
+  EXPECT_EQ(out, "{\"a\":\"1996-04-12\",\"b\":true,\"c\":123.45}\n");
+}
+
+TEST(XmlFormatterTest, HeaderRowsFooter) {
+  XmlFormatter formatter;
+  TableDef table = MakeTable();
+  std::string out;
+  formatter.AppendHeader(table, &out);
+  formatter.AppendRow(table, {Value::Int(1), Value::String("<tag>"),
+                              Value::Null()},
+                      &out);
+  formatter.AppendFooter(table, &out);
+  EXPECT_EQ(out,
+            "<table name=\"t\">\n"
+            "  <row><a>1</a><b>&lt;tag&gt;</b><c null=\"true\"/></row>\n"
+            "</table>\n");
+}
+
+TEST(SqlFormatterTest, SingleInsert) {
+  SqlInsertFormatter formatter;
+  std::string out;
+  formatter.AppendRow(MakeTable(),
+                      {Value::Int(1), Value::String("it's"),
+                       Value::FromDate(Date::FromCivil(1995, 1, 2))},
+                      &out);
+  EXPECT_EQ(out, "INSERT INTO t VALUES (1, 'it''s', '1995-01-02');\n");
+}
+
+TEST(SqlFormatterTest, BatchedInsert) {
+  SqlInsertFormatter formatter(2);
+  std::vector<std::vector<Value>> rows = {
+      {Value::Int(1)}, {Value::Int(2)}, {Value::Int(3)}};
+  std::string out;
+  formatter.AppendBatch(MakeTable(), rows, &out);
+  EXPECT_EQ(out,
+            "INSERT INTO t VALUES (1), (2);\n"
+            "INSERT INTO t VALUES (3);\n");
+}
+
+TEST(MakeFormatterTest, KnownNames) {
+  for (const char* name : {"csv", "tsv", "json", "xml", "sql"}) {
+    auto formatter = MakeFormatter(name);
+    ASSERT_TRUE(formatter.ok()) << name;
+  }
+  EXPECT_FALSE(MakeFormatter("parquet").ok());
+}
+
+TEST(SinkTest, NullSinkCounts) {
+  NullSink sink;
+  ASSERT_TRUE(sink.Write("12345").ok());
+  ASSERT_TRUE(sink.Write("67").ok());
+  EXPECT_EQ(sink.bytes_written(), 7u);
+}
+
+TEST(SinkTest, MemorySinkCollects) {
+  MemorySink sink;
+  ASSERT_TRUE(sink.Write("abc").ok());
+  ASSERT_TRUE(sink.Write("def").ok());
+  EXPECT_EQ(sink.contents(), "abcdef");
+  EXPECT_EQ(sink.bytes_written(), 6u);
+}
+
+TEST(SinkTest, FileSinkWritesAndCloses) {
+  auto dir = MakeTempDir("pdgf_sink_");
+  ASSERT_TRUE(dir.ok());
+  std::string path = JoinPath(*dir, "out.csv");
+  auto sink = FileSink::Open(path);
+  ASSERT_TRUE(sink.ok());
+  ASSERT_TRUE((*sink)->Write("row1\n").ok());
+  ASSERT_TRUE((*sink)->Write("row2\n").ok());
+  ASSERT_TRUE((*sink)->Close().ok());
+  auto contents = ReadFileToString(path);
+  ASSERT_TRUE(contents.ok());
+  EXPECT_EQ(*contents, "row1\nrow2\n");
+  // Writing after close fails cleanly.
+  EXPECT_FALSE((*sink)->Write("late").ok());
+  // Double close is a no-op.
+  EXPECT_TRUE((*sink)->Close().ok());
+}
+
+TEST(SinkTest, FileSinkRejectsBadPath) {
+  EXPECT_FALSE(FileSink::Open("/nonexistent_dir_xyz/file").ok());
+}
+
+TEST(SinkTest, ThrottledSinkLimitsThroughput) {
+  // 1 MB at 10 MB/s should take ~0.1s.
+  ThrottledSink sink(10.0 * 1024 * 1024);
+  std::string chunk(64 * 1024, 'x');
+  Stopwatch stopwatch;
+  for (int i = 0; i < 16; ++i) {
+    ASSERT_TRUE(sink.Write(chunk).ok());
+  }
+  double elapsed = stopwatch.ElapsedSeconds();
+  EXPECT_GT(elapsed, 0.05);
+  EXPECT_EQ(sink.bytes_written(), 16u * 64 * 1024);
+}
+
+}  // namespace
+}  // namespace pdgf

@@ -1,0 +1,58 @@
+#include "core/progress.h"
+
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace pdgf {
+namespace {
+
+TEST(ProgressTest, EmptyTrackerIsComplete) {
+  ProgressTracker tracker({}, {});
+  auto snapshot = tracker.TakeSnapshot();
+  EXPECT_EQ(snapshot.rows_done, 0u);
+  EXPECT_DOUBLE_EQ(snapshot.fraction, 1.0);
+}
+
+TEST(ProgressTest, AccumulatesPerTable) {
+  ProgressTracker tracker({"a", "b"}, {100, 50});
+  tracker.Add(0, 30, 300);
+  tracker.Add(0, 20, 200);
+  tracker.Add(1, 50, 1000);
+  auto snapshot = tracker.TakeSnapshot();
+  EXPECT_EQ(snapshot.rows_done, 100u);
+  EXPECT_EQ(snapshot.rows_total, 150u);
+  EXPECT_EQ(snapshot.bytes, 1500u);
+  EXPECT_DOUBLE_EQ(snapshot.tables[0].fraction, 0.5);
+  EXPECT_DOUBLE_EQ(snapshot.tables[1].fraction, 1.0);
+  EXPECT_NEAR(snapshot.fraction, 100.0 / 150.0, 1e-12);
+  EXPECT_GT(snapshot.elapsed_seconds, 0.0);
+}
+
+TEST(ProgressTest, ConcurrentUpdatesDoNotLoseCounts) {
+  ProgressTracker tracker({"t"}, {40000});
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&tracker] {
+      for (int i = 0; i < 10000; ++i) {
+        tracker.Add(0, 1, 10);
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  auto snapshot = tracker.TakeSnapshot();
+  EXPECT_EQ(snapshot.rows_done, 40000u);
+  EXPECT_EQ(snapshot.bytes, 400000u);
+}
+
+TEST(ProgressTest, FormatMentionsTables) {
+  ProgressTracker tracker({"lineitem"}, {10});
+  tracker.Add(0, 5, 50);
+  std::string text = ProgressTracker::Format(tracker.TakeSnapshot());
+  EXPECT_NE(text.find("lineitem"), std::string::npos);
+  EXPECT_NE(text.find("50.0%"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pdgf

@@ -1,0 +1,212 @@
+#include <map>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "core/generators/generators.h"
+#include "core/session.h"
+
+namespace pdgf {
+namespace {
+
+// parent(10 rows: pk = 100,102,...,118) <- child(200 rows: fk -> parent.pk)
+SchemaDef MakeRefSchema(
+    DefaultReferenceGenerator::Distribution distribution =
+        DefaultReferenceGenerator::Distribution::kUniform,
+    double skew = 0) {
+  SchemaDef schema;
+  schema.name = "ref";
+  schema.seed = 7;
+
+  TableDef parent;
+  parent.name = "parent";
+  parent.size_expression = "10";
+  FieldDef pk;
+  pk.name = "pk";
+  pk.type = DataType::kBigInt;
+  pk.primary = true;
+  pk.generator = GeneratorPtr(new IdGenerator(100, 2));
+  parent.fields.push_back(std::move(pk));
+  schema.tables.push_back(std::move(parent));
+
+  TableDef child;
+  child.name = "child";
+  child.size_expression = "200";
+  FieldDef fk;
+  fk.name = "fk";
+  fk.type = DataType::kBigInt;
+  fk.generator = GeneratorPtr(
+      new DefaultReferenceGenerator("parent", "pk", distribution, skew));
+  child.fields.push_back(std::move(fk));
+  schema.tables.push_back(std::move(child));
+  return schema;
+}
+
+TEST(ReferenceGeneratorTest, EveryReferenceIsValid) {
+  SchemaDef schema = MakeRefSchema();
+  auto session = GenerationSession::Create(&schema);
+  ASSERT_TRUE(session.ok());
+  // Compute the set of actual parent keys.
+  std::set<int64_t> parent_keys;
+  Value value;
+  for (uint64_t row = 0; row < 10; ++row) {
+    (*session)->GenerateField(0, 0, row, 0, &value);
+    parent_keys.insert(value.int_value());
+  }
+  ASSERT_EQ(parent_keys.size(), 10u);
+  // Every child FK must recompute to one of them.
+  for (uint64_t row = 0; row < 200; ++row) {
+    (*session)->GenerateField(1, 0, row, 0, &value);
+    EXPECT_TRUE(parent_keys.count(value.int_value()) > 0)
+        << "row " << row << " fk " << value.int_value();
+  }
+}
+
+TEST(ReferenceGeneratorTest, CoversTheParentDomain) {
+  SchemaDef schema = MakeRefSchema();
+  auto session = GenerationSession::Create(&schema);
+  ASSERT_TRUE(session.ok());
+  std::set<int64_t> seen;
+  Value value;
+  for (uint64_t row = 0; row < 200; ++row) {
+    (*session)->GenerateField(1, 0, row, 0, &value);
+    seen.insert(value.int_value());
+  }
+  // 200 uniform draws over 10 keys hit all of them w.h.p.
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(ReferenceGeneratorTest, ZipfSkewsTowardsEarlyRows) {
+  SchemaDef schema =
+      MakeRefSchema(DefaultReferenceGenerator::Distribution::kZipf, 1.0);
+  auto session = GenerationSession::Create(&schema);
+  ASSERT_TRUE(session.ok());
+  std::map<int64_t, int> counts;
+  Value value;
+  for (uint64_t row = 0; row < 5000; ++row) {
+    (*session)->GenerateField(1, 0, row, 0, &value);
+    ++counts[value.int_value()];
+  }
+  // Key of parent row 0 is 100; row 9 is 118.
+  EXPECT_GT(counts[100], counts[118] * 3);
+}
+
+TEST(ReferenceGeneratorTest, DeterministicAcrossSessions) {
+  SchemaDef schema1 = MakeRefSchema();
+  SchemaDef schema2 = MakeRefSchema();
+  auto s1 = GenerationSession::Create(&schema1);
+  auto s2 = GenerationSession::Create(&schema2);
+  ASSERT_TRUE(s1.ok());
+  ASSERT_TRUE(s2.ok());
+  Value v1, v2;
+  for (uint64_t row = 0; row < 50; ++row) {
+    (*s1)->GenerateField(1, 0, row, 0, &v1);
+    (*s2)->GenerateField(1, 0, row, 0, &v2);
+    EXPECT_EQ(v1, v2);
+  }
+}
+
+TEST(ReferenceGeneratorTest, ScalesWithReferencedTable) {
+  // Scaling the parent changes the key domain; references must follow.
+  SchemaDef schema = MakeRefSchema();
+  schema.tables[0].size_expression = "1000";
+  auto session = GenerationSession::Create(&schema);
+  ASSERT_TRUE(session.ok());
+  std::set<int64_t> seen;
+  Value value;
+  for (uint64_t row = 0; row < 2000; ++row) {
+    (*session)->GenerateField(1, 0, row, 0, &value);
+    ASSERT_GE(value.int_value(), 100);
+    ASSERT_LE(value.int_value(), 100 + 2 * 999);
+    seen.insert(value.int_value());
+  }
+  EXPECT_GT(seen.size(), 500u);
+}
+
+TEST(ReferenceGeneratorTest, MissingTargetsYieldNull) {
+  SchemaDef schema = MakeRefSchema();
+  // Point the FK at a nonexistent table / field.
+  schema.tables[1].fields[0].generator =
+      GeneratorPtr(new DefaultReferenceGenerator("nope", "pk"));
+  auto session = GenerationSession::Create(&schema);
+  ASSERT_TRUE(session.ok());
+  Value value;
+  (*session)->GenerateField(1, 0, 0, 0, &value);
+  EXPECT_TRUE(value.is_null());
+
+  schema.tables[1].fields[0].generator =
+      GeneratorPtr(new DefaultReferenceGenerator("parent", "nope"));
+  auto session2 = GenerationSession::Create(&schema);
+  ASSERT_TRUE(session2.ok());
+  (*session2)->GenerateField(1, 0, 0, 0, &value);
+  EXPECT_TRUE(value.is_null());
+}
+
+TEST(ReferenceGeneratorTest, ZipfReferencesStayValidAcrossRescaledSessions) {
+  // Regression: the Zipf table is keyed by the referenced table's row
+  // count. Reusing one schema at a larger scale used to sample rows from
+  // the FIRST session's (smaller) domain — or worse, beyond the new
+  // domain when shrinking — producing dangling foreign keys.
+  SchemaDef schema =
+      MakeRefSchema(DefaultReferenceGenerator::Distribution::kZipf, 1.0);
+  schema.SetProperty("parent_rows", "10");
+  schema.tables[0].size_expression = "${parent_rows}";
+
+  auto small = GenerationSession::Create(&schema);
+  ASSERT_TRUE(small.ok());
+  Value value;
+  // Warm the cache with the 10-row domain.
+  for (uint64_t row = 0; row < 50; ++row) {
+    (*small)->GenerateField(1, 0, row, 0, &value);
+  }
+
+  // Re-resolve the same schema 100x larger: references must cover and
+  // respect the new domain [100, 100 + 2*999].
+  auto large = GenerationSession::Create(&schema, {{"parent_rows", "1000"}});
+  ASSERT_TRUE(large.ok());
+  std::set<int64_t> seen;
+  for (uint64_t row = 0; row < 3000; ++row) {
+    (*large)->GenerateField(1, 0, row, 0, &value);
+    ASSERT_GE(value.int_value(), 100);
+    ASSERT_LE(value.int_value(), 100 + 2 * 999);
+    seen.insert(value.int_value());
+  }
+  EXPECT_GT(seen.size(), 50u);  // not stuck in the old 10-key domain
+
+  // And shrinking back must not emit keys beyond the small domain.
+  auto shrunk = GenerationSession::Create(&schema, {{"parent_rows", "10"}});
+  ASSERT_TRUE(shrunk.ok());
+  for (uint64_t row = 0; row < 500; ++row) {
+    (*shrunk)->GenerateField(1, 0, row, 0, &value);
+    ASSERT_GE(value.int_value(), 100);
+    ASSERT_LE(value.int_value(), 118);
+  }
+}
+
+TEST(ReferenceGeneratorTest, ChainedReferencesResolve) {
+  // grandchild -> child -> parent: recomputation recurses.
+  SchemaDef schema = MakeRefSchema();
+  TableDef grandchild;
+  grandchild.name = "grandchild";
+  grandchild.size_expression = "50";
+  FieldDef fk;
+  fk.name = "fk2";
+  fk.type = DataType::kBigInt;
+  fk.generator = GeneratorPtr(new DefaultReferenceGenerator("child", "fk"));
+  grandchild.fields.push_back(std::move(fk));
+  schema.tables.push_back(std::move(grandchild));
+
+  auto session = GenerationSession::Create(&schema);
+  ASSERT_TRUE(session.ok());
+  Value value;
+  for (uint64_t row = 0; row < 50; ++row) {
+    (*session)->GenerateField(2, 0, row, 0, &value);
+    // Values chain through child to parent keys: even numbers 100..118.
+    EXPECT_GE(value.int_value(), 100);
+    EXPECT_LE(value.int_value(), 118);
+    EXPECT_EQ(value.int_value() % 2, 0);
+  }
+}
+
+}  // namespace
+}  // namespace pdgf

@@ -1,0 +1,198 @@
+#include "core/session.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "core/generators/generators.h"
+
+namespace pdgf {
+namespace {
+
+// A small two-table model used across the session tests.
+SchemaDef MakeSchema() {
+  SchemaDef schema;
+  schema.name = "test";
+  schema.seed = 42;
+  schema.SetProperty("SF", "2");
+  schema.SetProperty("base", "100");
+  schema.SetProperty("t1_size", "${base} * ${SF}");
+
+  TableDef t1;
+  t1.name = "t1";
+  t1.size_expression = "${t1_size}";
+  FieldDef id;
+  id.name = "id";
+  id.type = DataType::kBigInt;
+  id.generator = GeneratorPtr(new IdGenerator(1, 1));
+  t1.fields.push_back(std::move(id));
+  FieldDef value;
+  value.name = "value";
+  value.type = DataType::kBigInt;
+  value.generator = GeneratorPtr(new LongGenerator(0, 1000000));
+  t1.fields.push_back(std::move(value));
+  schema.tables.push_back(std::move(t1));
+
+  TableDef t2;
+  t2.name = "t2";
+  t2.size_expression = "ceil(${t1_size} / 3)";
+  FieldDef other;
+  other.name = "other";
+  other.type = DataType::kBigInt;
+  other.generator = GeneratorPtr(new LongGenerator(0, 1000000));
+  t2.fields.push_back(std::move(other));
+  schema.tables.push_back(std::move(t2));
+  return schema;
+}
+
+TEST(SessionTest, ResolvesPropertiesInDependencyOrder) {
+  SchemaDef schema = MakeSchema();
+  auto session = GenerationSession::Create(&schema);
+  ASSERT_TRUE(session.ok()) << session.status().ToString();
+  EXPECT_DOUBLE_EQ(*(*session)->Property("SF"), 2);
+  EXPECT_DOUBLE_EQ(*(*session)->Property("t1_size"), 200);
+  EXPECT_FALSE((*session)->Property("nope").ok());
+}
+
+TEST(SessionTest, PropertyOrderIndependence) {
+  // A property referencing one defined later must still resolve.
+  SchemaDef schema = MakeSchema();
+  schema.properties.clear();
+  schema.SetProperty("a", "${b} + 1");
+  schema.SetProperty("b", "5");
+  schema.tables[0].size_expression = "${a}";
+  schema.tables[1].size_expression = "1";
+  auto session = GenerationSession::Create(&schema);
+  ASSERT_TRUE(session.ok()) << session.status().ToString();
+  EXPECT_DOUBLE_EQ(*(*session)->Property("a"), 6);
+}
+
+TEST(SessionTest, DetectsUnresolvableProperties) {
+  SchemaDef schema = MakeSchema();
+  schema.SetProperty("cyclic", "${cyclic} + 1");
+  auto session = GenerationSession::Create(&schema);
+  EXPECT_FALSE(session.ok());
+}
+
+TEST(SessionTest, OverridesChangeScale) {
+  SchemaDef schema = MakeSchema();
+  auto session = GenerationSession::Create(&schema, {{"SF", "10"}});
+  ASSERT_TRUE(session.ok());
+  EXPECT_EQ((*session)->TableRows(0), 1000u);
+  EXPECT_EQ((*session)->TableRows(1), 334u);  // ceil(1000/3)
+}
+
+TEST(SessionTest, OverrideOfUnknownPropertyFails) {
+  SchemaDef schema = MakeSchema();
+  auto session = GenerationSession::Create(&schema, {{"TYPO", "10"}});
+  EXPECT_FALSE(session.ok());
+  EXPECT_EQ(session.status().code(), StatusCode::kNotFound);
+}
+
+TEST(SessionTest, NegativeTableSizeRejected) {
+  SchemaDef schema = MakeSchema();
+  schema.tables[0].size_expression = "-5";
+  EXPECT_FALSE(GenerationSession::Create(&schema).ok());
+}
+
+TEST(SessionTest, NullSchemaRejected) {
+  EXPECT_FALSE(GenerationSession::Create(nullptr).ok());
+}
+
+TEST(SessionTest, FieldSeedsDifferAcrossCoordinates) {
+  SchemaDef schema = MakeSchema();
+  auto session = GenerationSession::Create(&schema);
+  ASSERT_TRUE(session.ok());
+  std::set<uint64_t> seeds;
+  for (int table = 0; table < 2; ++table) {
+    int fields = table == 0 ? 2 : 1;
+    for (int field = 0; field < fields; ++field) {
+      for (uint64_t row = 0; row < 50; ++row) {
+        for (uint64_t update = 0; update < 2; ++update) {
+          seeds.insert((*session)->FieldSeed(table, field, row, update));
+        }
+      }
+    }
+  }
+  EXPECT_EQ(seeds.size(), 2u * 2 * 50 + 1 * 50 * 2);
+}
+
+TEST(SessionTest, SeedsAreStableAcrossSessions) {
+  SchemaDef schema1 = MakeSchema();
+  SchemaDef schema2 = MakeSchema();
+  auto s1 = GenerationSession::Create(&schema1);
+  auto s2 = GenerationSession::Create(&schema2);
+  ASSERT_TRUE(s1.ok());
+  ASSERT_TRUE(s2.ok());
+  for (uint64_t row : {0ULL, 1ULL, 99ULL}) {
+    EXPECT_EQ((*s1)->FieldSeed(0, 1, row, 0), (*s2)->FieldSeed(0, 1, row, 0));
+  }
+}
+
+TEST(SessionTest, ProjectSeedChangesEverything) {
+  SchemaDef schema1 = MakeSchema();
+  SchemaDef schema2 = MakeSchema();
+  schema2.seed = 43;
+  auto s1 = GenerationSession::Create(&schema1);
+  auto s2 = GenerationSession::Create(&schema2);
+  ASSERT_TRUE(s1.ok());
+  ASSERT_TRUE(s2.ok());
+  // The paper: "changing the seed will modify every value of the
+  // generated data set" — non-constant generators must diverge.
+  int differing = 0;
+  Value v1, v2;
+  for (uint64_t row = 0; row < 20; ++row) {
+    (*s1)->GenerateField(0, 1, row, 0, &v1);
+    (*s2)->GenerateField(0, 1, row, 0, &v2);
+    if (!(v1 == v2)) ++differing;
+  }
+  EXPECT_GE(differing, 19);
+}
+
+TEST(SessionTest, GenerateRowFillsAllFields) {
+  SchemaDef schema = MakeSchema();
+  auto session = GenerationSession::Create(&schema);
+  ASSERT_TRUE(session.ok());
+  std::vector<Value> row;
+  (*session)->GenerateRow(0, 7, 0, &row);
+  ASSERT_EQ(row.size(), 2u);
+  EXPECT_EQ(row[0].int_value(), 8);  // id = row + 1
+  EXPECT_FALSE(row[1].is_null());
+}
+
+TEST(SessionTest, GenerationIsPureFunctionOfCoordinates) {
+  SchemaDef schema = MakeSchema();
+  auto session = GenerationSession::Create(&schema);
+  ASSERT_TRUE(session.ok());
+  Value a, b;
+  // Random access: row 123 then row 5 then row 123 again.
+  (*session)->GenerateField(0, 1, 123, 0, &a);
+  (*session)->GenerateField(0, 1, 5, 0, &b);
+  Value again;
+  (*session)->GenerateField(0, 1, 123, 0, &again);
+  EXPECT_EQ(a, again);
+  EXPECT_NE(a, b);
+}
+
+TEST(SessionTest, PreviewReturnsFormattedRows) {
+  SchemaDef schema = MakeSchema();
+  auto session = GenerationSession::Create(&schema);
+  ASSERT_TRUE(session.ok());
+  auto rows = (*session)->Preview(0, 5);
+  ASSERT_EQ(rows.size(), 5u);
+  EXPECT_EQ(rows[0][0], "1");
+  EXPECT_EQ(rows[4][0], "5");
+  // Preview never exceeds the table size.
+  auto all = (*session)->Preview(1, 100000);
+  EXPECT_EQ(all.size(), (*session)->TableRows(1));
+}
+
+TEST(SessionTest, EstimateRowBytesPositive) {
+  SchemaDef schema = MakeSchema();
+  auto session = GenerationSession::Create(&schema);
+  ASSERT_TRUE(session.ok());
+  EXPECT_GT((*session)->EstimateRowBytes(0), 2.0);
+}
+
+}  // namespace
+}  // namespace pdgf

@@ -1,0 +1,124 @@
+#include "core/simcluster.h"
+
+#include <gtest/gtest.h>
+
+namespace pdgf {
+namespace {
+
+SimulatedMachine PaperNode() {
+  // The paper's single node: 2 sockets x 8 cores, 32 hardware threads.
+  SimulatedMachine machine;
+  machine.physical_cores = 16;
+  machine.hardware_threads = 32;
+  return machine;
+}
+
+TEST(SimClusterTest, CapacityGrowsLinearlyToCoreCount) {
+  SimulatedMachine machine = PaperNode();
+  // Up to 15 workers the capacity is exactly the worker count.
+  for (int workers = 1; workers < machine.physical_cores; ++workers) {
+    EXPECT_DOUBLE_EQ(EffectiveCapacity(machine, workers), workers);
+  }
+}
+
+TEST(SimClusterTest, SmtAddsSubLinearCapacity) {
+  SimulatedMachine machine = PaperNode();
+  double at_cores = EffectiveCapacity(machine, 17);
+  double at_threads_minus = EffectiveCapacity(machine, 31);
+  // More workers help, but each SMT worker adds < 1 core's worth.
+  EXPECT_GT(at_threads_minus, at_cores);
+  EXPECT_LT(at_threads_minus, 31);
+  EXPECT_LT(at_threads_minus - at_cores, 14.0);
+}
+
+TEST(SimClusterTest, ExactCoreCountSuffersInterference) {
+  // The paper's observation: workers == cores (or == threads) is not
+  // optimal because internal scheduling and I/O threads compete.
+  SimulatedMachine machine = PaperNode();
+  EXPECT_LT(EffectiveCapacity(machine, 16), EffectiveCapacity(machine, 17));
+  EXPECT_LT(EffectiveCapacity(machine, 32), EffectiveCapacity(machine, 33));
+}
+
+TEST(SimClusterTest, OversubscriptionAddsNothing) {
+  SimulatedMachine machine = PaperNode();
+  double at_33 = EffectiveCapacity(machine, 33);
+  double at_48 = EffectiveCapacity(machine, 48);
+  EXPECT_NEAR(at_33, at_48, 0.01);
+}
+
+TEST(SimClusterTest, ZeroOrNegativeWorkers) {
+  SimulatedMachine machine = PaperNode();
+  EXPECT_DOUBLE_EQ(EffectiveCapacity(machine, 0), 0);
+  EXPECT_DOUBLE_EQ(EffectiveCapacity(machine, -3), 0);
+}
+
+TEST(SimClusterTest, WallClockIsWorkConserving) {
+  SimulatedMachine machine = PaperNode();
+  // 8 equal lanes of 1s on >=8 cores: 1s wall clock.
+  std::vector<double> lanes(8, 1.0);
+  EXPECT_DOUBLE_EQ(EstimateParallelWallClock(lanes, machine, 8), 1.0);
+  // Same work with 1 worker: 8s.
+  EXPECT_DOUBLE_EQ(EstimateParallelWallClock(lanes, machine, 1), 8.0);
+}
+
+TEST(SimClusterTest, WallClockBoundedByLongestLane) {
+  SimulatedMachine machine = PaperNode();
+  std::vector<double> lanes = {10.0, 0.1, 0.1, 0.1};
+  // Even with many cores, the 10s lane dominates.
+  EXPECT_DOUBLE_EQ(EstimateParallelWallClock(lanes, machine, 4), 10.0);
+}
+
+TEST(SimClusterTest, EmptyLanesTakeNoTime) {
+  SimulatedMachine machine = PaperNode();
+  EXPECT_DOUBLE_EQ(EstimateParallelWallClock({}, machine, 4), 0.0);
+}
+
+TEST(SimClusterTest, ThroughputShapeMatchesFigure5) {
+  // Derived throughput (1/wall-clock for fixed work) must rise steeply to
+  // the core count, keep rising more slowly to the thread count, then
+  // flatten — the Figure 5 curve.
+  SimulatedMachine machine = PaperNode();
+  auto throughput = [&machine](int workers) {
+    std::vector<double> lanes(static_cast<size_t>(workers),
+                              64.0 / workers);
+    return 64.0 / EstimateParallelWallClock(lanes, machine, workers);
+  };
+  double t1 = throughput(1);
+  double t8 = throughput(8);
+  double t15 = throughput(15);
+  double t24 = throughput(24);
+  double t31 = throughput(31);
+  double t40 = throughput(40);
+  EXPECT_NEAR(t8 / t1, 8.0, 0.01);        // linear to the cores
+  EXPECT_NEAR(t15 / t1, 15.0, 0.01);
+  EXPECT_GT(t24, t15);                    // SMT keeps helping...
+  EXPECT_LT(t24 / t15, 24.0 / 15.0);      // ...but sub-linearly
+  EXPECT_GT(t31, t24);
+  EXPECT_NEAR(t40, t31 * 0.99, t31 * 0.02);  // flat past the threads
+}
+
+TEST(SimClusterTest, ClusterWallClockIsSlowestNode) {
+  EXPECT_DOUBLE_EQ(EstimateClusterWallClock({1.0, 2.5, 0.5}), 2.5);
+  EXPECT_DOUBLE_EQ(EstimateClusterWallClock({}), 0.0);
+}
+
+TEST(SimClusterTest, ScaleOutShapeMatchesFigure4) {
+  // Equal shares per node: N nodes cut the wall clock by N, so derived
+  // throughput grows linearly in nodes — the Figure 4 line.
+  const double total_work = 240.0;
+  double throughput_1 = 0, throughput_8 = 0, throughput_24 = 0;
+  for (int nodes : {1, 8, 24}) {
+    std::vector<double> node_seconds(static_cast<size_t>(nodes),
+                                     total_work / nodes);
+    double wall = EstimateClusterWallClock(node_seconds);
+    double throughput = total_work / wall;
+    if (nodes == 1) throughput_1 = throughput;
+    if (nodes == 8) throughput_8 = throughput;
+    if (nodes == 24) throughput_24 = throughput;
+  }
+  EXPECT_NEAR(throughput_8 / throughput_1, 8.0, 1e-9);
+  EXPECT_NEAR(throughput_24 / throughput_1, 24.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace pdgf

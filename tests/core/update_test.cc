@@ -1,0 +1,273 @@
+// Tests for the update black box: abstract time units, per-update
+// seeding and the update-stream generation mode (Figure 1's "Update RNG"
+// level and [6]).
+
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "core/generators/generators.h"
+#include "core/session.h"
+#include "util/strings.h"
+
+namespace pdgf {
+namespace {
+
+SchemaDef MakeUpdatableSchema(double update_fraction = 0.2) {
+  SchemaDef schema;
+  schema.name = "updates";
+  schema.seed = 77;
+
+  TableDef table;
+  table.name = "accounts";
+  table.size_expression = "500";
+  table.updates_expression = "4";
+  table.update_fraction = update_fraction;
+
+  FieldDef id;
+  id.name = "id";
+  id.type = DataType::kBigInt;
+  id.generator = GeneratorPtr(new IdGenerator(1, 1));
+  // Keys never change across updates.
+  id.mutable_across_updates = false;
+  table.fields.push_back(std::move(id));
+
+  FieldDef balance;
+  balance.name = "balance";
+  balance.type = DataType::kBigInt;
+  balance.generator = GeneratorPtr(new LongGenerator(0, 1 << 30));
+  balance.mutable_across_updates = true;
+  table.fields.push_back(std::move(balance));
+
+  FieldDef category;
+  category.name = "category";
+  category.type = DataType::kBigInt;
+  category.generator = GeneratorPtr(new LongGenerator(0, 1 << 30));
+  category.mutable_across_updates = false;
+  table.fields.push_back(std::move(category));
+
+  schema.tables.push_back(std::move(table));
+  return schema;
+}
+
+TEST(UpdateTest, UpdateCountResolves) {
+  SchemaDef schema = MakeUpdatableSchema();
+  auto session = GenerationSession::Create(&schema);
+  ASSERT_TRUE(session.ok());
+  EXPECT_EQ((*session)->TableUpdates(0), 4u);
+}
+
+TEST(UpdateTest, ImmutableFieldsKeepBaseValues) {
+  SchemaDef schema = MakeUpdatableSchema();
+  auto session = GenerationSession::Create(&schema);
+  ASSERT_TRUE(session.ok());
+  Value base, updated;
+  for (uint64_t row = 0; row < 100; ++row) {
+    for (uint64_t update = 1; update < 4; ++update) {
+      (*session)->GenerateField(0, 0, row, 0, &base);
+      (*session)->GenerateField(0, 0, row, update, &updated);
+      EXPECT_EQ(base, updated) << "id changed in update " << update;
+      (*session)->GenerateField(0, 2, row, 0, &base);
+      (*session)->GenerateField(0, 2, row, update, &updated);
+      EXPECT_EQ(base, updated) << "category changed in update " << update;
+    }
+  }
+}
+
+TEST(UpdateTest, MutableFieldsChangeOnlyForSelectedRows) {
+  SchemaDef schema = MakeUpdatableSchema(0.2);
+  auto session = GenerationSession::Create(&schema);
+  ASSERT_TRUE(session.ok());
+  Value base, updated;
+  int changed = 0;
+  const uint64_t rows = 500;
+  for (uint64_t row = 0; row < rows; ++row) {
+    (*session)->GenerateField(0, 1, row, 0, &base);
+    (*session)->GenerateField(0, 1, row, 1, &updated);
+    bool selected = (*session)->RowChangesInUpdate(0, row, 1);
+    if (selected) {
+      // A 31-bit uniform redraw equals the old value with negligible odds.
+      EXPECT_NE(base, updated) << "row " << row;
+      ++changed;
+    } else {
+      // Point-in-time semantics: unselected rows keep their last value.
+      EXPECT_EQ(base, updated) << "row " << row;
+    }
+  }
+  EXPECT_NEAR(changed / static_cast<double>(rows), 0.2, 0.06);
+}
+
+TEST(UpdateTest, PointInTimeValuesComeFromLastSelectingUpdate) {
+  SchemaDef schema = MakeUpdatableSchema(0.3);
+  auto session = GenerationSession::Create(&schema);
+  ASSERT_TRUE(session.ok());
+  Value at_t, at_previous;
+  for (uint64_t row = 0; row < 200; ++row) {
+    for (uint64_t update = 1; update < 4; ++update) {
+      (*session)->GenerateField(0, 1, row, update, &at_t);
+      (*session)->GenerateField(0, 1, row, update - 1, &at_previous);
+      if ((*session)->RowChangesInUpdate(0, row, update)) {
+        EXPECT_NE(at_t, at_previous)
+            << "row " << row << " update " << update;
+      } else {
+        EXPECT_EQ(at_t, at_previous)
+            << "row " << row << " update " << update;
+      }
+    }
+  }
+}
+
+TEST(UpdateTest, UpdateValuesAreDeterministic) {
+  SchemaDef schema1 = MakeUpdatableSchema();
+  SchemaDef schema2 = MakeUpdatableSchema();
+  auto s1 = GenerationSession::Create(&schema1);
+  auto s2 = GenerationSession::Create(&schema2);
+  ASSERT_TRUE(s1.ok());
+  ASSERT_TRUE(s2.ok());
+  Value v1, v2;
+  for (uint64_t update = 0; update < 4; ++update) {
+    for (uint64_t row = 0; row < 50; ++row) {
+      (*s1)->GenerateField(0, 1, row, update, &v1);
+      (*s2)->GenerateField(0, 1, row, update, &v2);
+      EXPECT_EQ(v1, v2);
+    }
+  }
+}
+
+TEST(UpdateTest, RowSelectionMatchesFraction) {
+  SchemaDef schema = MakeUpdatableSchema(0.2);
+  auto session = GenerationSession::Create(&schema);
+  ASSERT_TRUE(session.ok());
+  int selected = 0;
+  const uint64_t rows = 500;
+  for (uint64_t row = 0; row < rows; ++row) {
+    if ((*session)->RowChangesInUpdate(0, row, 1)) ++selected;
+  }
+  EXPECT_NEAR(selected / static_cast<double>(rows), 0.2, 0.06);
+  // Different updates select different subsets.
+  int overlap = 0;
+  int first = 0;
+  for (uint64_t row = 0; row < rows; ++row) {
+    bool u1 = (*session)->RowChangesInUpdate(0, row, 1);
+    bool u2 = (*session)->RowChangesInUpdate(0, row, 2);
+    if (u1) ++first;
+    if (u1 && u2) ++overlap;
+  }
+  EXPECT_LT(overlap, first);  // not the identical subset
+}
+
+TEST(UpdateTest, FractionBoundaries) {
+  SchemaDef all = MakeUpdatableSchema(1.0);
+  auto session_all = GenerationSession::Create(&all);
+  ASSERT_TRUE(session_all.ok());
+  SchemaDef none = MakeUpdatableSchema(0.0);
+  auto session_none = GenerationSession::Create(&none);
+  ASSERT_TRUE(session_none.ok());
+  for (uint64_t row = 0; row < 100; ++row) {
+    EXPECT_TRUE((*session_all)->RowChangesInUpdate(0, row, 3));
+    EXPECT_FALSE((*session_none)->RowChangesInUpdate(0, row, 3));
+    // Update 0 is the base data: always "present".
+    EXPECT_TRUE((*session_none)->RowChangesInUpdate(0, row, 0));
+  }
+}
+
+TEST(UpdateTest, UpdateStreamContainsOnlySelectedRows) {
+  SchemaDef schema = MakeUpdatableSchema(0.1);
+  auto session = GenerationSession::Create(&schema);
+  ASSERT_TRUE(session.ok());
+  CsvFormatter formatter;
+  auto base = GenerateTableToString(**session, 0, formatter, 0);
+  ASSERT_TRUE(base.ok());
+  auto stream = GenerateTableToString(**session, 0, formatter, 2);
+  ASSERT_TRUE(stream.ok());
+  size_t base_rows = Split(*base, '\n').size() - 1;
+  size_t stream_rows = Split(*stream, '\n').size() - 1;
+  EXPECT_EQ(base_rows, 500u);
+  EXPECT_LT(stream_rows, 100u);
+  EXPECT_GT(stream_rows, 10u);
+  // Every streamed row's id exists in the base data and is selected.
+  for (const std::string& line : Split(*stream, '\n')) {
+    if (line.empty()) continue;
+    int64_t id = std::strtoll(line.c_str(), nullptr, 10);
+    EXPECT_GE(id, 1);
+    EXPECT_LE(id, 500);
+    EXPECT_TRUE(
+        (*session)->RowChangesInUpdate(0, static_cast<uint64_t>(id - 1), 2));
+  }
+}
+
+TEST(UpdateTest, UpdateStreamsPartitionAcrossNodes) {
+  // The meta-scheduler composes with update mode: concatenating every
+  // node's update-stream chunk reproduces the whole stream.
+  SchemaDef schema = MakeUpdatableSchema(0.3);
+  auto session = GenerationSession::Create(&schema);
+  ASSERT_TRUE(session.ok());
+  CsvFormatter formatter;
+  auto whole = GenerateTableToString(**session, 0, formatter, 2);
+  ASSERT_TRUE(whole.ok());
+
+  std::string stitched;
+  for (int node = 0; node < 3; ++node) {
+    std::string chunk;
+    SinkFactory factory =
+        [&chunk](const TableDef&) -> StatusOr<std::unique_ptr<Sink>> {
+      class Capture : public Sink {
+       public:
+        explicit Capture(std::string* out) : out_(out) {}
+        Status Write(std::string_view data) override {
+          out_->append(data);
+          return Status::Ok();
+        }
+
+       private:
+        std::string* out_;
+      };
+      return std::unique_ptr<Sink>(new Capture(&chunk));
+    };
+    GenerationOptions options;
+    options.update = 2;
+    options.node_count = 3;
+    options.node_id = node;
+    options.work_package_rows = 29;
+    options.worker_count = 2;
+    GenerationEngine engine(&**session, &formatter, factory, options);
+    ASSERT_TRUE(engine.Run().ok());
+    stitched += chunk;
+  }
+  EXPECT_EQ(stitched, *whole);
+}
+
+TEST(UpdateTest, EngineUpdateModeMatchesDirectGeneration) {
+  SchemaDef schema = MakeUpdatableSchema(0.3);
+  auto session = GenerationSession::Create(&schema);
+  ASSERT_TRUE(session.ok());
+  CsvFormatter formatter;
+  auto direct = GenerateTableToString(**session, 0, formatter, 3);
+  ASSERT_TRUE(direct.ok());
+
+  std::string captured;
+  SinkFactory factory =
+      [&captured](const TableDef&) -> StatusOr<std::unique_ptr<Sink>> {
+    class Capture : public Sink {
+     public:
+      explicit Capture(std::string* out) : out_(out) {}
+      Status Write(std::string_view data) override {
+        out_->append(data);
+        return Status::Ok();
+      }
+
+     private:
+      std::string* out_;
+    };
+    return std::unique_ptr<Sink>(new Capture(&captured));
+  };
+  GenerationOptions options;
+  options.update = 3;
+  options.worker_count = 4;
+  options.work_package_rows = 13;
+  GenerationEngine engine(&**session, &formatter, factory, options);
+  ASSERT_TRUE(engine.Run().ok());
+  EXPECT_EQ(captured, *direct);
+}
+
+}  // namespace
+}  // namespace pdgf

@@ -1,0 +1,168 @@
+#include "dbsynth/connection.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "minidb/sql.h"
+
+namespace dbsynth {
+namespace {
+
+using pdgf::Value;
+
+class ConnectionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto created = minidb::ExecuteSql(
+        &db_, "CREATE TABLE t (id BIGINT PRIMARY KEY, v INTEGER)");
+    ASSERT_TRUE(created.ok());
+    minidb::Table* table = db_.GetTable("t");
+    for (int i = 0; i < 1000; ++i) {
+      ASSERT_TRUE(table
+                      ->Insert({Value::Int(i + 1),
+                                i % 10 == 0 ? Value::Null()
+                                            : Value::Int(i % 100)})
+                      .ok());
+    }
+  }
+
+  minidb::Database db_;
+};
+
+TEST_F(ConnectionTest, ListsTablesAndSchemas) {
+  MiniDbConnection connection(&db_);
+  EXPECT_EQ(connection.ListTables(), (std::vector<std::string>{"t"}));
+  auto schema = connection.GetTableSchema("t");
+  ASSERT_TRUE(schema.ok());
+  EXPECT_EQ(schema->columns.size(), 2u);
+  EXPECT_TRUE(schema->columns[0].primary_key);
+  EXPECT_FALSE(connection.GetTableSchema("ghost").ok());
+}
+
+TEST_F(ConnectionTest, RowAndNullCountsViaSql) {
+  MiniDbConnection connection(&db_);
+  auto rows = connection.GetRowCount("t");
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(*rows, 1000u);
+  auto nulls = connection.GetNullCount("t", "v");
+  ASSERT_TRUE(nulls.ok());
+  EXPECT_EQ(*nulls, 100u);
+}
+
+TEST_F(ConnectionTest, MinMaxViaSql) {
+  MiniDbConnection connection(&db_);
+  auto min_max = connection.GetMinMax("t", "v");
+  ASSERT_TRUE(min_max.ok());
+  EXPECT_EQ(min_max->first.int_value(), 1);
+  EXPECT_EQ(min_max->second.int_value(), 99);
+}
+
+TEST_F(ConnectionTest, FullSamplingVisitsEveryRow) {
+  MiniDbConnection connection(&db_);
+  SamplingSpec spec;
+  spec.strategy = SamplingSpec::Strategy::kFull;
+  int visited = 0;
+  ASSERT_TRUE(connection
+                  .SampleRows("t", spec,
+                              [&visited](const minidb::Row&) { ++visited; })
+                  .ok());
+  EXPECT_EQ(visited, 1000);
+}
+
+TEST_F(ConnectionTest, FirstNSampling) {
+  MiniDbConnection connection(&db_);
+  SamplingSpec spec;
+  spec.strategy = SamplingSpec::Strategy::kFirstN;
+  spec.limit = 37;
+  std::vector<int64_t> ids;
+  ASSERT_TRUE(connection
+                  .SampleRows("t", spec,
+                              [&ids](const minidb::Row& row) {
+                                ids.push_back(row[0].int_value());
+                              })
+                  .ok());
+  ASSERT_EQ(ids.size(), 37u);
+  EXPECT_EQ(ids.front(), 1);
+  EXPECT_EQ(ids.back(), 37);
+}
+
+TEST_F(ConnectionTest, FractionSamplingApproximatesFraction) {
+  MiniDbConnection connection(&db_);
+  SamplingSpec spec;
+  spec.strategy = SamplingSpec::Strategy::kFraction;
+  spec.fraction = 0.2;
+  int visited = 0;
+  ASSERT_TRUE(connection
+                  .SampleRows("t", spec,
+                              [&visited](const minidb::Row&) { ++visited; })
+                  .ok());
+  EXPECT_NEAR(visited / 1000.0, 0.2, 0.05);
+}
+
+TEST_F(ConnectionTest, FractionSamplingIsDeterministicPerSeed) {
+  MiniDbConnection connection(&db_);
+  SamplingSpec spec;
+  spec.strategy = SamplingSpec::Strategy::kFraction;
+  spec.fraction = 0.1;
+  auto collect = [&connection, &spec]() {
+    std::vector<int64_t> ids;
+    EXPECT_TRUE(connection
+                    .SampleRows("t", spec,
+                                [&ids](const minidb::Row& row) {
+                                  ids.push_back(row[0].int_value());
+                                })
+                    .ok());
+    return ids;
+  };
+  auto first = collect();
+  auto second = collect();
+  EXPECT_EQ(first, second);
+  spec.seed = 43;
+  EXPECT_NE(collect(), first);
+}
+
+TEST_F(ConnectionTest, ReservoirSamplingExactSizeAndUniform) {
+  MiniDbConnection connection(&db_);
+  SamplingSpec spec;
+  spec.strategy = SamplingSpec::Strategy::kReservoir;
+  spec.limit = 100;
+  std::set<int64_t> ids;
+  ASSERT_TRUE(connection
+                  .SampleRows("t", spec,
+                              [&ids](const minidb::Row& row) {
+                                ids.insert(row[0].int_value());
+                              })
+                  .ok());
+  EXPECT_EQ(ids.size(), 100u);
+  // Not just the head: some ids from the tail half must appear.
+  int in_tail = 0;
+  for (int64_t id : ids) {
+    if (id > 500) ++in_tail;
+  }
+  EXPECT_GT(in_tail, 20);
+}
+
+TEST_F(ConnectionTest, ReservoirSmallerTableThanLimit) {
+  MiniDbConnection connection(&db_);
+  SamplingSpec spec;
+  spec.strategy = SamplingSpec::Strategy::kReservoir;
+  spec.limit = 5000;
+  int visited = 0;
+  ASSERT_TRUE(connection
+                  .SampleRows("t", spec,
+                              [&visited](const minidb::Row&) { ++visited; })
+                  .ok());
+  EXPECT_EQ(visited, 1000);
+}
+
+TEST_F(ConnectionTest, UnknownTableErrors) {
+  MiniDbConnection connection(&db_);
+  SamplingSpec spec;
+  EXPECT_FALSE(
+      connection.SampleRows("ghost", spec, [](const minidb::Row&) {}).ok());
+  EXPECT_FALSE(connection.GetNullCount("ghost", "v").ok());
+}
+
+}  // namespace
+}  // namespace dbsynth

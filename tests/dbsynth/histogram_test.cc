@@ -1,0 +1,193 @@
+// Histogram extraction + histogram-driven generation (paper §3 lists
+// histograms among the statistics DBSynth extracts).
+
+#include <map>
+
+#include <gtest/gtest.h>
+
+#include "core/config.h"
+#include "core/generators/generators.h"
+#include "core/session.h"
+#include "dbsynth/model_builder.h"
+#include "dbsynth/profiler.h"
+#include "minidb/sql.h"
+#include "util/rng.h"
+
+namespace dbsynth {
+namespace {
+
+using pdgf::Value;
+
+// Evaluates a generator directly.
+Value Eval(const pdgf::Generator& generator, uint64_t row) {
+  pdgf::GeneratorContext context(nullptr, 0, row, 0,
+                                 pdgf::DeriveSeed(500, row));
+  Value value;
+  generator.Generate(&context, &value);
+  return value;
+}
+
+TEST(HistogramGeneratorTest, ReproducesBucketWeights) {
+  // 4 buckets over [0, 100) with weights 1:2:3:4.
+  pdgf::HistogramGenerator generator(
+      0, 100, {1, 2, 3, 4}, pdgf::HistogramGenerator::Output::kDouble);
+  std::map<int, int> bucket_counts;
+  const int draws = 20000;
+  for (uint64_t row = 0; row < draws; ++row) {
+    double v = Eval(generator, row).double_value();
+    ASSERT_GE(v, 0.0);
+    ASSERT_LT(v, 100.0);
+    ++bucket_counts[static_cast<int>(v / 25.0)];
+  }
+  EXPECT_NEAR(bucket_counts[0] / static_cast<double>(draws), 0.1, 0.01);
+  EXPECT_NEAR(bucket_counts[1] / static_cast<double>(draws), 0.2, 0.015);
+  EXPECT_NEAR(bucket_counts[2] / static_cast<double>(draws), 0.3, 0.015);
+  EXPECT_NEAR(bucket_counts[3] / static_cast<double>(draws), 0.4, 0.015);
+}
+
+TEST(HistogramGeneratorTest, OutputKinds) {
+  pdgf::HistogramGenerator longs(0, 50, {1, 1},
+                                 pdgf::HistogramGenerator::Output::kLong);
+  EXPECT_EQ(Eval(longs, 0).kind(), Value::Kind::kInt);
+  pdgf::HistogramGenerator decimals(
+      0, 50, {1, 1}, pdgf::HistogramGenerator::Output::kDecimal, 2);
+  Value decimal = Eval(decimals, 0);
+  EXPECT_EQ(decimal.kind(), Value::Kind::kDecimal);
+  EXPECT_EQ(decimal.decimal_scale(), 2);
+  pdgf::HistogramGenerator dates(
+      8000, 9000, {1, 1}, pdgf::HistogramGenerator::Output::kDate);
+  Value date = Eval(dates, 0);
+  EXPECT_EQ(date.kind(), Value::Kind::kDate);
+  EXPECT_GE(date.date_value().days_since_epoch(), 8000);
+}
+
+TEST(HistogramGeneratorTest, DegenerateInputsYieldMin) {
+  pdgf::HistogramGenerator empty(5, 5, {},
+                                 pdgf::HistogramGenerator::Output::kLong);
+  EXPECT_EQ(Eval(empty, 0).int_value(), 5);
+  pdgf::HistogramGenerator zero_weights(
+      0, 10, {0, 0}, pdgf::HistogramGenerator::Output::kLong);
+  EXPECT_EQ(Eval(zero_weights, 0).int_value(), 0);
+}
+
+TEST(HistogramGeneratorTest, ConfigRoundTrip) {
+  pdgf::SchemaDef schema;
+  schema.name = "h";
+  schema.seed = 4;
+  pdgf::TableDef table;
+  table.name = "t";
+  table.size_expression = "500";
+  pdgf::FieldDef field;
+  field.name = "v";
+  field.type = pdgf::DataType::kDouble;
+  field.generator = pdgf::GeneratorPtr(new pdgf::HistogramGenerator(
+      10, 20, {5, 1, 5}, pdgf::HistogramGenerator::Output::kDouble));
+  table.fields.push_back(std::move(field));
+  schema.tables.push_back(std::move(table));
+
+  std::string xml = pdgf::SchemaToXml(schema);
+  EXPECT_NE(xml.find("gen_HistogramGenerator"), std::string::npos);
+  auto reparsed = pdgf::LoadSchemaFromXml(xml);
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status().ToString();
+
+  auto s1 = pdgf::GenerationSession::Create(&schema);
+  auto s2 = pdgf::GenerationSession::Create(&*reparsed);
+  ASSERT_TRUE(s1.ok());
+  ASSERT_TRUE(s2.ok());
+  Value v1, v2;
+  for (uint64_t row = 0; row < 50; ++row) {
+    (*s1)->GenerateField(0, 0, row, 0, &v1);
+    (*s2)->GenerateField(0, 0, row, 0, &v2);
+    EXPECT_EQ(v1, v2);
+  }
+}
+
+class HistogramExtractionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto created = minidb::ExecuteSql(
+        &db_, "CREATE TABLE m (id BIGINT PRIMARY KEY, v INTEGER)");
+    ASSERT_TRUE(created.ok());
+    minidb::Table* table = db_.GetTable("m");
+    // Bimodal: values cluster near 10 and near 90.
+    pdgf::Xorshift64 rng(3);
+    for (int i = 0; i < 2000; ++i) {
+      int64_t v = (i % 2 == 0) ? rng.NextInRange(5, 15)
+                               : rng.NextInRange(85, 95);
+      ASSERT_TRUE(table->Insert({Value::Int(i + 1), Value::Int(v)}).ok());
+    }
+  }
+
+  minidb::Database db_;
+};
+
+TEST_F(HistogramExtractionTest, ConnectionBuildsHistogram) {
+  MiniDbConnection connection(&db_);
+  auto histogram = connection.GetHistogram("m", "v", 9);
+  ASSERT_TRUE(histogram.ok());
+  ASSERT_EQ(histogram->buckets.size(), 9u);
+  EXPECT_EQ(histogram->total, 2000u);
+  // Bimodal: first and last buckets are heavy, the middle empty.
+  EXPECT_GT(histogram->Fraction(0), 0.3);
+  EXPECT_GT(histogram->Fraction(8), 0.3);
+  EXPECT_DOUBLE_EQ(histogram->Fraction(4), 0.0);
+  // Non-histogrammable column: empty result, not an error.
+  auto id_as_text = connection.GetHistogram("m", "id", 0);
+  ASSERT_TRUE(id_as_text.ok());
+  EXPECT_TRUE(id_as_text->buckets.empty());
+}
+
+TEST_F(HistogramExtractionTest, ModelReproducesBimodalShape) {
+  MiniDbConnection connection(&db_);
+  ExtractionOptions extraction;
+  extraction.extract_histograms = true;
+  extraction.histogram_buckets = 9;
+  extraction.sample_data = false;
+  auto profile = ProfileDatabase(&connection, extraction);
+  ASSERT_TRUE(profile.ok());
+  EXPECT_GE(profile->timings.histogram_seconds, 0.0);
+  const ColumnProfile& v_profile = profile->FindTable("m")->columns[1];
+  ASSERT_TRUE(v_profile.has_histogram);
+
+  auto model = BuildModel(*profile, ModelBuildOptions{});
+  ASSERT_TRUE(model.ok());
+  const pdgf::FieldDef* field =
+      model->schema.FindTable("m")->FindField("v");
+  ASSERT_NE(field->generator, nullptr);
+  EXPECT_EQ(field->generator->ConfigName(), "gen_HistogramGenerator");
+
+  // Regenerate and check the bimodal shape survives.
+  auto session = pdgf::GenerationSession::Create(&model->schema);
+  ASSERT_TRUE(session.ok());
+  int low = 0, mid = 0, high = 0;
+  Value value;
+  int table = model->schema.FindTableIndex("m");
+  int field_index = model->schema.FindTable("m")->FindFieldIndex("v");
+  for (uint64_t row = 0; row < 2000; ++row) {
+    (*session)->GenerateField(table, field_index, row, 0, &value);
+    int64_t v = value.AsInt();
+    if (v <= 25) ++low;
+    if (v > 40 && v < 60) ++mid;
+    if (v >= 75) ++high;
+  }
+  EXPECT_GT(low, 700);
+  EXPECT_GT(high, 700);
+  EXPECT_LT(mid, 50);
+}
+
+TEST_F(HistogramExtractionTest, WithoutHistogramsFallsBackToUniform) {
+  MiniDbConnection connection(&db_);
+  ExtractionOptions extraction;  // extract_histograms defaults to false
+  extraction.sample_data = false;
+  auto profile = ProfileDatabase(&connection, extraction);
+  ASSERT_TRUE(profile.ok());
+  auto model = BuildModel(*profile, ModelBuildOptions{});
+  ASSERT_TRUE(model.ok());
+  EXPECT_EQ(model->schema.FindTable("m")
+                ->FindField("v")
+                ->generator->ConfigName(),
+            "gen_LongGenerator");
+}
+
+}  // namespace
+}  // namespace dbsynth

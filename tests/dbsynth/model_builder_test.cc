@@ -1,0 +1,240 @@
+#include "dbsynth/model_builder.h"
+
+#include <gtest/gtest.h>
+
+#include "core/generators/generators.h"
+#include "core/session.h"
+#include "dbsynth/connection.h"
+#include "minidb/sql.h"
+#include "util/files.h"
+
+namespace dbsynth {
+namespace {
+
+using pdgf::Value;
+
+// Builds a source database exercising every rule family.
+minidb::Database MakeSource() {
+  minidb::Database db;
+  auto created = minidb::ExecuteSqlScript(
+      &db,
+      "CREATE TABLE category (cat_id BIGINT PRIMARY KEY, "
+      "  label VARCHAR(10) NOT NULL);"
+      "CREATE TABLE event (event_id BIGINT PRIMARY KEY,"
+      "  cat_id BIGINT REFERENCES category(cat_id),"
+      "  score DOUBLE,"
+      "  happened DATE,"
+      "  comment VARCHAR(200),"
+      "  code VARCHAR(16));");
+  EXPECT_TRUE(created.ok()) << created.status().ToString();
+  minidb::Table* category = db.GetTable("category");
+  const char* labels[] = {"red", "green", "blue"};
+  for (int i = 0; i < 30; ++i) {
+    EXPECT_TRUE(
+        category->Insert({Value::Int(i + 1), Value::String(labels[i % 3])})
+            .ok());
+  }
+  minidb::Table* event = db.GetTable("event");
+  pdgf::Xorshift64 rng(1);
+  for (int i = 0; i < 300; ++i) {
+    minidb::Row row;
+    row.push_back(Value::Int(i + 1));
+    row.push_back(Value::Int(i % 30 + 1));
+    row.push_back(i % 10 == 0 ? Value::Null()
+                              : Value::Double(10 + (i % 50) * 0.5));
+    row.push_back(Value::FromDate(
+        pdgf::Date::FromCivil(2010 + i % 5, 1 + i % 12, 1 + i % 28)));
+    row.push_back(Value::String(
+        "the quick event happened carefully during the busy day"));
+    // High-cardinality single-word codes.
+    std::string code = "code";
+    for (int d = 0; d < 6; ++d) {
+      code.push_back(static_cast<char>('a' + rng.NextBounded(26)));
+    }
+    row.push_back(Value::String(code));
+    EXPECT_TRUE(event->Insert(std::move(row)).ok());
+  }
+  return db;
+}
+
+ModelBuildResult BuildFrom(minidb::Database* db,
+                           ModelBuildOptions options = {}) {
+  MiniDbConnection connection(db);
+  ExtractionOptions extraction;
+  extraction.sampling.strategy = SamplingSpec::Strategy::kFull;
+  auto profile = ProfileDatabase(&connection, extraction);
+  EXPECT_TRUE(profile.ok()) << profile.status().ToString();
+  auto model = BuildModel(*profile, options);
+  EXPECT_TRUE(model.ok()) << model.status().ToString();
+  return std::move(*model);
+}
+
+const pdgf::Generator* FieldGenerator(const pdgf::SchemaDef& schema,
+                                      const char* table, const char* field) {
+  const pdgf::TableDef* t = schema.FindTable(table);
+  EXPECT_NE(t, nullptr) << table;
+  const pdgf::FieldDef* f = t->FindField(field);
+  EXPECT_NE(f, nullptr) << field;
+  return f->generator.get();
+}
+
+// Unwraps a NullGenerator if present.
+const pdgf::Generator* Unwrap(const pdgf::Generator* generator) {
+  if (const auto* null_wrapper =
+          dynamic_cast<const pdgf::NullGenerator*>(generator)) {
+    return null_wrapper->inner();
+  }
+  return generator;
+}
+
+TEST(ModelBuilderTest, ForeignKeysBecomeReferenceGenerators) {
+  minidb::Database db = MakeSource();
+  ModelBuildResult result = BuildFrom(&db);
+  const pdgf::Generator* generator =
+      Unwrap(FieldGenerator(result.schema, "event", "cat_id"));
+  const auto* reference =
+      dynamic_cast<const pdgf::DefaultReferenceGenerator*>(generator);
+  ASSERT_NE(reference, nullptr);
+  EXPECT_EQ(reference->table(), "category");
+  EXPECT_EQ(reference->field(), "cat_id");
+}
+
+TEST(ModelBuilderTest, PrimaryKeysBecomeIdGenerators) {
+  minidb::Database db = MakeSource();
+  ModelBuildResult result = BuildFrom(&db);
+  EXPECT_NE(dynamic_cast<const pdgf::IdGenerator*>(
+                FieldGenerator(result.schema, "event", "event_id")),
+            nullptr);
+}
+
+TEST(ModelBuilderTest, CategoricalTextBecomesWeightedDictionary) {
+  minidb::Database db = MakeSource();
+  ModelBuildResult result = BuildFrom(&db);
+  const auto* dict = dynamic_cast<const pdgf::DictListGenerator*>(
+      FieldGenerator(result.schema, "category", "label"));
+  ASSERT_NE(dict, nullptr);
+  EXPECT_EQ(dict->dictionary().size(), 3u);
+  EXPECT_GE(dict->dictionary().Find("red"), 0);
+}
+
+TEST(ModelBuilderTest, MultiWordTextBecomesMarkov) {
+  minidb::Database db = MakeSource();
+  ModelBuildResult result = BuildFrom(&db);
+  const auto* markov = dynamic_cast<const pdgf::MarkovChainGenerator*>(
+      FieldGenerator(result.schema, "event", "comment"));
+  ASSERT_NE(markov, nullptr);
+  EXPECT_GT(markov->model().word_count(), 5u);
+}
+
+TEST(ModelBuilderTest, HighCardinalityTextBecomesRandomString) {
+  minidb::Database db = MakeSource();
+  ModelBuildResult result = BuildFrom(&db);
+  EXPECT_NE(dynamic_cast<const pdgf::RandomStringGenerator*>(
+                FieldGenerator(result.schema, "event", "code")),
+            nullptr);
+}
+
+TEST(ModelBuilderTest, NullableColumnsGetNullWrappers) {
+  minidb::Database db = MakeSource();
+  ModelBuildResult result = BuildFrom(&db);
+  const auto* null_wrapper = dynamic_cast<const pdgf::NullGenerator*>(
+      FieldGenerator(result.schema, "event", "score"));
+  ASSERT_NE(null_wrapper, nullptr);
+  EXPECT_NEAR(null_wrapper->probability(), 0.1, 1e-9);
+}
+
+TEST(ModelBuilderTest, DatesUseExtractedBounds) {
+  minidb::Database db = MakeSource();
+  ModelBuildResult result = BuildFrom(&db);
+  const auto* date = dynamic_cast<const pdgf::DateGenerator*>(
+      FieldGenerator(result.schema, "event", "happened"));
+  ASSERT_NE(date, nullptr);
+  EXPECT_EQ(date->min().year(), 2010);
+  EXPECT_EQ(date->max().year(), 2014);
+}
+
+TEST(ModelBuilderTest, SizesScaleWithProperty) {
+  minidb::Database db = MakeSource();
+  ModelBuildResult result = BuildFrom(&db);
+  // "<table>_size" properties exist with "<rows> * ${SF}" expressions.
+  const pdgf::PropertyDef* size =
+      result.schema.FindProperty("event_size");
+  ASSERT_NE(size, nullptr);
+  EXPECT_NE(size->expression.find("300"), std::string::npos);
+  EXPECT_NE(size->expression.find("${SF}"), std::string::npos);
+
+  auto session =
+      pdgf::GenerationSession::Create(&result.schema, {{"SF", "3"}});
+  ASSERT_TRUE(session.ok()) << session.status().ToString();
+  EXPECT_EQ((*session)->TableRows(
+                result.schema.FindTableIndex("event")),
+            900u);
+}
+
+TEST(ModelBuilderTest, BuiltModelGenerates) {
+  minidb::Database db = MakeSource();
+  ModelBuildResult result = BuildFrom(&db);
+  auto session = pdgf::GenerationSession::Create(&result.schema);
+  ASSERT_TRUE(session.ok());
+  std::vector<Value> row;
+  int event_table = result.schema.FindTableIndex("event");
+  (*session)->GenerateRow(event_table, 0, 0, &row);
+  ASSERT_EQ(row.size(), 6u);
+  EXPECT_EQ(row[0].int_value(), 1);      // id
+  EXPECT_GE(row[1].int_value(), 1);      // FK into category
+  EXPECT_LE(row[1].int_value(), 30);
+  EXPECT_FALSE(row[4].is_null());        // markov comment
+}
+
+TEST(ModelBuilderTest, DecisionsExplainEveryColumn) {
+  minidb::Database db = MakeSource();
+  ModelBuildResult result = BuildFrom(&db);
+  // At least one decision per column (NULL wrappers add extras).
+  EXPECT_GE(result.decisions.size(), 8u);
+  bool saw_reference_reason = false;
+  for (const ModelDecision& decision : result.decisions) {
+    EXPECT_FALSE(decision.generator.empty());
+    EXPECT_FALSE(decision.reason.empty());
+    if (decision.generator == "gen_DefaultReferenceGenerator") {
+      saw_reference_reason = true;
+      EXPECT_NE(decision.reason.find("foreign key"), std::string::npos);
+    }
+  }
+  EXPECT_TRUE(saw_reference_reason);
+}
+
+TEST(ModelBuilderTest, ArtifactDirPersistsModels) {
+  auto dir = pdgf::MakeTempDir("dbsynth_artifacts_");
+  ASSERT_TRUE(dir.ok());
+  minidb::Database db = MakeSource();
+  ModelBuildOptions options;
+  options.artifact_dir = pdgf::JoinPath(*dir, "artifacts");
+  ModelBuildResult result = BuildFrom(&db, options);
+  // Markov model file written (Listing 1's markovSamples.bin naming).
+  EXPECT_TRUE(pdgf::PathExists(pdgf::JoinPath(
+      options.artifact_dir, "event_comment_markovSamples.bin")));
+  EXPECT_TRUE(pdgf::PathExists(
+      pdgf::JoinPath(options.artifact_dir, "category_label.dict")));
+}
+
+TEST(ModelBuilderTest, WithoutSamplingFallsBackToHeuristics) {
+  minidb::Database db = MakeSource();
+  MiniDbConnection connection(&db);
+  ExtractionOptions extraction;
+  extraction.sample_data = false;
+  auto profile = ProfileDatabase(&connection, extraction);
+  ASSERT_TRUE(profile.ok());
+  auto model = BuildModel(*profile, ModelBuildOptions{});
+  ASSERT_TRUE(model.ok());
+  // "comment" matches the comment keyword -> Markov from builtin corpus.
+  EXPECT_NE(dynamic_cast<const pdgf::MarkovChainGenerator*>(
+                FieldGenerator(model->schema, "event", "comment")),
+            nullptr);
+  // "label" has no keyword -> random string fallback.
+  EXPECT_NE(dynamic_cast<const pdgf::RandomStringGenerator*>(
+                FieldGenerator(model->schema, "category", "label")),
+            nullptr);
+}
+
+}  // namespace
+}  // namespace dbsynth

@@ -1,0 +1,129 @@
+#include "dbsynth/profiler.h"
+
+#include <gtest/gtest.h>
+
+#include "minidb/sql.h"
+
+namespace dbsynth {
+namespace {
+
+using pdgf::Value;
+
+class ProfilerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto created = minidb::ExecuteSqlScript(
+        &db_,
+        "CREATE TABLE dim (k BIGINT PRIMARY KEY, label VARCHAR(10));"
+        "CREATE TABLE fact (id BIGINT PRIMARY KEY,"
+        "  k BIGINT REFERENCES dim(k),"
+        "  amount DECIMAL(15,2),"
+        "  note VARCHAR(100));");
+    ASSERT_TRUE(created.ok()) << created.status().ToString();
+    minidb::Table* dim = db_.GetTable("dim");
+    for (int i = 0; i < 5; ++i) {
+      ASSERT_TRUE(dim->Insert({Value::Int(i + 1),
+                               Value::String(i % 2 == 0 ? "even" : "odd")})
+                      .ok());
+    }
+    minidb::Table* fact = db_.GetTable("fact");
+    for (int i = 0; i < 200; ++i) {
+      ASSERT_TRUE(
+          fact->Insert({Value::Int(i + 1), Value::Int(i % 5 + 1),
+                        i % 4 == 0 ? Value::Null()
+                                   : Value::Decimal(100 + i, 2),
+                        Value::String("some note text here")})
+              .ok());
+    }
+  }
+
+  minidb::Database db_;
+};
+
+TEST_F(ProfilerTest, FullProfileExtractsEverything) {
+  MiniDbConnection connection(&db_);
+  ExtractionOptions options;
+  options.sampling.strategy = SamplingSpec::Strategy::kFull;
+  auto profile = ProfileDatabase(&connection, options);
+  ASSERT_TRUE(profile.ok()) << profile.status().ToString();
+
+  ASSERT_EQ(profile->tables.size(), 2u);
+  const TableProfile* fact = profile->FindTable("fact");
+  ASSERT_NE(fact, nullptr);
+  EXPECT_EQ(fact->row_count, 200u);
+  EXPECT_EQ(fact->schema.columns[1].ref_table, "dim");
+
+  // NULL probabilities.
+  EXPECT_EQ(fact->columns[2].null_count, 50u);
+  EXPECT_NEAR(fact->columns[2].null_probability(), 0.25, 1e-12);
+  // Primary keys are NOT NULL: skipped, so null_count stays 0.
+  EXPECT_EQ(fact->columns[0].null_count, 0u);
+
+  // Min/max.
+  EXPECT_EQ(fact->columns[0].min.int_value(), 1);
+  EXPECT_EQ(fact->columns[0].max.int_value(), 200);
+  EXPECT_NEAR(fact->columns[2].min.AsDouble(), 1.01, 1e-9);
+
+  // Text sampling.
+  const TableProfile* dim = profile->FindTable("dim");
+  EXPECT_EQ(dim->columns[1].samples.size(), 5u);
+  EXPECT_EQ(dim->columns[1].sample_distinct, 2u);
+  EXPECT_NEAR(dim->columns[1].avg_word_count, 1.0, 1e-12);
+  EXPECT_EQ(fact->columns[3].max_word_count, 4u);
+  EXPECT_NEAR(fact->columns[3].avg_word_count, 4.0, 1e-12);
+}
+
+TEST_F(ProfilerTest, TimingsArePerPhase) {
+  MiniDbConnection connection(&db_);
+  ExtractionOptions options;
+  auto profile = ProfileDatabase(&connection, options);
+  ASSERT_TRUE(profile.ok());
+  const ExtractionTimings& timings = profile->timings;
+  EXPECT_GE(timings.schema_seconds, 0.0);
+  EXPECT_GT(timings.sizes_seconds, 0.0);
+  EXPECT_GT(timings.minmax_seconds, 0.0);
+  EXPECT_GT(timings.sampling_seconds, 0.0);
+  EXPECT_GE(timings.total(), timings.minmax_seconds);
+}
+
+TEST_F(ProfilerTest, PhasesCanBeDisabled) {
+  MiniDbConnection connection(&db_);
+  ExtractionOptions options;
+  options.extract_min_max = false;
+  options.extract_null_probabilities = false;
+  options.sample_data = false;
+  auto profile = ProfileDatabase(&connection, options);
+  ASSERT_TRUE(profile.ok());
+  const TableProfile* fact = profile->FindTable("fact");
+  EXPECT_TRUE(fact->columns[0].min.is_null());
+  EXPECT_EQ(fact->columns[2].null_count, 0u);
+  EXPECT_TRUE(fact->columns[3].samples.empty());
+  EXPECT_DOUBLE_EQ(profile->timings.minmax_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(profile->timings.sampling_seconds, 0.0);
+  // Schema info is always extracted.
+  EXPECT_EQ(profile->tables.size(), 2u);
+}
+
+TEST_F(ProfilerTest, SampleLimitBoundsMemory) {
+  MiniDbConnection connection(&db_);
+  ExtractionOptions options;
+  options.sampling.strategy = SamplingSpec::Strategy::kFull;
+  options.max_samples_per_column = 10;
+  auto profile = ProfileDatabase(&connection, options);
+  ASSERT_TRUE(profile.ok());
+  const TableProfile* fact = profile->FindTable("fact");
+  EXPECT_EQ(fact->columns[3].samples.size(), 10u);
+  // Aggregate statistics still cover all sampled rows.
+  EXPECT_EQ(fact->columns[3].sampled_rows, 200u);
+}
+
+TEST_F(ProfilerTest, FindTableIsCaseInsensitive) {
+  MiniDbConnection connection(&db_);
+  auto profile = ProfileDatabase(&connection, ExtractionOptions{});
+  ASSERT_TRUE(profile.ok());
+  EXPECT_NE(profile->FindTable("FACT"), nullptr);
+  EXPECT_EQ(profile->FindTable("ghost"), nullptr);
+}
+
+}  // namespace
+}  // namespace dbsynth

@@ -1,0 +1,136 @@
+#include "dbsynth/query_generator.h"
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "dbsynth/schema_translator.h"
+#include "dbsynth/virtual_query.h"
+#include "minidb/sql.h"
+#include "minidb/sql_parser.h"
+#include "workloads/tpch.h"
+
+namespace dbsynth {
+namespace {
+
+class QueryGeneratorTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    schema_ = new pdgf::SchemaDef(workloads::BuildTpchSchema());
+    auto session =
+        pdgf::GenerationSession::Create(schema_, {{"SF", "0.0002"}});
+    ASSERT_TRUE(session.ok());
+    session_ = session->release();
+  }
+
+  static void TearDownTestSuite() {
+    delete session_;
+    session_ = nullptr;
+    delete schema_;
+    schema_ = nullptr;
+  }
+
+  static pdgf::SchemaDef* schema_;
+  static pdgf::GenerationSession* session_;
+};
+
+pdgf::SchemaDef* QueryGeneratorTest::schema_ = nullptr;
+pdgf::GenerationSession* QueryGeneratorTest::session_ = nullptr;
+
+TEST_F(QueryGeneratorTest, DeterministicPerIndexAndSeed) {
+  QueryGenerator generator(session_);
+  for (uint64_t i = 0; i < 20; ++i) {
+    EXPECT_EQ(generator.Query(i), generator.Query(i)) << i;
+  }
+  QueryWorkloadOptions other_seed;
+  other_seed.seed = 7;
+  QueryGenerator other(session_, other_seed);
+  int differing = 0;
+  for (uint64_t i = 0; i < 20; ++i) {
+    if (generator.Query(i) != other.Query(i)) ++differing;
+  }
+  EXPECT_GE(differing, 15);
+}
+
+TEST_F(QueryGeneratorTest, EveryQueryParses) {
+  QueryGenerator generator(session_);
+  for (const std::string& sql : generator.Workload(100)) {
+    auto parsed = minidb::ParseSql(sql);
+    EXPECT_TRUE(parsed.ok()) << sql << "\n"
+                             << parsed.status().ToString();
+  }
+}
+
+TEST_F(QueryGeneratorTest, EveryQueryExecutesWithoutData) {
+  // The §7 vision: workload + data from the same model, queries
+  // executable without ever materializing the data set.
+  QueryGenerator generator(session_);
+  int nonempty = 0;
+  for (const std::string& sql : generator.Workload(60)) {
+    auto result = ExecuteQueryWithoutData(*session_, sql);
+    ASSERT_TRUE(result.ok()) << sql << "\n"
+                             << result.status().ToString();
+    if (!result->rows.empty()) ++nonempty;
+  }
+  // In-domain constants: most queries actually select something.
+  EXPECT_GT(nonempty, 40);
+}
+
+TEST_F(QueryGeneratorTest, ResultsMatchMaterializedExecution) {
+  minidb::Database database;
+  ASSERT_TRUE(CreateTargetSchema(*schema_, &database).ok());
+  ASSERT_TRUE(BulkLoadGeneratedData(*session_, &database).ok());
+  QueryGenerator generator(session_);
+  for (const std::string& sql : generator.Workload(40)) {
+    auto materialized = minidb::ExecuteSql(&database, sql);
+    auto virtual_result = ExecuteQueryWithoutData(*session_, sql);
+    ASSERT_TRUE(materialized.ok()) << sql;
+    ASSERT_TRUE(virtual_result.ok()) << sql;
+    ASSERT_EQ(materialized->rows.size(), virtual_result->rows.size())
+        << sql;
+    for (size_t r = 0; r < materialized->rows.size(); ++r) {
+      for (size_t c = 0; c < materialized->rows[r].size(); ++c) {
+        EXPECT_EQ(materialized->rows[r][c], virtual_result->rows[r][c])
+            << sql;
+      }
+    }
+  }
+}
+
+TEST_F(QueryGeneratorTest, WorkloadCoversShapes) {
+  QueryGenerator generator(session_);
+  bool saw_aggregate = false;
+  bool saw_group_by = false;
+  bool saw_where = false;
+  bool saw_limit = false;
+  bool saw_between = false;
+  for (const std::string& sql : generator.Workload(150)) {
+    if (sql.find("COUNT(*)") != std::string::npos) saw_aggregate = true;
+    if (sql.find("GROUP BY") != std::string::npos) saw_group_by = true;
+    if (sql.find("WHERE") != std::string::npos) saw_where = true;
+    if (sql.find("LIMIT") != std::string::npos) saw_limit = true;
+    if (sql.find("BETWEEN") != std::string::npos) saw_between = true;
+  }
+  EXPECT_TRUE(saw_aggregate);
+  EXPECT_TRUE(saw_group_by);
+  EXPECT_TRUE(saw_where);
+  EXPECT_TRUE(saw_limit);
+  EXPECT_TRUE(saw_between);
+}
+
+TEST_F(QueryGeneratorTest, QueriesTouchMultipleTables) {
+  QueryGenerator generator(session_);
+  std::set<std::string> tables;
+  for (const std::string& sql : generator.Workload(100)) {
+    size_t from = sql.find(" FROM ");
+    ASSERT_NE(from, std::string::npos) << sql;
+    size_t start = from + 6;
+    size_t end = sql.find(' ', start);
+    tables.insert(sql.substr(start, end == std::string::npos
+                                        ? std::string::npos
+                                        : end - start));
+  }
+  EXPECT_GE(tables.size(), 5u);
+}
+
+}  // namespace
+}  // namespace dbsynth

@@ -1,0 +1,76 @@
+#include "dbsynth/rules.h"
+
+#include <gtest/gtest.h>
+
+namespace dbsynth {
+namespace {
+
+struct RuleCase {
+  const char* column;
+  NameCategory expected;
+};
+
+class RulesTest : public ::testing::TestWithParam<RuleCase> {};
+
+TEST_P(RulesTest, ClassifiesColumnName) {
+  EXPECT_EQ(ClassifyColumnName(GetParam().column), GetParam().expected)
+      << GetParam().column << " -> "
+      << NameCategoryLabel(ClassifyColumnName(GetParam().column));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    KeywordSweep, RulesTest,
+    ::testing::Values(
+        // The paper's example: "numeric columns with name key or id".
+        RuleCase{"l_orderkey", NameCategory::kKey},
+        RuleCase{"ps_partkey", NameCategory::kKey},
+        RuleCase{"customer_id", NameCategory::kKey},
+        RuleCase{"id", NameCategory::kKey},
+        RuleCase{"ORDER_NO", NameCategory::kKey},
+        RuleCase{"c_customer_sk", NameCategory::kKey},
+        RuleCase{"account_number", NameCategory::kKey},
+        // Semantic categories.
+        RuleCase{"c_name", NameCategory::kName},
+        RuleCase{"movie_title", NameCategory::kName},
+        RuleCase{"c_address", NameCategory::kAddress},
+        RuleCase{"ship_addr", NameCategory::kAddress},
+        RuleCase{"street_1", NameCategory::kAddress},
+        RuleCase{"home_city", NameCategory::kCity},
+        RuleCase{"billing_state", NameCategory::kState},
+        RuleCase{"n_nationkey", NameCategory::kKey},  // key beats nation
+        RuleCase{"nation", NameCategory::kCountry},
+        RuleCase{"country_of_origin", NameCategory::kCountry},
+        RuleCase{"zip_code", NameCategory::kZip},
+        RuleCase{"postal", NameCategory::kZip},
+        RuleCase{"c_phone", NameCategory::kPhone},
+        RuleCase{"fax", NameCategory::kPhone},
+        RuleCase{"email_address", NameCategory::kEmail},
+        RuleCase{"homepage_url", NameCategory::kUrl},
+        RuleCase{"website", NameCategory::kUrl},
+        RuleCase{"l_comment", NameCategory::kComment},
+        RuleCase{"item_description", NameCategory::kComment},
+        RuleCase{"review_text", NameCategory::kComment},
+        RuleCase{"remarks", NameCategory::kComment},
+        RuleCase{"o_orderdate", NameCategory::kDate},
+        RuleCase{"ship_dt", NameCategory::kDate},
+        RuleCase{"p_retailprice", NameCategory::kPrice},
+        RuleCase{"total_amount", NameCategory::kPrice},
+        RuleCase{"acct_balance", NameCategory::kPrice},
+        RuleCase{"l_quantity", NameCategory::kQuantity},
+        RuleCase{"item_qty", NameCategory::kQuantity},
+        RuleCase{"click_count", NameCategory::kQuantity},
+        RuleCase{"is_active", NameCategory::kFlag},
+        RuleCase{"deleted_flag", NameCategory::kFlag},
+        // Non-matches.
+        RuleCase{"x", NameCategory::kNone},
+        RuleCase{"payload", NameCategory::kNone},
+        RuleCase{"idea", NameCategory::kNone}));  // no false key match
+
+TEST(RulesTest, LabelsAreStable) {
+  EXPECT_STREQ(NameCategoryLabel(NameCategory::kKey), "key");
+  EXPECT_STREQ(NameCategoryLabel(NameCategory::kComment), "comment");
+  EXPECT_STREQ(NameCategoryLabel(NameCategory::kNone), "none");
+}
+
+}  // namespace
+}  // namespace dbsynth

@@ -1,0 +1,139 @@
+// Tests for query execution without data generation (paper §6 future
+// work): SELECTs run directly over the generator stream and must agree
+// exactly with the same query over a database the data was loaded into.
+
+#include "dbsynth/virtual_query.h"
+
+#include <gtest/gtest.h>
+
+#include "dbsynth/schema_translator.h"
+#include "minidb/sql.h"
+#include "workloads/tpch.h"
+
+namespace dbsynth {
+namespace {
+
+class VirtualQueryTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    schema_ = new pdgf::SchemaDef(workloads::BuildTpchSchema());
+    auto session =
+        pdgf::GenerationSession::Create(schema_, {{"SF", "0.0005"}});
+    ASSERT_TRUE(session.ok());
+    session_ = session->release();
+    database_ = new minidb::Database();
+    ASSERT_TRUE(CreateTargetSchema(*schema_, database_).ok());
+    ASSERT_TRUE(BulkLoadGeneratedData(*session_, database_).ok());
+  }
+
+  static void TearDownTestSuite() {
+    delete database_;
+    database_ = nullptr;
+    delete session_;
+    session_ = nullptr;
+    delete schema_;
+    schema_ = nullptr;
+  }
+
+  // Runs `sql` both ways and requires identical result sets.
+  static void ExpectSameResults(const std::string& sql) {
+    auto materialized = minidb::ExecuteSql(database_, sql);
+    auto virtual_result = ExecuteQueryWithoutData(*session_, sql);
+    ASSERT_TRUE(materialized.ok()) << sql << ": "
+                                   << materialized.status().ToString();
+    ASSERT_TRUE(virtual_result.ok()) << sql << ": "
+                                     << virtual_result.status().ToString();
+    EXPECT_EQ(materialized->columns, virtual_result->columns) << sql;
+    ASSERT_EQ(materialized->rows.size(), virtual_result->rows.size()) << sql;
+    for (size_t r = 0; r < materialized->rows.size(); ++r) {
+      for (size_t c = 0; c < materialized->rows[r].size(); ++c) {
+        EXPECT_EQ(materialized->rows[r][c], virtual_result->rows[r][c])
+            << sql << " row " << r << " col " << c;
+      }
+    }
+  }
+
+  static pdgf::SchemaDef* schema_;
+  static pdgf::GenerationSession* session_;
+  static minidb::Database* database_;
+};
+
+pdgf::SchemaDef* VirtualQueryTest::schema_ = nullptr;
+pdgf::GenerationSession* VirtualQueryTest::session_ = nullptr;
+minidb::Database* VirtualQueryTest::database_ = nullptr;
+
+TEST_F(VirtualQueryTest, CountsMatchMaterializedData) {
+  ExpectSameResults("SELECT COUNT(*) FROM lineitem");
+  ExpectSameResults("SELECT COUNT(*) FROM orders");
+  ExpectSameResults("SELECT COUNT(*) FROM nation");
+}
+
+TEST_F(VirtualQueryTest, FiltersMatch) {
+  ExpectSameResults(
+      "SELECT COUNT(*) FROM lineitem WHERE l_quantity < 10");
+  ExpectSameResults(
+      "SELECT COUNT(*) FROM orders WHERE o_orderstatus = 'P'");
+  ExpectSameResults(
+      "SELECT COUNT(*) FROM lineitem WHERE l_shipdate BETWEEN "
+      "DATE '1994-01-01' AND DATE '1994-12-31' AND l_discount > 0.05");
+}
+
+TEST_F(VirtualQueryTest, AggregatesMatch) {
+  ExpectSameResults(
+      "SELECT SUM(l_extendedprice), AVG(l_discount), MIN(l_shipdate), "
+      "MAX(l_shipdate) FROM lineitem");
+  ExpectSameResults("SELECT COUNT(DISTINCT l_shipmode) FROM lineitem");
+}
+
+TEST_F(VirtualQueryTest, GroupByMatches) {
+  ExpectSameResults(
+      "SELECT l_returnflag, COUNT(*), SUM(l_quantity) FROM lineitem "
+      "GROUP BY l_returnflag ORDER BY l_returnflag");
+  ExpectSameResults(
+      "SELECT o_orderpriority, COUNT(*) FROM orders "
+      "GROUP BY o_orderpriority ORDER BY o_orderpriority");
+}
+
+TEST_F(VirtualQueryTest, ProjectionOrderLimitMatch) {
+  ExpectSameResults(
+      "SELECT o_orderkey, o_totalprice FROM orders "
+      "ORDER BY o_totalprice DESC LIMIT 10");
+  ExpectSameResults("SELECT n_name FROM nation ORDER BY n_name LIMIT 5");
+}
+
+TEST_F(VirtualQueryTest, NothingIsMaterialized) {
+  // A full-table aggregate through the virtual path with memory bounded
+  // to a single row: just run a large query and observe it completes;
+  // the structural guarantee is that GeneratedTableSource holds one Row.
+  GeneratedTableSource source(
+      session_, schema_->FindTableIndex("lineitem"));
+  EXPECT_EQ(source.row_count(), 3000u);
+  uint64_t visited = 0;
+  source.Scan([&visited](const minidb::Row& row) {
+    EXPECT_EQ(row.size(), 16u);
+    ++visited;
+    return true;
+  });
+  EXPECT_EQ(visited, 3000u);
+}
+
+TEST_F(VirtualQueryTest, RejectsNonSelectAndUnknownTables) {
+  EXPECT_FALSE(
+      ExecuteQueryWithoutData(*session_, "DROP TABLE lineitem").ok());
+  EXPECT_FALSE(
+      ExecuteQueryWithoutData(*session_, "SELECT * FROM ghost").ok());
+  EXPECT_FALSE(ExecuteQueryWithoutData(*session_, "not sql").ok());
+}
+
+TEST_F(VirtualQueryTest, SchemaCarriesTypesAndConstraints) {
+  GeneratedTableSource source(session_,
+                              schema_->FindTableIndex("lineitem"));
+  const minidb::TableSchema& schema = source.schema();
+  EXPECT_EQ(schema.name, "lineitem");
+  EXPECT_EQ(schema.FindColumnDef("l_partkey")->ref_table, "partsupp");
+  EXPECT_EQ(schema.FindColumnDef("l_quantity")->type,
+            pdgf::DataType::kDecimal);
+}
+
+}  // namespace
+}  // namespace dbsynth

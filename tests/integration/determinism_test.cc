@@ -1,0 +1,174 @@
+// Integration: repeatability guarantees across the whole stack — the
+// property that underpins PDGF's parallel generation strategy (paper §2
+// and §6 "An important characteristic for benchmarking data is
+// repeatability").
+
+#include <map>
+
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "core/session.h"
+#include "util/files.h"
+#include "workloads/bigbench.h"
+#include "workloads/tpch.h"
+
+namespace {
+
+using pdgf::GenerationOptions;
+using pdgf::Value;
+
+// Hashes the full CSV output (all tables, concatenated in schema order)
+// under the given engine options. Per-table buffers: the engine only
+// orders writes *within* a table; across tables, completion order is
+// scheduling-dependent by design.
+uint64_t HashTableOutput(const pdgf::GenerationSession& session,
+                         int table_index, GenerationOptions options) {
+  pdgf::CsvFormatter formatter;
+  std::map<std::string, std::string> outputs;
+  pdgf::SinkFactory factory =
+      [&outputs](const pdgf::TableDef& table)
+      -> pdgf::StatusOr<std::unique_ptr<pdgf::Sink>> {
+    class Capture : public pdgf::Sink {
+     public:
+      explicit Capture(std::string* out) : out_(out) {}
+      pdgf::Status Write(std::string_view data) override {
+        out_->append(data);
+        return pdgf::Status::Ok();
+      }
+
+     private:
+      std::string* out_;
+    };
+    return std::unique_ptr<pdgf::Sink>(new Capture(&outputs[table.name]));
+  };
+  (void)table_index;
+  pdgf::GenerationEngine engine(&session, &formatter, factory, options);
+  EXPECT_TRUE(engine.Run().ok());
+  std::string contents;
+  for (const pdgf::TableDef& table : session.schema().tables) {
+    contents += outputs[table.name];
+  }
+  return pdgf::HashName(contents);
+}
+
+TEST(DeterminismTest, TpchIdenticalAcrossRunsAndParallelism) {
+  pdgf::SchemaDef schema = workloads::BuildTpchSchema();
+  auto session =
+      pdgf::GenerationSession::Create(&schema, {{"SF", "0.0002"}});
+  ASSERT_TRUE(session.ok()) << session.status().ToString();
+
+  GenerationOptions serial;
+  serial.worker_count = 1;
+  serial.work_package_rows = 100000;
+  uint64_t reference = HashTableOutput(**session, 0, serial);
+
+  GenerationOptions parallel;
+  parallel.worker_count = 4;
+  parallel.work_package_rows = 17;
+  EXPECT_EQ(HashTableOutput(**session, 0, parallel), reference);
+
+  GenerationOptions tiny_packages;
+  tiny_packages.worker_count = 2;
+  tiny_packages.work_package_rows = 1;
+  EXPECT_EQ(HashTableOutput(**session, 0, tiny_packages), reference);
+}
+
+TEST(DeterminismTest, BigBenchNodePartitioningIsSeamless) {
+  pdgf::SchemaDef schema = workloads::BuildBigBenchSchema();
+  auto session =
+      pdgf::GenerationSession::Create(&schema, {{"SF", "0.0005"}});
+  ASSERT_TRUE(session.ok());
+
+  pdgf::CsvFormatter formatter;
+  // Whole data set in one go.
+  std::string whole;
+  for (size_t t = 0; t < schema.tables.size(); ++t) {
+    auto table_csv =
+        GenerateTableToString(**session, static_cast<int>(t), formatter);
+    ASSERT_TRUE(table_csv.ok());
+    whole += *table_csv;
+  }
+  // Concatenation of 5 simulated nodes' outputs.
+  std::string stitched;
+  for (size_t t = 0; t < schema.tables.size(); ++t) {
+    for (int node = 0; node < 5; ++node) {
+      uint64_t begin, end;
+      pdgf::NodeShare((*session)->TableRows(static_cast<int>(t)), 5, node,
+                      &begin, &end);
+      std::vector<Value> row;
+      std::string buffer;
+      for (uint64_t r = begin; r < end; ++r) {
+        (*session)->GenerateRow(static_cast<int>(t), r, 0, &row);
+        formatter.AppendRow(schema.tables[t], row, &buffer);
+      }
+      stitched += buffer;
+    }
+  }
+  EXPECT_EQ(whole, stitched);
+}
+
+TEST(DeterminismTest, ScaleFactorPrefixProperty) {
+  // Rows 0..N-1 of a SF data set are byte-identical to the same rows of a
+  // larger SF data set for size-independent generators (ids, dates,
+  // dictionary draws) — the computational strategy evaluates each row in
+  // isolation.
+  pdgf::SchemaDef small = workloads::BuildTpchSchema();
+  pdgf::SchemaDef large = workloads::BuildTpchSchema();
+  auto small_session =
+      pdgf::GenerationSession::Create(&small, {{"SF", "0.0002"}});
+  auto large_session =
+      pdgf::GenerationSession::Create(&large, {{"SF", "0.001"}});
+  ASSERT_TRUE(small_session.ok());
+  ASSERT_TRUE(large_session.ok());
+  int customer = small.FindTableIndex("customer");
+  // Fields independent of other tables' sizes: c_custkey(0), c_name(1),
+  // c_phone(4), c_acctbal(5), c_mktsegment(6).
+  std::vector<Value> small_row, large_row;
+  for (uint64_t r = 0; r < 30; ++r) {
+    (*small_session)->GenerateRow(customer, r, 0, &small_row);
+    (*large_session)->GenerateRow(customer, r, 0, &large_row);
+    for (int field : {0, 1, 4, 5, 6}) {
+      EXPECT_EQ(small_row[static_cast<size_t>(field)],
+                large_row[static_cast<size_t>(field)])
+          << "row " << r << " field " << field;
+    }
+  }
+}
+
+TEST(DeterminismTest, FilesOnDiskAreReproducible) {
+  pdgf::SchemaDef schema = workloads::BuildTpchSchema();
+  auto session =
+      pdgf::GenerationSession::Create(&schema, {{"SF", "0.0001"}});
+  ASSERT_TRUE(session.ok());
+  auto dir = pdgf::MakeTempDir("determinism_");
+  ASSERT_TRUE(dir.ok());
+  pdgf::CsvFormatter formatter;
+
+  GenerationOptions options1;
+  options1.worker_count = 1;
+  auto stats1 = GenerateToDirectory(**session, formatter,
+                                    pdgf::JoinPath(*dir, "run1"), options1);
+  ASSERT_TRUE(stats1.ok());
+
+  GenerationOptions options2;
+  options2.worker_count = 4;
+  options2.work_package_rows = 23;
+  auto stats2 = GenerateToDirectory(**session, formatter,
+                                    pdgf::JoinPath(*dir, "run2"), options2);
+  ASSERT_TRUE(stats2.ok());
+
+  for (const pdgf::TableDef& table : schema.tables) {
+    auto f1 = pdgf::ReadFileToString(
+        pdgf::JoinPath(*dir, "run1/" + table.name + ".csv"));
+    auto f2 = pdgf::ReadFileToString(
+        pdgf::JoinPath(*dir, "run2/" + table.name + ".csv"));
+    ASSERT_TRUE(f1.ok());
+    ASSERT_TRUE(f2.ok());
+    EXPECT_EQ(*f1, *f2) << table.name;
+  }
+  EXPECT_EQ(stats1->bytes, stats2->bytes);
+  EXPECT_EQ(stats1->rows, stats2->rows);
+}
+
+}  // namespace

@@ -1,0 +1,133 @@
+#include "minidb/csv.h"
+
+#include <gtest/gtest.h>
+
+#include "minidb/sql.h"
+#include "util/files.h"
+
+namespace minidb {
+namespace {
+
+using pdgf::Value;
+
+Database MakeDb() {
+  Database db;
+  auto created = ExecuteSql(
+      &db,
+      "CREATE TABLE t (id BIGINT NOT NULL, name VARCHAR(30), "
+      "price DECIMAL(15,2), added DATE)");
+  EXPECT_TRUE(created.ok());
+  return db;
+}
+
+TEST(CsvTest, LoadBasicRows) {
+  Database db = MakeDb();
+  auto loaded = LoadCsvIntoTable(
+      "1|hammer|9.99|2014-01-05\n"
+      "2|nail|0.05|2014-02-10\n",
+      db.GetTable("t"));
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(*loaded, 2u);
+  const Table* table = db.GetTable("t");
+  EXPECT_EQ(table->row(0)[1].string_value(), "hammer");
+  EXPECT_EQ(table->row(1)[2].ToText(), "0.05");
+  EXPECT_EQ(table->row(0)[3].kind(), Value::Kind::kDate);
+}
+
+TEST(CsvTest, NullMarkerAndQuoting) {
+  Database db = MakeDb();
+  CsvOptions options;
+  options.null_marker = "NULL";
+  auto loaded = LoadCsvIntoTable(
+      "1|\"pipe|name\"|NULL|NULL\n"
+      "2|\"quoted \"\"q\"\"\"|1.00|2014-01-01\n"
+      "3|\"NULL\"|2.00|2014-01-01\n",
+      db.GetTable("t"), options);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  const Table* table = db.GetTable("t");
+  EXPECT_EQ(table->row(0)[1].string_value(), "pipe|name");
+  EXPECT_TRUE(table->row(0)[2].is_null());
+  EXPECT_EQ(table->row(1)[1].string_value(), "quoted \"q\"");
+  // Quoted "NULL" is the string, not SQL NULL.
+  EXPECT_EQ(table->row(2)[1].string_value(), "NULL");
+}
+
+TEST(CsvTest, HeaderSkipping) {
+  Database db = MakeDb();
+  CsvOptions options;
+  options.has_header = true;
+  auto loaded = LoadCsvIntoTable(
+      "id|name|price|added\n1|x|1.0|2014-01-01\n", db.GetTable("t"),
+      options);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(*loaded, 1u);
+}
+
+TEST(CsvTest, ArityMismatchRejected) {
+  Database db = MakeDb();
+  auto loaded = LoadCsvIntoTable("1|two\n", db.GetTable("t"));
+  EXPECT_FALSE(loaded.ok());
+}
+
+TEST(CsvTest, TypeErrorsCarryContext) {
+  Database db = MakeDb();
+  auto loaded =
+      LoadCsvIntoTable("notanumber|x|1.0|2014-01-01\n", db.GetTable("t"));
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().message().find("column id"), std::string::npos);
+}
+
+TEST(CsvTest, RoundTrip) {
+  Database db = MakeDb();
+  Table* table = db.GetTable("t");
+  ASSERT_TRUE(table
+                  ->Insert({Value::Int(1), Value::String("has|pipe"),
+                            Value::Decimal(999, 2), Value::Null()})
+                  .ok());
+  ASSERT_TRUE(table
+                  ->Insert({Value::Int(2), Value::Null(),
+                            Value::Decimal(5, 2),
+                            Value::FromDate(pdgf::Date::FromCivil(2014, 7,
+                                                                  1))})
+                  .ok());
+  CsvOptions options;
+  options.null_marker = "\\N";
+  std::string csv = TableToCsv(*table, options);
+
+  Database db2 = MakeDb();
+  auto loaded = LoadCsvIntoTable(csv, db2.GetTable("t"), options);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(*loaded, 2u);
+  const Table* reloaded = db2.GetTable("t");
+  for (size_t r = 0; r < 2; ++r) {
+    for (size_t c = 0; c < 4; ++c) {
+      EXPECT_EQ(reloaded->row(r)[c], table->row(r)[c])
+          << "row " << r << " col " << c;
+    }
+  }
+}
+
+TEST(CsvTest, FileLoad) {
+  auto dir = pdgf::MakeTempDir("minidb_csv_");
+  ASSERT_TRUE(dir.ok());
+  std::string path = pdgf::JoinPath(*dir, "data.csv");
+  ASSERT_TRUE(
+      pdgf::WriteStringToFile(path, "5|file|2.50|2014-09-09\n").ok());
+  Database db = MakeDb();
+  auto loaded = LoadCsvFileIntoTable(path, db.GetTable("t"));
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(*loaded, 1u);
+  EXPECT_FALSE(LoadCsvFileIntoTable("/no/such/file", db.GetTable("t")).ok());
+}
+
+TEST(CsvTest, CrLfAndMissingTrailingNewline) {
+  Database db = MakeDb();
+  auto loaded = LoadCsvIntoTable("1|a|1.0|2014-01-01\r\n2|b|2.0|2014-01-02",
+                                 db.GetTable("t"));
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(*loaded, 2u);
+  EXPECT_EQ(db.GetTable("t")->row(0)[1].string_value(), "a");
+}
+
+}  // namespace
+}  // namespace minidb

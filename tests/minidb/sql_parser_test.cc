@@ -1,0 +1,152 @@
+// Direct tests of the SQL lexer and parser (statement structure, error
+// positions, keyword handling) — the executor is covered in sql_test.cc.
+
+#include "minidb/sql_parser.h"
+
+#include <gtest/gtest.h>
+
+#include "minidb/sql_lexer.h"
+
+namespace minidb {
+namespace {
+
+using pdgf::Value;
+
+TEST(SqlLexerTest, TokenKindsAndOffsets) {
+  auto tokens = LexSql("SELECT a1, 'it''s' FROM t WHERE x <= 2.5");
+  ASSERT_TRUE(tokens.ok());
+  ASSERT_GE(tokens->size(), 10u);
+  EXPECT_EQ((*tokens)[0].kind, TokenKind::kIdentifier);
+  EXPECT_EQ((*tokens)[0].text, "SELECT");
+  EXPECT_EQ((*tokens)[0].offset, 0u);
+  EXPECT_EQ((*tokens)[1].text, "a1");
+  EXPECT_EQ((*tokens)[2].Is(TokenKind::kSymbol, ","), true);
+  EXPECT_EQ((*tokens)[3].kind, TokenKind::kString);
+  EXPECT_EQ((*tokens)[3].text, "it's");
+  EXPECT_EQ((*tokens)[8].Is(TokenKind::kSymbol, "<="), true);
+  EXPECT_EQ((*tokens)[9].kind, TokenKind::kNumber);
+  EXPECT_EQ((*tokens)[9].text, "2.5");
+  EXPECT_EQ(tokens->back().kind, TokenKind::kEnd);
+}
+
+TEST(SqlLexerTest, CommentsAndQuotedIdentifiers) {
+  auto tokens = LexSql("SELECT \"weird name\" -- trailing\nFROM t");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[1].text, "weird name");
+  EXPECT_EQ((*tokens)[2].text, "FROM");
+}
+
+TEST(SqlLexerTest, Errors) {
+  EXPECT_FALSE(LexSql("SELECT 'unterminated").ok());
+  EXPECT_FALSE(LexSql("SELECT \"unterminated").ok());
+  EXPECT_FALSE(LexSql("SELECT @").ok());
+}
+
+TEST(SqlParserTest, SelectStructure) {
+  auto statement = ParseSql(
+      "select Name, count(distinct X) as n from T where a >= -3 "
+      "and b like '%x%' group by Name order by n desc limit 12;");
+  ASSERT_TRUE(statement.ok()) << statement.status().ToString();
+  const auto* select = std::get_if<SelectStatement>(&*statement);
+  ASSERT_NE(select, nullptr);
+  ASSERT_EQ(select->items.size(), 2u);
+  EXPECT_EQ(select->items[0].column, "Name");
+  EXPECT_EQ(select->items[1].aggregate, AggregateFunction::kCount);
+  EXPECT_TRUE(select->items[1].distinct);
+  EXPECT_EQ(select->items[1].alias, "n");
+  EXPECT_EQ(select->table, "T");
+  ASSERT_EQ(select->conditions.size(), 2u);
+  EXPECT_EQ(select->conditions[0].op, Condition::Op::kGe);
+  EXPECT_EQ(select->conditions[0].operand.int_value(), -3);
+  EXPECT_EQ(select->conditions[1].op, Condition::Op::kLike);
+  EXPECT_EQ(select->group_by, "Name");
+  EXPECT_EQ(select->order_by, "n");
+  EXPECT_TRUE(select->order_desc);
+  EXPECT_EQ(select->limit, 12);
+}
+
+TEST(SqlParserTest, CreateTableStructure) {
+  auto statement = ParseSql(
+      "CREATE TABLE t (a BIGINT PRIMARY KEY, b DECIMAL(12,3) NOT NULL, "
+      "c VARCHAR(44) REFERENCES other(oc), PRIMARY KEY (a))");
+  ASSERT_TRUE(statement.ok()) << statement.status().ToString();
+  const auto* create = std::get_if<CreateTableStatement>(&*statement);
+  ASSERT_NE(create, nullptr);
+  ASSERT_EQ(create->schema.columns.size(), 3u);
+  EXPECT_TRUE(create->schema.columns[0].primary_key);
+  EXPECT_EQ(create->schema.columns[1].size, 12);
+  EXPECT_EQ(create->schema.columns[1].scale, 3);
+  EXPECT_FALSE(create->schema.columns[1].nullable);
+  EXPECT_EQ(create->schema.columns[2].ref_table, "other");
+  EXPECT_EQ(create->schema.columns[2].ref_column, "oc");
+}
+
+TEST(SqlParserTest, TwoWordTypes) {
+  auto statement = ParseSql(
+      "CREATE TABLE t (a DOUBLE PRECISION, b CHARACTER VARYING(10))");
+  ASSERT_TRUE(statement.ok()) << statement.status().ToString();
+  const auto* create = std::get_if<CreateTableStatement>(&*statement);
+  EXPECT_EQ(create->schema.columns[0].type, pdgf::DataType::kDouble);
+  EXPECT_EQ(create->schema.columns[1].type, pdgf::DataType::kVarchar);
+  EXPECT_EQ(create->schema.columns[1].size, 10);
+}
+
+TEST(SqlParserTest, InsertLiterals) {
+  auto statement = ParseSql(
+      "INSERT INTO t VALUES (1, -2.5, 'text', NULL, TRUE, FALSE, "
+      "DATE '1999-12-31'), (2, 0.0, '', NULL, FALSE, TRUE, "
+      "DATE '2000-01-01')");
+  ASSERT_TRUE(statement.ok()) << statement.status().ToString();
+  const auto* insert = std::get_if<InsertStatement>(&*statement);
+  ASSERT_NE(insert, nullptr);
+  ASSERT_EQ(insert->rows.size(), 2u);
+  const auto& row = insert->rows[0];
+  EXPECT_EQ(row[0].int_value(), 1);
+  EXPECT_DOUBLE_EQ(row[1].double_value(), -2.5);
+  EXPECT_EQ(row[2].string_value(), "text");
+  EXPECT_TRUE(row[3].is_null());
+  EXPECT_TRUE(row[4].bool_value());
+  EXPECT_FALSE(row[5].bool_value());
+  EXPECT_EQ(row[6].kind(), Value::Kind::kDate);
+}
+
+TEST(SqlParserTest, ErrorsMentionOffset) {
+  auto statement = ParseSql("SELECT FROM t");
+  ASSERT_FALSE(statement.ok());
+  EXPECT_NE(statement.status().message().find("offset"), std::string::npos);
+}
+
+TEST(SqlParserTest, ScriptSplitRespectsStringLiterals) {
+  auto statements = ParseSqlScript(
+      "CREATE TABLE t (a VARCHAR(20)); "
+      "INSERT INTO t VALUES ('semi;colon'); "
+      "SELECT * FROM t;");
+  ASSERT_TRUE(statements.ok()) << statements.status().ToString();
+  ASSERT_EQ(statements->size(), 3u);
+  const auto* insert = std::get_if<InsertStatement>(&(*statements)[1]);
+  ASSERT_NE(insert, nullptr);
+  EXPECT_EQ(insert->rows[0][0].string_value(), "semi;colon");
+}
+
+TEST(SqlParserTest, EmptyScriptPiecesSkipped) {
+  auto statements = ParseSqlScript(";;  ;\nSELECT * FROM t;;");
+  ASSERT_TRUE(statements.ok());
+  EXPECT_EQ(statements->size(), 1u);
+}
+
+TEST(SqlParserTest, TrailingGarbageRejected) {
+  EXPECT_FALSE(ParseSql("SELECT * FROM t garbage").ok());
+  EXPECT_FALSE(ParseSql("DROP TABLE t x").ok());
+}
+
+TEST(SqlParserTest, AggregateNamesAreNotReservedElsewhere) {
+  // COUNT used as a plain column name (no parenthesis) parses as one.
+  auto statement = ParseSql("SELECT count FROM t");
+  ASSERT_TRUE(statement.ok());
+  const auto* select = std::get_if<SelectStatement>(&*statement);
+  EXPECT_EQ(select->items[0].column, "count");
+  EXPECT_EQ(select->items[0].aggregate, AggregateFunction::kNone);
+}
+
+}  // namespace
+}  // namespace minidb

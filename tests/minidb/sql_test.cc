@@ -1,0 +1,339 @@
+#include "minidb/sql.h"
+
+#include <gtest/gtest.h>
+
+namespace minidb {
+namespace {
+
+using pdgf::Value;
+
+class SqlTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto created = ExecuteSqlScript(&db_,
+                                    "CREATE TABLE items ("
+                                    "  id BIGINT PRIMARY KEY,"
+                                    "  name VARCHAR(30) NOT NULL,"
+                                    "  price DECIMAL(15,2),"
+                                    "  category VARCHAR(10),"
+                                    "  added DATE,"
+                                    "  stock INTEGER);"
+                                    "INSERT INTO items VALUES"
+                                    "  (1, 'hammer', 9.99, 'tools', "
+                                    "DATE '2014-01-05', 10),"
+                                    "  (2, 'nail', 0.05, 'tools', "
+                                    "DATE '2014-02-10', 1000),"
+                                    "  (3, 'rose', 2.50, 'garden', "
+                                    "DATE '2014-03-20', 25),"
+                                    "  (4, 'hose', 25.00, 'garden', NULL, "
+                                    "NULL),"
+                                    "  (5, 'glove', 3.75, NULL, "
+                                    "DATE '2014-05-01', 60);");
+    ASSERT_TRUE(created.ok()) << created.status().ToString();
+  }
+
+  ResultSet Query(const std::string& sql) {
+    auto result = ExecuteSql(&db_, sql);
+    EXPECT_TRUE(result.ok()) << sql << ": " << result.status().ToString();
+    return result.ok() ? *result : ResultSet{};
+  }
+
+  Database db_;
+};
+
+TEST_F(SqlTest, CreateTableBuildsCatalog) {
+  const Table* table = db_.GetTable("items");
+  ASSERT_NE(table, nullptr);
+  const TableSchema& schema = table->schema();
+  ASSERT_EQ(schema.columns.size(), 6u);
+  EXPECT_TRUE(schema.columns[0].primary_key);
+  EXPECT_FALSE(schema.columns[0].nullable);
+  EXPECT_FALSE(schema.columns[1].nullable);
+  EXPECT_EQ(schema.columns[2].type, pdgf::DataType::kDecimal);
+  EXPECT_EQ(schema.columns[2].size, 15);
+  EXPECT_EQ(schema.columns[2].scale, 2);
+  EXPECT_EQ(schema.columns[1].size, 30);
+}
+
+TEST_F(SqlTest, SelectStarReturnsEverything) {
+  ResultSet result = Query("SELECT * FROM items");
+  EXPECT_EQ(result.columns.size(), 6u);
+  EXPECT_EQ(result.rows.size(), 5u);
+}
+
+TEST_F(SqlTest, Projection) {
+  ResultSet result = Query("SELECT name, price FROM items");
+  EXPECT_EQ(result.columns,
+            (std::vector<std::string>{"name", "price"}));
+  EXPECT_EQ(result.rows[0][0].string_value(), "hammer");
+  EXPECT_EQ(result.rows[0][1].ToText(), "9.99");
+}
+
+TEST_F(SqlTest, WhereComparisons) {
+  EXPECT_EQ(Query("SELECT id FROM items WHERE price > 3").rows.size(), 3u);
+  EXPECT_EQ(Query("SELECT id FROM items WHERE price >= 2.50").rows.size(),
+            4u);
+  EXPECT_EQ(Query("SELECT id FROM items WHERE id <> 3").rows.size(), 4u);
+  EXPECT_EQ(
+      Query("SELECT id FROM items WHERE category = 'tools'").rows.size(),
+      2u);
+  EXPECT_EQ(Query("SELECT id FROM items WHERE price < 1 AND stock > 500")
+                .rows.size(),
+            1u);
+}
+
+TEST_F(SqlTest, WhereOnDates) {
+  EXPECT_EQ(Query("SELECT id FROM items WHERE added >= DATE '2014-03-01'")
+                .rows.size(),
+            2u);
+  // Bare strings coerce against DATE columns too.
+  EXPECT_EQ(Query("SELECT id FROM items WHERE added = '2014-01-05'")
+                .rows.size(),
+            1u);
+}
+
+TEST_F(SqlTest, NullSemantics) {
+  EXPECT_EQ(Query("SELECT id FROM items WHERE category IS NULL").rows.size(),
+            1u);
+  EXPECT_EQ(
+      Query("SELECT id FROM items WHERE category IS NOT NULL").rows.size(),
+      4u);
+  // Comparisons with NULL cells are unknown, not true.
+  EXPECT_EQ(Query("SELECT id FROM items WHERE stock > 0").rows.size(), 4u);
+}
+
+TEST_F(SqlTest, BetweenAndLike) {
+  EXPECT_EQ(
+      Query("SELECT id FROM items WHERE price BETWEEN 2 AND 10").rows.size(),
+      3u);
+  EXPECT_EQ(Query("SELECT id FROM items WHERE name LIKE 'h%'").rows.size(),
+            2u);
+  EXPECT_EQ(Query("SELECT id FROM items WHERE name LIKE '%ose'").rows.size(),
+            2u);
+  EXPECT_EQ(Query("SELECT id FROM items WHERE name LIKE '_ail'").rows.size(),
+            1u);
+  EXPECT_EQ(
+      Query("SELECT id FROM items WHERE name NOT LIKE '%o%'").rows.size(),
+      2u);
+}
+
+TEST_F(SqlTest, GlobalAggregates) {
+  ResultSet result = Query(
+      "SELECT COUNT(*), COUNT(category), COUNT(DISTINCT category), "
+      "SUM(price), AVG(stock), MIN(price), MAX(name) FROM items");
+  ASSERT_EQ(result.rows.size(), 1u);
+  EXPECT_EQ(result.At(0, "count").int_value(), 5);
+  EXPECT_EQ(result.At(0, "count_category").int_value(), 4);
+  EXPECT_EQ(result.At(0, "count_distinct_category").int_value(), 2);
+  EXPECT_NEAR(result.At(0, "sum_price").AsDouble(), 41.29, 1e-9);
+  EXPECT_NEAR(result.At(0, "avg_stock").AsDouble(), (10 + 1000 + 25 + 60) / 4.0,
+              1e-9);
+  EXPECT_EQ(result.At(0, "min_price").ToText(), "0.05");
+  EXPECT_EQ(result.At(0, "max_name").string_value(), "rose");
+}
+
+TEST_F(SqlTest, AggregatesOnEmptyInput) {
+  ResultSet result =
+      Query("SELECT COUNT(*), SUM(price) FROM items WHERE id > 100");
+  ASSERT_EQ(result.rows.size(), 1u);
+  EXPECT_EQ(result.At(0, "count").int_value(), 0);
+  EXPECT_TRUE(result.At(0, "sum_price").is_null());
+}
+
+TEST_F(SqlTest, GroupBy) {
+  ResultSet result = Query(
+      "SELECT category, COUNT(*), SUM(price) FROM items "
+      "GROUP BY category ORDER BY category");
+  ASSERT_EQ(result.rows.size(), 3u);  // NULL group, garden, tools
+  EXPECT_TRUE(result.rows[0][0].is_null());
+  EXPECT_EQ(result.rows[1][0].string_value(), "garden");
+  EXPECT_EQ(result.rows[1][1].int_value(), 2);
+  EXPECT_NEAR(result.rows[1][2].AsDouble(), 27.50, 1e-9);
+  EXPECT_EQ(result.rows[2][0].string_value(), "tools");
+}
+
+TEST_F(SqlTest, OrderByAndLimit) {
+  ResultSet result =
+      Query("SELECT name FROM items ORDER BY price DESC LIMIT 2");
+  ASSERT_EQ(result.rows.size(), 2u);
+  EXPECT_EQ(result.rows[0][0].string_value(), "hose");
+  EXPECT_EQ(result.rows[1][0].string_value(), "hammer");
+  ResultSet by_alias =
+      Query("SELECT name, price AS p FROM items ORDER BY p LIMIT 1");
+  EXPECT_EQ(by_alias.rows[0][0].string_value(), "nail");
+}
+
+TEST_F(SqlTest, InsertValidatesAgainstSchema) {
+  // NULL into NOT NULL.
+  auto bad = ExecuteSql(&db_, "INSERT INTO items VALUES (9, NULL, 1, 'x', "
+                              "NULL, 1)");
+  EXPECT_FALSE(bad.ok());
+  // Wrong arity.
+  EXPECT_FALSE(ExecuteSql(&db_, "INSERT INTO items VALUES (9)").ok());
+  // Unknown table.
+  EXPECT_FALSE(ExecuteSql(&db_, "INSERT INTO ghost VALUES (1)").ok());
+}
+
+TEST_F(SqlTest, UpdateStatement) {
+  ResultSet result = Query(
+      "UPDATE items SET price = 1.00, category = 'sale' WHERE price > 5");
+  EXPECT_EQ(result.affected_rows, 2u);  // hammer, hose
+  EXPECT_EQ(Query("SELECT COUNT(*) FROM items WHERE category = 'sale'")
+                .At(0, "count")
+                .int_value(),
+            2);
+  // The assigned literal was coerced to the column's DECIMAL scale.
+  EXPECT_EQ(Query("SELECT price FROM items WHERE id = 1")
+                .rows[0][0]
+                .ToText(),
+            "1.00");
+}
+
+TEST_F(SqlTest, UpdateWithoutWhereTouchesEverything) {
+  ResultSet result = Query("UPDATE items SET stock = 0");
+  EXPECT_EQ(result.affected_rows, 5u);
+  EXPECT_EQ(Query("SELECT SUM(stock) FROM items").At(0, "sum_stock")
+                .AsDouble(),
+            0);
+}
+
+TEST_F(SqlTest, UpdateValidation) {
+  EXPECT_FALSE(ExecuteSql(&db_, "UPDATE ghost SET a = 1").ok());
+  EXPECT_FALSE(ExecuteSql(&db_, "UPDATE items SET ghost = 1").ok());
+  EXPECT_FALSE(
+      ExecuteSql(&db_, "UPDATE items SET id = 1 WHERE ghost = 2").ok());
+  // NULL into NOT NULL column.
+  EXPECT_FALSE(ExecuteSql(&db_, "UPDATE items SET name = NULL").ok());
+  // Incompatible literal kind.
+  EXPECT_FALSE(ExecuteSql(&db_, "UPDATE items SET id = 'text'").ok());
+}
+
+TEST_F(SqlTest, DeleteStatement) {
+  ResultSet result =
+      Query("DELETE FROM items WHERE category = 'garden'");
+  EXPECT_EQ(result.affected_rows, 2u);
+  EXPECT_EQ(Query("SELECT COUNT(*) FROM items").At(0, "count").int_value(),
+            3);
+  // Remaining rows kept their order.
+  ResultSet names = Query("SELECT name FROM items");
+  ASSERT_EQ(names.rows.size(), 3u);
+  EXPECT_EQ(names.rows[0][0].string_value(), "hammer");
+  EXPECT_EQ(names.rows[1][0].string_value(), "nail");
+  EXPECT_EQ(names.rows[2][0].string_value(), "glove");
+}
+
+TEST_F(SqlTest, DeleteWithoutWhereEmptiesTable) {
+  ResultSet result = Query("DELETE FROM items");
+  EXPECT_EQ(result.affected_rows, 5u);
+  EXPECT_EQ(Query("SELECT COUNT(*) FROM items").At(0, "count").int_value(),
+            0);
+  // Deleting again affects nothing.
+  EXPECT_EQ(Query("DELETE FROM items").affected_rows, 0u);
+}
+
+TEST_F(SqlTest, DropTable) {
+  ASSERT_TRUE(ExecuteSql(&db_, "DROP TABLE items").ok());
+  EXPECT_EQ(db_.GetTable("items"), nullptr);
+  EXPECT_FALSE(ExecuteSql(&db_, "SELECT * FROM items").ok());
+}
+
+TEST_F(SqlTest, ErrorsForUnknownColumns) {
+  EXPECT_FALSE(ExecuteSql(&db_, "SELECT ghost FROM items").ok());
+  EXPECT_FALSE(ExecuteSql(&db_, "SELECT id FROM items WHERE ghost = 1").ok());
+  EXPECT_FALSE(
+      ExecuteSql(&db_, "SELECT id FROM items ORDER BY ghost").ok());
+  EXPECT_FALSE(
+      ExecuteSql(&db_, "SELECT COUNT(*) FROM items GROUP BY ghost").ok());
+}
+
+TEST_F(SqlTest, ParseErrors) {
+  EXPECT_FALSE(ExecuteSql(&db_, "").ok());
+  EXPECT_FALSE(ExecuteSql(&db_, "SELEKT * FROM items").ok());
+  EXPECT_FALSE(ExecuteSql(&db_, "SELECT * FROM").ok());
+  EXPECT_FALSE(ExecuteSql(&db_, "SELECT * FROM items WHERE").ok());
+  EXPECT_FALSE(ExecuteSql(&db_, "INSERT INTO items VALUES (1,2").ok());
+  EXPECT_FALSE(ExecuteSql(&db_, "SELECT * FROM items; DROP TABLE x").ok());
+}
+
+TEST_F(SqlTest, GroupByRequiresAggregates) {
+  EXPECT_FALSE(
+      ExecuteSql(&db_, "SELECT name FROM items GROUP BY category").ok());
+  EXPECT_FALSE(ExecuteSql(&db_, "SELECT name, COUNT(*) FROM items "
+                                "GROUP BY category")
+                   .ok());
+}
+
+TEST_F(SqlTest, StringEscaping) {
+  ASSERT_TRUE(ExecuteSql(&db_, "INSERT INTO items VALUES (9, 'it''s', 1.00,"
+                               " 'q', NULL, 1)")
+                  .ok());
+  ResultSet result = Query("SELECT name FROM items WHERE id = 9");
+  EXPECT_EQ(result.rows[0][0].string_value(), "it's");
+}
+
+TEST_F(SqlTest, CommentsAreIgnored) {
+  ResultSet result = Query(
+      "SELECT id FROM items -- trailing comment\nWHERE id = 1");
+  EXPECT_EQ(result.rows.size(), 1u);
+}
+
+TEST_F(SqlTest, ResultSetToStringAligns) {
+  std::string text = Query("SELECT name, stock FROM items WHERE id > 3").ToString();
+  EXPECT_NE(text.find("name"), std::string::npos);
+  EXPECT_NE(text.find("hose"), std::string::npos);
+  EXPECT_NE(text.find("NULL"), std::string::npos);
+}
+
+TEST_F(SqlTest, ExecuteSqlOnSourceRunsSelectsOnly) {
+  TableRowSource source(db_.GetTable("items"));
+  auto result = ExecuteSqlOnSource(
+      source, "SELECT COUNT(*) FROM anything_the_name_is_ignored");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->At(0, "count").int_value(), 5);
+  EXPECT_FALSE(ExecuteSqlOnSource(source, "DROP TABLE items").ok());
+  EXPECT_FALSE(ExecuteSqlOnSource(source, "not sql").ok());
+}
+
+TEST(LikeMatchTest, PatternEdgeCases) {
+  EXPECT_TRUE(LikeMatch("", ""));
+  EXPECT_TRUE(LikeMatch("", "%"));
+  EXPECT_FALSE(LikeMatch("", "_"));
+  EXPECT_TRUE(LikeMatch("abc", "abc"));
+  EXPECT_TRUE(LikeMatch("abc", "a%c"));
+  EXPECT_TRUE(LikeMatch("abc", "%%%"));
+  EXPECT_TRUE(LikeMatch("abc", "a_c"));
+  EXPECT_FALSE(LikeMatch("abc", "a_d"));
+  EXPECT_TRUE(LikeMatch("aXbXc", "a%b%c"));
+  EXPECT_FALSE(LikeMatch("abc", "abcd"));
+  EXPECT_TRUE(LikeMatch("mississippi", "%iss%ppi"));
+}
+
+TEST(BuildCreateTableSqlTest, RoundTripsThroughParser) {
+  TableSchema schema;
+  schema.name = "orders";
+  schema.columns.push_back(ColumnDef{"o_id", pdgf::DataType::kBigInt, 19, 2,
+                                     false, true, "", ""});
+  schema.columns.push_back(ColumnDef{"o_total", pdgf::DataType::kDecimal, 15,
+                                     2, true, false, "", ""});
+  schema.columns.push_back(ColumnDef{"o_cust", pdgf::DataType::kBigInt, 19,
+                                     2, false, false, "customer", "c_id"});
+  std::string sql = BuildCreateTableSql(schema);
+  EXPECT_NE(sql.find("PRIMARY KEY"), std::string::npos);
+  EXPECT_NE(sql.find("REFERENCES customer(c_id)"), std::string::npos);
+  EXPECT_NE(sql.find("DECIMAL(15,2)"), std::string::npos);
+
+  Database database;
+  TableSchema customer;
+  customer.name = "customer";
+  customer.columns.push_back(ColumnDef{"c_id", pdgf::DataType::kBigInt, 19,
+                                       2, false, true, "", ""});
+  ASSERT_TRUE(database.CreateTable(customer).ok());
+  auto result = ExecuteSql(&database, sql);
+  ASSERT_TRUE(result.ok()) << result.status().ToString() << "\n" << sql;
+  const Table* table = database.GetTable("orders");
+  ASSERT_NE(table, nullptr);
+  EXPECT_EQ(table->schema().columns[2].ref_table, "customer");
+}
+
+}  // namespace
+}  // namespace minidb

@@ -1,0 +1,131 @@
+#include "minidb/stats.h"
+
+#include <gtest/gtest.h>
+
+#include "minidb/sql.h"
+
+namespace minidb {
+namespace {
+
+using pdgf::Value;
+
+Database MakeDb() {
+  Database db;
+  auto created = ExecuteSqlScript(
+      &db,
+      "CREATE TABLE t (n INTEGER, txt VARCHAR(50), d DATE);"
+      "INSERT INTO t VALUES"
+      " (1, 'alpha', DATE '2000-01-01'),"
+      " (2, 'alpha', DATE '2000-06-01'),"
+      " (3, 'beta word', DATE '2001-01-01'),"
+      " (4, NULL, NULL),"
+      " (10, 'alpha', DATE '2002-01-01'),"
+      " (NULL, 'gamma delta epsilon', DATE '2000-03-01');");
+  EXPECT_TRUE(created.ok()) << created.status().ToString();
+  return db;
+}
+
+TEST(StatsTest, RowAndNullCounts) {
+  Database db = MakeDb();
+  TableStats stats = AnalyzeTable(*db.GetTable("t"));
+  EXPECT_EQ(stats.row_count, 6u);
+  const ColumnStats* n = stats.FindColumn("n");
+  ASSERT_NE(n, nullptr);
+  EXPECT_EQ(n->null_count, 1u);
+  EXPECT_NEAR(n->null_fraction(), 1.0 / 6, 1e-12);
+  const ColumnStats* txt = stats.FindColumn("txt");
+  EXPECT_EQ(txt->null_count, 1u);
+  EXPECT_EQ(stats.FindColumn("ghost"), nullptr);
+}
+
+TEST(StatsTest, MinMaxAndMean) {
+  Database db = MakeDb();
+  TableStats stats = AnalyzeTable(*db.GetTable("t"));
+  const ColumnStats* n = stats.FindColumn("n");
+  EXPECT_EQ(n->min.int_value(), 1);
+  EXPECT_EQ(n->max.int_value(), 10);
+  EXPECT_NEAR(n->mean, (1 + 2 + 3 + 4 + 10) / 5.0, 1e-12);
+  const ColumnStats* d = stats.FindColumn("d");
+  EXPECT_EQ(d->min.ToText(), "2000-01-01");
+  EXPECT_EQ(d->max.ToText(), "2002-01-01");
+}
+
+TEST(StatsTest, DistinctCounts) {
+  Database db = MakeDb();
+  TableStats stats = AnalyzeTable(*db.GetTable("t"));
+  EXPECT_EQ(stats.FindColumn("n")->distinct_count, 5u);
+  EXPECT_EQ(stats.FindColumn("txt")->distinct_count, 3u);
+}
+
+TEST(StatsTest, TopValues) {
+  Database db = MakeDb();
+  TableStats stats = AnalyzeTable(*db.GetTable("t"));
+  const ColumnStats* txt = stats.FindColumn("txt");
+  ASSERT_FALSE(txt->top_values.empty());
+  EXPECT_EQ(txt->top_values[0].first, "alpha");
+  EXPECT_EQ(txt->top_values[0].second, 3u);
+}
+
+TEST(StatsTest, WordAndLengthStatistics) {
+  Database db = MakeDb();
+  TableStats stats = AnalyzeTable(*db.GetTable("t"));
+  const ColumnStats* txt = stats.FindColumn("txt");
+  EXPECT_DOUBLE_EQ(txt->max_word_count, 3.0);
+  // Words: alpha(1) alpha(1) "beta word"(2) alpha(1) "gamma..."(3) = 8/5.
+  EXPECT_NEAR(txt->avg_word_count, 8.0 / 5, 1e-12);
+  EXPECT_GT(txt->avg_length, 4.0);
+}
+
+TEST(StatsTest, HistogramCoversRange) {
+  Database db;
+  auto created =
+      ExecuteSql(&db, "CREATE TABLE h (v DOUBLE)");
+  ASSERT_TRUE(created.ok());
+  Table* table = db.GetTable("h");
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_TRUE(table->Insert({Value::Double(i / 10.0)}).ok());
+  }
+  TableStats stats = AnalyzeTable(*table, /*histogram_buckets=*/10);
+  const ColumnStats* v = stats.FindColumn("v");
+  ASSERT_TRUE(v->has_histogram);
+  EXPECT_EQ(v->histogram.buckets.size(), 10u);
+  EXPECT_EQ(v->histogram.total, 1000u);
+  // Uniform data: each bucket holds ~100 values.
+  for (size_t i = 0; i < 10; ++i) {
+    EXPECT_NEAR(v->histogram.Fraction(i), 0.1, 0.02) << i;
+  }
+  EXPECT_DOUBLE_EQ(v->histogram.min, 0.0);
+  EXPECT_DOUBLE_EQ(v->histogram.max, 99.9);
+  EXPECT_NEAR(v->histogram.BucketWidth(), 9.99, 1e-9);
+}
+
+TEST(StatsTest, NoHistogramForTextOrConstant) {
+  Database db = MakeDb();
+  TableStats stats = AnalyzeTable(*db.GetTable("t"));
+  EXPECT_FALSE(stats.FindColumn("txt")->has_histogram);
+
+  Database db2;
+  ASSERT_TRUE(ExecuteSql(&db2, "CREATE TABLE c (v INTEGER)").ok());
+  Table* table = db2.GetTable("c");
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(table->Insert({Value::Int(7)}).ok());
+  }
+  TableStats constant_stats = AnalyzeTable(*table);
+  // Degenerate range (min == max): no histogram.
+  EXPECT_FALSE(constant_stats.FindColumn("v")->has_histogram);
+  EXPECT_EQ(constant_stats.FindColumn("v")->distinct_count, 1u);
+}
+
+TEST(StatsTest, EmptyTable) {
+  Database db;
+  ASSERT_TRUE(ExecuteSql(&db, "CREATE TABLE e (v INTEGER)").ok());
+  TableStats stats = AnalyzeTable(*db.GetTable("e"));
+  EXPECT_EQ(stats.row_count, 0u);
+  const ColumnStats* v = stats.FindColumn("v");
+  EXPECT_EQ(v->distinct_count, 0u);
+  EXPECT_TRUE(v->min.is_null());
+  EXPECT_FALSE(v->has_histogram);
+}
+
+}  // namespace
+}  // namespace minidb

@@ -1,0 +1,159 @@
+#include "minidb/table.h"
+
+#include <gtest/gtest.h>
+
+#include "minidb/database.h"
+
+namespace minidb {
+namespace {
+
+using pdgf::DataType;
+using pdgf::Value;
+
+TableSchema MakeSchema() {
+  TableSchema schema;
+  schema.name = "t";
+  schema.columns.push_back(
+      ColumnDef{"id", DataType::kBigInt, 19, 2, false, true, "", ""});
+  schema.columns.push_back(
+      ColumnDef{"price", DataType::kDecimal, 15, 2, true, false, "", ""});
+  schema.columns.push_back(
+      ColumnDef{"name", DataType::kVarchar, 25, 2, true, false, "", ""});
+  schema.columns.push_back(
+      ColumnDef{"born", DataType::kDate, 10, 2, true, false, "", ""});
+  return schema;
+}
+
+TEST(TableSchemaTest, FindColumnIsCaseInsensitive) {
+  TableSchema schema = MakeSchema();
+  EXPECT_EQ(schema.FindColumn("id"), 0);
+  EXPECT_EQ(schema.FindColumn("PRICE"), 1);
+  EXPECT_EQ(schema.FindColumn("missing"), -1);
+  EXPECT_EQ(schema.FindColumnDef("Name")->type, DataType::kVarchar);
+  EXPECT_EQ(schema.FindColumnDef("missing"), nullptr);
+}
+
+TEST(CoerceValueTest, IntegerFamily) {
+  ColumnDef column{"c", DataType::kBigInt, 0, 2, true, false, "", ""};
+  EXPECT_EQ(CoerceValue(column, Value::Int(5))->int_value(), 5);
+  EXPECT_EQ(CoerceValue(column, Value::Double(5.9))->int_value(), 5);
+  EXPECT_EQ(CoerceValue(column, Value::Decimal(599, 2))->int_value(), 5);
+  EXPECT_EQ(CoerceValue(column, Value::Bool(true))->int_value(), 1);
+  EXPECT_FALSE(CoerceValue(column, Value::String("5")).ok());
+}
+
+TEST(CoerceValueTest, DecimalRescaling) {
+  ColumnDef column{"c", DataType::kDecimal, 15, 2, true, false, "", ""};
+  Value rescaled = *CoerceValue(column, Value::Decimal(12345, 4));  // 1.2345
+  EXPECT_EQ(rescaled.decimal_scale(), 2);
+  EXPECT_EQ(rescaled.decimal_unscaled(), 123);
+  EXPECT_EQ(CoerceValue(column, Value::Int(7))->ToText(), "7.00");
+  EXPECT_EQ(CoerceValue(column, Value::Double(1.239))->ToText(), "1.24");
+}
+
+TEST(CoerceValueTest, TextAcceptsScalars) {
+  ColumnDef column{"c", DataType::kVarchar, 0, 2, true, false, "", ""};
+  EXPECT_EQ(CoerceValue(column, Value::String("x"))->string_value(), "x");
+  EXPECT_EQ(CoerceValue(column, Value::Int(42))->string_value(), "42");
+}
+
+TEST(CoerceValueTest, DateFromString) {
+  ColumnDef column{"c", DataType::kDate, 0, 2, true, false, "", ""};
+  Value date = *CoerceValue(column, Value::String("1996-04-12"));
+  EXPECT_EQ(date.kind(), Value::Kind::kDate);
+  EXPECT_FALSE(CoerceValue(column, Value::String("not a date")).ok());
+  EXPECT_FALSE(CoerceValue(column, Value::Int(5)).ok());
+}
+
+TEST(CoerceValueTest, NullRespectsNullability) {
+  ColumnDef nullable{"c", DataType::kBigInt, 0, 2, true, false, "", ""};
+  EXPECT_TRUE(CoerceValue(nullable, Value::Null())->is_null());
+  ColumnDef required{"c", DataType::kBigInt, 0, 2, false, false, "", ""};
+  EXPECT_FALSE(CoerceValue(required, Value::Null()).ok());
+}
+
+TEST(TableTest, InsertValidatesArity) {
+  Table table(MakeSchema());
+  EXPECT_FALSE(table.Insert({Value::Int(1)}).ok());
+  EXPECT_TRUE(table
+                  .Insert({Value::Int(1), Value::Double(9.99),
+                           Value::String("a"), Value::Null()})
+                  .ok());
+  EXPECT_EQ(table.row_count(), 1u);
+  // The decimal landed coerced.
+  EXPECT_EQ(table.row(0)[1].ToText(), "9.99");
+}
+
+TEST(TableTest, InsertRejectsNullInNotNull) {
+  Table table(MakeSchema());
+  EXPECT_FALSE(
+      table
+          .Insert({Value::Null(), Value::Double(1), Value::String("a"),
+                   Value::Null()})
+          .ok());
+  EXPECT_EQ(table.row_count(), 0u);
+}
+
+TEST(TableTest, ScanVisitsInOrderAndStopsEarly) {
+  Table table(MakeSchema());
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(table
+                    .Insert({Value::Int(i), Value::Double(i), Value::Null(),
+                             Value::Null()})
+                    .ok());
+  }
+  int visited = 0;
+  table.Scan([&visited](const Row& row) {
+    EXPECT_EQ(row[0].int_value(), visited);
+    ++visited;
+    return visited < 4;
+  });
+  EXPECT_EQ(visited, 4);
+}
+
+TEST(DatabaseTest, CreateGetDrop) {
+  Database database;
+  ASSERT_TRUE(database.CreateTable(MakeSchema()).ok());
+  EXPECT_NE(database.GetTable("t"), nullptr);
+  EXPECT_NE(database.GetTable("T"), nullptr);  // case-insensitive
+  EXPECT_EQ(database.GetTable("u"), nullptr);
+  EXPECT_FALSE(database.CreateTable(MakeSchema()).ok());  // duplicate
+  EXPECT_TRUE(database.DropTable("t").ok());
+  EXPECT_FALSE(database.DropTable("t").ok());
+}
+
+TEST(DatabaseTest, ForeignKeysValidatedAtCreate) {
+  Database database;
+  ASSERT_TRUE(database.CreateTable(MakeSchema()).ok());
+  TableSchema child;
+  child.name = "child";
+  child.columns.push_back(
+      ColumnDef{"fk", DataType::kBigInt, 0, 2, true, false, "t", "id"});
+  EXPECT_TRUE(database.CreateTable(child).ok());
+
+  TableSchema bad_table;
+  bad_table.name = "bad1";
+  bad_table.columns.push_back(
+      ColumnDef{"fk", DataType::kBigInt, 0, 2, true, false, "ghost", "id"});
+  EXPECT_FALSE(database.CreateTable(bad_table).ok());
+
+  TableSchema bad_column;
+  bad_column.name = "bad2";
+  bad_column.columns.push_back(
+      ColumnDef{"fk", DataType::kBigInt, 0, 2, true, false, "t", "ghost"});
+  EXPECT_FALSE(database.CreateTable(bad_column).ok());
+}
+
+TEST(DatabaseTest, TableNamesInCreationOrder) {
+  Database database;
+  for (const char* name : {"zeta", "alpha", "mid"}) {
+    TableSchema schema = MakeSchema();
+    schema.name = name;
+    ASSERT_TRUE(database.CreateTable(std::move(schema)).ok());
+  }
+  EXPECT_EQ(database.TableNames(),
+            (std::vector<std::string>{"zeta", "alpha", "mid"}));
+}
+
+}  // namespace
+}  // namespace minidb

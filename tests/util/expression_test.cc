@@ -1,0 +1,95 @@
+#include "util/expression.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace pdgf {
+namespace {
+
+double Eval(std::string_view text) {
+  auto result = EvaluateExpression(text);
+  EXPECT_TRUE(result.ok()) << result.status().ToString() << " for " << text;
+  return result.ok() ? *result : NAN;
+}
+
+TEST(ExpressionTest, BasicArithmetic) {
+  EXPECT_DOUBLE_EQ(Eval("1+2"), 3);
+  EXPECT_DOUBLE_EQ(Eval("2*3+4"), 10);
+  EXPECT_DOUBLE_EQ(Eval("2+3*4"), 14);
+  EXPECT_DOUBLE_EQ(Eval("(2+3)*4"), 20);
+  EXPECT_DOUBLE_EQ(Eval("10/4"), 2.5);
+  EXPECT_DOUBLE_EQ(Eval("10 % 3"), 1);
+  EXPECT_DOUBLE_EQ(Eval("-5 + 2"), -3);
+  EXPECT_DOUBLE_EQ(Eval("--5"), 5);
+  EXPECT_DOUBLE_EQ(Eval("2 - -3"), 5);
+}
+
+TEST(ExpressionTest, Numbers) {
+  EXPECT_DOUBLE_EQ(Eval("3.5"), 3.5);
+  EXPECT_DOUBLE_EQ(Eval(".25"), 0.25);
+  EXPECT_DOUBLE_EQ(Eval("1e3"), 1000);
+  EXPECT_DOUBLE_EQ(Eval("1.5e-2"), 0.015);
+}
+
+TEST(ExpressionTest, Functions) {
+  EXPECT_DOUBLE_EQ(Eval("ceil(1.2)"), 2);
+  EXPECT_DOUBLE_EQ(Eval("floor(1.8)"), 1);
+  EXPECT_DOUBLE_EQ(Eval("round(2.5)"), 3);
+  EXPECT_DOUBLE_EQ(Eval("abs(-3)"), 3);
+  EXPECT_DOUBLE_EQ(Eval("sqrt(16)"), 4);
+  EXPECT_DOUBLE_EQ(Eval("pow(2, 10)"), 1024);
+  EXPECT_DOUBLE_EQ(Eval("min(3, 7)"), 3);
+  EXPECT_DOUBLE_EQ(Eval("max(3, 7)"), 7);
+  EXPECT_NEAR(Eval("log(exp(1))"), 1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(Eval("log10(1000)"), 3);
+  EXPECT_DOUBLE_EQ(Eval("min(2*3, max(1, 10))"), 6);
+}
+
+TEST(ExpressionTest, VariablesResolve) {
+  VariableResolver resolver = [](std::string_view name) -> StatusOr<double> {
+    if (name == "SF") return 10.0;
+    if (name == "base") return 6000000.0;
+    return NotFoundError("unknown");
+  };
+  auto result = EvaluateExpression("${base} * ${SF}", resolver);
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ(*result, 60000000.0);
+  // The paper's Listing 1 size expression.
+  auto listing = EvaluateExpression("6000000 * ${SF}", resolver);
+  ASSERT_TRUE(listing.ok());
+  EXPECT_DOUBLE_EQ(*listing, 60000000.0);
+}
+
+TEST(ExpressionTest, UnknownVariablePropagatesError) {
+  VariableResolver resolver = [](std::string_view) -> StatusOr<double> {
+    return NotFoundError("nope");
+  };
+  EXPECT_FALSE(EvaluateExpression("${missing}", resolver).ok());
+  // No resolver at all.
+  EXPECT_FALSE(EvaluateExpression("${SF}").ok());
+}
+
+TEST(ExpressionTest, ErrorsAreReported) {
+  EXPECT_FALSE(EvaluateExpression("").ok());
+  EXPECT_FALSE(EvaluateExpression("1 +").ok());
+  EXPECT_FALSE(EvaluateExpression("(1").ok());
+  EXPECT_FALSE(EvaluateExpression("1 2").ok());
+  EXPECT_FALSE(EvaluateExpression("foo(1)").ok());
+  EXPECT_FALSE(EvaluateExpression("min(1)").ok());
+  EXPECT_FALSE(EvaluateExpression("1/0").ok());
+  EXPECT_FALSE(EvaluateExpression("3 % 0").ok());
+  EXPECT_FALSE(EvaluateExpression("${unclosed").ok());
+  EXPECT_FALSE(EvaluateExpression("$x").ok());
+}
+
+TEST(ExpressionTest, ExtractVariableReferences) {
+  auto refs = ExtractVariableReferences("${a} + ${b} * ${a}");
+  EXPECT_EQ(refs, (std::vector<std::string>{"a", "b"}));
+  EXPECT_TRUE(ExtractVariableReferences("1 + 2").empty());
+  EXPECT_EQ(ExtractVariableReferences("${lineitem_size}"),
+            (std::vector<std::string>{"lineitem_size"}));
+}
+
+}  // namespace
+}  // namespace pdgf

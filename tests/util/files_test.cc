@@ -1,0 +1,76 @@
+#include "util/files.h"
+
+#include <gtest/gtest.h>
+
+namespace pdgf {
+namespace {
+
+class FilesTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto dir = MakeTempDir("pdgf_files_test_");
+    ASSERT_TRUE(dir.ok()) << dir.status().ToString();
+    dir_ = *dir;
+  }
+
+  std::string dir_;
+};
+
+TEST_F(FilesTest, WriteAndReadBack) {
+  std::string path = JoinPath(dir_, "file.txt");
+  ASSERT_TRUE(WriteStringToFile(path, "hello\nworld").ok());
+  auto contents = ReadFileToString(path);
+  ASSERT_TRUE(contents.ok());
+  EXPECT_EQ(*contents, "hello\nworld");
+  auto size = FileSize(path);
+  ASSERT_TRUE(size.ok());
+  EXPECT_EQ(*size, 11);
+}
+
+TEST_F(FilesTest, ReadMissingFileFails) {
+  auto contents = ReadFileToString(JoinPath(dir_, "missing"));
+  EXPECT_FALSE(contents.ok());
+  EXPECT_EQ(contents.status().code(), StatusCode::kIoError);
+}
+
+TEST_F(FilesTest, MakeDirectoriesRecursive) {
+  std::string nested = JoinPath(dir_, "a/b/c");
+  ASSERT_TRUE(MakeDirectories(nested).ok());
+  EXPECT_TRUE(PathExists(nested));
+  // Idempotent.
+  EXPECT_TRUE(MakeDirectories(nested).ok());
+}
+
+TEST_F(FilesTest, RemoveFile) {
+  std::string path = JoinPath(dir_, "todelete");
+  ASSERT_TRUE(WriteStringToFile(path, "x").ok());
+  EXPECT_TRUE(PathExists(path));
+  EXPECT_TRUE(RemoveFile(path).ok());
+  EXPECT_FALSE(PathExists(path));
+  // Removing a missing file is not an error.
+  EXPECT_TRUE(RemoveFile(path).ok());
+}
+
+TEST(JoinPathTest, HandlesSlashes) {
+  EXPECT_EQ(JoinPath("a", "b"), "a/b");
+  EXPECT_EQ(JoinPath("a/", "b"), "a/b");
+  EXPECT_EQ(JoinPath("a", "/b"), "a/b");
+  EXPECT_EQ(JoinPath("a/", "/b"), "a/b");
+  EXPECT_EQ(JoinPath("", "b"), "b");
+  EXPECT_EQ(JoinPath("a", ""), "a");
+}
+
+TEST(FilesBinaryTest, BinarySafeRoundTrip) {
+  auto dir = MakeTempDir("pdgf_files_bin_");
+  ASSERT_TRUE(dir.ok());
+  std::string data;
+  for (int i = 0; i < 256; ++i) data.push_back(static_cast<char>(i));
+  std::string path = JoinPath(*dir, "bin");
+  ASSERT_TRUE(WriteStringToFile(path, data).ok());
+  auto read_back = ReadFileToString(path);
+  ASSERT_TRUE(read_back.ok());
+  EXPECT_EQ(*read_back, data);
+}
+
+}  // namespace
+}  // namespace pdgf

@@ -1,0 +1,190 @@
+#include "util/rng.h"
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace pdgf {
+namespace {
+
+TEST(Mix64Test, AvalancheChangesAllWords) {
+  // Flipping one input bit should flip roughly half the output bits.
+  uint64_t base = Mix64(0x1234567890abcdefULL);
+  int total_flips = 0;
+  for (int bit = 0; bit < 64; ++bit) {
+    uint64_t flipped = Mix64(0x1234567890abcdefULL ^ (1ULL << bit));
+    total_flips += __builtin_popcountll(base ^ flipped);
+  }
+  double average = static_cast<double>(total_flips) / 64.0;
+  EXPECT_GT(average, 24.0);
+  EXPECT_LT(average, 40.0);
+}
+
+TEST(DeriveSeedTest, DistinctChildrenGetDistinctSeeds) {
+  std::set<uint64_t> seeds;
+  for (uint64_t child = 0; child < 1000; ++child) {
+    seeds.insert(DeriveSeed(42, child));
+  }
+  EXPECT_EQ(seeds.size(), 1000u);
+}
+
+TEST(DeriveSeedTest, DistinctParentsGetDistinctSeeds) {
+  std::set<uint64_t> seeds;
+  for (uint64_t parent = 0; parent < 1000; ++parent) {
+    seeds.insert(DeriveSeed(parent, 7));
+  }
+  EXPECT_EQ(seeds.size(), 1000u);
+}
+
+TEST(HashNameTest, StableAndDistinct) {
+  EXPECT_EQ(HashName("lineitem"), HashName("lineitem"));
+  EXPECT_NE(HashName("lineitem"), HashName("orders"));
+  EXPECT_NE(HashName(""), HashName("a"));
+}
+
+TEST(Xorshift64Test, DeterministicPerSeed) {
+  Xorshift64 a(123);
+  Xorshift64 b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+  Xorshift64 c(124);
+  EXPECT_NE(Xorshift64(123).Next(), c.Next());
+}
+
+TEST(Xorshift64Test, ZeroSeedIsUsable) {
+  Xorshift64 rng(0);
+  EXPECT_NE(rng.Next(), 0u);
+  EXPECT_NE(rng.Next(), rng.Next());
+}
+
+TEST(Xorshift64Test, NextBoundedStaysInBounds) {
+  Xorshift64 rng(99);
+  for (uint64_t bound : {1ULL, 2ULL, 7ULL, 1000ULL, 1ULL << 40}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.NextBounded(bound), bound);
+    }
+  }
+  EXPECT_EQ(rng.NextBounded(0), 0u);
+}
+
+TEST(Xorshift64Test, NextInRangeInclusive) {
+  Xorshift64 rng(7);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    int64_t v = rng.NextInRange(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= v == -3;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+  EXPECT_EQ(rng.NextInRange(5, 5), 5);
+  EXPECT_EQ(rng.NextInRange(5, 4), 5);  // degenerate range clamps
+}
+
+TEST(Xorshift64Test, NextDoubleInUnitInterval) {
+  Xorshift64 rng(31337);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    double v = rng.NextDouble();
+    ASSERT_GE(v, 0.0);
+    ASSERT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Xorshift64Test, UniformityChiSquare) {
+  // 16 buckets, 16000 draws: chi-square(15) should be < 50 w.h.p.
+  Xorshift64 rng(777);
+  std::vector<int> buckets(16, 0);
+  const int draws = 16000;
+  for (int i = 0; i < draws; ++i) {
+    ++buckets[rng.NextBounded(16)];
+  }
+  double expected = draws / 16.0;
+  double chi2 = 0;
+  for (int count : buckets) {
+    double delta = count - expected;
+    chi2 += delta * delta / expected;
+  }
+  EXPECT_LT(chi2, 50.0) << "chi2=" << chi2;
+}
+
+TEST(Xorshift64Test, GaussianMoments) {
+  Xorshift64 rng(4242);
+  double sum = 0;
+  double sum_squares = 0;
+  const int draws = 20000;
+  for (int i = 0; i < draws; ++i) {
+    double v = rng.NextGaussian();
+    sum += v;
+    sum_squares += v * v;
+  }
+  double mean = sum / draws;
+  double variance = sum_squares / draws - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.03);
+  EXPECT_NEAR(variance, 1.0, 0.05);
+}
+
+TEST(Xorshift64Test, ExponentialMean) {
+  Xorshift64 rng(555);
+  double sum = 0;
+  const int draws = 20000;
+  for (int i = 0; i < draws; ++i) {
+    double v = rng.NextExponential(2.0);
+    ASSERT_GE(v, 0.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / draws, 0.5, 0.02);
+}
+
+// Zipf properties, parameterized over theta.
+class ZipfTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(ZipfTest, RanksAreMonotonicallyLessFrequent) {
+  double theta = GetParam();
+  ZipfDistribution zipf(50, theta);
+  Xorshift64 rng(1);
+  std::vector<int> counts(50, 0);
+  for (int i = 0; i < 60000; ++i) {
+    uint64_t k = zipf.Sample(&rng);
+    ASSERT_LT(k, 50u);
+    ++counts[k];
+  }
+  // Head must dominate tail for positive theta.
+  int head = counts[0] + counts[1] + counts[2];
+  int tail = counts[47] + counts[48] + counts[49];
+  if (theta >= 0.5) {
+    EXPECT_GT(head, tail * 2) << "theta=" << theta;
+  }
+  // Rough frequency-ratio check against 1/k^theta for rank 1 vs rank 8.
+  if (theta > 0) {
+    double expected_ratio = std::pow(8.0, theta);
+    double actual_ratio =
+        static_cast<double>(counts[0]) / std::max(1, counts[7]);
+    EXPECT_GT(actual_ratio, expected_ratio * 0.5);
+    EXPECT_LT(actual_ratio, expected_ratio * 2.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Thetas, ZipfTest,
+                         ::testing::Values(0.5, 0.8, 0.99, 1.0, 1.2, 2.0));
+
+TEST(ZipfTest, DegenerateSizes) {
+  ZipfDistribution one(1, 1.0);
+  Xorshift64 rng(2);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(one.Sample(&rng), 0u);
+  }
+  ZipfDistribution zero(0, 1.0);  // clamps to n=1
+  EXPECT_EQ(zero.Sample(&rng), 0u);
+}
+
+}  // namespace
+}  // namespace pdgf

@@ -1,0 +1,77 @@
+#include "util/strings.h"
+
+#include <gtest/gtest.h>
+
+namespace pdgf {
+namespace {
+
+TEST(StringsTest, StripWhitespace) {
+  EXPECT_EQ(StripWhitespace("  abc  "), "abc");
+  EXPECT_EQ(StripWhitespace("abc"), "abc");
+  EXPECT_EQ(StripWhitespace("\t\n x \r\n"), "x");
+  EXPECT_EQ(StripWhitespace("   "), "");
+  EXPECT_EQ(StripWhitespace(""), "");
+}
+
+TEST(StringsTest, CaseConversion) {
+  EXPECT_EQ(AsciiLower("MiXeD_123"), "mixed_123");
+  EXPECT_EQ(AsciiUpper("MiXeD_123"), "MIXED_123");
+}
+
+TEST(StringsTest, EqualsIgnoreCase) {
+  EXPECT_TRUE(EqualsIgnoreCase("BIGINT", "bigint"));
+  EXPECT_TRUE(EqualsIgnoreCase("", ""));
+  EXPECT_FALSE(EqualsIgnoreCase("abc", "abcd"));
+  EXPECT_FALSE(EqualsIgnoreCase("abc", "abd"));
+}
+
+TEST(StringsTest, StartsEndsWith) {
+  EXPECT_TRUE(StartsWith("l_orderkey", "l_"));
+  EXPECT_FALSE(StartsWith("l", "l_"));
+  EXPECT_TRUE(EndsWith("l_orderkey", "key"));
+  EXPECT_FALSE(EndsWith("key", "orderkey"));
+}
+
+TEST(StringsTest, ContainsIgnoreCase) {
+  EXPECT_TRUE(ContainsIgnoreCase("CustomerAddress", "address"));
+  EXPECT_TRUE(ContainsIgnoreCase("x", ""));
+  EXPECT_FALSE(ContainsIgnoreCase("short", "longer needle"));
+  EXPECT_FALSE(ContainsIgnoreCase("abc", "d"));
+}
+
+TEST(StringsTest, SplitKeepsEmptyPieces) {
+  EXPECT_EQ(Split("a|b|c", '|'),
+            (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(Split("|a||", '|'),
+            (std::vector<std::string>{"", "a", "", ""}));
+  EXPECT_EQ(Split("", '|'), (std::vector<std::string>{""}));
+}
+
+TEST(StringsTest, SplitWhitespaceDropsEmpty) {
+  EXPECT_EQ(SplitWhitespace("  the quick\tfox \n"),
+            (std::vector<std::string>{"the", "quick", "fox"}));
+  EXPECT_TRUE(SplitWhitespace("   ").empty());
+}
+
+TEST(StringsTest, Join) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(Join({"only"}, ","), "only");
+}
+
+TEST(StringsTest, StrPrintf) {
+  EXPECT_EQ(StrPrintf("%d-%s", 42, "x"), "42-x");
+  EXPECT_EQ(StrPrintf("%.2f", 3.14159), "3.14");
+  EXPECT_EQ(StrPrintf("empty"), "empty");
+  // Long outputs are not truncated.
+  std::string longish = StrPrintf("%0200d", 7);
+  EXPECT_EQ(longish.size(), 200u);
+}
+
+TEST(StringsTest, Repeat) {
+  EXPECT_EQ(Repeat("ab", 3), "ababab");
+  EXPECT_EQ(Repeat("x", 0), "");
+}
+
+}  // namespace
+}  // namespace pdgf

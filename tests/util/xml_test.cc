@@ -1,0 +1,123 @@
+#include "util/xml.h"
+
+#include <gtest/gtest.h>
+
+namespace pdgf {
+namespace {
+
+TEST(XmlTest, ParsesSimpleDocument) {
+  auto document = XmlDocument::Parse(
+      "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n"
+      "<schema name=\"tpch\"><seed>12456789</seed></schema>");
+  ASSERT_TRUE(document.ok()) << document.status().ToString();
+  const XmlElement* root = document->root();
+  ASSERT_NE(root, nullptr);
+  EXPECT_EQ(root->name(), "schema");
+  EXPECT_EQ(root->AttributeOr("name", ""), "tpch");
+  ASSERT_NE(root->FindChild("seed"), nullptr);
+  EXPECT_EQ(root->FindChild("seed")->text(), "12456789");
+}
+
+TEST(XmlTest, SelfClosingAndNestedElements) {
+  auto document = XmlDocument::Parse(
+      "<a><b x=\"1\"/><b x=\"2\"><c>deep</c></b></a>");
+  ASSERT_TRUE(document.ok());
+  auto bs = document->root()->FindChildren("b");
+  ASSERT_EQ(bs.size(), 2u);
+  EXPECT_EQ(bs[0]->AttributeOr("x", ""), "1");
+  EXPECT_EQ(bs[1]->FindChild("c")->text(), "deep");
+}
+
+TEST(XmlTest, DecodesEntities) {
+  auto document = XmlDocument::Parse(
+      "<e attr=\"a&amp;b\">&lt;x&gt; &quot;q&quot; &apos;s&apos; &#65;"
+      "&#x42;</e>");
+  ASSERT_TRUE(document.ok());
+  EXPECT_EQ(document->root()->AttributeOr("attr", ""), "a&b");
+  EXPECT_EQ(document->root()->text(), "<x> \"q\" 's' AB");
+}
+
+TEST(XmlTest, SkipsCommentsAndDeclaration) {
+  auto document = XmlDocument::Parse(
+      "<?xml version=\"1.0\"?><!-- top --><root><!-- inner -->"
+      "<child/><!-- after --></root><!-- trailing -->");
+  ASSERT_TRUE(document.ok());
+  EXPECT_EQ(document->root()->children().size(), 1u);
+}
+
+TEST(XmlTest, SingleQuotedAttributes) {
+  auto document = XmlDocument::Parse("<e a='v1' b=\"v2\"/>");
+  ASSERT_TRUE(document.ok());
+  EXPECT_EQ(document->root()->AttributeOr("a", ""), "v1");
+  EXPECT_EQ(document->root()->AttributeOr("b", ""), "v2");
+}
+
+TEST(XmlTest, ParseErrorsCarryLineNumbers) {
+  auto result = XmlDocument::Parse("<a>\n<b>\n</c>\n</a>");
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("line 3"), std::string::npos)
+      << result.status().ToString();
+}
+
+TEST(XmlTest, RejectsMalformedDocuments) {
+  EXPECT_FALSE(XmlDocument::Parse("").ok());
+  EXPECT_FALSE(XmlDocument::Parse("just text").ok());
+  EXPECT_FALSE(XmlDocument::Parse("<a>").ok());
+  EXPECT_FALSE(XmlDocument::Parse("<a></b>").ok());
+  EXPECT_FALSE(XmlDocument::Parse("<a x=></a>").ok());
+  EXPECT_FALSE(XmlDocument::Parse("<a x=\"unterminated></a>").ok());
+  EXPECT_FALSE(XmlDocument::Parse("<a/><b/>").ok());
+  EXPECT_FALSE(XmlDocument::Parse("<a>&unknown;</a>").ok());
+}
+
+TEST(XmlTest, BuildAndSerialize) {
+  XmlDocument document(std::make_unique<XmlElement>("schema"));
+  XmlElement* root = document.mutable_root();
+  root->SetAttribute("name", "test");
+  root->AddChild("seed")->set_text("42");
+  XmlElement* table = root->AddChild("table");
+  table->SetAttribute("name", "t1");
+  table->AddChild("size")->set_text("10 * ${SF}");
+  std::string xml = document.Serialize();
+  EXPECT_NE(xml.find("<?xml"), std::string::npos);
+  EXPECT_NE(xml.find("<schema name=\"test\">"), std::string::npos);
+  EXPECT_NE(xml.find("<seed>42</seed>"), std::string::npos);
+}
+
+TEST(XmlTest, RoundTripPreservesStructure) {
+  XmlDocument document(std::make_unique<XmlElement>("root"));
+  XmlElement* root = document.mutable_root();
+  root->SetAttribute("escaped", "a<b&\"c\"");
+  root->AddChild("empty");
+  root->AddChild("text")->set_text("needs <escaping> & stuff");
+  XmlElement* nested = root->AddChild("nested");
+  nested->AddChild("inner")->SetAttribute("k", "v");
+
+  auto reparsed = XmlDocument::Parse(document.Serialize());
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status().ToString();
+  const XmlElement* rebuilt = reparsed->root();
+  EXPECT_EQ(rebuilt->AttributeOr("escaped", ""), "a<b&\"c\"");
+  EXPECT_NE(rebuilt->FindChild("empty"), nullptr);
+  EXPECT_EQ(rebuilt->FindChild("text")->text(), "needs <escaping> & stuff");
+  EXPECT_EQ(rebuilt->FindChild("nested")->FindChild("inner")->AttributeOr(
+                "k", ""),
+            "v");
+}
+
+TEST(XmlTest, SetAttributeReplacesExisting) {
+  XmlElement element("e");
+  element.SetAttribute("k", "v1");
+  element.SetAttribute("k", "v2");
+  EXPECT_EQ(element.attributes().size(), 1u);
+  EXPECT_EQ(element.AttributeOr("k", ""), "v2");
+}
+
+TEST(XmlTest, ChildTextOrDefault) {
+  XmlElement element("e");
+  element.AddChild("present")->set_text("yes");
+  EXPECT_EQ(element.ChildTextOr("present", "no"), "yes");
+  EXPECT_EQ(element.ChildTextOr("absent", "no"), "no");
+}
+
+}  // namespace
+}  // namespace pdgf

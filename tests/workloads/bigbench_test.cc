@@ -1,0 +1,119 @@
+#include "workloads/bigbench.h"
+
+#include <map>
+
+#include <gtest/gtest.h>
+
+#include "core/session.h"
+#include "util/strings.h"
+
+namespace workloads {
+namespace {
+
+using pdgf::Value;
+
+TEST(BigBenchTest, ModelResolves) {
+  pdgf::SchemaDef schema = BuildBigBenchSchema();
+  auto session =
+      pdgf::GenerationSession::Create(&schema, {{"SF", "0.001"}});
+  ASSERT_TRUE(session.ok()) << session.status().ToString();
+  EXPECT_EQ(schema.tables.size(), 7u);
+  // Minimum sizes hold for dimension-like tables.
+  EXPECT_EQ((*session)->TableRows(schema.FindTableIndex("store")), 12u);
+  EXPECT_EQ((*session)->TableRows(schema.FindTableIndex("web_page")), 60u);
+  EXPECT_EQ((*session)->TableRows(schema.FindTableIndex("customer")), 100u);
+  EXPECT_EQ(
+      (*session)->TableRows(schema.FindTableIndex("web_clickstreams")),
+      2000u);
+}
+
+TEST(BigBenchTest, ClickstreamHasAnonymousSessions) {
+  pdgf::SchemaDef schema = BuildBigBenchSchema();
+  auto session =
+      pdgf::GenerationSession::Create(&schema, {{"SF", "0.001"}});
+  ASSERT_TRUE(session.ok());
+  int clicks = schema.FindTableIndex("web_clickstreams");
+  int user_field =
+      schema.tables[static_cast<size_t>(clicks)].FindFieldIndex(
+          "wcs_user_sk");
+  int nulls = 0;
+  Value value;
+  const int rows = 2000;
+  for (uint64_t row = 0; row < rows; ++row) {
+    (*session)->GenerateField(clicks, user_field, row, 0, &value);
+    if (value.is_null()) {
+      ++nulls;
+    } else {
+      EXPECT_GE(value.int_value(), 1);
+      EXPECT_LE(value.int_value(), 100);
+    }
+  }
+  EXPECT_NEAR(nulls / static_cast<double>(rows), 0.05, 0.02);
+}
+
+TEST(BigBenchTest, ItemReferencesAreSkewed) {
+  // BigBench sales follow popular items (Zipf): the head item must be
+  // referenced far more often than the median item.
+  pdgf::SchemaDef schema = BuildBigBenchSchema();
+  auto session =
+      pdgf::GenerationSession::Create(&schema, {{"SF", "0.01"}});
+  ASSERT_TRUE(session.ok());
+  int sales = schema.FindTableIndex("web_sales");
+  int item_field =
+      schema.tables[static_cast<size_t>(sales)].FindFieldIndex("ws_item_sk");
+  std::map<int64_t, int> counts;
+  Value value;
+  for (uint64_t row = 0; row < 5000; ++row) {
+    (*session)->GenerateField(sales, item_field, row, 0, &value);
+    ++counts[value.int_value()];
+  }
+  int head = counts[1];
+  int median = counts[90];  // item 90 of 180
+  EXPECT_GT(head, std::max(1, median) * 3);
+}
+
+TEST(BigBenchTest, ReviewsReferenceStructuredDataAndCarryText) {
+  // The paper's differentiator vs BDGS: text generation connected to the
+  // structured data (references from reviews into items).
+  pdgf::SchemaDef schema = BuildBigBenchSchema();
+  auto session =
+      pdgf::GenerationSession::Create(&schema, {{"SF", "0.001"}});
+  ASSERT_TRUE(session.ok());
+  int reviews = schema.FindTableIndex("product_reviews");
+  std::vector<Value> row;
+  uint64_t items = (*session)->TableRows(schema.FindTableIndex("item"));
+  for (uint64_t r = 0; r < 50; ++r) {
+    (*session)->GenerateRow(reviews, r, 0, &row);
+    // pr_item_sk valid.
+    EXPECT_GE(row[1].int_value(), 1);
+    EXPECT_LE(row[1].int_value(), static_cast<int64_t>(items));
+    // Rating 1..5.
+    EXPECT_GE(row[3].int_value(), 1);
+    EXPECT_LE(row[3].int_value(), 5);
+    // Review content: 20..120 words of Markov text.
+    size_t words = pdgf::SplitWhitespace(row[4].string_value()).size();
+    EXPECT_GE(words, 20u);
+    EXPECT_LE(words, 120u);
+  }
+}
+
+TEST(BigBenchTest, CustomerSemanticsAreWellFormed) {
+  pdgf::SchemaDef schema = BuildBigBenchSchema();
+  auto session =
+      pdgf::GenerationSession::Create(&schema, {{"SF", "0.001"}});
+  ASSERT_TRUE(session.ok());
+  int customer = schema.FindTableIndex("customer");
+  std::vector<Value> row;
+  for (uint64_t r = 0; r < 30; ++r) {
+    (*session)->GenerateRow(customer, r, 0, &row);
+    EXPECT_EQ(row[0].int_value(), static_cast<int64_t>(r + 1));
+    EXPECT_NE(row[2].string_value().find('@'), std::string::npos);
+    const std::string& gender = row[5].string_value();
+    EXPECT_TRUE(gender == "M" || gender == "F" || gender == "U");
+    EXPECT_GE(row[4].int_value(), 1930);
+    EXPECT_LE(row[4].int_value(), 2005);
+  }
+}
+
+}  // namespace
+}  // namespace workloads

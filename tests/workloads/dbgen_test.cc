@@ -1,0 +1,137 @@
+#include "workloads/dbgen.h"
+
+#include <gtest/gtest.h>
+
+#include "util/files.h"
+#include "util/strings.h"
+
+namespace workloads {
+namespace {
+
+TEST(DbgenTest, GeneratesAllTblFiles) {
+  auto dir = pdgf::MakeTempDir("dbgen_");
+  ASSERT_TRUE(dir.ok());
+  DbgenOptions options;
+  options.scale_factor = 0.001;
+  options.output_dir = pdgf::JoinPath(*dir, "out");
+  auto stats = RunDbgen(options);
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  for (const char* table :
+       {"supplier", "part", "partsupp", "customer", "orders", "lineitem"}) {
+    EXPECT_TRUE(pdgf::PathExists(
+        pdgf::JoinPath(options.output_dir, std::string(table) + ".tbl")))
+        << table;
+  }
+  EXPECT_GT(stats->rows, 0u);
+  EXPECT_GT(stats->bytes, 0u);
+  auto size = pdgf::FileSize(
+      pdgf::JoinPath(options.output_dir, "lineitem.tbl"));
+  ASSERT_TRUE(size.ok());
+  EXPECT_GT(*size, 1000);
+}
+
+TEST(DbgenTest, RowCountsScale) {
+  DbgenOptions options;
+  options.scale_factor = 0.001;
+  options.to_null = true;
+  auto small = RunDbgen(options);
+  ASSERT_TRUE(small.ok());
+  options.scale_factor = 0.002;
+  auto big = RunDbgen(options);
+  ASSERT_TRUE(big.ok());
+  EXPECT_GT(big->rows, small->rows * 3 / 2);
+  EXPECT_GT(big->bytes, small->bytes * 3 / 2);
+}
+
+TEST(DbgenTest, NullModeMatchesFileModeBytes) {
+  auto dir = pdgf::MakeTempDir("dbgen_null_");
+  ASSERT_TRUE(dir.ok());
+  DbgenOptions options;
+  options.scale_factor = 0.001;
+  options.output_dir = pdgf::JoinPath(*dir, "out");
+  auto file_stats = RunDbgen(options);
+  ASSERT_TRUE(file_stats.ok());
+  options.to_null = true;
+  auto null_stats = RunDbgen(options);
+  ASSERT_TRUE(null_stats.ok());
+  EXPECT_EQ(file_stats->rows, null_stats->rows);
+  EXPECT_EQ(file_stats->bytes, null_stats->bytes);
+}
+
+TEST(DbgenTest, LineitemFieldCount) {
+  auto dir = pdgf::MakeTempDir("dbgen_fields_");
+  ASSERT_TRUE(dir.ok());
+  DbgenOptions options;
+  options.scale_factor = 0.0005;
+  options.output_dir = pdgf::JoinPath(*dir, "out");
+  ASSERT_TRUE(RunDbgen(options).ok());
+  auto contents = pdgf::ReadFileToString(
+      pdgf::JoinPath(options.output_dir, "lineitem.tbl"));
+  ASSERT_TRUE(contents.ok());
+  auto lines = pdgf::Split(*contents, '\n');
+  ASSERT_GT(lines.size(), 2u);
+  // 16 pipe-separated fields per lineitem row.
+  EXPECT_EQ(pdgf::Split(lines[0], '|').size(), 16u);
+}
+
+TEST(DbgenTest, NonTransparentParallelismPartitionsRows) {
+  // dbgen's parallel mode: each instance writes its own chunk file; the
+  // union covers the whole data set (paper §4: "DBGen's parallel output
+  // will be split in as many files as instances were started").
+  auto dir = pdgf::MakeTempDir("dbgen_par_");
+  ASSERT_TRUE(dir.ok());
+
+  DbgenOptions whole;
+  whole.scale_factor = 0.001;
+  whole.output_dir = pdgf::JoinPath(*dir, "whole");
+  auto whole_stats = RunDbgen(whole);
+  ASSERT_TRUE(whole_stats.ok());
+
+  uint64_t partitioned_rows = 0;
+  for (int instance = 0; instance < 3; ++instance) {
+    DbgenOptions part = whole;
+    part.output_dir = pdgf::JoinPath(*dir, "parts");
+    part.instance_count = 3;
+    part.instance_id = instance;
+    auto stats = RunDbgen(part);
+    ASSERT_TRUE(stats.ok());
+    partitioned_rows += stats->rows;
+    // Chunk files carry the instance suffix.
+    EXPECT_TRUE(pdgf::PathExists(pdgf::JoinPath(
+        part.output_dir,
+        "orders.tbl." + std::to_string(instance + 1))));
+  }
+  // Orders/supplier/... rows partition exactly; lineitem counts are
+  // per-order random, so allow the boundary orders to differ slightly.
+  EXPECT_NEAR(static_cast<double>(partitioned_rows),
+              static_cast<double>(whole_stats->rows),
+              whole_stats->rows * 0.02);
+}
+
+TEST(DbgenTest, DeterministicAcrossRuns) {
+  DbgenOptions options;
+  options.scale_factor = 0.0005;
+  options.to_null = true;
+  auto first = RunDbgen(options);
+  auto second = RunDbgen(options);
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(first->rows, second->rows);
+  EXPECT_EQ(first->bytes, second->bytes);
+}
+
+TEST(DbgenTest, BigTablesOnlyMode) {
+  DbgenOptions options;
+  options.scale_factor = 0.001;
+  options.to_null = true;
+  auto full = RunDbgen(options);
+  ASSERT_TRUE(full.ok());
+  options.big_tables_only = true;
+  auto big = RunDbgen(options);
+  ASSERT_TRUE(big.ok());
+  EXPECT_LT(big->rows, full->rows);
+  EXPECT_GT(big->rows, full->rows / 2);  // the big tables dominate
+}
+
+}  // namespace
+}  // namespace workloads

@@ -1,0 +1,101 @@
+#include "workloads/imdb.h"
+
+#include <gtest/gtest.h>
+
+#include "minidb/sql.h"
+#include "minidb/stats.h"
+
+namespace workloads {
+namespace {
+
+TEST(ImdbTest, PopulatesAllTables) {
+  minidb::Database db;
+  ASSERT_TRUE(PopulateImdbDatabase(&db, 0.1).ok());
+  EXPECT_EQ(db.TableNames(),
+            (std::vector<std::string>{"title", "person", "cast_info",
+                                      "movie_rating"}));
+  EXPECT_EQ(db.GetTable("title")->row_count(), 201u);
+  EXPECT_EQ(db.GetTable("person")->row_count(), 301u);
+  EXPECT_EQ(db.GetTable("cast_info")->row_count(), 801u);
+  EXPECT_EQ(db.GetTable("movie_rating")->row_count(), 161u);
+}
+
+TEST(ImdbTest, SchemaCarriesConstraints) {
+  minidb::Database db;
+  ASSERT_TRUE(PopulateImdbDatabase(&db, 0.05).ok());
+  const minidb::TableSchema& cast_schema =
+      db.GetTable("cast_info")->schema();
+  EXPECT_EQ(cast_schema.FindColumnDef("title_id")->ref_table, "title");
+  EXPECT_EQ(cast_schema.FindColumnDef("person_id")->ref_table, "person");
+  EXPECT_TRUE(cast_schema.FindColumnDef("cast_id")->primary_key);
+  EXPECT_FALSE(db.GetTable("title")
+                   ->schema()
+                   .FindColumnDef("title")
+                   ->nullable);
+}
+
+TEST(ImdbTest, ForeignKeysActuallyResolve) {
+  minidb::Database db;
+  ASSERT_TRUE(PopulateImdbDatabase(&db, 0.1).ok());
+  size_t titles = db.GetTable("title")->row_count();
+  size_t persons = db.GetTable("person")->row_count();
+  db.GetTable("cast_info")->Scan([&](const minidb::Row& row) {
+    EXPECT_GE(row[1].int_value(), 1);
+    EXPECT_LE(row[1].int_value(), static_cast<int64_t>(titles));
+    EXPECT_GE(row[2].int_value(), 1);
+    EXPECT_LE(row[2].int_value(), static_cast<int64_t>(persons));
+    return true;
+  });
+}
+
+TEST(ImdbTest, HasRealisticNullsAndText) {
+  minidb::Database db;
+  ASSERT_TRUE(PopulateImdbDatabase(&db, 0.5).ok());
+  minidb::TableStats stats = minidb::AnalyzeTable(*db.GetTable("title"));
+  const minidb::ColumnStats* year = stats.FindColumn("production_year");
+  EXPECT_NEAR(year->null_fraction(), 0.08, 0.04);
+  EXPECT_GE(year->min.AsInt(), 1920);
+  EXPECT_LE(year->max.AsInt(), 2014);
+  const minidb::ColumnStats* plot = stats.FindColumn("plot");
+  EXPECT_NEAR(plot->null_fraction(), 0.15, 0.06);
+  EXPECT_GT(plot->avg_word_count, 10.0);
+  const minidb::ColumnStats* genre = stats.FindColumn("genre");
+  EXPECT_EQ(genre->distinct_count, 10u);
+}
+
+TEST(ImdbTest, DeterministicPerSeed) {
+  minidb::Database db1, db2, db3;
+  ASSERT_TRUE(PopulateImdbDatabase(&db1, 0.05, 7).ok());
+  ASSERT_TRUE(PopulateImdbDatabase(&db2, 0.05, 7).ok());
+  ASSERT_TRUE(PopulateImdbDatabase(&db3, 0.05, 8).ok());
+  const minidb::Table* t1 = db1.GetTable("title");
+  const minidb::Table* t2 = db2.GetTable("title");
+  const minidb::Table* t3 = db3.GetTable("title");
+  ASSERT_EQ(t1->row_count(), t2->row_count());
+  bool all_equal_12 = true;
+  bool all_equal_13 = true;
+  for (size_t r = 0; r < t1->row_count(); ++r) {
+    if (!(t1->row(r)[1] == t2->row(r)[1])) all_equal_12 = false;
+    if (!(t1->row(r)[1] == t3->row(r)[1])) all_equal_13 = false;
+  }
+  EXPECT_TRUE(all_equal_12);
+  EXPECT_FALSE(all_equal_13);
+}
+
+TEST(ImdbTest, QueriesWork) {
+  minidb::Database db;
+  ASSERT_TRUE(PopulateImdbDatabase(&db, 0.25).ok());
+  auto result = minidb::ExecuteSql(
+      &db,
+      "SELECT genre, COUNT(*) FROM title GROUP BY genre ORDER BY genre");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->rows.size(), 10u);
+  auto avg = minidb::ExecuteSql(&db, "SELECT AVG(rating) FROM movie_rating");
+  ASSERT_TRUE(avg.ok());
+  double mean = avg->At(0, "avg_rating").AsDouble();
+  EXPECT_GT(mean, 5.0);
+  EXPECT_LT(mean, 8.0);
+}
+
+}  // namespace
+}  // namespace workloads

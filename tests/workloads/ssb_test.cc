@@ -1,0 +1,158 @@
+#include "workloads/ssb.h"
+
+#include <map>
+
+#include <gtest/gtest.h>
+
+#include "core/session.h"
+#include "dbsynth/virtual_query.h"
+
+namespace workloads {
+namespace {
+
+using pdgf::Value;
+
+TEST(SsbTest, ModelResolvesWithSpecCardinalities) {
+  pdgf::SchemaDef schema = BuildSsbSchema();
+  auto session =
+      pdgf::GenerationSession::Create(&schema, {{"SF", "0.001"}});
+  ASSERT_TRUE(session.ok()) << session.status().ToString();
+  auto rows = [&](const char* table) {
+    return (*session)->TableRows(schema.FindTableIndex(table));
+  };
+  EXPECT_EQ(rows("ddate"), 2556u);  // fixed: 7 years of days
+  EXPECT_EQ(rows("supplier"), 2u);
+  EXPECT_EQ(rows("customer"), 30u);
+  EXPECT_EQ(rows("part"), 200u);
+  EXPECT_EQ(rows("lineorder"), 6000u);
+}
+
+TEST(SsbTest, DateDimensionIsConsistent) {
+  pdgf::SchemaDef schema = BuildSsbSchema();
+  auto session = pdgf::GenerationSession::Create(&schema);
+  ASSERT_TRUE(session.ok());
+  int ddate = schema.FindTableIndex("ddate");
+  std::vector<Value> row;
+  // Row 0 = 1992-01-01 (a Wednesday, dayofweek 4 in the 1..7 scheme).
+  (*session)->GenerateRow(ddate, 0, 0, &row);
+  EXPECT_EQ(row[0].int_value(), 0);
+  EXPECT_EQ(row[1].int_value(), 4);
+  EXPECT_EQ(row[2].int_value(), 1992);
+  EXPECT_EQ(row[3].int_value(), 1);
+  // The last row is in 1998.
+  (*session)->GenerateRow(ddate, 2555, 0, &row);
+  EXPECT_EQ(row[2].int_value(), 1998);
+  // Day-of-week cycles with period 7.
+  std::vector<Value> next;
+  (*session)->GenerateRow(ddate, 7, 0, &next);
+  EXPECT_EQ(next[1].int_value(), 4);
+}
+
+TEST(SsbTest, LineorderGroupsFourLinesPerOrder) {
+  pdgf::SchemaDef schema = BuildSsbSchema();
+  auto session =
+      pdgf::GenerationSession::Create(&schema, {{"SF", "0.001"}});
+  ASSERT_TRUE(session.ok());
+  int lineorder = schema.FindTableIndex("lineorder");
+  std::vector<Value> row;
+  for (uint64_t r = 0; r < 16; ++r) {
+    (*session)->GenerateRow(lineorder, r, 0, &row);
+    EXPECT_EQ(row[0].int_value(), static_cast<int64_t>(r / 4 + 1));
+    EXPECT_EQ(row[1].int_value(), static_cast<int64_t>(r % 4 + 1));
+  }
+}
+
+TEST(SsbTest, UniformVariantHasFlatReferences) {
+  pdgf::SchemaDef schema = BuildSsbSchema(SsbSkew::kUniform);
+  auto session =
+      pdgf::GenerationSession::Create(&schema, {{"SF", "0.01"}});
+  ASSERT_TRUE(session.ok());
+  int lineorder = schema.FindTableIndex("lineorder");
+  int cust_field = schema.tables[static_cast<size_t>(lineorder)]
+                       .FindFieldIndex("lo_custkey");
+  std::map<int64_t, int> counts;
+  Value value;
+  const int draws = 6000;
+  for (uint64_t r = 0; r < draws; ++r) {
+    (*session)->GenerateField(lineorder, cust_field, r, 0, &value);
+    ++counts[value.int_value()];
+  }
+  // 300 customers, 6000 draws: expected 20 per key, max far below 3x.
+  int max_count = 0;
+  for (const auto& [key, count] : counts) {
+    max_count = std::max(max_count, count);
+  }
+  EXPECT_LT(max_count, 60);
+}
+
+TEST(SsbTest, SkewedVariantConcentratesReferences) {
+  pdgf::SchemaDef schema = BuildSsbSchema(SsbSkew::kSkewedReferences);
+  auto session =
+      pdgf::GenerationSession::Create(&schema, {{"SF", "0.01"}});
+  ASSERT_TRUE(session.ok());
+  int lineorder = schema.FindTableIndex("lineorder");
+  int cust_field = schema.tables[static_cast<size_t>(lineorder)]
+                       .FindFieldIndex("lo_custkey");
+  std::map<int64_t, int> counts;
+  Value value;
+  const int draws = 6000;
+  for (uint64_t r = 0; r < draws; ++r) {
+    (*session)->GenerateField(lineorder, cust_field, r, 0, &value);
+    ++counts[value.int_value()];
+  }
+  // Zipf(1.0): the hottest customer dominates the median one.
+  EXPECT_GT(counts[1], 200);
+  EXPECT_GT(counts[1], counts[150] * 10);
+}
+
+TEST(SsbTest, SkewedValuesVariantClustersDiscounts) {
+  pdgf::SchemaDef uniform_schema = BuildSsbSchema(SsbSkew::kUniform);
+  pdgf::SchemaDef skewed_schema = BuildSsbSchema(SsbSkew::kSkewedValues);
+  auto uniform =
+      pdgf::GenerationSession::Create(&uniform_schema, {{"SF", "0.01"}});
+  auto skewed =
+      pdgf::GenerationSession::Create(&skewed_schema, {{"SF", "0.01"}});
+  ASSERT_TRUE(uniform.ok());
+  ASSERT_TRUE(skewed.ok());
+  auto top_share = [](pdgf::GenerationSession& session,
+                      const pdgf::SchemaDef& schema) {
+    int lineorder = schema.FindTableIndex("lineorder");
+    int field = schema.tables[static_cast<size_t>(lineorder)]
+                    .FindFieldIndex("lo_discount");
+    std::map<std::string, int> counts;
+    Value value;
+    const int draws = 4000;
+    for (uint64_t r = 0; r < draws; ++r) {
+      session.GenerateField(lineorder, field, r, 0, &value);
+      counts[value.ToText()]++;
+    }
+    int max_count = 0;
+    for (const auto& [key, count] : counts) {
+      max_count = std::max(max_count, count);
+    }
+    return max_count / static_cast<double>(draws);
+  };
+  double uniform_share = top_share(**uniform, uniform_schema);
+  double skewed_share = top_share(**skewed, skewed_schema);
+  EXPECT_LT(uniform_share, 0.2);   // ~1/11 each
+  EXPECT_GT(skewed_share, 0.3);    // head value dominates
+}
+
+TEST(SsbTest, VirtualQueriesRunOnSsb) {
+  // SSB Q1.1-shaped query through the no-materialization path.
+  pdgf::SchemaDef schema = BuildSsbSchema();
+  auto session =
+      pdgf::GenerationSession::Create(&schema, {{"SF", "0.001"}});
+  ASSERT_TRUE(session.ok());
+  auto result = dbsynth::ExecuteQueryWithoutData(
+      **session,
+      "SELECT SUM(lo_extendedprice), COUNT(*) FROM lineorder "
+      "WHERE lo_discount BETWEEN 1 AND 3 AND lo_quantity < 25");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result->rows.size(), 1u);
+  EXPECT_GT(result->At(0, "count").int_value(), 0);
+  EXPECT_GT(result->At(0, "sum_lo_extendedprice").AsDouble(), 0);
+}
+
+}  // namespace
+}  // namespace workloads

@@ -1,0 +1,15 @@
+// The dbsynthpp command-line tool; all logic lives in src/cli (testable).
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "cli/cli.h"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  std::string output;
+  int exit_code = dbsynthpp_cli::RunCli(args, &output);
+  std::fputs(output.c_str(), exit_code == 0 ? stdout : stderr);
+  return exit_code;
+}
