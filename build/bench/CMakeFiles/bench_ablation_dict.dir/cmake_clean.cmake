@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_dict.dir/ablation_dict.cpp.o"
+  "CMakeFiles/bench_ablation_dict.dir/ablation_dict.cpp.o.d"
+  "bench_ablation_dict"
+  "bench_ablation_dict.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_dict.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

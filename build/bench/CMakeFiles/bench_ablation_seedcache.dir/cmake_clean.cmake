@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_seedcache.dir/ablation_seedcache.cpp.o"
+  "CMakeFiles/bench_ablation_seedcache.dir/ablation_seedcache.cpp.o.d"
+  "bench_ablation_seedcache"
+  "bench_ablation_seedcache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_seedcache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_formats.dir/ext_formats.cpp.o"
+  "CMakeFiles/bench_ext_formats.dir/ext_formats.cpp.o.d"
+  "bench_ext_formats"
+  "bench_ext_formats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_formats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

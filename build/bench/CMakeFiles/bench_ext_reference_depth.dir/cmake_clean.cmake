@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_reference_depth.dir/ext_reference_depth.cpp.o"
+  "CMakeFiles/bench_ext_reference_depth.dir/ext_reference_depth.cpp.o.d"
+  "bench_ext_reference_depth"
+  "bench_ext_reference_depth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_reference_depth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

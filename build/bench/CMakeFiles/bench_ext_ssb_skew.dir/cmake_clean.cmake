@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_ssb_skew.dir/ext_ssb_skew.cpp.o"
+  "CMakeFiles/bench_ext_ssb_skew.dir/ext_ssb_skew.cpp.o.d"
+  "bench_ext_ssb_skew"
+  "bench_ext_ssb_skew.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_ssb_skew.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_scaleout.dir/fig4_scaleout.cpp.o"
+  "CMakeFiles/bench_fig4_scaleout.dir/fig4_scaleout.cpp.o.d"
+  "bench_fig4_scaleout"
+  "bench_fig4_scaleout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_scaleout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_scaleup.dir/fig5_scaleup.cpp.o"
+  "CMakeFiles/bench_fig5_scaleup.dir/fig5_scaleup.cpp.o.d"
+  "bench_fig5_scaleup"
+  "bench_fig5_scaleup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_scaleup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_dbgen_vs_pdgf.dir/fig6_dbgen_vs_pdgf.cpp.o"
+  "CMakeFiles/bench_fig6_dbgen_vs_pdgf.dir/fig6_dbgen_vs_pdgf.cpp.o.d"
+  "bench_fig6_dbgen_vs_pdgf"
+  "bench_fig6_dbgen_vs_pdgf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_dbgen_vs_pdgf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

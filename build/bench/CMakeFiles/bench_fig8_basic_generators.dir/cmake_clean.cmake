@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_basic_generators.dir/fig8_basic_generators.cpp.o"
+  "CMakeFiles/bench_fig8_basic_generators.dir/fig8_basic_generators.cpp.o.d"
+  "bench_fig8_basic_generators"
+  "bench_fig8_basic_generators.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_basic_generators.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_complex_generators.dir/fig9_complex_generators.cpp.o"
+  "CMakeFiles/bench_fig9_complex_generators.dir/fig9_complex_generators.cpp.o.d"
+  "bench_fig9_complex_generators"
+  "bench_fig9_complex_generators.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_complex_generators.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

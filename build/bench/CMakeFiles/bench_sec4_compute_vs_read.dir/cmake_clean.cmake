@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec4_compute_vs_read.dir/sec4_compute_vs_read.cpp.o"
+  "CMakeFiles/bench_sec4_compute_vs_read.dir/sec4_compute_vs_read.cpp.o.d"
+  "bench_sec4_compute_vs_read"
+  "bench_sec4_compute_vs_read.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec4_compute_vs_read.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec4_metadata_extraction.dir/sec4_metadata_extraction.cpp.o"
+  "CMakeFiles/bench_sec4_metadata_extraction.dir/sec4_metadata_extraction.cpp.o.d"
+  "bench_sec4_metadata_extraction"
+  "bench_sec4_metadata_extraction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec4_metadata_extraction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

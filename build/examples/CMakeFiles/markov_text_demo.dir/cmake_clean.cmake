@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/markov_text_demo.dir/markov_text_demo.cpp.o"
+  "CMakeFiles/markov_text_demo.dir/markov_text_demo.cpp.o.d"
+  "markov_text_demo"
+  "markov_text_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/markov_text_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_editing.dir/model_editing.cpp.o"
+  "CMakeFiles/model_editing.dir/model_editing.cpp.o.d"
+  "model_editing"
+  "model_editing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_editing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/synthesize_database.dir/synthesize_database.cpp.o"
+  "CMakeFiles/synthesize_database.dir/synthesize_database.cpp.o.d"
+  "synthesize_database"
+  "synthesize_database.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/synthesize_database.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpch_generation.dir/tpch_generation.cpp.o"
+  "CMakeFiles/tpch_generation.dir/tpch_generation.cpp.o.d"
+  "tpch_generation"
+  "tpch_generation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpch_generation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

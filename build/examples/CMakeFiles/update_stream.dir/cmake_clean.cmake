@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/update_stream.dir/update_stream.cpp.o"
+  "CMakeFiles/update_stream.dir/update_stream.cpp.o.d"
+  "update_stream"
+  "update_stream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/update_stream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

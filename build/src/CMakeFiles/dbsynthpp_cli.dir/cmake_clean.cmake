@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbsynthpp_cli.dir/cli/cli.cc.o"
+  "CMakeFiles/dbsynthpp_cli.dir/cli/cli.cc.o.d"
+  "libdbsynthpp_cli.a"
+  "libdbsynthpp_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbsynthpp_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

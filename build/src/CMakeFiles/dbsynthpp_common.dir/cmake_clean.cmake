@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbsynthpp_common.dir/common/date.cc.o"
+  "CMakeFiles/dbsynthpp_common.dir/common/date.cc.o.d"
+  "CMakeFiles/dbsynthpp_common.dir/common/status.cc.o"
+  "CMakeFiles/dbsynthpp_common.dir/common/status.cc.o.d"
+  "CMakeFiles/dbsynthpp_common.dir/common/types.cc.o"
+  "CMakeFiles/dbsynthpp_common.dir/common/types.cc.o.d"
+  "CMakeFiles/dbsynthpp_common.dir/common/value.cc.o"
+  "CMakeFiles/dbsynthpp_common.dir/common/value.cc.o.d"
+  "libdbsynthpp_common.a"
+  "libdbsynthpp_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbsynthpp_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

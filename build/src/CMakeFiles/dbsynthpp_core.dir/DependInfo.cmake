@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/config.cc" "src/CMakeFiles/dbsynthpp_core.dir/core/config.cc.o" "gcc" "src/CMakeFiles/dbsynthpp_core.dir/core/config.cc.o.d"
+  "/root/repo/src/core/engine.cc" "src/CMakeFiles/dbsynthpp_core.dir/core/engine.cc.o" "gcc" "src/CMakeFiles/dbsynthpp_core.dir/core/engine.cc.o.d"
+  "/root/repo/src/core/generator_registry.cc" "src/CMakeFiles/dbsynthpp_core.dir/core/generator_registry.cc.o" "gcc" "src/CMakeFiles/dbsynthpp_core.dir/core/generator_registry.cc.o.d"
+  "/root/repo/src/core/generators/basic_generators.cc" "src/CMakeFiles/dbsynthpp_core.dir/core/generators/basic_generators.cc.o" "gcc" "src/CMakeFiles/dbsynthpp_core.dir/core/generators/basic_generators.cc.o.d"
+  "/root/repo/src/core/generators/dict_generators.cc" "src/CMakeFiles/dbsynthpp_core.dir/core/generators/dict_generators.cc.o" "gcc" "src/CMakeFiles/dbsynthpp_core.dir/core/generators/dict_generators.cc.o.d"
+  "/root/repo/src/core/generators/histogram_generator.cc" "src/CMakeFiles/dbsynthpp_core.dir/core/generators/histogram_generator.cc.o" "gcc" "src/CMakeFiles/dbsynthpp_core.dir/core/generators/histogram_generator.cc.o.d"
+  "/root/repo/src/core/generators/markov_generator.cc" "src/CMakeFiles/dbsynthpp_core.dir/core/generators/markov_generator.cc.o" "gcc" "src/CMakeFiles/dbsynthpp_core.dir/core/generators/markov_generator.cc.o.d"
+  "/root/repo/src/core/generators/meta_generators.cc" "src/CMakeFiles/dbsynthpp_core.dir/core/generators/meta_generators.cc.o" "gcc" "src/CMakeFiles/dbsynthpp_core.dir/core/generators/meta_generators.cc.o.d"
+  "/root/repo/src/core/generators/reference_generator.cc" "src/CMakeFiles/dbsynthpp_core.dir/core/generators/reference_generator.cc.o" "gcc" "src/CMakeFiles/dbsynthpp_core.dir/core/generators/reference_generator.cc.o.d"
+  "/root/repo/src/core/output/formatter.cc" "src/CMakeFiles/dbsynthpp_core.dir/core/output/formatter.cc.o" "gcc" "src/CMakeFiles/dbsynthpp_core.dir/core/output/formatter.cc.o.d"
+  "/root/repo/src/core/output/sink.cc" "src/CMakeFiles/dbsynthpp_core.dir/core/output/sink.cc.o" "gcc" "src/CMakeFiles/dbsynthpp_core.dir/core/output/sink.cc.o.d"
+  "/root/repo/src/core/progress.cc" "src/CMakeFiles/dbsynthpp_core.dir/core/progress.cc.o" "gcc" "src/CMakeFiles/dbsynthpp_core.dir/core/progress.cc.o.d"
+  "/root/repo/src/core/schema.cc" "src/CMakeFiles/dbsynthpp_core.dir/core/schema.cc.o" "gcc" "src/CMakeFiles/dbsynthpp_core.dir/core/schema.cc.o.d"
+  "/root/repo/src/core/session.cc" "src/CMakeFiles/dbsynthpp_core.dir/core/session.cc.o" "gcc" "src/CMakeFiles/dbsynthpp_core.dir/core/session.cc.o.d"
+  "/root/repo/src/core/simcluster.cc" "src/CMakeFiles/dbsynthpp_core.dir/core/simcluster.cc.o" "gcc" "src/CMakeFiles/dbsynthpp_core.dir/core/simcluster.cc.o.d"
+  "/root/repo/src/core/text/builtin_dictionaries.cc" "src/CMakeFiles/dbsynthpp_core.dir/core/text/builtin_dictionaries.cc.o" "gcc" "src/CMakeFiles/dbsynthpp_core.dir/core/text/builtin_dictionaries.cc.o.d"
+  "/root/repo/src/core/text/dictionary.cc" "src/CMakeFiles/dbsynthpp_core.dir/core/text/dictionary.cc.o" "gcc" "src/CMakeFiles/dbsynthpp_core.dir/core/text/dictionary.cc.o.d"
+  "/root/repo/src/core/text/markov_model.cc" "src/CMakeFiles/dbsynthpp_core.dir/core/text/markov_model.cc.o" "gcc" "src/CMakeFiles/dbsynthpp_core.dir/core/text/markov_model.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dbsynthpp_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dbsynthpp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

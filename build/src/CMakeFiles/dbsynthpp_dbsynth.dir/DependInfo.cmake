@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dbsynth/connection.cc" "src/CMakeFiles/dbsynthpp_dbsynth.dir/dbsynth/connection.cc.o" "gcc" "src/CMakeFiles/dbsynthpp_dbsynth.dir/dbsynth/connection.cc.o.d"
+  "/root/repo/src/dbsynth/model_builder.cc" "src/CMakeFiles/dbsynthpp_dbsynth.dir/dbsynth/model_builder.cc.o" "gcc" "src/CMakeFiles/dbsynthpp_dbsynth.dir/dbsynth/model_builder.cc.o.d"
+  "/root/repo/src/dbsynth/profiler.cc" "src/CMakeFiles/dbsynthpp_dbsynth.dir/dbsynth/profiler.cc.o" "gcc" "src/CMakeFiles/dbsynthpp_dbsynth.dir/dbsynth/profiler.cc.o.d"
+  "/root/repo/src/dbsynth/query_generator.cc" "src/CMakeFiles/dbsynthpp_dbsynth.dir/dbsynth/query_generator.cc.o" "gcc" "src/CMakeFiles/dbsynthpp_dbsynth.dir/dbsynth/query_generator.cc.o.d"
+  "/root/repo/src/dbsynth/rules.cc" "src/CMakeFiles/dbsynthpp_dbsynth.dir/dbsynth/rules.cc.o" "gcc" "src/CMakeFiles/dbsynthpp_dbsynth.dir/dbsynth/rules.cc.o.d"
+  "/root/repo/src/dbsynth/schema_translator.cc" "src/CMakeFiles/dbsynthpp_dbsynth.dir/dbsynth/schema_translator.cc.o" "gcc" "src/CMakeFiles/dbsynthpp_dbsynth.dir/dbsynth/schema_translator.cc.o.d"
+  "/root/repo/src/dbsynth/synthesizer.cc" "src/CMakeFiles/dbsynthpp_dbsynth.dir/dbsynth/synthesizer.cc.o" "gcc" "src/CMakeFiles/dbsynthpp_dbsynth.dir/dbsynth/synthesizer.cc.o.d"
+  "/root/repo/src/dbsynth/virtual_query.cc" "src/CMakeFiles/dbsynthpp_dbsynth.dir/dbsynth/virtual_query.cc.o" "gcc" "src/CMakeFiles/dbsynthpp_dbsynth.dir/dbsynth/virtual_query.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dbsynthpp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dbsynthpp_minidb.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dbsynthpp_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dbsynthpp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

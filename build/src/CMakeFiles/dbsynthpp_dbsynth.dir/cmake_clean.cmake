@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbsynthpp_dbsynth.dir/dbsynth/connection.cc.o"
+  "CMakeFiles/dbsynthpp_dbsynth.dir/dbsynth/connection.cc.o.d"
+  "CMakeFiles/dbsynthpp_dbsynth.dir/dbsynth/model_builder.cc.o"
+  "CMakeFiles/dbsynthpp_dbsynth.dir/dbsynth/model_builder.cc.o.d"
+  "CMakeFiles/dbsynthpp_dbsynth.dir/dbsynth/profiler.cc.o"
+  "CMakeFiles/dbsynthpp_dbsynth.dir/dbsynth/profiler.cc.o.d"
+  "CMakeFiles/dbsynthpp_dbsynth.dir/dbsynth/query_generator.cc.o"
+  "CMakeFiles/dbsynthpp_dbsynth.dir/dbsynth/query_generator.cc.o.d"
+  "CMakeFiles/dbsynthpp_dbsynth.dir/dbsynth/rules.cc.o"
+  "CMakeFiles/dbsynthpp_dbsynth.dir/dbsynth/rules.cc.o.d"
+  "CMakeFiles/dbsynthpp_dbsynth.dir/dbsynth/schema_translator.cc.o"
+  "CMakeFiles/dbsynthpp_dbsynth.dir/dbsynth/schema_translator.cc.o.d"
+  "CMakeFiles/dbsynthpp_dbsynth.dir/dbsynth/synthesizer.cc.o"
+  "CMakeFiles/dbsynthpp_dbsynth.dir/dbsynth/synthesizer.cc.o.d"
+  "CMakeFiles/dbsynthpp_dbsynth.dir/dbsynth/virtual_query.cc.o"
+  "CMakeFiles/dbsynthpp_dbsynth.dir/dbsynth/virtual_query.cc.o.d"
+  "libdbsynthpp_dbsynth.a"
+  "libdbsynthpp_dbsynth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbsynthpp_dbsynth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

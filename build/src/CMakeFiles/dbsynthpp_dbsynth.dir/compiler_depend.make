@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for dbsynthpp_dbsynth.
+# This may be replaced when dependencies are built.

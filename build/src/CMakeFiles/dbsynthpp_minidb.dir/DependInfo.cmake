@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/minidb/catalog.cc" "src/CMakeFiles/dbsynthpp_minidb.dir/minidb/catalog.cc.o" "gcc" "src/CMakeFiles/dbsynthpp_minidb.dir/minidb/catalog.cc.o.d"
+  "/root/repo/src/minidb/csv.cc" "src/CMakeFiles/dbsynthpp_minidb.dir/minidb/csv.cc.o" "gcc" "src/CMakeFiles/dbsynthpp_minidb.dir/minidb/csv.cc.o.d"
+  "/root/repo/src/minidb/database.cc" "src/CMakeFiles/dbsynthpp_minidb.dir/minidb/database.cc.o" "gcc" "src/CMakeFiles/dbsynthpp_minidb.dir/minidb/database.cc.o.d"
+  "/root/repo/src/minidb/persistence.cc" "src/CMakeFiles/dbsynthpp_minidb.dir/minidb/persistence.cc.o" "gcc" "src/CMakeFiles/dbsynthpp_minidb.dir/minidb/persistence.cc.o.d"
+  "/root/repo/src/minidb/sql.cc" "src/CMakeFiles/dbsynthpp_minidb.dir/minidb/sql.cc.o" "gcc" "src/CMakeFiles/dbsynthpp_minidb.dir/minidb/sql.cc.o.d"
+  "/root/repo/src/minidb/sql_lexer.cc" "src/CMakeFiles/dbsynthpp_minidb.dir/minidb/sql_lexer.cc.o" "gcc" "src/CMakeFiles/dbsynthpp_minidb.dir/minidb/sql_lexer.cc.o.d"
+  "/root/repo/src/minidb/sql_parser.cc" "src/CMakeFiles/dbsynthpp_minidb.dir/minidb/sql_parser.cc.o" "gcc" "src/CMakeFiles/dbsynthpp_minidb.dir/minidb/sql_parser.cc.o.d"
+  "/root/repo/src/minidb/stats.cc" "src/CMakeFiles/dbsynthpp_minidb.dir/minidb/stats.cc.o" "gcc" "src/CMakeFiles/dbsynthpp_minidb.dir/minidb/stats.cc.o.d"
+  "/root/repo/src/minidb/table.cc" "src/CMakeFiles/dbsynthpp_minidb.dir/minidb/table.cc.o" "gcc" "src/CMakeFiles/dbsynthpp_minidb.dir/minidb/table.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dbsynthpp_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dbsynthpp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

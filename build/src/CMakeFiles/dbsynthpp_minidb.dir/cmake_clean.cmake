@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbsynthpp_minidb.dir/minidb/catalog.cc.o"
+  "CMakeFiles/dbsynthpp_minidb.dir/minidb/catalog.cc.o.d"
+  "CMakeFiles/dbsynthpp_minidb.dir/minidb/csv.cc.o"
+  "CMakeFiles/dbsynthpp_minidb.dir/minidb/csv.cc.o.d"
+  "CMakeFiles/dbsynthpp_minidb.dir/minidb/database.cc.o"
+  "CMakeFiles/dbsynthpp_minidb.dir/minidb/database.cc.o.d"
+  "CMakeFiles/dbsynthpp_minidb.dir/minidb/persistence.cc.o"
+  "CMakeFiles/dbsynthpp_minidb.dir/minidb/persistence.cc.o.d"
+  "CMakeFiles/dbsynthpp_minidb.dir/minidb/sql.cc.o"
+  "CMakeFiles/dbsynthpp_minidb.dir/minidb/sql.cc.o.d"
+  "CMakeFiles/dbsynthpp_minidb.dir/minidb/sql_lexer.cc.o"
+  "CMakeFiles/dbsynthpp_minidb.dir/minidb/sql_lexer.cc.o.d"
+  "CMakeFiles/dbsynthpp_minidb.dir/minidb/sql_parser.cc.o"
+  "CMakeFiles/dbsynthpp_minidb.dir/minidb/sql_parser.cc.o.d"
+  "CMakeFiles/dbsynthpp_minidb.dir/minidb/stats.cc.o"
+  "CMakeFiles/dbsynthpp_minidb.dir/minidb/stats.cc.o.d"
+  "CMakeFiles/dbsynthpp_minidb.dir/minidb/table.cc.o"
+  "CMakeFiles/dbsynthpp_minidb.dir/minidb/table.cc.o.d"
+  "libdbsynthpp_minidb.a"
+  "libdbsynthpp_minidb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbsynthpp_minidb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/util/expression.cc" "src/CMakeFiles/dbsynthpp_util.dir/util/expression.cc.o" "gcc" "src/CMakeFiles/dbsynthpp_util.dir/util/expression.cc.o.d"
+  "/root/repo/src/util/files.cc" "src/CMakeFiles/dbsynthpp_util.dir/util/files.cc.o" "gcc" "src/CMakeFiles/dbsynthpp_util.dir/util/files.cc.o.d"
+  "/root/repo/src/util/rng.cc" "src/CMakeFiles/dbsynthpp_util.dir/util/rng.cc.o" "gcc" "src/CMakeFiles/dbsynthpp_util.dir/util/rng.cc.o.d"
+  "/root/repo/src/util/strings.cc" "src/CMakeFiles/dbsynthpp_util.dir/util/strings.cc.o" "gcc" "src/CMakeFiles/dbsynthpp_util.dir/util/strings.cc.o.d"
+  "/root/repo/src/util/xml.cc" "src/CMakeFiles/dbsynthpp_util.dir/util/xml.cc.o" "gcc" "src/CMakeFiles/dbsynthpp_util.dir/util/xml.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dbsynthpp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

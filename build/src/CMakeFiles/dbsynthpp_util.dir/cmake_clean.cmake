@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbsynthpp_util.dir/util/expression.cc.o"
+  "CMakeFiles/dbsynthpp_util.dir/util/expression.cc.o.d"
+  "CMakeFiles/dbsynthpp_util.dir/util/files.cc.o"
+  "CMakeFiles/dbsynthpp_util.dir/util/files.cc.o.d"
+  "CMakeFiles/dbsynthpp_util.dir/util/rng.cc.o"
+  "CMakeFiles/dbsynthpp_util.dir/util/rng.cc.o.d"
+  "CMakeFiles/dbsynthpp_util.dir/util/strings.cc.o"
+  "CMakeFiles/dbsynthpp_util.dir/util/strings.cc.o.d"
+  "CMakeFiles/dbsynthpp_util.dir/util/xml.cc.o"
+  "CMakeFiles/dbsynthpp_util.dir/util/xml.cc.o.d"
+  "libdbsynthpp_util.a"
+  "libdbsynthpp_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbsynthpp_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/bigbench.cc" "src/CMakeFiles/dbsynthpp_workloads.dir/workloads/bigbench.cc.o" "gcc" "src/CMakeFiles/dbsynthpp_workloads.dir/workloads/bigbench.cc.o.d"
+  "/root/repo/src/workloads/dbgen.cc" "src/CMakeFiles/dbsynthpp_workloads.dir/workloads/dbgen.cc.o" "gcc" "src/CMakeFiles/dbsynthpp_workloads.dir/workloads/dbgen.cc.o.d"
+  "/root/repo/src/workloads/imdb.cc" "src/CMakeFiles/dbsynthpp_workloads.dir/workloads/imdb.cc.o" "gcc" "src/CMakeFiles/dbsynthpp_workloads.dir/workloads/imdb.cc.o.d"
+  "/root/repo/src/workloads/ssb.cc" "src/CMakeFiles/dbsynthpp_workloads.dir/workloads/ssb.cc.o" "gcc" "src/CMakeFiles/dbsynthpp_workloads.dir/workloads/ssb.cc.o.d"
+  "/root/repo/src/workloads/tpch.cc" "src/CMakeFiles/dbsynthpp_workloads.dir/workloads/tpch.cc.o" "gcc" "src/CMakeFiles/dbsynthpp_workloads.dir/workloads/tpch.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dbsynthpp_dbsynth.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dbsynthpp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dbsynthpp_minidb.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dbsynthpp_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dbsynthpp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbsynthpp_workloads.dir/workloads/bigbench.cc.o"
+  "CMakeFiles/dbsynthpp_workloads.dir/workloads/bigbench.cc.o.d"
+  "CMakeFiles/dbsynthpp_workloads.dir/workloads/dbgen.cc.o"
+  "CMakeFiles/dbsynthpp_workloads.dir/workloads/dbgen.cc.o.d"
+  "CMakeFiles/dbsynthpp_workloads.dir/workloads/imdb.cc.o"
+  "CMakeFiles/dbsynthpp_workloads.dir/workloads/imdb.cc.o.d"
+  "CMakeFiles/dbsynthpp_workloads.dir/workloads/ssb.cc.o"
+  "CMakeFiles/dbsynthpp_workloads.dir/workloads/ssb.cc.o.d"
+  "CMakeFiles/dbsynthpp_workloads.dir/workloads/tpch.cc.o"
+  "CMakeFiles/dbsynthpp_workloads.dir/workloads/tpch.cc.o.d"
+  "libdbsynthpp_workloads.a"
+  "libdbsynthpp_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbsynthpp_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_common.dir/common/date_test.cc.o"
+  "CMakeFiles/tests_common.dir/common/date_test.cc.o.d"
+  "CMakeFiles/tests_common.dir/common/status_test.cc.o"
+  "CMakeFiles/tests_common.dir/common/status_test.cc.o.d"
+  "CMakeFiles/tests_common.dir/common/types_test.cc.o"
+  "CMakeFiles/tests_common.dir/common/types_test.cc.o.d"
+  "CMakeFiles/tests_common.dir/common/value_order_property_test.cc.o"
+  "CMakeFiles/tests_common.dir/common/value_order_property_test.cc.o.d"
+  "CMakeFiles/tests_common.dir/common/value_test.cc.o"
+  "CMakeFiles/tests_common.dir/common/value_test.cc.o.d"
+  "tests_common"
+  "tests_common.pdb"
+  "tests_common[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

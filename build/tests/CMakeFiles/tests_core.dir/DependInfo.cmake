@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/config_test.cc" "tests/CMakeFiles/tests_core.dir/core/config_test.cc.o" "gcc" "tests/CMakeFiles/tests_core.dir/core/config_test.cc.o.d"
+  "/root/repo/tests/core/dictionary_test.cc" "tests/CMakeFiles/tests_core.dir/core/dictionary_test.cc.o" "gcc" "tests/CMakeFiles/tests_core.dir/core/dictionary_test.cc.o.d"
+  "/root/repo/tests/core/engine_stress_test.cc" "tests/CMakeFiles/tests_core.dir/core/engine_stress_test.cc.o" "gcc" "tests/CMakeFiles/tests_core.dir/core/engine_stress_test.cc.o.d"
+  "/root/repo/tests/core/engine_test.cc" "tests/CMakeFiles/tests_core.dir/core/engine_test.cc.o" "gcc" "tests/CMakeFiles/tests_core.dir/core/engine_test.cc.o.d"
+  "/root/repo/tests/core/generators_test.cc" "tests/CMakeFiles/tests_core.dir/core/generators_test.cc.o" "gcc" "tests/CMakeFiles/tests_core.dir/core/generators_test.cc.o.d"
+  "/root/repo/tests/core/markov_fidelity_test.cc" "tests/CMakeFiles/tests_core.dir/core/markov_fidelity_test.cc.o" "gcc" "tests/CMakeFiles/tests_core.dir/core/markov_fidelity_test.cc.o.d"
+  "/root/repo/tests/core/markov_test.cc" "tests/CMakeFiles/tests_core.dir/core/markov_test.cc.o" "gcc" "tests/CMakeFiles/tests_core.dir/core/markov_test.cc.o.d"
+  "/root/repo/tests/core/output_test.cc" "tests/CMakeFiles/tests_core.dir/core/output_test.cc.o" "gcc" "tests/CMakeFiles/tests_core.dir/core/output_test.cc.o.d"
+  "/root/repo/tests/core/progress_test.cc" "tests/CMakeFiles/tests_core.dir/core/progress_test.cc.o" "gcc" "tests/CMakeFiles/tests_core.dir/core/progress_test.cc.o.d"
+  "/root/repo/tests/core/reference_test.cc" "tests/CMakeFiles/tests_core.dir/core/reference_test.cc.o" "gcc" "tests/CMakeFiles/tests_core.dir/core/reference_test.cc.o.d"
+  "/root/repo/tests/core/session_test.cc" "tests/CMakeFiles/tests_core.dir/core/session_test.cc.o" "gcc" "tests/CMakeFiles/tests_core.dir/core/session_test.cc.o.d"
+  "/root/repo/tests/core/simcluster_test.cc" "tests/CMakeFiles/tests_core.dir/core/simcluster_test.cc.o" "gcc" "tests/CMakeFiles/tests_core.dir/core/simcluster_test.cc.o.d"
+  "/root/repo/tests/core/update_test.cc" "tests/CMakeFiles/tests_core.dir/core/update_test.cc.o" "gcc" "tests/CMakeFiles/tests_core.dir/core/update_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dbsynthpp_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dbsynthpp_dbsynth.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dbsynthpp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dbsynthpp_minidb.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dbsynthpp_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dbsynthpp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,36 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_core.dir/core/config_test.cc.o"
+  "CMakeFiles/tests_core.dir/core/config_test.cc.o.d"
+  "CMakeFiles/tests_core.dir/core/dictionary_test.cc.o"
+  "CMakeFiles/tests_core.dir/core/dictionary_test.cc.o.d"
+  "CMakeFiles/tests_core.dir/core/engine_stress_test.cc.o"
+  "CMakeFiles/tests_core.dir/core/engine_stress_test.cc.o.d"
+  "CMakeFiles/tests_core.dir/core/engine_test.cc.o"
+  "CMakeFiles/tests_core.dir/core/engine_test.cc.o.d"
+  "CMakeFiles/tests_core.dir/core/generators_test.cc.o"
+  "CMakeFiles/tests_core.dir/core/generators_test.cc.o.d"
+  "CMakeFiles/tests_core.dir/core/markov_fidelity_test.cc.o"
+  "CMakeFiles/tests_core.dir/core/markov_fidelity_test.cc.o.d"
+  "CMakeFiles/tests_core.dir/core/markov_test.cc.o"
+  "CMakeFiles/tests_core.dir/core/markov_test.cc.o.d"
+  "CMakeFiles/tests_core.dir/core/output_test.cc.o"
+  "CMakeFiles/tests_core.dir/core/output_test.cc.o.d"
+  "CMakeFiles/tests_core.dir/core/progress_test.cc.o"
+  "CMakeFiles/tests_core.dir/core/progress_test.cc.o.d"
+  "CMakeFiles/tests_core.dir/core/reference_test.cc.o"
+  "CMakeFiles/tests_core.dir/core/reference_test.cc.o.d"
+  "CMakeFiles/tests_core.dir/core/session_test.cc.o"
+  "CMakeFiles/tests_core.dir/core/session_test.cc.o.d"
+  "CMakeFiles/tests_core.dir/core/simcluster_test.cc.o"
+  "CMakeFiles/tests_core.dir/core/simcluster_test.cc.o.d"
+  "CMakeFiles/tests_core.dir/core/update_test.cc.o"
+  "CMakeFiles/tests_core.dir/core/update_test.cc.o.d"
+  "tests_core"
+  "tests_core.pdb"
+  "tests_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/dbsynth/connection_test.cc" "tests/CMakeFiles/tests_dbsynth.dir/dbsynth/connection_test.cc.o" "gcc" "tests/CMakeFiles/tests_dbsynth.dir/dbsynth/connection_test.cc.o.d"
+  "/root/repo/tests/dbsynth/histogram_test.cc" "tests/CMakeFiles/tests_dbsynth.dir/dbsynth/histogram_test.cc.o" "gcc" "tests/CMakeFiles/tests_dbsynth.dir/dbsynth/histogram_test.cc.o.d"
+  "/root/repo/tests/dbsynth/model_builder_test.cc" "tests/CMakeFiles/tests_dbsynth.dir/dbsynth/model_builder_test.cc.o" "gcc" "tests/CMakeFiles/tests_dbsynth.dir/dbsynth/model_builder_test.cc.o.d"
+  "/root/repo/tests/dbsynth/profiler_test.cc" "tests/CMakeFiles/tests_dbsynth.dir/dbsynth/profiler_test.cc.o" "gcc" "tests/CMakeFiles/tests_dbsynth.dir/dbsynth/profiler_test.cc.o.d"
+  "/root/repo/tests/dbsynth/query_generator_test.cc" "tests/CMakeFiles/tests_dbsynth.dir/dbsynth/query_generator_test.cc.o" "gcc" "tests/CMakeFiles/tests_dbsynth.dir/dbsynth/query_generator_test.cc.o.d"
+  "/root/repo/tests/dbsynth/rules_test.cc" "tests/CMakeFiles/tests_dbsynth.dir/dbsynth/rules_test.cc.o" "gcc" "tests/CMakeFiles/tests_dbsynth.dir/dbsynth/rules_test.cc.o.d"
+  "/root/repo/tests/dbsynth/synthesizer_test.cc" "tests/CMakeFiles/tests_dbsynth.dir/dbsynth/synthesizer_test.cc.o" "gcc" "tests/CMakeFiles/tests_dbsynth.dir/dbsynth/synthesizer_test.cc.o.d"
+  "/root/repo/tests/dbsynth/translator_test.cc" "tests/CMakeFiles/tests_dbsynth.dir/dbsynth/translator_test.cc.o" "gcc" "tests/CMakeFiles/tests_dbsynth.dir/dbsynth/translator_test.cc.o.d"
+  "/root/repo/tests/dbsynth/virtual_query_test.cc" "tests/CMakeFiles/tests_dbsynth.dir/dbsynth/virtual_query_test.cc.o" "gcc" "tests/CMakeFiles/tests_dbsynth.dir/dbsynth/virtual_query_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dbsynthpp_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dbsynthpp_dbsynth.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dbsynthpp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dbsynthpp_minidb.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dbsynthpp_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dbsynthpp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_dbsynth.dir/dbsynth/connection_test.cc.o"
+  "CMakeFiles/tests_dbsynth.dir/dbsynth/connection_test.cc.o.d"
+  "CMakeFiles/tests_dbsynth.dir/dbsynth/histogram_test.cc.o"
+  "CMakeFiles/tests_dbsynth.dir/dbsynth/histogram_test.cc.o.d"
+  "CMakeFiles/tests_dbsynth.dir/dbsynth/model_builder_test.cc.o"
+  "CMakeFiles/tests_dbsynth.dir/dbsynth/model_builder_test.cc.o.d"
+  "CMakeFiles/tests_dbsynth.dir/dbsynth/profiler_test.cc.o"
+  "CMakeFiles/tests_dbsynth.dir/dbsynth/profiler_test.cc.o.d"
+  "CMakeFiles/tests_dbsynth.dir/dbsynth/query_generator_test.cc.o"
+  "CMakeFiles/tests_dbsynth.dir/dbsynth/query_generator_test.cc.o.d"
+  "CMakeFiles/tests_dbsynth.dir/dbsynth/rules_test.cc.o"
+  "CMakeFiles/tests_dbsynth.dir/dbsynth/rules_test.cc.o.d"
+  "CMakeFiles/tests_dbsynth.dir/dbsynth/synthesizer_test.cc.o"
+  "CMakeFiles/tests_dbsynth.dir/dbsynth/synthesizer_test.cc.o.d"
+  "CMakeFiles/tests_dbsynth.dir/dbsynth/translator_test.cc.o"
+  "CMakeFiles/tests_dbsynth.dir/dbsynth/translator_test.cc.o.d"
+  "CMakeFiles/tests_dbsynth.dir/dbsynth/virtual_query_test.cc.o"
+  "CMakeFiles/tests_dbsynth.dir/dbsynth/virtual_query_test.cc.o.d"
+  "tests_dbsynth"
+  "tests_dbsynth.pdb"
+  "tests_dbsynth[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_dbsynth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_integration.dir/integration/determinism_test.cc.o"
+  "CMakeFiles/tests_integration.dir/integration/determinism_test.cc.o.d"
+  "CMakeFiles/tests_integration.dir/integration/roundtrip_test.cc.o"
+  "CMakeFiles/tests_integration.dir/integration/roundtrip_test.cc.o.d"
+  "CMakeFiles/tests_integration.dir/integration/update_apply_test.cc.o"
+  "CMakeFiles/tests_integration.dir/integration/update_apply_test.cc.o.d"
+  "tests_integration"
+  "tests_integration.pdb"
+  "tests_integration[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_integration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

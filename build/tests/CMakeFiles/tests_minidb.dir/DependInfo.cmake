@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/minidb/csv_dialect_test.cc" "tests/CMakeFiles/tests_minidb.dir/minidb/csv_dialect_test.cc.o" "gcc" "tests/CMakeFiles/tests_minidb.dir/minidb/csv_dialect_test.cc.o.d"
+  "/root/repo/tests/minidb/csv_test.cc" "tests/CMakeFiles/tests_minidb.dir/minidb/csv_test.cc.o" "gcc" "tests/CMakeFiles/tests_minidb.dir/minidb/csv_test.cc.o.d"
+  "/root/repo/tests/minidb/persistence_test.cc" "tests/CMakeFiles/tests_minidb.dir/minidb/persistence_test.cc.o" "gcc" "tests/CMakeFiles/tests_minidb.dir/minidb/persistence_test.cc.o.d"
+  "/root/repo/tests/minidb/sql_parser_test.cc" "tests/CMakeFiles/tests_minidb.dir/minidb/sql_parser_test.cc.o" "gcc" "tests/CMakeFiles/tests_minidb.dir/minidb/sql_parser_test.cc.o.d"
+  "/root/repo/tests/minidb/sql_test.cc" "tests/CMakeFiles/tests_minidb.dir/minidb/sql_test.cc.o" "gcc" "tests/CMakeFiles/tests_minidb.dir/minidb/sql_test.cc.o.d"
+  "/root/repo/tests/minidb/stats_test.cc" "tests/CMakeFiles/tests_minidb.dir/minidb/stats_test.cc.o" "gcc" "tests/CMakeFiles/tests_minidb.dir/minidb/stats_test.cc.o.d"
+  "/root/repo/tests/minidb/table_test.cc" "tests/CMakeFiles/tests_minidb.dir/minidb/table_test.cc.o" "gcc" "tests/CMakeFiles/tests_minidb.dir/minidb/table_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dbsynthpp_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dbsynthpp_dbsynth.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dbsynthpp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dbsynthpp_minidb.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dbsynthpp_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dbsynthpp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

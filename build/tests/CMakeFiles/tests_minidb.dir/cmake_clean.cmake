@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_minidb.dir/minidb/csv_dialect_test.cc.o"
+  "CMakeFiles/tests_minidb.dir/minidb/csv_dialect_test.cc.o.d"
+  "CMakeFiles/tests_minidb.dir/minidb/csv_test.cc.o"
+  "CMakeFiles/tests_minidb.dir/minidb/csv_test.cc.o.d"
+  "CMakeFiles/tests_minidb.dir/minidb/persistence_test.cc.o"
+  "CMakeFiles/tests_minidb.dir/minidb/persistence_test.cc.o.d"
+  "CMakeFiles/tests_minidb.dir/minidb/sql_parser_test.cc.o"
+  "CMakeFiles/tests_minidb.dir/minidb/sql_parser_test.cc.o.d"
+  "CMakeFiles/tests_minidb.dir/minidb/sql_test.cc.o"
+  "CMakeFiles/tests_minidb.dir/minidb/sql_test.cc.o.d"
+  "CMakeFiles/tests_minidb.dir/minidb/stats_test.cc.o"
+  "CMakeFiles/tests_minidb.dir/minidb/stats_test.cc.o.d"
+  "CMakeFiles/tests_minidb.dir/minidb/table_test.cc.o"
+  "CMakeFiles/tests_minidb.dir/minidb/table_test.cc.o.d"
+  "tests_minidb"
+  "tests_minidb.pdb"
+  "tests_minidb[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_minidb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

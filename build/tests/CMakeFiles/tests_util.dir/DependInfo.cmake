@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/util/expression_test.cc" "tests/CMakeFiles/tests_util.dir/util/expression_test.cc.o" "gcc" "tests/CMakeFiles/tests_util.dir/util/expression_test.cc.o.d"
+  "/root/repo/tests/util/files_test.cc" "tests/CMakeFiles/tests_util.dir/util/files_test.cc.o" "gcc" "tests/CMakeFiles/tests_util.dir/util/files_test.cc.o.d"
+  "/root/repo/tests/util/fuzz_test.cc" "tests/CMakeFiles/tests_util.dir/util/fuzz_test.cc.o" "gcc" "tests/CMakeFiles/tests_util.dir/util/fuzz_test.cc.o.d"
+  "/root/repo/tests/util/rng_test.cc" "tests/CMakeFiles/tests_util.dir/util/rng_test.cc.o" "gcc" "tests/CMakeFiles/tests_util.dir/util/rng_test.cc.o.d"
+  "/root/repo/tests/util/strings_test.cc" "tests/CMakeFiles/tests_util.dir/util/strings_test.cc.o" "gcc" "tests/CMakeFiles/tests_util.dir/util/strings_test.cc.o.d"
+  "/root/repo/tests/util/xml_test.cc" "tests/CMakeFiles/tests_util.dir/util/xml_test.cc.o" "gcc" "tests/CMakeFiles/tests_util.dir/util/xml_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dbsynthpp_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dbsynthpp_dbsynth.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dbsynthpp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dbsynthpp_minidb.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dbsynthpp_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dbsynthpp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

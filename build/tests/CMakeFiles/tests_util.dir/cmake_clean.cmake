@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_util.dir/util/expression_test.cc.o"
+  "CMakeFiles/tests_util.dir/util/expression_test.cc.o.d"
+  "CMakeFiles/tests_util.dir/util/files_test.cc.o"
+  "CMakeFiles/tests_util.dir/util/files_test.cc.o.d"
+  "CMakeFiles/tests_util.dir/util/fuzz_test.cc.o"
+  "CMakeFiles/tests_util.dir/util/fuzz_test.cc.o.d"
+  "CMakeFiles/tests_util.dir/util/rng_test.cc.o"
+  "CMakeFiles/tests_util.dir/util/rng_test.cc.o.d"
+  "CMakeFiles/tests_util.dir/util/strings_test.cc.o"
+  "CMakeFiles/tests_util.dir/util/strings_test.cc.o.d"
+  "CMakeFiles/tests_util.dir/util/xml_test.cc.o"
+  "CMakeFiles/tests_util.dir/util/xml_test.cc.o.d"
+  "tests_util"
+  "tests_util.pdb"
+  "tests_util[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_workloads.dir/workloads/bigbench_test.cc.o"
+  "CMakeFiles/tests_workloads.dir/workloads/bigbench_test.cc.o.d"
+  "CMakeFiles/tests_workloads.dir/workloads/dbgen_test.cc.o"
+  "CMakeFiles/tests_workloads.dir/workloads/dbgen_test.cc.o.d"
+  "CMakeFiles/tests_workloads.dir/workloads/imdb_test.cc.o"
+  "CMakeFiles/tests_workloads.dir/workloads/imdb_test.cc.o.d"
+  "CMakeFiles/tests_workloads.dir/workloads/ssb_test.cc.o"
+  "CMakeFiles/tests_workloads.dir/workloads/ssb_test.cc.o.d"
+  "CMakeFiles/tests_workloads.dir/workloads/tpch_test.cc.o"
+  "CMakeFiles/tests_workloads.dir/workloads/tpch_test.cc.o.d"
+  "tests_workloads"
+  "tests_workloads.pdb"
+  "tests_workloads[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

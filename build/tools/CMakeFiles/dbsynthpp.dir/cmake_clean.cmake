@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbsynthpp.dir/dbsynthpp_main.cc.o"
+  "CMakeFiles/dbsynthpp.dir/dbsynthpp_main.cc.o.d"
+  "dbsynthpp"
+  "dbsynthpp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbsynthpp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
