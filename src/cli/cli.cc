@@ -1,11 +1,13 @@
 #include "cli/cli.h"
 
+#include <algorithm>
 #include <cstdlib>
 #include <map>
 
 #include "core/config.h"
 #include "core/engine.h"
 #include "core/session.h"
+#include "core/simcluster.h"
 #include "core/text/builtin_dictionaries.h"
 #include "dbsynth/model_builder.h"
 #include "dbsynth/profiler.h"
@@ -17,8 +19,10 @@
 #include "minidb/persistence.h"
 #include "minidb/sql.h"
 #include "util/files.h"
+#include "util/hash.h"
 #include "util/stopwatch.h"
 #include "util/strings.h"
+#include "workloads/imdb.h"
 
 namespace dbsynthpp_cli {
 namespace {
@@ -58,7 +62,9 @@ StatusOr<ParsedArgs> ParseArgs(const std::vector<std::string>& args,
         value = name.substr(equals + 1);
         name = name.substr(0, equals);
       } else if (name == "unsorted" || name == "explain" ||
-                 name == "histograms" || name == "execute") {
+                 name == "histograms" || name == "execute" ||
+                 name == "digests" || name == "quick" ||
+                 name == "inject-perturbation") {
         value = "true";  // boolean flags
       } else {
         if (i + 1 >= args.size()) {
@@ -111,6 +117,7 @@ int CmdGenerate(const ParsedArgs& args, std::string* output) {
   options.update =
       static_cast<uint64_t>(args.NumberFlagOr("update", 0));
   options.sorted_output = !args.HasFlag("unsorted");
+  options.compute_digests = args.HasFlag("digests");
 
   std::string out_dir = args.FlagOr("out", "generated");
   auto stats =
@@ -121,6 +128,16 @@ int CmdGenerate(const ParsedArgs& args, std::string* output) {
       static_cast<unsigned long long>(stats->rows),
       static_cast<double>(stats->bytes) / (1024 * 1024), out_dir.c_str(),
       stats->seconds, stats->megabytes_per_second));
+  if (options.compute_digests) {
+    for (size_t t = 0; t < stats->table_digests.size(); ++t) {
+      const pdgf::TableDigest& digest = stats->table_digests[t];
+      output->append(pdgf::StrPrintf(
+          "  %-24s %12llu rows  digest=%s\n",
+          (*schema).tables[t].name.c_str(),
+          static_cast<unsigned long long>(digest.rows()),
+          digest.Hex().c_str()));
+    }
+  }
   return 0;
 }
 
@@ -397,6 +414,302 @@ int CmdWorkload(const ParsedArgs& args, std::string* output) {
   return 0;
 }
 
+// --- verify -----------------------------------------------------------
+//
+// Determinism proof: generates one model repeatedly under different
+// worker counts, package sizes, sink orders and simulated-node splits,
+// and demands bit-identical order-insensitive table digests every time
+// (plus byte-identical sorted output streams). Optionally compares the
+// digests against a committed golden fixture (--golden) or writes one
+// (--bless). --inject-perturbation flips one bit of the project seed for
+// one run to prove the verifier actually detects divergence.
+
+// One verification configuration of the engine matrix.
+struct VerifyConfig {
+  const char* label;
+  int workers;
+  uint64_t package_rows;
+  bool sorted;
+};
+
+// Resolves the model named on the command line: either a bundled model
+// (--model tpch|ssb|imdb) or a model file path. Used twice when
+// --inject-perturbation needs a second, independently built schema.
+StatusOr<pdgf::SchemaDef> LoadVerifyModel(const ParsedArgs& args) {
+  if (args.HasFlag("model")) {
+    return workloads::BuildBundledModel(args.FlagOr("model", ""));
+  }
+  if (args.positional.empty()) {
+    return pdgf::InvalidArgumentError(
+        "verify requires a model file or --model tpch|ssb|imdb");
+  }
+  return pdgf::LoadSchemaFromFile(args.positional[0]);
+}
+
+// Runs one engine configuration against `session`, returning engine
+// stats; sorted runs additionally capture per-table stream digests of
+// the exact output bytes in `stream_digests` (schema table order).
+StatusOr<pdgf::GenerationEngine::Stats> RunVerifyConfig(
+    const pdgf::GenerationSession& session,
+    const pdgf::RowFormatter& formatter, const VerifyConfig& config,
+    std::vector<pdgf::Digest128>* stream_digests) {
+  const pdgf::SchemaDef& schema = session.schema();
+  stream_digests->assign(schema.tables.size(), pdgf::Digest128{});
+  pdgf::GenerationOptions options;
+  options.worker_count = config.workers;
+  options.work_package_rows = config.package_rows;
+  options.sorted_output = config.sorted;
+  options.compute_digests = true;
+  pdgf::SinkFactory factory =
+      [&schema, stream_digests](
+          const pdgf::TableDef& table) -> StatusOr<std::unique_ptr<pdgf::Sink>> {
+    int index = schema.FindTableIndex(table.name);
+    if (index < 0) {
+      return pdgf::InternalError("sink for unknown table " + table.name);
+    }
+    return std::unique_ptr<pdgf::Sink>(new pdgf::DigestingSink(
+        nullptr, &(*stream_digests)[static_cast<size_t>(index)]));
+  };
+  pdgf::GenerationEngine engine(&session, &formatter, factory,
+                                options);
+  PDGF_RETURN_IF_ERROR(engine.Run());
+  return engine.stats();
+}
+
+// Index of the first table whose digest differs between the two runs,
+// or -1 if they agree on every table (digest, rows and bytes).
+int FirstDivergingTable(const std::vector<pdgf::TableDigest>& baseline,
+                        const std::vector<pdgf::TableDigest>& candidate) {
+  size_t tables = std::max(baseline.size(), candidate.size());
+  for (size_t t = 0; t < tables; ++t) {
+    if (t >= baseline.size() || t >= candidate.size()) {
+      return static_cast<int>(t);
+    }
+    if (!(baseline[t] == candidate[t])) return static_cast<int>(t);
+  }
+  return -1;
+}
+
+int CmdVerify(const ParsedArgs& args, std::string* output) {
+  auto schema = LoadVerifyModel(args);
+  if (!schema.ok()) return Fail(schema.status(), output);
+  auto session = OpenSession(*schema, args);
+  if (!session.ok()) return Fail(session.status(), output);
+  auto formatter = pdgf::MakeFormatter(args.FlagOr("format", "csv"));
+  if (!formatter.ok()) return Fail(formatter.status(), output);
+
+  // Baseline: single worker, sorted output — the reference ordering.
+  const VerifyConfig baseline_config = {"workers=1 pkg=4096 sorted", 1,
+                                        4096, true};
+  std::vector<pdgf::Digest128> baseline_streams;
+  auto baseline = RunVerifyConfig(**session, **formatter, baseline_config,
+                                  &baseline_streams);
+  if (!baseline.ok()) return Fail(baseline.status(), output);
+  output->append(pdgf::StrPrintf(
+      "baseline  %-28s %10llu rows %12llu bytes\n", baseline_config.label,
+      static_cast<unsigned long long>(baseline->rows),
+      static_cast<unsigned long long>(baseline->bytes)));
+  for (size_t t = 0; t < schema->tables.size(); ++t) {
+    output->append(pdgf::StrPrintf(
+        "  %-24s %s\n", schema->tables[t].name.c_str(),
+        baseline->table_digests[t].Hex().c_str()));
+  }
+
+  int failures = 0;
+  auto report_divergence = [&](const std::string& label, int table,
+                               const pdgf::TableDigest& want,
+                               const pdgf::TableDigest& got) {
+    ++failures;
+    const std::string table_name =
+        table >= 0 && table < static_cast<int>(schema->tables.size())
+            ? schema->tables[static_cast<size_t>(table)].name
+            : "<missing table>";
+    output->append(pdgf::StrPrintf(
+        "FAIL      %-28s first divergence: table %s\n"
+        "          expected %s (%llu rows)\n"
+        "          got      %s (%llu rows)\n",
+        label.c_str(), table_name.c_str(), want.Hex().c_str(),
+        static_cast<unsigned long long>(want.rows()), got.Hex().c_str(),
+        static_cast<unsigned long long>(got.rows())));
+  };
+
+  // Engine matrix: worker counts x package sizes x sink order. Sorted
+  // configurations must additionally reproduce the baseline byte stream.
+  std::vector<VerifyConfig> matrix = {
+      {"workers=2 pkg=997 sorted", 2, 997, true},
+      {"workers=8 pkg=64 sorted", 8, 64, true},
+      {"workers=2 pkg=4096 unsorted", 2, 4096, false},
+      {"workers=8 pkg=511 unsorted", 8, 511, false},
+  };
+  if (args.HasFlag("quick")) {
+    matrix = {{"workers=2 pkg=997 sorted", 2, 997, true},
+              {"workers=4 pkg=4096 unsorted", 4, 4096, false}};
+  }
+  for (const VerifyConfig& config : matrix) {
+    std::vector<pdgf::Digest128> streams;
+    auto run = RunVerifyConfig(**session, **formatter, config, &streams);
+    if (!run.ok()) return Fail(run.status(), output);
+    int diverged =
+        FirstDivergingTable(baseline->table_digests, run->table_digests);
+    if (diverged >= 0) {
+      report_divergence(config.label, diverged,
+                        baseline->table_digests[static_cast<size_t>(
+                            std::min<size_t>(diverged,
+                                             baseline->table_digests.size() -
+                                                 1))],
+                        run->table_digests[static_cast<size_t>(
+                            std::min<size_t>(diverged,
+                                             run->table_digests.size() - 1))]);
+      continue;
+    }
+    bool stream_ok = true;
+    if (config.sorted) {
+      for (size_t t = 0; t < baseline_streams.size(); ++t) {
+        if (!(streams[t] == baseline_streams[t])) {
+          ++failures;
+          stream_ok = false;
+          output->append(pdgf::StrPrintf(
+              "FAIL      %-28s sorted byte stream of table %s differs "
+              "(expected %s, got %s)\n",
+              config.label, schema->tables[t].name.c_str(),
+              baseline_streams[t].Hex().c_str(), streams[t].Hex().c_str()));
+          break;
+        }
+      }
+    }
+    if (stream_ok) {
+      output->append(pdgf::StrPrintf("ok        %-28s\n", config.label));
+    }
+  }
+
+  // Simulated cluster: the meta-scheduler splits every table into
+  // node_count contiguous shares; merging the per-node digests must
+  // reproduce the single-node digest exactly.
+  int cluster_nodes =
+      static_cast<int>(args.NumberFlagOr("cluster-nodes", 4));
+  if (args.HasFlag("quick")) cluster_nodes = 2;
+  {
+    pdgf::GenerationOptions cluster_options;
+    cluster_options.worker_count = 2;
+    cluster_options.work_package_rows = 777;
+    auto cluster = pdgf::RunSimulatedCluster(**session, **formatter,
+                                             cluster_options, cluster_nodes);
+    if (!cluster.ok()) return Fail(cluster.status(), output);
+    std::string label =
+        pdgf::StrPrintf("cluster nodes=%d merged", cluster_nodes);
+    int diverged =
+        FirstDivergingTable(baseline->table_digests, cluster->table_digests);
+    if (diverged >= 0) {
+      report_divergence(label, diverged,
+                        baseline->table_digests[static_cast<size_t>(diverged)],
+                        cluster->table_digests[static_cast<size_t>(diverged)]);
+    } else {
+      output->append(pdgf::StrPrintf("ok        %-28s\n", label.c_str()));
+    }
+  }
+
+  // Deliberate divergence: rebuild the model with one seed bit flipped
+  // and demand that the verifier notices. Used by tests and by the
+  // acceptance checklist to prove verify is not vacuously green.
+  if (args.HasFlag("inject-perturbation")) {
+    auto perturbed_schema = LoadVerifyModel(args);
+    if (!perturbed_schema.ok()) {
+      return Fail(perturbed_schema.status(), output);
+    }
+    perturbed_schema->seed ^= 1;
+    auto perturbed_session = OpenSession(*perturbed_schema, args);
+    if (!perturbed_session.ok()) {
+      return Fail(perturbed_session.status(), output);
+    }
+    std::vector<pdgf::Digest128> streams;
+    auto run = RunVerifyConfig(**perturbed_session, **formatter,
+                               baseline_config, &streams);
+    if (!run.ok()) return Fail(run.status(), output);
+    int diverged =
+        FirstDivergingTable(baseline->table_digests, run->table_digests);
+    if (diverged >= 0) {
+      report_divergence("seed-perturbed run", diverged,
+                        baseline->table_digests[static_cast<size_t>(diverged)],
+                        run->table_digests[static_cast<size_t>(diverged)]);
+    } else {
+      ++failures;
+      output->append(
+          "FAIL      seed-perturbed run produced identical digests — "
+          "the verifier cannot detect divergence\n");
+    }
+  }
+
+  // Golden fixture comparison / blessing.
+  if (args.HasFlag("golden")) {
+    auto contents = pdgf::ReadFileToString(args.FlagOr("golden", ""));
+    if (!contents.ok()) return Fail(contents.status(), output);
+    auto entries = pdgf::ParseDigestFixture(*contents);
+    if (!entries.ok()) return Fail(entries.status(), output);
+    std::map<std::string, pdgf::TableDigestEntry> by_table;
+    for (const pdgf::TableDigestEntry& entry : *entries) {
+      by_table[entry.table] = entry;
+    }
+    for (size_t t = 0; t < schema->tables.size(); ++t) {
+      const std::string& name = schema->tables[t].name;
+      auto it = by_table.find(name);
+      if (it == by_table.end()) {
+        ++failures;
+        output->append("FAIL      golden fixture has no entry for table " +
+                       name + "\n");
+        continue;
+      }
+      const pdgf::TableDigest& digest = baseline->table_digests[t];
+      if (it->second.hex != digest.Hex() ||
+          it->second.rows != digest.rows() ||
+          it->second.bytes != digest.bytes()) {
+        ++failures;
+        output->append(pdgf::StrPrintf(
+            "FAIL      golden mismatch for table %s\n"
+            "          golden  %s (%llu rows, %llu bytes)\n"
+            "          current %s (%llu rows, %llu bytes)\n"
+            "          (re-bless with: dbsynthpp verify ... --bless FILE "
+            "after auditing the change)\n",
+            name.c_str(), it->second.hex.c_str(),
+            static_cast<unsigned long long>(it->second.rows),
+            static_cast<unsigned long long>(it->second.bytes),
+            digest.Hex().c_str(),
+            static_cast<unsigned long long>(digest.rows()),
+            static_cast<unsigned long long>(digest.bytes())));
+      }
+    }
+    if (failures == 0) {
+      output->append(pdgf::StrPrintf("ok        golden fixture %s\n",
+                                     args.FlagOr("golden", "").c_str()));
+    }
+  }
+  if (args.HasFlag("bless")) {
+    std::vector<pdgf::TableDigestEntry> entries;
+    for (size_t t = 0; t < schema->tables.size(); ++t) {
+      const pdgf::TableDigest& digest = baseline->table_digests[t];
+      entries.push_back({schema->tables[t].name, digest.rows(),
+                         digest.bytes(), digest.Hex()});
+    }
+    std::string header = pdgf::StrPrintf(
+        "Golden table digests (model %s, SF %s). Regenerate with\n"
+        "dbsynthpp verify ... --bless <this file> and audit the diff.",
+        args.HasFlag("model") ? args.FlagOr("model", "").c_str()
+                              : args.positional[0].c_str(),
+        args.FlagOr("sf", "1").c_str());
+    Status written = pdgf::WriteStringToFile(
+        args.FlagOr("bless", ""), pdgf::FormatDigestFixture(entries, header));
+    if (!written.ok()) return Fail(written, output);
+    output->append("blessed   " + args.FlagOr("bless", "") + "\n");
+  }
+
+  if (failures > 0) {
+    output->append(pdgf::StrPrintf("verify FAILED: %d divergence(s)\n",
+                                   failures));
+    return 1;
+  }
+  output->append("verify OK: all configurations produced identical digests\n");
+  return 0;
+}
+
 int CmdDictionaries(std::string* output) {
   for (const std::string& name : pdgf::BuiltinDictionaryNames()) {
     const pdgf::Dictionary* dictionary =
@@ -428,6 +741,9 @@ std::string UsageText() {
       "           [--model-out model.xml] [--seed S]\n"
       "  query    <model.xml> <SQL> [--sf X] [--update U]\n"
       "  workload <model.xml> [--count N] [--seed S] [--execute]\n"
+      "  verify   (<model.xml> | --model tpch|ssb|imdb) [--sf X]\n"
+      "           [--golden FILE] [--bless FILE] [--quick]\n"
+      "           [--cluster-nodes N] [--inject-perturbation]\n"
       "  dictionaries\n";
 }
 
@@ -447,6 +763,7 @@ int RunCli(const std::vector<std::string>& args, std::string* output) {
   if (command == "synthesize") return CmdSynthesize(*parsed, output);
   if (command == "query") return CmdQuery(*parsed, output);
   if (command == "workload") return CmdWorkload(*parsed, output);
+  if (command == "verify") return CmdVerify(*parsed, output);
   if (command == "dictionaries") return CmdDictionaries(output);
   if (command == "help" || command == "--help" || command == "-h") {
     output->append(UsageText());

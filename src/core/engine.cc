@@ -88,7 +88,11 @@ GenerationEngine::GenerationEngine(const GenerationSession* session,
 
 Status GenerationEngine::Run(ProgressTracker* progress) {
   const SchemaDef& schema = session_->schema();
-  if (options_.worker_count < 1) options_.worker_count = 1;
+  if (options_.worker_count < 1) {
+    return InvalidArgumentError(
+        "worker_count must be >= 1, got " +
+        std::to_string(options_.worker_count));
+  }
   if (options_.work_package_rows < 1) options_.work_package_rows = 1;
 
   // Open sinks and emit headers.
@@ -129,14 +133,22 @@ Status GenerationEngine::Run(ProgressTracker* progress) {
   std::mutex error_mutex;
   Status first_error;
   std::atomic<uint64_t> total_rows{0};
+  // Digest join point: workers fold rows into private partials and merge
+  // them here (under the mutex) exactly once, when they run out of work.
+  const bool digests = options_.compute_digests;
+  std::mutex digest_mutex;
+  std::vector<TableDigest> merged_digests(digests ? schema.tables.size()
+                                                  : 0);
 
   auto worker_main = [&]() {
     std::vector<Value> row;
     std::string buffer;
+    std::vector<TableDigest> local_digests(digests ? schema.tables.size()
+                                                   : 0);
     while (true) {
-      if (failed.load(std::memory_order_relaxed)) return;
+      if (failed.load(std::memory_order_relaxed)) break;
       size_t index = next_package.fetch_add(1, std::memory_order_relaxed);
-      if (index >= packages.size()) return;
+      if (index >= packages.size()) break;
       const WorkPackage& package = packages[index];
       const TableDef& table =
           schema.tables[static_cast<size_t>(package.table_index)];
@@ -149,7 +161,12 @@ Status GenerationEngine::Run(ProgressTracker* progress) {
           continue;
         }
         session_->GenerateRow(package.table_index, r, options_.update, &row);
+        size_t row_start = buffer.size();
         formatter_->AppendRow(table, row, &buffer);
+        if (digests) {
+          local_digests[static_cast<size_t>(package.table_index)].AddRow(
+              r, std::string_view(buffer).substr(row_start), row);
+        }
         ++rows_in_package;
       }
       Status status =
@@ -159,12 +176,18 @@ Status GenerationEngine::Run(ProgressTracker* progress) {
         std::lock_guard<std::mutex> lock(error_mutex);
         if (first_error.ok()) first_error = status;
         failed.store(true, std::memory_order_relaxed);
-        return;
+        break;
       }
       total_rows.fetch_add(rows_in_package, std::memory_order_relaxed);
       if (progress != nullptr) {
         progress->Add(static_cast<size_t>(package.table_index),
                       rows_in_package, buffer.size());
+      }
+    }
+    if (digests) {
+      std::lock_guard<std::mutex> lock(digest_mutex);
+      for (size_t t = 0; t < local_digests.size(); ++t) {
+        merged_digests[t].Merge(local_digests[t]);
       }
     }
   };
@@ -199,6 +222,14 @@ Status GenerationEngine::Run(ProgressTracker* progress) {
   stats_.bytes = bytes;
   stats_.seconds = stopwatch.ElapsedSeconds();
   stats_.packages = packages.size();
+  if (digests) {
+    stats_.table_digests = std::move(merged_digests);
+    if (progress != nullptr) {
+      for (size_t t = 0; t < stats_.table_digests.size(); ++t) {
+        progress->RecordDigest(t, stats_.table_digests[t].Hex());
+      }
+    }
+  }
   stats_.megabytes_per_second =
       stats_.seconds > 0
           ? static_cast<double>(bytes) / (1024.0 * 1024.0) / stats_.seconds

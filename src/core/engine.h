@@ -12,6 +12,7 @@
 #include "core/output/sink.h"
 #include "core/progress.h"
 #include "core/session.h"
+#include "util/hash.h"
 
 namespace pdgf {
 
@@ -36,6 +37,13 @@ struct GenerationOptions {
   // update stream of time unit u (only rows selected by the update black
   // box, with mutable fields regenerated for that unit).
   uint64_t update = 0;
+  // When true the engine computes an order-insensitive 128-bit digest per
+  // table (util/hash.h) in the generation hot path: each worker folds the
+  // rows it generates into private partial digests which are merged at
+  // join time, so the result is independent of scheduling, worker count,
+  // node partitioning and sink mode. Off by default: disabled runs pay
+  // nothing.
+  bool compute_digests = false;
 };
 
 // Creates the sink for a table. Invoked once per table at run start.
@@ -52,6 +60,9 @@ class GenerationEngine {
     double seconds = 0;
     double megabytes_per_second = 0;
     uint64_t packages = 0;
+    // One digest per schema table (schema order); empty unless
+    // GenerationOptions::compute_digests was set.
+    std::vector<TableDigest> table_digests;
   };
 
   GenerationEngine(const GenerationSession* session,
@@ -59,7 +70,9 @@ class GenerationEngine {
                    GenerationOptions options);
 
   // Runs to completion. `progress` may be null. Returns the first error
-  // encountered (generation stops early on error).
+  // encountered (generation stops early on error). Invalid options (e.g.
+  // worker_count < 1) fail with InvalidArgument before any sink is
+  // opened.
   Status Run(ProgressTracker* progress = nullptr);
 
   const Stats& stats() const { return stats_; }

@@ -9,6 +9,7 @@
 #include <string_view>
 
 #include "common/status.h"
+#include "util/hash.h"
 
 namespace pdgf {
 
@@ -91,6 +92,46 @@ class MemorySink final : public Sink {
 
  private:
   std::string buffer_;
+};
+
+// Decorator computing an order-sensitive streaming hash of every byte
+// written (util/hash.h ByteStreamHash, chunking-invariant) before
+// forwarding to the wrapped sink — or discarding when `inner` is null.
+// Used by `pdgf verify` to prove that sorted-sink runs produce
+// byte-identical files for every worker count / package size without
+// buffering the files; complements the engine's order-insensitive table
+// digests, which cannot see sink-side reordering bugs.
+class DigestingSink final : public Sink {
+ public:
+  // `inner` may be null (count + hash only, NullSink semantics).
+  // `final_digest` (optional, must outlive the sink) receives the stream
+  // digest when the sink is closed — the engine owns and destroys its
+  // sinks when Run() finishes, so callers that need the digest afterwards
+  // pass an out-param instead of holding the sink.
+  explicit DigestingSink(std::unique_ptr<Sink> inner = nullptr,
+                         Digest128* final_digest = nullptr)
+      : inner_(std::move(inner)), final_digest_(final_digest) {}
+
+  Status Write(std::string_view data) override {
+    hash_.Update(data);
+    AddBytes(data.size());
+    return inner_ != nullptr ? inner_->Write(data) : Status::Ok();
+  }
+
+  Status Close() override {
+    if (final_digest_ != nullptr) {
+      *final_digest_ = hash_.Finish();
+    }
+    return inner_ != nullptr ? inner_->Close() : Status::Ok();
+  }
+
+  // Digest of all bytes written so far, in write order.
+  Digest128 stream_digest() const { return hash_.Finish(); }
+
+ private:
+  std::unique_ptr<Sink> inner_;
+  Digest128* final_digest_;
+  ByteStreamHash hash_;
 };
 
 // A sink that simulates a slow device by charging a fixed latency per

@@ -9,10 +9,21 @@ ProgressTracker::ProgressTracker(std::vector<std::string> table_names,
     : table_names_(std::move(table_names)),
       table_rows_(std::move(table_rows)),
       rows_done_(new std::atomic<uint64_t>[table_names_.size()]),
-      bytes_(new std::atomic<uint64_t>[table_names_.size()]) {
+      bytes_(new std::atomic<uint64_t>[table_names_.size()]),
+      packages_done_(new std::atomic<uint64_t>[table_names_.size()]),
+      digests_(table_names_.size()) {
   for (size_t i = 0; i < table_names_.size(); ++i) {
     rows_done_[i].store(0, std::memory_order_relaxed);
     bytes_[i].store(0, std::memory_order_relaxed);
+    packages_done_[i].store(0, std::memory_order_relaxed);
+  }
+}
+
+void ProgressTracker::RecordDigest(size_t table_index,
+                                   std::string digest_hex) {
+  std::lock_guard<std::mutex> lock(digest_mutex_);
+  if (table_index < digests_.size()) {
+    digests_[table_index] = std::move(digest_hex);
   }
 }
 
@@ -25,6 +36,11 @@ ProgressTracker::Snapshot ProgressTracker::TakeSnapshot() const {
     table.rows_done = rows_done_[i].load(std::memory_order_relaxed);
     table.rows_total = table_rows_[i];
     table.bytes = bytes_[i].load(std::memory_order_relaxed);
+    table.packages_done = packages_done_[i].load(std::memory_order_relaxed);
+    {
+      std::lock_guard<std::mutex> lock(digest_mutex_);
+      table.digest = digests_[i];
+    }
     table.fraction =
         table.rows_total == 0
             ? 1.0
@@ -58,10 +74,15 @@ std::string ProgressTracker::Format(const Snapshot& snapshot) {
       static_cast<double>(snapshot.bytes) / (1024.0 * 1024.0),
       snapshot.rows_per_second, snapshot.megabytes_per_second);
   for (const TableProgress& table : snapshot.tables) {
-    out += StrPrintf("  %-20s %5.1f%%  %llu/%llu rows\n", table.table.c_str(),
-                     table.fraction * 100.0,
+    out += StrPrintf("  %-20s %5.1f%%  %llu/%llu rows  %llu pkgs",
+                     table.table.c_str(), table.fraction * 100.0,
                      static_cast<unsigned long long>(table.rows_done),
-                     static_cast<unsigned long long>(table.rows_total));
+                     static_cast<unsigned long long>(table.rows_total),
+                     static_cast<unsigned long long>(table.packages_done));
+    if (!table.digest.empty()) {
+      out += "  digest=" + table.digest;
+    }
+    out += "\n";
   }
   return out;
 }

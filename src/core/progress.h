@@ -4,6 +4,7 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -22,7 +23,11 @@ class ProgressTracker {
     uint64_t rows_done = 0;
     uint64_t rows_total = 0;
     uint64_t bytes = 0;
+    uint64_t packages_done = 0;  // completed work packages (partitions)
     double fraction = 0;  // rows_done / rows_total (1.0 when total is 0)
+    // Hex table digest, reported by the engine at the end of a run with
+    // compute_digests enabled; empty otherwise / while running.
+    std::string digest;
   };
 
   struct Snapshot {
@@ -41,10 +46,16 @@ class ProgressTracker {
                   std::vector<uint64_t> table_rows);
 
   // Records `rows` generated rows / `bytes` output bytes for table `i`.
+  // One call corresponds to one completed work package (partition).
   void Add(size_t table_index, uint64_t rows, uint64_t bytes) {
     rows_done_[table_index].fetch_add(rows, std::memory_order_relaxed);
     bytes_[table_index].fetch_add(bytes, std::memory_order_relaxed);
+    packages_done_[table_index].fetch_add(1, std::memory_order_relaxed);
   }
+
+  // Publishes the final hex digest of table `i` (engine runs with
+  // compute_digests enabled call this once per table at join time).
+  void RecordDigest(size_t table_index, std::string digest_hex);
 
   Snapshot TakeSnapshot() const;
 
@@ -57,6 +68,11 @@ class ProgressTracker {
   // unique_ptr-wrapped because atomics are not movable.
   std::unique_ptr<std::atomic<uint64_t>[]> rows_done_;
   std::unique_ptr<std::atomic<uint64_t>[]> bytes_;
+  std::unique_ptr<std::atomic<uint64_t>[]> packages_done_;
+  // Digest strings are cold (written once per run); a mutex keeps them
+  // readable from concurrent snapshot threads without tearing.
+  mutable std::mutex digest_mutex_;
+  std::vector<std::string> digests_;
   Stopwatch stopwatch_;
 };
 

@@ -1,6 +1,8 @@
 #include "core/simcluster.h"
 
 #include <algorithm>
+#include <memory>
+#include <string>
 
 namespace pdgf {
 
@@ -47,6 +49,37 @@ double EstimateClusterWallClock(const std::vector<double>& node_seconds) {
     wall = std::max(wall, node);
   }
   return wall;
+}
+
+StatusOr<ClusterRunResult> RunSimulatedCluster(
+    const GenerationSession& session, const RowFormatter& formatter,
+    GenerationOptions options, int node_count, SinkFactory sink_factory) {
+  if (node_count < 1) {
+    return InvalidArgumentError("node_count must be >= 1, got " +
+                                std::to_string(node_count));
+  }
+  if (sink_factory == nullptr) {
+    sink_factory = [](const TableDef&) -> StatusOr<std::unique_ptr<Sink>> {
+      return std::unique_ptr<Sink>(new NullSink());
+    };
+  }
+  ClusterRunResult result;
+  result.table_digests.resize(session.schema().tables.size());
+  options.node_count = node_count;
+  options.compute_digests = true;
+  for (int node = 0; node < node_count; ++node) {
+    options.node_id = node;
+    GenerationEngine engine(&session, &formatter, sink_factory, options);
+    PDGF_RETURN_IF_ERROR(engine.Run());
+    const GenerationEngine::Stats& stats = engine.stats();
+    for (size_t t = 0; t < stats.table_digests.size(); ++t) {
+      result.table_digests[t].Merge(stats.table_digests[t]);
+    }
+    result.node_seconds.push_back(stats.seconds);
+    result.rows += stats.rows;
+    result.bytes += stats.bytes;
+  }
+  return result;
 }
 
 }  // namespace pdgf

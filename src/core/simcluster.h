@@ -1,7 +1,12 @@
 #ifndef DBSYNTHPP_CORE_SIMCLUSTER_H_
 #define DBSYNTHPP_CORE_SIMCLUSTER_H_
 
+#include <cstdint>
 #include <vector>
+
+#include "common/status.h"
+#include "core/engine.h"
+#include "util/hash.h"
 
 namespace pdgf {
 
@@ -42,6 +47,32 @@ double EstimateParallelWallClock(const std::vector<double>& lane_seconds,
 // Estimates the wall clock of a shared-nothing multi-node run from the
 // measured per-node busy times: the slowest node finishes last.
 double EstimateClusterWallClock(const std::vector<double>& node_seconds);
+
+// Result of a simulated share-nothing cluster run: every node's engine
+// output folded together. Because the table digests are mergeable and
+// order-insensitive, `table_digests` must equal a single-node run's
+// digests — the invariant `pdgf verify` and the simcluster tests check.
+struct ClusterRunResult {
+  // Per schema table, merged across all nodes.
+  std::vector<TableDigest> table_digests;
+  // Measured sequential busy seconds per node, for the timing model
+  // (EstimateClusterWallClock).
+  std::vector<double> node_seconds;
+  uint64_t rows = 0;
+  uint64_t bytes = 0;
+};
+
+// Runs `session` as `node_count` simulated share-nothing nodes executed
+// sequentially on this machine: node i generates its NodeShare of every
+// table with an independent engine (worker threads / package size /
+// sorted mode from `options`; node_count and node_id are overridden).
+// Digest computation is forced on and the per-node partial digests are
+// merged. `sink_factory` (called once per node per table) may be empty,
+// in which case each node's bytes are discarded through NullSinks.
+StatusOr<ClusterRunResult> RunSimulatedCluster(
+    const GenerationSession& session, const RowFormatter& formatter,
+    GenerationOptions options, int node_count,
+    SinkFactory sink_factory = nullptr);
 
 }  // namespace pdgf
 

@@ -1,0 +1,295 @@
+#include "util/hash.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+
+#include "util/rng.h"
+#include "util/strings.h"
+
+namespace pdgf {
+namespace {
+
+// Salts decorrelating the independent hash lanes.
+constexpr uint64_t kRowIndexSalt = 0x2545f4914f6cdd1dULL;
+constexpr uint64_t kColumnSalt = 0xa0761d6478bd642fULL;
+constexpr uint64_t kLengthSalt = 0xe7037ed1a0b428dbULL;
+
+int HexNibble(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+// Word-wise string hash for the column-checksum lane. Value::Hash()
+// (FNV-1a) walks strings a byte at a time, which is the dominant cost
+// when digesting text-heavy rows in the engine hot path; this absorbs
+// 8 bytes per multiply instead and mixes the length up front so
+// zero-padding of the tail word cannot collide with real NUL bytes.
+uint64_t HashStringWordwise(std::string_view data) {
+  uint64_t h = Mix64(data.size() + kLengthSalt);
+  size_t i = 0;
+  for (; i + 8 <= data.size(); i += 8) {
+    uint64_t word;
+    std::memcpy(&word, data.data() + i, 8);
+    h = Mix64(h ^ word);
+  }
+  if (i < data.size()) {
+    uint64_t tail = 0;
+    std::memcpy(&tail, data.data() + i, data.size() - i);
+    h = Mix64(h ^ tail);
+  }
+  return h;
+}
+
+// Per-value hash feeding the column checksums. Strings take the fast
+// word-wise path; everything else is a single Mix64 via Value::Hash().
+uint64_t HashValueForDigest(const Value& value) {
+  if (value.kind() == Value::Kind::kString) {
+    return HashStringWordwise(value.string_value());
+  }
+  return value.Hash();
+}
+
+// Seeded 128-bit hash of one formatted row for the order-insensitive
+// accumulators. Unlike ByteStreamHash (two lanes, chunking-invariant —
+// needed for incremental sink streams) this sees the whole row at once,
+// so a single Mix64 chain suffices and the second half is derived from
+// the final state: half the multiplies per byte, which keeps the
+// enabled-digest overhead within the <=10% budget on text-heavy rows.
+Digest128 HashRowBytes(std::string_view data, uint64_t seed) {
+  uint64_t h = Mix64(seed ^ Mix64(data.size() + kLengthSalt));
+  size_t i = 0;
+  for (; i + 8 <= data.size(); i += 8) {
+    uint64_t word;
+    std::memcpy(&word, data.data() + i, 8);
+    h = Mix64(h ^ word);
+  }
+  if (i < data.size()) {
+    uint64_t tail = 0;
+    std::memcpy(&tail, data.data() + i, data.size() - i);
+    h = Mix64(h ^ tail);
+  }
+  Digest128 digest;
+  digest.lo = h;
+  digest.hi = Mix64(h + 0x9e3779b97f4a7c15ULL);
+  return digest;
+}
+
+}  // namespace
+
+std::string Digest128::Hex() const {
+  static const char kDigits[] = "0123456789abcdef";
+  std::string out(32, '0');
+  uint64_t halves[2] = {hi, lo};
+  size_t pos = 0;
+  for (uint64_t half : halves) {
+    for (int shift = 60; shift >= 0; shift -= 4) {
+      out[pos++] = kDigits[(half >> shift) & 0xf];
+    }
+  }
+  return out;
+}
+
+StatusOr<Digest128> Digest128::FromHex(std::string_view hex) {
+  if (hex.size() != 32) {
+    return InvalidArgumentError("digest hex must be 32 characters, got '" +
+                                std::string(hex) + "'");
+  }
+  Digest128 digest;
+  uint64_t halves[2] = {0, 0};
+  for (size_t i = 0; i < 32; ++i) {
+    int nibble = HexNibble(hex[i]);
+    if (nibble < 0) {
+      return InvalidArgumentError("invalid digest hex character in '" +
+                                  std::string(hex) + "'");
+    }
+    halves[i / 16] = (halves[i / 16] << 4) | static_cast<uint64_t>(nibble);
+  }
+  digest.hi = halves[0];
+  digest.lo = halves[1];
+  return digest;
+}
+
+void ByteStreamHash::AbsorbWord(uint64_t word) {
+  h1_ = Mix64(h1_ ^ word);
+  h2_ = Mix64(h2_ + word + 0x9e3779b97f4a7c15ULL);
+}
+
+void ByteStreamHash::Update(std::string_view data) {
+  size_t i = 0;
+  size_t tail = static_cast<size_t>(length_ % 8);
+  length_ += data.size();
+  // Fill the pending partial word first.
+  if (tail != 0) {
+    while (tail < 8 && i < data.size()) {
+      pending_ |= static_cast<uint64_t>(
+                      static_cast<unsigned char>(data[i++]))
+                  << (8 * tail);
+      ++tail;
+    }
+    if (tail < 8) return;  // still partial
+    AbsorbWord(pending_);
+    pending_ = 0;
+  }
+  // Whole words.
+  for (; i + 8 <= data.size(); i += 8) {
+    uint64_t word;
+    std::memcpy(&word, data.data() + i, 8);
+    AbsorbWord(word);
+  }
+  // New tail.
+  uint64_t shift = 0;
+  for (; i < data.size(); ++i, shift += 8) {
+    pending_ |= static_cast<uint64_t>(static_cast<unsigned char>(data[i]))
+                << shift;
+  }
+}
+
+Digest128 ByteStreamHash::Finish() const {
+  uint64_t h1 = h1_;
+  uint64_t h2 = h2_;
+  if (length_ % 8 != 0) {
+    // Fold the partial word; its zero-padding is disambiguated from real
+    // zero bytes by the length term below.
+    h1 = Mix64(h1 ^ pending_);
+    h2 = Mix64(h2 + pending_ + 0x9e3779b97f4a7c15ULL);
+  }
+  Digest128 digest;
+  digest.lo = Mix64(h1 ^ Mix64(length_ ^ kLengthSalt));
+  digest.hi = Mix64(h2 ^ Mix64(length_ + kLengthSalt));
+  return digest;
+}
+
+Digest128 Hash128Bytes(std::string_view data, uint64_t seed) {
+  ByteStreamHash hash;
+  if (seed != 0) {
+    char seed_bytes[8];
+    std::memcpy(seed_bytes, &seed, 8);
+    hash.Update(std::string_view(seed_bytes, 8));
+  }
+  hash.Update(data);
+  return hash.Finish();
+}
+
+void TableDigest::AddRow(uint64_t row_index, std::string_view row_bytes,
+                         const std::vector<Value>& values) {
+  // The row hash covers the formatted bytes, seeded with the global row
+  // index so a row generated at the wrong coordinate changes the digest
+  // even if its bytes happen to match another row's.
+  Digest128 row_hash =
+      HashRowBytes(row_bytes, Mix64(row_index + kRowIndexSalt));
+  sum_lo_ += row_hash.lo;
+  sum_hi_ += row_hash.hi;
+  xor_lo_ ^= row_hash.lo;
+  xor_hi_ ^= row_hash.hi;
+  ++rows_;
+  bytes_ += row_bytes.size();
+  if (column_sums_.size() < values.size()) {
+    column_sums_.resize(values.size(), 0);
+  }
+  for (size_t c = 0; c < values.size(); ++c) {
+    column_sums_[c] += Mix64(HashValueForDigest(values[c]) ^ kColumnSalt);
+  }
+}
+
+void TableDigest::Merge(const TableDigest& other) {
+  rows_ += other.rows_;
+  bytes_ += other.bytes_;
+  sum_lo_ += other.sum_lo_;
+  sum_hi_ += other.sum_hi_;
+  xor_lo_ ^= other.xor_lo_;
+  xor_hi_ ^= other.xor_hi_;
+  if (column_sums_.size() < other.column_sums_.size()) {
+    column_sums_.resize(other.column_sums_.size(), 0);
+  }
+  for (size_t c = 0; c < other.column_sums_.size(); ++c) {
+    column_sums_[c] += other.column_sums_[c];
+  }
+}
+
+Digest128 TableDigest::Value128() const {
+  // Deterministic sequential fold of every accumulator.
+  ByteStreamHash hash;
+  uint64_t fields[] = {rows_, bytes_, sum_lo_, sum_hi_, xor_lo_, xor_hi_};
+  char bytes[8];
+  for (uint64_t field : fields) {
+    std::memcpy(bytes, &field, 8);
+    hash.Update(std::string_view(bytes, 8));
+  }
+  for (uint64_t column_sum : column_sums_) {
+    std::memcpy(bytes, &column_sum, 8);
+    hash.Update(std::string_view(bytes, 8));
+  }
+  return hash.Finish();
+}
+
+bool TableDigest::operator==(const TableDigest& other) const {
+  if (rows_ != other.rows_ || bytes_ != other.bytes_ ||
+      sum_lo_ != other.sum_lo_ || sum_hi_ != other.sum_hi_ ||
+      xor_lo_ != other.xor_lo_ || xor_hi_ != other.xor_hi_) {
+    return false;
+  }
+  // Column vectors may differ in length when one side saw no rows for the
+  // trailing columns; missing entries count as zero.
+  size_t columns = std::max(column_sums_.size(), other.column_sums_.size());
+  for (size_t c = 0; c < columns; ++c) {
+    uint64_t mine = c < column_sums_.size() ? column_sums_[c] : 0;
+    uint64_t theirs =
+        c < other.column_sums_.size() ? other.column_sums_[c] : 0;
+    if (mine != theirs) return false;
+  }
+  return true;
+}
+
+std::string FormatDigestFixture(const std::vector<TableDigestEntry>& entries,
+                                const std::string& header_comment) {
+  std::string out;
+  if (!header_comment.empty()) {
+    for (const std::string& line : Split(header_comment, '\n')) {
+      out += "# " + line + "\n";
+    }
+  }
+  for (const TableDigestEntry& entry : entries) {
+    out += StrPrintf("%s\t%llu\t%llu\t%s\n", entry.table.c_str(),
+                     static_cast<unsigned long long>(entry.rows),
+                     static_cast<unsigned long long>(entry.bytes),
+                     entry.hex.c_str());
+  }
+  return out;
+}
+
+StatusOr<std::vector<TableDigestEntry>> ParseDigestFixture(
+    std::string_view contents) {
+  std::vector<TableDigestEntry> entries;
+  for (const std::string& line : Split(contents, '\n')) {
+    std::string_view stripped = StripWhitespace(line);
+    if (stripped.empty() || stripped[0] == '#') continue;
+    std::vector<std::string> pieces = SplitWhitespace(stripped);
+    if (pieces.size() != 4) {
+      return ParseError("bad digest fixture line: '" + line + "'");
+    }
+    TableDigestEntry entry;
+    entry.table = pieces[0];
+    char* end = nullptr;
+    entry.rows = std::strtoull(pieces[1].c_str(), &end, 10);
+    if (end == nullptr || *end != '\0') {
+      return ParseError("bad row count in digest fixture line: '" + line +
+                        "'");
+    }
+    entry.bytes = std::strtoull(pieces[2].c_str(), &end, 10);
+    if (end == nullptr || *end != '\0') {
+      return ParseError("bad byte count in digest fixture line: '" + line +
+                        "'");
+    }
+    // Validate the hex eagerly so a corrupted fixture fails loudly.
+    PDGF_ASSIGN_OR_RETURN(Digest128 parsed, Digest128::FromHex(pieces[3]));
+    (void)parsed;
+    entry.hex = pieces[3];
+    entries.push_back(std::move(entry));
+  }
+  return entries;
+}
+
+}  // namespace pdgf

@@ -1,0 +1,140 @@
+#ifndef DBSYNTHPP_UTIL_HASH_H_
+#define DBSYNTHPP_UTIL_HASH_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "common/value.h"
+
+namespace pdgf {
+
+// Determinism-proof hashing (ISSUE 1). The paper's central claim is that
+// generation is a pure function of the hierarchical seed; these digests
+// turn that claim into a checkable invariant: any two runs of the same
+// model — regardless of worker count, node partitioning or sink mode —
+// must produce identical per-table digests, and a committed "golden"
+// digest pins the output of a model across refactors of RNG mixing, seed
+// derivation, expression evaluation and formatting.
+
+// A 128-bit digest value (two 64-bit halves).
+struct Digest128 {
+  uint64_t lo = 0;
+  uint64_t hi = 0;
+
+  bool operator==(const Digest128& other) const {
+    return lo == other.lo && hi == other.hi;
+  }
+  bool operator!=(const Digest128& other) const { return !(*this == other); }
+
+  // 32 lower-case hex characters (hi first).
+  std::string Hex() const;
+  // Parses the Hex() rendering.
+  static StatusOr<Digest128> FromHex(std::string_view hex);
+};
+
+// Order-SENSITIVE streaming hash over a byte stream. Chunking-invariant:
+// the digest depends only on the concatenated bytes, not on how they were
+// split across Update() calls — required because the engine delivers the
+// same file contents in different Write() granularities depending on the
+// work-package size. Used by DigestingSink to checksum sorted-sink files.
+class ByteStreamHash {
+ public:
+  ByteStreamHash() = default;
+
+  void Update(std::string_view data);
+  // May be called repeatedly; does not reset state.
+  Digest128 Finish() const;
+
+  uint64_t length() const { return length_; }
+
+ private:
+  void AbsorbWord(uint64_t word);
+
+  uint64_t h1_ = 0x6a09e667f3bcc908ULL;  // sqrt(2), sqrt(3) fractional bits
+  uint64_t h2_ = 0xbb67ae8584caa73bULL;
+  uint64_t length_ = 0;
+  // Partial word carried between Update() calls (length_ % 8 bytes).
+  uint64_t pending_ = 0;
+};
+
+// One-shot convenience over ByteStreamHash with a seed prefix.
+Digest128 Hash128Bytes(std::string_view data, uint64_t seed = 0);
+
+// An order-INSENSITIVE, mergeable per-table digest: per-row 128-bit
+// hashes combined commutatively (wrapping sums + xor folds) plus row and
+// byte counts and one commutative checksum per column. Two digests are
+// equal iff every accumulator matches, so a single flipped byte, a
+// dropped/duplicated row, or a row generated at the wrong index is
+// detected, while the order in which rows (or whole partitions) were
+// produced does not matter. Merge() is commutative and associative with
+// the default-constructed digest as identity — per-worker and per-node
+// partial digests can be merged in any join order.
+class TableDigest {
+ public:
+  TableDigest() = default;
+
+  // Folds one generated row: `row_index` is the global 0-based row
+  // number, `row_bytes` the formatter's rendering, `values` the typed
+  // field values (drives the per-column checksums).
+  void AddRow(uint64_t row_index, std::string_view row_bytes,
+              const std::vector<Value>& values);
+
+  // Commutative, associative combine of two partial digests.
+  void Merge(const TableDigest& other);
+
+  uint64_t rows() const { return rows_; }
+  uint64_t bytes() const { return bytes_; }
+  const std::vector<uint64_t>& column_checksums() const {
+    return column_sums_;
+  }
+
+  // Folds every accumulator (row hashes, counts, column checksums) into
+  // one 128-bit value — the unit stored in golden fixtures.
+  Digest128 Value128() const;
+  std::string Hex() const { return Value128().Hex(); }
+
+  bool operator==(const TableDigest& other) const;
+  bool operator!=(const TableDigest& other) const {
+    return !(*this == other);
+  }
+
+ private:
+  uint64_t rows_ = 0;
+  uint64_t bytes_ = 0;
+  uint64_t sum_lo_ = 0;  // wrapping sum of per-row hash halves
+  uint64_t sum_hi_ = 0;
+  uint64_t xor_lo_ = 0;  // xor fold of per-row hash halves
+  uint64_t xor_hi_ = 0;
+  std::vector<uint64_t> column_sums_;  // wrapping per-column value sums
+};
+
+// One line of a digest fixture ("golden" file): a table's name, row and
+// byte counts, and folded digest.
+struct TableDigestEntry {
+  std::string table;
+  uint64_t rows = 0;
+  uint64_t bytes = 0;
+  std::string hex;  // Digest128::Hex()
+
+  bool operator==(const TableDigestEntry& other) const {
+    return table == other.table && rows == other.rows &&
+           bytes == other.bytes && hex == other.hex;
+  }
+};
+
+// Serializes entries as the fixture format: '#' comment lines plus one
+// "<table>\t<rows>\t<bytes>\t<hex>" line per table. `header_comment` (may
+// be empty) is emitted as leading comment lines.
+std::string FormatDigestFixture(const std::vector<TableDigestEntry>& entries,
+                                const std::string& header_comment = "");
+
+// Parses the FormatDigestFixture format; unknown/malformed lines fail.
+StatusOr<std::vector<TableDigestEntry>> ParseDigestFixture(
+    std::string_view contents);
+
+}  // namespace pdgf
+
+#endif  // DBSYNTHPP_UTIL_HASH_H_

@@ -1,10 +1,17 @@
 #include "workloads/imdb.h"
 
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "core/generators/generators.h"
 #include "core/text/builtin_dictionaries.h"
 #include "core/text/markov_model.h"
 #include "minidb/sql.h"
 #include "util/rng.h"
 #include "util/strings.h"
+#include "workloads/ssb.h"
+#include "workloads/tpch.h"
 
 namespace workloads {
 
@@ -143,6 +150,192 @@ Status PopulateImdbDatabase(minidb::Database* database, double scale,
   }
 
   return Status::Ok();
+}
+
+namespace {
+
+using pdgf::DataType;
+using pdgf::FieldDef;
+using pdgf::GeneratorPtr;
+using pdgf::PropertyDef;
+using pdgf::SchemaDef;
+using pdgf::TableDef;
+
+FieldDef ModelField(const char* name, DataType type, int size,
+                    GeneratorPtr generator, bool primary = false) {
+  FieldDef field;
+  field.name = name;
+  field.type = type;
+  field.size = size;
+  field.primary = primary;
+  field.nullable = !primary;
+  field.generator = std::move(generator);
+  return field;
+}
+
+GeneratorPtr ModelId() { return GeneratorPtr(new pdgf::IdGenerator(1, 1)); }
+
+GeneratorPtr ModelLong(int64_t min, int64_t max) {
+  return GeneratorPtr(new pdgf::LongGenerator(min, max));
+}
+
+GeneratorPtr ModelRef(const char* table, const char* field) {
+  return GeneratorPtr(new pdgf::DefaultReferenceGenerator(table, field));
+}
+
+GeneratorPtr ModelBuiltinDict(const char* name) {
+  return GeneratorPtr(new pdgf::DictListGenerator(
+      pdgf::FindBuiltinDictionary(name), name,
+      pdgf::DictListGenerator::Method::kUniform, 0));
+}
+
+// Inline dictionary over a fixed entry list (genres, roles, genders).
+GeneratorPtr ModelInlineDict(std::vector<const char*> entries) {
+  auto dictionary = std::make_shared<pdgf::Dictionary>();
+  for (const char* entry : entries) {
+    dictionary->Add(entry);
+  }
+  dictionary->Finalize();
+  return GeneratorPtr(new pdgf::DictListGenerator(
+      std::move(dictionary), "", pdgf::DictListGenerator::Method::kUniform,
+      0));
+}
+
+// Shared plot Markov model, trained once on the builtin corpus (same
+// pattern as the TPC-H comment model).
+std::shared_ptr<const pdgf::MarkovModel> PlotModel() {
+  static const auto& model = *new std::shared_ptr<const pdgf::MarkovModel>(
+      [] {
+        auto m = std::make_shared<pdgf::MarkovModel>();
+        m->AddSample(pdgf::BuiltinCommentCorpus());
+        m->Finalize();
+        return m;
+      }());
+  return model;
+}
+
+}  // namespace
+
+SchemaDef BuildImdbSchema() {
+  SchemaDef schema;
+  schema.name = "imdb";
+  schema.seed = 20150531;
+
+  auto property = [&schema](const char* name, const char* expression) {
+    PropertyDef def;
+    def.name = name;
+    def.type = "double";
+    def.expression = expression;
+    schema.properties.push_back(std::move(def));
+  };
+  property("SF", "1");
+  property("title_size", "2000 * ${SF}");
+  property("person_size", "3000 * ${SF}");
+  property("cast_size", "8000 * ${SF}");
+  property("rating_size", "1600 * ${SF}");
+
+  // title -------------------------------------------------------------
+  {
+    TableDef table;
+    table.name = "title";
+    table.size_expression = "${title_size}";
+    table.fields.push_back(
+        ModelField("title_id", DataType::kBigInt, 19, ModelId(), true));
+    // "The <adjective> <noun>" movie names.
+    std::vector<GeneratorPtr> name_parts;
+    name_parts.push_back(ModelBuiltinDict("adjectives"));
+    name_parts.push_back(ModelBuiltinDict("nouns"));
+    table.fields.push_back(ModelField(
+        "title", DataType::kVarchar, 100,
+        GeneratorPtr(new pdgf::SequentialGenerator(std::move(name_parts),
+                                                   " ", "The ", ""))));
+    table.fields.push_back(ModelField(
+        "production_year", DataType::kInteger, 4,
+        GeneratorPtr(new pdgf::NullGenerator(0.08, ModelLong(1920, 2014)))));
+    table.fields.push_back(ModelField(
+        "genre", DataType::kVarchar, 20,
+        ModelInlineDict({"Drama", "Comedy", "Action", "Thriller", "Horror",
+                         "Romance", "Sci-Fi", "Documentary", "Crime",
+                         "Animation"})));
+    table.fields.push_back(ModelField("runtime_minutes", DataType::kInteger,
+                                      3, ModelLong(60, 210)));
+    table.fields.push_back(ModelField(
+        "plot", DataType::kVarchar, 2000,
+        GeneratorPtr(new pdgf::NullGenerator(
+            0.15, GeneratorPtr(new pdgf::MarkovChainGenerator(
+                      PlotModel(), 15, 80))))));
+    schema.tables.push_back(std::move(table));
+  }
+
+  // person ------------------------------------------------------------
+  {
+    TableDef table;
+    table.name = "person";
+    table.size_expression = "${person_size}";
+    table.fields.push_back(
+        ModelField("person_id", DataType::kBigInt, 19, ModelId(), true));
+    table.fields.push_back(ModelField("name", DataType::kVarchar, 60,
+                                      GeneratorPtr(new pdgf::NameGenerator())));
+    table.fields.push_back(ModelField(
+        "birth_year", DataType::kInteger, 4,
+        GeneratorPtr(new pdgf::NullGenerator(0.25, ModelLong(1900, 1995)))));
+    table.fields.push_back(ModelField("gender", DataType::kChar, 1,
+                                      ModelInlineDict({"M", "F"})));
+    schema.tables.push_back(std::move(table));
+  }
+
+  // cast_info (reference-heavy N:M) ------------------------------------
+  {
+    TableDef table;
+    table.name = "cast_info";
+    table.size_expression = "${cast_size}";
+    table.fields.push_back(
+        ModelField("cast_id", DataType::kBigInt, 19, ModelId(), true));
+    // Popular titles accumulate most cast entries: Zipf-skewed computed
+    // reference, exercising the Zipf reference path in the digests.
+    table.fields.push_back(ModelField(
+        "title_id", DataType::kBigInt, 19,
+        GeneratorPtr(new pdgf::DefaultReferenceGenerator(
+            "title", "title_id",
+            pdgf::DefaultReferenceGenerator::Distribution::kZipf, 0.8))));
+    table.fields.push_back(ModelField("person_id", DataType::kBigInt, 19,
+                                      ModelRef("person", "person_id")));
+    table.fields.push_back(ModelField(
+        "role", DataType::kVarchar, 20,
+        ModelInlineDict({"actor", "actress", "director", "producer",
+                         "writer", "composer"})));
+    table.fields.push_back(ModelField("billing_position",
+                                      DataType::kInteger, 2,
+                                      ModelLong(1, 30)));
+    schema.tables.push_back(std::move(table));
+  }
+
+  // movie_rating -------------------------------------------------------
+  {
+    TableDef table;
+    table.name = "movie_rating";
+    table.size_expression = "${rating_size}";
+    table.fields.push_back(
+        ModelField("rating_id", DataType::kBigInt, 19, ModelId(), true));
+    table.fields.push_back(ModelField("title_id", DataType::kBigInt, 19,
+                                      ModelRef("title", "title_id")));
+    table.fields.push_back(ModelField(
+        "rating", DataType::kDouble, 4,
+        GeneratorPtr(new pdgf::DoubleGenerator(1.0, 10.0, 1))));
+    table.fields.push_back(ModelField("votes", DataType::kInteger, 7,
+                                      ModelLong(5, 2000000)));
+    schema.tables.push_back(std::move(table));
+  }
+
+  return schema;
+}
+
+pdgf::StatusOr<pdgf::SchemaDef> BuildBundledModel(std::string_view name) {
+  if (pdgf::EqualsIgnoreCase(name, "tpch")) return BuildTpchSchema();
+  if (pdgf::EqualsIgnoreCase(name, "ssb")) return BuildSsbSchema();
+  if (pdgf::EqualsIgnoreCase(name, "imdb")) return BuildImdbSchema();
+  return pdgf::NotFoundError("no bundled model '" + std::string(name) +
+                             "' (expected tpch, ssb or imdb)");
 }
 
 }  // namespace workloads

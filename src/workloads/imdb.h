@@ -2,8 +2,10 @@
 #define DBSYNTHPP_WORKLOADS_IMDB_H_
 
 #include <cstdint>
+#include <string_view>
 
 #include "common/status.h"
+#include "core/schema.h"
 #include "minidb/database.h"
 
 namespace workloads {
@@ -24,6 +26,21 @@ namespace workloads {
 pdgf::Status PopulateImdbDatabase(minidb::Database* database,
                                   double scale = 1.0,
                                   uint64_t seed = 20150531);
+
+// The IMDb demo database as a *PDGF generation model* (as opposed to the
+// materialized MiniDB instance above): the same four tables — title,
+// person, cast_info, movie_rating — with computed references for the
+// foreign keys, Markov-generated plots and ${SF} row-count scaling
+// (SF = 1 => 2000 titles, 3000 persons, 8000 cast entries, 1600
+// ratings). Used by the determinism verifier (`pdgf verify --model
+// imdb`) and the golden-digest fixtures.
+pdgf::SchemaDef BuildImdbSchema();
+
+// Builds one of the bundled workload models by name — "tpch", "ssb" or
+// "imdb" — shared by the `pdgf verify` CLI verb and the golden-digest
+// tests so both resolve names identically. Fails with NotFound for
+// unknown names.
+pdgf::StatusOr<pdgf::SchemaDef> BuildBundledModel(std::string_view name);
 
 }  // namespace workloads
 

@@ -149,6 +149,78 @@ TEST_F(CliTest, GenerateUpdateStream) {
   EXPECT_GT(stream_rows, 10u);
 }
 
+TEST_F(CliTest, GenerateWithDigestsPrintsTableDigests) {
+  std::string out;
+  std::string out_dir = pdgf::JoinPath(*dir_, "digested");
+  EXPECT_EQ(Run({"generate", *model_path_, "--out", out_dir, "--workers",
+                 "2", "--digests"},
+                &out),
+            0);
+  EXPECT_NE(out.find("digest="), std::string::npos);
+  EXPECT_NE(out.find("lineitem"), std::string::npos);
+}
+
+TEST_F(CliTest, VerifyPassesOnDeterministicModel) {
+  std::string out;
+  EXPECT_EQ(Run({"verify", *model_path_, "--quick"}, &out), 0);
+  EXPECT_NE(out.find("baseline"), std::string::npos);
+  EXPECT_NE(out.find("cluster nodes=2 merged"), std::string::npos);
+  EXPECT_NE(out.find("verify OK"), std::string::npos);
+  EXPECT_EQ(out.find("FAIL"), std::string::npos) << out;
+}
+
+TEST_F(CliTest, VerifyBundledModelByName) {
+  std::string out;
+  EXPECT_EQ(Run({"verify", "--model", "imdb", "--quick"}, &out), 0);
+  EXPECT_NE(out.find("cast_info"), std::string::npos);
+  EXPECT_EQ(Run({"verify", "--model", "nosuch"}, &out), 1);
+  EXPECT_NE(out.find("error:"), std::string::npos);
+}
+
+TEST_F(CliTest, VerifyDetectsInjectedPerturbation) {
+  // The acceptance gate for the verifier itself: a deliberately
+  // perturbed seed must make verify exit non-zero and name the first
+  // diverging table.
+  std::string out;
+  EXPECT_EQ(
+      Run({"verify", *model_path_, "--quick", "--inject-perturbation"},
+          &out),
+      1);
+  EXPECT_NE(out.find("seed-perturbed run"), std::string::npos);
+  EXPECT_NE(out.find("first divergence: table"), std::string::npos);
+  EXPECT_NE(out.find("verify FAILED"), std::string::npos);
+}
+
+TEST_F(CliTest, VerifyBlessAndGoldenRoundTrip) {
+  std::string out;
+  std::string fixture = pdgf::JoinPath(*dir_, "tpch.digests");
+  EXPECT_EQ(Run({"verify", *model_path_, "--quick", "--bless", fixture},
+                &out),
+            0);
+  EXPECT_NE(out.find("blessed"), std::string::npos);
+  ASSERT_TRUE(pdgf::PathExists(fixture));
+
+  EXPECT_EQ(Run({"verify", *model_path_, "--quick", "--golden", fixture},
+                &out),
+            0);
+  EXPECT_NE(out.find("ok        golden fixture"), std::string::npos);
+
+  // Corrupt one digest nibble: golden comparison must fail with a
+  // re-bless hint.
+  auto contents = pdgf::ReadFileToString(fixture);
+  ASSERT_TRUE(contents.ok());
+  std::string corrupted = *contents;
+  size_t tab = corrupted.rfind('\t');
+  ASSERT_NE(tab, std::string::npos);
+  corrupted[tab + 1] = corrupted[tab + 1] == 'f' ? '0' : 'f';
+  ASSERT_TRUE(pdgf::WriteStringToFile(fixture, corrupted).ok());
+  EXPECT_EQ(Run({"verify", *model_path_, "--quick", "--golden", fixture},
+                &out),
+            1);
+  EXPECT_NE(out.find("golden mismatch"), std::string::npos);
+  EXPECT_NE(out.find("re-bless"), std::string::npos);
+}
+
 TEST_F(CliTest, DdlPrintsCreateTables) {
   std::string out;
   EXPECT_EQ(Run({"ddl", *model_path_}, &out), 0);

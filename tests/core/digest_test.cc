@@ -1,0 +1,289 @@
+#include "util/hash.h"
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/value.h"
+#include "core/engine.h"
+#include "core/generators/generators.h"
+
+namespace pdgf {
+namespace {
+
+std::vector<Value> MakeValues(int64_t a, const std::string& b) {
+  std::vector<Value> values;
+  values.push_back(Value::Int(a));
+  values.push_back(Value::String(b));
+  return values;
+}
+
+TableDigest DigestOf(const std::vector<uint64_t>& rows) {
+  TableDigest digest;
+  for (uint64_t r : rows) {
+    digest.AddRow(r, "row-" + std::to_string(r),
+                  MakeValues(static_cast<int64_t>(r), "payload"));
+  }
+  return digest;
+}
+
+// --- Algebra ----------------------------------------------------------
+
+TEST(TableDigestTest, EmptyDigestIsMergeIdentity) {
+  TableDigest digest = DigestOf({0, 1, 2, 3});
+  TableDigest empty;
+
+  TableDigest left = digest;
+  left.Merge(empty);
+  EXPECT_TRUE(left == digest);
+  EXPECT_EQ(left.Hex(), digest.Hex());
+
+  TableDigest right = empty;
+  right.Merge(digest);
+  EXPECT_TRUE(right == digest);
+  EXPECT_EQ(right.rows(), digest.rows());
+  EXPECT_EQ(right.bytes(), digest.bytes());
+}
+
+TEST(TableDigestTest, MergeIsCommutative) {
+  TableDigest a = DigestOf({0, 1, 2});
+  TableDigest b = DigestOf({3, 4});
+
+  TableDigest ab = a;
+  ab.Merge(b);
+  TableDigest ba = b;
+  ba.Merge(a);
+  EXPECT_TRUE(ab == ba);
+  EXPECT_EQ(ab.Hex(), ba.Hex());
+}
+
+TEST(TableDigestTest, MergeIsAssociative) {
+  TableDigest a = DigestOf({0, 1});
+  TableDigest b = DigestOf({2});
+  TableDigest c = DigestOf({3, 4, 5});
+
+  TableDigest ab_c = a;
+  ab_c.Merge(b);
+  ab_c.Merge(c);
+
+  TableDigest bc = b;
+  bc.Merge(c);
+  TableDigest a_bc = a;
+  a_bc.Merge(bc);
+
+  EXPECT_TRUE(ab_c == a_bc);
+  EXPECT_EQ(ab_c.Hex(), a_bc.Hex());
+}
+
+TEST(TableDigestTest, MergedPartitionsEqualSequentialWhole) {
+  // However the row range is split into partitions, the merged digest
+  // must equal the digest of the whole range added in order. This is the
+  // property the engine relies on to make per-worker partials safe.
+  TableDigest whole = DigestOf({0, 1, 2, 3, 4, 5, 6, 7});
+
+  TableDigest even = DigestOf({0, 2, 4, 6});
+  TableDigest odd = DigestOf({7, 5, 3, 1});  // also out of order
+  even.Merge(odd);
+  EXPECT_TRUE(even == whole);
+
+  TableDigest head = DigestOf({0, 1, 2});
+  TableDigest mid = DigestOf({3});
+  TableDigest tail = DigestOf({4, 5, 6, 7});
+  tail.Merge(head);
+  tail.Merge(mid);
+  EXPECT_TRUE(tail == whole);
+}
+
+// --- Sensitivity ------------------------------------------------------
+
+TEST(TableDigestTest, SingleFlippedByteChangesDigest) {
+  TableDigest a;
+  a.AddRow(7, "hello world", MakeValues(7, "x"));
+  TableDigest b;
+  b.AddRow(7, "hello worle", MakeValues(7, "x"));  // one byte differs
+  EXPECT_FALSE(a == b);
+  EXPECT_NE(a.Hex(), b.Hex());
+}
+
+TEST(TableDigestTest, RowIndexIsPartOfTheHash) {
+  // Same bytes attributed to a different global row index must diverge —
+  // this is what catches row-swap / off-by-one partitioning bugs that an
+  // order-insensitive sum of plain row hashes would miss.
+  TableDigest a;
+  a.AddRow(1, "same bytes", MakeValues(1, "x"));
+  TableDigest b;
+  b.AddRow(2, "same bytes", MakeValues(1, "x"));
+  EXPECT_FALSE(a == b);
+}
+
+TEST(TableDigestTest, SwappedRowContentsDiverge) {
+  TableDigest a;
+  a.AddRow(0, "first", MakeValues(0, "first"));
+  a.AddRow(1, "second", MakeValues(1, "second"));
+  TableDigest b;
+  b.AddRow(0, "second", MakeValues(1, "second"));
+  b.AddRow(1, "first", MakeValues(0, "first"));
+  EXPECT_FALSE(a == b);
+}
+
+TEST(TableDigestTest, ColumnChecksumsDetectColumnLevelDrift) {
+  TableDigest a;
+  a.AddRow(0, "r", MakeValues(10, "x"));
+  TableDigest b;
+  b.AddRow(0, "r", MakeValues(11, "x"));
+  ASSERT_EQ(a.column_checksums().size(), 2u);
+  EXPECT_NE(a.column_checksums()[0], b.column_checksums()[0]);
+  EXPECT_EQ(a.column_checksums()[1], b.column_checksums()[1]);
+}
+
+TEST(TableDigestTest, ExtraRowChangesDigestAndCounts) {
+  TableDigest a = DigestOf({0, 1, 2});
+  TableDigest b = DigestOf({0, 1, 2, 3});
+  EXPECT_FALSE(a == b);
+  EXPECT_EQ(a.rows() + 1, b.rows());
+}
+
+TEST(Digest128Test, HexRoundTrips) {
+  Digest128 digest{0x0123456789abcdefULL, 0xfedcba9876543210ULL};
+  auto parsed = Digest128::FromHex(digest.Hex());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(*parsed == digest);
+  EXPECT_FALSE(Digest128::FromHex("not hex").ok());
+  EXPECT_FALSE(Digest128::FromHex("abcd").ok());  // wrong length
+}
+
+TEST(ByteStreamHashTest, ChunkingInvariant) {
+  const std::string data =
+      "a moderately long byte stream that is split at awkward offsets";
+  ByteStreamHash whole;
+  whole.Update(data);
+  for (size_t split = 1; split < data.size(); split += 7) {
+    ByteStreamHash parts;
+    parts.Update(std::string_view(data).substr(0, split));
+    parts.Update(std::string_view(data).substr(split));
+    EXPECT_TRUE(parts.Finish() == whole.Finish()) << "split=" << split;
+  }
+  ByteStreamHash other;
+  other.Update(data.substr(0, data.size() - 1));
+  EXPECT_FALSE(other.Finish() == whole.Finish());
+}
+
+// --- Engine parity ----------------------------------------------------
+
+// A multi-table model with computed references: "orders" rows reference
+// "customer" primary keys through a skewed reference generator, which is
+// exactly the kind of cross-table dependency where scheduling bugs would
+// surface as digest divergence.
+SchemaDef MakeReferenceSchema() {
+  SchemaDef schema;
+  schema.name = "digest_parity";
+  schema.seed = 77;
+
+  TableDef customer;
+  customer.name = "customer";
+  customer.size_expression = "500";
+  FieldDef customer_id;
+  customer_id.name = "c_id";
+  customer_id.type = DataType::kBigInt;
+  customer_id.generator = GeneratorPtr(new IdGenerator(1, 1));
+  customer.fields.push_back(std::move(customer_id));
+  FieldDef customer_name;
+  customer_name.name = "c_name";
+  customer_name.type = DataType::kVarchar;
+  customer_name.generator = GeneratorPtr(new RandomStringGenerator(6, 14));
+  customer.fields.push_back(std::move(customer_name));
+  schema.tables.push_back(std::move(customer));
+
+  TableDef orders;
+  orders.name = "orders";
+  orders.size_expression = "2000";
+  FieldDef order_id;
+  order_id.name = "o_id";
+  order_id.type = DataType::kBigInt;
+  order_id.generator = GeneratorPtr(new IdGenerator(1, 1));
+  orders.fields.push_back(std::move(order_id));
+  FieldDef order_customer;
+  order_customer.name = "o_c_id";
+  order_customer.type = DataType::kBigInt;
+  order_customer.generator = GeneratorPtr(new DefaultReferenceGenerator(
+      "customer", "c_id", DefaultReferenceGenerator::Distribution::kZipf,
+      0.7));
+  orders.fields.push_back(std::move(order_customer));
+  FieldDef order_total;
+  order_total.name = "o_total";
+  order_total.type = DataType::kBigInt;
+  order_total.generator = GeneratorPtr(new LongGenerator(1, 100000));
+  orders.fields.push_back(std::move(order_total));
+  schema.tables.push_back(std::move(orders));
+  return schema;
+}
+
+std::vector<TableDigest> DigestsFor(const GenerationSession& session,
+                                    int workers, uint64_t package_rows,
+                                    bool sorted) {
+  CsvFormatter formatter;
+  GenerationOptions options;
+  options.worker_count = workers;
+  options.work_package_rows = package_rows;
+  options.sorted_output = sorted;
+  options.compute_digests = true;
+  auto stats = GenerateToNull(session, formatter, options);
+  EXPECT_TRUE(stats.ok()) << stats.status().ToString();
+  return stats->table_digests;
+}
+
+TEST(EngineDigestParityTest, DigestsIndependentOfWorkerCount) {
+  SchemaDef schema = MakeReferenceSchema();
+  auto session = GenerationSession::Create(&schema);
+  ASSERT_TRUE(session.ok());
+
+  auto reference = DigestsFor(**session, 1, 1000000, true);
+  ASSERT_EQ(reference.size(), 2u);
+  EXPECT_EQ(reference[0].rows(), 500u);
+  EXPECT_EQ(reference[1].rows(), 2000u);
+
+  for (int workers : {1, 2, 3, 8}) {
+    for (uint64_t package_rows : {9ULL, 128ULL, 997ULL}) {
+      for (bool sorted : {true, false}) {
+        auto digests =
+            DigestsFor(**session, workers, package_rows, sorted);
+        ASSERT_EQ(digests.size(), reference.size());
+        for (size_t t = 0; t < digests.size(); ++t) {
+          EXPECT_TRUE(digests[t] == reference[t])
+              << "workers=" << workers << " pkg=" << package_rows
+              << " sorted=" << sorted << " table=" << t << ": "
+              << digests[t].Hex() << " vs " << reference[t].Hex();
+        }
+      }
+    }
+  }
+}
+
+TEST(EngineDigestParityTest, DifferentSeedsProduceDifferentDigests) {
+  SchemaDef schema = MakeReferenceSchema();
+  auto session = GenerationSession::Create(&schema);
+  ASSERT_TRUE(session.ok());
+  auto reference = DigestsFor(**session, 2, 128, true);
+
+  SchemaDef perturbed = MakeReferenceSchema();
+  perturbed.seed ^= 1;
+  auto perturbed_session = GenerationSession::Create(&perturbed);
+  ASSERT_TRUE(perturbed_session.ok());
+  auto digests = DigestsFor(**perturbed_session, 2, 128, true);
+  EXPECT_FALSE(digests[0] == reference[0]);
+  EXPECT_FALSE(digests[1] == reference[1]);
+}
+
+TEST(EngineDigestParityTest, DisabledByDefaultLeavesStatsEmpty) {
+  SchemaDef schema = MakeReferenceSchema();
+  auto session = GenerationSession::Create(&schema);
+  ASSERT_TRUE(session.ok());
+  CsvFormatter formatter;
+  auto stats = GenerateToNull(**session, formatter, GenerationOptions{});
+  ASSERT_TRUE(stats.ok());
+  EXPECT_TRUE(stats->table_digests.empty());
+}
+
+}  // namespace
+}  // namespace pdgf

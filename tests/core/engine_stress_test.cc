@@ -85,8 +85,16 @@ TEST(EngineStressTest, ZeroAndNegativeOptionValuesAreClamped) {
   auto session = GenerationSession::Create(&schema);
   ASSERT_TRUE(session.ok());
   CsvFormatter formatter;
+  // worker_count < 1 is a configuration error, not something to clamp
+  // silently (see engine_test.cc InvalidWorkerCountIsRejected)...
+  GenerationOptions bad;
+  bad.worker_count = 0;
+  auto rejected = GenerateToNull(**session, formatter, bad);
+  EXPECT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.status().code(), StatusCode::kInvalidArgument);
+  // ...but a zero package size is still clamped to a usable minimum.
   GenerationOptions options;
-  options.worker_count = 0;
+  options.worker_count = 1;
   options.work_package_rows = 0;
   auto stats = GenerateToNull(**session, formatter, options);
   ASSERT_TRUE(stats.ok());

@@ -297,6 +297,31 @@ TEST(EngineTest, SinkFailurePropagates) {
   EXPECT_EQ(status.code(), StatusCode::kIoError);
 }
 
+TEST(EngineTest, InvalidWorkerCountIsRejected) {
+  // worker_count < 1 used to be silently clamped to 1; it is now an
+  // explicit InvalidArgument before any sink is opened, so callers learn
+  // about broken configuration instead of silently running sequentially.
+  SchemaDef schema = MakeSchema();
+  auto session = GenerationSession::Create(&schema);
+  ASSERT_TRUE(session.ok());
+  CsvFormatter formatter;
+  for (int workers : {0, -1, -8}) {
+    int sinks_created = 0;
+    SinkFactory factory =
+        [&sinks_created](const TableDef&) -> StatusOr<std::unique_ptr<Sink>> {
+      ++sinks_created;
+      return std::unique_ptr<Sink>(new NullSink());
+    };
+    GenerationOptions options;
+    options.worker_count = workers;
+    GenerationEngine engine(&**session, &formatter, factory, options);
+    Status status = engine.Run();
+    EXPECT_FALSE(status.ok()) << "workers=" << workers;
+    EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+    EXPECT_EQ(sinks_created, 0) << "workers=" << workers;
+  }
+}
+
 TEST(EngineTest, ProgressTrackerSeesAllRows) {
   SchemaDef schema = MakeSchema();
   auto session = GenerationSession::Create(&schema);

@@ -1,6 +1,12 @@
 #include "core/simcluster.h"
 
+#include <memory>
+#include <string>
+#include <vector>
+
 #include <gtest/gtest.h>
+
+#include "core/generators/generators.h"
 
 namespace pdgf {
 namespace {
@@ -100,6 +106,136 @@ TEST(SimClusterTest, ThroughputShapeMatchesFigure5) {
 TEST(SimClusterTest, ClusterWallClockIsSlowestNode) {
   EXPECT_DOUBLE_EQ(EstimateClusterWallClock({1.0, 2.5, 0.5}), 2.5);
   EXPECT_DOUBLE_EQ(EstimateClusterWallClock({}), 0.0);
+}
+
+// --- Digest parity across simulated node splits -----------------------
+
+// Row counts chosen so that a 4-way split is uneven: 1001 = 4*250 + 1
+// and 37 < 4*10, exercising both the "one node gets an extra row" and
+// the "some nodes get tiny shares" paths of NodeShare.
+SchemaDef MakeClusterSchema() {
+  SchemaDef schema;
+  schema.name = "cluster_digest";
+  schema.seed = 4242;
+
+  TableDef events;
+  events.name = "events";
+  events.size_expression = "1001";
+  FieldDef id;
+  id.name = "id";
+  id.type = DataType::kBigInt;
+  id.generator = GeneratorPtr(new IdGenerator(1, 1));
+  events.fields.push_back(std::move(id));
+  FieldDef payload;
+  payload.name = "payload";
+  payload.type = DataType::kVarchar;
+  payload.generator = GeneratorPtr(new RandomStringGenerator(4, 24));
+  events.fields.push_back(std::move(payload));
+  schema.tables.push_back(std::move(events));
+
+  TableDef tiny;
+  tiny.name = "tiny";
+  tiny.size_expression = "37";
+  FieldDef value;
+  value.name = "value";
+  value.type = DataType::kBigInt;
+  value.generator = GeneratorPtr(new LongGenerator(0, 999));
+  tiny.fields.push_back(std::move(value));
+  schema.tables.push_back(std::move(tiny));
+  return schema;
+}
+
+TEST(SimClusterDigestTest, OneNodeEqualsFourNodesMerged) {
+  SchemaDef schema = MakeClusterSchema();
+  auto session = GenerationSession::Create(&schema);
+  ASSERT_TRUE(session.ok());
+  CsvFormatter formatter;
+
+  GenerationOptions options;
+  options.worker_count = 2;
+  options.work_package_rows = 97;
+  auto one = RunSimulatedCluster(**session, formatter, options, 1);
+  ASSERT_TRUE(one.ok()) << one.status().ToString();
+  auto four = RunSimulatedCluster(**session, formatter, options, 4);
+  ASSERT_TRUE(four.ok()) << four.status().ToString();
+
+  ASSERT_EQ(one->table_digests.size(), 2u);
+  ASSERT_EQ(four->table_digests.size(), 2u);
+  EXPECT_EQ(one->rows, 1038u);
+  EXPECT_EQ(four->rows, one->rows);
+  EXPECT_EQ(four->bytes, one->bytes);
+  for (size_t t = 0; t < one->table_digests.size(); ++t) {
+    EXPECT_TRUE(four->table_digests[t] == one->table_digests[t])
+        << "table " << t << ": " << four->table_digests[t].Hex() << " vs "
+        << one->table_digests[t].Hex();
+  }
+  EXPECT_EQ(four->node_seconds.size(), 4u);
+}
+
+TEST(SimClusterDigestTest, NodeCountSweepIsDigestInvariant) {
+  SchemaDef schema = MakeClusterSchema();
+  auto session = GenerationSession::Create(&schema);
+  ASSERT_TRUE(session.ok());
+  CsvFormatter formatter;
+  GenerationOptions options;
+  options.worker_count = 3;
+  options.work_package_rows = 41;
+  auto reference = RunSimulatedCluster(**session, formatter, options, 1);
+  ASSERT_TRUE(reference.ok());
+  // 5 and 7 nodes split 1001 and 37 rows unevenly; 37 nodes give most
+  // nodes exactly one "tiny" row and a few none at all.
+  for (int nodes : {2, 5, 7, 37}) {
+    auto run = RunSimulatedCluster(**session, formatter, options, nodes);
+    ASSERT_TRUE(run.ok()) << "nodes=" << nodes;
+    EXPECT_EQ(run->rows, reference->rows) << "nodes=" << nodes;
+    for (size_t t = 0; t < reference->table_digests.size(); ++t) {
+      EXPECT_TRUE(run->table_digests[t] == reference->table_digests[t])
+          << "nodes=" << nodes << " table=" << t;
+    }
+  }
+}
+
+TEST(SimClusterDigestTest, SortedSinkPathMatchesNullSinkDigests) {
+  // Route every node's output through sorted DigestingSinks; the
+  // order-insensitive table digests must not care, and the per-node
+  // stream digests must be reproducible run over run.
+  SchemaDef schema = MakeClusterSchema();
+  auto session = GenerationSession::Create(&schema);
+  ASSERT_TRUE(session.ok());
+  CsvFormatter formatter;
+  GenerationOptions options;
+  options.worker_count = 4;
+  options.work_package_rows = 53;
+  options.sorted_output = true;
+
+  auto null_run = RunSimulatedCluster(**session, formatter, options, 2);
+  ASSERT_TRUE(null_run.ok());
+
+  auto run_with_digesting_sinks = [&]() {
+    SinkFactory factory =
+        [](const TableDef&) -> StatusOr<std::unique_ptr<Sink>> {
+      return std::unique_ptr<Sink>(new DigestingSink());
+    };
+    return RunSimulatedCluster(**session, formatter, options, 2, factory);
+  };
+  auto digesting = run_with_digesting_sinks();
+  ASSERT_TRUE(digesting.ok());
+  for (size_t t = 0; t < null_run->table_digests.size(); ++t) {
+    EXPECT_TRUE(digesting->table_digests[t] == null_run->table_digests[t])
+        << "table " << t;
+  }
+  EXPECT_EQ(digesting->bytes, null_run->bytes);
+}
+
+TEST(SimClusterDigestTest, InvalidNodeCountRejected) {
+  SchemaDef schema = MakeClusterSchema();
+  auto session = GenerationSession::Create(&schema);
+  ASSERT_TRUE(session.ok());
+  CsvFormatter formatter;
+  auto run =
+      RunSimulatedCluster(**session, formatter, GenerationOptions{}, 0);
+  EXPECT_FALSE(run.ok());
+  EXPECT_EQ(run.status().code(), StatusCode::kInvalidArgument);
 }
 
 TEST(SimClusterTest, ScaleOutShapeMatchesFigure4) {

@@ -1,0 +1,130 @@
+// Integration: golden digest fixtures. The committed fixtures under
+// tests/integration/golden/ pin the exact 128-bit table digests of the
+// bundled models (TPC-H SF 0.01, SSB SF 0.01, IMDb SF 1). Any change to
+// seeding, generator logic, dictionaries or formatting shows up here as
+// a digest mismatch — which is the point: determinism regressions must
+// be deliberate, audited and re-blessed, never accidental.
+
+#include <map>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "core/session.h"
+#include "util/files.h"
+#include "util/hash.h"
+#include "workloads/imdb.h"
+
+#ifndef DBSYNTHPP_SOURCE_DIR
+#define DBSYNTHPP_SOURCE_DIR "."
+#endif
+
+namespace {
+
+using pdgf::JoinPath;
+using pdgf::TableDigest;
+using pdgf::TableDigestEntry;
+
+struct GoldenCase {
+  const char* model;
+  const char* scale_factor;  // "" = model default
+  const char* fixture;
+};
+
+constexpr GoldenCase kCases[] = {
+    {"tpch", "0.01", "tpch_sf0.01.digests"},
+    {"ssb", "0.01", "ssb_sf0.01.digests"},
+    {"imdb", "", "imdb_sf1.digests"},
+};
+
+class GoldenDigestTest : public ::testing::TestWithParam<GoldenCase> {};
+
+TEST_P(GoldenDigestTest, DigestsMatchCommittedFixture) {
+  const GoldenCase& test_case = GetParam();
+
+  auto schema = workloads::BuildBundledModel(test_case.model);
+  ASSERT_TRUE(schema.ok()) << schema.status().ToString();
+  std::map<std::string, std::string> overrides;
+  if (test_case.scale_factor[0] != '\0') {
+    overrides["SF"] = test_case.scale_factor;
+  }
+  auto session = pdgf::GenerationSession::Create(&*schema, overrides);
+  ASSERT_TRUE(session.ok()) << session.status().ToString();
+
+  pdgf::CsvFormatter formatter;
+  pdgf::GenerationOptions options;
+  options.worker_count = 2;
+  options.work_package_rows = 512;
+  options.compute_digests = true;
+  auto stats = GenerateToNull(**session, formatter, options);
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+
+  std::string fixture_path = JoinPath(
+      JoinPath(DBSYNTHPP_SOURCE_DIR, "tests/integration/golden"),
+      test_case.fixture);
+  auto contents = pdgf::ReadFileToString(fixture_path);
+  ASSERT_TRUE(contents.ok())
+      << "missing golden fixture " << fixture_path << " — create it with:"
+      << " dbsynthpp verify --model " << test_case.model
+      << " --bless " << fixture_path;
+  auto entries = pdgf::ParseDigestFixture(*contents);
+  ASSERT_TRUE(entries.ok()) << entries.status().ToString();
+
+  std::map<std::string, TableDigestEntry> golden;
+  for (const TableDigestEntry& entry : *entries) {
+    golden[entry.table] = entry;
+  }
+  ASSERT_EQ(golden.size(), schema->tables.size())
+      << "fixture " << fixture_path
+      << " does not cover every table of model " << test_case.model;
+
+  for (size_t t = 0; t < schema->tables.size(); ++t) {
+    const std::string& name = schema->tables[t].name;
+    const TableDigest& digest = stats->table_digests[t];
+    auto it = golden.find(name);
+    ASSERT_NE(it, golden.end()) << "no golden entry for table " << name;
+    EXPECT_EQ(it->second.hex, digest.Hex())
+        << "digest drift in table '" << name << "' of model '"
+        << test_case.model << "'.\n"
+        << "If this change is intentional (new generator logic, seeding\n"
+        << "or formatting), audit the output and re-bless the fixture:\n"
+        << "  dbsynthpp verify --model " << test_case.model
+        << (test_case.scale_factor[0] != '\0'
+                ? std::string(" --sf ") + test_case.scale_factor
+                : std::string())
+        << " --bless " << fixture_path << "\n"
+        << "If it is NOT intentional, a determinism regression slipped in.";
+    EXPECT_EQ(it->second.rows, digest.rows()) << "row count drift: " << name;
+    EXPECT_EQ(it->second.bytes, digest.bytes())
+        << "byte count drift: " << name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BundledModels, GoldenDigestTest, ::testing::ValuesIn(kCases),
+    [](const ::testing::TestParamInfo<GoldenCase>& info) {
+      return std::string(info.param.model);
+    });
+
+TEST(DigestFixtureFormatTest, RoundTripsThroughFormatAndParse) {
+  std::vector<TableDigestEntry> entries = {
+      {"alpha", 10, 1234, std::string(32, 'a')},
+      {"beta", 0, 0, std::string(32, '0')},
+  };
+  std::string text =
+      pdgf::FormatDigestFixture(entries, "two\nline header");
+  auto parsed = pdgf::ParseDigestFixture(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_EQ(parsed->size(), 2u);
+  EXPECT_EQ((*parsed)[0].table, "alpha");
+  EXPECT_EQ((*parsed)[0].rows, 10u);
+  EXPECT_EQ((*parsed)[0].bytes, 1234u);
+  EXPECT_EQ((*parsed)[0].hex, std::string(32, 'a'));
+  EXPECT_EQ((*parsed)[1].table, "beta");
+
+  EXPECT_FALSE(pdgf::ParseDigestFixture("t\t1\t2\tnothex!").ok());
+  EXPECT_FALSE(pdgf::ParseDigestFixture("only-one-field").ok());
+}
+
+}  // namespace

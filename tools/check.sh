@@ -1,0 +1,53 @@
+#!/usr/bin/env bash
+# Full check: tier-1 (default build) plus the sanitizer tiers.
+#
+#   tools/check.sh            # tier-1 + ASan/UBSan + TSan
+#   tools/check.sh --tier1    # tier-1 only
+#   tools/check.sh --asan     # ASan/UBSan tier only
+#   tools/check.sh --tsan     # TSan tier only
+#
+# The sanitizer tiers build into build-asan/ and build-tsan/ via the
+# CMakePresets.json presets; the TSan tier additionally hammers the
+# concurrency-heavy suites (engine, digest parity, cluster) since that
+# is where data races would live.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+RUN_TIER1=1
+RUN_ASAN=1
+RUN_TSAN=1
+case "${1:-}" in
+  --tier1) RUN_ASAN=0; RUN_TSAN=0 ;;
+  --asan)  RUN_TIER1=0; RUN_TSAN=0 ;;
+  --tsan)  RUN_TIER1=0; RUN_ASAN=0 ;;
+  "") ;;
+  *) echo "usage: tools/check.sh [--tier1|--asan|--tsan]" >&2; exit 2 ;;
+esac
+
+run() { echo "+ $*" >&2; "$@"; }
+
+if [[ "$RUN_TIER1" == 1 ]]; then
+  echo "=== tier-1: default build + full test suite ==="
+  run cmake --preset default
+  run cmake --build --preset default -j "$(nproc)"
+  run ctest --preset default
+fi
+
+if [[ "$RUN_ASAN" == 1 ]]; then
+  echo "=== sanitizer tier: ASan + UBSan ==="
+  run cmake --preset asan-ubsan
+  run cmake --build --preset asan-ubsan -j "$(nproc)"
+  run ctest --preset asan-ubsan
+fi
+
+if [[ "$RUN_TSAN" == 1 ]]; then
+  echo "=== sanitizer tier: TSan (concurrency suites) ==="
+  run cmake --preset tsan
+  run cmake --build --preset tsan -j "$(nproc)" --target \
+    tests_core tests_integration tests_cli
+  run ctest --preset tsan -R \
+    "Engine|Digest|SimCluster|Progress|Determinism|Cli"
+fi
+
+echo "all requested tiers passed"
