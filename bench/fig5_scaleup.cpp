@@ -12,18 +12,102 @@
 // (DESIGN.md S20). PDGF's determinism makes lanes independent, so lane
 // busy time is hardware-independent up to a constant factor.
 //
-//   ./bench_fig5_scaleup [SF]     (default 0.01)
+//   ./bench_fig5_scaleup [SF] [--quick] [--json FILE] [--overhead-gate]
+//
+//   SF               scale factor (default 0.01)
+//   --quick          worker sweep {1,2,4} instead of the full figure
+//   --json FILE      write a BENCH_engine.json baseline: best-of-N
+//                    engine run with full per-phase metrics (rows/s,
+//                    MB/s, phase breakdown; schema in docs/metrics.md)
+//                    plus the scale-up series
+//   --overhead-gate  run metrics-off vs. metrics-on back to back and
+//                    exit 1 if metrics add more than the allowed
+//                    overhead (default 10%; env METRICS_GATE_PCT).
+//                    Prints machine-readable "metrics_overhead_pct=".
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
 #include <vector>
 
 #include "core/engine.h"
 #include "core/session.h"
 #include "core/simcluster.h"
+#include "util/files.h"
 #include "workloads/tpch.h"
 
+namespace {
+
+// Best-of-N single-worker engine run (min wall clock damps scheduler
+// noise on shared containers). Metrics optional.
+pdgf::StatusOr<pdgf::GenerationEngine::Stats> BestOfRuns(
+    const pdgf::GenerationSession& session,
+    const pdgf::RowFormatter& formatter, int repeats, bool metrics) {
+  pdgf::GenerationEngine::Stats best;
+  bool have_best = false;
+  for (int i = 0; i < repeats; ++i) {
+    pdgf::GenerationOptions options;
+    options.worker_count = 1;
+    options.work_package_rows = 5000;
+    options.metrics_enabled = metrics;
+    auto stats = GenerateToNull(session, formatter, options);
+    if (!stats.ok()) return stats.status();
+    if (!have_best || stats->seconds < best.seconds) {
+      best = *stats;
+      have_best = true;
+    }
+  }
+  return best;
+}
+
+int RunOverheadGate(const pdgf::GenerationSession& session,
+                    const pdgf::RowFormatter& formatter) {
+  const char* env = std::getenv("METRICS_GATE_PCT");
+  const double allowed_pct = env != nullptr ? std::atof(env) : 10.0;
+  const int repeats = 5;
+  auto off = BestOfRuns(session, formatter, repeats, /*metrics=*/false);
+  auto on = BestOfRuns(session, formatter, repeats, /*metrics=*/true);
+  if (!off.ok() || !on.ok()) {
+    std::fprintf(stderr, "gate run failed\n");
+    return 1;
+  }
+  double delta_pct =
+      off->seconds > 0
+          ? (on->seconds - off->seconds) / off->seconds * 100.0
+          : 0.0;
+  std::printf("metrics_off_seconds=%.6f\n", off->seconds);
+  std::printf("metrics_on_seconds=%.6f\n", on->seconds);
+  std::printf("metrics_overhead_pct=%.2f\n", delta_pct);
+  if (delta_pct > allowed_pct) {
+    std::fprintf(stderr,
+                 "FAIL: metrics overhead %.2f%% exceeds the %.1f%% gate\n",
+                 delta_pct, allowed_pct);
+    return 1;
+  }
+  std::printf("ok: metrics overhead within %.1f%% gate\n", allowed_pct);
+  return 0;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
-  const char* scale_factor = argc > 1 ? argv[1] : "0.01";
+  const char* scale_factor = "0.01";
+  std::string json_path;
+  bool quick = false;
+  bool overhead_gate = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else if (std::strcmp(argv[i], "--overhead-gate") == 0) {
+      overhead_gate = true;
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      scale_factor = argv[i];
+    }
+  }
+
   pdgf::SchemaDef schema = workloads::BuildTpchSchema();
   auto session =
       pdgf::GenerationSession::Create(&schema, {{"SF", scale_factor}});
@@ -39,6 +123,11 @@ int main(int argc, char** argv) {
     auto warmup = GenerateToNull(**session, formatter, options);
     if (!warmup.ok()) return 1;
   }
+
+  if (overhead_gate) {
+    return RunOverheadGate(**session, formatter);
+  }
+
   pdgf::SimulatedMachine machine;  // 16 cores / 32 threads, the paper node
 
   std::printf("Figure 5: PDGF TPC-H scale-up (SF %s, simulated 16c/32t "
@@ -46,8 +135,13 @@ int main(int argc, char** argv) {
               scale_factor);
   std::printf("%8s %14s %10s\n", "workers", "throughput", "capacity");
 
-  for (int workers : {1, 2, 4, 8, 12, 15, 16, 17, 20, 24, 28, 31, 32, 33,
-                      40, 48}) {
+  std::vector<int> worker_counts = {1,  2,  4,  8,  12, 15, 16, 17,
+                                    20, 24, 28, 31, 32, 33, 40, 48};
+  if (quick) worker_counts = {1, 2, 4};
+
+  std::string scaleup_json;
+  double total_busy_seconds = 0;
+  for (int workers : worker_counts) {
     // Measure each worker lane's busy time: lane w generates the w-th of
     // `workers` shares of every table (exactly the rows that worker would
     // own under static partitioning).
@@ -74,13 +168,46 @@ int main(int argc, char** argv) {
     // would masquerade as load imbalance.
     double total_busy = 0;
     for (double lane : lane_seconds) total_busy += lane;
-    double wall =
-        total_busy / pdgf::EffectiveCapacity(machine, workers);
-    double throughput = static_cast<double>(bytes) / (1024.0 * 1024.0) /
-                        wall;
-    std::printf("%8d %11.1f MB/s %10.2f\n", workers, throughput,
-                pdgf::EffectiveCapacity(machine, workers));
+    total_busy_seconds += total_busy;
+    double capacity = pdgf::EffectiveCapacity(machine, workers);
+    double wall = total_busy / capacity;
+    double throughput =
+        static_cast<double>(bytes) / (1024.0 * 1024.0) / wall;
+    std::printf("%8d %11.1f MB/s %10.2f\n", workers, throughput, capacity);
+    if (!json_path.empty()) {
+      if (!scaleup_json.empty()) scaleup_json += ",\n";
+      char line[160];
+      std::snprintf(line, sizeof(line),
+                    "    {\"workers\": %d, \"throughput_mb_s\": %.3f, "
+                    "\"capacity\": %.3f}",
+                    workers, throughput, capacity);
+      scaleup_json += line;
+    }
   }
+  std::printf("total_busy_seconds=%.6f\n", total_busy_seconds);
+
+  if (!json_path.empty()) {
+    // Baseline: best-of-3 fully metered single-worker run, so future
+    // perf PRs have per-phase numbers to beat (ISSUE 2 tentpole).
+    auto baseline = BestOfRuns(**session, formatter, 3, /*metrics=*/true);
+    if (!baseline.ok()) {
+      std::fprintf(stderr, "%s\n", baseline.status().ToString().c_str());
+      return 1;
+    }
+    std::string json = "{\n";
+    json += "  \"schema_version\": 1,\n";
+    json += "  \"bench\": \"fig5_scaleup\",\n";
+    json += "  \"scale_factor\": \"" + std::string(scale_factor) + "\",\n";
+    json += "  \"baseline\": " + baseline->metrics.ToJson(false) + ",\n";
+    json += "  \"scaleup\": [\n" + scaleup_json + "\n  ]\n}\n";
+    pdgf::Status written = pdgf::WriteStringToFile(json_path, json);
+    if (!written.ok()) {
+      std::fprintf(stderr, "%s\n", written.ToString().c_str());
+      return 1;
+    }
+    std::printf("baseline written to %s\n", json_path.c_str());
+  }
+
   std::printf("\npaper shape: linear to 16 cores, sub-linear to 32 HW "
               "threads, dips at exactly 16 and 32 workers, flat beyond\n");
   return 0;

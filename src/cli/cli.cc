@@ -64,7 +64,7 @@ StatusOr<ParsedArgs> ParseArgs(const std::vector<std::string>& args,
       } else if (name == "unsorted" || name == "explain" ||
                  name == "histograms" || name == "execute" ||
                  name == "digests" || name == "quick" ||
-                 name == "inject-perturbation") {
+                 name == "trace" || name == "inject-perturbation") {
         value = "true";  // boolean flags
       } else {
         if (i + 1 >= args.size()) {
@@ -95,12 +95,23 @@ int Fail(const Status& status, std::string* output) {
   return 1;
 }
 
-int CmdGenerate(const ParsedArgs& args, std::string* output) {
-  if (args.positional.empty()) {
-    return Fail(pdgf::InvalidArgumentError("generate requires a model file"),
-                output);
+// Resolves the model named on the command line: either a bundled model
+// (--model tpch|ssb|imdb) or a model file path.
+StatusOr<pdgf::SchemaDef> LoadModelArg(const ParsedArgs& args,
+                                       const char* command) {
+  if (args.HasFlag("model")) {
+    return workloads::BuildBundledModel(args.FlagOr("model", ""));
   }
-  auto schema = pdgf::LoadSchemaFromFile(args.positional[0]);
+  if (args.positional.empty()) {
+    return pdgf::InvalidArgumentError(
+        std::string(command) +
+        " requires a model file or --model tpch|ssb|imdb");
+  }
+  return pdgf::LoadSchemaFromFile(args.positional[0]);
+}
+
+int CmdGenerate(const ParsedArgs& args, std::string* output) {
+  auto schema = LoadModelArg(args, "generate");
   if (!schema.ok()) return Fail(schema.status(), output);
   auto session = OpenSession(*schema, args);
   if (!session.ok()) return Fail(session.status(), output);
@@ -118,6 +129,11 @@ int CmdGenerate(const ParsedArgs& args, std::string* output) {
       static_cast<uint64_t>(args.NumberFlagOr("update", 0));
   options.sorted_output = !args.HasFlag("unsorted");
   options.compute_digests = args.HasFlag("digests");
+  // --metrics-out writes the engine observability report (schema in
+  // docs/metrics.md); --trace additionally records per-package spans.
+  const std::string metrics_path = args.FlagOr("metrics-out", "");
+  options.metrics_enabled = !metrics_path.empty() || args.HasFlag("trace");
+  options.trace_events = args.HasFlag("trace");
 
   std::string out_dir = args.FlagOr("out", "generated");
   auto stats =
@@ -137,6 +153,12 @@ int CmdGenerate(const ParsedArgs& args, std::string* output) {
           static_cast<unsigned long long>(digest.rows()),
           digest.Hex().c_str()));
     }
+  }
+  if (!metrics_path.empty()) {
+    Status written =
+        pdgf::WriteStringToFile(metrics_path, stats->metrics.ToJson());
+    if (!written.ok()) return Fail(written, output);
+    output->append("metrics written to " + metrics_path + "\n");
   }
   return 0;
 }
@@ -432,18 +454,10 @@ struct VerifyConfig {
   bool sorted;
 };
 
-// Resolves the model named on the command line: either a bundled model
-// (--model tpch|ssb|imdb) or a model file path. Used twice when
+// Resolves verify's model (LoadModelArg). Called twice when
 // --inject-perturbation needs a second, independently built schema.
 StatusOr<pdgf::SchemaDef> LoadVerifyModel(const ParsedArgs& args) {
-  if (args.HasFlag("model")) {
-    return workloads::BuildBundledModel(args.FlagOr("model", ""));
-  }
-  if (args.positional.empty()) {
-    return pdgf::InvalidArgumentError(
-        "verify requires a model file or --model tpch|ssb|imdb");
-  }
-  return pdgf::LoadSchemaFromFile(args.positional[0]);
+  return LoadModelArg(args, "verify");
 }
 
 // Runs one engine configuration against `session`, returning engine
@@ -452,7 +466,8 @@ StatusOr<pdgf::SchemaDef> LoadVerifyModel(const ParsedArgs& args) {
 StatusOr<pdgf::GenerationEngine::Stats> RunVerifyConfig(
     const pdgf::GenerationSession& session,
     const pdgf::RowFormatter& formatter, const VerifyConfig& config,
-    std::vector<pdgf::Digest128>* stream_digests) {
+    std::vector<pdgf::Digest128>* stream_digests,
+    bool collect_metrics = false) {
   const pdgf::SchemaDef& schema = session.schema();
   stream_digests->assign(schema.tables.size(), pdgf::Digest128{});
   pdgf::GenerationOptions options;
@@ -460,6 +475,7 @@ StatusOr<pdgf::GenerationEngine::Stats> RunVerifyConfig(
   options.work_package_rows = config.package_rows;
   options.sorted_output = config.sorted;
   options.compute_digests = true;
+  options.metrics_enabled = collect_metrics;
   pdgf::SinkFactory factory =
       [&schema, stream_digests](
           const pdgf::TableDef& table) -> StatusOr<std::unique_ptr<pdgf::Sink>> {
@@ -498,13 +514,26 @@ int CmdVerify(const ParsedArgs& args, std::string* output) {
   auto formatter = pdgf::MakeFormatter(args.FlagOr("format", "csv"));
   if (!formatter.ok()) return Fail(formatter.status(), output);
 
+  // --metrics-out: collect the engine observability report for every
+  // configuration of the matrix and export them keyed by config label.
+  const std::string metrics_path = args.FlagOr("metrics-out", "");
+  const bool collect_metrics = !metrics_path.empty();
+  std::vector<std::pair<std::string, std::string>> metric_runs;
+  auto collect_run_metrics = [&](const char* label,
+                                 const pdgf::GenerationEngine::Stats& stats) {
+    if (collect_metrics) {
+      metric_runs.emplace_back(label, stats.metrics.ToJson(false));
+    }
+  };
+
   // Baseline: single worker, sorted output — the reference ordering.
   const VerifyConfig baseline_config = {"workers=1 pkg=4096 sorted", 1,
                                         4096, true};
   std::vector<pdgf::Digest128> baseline_streams;
   auto baseline = RunVerifyConfig(**session, **formatter, baseline_config,
-                                  &baseline_streams);
+                                  &baseline_streams, collect_metrics);
   if (!baseline.ok()) return Fail(baseline.status(), output);
+  collect_run_metrics(baseline_config.label, *baseline);
   output->append(pdgf::StrPrintf(
       "baseline  %-28s %10llu rows %12llu bytes\n", baseline_config.label,
       static_cast<unsigned long long>(baseline->rows),
@@ -547,8 +576,10 @@ int CmdVerify(const ParsedArgs& args, std::string* output) {
   }
   for (const VerifyConfig& config : matrix) {
     std::vector<pdgf::Digest128> streams;
-    auto run = RunVerifyConfig(**session, **formatter, config, &streams);
+    auto run = RunVerifyConfig(**session, **formatter, config, &streams,
+                               collect_metrics);
     if (!run.ok()) return Fail(run.status(), output);
+    collect_run_metrics(config.label, *run);
     int diverged =
         FirstDivergingTable(baseline->table_digests, run->table_digests);
     if (diverged >= 0) {
@@ -701,6 +732,21 @@ int CmdVerify(const ParsedArgs& args, std::string* output) {
     output->append("blessed   " + args.FlagOr("bless", "") + "\n");
   }
 
+  if (collect_metrics) {
+    // One MetricsReport (docs/metrics.md schema) per verify run, keyed
+    // by the configuration label.
+    std::string json = "{\n  \"schema_version\": 1,\n  \"runs\": [\n";
+    for (size_t i = 0; i < metric_runs.size(); ++i) {
+      json += "    {\"label\": \"" + metric_runs[i].first +
+              "\", \"report\": " + metric_runs[i].second + "}";
+      json += i + 1 < metric_runs.size() ? ",\n" : "\n";
+    }
+    json += "  ]\n}\n";
+    Status written = pdgf::WriteStringToFile(metrics_path, json);
+    if (!written.ok()) return Fail(written, output);
+    output->append("metrics written to " + metrics_path + "\n");
+  }
+
   if (failures > 0) {
     output->append(pdgf::StrPrintf("verify FAILED: %d divergence(s)\n",
                                    failures));
@@ -727,9 +773,11 @@ std::string UsageText() {
       "dbsynthpp — synthesize big, realistic test data (PDGF + DBSynth)\n"
       "\n"
       "usage: dbsynthpp <command> [args]\n"
-      "  generate <model.xml> [--sf X] [--format csv|tsv|json|xml|sql]\n"
+      "  generate (<model.xml> | --model tpch|ssb|imdb)\n"
+      "           [--sf X] [--format csv|tsv|json|xml|sql]\n"
       "           [--out DIR] [--workers N] [--package-rows N]\n"
       "           [--nodes N --node-id I] [--update U] [--unsorted]\n"
+      "           [--digests] [--metrics-out FILE.json] [--trace]\n"
       "  preview  <model.xml> <table> [--rows N] [--sf X]\n"
       "  ddl      <model.xml>\n"
       "  validate <model.xml> [--sf X]\n"
@@ -744,6 +792,7 @@ std::string UsageText() {
       "  verify   (<model.xml> | --model tpch|ssb|imdb) [--sf X]\n"
       "           [--golden FILE] [--bless FILE] [--quick]\n"
       "           [--cluster-nodes N] [--inject-perturbation]\n"
+      "           [--metrics-out FILE.json]\n"
       "  dictionaries\n";
 }
 

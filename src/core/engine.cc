@@ -1,6 +1,8 @@
 #include "core/engine.h"
 
+#include <algorithm>
 #include <atomic>
+#include <condition_variable>
 #include <map>
 #include <mutex>
 #include <thread>
@@ -19,26 +21,75 @@ struct WorkPackage {
   uint64_t sequence;  // package order within its table
 };
 
+// Timing of one Deliver call, captured only when the caller passes a
+// non-null pointer (metrics-enabled runs). Splitting wait from write
+// makes lock contention visible: wait is time spent blocked on the
+// table mutex or on reorder-buffer backpressure, write is time spent
+// pushing bytes into the sink.
+struct DeliverMetrics {
+  int64_t wait_nanos = 0;
+  int64_t write_nanos = 0;
+};
+
 // Per-table output state: serializes writes and, in sorted mode, reorders
-// completed packages so the file is written in row order.
+// completed packages so the file is written in row order. The reorder
+// buffer is bounded (`max_pending`): a worker delivering far ahead of the
+// gap package blocks until the gap closes instead of parking packages
+// without bound. Progress is guaranteed because workers claim packages
+// in sequence order per table, so the worker holding the gap package
+// (sequence == next_sequence_) never blocks; aborted runs shed deliveries
+// instead of blocking so no worker deadlocks after a failure.
 class TableOutput {
  public:
-  TableOutput(std::unique_ptr<Sink> sink, bool sorted)
-      : sink_(std::move(sink)), sorted_(sorted) {}
+  TableOutput(std::unique_ptr<Sink> sink, bool sorted, uint64_t max_pending)
+      : sink_(std::move(sink)),
+        sorted_(sorted),
+        max_pending_(max_pending < 1 ? 1 : max_pending) {}
 
-  Status Deliver(uint64_t sequence, std::string buffer) {
-    std::lock_guard<std::mutex> lock(mutex_);
+  Status Deliver(uint64_t sequence, std::string buffer,
+                 DeliverMetrics* metrics) {
+    const bool timed = metrics != nullptr;
+    int64_t t0 = timed ? MetricsNowNanos() : 0;
+    std::unique_lock<std::mutex> lock(mutex_);
     if (!sorted_) {
-      return sink_->Write(buffer);
+      int64_t t1 = timed ? MetricsNowNanos() : 0;
+      Status status = sink_->Write(buffer);
+      if (timed) {
+        int64_t t2 = MetricsNowNanos();
+        metrics->wait_nanos += t1 - t0;
+        metrics->write_nanos += t2 - t1;
+      }
+      return status;
     }
-    pending_.emplace(sequence, std::move(buffer));
-    while (!pending_.empty() && pending_.begin()->first == next_sequence_) {
-      Status status = sink_->Write(pending_.begin()->second);
-      if (!status.ok()) return status;
+    while (!aborted_ && sequence > next_sequence_ &&
+           pending_.size() >= max_pending_) {
+      space_.wait(lock);
+    }
+    int64_t t1 = timed ? MetricsNowNanos() : 0;
+    if (timed) metrics->wait_nanos += t1 - t0;
+    if (aborted_) {
+      // The run already failed; shed the package rather than write or
+      // park it (the engine returns the original error, not ours).
+      return Status::Ok();
+    }
+    if (sequence != next_sequence_) {
+      pending_.emplace(sequence, std::move(buffer));
+      high_water_ = std::max<uint64_t>(high_water_, pending_.size());
+      return Status::Ok();
+    }
+    Status status = sink_->Write(buffer);
+    ++next_sequence_;
+    while (status.ok() && !pending_.empty() &&
+           pending_.begin()->first == next_sequence_) {
+      status = sink_->Write(pending_.begin()->second);
       pending_.erase(pending_.begin());
       ++next_sequence_;
     }
-    return Status::Ok();
+    if (timed) metrics->write_nanos += MetricsNowNanos() - t1;
+    // The gap moved (or an error is about to abort the run): wake any
+    // worker blocked on reorder space.
+    space_.notify_all();
+    return status;
   }
 
   Status WriteDirect(std::string_view data) {
@@ -46,23 +97,56 @@ class TableOutput {
     return sink_->Write(data);
   }
 
-  Status Close() {
+  // Unblocks delivering workers and makes subsequent Deliver calls shed.
+  // Called once the engine has recorded a failure.
+  void Abort() {
     std::lock_guard<std::mutex> lock(mutex_);
-    if (sorted_ && !pending_.empty()) {
+    aborted_ = true;
+    space_.notify_all();
+  }
+
+  // Closes the underlying sink exactly once (idempotent). On the normal
+  // path a sorted table with parked packages is an internal error; on the
+  // `aborted` path parked packages are expected debris of the failed run
+  // and are discarded, so closing cannot mask the original error with a
+  // follow-on "packages missing at close".
+  Status Close(bool aborted) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (closed_) return Status::Ok();
+    closed_ = true;
+    if (!aborted && sorted_ && !pending_.empty()) {
+      (void)sink_->Close();  // still release the handle
       return InternalError("packages missing at close");
     }
+    pending_.clear();
     return sink_->Close();
   }
 
   uint64_t bytes_written() const { return sink_->bytes_written(); }
 
+  // Peak number of parked out-of-order packages (sorted mode). Only
+  // meaningful after the run's workers have joined.
+  uint64_t reorder_high_water() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return high_water_;
+  }
+
  private:
   std::unique_ptr<Sink> sink_;
   bool sorted_;
+  uint64_t max_pending_;
   std::mutex mutex_;
+  std::condition_variable space_;
   std::map<uint64_t, std::string> pending_;
   uint64_t next_sequence_ = 0;
+  uint64_t high_water_ = 0;
+  bool aborted_ = false;
+  bool closed_ = false;
 };
+
+// One of every 2^4 processed rows pays the extra clock reads that split
+// the generate block into row-generation / formatting / digesting.
+constexpr uint64_t kPhaseSampleMask = 15;
 
 }  // namespace
 
@@ -73,8 +157,24 @@ void NodeShare(uint64_t rows, int node_count, int node_id, uint64_t* begin,
   if (node_id >= node_count) node_id = node_count - 1;
   uint64_t n = static_cast<uint64_t>(node_count);
   uint64_t i = static_cast<uint64_t>(node_id);
-  *begin = rows * i / n;
-  *end = rows * (i + 1) / n;
+#if defined(__SIZEOF_INT128__)
+  // rows * (i + 1) overflows 64 bits once rows x node_count exceeds
+  // 2^64; widen the intermediate so the floor split stays exact (and
+  // bit-identical to the historical result for all non-overflowing
+  // inputs).
+  unsigned __int128 wide = rows;
+  *begin = static_cast<uint64_t>(wide * i / n);
+  *end = static_cast<uint64_t>(wide * (i + 1) / n);
+#else
+  // Portable fallback: quotient+remainder distribution. Exhaustive and
+  // disjoint like the floor split (boundaries differ, which is fine —
+  // correctness only requires a contiguous exact partition).
+  uint64_t base = rows / n;
+  uint64_t remainder = rows % n;
+  uint64_t extra = i < remainder ? i : remainder;
+  *begin = base * i + extra;
+  *end = *begin + base + (i < remainder ? 1 : 0);
+#endif
 }
 
 GenerationEngine::GenerationEngine(const GenerationSession* session,
@@ -95,17 +195,42 @@ Status GenerationEngine::Run(ProgressTracker* progress) {
   }
   if (options_.work_package_rows < 1) options_.work_package_rows = 1;
 
-  // Open sinks and emit headers.
+  // Sorted-mode reorder bound: enough headroom that workers rarely
+  // block, small enough that a stalled package cannot buffer the rest of
+  // the table in memory.
+  const uint64_t reorder_capacity =
+      options_.reorder_buffer_packages > 0
+          ? options_.reorder_buffer_packages
+          : std::max<uint64_t>(
+                8, 2 * static_cast<uint64_t>(options_.worker_count));
+
+  // Open sinks and emit headers. Any failure past the first open must
+  // close the sinks already opened — sinks are never leaked, even on the
+  // error path.
   std::vector<std::unique_ptr<TableOutput>> outputs;
   outputs.reserve(schema.tables.size());
+  auto abort_close_all = [&outputs]() {
+    for (std::unique_ptr<TableOutput>& output : outputs) {
+      (void)output->Close(/*aborted=*/true);
+    }
+  };
   for (const TableDef& table : schema.tables) {
-    PDGF_ASSIGN_OR_RETURN(std::unique_ptr<Sink> sink, sink_factory_(table));
-    auto output = std::make_unique<TableOutput>(std::move(sink),
-                                                options_.sorted_output);
+    auto sink = sink_factory_(table);
+    if (!sink.ok()) {
+      abort_close_all();
+      return sink.status();
+    }
+    auto output = std::make_unique<TableOutput>(
+        std::move(*sink), options_.sorted_output, reorder_capacity);
     std::string header;
     formatter_->AppendHeader(table, &header);
     if (!header.empty()) {
-      PDGF_RETURN_IF_ERROR(output->WriteDirect(header));
+      Status written = output->WriteDirect(header);
+      if (!written.ok()) {
+        (void)output->Close(/*aborted=*/true);
+        abort_close_all();
+        return written;
+      }
     }
     outputs.push_back(std::move(output));
   }
@@ -139,49 +264,134 @@ Status GenerationEngine::Run(ProgressTracker* progress) {
   std::mutex digest_mutex;
   std::vector<TableDigest> merged_digests(digests ? schema.tables.size()
                                                   : 0);
+  // Metrics join point, same discipline: thread-private WorkerMetrics on
+  // each worker's stack, merged exactly once at join. A disabled run
+  // allocates nothing and never reads the clock in the hot path.
+  const bool metrics_on = options_.metrics_enabled;
+  const size_t trace_capacity =
+      metrics_on && options_.trace_events
+          ? static_cast<size_t>(options_.trace_capacity_per_worker)
+          : 0;
+  const int64_t metrics_epoch = metrics_on ? MetricsNowNanos() : 0;
+  std::mutex metrics_mutex;
+  MetricsReport metrics_report;
+
+  // First failure wins: record the error once, then wake any worker
+  // blocked on reorder backpressure so the run winds down instead of
+  // deadlocking; later deliveries are shed.
+  auto record_failure = [&](const Status& status) {
+    {
+      std::lock_guard<std::mutex> lock(error_mutex);
+      if (first_error.ok()) first_error = status;
+    }
+    failed.store(true, std::memory_order_relaxed);
+    for (std::unique_ptr<TableOutput>& output : outputs) {
+      output->Abort();
+    }
+  };
 
   auto worker_main = [&]() {
     std::vector<Value> row;
     std::string buffer;
     std::vector<TableDigest> local_digests(digests ? schema.tables.size()
                                                    : 0);
+    WorkerMetrics local_metrics(metrics_on ? schema.tables.size() : 0,
+                                trace_capacity);
+    const int64_t worker_start = metrics_on ? MetricsNowNanos() : 0;
+    uint64_t sample_counter = 0;
     while (true) {
       if (failed.load(std::memory_order_relaxed)) break;
       size_t index = next_package.fetch_add(1, std::memory_order_relaxed);
       if (index >= packages.size()) break;
       const WorkPackage& package = packages[index];
-      const TableDef& table =
-          schema.tables[static_cast<size_t>(package.table_index)];
+      const size_t table_index = static_cast<size_t>(package.table_index);
+      const TableDef& table = schema.tables[table_index];
       buffer.clear();
       uint64_t rows_in_package = 0;
+      const int64_t package_start = metrics_on ? MetricsNowNanos() : 0;
+      // Sampled phase split: the generate block below is timed exactly
+      // (two clock reads per package); every 16th row additionally
+      // measures its own generate/format/digest durations, and the block
+      // time is apportioned by that sampled split at package end.
+      int64_t sampled_generate = 0;
+      int64_t sampled_format = 0;
+      int64_t sampled_digest = 0;
       for (uint64_t r = package.begin_row; r < package.end_row; ++r) {
         if (options_.update > 0 &&
             !session_->RowChangesInUpdate(package.table_index, r,
                                           options_.update)) {
           continue;
         }
+        const bool sampled =
+            metrics_on && ((sample_counter++ & kPhaseSampleMask) == 0);
+        const int64_t t0 = sampled ? MetricsNowNanos() : 0;
         session_->GenerateRow(package.table_index, r, options_.update, &row);
+        const int64_t t1 = sampled ? MetricsNowNanos() : 0;
         size_t row_start = buffer.size();
         formatter_->AppendRow(table, row, &buffer);
+        const int64_t t2 = sampled ? MetricsNowNanos() : 0;
         if (digests) {
-          local_digests[static_cast<size_t>(package.table_index)].AddRow(
+          local_digests[table_index].AddRow(
               r, std::string_view(buffer).substr(row_start), row);
+        }
+        if (sampled) {
+          const int64_t t3 = digests ? MetricsNowNanos() : t2;
+          sampled_generate += t1 - t0;
+          sampled_format += t2 - t1;
+          sampled_digest += t3 - t2;
         }
         ++rows_in_package;
       }
-      Status status =
-          outputs[static_cast<size_t>(package.table_index)]->Deliver(
-              package.sequence, buffer);
+      DeliverMetrics deliver_metrics;
+      int64_t generate_nanos = 0;
+      if (metrics_on) generate_nanos = MetricsNowNanos() - package_start;
+      Status status = outputs[table_index]->Deliver(
+          package.sequence, buffer,
+          metrics_on ? &deliver_metrics : nullptr);
       if (!status.ok()) {
-        std::lock_guard<std::mutex> lock(error_mutex);
-        if (first_error.ok()) first_error = status;
-        failed.store(true, std::memory_order_relaxed);
+        record_failure(status);
         break;
       }
       total_rows.fetch_add(rows_in_package, std::memory_order_relaxed);
       if (progress != nullptr) {
-        progress->Add(static_cast<size_t>(package.table_index),
-                      rows_in_package, buffer.size());
+        progress->Add(table_index, rows_in_package, buffer.size());
+      }
+      if (metrics_on) {
+        // Apportion the exact block time among the three row phases by
+        // the sampled split (all to row generation when nothing was
+        // sampled, e.g. an empty package).
+        const int64_t sampled_total =
+            sampled_generate + sampled_format + sampled_digest;
+        if (sampled_total > 0) {
+          const double scale = static_cast<double>(generate_nanos) /
+                               static_cast<double>(sampled_total);
+          local_metrics.AddPhase(
+              Phase::kRowGeneration,
+              static_cast<int64_t>(scale *
+                                   static_cast<double>(sampled_generate)));
+          local_metrics.AddPhase(
+              Phase::kFormatting,
+              static_cast<int64_t>(scale *
+                                   static_cast<double>(sampled_format)));
+          local_metrics.AddPhase(
+              Phase::kDigesting,
+              static_cast<int64_t>(scale *
+                                   static_cast<double>(sampled_digest)));
+        } else {
+          local_metrics.AddPhase(Phase::kRowGeneration, generate_nanos);
+        }
+        local_metrics.AddPhase(Phase::kSinkWait,
+                               deliver_metrics.wait_nanos);
+        local_metrics.AddPhase(Phase::kSinkWrite,
+                               deliver_metrics.write_nanos);
+        local_metrics.AddTablePackage(table_index, rows_in_package,
+                                      buffer.size());
+        if (trace_capacity > 0) {
+          local_metrics.AddTrace("package", package.table_index,
+                                 package.sequence,
+                                 package_start - metrics_epoch,
+                                 MetricsNowNanos() - package_start);
+        }
       }
     }
     if (digests) {
@@ -189,6 +399,11 @@ Status GenerationEngine::Run(ProgressTracker* progress) {
       for (size_t t = 0; t < local_digests.size(); ++t) {
         merged_digests[t].Merge(local_digests[t]);
       }
+    }
+    if (metrics_on) {
+      local_metrics.set_active_nanos(MetricsNowNanos() - worker_start);
+      std::lock_guard<std::mutex> lock(metrics_mutex);
+      metrics_report.MergeWorker(local_metrics);
     }
   };
 
@@ -204,18 +419,32 @@ Status GenerationEngine::Run(ProgressTracker* progress) {
       worker.join();
     }
   }
-  if (failed.load()) return first_error;
+  if (failed.load()) {
+    // Best-effort close: no sink handle outlives the run, and closing an
+    // aborted sorted table (which legitimately has parked packages)
+    // cannot mask the original error.
+    abort_close_all();
+    return first_error;
+  }
 
-  // Footers and close.
+  // Footers and close. On an error here the remaining outputs are still
+  // closed (best effort) before the first error is returned.
   uint64_t bytes = 0;
+  Status close_error;
   for (size_t t = 0; t < schema.tables.size(); ++t) {
     std::string footer;
     formatter_->AppendFooter(schema.tables[t], &footer);
-    if (!footer.empty()) {
-      PDGF_RETURN_IF_ERROR(outputs[t]->WriteDirect(footer));
+    if (close_error.ok() && !footer.empty()) {
+      Status written = outputs[t]->WriteDirect(footer);
+      if (!written.ok()) close_error = written;
     }
-    PDGF_RETURN_IF_ERROR(outputs[t]->Close());
+    Status closed = outputs[t]->Close(/*aborted=*/!close_error.ok());
+    if (close_error.ok() && !closed.ok()) close_error = closed;
     bytes += outputs[t]->bytes_written();
+  }
+  if (!close_error.ok()) {
+    abort_close_all();  // idempotent; covers outputs after the failure
+    return close_error;
   }
 
   stats_.rows = total_rows.load();
@@ -234,6 +463,28 @@ Status GenerationEngine::Run(ProgressTracker* progress) {
       stats_.seconds > 0
           ? static_cast<double>(bytes) / (1024.0 * 1024.0) / stats_.seconds
           : 0;
+  if (metrics_on) {
+    metrics_report.enabled = true;
+    metrics_report.wall_seconds = stats_.seconds;
+    metrics_report.rows = stats_.rows;
+    metrics_report.bytes = stats_.bytes;
+    metrics_report.packages = stats_.packages;
+    metrics_report.tables.resize(schema.tables.size());
+    for (size_t t = 0; t < schema.tables.size(); ++t) {
+      MetricsReport::TableReport& table_report = metrics_report.tables[t];
+      table_report.name = schema.tables[t].name;
+      // Authoritative byte count comes from the sink (includes headers
+      // and footers); worker-accumulated bytes remain in the per-worker
+      // reports as formatted row payload.
+      table_report.bytes = outputs[t]->bytes_written();
+      table_report.reorder_buffer_high_water =
+          options_.sorted_output ? outputs[t]->reorder_high_water() : 0;
+      table_report.reorder_buffer_capacity =
+          options_.sorted_output ? reorder_capacity : 0;
+    }
+    metrics_report.Finalize();
+    stats_.metrics = std::move(metrics_report);
+  }
   return Status::Ok();
 }
 

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "core/metrics/metrics.h"
 #include "core/output/formatter.h"
 #include "core/output/sink.h"
 #include "core/progress.h"
@@ -44,6 +45,23 @@ struct GenerationOptions {
   // node partitioning and sink mode. Off by default: disabled runs pay
   // nothing.
   bool compute_digests = false;
+  // When true each worker keeps thread-private phase timers / counters
+  // (core/metrics) which are merged at join into Stats::metrics. Off by
+  // default: disabled runs pay only dead branches in the hot path — no
+  // clock reads, no allocation, no shared-state traffic.
+  bool metrics_enabled = false;
+  // When true (requires metrics_enabled) workers additionally record one
+  // scoped trace event per completed work package, up to
+  // trace_capacity_per_worker events each; excess events are shed and
+  // counted, never buffered unboundedly.
+  bool trace_events = false;
+  uint64_t trace_capacity_per_worker = 4096;
+  // Sorted-output backpressure: at most this many out-of-order packages
+  // are parked per table before delivering workers block until the gap
+  // closes (or the run aborts). 0 = auto (max(8, 2 x worker_count)).
+  // Bounds memory that was previously unbounded when one package
+  // stalled while other workers kept delivering.
+  uint64_t reorder_buffer_packages = 0;
 };
 
 // Creates the sink for a table. Invoked once per table at run start.
@@ -63,6 +81,10 @@ class GenerationEngine {
     // One digest per schema table (schema order); empty unless
     // GenerationOptions::compute_digests was set.
     std::vector<TableDigest> table_digests;
+    // Per-phase / per-worker / per-table observability report; only
+    // populated (metrics.enabled == true) when
+    // GenerationOptions::metrics_enabled was set.
+    MetricsReport metrics;
   };
 
   GenerationEngine(const GenerationSession* session,

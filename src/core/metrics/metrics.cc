@@ -1,0 +1,317 @@
+#include "core/metrics/metrics.h"
+
+#include <algorithm>
+
+#include "util/strings.h"
+
+namespace pdgf {
+
+const char* PhaseName(Phase phase) {
+  switch (phase) {
+    case Phase::kRowGeneration:
+      return "row_generation";
+    case Phase::kFormatting:
+      return "formatting";
+    case Phase::kDigesting:
+      return "digesting";
+    case Phase::kSinkWait:
+      return "sink_wait";
+    case Phase::kSinkWrite:
+      return "sink_write";
+    case Phase::kCount:
+      break;
+  }
+  return "unknown";
+}
+
+WorkerMetrics::WorkerMetrics(size_t table_count, size_t trace_capacity)
+    : table_rows_(table_count, 0),
+      table_bytes_(table_count, 0),
+      table_packages_(table_count, 0),
+      trace_capacity_(trace_capacity) {
+  trace_.reserve(trace_capacity);
+}
+
+void WorkerMetrics::AddTrace(const char* name, int table_index,
+                             uint64_t sequence, int64_t start_nanos,
+                             int64_t duration_nanos) {
+  if (trace_capacity_ == 0) return;
+  if (trace_.size() >= trace_capacity_) {
+    ++dropped_trace_events_;
+    return;
+  }
+  TraceEvent event;
+  event.name = name;
+  event.table_index = table_index;
+  event.sequence = sequence;
+  event.start_nanos = start_nanos;
+  event.duration_nanos = duration_nanos;
+  trace_.push_back(event);
+}
+
+void MetricsReport::MergeWorker(const WorkerMetrics& worker) {
+  WorkerReport report;
+  report.worker = static_cast<int>(workers.size());
+  report.active_seconds = static_cast<double>(worker.active_nanos()) * 1e-9;
+  for (int p = 0; p < kPhaseCount; ++p) {
+    report.phase_seconds[p] =
+        static_cast<double>(worker.phase_nanos(static_cast<Phase>(p))) *
+        1e-9;
+    phase_seconds[p] += report.phase_seconds[p];
+  }
+  // Tables were sized identically across workers by the engine.
+  if (tables.size() < worker.table_rows().size()) {
+    tables.resize(worker.table_rows().size());
+  }
+  for (size_t t = 0; t < worker.table_rows().size(); ++t) {
+    tables[t].rows += worker.table_rows()[t];
+    tables[t].bytes += worker.table_bytes()[t];
+    tables[t].packages += worker.table_packages()[t];
+    report.rows += worker.table_rows()[t];
+    report.bytes += worker.table_bytes()[t];
+    report.packages += worker.table_packages()[t];
+  }
+  for (const TraceEvent& event : worker.trace()) {
+    TraceEvent tagged = event;
+    tagged.worker = report.worker;
+    trace.push_back(tagged);
+  }
+  dropped_trace_events += worker.dropped_trace_events();
+  workers.push_back(report);
+}
+
+void MetricsReport::Finalize() {
+  worker_count = static_cast<int>(workers.size());
+  std::stable_sort(trace.begin(), trace.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     return a.start_nanos < b.start_nanos;
+                   });
+  if (wall_seconds > 0) {
+    rows_per_second = static_cast<double>(rows) / wall_seconds;
+    megabytes_per_second =
+        static_cast<double>(bytes) / (1024.0 * 1024.0) / wall_seconds;
+  }
+}
+
+namespace {
+
+void AppendEscapedJson(std::string_view in, std::string* out) {
+  out->push_back('"');
+  for (char c : in) {
+    switch (c) {
+      case '"':
+        out->append("\\\"");
+        break;
+      case '\\':
+        out->append("\\\\");
+        break;
+      case '\n':
+        out->append("\\n");
+        break;
+      case '\r':
+        out->append("\\r");
+        break;
+      case '\t':
+        out->append("\\t");
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out->append(StrPrintf("\\u%04x", c));
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+// Tiny stateful JSON writer: tracks nesting/indentation and comma
+// placement so the emit code below reads linearly.
+class JsonWriter {
+ public:
+  explicit JsonWriter(bool pretty) : pretty_(pretty) {}
+
+  void BeginObject() { Open('{'); }
+  void EndObject() { CloseScope('}'); }
+  void BeginArray() { Open('['); }
+  void EndArray() { CloseScope(']'); }
+
+  void Key(const char* name) {
+    Separator();
+    AppendEscapedJson(name, &out_);
+    out_.append(pretty_ ? ": " : ":");
+    pending_value_ = true;
+  }
+
+  void String(std::string_view value) {
+    Separator();
+    AppendEscapedJson(value, &out_);
+  }
+  void Number(uint64_t value) {
+    Separator();
+    out_.append(std::to_string(value));
+  }
+  void Number(int64_t value) {
+    Separator();
+    out_.append(std::to_string(value));
+  }
+  void Number(int value) {
+    Separator();
+    out_.append(std::to_string(value));
+  }
+  void Number(double value) {
+    Separator();
+    out_.append(StrPrintf("%.9g", value));
+  }
+  void Bool(bool value) {
+    Separator();
+    out_.append(value ? "true" : "false");
+  }
+
+  std::string Take() {
+    if (pretty_) out_.push_back('\n');
+    return std::move(out_);
+  }
+
+ private:
+  void Open(char c) {
+    Separator();
+    out_.push_back(c);
+    ++depth_;
+    first_in_scope_ = true;
+  }
+
+  void CloseScope(char c) {
+    --depth_;
+    if (pretty_ && !first_in_scope_) {
+      out_.push_back('\n');
+      Indent();
+    }
+    out_.push_back(c);
+    first_in_scope_ = false;
+  }
+
+  // Emits the comma/newline owed before a new key or array element; a
+  // value directly after its key owes nothing.
+  void Separator() {
+    if (pending_value_) {
+      pending_value_ = false;
+      return;
+    }
+    if (!first_in_scope_) out_.push_back(',');
+    if (pretty_ && depth_ > 0) {
+      out_.push_back('\n');
+      Indent();
+    }
+    first_in_scope_ = false;
+  }
+
+  void Indent() { out_.append(static_cast<size_t>(depth_) * 2, ' '); }
+
+  bool pretty_;
+  std::string out_;
+  int depth_ = 0;
+  bool first_in_scope_ = true;
+  bool pending_value_ = false;
+};
+
+void EmitPhases(JsonWriter* json, const double (&seconds)[kPhaseCount]) {
+  json->BeginObject();
+  for (int p = 0; p < kPhaseCount; ++p) {
+    json->Key(PhaseName(static_cast<Phase>(p)));
+    json->Number(seconds[p]);
+  }
+  json->EndObject();
+}
+
+}  // namespace
+
+std::string MetricsReport::ToJson(bool pretty) const {
+  JsonWriter json(pretty);
+  json.BeginObject();
+  json.Key("schema_version");
+  json.Number(kSchemaVersion);
+  json.Key("enabled");
+  json.Bool(enabled);
+  json.Key("wall_seconds");
+  json.Number(wall_seconds);
+  json.Key("rows");
+  json.Number(rows);
+  json.Key("bytes");
+  json.Number(bytes);
+  json.Key("packages");
+  json.Number(packages);
+  json.Key("rows_per_second");
+  json.Number(rows_per_second);
+  json.Key("megabytes_per_second");
+  json.Number(megabytes_per_second);
+  json.Key("worker_count");
+  json.Number(worker_count);
+  json.Key("phase_seconds");
+  EmitPhases(&json, phase_seconds);
+  json.Key("workers");
+  json.BeginArray();
+  for (const WorkerReport& worker : workers) {
+    json.BeginObject();
+    json.Key("worker");
+    json.Number(worker.worker);
+    json.Key("active_seconds");
+    json.Number(worker.active_seconds);
+    json.Key("rows");
+    json.Number(worker.rows);
+    json.Key("bytes");
+    json.Number(worker.bytes);
+    json.Key("packages");
+    json.Number(worker.packages);
+    json.Key("phase_seconds");
+    EmitPhases(&json, worker.phase_seconds);
+    json.EndObject();
+  }
+  json.EndArray();
+  json.Key("tables");
+  json.BeginArray();
+  for (const TableReport& table : tables) {
+    json.BeginObject();
+    json.Key("name");
+    json.String(table.name);
+    json.Key("rows");
+    json.Number(table.rows);
+    json.Key("bytes");
+    json.Number(table.bytes);
+    json.Key("packages");
+    json.Number(table.packages);
+    json.Key("reorder_buffer_high_water");
+    json.Number(table.reorder_buffer_high_water);
+    json.Key("reorder_buffer_capacity");
+    json.Number(table.reorder_buffer_capacity);
+    json.EndObject();
+  }
+  json.EndArray();
+  if (!trace.empty() || dropped_trace_events > 0) {
+    json.Key("dropped_trace_events");
+    json.Number(dropped_trace_events);
+    json.Key("trace");
+    json.BeginArray();
+    for (const TraceEvent& event : trace) {
+      json.BeginObject();
+      json.Key("name");
+      json.String(event.name);
+      json.Key("worker");
+      json.Number(event.worker);
+      json.Key("table_index");
+      json.Number(event.table_index);
+      json.Key("sequence");
+      json.Number(event.sequence);
+      json.Key("start_us");
+      json.Number(static_cast<double>(event.start_nanos) * 1e-3);
+      json.Key("duration_us");
+      json.Number(static_cast<double>(event.duration_nanos) * 1e-3);
+      json.EndObject();
+    }
+    json.EndArray();
+  }
+  json.EndObject();
+  return json.Take();
+}
+
+}  // namespace pdgf

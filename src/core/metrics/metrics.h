@@ -1,0 +1,198 @@
+#ifndef DBSYNTHPP_CORE_METRICS_METRICS_H_
+#define DBSYNTHPP_CORE_METRICS_METRICS_H_
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pdgf {
+
+// Observability for the generation hot path (ISSUE 2 tentpole).
+//
+// Design constraints, in order:
+//   1. Compiled-in but cheap: a metrics-disabled run must pay only dead
+//      branches — no clock reads, no allocation, no shared-state writes.
+//   2. No new contention: every accumulator is thread-private
+//      (WorkerMetrics lives on each worker's stack) and is merged into
+//      the engine-level MetricsReport exactly once, at worker join —
+//      the same join discipline the digest subsystem uses.
+//   3. Stable export: MetricsReport::ToJson() emits schema_version 1,
+//      documented in docs/metrics.md; benchmarks and CI gates parse it.
+
+// Phases of the generation hot path. The engine attributes worker busy
+// time to exactly one phase at a time, so per-worker phase totals sum to
+// (approximately) that worker's active time, and summed over workers to
+// worker_count x wall time on a saturated run.
+enum class Phase {
+  kRowGeneration = 0,  // GenerationSession::GenerateRow (value synthesis)
+  kFormatting,         // RowFormatter::AppendRow (bytes from values)
+  kDigesting,          // TableDigest::AddRow (determinism proof hashing)
+  kSinkWait,           // blocked on the table output lock / reorder space
+  kSinkWrite,          // bytes flowing into the sink (under the lock)
+  kCount
+};
+
+inline constexpr int kPhaseCount = static_cast<int>(Phase::kCount);
+
+// Stable snake_case identifier used as the JSON key ("row_generation",
+// "sink_wait", ...).
+const char* PhaseName(Phase phase);
+
+// Nanoseconds on the monotonic clock; all trace timestamps are relative
+// to an epoch captured by the engine at run start.
+inline int64_t MetricsNowNanos() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// One named span on a worker's timeline (a completed work package, a
+// footer write, ...). `name` must point at a string with static storage
+// duration — trace recording must not allocate per event.
+struct TraceEvent {
+  const char* name = "";
+  int table_index = -1;      // -1: not table-scoped
+  uint64_t sequence = 0;     // package sequence within its table
+  int64_t start_nanos = 0;   // relative to the run epoch
+  int64_t duration_nanos = 0;
+  int worker = -1;           // filled in at merge time
+};
+
+// Thread-private accumulator: one per worker, on the worker's stack.
+// Never shared while the run is live; merged under a mutex at join.
+class WorkerMetrics {
+ public:
+  // `table_count` sizes the per-table counters; `trace_capacity` bounds
+  // the trace buffer (0 disables tracing — AddTrace becomes a no-op).
+  explicit WorkerMetrics(size_t table_count, size_t trace_capacity = 0);
+
+  void AddPhase(Phase phase, int64_t nanos) {
+    phase_nanos_[static_cast<size_t>(phase)] += nanos;
+  }
+
+  void AddTablePackage(size_t table_index, uint64_t rows, uint64_t bytes) {
+    table_rows_[table_index] += rows;
+    table_bytes_[table_index] += bytes;
+    ++table_packages_[table_index];
+  }
+
+  // Records a span; sheds (and counts) events past `trace_capacity` so a
+  // long run cannot grow the buffer without bound.
+  void AddTrace(const char* name, int table_index, uint64_t sequence,
+                int64_t start_nanos, int64_t duration_nanos);
+
+  void set_active_nanos(int64_t nanos) { active_nanos_ = nanos; }
+
+  int64_t phase_nanos(Phase phase) const {
+    return phase_nanos_[static_cast<size_t>(phase)];
+  }
+  int64_t active_nanos() const { return active_nanos_; }
+  const std::vector<uint64_t>& table_rows() const { return table_rows_; }
+  const std::vector<uint64_t>& table_bytes() const { return table_bytes_; }
+  const std::vector<uint64_t>& table_packages() const {
+    return table_packages_;
+  }
+  const std::vector<TraceEvent>& trace() const { return trace_; }
+  uint64_t dropped_trace_events() const { return dropped_trace_events_; }
+
+ private:
+  int64_t phase_nanos_[kPhaseCount] = {};
+  int64_t active_nanos_ = 0;
+  std::vector<uint64_t> table_rows_;
+  std::vector<uint64_t> table_bytes_;
+  std::vector<uint64_t> table_packages_;
+  size_t trace_capacity_;
+  std::vector<TraceEvent> trace_;
+  uint64_t dropped_trace_events_ = 0;
+};
+
+// RAII helper recording one TraceEvent over its lifetime. Cheap to
+// construct against a null target (disabled path: two pointer tests, no
+// clock read).
+class ScopedTrace {
+ public:
+  ScopedTrace(WorkerMetrics* metrics, const char* name, int table_index = -1,
+              uint64_t sequence = 0, int64_t epoch_nanos = 0)
+      : metrics_(metrics),
+        name_(name),
+        table_index_(table_index),
+        sequence_(sequence),
+        epoch_nanos_(epoch_nanos),
+        start_nanos_(metrics != nullptr ? MetricsNowNanos() : 0) {}
+
+  ~ScopedTrace() {
+    if (metrics_ == nullptr) return;
+    int64_t now = MetricsNowNanos();
+    metrics_->AddTrace(name_, table_index_, sequence_,
+                       start_nanos_ - epoch_nanos_, now - start_nanos_);
+  }
+
+  ScopedTrace(const ScopedTrace&) = delete;
+  ScopedTrace& operator=(const ScopedTrace&) = delete;
+
+ private:
+  WorkerMetrics* metrics_;
+  const char* name_;
+  int table_index_;
+  uint64_t sequence_;
+  int64_t epoch_nanos_;
+  int64_t start_nanos_;
+};
+
+// Engine-level aggregate, built at worker join. `enabled` is false (and
+// every other field zero/empty) when the run did not collect metrics.
+struct MetricsReport {
+  static constexpr int kSchemaVersion = 1;
+
+  struct WorkerReport {
+    int worker = 0;
+    double active_seconds = 0;           // worker loop entry to exit
+    double phase_seconds[kPhaseCount] = {};
+    uint64_t rows = 0;
+    uint64_t bytes = 0;                  // formatted row bytes produced
+    uint64_t packages = 0;
+  };
+
+  struct TableReport {
+    std::string name;
+    uint64_t rows = 0;
+    uint64_t bytes = 0;                  // sink bytes (header/footer incl.)
+    uint64_t packages = 0;
+    uint64_t reorder_buffer_high_water = 0;  // sorted mode; 0 otherwise
+    uint64_t reorder_buffer_capacity = 0;    // sorted mode; 0 otherwise
+  };
+
+  bool enabled = false;
+  int worker_count = 0;
+  double wall_seconds = 0;
+  uint64_t rows = 0;
+  uint64_t bytes = 0;
+  uint64_t packages = 0;
+  double rows_per_second = 0;
+  double megabytes_per_second = 0;
+  // Sum over workers, per phase (seconds of busy time, not wall time).
+  double phase_seconds[kPhaseCount] = {};
+  std::vector<WorkerReport> workers;
+  std::vector<TableReport> tables;
+  // Populated only when trace collection was enabled; merged across
+  // workers and sorted by start time.
+  std::vector<TraceEvent> trace;
+  uint64_t dropped_trace_events = 0;
+
+  // Folds one worker's thread-private accumulators in (call once per
+  // worker, serialized by the caller) and assigns the worker id.
+  void MergeWorker(const WorkerMetrics& worker);
+
+  // Called after all MergeWorker calls: sorts the trace and derives
+  // totals that depend on wall_seconds (which the caller sets).
+  void Finalize();
+
+  // Serializes to the stable schema documented in docs/metrics.md.
+  // `pretty` adds newlines/indentation; the key set is identical.
+  std::string ToJson(bool pretty = true) const;
+};
+
+}  // namespace pdgf
+
+#endif  // DBSYNTHPP_CORE_METRICS_METRICS_H_

@@ -160,6 +160,54 @@ TEST_F(CliTest, GenerateWithDigestsPrintsTableDigests) {
   EXPECT_NE(out.find("lineitem"), std::string::npos);
 }
 
+TEST_F(CliTest, GenerateWritesMetricsJson) {
+  std::string out;
+  std::string out_dir = pdgf::JoinPath(*dir_, "metered");
+  std::string metrics = pdgf::JoinPath(*dir_, "metrics.json");
+  EXPECT_EQ(Run({"generate", *model_path_, "--out", out_dir, "--workers",
+                 "2", "--metrics-out", metrics, "--trace"},
+                &out),
+            0);
+  EXPECT_NE(out.find("metrics written to"), std::string::npos);
+  auto json = pdgf::ReadFileToString(metrics);
+  ASSERT_TRUE(json.ok());
+  // Stable schema keys (docs/metrics.md) with per-table and per-phase
+  // entries.
+  for (const char* key :
+       {"\"schema_version\": 1", "\"phase_seconds\"", "\"row_generation\"",
+        "\"sink_wait\"", "\"workers\"", "\"tables\"", "\"lineitem\"",
+        "\"trace\""}) {
+    EXPECT_NE(json->find(key), std::string::npos) << "missing " << key;
+  }
+}
+
+TEST_F(CliTest, GenerateBundledModelByName) {
+  std::string out;
+  std::string out_dir = pdgf::JoinPath(*dir_, "bundled_gen");
+  EXPECT_EQ(Run({"generate", "--model", "tpch", "--sf", "0.0002", "--out",
+                 out_dir},
+                &out),
+            0);
+  EXPECT_TRUE(pdgf::PathExists(pdgf::JoinPath(out_dir, "lineitem.csv")));
+  EXPECT_EQ(Run({"generate", "--model", "nosuch"}, &out), 1);
+  EXPECT_NE(out.find("error:"), std::string::npos);
+}
+
+TEST_F(CliTest, VerifyWritesMetricsJson) {
+  std::string out;
+  std::string metrics = pdgf::JoinPath(*dir_, "verify_metrics.json");
+  EXPECT_EQ(Run({"verify", *model_path_, "--quick", "--metrics-out",
+                 metrics},
+                &out),
+            0);
+  EXPECT_NE(out.find("metrics written to"), std::string::npos);
+  auto json = pdgf::ReadFileToString(metrics);
+  ASSERT_TRUE(json.ok());
+  EXPECT_NE(json->find("\"runs\""), std::string::npos);
+  EXPECT_NE(json->find("workers=1 pkg=4096 sorted"), std::string::npos);
+  EXPECT_NE(json->find("\"phase_seconds\""), std::string::npos);
+}
+
 TEST_F(CliTest, VerifyPassesOnDeterministicModel) {
   std::string out;
   EXPECT_EQ(Run({"verify", *model_path_, "--quick"}, &out), 0);

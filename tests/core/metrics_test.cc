@@ -1,0 +1,251 @@
+// Tests for the engine observability layer (core/metrics): thread-
+// private accumulation, merge-at-join aggregation, phase coverage of
+// wall time, trace bounding, and the stable JSON export schema.
+
+#include "core/metrics/metrics.h"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "core/generators/generators.h"
+
+namespace pdgf {
+namespace {
+
+SchemaDef MakeSchema() {
+  SchemaDef schema;
+  schema.name = "metrics";
+  schema.seed = 42;
+
+  TableDef big;
+  big.name = "big";
+  big.size_expression = "2000";
+  FieldDef id;
+  id.name = "id";
+  id.type = DataType::kBigInt;
+  id.generator = GeneratorPtr(new IdGenerator(1, 1));
+  big.fields.push_back(std::move(id));
+  FieldDef payload;
+  payload.name = "payload";
+  payload.type = DataType::kVarchar;
+  payload.generator = GeneratorPtr(new RandomStringGenerator(8, 24));
+  big.fields.push_back(std::move(payload));
+  schema.tables.push_back(std::move(big));
+
+  TableDef small;
+  small.name = "small";
+  small.size_expression = "321";
+  FieldDef value;
+  value.name = "value";
+  value.type = DataType::kBigInt;
+  value.generator = GeneratorPtr(new LongGenerator(0, 9999));
+  small.fields.push_back(std::move(value));
+  schema.tables.push_back(std::move(small));
+  return schema;
+}
+
+GenerationEngine::Stats RunEngine(GenerationOptions options) {
+  SchemaDef schema = MakeSchema();
+  auto session = GenerationSession::Create(&schema);
+  EXPECT_TRUE(session.ok());
+  CsvFormatter formatter;
+  auto stats = GenerateToNull(**session, formatter, options);
+  EXPECT_TRUE(stats.ok()) << stats.status().ToString();
+  return *stats;
+}
+
+TEST(MetricsTest, DisabledRunLeavesReportEmpty) {
+  GenerationOptions options;
+  options.worker_count = 2;
+  auto stats = RunEngine(options);
+  EXPECT_FALSE(stats.metrics.enabled);
+  EXPECT_TRUE(stats.metrics.workers.empty());
+  EXPECT_TRUE(stats.metrics.tables.empty());
+  EXPECT_TRUE(stats.metrics.trace.empty());
+}
+
+TEST(MetricsTest, EnabledRunAggregatesCounters) {
+  GenerationOptions options;
+  options.worker_count = 4;
+  options.work_package_rows = 100;
+  options.metrics_enabled = true;
+  options.compute_digests = true;
+  auto stats = RunEngine(options);
+  const MetricsReport& report = stats.metrics;
+  ASSERT_TRUE(report.enabled);
+  EXPECT_EQ(report.worker_count, 4);
+  EXPECT_EQ(report.workers.size(), 4u);
+  EXPECT_EQ(report.rows, stats.rows);
+  EXPECT_EQ(report.bytes, stats.bytes);
+  EXPECT_EQ(report.packages, stats.packages);
+  EXPECT_DOUBLE_EQ(report.wall_seconds, stats.seconds);
+  EXPECT_GT(report.rows_per_second, 0);
+
+  // Per-table counters: names in schema order, exact row counts, sink
+  // byte counts.
+  ASSERT_EQ(report.tables.size(), 2u);
+  EXPECT_EQ(report.tables[0].name, "big");
+  EXPECT_EQ(report.tables[0].rows, 2000u);
+  EXPECT_EQ(report.tables[1].name, "small");
+  EXPECT_EQ(report.tables[1].rows, 321u);
+  EXPECT_GT(report.tables[0].bytes, 0u);
+  EXPECT_EQ(report.tables[0].packages, 20u);  // 2000 rows / 100 per pkg
+
+  // Worker rows sum to the total.
+  uint64_t worker_rows = 0;
+  for (const auto& worker : report.workers) worker_rows += worker.rows;
+  EXPECT_EQ(worker_rows, stats.rows);
+}
+
+TEST(MetricsTest, PhaseTimingsApproximatelyCoverBusyTime) {
+  GenerationOptions options;
+  options.worker_count = 1;
+  options.work_package_rows = 200;
+  options.metrics_enabled = true;
+  options.compute_digests = true;
+  auto stats = RunEngine(options);
+  const MetricsReport& report = stats.metrics;
+  ASSERT_TRUE(report.enabled);
+  double phase_sum = 0;
+  for (int p = 0; p < kPhaseCount; ++p) {
+    EXPECT_GE(report.phase_seconds[p], 0.0)
+        << PhaseName(static_cast<Phase>(p));
+    phase_sum += report.phase_seconds[p];
+  }
+  EXPECT_GT(phase_sum, 0.0);
+  // Single worker: the phases must account for (almost all of, and never
+  // much more than) the worker's active time, which itself tracks wall
+  // time. Loose bounds keep this robust on loaded CI machines.
+  ASSERT_EQ(report.workers.size(), 1u);
+  double active = report.workers[0].active_seconds;
+  EXPECT_GT(active, 0.0);
+  EXPECT_LE(phase_sum, active * 1.25 + 1e-3);
+  EXPECT_GE(phase_sum, active * 0.5 - 1e-3);
+  // Digesting was on, so some digest time must have been attributed.
+  EXPECT_GT(report.phase_seconds[static_cast<int>(Phase::kDigesting)], 0.0);
+}
+
+TEST(MetricsTest, TraceEventsAreRecordedAndBounded) {
+  GenerationOptions options;
+  options.worker_count = 2;
+  options.work_package_rows = 100;
+  options.metrics_enabled = true;
+  options.trace_events = true;
+  options.trace_capacity_per_worker = 4;  // force shedding: 24 packages
+  auto stats = RunEngine(options);
+  const MetricsReport& report = stats.metrics;
+  ASSERT_TRUE(report.enabled);
+  EXPECT_FALSE(report.trace.empty());
+  EXPECT_LE(report.trace.size(), 8u);  // 2 workers x capacity 4
+  EXPECT_GT(report.dropped_trace_events, 0u);
+  // Merged trace is sorted by start time and tagged with worker ids.
+  int64_t last_start = -1;
+  for (const TraceEvent& event : report.trace) {
+    EXPECT_STREQ(event.name, "package");
+    EXPECT_GE(event.worker, 0);
+    EXPECT_GE(event.start_nanos, last_start);
+    EXPECT_GE(event.duration_nanos, 0);
+    last_start = event.start_nanos;
+  }
+}
+
+TEST(MetricsTest, NoTraceWithoutOptIn) {
+  GenerationOptions options;
+  options.worker_count = 2;
+  options.metrics_enabled = true;
+  auto stats = RunEngine(options);
+  EXPECT_TRUE(stats.metrics.enabled);
+  EXPECT_TRUE(stats.metrics.trace.empty());
+  EXPECT_EQ(stats.metrics.dropped_trace_events, 0u);
+}
+
+TEST(MetricsTest, JsonExportHasStableSchema) {
+  GenerationOptions options;
+  options.worker_count = 2;
+  options.work_package_rows = 500;
+  options.metrics_enabled = true;
+  auto stats = RunEngine(options);
+  std::string json = stats.metrics.ToJson();
+  for (const char* key :
+       {"\"schema_version\"", "\"enabled\"", "\"wall_seconds\"", "\"rows\"",
+        "\"bytes\"", "\"packages\"", "\"rows_per_second\"",
+        "\"megabytes_per_second\"", "\"worker_count\"", "\"phase_seconds\"",
+        "\"row_generation\"", "\"formatting\"", "\"digesting\"",
+        "\"sink_wait\"", "\"sink_write\"", "\"workers\"", "\"tables\"",
+        "\"reorder_buffer_high_water\"", "\"reorder_buffer_capacity\"",
+        "\"active_seconds\""}) {
+    EXPECT_NE(json.find(key), std::string::npos) << "missing " << key;
+  }
+  // Compact form carries the same keys, no newlines.
+  std::string compact = stats.metrics.ToJson(false);
+  EXPECT_EQ(compact.find('\n'), std::string::npos);
+  EXPECT_NE(compact.find("\"schema_version\""), std::string::npos);
+}
+
+TEST(MetricsTest, WorkerMetricsMergeAndPhaseNames) {
+  WorkerMetrics a(2, 2);
+  a.AddPhase(Phase::kRowGeneration, 1000);
+  a.AddPhase(Phase::kSinkWrite, 500);
+  a.AddTablePackage(0, 10, 100);
+  a.AddTablePackage(1, 5, 50);
+  a.AddTrace("package", 0, 0, 10, 20);
+  a.AddTrace("package", 1, 0, 5, 20);
+  a.AddTrace("package", 0, 1, 30, 20);  // over capacity -> shed
+  a.set_active_nanos(2000);
+
+  WorkerMetrics b(2, 0);
+  b.AddPhase(Phase::kRowGeneration, 3000);
+  b.AddTablePackage(0, 20, 200);
+  b.AddTrace("package", 0, 2, 0, 1);  // capacity 0 -> ignored
+
+  MetricsReport report;
+  report.MergeWorker(a);
+  report.MergeWorker(b);
+  report.wall_seconds = 1.0;
+  report.rows = 35;
+  report.Finalize();
+
+  EXPECT_EQ(report.worker_count, 2);
+  EXPECT_DOUBLE_EQ(
+      report.phase_seconds[static_cast<int>(Phase::kRowGeneration)], 4e-6);
+  ASSERT_EQ(report.tables.size(), 2u);
+  EXPECT_EQ(report.tables[0].rows, 30u);
+  EXPECT_EQ(report.tables[1].rows, 5u);
+  EXPECT_EQ(report.workers[0].rows, 15u);
+  EXPECT_EQ(report.workers[1].rows, 20u);
+  ASSERT_EQ(report.trace.size(), 2u);
+  EXPECT_EQ(report.dropped_trace_events, 1u);
+  // Sorted by start time: the table-1 event (start 5) first.
+  EXPECT_EQ(report.trace[0].table_index, 1);
+  EXPECT_EQ(report.trace[0].worker, 0);
+  EXPECT_EQ(report.rows_per_second, 35.0);
+  EXPECT_STREQ(PhaseName(Phase::kSinkWait), "sink_wait");
+}
+
+TEST(MetricsTest, MetricsRunStaysDeterministic) {
+  // Instrumentation must not perturb generated bytes: digests with and
+  // without metrics agree.
+  SchemaDef schema = MakeSchema();
+  auto session = GenerationSession::Create(&schema);
+  ASSERT_TRUE(session.ok());
+  CsvFormatter formatter;
+  GenerationOptions plain;
+  plain.worker_count = 2;
+  plain.compute_digests = true;
+  auto without = GenerateToNull(**session, formatter, plain);
+  ASSERT_TRUE(without.ok());
+  GenerationOptions metered = plain;
+  metered.metrics_enabled = true;
+  metered.trace_events = true;
+  auto with = GenerateToNull(**session, formatter, metered);
+  ASSERT_TRUE(with.ok());
+  ASSERT_EQ(without->table_digests.size(), with->table_digests.size());
+  for (size_t t = 0; t < without->table_digests.size(); ++t) {
+    EXPECT_TRUE(without->table_digests[t] == with->table_digests[t]);
+  }
+}
+
+}  // namespace
+}  // namespace pdgf

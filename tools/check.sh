@@ -32,6 +32,10 @@ if [[ "$RUN_TIER1" == 1 ]]; then
   run cmake --preset default
   run cmake --build --preset default -j "$(nproc)"
   run ctest --preset default
+  echo "=== tier-1: metrics overhead gate (fail if metrics-on costs >10%) ==="
+  # Best-of-5 engine runs with metrics off vs. on at a tiny scale factor;
+  # exits non-zero if the delta exceeds METRICS_GATE_PCT (default 10).
+  run ./build/bench/bench_fig5_scaleup 0.005 --overhead-gate
 fi
 
 if [[ "$RUN_ASAN" == 1 ]]; then
@@ -47,7 +51,7 @@ if [[ "$RUN_TSAN" == 1 ]]; then
   run cmake --build --preset tsan -j "$(nproc)" --target \
     tests_core tests_integration tests_cli
   run ctest --preset tsan -R \
-    "Engine|Digest|SimCluster|Progress|Determinism|Cli"
+    "Engine|Digest|SimCluster|Progress|Determinism|Cli|Metrics|NodeShare"
 fi
 
 echo "all requested tiers passed"
