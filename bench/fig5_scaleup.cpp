@@ -13,17 +13,24 @@
 // busy time is hardware-independent up to a constant factor.
 //
 //   ./bench_fig5_scaleup [SF] [--quick] [--json FILE] [--overhead-gate]
+//                        [--batch-gate]
 //
 //   SF               scale factor (default 0.01)
 //   --quick          worker sweep {1,2,4} instead of the full figure
 //   --json FILE      write a BENCH_engine.json baseline: best-of-N
 //                    engine run with full per-phase metrics (rows/s,
 //                    MB/s, phase breakdown; schema in docs/metrics.md)
-//                    plus the scale-up series
+//                    plus the scale-up series (throughput_mb_s and
+//                    rows_per_sec_batch per worker count)
 //   --overhead-gate  run metrics-off vs. metrics-on back to back and
 //                    exit 1 if metrics add more than the allowed
 //                    overhead (default 10%; env METRICS_GATE_PCT).
 //                    Prints machine-readable "metrics_overhead_pct=".
+//   --batch-gate     run the legacy scalar pipeline vs. the batch
+//                    pipeline back to back (best-of-5 each) and exit 1
+//                    unless batch rows/s >= 1.2x scalar rows/s (env
+//                    BATCH_GATE_X overrides the factor). Prints
+//                    machine-readable "batch_speedup_x=".
 
 #include <cstdio>
 #include <cstdlib>
@@ -43,7 +50,8 @@ namespace {
 // noise on shared containers). Metrics optional.
 pdgf::StatusOr<pdgf::GenerationEngine::Stats> BestOfRuns(
     const pdgf::GenerationSession& session,
-    const pdgf::RowFormatter& formatter, int repeats, bool metrics) {
+    const pdgf::RowFormatter& formatter, int repeats, bool metrics,
+    bool scalar_pipeline = false) {
   pdgf::GenerationEngine::Stats best;
   bool have_best = false;
   for (int i = 0; i < repeats; ++i) {
@@ -51,6 +59,7 @@ pdgf::StatusOr<pdgf::GenerationEngine::Stats> BestOfRuns(
     options.worker_count = 1;
     options.work_package_rows = 5000;
     options.metrics_enabled = metrics;
+    options.scalar_pipeline = scalar_pipeline;
     auto stats = GenerateToNull(session, formatter, options);
     if (!stats.ok()) return stats.status();
     if (!have_best || stats->seconds < best.seconds) {
@@ -89,6 +98,45 @@ int RunOverheadGate(const pdgf::GenerationSession& session,
   return 0;
 }
 
+// Batch-vs-scalar throughput gate (ISSUE 3): the batched pipeline must
+// beat the legacy scalar per-row pipeline by at least BATCH_GATE_X
+// (default 1.2x) in rows/s on identical work. Both runs produce
+// bit-identical bytes; only the pipeline differs.
+int RunBatchGate(const pdgf::GenerationSession& session,
+                 const pdgf::RowFormatter& formatter) {
+  const char* env = std::getenv("BATCH_GATE_X");
+  const double required = env != nullptr ? std::atof(env) : 1.2;
+  const int repeats = 5;
+  auto scalar =
+      BestOfRuns(session, formatter, repeats, /*metrics=*/false,
+                 /*scalar_pipeline=*/true);
+  auto batch = BestOfRuns(session, formatter, repeats, /*metrics=*/false,
+                          /*scalar_pipeline=*/false);
+  if (!scalar.ok() || !batch.ok()) {
+    std::fprintf(stderr, "gate run failed\n");
+    return 1;
+  }
+  const double scalar_rps =
+      scalar->seconds > 0
+          ? static_cast<double>(scalar->rows) / scalar->seconds
+          : 0.0;
+  const double batch_rps =
+      batch->seconds > 0 ? static_cast<double>(batch->rows) / batch->seconds
+                         : 0.0;
+  const double speedup = scalar_rps > 0 ? batch_rps / scalar_rps : 0.0;
+  std::printf("scalar_rows_per_sec=%.0f\n", scalar_rps);
+  std::printf("batch_rows_per_sec=%.0f\n", batch_rps);
+  std::printf("batch_speedup_x=%.3f\n", speedup);
+  if (speedup < required) {
+    std::fprintf(stderr,
+                 "FAIL: batch speedup %.3fx below the %.2fx gate\n",
+                 speedup, required);
+    return 1;
+  }
+  std::printf("ok: batch pipeline >= %.2fx scalar pipeline\n", required);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -96,11 +144,14 @@ int main(int argc, char** argv) {
   std::string json_path;
   bool quick = false;
   bool overhead_gate = false;
+  bool batch_gate = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--quick") == 0) {
       quick = true;
     } else if (std::strcmp(argv[i], "--overhead-gate") == 0) {
       overhead_gate = true;
+    } else if (std::strcmp(argv[i], "--batch-gate") == 0) {
+      batch_gate = true;
     } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
       json_path = argv[++i];
     } else {
@@ -127,6 +178,9 @@ int main(int argc, char** argv) {
   if (overhead_gate) {
     return RunOverheadGate(**session, formatter);
   }
+  if (batch_gate) {
+    return RunBatchGate(**session, formatter);
+  }
 
   pdgf::SimulatedMachine machine;  // 16 cores / 32 threads, the paper node
 
@@ -147,6 +201,7 @@ int main(int argc, char** argv) {
     // own under static partitioning).
     std::vector<double> lane_seconds;
     uint64_t bytes = 0;
+    uint64_t rows = 0;
     for (int lane = 0; lane < workers; ++lane) {
       pdgf::GenerationOptions options;
       options.worker_count = 1;
@@ -160,6 +215,7 @@ int main(int argc, char** argv) {
       }
       lane_seconds.push_back(stats->seconds);
       bytes += stats->bytes;
+      rows += stats->rows;
     }
     // TPC-H shares are homogeneous, so work conservation (total busy
     // time over the machine capacity) estimates the wall clock; the
@@ -176,11 +232,12 @@ int main(int argc, char** argv) {
     std::printf("%8d %11.1f MB/s %10.2f\n", workers, throughput, capacity);
     if (!json_path.empty()) {
       if (!scaleup_json.empty()) scaleup_json += ",\n";
-      char line[160];
+      char line[192];
       std::snprintf(line, sizeof(line),
                     "    {\"workers\": %d, \"throughput_mb_s\": %.3f, "
-                    "\"capacity\": %.3f}",
-                    workers, throughput, capacity);
+                    "\"rows_per_sec_batch\": %.0f, \"capacity\": %.3f}",
+                    workers, throughput,
+                    static_cast<double>(rows) / wall, capacity);
       scaleup_json += line;
     }
   }

@@ -124,12 +124,44 @@ int Date::day_of_week() const {
   return static_cast<int>(dow);
 }
 
-std::string Date::ToString() const {
+namespace {
+
+// Appends `v` zero-padded to `width` total characters, replicating
+// printf("%0*d"): for negative values the '-' counts toward the width
+// ("%04d" of -5 is "-005").
+void AppendPadded(int v, int width, std::string* out) {
+  char digits[12];
+  int n = 0;
+  bool negative = v < 0;
+  unsigned magnitude = negative ? 0u - static_cast<unsigned>(v)
+                                : static_cast<unsigned>(v);
+  do {
+    digits[n++] = static_cast<char>('0' + magnitude % 10);
+    magnitude /= 10;
+  } while (magnitude != 0);
+  if (negative) out->push_back('-');
+  int pad = width - n - (negative ? 1 : 0);
+  for (; pad > 0; --pad) out->push_back('0');
+  while (n > 0) out->push_back(digits[--n]);
+}
+
+}  // namespace
+
+void Date::AppendIso(std::string* out) const {
   int y, m, d;
   CivilFromDays(days_, &y, &m, &d);
-  char buffer[16];
-  std::snprintf(buffer, sizeof(buffer), "%04d-%02d-%02d", y, m, d);
-  return buffer;
+  AppendPadded(y, 4, out);
+  out->push_back('-');
+  AppendPadded(m, 2, out);
+  out->push_back('-');
+  AppendPadded(d, 2, out);
+}
+
+std::string Date::ToString() const {
+  std::string out;
+  out.reserve(10);
+  AppendIso(&out);
+  return out;
 }
 
 std::string Date::Format(std::string_view format) const {

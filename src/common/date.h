@@ -40,6 +40,12 @@ class Date {
   // ISO "YYYY-MM-DD".
   std::string ToString() const;
 
+  // Appends the ISO rendering to `out` without allocating: the kernel
+  // behind ToString and the batch CSV date fast path. Byte-identical to
+  // snprintf("%04d-%02d-%02d") including negative years (the sign counts
+  // toward the 4-character pad, as with printf's "%04d").
+  void AppendIso(std::string* out) const;
+
   // Formats with a strftime-like subset: %Y %m %d %y plus literal chars.
   // E.g. "%m/%d/%Y" -> "11/30/2014" (the paper's Figure 9 date format).
   std::string Format(std::string_view format) const;

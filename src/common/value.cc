@@ -1,5 +1,6 @@
 #include "common/value.h"
 
+#include <charconv>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -56,14 +57,28 @@ bool ParseDoubleText(std::string_view text, double* out) {
 
 }  // namespace
 
+void AppendIntText(int64_t v, std::string* out) {
+  // std::to_chars: locale-free, no format-string parsing, ~an order of
+  // magnitude cheaper than snprintf("%lld") in the formatting hot path.
+  char buffer[24];
+  auto result = std::to_chars(buffer, buffer + sizeof(buffer), v);
+  out->append(buffer, result.ptr);
+}
+
 void AppendDoubleText(double v, std::string* out) {
   char buffer[40];
   // Shortest representation that round-trips: try increasing precision.
-  for (int precision = 6; precision <= 17; precision += precision < 15 ? 9 : 2) {
-    int n = std::snprintf(buffer, sizeof(buffer), "%.*g", precision, v);
-    double parsed = std::strtod(buffer, nullptr);
-    if (parsed == v || precision >= 17) {
-      out->append(buffer, static_cast<size_t>(n));
+  // std::to_chars(general, p) is specified to produce the same bytes as
+  // snprintf("%.*g", p) — the historical rendering — so replacing the
+  // snprintf/strtod pair with to_chars/from_chars changes no output.
+  for (int precision = 6; precision <= 17;
+       precision += precision < 15 ? 9 : 2) {
+    auto result = std::to_chars(buffer, buffer + sizeof(buffer), v,
+                                std::chars_format::general, precision);
+    double parsed = 0;
+    auto from = std::from_chars(buffer, result.ptr, parsed);
+    if ((from.ec == std::errc() && parsed == v) || precision >= 17) {
+      out->append(buffer, result.ptr);
       return;
     }
   }
@@ -71,10 +86,7 @@ void AppendDoubleText(double v, std::string* out) {
 
 void AppendDecimalText(int64_t unscaled, int scale, std::string* out) {
   if (scale <= 0) {
-    char buffer[24];
-    int n = std::snprintf(buffer, sizeof(buffer), "%lld",
-                          static_cast<long long>(unscaled));
-    out->append(buffer, static_cast<size_t>(n));
+    AppendIntText(unscaled, out);
     return;
   }
   bool negative = unscaled < 0;
@@ -84,11 +96,19 @@ void AppendDecimalText(int64_t unscaled, int scale, std::string* out) {
   for (int i = 0; i < scale; ++i) pow10 *= 10;
   uint64_t whole = magnitude / pow10;
   uint64_t frac = magnitude % pow10;
-  char buffer[48];
-  int n = std::snprintf(buffer, sizeof(buffer), "%s%llu.%0*llu",
-                        negative ? "-" : "", static_cast<unsigned long long>(whole),
-                        scale, static_cast<unsigned long long>(frac));
-  out->append(buffer, static_cast<size_t>(n));
+  // "<sign><whole>.<frac zero-padded to scale digits>" via to_chars,
+  // byte-identical to the historical "%s%llu.%0*llu" rendering.
+  if (negative) out->push_back('-');
+  char buffer[24];
+  auto result = std::to_chars(buffer, buffer + sizeof(buffer), whole);
+  out->append(buffer, result.ptr);
+  out->push_back('.');
+  result = std::to_chars(buffer, buffer + sizeof(buffer), frac);
+  const auto digits = static_cast<size_t>(result.ptr - buffer);
+  if (digits < static_cast<size_t>(scale)) {
+    out->append(static_cast<size_t>(scale) - digits, '0');
+  }
+  out->append(buffer, result.ptr);
 }
 
 Value Value::Bool(bool v) {
@@ -180,13 +200,9 @@ void Value::AppendText(std::string* out) const {
     case Kind::kBool:
       out->append(int_ != 0 ? "true" : "false");
       return;
-    case Kind::kInt: {
-      char buffer[24];
-      int n = std::snprintf(buffer, sizeof(buffer), "%lld",
-                            static_cast<long long>(int_));
-      out->append(buffer, static_cast<size_t>(n));
+    case Kind::kInt:
+      AppendIntText(int_, out);
       return;
-    }
     case Kind::kDouble:
       AppendDoubleText(double_, out);
       return;
@@ -197,7 +213,7 @@ void Value::AppendText(std::string* out) const {
       out->append(string_);
       return;
     case Kind::kDate:
-      out->append(Date(int_).ToString());
+      Date(int_).AppendIso(out);
       return;
   }
 }

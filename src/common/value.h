@@ -140,7 +140,15 @@ class Value {
   std::string string_;
 };
 
-// Renders a double like ToText() does, appending to `out`.
+// Formatting kernels shared by Value::AppendText and the batch output
+// kernels (CsvFormatter::AppendBatch). All use std::to_chars — no
+// snprintf, no locale, no per-call allocation — and render byte-identical
+// text to the historical snprintf paths.
+
+// Renders an int64 in decimal, appending to `out`.
+void AppendIntText(int64_t v, std::string* out);
+// Renders a double like ToText() does (shortest rendering from the
+// precision ladder {6, 15, 17} that round-trips), appending to `out`.
 void AppendDoubleText(double v, std::string* out);
 // Renders a decimal (`unscaled` * 10^-`scale`), appending to `out`.
 void AppendDecimalText(int64_t unscaled, int scale, std::string* out);

@@ -1,0 +1,17 @@
+#include "core/batch.h"
+
+namespace pdgf {
+
+// Default batch implementation: the scalar loop. Correct for every
+// generator; hot generators override it with tight loops (see
+// core/generators/*). Lives here rather than a generator.cc so the
+// Generator interface header stays dependency-free of the batch types.
+void Generator::GenerateBatch(BatchContext* context, ValueColumn* out) const {
+  const size_t n = context->size();
+  for (size_t i = 0; i < n; ++i) {
+    GeneratorContext scalar = context->Scalar(i);
+    Generate(&scalar, out->value(i));
+  }
+}
+
+}  // namespace pdgf

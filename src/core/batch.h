@@ -1,0 +1,199 @@
+#ifndef DBSYNTHPP_CORE_BATCH_H_
+#define DBSYNTHPP_CORE_BATCH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/value.h"
+#include "core/generator.h"
+#include "core/session.h"
+
+namespace pdgf {
+
+// Batched generation substrate (ISSUE 3 tentpole).
+//
+// The scalar pipeline pays, per cell: a virtual Generate() dispatch, a
+// GeneratorContext construction, and a two-step seed derivation that
+// re-walks the update level of the Figure-1 hierarchy. A RowBatch holds
+// a column-major block of reused Values so the engine can amortize all
+// three: one virtual GenerateBatch() call per (column, batch), one
+// hoisted update-level derivation per (column, batch), and a single
+// DeriveSeed per cell. All batch paths are bit-identical to their scalar
+// equivalents — the parity suite (tests/core/batch_test.cc) and the
+// golden digest fixtures enforce it.
+
+// One column of a RowBatch: `size` reused Values plus a null mask. Value
+// storage (including each Value's string capacity) is retained across
+// Resize() calls, which is what keeps steady-state batch generation
+// allocation-free.
+class ValueColumn {
+ public:
+  // Sets the active row count; grows storage when needed, never shrinks.
+  void Resize(size_t rows) {
+    if (values_.size() < rows) {
+      values_.resize(rows);
+      null_mask_.resize(rows);
+    }
+    size_ = rows;
+  }
+
+  size_t size() const { return size_; }
+
+  // Mutable cell for generators to overwrite.
+  Value* value(size_t i) { return &values_[i]; }
+  const Value& get(size_t i) const { return values_[i]; }
+
+  // Null mask: one byte per row, 1 = NULL. Valid after RefreshNullMask().
+  bool is_null(size_t i) const { return null_mask_[i] != 0; }
+  const std::vector<uint8_t>& null_mask() const { return null_mask_; }
+
+  // Recomputes the null mask from the value kinds. The session calls this
+  // once per generated column so formatters and digests branch on a dense
+  // byte array instead of re-reading each Value's kind.
+  void RefreshNullMask() {
+    for (size_t i = 0; i < size_; ++i) {
+      null_mask_[i] = values_[i].is_null() ? 1 : 0;
+    }
+  }
+
+ private:
+  std::vector<Value> values_;
+  std::vector<uint8_t> null_mask_;
+  size_t size_ = 0;
+};
+
+// A column-major block of generated rows: one ValueColumn per field plus
+// the global row index of every batch row (row indices need not be
+// contiguous — update-mode generation batches only the rows the update
+// black box selected).
+class RowBatch {
+ public:
+  // Prepares the batch for `field_count` columns over `row_count` global
+  // row indices (copied from `rows`). Storage is reused across calls.
+  void Reset(size_t field_count, const uint64_t* rows, size_t row_count) {
+    if (columns_.size() < field_count) columns_.resize(field_count);
+    field_count_ = field_count;
+    rows_.assign(rows, rows + row_count);
+    row_count_ = row_count;
+    for (size_t f = 0; f < field_count_; ++f) columns_[f].Resize(row_count);
+  }
+
+  size_t row_count() const { return row_count_; }
+  size_t column_count() const { return field_count_; }
+
+  uint64_t row_index(size_t i) const { return rows_[i]; }
+  const uint64_t* row_indices() const { return rows_.data(); }
+
+  ValueColumn& column(size_t f) { return columns_[f]; }
+  const ValueColumn& column(size_t f) const { return columns_[f]; }
+
+  // Per-row effective updates of the mutable-field path; sized and filled
+  // by GenerationSession::GenerateBatch only when the table has mutable
+  // fields and an update stream is being generated.
+  std::vector<uint64_t>& mutable_effective_updates() {
+    return effective_updates_;
+  }
+  const std::vector<uint64_t>& effective_updates() const {
+    return effective_updates_;
+  }
+
+  // Copies row `i` into a row-major vector (for scalar fallbacks like the
+  // default RowFormatter::AppendBatch). Reuses `out`'s Value storage.
+  void CopyRowTo(size_t i, std::vector<Value>* out) const {
+    out->resize(field_count_);
+    for (size_t f = 0; f < field_count_; ++f) {
+      (*out)[f] = columns_[f].get(i);
+    }
+  }
+
+ private:
+  std::vector<ValueColumn> columns_;
+  std::vector<uint64_t> rows_;
+  std::vector<uint64_t> effective_updates_;
+  size_t field_count_ = 0;
+  size_t row_count_ = 0;
+};
+
+// Per-(field, batch) generation context handed to Generator::GenerateBatch.
+// Carries the hoisted seed base so a row's field seed costs one DeriveSeed
+// instead of the full per-cell hierarchy walk:
+//
+//   FieldSeed(t, f, row, u)
+//     == DeriveSeed(DeriveSeed(column_seed ^ kUpdate, u) ^ kRow, row)
+//     == SeedForRow(HoistedFieldBase(t, f, u), row)
+//
+// The inner derivation is loop-invariant across a batch generated at one
+// update `u`, so it is computed once (the "hoisted base") and only the
+// row-level derivation runs per cell. When per-row effective updates vary
+// (mutable fields in update mode) the context falls back to the full
+// FieldSeed walk per row — the cold path.
+class BatchContext {
+ public:
+  // Uniform-update batch: every row is generated at `update`;
+  // `hoisted_base` must be session->HoistedFieldBase(table, field, update).
+  BatchContext(const GenerationSession* session, int table_index,
+               int field_index, const uint64_t* rows, size_t row_count,
+               uint64_t update, uint64_t hoisted_base)
+      : session_(session),
+        table_index_(table_index),
+        field_index_(field_index),
+        rows_(rows),
+        row_count_(row_count),
+        updates_(nullptr),
+        update_(update),
+        hoisted_base_(hoisted_base) {}
+
+  // Varying-update batch: row i is generated at `updates[i]` (the
+  // per-row effective update resolved once by the session).
+  BatchContext(const GenerationSession* session, int table_index,
+               int field_index, const uint64_t* rows, size_t row_count,
+               const uint64_t* updates)
+      : session_(session),
+        table_index_(table_index),
+        field_index_(field_index),
+        rows_(rows),
+        row_count_(row_count),
+        updates_(updates),
+        update_(0),
+        hoisted_base_(0) {}
+
+  size_t size() const { return row_count_; }
+  const GenerationSession* session() const { return session_; }
+  int table_index() const { return table_index_; }
+  int field_index() const { return field_index_; }
+
+  uint64_t row(size_t i) const { return rows_[i]; }
+  uint64_t update(size_t i) const {
+    return updates_ != nullptr ? updates_[i] : update_;
+  }
+
+  // The field seed for batch row i — identical to
+  // session->FieldSeed(table, field, row(i), update(i)).
+  uint64_t seed(size_t i) const {
+    return updates_ == nullptr
+               ? GenerationSession::SeedForRow(hoisted_base_, rows_[i])
+               : session_->FieldSeed(table_index_, field_index_, rows_[i],
+                                     updates_[i]);
+  }
+
+  // Full scalar context for row i; used by the default GenerateBatch
+  // fallback and by any generator without a batch override.
+  GeneratorContext Scalar(size_t i) const {
+    return GeneratorContext(session_, table_index_, rows_[i], update(i),
+                            seed(i));
+  }
+
+ private:
+  const GenerationSession* session_;
+  int table_index_;
+  int field_index_;
+  const uint64_t* rows_;
+  size_t row_count_;
+  const uint64_t* updates_;  // null => uniform `update_`
+  uint64_t update_;
+  uint64_t hoisted_base_;
+};
+
+}  // namespace pdgf
+
+#endif  // DBSYNTHPP_CORE_BATCH_H_

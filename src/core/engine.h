@@ -24,6 +24,16 @@ struct GenerationOptions {
   int worker_count = 1;
   // Rows per work package — the scheduler's unit of dispatch.
   uint64_t work_package_rows = 10000;
+  // Rows per generation batch inside a work package (core/batch.h). The
+  // batch pipeline generates column-at-a-time with hoisted seed
+  // derivation, renders through the formatter's AppendBatch kernels and
+  // digests column-major. Output bytes and digests are bit-identical to
+  // the scalar pipeline for every batch size.
+  uint64_t batch_rows = 1024;
+  // Forces the legacy scalar per-row pipeline (GenerateRow + AppendRow).
+  // Kept for A/B measurement (bench_fig5_scaleup --batch-gate) and the
+  // batch/scalar parity suite; produces identical output.
+  bool scalar_pipeline = false;
   // When true, completed packages are written in row order, producing the
   // same single sorted file regardless of parallelism (PDGF "writes
   // sorted output into a single file", §4). When false packages are

@@ -11,7 +11,9 @@
 
 namespace pdgf {
 
+class BatchContext;
 class GenerationSession;
+class ValueColumn;
 class XmlElement;
 
 // Per-field evaluation context handed to a Generator. Carries the PRNG
@@ -72,6 +74,14 @@ class Generator {
   // Produces the value for the context's coordinate into `*out`. `out`
   // may hold a previous row's value; implementations overwrite it.
   virtual void Generate(GeneratorContext* context, Value* out) const = 0;
+
+  // Batch generation (core/batch.h): produces one value per batch row
+  // into the column. The base implementation loops Generate() over
+  // per-row scalar contexts; hot generators override it with tight
+  // loops that hoist loop-invariant work and skip the per-cell virtual
+  // dispatch. Overrides MUST be bit-identical to the scalar loop — the
+  // batch/scalar parity suite and the golden digest fixtures enforce it.
+  virtual void GenerateBatch(BatchContext* context, ValueColumn* out) const;
 
   // The XML tag this generator (de)serializes as, e.g. "gen_IdGenerator".
   virtual std::string ConfigName() const = 0;

@@ -1,15 +1,30 @@
 #include <cmath>
 
+#include "core/batch.h"
 #include "core/generators/generators.h"
 #include "util/strings.h"
 #include "util/xml.h"
 
 namespace pdgf {
 
+// Batch overrides below replicate their scalar bodies exactly. A scalar
+// call seeds the context's Xorshift64 from the field seed, so a batch
+// loop that constructs `Xorshift64 rng(context->seed(i))` per row draws
+// the identical stream — the parity suite asserts bit-equality.
+
 // ----------------------------------------------------------------- Id --
 
 void IdGenerator::Generate(GeneratorContext* context, Value* out) const {
   out->SetInt(start_ + static_cast<int64_t>(context->row()) * step_);
+}
+
+void IdGenerator::GenerateBatch(BatchContext* context,
+                                ValueColumn* out) const {
+  const size_t n = context->size();
+  for (size_t i = 0; i < n; ++i) {
+    out->value(i)->SetInt(start_ +
+                          static_cast<int64_t>(context->row(i)) * step_);
+  }
 }
 
 void IdGenerator::WriteConfig(XmlElement* parent) const {
@@ -22,6 +37,15 @@ void IdGenerator::WriteConfig(XmlElement* parent) const {
 
 void LongGenerator::Generate(GeneratorContext* context, Value* out) const {
   out->SetInt(context->rng().NextInRange(min_, max_));
+}
+
+void LongGenerator::GenerateBatch(BatchContext* context,
+                                  ValueColumn* out) const {
+  const size_t n = context->size();
+  for (size_t i = 0; i < n; ++i) {
+    Xorshift64 rng(context->seed(i));
+    out->value(i)->SetInt(rng.NextInRange(min_, max_));
+  }
 }
 
 void LongGenerator::WriteConfig(XmlElement* parent) const {
@@ -41,6 +65,27 @@ void DoubleGenerator::Generate(GeneratorContext* context, Value* out) const {
   double pow10 = 1.0;
   for (int i = 0; i < places_; ++i) pow10 *= 10.0;
   out->SetDecimal(static_cast<int64_t>(std::llround(value * pow10)), places_);
+}
+
+void DoubleGenerator::GenerateBatch(BatchContext* context,
+                                    ValueColumn* out) const {
+  const size_t n = context->size();
+  const double span = max_ - min_;
+  if (places_ < 0) {
+    for (size_t i = 0; i < n; ++i) {
+      Xorshift64 rng(context->seed(i));
+      out->value(i)->SetDouble(min_ + rng.NextDouble() * span);
+    }
+    return;
+  }
+  double pow10 = 1.0;
+  for (int i = 0; i < places_; ++i) pow10 *= 10.0;
+  for (size_t i = 0; i < n; ++i) {
+    Xorshift64 rng(context->seed(i));
+    double value = min_ + rng.NextDouble() * span;
+    out->value(i)->SetDecimal(
+        static_cast<int64_t>(std::llround(value * pow10)), places_);
+  }
 }
 
 void DoubleGenerator::WriteConfig(XmlElement* parent) const {
@@ -64,6 +109,26 @@ void DateGenerator::Generate(GeneratorContext* context, Value* out) const {
   // Pre-formatted date string (eager formatting, paper Fig. 9).
   std::string* buffer = out->MutableString();
   *buffer = Date(days).Format(format_);
+}
+
+void DateGenerator::GenerateBatch(BatchContext* context,
+                                  ValueColumn* out) const {
+  const size_t n = context->size();
+  const int64_t lo = min_.days_since_epoch();
+  const int64_t hi = max_.days_since_epoch();
+  if (format_.empty()) {
+    for (size_t i = 0; i < n; ++i) {
+      Xorshift64 rng(context->seed(i));
+      out->value(i)->SetDate(Date(rng.NextInRange(lo, hi)));
+    }
+    return;
+  }
+  for (size_t i = 0; i < n; ++i) {
+    Xorshift64 rng(context->seed(i));
+    int64_t days = rng.NextInRange(lo, hi);
+    std::string* buffer = out->value(i)->MutableString();
+    *buffer = Date(days).Format(format_);
+  }
 }
 
 void DateGenerator::WriteConfig(XmlElement* parent) const {

@@ -1,5 +1,6 @@
 #include <cstdio>
 
+#include "core/batch.h"
 #include "core/generators/generators.h"
 #include "core/text/builtin_dictionaries.h"
 #include "util/strings.h"
@@ -59,6 +60,51 @@ void DictListGenerator::Generate(GeneratorContext* context,
       // Deterministic row -> entry mapping (e.g. nation keys -> names).
       out->SetString(
           dictionary_->value(context->row() % dictionary_->size()));
+      break;
+  }
+}
+
+void DictListGenerator::GenerateBatch(BatchContext* context,
+                                      ValueColumn* out) const {
+  const size_t n = context->size();
+  if (dictionary_ == nullptr || dictionary_->empty()) {
+    for (size_t i = 0; i < n; ++i) out->value(i)->SetNull();
+    return;
+  }
+  // The zipf/method dispatch is a per-generator invariant: branch once
+  // and run a tight loop per arm.
+  if (zipf_ != nullptr) {
+    for (size_t i = 0; i < n; ++i) {
+      Xorshift64 rng(context->seed(i));
+      out->value(i)->SetString(dictionary_->value(zipf_->Sample(&rng)));
+    }
+    return;
+  }
+  switch (method_) {
+    case Method::kCumulative:
+      for (size_t i = 0; i < n; ++i) {
+        Xorshift64 rng(context->seed(i));
+        out->value(i)->SetString(dictionary_->Sample(&rng));
+      }
+      break;
+    case Method::kAlias:
+      for (size_t i = 0; i < n; ++i) {
+        Xorshift64 rng(context->seed(i));
+        out->value(i)->SetString(dictionary_->SampleAlias(&rng));
+      }
+      break;
+    case Method::kUniform:
+      for (size_t i = 0; i < n; ++i) {
+        Xorshift64 rng(context->seed(i));
+        out->value(i)->SetString(dictionary_->SampleUniform(&rng));
+      }
+      break;
+    case Method::kByRow:
+      // No RNG draws at all: pure row arithmetic.
+      for (size_t i = 0; i < n; ++i) {
+        out->value(i)->SetString(
+            dictionary_->value(context->row(i) % dictionary_->size()));
+      }
       break;
   }
 }

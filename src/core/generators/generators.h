@@ -28,6 +28,8 @@ class IdGenerator final : public Generator {
       : start_(start), step_(step) {}
 
   void Generate(GeneratorContext* context, Value* out) const override;
+  // Batch override: pure row arithmetic, no RNG at all.
+  void GenerateBatch(BatchContext* context, ValueColumn* out) const override;
   std::string ConfigName() const override { return "gen_IdGenerator"; }
   void WriteConfig(XmlElement* parent) const override;
 
@@ -45,6 +47,7 @@ class LongGenerator final : public Generator {
   LongGenerator(int64_t min, int64_t max) : min_(min), max_(max) {}
 
   void Generate(GeneratorContext* context, Value* out) const override;
+  void GenerateBatch(BatchContext* context, ValueColumn* out) const override;
   std::string ConfigName() const override { return "gen_LongGenerator"; }
   void WriteConfig(XmlElement* parent) const override;
 
@@ -64,6 +67,8 @@ class DoubleGenerator final : public Generator {
       : min_(min), max_(max), places_(places) {}
 
   void Generate(GeneratorContext* context, Value* out) const override;
+  // Batch override hoists the 10^places ladder out of the loop.
+  void GenerateBatch(BatchContext* context, ValueColumn* out) const override;
   std::string ConfigName() const override { return "gen_DoubleGenerator"; }
   void WriteConfig(XmlElement* parent) const override;
 
@@ -86,6 +91,7 @@ class DateGenerator final : public Generator {
       : min_(min), max_(max), format_(std::move(format)) {}
 
   void Generate(GeneratorContext* context, Value* out) const override;
+  void GenerateBatch(BatchContext* context, ValueColumn* out) const override;
   std::string ConfigName() const override { return "gen_DateGenerator"; }
   void WriteConfig(XmlElement* parent) const override;
 
@@ -198,6 +204,9 @@ class HistogramGenerator final : public Generator {
                      int places = 2);
 
   void Generate(GeneratorContext* context, Value* out) const override;
+  // Batch override hoists the degenerate check, bucket width and the
+  // decimal scale ladder.
+  void GenerateBatch(BatchContext* context, ValueColumn* out) const override;
   std::string ConfigName() const override {
     return "gen_HistogramGenerator";
   }
@@ -237,6 +246,8 @@ class DictListGenerator final : public Generator {
                     std::string source_file, Method method, double skew);
 
   void Generate(GeneratorContext* context, Value* out) const override;
+  // Batch override hoists the empty-dictionary / zipf / method branches.
+  void GenerateBatch(BatchContext* context, ValueColumn* out) const override;
   std::string ConfigName() const override { return "gen_DictListGenerator"; }
   void WriteConfig(XmlElement* parent) const override;
 
@@ -331,6 +342,9 @@ class DefaultReferenceGenerator final : public Generator {
   ~DefaultReferenceGenerator() override;
 
   void Generate(GeneratorContext* context, Value* out) const override;
+  // Batch override resolves the referenced coordinates, row count and
+  // Zipf table once per batch instead of once per cell.
+  void GenerateBatch(BatchContext* context, ValueColumn* out) const override;
   std::string ConfigName() const override {
     return "gen_DefaultReferenceGenerator";
   }

@@ -1,5 +1,6 @@
 #include <cmath>
 
+#include "core/batch.h"
 #include "core/generators/generators.h"
 #include "util/strings.h"
 #include "util/xml.h"
@@ -58,6 +59,50 @@ void HistogramGenerator::Generate(GeneratorContext* context,
     case Output::kDate:
       out->SetDate(Date(static_cast<int64_t>(std::llround(value))));
       return;
+  }
+}
+
+void HistogramGenerator::GenerateBatch(BatchContext* context,
+                                       ValueColumn* out) const {
+  const size_t n = context->size();
+  const bool degenerate =
+      weights_.empty() || total_weight_ <= 0 || max_ <= min_;
+  const double width =
+      degenerate ? 0.0
+                 : (max_ - min_) / static_cast<double>(weights_.size());
+  double pow10 = 1.0;
+  if (output_ == Output::kDecimal) {
+    for (int i = 0; i < places_; ++i) pow10 *= 10.0;
+  }
+  for (size_t i = 0; i < n; ++i) {
+    double value;
+    if (degenerate) {
+      value = min_;
+    } else {
+      Xorshift64 rng(context->seed(i));
+      double target = rng.NextDouble() * total_weight_;
+      size_t bucket = 0;
+      while (bucket + 1 < cumulative_.size() &&
+             target >= cumulative_[bucket]) {
+        ++bucket;
+      }
+      value = min_ + (static_cast<double>(bucket) + rng.NextDouble()) * width;
+    }
+    switch (output_) {
+      case Output::kLong:
+        out->value(i)->SetInt(static_cast<int64_t>(std::llround(value)));
+        break;
+      case Output::kDouble:
+        out->value(i)->SetDouble(value);
+        break;
+      case Output::kDecimal:
+        out->value(i)->SetDecimal(
+            static_cast<int64_t>(std::llround(value * pow10)), places_);
+        break;
+      case Output::kDate:
+        out->value(i)->SetDate(Date(static_cast<int64_t>(std::llround(value))));
+        break;
+    }
   }
 }
 

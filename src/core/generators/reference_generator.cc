@@ -1,3 +1,4 @@
+#include "core/batch.h"
 #include "core/generators/generators.h"
 #include "core/session.h"
 #include "util/strings.h"
@@ -91,6 +92,60 @@ void DefaultReferenceGenerator::Generate(GeneratorContext* context,
   // computed-reference strategy: no tracking tables, no re-reads.
   session->GenerateField(ref_table_index_, ref_field_index_, target_row,
                          /*update=*/0, out);
+}
+
+void DefaultReferenceGenerator::GenerateBatch(BatchContext* context,
+                                              ValueColumn* out) const {
+  const size_t n = context->size();
+  const GenerationSession* session = context->session();
+  if (session == nullptr) {
+    for (size_t i = 0; i < n; ++i) out->value(i)->SetNull();
+    return;
+  }
+  std::call_once(resolve_once_, [this, session] {
+    ref_table_index_ = session->schema().FindTableIndex(table_);
+    if (ref_table_index_ >= 0) {
+      ref_field_index_ =
+          session->schema()
+              .tables[static_cast<size_t>(ref_table_index_)]
+              .FindFieldIndex(field_);
+    }
+  });
+  if (ref_table_index_ < 0 || ref_field_index_ < 0) {
+    for (size_t i = 0; i < n; ++i) out->value(i)->SetNull();
+    return;
+  }
+  uint64_t rows = session->TableRows(ref_table_index_);
+  if (rows == 0) {
+    for (size_t i = 0; i < n; ++i) out->value(i)->SetNull();
+    return;
+  }
+  // Referenced values are recomputed per cell (the computed-reference
+  // strategy keeps no tracking tables), but the target-row draw hoists
+  // the distribution setup: the Zipf table lookup happens once per batch
+  // instead of once per cell.
+  if (distribution_ == Distribution::kZipf && skew_ > 0) {
+    const ZipfState* state = ZipfFor(rows);
+    for (size_t i = 0; i < n; ++i) {
+      Xorshift64 rng(context->seed(i));
+      uint64_t target_row;
+      if (state != nullptr) {
+        target_row = state->distribution.Sample(&rng);
+      } else {
+        ZipfDistribution distribution(rows, skew_);
+        target_row = distribution.Sample(&rng);
+      }
+      session->GenerateField(ref_table_index_, ref_field_index_, target_row,
+                             /*update=*/0, out->value(i));
+    }
+    return;
+  }
+  for (size_t i = 0; i < n; ++i) {
+    Xorshift64 rng(context->seed(i));
+    session->GenerateField(ref_table_index_, ref_field_index_,
+                           rng.NextBounded(rows), /*update=*/0,
+                           out->value(i));
+  }
 }
 
 void DefaultReferenceGenerator::WriteConfig(XmlElement* parent) const {

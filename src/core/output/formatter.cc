@@ -1,10 +1,32 @@
 #include "core/output/formatter.h"
 
+#include "core/batch.h"
 #include "util/strings.h"
 #include "util/xml.h"
 
 namespace pdgf {
 namespace {
+
+// CSV string rendering shared by the scalar AppendRow and the batch
+// kernel: quotes when the text contains the delimiter, the quote, a
+// newline, or collides with a non-empty null marker; doubles quotes.
+void AppendCsvText(const std::string& text, char delimiter, char quote,
+                   const std::string& null_marker, std::string* out) {
+  bool needs_quoting = text.find(delimiter) != std::string::npos ||
+                       text.find(quote) != std::string::npos ||
+                       text.find('\n') != std::string::npos ||
+                       (!null_marker.empty() && text == null_marker);
+  if (!needs_quoting) {
+    out->append(text);
+    return;
+  }
+  out->push_back(quote);
+  for (char c : text) {
+    if (c == quote) out->push_back(quote);
+    out->push_back(c);
+  }
+  out->push_back(quote);
+}
 
 // Appends a JSON string literal.
 void AppendJsonString(std::string_view in, std::string* out) {
@@ -68,6 +90,27 @@ void AppendSqlLiteral(const Value& value, std::string* out) {
 
 }  // namespace
 
+// ----------------------------------------------------------- defaults --
+
+void RowFormatter::AppendBatch(const TableDef& table, const RowBatch& batch,
+                               std::string* out,
+                               std::vector<size_t>* row_offsets) const {
+  // Scalar fallback: correct for every formatter. One scratch row is
+  // reused across the batch (Value assignment keeps string capacity).
+  std::vector<Value> scratch;
+  const size_t rows = batch.row_count();
+  if (row_offsets != nullptr) {
+    row_offsets->clear();
+    row_offsets->reserve(rows + 1);
+  }
+  for (size_t r = 0; r < rows; ++r) {
+    if (row_offsets != nullptr) row_offsets->push_back(out->size());
+    batch.CopyRowTo(r, &scratch);
+    AppendRow(table, scratch, out);
+  }
+  if (row_offsets != nullptr) row_offsets->push_back(out->size());
+}
+
 // ---------------------------------------------------------------- CSV --
 
 void CsvFormatter::AppendRow(const TableDef& table,
@@ -82,25 +125,85 @@ void CsvFormatter::AppendRow(const TableDef& table,
       continue;
     }
     if (value.kind() == Value::Kind::kString) {
-      const std::string& text = value.string_value();
-      bool needs_quoting =
-          text.find(delimiter_) != std::string::npos ||
-          text.find(quote_) != std::string::npos ||
-          text.find('\n') != std::string::npos ||
-          (!null_marker_.empty() && text == null_marker_);
-      if (needs_quoting) {
-        out->push_back(quote_);
-        for (char c : text) {
-          if (c == quote_) out->push_back(quote_);
-          out->push_back(c);
-        }
-        out->push_back(quote_);
-        continue;
-      }
+      AppendCsvText(value.string_value(), delimiter_, quote_, null_marker_,
+                    out);
+      continue;
     }
     value.AppendText(out);
   }
   out->push_back('\n');
+}
+
+void CsvFormatter::AppendBatch(const TableDef& table, const RowBatch& batch,
+                               std::string* out,
+                               std::vector<size_t>* row_offsets) const {
+  (void)table;
+  const size_t rows = batch.row_count();
+  const size_t cols = batch.column_count();
+  if (row_offsets != nullptr) {
+    row_offsets->clear();
+    row_offsets->reserve(rows + 1);
+  }
+  // Per-column date-rendering cache: a date column frequently repeats a
+  // handful of day values inside one batch (low-cardinality dates,
+  // histogram buckets); rendering each distinct run once skips the civil
+  // calendar conversion. days == INT64_MIN marks "empty".
+  struct DateCache {
+    int64_t days;
+    std::string text;
+  };
+  static thread_local std::vector<DateCache> date_cache;
+  if (date_cache.size() < cols) date_cache.resize(cols);
+  for (size_t c = 0; c < cols; ++c) date_cache[c].days = INT64_MIN;
+  for (size_t r = 0; r < rows; ++r) {
+    if (row_offsets != nullptr) row_offsets->push_back(out->size());
+    for (size_t c = 0; c < cols; ++c) {
+      if (c > 0) out->push_back(delimiter_);
+      const ValueColumn& column = batch.column(c);
+      if (column.is_null(r)) {
+        out->append(null_marker_);
+        continue;
+      }
+      const Value& value = column.get(r);
+      switch (value.kind()) {
+        case Value::Kind::kInt:
+          AppendIntText(value.int_value(), out);
+          break;
+        case Value::Kind::kDecimal:
+          AppendDecimalText(value.decimal_unscaled(), value.decimal_scale(),
+                            out);
+          break;
+        case Value::Kind::kDouble:
+          AppendDoubleText(value.double_value(), out);
+          break;
+        case Value::Kind::kDate: {
+          int64_t days = value.date_value().days_since_epoch();
+          DateCache& cache = date_cache[c];
+          if (cache.days != days) {
+            cache.days = days;
+            cache.text.clear();
+            Date(days).AppendIso(&cache.text);
+          }
+          out->append(cache.text);
+          break;
+        }
+        case Value::Kind::kString:
+          AppendCsvText(value.string_value(), delimiter_, quote_,
+                        null_marker_, out);
+          break;
+        case Value::Kind::kBool:
+          out->append(value.bool_value() ? "true" : "false");
+          break;
+        case Value::Kind::kNull:
+          // Unreachable: the null mask covers kNull. Kept for kind
+          // exhaustiveness.
+          out->append(null_marker_);
+          break;
+      }
+    }
+    out->push_back('\n');
+  }
+  if (row_offsets != nullptr) row_offsets->push_back(out->size());
 }
 
 // --------------------------------------------------------------- JSON --

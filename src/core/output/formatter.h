@@ -10,6 +10,8 @@
 
 namespace pdgf {
 
+class RowBatch;
+
 // Renders generated rows into an output byte format. PDGF formats lazily:
 // generators produce typed Values and the formatter renders them exactly
 // once, at output time (paper §4: "PDGF does lazy formatting ... even
@@ -39,6 +41,18 @@ class RowFormatter {
                          const std::vector<Value>& row,
                          std::string* out) const = 0;
 
+  // Batch output (core/batch.h): appends every row of `batch`,
+  // byte-identical to row_count() AppendRow calls. When `row_offsets` is
+  // non-null it is cleared and filled with row_count()+1 byte offsets
+  // into `out` so row i occupies [(*row_offsets)[i], (*row_offsets)[i+1])
+  // including its terminator — the engine digests per-row byte views from
+  // these spans. The default copies each batch row into a scratch row and
+  // delegates to AppendRow; CsvFormatter overrides it with column-kernel
+  // rendering.
+  virtual void AppendBatch(const TableDef& table, const RowBatch& batch,
+                           std::string* out,
+                           std::vector<size_t>* row_offsets = nullptr) const;
+
   // Suggested file extension without dot ("csv", "json", ...).
   virtual std::string FileExtension() const = 0;
 
@@ -59,6 +73,12 @@ class CsvFormatter final : public RowFormatter {
 
   void AppendRow(const TableDef& table, const std::vector<Value>& row,
                  std::string* out) const override;
+  // Batch kernel: dense null-mask branch, std::to_chars integer /
+  // decimal / double kernels, and a per-column date-rendering cache
+  // (repeated day values render once). Byte-identical to AppendRow.
+  void AppendBatch(const TableDef& table, const RowBatch& batch,
+                   std::string* out,
+                   std::vector<size_t>* row_offsets = nullptr) const override;
   std::string FileExtension() const override { return "csv"; }
 
  private:

@@ -1,17 +1,19 @@
 #include "core/session.h"
 
 #include <cmath>
+#include <numeric>
 
+#include "core/batch.h"
 #include "util/expression.h"
 
 namespace pdgf {
 namespace {
 
-// Level tags keep the hierarchy's derivations domain-separated.
+// Level tags keep the hierarchy's derivations domain-separated. The
+// update- and row-level tags moved into GenerationSession (session.h) so
+// the inline seed-hoisting helpers can share them.
 constexpr uint64_t kTableLevel = 0x7ab1e00000000001ULL;
 constexpr uint64_t kColumnLevel = 0xc01a00000000002ULL;
-constexpr uint64_t kUpdateLevel = 0x0bd8000000000003ULL;
-constexpr uint64_t kRowLevel = 0x20e000000000004ULL;
 constexpr uint64_t kUpdateSelectLevel = 0x5e1ec7000000005ULL;
 
 }  // namespace
@@ -126,11 +128,14 @@ StatusOr<std::unique_ptr<GenerationSession>> GenerationSession::Create(
     session->table_seeds_.push_back(table_seed);
     std::vector<uint64_t> column_seeds;
     column_seeds.reserve(table.fields.size());
+    bool has_mutable = false;
     for (const FieldDef& field : table.fields) {
       column_seeds.push_back(
           DeriveSeed(table_seed ^ kColumnLevel, HashName(field.name)));
+      has_mutable = has_mutable || field.mutable_across_updates;
     }
     session->column_seeds_.push_back(std::move(column_seeds));
+    session->table_has_mutable_.push_back(has_mutable ? 1 : 0);
   }
   return session;
 }
@@ -152,29 +157,43 @@ uint64_t GenerationSession::FieldSeed(int table_index, int field_index,
   return DeriveSeed(update_seed ^ kRowLevel, row);
 }
 
+uint64_t GenerationSession::EffectiveUpdate(int table_index, uint64_t row,
+                                            uint64_t update) const {
+  // Point-in-time semantics: a mutable field's value at time unit t is
+  // the value written by the LAST update that selected this row (the
+  // update black box selects a subset per unit). Unit 0 — the base
+  // load — always applies.
+  while (update > 0 && !RowChangesInUpdate(table_index, row, update)) {
+    --update;
+  }
+  return update;
+}
+
+void GenerationSession::GenerateFieldResolved(int table_index,
+                                              int field_index, uint64_t row,
+                                              uint64_t resolved_update,
+                                              Value* out) const {
+  const FieldDef& field = schema_->tables[static_cast<size_t>(table_index)]
+                              .fields[static_cast<size_t>(field_index)];
+  if (field.generator == nullptr) {
+    out->SetNull();
+    return;
+  }
+  GeneratorContext context(
+      this, table_index, row, resolved_update,
+      FieldSeed(table_index, field_index, row, resolved_update));
+  field.generator->Generate(&context, out);
+}
+
 void GenerationSession::GenerateField(int table_index, int field_index,
                                       uint64_t row, uint64_t update,
                                       Value* out) const {
   const FieldDef& field = schema_->tables[static_cast<size_t>(table_index)]
                               .fields[static_cast<size_t>(field_index)];
-  if (!field.mutable_across_updates) {
-    update = 0;
-  } else if (update > 0) {
-    // Point-in-time semantics: a mutable field's value at time unit t is
-    // the value written by the LAST update that selected this row (the
-    // update black box selects a subset per unit). Unit 0 — the base
-    // load — always applies.
-    while (update > 0 && !RowChangesInUpdate(table_index, row, update)) {
-      --update;
-    }
-  }
-  GeneratorContext context(this, table_index, row, update,
-                           FieldSeed(table_index, field_index, row, update));
-  if (field.generator == nullptr) {
-    out->SetNull();
-    return;
-  }
-  field.generator->Generate(&context, out);
+  update = field.mutable_across_updates
+               ? EffectiveUpdate(table_index, row, update)
+               : 0;
+  GenerateFieldResolved(table_index, field_index, row, update, out);
 }
 
 void GenerationSession::GenerateRow(int table_index, uint64_t row,
@@ -182,9 +201,62 @@ void GenerationSession::GenerateRow(int table_index, uint64_t row,
                                     std::vector<Value>* out) const {
   const TableDef& table = schema_->tables[static_cast<size_t>(table_index)];
   out->resize(table.fields.size());
+  // Resolve the effective update ONCE per row: the backward scan over
+  // the update history is a pure function of (table, row, update), so
+  // re-running it for every mutable field of the row — O(fields x
+  // updates) — only repeated identical work. Tables without mutable
+  // fields skip the scan entirely.
+  uint64_t effective = 0;
+  if (update > 0 && table_has_mutable_[static_cast<size_t>(table_index)]) {
+    effective = EffectiveUpdate(table_index, row, update);
+  }
   for (size_t f = 0; f < table.fields.size(); ++f) {
-    GenerateField(table_index, static_cast<int>(f), row, update,
-                  &(*out)[f]);
+    GenerateFieldResolved(
+        table_index, static_cast<int>(f), row,
+        table.fields[f].mutable_across_updates ? effective : 0, &(*out)[f]);
+  }
+}
+
+void GenerationSession::GenerateBatch(int table_index, const uint64_t* rows,
+                                      size_t row_count, uint64_t update,
+                                      RowBatch* out) const {
+  const TableDef& table = schema_->tables[static_cast<size_t>(table_index)];
+  out->Reset(table.fields.size(), rows, row_count);
+  // Per-row effective updates, resolved once and shared by every mutable
+  // field of the batch (the scalar path resolves per row; both are one
+  // backward scan per row, so values agree bit for bit).
+  const uint64_t* updates = nullptr;
+  if (update > 0 && table_has_mutable_[static_cast<size_t>(table_index)]) {
+    std::vector<uint64_t>& effective = out->mutable_effective_updates();
+    effective.resize(row_count);
+    for (size_t i = 0; i < row_count; ++i) {
+      effective[i] = EffectiveUpdate(table_index, rows[i], update);
+    }
+    updates = effective.data();
+  }
+  for (size_t f = 0; f < table.fields.size(); ++f) {
+    const FieldDef& field = table.fields[f];
+    ValueColumn& column = out->column(f);
+    if (field.generator == nullptr) {
+      for (size_t i = 0; i < row_count; ++i) column.value(i)->SetNull();
+    } else if (field.mutable_across_updates && updates != nullptr) {
+      // Cold path: per-row effective updates vary, so seeds take the
+      // full per-cell walk.
+      BatchContext context(this, table_index, static_cast<int>(f), rows,
+                           row_count, updates);
+      field.generator->GenerateBatch(&context, &column);
+    } else {
+      // Hot path: one hoisted update-level derivation for the whole
+      // column, a single DeriveSeed per cell.
+      const uint64_t field_update =
+          field.mutable_across_updates ? update : 0;
+      BatchContext context(
+          this, table_index, static_cast<int>(f), rows, row_count,
+          field_update,
+          HoistedFieldBase(table_index, static_cast<int>(f), field_update));
+      field.generator->GenerateBatch(&context, &column);
+    }
+    column.RefreshNullMask();
   }
 }
 
@@ -208,13 +280,19 @@ std::vector<std::vector<std::string>> GenerationSession::Preview(
   std::vector<std::vector<std::string>> rows;
   uint64_t count = TableRows(table_index);
   if (limit < count) count = limit;
-  std::vector<Value> row;
-  for (uint64_t r = 0; r < count; ++r) {
-    GenerateRow(table_index, r, 0, &row);
+  std::vector<uint64_t> row_indices(count);
+  std::iota(row_indices.begin(), row_indices.end(), uint64_t{0});
+  RowBatch batch;
+  GenerateBatch(table_index, row_indices.data(), row_indices.size(), 0,
+                &batch);
+  rows.reserve(batch.row_count());
+  for (size_t r = 0; r < batch.row_count(); ++r) {
     std::vector<std::string> formatted;
-    formatted.reserve(row.size());
-    for (const Value& value : row) {
-      formatted.push_back(value.is_null() ? "NULL" : value.ToText());
+    formatted.reserve(batch.column_count());
+    for (size_t f = 0; f < batch.column_count(); ++f) {
+      const ValueColumn& column = batch.column(f);
+      formatted.push_back(column.is_null(r) ? "NULL"
+                                            : column.get(r).ToText());
     }
     rows.push_back(std::move(formatted));
   }
@@ -222,24 +300,31 @@ std::vector<std::vector<std::string>> GenerationSession::Preview(
 }
 
 double GenerationSession::EstimateRowBytes(int table_index) const {
-  const TableDef& table = schema_->tables[static_cast<size_t>(table_index)];
   uint64_t rows = TableRows(table_index);
   uint64_t sample = rows < 64 ? rows : 64;
   if (sample == 0) return 1.0;
   uint64_t stride = rows / sample;
   if (stride == 0) stride = 1;
-  std::vector<Value> row;
+  std::vector<uint64_t> sample_rows(sample);
+  for (uint64_t i = 0; i < sample; ++i) sample_rows[i] = i * stride;
+  RowBatch batch;
+  GenerateBatch(table_index, sample_rows.data(), sample_rows.size(), 0,
+                &batch);
+  // Size the sampled cells through the formatter kernels into ONE reused
+  // buffer — no per-cell ToText() string allocation (the old code built
+  // and discarded a fresh std::string per sampled cell).
+  std::string scratch;
   uint64_t total = 0;
-  for (uint64_t i = 0; i < sample; ++i) {
-    GenerateRow(table_index, i * stride, 0, &row);
-    uint64_t bytes = row.empty() ? 0 : row.size() - 1;  // separators
-    for (const Value& value : row) {
-      bytes += value.ToText().size();
+  const size_t fields = batch.column_count();
+  for (size_t r = 0; r < batch.row_count(); ++r) {
+    scratch.clear();
+    for (size_t f = 0; f < fields; ++f) {
+      batch.column(f).get(r).AppendText(&scratch);  // NULL appends nothing
     }
-    total += bytes + 1;  // newline
+    total += scratch.size() + (fields > 0 ? fields - 1 : 0)  // separators
+             + 1;                                            // newline
   }
   double estimate = static_cast<double>(total) / static_cast<double>(sample);
-  (void)table;
   return estimate < 1.0 ? 1.0 : estimate;
 }
 

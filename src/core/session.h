@@ -14,6 +14,8 @@
 
 namespace pdgf {
 
+class RowBatch;
+
 // A SchemaDef resolved for generation: property expressions evaluated
 // (with optional command-line-style overrides), table sizes and update
 // counts computed, and the seeding hierarchy's table/column seeds cached
@@ -48,6 +50,34 @@ class GenerationSession {
   uint64_t FieldSeed(int table_index, int field_index, uint64_t row,
                      uint64_t update) const;
 
+  // Seed hoisting (batch pipeline). The per-field seed factors as
+  //
+  //   FieldSeed(t, f, row, u) == SeedForRow(HoistedFieldBase(t, f, u), row)
+  //
+  // because FieldSeed first derives the update-level seed from the cached
+  // column seed and only then folds in the row. HoistedFieldBase IS that
+  // update-level seed; across a batch generated at one update it is
+  // loop-invariant, so each cell pays a single DeriveSeed instead of the
+  // two-step walk. Identity is exact — the batch/scalar parity tests
+  // assert it per generated value.
+  uint64_t HoistedFieldBase(int table_index, int field_index,
+                            uint64_t update) const {
+    return DeriveSeed(column_seeds_[static_cast<size_t>(table_index)]
+                                   [static_cast<size_t>(field_index)] ^
+                          kUpdateLevel,
+                      update);
+  }
+  static uint64_t SeedForRow(uint64_t hoisted_base, uint64_t row) {
+    return DeriveSeed(hoisted_base ^ kRowLevel, row);
+  }
+
+  // The effective time unit of `row` at `update` under point-in-time
+  // semantics: the last unit <= `update` whose update black box selected
+  // the row (unit 0, the base load, always applies). Resolved once per
+  // row and shared by every mutable field of that row.
+  uint64_t EffectiveUpdate(int table_index, uint64_t row,
+                           uint64_t update) const;
+
   // Generates one field value. `update` is clamped to 0 for fields not
   // marked mutable_across_updates.
   void GenerateField(int table_index, int field_index, uint64_t row,
@@ -56,6 +86,13 @@ class GenerationSession {
   // Generates a full row into `out` (resized to the field count).
   void GenerateRow(int table_index, uint64_t row, uint64_t update,
                    std::vector<Value>* out) const;
+
+  // Batch generation (core/batch.h): generates the `row_count` global
+  // rows listed in `rows` at time unit `update` into `out`, one column
+  // at a time with hoisted seed derivation. Values, null masks and
+  // update semantics are bit-identical to `row_count` GenerateRow calls.
+  void GenerateBatch(int table_index, const uint64_t* rows,
+                     size_t row_count, uint64_t update, RowBatch* out) const;
 
   // True if `row` of the table changes its mutable fields in time unit
   // `update` (> 0): PDGF's update black box selects a deterministic
@@ -76,6 +113,17 @@ class GenerationSession {
  private:
   GenerationSession() = default;
 
+  // Level tags keep the hierarchy's seed derivations domain-separated.
+  // kUpdateLevel/kRowLevel live here (not session.cc) so the inline
+  // hoisting helpers above can use them.
+  static constexpr uint64_t kUpdateLevel = 0x0bd8000000000003ULL;
+  static constexpr uint64_t kRowLevel = 0x20e000000000004ULL;
+
+  // Generates one field whose update has already been resolved to its
+  // effective unit (0 for immutable fields).
+  void GenerateFieldResolved(int table_index, int field_index, uint64_t row,
+                             uint64_t resolved_update, Value* out) const;
+
   const SchemaDef* schema_ = nullptr;
   std::map<std::string, double, std::less<>> property_values_;
   std::vector<uint64_t> table_seeds_;
@@ -83,6 +131,10 @@ class GenerationSession {
   std::vector<uint64_t> table_rows_;
   std::vector<uint64_t> table_updates_;
   std::vector<double> table_update_fractions_;
+  // 1 if any field of the table is mutable_across_updates: lets the
+  // per-row effective-update resolution be skipped entirely for the
+  // (common) tables without mutable fields.
+  std::vector<uint8_t> table_has_mutable_;
 };
 
 }  // namespace pdgf

@@ -173,8 +173,8 @@ Digest128 Hash128Bytes(std::string_view data, uint64_t seed) {
   return hash.Finish();
 }
 
-void TableDigest::AddRow(uint64_t row_index, std::string_view row_bytes,
-                         const std::vector<Value>& values) {
+void TableDigest::AddRowBytes(uint64_t row_index,
+                              std::string_view row_bytes) {
   // The row hash covers the formatted bytes, seeded with the global row
   // index so a row generated at the wrong coordinate changes the digest
   // even if its bytes happen to match another row's.
@@ -186,6 +186,18 @@ void TableDigest::AddRow(uint64_t row_index, std::string_view row_bytes,
   xor_hi_ ^= row_hash.hi;
   ++rows_;
   bytes_ += row_bytes.size();
+}
+
+void TableDigest::AddColumnValue(size_t column, const Value& value) {
+  if (column_sums_.size() <= column) {
+    column_sums_.resize(column + 1, 0);
+  }
+  column_sums_[column] += Mix64(HashValueForDigest(value) ^ kColumnSalt);
+}
+
+void TableDigest::AddRow(uint64_t row_index, std::string_view row_bytes,
+                         const std::vector<Value>& values) {
+  AddRowBytes(row_index, row_bytes);
   if (column_sums_.size() < values.size()) {
     column_sums_.resize(values.size(), 0);
   }

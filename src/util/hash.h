@@ -82,6 +82,18 @@ class TableDigest {
   void AddRow(uint64_t row_index, std::string_view row_bytes,
               const std::vector<Value>& values);
 
+  // Decomposed accumulation for the batch pipeline (every accumulator is
+  // commutative, so the row-byte and column-value contributions may
+  // arrive in any order and any interleaving):
+  //   AddRow(i, bytes, values) == AddRowBytes(i, bytes)
+  //                               + AddColumnValue(c, values[c]) for all c
+  // AddRowBytes folds the rendered bytes (seeded by the global row index)
+  // and bumps the row/byte counts; AddColumnValue folds one typed cell
+  // into column `column`'s checksum. The engine calls AddRowBytes per
+  // formatted row span and AddColumnValue column-major over a RowBatch.
+  void AddRowBytes(uint64_t row_index, std::string_view row_bytes);
+  void AddColumnValue(size_t column, const Value& value);
+
   // Commutative, associative combine of two partial digests.
   void Merge(const TableDigest& other);
 

@@ -1,0 +1,197 @@
+// Round-trip tests for the std::to_chars formatting kernels (ISSUE 3
+// satellite): AppendIntText / AppendDecimalText / AppendDoubleText
+// replaced the historical snprintf("%lld" / "%.*g") paths and must
+// render byte-identical text that parses back to the exact value.
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/value.h"
+#include "util/rng.h"
+
+namespace pdgf {
+namespace {
+
+std::string IntText(int64_t v) {
+  std::string out;
+  AppendIntText(v, &out);
+  return out;
+}
+
+std::string DecimalText(int64_t unscaled, int scale) {
+  std::string out;
+  AppendDecimalText(unscaled, scale, &out);
+  return out;
+}
+
+std::string DoubleText(double v) {
+  std::string out;
+  AppendDoubleText(v, &out);
+  return out;
+}
+
+TEST(FormatRoundtripTest, Int64ExtremesMatchPrintf) {
+  const int64_t cases[] = {0,
+                           1,
+                           -1,
+                           42,
+                           -42,
+                           999999999999LL,
+                           std::numeric_limits<int64_t>::max(),
+                           std::numeric_limits<int64_t>::min(),
+                           std::numeric_limits<int64_t>::min() + 1,
+                           std::numeric_limits<int64_t>::max() - 1};
+  for (int64_t v : cases) {
+    char expected[32];
+    std::snprintf(expected, sizeof(expected), "%" PRId64, v);
+    EXPECT_EQ(IntText(v), expected) << v;
+    // Round trip through strtoll.
+    EXPECT_EQ(std::strtoll(IntText(v).c_str(), nullptr, 10), v);
+  }
+}
+
+TEST(FormatRoundtripTest, Int64RandomMatchesPrintf) {
+  Xorshift64 rng(20260806);
+  for (int i = 0; i < 10000; ++i) {
+    int64_t v = static_cast<int64_t>(rng.Next());
+    char expected[32];
+    std::snprintf(expected, sizeof(expected), "%" PRId64, v);
+    EXPECT_EQ(IntText(v), expected);
+  }
+}
+
+TEST(FormatRoundtripTest, DecimalScales0Through12) {
+  // For every scale, the rendering must equal the historical
+  // "%s%llu.%0*llu" (sign, whole, '.', zero-padded fraction) and parse
+  // back to the exact unscaled value.
+  for (int scale = 0; scale <= 12; ++scale) {
+    const int64_t samples[] = {0,
+                               1,
+                               -1,
+                               7,
+                               -7,
+                               123456789,
+                               -123456789,
+                               1000000000000LL,
+                               -999999999999999LL,
+                               std::numeric_limits<int64_t>::max(),
+                               std::numeric_limits<int64_t>::min() + 1};
+    for (int64_t unscaled : samples) {
+      std::string text = DecimalText(unscaled, scale);
+      char expected[64];
+      if (scale <= 0) {
+        std::snprintf(expected, sizeof(expected), "%" PRId64, unscaled);
+      } else {
+        uint64_t pow10 = 1;
+        for (int i = 0; i < scale; ++i) pow10 *= 10;
+        bool negative = unscaled < 0;
+        uint64_t magnitude = negative
+                                 ? 0ULL - static_cast<uint64_t>(unscaled)
+                                 : static_cast<uint64_t>(unscaled);
+        std::snprintf(expected, sizeof(expected),
+                      "%s%" PRIu64 ".%0*" PRIu64,
+                      negative ? "-" : "", magnitude / pow10, scale,
+                      magnitude % pow10);
+      }
+      EXPECT_EQ(text, expected) << "unscaled=" << unscaled
+                                << " scale=" << scale;
+      // Round trip: strip sign and '.', rebuild the unscaled integer.
+      if (scale > 0) {
+        uint64_t rebuilt = 0;
+        bool negative = false;
+        for (char c : text) {
+          if (c == '-') {
+            negative = true;
+          } else if (c != '.') {
+            rebuilt = rebuilt * 10 + static_cast<uint64_t>(c - '0');
+          }
+        }
+        int64_t signed_rebuilt =
+            negative ? -static_cast<int64_t>(rebuilt)
+                     : static_cast<int64_t>(rebuilt);
+        if (unscaled != std::numeric_limits<int64_t>::min()) {
+          EXPECT_EQ(signed_rebuilt, unscaled)
+              << "text=" << text << " scale=" << scale;
+        }
+      }
+    }
+  }
+}
+
+TEST(FormatRoundtripTest, DecimalValueTextMatchesKernel) {
+  Value v = Value::Decimal(-1234567, 4);
+  EXPECT_EQ(v.ToText(), "-123.4567");
+  EXPECT_EQ(Value::Decimal(5, 2).ToText(), "0.05");
+  EXPECT_EQ(Value::Decimal(-5, 2).ToText(), "-0.05");
+  EXPECT_EQ(Value::Decimal(100, 2).ToText(), "1.00");
+  EXPECT_EQ(Value::Decimal(7, 0).ToText(), "7");
+}
+
+TEST(FormatRoundtripTest, DoubleShortestRendersRoundTrip) {
+  // The precision ladder {6, 15, 17} must produce text that strtod
+  // parses back to the identical bits.
+  const double cases[] = {0.0,
+                          1.0,
+                          -1.0,
+                          0.1,
+                          1.0 / 3.0,
+                          3.141592653589793,
+                          2.718281828459045,
+                          1e-300,
+                          -1e300,
+                          123456.789,
+                          0.30000000000000004,
+                          std::numeric_limits<double>::denorm_min(),
+                          std::numeric_limits<double>::max(),
+                          std::numeric_limits<double>::min()};
+  for (double v : cases) {
+    std::string text = DoubleText(v);
+    double parsed = std::strtod(text.c_str(), nullptr);
+    EXPECT_EQ(parsed, v) << "text=" << text;
+  }
+}
+
+TEST(FormatRoundtripTest, DoubleRandomRoundTripAndLadderParity) {
+  // Random doubles: to_chars(general, p) is specified to match
+  // printf("%.*g", p); assert both the historical byte-parity and the
+  // exact round trip through the ladder's chosen precision.
+  Xorshift64 rng(987654321);
+  for (int i = 0; i < 5000; ++i) {
+    uint64_t bits = rng.Next();
+    double v;
+    std::memcpy(&v, &bits, sizeof(v));
+    if (!std::isfinite(v)) continue;
+    std::string text = DoubleText(v);
+    // Byte parity with the historical snprintf ladder.
+    char expected[64];
+    for (int precision : {6, 15, 17}) {
+      std::snprintf(expected, sizeof(expected), "%.*g", precision, v);
+      double parsed = std::strtod(expected, nullptr);
+      if (parsed == v || precision == 17) break;
+    }
+    EXPECT_EQ(text, expected) << "bits=" << bits;
+    // Exact round trip.
+    EXPECT_EQ(std::strtod(text.c_str(), nullptr), v) << "text=" << text;
+  }
+}
+
+TEST(FormatRoundtripTest, ValueToTextUsesKernels) {
+  EXPECT_EQ(Value::Int(std::numeric_limits<int64_t>::min()).ToText(),
+            "-9223372036854775808");
+  EXPECT_EQ(Value::Int(std::numeric_limits<int64_t>::max()).ToText(),
+            "9223372036854775807");
+  EXPECT_EQ(Value::Double(0.5).ToText(), "0.5");
+  EXPECT_EQ(Value::Bool(true).ToText(), "true");
+  EXPECT_EQ(Value::Null().ToText(), "");
+}
+
+}  // namespace
+}  // namespace pdgf

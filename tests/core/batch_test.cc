@@ -1,0 +1,449 @@
+// Batch/scalar parity suite (ISSUE 3 tentpole). The batched pipeline —
+// RowBatch generation with hoisted seed derivation, AppendBatch
+// formatting kernels, column-major digest accumulation — must be
+// BIT-identical to the scalar per-row pipeline for every model, batch
+// size (including ragged tails), update mode and worker count. These
+// tests assert that identity value-by-value, byte-by-byte and
+// digest-by-digest.
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/batch.h"
+#include "core/engine.h"
+#include "core/generators/generators.h"
+#include "core/output/formatter.h"
+#include "core/session.h"
+#include "util/hash.h"
+#include "workloads/imdb.h"
+
+namespace pdgf {
+namespace {
+
+// A schema exercising every batch-overridden generator plus a meta
+// generator (NullGenerator) that runs through the default scalar
+// fallback, plus an updatable table for the varying-update cold path.
+SchemaDef MakeMixedSchema() {
+  SchemaDef schema;
+  schema.name = "batch_parity";
+  schema.seed = 1234;
+
+  TableDef dim;
+  dim.name = "dim";
+  dim.size_expression = "97";
+
+  FieldDef dim_id;
+  dim_id.name = "id";
+  dim_id.type = DataType::kBigInt;
+  dim_id.generator = GeneratorPtr(new IdGenerator(1, 1));
+  dim.fields.push_back(std::move(dim_id));
+
+  FieldDef dim_price;
+  dim_price.name = "price";
+  dim_price.type = DataType::kDecimal;
+  dim_price.generator = GeneratorPtr(new DoubleGenerator(0.5, 999.75, 2));
+  dim.fields.push_back(std::move(dim_price));
+
+  schema.tables.push_back(std::move(dim));
+
+  TableDef fact;
+  fact.name = "fact";
+  fact.size_expression = "523";  // prime: ragged against every batch size
+
+  FieldDef id;
+  id.name = "id";
+  id.type = DataType::kBigInt;
+  id.generator = GeneratorPtr(new IdGenerator(100, 3));
+  fact.fields.push_back(std::move(id));
+
+  FieldDef quantity;
+  quantity.name = "quantity";
+  quantity.type = DataType::kBigInt;
+  quantity.generator = GeneratorPtr(new LongGenerator(1, 50));
+  fact.fields.push_back(std::move(quantity));
+
+  FieldDef ratio;
+  ratio.name = "ratio";
+  ratio.type = DataType::kDouble;
+  ratio.generator = GeneratorPtr(new DoubleGenerator(0.0, 1.0, -1));
+  fact.fields.push_back(std::move(ratio));
+
+  FieldDef shipped;
+  shipped.name = "shipped";
+  shipped.type = DataType::kDate;
+  shipped.generator = GeneratorPtr(new DateGenerator(
+      Date::FromCivil(1992, 1, 1), Date::FromCivil(1998, 12, 31)));
+  fact.fields.push_back(std::move(shipped));
+
+  FieldDef mode;
+  mode.name = "mode";
+  mode.type = DataType::kVarchar;
+  {
+    auto dictionary = std::make_shared<Dictionary>();
+    dictionary->Add("AIR", 4);
+    dictionary->Add("RAIL", 3);
+    dictionary->Add("SHIP", 2);
+    dictionary->Add("TRUCK", 1);
+    dictionary->Finalize();
+    mode.generator = GeneratorPtr(new DictListGenerator(
+        std::move(dictionary), "", DictListGenerator::Method::kCumulative,
+        /*skew=*/0));
+  }
+  fact.fields.push_back(std::move(mode));
+
+  FieldDef bucketed;
+  bucketed.name = "bucketed";
+  bucketed.type = DataType::kBigInt;
+  bucketed.generator = GeneratorPtr(new HistogramGenerator(
+      0.0, 1000.0, {1, 5, 2, 8, 4}, HistogramGenerator::Output::kLong));
+  fact.fields.push_back(std::move(bucketed));
+
+  FieldDef ref;
+  ref.name = "dim_id";
+  ref.type = DataType::kBigInt;
+  ref.generator = GeneratorPtr(new DefaultReferenceGenerator("dim", "id"));
+  fact.fields.push_back(std::move(ref));
+
+  FieldDef comment;
+  comment.name = "comment";
+  comment.type = DataType::kVarchar;
+  // NullGenerator has no batch override: exercises the default scalar
+  // fallback (and the null masks) inside a batched column.
+  comment.generator = GeneratorPtr(new NullGenerator(
+      0.25, GeneratorPtr(new RandomStringGenerator(3, 12))));
+  fact.fields.push_back(std::move(comment));
+
+  schema.tables.push_back(std::move(fact));
+  return schema;
+}
+
+// An updatable schema: mutable fields make the per-row effective-update
+// resolution (and the varying-update BatchContext cold path) run.
+SchemaDef MakeUpdatableSchema() {
+  SchemaDef schema;
+  schema.name = "batch_updates";
+  schema.seed = 77;
+
+  TableDef table;
+  table.name = "accounts";
+  table.size_expression = "300";
+  table.updates_expression = "5";
+  table.update_fraction = 0.3;
+
+  FieldDef id;
+  id.name = "id";
+  id.type = DataType::kBigInt;
+  id.generator = GeneratorPtr(new IdGenerator(1, 1));
+  id.mutable_across_updates = false;
+  table.fields.push_back(std::move(id));
+
+  FieldDef balance;
+  balance.name = "balance";
+  balance.type = DataType::kBigInt;
+  balance.generator = GeneratorPtr(new LongGenerator(0, 1 << 30));
+  balance.mutable_across_updates = true;
+  table.fields.push_back(std::move(balance));
+
+  FieldDef category;
+  category.name = "category";
+  category.type = DataType::kBigInt;
+  category.generator = GeneratorPtr(new LongGenerator(0, 1 << 30));
+  category.mutable_across_updates = false;
+  table.fields.push_back(std::move(category));
+
+  schema.tables.push_back(std::move(table));
+  return schema;
+}
+
+// Asserts GenerateBatch == N x GenerateRow for every row/field of every
+// table of `session` at time unit `update`, for the given batch size.
+void ExpectBatchMatchesScalar(const GenerationSession& session,
+                              uint64_t update, size_t batch_size) {
+  const SchemaDef& schema = session.schema();
+  RowBatch batch;
+  std::vector<uint64_t> rows;
+  std::vector<Value> scalar_row;
+  for (size_t t = 0; t < schema.tables.size(); ++t) {
+    const int table_index = static_cast<int>(t);
+    const uint64_t table_rows = session.TableRows(table_index);
+    for (uint64_t start = 0; start < table_rows;
+         start += static_cast<uint64_t>(batch_size)) {
+      uint64_t stop = start + static_cast<uint64_t>(batch_size);
+      if (stop > table_rows) stop = table_rows;
+      rows.clear();
+      for (uint64_t r = start; r < stop; ++r) {
+        if (update > 0 &&
+            !session.RowChangesInUpdate(table_index, r, update)) {
+          continue;
+        }
+        rows.push_back(r);
+      }
+      if (rows.empty()) continue;
+      session.GenerateBatch(table_index, rows.data(), rows.size(), update,
+                            &batch);
+      ASSERT_EQ(batch.row_count(), rows.size());
+      ASSERT_EQ(batch.column_count(), schema.tables[t].fields.size());
+      for (size_t i = 0; i < rows.size(); ++i) {
+        session.GenerateRow(table_index, rows[i], update, &scalar_row);
+        for (size_t f = 0; f < scalar_row.size(); ++f) {
+          const Value& batched = batch.column(f).get(i);
+          EXPECT_TRUE(batched == scalar_row[f])
+              << "table " << schema.tables[t].name << " row " << rows[i]
+              << " field " << f << " batch_size " << batch_size
+              << " update " << update << ": batch='" << batched.ToText()
+              << "' scalar='" << scalar_row[f].ToText() << "'";
+          EXPECT_EQ(batched.kind(), scalar_row[f].kind());
+          EXPECT_EQ(batch.column(f).is_null(i), scalar_row[f].is_null());
+        }
+      }
+    }
+  }
+}
+
+TEST(BatchParityTest, MixedSchemaAllBatchSizes) {
+  SchemaDef schema = MakeMixedSchema();
+  auto session = GenerationSession::Create(&schema);
+  ASSERT_TRUE(session.ok()) << session.status().ToString();
+  // Sizes straddling the 523-row table: singleton batches, odd sizes,
+  // a power of two, and one larger than the table (single ragged batch).
+  for (size_t batch_size : {1u, 7u, 64u, 523u, 1000u}) {
+    ExpectBatchMatchesScalar(**session, /*update=*/0, batch_size);
+  }
+}
+
+TEST(BatchParityTest, UpdateModeMatchesScalar) {
+  SchemaDef schema = MakeUpdatableSchema();
+  auto session = GenerationSession::Create(&schema);
+  ASSERT_TRUE(session.ok()) << session.status().ToString();
+  const uint64_t updates = (*session)->TableUpdates(0);
+  ASSERT_GE(updates, 2u);
+  for (uint64_t update = 0; update <= updates; ++update) {
+    ExpectBatchMatchesScalar(**session, update, 37);
+  }
+}
+
+TEST(BatchParityTest, BundledModelsMatchScalar) {
+  // The shipped models run every builtin generator family through the
+  // batch path.
+  for (const char* model : {"tpch", "ssb", "imdb"}) {
+    auto schema = workloads::BuildBundledModel(model);
+    ASSERT_TRUE(schema.ok()) << schema.status().ToString();
+    std::map<std::string, std::string> overrides;
+    if (std::string(model) != "imdb") overrides["SF"] = "0.002";
+    auto session = GenerationSession::Create(&*schema, overrides);
+    ASSERT_TRUE(session.ok()) << session.status().ToString();
+    ExpectBatchMatchesScalar(**session, /*update=*/0, 113);
+  }
+}
+
+TEST(BatchParityTest, SeedHoistingIdentity) {
+  SchemaDef schema = MakeMixedSchema();
+  auto session = GenerationSession::Create(&schema);
+  ASSERT_TRUE(session.ok());
+  // FieldSeed(t, f, row, u) == SeedForRow(HoistedFieldBase(t, f, u), row)
+  // — the algebraic identity the whole batch fast path rests on.
+  for (int t = 0; t < 2; ++t) {
+    const size_t fields = schema.tables[static_cast<size_t>(t)].fields.size();
+    for (size_t f = 0; f < fields; ++f) {
+      for (uint64_t u : {0ull, 1ull, 3ull}) {
+        const uint64_t base =
+            (*session)->HoistedFieldBase(t, static_cast<int>(f), u);
+        for (uint64_t row : {0ull, 1ull, 17ull, 96ull, 1000000ull}) {
+          EXPECT_EQ(GenerationSession::SeedForRow(base, row),
+                    (*session)->FieldSeed(t, static_cast<int>(f), row, u));
+        }
+      }
+    }
+  }
+}
+
+TEST(BatchParityTest, FormatterBatchMatchesRowLoop) {
+  SchemaDef schema = MakeMixedSchema();
+  auto session = GenerationSession::Create(&schema);
+  ASSERT_TRUE(session.ok());
+  const int table_index = 1;
+  const TableDef& table = schema.tables[1];
+  const uint64_t table_rows = (*session)->TableRows(table_index);
+  std::vector<uint64_t> rows(table_rows);
+  for (uint64_t r = 0; r < table_rows; ++r) rows[r] = r;
+  RowBatch batch;
+  (*session)->GenerateBatch(table_index, rows.data(), rows.size(), 0,
+                            &batch);
+
+  CsvFormatter csv('|', '"', "NULL");
+  std::string batched;
+  std::vector<size_t> offsets;
+  csv.AppendBatch(table, batch, &batched, &offsets);
+
+  std::string scalar;
+  std::vector<Value> row;
+  std::vector<size_t> scalar_offsets;
+  for (uint64_t r = 0; r < table_rows; ++r) {
+    scalar_offsets.push_back(scalar.size());
+    (*session)->GenerateRow(table_index, r, 0, &row);
+    csv.AppendRow(table, row, &scalar);
+  }
+  scalar_offsets.push_back(scalar.size());
+
+  EXPECT_EQ(batched, scalar);
+  ASSERT_EQ(offsets.size(), scalar_offsets.size());
+  EXPECT_EQ(offsets, scalar_offsets);
+
+  // JSON exercises the default AppendBatch fallback.
+  JsonFormatter json;
+  std::string json_batched;
+  json.AppendBatch(table, batch, &json_batched, &offsets);
+  std::string json_scalar;
+  for (uint64_t r = 0; r < table_rows; ++r) {
+    (*session)->GenerateRow(table_index, r, 0, &row);
+    json.AppendRow(table, row, &json_scalar);
+  }
+  EXPECT_EQ(json_batched, json_scalar);
+  EXPECT_EQ(offsets.size(), table_rows + 1);
+}
+
+TEST(BatchParityTest, DecomposedDigestMatchesAddRow) {
+  SchemaDef schema = MakeMixedSchema();
+  auto session = GenerationSession::Create(&schema);
+  ASSERT_TRUE(session.ok());
+  const int table_index = 1;
+  const TableDef& table = schema.tables[1];
+  const uint64_t table_rows = (*session)->TableRows(table_index);
+  std::vector<uint64_t> rows(table_rows);
+  for (uint64_t r = 0; r < table_rows; ++r) rows[r] = r;
+  RowBatch batch;
+  (*session)->GenerateBatch(table_index, rows.data(), rows.size(), 0,
+                            &batch);
+  CsvFormatter csv;
+  std::string bytes;
+  std::vector<size_t> offsets;
+  csv.AppendBatch(table, batch, &bytes, &offsets);
+
+  // Batch-style accumulation: row bytes first, then columns column-major.
+  TableDigest decomposed;
+  const std::string_view view(bytes);
+  for (size_t i = 0; i < batch.row_count(); ++i) {
+    decomposed.AddRowBytes(batch.row_index(i),
+                           view.substr(offsets[i], offsets[i + 1] - offsets[i]));
+  }
+  for (size_t c = 0; c < batch.column_count(); ++c) {
+    for (size_t i = 0; i < batch.row_count(); ++i) {
+      decomposed.AddColumnValue(c, batch.column(c).get(i));
+    }
+  }
+
+  // Scalar AddRow accumulation over the same data.
+  TableDigest scalar;
+  std::vector<Value> row;
+  std::string scalar_bytes;
+  for (uint64_t r = 0; r < table_rows; ++r) {
+    (*session)->GenerateRow(table_index, r, 0, &row);
+    size_t row_start = scalar_bytes.size();
+    csv.AppendRow(table, row, &scalar_bytes);
+    scalar.AddRow(r, std::string_view(scalar_bytes).substr(row_start), row);
+  }
+
+  EXPECT_EQ(decomposed, scalar);
+  EXPECT_EQ(decomposed.Hex(), scalar.Hex());
+}
+
+// Full-engine parity: the batch pipeline and the legacy scalar pipeline
+// must deliver identical bytes and digests for every combination of
+// worker count and batch size, including update mode.
+TEST(BatchParityTest, EnginePipelinesProduceIdenticalDigests) {
+  SchemaDef schema = MakeMixedSchema();
+  auto session = GenerationSession::Create(&schema);
+  ASSERT_TRUE(session.ok());
+  CsvFormatter formatter;
+
+  auto run = [&](bool scalar_pipeline, int workers, uint64_t batch_size,
+                 uint64_t update) {
+    GenerationOptions options;
+    options.worker_count = workers;
+    options.work_package_rows = 100;
+    options.batch_rows = batch_size;
+    options.scalar_pipeline = scalar_pipeline;
+    options.compute_digests = true;
+    options.update = update;
+    auto stats = GenerateToNull(**session, formatter, options);
+    EXPECT_TRUE(stats.ok()) << stats.status().ToString();
+    return *stats;
+  };
+
+  const GenerationEngine::Stats baseline = run(true, 1, 1024, 0);
+  for (int workers : {1, 3}) {
+    for (uint64_t batch_size : {1ull, 33ull, 1024ull}) {
+      GenerationEngine::Stats batched = run(false, workers, batch_size, 0);
+      ASSERT_EQ(batched.table_digests.size(),
+                baseline.table_digests.size());
+      EXPECT_EQ(batched.rows, baseline.rows);
+      EXPECT_EQ(batched.bytes, baseline.bytes);
+      for (size_t t = 0; t < baseline.table_digests.size(); ++t) {
+        EXPECT_EQ(batched.table_digests[t].Hex(),
+                  baseline.table_digests[t].Hex())
+            << "workers=" << workers << " batch=" << batch_size
+            << " table=" << t;
+      }
+    }
+  }
+}
+
+TEST(BatchParityTest, EngineUpdateModeParity) {
+  SchemaDef schema = MakeUpdatableSchema();
+  auto session = GenerationSession::Create(&schema);
+  ASSERT_TRUE(session.ok());
+  CsvFormatter formatter;
+  for (uint64_t update : {1ull, 4ull}) {
+    GenerationOptions scalar_options;
+    scalar_options.worker_count = 1;
+    scalar_options.work_package_rows = 64;
+    scalar_options.scalar_pipeline = true;
+    scalar_options.compute_digests = true;
+    scalar_options.update = update;
+    auto scalar = GenerateToNull(**session, formatter, scalar_options);
+    ASSERT_TRUE(scalar.ok());
+
+    GenerationOptions batch_options = scalar_options;
+    batch_options.scalar_pipeline = false;
+    batch_options.batch_rows = 17;
+    batch_options.worker_count = 2;
+    auto batched = GenerateToNull(**session, formatter, batch_options);
+    ASSERT_TRUE(batched.ok());
+
+    EXPECT_EQ(batched->rows, scalar->rows);
+    ASSERT_EQ(batched->table_digests.size(), scalar->table_digests.size());
+    for (size_t t = 0; t < scalar->table_digests.size(); ++t) {
+      EXPECT_EQ(batched->table_digests[t].Hex(),
+                scalar->table_digests[t].Hex())
+          << "update=" << update << " table=" << t;
+    }
+  }
+}
+
+TEST(BatchParityTest, GenerateTableToStringMatchesScalarEngine) {
+  SchemaDef schema = MakeMixedSchema();
+  auto session = GenerationSession::Create(&schema);
+  ASSERT_TRUE(session.ok());
+  CsvFormatter formatter;
+  auto batched = GenerateTableToString(**session, 1, formatter);
+  ASSERT_TRUE(batched.ok());
+
+  // Reference rendering: plain scalar loop.
+  const TableDef& table = schema.tables[1];
+  std::string expected;
+  formatter.AppendHeader(table, &expected);
+  std::vector<Value> row;
+  const uint64_t rows = (*session)->TableRows(1);
+  for (uint64_t r = 0; r < rows; ++r) {
+    (*session)->GenerateRow(1, r, 0, &row);
+    formatter.AppendRow(table, row, &expected);
+  }
+  formatter.AppendFooter(table, &expected);
+  EXPECT_EQ(*batched, expected);
+}
+
+}  // namespace
+}  // namespace pdgf

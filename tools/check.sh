@@ -36,6 +36,10 @@ if [[ "$RUN_TIER1" == 1 ]]; then
   # Best-of-5 engine runs with metrics off vs. on at a tiny scale factor;
   # exits non-zero if the delta exceeds METRICS_GATE_PCT (default 10).
   run ./build/bench/bench_fig5_scaleup 0.005 --overhead-gate
+  echo "=== tier-1: batch pipeline gate (fail if batch < 1.2x scalar) ==="
+  # Best-of-5 scalar vs. batch pipeline runs on identical work; exits
+  # non-zero unless batch rows/s >= BATCH_GATE_X (default 1.2) x scalar.
+  run ./build/bench/bench_fig5_scaleup 0.005 --batch-gate
 fi
 
 if [[ "$RUN_ASAN" == 1 ]]; then
@@ -51,7 +55,7 @@ if [[ "$RUN_TSAN" == 1 ]]; then
   run cmake --build --preset tsan -j "$(nproc)" --target \
     tests_core tests_integration tests_cli
   run ctest --preset tsan -R \
-    "Engine|Digest|SimCluster|Progress|Determinism|Cli|Metrics|NodeShare"
+    "Engine|Digest|SimCluster|Progress|Determinism|Cli|Metrics|NodeShare|Batch"
 fi
 
 echo "all requested tiers passed"
