@@ -31,6 +31,14 @@
 //                    unless batch rows/s >= 1.2x scalar rows/s (env
 //                    BATCH_GATE_X overrides the factor). Prints
 //                    machine-readable "batch_speedup_x=".
+//   --writer-gate    run inline writes vs. the async writer stage
+//                    against a throttled (slow) sink, best-of-3 each,
+//                    and exit 1 unless async wall clock beats inline by
+//                    WRITER_GATE_X (default 1.1x). Also fails if the
+//                    async default regresses a NullSink run by more
+//                    than WRITER_REGRESSION_PCT (default 5%). Prints
+//                    machine-readable "writer_speedup_x=" and
+//                    "writer_default_regression_pct=".
 
 #include <cstdio>
 #include <cstdlib>
@@ -51,7 +59,7 @@ namespace {
 pdgf::StatusOr<pdgf::GenerationEngine::Stats> BestOfRuns(
     const pdgf::GenerationSession& session,
     const pdgf::RowFormatter& formatter, int repeats, bool metrics,
-    bool scalar_pipeline = false) {
+    bool scalar_pipeline = false, int writer_threads = 1) {
   pdgf::GenerationEngine::Stats best;
   bool have_best = false;
   for (int i = 0; i < repeats; ++i) {
@@ -60,6 +68,7 @@ pdgf::StatusOr<pdgf::GenerationEngine::Stats> BestOfRuns(
     options.work_package_rows = 5000;
     options.metrics_enabled = metrics;
     options.scalar_pipeline = scalar_pipeline;
+    options.writer_threads = writer_threads;
     auto stats = GenerateToNull(session, formatter, options);
     if (!stats.ok()) return stats.status();
     if (!have_best || stats->seconds < best.seconds) {
@@ -107,11 +116,14 @@ int RunBatchGate(const pdgf::GenerationSession& session,
   const char* env = std::getenv("BATCH_GATE_X");
   const double required = env != nullptr ? std::atof(env) : 1.2;
   const int repeats = 5;
+  // Inline writes (writer_threads = 0): this gate compares the two
+  // *generation* pipelines, and on a 1-core container the async writer
+  // thread's fixed per-package cost would dilute the measured ratio.
   auto scalar =
       BestOfRuns(session, formatter, repeats, /*metrics=*/false,
-                 /*scalar_pipeline=*/true);
+                 /*scalar_pipeline=*/true, /*writer_threads=*/0);
   auto batch = BestOfRuns(session, formatter, repeats, /*metrics=*/false,
-                          /*scalar_pipeline=*/false);
+                          /*scalar_pipeline=*/false, /*writer_threads=*/0);
   if (!scalar.ok() || !batch.ok()) {
     std::fprintf(stderr, "gate run failed\n");
     return 1;
@@ -137,6 +149,118 @@ int RunBatchGate(const pdgf::GenerationSession& session,
   return 0;
 }
 
+// Best-of-N run against per-table ThrottledSinks (a deterministic slow
+// device); writer_threads selects inline (0) vs. async (>0) delivery.
+pdgf::StatusOr<pdgf::GenerationEngine::Stats> BestThrottledRun(
+    const pdgf::GenerationSession& session,
+    const pdgf::RowFormatter& formatter, int repeats,
+    double bytes_per_second, int writer_threads) {
+  pdgf::GenerationEngine::Stats best;
+  bool have_best = false;
+  for (int i = 0; i < repeats; ++i) {
+    pdgf::GenerationOptions options;
+    options.worker_count = 1;
+    options.work_package_rows = 5000;
+    options.writer_threads = writer_threads;
+    pdgf::SinkFactory factory =
+        [bytes_per_second](const pdgf::TableDef&)
+        -> pdgf::StatusOr<std::unique_ptr<pdgf::Sink>> {
+      return std::unique_ptr<pdgf::Sink>(
+          new pdgf::ThrottledSink(bytes_per_second, /*latency_seconds=*/0));
+    };
+    pdgf::GenerationEngine engine(&session, &formatter, factory, options);
+    pdgf::Status status = engine.Run();
+    if (!status.ok()) return status;
+    if (!have_best || engine.stats().seconds < best.seconds) {
+      best = engine.stats();
+      have_best = true;
+    }
+  }
+  return best;
+}
+
+// Async-writer gate (staged-pipeline tentpole). On a sink slow enough to
+// cost about one generation-time of sleep, inline delivery pays
+// generate + write serially while the async stage overlaps them, so
+// even this 1-core container sees a real wall-clock win (the sink
+// sleeps, it does not compute). Also guards the default scenario: the
+// async-by-default pipeline must not regress a NullSink run.
+int RunWriterGate(const pdgf::GenerationSession& session,
+                  const pdgf::RowFormatter& formatter, double* speedup_out,
+                  double* regression_out) {
+  const char* gate_env = std::getenv("WRITER_GATE_X");
+  const double required = gate_env != nullptr ? std::atof(gate_env) : 1.1;
+  const char* reg_env = std::getenv("WRITER_REGRESSION_PCT");
+  const double allowed_pct = reg_env != nullptr ? std::atof(reg_env) : 5.0;
+
+  // Calibrate the throttle so sink time roughly matches generation time
+  // (the regime the async stage is built for: neither side starves).
+  auto calibration =
+      BestOfRuns(session, formatter, /*repeats=*/3, /*metrics=*/false);
+  if (!calibration.ok()) {
+    std::fprintf(stderr, "gate calibration failed\n");
+    return 1;
+  }
+  const double bytes_per_second =
+      calibration->seconds > 0
+          ? static_cast<double>(calibration->bytes) / calibration->seconds
+          : 1e9;
+
+  auto inline_run = BestThrottledRun(session, formatter, /*repeats=*/3,
+                                     bytes_per_second, /*writer_threads=*/0);
+  auto async_run = BestThrottledRun(session, formatter, /*repeats=*/3,
+                                    bytes_per_second, /*writer_threads=*/1);
+  if (!inline_run.ok() || !async_run.ok()) {
+    std::fprintf(stderr, "gate run failed\n");
+    return 1;
+  }
+  const double speedup = async_run->seconds > 0
+                             ? inline_run->seconds / async_run->seconds
+                             : 0.0;
+  std::printf("writer_inline_seconds=%.6f\n", inline_run->seconds);
+  std::printf("writer_async_seconds=%.6f\n", async_run->seconds);
+  std::printf("writer_speedup_x=%.3f\n", speedup);
+
+  // Default-scenario guard: NullSink, async default vs. forced inline.
+  auto null_inline = BestOfRuns(session, formatter, /*repeats=*/5,
+                                /*metrics=*/false, /*scalar_pipeline=*/false,
+                                /*writer_threads=*/0);
+  auto null_async = BestOfRuns(session, formatter, /*repeats=*/5,
+                               /*metrics=*/false, /*scalar_pipeline=*/false,
+                               /*writer_threads=*/1);
+  if (!null_inline.ok() || !null_async.ok()) {
+    std::fprintf(stderr, "gate run failed\n");
+    return 1;
+  }
+  const double regression_pct =
+      null_inline->seconds > 0
+          ? (null_async->seconds - null_inline->seconds) /
+                null_inline->seconds * 100.0
+          : 0.0;
+  std::printf("writer_default_regression_pct=%.2f\n", regression_pct);
+  if (speedup_out != nullptr) *speedup_out = speedup;
+  if (regression_out != nullptr) *regression_out = regression_pct;
+
+  if (speedup < required) {
+    std::fprintf(stderr,
+                 "FAIL: async writer speedup %.3fx below the %.2fx gate "
+                 "on the throttled sink\n",
+                 speedup, required);
+    return 1;
+  }
+  if (regression_pct > allowed_pct) {
+    std::fprintf(stderr,
+                 "FAIL: async default regresses the NullSink run by "
+                 "%.2f%% (allowed %.1f%%)\n",
+                 regression_pct, allowed_pct);
+    return 1;
+  }
+  std::printf("ok: async writer >= %.2fx inline on slow sink, default "
+              "regression within %.1f%%\n",
+              required, allowed_pct);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -145,6 +269,7 @@ int main(int argc, char** argv) {
   bool quick = false;
   bool overhead_gate = false;
   bool batch_gate = false;
+  bool writer_gate = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--quick") == 0) {
       quick = true;
@@ -152,6 +277,8 @@ int main(int argc, char** argv) {
       overhead_gate = true;
     } else if (std::strcmp(argv[i], "--batch-gate") == 0) {
       batch_gate = true;
+    } else if (std::strcmp(argv[i], "--writer-gate") == 0) {
+      writer_gate = true;
     } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
       json_path = argv[++i];
     } else {
@@ -180,6 +307,9 @@ int main(int argc, char** argv) {
   }
   if (batch_gate) {
     return RunBatchGate(**session, formatter);
+  }
+  if (writer_gate) {
+    return RunWriterGate(**session, formatter, nullptr, nullptr);
   }
 
   pdgf::SimulatedMachine machine;  // 16 cores / 32 threads, the paper node
@@ -251,11 +381,25 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "%s\n", baseline.status().ToString().c_str());
       return 1;
     }
+    // Record the async-writer gate measurements alongside the baseline
+    // so the slow-sink speedup and default-scenario delta are versioned
+    // with the numbers they guard.
+    double writer_speedup = 0;
+    double writer_regression_pct = 0;
+    int gate_result = RunWriterGate(**session, formatter, &writer_speedup,
+                                    &writer_regression_pct);
+    if (gate_result != 0) return gate_result;
+    char writer_json[128];
+    std::snprintf(writer_json, sizeof(writer_json),
+                  "  \"writer\": {\"slow_sink_speedup_x\": %.3f, "
+                  "\"default_regression_pct\": %.2f},\n",
+                  writer_speedup, writer_regression_pct);
     std::string json = "{\n";
     json += "  \"schema_version\": 1,\n";
     json += "  \"bench\": \"fig5_scaleup\",\n";
     json += "  \"scale_factor\": \"" + std::string(scale_factor) + "\",\n";
     json += "  \"baseline\": " + baseline->metrics.ToJson(false) + ",\n";
+    json += writer_json;
     json += "  \"scaleup\": [\n" + scaleup_json + "\n  ]\n}\n";
     pdgf::Status written = pdgf::WriteStringToFile(json_path, json);
     if (!written.ok()) {

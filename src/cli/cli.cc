@@ -49,6 +49,30 @@ struct ParsedArgs {
   }
 };
 
+// Strictly parsed non-negative integer flag (NumberFlagOr's atof happily
+// swallows garbage like "two" as 0). `hint` is appended to the error so
+// the message says what valid values look like.
+StatusOr<int64_t> CountFlagOr(const ParsedArgs& args,
+                              const std::string& name, int64_t fallback,
+                              int64_t min_value, const char* hint) {
+  auto it = args.flags.find(name);
+  if (it == args.flags.end()) return fallback;
+  const std::string& text = it->second;
+  if (text.empty() || text.size() > 18 ||
+      text.find_first_not_of("0123456789") != std::string::npos) {
+    return pdgf::InvalidArgumentError("--" + name +
+                                      " expects a non-negative integer " +
+                                      hint + ", got '" + text + "'");
+  }
+  int64_t value = std::atoll(text.c_str());
+  if (value < min_value) {
+    return pdgf::InvalidArgumentError(
+        "--" + name + " must be >= " + std::to_string(min_value) + " " +
+        hint + ", got '" + text + "'");
+  }
+  return value;
+}
+
 StatusOr<ParsedArgs> ParseArgs(const std::vector<std::string>& args,
                                size_t start) {
   ParsedArgs parsed;
@@ -129,6 +153,22 @@ int CmdGenerate(const ParsedArgs& args, std::string* output) {
       static_cast<uint64_t>(args.NumberFlagOr("update", 0));
   options.sorted_output = !args.HasFlag("unsorted");
   options.compute_digests = args.HasFlag("digests");
+  // Staged-pipeline knobs (validated strictly — a typo here should not
+  // silently fall back to defaults).
+  auto writer_threads = CountFlagOr(args, "writer-threads", 1, 0,
+                                    "(0 writes inline, N uses N async "
+                                    "writer threads)");
+  if (!writer_threads.ok()) return Fail(writer_threads.status(), output);
+  options.writer_threads = static_cast<int>(*writer_threads);
+  auto io_buffers = CountFlagOr(args, "io-buffers", 0, 0,
+                                "(0 sizes the buffer pool automatically)");
+  if (!io_buffers.ok()) return Fail(io_buffers.status(), output);
+  options.io_buffers = static_cast<uint64_t>(*io_buffers);
+  if (args.HasFlag("scheduler")) {
+    auto scheduler = pdgf::ParseSchedulerKind(args.FlagOr("scheduler", ""));
+    if (!scheduler.ok()) return Fail(scheduler.status(), output);
+    options.scheduler = *scheduler;
+  }
   // --metrics-out writes the engine observability report (schema in
   // docs/metrics.md); --trace additionally records per-package spans.
   const std::string metrics_path = args.FlagOr("metrics-out", "");
@@ -452,6 +492,8 @@ struct VerifyConfig {
   int workers;
   uint64_t package_rows;
   bool sorted;
+  pdgf::SchedulerKind scheduler = pdgf::SchedulerKind::kAtomic;
+  int writer_threads = 1;  // engine default (async); 0 = inline
 };
 
 // Resolves verify's model (LoadModelArg). Called twice when
@@ -474,6 +516,8 @@ StatusOr<pdgf::GenerationEngine::Stats> RunVerifyConfig(
   options.worker_count = config.workers;
   options.work_package_rows = config.package_rows;
   options.sorted_output = config.sorted;
+  options.scheduler = config.scheduler;
+  options.writer_threads = config.writer_threads;
   options.compute_digests = true;
   options.metrics_enabled = collect_metrics;
   pdgf::SinkFactory factory =
@@ -562,16 +606,29 @@ int CmdVerify(const ParsedArgs& args, std::string* output) {
         static_cast<unsigned long long>(got.rows())));
   };
 
-  // Engine matrix: worker counts x package sizes x sink order. Sorted
-  // configurations must additionally reproduce the baseline byte stream.
+  // Engine matrix: worker counts x package sizes x sink order x
+  // scheduler x writer-thread count. Sorted configurations must
+  // additionally reproduce the baseline byte stream — including across
+  // the inline/async writer boundary and both dispatch policies.
+  using pdgf::SchedulerKind;
   std::vector<VerifyConfig> matrix = {
       {"workers=2 pkg=997 sorted", 2, 997, true},
       {"workers=8 pkg=64 sorted", 8, 64, true},
+      {"workers=4 pkg=997 sorted inline", 4, 997, true,
+       SchedulerKind::kAtomic, 0},
+      {"workers=4 pkg=512 sorted striped", 4, 512, true,
+       SchedulerKind::kStriped, 1},
+      {"workers=8 pkg=64 sorted striped w2", 8, 64, true,
+       SchedulerKind::kStriped, 2},
       {"workers=2 pkg=4096 unsorted", 2, 4096, false},
       {"workers=8 pkg=511 unsorted", 8, 511, false},
+      {"workers=4 pkg=511 unsorted striped w2", 4, 511, false,
+       SchedulerKind::kStriped, 2},
   };
   if (args.HasFlag("quick")) {
     matrix = {{"workers=2 pkg=997 sorted", 2, 997, true},
+              {"workers=2 pkg=997 sorted striped w2", 2, 997, true,
+               SchedulerKind::kStriped, 2},
               {"workers=4 pkg=4096 unsorted", 4, 4096, false}};
   }
   for (const VerifyConfig& config : matrix) {
@@ -623,6 +680,10 @@ int CmdVerify(const ParsedArgs& args, std::string* output) {
     pdgf::GenerationOptions cluster_options;
     cluster_options.worker_count = 2;
     cluster_options.work_package_rows = 777;
+    // Exercise the staged pipeline under the meta-scheduler too: striped
+    // dispatch + two async writer threads per simulated node.
+    cluster_options.scheduler = pdgf::SchedulerKind::kStriped;
+    cluster_options.writer_threads = 2;
     auto cluster = pdgf::RunSimulatedCluster(**session, **formatter,
                                              cluster_options, cluster_nodes);
     if (!cluster.ok()) return Fail(cluster.status(), output);
@@ -778,6 +839,8 @@ std::string UsageText() {
       "           [--out DIR] [--workers N] [--package-rows N]\n"
       "           [--nodes N --node-id I] [--update U] [--unsorted]\n"
       "           [--digests] [--metrics-out FILE.json] [--trace]\n"
+      "           [--writer-threads N] [--scheduler atomic|striped]\n"
+      "           [--io-buffers N]\n"
       "  preview  <model.xml> <table> [--rows N] [--sf X]\n"
       "  ddl      <model.xml>\n"
       "  validate <model.xml> [--sf X]\n"

@@ -2,148 +2,16 @@
 
 #include <algorithm>
 #include <atomic>
-#include <condition_variable>
-#include <map>
 #include <mutex>
 #include <thread>
 
 #include "core/batch.h"
+#include "core/output/writer.h"
 #include "util/files.h"
 #include "util/stopwatch.h"
 
 namespace pdgf {
 namespace {
-
-// One schedulable unit: a row range of one table.
-struct WorkPackage {
-  int table_index;
-  uint64_t begin_row;
-  uint64_t end_row;
-  uint64_t sequence;  // package order within its table
-};
-
-// Timing of one Deliver call, captured only when the caller passes a
-// non-null pointer (metrics-enabled runs). Splitting wait from write
-// makes lock contention visible: wait is time spent blocked on the
-// table mutex or on reorder-buffer backpressure, write is time spent
-// pushing bytes into the sink.
-struct DeliverMetrics {
-  int64_t wait_nanos = 0;
-  int64_t write_nanos = 0;
-};
-
-// Per-table output state: serializes writes and, in sorted mode, reorders
-// completed packages so the file is written in row order. The reorder
-// buffer is bounded (`max_pending`): a worker delivering far ahead of the
-// gap package blocks until the gap closes instead of parking packages
-// without bound. Progress is guaranteed because workers claim packages
-// in sequence order per table, so the worker holding the gap package
-// (sequence == next_sequence_) never blocks; aborted runs shed deliveries
-// instead of blocking so no worker deadlocks after a failure.
-class TableOutput {
- public:
-  TableOutput(std::unique_ptr<Sink> sink, bool sorted, uint64_t max_pending)
-      : sink_(std::move(sink)),
-        sorted_(sorted),
-        max_pending_(max_pending < 1 ? 1 : max_pending) {}
-
-  Status Deliver(uint64_t sequence, std::string buffer,
-                 DeliverMetrics* metrics) {
-    const bool timed = metrics != nullptr;
-    int64_t t0 = timed ? MetricsNowNanos() : 0;
-    std::unique_lock<std::mutex> lock(mutex_);
-    if (!sorted_) {
-      int64_t t1 = timed ? MetricsNowNanos() : 0;
-      Status status = sink_->Write(buffer);
-      if (timed) {
-        int64_t t2 = MetricsNowNanos();
-        metrics->wait_nanos += t1 - t0;
-        metrics->write_nanos += t2 - t1;
-      }
-      return status;
-    }
-    while (!aborted_ && sequence > next_sequence_ &&
-           pending_.size() >= max_pending_) {
-      space_.wait(lock);
-    }
-    int64_t t1 = timed ? MetricsNowNanos() : 0;
-    if (timed) metrics->wait_nanos += t1 - t0;
-    if (aborted_) {
-      // The run already failed; shed the package rather than write or
-      // park it (the engine returns the original error, not ours).
-      return Status::Ok();
-    }
-    if (sequence != next_sequence_) {
-      pending_.emplace(sequence, std::move(buffer));
-      high_water_ = std::max<uint64_t>(high_water_, pending_.size());
-      return Status::Ok();
-    }
-    Status status = sink_->Write(buffer);
-    ++next_sequence_;
-    while (status.ok() && !pending_.empty() &&
-           pending_.begin()->first == next_sequence_) {
-      status = sink_->Write(pending_.begin()->second);
-      pending_.erase(pending_.begin());
-      ++next_sequence_;
-    }
-    if (timed) metrics->write_nanos += MetricsNowNanos() - t1;
-    // The gap moved (or an error is about to abort the run): wake any
-    // worker blocked on reorder space.
-    space_.notify_all();
-    return status;
-  }
-
-  Status WriteDirect(std::string_view data) {
-    std::lock_guard<std::mutex> lock(mutex_);
-    return sink_->Write(data);
-  }
-
-  // Unblocks delivering workers and makes subsequent Deliver calls shed.
-  // Called once the engine has recorded a failure.
-  void Abort() {
-    std::lock_guard<std::mutex> lock(mutex_);
-    aborted_ = true;
-    space_.notify_all();
-  }
-
-  // Closes the underlying sink exactly once (idempotent). On the normal
-  // path a sorted table with parked packages is an internal error; on the
-  // `aborted` path parked packages are expected debris of the failed run
-  // and are discarded, so closing cannot mask the original error with a
-  // follow-on "packages missing at close".
-  Status Close(bool aborted) {
-    std::lock_guard<std::mutex> lock(mutex_);
-    if (closed_) return Status::Ok();
-    closed_ = true;
-    if (!aborted && sorted_ && !pending_.empty()) {
-      (void)sink_->Close();  // still release the handle
-      return InternalError("packages missing at close");
-    }
-    pending_.clear();
-    return sink_->Close();
-  }
-
-  uint64_t bytes_written() const { return sink_->bytes_written(); }
-
-  // Peak number of parked out-of-order packages (sorted mode). Only
-  // meaningful after the run's workers have joined.
-  uint64_t reorder_high_water() {
-    std::lock_guard<std::mutex> lock(mutex_);
-    return high_water_;
-  }
-
- private:
-  std::unique_ptr<Sink> sink_;
-  bool sorted_;
-  uint64_t max_pending_;
-  std::mutex mutex_;
-  std::condition_variable space_;
-  std::map<uint64_t, std::string> pending_;
-  uint64_t next_sequence_ = 0;
-  uint64_t high_water_ = 0;
-  bool aborted_ = false;
-  bool closed_ = false;
-};
 
 // One of every 2^4 processed rows pays the extra clock reads that split
 // the generate block into row-generation / formatting / digesting
@@ -153,33 +21,6 @@ class TableOutput {
 constexpr uint64_t kPhaseSampleMask = 15;
 
 }  // namespace
-
-void NodeShare(uint64_t rows, int node_count, int node_id, uint64_t* begin,
-               uint64_t* end) {
-  if (node_count < 1) node_count = 1;
-  if (node_id < 0) node_id = 0;
-  if (node_id >= node_count) node_id = node_count - 1;
-  uint64_t n = static_cast<uint64_t>(node_count);
-  uint64_t i = static_cast<uint64_t>(node_id);
-#if defined(__SIZEOF_INT128__)
-  // rows * (i + 1) overflows 64 bits once rows x node_count exceeds
-  // 2^64; widen the intermediate so the floor split stays exact (and
-  // bit-identical to the historical result for all non-overflowing
-  // inputs).
-  unsigned __int128 wide = rows;
-  *begin = static_cast<uint64_t>(wide * i / n);
-  *end = static_cast<uint64_t>(wide * (i + 1) / n);
-#else
-  // Portable fallback: quotient+remainder distribution. Exhaustive and
-  // disjoint like the floor split (boundaries differ, which is fine —
-  // correctness only requires a contiguous exact partition).
-  uint64_t base = rows / n;
-  uint64_t remainder = rows % n;
-  uint64_t extra = i < remainder ? i : remainder;
-  *begin = base * i + extra;
-  *end = *begin + base + (i < remainder ? 1 : 0);
-#endif
-}
 
 GenerationEngine::GenerationEngine(const GenerationSession* session,
                                    const RowFormatter* formatter,
@@ -197,16 +38,29 @@ Status GenerationEngine::Run(ProgressTracker* progress) {
         "worker_count must be >= 1, got " +
         std::to_string(options_.worker_count));
   }
+  if (options_.writer_threads < 0) {
+    return InvalidArgumentError(
+        "writer_threads must be >= 0 (0 writes inline), got " +
+        std::to_string(options_.writer_threads));
+  }
   if (options_.work_package_rows < 1) options_.work_package_rows = 1;
 
   // Sorted-mode reorder bound: enough headroom that workers rarely
   // block, small enough that a stalled package cannot buffer the rest of
-  // the table in memory.
+  // the table in memory. Inline mode parks up to this many packages per
+  // table; async mode uses it as the writer stage's reorder window.
   const uint64_t reorder_capacity =
       options_.reorder_buffer_packages > 0
           ? options_.reorder_buffer_packages
           : std::max<uint64_t>(
                 8, 2 * static_cast<uint64_t>(options_.worker_count));
+
+  // Stage layout: with writer_threads > 0 the run is a staged pipeline
+  // (workers generate + format, writer threads order + write) and
+  // TableOutput is a plain serialized write wrapper — ordering lives in
+  // the WriterStage. writer_threads == 0 is the legacy inline path.
+  const bool async_writer =
+      options_.writer_threads > 0 && !schema.tables.empty();
 
   // Open sinks and emit headers. Any failure past the first open must
   // close the sinks already opened — sinks are never leaked, even on the
@@ -225,7 +79,8 @@ Status GenerationEngine::Run(ProgressTracker* progress) {
       return sink.status();
     }
     auto output = std::make_unique<TableOutput>(
-        std::move(*sink), options_.sorted_output, reorder_capacity);
+        std::move(*sink), options_.sorted_output && !async_writer,
+        reorder_capacity);
     std::string header;
     formatter_->AppendHeader(table, &header);
     if (!header.empty()) {
@@ -240,24 +95,17 @@ Status GenerationEngine::Run(ProgressTracker* progress) {
   }
 
   // Meta-scheduler: node-local ranges; scheduler: packages.
-  std::vector<WorkPackage> packages;
+  std::vector<uint64_t> table_rows(schema.tables.size(), 0);
   for (size_t t = 0; t < schema.tables.size(); ++t) {
-    uint64_t rows = session_->TableRows(static_cast<int>(t));
-    uint64_t begin = 0;
-    uint64_t end = rows;
-    NodeShare(rows, options_.node_count, options_.node_id, &begin, &end);
-    uint64_t sequence = 0;
-    for (uint64_t start = begin; start < end;
-         start += options_.work_package_rows) {
-      uint64_t stop = start + options_.work_package_rows;
-      if (stop > end) stop = end;
-      packages.push_back(
-          WorkPackage{static_cast<int>(t), start, stop, sequence++});
-    }
+    table_rows[t] = session_->TableRows(static_cast<int>(t));
   }
+  const std::vector<WorkPackage> packages =
+      BuildWorkPackages(table_rows, options_.work_package_rows,
+                        options_.node_count, options_.node_id);
+  std::unique_ptr<Scheduler> scheduler = MakeScheduler(
+      options_.scheduler, packages.size(), options_.worker_count);
 
   Stopwatch stopwatch;
-  std::atomic<size_t> next_package{0};
   std::atomic<bool> failed{false};
   std::mutex error_mutex;
   Status first_error;
@@ -280,9 +128,15 @@ Status GenerationEngine::Run(ProgressTracker* progress) {
   std::mutex metrics_mutex;
   MetricsReport metrics_report;
 
-  // First failure wins: record the error once, then wake any worker
-  // blocked on reorder backpressure so the run winds down instead of
-  // deadlocking; later deliveries are shed.
+  // Async-writer plumbing (created below, before workers start; the
+  // failure recorder needs the pointers in scope).
+  std::unique_ptr<BufferPool> pool;
+  std::unique_ptr<WriterStage> writer;
+
+  // First failure wins: record the error once, then wake every thread
+  // blocked on backpressure — reorder space (inline), the reorder
+  // window or the buffer pool (async) — so the run winds down instead
+  // of deadlocking; later deliveries are shed.
   auto record_failure = [&](const Status& status) {
     {
       std::lock_guard<std::mutex> lock(error_mutex);
@@ -292,15 +146,48 @@ Status GenerationEngine::Run(ProgressTracker* progress) {
     for (std::unique_ptr<TableOutput>& output : outputs) {
       output->Abort();
     }
+    if (writer != nullptr) writer->Abort();
+    if (pool != nullptr) pool->Abort();
   };
+
+  if (async_writer) {
+    // Deadlock-safe pool floor: one buffer per parked slot the writer
+    // stage can hold (window - 1 per table in sorted mode), one per
+    // worker in flight, plus one circulating so the package that can
+    // advance a write gap always finds a buffer. --io-buffers may only
+    // raise the capacity above this floor.
+    const uint64_t window = reorder_capacity < 1 ? 1 : reorder_capacity;
+    size_t floor = static_cast<size_t>(options_.worker_count) + 1;
+    if (options_.sorted_output) {
+      floor += schema.tables.size() * static_cast<size_t>(window - 1);
+    }
+    const size_t capacity =
+        std::max<size_t>(static_cast<size_t>(options_.io_buffers), floor);
+    pool = std::make_unique<BufferPool>(capacity);
+    std::vector<TableOutput*> raw_outputs;
+    raw_outputs.reserve(outputs.size());
+    for (std::unique_ptr<TableOutput>& output : outputs) {
+      raw_outputs.push_back(output.get());
+    }
+    WriterStageOptions writer_options;
+    writer_options.threads = options_.writer_threads;
+    writer_options.sorted = options_.sorted_output;
+    writer_options.reorder_window = window;
+    writer_options.metrics = metrics_on;
+    writer = std::make_unique<WriterStage>(std::move(raw_outputs),
+                                           pool.get(), writer_options,
+                                           record_failure);
+    writer->Start();
+  }
 
   const bool use_batch = !options_.scalar_pipeline;
   const uint64_t batch_rows =
       options_.batch_rows < 1 ? 1 : options_.batch_rows;
 
-  auto worker_main = [&]() {
+  auto worker_main = [&](int worker_id) {
     std::vector<Value> row;
-    std::string buffer;
+    std::string inline_buffer;
+    std::string pooled_buffer;
     // Batch-pipeline working set, reused across packages: the row-index
     // gather list, the column-major batch (Value string capacity is
     // retained) and the formatter's per-row byte offsets.
@@ -315,12 +202,29 @@ Status GenerationEngine::Run(ProgressTracker* progress) {
     uint64_t sample_counter = 0;
     while (true) {
       if (failed.load(std::memory_order_relaxed)) break;
-      size_t index = next_package.fetch_add(1, std::memory_order_relaxed);
-      if (index >= packages.size()) break;
+      size_t index = 0;
+      if (!scheduler->Next(worker_id, &index)) break;
       const WorkPackage& package = packages[index];
       const size_t table_index = static_cast<size_t>(package.table_index);
       const TableDef& table = schema.tables[table_index];
-      buffer.clear();
+      // Async: wait for the reorder window *before* taking a buffer (a
+      // blocked worker must never sit on pool capacity), then acquire
+      // the package's output buffer from the pool. Both waits are
+      // backpressure and are charged to sink_wait.
+      int64_t backpressure_nanos = 0;
+      if (async_writer) {
+        if (!writer->WaitForTurn(table_index, package.sequence,
+                                 metrics_on ? &backpressure_nanos
+                                            : nullptr)) {
+          break;  // run aborted
+        }
+        const int64_t t0 = metrics_on ? MetricsNowNanos() : 0;
+        if (!pool->Acquire(&pooled_buffer)) break;  // run aborted
+        if (metrics_on) backpressure_nanos += MetricsNowNanos() - t0;
+      } else {
+        inline_buffer.clear();
+      }
+      std::string& buffer = async_writer ? pooled_buffer : inline_buffer;
       uint64_t rows_in_package = 0;
       const int64_t package_start = metrics_on ? MetricsNowNanos() : 0;
       // Phase split. Batch pipeline: each batch's generate / format /
@@ -416,18 +320,27 @@ Status GenerationEngine::Run(ProgressTracker* progress) {
         }
       }
       DeliverMetrics deliver_metrics;
+      deliver_metrics.wait_nanos = backpressure_nanos;
       int64_t generate_nanos = 0;
       if (metrics_on) generate_nanos = MetricsNowNanos() - package_start;
-      Status status = outputs[table_index]->Deliver(
-          package.sequence, buffer,
-          metrics_on ? &deliver_metrics : nullptr);
-      if (!status.ok()) {
-        record_failure(status);
-        break;
+      const size_t buffer_bytes = buffer.size();
+      if (async_writer) {
+        // Hand-off is a queue push — the buffer (and its heap block)
+        // travels to the writer thread and comes back via the pool.
+        writer->Submit(table_index, package.sequence,
+                       std::move(pooled_buffer));
+      } else {
+        Status status = outputs[table_index]->Deliver(
+            package.sequence, buffer,
+            metrics_on ? &deliver_metrics : nullptr);
+        if (!status.ok()) {
+          record_failure(status);
+          break;
+        }
       }
       total_rows.fetch_add(rows_in_package, std::memory_order_relaxed);
       if (progress != nullptr) {
-        progress->Add(table_index, rows_in_package, buffer.size());
+        progress->Add(table_index, rows_in_package, buffer_bytes);
       }
       if (metrics_on) {
         if (use_batch) {
@@ -471,7 +384,7 @@ Status GenerationEngine::Run(ProgressTracker* progress) {
         local_metrics.AddPhase(Phase::kSinkWrite,
                                deliver_metrics.write_nanos);
         local_metrics.AddTablePackage(table_index, rows_in_package,
-                                      buffer.size());
+                                      buffer_bytes);
         if (trace_capacity > 0) {
           local_metrics.AddTrace("package", package.table_index,
                                  package.sequence,
@@ -494,15 +407,23 @@ Status GenerationEngine::Run(ProgressTracker* progress) {
   };
 
   if (options_.worker_count == 1) {
-    worker_main();
+    worker_main(0);
   } else {
     std::vector<std::thread> workers;
     workers.reserve(static_cast<size_t>(options_.worker_count));
     for (int w = 0; w < options_.worker_count; ++w) {
-      workers.emplace_back(worker_main);
+      workers.emplace_back(worker_main, w);
     }
     for (std::thread& worker : workers) {
       worker.join();
+    }
+  }
+  // Drain the writer stage (it sheds on the failed path). A writer-side
+  // ordering hole on a clean run is an error like any other.
+  if (writer != nullptr) {
+    Status writer_status = writer->Finish();
+    if (!writer_status.ok() && !failed.load()) {
+      record_failure(writer_status);
     }
   }
   if (failed.load()) {
@@ -563,10 +484,34 @@ Status GenerationEngine::Run(ProgressTracker* progress) {
       // and footers); worker-accumulated bytes remain in the per-worker
       // reports as formatted row payload.
       table_report.bytes = outputs[t]->bytes_written();
-      table_report.reorder_buffer_high_water =
-          options_.sorted_output ? outputs[t]->reorder_high_water() : 0;
-      table_report.reorder_buffer_capacity =
-          options_.sorted_output ? reorder_capacity : 0;
+      if (options_.sorted_output) {
+        table_report.reorder_buffer_high_water =
+            async_writer ? writer->table_parked_high_water(t)
+                         : outputs[t]->reorder_high_water();
+        table_report.reorder_buffer_capacity = reorder_capacity;
+      }
+    }
+    if (writer != nullptr) {
+      const std::vector<WriterStage::ThreadReport>& reports =
+          writer->thread_reports();
+      for (size_t i = 0; i < reports.size(); ++i) {
+        MetricsReport::WriterThreadReport writer_report;
+        writer_report.writer = static_cast<int>(i);
+        writer_report.write_seconds = reports[i].write_seconds;
+        writer_report.idle_seconds = reports[i].idle_seconds;
+        writer_report.packages = reports[i].packages;
+        writer_report.bytes = reports[i].bytes;
+        writer_report.queue_high_water = reports[i].queue_high_water;
+        metrics_report.writer_threads.push_back(writer_report);
+        // Writer busy time joins the phase totals; idle time is not
+        // busy time and stays per-thread only.
+        metrics_report
+            .phase_seconds[static_cast<int>(Phase::kWriterWrite)] +=
+            reports[i].write_seconds;
+      }
+      metrics_report.buffer_pool.capacity = pool->capacity();
+      metrics_report.buffer_pool.allocations = pool->allocations();
+      metrics_report.buffer_pool.peak_in_flight = pool->peak_in_flight();
     }
     metrics_report.Finalize();
     stats_.metrics = std::move(metrics_report);

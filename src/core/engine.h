@@ -12,6 +12,7 @@
 #include "core/output/formatter.h"
 #include "core/output/sink.h"
 #include "core/progress.h"
+#include "core/schedule.h"
 #include "core/session.h"
 #include "util/hash.h"
 
@@ -70,8 +71,24 @@ struct GenerationOptions {
   // are parked per table before delivering workers block until the gap
   // closes (or the run aborts). 0 = auto (max(8, 2 x worker_count)).
   // Bounds memory that was previously unbounded when one package
-  // stalled while other workers kept delivering.
+  // stalled while other workers kept delivering. With writer threads the
+  // same bound becomes the writer stage's per-table reorder window.
   uint64_t reorder_buffer_packages = 0;
+  // Package dispatch policy (core/schedule.h): the shared atomic counter
+  // (default) or per-worker stripes with head-stealing. Output bytes and
+  // digests are identical for every policy.
+  SchedulerKind scheduler = SchedulerKind::kAtomic;
+  // Writer threads for the async writer stage (core/output/writer.h):
+  // workers hand formatted packages to per-sink writer threads instead
+  // of writing inline, so sink latency no longer stalls generation.
+  // 0 = legacy inline writes (A/B baseline). Output is byte-identical
+  // either way; thread count is clamped to the table count.
+  int writer_threads = 1;
+  // Formatted-byte buffers circulating between workers and the writer
+  // stage (async mode only). 0 = auto; values below the deadlock-safe
+  // floor (worker_count + 1 + tables x (reorder window - 1) in sorted
+  // mode) are raised to it.
+  uint64_t io_buffers = 0;
 };
 
 // Creates the sink for a table. Invoked once per table at run start.
@@ -133,13 +150,10 @@ StatusOr<GenerationEngine::Stats> GenerateToDirectory(
     ProgressTracker* progress = nullptr);
 
 // Generates every table, discarding the bytes (CPU-bound measurement).
+// NodeShare and WorkPackage now live in core/schedule.h (included above).
 StatusOr<GenerationEngine::Stats> GenerateToNull(
     const GenerationSession& session, const RowFormatter& formatter,
     GenerationOptions options, ProgressTracker* progress = nullptr);
-
-// The node-local row range of a table under the meta-scheduler split.
-void NodeShare(uint64_t rows, int node_count, int node_id, uint64_t* begin,
-               uint64_t* end);
 
 }  // namespace pdgf
 

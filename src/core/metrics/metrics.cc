@@ -18,6 +18,10 @@ const char* PhaseName(Phase phase) {
       return "sink_wait";
     case Phase::kSinkWrite:
       return "sink_write";
+    case Phase::kWriterWrite:
+      return "writer_write";
+    case Phase::kWriterIdle:
+      return "writer_idle";
     case Phase::kCount:
       break;
   }
@@ -287,6 +291,34 @@ std::string MetricsReport::ToJson(bool pretty) const {
     json.EndObject();
   }
   json.EndArray();
+  json.Key("writer_threads");
+  json.BeginArray();
+  for (const WriterThreadReport& writer : writer_threads) {
+    json.BeginObject();
+    json.Key("writer");
+    json.Number(writer.writer);
+    json.Key("write_seconds");
+    json.Number(writer.write_seconds);
+    json.Key("idle_seconds");
+    json.Number(writer.idle_seconds);
+    json.Key("packages");
+    json.Number(writer.packages);
+    json.Key("bytes");
+    json.Number(writer.bytes);
+    json.Key("queue_high_water");
+    json.Number(writer.queue_high_water);
+    json.EndObject();
+  }
+  json.EndArray();
+  json.Key("buffer_pool");
+  json.BeginObject();
+  json.Key("capacity");
+  json.Number(buffer_pool.capacity);
+  json.Key("allocations");
+  json.Number(buffer_pool.allocations);
+  json.Key("peak_in_flight");
+  json.Number(buffer_pool.peak_in_flight);
+  json.EndObject();
   if (!trace.empty() || dropped_trace_events > 0) {
     json.Key("dropped_trace_events");
     json.Number(dropped_trace_events);

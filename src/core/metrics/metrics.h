@@ -17,8 +17,9 @@ namespace pdgf {
 //      (WorkerMetrics lives on each worker's stack) and is merged into
 //      the engine-level MetricsReport exactly once, at worker join —
 //      the same join discipline the digest subsystem uses.
-//   3. Stable export: MetricsReport::ToJson() emits schema_version 1,
-//      documented in docs/metrics.md; benchmarks and CI gates parse it.
+//   3. Stable export: MetricsReport::ToJson() emits schema_version 2
+//      (v1 + additive writer-stage fields), documented in
+//      docs/metrics.md; benchmarks and CI gates parse it.
 
 // Phases of the generation hot path. The engine attributes worker busy
 // time to exactly one phase at a time, so per-worker phase totals sum to
@@ -29,7 +30,11 @@ enum class Phase {
   kFormatting,         // RowFormatter::AppendRow (bytes from values)
   kDigesting,          // TableDigest::AddRow (determinism proof hashing)
   kSinkWait,           // blocked on the table output lock / reorder space
-  kSinkWrite,          // bytes flowing into the sink (under the lock)
+                       // / writer-stage window / buffer pool
+  kSinkWrite,          // bytes flowing into the sink (worker, inline mode)
+  kWriterWrite,        // bytes flowing into the sink (writer thread)
+  kWriterIdle,         // writer thread waiting for work (per-thread
+                       // reports only; not folded into busy totals)
   kCount
 };
 
@@ -143,7 +148,7 @@ class ScopedTrace {
 // Engine-level aggregate, built at worker join. `enabled` is false (and
 // every other field zero/empty) when the run did not collect metrics.
 struct MetricsReport {
-  static constexpr int kSchemaVersion = 1;
+  static constexpr int kSchemaVersion = 2;
 
   struct WorkerReport {
     int worker = 0;
@@ -163,6 +168,23 @@ struct MetricsReport {
     uint64_t reorder_buffer_capacity = 0;    // sorted mode; 0 otherwise
   };
 
+  // One async writer-stage thread (schema v2; empty in inline mode).
+  struct WriterThreadReport {
+    int writer = 0;
+    double write_seconds = 0;   // sink I/O time
+    double idle_seconds = 0;    // waiting on an empty queue
+    uint64_t packages = 0;
+    uint64_t bytes = 0;
+    uint64_t queue_high_water = 0;  // peak queued packages
+  };
+
+  // Formatted-byte buffer pool (schema v2; zeros in inline mode).
+  struct BufferPoolReport {
+    uint64_t capacity = 0;
+    uint64_t allocations = 0;     // buffers materialized (warm-up cost)
+    uint64_t peak_in_flight = 0;
+  };
+
   bool enabled = false;
   int worker_count = 0;
   double wall_seconds = 0;
@@ -171,10 +193,14 @@ struct MetricsReport {
   uint64_t packages = 0;
   double rows_per_second = 0;
   double megabytes_per_second = 0;
-  // Sum over workers, per phase (seconds of busy time, not wall time).
+  // Sum of busy time per phase (seconds, not wall time) over workers
+  // plus writer threads (writer_write; writer_idle is not busy time and
+  // stays per-thread).
   double phase_seconds[kPhaseCount] = {};
   std::vector<WorkerReport> workers;
   std::vector<TableReport> tables;
+  std::vector<WriterThreadReport> writer_threads;
+  BufferPoolReport buffer_pool;
   // Populated only when trace collection was enabled; merged across
   // workers and sorted by start time.
   std::vector<TraceEvent> trace;

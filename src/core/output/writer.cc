@@ -1,0 +1,351 @@
+#include "core/output/writer.h"
+
+#include <algorithm>
+
+namespace pdgf {
+
+// --- TableOutput -----------------------------------------------------
+
+Status TableOutput::Deliver(uint64_t sequence, std::string buffer,
+                            DeliverMetrics* metrics) {
+  const bool timed = metrics != nullptr;
+  int64_t t0 = timed ? MetricsNowNanos() : 0;
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (!sorted_) {
+    int64_t t1 = timed ? MetricsNowNanos() : 0;
+    Status status = sink_->Write(buffer);
+    if (timed) {
+      int64_t t2 = MetricsNowNanos();
+      metrics->wait_nanos += t1 - t0;
+      metrics->write_nanos += t2 - t1;
+    }
+    return status;
+  }
+  while (!aborted_ && sequence > next_sequence_ &&
+         pending_.size() >= max_pending_) {
+    space_.wait(lock);
+  }
+  int64_t t1 = timed ? MetricsNowNanos() : 0;
+  if (timed) metrics->wait_nanos += t1 - t0;
+  if (aborted_) {
+    // The run already failed; shed the package rather than write or
+    // park it (the engine returns the original error, not ours).
+    return Status::Ok();
+  }
+  if (sequence != next_sequence_) {
+    pending_.emplace(sequence, std::move(buffer));
+    high_water_ = std::max<uint64_t>(high_water_, pending_.size());
+    return Status::Ok();
+  }
+  Status status = sink_->Write(buffer);
+  ++next_sequence_;
+  while (status.ok() && !pending_.empty() &&
+         pending_.begin()->first == next_sequence_) {
+    status = sink_->Write(pending_.begin()->second);
+    pending_.erase(pending_.begin());
+    ++next_sequence_;
+  }
+  if (timed) metrics->write_nanos += MetricsNowNanos() - t1;
+  // The gap moved (or an error is about to abort the run): wake any
+  // worker blocked on reorder space.
+  space_.notify_all();
+  return status;
+}
+
+Status TableOutput::WriteDirect(std::string_view data) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return sink_->Write(data);
+}
+
+void TableOutput::Abort() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  aborted_ = true;
+  space_.notify_all();
+}
+
+Status TableOutput::Close(bool aborted) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (closed_) return Status::Ok();
+  closed_ = true;
+  if (!aborted && sorted_ && !pending_.empty()) {
+    (void)sink_->Close();  // still release the handle
+    return InternalError("packages missing at close");
+  }
+  pending_.clear();
+  return sink_->Close();
+}
+
+uint64_t TableOutput::reorder_high_water() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return high_water_;
+}
+
+// --- BufferPool ------------------------------------------------------
+
+BufferPool::BufferPool(size_t capacity)
+    : capacity_(capacity < 1 ? 1 : capacity) {
+  free_.reserve(capacity_);
+}
+
+bool BufferPool::Acquire(std::string* out) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (!aborted_ && free_.empty() && in_flight_ >= capacity_) {
+    available_.wait(lock);
+  }
+  if (aborted_) return false;
+  if (free_.empty()) {
+    ++allocations_;
+    out->clear();
+  } else {
+    *out = std::move(free_.back());
+    free_.pop_back();
+    out->clear();  // clear() keeps the heap block for reuse
+  }
+  ++in_flight_;
+  peak_in_flight_ = std::max<uint64_t>(peak_in_flight_, in_flight_);
+  return true;
+}
+
+void BufferPool::Release(std::string buffer) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (in_flight_ > 0) --in_flight_;
+  free_.push_back(std::move(buffer));
+  available_.notify_one();
+}
+
+void BufferPool::Abort() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  aborted_ = true;
+  available_.notify_all();
+}
+
+uint64_t BufferPool::allocations() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return allocations_;
+}
+
+uint64_t BufferPool::peak_in_flight() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return peak_in_flight_;
+}
+
+// --- WriterStage -----------------------------------------------------
+
+WriterStage::WriterStage(std::vector<TableOutput*> outputs, BufferPool* pool,
+                         WriterStageOptions options,
+                         std::function<void(const Status&)> on_error)
+    : outputs_(std::move(outputs)),
+      pool_(pool),
+      options_(options),
+      on_error_(std::move(on_error)),
+      channels_(outputs_.size()) {
+  if (options_.reorder_window < 1) options_.reorder_window = 1;
+  size_t thread_count = outputs_.empty()
+                            ? 0
+                            : std::min<size_t>(
+                                  options_.threads < 1
+                                      ? 1
+                                      : static_cast<size_t>(options_.threads),
+                                  outputs_.size());
+  threads_.reserve(thread_count);
+  for (size_t i = 0; i < thread_count; ++i) {
+    threads_.push_back(std::make_unique<WriterThread>());
+  }
+  for (size_t t = 0; t < channels_.size(); ++t) {
+    channels_[t].writer = thread_count > 0 ? t % thread_count : 0;
+  }
+}
+
+WriterStage::~WriterStage() {
+  if (started_ && !finished_) {
+    Abort();
+    (void)Finish();
+  }
+}
+
+void WriterStage::Start() {
+  if (started_) return;
+  started_ = true;
+  for (size_t i = 0; i < threads_.size(); ++i) {
+    threads_[i]->thread = std::thread([this, i]() { ThreadMain(i); });
+  }
+}
+
+bool WriterStage::WaitForTurn(size_t table, uint64_t sequence,
+                              int64_t* wait_nanos) {
+  if (aborted_.load(std::memory_order_relaxed)) return false;
+  if (!options_.sorted) return true;
+  TableChannel& channel = channels_[table];
+  WriterThread& writer = *threads_[channel.writer];
+  std::unique_lock<std::mutex> lock(writer.mutex);
+  if (sequence < channel.next_sequence + options_.reorder_window) {
+    return true;  // fast path: in window, no clock read
+  }
+  const bool timed = wait_nanos != nullptr;
+  const int64_t t0 = timed ? MetricsNowNanos() : 0;
+  while (!aborted_.load(std::memory_order_relaxed) &&
+         sequence >= channel.next_sequence + options_.reorder_window) {
+    channel.turn.wait(lock);
+  }
+  if (timed) *wait_nanos += MetricsNowNanos() - t0;
+  return !aborted_.load(std::memory_order_relaxed);
+}
+
+void WriterStage::Submit(size_t table, uint64_t sequence,
+                         std::string buffer) {
+  TableChannel& channel = channels_[table];
+  WriterThread& writer = *threads_[channel.writer];
+  {
+    std::lock_guard<std::mutex> lock(writer.mutex);
+    if (!aborted_.load(std::memory_order_relaxed)) {
+      writer.queue.push_back(Item{table, sequence, std::move(buffer)});
+      writer.queue_high_water =
+          std::max<uint64_t>(writer.queue_high_water, writer.queue.size());
+      writer.work.notify_one();
+      return;
+    }
+  }
+  // Aborted: shed straight back to the pool so no worker blocked in
+  // Acquire waits on a buffer that would never return.
+  pool_->Release(std::move(buffer));
+}
+
+void WriterStage::Abort() {
+  aborted_.store(true, std::memory_order_relaxed);
+  // Lock each writer's mutex around the notifies so a waiter that tested
+  // `aborted_` just before the store cannot miss its wakeup.
+  for (size_t i = 0; i < threads_.size(); ++i) {
+    std::lock_guard<std::mutex> lock(threads_[i]->mutex);
+    threads_[i]->work.notify_all();
+    for (TableChannel& channel : channels_) {
+      if (channel.writer == i) channel.turn.notify_all();
+    }
+  }
+  // The pool participates in the wind-down: blocked producers must wake
+  // even if the engine has not aborted the pool yet.
+  pool_->Abort();
+}
+
+bool WriterStage::WriteAndRecycle(size_t table, std::string buffer,
+                                  WriterThread* thread) {
+  const bool timed = options_.metrics;
+  const int64_t t0 = timed ? MetricsNowNanos() : 0;
+  Status status = outputs_[table]->WriteDirect(buffer);
+  if (timed) thread->write_nanos += MetricsNowNanos() - t0;
+  thread->packages += 1;
+  thread->bytes += buffer.size();
+  pool_->Release(std::move(buffer));
+  if (!status.ok()) {
+    // First-error-wins lives in the engine's failure recorder; Abort
+    // first so this stage sheds consistently even with a no-op callback.
+    Abort();
+    on_error_(status);
+    return false;
+  }
+  return true;
+}
+
+void WriterStage::ThreadMain(size_t writer_index) {
+  WriterThread& writer = *threads_[writer_index];
+  const bool timed = options_.metrics;
+  std::unique_lock<std::mutex> lock(writer.mutex);
+  while (true) {
+    if (writer.queue.empty()) {
+      if (writer.done || aborted_.load(std::memory_order_relaxed)) break;
+      if (timed) {
+        const int64_t t0 = MetricsNowNanos();
+        writer.work.wait(lock);
+        writer.idle_nanos += MetricsNowNanos() - t0;
+      } else {
+        writer.work.wait(lock);
+      }
+      continue;
+    }
+    if (aborted_.load(std::memory_order_relaxed)) break;  // shed below
+    Item item = std::move(writer.queue.front());
+    writer.queue.pop_front();
+    TableChannel& channel = channels_[item.table];
+    if (options_.sorted && item.sequence != channel.next_sequence) {
+      // Out of order: park (bounded by the reorder window — producers
+      // cannot submit past it, so parked.size() < reorder_window).
+      channel.parked.emplace(item.sequence, std::move(item.buffer));
+      channel.parked_high_water = std::max<uint64_t>(
+          channel.parked_high_water, channel.parked.size());
+      continue;
+    }
+    // Sink I/O happens outside the mutex: producers keep enqueueing at
+    // memory speed while this thread is stuck in a slow write.
+    lock.unlock();
+    bool ok = WriteAndRecycle(item.table, std::move(item.buffer), &writer);
+    lock.lock();
+    if (!ok || !options_.sorted) continue;
+    ++channel.next_sequence;
+    channel.turn.notify_all();
+    while (!aborted_.load(std::memory_order_relaxed) &&
+           !channel.parked.empty() &&
+           channel.parked.begin()->first == channel.next_sequence) {
+      std::string next = std::move(channel.parked.begin()->second);
+      channel.parked.erase(channel.parked.begin());
+      lock.unlock();
+      ok = WriteAndRecycle(item.table, std::move(next), &writer);
+      lock.lock();
+      if (!ok) break;
+      ++channel.next_sequence;
+      channel.turn.notify_all();
+    }
+  }
+  // Shed whatever is still queued (abort path; empty on clean shutdown)
+  // so every pooled buffer finds its way home.
+  while (!writer.queue.empty()) {
+    pool_->Release(std::move(writer.queue.front().buffer));
+    writer.queue.pop_front();
+  }
+}
+
+Status WriterStage::Finish() {
+  if (finished_) return finish_status_;
+  finished_ = true;
+  if (!started_) return finish_status_;
+  for (std::unique_ptr<WriterThread>& writer : threads_) {
+    std::lock_guard<std::mutex> lock(writer->mutex);
+    writer->done = true;
+    writer->work.notify_all();
+  }
+  for (std::unique_ptr<WriterThread>& writer : threads_) {
+    if (writer->thread.joinable()) writer->thread.join();
+  }
+  Status status;
+  if (!aborted_.load(std::memory_order_relaxed)) {
+    for (const TableChannel& channel : channels_) {
+      if (!channel.parked.empty()) {
+        status = InternalError("packages missing at writer finish");
+        break;
+      }
+    }
+  }
+  for (TableChannel& channel : channels_) {
+    while (!channel.parked.empty()) {
+      pool_->Release(std::move(channel.parked.begin()->second));
+      channel.parked.erase(channel.parked.begin());
+    }
+  }
+  thread_reports_.clear();
+  thread_reports_.reserve(threads_.size());
+  for (const std::unique_ptr<WriterThread>& writer : threads_) {
+    ThreadReport report;
+    report.write_seconds = static_cast<double>(writer->write_nanos) * 1e-9;
+    report.idle_seconds = static_cast<double>(writer->idle_nanos) * 1e-9;
+    report.packages = writer->packages;
+    report.bytes = writer->bytes;
+    report.queue_high_water = writer->queue_high_water;
+    thread_reports_.push_back(report);
+  }
+  finish_status_ = status;
+  return status;
+}
+
+uint64_t WriterStage::table_parked_high_water(size_t table) const {
+  return channels_[table].parked_high_water;
+}
+
+}  // namespace pdgf

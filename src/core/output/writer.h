@@ -1,0 +1,269 @@
+#ifndef DBSYNTHPP_CORE_OUTPUT_WRITER_H_
+#define DBSYNTHPP_CORE_OUTPUT_WRITER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "core/metrics/metrics.h"
+#include "core/output/sink.h"
+
+namespace pdgf {
+
+// The write side of the staged generation pipeline
+// (generate -> format -> enqueue -> write; docs/architecture.md).
+//
+// Inline mode (writer_threads == 0) keeps the historical shape: workers
+// call TableOutput::Deliver, which writes (and, sorted, reorders) under
+// the table lock. Async mode moves the reorder buffer and all sink I/O
+// onto dedicated writer threads (WriterStage) so disk latency no longer
+// steals generation throughput, and recycles formatted-byte buffers
+// through a BufferPool so steady-state generation performs zero payload
+// allocations.
+
+// Timing of one Deliver call, captured only when the caller passes a
+// non-null pointer (metrics-enabled runs). Splitting wait from write
+// makes lock contention visible: wait is time spent blocked on the
+// table mutex or on reorder-buffer backpressure, write is time spent
+// pushing bytes into the sink.
+struct DeliverMetrics {
+  int64_t wait_nanos = 0;
+  int64_t write_nanos = 0;
+};
+
+// Per-table output state: serializes writes and, in sorted inline mode,
+// reorders completed packages so the file is written in row order. The
+// reorder buffer is bounded (`max_pending`): a worker delivering far
+// ahead of the gap package blocks until the gap closes instead of
+// parking packages without bound. Progress is guaranteed because claimed
+// sequences always form a union of stripe prefixes (see schedule.h), so
+// the smallest unwritten package is either held by a worker that never
+// blocks (the gap) or sits at a stripe head whose owner is provably
+// unblocked; aborted runs shed deliveries instead of blocking so no
+// worker deadlocks after a failure.
+class TableOutput {
+ public:
+  TableOutput(std::unique_ptr<Sink> sink, bool sorted, uint64_t max_pending)
+      : sink_(std::move(sink)),
+        sorted_(sorted),
+        max_pending_(max_pending < 1 ? 1 : max_pending) {}
+
+  // Inline write path (worker context). Sorted mode parks out-of-order
+  // packages and blocks on reorder-buffer backpressure.
+  Status Deliver(uint64_t sequence, std::string buffer,
+                 DeliverMetrics* metrics);
+
+  // Serialized raw write: headers/footers (engine thread) and the async
+  // writer stage, which enforces ordering itself before calling in.
+  Status WriteDirect(std::string_view data);
+
+  // Unblocks delivering workers and makes subsequent Deliver calls shed.
+  // Called once the engine has recorded a failure.
+  void Abort();
+
+  // Closes the underlying sink exactly once (idempotent). On the normal
+  // path a sorted table with parked packages is an internal error; on the
+  // `aborted` path parked packages are expected debris of the failed run
+  // and are discarded, so closing cannot mask the original error with a
+  // follow-on "packages missing at close".
+  Status Close(bool aborted);
+
+  uint64_t bytes_written() const { return sink_->bytes_written(); }
+
+  // Peak number of parked out-of-order packages (sorted inline mode).
+  // Only meaningful after the run's workers have joined.
+  uint64_t reorder_high_water();
+
+ private:
+  std::unique_ptr<Sink> sink_;
+  bool sorted_;
+  uint64_t max_pending_;
+  std::mutex mutex_;
+  std::condition_variable space_;
+  std::map<uint64_t, std::string> pending_;
+  uint64_t next_sequence_ = 0;
+  uint64_t high_water_ = 0;
+  bool aborted_ = false;
+  bool closed_ = false;
+};
+
+// Fixed-capacity pool of formatted-byte buffers. Acquire blocks while
+// all buffers are in flight (backpressure: generation cannot outrun the
+// writer stage by more than `capacity` packages of memory) and returns
+// cleared strings that retain their heap allocation, so after warm-up
+// the hot path allocates nothing for payload bytes. Abort unblocks every
+// waiter; subsequent Acquire calls fail so an errored run winds down
+// instead of deadlocking.
+class BufferPool {
+ public:
+  explicit BufferPool(size_t capacity);
+
+  // Blocks until a buffer is free (or the pool is aborted). Returns
+  // false only after Abort; `out` is then left untouched.
+  bool Acquire(std::string* out);
+
+  // Returns a buffer to the pool, retaining its capacity for reuse.
+  void Release(std::string buffer);
+
+  void Abort();
+
+  size_t capacity() const { return capacity_; }
+  // Buffers materialized so far (<= capacity; warm-up cost). Steady
+  // state acquires recycle without allocating.
+  uint64_t allocations();
+  uint64_t peak_in_flight();
+
+ private:
+  const size_t capacity_;
+  std::mutex mutex_;
+  std::condition_variable available_;
+  std::vector<std::string> free_;
+  size_t in_flight_ = 0;
+  uint64_t allocations_ = 0;
+  uint64_t peak_in_flight_ = 0;
+  bool aborted_ = false;
+};
+
+struct WriterStageOptions {
+  // Writer threads; the stage clamps to [1, table_count].
+  int threads = 1;
+  // Enforce per-table sequence order before bytes reach the sink.
+  bool sorted = true;
+  // Sorted mode: a worker may run at most this many packages ahead of a
+  // table's write gap (WaitForTurn blocks past it), so parked packages
+  // per table stay < reorder_window. Must be >= 1.
+  uint64_t reorder_window = 8;
+  // Collect writer_write / writer_idle timings and queue gauges.
+  bool metrics = false;
+};
+
+// Async writer stage: each table is bound to one writer thread
+// (round-robin, table % threads); workers hand completed packages over
+// with Submit, which never blocks — backpressure lives in WaitForTurn
+// (sorted reorder window) and BufferPool::Acquire, both of which workers
+// call *before* formatting. Writer threads pop from their queue, park
+// out-of-order packages (bounded by the reorder window), write in-order
+// packages plus any parked followers, and recycle buffers to the pool.
+//
+// Error handling is first-error-wins: a failed sink write is reported
+// through `on_error` (the engine records it and aborts the run), after
+// which the stage sheds every queued and parked buffer; Abort and Finish
+// are idempotent and never block on a failed sink. Deadlock freedom:
+// writer threads only ever wait on their own queue, and the pool's
+// capacity floor (engine-enforced: workers + 1 + tables x (window - 1))
+// guarantees a circulating buffer always exists for the package that can
+// advance a write gap.
+class WriterStage {
+ public:
+  // `outputs` (borrowed, one per table) must outlive the stage; ordering
+  // is enforced here, so in async mode the TableOutputs are constructed
+  // unsorted and only their serialized WriteDirect path is used.
+  WriterStage(std::vector<TableOutput*> outputs, BufferPool* pool,
+              WriterStageOptions options,
+              std::function<void(const Status&)> on_error);
+  ~WriterStage();
+
+  WriterStage(const WriterStage&) = delete;
+  WriterStage& operator=(const WriterStage&) = delete;
+
+  void Start();
+
+  // Sorted mode: blocks until `sequence` is inside the table's reorder
+  // window (so the buffer the caller is about to acquire cannot be
+  // parked beyond the window bound). Returns false once the stage is
+  // aborted. `wait_nanos` (optional) accumulates blocked time.
+  bool WaitForTurn(size_t table, uint64_t sequence,
+                   int64_t* wait_nanos = nullptr);
+
+  // Hands a formatted package to the table's writer thread. Never
+  // blocks; after Abort the buffer is shed straight back to the pool.
+  void Submit(size_t table, uint64_t sequence, std::string buffer);
+
+  // Unblocks producers in WaitForTurn and makes writer threads shed
+  // instead of write. Idempotent; does not join.
+  void Abort();
+
+  // Drains (or, aborted, sheds) outstanding packages and joins the
+  // writer threads. Must be called after all producers have stopped.
+  // Returns InternalError if a non-aborted sorted run finished with
+  // parked packages (a missing sequence). Idempotent.
+  Status Finish();
+
+  // Post-Finish observability.
+  struct ThreadReport {
+    double write_seconds = 0;
+    double idle_seconds = 0;
+    uint64_t packages = 0;
+    uint64_t bytes = 0;
+    uint64_t queue_high_water = 0;
+  };
+  const std::vector<ThreadReport>& thread_reports() const {
+    return thread_reports_;
+  }
+  // Peak parked out-of-order packages for `table` (sorted mode).
+  uint64_t table_parked_high_water(size_t table) const;
+
+ private:
+  struct Item {
+    size_t table = 0;
+    uint64_t sequence = 0;
+    std::string buffer;
+  };
+
+  struct WriterThread {
+    std::mutex mutex;
+    std::condition_variable work;
+    std::deque<Item> queue;
+    uint64_t queue_high_water = 0;
+    bool done = false;  // producers finished: drain queue, then exit
+    std::thread thread;
+    // Written by the owning thread, read after join.
+    int64_t write_nanos = 0;
+    int64_t idle_nanos = 0;
+    uint64_t packages = 0;
+    uint64_t bytes = 0;
+  };
+
+  // Per-table ordering state, guarded by the owning writer thread's
+  // mutex.
+  struct TableChannel {
+    size_t writer = 0;
+    uint64_t next_sequence = 0;
+    std::map<uint64_t, std::string> parked;
+    uint64_t parked_high_water = 0;
+    // Producers blocked in WaitForTurn (paired with the writer's mutex).
+    std::condition_variable turn;
+  };
+
+  void ThreadMain(size_t writer_index);
+  // Writes one buffer (no locks held), recycles it, and reports errors.
+  // Returns false on write failure (after which aborted_ is set).
+  bool WriteAndRecycle(size_t table, std::string buffer,
+                       WriterThread* thread);
+
+  std::vector<TableOutput*> outputs_;
+  BufferPool* pool_;
+  WriterStageOptions options_;
+  std::function<void(const Status&)> on_error_;
+  std::vector<std::unique_ptr<WriterThread>> threads_;
+  std::vector<TableChannel> channels_;
+  std::atomic<bool> aborted_{false};
+  bool started_ = false;
+  bool finished_ = false;
+  Status finish_status_;
+  std::vector<ThreadReport> thread_reports_;
+};
+
+}  // namespace pdgf
+
+#endif  // DBSYNTHPP_CORE_OUTPUT_WRITER_H_

@@ -1,0 +1,151 @@
+#include "core/schedule.h"
+
+#include <atomic>
+
+namespace pdgf {
+
+void NodeShare(uint64_t rows, int node_count, int node_id, uint64_t* begin,
+               uint64_t* end) {
+  if (node_count < 1) node_count = 1;
+  if (node_id < 0) node_id = 0;
+  if (node_id >= node_count) node_id = node_count - 1;
+  uint64_t n = static_cast<uint64_t>(node_count);
+  uint64_t i = static_cast<uint64_t>(node_id);
+#if defined(__SIZEOF_INT128__)
+  // rows * (i + 1) overflows 64 bits once rows x node_count exceeds
+  // 2^64; widen the intermediate so the floor split stays exact (and
+  // bit-identical to the historical result for all non-overflowing
+  // inputs).
+  unsigned __int128 wide = rows;
+  *begin = static_cast<uint64_t>(wide * i / n);
+  *end = static_cast<uint64_t>(wide * (i + 1) / n);
+#else
+  // Portable fallback: quotient+remainder distribution. Exhaustive and
+  // disjoint like the floor split (boundaries differ, which is fine —
+  // correctness only requires a contiguous exact partition).
+  uint64_t base = rows / n;
+  uint64_t remainder = rows % n;
+  uint64_t extra = i < remainder ? i : remainder;
+  *begin = base * i + extra;
+  *end = *begin + base + (i < remainder ? 1 : 0);
+#endif
+}
+
+std::vector<WorkPackage> BuildWorkPackages(
+    const std::vector<uint64_t>& table_rows, uint64_t package_rows,
+    int node_count, int node_id) {
+  if (package_rows < 1) package_rows = 1;
+  std::vector<WorkPackage> packages;
+  for (size_t t = 0; t < table_rows.size(); ++t) {
+    uint64_t begin = 0;
+    uint64_t end = table_rows[t];
+    NodeShare(table_rows[t], node_count, node_id, &begin, &end);
+    uint64_t sequence = 0;
+    for (uint64_t start = begin; start < end; start += package_rows) {
+      uint64_t stop = start + package_rows;
+      if (stop > end) stop = end;
+      packages.push_back(
+          WorkPackage{static_cast<int>(t), start, stop, sequence++});
+    }
+  }
+  return packages;
+}
+
+const char* SchedulerKindName(SchedulerKind kind) {
+  switch (kind) {
+    case SchedulerKind::kAtomic:
+      return "atomic";
+    case SchedulerKind::kStriped:
+      return "striped";
+  }
+  return "atomic";
+}
+
+StatusOr<SchedulerKind> ParseSchedulerKind(const std::string& name) {
+  if (name == "atomic") return SchedulerKind::kAtomic;
+  if (name == "striped") return SchedulerKind::kStriped;
+  return InvalidArgumentError("unknown scheduler '" + name +
+                              "': expected 'atomic' or 'striped'");
+}
+
+namespace {
+
+class AtomicCounterScheduler : public Scheduler {
+ public:
+  explicit AtomicCounterScheduler(size_t package_count)
+      : Scheduler(package_count) {}
+
+  bool Next(int /*worker*/, size_t* index) override {
+    size_t claimed = next_.fetch_add(1, std::memory_order_relaxed);
+    if (claimed >= package_count()) return false;
+    *index = claimed;
+    return true;
+  }
+
+ private:
+  std::atomic<size_t> next_{0};
+};
+
+class StripedScheduler : public Scheduler {
+ public:
+  StripedScheduler(size_t package_count, int worker_count)
+      : Scheduler(package_count),
+        stripe_count_(worker_count < 1 ? 1 : worker_count),
+        stripes_(new Stripe[static_cast<size_t>(stripe_count_)]) {
+    for (int s = 0; s < stripe_count_; ++s) {
+      uint64_t begin = 0;
+      uint64_t end = 0;
+      NodeShare(package_count, stripe_count_, s, &begin, &end);
+      stripes_[s].next.store(begin, std::memory_order_relaxed);
+      stripes_[s].end = end;
+    }
+  }
+
+  bool Next(int worker, size_t* index) override {
+    // Own stripe first, then steal from the head of the next stripes in
+    // ring order. Claiming is always a fetch_add on the stripe cursor, so
+    // even under steal races every index is handed out exactly once;
+    // overshooting an exhausted stripe's end just wastes a counter tick.
+    // Head-stealing (rather than tail-stealing) keeps claimed indices a
+    // prefix of every stripe — the invariant the sorted-mode progress
+    // argument needs (see writer.h).
+    const int home = stripe_count_ > 0
+                         ? ((worker % stripe_count_) + stripe_count_) %
+                               stripe_count_
+                         : 0;
+    for (int probe = 0; probe < stripe_count_; ++probe) {
+      Stripe& stripe = stripes_[(home + probe) % stripe_count_];
+      uint64_t claimed = stripe.next.fetch_add(1, std::memory_order_relaxed);
+      if (claimed < stripe.end) {
+        *index = static_cast<size_t>(claimed);
+        return true;
+      }
+    }
+    return false;
+  }
+
+ private:
+  struct alignas(64) Stripe {
+    std::atomic<uint64_t> next{0};
+    uint64_t end = 0;
+  };
+
+  int stripe_count_;
+  std::unique_ptr<Stripe[]> stripes_;
+};
+
+}  // namespace
+
+std::unique_ptr<Scheduler> MakeScheduler(SchedulerKind kind,
+                                         size_t package_count,
+                                         int worker_count) {
+  switch (kind) {
+    case SchedulerKind::kStriped:
+      return std::make_unique<StripedScheduler>(package_count, worker_count);
+    case SchedulerKind::kAtomic:
+      break;
+  }
+  return std::make_unique<AtomicCounterScheduler>(package_count);
+}
+
+}  // namespace pdgf

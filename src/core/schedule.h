@@ -1,0 +1,88 @@
+#ifndef DBSYNTHPP_CORE_SCHEDULE_H_
+#define DBSYNTHPP_CORE_SCHEDULE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace pdgf {
+
+// Package dispatch for the generation engine (Figure 2's scheduler box,
+// made a first-class layer). The engine builds the package list once,
+// then workers claim indices through a Scheduler. Determinism never
+// depends on the dispatch policy: every cell's bytes are a pure function
+// of (table, row, update), and sorted-mode ordering is enforced
+// downstream by the writer stage, so any scheduler that hands out every
+// package exactly once produces identical output.
+
+// One schedulable unit: a row range of one table.
+struct WorkPackage {
+  int table_index;
+  uint64_t begin_row;
+  uint64_t end_row;
+  uint64_t sequence;  // package order within its table
+};
+
+// The node-local row range of a table under the meta-scheduler split.
+void NodeShare(uint64_t rows, int node_count, int node_id, uint64_t* begin,
+               uint64_t* end);
+
+// Splits every table's node-local share into packages of `package_rows`
+// rows (the last package of a table may be short). Packages are emitted
+// table-major; per-table `sequence` numbers count from 0.
+std::vector<WorkPackage> BuildWorkPackages(
+    const std::vector<uint64_t>& table_rows, uint64_t package_rows,
+    int node_count, int node_id);
+
+// Dispatch policies.
+enum class SchedulerKind {
+  // One shared atomic cursor over the package list: perfect load balance,
+  // one contended cache line. The historical (and default) policy.
+  kAtomic,
+  // The package list is split into one contiguous stripe per worker
+  // (NodeShare split); each worker drains its own stripe front-to-back
+  // and, when exhausted, steals from the *head* of the next non-empty
+  // stripe. Claims therefore always form a prefix of every stripe, which
+  // keeps the per-table "claimed sequences contain every sequence below
+  // any parked package" property the sorted-mode backpressure proofs
+  // rely on (see writer.h). Near-zero cross-worker traffic on the happy
+  // path, work stealing for ragged tails.
+  kStriped,
+};
+
+// "atomic" / "striped" (stable CLI spellings).
+const char* SchedulerKindName(SchedulerKind kind);
+StatusOr<SchedulerKind> ParseSchedulerKind(const std::string& name);
+
+// Thread-safe package dispenser. Every index in [0, package_count) is
+// returned exactly once across all workers; Next returns false when no
+// packages remain for that worker.
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  // Claims the next package for `worker` (0-based engine worker id).
+  virtual bool Next(int worker, size_t* index) = 0;
+
+  size_t package_count() const { return package_count_; }
+
+ protected:
+  explicit Scheduler(size_t package_count) : package_count_(package_count) {}
+
+ private:
+  size_t package_count_;
+};
+
+std::unique_ptr<Scheduler> MakeScheduler(SchedulerKind kind,
+                                         size_t package_count,
+                                         int worker_count);
+
+}  // namespace pdgf
+
+#endif  // DBSYNTHPP_CORE_SCHEDULE_H_

@@ -174,11 +174,72 @@ TEST_F(CliTest, GenerateWritesMetricsJson) {
   // Stable schema keys (docs/metrics.md) with per-table and per-phase
   // entries.
   for (const char* key :
-       {"\"schema_version\": 1", "\"phase_seconds\"", "\"row_generation\"",
-        "\"sink_wait\"", "\"workers\"", "\"tables\"", "\"lineitem\"",
-        "\"trace\""}) {
+       {"\"schema_version\": 2", "\"phase_seconds\"", "\"row_generation\"",
+        "\"sink_wait\"", "\"writer_write\"", "\"writer_idle\"",
+        "\"workers\"", "\"tables\"", "\"lineitem\"", "\"writer_threads\"",
+        "\"buffer_pool\"", "\"trace\""}) {
     EXPECT_NE(json->find(key), std::string::npos) << "missing " << key;
   }
+}
+
+TEST_F(CliTest, GeneratePipelineFlagsProduceIdenticalFiles) {
+  // Inline writes, async writer threads and the striped scheduler must
+  // produce byte-identical sorted output.
+  std::string out;
+  std::string inline_dir = pdgf::JoinPath(*dir_, "pipe_inline");
+  std::string async_dir = pdgf::JoinPath(*dir_, "pipe_async");
+  ASSERT_EQ(Run({"generate", *model_path_, "--out", inline_dir,
+                 "--workers", "3", "--package-rows", "97",
+                 "--writer-threads", "0"},
+                &out),
+            0);
+  ASSERT_EQ(Run({"generate", *model_path_, "--out", async_dir, "--workers",
+                 "3", "--package-rows", "97", "--writer-threads", "2",
+                 "--scheduler", "striped", "--io-buffers", "16"},
+                &out),
+            0);
+  for (const char* table : {"lineitem", "orders", "region"}) {
+    auto a = pdgf::ReadFileToString(
+        pdgf::JoinPath(inline_dir, std::string(table) + ".csv"));
+    auto b = pdgf::ReadFileToString(
+        pdgf::JoinPath(async_dir, std::string(table) + ".csv"));
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    EXPECT_EQ(*a, *b) << table;
+  }
+}
+
+TEST_F(CliTest, GenerateRejectsBadPipelineFlags) {
+  std::string out;
+  std::string out_dir = pdgf::JoinPath(*dir_, "badflags");
+  // Unknown scheduler names an actionable error listing valid values.
+  EXPECT_EQ(Run({"generate", *model_path_, "--out", out_dir, "--scheduler",
+                 "fifo"},
+                &out),
+            1);
+  EXPECT_NE(out.find("error:"), std::string::npos);
+  EXPECT_NE(out.find("fifo"), std::string::npos);
+  EXPECT_NE(out.find("atomic"), std::string::npos);
+  EXPECT_NE(out.find("striped"), std::string::npos);
+  // Non-integer writer-threads is rejected, not silently coerced to 0.
+  EXPECT_EQ(Run({"generate", *model_path_, "--out", out_dir,
+                 "--writer-threads", "two"},
+                &out),
+            1);
+  EXPECT_NE(out.find("writer-threads"), std::string::npos);
+  EXPECT_NE(out.find("'two'"), std::string::npos);
+  // Negative counts are rejected with the inline-mode hint.
+  EXPECT_EQ(Run({"generate", *model_path_, "--out", out_dir,
+                 "--writer-threads", "-1"},
+                &out),
+            1);
+  EXPECT_NE(out.find("writer-threads"), std::string::npos);
+  EXPECT_NE(out.find("inline"), std::string::npos);
+  EXPECT_EQ(Run({"generate", *model_path_, "--out", out_dir, "--io-buffers",
+                 "1.5"},
+                &out),
+            1);
+  EXPECT_NE(out.find("io-buffers"), std::string::npos);
 }
 
 TEST_F(CliTest, GenerateBundledModelByName) {
@@ -212,6 +273,8 @@ TEST_F(CliTest, VerifyPassesOnDeterministicModel) {
   std::string out;
   EXPECT_EQ(Run({"verify", *model_path_, "--quick"}, &out), 0);
   EXPECT_NE(out.find("baseline"), std::string::npos);
+  // The quick matrix exercises the striped scheduler + async writers too.
+  EXPECT_NE(out.find("striped w2"), std::string::npos);
   EXPECT_NE(out.find("cluster nodes=2 merged"), std::string::npos);
   EXPECT_NE(out.find("verify OK"), std::string::npos);
   EXPECT_EQ(out.find("FAIL"), std::string::npos) << out;

@@ -4,6 +4,9 @@
 //  - every sink is closed exactly once, on success and on failure,
 //  - sorted mode never deadlocks when a run aborts while workers are
 //    parked on reorder-buffer backpressure,
+//  - a sink failing on an async writer thread (core/output/writer.h)
+//    surfaces the original error, sheds queued buffers without writing
+//    them, and wakes workers blocked on the buffer pool,
 //  - NodeShare survives rows x node_count products past 2^64.
 
 #include <algorithm>
@@ -57,13 +60,16 @@ SchemaDef MakeSchema(uint64_t big_rows = 1000, uint64_t small_rows = 123) {
 class FailingSink final : public Sink {
  public:
   FailingSink(int fail_on_write, std::atomic<int>* closes,
-              std::atomic<int>* close_after_fail = nullptr)
+              std::atomic<int>* close_after_fail = nullptr,
+              std::atomic<int>* write_calls = nullptr)
       : fail_on_write_(fail_on_write),
         closes_(closes),
-        close_after_fail_(close_after_fail) {}
+        close_after_fail_(close_after_fail),
+        write_calls_(write_calls) {}
 
   Status Write(std::string_view data) override {
     int write = ++writes_;
+    if (write_calls_ != nullptr) ++*write_calls_;
     if (fail_on_write_ > 0 && write >= fail_on_write_) {
       failed_ = true;
       return IoError("disk full (injected)");
@@ -82,6 +88,7 @@ class FailingSink final : public Sink {
   int fail_on_write_;
   std::atomic<int>* closes_;
   std::atomic<int>* close_after_fail_;
+  std::atomic<int>* write_calls_ = nullptr;
   std::atomic<int> writes_{0};
   std::atomic<bool> failed_{false};
 };
@@ -208,6 +215,90 @@ TEST(EngineFailureTest, SortedAbortDoesNotDeadlockUnderBackpressure) {
     RunWithInjectedFailure(options, "big", 4 + trial, &run);
     ASSERT_FALSE(run.status.ok()) << "trial=" << trial;
     EXPECT_EQ(run.status.code(), StatusCode::kIoError);
+    EXPECT_EQ(run.closes.load(), run.sinks_created) << "trial=" << trial;
+  }
+}
+
+TEST(EngineFailureTest, WriterThreadFailureSurfacesOriginalError) {
+  // The failing write happens on an async writer thread, not a worker:
+  // the injected error must cross the stage boundary unchanged, with no
+  // "packages missing at writer finish" masking and exactly-once close.
+  for (SchedulerKind kind :
+       {SchedulerKind::kAtomic, SchedulerKind::kStriped}) {
+    for (bool sorted : {true, false}) {
+      GenerationOptions options;
+      options.worker_count = 4;
+      options.work_package_rows = 10;
+      options.sorted_output = sorted;
+      options.scheduler = kind;
+      options.writer_threads = 2;
+      FailureRun run;
+      RunWithInjectedFailure(options, "big", 3, &run);
+      ASSERT_FALSE(run.status.ok())
+          << SchedulerKindName(kind) << " sorted=" << sorted;
+      EXPECT_EQ(run.status.code(), StatusCode::kIoError);
+      EXPECT_NE(run.status.ToString().find("injected"), std::string::npos)
+          << run.status.ToString();
+      EXPECT_EQ(run.status.ToString().find("packages missing"),
+                std::string::npos)
+          << run.status.ToString();
+      EXPECT_EQ(run.closes.load(), run.sinks_created);
+    }
+  }
+}
+
+TEST(EngineFailureTest, WriterFailureShedsQueuedBuffersWithoutWriting) {
+  // After the failing write the writer must drop (recycle) everything
+  // still queued instead of flushing it: the failing sink sees exactly
+  // fail_on_write Write calls, nothing more.
+  SchemaDef schema = MakeSchema(2000, 123);
+  auto session = GenerationSession::Create(&schema);
+  ASSERT_TRUE(session.ok());
+  CsvFormatter formatter;
+  std::atomic<int> closes{0};
+  std::atomic<int> big_writes{0};
+  SinkFactory factory =
+      [&](const TableDef& table) -> StatusOr<std::unique_ptr<Sink>> {
+    int fail_on = table.name == "big" ? 2 : 0;
+    return std::unique_ptr<Sink>(new FailingSink(
+        fail_on, &closes, nullptr,
+        table.name == "big" ? &big_writes : nullptr));
+  };
+  GenerationOptions options;
+  options.worker_count = 8;
+  options.work_package_rows = 5;  // 400 packages for "big"
+  options.sorted_output = true;
+  options.reorder_buffer_packages = 4;
+  options.writer_threads = 1;  // both tables on one writer thread
+  GenerationEngine engine(&**session, &formatter, factory, options);
+  Status status = engine.Run();
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.ToString().find("injected"), std::string::npos);
+  // Write #1 succeeded, #2 failed, and the shed queue was never written.
+  EXPECT_EQ(big_writes.load(), 2);
+  EXPECT_EQ(closes.load(), 2);
+}
+
+TEST(EngineFailureTest, WriterAbortWakesWorkersBlockedOnBufferPool) {
+  // Tight pool + tight reorder window + many workers: workers block in
+  // BufferPool::Acquire and WaitForTurn while the writer thread hits the
+  // injected failure. The abort must wake every blocked worker (a
+  // deadlock here hangs the test binary, which CI treats as failure).
+  for (int trial = 0; trial < 10; ++trial) {
+    GenerationOptions options;
+    options.worker_count = 8;
+    options.work_package_rows = 5;
+    options.sorted_output = true;
+    options.reorder_buffer_packages = 2;
+    options.writer_threads = 2;
+    options.io_buffers = 1;  // raised to the deadlock-safe floor
+    options.scheduler = trial % 2 == 0 ? SchedulerKind::kAtomic
+                                       : SchedulerKind::kStriped;
+    FailureRun run;
+    RunWithInjectedFailure(options, "big", 4 + trial, &run);
+    ASSERT_FALSE(run.status.ok()) << "trial=" << trial;
+    EXPECT_EQ(run.status.code(), StatusCode::kIoError);
+    EXPECT_NE(run.status.ToString().find("injected"), std::string::npos);
     EXPECT_EQ(run.closes.load(), run.sinks_created) << "trial=" << trial;
   }
 }

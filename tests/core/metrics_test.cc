@@ -173,9 +173,12 @@ TEST(MetricsTest, JsonExportHasStableSchema) {
         "\"bytes\"", "\"packages\"", "\"rows_per_second\"",
         "\"megabytes_per_second\"", "\"worker_count\"", "\"phase_seconds\"",
         "\"row_generation\"", "\"formatting\"", "\"digesting\"",
-        "\"sink_wait\"", "\"sink_write\"", "\"workers\"", "\"tables\"",
+        "\"sink_wait\"", "\"sink_write\"", "\"writer_write\"",
+        "\"writer_idle\"", "\"workers\"", "\"tables\"",
         "\"reorder_buffer_high_water\"", "\"reorder_buffer_capacity\"",
-        "\"active_seconds\""}) {
+        "\"active_seconds\"", "\"writer_threads\"", "\"buffer_pool\"",
+        "\"capacity\"", "\"allocations\"", "\"peak_in_flight\"",
+        "\"queue_high_water\""}) {
     EXPECT_NE(json.find(key), std::string::npos) << "missing " << key;
   }
   // Compact form carries the same keys, no newlines.

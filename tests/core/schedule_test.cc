@@ -1,0 +1,296 @@
+#include "core/schedule.h"
+
+#include <algorithm>
+#include <atomic>
+#include <map>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "core/generators/generators.h"
+#include "core/output/formatter.h"
+#include "core/output/sink.h"
+#include "core/session.h"
+
+namespace pdgf {
+namespace {
+
+// ---------------------------------------------------------------------
+// BuildWorkPackages
+
+TEST(SchedulePackagesTest, TableMajorWithPerTableSequences) {
+  std::vector<WorkPackage> packages =
+      BuildWorkPackages({10, 0, 7}, 4, /*node_count=*/1, /*node_id=*/0);
+  // Table 0: [0,4) [4,8) [8,10); table 1 empty; table 2: [0,4) [4,7).
+  ASSERT_EQ(packages.size(), 5u);
+  EXPECT_EQ(packages[0].table_index, 0);
+  EXPECT_EQ(packages[0].begin_row, 0u);
+  EXPECT_EQ(packages[0].end_row, 4u);
+  EXPECT_EQ(packages[0].sequence, 0u);
+  EXPECT_EQ(packages[2].end_row, 10u);
+  EXPECT_EQ(packages[2].sequence, 2u);
+  EXPECT_EQ(packages[3].table_index, 2);
+  EXPECT_EQ(packages[3].sequence, 0u);  // sequences restart per table
+  EXPECT_EQ(packages[4].end_row, 7u);
+}
+
+TEST(SchedulePackagesTest, NodeSharesPartitionRows) {
+  // Across all node ids the packages must cover each table's rows
+  // exactly once, in contiguous non-overlapping shares.
+  const std::vector<uint64_t> rows = {101, 13};
+  const int nodes = 4;
+  std::vector<uint64_t> covered(rows.size(), 0);
+  for (int node = 0; node < nodes; ++node) {
+    for (const WorkPackage& p : BuildWorkPackages(rows, 7, nodes, node)) {
+      ASSERT_LT(p.begin_row, p.end_row);
+      covered[static_cast<size_t>(p.table_index)] +=
+          p.end_row - p.begin_row;
+    }
+  }
+  EXPECT_EQ(covered[0], rows[0]);
+  EXPECT_EQ(covered[1], rows[1]);
+}
+
+// ---------------------------------------------------------------------
+// SchedulerKind parsing
+
+TEST(SchedulerKindTest, ParsesStableNamesAndRoundTrips) {
+  auto atomic = ParseSchedulerKind("atomic");
+  ASSERT_TRUE(atomic.ok());
+  EXPECT_EQ(*atomic, SchedulerKind::kAtomic);
+  auto striped = ParseSchedulerKind("striped");
+  ASSERT_TRUE(striped.ok());
+  EXPECT_EQ(*striped, SchedulerKind::kStriped);
+  EXPECT_STREQ(SchedulerKindName(SchedulerKind::kAtomic), "atomic");
+  EXPECT_STREQ(SchedulerKindName(SchedulerKind::kStriped), "striped");
+}
+
+TEST(SchedulerKindTest, RejectsUnknownNameWithActionableError) {
+  auto parsed = ParseSchedulerKind("lifo");
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_NE(parsed.status().message().find("lifo"), std::string::npos);
+  EXPECT_NE(parsed.status().message().find("atomic"), std::string::npos);
+  EXPECT_NE(parsed.status().message().find("striped"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// Exactly-once dispatch
+
+// Drains `scheduler` from `worker_count` threads, each looping Next()
+// until it returns false, and records every claimed index.
+std::vector<size_t> DrainConcurrently(Scheduler* scheduler,
+                                      int worker_count) {
+  std::vector<std::vector<size_t>> per_worker(
+      static_cast<size_t>(worker_count));
+  std::vector<std::thread> threads;
+  for (int w = 0; w < worker_count; ++w) {
+    threads.emplace_back([scheduler, w, &per_worker] {
+      size_t index = 0;
+      while (scheduler->Next(w, &index)) {
+        per_worker[static_cast<size_t>(w)].push_back(index);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  std::vector<size_t> all;
+  for (const auto& claimed : per_worker) {
+    all.insert(all.end(), claimed.begin(), claimed.end());
+  }
+  return all;
+}
+
+void ExpectExactlyOnce(std::vector<size_t> claimed, size_t package_count) {
+  ASSERT_EQ(claimed.size(), package_count);
+  std::sort(claimed.begin(), claimed.end());
+  for (size_t i = 0; i < claimed.size(); ++i) {
+    ASSERT_EQ(claimed[i], i) << "index claimed twice or skipped";
+  }
+}
+
+TEST(SchedulerTest, AtomicSingleWorkerCoversAllInOrder) {
+  auto scheduler = MakeScheduler(SchedulerKind::kAtomic, 17, 1);
+  size_t index = 0;
+  for (size_t expected = 0; expected < 17; ++expected) {
+    ASSERT_TRUE(scheduler->Next(0, &index));
+    EXPECT_EQ(index, expected);
+  }
+  EXPECT_FALSE(scheduler->Next(0, &index));
+  EXPECT_FALSE(scheduler->Next(0, &index));  // stays exhausted
+}
+
+TEST(SchedulerTest, StripedSingleWorkerCoversAll) {
+  // One worker must still drain every stripe (its own, then steals).
+  auto scheduler = MakeScheduler(SchedulerKind::kStriped, 23, 4);
+  size_t index = 0;
+  std::vector<size_t> claimed;
+  while (scheduler->Next(0, &index)) claimed.push_back(index);
+  ExpectExactlyOnce(std::move(claimed), 23);
+}
+
+TEST(SchedulerTest, StripedClaimsArePrefixesOfStripes) {
+  // The head-steal invariant: at any point the claimed set is a union of
+  // stripe prefixes. With 2 workers over 4 stripes of 5, a worker's own
+  // consecutive claims must be consecutive indices within one stripe.
+  auto scheduler = MakeScheduler(SchedulerKind::kStriped, 20, 4);
+  size_t index = 0;
+  // Worker 2's home stripe is [10, 15).
+  ASSERT_TRUE(scheduler->Next(2, &index));
+  EXPECT_EQ(index, 10u);
+  ASSERT_TRUE(scheduler->Next(2, &index));
+  EXPECT_EQ(index, 11u);
+  // Worker 0 claims from its own stripe head, untouched by worker 2.
+  ASSERT_TRUE(scheduler->Next(0, &index));
+  EXPECT_EQ(index, 0u);
+}
+
+TEST(SchedulerTest, BothKindsExactlyOnceUnderContention) {
+  // Steal-race coverage: many threads drain a small package list, so
+  // stripes exhaust quickly and stealing is the common path. Run under
+  // TSan (tools/check.sh tier 3) this also proves data-race freedom.
+  for (SchedulerKind kind :
+       {SchedulerKind::kAtomic, SchedulerKind::kStriped}) {
+    for (int workers : {1, 2, 7}) {
+      for (size_t packages : {0u, 1u, 13u, 64u, 257u}) {
+        auto scheduler = MakeScheduler(kind, packages, workers);
+        ExpectExactlyOnce(DrainConcurrently(scheduler.get(), workers),
+                          packages);
+      }
+    }
+  }
+}
+
+TEST(SchedulerTest, MoreWorkersThanPackages) {
+  // Stripe construction must tolerate empty stripes (workers > packages)
+  // and worker ids beyond the stripe count.
+  auto scheduler = MakeScheduler(SchedulerKind::kStriped, 3, 16);
+  ExpectExactlyOnce(DrainConcurrently(scheduler.get(), 16), 3);
+}
+
+// ---------------------------------------------------------------------
+// End-to-end parity: scheduler x writer-thread count
+
+SchemaDef MakeParitySchema() {
+  SchemaDef schema;
+  schema.name = "sched_parity";
+  schema.seed = 77;
+  TableDef big;
+  big.name = "big";
+  big.size_expression = "900";
+  FieldDef id;
+  id.name = "id";
+  id.type = DataType::kBigInt;
+  id.generator = GeneratorPtr(new IdGenerator(1, 1));
+  big.fields.push_back(std::move(id));
+  FieldDef payload;
+  payload.name = "payload";
+  payload.type = DataType::kVarchar;
+  payload.generator = GeneratorPtr(new RandomStringGenerator(4, 18));
+  big.fields.push_back(std::move(payload));
+  schema.tables.push_back(std::move(big));
+  TableDef small;
+  small.name = "small";
+  small.size_expression = "41";
+  FieldDef value;
+  value.name = "value";
+  value.type = DataType::kBigInt;
+  value.generator = GeneratorPtr(new LongGenerator(0, 999));
+  small.fields.push_back(std::move(value));
+  schema.tables.push_back(std::move(small));
+  return schema;
+}
+
+class CaptureSink final : public Sink {
+ public:
+  explicit CaptureSink(std::string* out) : out_(out) {}
+  Status Write(std::string_view data) override {
+    out_->append(data);
+    return Status::Ok();
+  }
+
+ private:
+  std::string* out_;
+};
+
+std::map<std::string, std::string> RunToMemory(
+    const GenerationSession& session, const RowFormatter& formatter,
+    GenerationOptions options) {
+  std::map<std::string, std::string> outputs;
+  SinkFactory factory =
+      [&outputs](const TableDef& table) -> StatusOr<std::unique_ptr<Sink>> {
+    return std::unique_ptr<Sink>(new CaptureSink(&outputs[table.name]));
+  };
+  GenerationEngine engine(&session, &formatter, factory, options);
+  Status status = engine.Run();
+  EXPECT_TRUE(status.ok()) << status.ToString();
+  return outputs;
+}
+
+TEST(SchedulerEngineParityTest, SortedBytesIdenticalAcrossPipelines) {
+  SchemaDef schema = MakeParitySchema();
+  auto session = GenerationSession::Create(&schema);
+  ASSERT_TRUE(session.ok());
+  auto formatter = MakeFormatter("csv");
+  ASSERT_TRUE(formatter.ok());
+
+  GenerationOptions baseline_options;
+  baseline_options.worker_count = 1;
+  baseline_options.work_package_rows = 4096;
+  baseline_options.writer_threads = 0;  // inline single-threaded reference
+  auto baseline = RunToMemory(**session, **formatter, baseline_options);
+  ASSERT_FALSE(baseline["big"].empty());
+
+  for (SchedulerKind kind :
+       {SchedulerKind::kAtomic, SchedulerKind::kStriped}) {
+    for (int writer_threads : {0, 1, 3}) {
+      for (uint64_t package_rows : {97u, 512u}) {
+        GenerationOptions options;
+        options.worker_count = 4;
+        options.work_package_rows = package_rows;
+        options.scheduler = kind;
+        options.writer_threads = writer_threads;
+        auto outputs = RunToMemory(**session, **formatter, options);
+        EXPECT_EQ(outputs, baseline)
+            << SchedulerKindName(kind) << " writers=" << writer_threads
+            << " pkg=" << package_rows;
+      }
+    }
+  }
+}
+
+TEST(SchedulerEngineParityTest, DigestsIdenticalUnsorted) {
+  // Unsorted mode gives up byte order but never digest equality.
+  SchemaDef schema = MakeParitySchema();
+  auto session = GenerationSession::Create(&schema);
+  ASSERT_TRUE(session.ok());
+  auto formatter = MakeFormatter("csv");
+  ASSERT_TRUE(formatter.ok());
+
+  auto digests_of = [&](SchedulerKind kind, int writer_threads) {
+    GenerationOptions options;
+    options.worker_count = 4;
+    options.work_package_rows = 61;
+    options.sorted_output = false;
+    options.scheduler = kind;
+    options.writer_threads = writer_threads;
+    options.compute_digests = true;
+    auto stats = GenerateToNull(**session, **formatter, options);
+    EXPECT_TRUE(stats.ok()) << stats.status().ToString();
+    std::vector<std::string> hex;
+    for (const TableDigest& digest : stats->table_digests) {
+      hex.push_back(digest.Hex());
+    }
+    return hex;
+  };
+
+  std::vector<std::string> reference =
+      digests_of(SchedulerKind::kAtomic, 0);
+  ASSERT_FALSE(reference.empty());
+  EXPECT_EQ(digests_of(SchedulerKind::kStriped, 0), reference);
+  EXPECT_EQ(digests_of(SchedulerKind::kAtomic, 2), reference);
+  EXPECT_EQ(digests_of(SchedulerKind::kStriped, 2), reference);
+}
+
+}  // namespace
+}  // namespace pdgf

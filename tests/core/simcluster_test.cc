@@ -195,6 +195,38 @@ TEST(SimClusterDigestTest, NodeCountSweepIsDigestInvariant) {
   }
 }
 
+TEST(SimClusterDigestTest, StagedPipelineIsDigestInvariantAcrossNodes) {
+  // The meta-scheduler split composes with the staged pipeline: striped
+  // dispatch + async writer threads on every simulated node must merge
+  // to the same digests as the inline atomic baseline.
+  SchemaDef schema = MakeClusterSchema();
+  auto session = GenerationSession::Create(&schema);
+  ASSERT_TRUE(session.ok());
+  CsvFormatter formatter;
+
+  GenerationOptions baseline_options;
+  baseline_options.worker_count = 2;
+  baseline_options.work_package_rows = 97;
+  baseline_options.writer_threads = 0;  // inline legacy path
+  auto baseline =
+      RunSimulatedCluster(**session, formatter, baseline_options, 1);
+  ASSERT_TRUE(baseline.ok()) << baseline.status().ToString();
+
+  GenerationOptions staged_options = baseline_options;
+  staged_options.scheduler = SchedulerKind::kStriped;
+  staged_options.writer_threads = 2;
+  for (int nodes : {1, 3, 5}) {
+    auto run = RunSimulatedCluster(**session, formatter, staged_options,
+                                   nodes);
+    ASSERT_TRUE(run.ok()) << "nodes=" << nodes;
+    EXPECT_EQ(run->rows, baseline->rows) << "nodes=" << nodes;
+    for (size_t t = 0; t < baseline->table_digests.size(); ++t) {
+      EXPECT_TRUE(run->table_digests[t] == baseline->table_digests[t])
+          << "nodes=" << nodes << " table=" << t;
+    }
+  }
+}
+
 TEST(SimClusterDigestTest, SortedSinkPathMatchesNullSinkDigests) {
   // Route every node's output through sorted DigestingSinks; the
   // order-insensitive table digests must not care, and the per-node

@@ -27,11 +27,16 @@ esac
 
 run() { echo "+ $*" >&2; "$@"; }
 
+# Per-test watchdog: the writer-stage/backpressure suites assert
+# deadlock-freedom by *completing*, so a hung test must fail loudly
+# instead of stalling the whole tier.
+CTEST_TIMEOUT=${CTEST_TIMEOUT:-120}
+
 if [[ "$RUN_TIER1" == 1 ]]; then
   echo "=== tier-1: default build + full test suite ==="
   run cmake --preset default
   run cmake --build --preset default -j "$(nproc)"
-  run ctest --preset default
+  run ctest --preset default --timeout "$CTEST_TIMEOUT"
   echo "=== tier-1: metrics overhead gate (fail if metrics-on costs >10%) ==="
   # Best-of-5 engine runs with metrics off vs. on at a tiny scale factor;
   # exits non-zero if the delta exceeds METRICS_GATE_PCT (default 10).
@@ -40,13 +45,17 @@ if [[ "$RUN_TIER1" == 1 ]]; then
   # Best-of-5 scalar vs. batch pipeline runs on identical work; exits
   # non-zero unless batch rows/s >= BATCH_GATE_X (default 1.2) x scalar.
   run ./build/bench/bench_fig5_scaleup 0.005 --batch-gate
+  echo "=== tier-1: async writer gate (fail if async < 1.1x inline on slow sink) ==="
+  # Inline vs. async writer stage against a throttled sink, plus the
+  # default-scenario regression guard (WRITER_GATE_X / WRITER_REGRESSION_PCT).
+  run ./build/bench/bench_fig5_scaleup 0.005 --writer-gate
 fi
 
 if [[ "$RUN_ASAN" == 1 ]]; then
   echo "=== sanitizer tier: ASan + UBSan ==="
   run cmake --preset asan-ubsan
   run cmake --build --preset asan-ubsan -j "$(nproc)"
-  run ctest --preset asan-ubsan
+  run ctest --preset asan-ubsan --timeout "$CTEST_TIMEOUT"
 fi
 
 if [[ "$RUN_TSAN" == 1 ]]; then
@@ -54,8 +63,8 @@ if [[ "$RUN_TSAN" == 1 ]]; then
   run cmake --preset tsan
   run cmake --build --preset tsan -j "$(nproc)" --target \
     tests_core tests_integration tests_cli
-  run ctest --preset tsan -R \
-    "Engine|Digest|SimCluster|Progress|Determinism|Cli|Metrics|NodeShare|Batch"
+  run ctest --preset tsan --timeout "$CTEST_TIMEOUT" -R \
+    "Engine|Digest|SimCluster|Progress|Determinism|Cli|Metrics|NodeShare|Batch|Schedul|Writer"
 fi
 
 echo "all requested tiers passed"
