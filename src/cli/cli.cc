@@ -16,6 +16,9 @@
 #include "dbsynth/synthesizer.h"
 #include "dbsynth/virtual_query.h"
 #include "minidb/csv.h"
+#include "serve/client.h"
+#include "serve/protocol.h"
+#include "serve/server.h"
 #include "minidb/persistence.h"
 #include "minidb/sql.h"
 #include "util/files.h"
@@ -817,6 +820,172 @@ int CmdVerify(const ParsedArgs& args, std::string* output) {
   return 0;
 }
 
+// Runs the multi-tenant generation daemon (src/serve, docs/serve.md).
+// Blocks until a client sends {"op":"shutdown"} (or the process is
+// signalled); --port-file is how scripts discover an ephemeral port.
+int CmdServe(const ParsedArgs& args, std::string* output) {
+  serve::ServeOptions options;
+  auto port = CountFlagOr(args, "port", 0, 0, "(0 picks an ephemeral port)");
+  if (!port.ok()) return Fail(port.status(), output);
+  options.port = static_cast<int>(*port);
+  options.port_file = args.FlagOr("port-file", "");
+  auto max_jobs =
+      CountFlagOr(args, "max-jobs", 4, 1, "(concurrent admitted jobs)");
+  if (!max_jobs.ok()) return Fail(max_jobs.status(), output);
+  options.max_jobs = static_cast<uint64_t>(*max_jobs);
+  auto max_connections = CountFlagOr(args, "max-connections", 32, 1,
+                                     "(concurrent client connections)");
+  if (!max_connections.ok()) return Fail(max_connections.status(), output);
+  options.max_connections = static_cast<uint64_t>(*max_connections);
+  auto max_workers = CountFlagOr(args, "max-workers", 4, 1,
+                                 "(worker-thread clamp per job)");
+  if (!max_workers.ok()) return Fail(max_workers.status(), output);
+  options.max_workers_per_job = static_cast<int>(*max_workers);
+  auto writer_threads = CountFlagOr(args, "writer-threads", 1, 1,
+                                    "(writer threads per job; 1 keeps "
+                                    "streams byte-deterministic)");
+  if (!writer_threads.ok()) return Fail(writer_threads.status(), output);
+  options.writer_threads = static_cast<int>(*writer_threads);
+  auto package_rows =
+      CountFlagOr(args, "package-rows", 10000, 1, "(rows per work package)");
+  if (!package_rows.ok()) return Fail(package_rows.status(), output);
+  options.work_package_rows = static_cast<uint64_t>(*package_rows);
+  auto timeout = CountFlagOr(args, "request-timeout", 60, 1,
+                             "(seconds before an idle client is dropped)");
+  if (!timeout.ok()) return Fail(timeout.status(), output);
+  options.request_timeout_seconds = static_cast<int>(*timeout);
+
+  serve::Server server(options);
+  Status started = server.Start();
+  if (!started.ok()) return Fail(started, output);
+  server.Wait();
+  // Buffered CLI output only surfaces after shutdown; clients discover
+  // the port through --port-file, not this line.
+  output->append(pdgf::StrPrintf("serve: shut down cleanly (port %d)\n",
+                                 server.port()));
+  return 0;
+}
+
+// Resolves the daemon port for `request`: an explicit --port or the
+// --port-file a daemon wrote.
+StatusOr<int> ResolveRequestPort(const ParsedArgs& args) {
+  if (args.HasFlag("port")) {
+    PDGF_ASSIGN_OR_RETURN(
+        int64_t port, CountFlagOr(args, "port", 0, 1, "(a TCP port)"));
+    return static_cast<int>(port);
+  }
+  std::string path = args.FlagOr("port-file", "");
+  if (path.empty()) {
+    return pdgf::InvalidArgumentError(
+        "request requires --port N or --port-file PATH");
+  }
+  PDGF_ASSIGN_OR_RETURN(std::string text, pdgf::ReadFileToString(path));
+  std::string trimmed(pdgf::StripWhitespace(text));
+  if (trimmed.empty() ||
+      trimmed.find_first_not_of("0123456789") != std::string::npos) {
+    return pdgf::ParseError("port file " + path + " does not hold a port");
+  }
+  return std::atoi(trimmed.c_str());
+}
+
+// One-shot client for the serve daemon: control ops print the response
+// line; generate requests stream the job, discarding payload bytes
+// unless --out DIR is given.
+int CmdRequest(const ParsedArgs& args, std::string* output) {
+  auto port = ResolveRequestPort(args);
+  if (!port.ok()) return Fail(port.status(), output);
+  auto client = serve::ServeClient::Connect(
+      *port, args.FlagOr("host", "127.0.0.1"));
+  if (!client.ok()) return Fail(client.status(), output);
+
+  if (args.HasFlag("op")) {
+    std::string op = args.FlagOr("op", "");
+    std::string line = "{\"op\":\"" + serve::JsonEscape(op) + "\"";
+    if (args.HasFlag("job")) {
+      auto job = CountFlagOr(args, "job", 0, 1, "(a job id)");
+      if (!job.ok()) return Fail(job.status(), output);
+      line += pdgf::StrPrintf(",\"job\":%lld",
+                              static_cast<long long>(*job));
+    }
+    line += "}";
+    auto response = client->Request(line);
+    if (!response.ok()) return Fail(response.status(), output);
+    output->append(*response + "\n");
+    return 0;
+  }
+
+  if (!args.HasFlag("model")) {
+    return Fail(pdgf::InvalidArgumentError(
+                    "request needs --model tpch|ssb|imdb or --op "
+                    "metrics|ping|cancel|shutdown"),
+                output);
+  }
+  std::string line =
+      "{\"model\":\"" + serve::JsonEscape(args.FlagOr("model", "")) + "\"";
+  if (args.HasFlag("sf")) {
+    const std::string sf = args.FlagOr("sf", "");
+    char* end = nullptr;
+    std::strtod(sf.c_str(), &end);
+    if (sf.empty() || end != sf.c_str() + sf.size()) {
+      return Fail(pdgf::InvalidArgumentError("--sf expects a number, got '" +
+                                             sf + "'"),
+                  output);
+    }
+    line += ",\"scale_factor\":" + sf;
+  }
+  line += ",\"format\":\"" + serve::JsonEscape(args.FlagOr("format", "csv")) +
+          "\"";
+  auto nodes = CountFlagOr(args, "nodes", 1, 1, "(node count)");
+  if (!nodes.ok()) return Fail(nodes.status(), output);
+  auto node_id = CountFlagOr(args, "node-id", 0, 0, "(0-based node id)");
+  if (!node_id.ok()) return Fail(node_id.status(), output);
+  auto workers = CountFlagOr(args, "workers", 1, 1, "(worker threads)");
+  if (!workers.ok()) return Fail(workers.status(), output);
+  auto update = CountFlagOr(args, "update", 0, 0, "(abstract time unit)");
+  if (!update.ok()) return Fail(update.status(), output);
+  line += pdgf::StrPrintf(
+      ",\"node_count\":%lld,\"node_id\":%lld,\"workers\":%lld",
+      static_cast<long long>(*nodes), static_cast<long long>(*node_id),
+      static_cast<long long>(*workers));
+  if (*update > 0) {
+    line += pdgf::StrPrintf(",\"update\":%lld",
+                            static_cast<long long>(*update));
+  }
+  if (args.HasFlag("digests")) line += ",\"digests\":true";
+  line += "}";
+
+  auto job = client->RunJob(line);
+  if (!job.ok()) return Fail(job.status(), output);
+  if (!job->ok) {
+    return Fail(Status(pdgf::StatusCode::kInternal,
+                       "job failed: " + job->error_code + ": " +
+                           job->error_message),
+                output);
+  }
+  output->append(pdgf::StrPrintf(
+      "job %llu ok: %llu rows, %.2f MB in %.3f s\n",
+      static_cast<unsigned long long>(job->job_id),
+      static_cast<unsigned long long>(job->rows),
+      static_cast<double>(job->bytes) / (1024 * 1024), job->seconds));
+  for (const serve::ReceivedDigest& digest : job->digests) {
+    output->append(pdgf::StrPrintf(
+        "  %-24s %12llu rows  digest=%s\n", digest.table.c_str(),
+        static_cast<unsigned long long>(digest.rows), digest.hex.c_str()));
+  }
+  if (args.HasFlag("out")) {
+    std::string dir = args.FlagOr("out", "");
+    std::string ext = args.FlagOr("format", "csv");
+    if (ext.rfind("csv,", 0) == 0) ext = "csv";
+    for (const auto& [table, payload] : job->table_payload) {
+      Status written =
+          pdgf::WriteStringToFile(dir + "/" + table + "." + ext, payload);
+      if (!written.ok()) return Fail(written, output);
+    }
+    output->append("payload written to " + dir + "\n");
+  }
+  return 0;
+}
+
 int CmdDictionaries(std::string* output) {
   for (const std::string& name : pdgf::BuiltinDictionaryNames()) {
     const pdgf::Dictionary* dictionary =
@@ -856,6 +1025,15 @@ std::string UsageText() {
       "           [--golden FILE] [--bless FILE] [--quick]\n"
       "           [--cluster-nodes N] [--inject-perturbation]\n"
       "           [--metrics-out FILE.json]\n"
+      "  serve    [--port N] [--port-file PATH] [--max-jobs N]\n"
+      "           [--max-connections N] [--max-workers N]\n"
+      "           [--writer-threads N] [--package-rows N]\n"
+      "           [--request-timeout SECONDS]\n"
+      "  request  (--port N | --port-file PATH) [--host H]\n"
+      "           (--model tpch|ssb|imdb [--sf X] [--format F]\n"
+      "            [--nodes N --node-id I] [--workers N] [--update U]\n"
+      "            [--digests] [--out DIR]\n"
+      "            | --op metrics|ping|cancel|shutdown [--job N])\n"
       "  dictionaries\n";
 }
 
@@ -876,6 +1054,8 @@ int RunCli(const std::vector<std::string>& args, std::string* output) {
   if (command == "query") return CmdQuery(*parsed, output);
   if (command == "workload") return CmdWorkload(*parsed, output);
   if (command == "verify") return CmdVerify(*parsed, output);
+  if (command == "serve") return CmdServe(*parsed, output);
+  if (command == "request") return CmdRequest(*parsed, output);
   if (command == "dictionaries") return CmdDictionaries(output);
   if (command == "help" || command == "--help" || command == "-h") {
     output->append(UsageText());

@@ -22,6 +22,9 @@ namespace dbsynthpp_cli {
 //            [--null-marker M] [--explain]
 //   query    <model.xml> <SQL> [--sf X] [--update U]
 //   workload <model.xml> [--count N] [--seed S]
+//   serve    [--port N] [--port-file PATH] [--max-jobs N]
+//            [--max-connections N] [--max-workers N]
+//   request  (--port N | --port-file PATH) --model tpch [--digests] ...
 //   dictionaries
 //
 // `extract` stands in for the JDBC connection of Figure 3: the source

@@ -20,6 +20,8 @@ enum class StatusCode {
   kInternal,
   kIoError,
   kParseError,
+  kResourceExhausted,  // admission control: a bounded queue/pool is full
+  kCancelled,          // the caller (or a peer) cancelled the operation
 };
 
 // Returns a stable human-readable name ("InvalidArgument", ...) for `code`.
@@ -62,6 +64,8 @@ Status UnimplementedError(std::string message);
 Status InternalError(std::string message);
 Status IoError(std::string message);
 Status ParseError(std::string message);
+Status ResourceExhaustedError(std::string message);
+Status CancelledError(std::string message);
 
 // Minimal StatusOr: holds either a value or an error status. The value is
 // only accessible when `ok()`.

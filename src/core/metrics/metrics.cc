@@ -346,4 +346,37 @@ std::string MetricsReport::ToJson(bool pretty) const {
   return json.Take();
 }
 
+std::string ServeCounters::ToJson(bool pretty) const {
+  JsonWriter json(pretty);
+  json.BeginObject();
+  json.Key("jobs_accepted");
+  json.Number(jobs_accepted);
+  json.Key("jobs_completed");
+  json.Number(jobs_completed);
+  json.Key("jobs_failed");
+  json.Number(jobs_failed);
+  json.Key("jobs_cancelled");
+  json.Number(jobs_cancelled);
+  json.Key("jobs_rejected");
+  json.Number(jobs_rejected);
+  json.Key("bytes_streamed");
+  json.Number(bytes_streamed);
+  json.Key("queue_depth");
+  json.Number(queue_depth);
+  json.Key("active_connections");
+  json.Number(active_connections);
+  json.Key("connections_accepted");
+  json.Number(connections_accepted);
+  json.Key("connections_rejected");
+  json.Number(connections_rejected);
+  json.Key("requests_malformed");
+  json.Number(requests_malformed);
+  json.Key("max_jobs");
+  json.Number(max_jobs);
+  json.Key("max_connections");
+  json.Number(max_connections);
+  json.EndObject();
+  return json.Take();
+}
+
 }  // namespace pdgf

@@ -219,6 +219,31 @@ struct MetricsReport {
   std::string ToJson(bool pretty = true) const;
 };
 
+// Per-job counters of the serve daemon (src/serve) — the additive serve
+// section of the metrics endpoint. A snapshot struct: the server keeps
+// atomics and fills one of these per metrics request; the endpoint
+// serializes it next to the last completed job's MetricsReport (schema
+// v2), so one scrape answers both "what is the daemon doing" and "what
+// did the engine spend its time on".
+struct ServeCounters {
+  uint64_t jobs_accepted = 0;    // admitted past the --max-jobs gate
+  uint64_t jobs_completed = 0;   // finished with an OK engine status
+  uint64_t jobs_failed = 0;      // engine error (disconnect, sink, ...)
+  uint64_t jobs_cancelled = 0;   // aborted by an explicit cancel request
+  uint64_t jobs_rejected = 0;    // refused at admission (queue saturated)
+  uint64_t bytes_streamed = 0;   // payload + frame bytes written to clients
+  uint64_t queue_depth = 0;      // gauge: admitted jobs not yet finished
+  uint64_t active_connections = 0;      // gauge
+  uint64_t connections_accepted = 0;
+  uint64_t connections_rejected = 0;    // over --max-connections
+  uint64_t requests_malformed = 0;      // bad JSON / truncated / oversized
+  uint64_t max_jobs = 0;                // configured limits, for context
+  uint64_t max_connections = 0;
+
+  // Serializes to the "serve" section documented in docs/serve.md.
+  std::string ToJson(bool pretty = true) const;
+};
+
 }  // namespace pdgf
 
 #endif  // DBSYNTHPP_CORE_METRICS_METRICS_H_

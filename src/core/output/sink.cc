@@ -2,7 +2,9 @@
 
 #include <errno.h>
 #include <string.h>
+#include <sys/socket.h>
 #include <time.h>
+#include <unistd.h>
 
 namespace pdgf {
 
@@ -41,6 +43,31 @@ Status FileSink::Close() {
   if (result != 0) {
     return IoError("close failed for '" + path_ + "'");
   }
+  return Status::Ok();
+}
+
+Status WriteAllToFd(int fd, std::string_view data) {
+  size_t offset = 0;
+  while (offset < data.size()) {
+    // send(MSG_NOSIGNAL) keeps a dead peer from raising SIGPIPE; plain
+    // files and pipes return ENOTSOCK and fall back to write().
+    ssize_t n = ::send(fd, data.data() + offset, data.size() - offset,
+                       MSG_NOSIGNAL);
+    if (n < 0 && errno == ENOTSOCK) {
+      n = ::write(fd, data.data() + offset, data.size() - offset);
+    }
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return IoError(std::string("fd write failed: ") + strerror(errno));
+    }
+    offset += static_cast<size_t>(n);
+  }
+  return Status::Ok();
+}
+
+Status FdSink::Write(std::string_view data) {
+  PDGF_RETURN_IF_ERROR(WriteAllToFd(fd_, data));
+  AddBytes(data.size());
   return Status::Ok();
 }
 

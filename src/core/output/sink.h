@@ -134,6 +134,27 @@ class DigestingSink final : public Sink {
   ByteStreamHash hash_;
 };
 
+// Writes to an open file descriptor — the socket-backed sink of the
+// serve daemon (src/serve), also usable with pipes. Handles partial
+// writes by looping and, for sockets, suppresses SIGPIPE per call
+// (MSG_NOSIGNAL) so a disconnected peer surfaces as an IoError status
+// the engine can abort on instead of a process-killing signal. The fd is
+// borrowed: the connection that accepted it closes it.
+class FdSink final : public Sink {
+ public:
+  explicit FdSink(int fd) : fd_(fd) {}
+
+  Status Write(std::string_view data) override;
+
+ private:
+  int fd_;
+};
+
+// Writes every byte of `data` to `fd` (looping over partial writes and
+// EINTR) with MSG_NOSIGNAL when `fd` is a socket. Shared by FdSink and
+// the serve protocol layer.
+Status WriteAllToFd(int fd, std::string_view data);
+
 // A sink that simulates a slow device by charging a fixed latency per
 // write call plus a throughput-bound delay per byte, then discarding the
 // data. Used by the Figure-6 harness to reproduce "disk-bound" operation

@@ -1,0 +1,98 @@
+#ifndef DBSYNTHPP_SERVE_CLIENT_H_
+#define DBSYNTHPP_SERVE_CLIENT_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "util/hash.h"
+
+namespace serve {
+
+// One shard digest received in a stream trailer: the folded value for
+// display plus the full mergeable accumulator state, so a client
+// coordinating N node-shares can Merge() the states and compare the
+// result against a single-node golden digest.
+struct ReceivedDigest {
+  std::string table;
+  uint64_t rows = 0;
+  uint64_t bytes = 0;
+  std::string hex;           // folded Digest128::Hex() of this shard
+  pdgf::TableDigest state;   // mergeable accumulator
+};
+
+// A fully consumed generate stream.
+struct StreamedJob {
+  uint64_t job_id = 0;
+  bool ok = false;
+  std::string error_code;     // set when !ok
+  std::string error_message;  // set when !ok
+  uint64_t rows = 0;          // trailer totals
+  uint64_t bytes = 0;
+  double seconds = 0;
+  // Payload bytes per table, chunk frames reassembled in arrival order.
+  std::map<std::string, std::string> table_payload;
+  std::vector<ReceivedDigest> digests;
+  // Every byte received, frames and payload verbatim — the unit the
+  // repeat-run byte-identity test compares.
+  std::string raw;
+};
+
+// Minimal blocking client for the serve protocol (docs/serve.md). Used
+// by the test tier and the `dbsynthpp request` verb; move-only, owns
+// the socket.
+class ServeClient {
+ public:
+  // `recv_buffer_bytes` > 0 shrinks SO_RCVBUF before connecting (the
+  // failure tests use a tiny window to make server-side backpressure
+  // kick in deterministically).
+  static pdgf::StatusOr<ServeClient> Connect(
+      int port, const std::string& host = "127.0.0.1",
+      int recv_buffer_bytes = 0);
+
+  ServeClient(ServeClient&& other) noexcept;
+  ServeClient& operator=(ServeClient&& other) noexcept;
+  ServeClient(const ServeClient&) = delete;
+  ServeClient& operator=(const ServeClient&) = delete;
+  ~ServeClient();
+
+  // Sends one already-formatted request line (terminator added).
+  pdgf::Status SendLine(const std::string& line);
+
+  // Reads one '\n'-terminated response line (terminator stripped).
+  pdgf::StatusOr<std::string> ReadLine();
+  // Reads exactly `n` raw payload bytes.
+  pdgf::StatusOr<std::string> ReadBytes(size_t n);
+
+  // Sends a control request and returns its single response line.
+  pdgf::StatusOr<std::string> Request(const std::string& line);
+
+  // Sends a generate request line and consumes the whole stream. An
+  // in-band job failure returns OK with job.ok == false; a transport
+  // failure returns the error status.
+  pdgf::StatusOr<StreamedJob> RunJob(const std::string& request_line);
+
+  // The read half of RunJob, for callers that SendLine()d the request
+  // earlier and deliberately let the server block on backpressure first
+  // (the failure tests drive cancellation and saturation this way).
+  pdgf::StatusOr<StreamedJob> ConsumeJobStream();
+
+  // Hard-closes the socket without draining — the "client vanished
+  // mid-stream" failure tests use this.
+  void Abort();
+
+  int fd() const { return fd_; }
+
+ private:
+  explicit ServeClient(int fd) : fd_(fd) {}
+
+  int fd_ = -1;
+  std::string buffer_;  // read-ahead
+};
+
+}  // namespace serve
+
+#endif  // DBSYNTHPP_SERVE_CLIENT_H_

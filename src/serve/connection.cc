@@ -1,0 +1,271 @@
+#include "serve/connection.h"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "core/engine.h"
+#include "core/output/formatter.h"
+#include "core/output/sink.h"
+#include "serve/job_queue.h"
+#include "serve/protocol.h"
+#include "serve/server.h"
+#include "util/strings.h"
+
+namespace serve {
+namespace {
+
+using pdgf::Status;
+using pdgf::StatusOr;
+
+// A request line (one flat JSON object) comfortably fits in a fraction
+// of this; anything longer is a broken or hostile client.
+constexpr size_t kMaxRequestBytes = 64 * 1024;
+
+// Buffered reader returning one '\n'-terminated line at a time. Relies
+// on the fd's SO_RCVTIMEO for the idle limit: a blocked recv() fails
+// with EAGAIN when the peer goes silent.
+class LineReader {
+ public:
+  explicit LineReader(int fd) : fd_(fd) {}
+
+  // true = `line` holds a request line (terminator stripped);
+  // false = clean EOF. Timeouts, resets and truncated trailing data
+  // (bytes then EOF with no '\n') are errors.
+  StatusOr<bool> ReadLine(std::string* line) {
+    while (true) {
+      size_t newline = buffer_.find('\n', scanned_);
+      if (newline != std::string::npos) {
+        line->assign(buffer_, 0, newline);
+        buffer_.erase(0, newline + 1);
+        scanned_ = 0;
+        if (!line->empty() && line->back() == '\r') line->pop_back();
+        return true;
+      }
+      scanned_ = buffer_.size();
+      if (buffer_.size() > kMaxRequestBytes) {
+        return pdgf::ParseError("request line exceeds 64 KiB");
+      }
+      char chunk[4096];
+      ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+      if (n < 0 && errno == ENOTSOCK) {
+        n = ::read(fd_, chunk, sizeof(chunk));
+      }
+      if (n == 0) {
+        if (!buffer_.empty()) {
+          return pdgf::ParseError("connection closed mid-request");
+        }
+        return false;
+      }
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK) {
+          return pdgf::IoError("timed out waiting for a request line");
+        }
+        return pdgf::IoError(std::string("recv failed: ") +
+                             std::strerror(errno));
+      }
+      buffer_.append(chunk, static_cast<size_t>(n));
+    }
+  }
+
+ private:
+  int fd_;
+  std::string buffer_;
+  size_t scanned_ = 0;
+};
+
+// The connection's shared output stream. Every table sink of a job plus
+// the control-frame writer go through here, so one mutex both
+// serializes frame emission (a chunk header and its payload must be
+// adjacent on the wire) and makes the byte accounting exact.
+struct ConnectionStream {
+  int fd;
+  std::mutex mu;
+  JobQueue* queue;
+
+  Status WriteLocked(std::string_view data) {
+    std::lock_guard<std::mutex> lock(mu);
+    PDGF_RETURN_IF_ERROR(pdgf::WriteAllToFd(fd, data));
+    queue->AddBytesStreamed(data.size());
+    return Status::Ok();
+  }
+};
+
+// Socket-backed per-table sink: frames every engine write as a chunk
+// header line plus raw payload bytes, and aborts the job's engine run
+// when the job has been cancelled or the peer is gone. Writer threads
+// of the same job write concurrently; the stream mutex keeps frames
+// intact.
+class ChunkedStreamSink final : public pdgf::Sink {
+ public:
+  ChunkedStreamSink(ConnectionStream* stream, std::shared_ptr<Job> job,
+                    std::string table)
+      : stream_(stream), job_(std::move(job)), table_(std::move(table)) {}
+
+  Status Write(std::string_view data) override {
+    if (data.empty()) return Status::Ok();
+    if (job_->IsCancelled()) {
+      return pdgf::CancelledError("job " + std::to_string(job_->id) +
+                                  " cancelled");
+    }
+    std::lock_guard<std::mutex> lock(stream_->mu);
+    std::string header = FormatChunkHeader(table_, data.size());
+    PDGF_RETURN_IF_ERROR(pdgf::WriteAllToFd(stream_->fd, header));
+    PDGF_RETURN_IF_ERROR(pdgf::WriteAllToFd(stream_->fd, data));
+    stream_->queue->AddBytesStreamed(header.size() + data.size());
+    AddBytes(data.size());
+    return Status::Ok();
+  }
+
+ private:
+  ConnectionStream* stream_;
+  std::shared_ptr<Job> job_;
+  std::string table_;
+};
+
+// Runs one generate request end to end. Connection-level failures (the
+// peer is unreachable) come back as an error status so the caller drops
+// the connection; job-level failures are reported to the peer in-band
+// and return OK here.
+Status HandleGenerate(Server* server, ConnectionStream* stream,
+                      const JobRequest& request) {
+  auto model = server->GetModel(request.model, request.scale_factor);
+  if (!model.ok()) return stream->WriteLocked(FormatErrorLine(model.status()));
+  auto formatter = pdgf::MakeFormatter(request.format);
+  if (!formatter.ok()) {
+    return stream->WriteLocked(FormatErrorLine(formatter.status()));
+  }
+
+  auto admitted = server->queue().Admit(request.model);
+  if (!admitted.ok()) {
+    return stream->WriteLocked(FormatErrorLine(admitted.status()));
+  }
+  std::shared_ptr<Job> job = *admitted;
+
+  Status sent = stream->WriteLocked(FormatStreamingHeader(job->id));
+  if (!sent.ok()) {
+    server->queue().FinishFailed(job);
+    return sent;
+  }
+
+  pdgf::GenerationOptions options;
+  options.worker_count =
+      std::min(request.workers, server->options().max_workers_per_job);
+  options.work_package_rows = server->options().work_package_rows;
+  options.node_count = request.node_count;
+  options.node_id = request.node_id;
+  options.update = request.update;
+  options.sorted_output = true;
+  options.compute_digests = request.digests;
+  // Always collected: the metrics endpoint exposes the last job's engine
+  // report, and the failure tests assert buffer-pool health through it.
+  options.metrics_enabled = true;
+  options.writer_threads = server->options().writer_threads;
+
+  pdgf::GenerationEngine engine(
+      (*model)->session.get(), formatter->get(),
+      [stream, job](const pdgf::TableDef& table)
+          -> StatusOr<std::unique_ptr<pdgf::Sink>> {
+        return std::unique_ptr<pdgf::Sink>(
+            std::make_unique<ChunkedStreamSink>(stream, job, table.name));
+      },
+      options);
+
+  Status run = engine.Run();
+  const pdgf::GenerationEngine::Stats& stats = engine.stats();
+
+  if (!run.ok()) {
+    if (run.code() == pdgf::StatusCode::kCancelled) {
+      server->queue().FinishCancelled(job);
+    } else {
+      server->queue().FinishFailed(job);
+    }
+    // Best-effort: after a disconnect this write fails too, which is
+    // fine — the connection is being torn down either way.
+    return stream->WriteLocked(FormatErrorLine(run));
+  }
+
+  server->queue().FinishOk(job);
+  server->queue().SetLastJobMetricsJson(stats.metrics.ToJson(false));
+
+  std::string tail;
+  if (request.digests) {
+    const pdgf::SchemaDef& schema = (*model)->schema;
+    for (size_t t = 0; t < stats.table_digests.size(); ++t) {
+      const pdgf::TableDigest& digest = stats.table_digests[t];
+      tail += FormatTableDigestLine(schema.tables[t].name, digest.rows(),
+                                    digest.bytes(), digest.Hex(),
+                                    digest.SerializeState());
+    }
+  }
+  tail += FormatOkTrailer(job->id, stats.rows, stats.bytes, stats.seconds);
+  return stream->WriteLocked(tail);
+}
+
+}  // namespace
+
+void RunConnection(Server* server, int fd) {
+  LineReader reader(fd);
+  ConnectionStream stream{fd, {}, &server->queue()};
+  std::string line;
+  while (!server->shutting_down()) {
+    auto got = reader.ReadLine(&line);
+    if (!got.ok()) {
+      // Truncated or oversized requests count as malformed; a clean
+      // error line is attempted but the connection is done either way.
+      if (got.status().code() == pdgf::StatusCode::kParseError) {
+        server->queue().AddMalformedRequest();
+      }
+      stream.WriteLocked(FormatErrorLine(got.status()));
+      return;
+    }
+    if (!*got) return;  // clean EOF
+    if (line.empty()) continue;
+
+    auto request = ParseJobRequest(line);
+    if (!request.ok()) {
+      // A complete-but-bad line is recoverable: report and keep
+      // serving this connection (the stream is still line-aligned).
+      server->queue().AddMalformedRequest();
+      if (!stream.WriteLocked(FormatErrorLine(request.status())).ok()) {
+        return;
+      }
+      continue;
+    }
+
+    Status handled;
+    if (request->op == "generate") {
+      handled = HandleGenerate(server, &stream, *request);
+    } else if (request->op == "metrics") {
+      handled = stream.WriteLocked(server->MetricsJson() + "\n");
+    } else if (request->op == "ping") {
+      handled = stream.WriteLocked("{\"status\":\"ok\",\"op\":\"ping\"}\n");
+    } else if (request->op == "cancel") {
+      Status cancelled = server->queue().Cancel(request->job_id);
+      handled = stream.WriteLocked(
+          cancelled.ok()
+              ? pdgf::StrPrintf("{\"status\":\"ok\",\"op\":\"cancel\","
+                                "\"job\":%llu}\n",
+                                static_cast<unsigned long long>(
+                                    request->job_id))
+              : FormatErrorLine(cancelled));
+    } else if (request->op == "shutdown") {
+      stream.WriteLocked("{\"status\":\"ok\",\"op\":\"shutdown\"}\n");
+      server->RequestShutdown();
+      return;
+    } else {
+      handled = stream.WriteLocked(FormatErrorLine(
+          pdgf::InvalidArgumentError("unknown op \"" + request->op + "\"")));
+    }
+    if (!handled.ok()) return;
+  }
+}
+
+}  // namespace serve

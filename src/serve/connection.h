@@ -1,0 +1,16 @@
+#ifndef DBSYNTHPP_SERVE_CONNECTION_H_
+#define DBSYNTHPP_SERVE_CONNECTION_H_
+
+namespace serve {
+
+class Server;
+
+// Serves one accepted client connection until the peer disconnects, a
+// fatal protocol error occurs, or the server shuts down. Runs on the
+// connection's own thread; does NOT close `fd` (the accept loop owns the
+// fd's lifetime so it can shut it down during drain).
+void RunConnection(Server* server, int fd);
+
+}  // namespace serve
+
+#endif  // DBSYNTHPP_SERVE_CONNECTION_H_

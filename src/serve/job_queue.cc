@@ -1,0 +1,100 @@
+#include "serve/job_queue.h"
+
+#include "util/strings.h"
+
+namespace serve {
+
+using pdgf::Status;
+using pdgf::StatusOr;
+
+StatusOr<std::shared_ptr<Job>> JobQueue::Admit(const std::string& model) {
+  // Depth is maintained under mu_ (not a lock-free CAS) so the
+  // admit/reject decision and the registry insert are one atomic step —
+  // a cancel racing an admit can never observe the id without the entry.
+  std::lock_guard<std::mutex> lock(mu_);
+  if (running_.size() >= max_jobs_) {
+    jobs_rejected_.fetch_add(1, std::memory_order_relaxed);
+    return pdgf::ResourceExhaustedError(pdgf::StrPrintf(
+        "job queue saturated (%zu of %llu jobs running); retry later",
+        running_.size(), static_cast<unsigned long long>(max_jobs_)));
+  }
+  auto job = std::make_shared<Job>();
+  job->id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  job->model = model;
+  running_.emplace(job->id, job);
+  depth_.store(running_.size(), std::memory_order_relaxed);
+  jobs_accepted_.fetch_add(1, std::memory_order_relaxed);
+  return job;
+}
+
+void JobQueue::Finish(const std::shared_ptr<Job>& job,
+                      std::atomic<uint64_t>* bucket) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    running_.erase(job->id);
+    depth_.store(running_.size(), std::memory_order_relaxed);
+  }
+  bucket->fetch_add(1, std::memory_order_relaxed);
+}
+
+void JobQueue::FinishOk(const std::shared_ptr<Job>& job) {
+  Finish(job, &jobs_completed_);
+}
+
+void JobQueue::FinishFailed(const std::shared_ptr<Job>& job) {
+  Finish(job, &jobs_failed_);
+}
+
+void JobQueue::FinishCancelled(const std::shared_ptr<Job>& job) {
+  Finish(job, &jobs_cancelled_);
+}
+
+Status JobQueue::Cancel(uint64_t id) {
+  std::shared_ptr<Job> job;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = running_.find(id);
+    if (it == running_.end()) {
+      return pdgf::NotFoundError(pdgf::StrPrintf(
+          "no running job %llu", static_cast<unsigned long long>(id)));
+    }
+    job = it->second;
+  }
+  job->Cancel();
+  return Status::Ok();
+}
+
+void JobQueue::CancelAll() {
+  std::vector<std::shared_ptr<Job>> jobs;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    jobs.reserve(running_.size());
+    for (const auto& [id, job] : running_) jobs.push_back(job);
+  }
+  for (const auto& job : jobs) job->Cancel();
+}
+
+void JobQueue::SetLastJobMetricsJson(std::string json) {
+  std::lock_guard<std::mutex> lock(mu_);
+  last_job_metrics_json_ = std::move(json);
+}
+
+std::string JobQueue::LastJobMetricsJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return last_job_metrics_json_;
+}
+
+void JobQueue::FillCounters(pdgf::ServeCounters* out) const {
+  out->jobs_accepted = jobs_accepted_.load(std::memory_order_relaxed);
+  out->jobs_completed = jobs_completed_.load(std::memory_order_relaxed);
+  out->jobs_failed = jobs_failed_.load(std::memory_order_relaxed);
+  out->jobs_cancelled = jobs_cancelled_.load(std::memory_order_relaxed);
+  out->jobs_rejected = jobs_rejected_.load(std::memory_order_relaxed);
+  out->bytes_streamed = bytes_streamed_.load(std::memory_order_relaxed);
+  out->requests_malformed =
+      requests_malformed_.load(std::memory_order_relaxed);
+  out->queue_depth = depth_.load(std::memory_order_relaxed);
+  out->max_jobs = max_jobs_;
+}
+
+}  // namespace serve

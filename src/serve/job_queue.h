@@ -1,0 +1,102 @@
+#ifndef DBSYNTHPP_SERVE_JOB_QUEUE_H_
+#define DBSYNTHPP_SERVE_JOB_QUEUE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/metrics/metrics.h"
+
+namespace serve {
+
+// One admitted generation job. Connections own a shared_ptr while the
+// job runs; the queue's registry holds another so a `cancel` request
+// from a DIFFERENT connection can find it by id. Cancellation is
+// cooperative: the flag is checked by the job's sink on every write, so
+// an in-flight engine run aborts via its normal first-error-wins path
+// (which releases buffer-pool buffers and joins workers — no special
+// teardown).
+struct Job {
+  uint64_t id = 0;
+  std::string model;
+  std::atomic<bool> cancelled{false};
+
+  void Cancel() { cancelled.store(true, std::memory_order_relaxed); }
+  bool IsCancelled() const {
+    return cancelled.load(std::memory_order_relaxed);
+  }
+};
+
+// Admission control plus the per-job half of the serve metrics. At most
+// `max_jobs` admitted-but-unfinished jobs exist at a time; a request
+// past the limit is rejected IMMEDIATELY with ResourceExhausted rather
+// than queued — the client owns retry policy, and a bounded daemon that
+// says "no" fast is easier to reason about (and to test) than one that
+// parks connections.
+class JobQueue {
+ public:
+  explicit JobQueue(uint64_t max_jobs) : max_jobs_(max_jobs) {}
+
+  // Admits a new job or fails with ResourceExhausted. Thread-safe.
+  pdgf::StatusOr<std::shared_ptr<Job>> Admit(const std::string& model);
+
+  // Terminal transitions. Exactly one must be called per admitted job;
+  // each removes the job from the registry and decrements the depth.
+  void FinishOk(const std::shared_ptr<Job>& job);
+  void FinishFailed(const std::shared_ptr<Job>& job);
+  void FinishCancelled(const std::shared_ptr<Job>& job);
+
+  // Flags job `id` for cancellation (NotFound if it is not running).
+  pdgf::Status Cancel(uint64_t id);
+  // Flags every running job — used at shutdown to unblock streams fast.
+  void CancelAll();
+
+  void AddBytesStreamed(uint64_t bytes) {
+    bytes_streamed_.fetch_add(bytes, std::memory_order_relaxed);
+  }
+  void AddMalformedRequest() {
+    requests_malformed_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  // Stashes the engine MetricsReport JSON of the most recently completed
+  // job; the metrics endpoint embeds it so one scrape answers both the
+  // daemon-level and engine-level questions.
+  void SetLastJobMetricsJson(std::string json);
+  std::string LastJobMetricsJson() const;
+
+  // Fills the job-scoped fields of `out` (connection gauges are the
+  // server's to fill). Gauges are read at snapshot time; counters are
+  // monotonic.
+  void FillCounters(pdgf::ServeCounters* out) const;
+
+  uint64_t max_jobs() const { return max_jobs_; }
+  uint64_t depth() const { return depth_.load(std::memory_order_relaxed); }
+
+ private:
+  void Finish(const std::shared_ptr<Job>& job, std::atomic<uint64_t>* bucket);
+
+  const uint64_t max_jobs_;
+  std::atomic<uint64_t> next_id_{1};
+  std::atomic<uint64_t> depth_{0};
+
+  std::atomic<uint64_t> jobs_accepted_{0};
+  std::atomic<uint64_t> jobs_completed_{0};
+  std::atomic<uint64_t> jobs_failed_{0};
+  std::atomic<uint64_t> jobs_cancelled_{0};
+  std::atomic<uint64_t> jobs_rejected_{0};
+  std::atomic<uint64_t> bytes_streamed_{0};
+  std::atomic<uint64_t> requests_malformed_{0};
+
+  mutable std::mutex mu_;
+  std::map<uint64_t, std::shared_ptr<Job>> running_;  // guarded by mu_
+  std::string last_job_metrics_json_;                 // guarded by mu_
+};
+
+}  // namespace serve
+
+#endif  // DBSYNTHPP_SERVE_JOB_QUEUE_H_

@@ -1,0 +1,369 @@
+#include "serve/protocol.h"
+
+#include <cctype>
+#include <charconv>
+#include <cstdlib>
+
+#include "util/strings.h"
+
+namespace serve {
+
+using pdgf::Status;
+using pdgf::StatusOr;
+
+namespace {
+
+// Hand-rolled scanner for ONE flat JSON object — the whole request
+// grammar. Kept separate from the emit side so a fuzz-ish failure test
+// can hammer it without a socket in the loop.
+class FlatScanner {
+ public:
+  explicit FlatScanner(std::string_view text) : text_(text) {}
+
+  StatusOr<std::map<std::string, std::string>> Run() {
+    std::map<std::string, std::string> out;
+    SkipSpace();
+    if (!Consume('{')) return Fail("expected '{'");
+    SkipSpace();
+    if (Consume('}')) return FinishAtEnd(std::move(out));
+    while (true) {
+      SkipSpace();
+      std::string key;
+      PDGF_RETURN_IF_ERROR(ScanString(&key));
+      SkipSpace();
+      if (!Consume(':')) return Fail("expected ':' after key");
+      SkipSpace();
+      std::string value;
+      PDGF_RETURN_IF_ERROR(ScanValue(&value));
+      if (!out.emplace(std::move(key), std::move(value)).second) {
+        return Fail("duplicate key");
+      }
+      SkipSpace();
+      if (Consume(',')) continue;
+      if (Consume('}')) return FinishAtEnd(std::move(out));
+      return Fail("expected ',' or '}'");
+    }
+  }
+
+ private:
+  StatusOr<std::map<std::string, std::string>> FinishAtEnd(
+      std::map<std::string, std::string> out) {
+    SkipSpace();
+    if (pos_ != text_.size()) return Fail("trailing bytes after object");
+    return out;
+  }
+
+  Status ScanValue(std::string* out) {
+    if (pos_ < text_.size() && text_[pos_] == '"') return ScanString(out);
+    if (ConsumeWord("true")) {
+      *out = "true";
+      return Status::Ok();
+    }
+    if (ConsumeWord("false")) {
+      *out = "false";
+      return Status::Ok();
+    }
+    if (ConsumeWord("null")) {
+      *out = "null";
+      return Status::Ok();
+    }
+    // Number: keep the raw token text so "0.01" survives verbatim and can
+    // be fed back through the same scale-factor parser the CLI uses.
+    size_t start = pos_;
+    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) {
+      ++pos_;
+    }
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '-' || text_[pos_] == '+')) {
+      ++pos_;
+    }
+    if (pos_ == start) return Fail("expected a JSON value");
+    *out = std::string(text_.substr(start, pos_ - start));
+    // Validate the token is a number (the loop above is permissive).
+    char* end = nullptr;
+    std::string token(*out);
+    std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size()) {
+      return Fail("malformed number");
+    }
+    return Status::Ok();
+  }
+
+  Status ScanString(std::string* out) {
+    if (!Consume('"')) return Fail("expected '\"'");
+    out->clear();
+    while (pos_ < text_.size()) {
+      char c = text_[pos_++];
+      if (c == '"') return Status::Ok();
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return Fail("unescaped control character in string");
+      }
+      if (c != '\\') {
+        out->push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) break;
+      char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out->push_back('"'); break;
+        case '\\': out->push_back('\\'); break;
+        case '/': out->push_back('/'); break;
+        case 'n': out->push_back('\n'); break;
+        case 't': out->push_back('\t'); break;
+        case 'r': out->push_back('\r'); break;
+        case 'b': out->push_back('\b'); break;
+        case 'f': out->push_back('\f'); break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return Fail("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f')
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F')
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            else
+              return Fail("bad \\u escape digit");
+          }
+          // Requests are ASCII in practice; encode BMP code points as
+          // UTF-8 so escapes round-trip, reject surrogates outright.
+          if (code >= 0xD800 && code <= 0xDFFF) {
+            return Fail("surrogate \\u escapes unsupported");
+          }
+          if (code < 0x80) {
+            out->push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out->push_back(static_cast<char>(0xC0 | (code >> 6)));
+            out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            out->push_back(static_cast<char>(0xE0 | (code >> 12)));
+            out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          }
+          break;
+        }
+        default:
+          return Fail("unknown string escape");
+      }
+    }
+    return Fail("unterminated string");
+  }
+
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+            text_[pos_] == '\r' || text_[pos_] == '\n')) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeWord(std::string_view word) {
+    if (text_.substr(pos_, word.size()) == word) {
+      pos_ += word.size();
+      return true;
+    }
+    return false;
+  }
+
+  Status Fail(const char* what) {
+    return pdgf::ParseError(pdgf::StrPrintf("request JSON: %s at byte %zu",
+                                            what, pos_));
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+StatusOr<int> ParseIntField(const std::string& key, const std::string& text,
+                            int min, int max) {
+  int value = 0;
+  auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), value);
+  if (ec != std::errc() || ptr != text.data() + text.size()) {
+    return pdgf::ParseError("field \"" + key + "\" is not an integer: " +
+                            text);
+  }
+  if (value < min || value > max) {
+    return pdgf::InvalidArgumentError(
+        pdgf::StrPrintf("field \"%s\" out of range [%d, %d]: %d", key.c_str(),
+                        min, max, value));
+  }
+  return value;
+}
+
+StatusOr<uint64_t> ParseUint64Field(const std::string& key,
+                                    const std::string& text) {
+  uint64_t value = 0;
+  auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), value);
+  if (ec != std::errc() || ptr != text.data() + text.size()) {
+    return pdgf::ParseError("field \"" + key +
+                            "\" is not a non-negative integer: " + text);
+  }
+  return value;
+}
+
+}  // namespace
+
+StatusOr<std::map<std::string, std::string>> ParseFlatJsonObject(
+    std::string_view text) {
+  return FlatScanner(text).Run();
+}
+
+StatusOr<JobRequest> ParseJobRequest(std::string_view line) {
+  PDGF_ASSIGN_OR_RETURN(auto fields, ParseFlatJsonObject(line));
+  JobRequest request;
+  bool has_op = false;
+  for (const auto& [key, value] : fields) {
+    if (key == "op") {
+      request.op = value;
+      has_op = true;
+    } else if (key == "model") {
+      request.model = value;
+    } else if (key == "scale_factor") {
+      request.scale_factor = value;
+    } else if (key == "format") {
+      request.format = value;
+    } else if (key == "node_id") {
+      PDGF_ASSIGN_OR_RETURN(request.node_id,
+                            ParseIntField(key, value, 0, 1 << 20));
+    } else if (key == "node_count") {
+      PDGF_ASSIGN_OR_RETURN(request.node_count,
+                            ParseIntField(key, value, 1, 1 << 20));
+    } else if (key == "workers") {
+      PDGF_ASSIGN_OR_RETURN(request.workers, ParseIntField(key, value, 1, 256));
+    } else if (key == "update") {
+      PDGF_ASSIGN_OR_RETURN(request.update, ParseUint64Field(key, value));
+    } else if (key == "digests") {
+      if (value != "true" && value != "false") {
+        return pdgf::ParseError("field \"digests\" must be true or false");
+      }
+      request.digests = value == "true";
+    } else if (key == "job") {
+      PDGF_ASSIGN_OR_RETURN(request.job_id, ParseUint64Field(key, value));
+    } else {
+      return pdgf::InvalidArgumentError("unknown request field \"" + key +
+                                        "\"");
+    }
+  }
+  if (!has_op) {
+    if (request.model.empty()) {
+      return pdgf::InvalidArgumentError(
+          "request needs an \"op\" or a \"model\"");
+    }
+    request.op = "generate";
+  }
+  if (request.op == "generate" && request.model.empty()) {
+    return pdgf::InvalidArgumentError("generate request needs a \"model\"");
+  }
+  if (request.node_id >= request.node_count) {
+    return pdgf::InvalidArgumentError(pdgf::StrPrintf(
+        "node_id %d out of range for node_count %d", request.node_id,
+        request.node_count));
+  }
+  return request;
+}
+
+std::string JsonEscape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size() + 2);
+  for (char c : text) {
+    switch (c) {
+      case '"': out.append("\\\""); break;
+      case '\\': out.append("\\\\"); break;
+      case '\n': out.append("\\n"); break;
+      case '\r': out.append("\\r"); break;
+      case '\t': out.append("\\t"); break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out.append(pdgf::StrPrintf("\\u%04x", c));
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+std::string FormatErrorLine(const Status& status) {
+  return pdgf::StrPrintf("{\"status\":\"error\",\"code\":\"%s\",\"message\":\"%s\"}\n",
+                         pdgf::StatusCodeName(status.code()),
+                         JsonEscape(status.message()).c_str());
+}
+
+std::string FormatStreamingHeader(uint64_t job_id) {
+  return pdgf::StrPrintf("{\"status\":\"streaming\",\"job\":%llu}\n",
+                         static_cast<unsigned long long>(job_id));
+}
+
+std::string FormatChunkHeader(std::string_view table, size_t payload_bytes) {
+  return pdgf::StrPrintf("{\"table\":\"%s\",\"bytes\":%zu}\n",
+                         JsonEscape(table).c_str(), payload_bytes);
+}
+
+std::string FormatTableDigestLine(std::string_view table, uint64_t rows,
+                                  uint64_t bytes, std::string_view hex,
+                                  std::string_view state) {
+  return pdgf::StrPrintf(
+      "{\"table_digest\":\"%s\",\"rows\":%llu,\"bytes\":%llu,"
+      "\"digest\":\"%s\",\"state\":\"%s\"}\n",
+      JsonEscape(table).c_str(), static_cast<unsigned long long>(rows),
+      static_cast<unsigned long long>(bytes),
+      std::string(hex).c_str(), std::string(state).c_str());
+}
+
+std::string FormatOkTrailer(uint64_t job_id, uint64_t rows, uint64_t bytes,
+                            double seconds) {
+  return pdgf::StrPrintf(
+      "{\"status\":\"ok\",\"job\":%llu,\"rows\":%llu,\"bytes\":%llu,"
+      "\"seconds\":%.6f}\n",
+      static_cast<unsigned long long>(job_id),
+      static_cast<unsigned long long>(rows),
+      static_cast<unsigned long long>(bytes), seconds);
+}
+
+StatusOr<double> ExtractJsonNumber(std::string_view json,
+                                   std::string_view key) {
+  std::string needle = "\"" + std::string(key) + "\":";
+  size_t at = json.find(needle);
+  if (at == std::string_view::npos) {
+    return pdgf::NotFoundError("key \"" + std::string(key) +
+                               "\" not present in JSON text");
+  }
+  size_t start = at + needle.size();
+  while (start < json.size() && (json[start] == ' ' || json[start] == '\n')) {
+    ++start;
+  }
+  std::string token;
+  while (start < json.size() &&
+         (std::isdigit(static_cast<unsigned char>(json[start])) ||
+          json[start] == '-' || json[start] == '+' || json[start] == '.' ||
+          json[start] == 'e' || json[start] == 'E')) {
+    token.push_back(json[start++]);
+  }
+  if (token.empty()) {
+    return pdgf::ParseError("value for key \"" + std::string(key) +
+                            "\" is not a number");
+  }
+  char* end = nullptr;
+  double value = std::strtod(token.c_str(), &end);
+  if (end != token.c_str() + token.size()) {
+    return pdgf::ParseError("malformed number for key \"" + std::string(key) +
+                            "\"");
+  }
+  return value;
+}
+
+}  // namespace serve

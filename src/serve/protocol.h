@@ -1,0 +1,89 @@
+#ifndef DBSYNTHPP_SERVE_PROTOCOL_H_
+#define DBSYNTHPP_SERVE_PROTOCOL_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace serve {
+
+// The serve daemon's wire protocol (docs/serve.md): line-delimited JSON
+// control frames with raw payload bytes in between. Every request is ONE
+// JSON object on one '\n'-terminated line; every control response is the
+// same. Generation streams interleave raw bytes after per-chunk headers:
+//
+//   client > {"model":"tpch","scale_factor":"0.01","node_id":0,
+//             "node_count":4,"format":"csv","digests":true}
+//   server < {"status":"streaming","job":7}
+//   server < {"table":"region","bytes":335}
+//   server < <335 raw payload bytes>
+//   ...
+//   server < {"table_digest":"region","rows":5,"bytes":335,
+//             "digest":"<hex>","state":"<mergeable state>"}   (--digests)
+//   server < {"status":"ok","job":7,"rows":86630,"bytes":11355168,
+//             "seconds":0.41}
+//
+// Control ops share the request shape: {"op":"metrics"}, {"op":"ping"},
+// {"op":"cancel","job":7}, {"op":"shutdown"}. Errors are
+// {"status":"error","code":"<StatusCodeName>","message":"..."}.
+//
+// The parser is deliberately minimal: one flat JSON object per line,
+// string / number / true / false / null values, no nesting — exactly the
+// request grammar. Responses the daemon emits may nest (the metrics
+// document embeds MetricsReport schema v2); clients scrape those with
+// ExtractJson* below or a real JSON parser on their side.
+
+// One parsed request. `op` defaults to "generate" when a model is named
+// and no explicit op is present.
+struct JobRequest {
+  std::string op = "generate";
+  std::string model;         // bundled model name: tpch | ssb | imdb
+  std::string scale_factor;  // raw numeric text ("0.01"); empty = default
+  int node_id = 0;           // meta-scheduler share of this job
+  int node_count = 1;
+  std::string format = "csv";
+  int workers = 1;           // engine worker threads for this job
+  uint64_t update = 0;       // 0 = base data, u > 0 = update stream u
+  bool digests = false;      // compute + ship per-table digest states
+  uint64_t job_id = 0;       // cancel target
+};
+
+// Parses one request line. Unknown keys fail (a typo must not silently
+// fall back to a default); malformed JSON fails with ParseError.
+pdgf::StatusOr<JobRequest> ParseJobRequest(std::string_view line);
+
+// Flat-object JSON scanner backing ParseJobRequest; exposed for tests
+// and for client-side parsing of flat control frames (chunk headers,
+// table_digest lines, error lines). Values are returned as raw text with
+// string escapes resolved.
+pdgf::StatusOr<std::map<std::string, std::string>> ParseFlatJsonObject(
+    std::string_view text);
+
+// JSON string escaping for emitted frames.
+std::string JsonEscape(std::string_view text);
+
+// Response frames ------------------------------------------------------
+
+std::string FormatErrorLine(const pdgf::Status& status);
+std::string FormatStreamingHeader(uint64_t job_id);
+std::string FormatChunkHeader(std::string_view table, size_t payload_bytes);
+// One per table when the request asked for digests; `state` is
+// TableDigest::SerializeState().
+std::string FormatTableDigestLine(std::string_view table, uint64_t rows,
+                                  uint64_t bytes, std::string_view hex,
+                                  std::string_view state);
+std::string FormatOkTrailer(uint64_t job_id, uint64_t rows, uint64_t bytes,
+                            double seconds);
+
+// Scraping helpers for nested response documents (the metrics endpoint):
+// find the first `"key":` occurrence and parse the value after it.
+// Textual, not a full parser — fine for tests and smoke checks.
+pdgf::StatusOr<double> ExtractJsonNumber(std::string_view json,
+                                         std::string_view key);
+
+}  // namespace serve
+
+#endif  // DBSYNTHPP_SERVE_PROTOCOL_H_

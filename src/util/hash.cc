@@ -255,6 +255,75 @@ bool TableDigest::operator==(const TableDigest& other) const {
   return true;
 }
 
+namespace {
+
+std::string Hex64(uint64_t value) {
+  static const char kDigits[] = "0123456789abcdef";
+  // Shortest lower-case hex rendering (no leading zeros; "0" for zero).
+  char buffer[16];
+  size_t length = 0;
+  do {
+    buffer[length++] = kDigits[value & 0xf];
+    value >>= 4;
+  } while (value != 0);
+  std::string out(length, '0');
+  for (size_t i = 0; i < length; ++i) out[i] = buffer[length - 1 - i];
+  return out;
+}
+
+StatusOr<uint64_t> ParseHex64(std::string_view text) {
+  if (text.empty() || text.size() > 16) {
+    return ParseError("bad hex field in digest state: '" +
+                      std::string(text) + "'");
+  }
+  uint64_t value = 0;
+  for (char c : text) {
+    int nibble = HexNibble(c);
+    if (nibble < 0) {
+      return ParseError("bad hex field in digest state: '" +
+                        std::string(text) + "'");
+    }
+    value = (value << 4) | static_cast<uint64_t>(nibble);
+  }
+  return value;
+}
+
+}  // namespace
+
+std::string TableDigest::SerializeState() const {
+  std::string out = "1:";
+  out += Hex64(rows_) + ":" + Hex64(bytes_) + ":";
+  out += Hex64(sum_lo_) + ":" + Hex64(sum_hi_) + ":";
+  out += Hex64(xor_lo_) + ":" + Hex64(xor_hi_) + ":";
+  for (size_t c = 0; c < column_sums_.size(); ++c) {
+    if (c > 0) out += ",";
+    out += Hex64(column_sums_[c]);
+  }
+  return out;
+}
+
+StatusOr<TableDigest> TableDigest::DeserializeState(std::string_view text) {
+  std::vector<std::string> fields = Split(text, ':');
+  if (fields.size() != 8 || fields[0] != "1") {
+    return ParseError("bad digest state (want 8 ':' fields, version 1): '" +
+                      std::string(text) + "'");
+  }
+  TableDigest digest;
+  PDGF_ASSIGN_OR_RETURN(digest.rows_, ParseHex64(fields[1]));
+  PDGF_ASSIGN_OR_RETURN(digest.bytes_, ParseHex64(fields[2]));
+  PDGF_ASSIGN_OR_RETURN(digest.sum_lo_, ParseHex64(fields[3]));
+  PDGF_ASSIGN_OR_RETURN(digest.sum_hi_, ParseHex64(fields[4]));
+  PDGF_ASSIGN_OR_RETURN(digest.xor_lo_, ParseHex64(fields[5]));
+  PDGF_ASSIGN_OR_RETURN(digest.xor_hi_, ParseHex64(fields[6]));
+  if (!fields[7].empty()) {
+    for (const std::string& column : Split(fields[7], ',')) {
+      PDGF_ASSIGN_OR_RETURN(uint64_t sum, ParseHex64(column));
+      digest.column_sums_.push_back(sum);
+    }
+  }
+  return digest;
+}
+
 std::string FormatDigestFixture(const std::vector<TableDigestEntry>& entries,
                                 const std::string& header_comment) {
   std::string out;

@@ -108,6 +108,16 @@ class TableDigest {
   Digest128 Value128() const;
   std::string Hex() const { return Value128().Hex(); }
 
+  // Wire serialization of the FULL accumulator state (not the folded
+  // Value128, which cannot be merged): lets partial digests cross a
+  // process or socket boundary and be Merge()d on the other side — the
+  // serve daemon ships per-shard digest states to clients this way.
+  // Format: "1:<rows>:<bytes>:<sum_lo>:<sum_hi>:<xor_lo>:<xor_hi>:
+  // <col0>,<col1>,..." with all numbers in lower-case hex; the leading
+  // "1" is the format version. DeserializeState(SerializeState()) == *this.
+  std::string SerializeState() const;
+  static StatusOr<TableDigest> DeserializeState(std::string_view text);
+
   bool operator==(const TableDigest& other) const;
   bool operator!=(const TableDigest& other) const {
     return !(*this == other);

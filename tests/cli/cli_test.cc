@@ -1,5 +1,8 @@
 #include "cli/cli.h"
 
+#include <chrono>
+#include <thread>
+
 #include <gtest/gtest.h>
 
 #include "core/config.h"
@@ -477,6 +480,63 @@ TEST_F(CliTest, SynthesizeEndToEnd) {
                 &out),
             0);
   EXPECT_NE(out.find("160"), std::string::npos) << out;
+}
+
+TEST_F(CliTest, ServeAndRequestRoundTrip) {
+  // The daemon and the one-shot client, both through the public CLI:
+  // `serve` on an ephemeral port publishing it via --port-file, then
+  // `request` driving a job, a metrics scrape and the shutdown that
+  // unblocks the serve thread.
+  std::string port_file = pdgf::JoinPath(*dir_, "serve.port");
+  std::string serve_out;
+  int serve_rc = -1;
+  std::thread daemon([&] {
+    serve_rc = RunCli({"serve", "--port", "0", "--port-file", port_file,
+                       "--max-jobs", "2"},
+                      &serve_out);
+  });
+
+  // The daemon writes the port file only once it is listening.
+  for (int i = 0; i < 500 && !pdgf::PathExists(port_file); ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  ASSERT_TRUE(pdgf::PathExists(port_file)) << "daemon never came up";
+
+  std::string out;
+  EXPECT_EQ(Run({"request", "--port-file", port_file, "--model", "tpch",
+                 "--sf", "0.001", "--digests"},
+                &out),
+            0)
+      << out;
+  EXPECT_NE(out.find("rows"), std::string::npos) << out;
+  EXPECT_NE(out.find("lineitem"), std::string::npos) << out;
+
+  EXPECT_EQ(Run({"request", "--port-file", port_file, "--op", "metrics"},
+                &out),
+            0)
+      << out;
+  EXPECT_NE(out.find("\"jobs_completed\":1"), std::string::npos) << out;
+
+  EXPECT_EQ(Run({"request", "--port-file", port_file, "--op", "shutdown"},
+                &out),
+            0)
+      << out;
+  daemon.join();
+  EXPECT_EQ(serve_rc, 0) << serve_out;
+  EXPECT_NE(serve_out.find("shut down cleanly"), std::string::npos)
+      << serve_out;
+}
+
+TEST_F(CliTest, RequestRejectsBadInvocations) {
+  std::string out;
+  // No port source at all.
+  EXPECT_EQ(Run({"request", "--op", "ping"}, &out), 1);
+  EXPECT_NE(out.find("--port"), std::string::npos);
+  // A port file that holds garbage.
+  std::string bad = pdgf::JoinPath(*dir_, "bad.port");
+  ASSERT_TRUE(pdgf::WriteStringToFile(bad, "not-a-port\n").ok());
+  EXPECT_EQ(Run({"request", "--port-file", bad, "--op", "ping"}, &out), 1);
+  EXPECT_NE(out.find("does not hold a port"), std::string::npos);
 }
 
 TEST_F(CliTest, FlagParsingVariants) {

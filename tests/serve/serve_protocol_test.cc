@@ -1,0 +1,176 @@
+// Serve wire protocol units: the flat JSON request parser, the response
+// frame formatters, and the mergeable TableDigest state serialization
+// the protocol ships shard digests with. These run without sockets so
+// parser edge cases stay cheap to enumerate.
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/value.h"
+#include "serve/protocol.h"
+#include "util/hash.h"
+
+namespace {
+
+using serve::JobRequest;
+using serve::ParseFlatJsonObject;
+using serve::ParseJobRequest;
+
+TEST(ServeProtocolTest, ParsesFullGenerateRequest) {
+  auto request = ParseJobRequest(
+      R"({"model":"tpch","scale_factor":0.01,"node_id":2,"node_count":4,)"
+      R"("format":"csv","workers":2,"digests":true,"update":3})");
+  ASSERT_TRUE(request.ok()) << request.status().ToString();
+  EXPECT_EQ(request->op, "generate");
+  EXPECT_EQ(request->model, "tpch");
+  // The raw numeric token survives verbatim: "0.01" must reach the SF
+  // property override exactly as the CLI's --sf 0.01 would.
+  EXPECT_EQ(request->scale_factor, "0.01");
+  EXPECT_EQ(request->node_id, 2);
+  EXPECT_EQ(request->node_count, 4);
+  EXPECT_EQ(request->workers, 2);
+  EXPECT_EQ(request->update, 3u);
+  EXPECT_TRUE(request->digests);
+}
+
+TEST(ServeProtocolTest, DefaultsMatchSingleNodeCsv) {
+  auto request = ParseJobRequest(R"({"model":"ssb"})");
+  ASSERT_TRUE(request.ok()) << request.status().ToString();
+  EXPECT_EQ(request->op, "generate");
+  EXPECT_EQ(request->node_id, 0);
+  EXPECT_EQ(request->node_count, 1);
+  EXPECT_EQ(request->format, "csv");
+  EXPECT_EQ(request->workers, 1);
+  EXPECT_FALSE(request->digests);
+  EXPECT_TRUE(request->scale_factor.empty());
+}
+
+TEST(ServeProtocolTest, ParsesControlOps) {
+  auto ping = ParseJobRequest(R"({"op":"ping"})");
+  ASSERT_TRUE(ping.ok());
+  EXPECT_EQ(ping->op, "ping");
+
+  auto cancel = ParseJobRequest(R"({"op":"cancel","job":17})");
+  ASSERT_TRUE(cancel.ok());
+  EXPECT_EQ(cancel->op, "cancel");
+  EXPECT_EQ(cancel->job_id, 17u);
+}
+
+TEST(ServeProtocolTest, RejectsMalformedRequests) {
+  const char* kBad[] = {
+      "",                                      // empty
+      "{",                                     // truncated object
+      R"({"model":"tpch")",                    // missing brace
+      R"({"model":)",                          // missing value
+      R"({"model":"tpch"} trailing)",          // trailing bytes
+      R"({"model":tpch})",                     // unquoted string
+      R"({"model":"tpch","model":"ssb"})",     // duplicate key
+      R"({"typo_field":"x","model":"tpch"})",  // unknown key
+      R"({"node_id":"two","model":"tpch"})",   // non-integer
+      R"({"node_id":-1,"model":"tpch"})",      // negative
+      R"({"digests":"yes","model":"tpch"})",   // non-boolean
+      R"({"op":"generate"})",                  // generate without model
+      R"({"node_id":1})",                      // no op, no model
+      R"({"scale_factor":1.2.3,"model":"t"})", // malformed number
+      "{\"model\":\"tp\x01h\"}",               // raw control char
+  };
+  for (const char* text : kBad) {
+    EXPECT_FALSE(ParseJobRequest(text).ok()) << "accepted: " << text;
+  }
+}
+
+TEST(ServeProtocolTest, RejectsNodeIdOutsideNodeCount) {
+  EXPECT_FALSE(
+      ParseJobRequest(R"({"model":"tpch","node_id":4,"node_count":4})").ok());
+  EXPECT_TRUE(
+      ParseJobRequest(R"({"model":"tpch","node_id":3,"node_count":4})").ok());
+}
+
+TEST(ServeProtocolTest, FlatObjectResolvesStringEscapes) {
+  auto fields =
+      ParseFlatJsonObject(R"({"a":"x\n\"y\"","b":"A","c":null})");
+  ASSERT_TRUE(fields.ok()) << fields.status().ToString();
+  EXPECT_EQ(fields->at("a"), "x\n\"y\"");
+  EXPECT_EQ(fields->at("b"), "A");
+  EXPECT_EQ(fields->at("c"), "null");
+}
+
+TEST(ServeProtocolTest, FrameFormattersEmitParseableLines) {
+  std::string chunk = serve::FormatChunkHeader("lineitem", 4096);
+  ASSERT_EQ(chunk.back(), '\n');
+  chunk.pop_back();
+  auto fields = ParseFlatJsonObject(chunk);
+  ASSERT_TRUE(fields.ok()) << fields.status().ToString();
+  EXPECT_EQ(fields->at("table"), "lineitem");
+  EXPECT_EQ(fields->at("bytes"), "4096");
+
+  std::string error =
+      serve::FormatErrorLine(pdgf::ResourceExhaustedError("queue \"full\""));
+  error.pop_back();
+  auto error_fields = ParseFlatJsonObject(error);
+  ASSERT_TRUE(error_fields.ok()) << error_fields.status().ToString();
+  EXPECT_EQ(error_fields->at("status"), "error");
+  EXPECT_EQ(error_fields->at("code"), "ResourceExhausted");
+  EXPECT_EQ(error_fields->at("message"), "queue \"full\"");
+}
+
+TEST(ServeProtocolTest, ExtractJsonNumberScrapesNestedDocuments) {
+  const std::string doc =
+      R"({"serve":{"jobs_accepted":7,"queue_depth":2},"wall":0.5})";
+  auto accepted = serve::ExtractJsonNumber(doc, "jobs_accepted");
+  ASSERT_TRUE(accepted.ok());
+  EXPECT_EQ(*accepted, 7.0);
+  auto wall = serve::ExtractJsonNumber(doc, "wall");
+  ASSERT_TRUE(wall.ok());
+  EXPECT_DOUBLE_EQ(*wall, 0.5);
+  EXPECT_FALSE(serve::ExtractJsonNumber(doc, "absent").ok());
+}
+
+// The digest states the trailer ships must reconstruct mergeable
+// accumulators: shard states merged on the client side have to equal a
+// digest of the full row set.
+TEST(ServeDigestStateTest, SerializedShardsMergeToWholeTableDigest) {
+  std::vector<pdgf::Value> row_values = {pdgf::Value::Int(42),
+                                         pdgf::Value::String("abc")};
+  pdgf::TableDigest whole;
+  pdgf::TableDigest shard_a;
+  pdgf::TableDigest shard_b;
+  for (uint64_t row = 0; row < 100; ++row) {
+    std::string bytes = "row-" + std::to_string(row);
+    whole.AddRow(row, bytes, row_values);
+    (row % 2 == 0 ? shard_a : shard_b).AddRow(row, bytes, row_values);
+  }
+
+  auto restored_a = pdgf::TableDigest::DeserializeState(
+      shard_a.SerializeState());
+  ASSERT_TRUE(restored_a.ok()) << restored_a.status().ToString();
+  auto restored_b = pdgf::TableDigest::DeserializeState(
+      shard_b.SerializeState());
+  ASSERT_TRUE(restored_b.ok()) << restored_b.status().ToString();
+  EXPECT_TRUE(*restored_a == shard_a);
+
+  pdgf::TableDigest merged = *restored_a;
+  merged.Merge(*restored_b);
+  EXPECT_TRUE(merged == whole) << "merged shard states diverge from the "
+                                  "whole-table digest";
+  EXPECT_EQ(merged.Hex(), whole.Hex());
+  EXPECT_EQ(merged.rows(), 100u);
+}
+
+TEST(ServeDigestStateTest, RejectsCorruptStates) {
+  pdgf::TableDigest digest;
+  digest.AddRowBytes(0, "x");
+  std::string good = digest.SerializeState();
+  ASSERT_TRUE(pdgf::TableDigest::DeserializeState(good).ok());
+
+  EXPECT_FALSE(pdgf::TableDigest::DeserializeState("").ok());
+  EXPECT_FALSE(pdgf::TableDigest::DeserializeState("2:0:0:0:0:0:0:").ok());
+  EXPECT_FALSE(pdgf::TableDigest::DeserializeState("1:0:0:0:0:0").ok());
+  EXPECT_FALSE(
+      pdgf::TableDigest::DeserializeState("1:zz:0:0:0:0:0:").ok());
+  EXPECT_FALSE(pdgf::TableDigest::DeserializeState(good + ":extra").ok());
+}
+
+}  // namespace

@@ -1,0 +1,49 @@
+#ifndef DBSYNTHPP_TESTS_SERVE_SERVE_TEST_UTIL_H_
+#define DBSYNTHPP_TESTS_SERVE_SERVE_TEST_UTIL_H_
+
+#include <chrono>
+#include <memory>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "serve/client.h"
+#include "serve/protocol.h"
+#include "serve/server.h"
+
+namespace serve_test {
+
+// Starts an in-process daemon on an ephemeral loopback port and fails
+// the current test if it cannot. The returned server is live until
+// destroyed (its destructor shuts down and drains).
+inline std::unique_ptr<serve::Server> StartServer(serve::ServeOptions options) {
+  options.port = 0;
+  auto server = std::make_unique<serve::Server>(options);
+  pdgf::Status started = server->Start();
+  EXPECT_TRUE(started.ok()) << started.ToString();
+  if (!started.ok()) return nullptr;
+  return server;
+}
+
+inline serve::ServeClient MustConnect(const serve::Server& server,
+                                      int recv_buffer_bytes = 0) {
+  auto client = serve::ServeClient::Connect(server.port(), "127.0.0.1",
+                                            recv_buffer_bytes);
+  EXPECT_TRUE(client.ok()) << client.status().ToString();
+  return std::move(*client);
+}
+
+// Polls `predicate` until it holds or ~5 s elapse (condition-variable
+// latencies in the daemon are tiny; the margin is for sanitizer builds).
+template <typename Predicate>
+bool WaitFor(Predicate predicate) {
+  for (int i = 0; i < 500; ++i) {
+    if (predicate()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  return false;
+}
+
+}  // namespace serve_test
+
+#endif  // DBSYNTHPP_TESTS_SERVE_SERVE_TEST_UTIL_H_

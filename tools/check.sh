@@ -41,14 +41,17 @@ if [[ "$RUN_TIER1" == 1 ]]; then
   # Best-of-5 engine runs with metrics off vs. on at a tiny scale factor;
   # exits non-zero if the delta exceeds METRICS_GATE_PCT (default 10).
   run ./build/bench/bench_fig5_scaleup 0.005 --overhead-gate
-  echo "=== tier-1: batch pipeline gate (fail if batch < 1.2x scalar) ==="
-  # Best-of-5 scalar vs. batch pipeline runs on identical work; exits
-  # non-zero unless batch rows/s >= BATCH_GATE_X (default 1.2) x scalar.
+  echo "=== tier-1: batch pipeline gate (fail if batch regresses below scalar) ==="
+  # Interleaved best-of-5 scalar/batch pairs on identical work,
+  # self-calibrated against this commit's own scalar pipeline; exits
+  # non-zero unless batch rows/s >= BATCH_GATE_X (default 1.0) x scalar.
   run ./build/bench/bench_fig5_scaleup 0.005 --batch-gate
   echo "=== tier-1: async writer gate (fail if async < 1.1x inline on slow sink) ==="
   # Inline vs. async writer stage against a throttled sink, plus the
   # default-scenario regression guard (WRITER_GATE_X / WRITER_REGRESSION_PCT).
   run ./build/bench/bench_fig5_scaleup 0.005 --writer-gate
+  echo "=== tier-1: serve daemon smoke (job + metrics + clean shutdown) ==="
+  run tools/serve_smoke.sh ./build/tools/dbsynthpp
 fi
 
 if [[ "$RUN_ASAN" == 1 ]]; then
@@ -62,9 +65,9 @@ if [[ "$RUN_TSAN" == 1 ]]; then
   echo "=== sanitizer tier: TSan (concurrency suites) ==="
   run cmake --preset tsan
   run cmake --build --preset tsan -j "$(nproc)" --target \
-    tests_core tests_integration tests_cli
+    tests_core tests_integration tests_cli tests_serve
   run ctest --preset tsan --timeout "$CTEST_TIMEOUT" -R \
-    "Engine|Digest|SimCluster|Progress|Determinism|Cli|Metrics|NodeShare|Batch|Schedul|Writer"
+    "Engine|Digest|SimCluster|Progress|Determinism|Cli|Metrics|NodeShare|Batch|Schedul|Writer|Serve"
 fi
 
 echo "all requested tiers passed"

@@ -1,5 +1,6 @@
 // The dbsynthpp command-line tool; all logic lives in src/cli (testable).
 
+#include <csignal>
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -7,6 +8,13 @@
 #include "cli/cli.h"
 
 int main(int argc, char** argv) {
+  // Daemon hardening (`dbsynthpp serve`): a client that disconnects
+  // mid-stream must surface as an EPIPE write error the engine aborts
+  // on, not a process-killing SIGPIPE. The serve library itself uses
+  // MSG_NOSIGNAL per send; this covers any remaining stdio writes to a
+  // closed pipe (e.g. `dbsynthpp ... | head`).
+  std::signal(SIGPIPE, SIG_IGN);
+
   std::vector<std::string> args(argv + 1, argv + argc);
   std::string output;
   int exit_code = dbsynthpp_cli::RunCli(args, &output);
