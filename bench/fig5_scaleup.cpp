@@ -49,6 +49,7 @@
 #include <string>
 #include <vector>
 
+#include "common/simd.h"
 #include "core/engine.h"
 #include "core/session.h"
 #include "core/simcluster.h"
@@ -121,7 +122,8 @@ int RunOverheadGate(const pdgf::GenerationSession& session,
 // nothing. BATCH_GATE_X raises the bar on quiet hardware. Both runs
 // produce bit-identical bytes; only the pipeline differs.
 int RunBatchGate(const pdgf::GenerationSession& session,
-                 const pdgf::RowFormatter& formatter) {
+                 const pdgf::RowFormatter& formatter,
+                 double* speedup_out = nullptr) {
   const char* env = std::getenv("BATCH_GATE_X");
   const double required = env != nullptr ? std::atof(env) : 1.0;
   const int repeats = 5;
@@ -163,8 +165,10 @@ int RunBatchGate(const pdgf::GenerationSession& session,
           ? static_cast<double>(batch_best.rows) / batch_best.seconds
           : 0.0;
   const double speedup = scalar_rps > 0 ? batch_rps / scalar_rps : 0.0;
+  if (speedup_out != nullptr) *speedup_out = speedup;
   std::printf("scalar_rows_per_sec=%.0f\n", scalar_rps);
   std::printf("batch_rows_per_sec=%.0f\n", batch_rps);
+  std::printf("simd_dispatch=%s\n", pdgf::simd::SimdDispatchName());
   std::printf("batch_speedup_x=%.3f\n", speedup);
   if (speedup < required) {
     std::fprintf(stderr,
@@ -421,12 +425,23 @@ int main(int argc, char** argv) {
                   "  \"writer\": {\"slow_sink_speedup_x\": %.3f, "
                   "\"default_regression_pct\": %.2f},\n",
                   writer_speedup, writer_regression_pct);
+    // Batch-vs-scalar ratio under the active SIMD dispatch, versioned
+    // with the baseline it was measured against (ISSUE 7 acceptance).
+    double batch_speedup = 0;
+    gate_result = RunBatchGate(**session, formatter, &batch_speedup);
+    if (gate_result != 0) return gate_result;
+    char simd_json[128];
+    std::snprintf(simd_json, sizeof(simd_json),
+                  "  \"simd\": {\"dispatch\": \"%s\", "
+                  "\"batch_speedup_x\": %.3f},\n",
+                  pdgf::simd::SimdDispatchName(), batch_speedup);
     std::string json = "{\n";
     json += "  \"schema_version\": 1,\n";
     json += "  \"bench\": \"fig5_scaleup\",\n";
     json += "  \"scale_factor\": \"" + std::string(scale_factor) + "\",\n";
     json += "  \"baseline\": " + baseline->metrics.ToJson(false) + ",\n";
     json += writer_json;
+    json += simd_json;
     json += "  \"scaleup\": [\n" + scaleup_json + "\n  ]\n}\n";
     pdgf::Status written = pdgf::WriteStringToFile(json_path, json);
     if (!written.ok()) {

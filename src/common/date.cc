@@ -3,6 +3,8 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "common/simd.h"
+
 namespace pdgf {
 namespace {
 
@@ -150,6 +152,14 @@ void AppendPadded(int v, int width, std::string* out) {
 void Date::AppendIso(std::string* out) const {
   int y, m, d;
   CivilFromDays(days_, &y, &m, &d);
+  // AVX2 dispatch renders the common 0000..9999 window in one fixed
+  // 10-byte kernel; out-of-window years (and scalar dispatch) take the
+  // padded scalar path. Both are byte-identical to "%04d-%02d-%02d".
+  char buffer[10];
+  if (simd::FormatIsoDateText(y, m, d, buffer) == 10) {
+    out->append(buffer, 10);
+    return;
+  }
   AppendPadded(y, 4, out);
   out->push_back('-');
   AppendPadded(m, 2, out);

@@ -1,0 +1,125 @@
+#include "common/simd.h"
+
+#include <atomic>
+#include <charconv>
+#include <cstdlib>
+#include <string_view>
+
+namespace pdgf {
+namespace simd {
+namespace {
+
+bool Avx2Supported() {
+#if (defined(__x86_64__) || defined(_M_X64)) && \
+    (defined(__GNUC__) || defined(__clang__))
+  return __builtin_cpu_supports("avx2");
+#else
+  return false;
+#endif
+}
+
+bool NeonSupported() {
+#if defined(__aarch64__)
+  return true;  // NEON is baseline on aarch64.
+#else
+  return false;
+#endif
+}
+
+SimdLevel DetectLevel() {
+  const char* env = std::getenv("DBSYNTHPP_SIMD");
+  std::string_view mode = env != nullptr ? env : "";
+  if (mode == "off" || mode == "scalar") return SimdLevel::kScalar;
+  if (mode == "avx2") {
+    return Avx2Supported() ? SimdLevel::kAvx2 : SimdLevel::kScalar;
+  }
+  if (mode == "neon") {
+    return NeonSupported() ? SimdLevel::kNeon : SimdLevel::kScalar;
+  }
+  // "", "native", or anything unrecognized: best available.
+  if (Avx2Supported()) return SimdLevel::kAvx2;
+  if (NeonSupported()) return SimdLevel::kNeon;
+  return SimdLevel::kScalar;
+}
+
+// -1 = not yet detected. Relaxed loads on the hot path compile to a
+// plain move; the benign first-use race recomputes the same value.
+std::atomic<int> g_level{-1};
+
+}  // namespace
+
+SimdLevel ActiveSimdLevel() {
+  int level = g_level.load(std::memory_order_relaxed);
+  if (level < 0) {
+    level = static_cast<int>(DetectLevel());
+    g_level.store(level, std::memory_order_relaxed);
+  }
+  return static_cast<SimdLevel>(level);
+}
+
+const char* SimdDispatchName() {
+  switch (ActiveSimdLevel()) {
+    case SimdLevel::kAvx2:
+      return "avx2";
+    case SimdLevel::kNeon:
+      return "neon";
+    case SimdLevel::kScalar:
+      break;
+  }
+  return "scalar";
+}
+
+bool SimdLevelSupported(SimdLevel level) {
+  switch (level) {
+    case SimdLevel::kScalar:
+      return true;
+    case SimdLevel::kAvx2:
+      return Avx2Supported();
+    case SimdLevel::kNeon:
+      return NeonSupported();
+  }
+  return false;
+}
+
+SimdLevel SetSimdLevelForTesting(SimdLevel level) {
+  SimdLevel previous = ActiveSimdLevel();
+  if (!SimdLevelSupported(level)) level = SimdLevel::kScalar;
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+  return previous;
+}
+
+size_t FormatUint64Text(uint64_t v, char* out) {
+#if defined(__x86_64__) || defined(_M_X64)
+  if (ActiveSimdLevel() == SimdLevel::kAvx2) {
+    return internal::FormatUint64TextAvx2(v, out);
+  }
+#endif
+  auto result = std::to_chars(out, out + 20, v);
+  return static_cast<size_t>(result.ptr - out);
+}
+
+size_t FormatInt64Text(int64_t v, char* out) {
+  if (v < 0) {
+    *out = '-';
+    uint64_t magnitude = 0ULL - static_cast<uint64_t>(v);
+    return 1 + FormatUint64Text(magnitude, out + 1);
+  }
+  return FormatUint64Text(static_cast<uint64_t>(v), out);
+}
+
+size_t FormatIsoDateText(int year, int month, int day, char* out) {
+#if defined(__x86_64__) || defined(_M_X64)
+  if (ActiveSimdLevel() == SimdLevel::kAvx2) {
+    return internal::FormatIsoDateTextAvx2(year, month, day, out);
+  }
+#else
+  (void)year;
+  (void)month;
+  (void)day;
+  (void)out;
+#endif
+  return 0;  // scalar dispatch: caller renders via its legacy path.
+}
+
+}  // namespace simd
+}  // namespace pdgf

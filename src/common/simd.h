@@ -1,0 +1,66 @@
+#ifndef DBSYNTHPP_COMMON_SIMD_H_
+#define DBSYNTHPP_COMMON_SIMD_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace pdgf {
+namespace simd {
+
+// Runtime SIMD dispatch for the generation hot path. One process-wide
+// level is detected at first use: AVX2 on x86-64 when the CPU has it,
+// NEON on aarch64 (baseline), portable scalar everywhere else. The
+// DBSYNTHPP_SIMD environment variable overrides detection:
+//
+//   off | scalar   force the portable scalar kernels
+//   avx2           AVX2 if compiled in and the CPU supports it, else scalar
+//   neon           NEON if this is an aarch64 build, else scalar
+//   native         best available (same as unset)
+//
+// Every SIMD kernel is bit-identical to its scalar twin — the level
+// changes instruction selection, never bytes. tests/core/simd_test.cc
+// asserts kernel-level and pipeline-level parity across levels.
+enum class SimdLevel { kScalar = 0, kAvx2 = 1, kNeon = 2 };
+
+// The level every kernel dispatches on. Detected once, then cached.
+SimdLevel ActiveSimdLevel();
+
+// "scalar" | "avx2" | "neon" — reported in MetricsReport::simd_dispatch.
+const char* SimdDispatchName();
+
+// True if `level` can execute on this build + CPU.
+bool SimdLevelSupported(SimdLevel level);
+
+// Test hook: force the dispatch level in-process; returns the previous
+// level. Forcing an unsupported level degrades to scalar. Call before
+// generation threads start — the level is read lock-free on hot paths.
+SimdLevel SetSimdLevelForTesting(SimdLevel level);
+
+// ---------------------------------------------------------------------
+// Formatting kernels (SIMD-assisted under AVX2, std::to_chars otherwise).
+// All outputs are byte-identical to std::to_chars / printf references;
+// tests/core/simd_test.cc proves it per level.
+
+// Decimal digits of `v`, no sign, no padding. Writes at most 20 bytes.
+size_t FormatUint64Text(uint64_t v, char* out);
+
+// Like std::to_chars(int64_t): optional '-', then digits. At most 21 bytes.
+size_t FormatInt64Text(int64_t v, char* out);
+
+// "YYYY-MM-DD" with printf("%04d-%02d-%02d") semantics. Handles the
+// common window 0 <= year <= 9999, 0 <= month, day <= 99: writes exactly
+// 10 bytes and returns 10. Outside the window (or on scalar dispatch)
+// returns 0 and the caller takes its legacy path.
+size_t FormatIsoDateText(int year, int month, int day, char* out);
+
+namespace internal {
+#if defined(__x86_64__) || defined(_M_X64)
+size_t FormatUint64TextAvx2(uint64_t v, char* out);
+size_t FormatIsoDateTextAvx2(int year, int month, int day, char* out);
+#endif
+}  // namespace internal
+
+}  // namespace simd
+}  // namespace pdgf
+
+#endif  // DBSYNTHPP_COMMON_SIMD_H_

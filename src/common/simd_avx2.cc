@@ -1,0 +1,136 @@
+// AVX2 text-formatting kernels. This translation unit is the only one in
+// dbsynthpp_common compiled with -mavx2 (see src/CMakeLists.txt); callers
+// reach it exclusively through the runtime dispatch in simd.cc, so these
+// instructions never execute on a CPU without AVX2.
+#include "common/simd.h"
+
+#if defined(__x86_64__) || defined(_M_X64)
+
+#include <immintrin.h>
+
+#include <cstring>
+
+namespace pdgf {
+namespace simd {
+namespace internal {
+namespace {
+
+// Writes the 8 zero-padded decimal digits of v (v < 10^8) to out[0..8).
+//
+// Lane plan (64-bit lanes): q = [v, v/10^2, v/10^4, v/10^6] via one
+// multiply-high per lane (magic constants valid for the full uint32
+// range), digit pairs p_i = q_i - 100*q_{i+1}, then tens/ones per pair
+// with the (p*205)>>11 reciprocal (exact for p <= 1028). One shuffle
+// gathers the 8 ASCII bytes most-significant-first.
+inline void Digits8Avx2(uint32_t v, char* out) {
+  const __m256i vv = _mm256_set1_epi64x(static_cast<long long>(v));
+  const __m256i magic =
+      _mm256_setr_epi64x(1, 1374389535LL, 3518437209LL, 1125899907LL);
+  const __m256i shift = _mm256_setr_epi64x(0, 37, 45, 50);
+  const __m256i q =
+      _mm256_srlv_epi64(_mm256_mul_epu32(vv, magic), shift);
+  // qnext = [q1, q2, q3, 0]
+  __m256i qnext = _mm256_permute4x64_epi64(q, _MM_SHUFFLE(3, 3, 2, 1));
+  qnext = _mm256_blend_epi32(qnext, _mm256_setzero_si256(), 0xC0);
+  const __m256i p = _mm256_sub_epi64(
+      q, _mm256_mul_epu32(qnext, _mm256_set1_epi64x(100)));
+  const __m256i tens = _mm256_srli_epi64(
+      _mm256_mul_epu32(p, _mm256_set1_epi64x(205)), 11);
+  const __m256i ones =
+      _mm256_sub_epi64(p, _mm256_mul_epu32(tens, _mm256_set1_epi64x(10)));
+  __m256i bytes = _mm256_or_si256(tens, _mm256_slli_epi64(ones, 8));
+  bytes = _mm256_add_epi8(bytes, _mm256_set1_epi8('0'));
+  // Per 128-bit half, gather [tens_hi, ones_hi, tens_lo, ones_lo]:
+  // bytes 8,9 (upper 64-bit lane) then 0,1 (lower lane).
+  const __m256i gather = _mm256_setr_epi8(
+      8, 9, 0, 1, -1, -1, -1, -1, -1, -1, -1, -1, -1, -1, -1, -1,  //
+      8, 9, 0, 1, -1, -1, -1, -1, -1, -1, -1, -1, -1, -1, -1, -1);
+  const __m256i shuffled = _mm256_shuffle_epi8(bytes, gather);
+  const uint32_t low4 =
+      static_cast<uint32_t>(_mm256_extract_epi32(shuffled, 0));
+  const uint32_t high4 =
+      static_cast<uint32_t>(_mm256_extract_epi32(shuffled, 4));
+  std::memcpy(out, &high4, 4);      // digits 1..4 (pairs p3, p2)
+  std::memcpy(out + 4, &low4, 4);   // digits 5..8 (pairs p1, p0)
+}
+
+inline size_t DigitCount8(uint32_t v) {
+  if (v >= 10000) {
+    if (v >= 1000000) return v >= 10000000 ? 8 : 7;
+    return v >= 100000 ? 6 : 5;
+  }
+  if (v >= 100) return v >= 1000 ? 4 : 3;
+  return v >= 10 ? 2 : 1;
+}
+
+}  // namespace
+
+size_t FormatUint64TextAvx2(uint64_t v, char* out) {
+  if (v < 100000000ULL) {
+    char digits[8];
+    const uint32_t v32 = static_cast<uint32_t>(v);
+    Digits8Avx2(v32, digits);
+    const size_t len = DigitCount8(v32);
+    std::memcpy(out, digits + (8 - len), len);
+    return len;
+  }
+  if (v < 10000000000000000ULL) {
+    const uint64_t high = v / 100000000ULL;  // < 10^8
+    const uint32_t low = static_cast<uint32_t>(v % 100000000ULL);
+    const size_t len = FormatUint64TextAvx2(high, out);
+    Digits8Avx2(low, out + len);
+    return len + 8;
+  }
+  uint32_t top = static_cast<uint32_t>(v / 10000000000000000ULL);  // <= 1844
+  const uint64_t rest = v % 10000000000000000ULL;
+  char digits[4];
+  size_t len = 0;
+  do {
+    digits[len++] = static_cast<char>('0' + top % 10);
+    top /= 10;
+  } while (top != 0);
+  for (size_t i = 0; i < len; ++i) out[i] = digits[len - 1 - i];
+  Digits8Avx2(static_cast<uint32_t>(rest / 100000000ULL), out + len);
+  Digits8Avx2(static_cast<uint32_t>(rest % 100000000ULL), out + len + 8);
+  return len + 16;
+}
+
+size_t FormatIsoDateTextAvx2(int year, int month, int day, char* out) {
+  if (year < 0 || year > 9999 || month < 0 || month > 99 || day < 0 ||
+      day > 99) {
+    return 0;  // outside the fixed-width window; caller falls back.
+  }
+  // Lanes = the four digit pairs [year/100, year%100, month, day].
+  const __m256i p = _mm256_setr_epi64x(year / 100, year % 100, month, day);
+  const __m256i tens = _mm256_srli_epi64(
+      _mm256_mul_epu32(p, _mm256_set1_epi64x(205)), 11);
+  const __m256i ones =
+      _mm256_sub_epi64(p, _mm256_mul_epu32(tens, _mm256_set1_epi64x(10)));
+  __m256i bytes = _mm256_or_si256(tens, _mm256_slli_epi64(ones, 8));
+  bytes = _mm256_add_epi8(bytes, _mm256_set1_epi8('0'));
+  // Per half, most-significant pair first: bytes 0,1 then 8,9.
+  const __m256i gather = _mm256_setr_epi8(
+      0, 1, 8, 9, -1, -1, -1, -1, -1, -1, -1, -1, -1, -1, -1, -1,  //
+      0, 1, 8, 9, -1, -1, -1, -1, -1, -1, -1, -1, -1, -1, -1, -1);
+  const __m256i shuffled = _mm256_shuffle_epi8(bytes, gather);
+  const uint32_t year_bytes =
+      static_cast<uint32_t>(_mm256_extract_epi32(shuffled, 0));
+  const uint32_t md_bytes =
+      static_cast<uint32_t>(_mm256_extract_epi32(shuffled, 4));
+  char md[4];
+  std::memcpy(md, &md_bytes, 4);
+  std::memcpy(out, &year_bytes, 4);
+  out[4] = '-';
+  out[5] = md[0];
+  out[6] = md[1];
+  out[7] = '-';
+  out[8] = md[2];
+  out[9] = md[3];
+  return 10;
+}
+
+}  // namespace internal
+}  // namespace simd
+}  // namespace pdgf
+
+#endif  // x86-64

@@ -6,6 +6,8 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "common/simd.h"
+
 namespace pdgf {
 namespace {
 
@@ -58,11 +60,11 @@ bool ParseDoubleText(std::string_view text, double* out) {
 }  // namespace
 
 void AppendIntText(int64_t v, std::string* out) {
-  // std::to_chars: locale-free, no format-string parsing, ~an order of
-  // magnitude cheaper than snprintf("%lld") in the formatting hot path.
+  // simd::FormatInt64Text: std::to_chars on scalar dispatch, the AVX2
+  // digit-pair kernel otherwise — byte-identical either way, and both an
+  // order of magnitude cheaper than snprintf("%lld") in the hot path.
   char buffer[24];
-  auto result = std::to_chars(buffer, buffer + sizeof(buffer), v);
-  out->append(buffer, result.ptr);
+  out->append(buffer, simd::FormatInt64Text(v, buffer));
 }
 
 void AppendDoubleText(double v, std::string* out) {
@@ -77,7 +79,17 @@ void AppendDoubleText(double v, std::string* out) {
                                 std::chars_format::general, precision);
     double parsed = 0;
     auto from = std::from_chars(buffer, result.ptr, parsed);
-    if ((from.ec == std::errc() && parsed == v) || precision >= 17) {
+    bool roundtrips = from.ec == std::errc() && parsed == v;
+    if (!roundtrips && from.ec == std::errc::result_out_of_range) {
+      // Some libcs flag subnormal parses as out-of-range while still
+      // producing the correctly rounded value; the legacy strtod ladder
+      // ignored errno, so mirror that: re-parse with strtod and accept
+      // when the value round-trips. (buffer has headroom: the longest
+      // %.17g rendering is 24 chars, so the NUL never overruns.)
+      *result.ptr = '\0';
+      roundtrips = std::strtod(buffer, nullptr) == v;
+    }
+    if (roundtrips || precision >= 17) {
       out->append(buffer, result.ptr);
       return;
     }
@@ -96,19 +108,17 @@ void AppendDecimalText(int64_t unscaled, int scale, std::string* out) {
   for (int i = 0; i < scale; ++i) pow10 *= 10;
   uint64_t whole = magnitude / pow10;
   uint64_t frac = magnitude % pow10;
-  // "<sign><whole>.<frac zero-padded to scale digits>" via to_chars,
-  // byte-identical to the historical "%s%llu.%0*llu" rendering.
+  // "<sign><whole>.<frac zero-padded to scale digits>" via the digit
+  // kernel, byte-identical to the historical "%s%llu.%0*llu" rendering.
   if (negative) out->push_back('-');
   char buffer[24];
-  auto result = std::to_chars(buffer, buffer + sizeof(buffer), whole);
-  out->append(buffer, result.ptr);
+  out->append(buffer, simd::FormatUint64Text(whole, buffer));
   out->push_back('.');
-  result = std::to_chars(buffer, buffer + sizeof(buffer), frac);
-  const auto digits = static_cast<size_t>(result.ptr - buffer);
+  const size_t digits = simd::FormatUint64Text(frac, buffer);
   if (digits < static_cast<size_t>(scale)) {
     out->append(static_cast<size_t>(scale) - digits, '0');
   }
-  out->append(buffer, result.ptr);
+  out->append(buffer, digits);
 }
 
 Value Value::Bool(bool v) {

@@ -7,6 +7,7 @@
 #include "common/value.h"
 #include "core/generator.h"
 #include "core/session.h"
+#include "util/simd_rng.h"
 
 namespace pdgf {
 
@@ -174,6 +175,24 @@ class BatchContext {
                ? GenerationSession::SeedForRow(hoisted_base_, rows_[i])
                : session_->FieldSeed(table_index_, field_index_, rows_[i],
                                      updates_[i]);
+  }
+
+  // True when every row shares one hoisted base (uniform mode) — the
+  // precondition for the vectorized seed/draw fast paths in generator
+  // batch overrides.
+  bool has_uniform_seeds() const { return updates_ == nullptr; }
+
+  // Fills out[0..count) with seed(begin) .. seed(begin + count - 1). The
+  // uniform mode runs the SIMD DeriveSeed kernel (4 lanes under AVX2);
+  // varying mode walks the scalar per-row path. Bit-identical to calling
+  // seed(i) in a loop either way.
+  void FillSeeds(size_t begin, size_t count, uint64_t* out) const {
+    if (updates_ == nullptr) {
+      simd::DeriveSeedBatch(GenerationSession::RowSeedParent(hoisted_base_),
+                            rows_ + begin, count, out);
+    } else {
+      for (size_t i = 0; i < count; ++i) out[i] = seed(begin + i);
+    }
   }
 
   // Full scalar context for row i; used by the default GenerateBatch

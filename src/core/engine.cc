@@ -472,6 +472,7 @@ Status GenerationEngine::Run(ProgressTracker* progress) {
           : 0;
   if (metrics_on) {
     metrics_report.enabled = true;
+    metrics_report.simd_dispatch = simd::SimdDispatchName();
     metrics_report.wall_seconds = stats_.seconds;
     metrics_report.rows = stats_.rows;
     metrics_report.bytes = stats_.bytes;

@@ -1,3 +1,4 @@
+#include <algorithm>
 #include <cmath>
 
 #include "core/batch.h"
@@ -11,6 +12,23 @@ namespace pdgf {
 // call seeds the context's Xorshift64 from the field seed, so a batch
 // loop that constructs `Xorshift64 rng(context->seed(i))` per row draws
 // the identical stream — the parity suite asserts bit-equality.
+//
+// The hot generators (Long/Double/Date, and the histogram in its own
+// file) additionally vectorize the uniform-update path: seeds, first
+// draws and the bounded/unit-double maps run through the SIMD kernels in
+// util/simd_rng.h over kSimdTile-row stripes. The kernels are
+// bit-identical to the scalar primitives at every dispatch level, so
+// this is purely an instruction-selection change; the varying-update
+// (mutable fields in update mode) path keeps the scalar walk.
+
+namespace {
+
+// Stripe width for the stack-resident seed/draw scratch of the
+// vectorized paths. A multiple of every kernel's lane width; small
+// enough that three uint64 arrays stay comfortably on the stack.
+constexpr size_t kSimdTile = 256;
+
+}  // namespace
 
 // ----------------------------------------------------------------- Id --
 
@@ -42,6 +60,31 @@ void LongGenerator::Generate(GeneratorContext* context, Value* out) const {
 void LongGenerator::GenerateBatch(BatchContext* context,
                                   ValueColumn* out) const {
   const size_t n = context->size();
+  // NextInRange degenerate cases consume no draw: hi <= lo returns lo,
+  // and the full-width range wraps span to 0 (NextBounded(0) == 0).
+  const uint64_t span = max_ <= min_
+                            ? 0
+                            : static_cast<uint64_t>(max_) -
+                                  static_cast<uint64_t>(min_) + 1;
+  if (span == 0) {
+    for (size_t i = 0; i < n; ++i) out->value(i)->SetInt(min_);
+    return;
+  }
+  if (context->has_uniform_seeds()) {
+    uint64_t seeds[kSimdTile];
+    uint64_t draws[kSimdTile];
+    uint64_t mapped[kSimdTile];
+    for (size_t base = 0; base < n; base += kSimdTile) {
+      const size_t count = std::min(kSimdTile, n - base);
+      context->FillSeeds(base, count, seeds);
+      simd::FirstDrawBatch(seeds, count, draws);
+      simd::BoundedFromDraws(draws, span, count, mapped);
+      for (size_t i = 0; i < count; ++i) {
+        out->value(base + i)->SetInt(min_ + static_cast<int64_t>(mapped[i]));
+      }
+    }
+    return;
+  }
   for (size_t i = 0; i < n; ++i) {
     Xorshift64 rng(context->seed(i));
     out->value(i)->SetInt(rng.NextInRange(min_, max_));
@@ -71,6 +114,35 @@ void DoubleGenerator::GenerateBatch(BatchContext* context,
                                     ValueColumn* out) const {
   const size_t n = context->size();
   const double span = max_ - min_;
+  double pow10 = 1.0;
+  for (int i = 0; i < places_; ++i) pow10 *= 10.0;
+  if (context->has_uniform_seeds()) {
+    // The SIMD kernels stop at the unit double (whose int->double
+    // conversion is exact at every dispatch level); the min_ + u * span
+    // expression and the llround quantization stay in scalar C++ so the
+    // floating-point rounding sequence is literally the scalar path's.
+    uint64_t seeds[kSimdTile];
+    uint64_t draws[kSimdTile];
+    double unit[kSimdTile];
+    for (size_t base = 0; base < n; base += kSimdTile) {
+      const size_t count = std::min(kSimdTile, n - base);
+      context->FillSeeds(base, count, seeds);
+      simd::FirstDrawBatch(seeds, count, draws);
+      simd::UnitDoubleFromDraws(draws, count, unit);
+      if (places_ < 0) {
+        for (size_t i = 0; i < count; ++i) {
+          out->value(base + i)->SetDouble(min_ + unit[i] * span);
+        }
+      } else {
+        for (size_t i = 0; i < count; ++i) {
+          double value = min_ + unit[i] * span;
+          out->value(base + i)->SetDecimal(
+              static_cast<int64_t>(std::llround(value * pow10)), places_);
+        }
+      }
+    }
+    return;
+  }
   if (places_ < 0) {
     for (size_t i = 0; i < n; ++i) {
       Xorshift64 rng(context->seed(i));
@@ -78,8 +150,6 @@ void DoubleGenerator::GenerateBatch(BatchContext* context,
     }
     return;
   }
-  double pow10 = 1.0;
-  for (int i = 0; i < places_; ++i) pow10 *= 10.0;
   for (size_t i = 0; i < n; ++i) {
     Xorshift64 rng(context->seed(i));
     double value = min_ + rng.NextDouble() * span;
@@ -116,6 +186,37 @@ void DateGenerator::GenerateBatch(BatchContext* context,
   const size_t n = context->size();
   const int64_t lo = min_.days_since_epoch();
   const int64_t hi = max_.days_since_epoch();
+  const uint64_t span =
+      hi <= lo ? 0
+               : static_cast<uint64_t>(hi) - static_cast<uint64_t>(lo) + 1;
+  if (context->has_uniform_seeds()) {
+    uint64_t seeds[kSimdTile];
+    uint64_t draws[kSimdTile];
+    uint64_t mapped[kSimdTile];
+    for (size_t base = 0; base < n; base += kSimdTile) {
+      const size_t count = std::min(kSimdTile, n - base);
+      if (span == 0) {
+        for (size_t i = 0; i < count; ++i) mapped[i] = 0;
+      } else {
+        context->FillSeeds(base, count, seeds);
+        simd::FirstDrawBatch(seeds, count, draws);
+        simd::BoundedFromDraws(draws, span, count, mapped);
+      }
+      if (format_.empty()) {
+        for (size_t i = 0; i < count; ++i) {
+          out->value(base + i)->SetDate(
+              Date(lo + static_cast<int64_t>(mapped[i])));
+        }
+      } else {
+        for (size_t i = 0; i < count; ++i) {
+          std::string* buffer = out->value(base + i)->MutableString();
+          *buffer =
+              Date(lo + static_cast<int64_t>(mapped[i])).Format(format_);
+        }
+      }
+    }
+    return;
+  }
   if (format_.empty()) {
     for (size_t i = 0; i < n; ++i) {
       Xorshift64 rng(context->seed(i));

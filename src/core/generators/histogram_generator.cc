@@ -1,3 +1,4 @@
+#include <algorithm>
 #include <cmath>
 
 #include "core/batch.h"
@@ -73,6 +74,52 @@ void HistogramGenerator::GenerateBatch(BatchContext* context,
   double pow10 = 1.0;
   if (output_ == Output::kDecimal) {
     for (int i = 0; i < places_; ++i) pow10 *= 10.0;
+  }
+  // Vectorized path: the two per-row draws (bucket pick, intra-bucket
+  // point) come from the SIMD kernels over tile stripes; the weighted
+  // bucket scan and output quantization stay scalar, computed with the
+  // exact expressions of the scalar body.
+  if (!degenerate && context->has_uniform_seeds()) {
+    constexpr size_t kTile = 256;
+    uint64_t seeds[kTile];
+    uint64_t draws1[kTile];
+    uint64_t draws2[kTile];
+    double unit1[kTile];
+    double unit2[kTile];
+    for (size_t base = 0; base < n; base += kTile) {
+      const size_t count = std::min(kTile, n - base);
+      context->FillSeeds(base, count, seeds);
+      simd::DrawPairBatch(seeds, count, draws1, draws2);
+      simd::UnitDoubleFromDraws(draws1, count, unit1);
+      simd::UnitDoubleFromDraws(draws2, count, unit2);
+      for (size_t i = 0; i < count; ++i) {
+        double target = unit1[i] * total_weight_;
+        size_t bucket = 0;
+        while (bucket + 1 < cumulative_.size() &&
+               target >= cumulative_[bucket]) {
+          ++bucket;
+        }
+        double value =
+            min_ + (static_cast<double>(bucket) + unit2[i]) * width;
+        Value* cell = out->value(base + i);
+        switch (output_) {
+          case Output::kLong:
+            cell->SetInt(static_cast<int64_t>(std::llround(value)));
+            break;
+          case Output::kDouble:
+            cell->SetDouble(value);
+            break;
+          case Output::kDecimal:
+            cell->SetDecimal(
+                static_cast<int64_t>(std::llround(value * pow10)), places_);
+            break;
+          case Output::kDate:
+            cell->SetDate(Date(static_cast<int64_t>(std::llround(value))));
+            break;
+        }
+      }
+    }
+    return;
   }
   for (size_t i = 0; i < n; ++i) {
     double value;

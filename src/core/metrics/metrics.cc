@@ -251,6 +251,8 @@ std::string MetricsReport::ToJson(bool pretty) const {
   json.Number(megabytes_per_second);
   json.Key("worker_count");
   json.Number(worker_count);
+  json.Key("simd_dispatch");
+  json.String(simd_dispatch);
   json.Key("phase_seconds");
   EmitPhases(&json, phase_seconds);
   json.Key("workers");
@@ -371,6 +373,8 @@ std::string ServeCounters::ToJson(bool pretty) const {
   json.Number(connections_rejected);
   json.Key("requests_malformed");
   json.Number(requests_malformed);
+  json.Key("requests_truncated");
+  json.Number(requests_truncated);
   json.Key("max_jobs");
   json.Number(max_jobs);
   json.Key("max_connections");

@@ -187,6 +187,10 @@ struct MetricsReport {
 
   bool enabled = false;
   int worker_count = 0;
+  // Active SIMD dispatch level of the generation kernels ("scalar" |
+  // "avx2" | "neon"; see common/simd.h). Additive to schema v2 — bytes
+  // and digests never depend on it, so it is context, not a config knob.
+  std::string simd_dispatch;
   double wall_seconds = 0;
   uint64_t rows = 0;
   uint64_t bytes = 0;
@@ -237,6 +241,10 @@ struct ServeCounters {
   uint64_t connections_accepted = 0;
   uint64_t connections_rejected = 0;    // over --max-connections
   uint64_t requests_malformed = 0;      // bad JSON / truncated / oversized
+  // Connections that died (idle timeout, EOF, reset) while a partial
+  // request line was buffered — distinguishes a half-sent request from a
+  // clean idle close, which shares the same syscall error otherwise.
+  uint64_t requests_truncated = 0;
   uint64_t max_jobs = 0;                // configured limits, for context
   uint64_t max_connections = 0;
 

@@ -1,6 +1,8 @@
 #include "core/output/sink.h"
 
 #include <errno.h>
+#include <pthread.h>
+#include <signal.h>
 #include <string.h>
 #include <sys/socket.h>
 #include <time.h>
@@ -46,15 +48,54 @@ Status FileSink::Close() {
   return Status::Ok();
 }
 
+namespace {
+
+// write() with SIGPIPE suppressed on this thread: block the signal,
+// write, drain a SIGPIPE the write generated, restore the old mask. The
+// non-socket twin of send(MSG_NOSIGNAL) — a broken FIFO/pipe surfaces as
+// EPIPE instead of killing a process that left SIGPIPE at SIG_DFL. A
+// SIGPIPE already pending on entry is left untouched (the drain is
+// skipped so a foreign pending signal is never consumed).
+ssize_t WriteNoSigpipe(int fd, const void* buf, size_t len) {
+  sigset_t pipe_set;
+  sigemptyset(&pipe_set);
+  sigaddset(&pipe_set, SIGPIPE);
+  sigset_t pending;
+  bool already_pending =
+      sigpending(&pending) == 0 && sigismember(&pending, SIGPIPE) == 1;
+  sigset_t old_mask;
+  bool masked =
+      pthread_sigmask(SIG_BLOCK, &pipe_set, &old_mask) == 0;
+  ssize_t n = ::write(fd, buf, len);
+  int saved_errno = errno;
+  if (masked) {
+    if (n < 0 && saved_errno == EPIPE && !already_pending) {
+      // Reap the SIGPIPE this write queued so unblocking cannot deliver
+      // it. Zero timeout: it is either pending now or was never raised.
+      struct timespec zero = {0, 0};
+      while (sigtimedwait(&pipe_set, nullptr, &zero) < 0 &&
+             errno == EINTR) {
+      }
+    }
+    pthread_sigmask(SIG_SETMASK, &old_mask, nullptr);
+  }
+  errno = saved_errno;
+  return n;
+}
+
+}  // namespace
+
 Status WriteAllToFd(int fd, std::string_view data) {
   size_t offset = 0;
   while (offset < data.size()) {
     // send(MSG_NOSIGNAL) keeps a dead peer from raising SIGPIPE; plain
-    // files and pipes return ENOTSOCK and fall back to write().
+    // files and pipes return ENOTSOCK and fall back to a write() that
+    // masks SIGPIPE itself, so embedding the serve daemon never depends
+    // on the CLI's process-wide signal(SIGPIPE, SIG_IGN).
     ssize_t n = ::send(fd, data.data() + offset, data.size() - offset,
                        MSG_NOSIGNAL);
     if (n < 0 && errno == ENOTSOCK) {
-      n = ::write(fd, data.data() + offset, data.size() - offset);
+      n = WriteNoSigpipe(fd, data.data() + offset, data.size() - offset);
     }
     if (n < 0) {
       if (errno == EINTR) continue;

@@ -68,7 +68,14 @@ class GenerationSession {
                       update);
   }
   static uint64_t SeedForRow(uint64_t hoisted_base, uint64_t row) {
-    return DeriveSeed(hoisted_base ^ kRowLevel, row);
+    return DeriveSeed(RowSeedParent(hoisted_base), row);
+  }
+
+  // The parent seed P with FieldSeed == DeriveSeed(P, row) — the form the
+  // vectorized seed kernel consumes (util/simd_rng.h): a uniform-update
+  // batch derives all of its row seeds as DeriveSeedBatch(P, rows).
+  static uint64_t RowSeedParent(uint64_t hoisted_base) {
+    return hoisted_base ^ kRowLevel;
   }
 
   // The effective time unit of `row` at `update` under point-in-time

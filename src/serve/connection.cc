@@ -37,7 +37,9 @@ class LineReader {
 
   // true = `line` holds a request line (terminator stripped);
   // false = clean EOF. Timeouts, resets and truncated trailing data
-  // (bytes then EOF with no '\n') are errors.
+  // (bytes then EOF with no '\n') are errors; when the failure struck
+  // with a partial line buffered, saw_truncation() reports it so the
+  // caller can distinguish a half-sent request from a clean idle close.
   StatusOr<bool> ReadLine(std::string* line) {
     while (true) {
       size_t newline = buffer_.find('\n', scanned_);
@@ -59,12 +61,14 @@ class LineReader {
       }
       if (n == 0) {
         if (!buffer_.empty()) {
+          saw_truncation_ = true;
           return pdgf::ParseError("connection closed mid-request");
         }
         return false;
       }
       if (n < 0) {
         if (errno == EINTR) continue;
+        saw_truncation_ = !buffer_.empty();
         if (errno == EAGAIN || errno == EWOULDBLOCK) {
           return pdgf::IoError("timed out waiting for a request line");
         }
@@ -75,10 +79,16 @@ class LineReader {
     }
   }
 
+  // True if the last ReadLine failure (idle timeout, EOF, reset) left a
+  // partial request line buffered. Oversized lines are not truncation —
+  // those bytes all arrived; the client sent garbage.
+  bool saw_truncation() const { return saw_truncation_; }
+
  private:
   int fd_;
   std::string buffer_;
   size_t scanned_ = 0;
+  bool saw_truncation_ = false;
 };
 
 // The connection's shared output stream. Every table sink of a job plus
@@ -220,6 +230,12 @@ void RunConnection(Server* server, int fd) {
     if (!got.ok()) {
       // Truncated or oversized requests count as malformed; a clean
       // error line is attempted but the connection is done either way.
+      // A failure with a partial line buffered (the SO_RCVTIMEO idle
+      // drop mid-request, EOF, reset) additionally counts as truncated —
+      // otherwise it is indistinguishable from a clean idle close.
+      if (reader.saw_truncation()) {
+        server->queue().AddTruncatedRequest();
+      }
       if (got.status().code() == pdgf::StatusCode::kParseError) {
         server->queue().AddMalformedRequest();
       }

@@ -93,6 +93,8 @@ void JobQueue::FillCounters(pdgf::ServeCounters* out) const {
   out->bytes_streamed = bytes_streamed_.load(std::memory_order_relaxed);
   out->requests_malformed =
       requests_malformed_.load(std::memory_order_relaxed);
+  out->requests_truncated =
+      requests_truncated_.load(std::memory_order_relaxed);
   out->queue_depth = depth_.load(std::memory_order_relaxed);
   out->max_jobs = max_jobs_;
 }

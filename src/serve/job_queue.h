@@ -62,6 +62,11 @@ class JobQueue {
   void AddMalformedRequest() {
     requests_malformed_.fetch_add(1, std::memory_order_relaxed);
   }
+  // A connection died (idle timeout, EOF, reset) with a partial request
+  // line buffered — a half-sent request, distinct from a clean idle close.
+  void AddTruncatedRequest() {
+    requests_truncated_.fetch_add(1, std::memory_order_relaxed);
+  }
 
   // Stashes the engine MetricsReport JSON of the most recently completed
   // job; the metrics endpoint embeds it so one scrape answers both the
@@ -91,6 +96,7 @@ class JobQueue {
   std::atomic<uint64_t> jobs_rejected_{0};
   std::atomic<uint64_t> bytes_streamed_{0};
   std::atomic<uint64_t> requests_malformed_{0};
+  std::atomic<uint64_t> requests_truncated_{0};
 
   mutable std::mutex mu_;
   std::map<uint64_t, std::shared_ptr<Job>> running_;  // guarded by mu_

@@ -11,6 +11,13 @@ namespace pdgf {
 // functions". Seeds are derived, not sequential, so any (table, column,
 // update, row) coordinate can be evaluated independently — that is what
 // makes generation embarrassingly parallel and references computable.
+//
+// These scalar definitions are the bit-exact contract for the vectorized
+// kernels in util/simd_rng.h (AVX2/NEON twins of DeriveSeed, the
+// Reseed+Next step, the Lemire bounded map and the unit-double
+// conversion). Any change to a constant or an operation here must be
+// mirrored there; tests/core/simd_test.cc pins the two implementations
+// against each other at every dispatch level.
 
 // splitmix64 finalizer: a full-avalanche 64-bit mixer.
 inline uint64_t Mix64(uint64_t x) {

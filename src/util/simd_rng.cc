@@ -1,0 +1,275 @@
+#include "util/simd_rng.h"
+
+#include "util/rng.h"
+
+#if defined(__aarch64__)
+#include <arm_neon.h>
+#endif
+
+namespace pdgf {
+namespace simd {
+namespace {
+
+// ------------------------------------------------------------- scalar --
+// The portable fallbacks call straight into util/rng.h so there is only
+// one definition of the arithmetic to keep correct.
+
+void DeriveSeedBatchScalar(uint64_t parent, const uint64_t* keys, size_t n,
+                           uint64_t* out) {
+  for (size_t i = 0; i < n; ++i) out[i] = DeriveSeed(parent, keys[i]);
+}
+
+void FirstDrawBatchScalar(const uint64_t* seeds, size_t n, uint64_t* draws) {
+  for (size_t i = 0; i < n; ++i) {
+    Xorshift64 rng(seeds[i]);
+    draws[i] = rng.Next();
+  }
+}
+
+void DrawPairBatchScalar(const uint64_t* seeds, size_t n, uint64_t* draws1,
+                         uint64_t* draws2) {
+  for (size_t i = 0; i < n; ++i) {
+    Xorshift64 rng(seeds[i]);
+    draws1[i] = rng.Next();
+    draws2[i] = rng.Next();
+  }
+}
+
+void BoundedFromDrawsScalar(const uint64_t* draws, uint64_t bound, size_t n,
+                            uint64_t* out) {
+  for (size_t i = 0; i < n; ++i) {
+    unsigned __int128 product =
+        static_cast<unsigned __int128>(draws[i]) * bound;
+    out[i] = static_cast<uint64_t>(product >> 64);
+  }
+}
+
+void UnitDoubleFromDrawsScalar(const uint64_t* draws, size_t n,
+                               double* out) {
+  for (size_t i = 0; i < n; ++i) {
+    out[i] = static_cast<double>(draws[i] >> 11) * 0x1.0p-53;
+  }
+}
+
+// --------------------------------------------------------------- NEON --
+// 2-lane kernels; 64x64 multiplies are assembled from vmull_u32 partial
+// products (aarch64 NEON has no 64-bit lane multiply).
+#if defined(__aarch64__)
+
+inline uint64x2_t MulLo64(uint64x2_t a, uint64x2_t b) {
+  uint32x2_t a_lo = vmovn_u64(a);
+  uint32x2_t b_lo = vmovn_u64(b);
+  uint32x2_t a_hi = vshrn_n_u64(a, 32);
+  uint32x2_t b_hi = vshrn_n_u64(b, 32);
+  uint64x2_t cross = vmlal_u32(vmull_u32(a_lo, b_hi), a_hi, b_lo);
+  return vaddq_u64(vmull_u32(a_lo, b_lo), vshlq_n_u64(cross, 32));
+}
+
+inline uint64x2_t MulHi64(uint64x2_t a, uint64x2_t b) {
+  uint32x2_t a_lo = vmovn_u64(a);
+  uint32x2_t b_lo = vmovn_u64(b);
+  uint32x2_t a_hi = vshrn_n_u64(a, 32);
+  uint32x2_t b_hi = vshrn_n_u64(b, 32);
+  uint64x2_t lolo = vmull_u32(a_lo, b_lo);
+  uint64x2_t hilo = vmull_u32(a_hi, b_lo);
+  uint64x2_t lohi = vmull_u32(a_lo, b_hi);
+  uint64x2_t hihi = vmull_u32(a_hi, b_hi);
+  uint64x2_t mask32 = vdupq_n_u64(0xffffffffULL);
+  uint64x2_t carry =
+      vaddq_u64(vaddq_u64(vshrq_n_u64(lolo, 32), vandq_u64(hilo, mask32)),
+                vandq_u64(lohi, mask32));
+  return vaddq_u64(
+      vaddq_u64(hihi, vshrq_n_u64(carry, 32)),
+      vaddq_u64(vshrq_n_u64(hilo, 32), vshrq_n_u64(lohi, 32)));
+}
+
+inline uint64x2_t Mix64Neon(uint64x2_t x) {
+  x = vaddq_u64(x, vdupq_n_u64(0x9e3779b97f4a7c15ULL));
+  x = MulLo64(veorq_u64(x, vshrq_n_u64(x, 30)),
+              vdupq_n_u64(0xbf58476d1ce4e5b9ULL));
+  x = MulLo64(veorq_u64(x, vshrq_n_u64(x, 27)),
+              vdupq_n_u64(0x94d049bb133111ebULL));
+  return veorq_u64(x, vshrq_n_u64(x, 31));
+}
+
+// Reseed semantics of Xorshift64: state = Mix64(seed), zero remapped.
+inline uint64x2_t ReseedStateNeon(uint64x2_t seeds) {
+  uint64x2_t state = Mix64Neon(seeds);
+  uint64x2_t zero_mask = vceqzq_u64(state);
+  return vbslq_u64(zero_mask, vdupq_n_u64(0x9e3779b97f4a7c15ULL), state);
+}
+
+// One xorshift64* step: advances *state, returns the draw.
+inline uint64x2_t XorshiftStepNeon(uint64x2_t* state) {
+  uint64x2_t x = *state;
+  x = veorq_u64(x, vshrq_n_u64(x, 12));
+  x = veorq_u64(x, vshlq_n_u64(x, 25));
+  x = veorq_u64(x, vshrq_n_u64(x, 27));
+  *state = x;
+  return MulLo64(x, vdupq_n_u64(0x2545f4914f6cdd1dULL));
+}
+
+void DeriveSeedBatchNeon(uint64_t parent, const uint64_t* keys, size_t n,
+                         uint64_t* out) {
+  const uint64x2_t parent_v = vdupq_n_u64(parent);
+  const uint64x2_t child_salt = vdupq_n_u64(0x632be59bd9b4e019ULL);
+  size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    uint64x2_t child = Mix64Neon(vaddq_u64(vld1q_u64(keys + i), child_salt));
+    vst1q_u64(out + i, Mix64Neon(veorq_u64(parent_v, child)));
+  }
+  if (i < n) out[i] = DeriveSeed(parent, keys[i]);
+}
+
+void FirstDrawBatchNeon(const uint64_t* seeds, size_t n, uint64_t* draws) {
+  size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    uint64x2_t state = ReseedStateNeon(vld1q_u64(seeds + i));
+    vst1q_u64(draws + i, XorshiftStepNeon(&state));
+  }
+  if (i < n) {
+    Xorshift64 rng(seeds[i]);
+    draws[i] = rng.Next();
+  }
+}
+
+void DrawPairBatchNeon(const uint64_t* seeds, size_t n, uint64_t* draws1,
+                       uint64_t* draws2) {
+  size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    uint64x2_t state = ReseedStateNeon(vld1q_u64(seeds + i));
+    vst1q_u64(draws1 + i, XorshiftStepNeon(&state));
+    vst1q_u64(draws2 + i, XorshiftStepNeon(&state));
+  }
+  if (i < n) {
+    Xorshift64 rng(seeds[i]);
+    draws1[i] = rng.Next();
+    draws2[i] = rng.Next();
+  }
+}
+
+void BoundedFromDrawsNeon(const uint64_t* draws, uint64_t bound, size_t n,
+                          uint64_t* out) {
+  const uint64x2_t bound_v = vdupq_n_u64(bound);
+  size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    vst1q_u64(out + i, MulHi64(vld1q_u64(draws + i), bound_v));
+  }
+  for (; i < n; ++i) {
+    unsigned __int128 product =
+        static_cast<unsigned __int128>(draws[i]) * bound;
+    out[i] = static_cast<uint64_t>(product >> 64);
+  }
+}
+
+void UnitDoubleFromDrawsNeon(const uint64_t* draws, size_t n, double* out) {
+  const float64x2_t scale = vdupq_n_f64(0x1.0p-53);
+  size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    uint64x2_t mantissa = vshrq_n_u64(vld1q_u64(draws + i), 11);
+    // vcvtq_f64_u64 is correctly rounded; the operand is < 2^53 so the
+    // conversion is exact, matching the scalar cast.
+    vst1q_f64(out + i, vmulq_f64(vcvtq_f64_u64(mantissa), scale));
+  }
+  if (i < n) out[i] = static_cast<double>(draws[i] >> 11) * 0x1.0p-53;
+}
+
+#endif  // __aarch64__
+
+}  // namespace
+
+void DeriveSeedBatch(uint64_t parent, const uint64_t* keys, size_t n,
+                     uint64_t* out) {
+  switch (ActiveSimdLevel()) {
+#if defined(__x86_64__) || defined(_M_X64)
+    case SimdLevel::kAvx2:
+      internal::DeriveSeedBatchAvx2(parent, keys, n, out);
+      return;
+#endif
+#if defined(__aarch64__)
+    case SimdLevel::kNeon:
+      DeriveSeedBatchNeon(parent, keys, n, out);
+      return;
+#endif
+    default:
+      DeriveSeedBatchScalar(parent, keys, n, out);
+      return;
+  }
+}
+
+void FirstDrawBatch(const uint64_t* seeds, size_t n, uint64_t* draws) {
+  switch (ActiveSimdLevel()) {
+#if defined(__x86_64__) || defined(_M_X64)
+    case SimdLevel::kAvx2:
+      internal::FirstDrawBatchAvx2(seeds, n, draws);
+      return;
+#endif
+#if defined(__aarch64__)
+    case SimdLevel::kNeon:
+      FirstDrawBatchNeon(seeds, n, draws);
+      return;
+#endif
+    default:
+      FirstDrawBatchScalar(seeds, n, draws);
+      return;
+  }
+}
+
+void DrawPairBatch(const uint64_t* seeds, size_t n, uint64_t* draws1,
+                   uint64_t* draws2) {
+  switch (ActiveSimdLevel()) {
+#if defined(__x86_64__) || defined(_M_X64)
+    case SimdLevel::kAvx2:
+      internal::DrawPairBatchAvx2(seeds, n, draws1, draws2);
+      return;
+#endif
+#if defined(__aarch64__)
+    case SimdLevel::kNeon:
+      DrawPairBatchNeon(seeds, n, draws1, draws2);
+      return;
+#endif
+    default:
+      DrawPairBatchScalar(seeds, n, draws1, draws2);
+      return;
+  }
+}
+
+void BoundedFromDraws(const uint64_t* draws, uint64_t bound, size_t n,
+                      uint64_t* out) {
+  switch (ActiveSimdLevel()) {
+#if defined(__x86_64__) || defined(_M_X64)
+    case SimdLevel::kAvx2:
+      internal::BoundedFromDrawsAvx2(draws, bound, n, out);
+      return;
+#endif
+#if defined(__aarch64__)
+    case SimdLevel::kNeon:
+      BoundedFromDrawsNeon(draws, bound, n, out);
+      return;
+#endif
+    default:
+      BoundedFromDrawsScalar(draws, bound, n, out);
+      return;
+  }
+}
+
+void UnitDoubleFromDraws(const uint64_t* draws, size_t n, double* out) {
+  switch (ActiveSimdLevel()) {
+#if defined(__x86_64__) || defined(_M_X64)
+    case SimdLevel::kAvx2:
+      internal::UnitDoubleFromDrawsAvx2(draws, n, out);
+      return;
+#endif
+#if defined(__aarch64__)
+    case SimdLevel::kNeon:
+      UnitDoubleFromDrawsNeon(draws, n, out);
+      return;
+#endif
+    default:
+      UnitDoubleFromDrawsScalar(draws, n, out);
+      return;
+  }
+}
+
+}  // namespace simd
+}  // namespace pdgf

@@ -1,0 +1,66 @@
+#ifndef DBSYNTHPP_UTIL_SIMD_RNG_H_
+#define DBSYNTHPP_UTIL_SIMD_RNG_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/simd.h"
+
+namespace pdgf {
+namespace simd {
+
+// Batched twins of the scalar seed/draw primitives in util/rng.h,
+// evaluated 4 lanes wide under AVX2 (2 under NEON) and dispatched on
+// ActiveSimdLevel(). Each kernel is bit-identical to the scalar loop it
+// replaces — same constants, same zero-state remap, no FMA contraction —
+// so the batch pipeline's digests and wire bytes never depend on the
+// dispatch level. Parity is enforced against util/rng.h directly in
+// tests/core/simd_test.cc.
+//
+// The generator hot path composes them per column stripe:
+//   DeriveSeedBatch   row index -> field seed   (BatchContext::FillSeeds)
+//   FirstDrawBatch    field seed -> first xorshift64* output
+//   BoundedFromDraws  draw -> Lemire-mapped [0, bound)
+//   UnitDoubleFromDraws  draw -> uniform double in [0, 1)
+
+// out[i] = DeriveSeed(parent, keys[i]).
+void DeriveSeedBatch(uint64_t parent, const uint64_t* keys, size_t n,
+                     uint64_t* out);
+
+// draws[i] = Xorshift64(seeds[i]).Next() — reseed (with the zero-state
+// remap) plus one xorshift64* step.
+void FirstDrawBatch(const uint64_t* seeds, size_t n, uint64_t* draws);
+
+// The first two draws of Xorshift64(seeds[i]) (e.g. the histogram
+// generator's bucket pick + intra-bucket point).
+void DrawPairBatch(const uint64_t* seeds, size_t n, uint64_t* draws1,
+                   uint64_t* draws2);
+
+// out[i] = high 64 bits of draws[i] * bound — the Lemire multiply-shift
+// map behind Xorshift64::NextBounded. Requires bound > 0 (callers hoist
+// the bound==0 / empty-range degenerate cases, which consume no draw).
+void BoundedFromDraws(const uint64_t* draws, uint64_t bound, size_t n,
+                      uint64_t* out);
+
+// out[i] = (double)(draws[i] >> 11) * 0x1.0p-53, exactly as
+// Xorshift64::NextDouble computes it (the conversion is exact: the
+// operand is < 2^53).
+void UnitDoubleFromDraws(const uint64_t* draws, size_t n, double* out);
+
+namespace internal {
+#if defined(__x86_64__) || defined(_M_X64)
+void DeriveSeedBatchAvx2(uint64_t parent, const uint64_t* keys, size_t n,
+                         uint64_t* out);
+void FirstDrawBatchAvx2(const uint64_t* seeds, size_t n, uint64_t* draws);
+void DrawPairBatchAvx2(const uint64_t* seeds, size_t n, uint64_t* draws1,
+                       uint64_t* draws2);
+void BoundedFromDrawsAvx2(const uint64_t* draws, uint64_t bound, size_t n,
+                          uint64_t* out);
+void UnitDoubleFromDrawsAvx2(const uint64_t* draws, size_t n, double* out);
+#endif
+}  // namespace internal
+
+}  // namespace simd
+}  // namespace pdgf
+
+#endif  // DBSYNTHPP_UTIL_SIMD_RNG_H_

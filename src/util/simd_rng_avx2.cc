@@ -1,0 +1,169 @@
+// AVX2 seed/draw kernels: 4-lane twins of util/rng.h. Compiled with
+// -mavx2 (src/CMakeLists.txt); reached only through the runtime dispatch
+// in simd_rng.cc. Multiplies avoid any FMA/precision shortcuts — lane
+// arithmetic is the exact 64-bit integer (and exact int->double) math of
+// the scalar path, so outputs are bit-identical by construction.
+#include "util/simd_rng.h"
+
+#if defined(__x86_64__) || defined(_M_X64)
+
+#include <immintrin.h>
+
+#include "util/rng.h"
+
+namespace pdgf {
+namespace simd {
+namespace internal {
+namespace {
+
+// 64x64 -> low 64 multiply per lane (AVX2 has only 32x32 lane products):
+// a*b mod 2^64 = lo(a)*lo(b) + ((lo(a)*hi(b) + hi(a)*lo(b)) << 32).
+inline __m256i MulLo64(__m256i a, __m256i b) {
+  __m256i a_hi = _mm256_srli_epi64(a, 32);
+  __m256i b_hi = _mm256_srli_epi64(b, 32);
+  __m256i cross = _mm256_add_epi64(_mm256_mul_epu32(a, b_hi),
+                                   _mm256_mul_epu32(a_hi, b));
+  return _mm256_add_epi64(_mm256_mul_epu32(a, b),
+                          _mm256_slli_epi64(cross, 32));
+}
+
+// 64x64 -> high 64 multiply per lane, from the four 32-bit partial
+// products with explicit carry propagation.
+inline __m256i MulHi64(__m256i a, __m256i b) {
+  const __m256i mask32 = _mm256_set1_epi64x(0xffffffffLL);
+  __m256i a_hi = _mm256_srli_epi64(a, 32);
+  __m256i b_hi = _mm256_srli_epi64(b, 32);
+  __m256i lolo = _mm256_mul_epu32(a, b);
+  __m256i hilo = _mm256_mul_epu32(a_hi, b);
+  __m256i lohi = _mm256_mul_epu32(a, b_hi);
+  __m256i hihi = _mm256_mul_epu32(a_hi, b_hi);
+  __m256i carry = _mm256_add_epi64(
+      _mm256_add_epi64(_mm256_srli_epi64(lolo, 32),
+                       _mm256_and_si256(hilo, mask32)),
+      _mm256_and_si256(lohi, mask32));
+  return _mm256_add_epi64(
+      _mm256_add_epi64(hihi, _mm256_srli_epi64(carry, 32)),
+      _mm256_add_epi64(_mm256_srli_epi64(hilo, 32),
+                       _mm256_srli_epi64(lohi, 32)));
+}
+
+// splitmix64 finalizer (Mix64), 4 lanes.
+inline __m256i Mix64Avx2(__m256i x) {
+  x = _mm256_add_epi64(x, _mm256_set1_epi64x(0x9e3779b97f4a7c15ULL));
+  x = MulLo64(_mm256_xor_si256(x, _mm256_srli_epi64(x, 30)),
+              _mm256_set1_epi64x(0xbf58476d1ce4e5b9ULL));
+  x = MulLo64(_mm256_xor_si256(x, _mm256_srli_epi64(x, 27)),
+              _mm256_set1_epi64x(0x94d049bb133111ebULL));
+  return _mm256_xor_si256(x, _mm256_srli_epi64(x, 31));
+}
+
+// Xorshift64::Reseed: state = Mix64(seed), zero states remapped.
+inline __m256i ReseedState(__m256i seeds) {
+  __m256i state = Mix64Avx2(seeds);
+  __m256i zero_mask = _mm256_cmpeq_epi64(state, _mm256_setzero_si256());
+  return _mm256_blendv_epi8(
+      state, _mm256_set1_epi64x(0x9e3779b97f4a7c15ULL), zero_mask);
+}
+
+// One xorshift64* step: advances *state, returns the draw.
+inline __m256i XorshiftStep(__m256i* state) {
+  __m256i x = *state;
+  x = _mm256_xor_si256(x, _mm256_srli_epi64(x, 12));
+  x = _mm256_xor_si256(x, _mm256_slli_epi64(x, 25));
+  x = _mm256_xor_si256(x, _mm256_srli_epi64(x, 27));
+  *state = x;
+  return MulLo64(x, _mm256_set1_epi64x(0x2545f4914f6cdd1dULL));
+}
+
+inline __m256i LoadU64(const uint64_t* p) {
+  return _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p));
+}
+
+inline void StoreU64(uint64_t* p, __m256i v) {
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(p), v);
+}
+
+}  // namespace
+
+void DeriveSeedBatchAvx2(uint64_t parent, const uint64_t* keys, size_t n,
+                         uint64_t* out) {
+  const __m256i parent_v = _mm256_set1_epi64x(parent);
+  const __m256i child_salt = _mm256_set1_epi64x(0x632be59bd9b4e019ULL);
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    __m256i child =
+        Mix64Avx2(_mm256_add_epi64(LoadU64(keys + i), child_salt));
+    StoreU64(out + i, Mix64Avx2(_mm256_xor_si256(parent_v, child)));
+  }
+  for (; i < n; ++i) out[i] = DeriveSeed(parent, keys[i]);
+}
+
+void FirstDrawBatchAvx2(const uint64_t* seeds, size_t n, uint64_t* draws) {
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    __m256i state = ReseedState(LoadU64(seeds + i));
+    StoreU64(draws + i, XorshiftStep(&state));
+  }
+  for (; i < n; ++i) {
+    Xorshift64 rng(seeds[i]);
+    draws[i] = rng.Next();
+  }
+}
+
+void DrawPairBatchAvx2(const uint64_t* seeds, size_t n, uint64_t* draws1,
+                       uint64_t* draws2) {
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    __m256i state = ReseedState(LoadU64(seeds + i));
+    StoreU64(draws1 + i, XorshiftStep(&state));
+    StoreU64(draws2 + i, XorshiftStep(&state));
+  }
+  for (; i < n; ++i) {
+    Xorshift64 rng(seeds[i]);
+    draws1[i] = rng.Next();
+    draws2[i] = rng.Next();
+  }
+}
+
+void BoundedFromDrawsAvx2(const uint64_t* draws, uint64_t bound, size_t n,
+                          uint64_t* out) {
+  const __m256i bound_v = _mm256_set1_epi64x(bound);
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    StoreU64(out + i, MulHi64(LoadU64(draws + i), bound_v));
+  }
+  for (; i < n; ++i) {
+    unsigned __int128 product =
+        static_cast<unsigned __int128>(draws[i]) * bound;
+    out[i] = static_cast<uint64_t>(product >> 64);
+  }
+}
+
+void UnitDoubleFromDrawsAvx2(const uint64_t* draws, size_t n, double* out) {
+  // Exact uint64 -> double for v < 2^53 without AVX-512: split v into
+  // hi*2^32 + lo, materialize (2^84 + hi*2^32) and (2^52 + lo) by bit
+  // stuffing, and cancel the magic constants. Every step is exact, so
+  // the result equals the scalar static_cast<double>(v).
+  const __m256i magic_hi = _mm256_castpd_si256(_mm256_set1_pd(0x1.0p84));
+  const __m256i magic_lo = _mm256_castpd_si256(_mm256_set1_pd(0x1.0p52));
+  const __m256d magic_sum = _mm256_set1_pd(0x1.0p84 + 0x1.0p52);
+  const __m256d scale = _mm256_set1_pd(0x1.0p-53);
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    __m256i v = _mm256_srli_epi64(LoadU64(draws + i), 11);  // < 2^53
+    __m256i v_hi = _mm256_or_si256(_mm256_srli_epi64(v, 32), magic_hi);
+    __m256i v_lo = _mm256_blend_epi32(v, magic_lo, 0xAA);
+    __m256d f = _mm256_sub_pd(_mm256_castsi256_pd(v_hi), magic_sum);
+    __m256d value = _mm256_add_pd(f, _mm256_castsi256_pd(v_lo));
+    _mm256_storeu_pd(out + i, _mm256_mul_pd(value, scale));
+  }
+  for (; i < n; ++i) {
+    out[i] = static_cast<double>(draws[i] >> 11) * 0x1.0p-53;
+  }
+}
+
+}  // namespace internal
+}  // namespace simd
+}  // namespace pdgf
+
+#endif  // x86-64

@@ -183,6 +183,105 @@ TEST(FormatRoundtripTest, DoubleRandomRoundTripAndLadderParity) {
   }
 }
 
+// The exact historical rendering (ISSUE 7 satellite): the
+// snprintf("%.{6,15,17}g") / strtod ladder the to_chars kernel replaced.
+// Every adversarial case below must match it byte for byte.
+std::string LegacyLadder(double v) {
+  char buffer[64];
+  for (int precision : {6, 15, 17}) {
+    std::snprintf(buffer, sizeof(buffer), "%.*g", precision, v);
+    if (std::strtod(buffer, nullptr) == v || precision == 17) break;
+  }
+  return buffer;
+}
+
+TEST(FormatRoundtripTest, DoubleAdversarialCorpusMatchesLegacyLadder) {
+  const double corpus[] = {
+      -0.0,
+      std::numeric_limits<double>::infinity(),
+      -std::numeric_limits<double>::infinity(),
+      std::numeric_limits<double>::quiet_NaN(),
+      std::numeric_limits<double>::denorm_min(),
+      -std::numeric_limits<double>::denorm_min(),
+      1e-310,                   // deep subnormal
+      4.9406564584124654e-324,  // == denorm_min, via decimal literal
+      2.2250738585072011e-308,  // largest subnormal
+      std::numeric_limits<double>::min(),  // smallest normal
+      -std::numeric_limits<double>::min(),
+      std::numeric_limits<double>::max(),
+      -std::numeric_limits<double>::max(),
+      9007199254740992.0,   // 2^53: integer precision edge
+      9007199254740991.0,   // 2^53 - 1
+      -9007199254740993.0,  // rounds to -2^53: not exactly representable
+      0.30000000000000004,  // needs precision 17
+      0.1 + 0.2,
+      1.0 / 3.0,
+      5e-1,  // precision 6 suffices
+      1e22,  // largest power of 10 exactly representable
+      1e23,
+      123456789.123456789,
+      2.2204460492503131e-16,  // machine epsilon
+  };
+  for (double v : corpus) {
+    std::string text = DoubleText(v);
+    EXPECT_EQ(text, LegacyLadder(v)) << "v=" << v;
+    if (std::isnan(v)) {
+      EXPECT_TRUE(std::isnan(std::strtod(text.c_str(), nullptr)));
+      continue;
+    }
+    double parsed = std::strtod(text.c_str(), nullptr);
+    EXPECT_EQ(parsed, v) << "text=" << text;
+    // -0.0 == 0.0 compares equal; the sign must survive the trip too.
+    EXPECT_EQ(std::signbit(parsed), std::signbit(v)) << "text=" << text;
+  }
+}
+
+TEST(FormatRoundtripTest, DoubleSubnormalSweepMatchesLegacyLadder) {
+  // Random subnormal bit patterns (exponent field zero): the range where
+  // from_chars implementations disagree about result_out_of_range and
+  // the defensive strtod re-parse in AppendDoubleText must engage.
+  Xorshift64 rng(20260809);
+  for (int i = 0; i < 5000; ++i) {
+    uint64_t bits = (rng.Next() & 0x000fffffffffffffULL) |
+                    ((i & 1) ? 0x8000000000000000ULL : 0);
+    double v;
+    std::memcpy(&v, &bits, sizeof(v));
+    std::string text = DoubleText(v);
+    EXPECT_EQ(text, LegacyLadder(v)) << "bits=" << bits;
+    double parsed = std::strtod(text.c_str(), nullptr);
+    EXPECT_EQ(parsed, v) << "text=" << text;
+    EXPECT_EQ(std::signbit(parsed), std::signbit(v)) << "text=" << text;
+  }
+}
+
+TEST(FormatRoundtripTest, DecimalScaleBoundaries13Through18) {
+  // uint64 holds 10^18 comfortably; these scales stress the zero-padding
+  // width and the whole/frac split at the top of the int64 range.
+  for (int scale = 13; scale <= 18; ++scale) {
+    uint64_t pow10 = 1;
+    for (int i = 0; i < scale; ++i) pow10 *= 10;
+    const int64_t samples[] = {0,
+                               1,
+                               -1,
+                               static_cast<int64_t>(pow10) - 1,
+                               static_cast<int64_t>(pow10),
+                               static_cast<int64_t>(pow10) + 1,
+                               std::numeric_limits<int64_t>::max(),
+                               std::numeric_limits<int64_t>::min() + 1};
+    for (int64_t unscaled : samples) {
+      bool negative = unscaled < 0;
+      uint64_t magnitude = negative ? 0ULL - static_cast<uint64_t>(unscaled)
+                                    : static_cast<uint64_t>(unscaled);
+      char expected[64];
+      std::snprintf(expected, sizeof(expected),
+                    "%s%" PRIu64 ".%0*" PRIu64, negative ? "-" : "",
+                    magnitude / pow10, scale, magnitude % pow10);
+      EXPECT_EQ(DecimalText(unscaled, scale), expected)
+          << "unscaled=" << unscaled << " scale=" << scale;
+    }
+  }
+}
+
 TEST(FormatRoundtripTest, ValueToTextUsesKernels) {
   EXPECT_EQ(Value::Int(std::numeric_limits<int64_t>::min()).ToText(),
             "-9223372036854775808");

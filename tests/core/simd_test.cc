@@ -1,0 +1,545 @@
+// SIMD/scalar parity suite (ISSUE 7 tentpole). The vectorized kernels —
+// batched seed derivation, the xorshift64* first-draw step, the Lemire
+// bounded map, the unit-double conversion, and the AVX2 text-formatting
+// kernels — must be BIT-identical to the scalar definitions in
+// util/rng.h and std::to_chars at every dispatch level, for every
+// ragged length (batch_rows=1, non-lane-multiple tails) and for the
+// degenerate no-draw ranges. These tests pin kernel-level, generator-
+// level and whole-engine parity across levels, so a dispatch change can
+// never change bytes or digests.
+//
+// Every suite name starts with "Simd" so the TSan tier regex in
+// tools/check.sh picks the suite up, and the DBSYNTHPP_SIMD=off rerun
+// in the same script exercises the scalar fallback of each kernel.
+
+#include <algorithm>
+#include <charconv>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/simd.h"
+#include "core/batch.h"
+#include "core/engine.h"
+#include "core/generators/generators.h"
+#include "core/output/formatter.h"
+#include "core/session.h"
+#include "util/rng.h"
+#include "util/simd_rng.h"
+#include "workloads/imdb.h"
+
+namespace pdgf {
+namespace {
+
+// Mix64(kMix64ZeroPreimage) == 0: the splitmix64 finalizer is a chain of
+// bijections each of which maps 0 to 0, so the unique preimage of 0 is
+// -golden mod 2^64. Reseeding from it hits the zero-state remap, the one
+// branch in the reseed step a random corpus essentially never reaches.
+constexpr uint64_t kMix64ZeroPreimage = 0x61c8864680b583ebULL;
+
+constexpr uint64_t kSentinel = 0xdeadbeefdeadbeefULL;
+
+// RAII: force a dispatch level for one scope, restore on exit so test
+// order never leaks a forced level into later suites.
+class ScopedSimdLevel {
+ public:
+  explicit ScopedSimdLevel(simd::SimdLevel level)
+      : previous_(simd::SetSimdLevelForTesting(level)) {}
+  ~ScopedSimdLevel() { simd::SetSimdLevelForTesting(previous_); }
+
+  ScopedSimdLevel(const ScopedSimdLevel&) = delete;
+  ScopedSimdLevel& operator=(const ScopedSimdLevel&) = delete;
+
+ private:
+  simd::SimdLevel previous_;
+};
+
+std::vector<simd::SimdLevel> SupportedLevels() {
+  std::vector<simd::SimdLevel> levels{simd::SimdLevel::kScalar};
+  for (simd::SimdLevel level :
+       {simd::SimdLevel::kAvx2, simd::SimdLevel::kNeon}) {
+    if (simd::SimdLevelSupported(level)) levels.push_back(level);
+  }
+  return levels;
+}
+
+// Adversarial seed/key corpus: edge words, the Mix64 zero preimage, and
+// a pseudo-random fill. 21 entries — enough for every ragged tail shape
+// against 4-wide (AVX2) and 2-wide (NEON) lanes.
+std::vector<uint64_t> SeedCorpus() {
+  std::vector<uint64_t> corpus = {0,
+                                  1,
+                                  2,
+                                  kMix64ZeroPreimage,
+                                  0x9e3779b97f4a7c15ULL,
+                                  ~0ULL,
+                                  1ULL << 63,
+                                  (1ULL << 63) - 1};
+  Xorshift64 rng(424242);
+  while (corpus.size() < 21) corpus.push_back(rng.Next());
+  return corpus;
+}
+
+uint64_t Bits(double d) {
+  uint64_t u;
+  std::memcpy(&u, &d, sizeof(u));
+  return u;
+}
+
+TEST(SimdKernelTest, DeriveSeedBatchMatchesScalar) {
+  const std::vector<uint64_t> keys = SeedCorpus();
+  for (uint64_t parent : {0ULL, 77ULL, 0xabcdef0123456789ULL}) {
+    for (simd::SimdLevel level : SupportedLevels()) {
+      ScopedSimdLevel scoped(level);
+      for (size_t n = 0; n <= keys.size(); ++n) {
+        std::vector<uint64_t> out(n + 1, kSentinel);
+        simd::DeriveSeedBatch(parent, keys.data(), n, out.data());
+        for (size_t i = 0; i < n; ++i) {
+          EXPECT_EQ(out[i], DeriveSeed(parent, keys[i]))
+              << "level=" << static_cast<int>(level) << " n=" << n
+              << " i=" << i;
+        }
+        EXPECT_EQ(out[n], kSentinel) << "kernel wrote past n=" << n;
+      }
+    }
+  }
+}
+
+TEST(SimdKernelTest, FirstDrawBatchMatchesScalar) {
+  const std::vector<uint64_t> seeds = SeedCorpus();
+  for (simd::SimdLevel level : SupportedLevels()) {
+    ScopedSimdLevel scoped(level);
+    for (size_t n = 0; n <= seeds.size(); ++n) {
+      std::vector<uint64_t> draws(n + 1, kSentinel);
+      simd::FirstDrawBatch(seeds.data(), n, draws.data());
+      for (size_t i = 0; i < n; ++i) {
+        Xorshift64 rng(seeds[i]);
+        EXPECT_EQ(draws[i], rng.Next())
+            << "level=" << static_cast<int>(level) << " n=" << n
+            << " seed=" << seeds[i];
+      }
+      EXPECT_EQ(draws[n], kSentinel);
+    }
+  }
+}
+
+TEST(SimdKernelTest, DrawPairBatchMatchesScalar) {
+  const std::vector<uint64_t> seeds = SeedCorpus();
+  for (simd::SimdLevel level : SupportedLevels()) {
+    ScopedSimdLevel scoped(level);
+    for (size_t n = 0; n <= seeds.size(); ++n) {
+      std::vector<uint64_t> first(n + 1, kSentinel);
+      std::vector<uint64_t> second(n + 1, kSentinel);
+      simd::DrawPairBatch(seeds.data(), n, first.data(), second.data());
+      for (size_t i = 0; i < n; ++i) {
+        Xorshift64 rng(seeds[i]);
+        EXPECT_EQ(first[i], rng.Next());
+        EXPECT_EQ(second[i], rng.Next());
+      }
+      EXPECT_EQ(first[n], kSentinel);
+      EXPECT_EQ(second[n], kSentinel);
+    }
+  }
+}
+
+TEST(SimdKernelTest, BoundedFromDrawsMatchesScalar) {
+  const std::vector<uint64_t> draws = SeedCorpus();
+  const uint64_t bounds[] = {1,       2,          3,
+                             50,      1000,       (1ULL << 31) + 1,
+                             1ULL << 53, ~0ULL};
+  for (uint64_t bound : bounds) {
+    for (simd::SimdLevel level : SupportedLevels()) {
+      ScopedSimdLevel scoped(level);
+      for (size_t n = 0; n <= draws.size(); ++n) {
+        std::vector<uint64_t> out(n + 1, kSentinel);
+        simd::BoundedFromDraws(draws.data(), bound, n, out.data());
+        for (size_t i = 0; i < n; ++i) {
+          unsigned __int128 product =
+              static_cast<unsigned __int128>(draws[i]) * bound;
+          EXPECT_EQ(out[i], static_cast<uint64_t>(product >> 64))
+              << "level=" << static_cast<int>(level) << " bound=" << bound;
+        }
+        EXPECT_EQ(out[n], kSentinel);
+      }
+    }
+  }
+}
+
+TEST(SimdKernelTest, UnitDoubleFromDrawsMatchesScalarBitExact) {
+  const std::vector<uint64_t> draws = SeedCorpus();
+  for (simd::SimdLevel level : SupportedLevels()) {
+    ScopedSimdLevel scoped(level);
+    for (size_t n = 0; n <= draws.size(); ++n) {
+      std::vector<double> out(n + 1, -1.0);
+      simd::UnitDoubleFromDraws(draws.data(), n, out.data());
+      for (size_t i = 0; i < n; ++i) {
+        const double expected =
+            static_cast<double>(draws[i] >> 11) * 0x1.0p-53;
+        EXPECT_EQ(Bits(out[i]), Bits(expected))
+            << "level=" << static_cast<int>(level) << " draw=" << draws[i];
+      }
+      EXPECT_EQ(out[n], -1.0);
+    }
+  }
+}
+
+TEST(SimdKernelTest, FirstDrawHitsZeroStateRemap) {
+  // The corpus covers it, but pin the remap explicitly: reseeding from
+  // the Mix64 zero preimage must produce the same stream as the scalar
+  // class, whose state was remapped to the golden-ratio constant.
+  Xorshift64 remapped(kMix64ZeroPreimage);
+  for (simd::SimdLevel level : SupportedLevels()) {
+    ScopedSimdLevel scoped(level);
+    uint64_t seed = kMix64ZeroPreimage;
+    uint64_t draw = kSentinel;
+    simd::FirstDrawBatch(&seed, 1, &draw);
+    Xorshift64 reference(kMix64ZeroPreimage);
+    EXPECT_EQ(draw, reference.Next())
+        << "level=" << static_cast<int>(level);
+  }
+  EXPECT_NE(remapped.state(), 0u);
+}
+
+// ---------------------------------------------------------------------
+// Formatting kernels.
+
+TEST(SimdFormatTest, Uint64TextMatchesToChars) {
+  std::vector<uint64_t> corpus = {0, 1, 5, 9, ~0ULL, ~0ULL - 1};
+  uint64_t pow10 = 1;
+  for (int k = 1; k <= 19; ++k) {
+    pow10 *= 10;
+    corpus.push_back(pow10 - 1);
+    corpus.push_back(pow10);
+    corpus.push_back(pow10 + 1);
+  }
+  Xorshift64 rng(7);
+  for (int i = 0; i < 2000; ++i) {
+    // Spread draws across all magnitudes, not just 20-digit values.
+    corpus.push_back(rng.Next() >> (rng.Next() % 64));
+  }
+  for (simd::SimdLevel level : SupportedLevels()) {
+    ScopedSimdLevel scoped(level);
+    for (uint64_t v : corpus) {
+      char expected[24];
+      auto res = std::to_chars(expected, expected + sizeof(expected), v);
+      char got[24];
+      size_t len = simd::FormatUint64Text(v, got);
+      ASSERT_EQ(len, static_cast<size_t>(res.ptr - expected))
+          << "level=" << static_cast<int>(level) << " v=" << v;
+      EXPECT_EQ(std::string_view(got, len),
+                std::string_view(expected, len))
+          << "level=" << static_cast<int>(level) << " v=" << v;
+    }
+  }
+}
+
+TEST(SimdFormatTest, Int64TextMatchesToChars) {
+  std::vector<int64_t> corpus = {0,
+                                 1,
+                                 -1,
+                                 INT64_MAX,
+                                 INT64_MIN,
+                                 INT64_MIN + 1,
+                                 INT64_MAX - 1};
+  int64_t pow10 = 1;
+  for (int k = 1; k <= 18; ++k) {
+    pow10 *= 10;
+    for (int64_t delta : {-1, 0, 1}) {
+      corpus.push_back(pow10 + delta);
+      corpus.push_back(-(pow10 + delta));
+    }
+  }
+  Xorshift64 rng(11);
+  for (int i = 0; i < 2000; ++i) {
+    corpus.push_back(static_cast<int64_t>(rng.Next() >> (rng.Next() % 64)) *
+                     ((i & 1) ? -1 : 1));
+  }
+  for (simd::SimdLevel level : SupportedLevels()) {
+    ScopedSimdLevel scoped(level);
+    for (int64_t v : corpus) {
+      char expected[24];
+      auto res = std::to_chars(expected, expected + sizeof(expected), v);
+      char got[24];
+      size_t len = simd::FormatInt64Text(v, got);
+      ASSERT_EQ(len, static_cast<size_t>(res.ptr - expected)) << "v=" << v;
+      EXPECT_EQ(std::string_view(got, len),
+                std::string_view(expected, len))
+          << "level=" << static_cast<int>(level) << " v=" << v;
+    }
+  }
+}
+
+TEST(SimdFormatTest, IsoDateTextMatchesPrintf) {
+  const int years[] = {0, 1, 9, 99, 100, 999, 1000, 1992, 2026, 9998, 9999};
+  const int months[] = {0, 1, 2, 9, 10, 12, 31, 99};
+  const int days[] = {0, 1, 9, 10, 28, 30, 31, 99};
+  for (simd::SimdLevel level : SupportedLevels()) {
+    ScopedSimdLevel scoped(level);
+    for (int y : years) {
+      for (int m : months) {
+        for (int d : days) {
+          char got[16];
+          std::memset(got, 0x7f, sizeof(got));
+          size_t len = simd::FormatIsoDateText(y, m, d, got);
+          if (len == 0) continue;  // fallback path; caller formats itself
+          ASSERT_EQ(len, 10u);
+          char expected[16];
+          std::snprintf(expected, sizeof(expected), "%04d-%02d-%02d", y, m,
+                        d);
+          EXPECT_EQ(std::string_view(got, 10), std::string_view(expected))
+              << "level=" << static_cast<int>(level) << " " << y << "-" << m
+              << "-" << d;
+          EXPECT_EQ(got[10], 0x7f) << "kernel wrote past 10 bytes";
+        }
+      }
+    }
+    // Outside the window the kernel must decline, never truncate.
+    char out[16];
+    EXPECT_EQ(simd::FormatIsoDateText(-1, 1, 1, out), 0u);
+    EXPECT_EQ(simd::FormatIsoDateText(10000, 1, 1, out), 0u);
+    EXPECT_EQ(simd::FormatIsoDateText(1992, 100, 1, out), 0u);
+    EXPECT_EQ(simd::FormatIsoDateText(1992, 1, -2, out), 0u);
+  }
+}
+
+TEST(SimdFormatTest, DispatchControls) {
+  // Forcing an unsupported level must degrade to scalar, and the
+  // reported dispatch name must track the active level.
+  ScopedSimdLevel restore(simd::ActiveSimdLevel());
+  simd::SetSimdLevelForTesting(simd::SimdLevel::kScalar);
+  EXPECT_EQ(std::string(simd::SimdDispatchName()), "scalar");
+#if defined(__x86_64__) || defined(_M_X64)
+  simd::SetSimdLevelForTesting(simd::SimdLevel::kNeon);
+  EXPECT_EQ(simd::ActiveSimdLevel(), simd::SimdLevel::kScalar);
+  if (simd::SimdLevelSupported(simd::SimdLevel::kAvx2)) {
+    simd::SetSimdLevelForTesting(simd::SimdLevel::kAvx2);
+    EXPECT_EQ(std::string(simd::SimdDispatchName()), "avx2");
+  }
+#endif
+}
+
+// ---------------------------------------------------------------------
+// Generator- and engine-level parity across dispatch levels.
+
+// Every vectorized generator, plus the degenerate ranges that must not
+// consume a draw: a single-value long range, the full int64 range (span
+// wraps to 0), and a one-day date window. 523 rows keeps every batch
+// size ragged.
+SchemaDef MakeSimdSchema() {
+  SchemaDef schema;
+  schema.name = "simd_parity";
+  schema.seed = 99;
+
+  TableDef table;
+  table.name = "t";
+  table.size_expression = "523";
+
+  auto add = [&table](const char* name, DataType type, Generator* g) {
+    FieldDef field;
+    field.name = name;
+    field.type = type;
+    field.generator = GeneratorPtr(g);
+    table.fields.push_back(std::move(field));
+  };
+
+  add("quantity", DataType::kBigInt, new LongGenerator(1, 50));
+  add("negative", DataType::kBigInt, new LongGenerator(-1000, -17));
+  add("single", DataType::kBigInt, new LongGenerator(5, 5));
+  add("fullrange", DataType::kBigInt,
+      new LongGenerator(INT64_MIN, INT64_MAX));
+  add("ratio", DataType::kDouble, new DoubleGenerator(0.0, 1.0, -1));
+  add("price", DataType::kDecimal, new DoubleGenerator(0.5, 999.75, 2));
+  add("shipped", DataType::kDate,
+      new DateGenerator(Date::FromCivil(1992, 1, 1),
+                        Date::FromCivil(1998, 12, 31)));
+  add("fixed_day", DataType::kDate,
+      new DateGenerator(Date::FromCivil(2000, 2, 29),
+                        Date::FromCivil(2000, 2, 29)));
+  add("styled", DataType::kVarchar,
+      new DateGenerator(Date::FromCivil(1995, 6, 1),
+                        Date::FromCivil(1995, 6, 30), "%d/%m/%Y"));
+  add("bucketed", DataType::kBigInt,
+      new HistogramGenerator(0.0, 1000.0, {1, 5, 2, 8, 4},
+                             HistogramGenerator::Output::kLong));
+  add("histo_dec", DataType::kDecimal,
+      new HistogramGenerator(-10.0, 10.0, {3, 1, 4, 1, 5, 9},
+                             HistogramGenerator::Output::kDecimal, 3));
+
+  schema.tables.push_back(std::move(table));
+  return schema;
+}
+
+SchemaDef MakeSimdUpdatableSchema() {
+  SchemaDef schema;
+  schema.name = "simd_updates";
+  schema.seed = 31;
+
+  TableDef table;
+  table.name = "accounts";
+  table.size_expression = "300";
+  table.updates_expression = "5";
+  table.update_fraction = 0.3;
+
+  FieldDef id;
+  id.name = "id";
+  id.type = DataType::kBigInt;
+  id.generator = GeneratorPtr(new IdGenerator(1, 1));
+  id.mutable_across_updates = false;
+  table.fields.push_back(std::move(id));
+
+  FieldDef balance;
+  balance.name = "balance";
+  balance.type = DataType::kBigInt;
+  balance.generator = GeneratorPtr(new LongGenerator(0, 1 << 30));
+  balance.mutable_across_updates = true;
+  table.fields.push_back(std::move(balance));
+
+  schema.tables.push_back(std::move(table));
+  return schema;
+}
+
+// Renders the whole table through GenerateBatch + CsvFormatter at the
+// given batch size under the active dispatch level.
+std::string RenderTable(const GenerationSession& session, uint64_t update,
+                        size_t batch_size) {
+  const TableDef& table = session.schema().tables[0];
+  const uint64_t table_rows = session.TableRows(0);
+  CsvFormatter csv;
+  RowBatch batch;
+  std::vector<uint64_t> rows;
+  std::vector<size_t> offsets;
+  std::string out;
+  for (uint64_t start = 0; start < table_rows;
+       start += static_cast<uint64_t>(batch_size)) {
+    uint64_t stop =
+        std::min(table_rows, start + static_cast<uint64_t>(batch_size));
+    rows.clear();
+    for (uint64_t r = start; r < stop; ++r) {
+      if (update > 0 && !session.RowChangesInUpdate(0, r, update)) continue;
+      rows.push_back(r);
+    }
+    if (rows.empty()) continue;
+    session.GenerateBatch(0, rows.data(), rows.size(), update, &batch);
+    csv.AppendBatch(table, batch, &out, &offsets);
+  }
+  return out;
+}
+
+TEST(SimdPipelineTest, GeneratorBatchesIdenticalAcrossLevels) {
+  SchemaDef schema = MakeSimdSchema();
+  auto session = GenerationSession::Create(&schema);
+  ASSERT_TRUE(session.ok()) << session.status().ToString();
+  // Lane-width boundary sizes (4-wide AVX2, 2-wide NEON) plus the
+  // singleton and ragged-prime shapes, plus the 256-row SIMD tile edge.
+  for (size_t batch_size : {1u, 2u, 3u, 4u, 5u, 7u, 8u, 255u, 256u, 257u,
+                            523u}) {
+    ScopedSimdLevel force_scalar(simd::SimdLevel::kScalar);
+    const std::string scalar = RenderTable(**session, 0, batch_size);
+    for (simd::SimdLevel level : SupportedLevels()) {
+      ScopedSimdLevel scoped(level);
+      EXPECT_EQ(RenderTable(**session, 0, batch_size), scalar)
+          << "level=" << static_cast<int>(level)
+          << " batch_size=" << batch_size;
+    }
+  }
+}
+
+TEST(SimdPipelineTest, UpdateLevelsIdenticalAcrossLevels) {
+  SchemaDef schema = MakeSimdUpdatableSchema();
+  auto session = GenerationSession::Create(&schema);
+  ASSERT_TRUE(session.ok()) << session.status().ToString();
+  const uint64_t updates = (*session)->TableUpdates(0);
+  ASSERT_GE(updates, 2u);
+  // Including the max update level: the varying-update seed path
+  // bypasses the batched derivation, so parity here proves the split
+  // between FillSeeds' fast and cold paths is taken consistently.
+  for (uint64_t update = 0; update <= updates; ++update) {
+    ScopedSimdLevel force_scalar(simd::SimdLevel::kScalar);
+    const std::string scalar = RenderTable(**session, update, 7);
+    for (simd::SimdLevel level : SupportedLevels()) {
+      ScopedSimdLevel scoped(level);
+      EXPECT_EQ(RenderTable(**session, update, 7), scalar)
+          << "level=" << static_cast<int>(level) << " update=" << update;
+    }
+  }
+}
+
+TEST(SimdPipelineTest, EngineDigestsIdenticalAcrossLevels) {
+  SchemaDef schema = MakeSimdSchema();
+  auto session = GenerationSession::Create(&schema);
+  ASSERT_TRUE(session.ok());
+  CsvFormatter formatter;
+
+  auto run = [&]() {
+    GenerationOptions options;
+    options.worker_count = 2;
+    options.work_package_rows = 100;
+    options.batch_rows = 33;
+    options.compute_digests = true;
+    options.metrics_enabled = true;
+    auto stats = GenerateToNull(**session, formatter, options);
+    EXPECT_TRUE(stats.ok()) << stats.status().ToString();
+    return *stats;
+  };
+
+  ScopedSimdLevel force_scalar(simd::SimdLevel::kScalar);
+  const GenerationEngine::Stats baseline = run();
+  EXPECT_EQ(baseline.metrics.simd_dispatch, "scalar");
+  for (simd::SimdLevel level : SupportedLevels()) {
+    ScopedSimdLevel scoped(level);
+    GenerationEngine::Stats stats = run();
+    EXPECT_EQ(stats.rows, baseline.rows);
+    EXPECT_EQ(stats.bytes, baseline.bytes);
+    EXPECT_EQ(stats.metrics.simd_dispatch, simd::SimdDispatchName());
+    ASSERT_EQ(stats.table_digests.size(), baseline.table_digests.size());
+    for (size_t t = 0; t < baseline.table_digests.size(); ++t) {
+      EXPECT_EQ(stats.table_digests[t].Hex(),
+                baseline.table_digests[t].Hex())
+          << "level=" << static_cast<int>(level) << " table=" << t;
+    }
+  }
+}
+
+TEST(SimdPipelineTest, BundledModelDigestsIdenticalAcrossLevels) {
+  // tpch at a tiny scale runs the reference/dictionary/expression
+  // generators too — everything the golden digests cover — so equality
+  // across levels extends the committed goldens to every dispatch mode.
+  auto schema = workloads::BuildBundledModel("tpch");
+  ASSERT_TRUE(schema.ok()) << schema.status().ToString();
+  std::map<std::string, std::string> overrides{{"SF", "0.002"}};
+  auto session = GenerationSession::Create(&*schema, overrides);
+  ASSERT_TRUE(session.ok()) << session.status().ToString();
+  CsvFormatter formatter;
+
+  auto run = [&]() {
+    GenerationOptions options;
+    options.worker_count = 2;
+    options.work_package_rows = 200;
+    options.batch_rows = 113;
+    options.compute_digests = true;
+    auto stats = GenerateToNull(**session, formatter, options);
+    EXPECT_TRUE(stats.ok()) << stats.status().ToString();
+    return *stats;
+  };
+
+  ScopedSimdLevel force_scalar(simd::SimdLevel::kScalar);
+  const GenerationEngine::Stats baseline = run();
+  for (simd::SimdLevel level : SupportedLevels()) {
+    ScopedSimdLevel scoped(level);
+    GenerationEngine::Stats stats = run();
+    ASSERT_EQ(stats.table_digests.size(), baseline.table_digests.size());
+    for (size_t t = 0; t < baseline.table_digests.size(); ++t) {
+      EXPECT_EQ(stats.table_digests[t].Hex(),
+                baseline.table_digests[t].Hex())
+          << "level=" << static_cast<int>(level) << " table=" << t;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pdgf

@@ -6,6 +6,9 @@
 // report plus process-level fd accounting.
 
 #include <dirent.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <unistd.h>
 
 #include <string>
 
@@ -97,8 +100,73 @@ TEST(ServeFailureTest, TruncatedRequestDropsConnectionNotDaemon) {
   ASSERT_TRUE(WaitFor([&] {
     return MetricsNumber(probe, "requests_malformed") >= 1;
   })) << "truncated request was never counted";
+  // The torn request is ALSO distinguishable from in-band garbage: the
+  // connection died with a partial line buffered.
+  ASSERT_TRUE(WaitFor([&] {
+    return MetricsNumber(probe, "requests_truncated") >= 1;
+  })) << "torn request not counted as truncated";
   EXPECT_EQ(MetricsNumber(probe, "jobs_accepted"), 0);
   ExpectFollowUpJobSucceeds(*server);
+}
+
+TEST(ServeFailureTest, IdleTimeoutMidRequestCountsTruncated) {
+  // The SO_RCVTIMEO idle drop with a partial request line buffered is a
+  // half-sent request; a silent connection timing out with NOTHING
+  // buffered is a clean idle close. The requests_truncated counter must
+  // separate the two.
+  ServeOptions options;
+  options.request_timeout_seconds = 1;
+  auto server = StartServer(options);
+  ASSERT_NE(server, nullptr);
+  ServeClient probe = MustConnect(*server);
+
+  // Never sends a byte: times out as a clean idle close.
+  ServeClient idle = MustConnect(*server);
+  // Sends half a request line, then goes silent: times out mid-request.
+  ServeClient torn = MustConnect(*server);
+  ASSERT_TRUE(pdgf::WriteAllToFd(torn.fd(), R"({"op":"pi)").ok());
+
+  ASSERT_TRUE(WaitFor([&] {
+    return MetricsNumber(probe, "requests_truncated") >= 1;
+  })) << "idle-dropped partial request was never counted";
+  // Both connections have timed out once truncated==1 is visible and
+  // active_connections has drained to the probe alone; the clean idle
+  // close must not have bumped the counter.
+  ASSERT_TRUE(WaitFor([&] {
+    return MetricsNumber(probe, "active_connections") <= 1;
+  }));
+  EXPECT_EQ(MetricsNumber(probe, "requests_truncated"), 1);
+  ExpectFollowUpJobSucceeds(*server);
+}
+
+TEST(ServeFailureTest, WriteAllToFdSurvivesDefaultSigpipeDisposition) {
+  // An embedding server must not depend on the CLI's process-wide
+  // signal(SIGPIPE, SIG_IGN): with the disposition at SIG_DFL, a write
+  // to a vanished peer must surface as IoError, not kill the process.
+  struct sigaction default_action {};
+  default_action.sa_handler = SIG_DFL;
+  struct sigaction old_action {};
+  ASSERT_EQ(sigaction(SIGPIPE, &default_action, &old_action), 0);
+
+  // Pipe with a dead reader: exercises the masked-write fallback.
+  int fds[2];
+  ASSERT_EQ(pipe(fds), 0);
+  ::close(fds[0]);
+  pdgf::Status pipe_status = pdgf::WriteAllToFd(fds[1], "doomed");
+  EXPECT_FALSE(pipe_status.ok());
+  EXPECT_NE(pipe_status.ToString().find("Broken pipe"), std::string::npos)
+      << pipe_status.ToString();
+  ::close(fds[1]);
+
+  // Socket with a dead peer: exercises the send(MSG_NOSIGNAL) path.
+  int sv[2];
+  ASSERT_EQ(socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+  ::close(sv[0]);
+  pdgf::Status socket_status = pdgf::WriteAllToFd(sv[1], "doomed");
+  EXPECT_FALSE(socket_status.ok());
+  ::close(sv[1]);
+
+  ASSERT_EQ(sigaction(SIGPIPE, &old_action, nullptr), 0);
 }
 
 TEST(ServeFailureTest, UnknownModelIsRejectedInBand) {

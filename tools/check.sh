@@ -37,6 +37,12 @@ if [[ "$RUN_TIER1" == 1 ]]; then
   run cmake --preset default
   run cmake --build --preset default -j "$(nproc)"
   run ctest --preset default --timeout "$CTEST_TIMEOUT"
+  echo "=== tier-1: SIMD parity suite again under DBSYNTHPP_SIMD=off ==="
+  # The full ctest pass above ran with native dispatch (AVX2/NEON where
+  # available); re-running the kernel/pipeline parity suites with the
+  # scalar fallback forced keeps that path from rotting.
+  run env DBSYNTHPP_SIMD=off ctest --preset default \
+    --timeout "$CTEST_TIMEOUT" -R "Simd|Batch|FormatRoundtrip"
   echo "=== tier-1: metrics overhead gate (fail if metrics-on costs >10%) ==="
   # Best-of-5 engine runs with metrics off vs. on at a tiny scale factor;
   # exits non-zero if the delta exceeds METRICS_GATE_PCT (default 10).

@@ -53,6 +53,24 @@ for _ in $(seq 1 100); do
   sleep 0.1
 done
 [[ -s "$PORT_FILE" ]] || { echo "serve_smoke: daemon never published a port" >&2; exit 1; }
+
+# The port file appearing only proves bind(); poll a ping until the
+# accept loop actually answers so the first real request cannot race
+# daemon startup.
+READY=0
+for _ in $(seq 1 50); do
+  if req --op ping 2>/dev/null | grep -q '"status":"ok"'; then
+    READY=1
+    break
+  fi
+  if ! kill -0 "$SERVE_PID" 2>/dev/null; then
+    echo "serve_smoke: daemon died before answering ping" >&2
+    cat "$SERVE_LOG" >&2
+    exit 1
+  fi
+  sleep 0.1
+done
+[[ "$READY" == 1 ]] || { echo "serve_smoke: daemon never answered ping" >&2; exit 1; }
 echo "serve_smoke: daemon up on port $(cat "$PORT_FILE")"
 
 JOB_OUT="$(req --model tpch --sf 0.001 --digests)"
