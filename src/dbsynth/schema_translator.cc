@@ -129,6 +129,44 @@ StatusOr<uint64_t> BulkLoadGeneratedData(
   return loaded;
 }
 
+StatusOr<uint64_t> FastLoadGeneratedData(
+    const pdgf::GenerationSession& session, minidb::Database* target) {
+  uint64_t loaded = 0;
+  const pdgf::SchemaDef& schema = session.schema();
+  for (size_t t = 0; t < schema.tables.size(); ++t) {
+    minidb::Table* table = target->GetTable(schema.tables[t].name);
+    if (table == nullptr) {
+      return pdgf::NotFoundError("target table '" + schema.tables[t].name +
+                                 "' does not exist");
+    }
+    const std::vector<minidb::ColumnDef>& columns = table->schema().columns;
+    uint64_t rows = session.TableRows(static_cast<int>(t));
+    table->Reserve(table->row_count() + rows);
+    PDGF_RETURN_IF_ERROR(table->BulkLoadBegin());
+    std::vector<pdgf::Value> generated;
+    for (uint64_t r = 0; r < rows; ++r) {
+      session.GenerateRow(static_cast<int>(t), r, 0, &generated);
+      if (generated.size() != columns.size()) {
+        return pdgf::InvalidArgumentError(
+            "generated row arity " + std::to_string(generated.size()) +
+            " != column count for table '" + schema.tables[t].name + "'");
+      }
+      // Coerce once here; the bulk path below skips re-validation.
+      minidb::Row coerced;
+      coerced.reserve(generated.size());
+      for (size_t c = 0; c < generated.size(); ++c) {
+        PDGF_ASSIGN_OR_RETURN(pdgf::Value value,
+                              minidb::CoerceValue(columns[c], generated[c]));
+        coerced.push_back(std::move(value));
+      }
+      PDGF_RETURN_IF_ERROR(table->BulkLoadAppend(std::move(coerced)));
+      ++loaded;
+    }
+    PDGF_RETURN_IF_ERROR(table->BulkLoadFinish());
+  }
+  return loaded;
+}
+
 StatusOr<uint64_t> SqlLoadGeneratedData(const pdgf::GenerationSession& session,
                                         minidb::Database* target,
                                         int batch_rows) {
@@ -186,16 +224,18 @@ StatusOr<uint64_t> ApplyUpdateStream(const pdgf::GenerationSession& session,
           "' is smaller than the base data; load it first");
     }
     std::vector<pdgf::Value> generated;
+    minidb::Row row;
     for (uint64_t r = 0; r < rows; ++r) {
       if (!session.RowChangesInUpdate(table_index, r, update)) continue;
       session.GenerateRow(table_index, r, update, &generated);
-      minidb::Row* row = table->MutableRow(static_cast<size_t>(r));
-      for (size_t c = 0;
-           c < row->size() && c < generated.size(); ++c) {
+      PDGF_RETURN_IF_ERROR(
+          table->ReadRow(static_cast<size_t>(r), &row));
+      for (size_t c = 0; c < row.size() && c < generated.size(); ++c) {
         PDGF_ASSIGN_OR_RETURN(
-            (*row)[c],
+            row[c],
             minidb::CoerceValue(table->schema().columns[c], generated[c]));
       }
+      PDGF_RETURN_IF_ERROR(table->WriteRow(static_cast<size_t>(r), row));
       ++rewritten;
     }
   }

@@ -1,8 +1,30 @@
 #include "minidb/database.h"
 
+#include "util/files.h"
 #include "util/strings.h"
 
 namespace minidb {
+
+pdgf::StatusOr<EngineKind> ParseEngineKind(std::string_view text) {
+  if (text == "heap") return EngineKind::kHeap;
+  if (text == "paged") return EngineKind::kPaged;
+  return pdgf::InvalidArgumentError("unknown engine '" + std::string(text) +
+                                    "' (expected heap or paged)");
+}
+
+const char* EngineKindName(EngineKind kind) {
+  switch (kind) {
+    case EngineKind::kHeap:
+      return "heap";
+    case EngineKind::kPaged:
+      return "paged";
+  }
+  return "unknown";
+}
+
+std::string Database::TableBasePath(const std::string& name) const {
+  return pdgf::JoinPath(config_.data_dir, pdgf::AsciiLower(name));
+}
 
 pdgf::Status Database::CreateTable(TableSchema schema) {
   if (schema.name.empty()) {
@@ -29,6 +51,21 @@ pdgf::Status Database::CreateTable(TableSchema schema) {
                                  "' does not exist");
     }
   }
+  if (config_.kind == EngineKind::kPaged) {
+    if (config_.data_dir.empty()) {
+      return pdgf::InvalidArgumentError(
+          "the paged engine needs a data directory");
+    }
+    PDGF_RETURN_IF_ERROR(pdgf::MakeDirectories(config_.data_dir));
+    int pk_column = Table::IndexableKeyColumn(schema);
+    PDGF_ASSIGN_OR_RETURN(
+        std::unique_ptr<storage::PagedEngine> engine,
+        storage::PagedEngine::Open(TableBasePath(schema.name), pk_column,
+                                   config_.storage));
+    tables_.push_back(
+        std::make_unique<Table>(std::move(schema), std::move(engine)));
+    return pdgf::Status::Ok();
+  }
   tables_.push_back(std::make_unique<Table>(std::move(schema)));
   return pdgf::Status::Ok();
 }
@@ -36,7 +73,13 @@ pdgf::Status Database::CreateTable(TableSchema schema) {
 pdgf::Status Database::DropTable(const std::string& name) {
   for (size_t i = 0; i < tables_.size(); ++i) {
     if (pdgf::EqualsIgnoreCase(tables_[i]->name(), name)) {
+      std::string base = TableBasePath(tables_[i]->name());
       tables_.erase(tables_.begin() + static_cast<long>(i));
+      if (config_.kind == EngineKind::kPaged) {
+        // The engine (and its fds) died with the table; remove the files.
+        (void)pdgf::RemoveFile(base + ".pages");
+        (void)pdgf::RemoveFile(base + ".wal");
+      }
       return pdgf::Status::Ok();
     }
   }
@@ -64,6 +107,13 @@ std::vector<std::string> Database::TableNames() const {
     names.push_back(table->name());
   }
   return names;
+}
+
+pdgf::Status Database::CheckpointAll() {
+  for (const auto& table : tables_) {
+    PDGF_RETURN_IF_ERROR(table->Checkpoint());
+  }
+  return pdgf::Status::Ok();
 }
 
 }  // namespace minidb

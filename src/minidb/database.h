@@ -7,29 +7,56 @@
 #include <vector>
 
 #include "common/status.h"
+#include "minidb/storage/paged_engine.h"
 #include "minidb/table.h"
 
 namespace minidb {
 
-// An embedded, in-memory relational database. Stands in for the JDBC-
-// reachable PostgreSQL/MySQL instances of the paper (DESIGN.md
-// substitution S11): it exposes exactly the surface DBSynth profiles —
-// catalog metadata with PK/FK constraints, scans for sampling, and a SQL
-// subset for DDL/DML/verification queries.
+// Which row-storage engine Database wires into new tables.
+enum class EngineKind {
+  kHeap,   // in-memory std::vector rows (the default)
+  kPaged,  // 4 KiB slotted pages + WAL + B+ tree PK index, on disk
+};
+
+// Strict parse of an --engine flag value ("heap" | "paged").
+pdgf::StatusOr<EngineKind> ParseEngineKind(std::string_view text);
+const char* EngineKindName(EngineKind kind);
+
+struct EngineConfig {
+  EngineKind kind = EngineKind::kHeap;
+  // Directory holding per-table .pages/.wal files (paged only; created
+  // on demand).
+  std::string data_dir;
+  storage::StorageOptions storage;
+};
+
+// An embedded relational database. Stands in for the JDBC-reachable
+// PostgreSQL/MySQL instances of the paper (DESIGN.md substitution S11):
+// it exposes exactly the surface DBSynth profiles — catalog metadata
+// with PK/FK constraints, scans for sampling, and a SQL subset for
+// DDL/DML/verification queries. Row storage is pluggable per
+// EngineConfig: fully in-memory, or durable slotted pages behind a
+// buffer pool with WAL crash recovery.
 //
 // Not thread-safe; callers serialize access (DBSynth and the examples
 // use a single connection).
 class Database {
  public:
   Database() = default;
+  explicit Database(EngineConfig config) : config_(std::move(config)) {}
 
   Database(const Database&) = delete;
   Database& operator=(const Database&) = delete;
   Database(Database&&) = default;
   Database& operator=(Database&&) = default;
 
+  const EngineConfig& config() const { return config_; }
+
   // Creates a table; fails on duplicates or FK targets that don't exist.
+  // With the paged engine this opens (and, when files already exist,
+  // recovers) the table's on-disk state.
   pdgf::Status CreateTable(TableSchema schema);
+  // Drops the table; a paged table's data files are deleted too.
   pdgf::Status DropTable(const std::string& name);
 
   // nullptr when absent (name match is case-insensitive).
@@ -40,7 +67,14 @@ class Database {
   std::vector<std::string> TableNames() const;
   size_t table_count() const { return tables_.size(); }
 
+  // Checkpoints every table (durable engines flush; heap is a no-op).
+  pdgf::Status CheckpointAll();
+
  private:
+  // <data_dir>/<lowercased name> — the base for .pages/.wal files.
+  std::string TableBasePath(const std::string& name) const;
+
+  EngineConfig config_;
   // Creation-ordered list; lookups scan (table counts are small).
   std::vector<std::unique_ptr<Table>> tables_;
 };

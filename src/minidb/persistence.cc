@@ -74,10 +74,16 @@ pdgf::Status SaveDatabase(const Database& database,
 
 pdgf::StatusOr<Database> LoadDatabase(const std::string& directory,
                                       const CsvOptions& options) {
+  return LoadDatabase(directory, options, EngineConfig{});
+}
+
+pdgf::StatusOr<Database> LoadDatabase(const std::string& directory,
+                                      const CsvOptions& options,
+                                      EngineConfig engine) {
   PDGF_ASSIGN_OR_RETURN(
       std::string ddl,
       pdgf::ReadFileToString(pdgf::JoinPath(directory, "schema.sql")));
-  Database database;
+  Database database(std::move(engine));
   {
     auto created = ExecuteSqlScript(&database, ddl);
     if (!created.ok()) return created.status();

@@ -33,6 +33,14 @@ pdgf::StatusOr<Database> LoadDatabase(
     const std::string& directory,
     const CsvOptions& options = PersistenceCsvOptions());
 
+// Same, but the loaded tables are backed by `engine` (e.g. the paged
+// engine with a data directory). An engine data dir that already holds
+// table files recovers those rows first; CSV data then appends, so pair
+// a fresh data dir with a CSV load.
+pdgf::StatusOr<Database> LoadDatabase(const std::string& directory,
+                                      const CsvOptions& options,
+                                      EngineConfig engine);
+
 }  // namespace minidb
 
 #endif  // DBSYNTHPP_MINIDB_PERSISTENCE_H_

@@ -16,6 +16,26 @@ using pdgf::Value;
 
 namespace {
 
+// Feeds pre-materialized rows (index point-lookup hits) through the
+// SELECT pipeline.
+class VectorRowSource final : public RowSource {
+ public:
+  VectorRowSource(const TableSchema* schema, const std::vector<Row>* rows)
+      : schema_(schema), rows_(rows) {}
+
+  const TableSchema& schema() const override { return *schema_; }
+  void Scan(
+      const std::function<bool(const Row&)>& visitor) const override {
+    for (const Row& row : *rows_) {
+      if (!visitor(row)) return;
+    }
+  }
+
+ private:
+  const TableSchema* schema_;
+  const std::vector<Row>* rows_;
+};
+
 // Evaluates one condition against a row; `index` is the pre-resolved
 // column position of condition.column.
 StatusOr<bool> EvalCondition(const TableSchema& schema, const Row& row,
@@ -500,19 +520,23 @@ pdgf::StatusOr<ResultSet> ExecuteStatement(Database* database,
                                    "' in WHERE");
       }
     }
+    // Read-modify-write per ordinal: works identically for the heap and
+    // the paged engine (which may relocate a grown record — the row
+    // keeps its ordinal, so scan order is unchanged).
+    Row current;
     for (size_t r = 0; r < table->row_count(); ++r) {
+      PDGF_RETURN_IF_ERROR(table->ReadRow(r, &current));
       bool matches = true;
       for (size_t ci = 0; ci < update->conditions.size() && matches; ++ci) {
         PDGF_ASSIGN_OR_RETURN(
-            matches, EvalCondition(schema, table->row(r),
-                                   update->conditions[ci],
+            matches, EvalCondition(schema, current, update->conditions[ci],
                                    condition_columns[ci]));
       }
       if (!matches) continue;
-      Row* row = table->MutableRow(r);
       for (size_t i = 0; i < set_columns.size(); ++i) {
-        (*row)[static_cast<size_t>(set_columns[i])] = set_values[i];
+        current[static_cast<size_t>(set_columns[i])] = set_values[i];
       }
+      PDGF_RETURN_IF_ERROR(table->WriteRow(r, current));
       ++result.affected_rows;
     }
     return result;
@@ -534,17 +558,18 @@ pdgf::StatusOr<ResultSet> ExecuteStatement(Database* database,
       }
     }
     std::vector<size_t> doomed;
+    Row current;
     for (size_t r = 0; r < table->row_count(); ++r) {
+      PDGF_RETURN_IF_ERROR(table->ReadRow(r, &current));
       bool matches = true;
       for (size_t ci = 0; ci < erase->conditions.size() && matches; ++ci) {
         PDGF_ASSIGN_OR_RETURN(
-            matches, EvalCondition(schema, table->row(r),
-                                   erase->conditions[ci],
+            matches, EvalCondition(schema, current, erase->conditions[ci],
                                    condition_columns[ci]));
       }
       if (matches) doomed.push_back(r);
     }
-    table->EraseRows(doomed);
+    PDGF_RETURN_IF_ERROR(table->EraseRows(doomed));
     result.affected_rows = doomed.size();
     return result;
   }
@@ -553,6 +578,34 @@ pdgf::StatusOr<ResultSet> ExecuteStatement(Database* database,
     if (table == nullptr) {
       return pdgf::NotFoundError("table '" + select->table +
                                  "' does not exist");
+    }
+    // Point-lookup fast path: an equality condition on an indexed
+    // primary key resolves through the B+ tree instead of a full scan.
+    // The matched rows still run through the normal SELECT pipeline
+    // (projection, remaining conditions, aggregates), so semantics are
+    // unchanged; with more than one index hit (duplicate keys are legal
+    // in the tree) we fall back to the scan to keep row order exact.
+    if (table->HasPkIndex()) {
+      int pk_column = Table::IndexableKeyColumn(table->schema());
+      for (const Condition& condition : select->conditions) {
+        if (condition.op != Condition::Op::kEq) continue;
+        if (table->schema().FindColumn(condition.column) != pk_column) {
+          continue;
+        }
+        StatusOr<Value> literal = CoerceValue(
+            table->schema().columns[static_cast<size_t>(pk_column)],
+            condition.operand);
+        int64_t key;
+        if (!literal.ok() ||
+            !storage::ExtractIndexKey(*literal, &key)) {
+          break;
+        }
+        std::vector<Row> matches;
+        PDGF_RETURN_IF_ERROR(table->PkLookup(key, &matches));
+        if (matches.size() > 1) break;
+        VectorRowSource source(&table->schema(), &matches);
+        return ExecuteSelectImpl(source, *select);
+      }
     }
     TableRowSource source(table);
     return ExecuteSelectImpl(source, *select);

@@ -1,0 +1,455 @@
+#include "minidb/storage/btree.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace minidb {
+namespace storage {
+
+namespace {
+
+constexpr uint8_t kLeafNode = 1;
+constexpr uint8_t kInternalNode = 2;
+constexpr size_t kNodeHeader = 16;
+constexpr size_t kLeafEntrySize = 14;      // i64 key + u32 page + u16 slot
+constexpr size_t kInternalEntrySize = 12;  // i64 key + u32 child
+constexpr size_t kLeafCapacity = (kPageSize - kNodeHeader) / kLeafEntrySize;
+constexpr size_t kInternalCapacity =
+    (kPageSize - kNodeHeader) / kInternalEntrySize;
+
+template <typename T>
+T ReadAt(const char* page, size_t offset) {
+  T v;
+  std::memcpy(&v, page + offset, sizeof(T));
+  return v;
+}
+
+template <typename T>
+void WriteAt(char* page, size_t offset, T v) {
+  std::memcpy(page + offset, &v, sizeof(T));
+}
+
+uint8_t NodeType(const char* page) { return ReadAt<uint8_t>(page, 0); }
+uint16_t NodeCount(const char* page) { return ReadAt<uint16_t>(page, 2); }
+void SetNodeCount(char* page, uint16_t count) { WriteAt(page, 2, count); }
+
+PageId NextLeaf(const char* page) { return ReadAt<PageId>(page, 4); }
+void SetNextLeaf(char* page, PageId next) { WriteAt(page, 4, next); }
+
+size_t LeafOffset(size_t i) { return kNodeHeader + i * kLeafEntrySize; }
+int64_t LeafKey(const char* page, size_t i) {
+  return ReadAt<int64_t>(page, LeafOffset(i));
+}
+Rid LeafRid(const char* page, size_t i) {
+  return Rid{ReadAt<PageId>(page, LeafOffset(i) + 8),
+             ReadAt<uint16_t>(page, LeafOffset(i) + 12)};
+}
+void SetLeafEntry(char* page, size_t i, int64_t key, Rid rid) {
+  WriteAt(page, LeafOffset(i), key);
+  WriteAt(page, LeafOffset(i) + 8, rid.page);
+  WriteAt(page, LeafOffset(i) + 12, rid.slot);
+}
+
+size_t InternalOffset(size_t i) {
+  return kNodeHeader + i * kInternalEntrySize;
+}
+int64_t InternalKey(const char* page, size_t i) {
+  return ReadAt<int64_t>(page, InternalOffset(i));
+}
+// Child i sits left of key i; child 0 lives in the header.
+PageId InternalChild(const char* page, size_t i) {
+  if (i == 0) return ReadAt<PageId>(page, 4);
+  return ReadAt<PageId>(page, InternalOffset(i - 1) + 8);
+}
+void SetInternalEntry(char* page, size_t i, int64_t key, PageId child) {
+  WriteAt(page, InternalOffset(i), key);
+  WriteAt(page, InternalOffset(i) + 8, child);
+}
+void SetLeftmostChild(char* page, PageId child) { WriteAt(page, 4, child); }
+
+// First index in the leaf with key >= `key`.
+size_t LeafLowerBound(const char* page, int64_t key) {
+  size_t lo = 0, hi = NodeCount(page);
+  while (lo < hi) {
+    size_t mid = (lo + hi) / 2;
+    if (LeafKey(page, mid) < key) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+// First index in the leaf with key > `key`.
+size_t LeafUpperBound(const char* page, int64_t key) {
+  size_t lo = 0, hi = NodeCount(page);
+  while (lo < hi) {
+    size_t mid = (lo + hi) / 2;
+    if (LeafKey(page, mid) <= key) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+// Child to descend into for the FIRST occurrence of `key`: the leftmost
+// subtree whose key range may contain it.
+size_t RouteLower(const char* page, int64_t key) {
+  size_t count = NodeCount(page);
+  size_t lo = 0, hi = count;
+  while (lo < hi) {
+    size_t mid = (lo + hi) / 2;
+    if (InternalKey(page, mid) < key) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;  // child index == first key index with k >= key
+}
+
+// Child to descend into for inserting `key` after any existing run.
+size_t RouteUpper(const char* page, int64_t key) {
+  size_t count = NodeCount(page);
+  size_t lo = 0, hi = count;
+  while (lo < hi) {
+    size_t mid = (lo + hi) / 2;
+    if (InternalKey(page, mid) <= key) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+void InitLeaf(char* page) {
+  std::memset(page, 0, kPageSize);
+  WriteAt<uint8_t>(page, 0, kLeafNode);
+  SetNextLeaf(page, kInvalidPage);
+}
+
+void InitInternal(char* page, PageId leftmost_child) {
+  std::memset(page, 0, kPageSize);
+  WriteAt<uint8_t>(page, 0, kInternalNode);
+  SetLeftmostChild(page, leftmost_child);
+}
+
+}  // namespace
+
+BTree::BTree(BufferPool* pool, PageAllocator* allocator, PageId root)
+    : pool_(pool), allocator_(allocator), root_(root) {}
+
+pdgf::StatusOr<PageId> BTree::NewLeaf() {
+  PDGF_ASSIGN_OR_RETURN(PageId id, allocator_->AllocatePage());
+  PDGF_ASSIGN_OR_RETURN(PageRef ref, pool_->Create(id));
+  InitLeaf(ref.data());
+  ref.MarkDirty();
+  return id;
+}
+
+pdgf::StatusOr<PageId> BTree::NewInternal(PageId leftmost_child) {
+  PDGF_ASSIGN_OR_RETURN(PageId id, allocator_->AllocatePage());
+  PDGF_ASSIGN_OR_RETURN(PageRef ref, pool_->Create(id));
+  InitInternal(ref.data(), leftmost_child);
+  ref.MarkDirty();
+  return id;
+}
+
+pdgf::StatusOr<PageId> BTree::DescendToLeaf(int64_t key) const {
+  PageId current = root_;
+  while (true) {
+    PDGF_ASSIGN_OR_RETURN(PageRef ref, pool_->Fetch(current));
+    if (NodeType(ref.data()) == kLeafNode) return current;
+    current = InternalChild(ref.data(), RouteLower(ref.data(), key));
+  }
+}
+
+pdgf::Status BTree::Insert(int64_t key, Rid rid) {
+  if (root_ == kInvalidPage) {
+    PDGF_ASSIGN_OR_RETURN(root_, NewLeaf());
+  }
+  // Descend with the insert (upper-bound) routing, remembering the path.
+  struct PathStep {
+    PageId page;
+    size_t child_index;
+  };
+  std::vector<PathStep> path;
+  PageId current = root_;
+  while (true) {
+    PDGF_ASSIGN_OR_RETURN(PageRef ref, pool_->Fetch(current));
+    if (NodeType(ref.data()) == kLeafNode) break;
+    size_t child = RouteUpper(ref.data(), key);
+    path.push_back({current, child});
+    current = InternalChild(ref.data(), child);
+  }
+
+  // Insert into the leaf, splitting if full.
+  int64_t promoted_key = 0;
+  PageId promoted_child = kInvalidPage;
+  {
+    PDGF_ASSIGN_OR_RETURN(PageRef leaf, pool_->Fetch(current));
+    char* page = leaf.data();
+    size_t count = NodeCount(page);
+    size_t pos = LeafUpperBound(page, key);
+    if (count < kLeafCapacity) {
+      std::memmove(page + LeafOffset(pos + 1), page + LeafOffset(pos),
+                   (count - pos) * kLeafEntrySize);
+      SetLeafEntry(page, pos, key, rid);
+      SetNodeCount(page, static_cast<uint16_t>(count + 1));
+      leaf.MarkDirty();
+      return pdgf::Status::Ok();
+    }
+    // Split: left keeps the first half, right takes the rest.
+    PDGF_ASSIGN_OR_RETURN(PageId right_id, NewLeaf());
+    PDGF_ASSIGN_OR_RETURN(PageRef right, pool_->Fetch(right_id));
+    char* right_page = right.data();
+    size_t split = count / 2;
+    size_t moved = count - split;
+    std::memcpy(right_page + LeafOffset(0), page + LeafOffset(split),
+                moved * kLeafEntrySize);
+    SetNodeCount(right_page, static_cast<uint16_t>(moved));
+    SetNextLeaf(right_page, NextLeaf(page));
+    SetNodeCount(page, static_cast<uint16_t>(split));
+    SetNextLeaf(page, right_id);
+    // Insert into whichever half owns the position.
+    if (pos <= split) {
+      size_t left_count = split;
+      std::memmove(page + LeafOffset(pos + 1), page + LeafOffset(pos),
+                   (left_count - pos) * kLeafEntrySize);
+      SetLeafEntry(page, pos, key, rid);
+      SetNodeCount(page, static_cast<uint16_t>(left_count + 1));
+    } else {
+      size_t rpos = pos - split;
+      std::memmove(right_page + LeafOffset(rpos + 1),
+                   right_page + LeafOffset(rpos),
+                   (moved - rpos) * kLeafEntrySize);
+      SetLeafEntry(right_page, rpos, key, rid);
+      SetNodeCount(right_page, static_cast<uint16_t>(moved + 1));
+    }
+    leaf.MarkDirty();
+    right.MarkDirty();
+    promoted_key = LeafKey(right_page, 0);
+    promoted_child = right_id;
+  }
+
+  // Bubble the split up the recorded path.
+  while (promoted_child != kInvalidPage) {
+    if (path.empty()) {
+      PDGF_ASSIGN_OR_RETURN(PageId new_root, NewInternal(root_));
+      PDGF_ASSIGN_OR_RETURN(PageRef ref, pool_->Fetch(new_root));
+      SetInternalEntry(ref.data(), 0, promoted_key, promoted_child);
+      SetNodeCount(ref.data(), 1);
+      ref.MarkDirty();
+      root_ = new_root;
+      return pdgf::Status::Ok();
+    }
+    PathStep step = path.back();
+    path.pop_back();
+    PDGF_ASSIGN_OR_RETURN(PageRef ref, pool_->Fetch(step.page));
+    char* page = ref.data();
+    size_t count = NodeCount(page);
+    size_t pos = step.child_index;  // new key lands right of this child
+    if (count < kInternalCapacity) {
+      std::memmove(page + InternalOffset(pos + 1),
+                   page + InternalOffset(pos),
+                   (count - pos) * kInternalEntrySize);
+      SetInternalEntry(page, pos, promoted_key, promoted_child);
+      SetNodeCount(page, static_cast<uint16_t>(count + 1));
+      ref.MarkDirty();
+      return pdgf::Status::Ok();
+    }
+    // Split the internal node: the middle key moves up, it does not stay.
+    PDGF_ASSIGN_OR_RETURN(PageId right_id,
+                          NewInternal(/*leftmost_child=*/kInvalidPage));
+    PDGF_ASSIGN_OR_RETURN(PageRef right, pool_->Fetch(right_id));
+    char* right_page = right.data();
+    // Materialize keys/children with the pending entry applied, then
+    // redistribute. count+1 keys, count+2 children.
+    std::vector<int64_t> keys;
+    std::vector<PageId> children;
+    keys.reserve(count + 1);
+    children.reserve(count + 2);
+    children.push_back(InternalChild(page, 0));
+    for (size_t i = 0; i < count; ++i) {
+      keys.push_back(InternalKey(page, i));
+      children.push_back(InternalChild(page, i + 1));
+    }
+    keys.insert(keys.begin() + static_cast<ptrdiff_t>(pos), promoted_key);
+    children.insert(children.begin() + static_cast<ptrdiff_t>(pos) + 1,
+                    promoted_child);
+    size_t mid = keys.size() / 2;
+    int64_t up_key = keys[mid];
+    // Left: keys[0..mid), children[0..mid]; right: keys(mid..), the rest.
+    SetLeftmostChild(page, children[0]);
+    for (size_t i = 0; i < mid; ++i) {
+      SetInternalEntry(page, i, keys[i], children[i + 1]);
+    }
+    SetNodeCount(page, static_cast<uint16_t>(mid));
+    SetLeftmostChild(right_page, children[mid + 1]);
+    size_t right_count = keys.size() - mid - 1;
+    for (size_t i = 0; i < right_count; ++i) {
+      SetInternalEntry(right_page, i, keys[mid + 1 + i],
+                       children[mid + 2 + i]);
+    }
+    SetNodeCount(right_page, static_cast<uint16_t>(right_count));
+    ref.MarkDirty();
+    right.MarkDirty();
+    promoted_key = up_key;
+    promoted_child = right_id;
+  }
+  return pdgf::Status::Ok();
+}
+
+pdgf::StatusOr<bool> BTree::Delete(int64_t key, Rid rid) {
+  if (root_ == kInvalidPage) return false;
+  PDGF_ASSIGN_OR_RETURN(PageId leaf_id, DescendToLeaf(key));
+  while (leaf_id != kInvalidPage) {
+    PDGF_ASSIGN_OR_RETURN(PageRef leaf, pool_->Fetch(leaf_id));
+    char* page = leaf.data();
+    size_t count = NodeCount(page);
+    size_t pos = LeafLowerBound(page, key);
+    for (; pos < count; ++pos) {
+      if (LeafKey(page, pos) != key) return false;
+      if (LeafRid(page, pos) == rid) {
+        std::memmove(page + LeafOffset(pos), page + LeafOffset(pos + 1),
+                     (count - pos - 1) * kLeafEntrySize);
+        SetNodeCount(page, static_cast<uint16_t>(count - 1));
+        leaf.MarkDirty();
+        return true;
+      }
+    }
+    leaf_id = NextLeaf(page);  // run may continue in the next leaf
+  }
+  return false;
+}
+
+pdgf::StatusOr<std::vector<Rid>> BTree::Lookup(int64_t key) const {
+  std::vector<Rid> rids;
+  if (root_ == kInvalidPage) return rids;
+  PDGF_ASSIGN_OR_RETURN(PageId leaf_id, DescendToLeaf(key));
+  while (leaf_id != kInvalidPage) {
+    PDGF_ASSIGN_OR_RETURN(PageRef leaf, pool_->Fetch(leaf_id));
+    const char* page = leaf.data();
+    size_t count = NodeCount(page);
+    size_t pos = LeafLowerBound(page, key);
+    for (; pos < count; ++pos) {
+      if (LeafKey(page, pos) != key) return rids;
+      rids.push_back(LeafRid(page, pos));
+    }
+    leaf_id = NextLeaf(page);
+  }
+  return rids;
+}
+
+BTree::Iterator::Iterator(BufferPool* pool, PageId leaf, size_t pos,
+                          int64_t high_key)
+    : pool_(pool), pos_(pos), high_key_(high_key) {
+  status_ = LoadLeaf(leaf);
+}
+
+pdgf::Status BTree::Iterator::LoadLeaf(PageId leaf) {
+  current_.clear();
+  next_leaf_ = kInvalidPage;
+  if (leaf == kInvalidPage) return pdgf::Status::Ok();
+  PDGF_ASSIGN_OR_RETURN(PageRef ref, pool_->Fetch(leaf));
+  const char* page = ref.data();
+  size_t count = NodeCount(page);
+  current_.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    current_.push_back({LeafKey(page, i), LeafRid(page, i)});
+  }
+  next_leaf_ = NextLeaf(page);
+  return pdgf::Status::Ok();
+}
+
+bool BTree::Iterator::Next(BTreeEntry* out) {
+  while (status_.ok()) {
+    if (pos_ < current_.size()) {
+      if (current_[pos_].key > high_key_) return false;
+      *out = current_[pos_++];
+      return true;
+    }
+    if (next_leaf_ == kInvalidPage) return false;
+    status_ = LoadLeaf(next_leaf_);
+    pos_ = 0;
+  }
+  return false;
+}
+
+pdgf::StatusOr<BTree::Iterator> BTree::Seek(int64_t low_key,
+                                            int64_t high_key) const {
+  if (root_ == kInvalidPage) {
+    return Iterator(pool_, kInvalidPage, 0, high_key);
+  }
+  PDGF_ASSIGN_OR_RETURN(PageId leaf_id, DescendToLeaf(low_key));
+  PDGF_ASSIGN_OR_RETURN(PageRef leaf, pool_->Fetch(leaf_id));
+  size_t pos = LeafLowerBound(leaf.data(), low_key);
+  leaf.Release();
+  Iterator it(pool_, leaf_id, pos, high_key);
+  if (!it.status().ok()) return it.status();
+  return it;
+}
+
+pdgf::Status BTree::BulkBuild(const std::vector<BTreeEntry>& entries) {
+  root_ = kInvalidPage;
+  if (entries.empty()) return pdgf::Status::Ok();
+
+  struct LevelEntry {
+    int64_t min_key;
+    PageId page;
+  };
+  std::vector<LevelEntry> level;
+
+  // Fill leaves sequentially and chain them.
+  PageId prev_leaf = kInvalidPage;
+  for (size_t start = 0; start < entries.size(); start += kLeafCapacity) {
+    size_t count = std::min(kLeafCapacity, entries.size() - start);
+    PDGF_ASSIGN_OR_RETURN(PageId leaf_id, NewLeaf());
+    PDGF_ASSIGN_OR_RETURN(PageRef leaf, pool_->Fetch(leaf_id));
+    char* page = leaf.data();
+    for (size_t i = 0; i < count; ++i) {
+      const BTreeEntry& e = entries[start + i];
+      SetLeafEntry(page, i, e.key, e.rid);
+    }
+    SetNodeCount(page, static_cast<uint16_t>(count));
+    leaf.MarkDirty();
+    if (prev_leaf != kInvalidPage) {
+      PDGF_ASSIGN_OR_RETURN(PageRef prev, pool_->Fetch(prev_leaf));
+      SetNextLeaf(prev.data(), leaf_id);
+      prev.MarkDirty();
+    }
+    prev_leaf = leaf_id;
+    level.push_back({entries[start].key, leaf_id});
+  }
+
+  // Build internal levels until one node remains.
+  while (level.size() > 1) {
+    std::vector<LevelEntry> parents;
+    // A parent holds up to kInternalCapacity keys = capacity+1 children.
+    const size_t fanout = kInternalCapacity + 1;
+    for (size_t start = 0; start < level.size(); start += fanout) {
+      size_t group = std::min(fanout, level.size() - start);
+      PDGF_ASSIGN_OR_RETURN(PageId node_id,
+                            NewInternal(level[start].page));
+      PDGF_ASSIGN_OR_RETURN(PageRef node, pool_->Fetch(node_id));
+      char* page = node.data();
+      for (size_t i = 1; i < group; ++i) {
+        SetInternalEntry(page, i - 1, level[start + i].min_key,
+                         level[start + i].page);
+      }
+      SetNodeCount(page, static_cast<uint16_t>(group - 1));
+      node.MarkDirty();
+      parents.push_back({level[start].min_key, node_id});
+    }
+    level = std::move(parents);
+  }
+  root_ = level.front().page;
+  return pdgf::Status::Ok();
+}
+
+}  // namespace storage
+}  // namespace minidb

@@ -1,0 +1,99 @@
+#ifndef DBSYNTHPP_MINIDB_STORAGE_BTREE_H_
+#define DBSYNTHPP_MINIDB_STORAGE_BTREE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "minidb/storage/buffer_pool.h"
+#include "minidb/storage/page.h"
+
+namespace minidb {
+namespace storage {
+
+// Supplies fresh page ids to the tree; implemented by the engine, which
+// owns the page-allocation watermark in its meta page.
+class PageAllocator {
+ public:
+  virtual ~PageAllocator() = default;
+  virtual pdgf::StatusOr<PageId> AllocatePage() = 0;
+};
+
+struct BTreeEntry {
+  int64_t key;
+  Rid rid;
+};
+
+// A paged B+ tree keyed by int64 (integer-family primary keys: smallint,
+// integer, bigint, and date as days-since-epoch). Values are record ids.
+// Duplicates are allowed; leaves are chained for range scans; deletes
+// never merge nodes (the generator workload is append-heavy, underfull
+// leaves are reclaimed on the next bulk rebuild).
+//
+// Node layout (raw 4 KiB pages, not slotted):
+//   leaf      u8 type=1, u16 count at 2, u32 next_leaf at 4,
+//             entries {i64 key, u32 page, u16 slot} from byte 16
+//   internal  u8 type=2, u16 key count at 2, u32 child[0] at 4,
+//             entries {i64 key, u32 child[i+1]} from byte 16
+// An internal key k[i] is the smallest key of child[i+1]'s subtree.
+class BTree {
+ public:
+  // Wraps an existing tree rooted at `root` (kInvalidPage = empty).
+  BTree(BufferPool* pool, PageAllocator* allocator, PageId root);
+
+  PageId root() const { return root_; }
+
+  // Inserts one entry (duplicates append after the existing run).
+  pdgf::Status Insert(int64_t key, Rid rid);
+
+  // Removes the entry matching (key, rid); returns false when absent.
+  pdgf::StatusOr<bool> Delete(int64_t key, Rid rid);
+
+  // Collects every rid stored under `key`, in insertion order.
+  pdgf::StatusOr<std::vector<Rid>> Lookup(int64_t key) const;
+
+  // Builds a fresh tree bottom-up from key-sorted entries and returns
+  // its root (kInvalidPage when `entries` is empty). The previous root,
+  // if any, is orphaned — callers checkpoint afterwards.
+  pdgf::Status BulkBuild(const std::vector<BTreeEntry>& entries);
+
+  class Iterator {
+   public:
+    // Yields entries with key <= high_key in key order; returns false at
+    // the end. Copies one leaf at a time so no pin outlives a call.
+    bool Next(BTreeEntry* out);
+    pdgf::Status status() const { return status_; }
+
+   private:
+    friend class BTree;
+    Iterator(BufferPool* pool, PageId leaf, size_t pos, int64_t high_key);
+    pdgf::Status LoadLeaf(PageId leaf);
+
+    BufferPool* pool_;
+    std::vector<BTreeEntry> current_;
+    size_t pos_ = 0;
+    PageId next_leaf_ = kInvalidPage;
+    int64_t high_key_;
+    pdgf::Status status_;
+  };
+
+  // Positions an iterator at the first entry with key >= low_key; the
+  // iterator stops after the last entry with key <= high_key.
+  pdgf::StatusOr<Iterator> Seek(int64_t low_key, int64_t high_key) const;
+
+ private:
+  // Finds the leaf that may hold the first occurrence of `key`.
+  pdgf::StatusOr<PageId> DescendToLeaf(int64_t key) const;
+
+  pdgf::StatusOr<PageId> NewLeaf();
+  pdgf::StatusOr<PageId> NewInternal(PageId leftmost_child);
+
+  BufferPool* pool_;
+  PageAllocator* allocator_;
+  PageId root_;
+};
+
+}  // namespace storage
+}  // namespace minidb
+
+#endif  // DBSYNTHPP_MINIDB_STORAGE_BTREE_H_

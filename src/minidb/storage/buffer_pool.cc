@@ -1,0 +1,176 @@
+#include "minidb/storage/buffer_pool.h"
+
+#include <cstring>
+
+namespace minidb {
+namespace storage {
+
+PageRef& PageRef::operator=(PageRef&& other) noexcept {
+  if (this != &other) {
+    Release();
+    pool_ = other.pool_;
+    id_ = other.id_;
+    data_ = other.data_;
+    dirty_ = other.dirty_;
+    other.pool_ = nullptr;
+    other.data_ = nullptr;
+  }
+  return *this;
+}
+
+PageRef::~PageRef() { Release(); }
+
+void PageRef::MarkDirty() { dirty_ = true; }
+
+void PageRef::Release() {
+  if (pool_ != nullptr) {
+    pool_->Unpin(id_, dirty_);
+    pool_ = nullptr;
+    data_ = nullptr;
+    dirty_ = false;
+  }
+}
+
+BufferPool::BufferPool(Pager* pager, size_t capacity_pages)
+    : pager_(pager), capacity_(capacity_pages > 0 ? capacity_pages : 1) {}
+
+BufferPool::~BufferPool() = default;
+
+void BufferPool::Unpin(PageId id, bool dirty) {
+  auto it = index_.find(id);
+  if (it == index_.end()) return;
+  Frame& frame = frames_[it->second];
+  if (frame.pins > 0) --frame.pins;
+  if (dirty && !frame.dirty) {
+    frame.dirty = true;
+    ++dirty_count_;
+  }
+  frame.tick = ++tick_;
+}
+
+pdgf::StatusOr<size_t> BufferPool::AcquireFrame() {
+  if (!free_frames_.empty()) {
+    size_t slot = free_frames_.back();
+    free_frames_.pop_back();
+    return slot;
+  }
+  if (frames_.size() < capacity_) {
+    frames_.emplace_back();
+    frames_.back().data = std::make_unique<char[]>(kPageSize);
+    return frames_.size() - 1;
+  }
+  // At capacity: evict the LRU unpinned clean frame; failing that, the
+  // LRU unpinned dirty frame when dirty eviction is allowed.
+  size_t best_clean = frames_.size();
+  size_t best_dirty = frames_.size();
+  for (size_t i = 0; i < frames_.size(); ++i) {
+    const Frame& frame = frames_[i];
+    if (frame.pins > 0) continue;
+    if (!frame.dirty) {
+      if (best_clean == frames_.size() ||
+          frame.tick < frames_[best_clean].tick) {
+        best_clean = i;
+      }
+    } else if (allow_dirty_eviction_) {
+      if (best_dirty == frames_.size() ||
+          frame.tick < frames_[best_dirty].tick) {
+        best_dirty = i;
+      }
+    }
+  }
+  size_t victim = best_clean != frames_.size() ? best_clean : best_dirty;
+  if (victim == frames_.size()) {
+    // Everything is pinned or dirty-retained: grow past capacity rather
+    // than fail; the engine checkpoints on dirty pressure.
+    ++overflows_;
+    frames_.emplace_back();
+    frames_.back().data = std::make_unique<char[]>(kPageSize);
+    return frames_.size() - 1;
+  }
+  Frame& frame = frames_[victim];
+  if (frame.dirty) {
+    PDGF_RETURN_IF_ERROR(pager_->Write(frame.id, frame.data.get()));
+    ++writebacks_;
+    frame.dirty = false;
+    --dirty_count_;
+  }
+  index_.erase(frame.id);
+  ++evictions_;
+  return victim;
+}
+
+pdgf::StatusOr<PageRef> BufferPool::PinNew(PageId id, bool read_from_disk) {
+  PDGF_ASSIGN_OR_RETURN(size_t slot, AcquireFrame());
+  Frame& frame = frames_[slot];
+  frame.id = id;
+  frame.pins = 1;
+  frame.dirty = false;
+  frame.tick = ++tick_;
+  if (read_from_disk) {
+    pdgf::Status read = pager_->Read(id, frame.data.get());
+    if (!read.ok()) {
+      frame.id = kInvalidPage;
+      frame.pins = 0;
+      free_frames_.push_back(slot);
+      return read;
+    }
+  } else {
+    std::memset(frame.data.get(), 0, kPageSize);
+    frame.dirty = true;
+    ++dirty_count_;
+  }
+  index_[id] = slot;
+  return PageRef(this, id, frame.data.get());
+}
+
+pdgf::StatusOr<PageRef> BufferPool::Fetch(PageId id) {
+  auto it = index_.find(id);
+  if (it != index_.end()) {
+    ++hits_;
+    Frame& frame = frames_[it->second];
+    ++frame.pins;
+    frame.tick = ++tick_;
+    return PageRef(this, id, frame.data.get());
+  }
+  ++misses_;
+  return PinNew(id, /*read_from_disk=*/true);
+}
+
+pdgf::StatusOr<PageRef> BufferPool::Create(PageId id) {
+  auto it = index_.find(id);
+  if (it != index_.end()) {
+    // Re-creating a cached page (e.g. after Clear reuses ids): reset it.
+    Frame& frame = frames_[it->second];
+    std::memset(frame.data.get(), 0, kPageSize);
+    if (!frame.dirty) {
+      frame.dirty = true;
+      ++dirty_count_;
+    }
+    ++frame.pins;
+    frame.tick = ++tick_;
+    return PageRef(this, id, frame.data.get());
+  }
+  ++misses_;
+  return PinNew(id, /*read_from_disk=*/false);
+}
+
+pdgf::Status BufferPool::FlushAll() {
+  for (Frame& frame : frames_) {
+    if (frame.id == kInvalidPage || !frame.dirty) continue;
+    PDGF_RETURN_IF_ERROR(pager_->Write(frame.id, frame.data.get()));
+    ++writebacks_;
+    frame.dirty = false;
+  }
+  dirty_count_ = 0;
+  return pdgf::Status::Ok();
+}
+
+void BufferPool::DiscardAll() {
+  frames_.clear();
+  free_frames_.clear();
+  index_.clear();
+  dirty_count_ = 0;
+}
+
+}  // namespace storage
+}  // namespace minidb

@@ -1,0 +1,135 @@
+#ifndef DBSYNTHPP_MINIDB_STORAGE_BUFFER_POOL_H_
+#define DBSYNTHPP_MINIDB_STORAGE_BUFFER_POOL_H_
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "minidb/storage/page.h"
+#include "minidb/storage/pager.h"
+
+namespace minidb {
+namespace storage {
+
+class BufferPool;
+
+// A pinned page handle: the frame stays resident while any PageRef to it
+// is alive. Move-only; the destructor unpins. Call MarkDirty() after
+// mutating the bytes so write-back knows about the change.
+class PageRef {
+ public:
+  PageRef() = default;
+  PageRef(PageRef&& other) noexcept { *this = std::move(other); }
+  PageRef& operator=(PageRef&& other) noexcept;
+  PageRef(const PageRef&) = delete;
+  PageRef& operator=(const PageRef&) = delete;
+  ~PageRef();
+
+  char* data() const { return data_; }
+  PageId id() const { return id_; }
+  void MarkDirty();
+  bool valid() const { return pool_ != nullptr; }
+  // Unpins early (idempotent).
+  void Release();
+
+ private:
+  friend class BufferPool;
+  PageRef(BufferPool* pool, PageId id, char* data)
+      : pool_(pool), id_(id), data_(data) {}
+
+  BufferPool* pool_ = nullptr;
+  PageId id_ = kInvalidPage;
+  char* data_ = nullptr;
+  bool dirty_ = false;
+};
+
+// An LRU page cache over one Pager. Frames are pinned by PageRef while
+// in use; unpinned clean frames are evicted least-recently-used when the
+// pool is at capacity.
+//
+// Write-back policy: dirty frames are normally retained in memory until
+// FlushAll() — the engine's checkpoint — so the file always holds
+// exactly the last checkpoint state and the redo WAL replays onto it
+// cleanly (no-steal). During WAL-bypassed bulk loads the engine flips
+// set_allow_dirty_eviction(true) and eviction writes dirty LRU pages
+// back directly, which is what lets an initial load stream gigabytes
+// through a small pool. If every frame is dirty or pinned and dirty
+// eviction is off, the pool grows past capacity and records the
+// overflow; the engine reacts by checkpointing (see
+// StorageOptions::checkpoint_dirty_pages).
+//
+// Not thread-safe, matching Database's single-connection contract.
+class BufferPool {
+ public:
+  BufferPool(Pager* pager, size_t capacity_pages);
+  ~BufferPool();
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  // Pins page `id`, reading it from disk on a miss.
+  pdgf::StatusOr<PageRef> Fetch(PageId id);
+
+  // Pins a zero-initialized frame for a brand-new page (no disk read).
+  // The frame starts dirty — a new page must reach disk eventually.
+  pdgf::StatusOr<PageRef> Create(PageId id);
+
+  // Writes every dirty frame back. Frames stay cached (now clean).
+  pdgf::Status FlushAll();
+
+  // Drops all frames without writing anything (table Clear/destroy).
+  // Must not be called with live pins.
+  void DiscardAll();
+
+  void set_allow_dirty_eviction(bool allow) {
+    allow_dirty_eviction_ = allow;
+  }
+
+  size_t dirty_count() const { return dirty_count_; }
+  size_t frame_count() const { return frames_.size(); }
+  size_t capacity() const { return capacity_; }
+
+  // Observability counters (reset never).
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+  uint64_t evictions() const { return evictions_; }
+  uint64_t writebacks() const { return writebacks_; }
+  uint64_t overflows() const { return overflows_; }
+
+ private:
+  friend class PageRef;
+
+  struct Frame {
+    PageId id = kInvalidPage;
+    int pins = 0;
+    bool dirty = false;
+    uint64_t tick = 0;
+    std::unique_ptr<char[]> data;
+  };
+
+  void Unpin(PageId id, bool dirty);
+  // Finds a frame slot for a new page, evicting if at capacity.
+  pdgf::StatusOr<size_t> AcquireFrame();
+  pdgf::StatusOr<PageRef> PinNew(PageId id, bool read_from_disk);
+
+  Pager* pager_;
+  size_t capacity_;
+  bool allow_dirty_eviction_ = false;
+  std::vector<Frame> frames_;
+  std::vector<size_t> free_frames_;
+  std::unordered_map<PageId, size_t> index_;
+  size_t dirty_count_ = 0;
+  uint64_t tick_ = 0;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+  uint64_t evictions_ = 0;
+  uint64_t writebacks_ = 0;
+  uint64_t overflows_ = 0;
+};
+
+}  // namespace storage
+}  // namespace minidb
+
+#endif  // DBSYNTHPP_MINIDB_STORAGE_BUFFER_POOL_H_

@@ -1,0 +1,77 @@
+#include "minidb/storage/engine.h"
+
+namespace minidb {
+namespace storage {
+
+bool ExtractIndexKey(const pdgf::Value& value, int64_t* key) {
+  switch (value.kind()) {
+    case pdgf::Value::Kind::kInt:
+      *key = value.int_value();
+      return true;
+    case pdgf::Value::Kind::kDate:
+      *key = value.date_value().days_since_epoch();
+      return true;
+    default:
+      return false;
+  }
+}
+
+pdgf::Status HeapEngine::Append(Row row) {
+  rows_.push_back(std::move(row));
+  return pdgf::Status::Ok();
+}
+
+pdgf::Status HeapEngine::ReadRow(size_t ordinal, Row* out) const {
+  if (ordinal >= rows_.size()) {
+    return pdgf::OutOfRangeError("row ordinal " + std::to_string(ordinal) +
+                                 " out of range");
+  }
+  *out = rows_[ordinal];
+  return pdgf::Status::Ok();
+}
+
+pdgf::Status HeapEngine::WriteRow(size_t ordinal, const Row& row) {
+  if (ordinal >= rows_.size()) {
+    return pdgf::OutOfRangeError("row ordinal " + std::to_string(ordinal) +
+                                 " out of range");
+  }
+  rows_[ordinal] = row;
+  return pdgf::Status::Ok();
+}
+
+pdgf::Status HeapEngine::EraseRows(
+    const std::vector<size_t>& sorted_ordinals) {
+  if (sorted_ordinals.empty()) return pdgf::Status::Ok();
+  if (sorted_ordinals.back() >= rows_.size()) {
+    return pdgf::OutOfRangeError("erase ordinal out of range");
+  }
+  // Single compaction pass: copy surviving rows over the gaps.
+  size_t write = sorted_ordinals.front();
+  size_t next_to_skip = 0;
+  for (size_t read = write; read < rows_.size(); ++read) {
+    if (next_to_skip < sorted_ordinals.size() &&
+        sorted_ordinals[next_to_skip] == read) {
+      ++next_to_skip;
+      continue;
+    }
+    rows_[write++] = std::move(rows_[read]);
+  }
+  rows_.resize(write);
+  return pdgf::Status::Ok();
+}
+
+pdgf::Status HeapEngine::Clear() {
+  rows_.clear();
+  return pdgf::Status::Ok();
+}
+
+pdgf::Status HeapEngine::Scan(
+    const std::function<bool(const Row&)>& visitor) const {
+  for (const Row& row : rows_) {
+    if (!visitor(row)) break;
+  }
+  return pdgf::Status::Ok();
+}
+
+}  // namespace storage
+}  // namespace minidb

@@ -1,0 +1,118 @@
+#ifndef DBSYNTHPP_MINIDB_STORAGE_ENGINE_H_
+#define DBSYNTHPP_MINIDB_STORAGE_ENGINE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/value.h"
+#include "minidb/storage/record.h"
+
+namespace minidb {
+namespace storage {
+
+// Extracts the index key for a primary-key cell. Only the integer family
+// maps onto B+ tree keys: kInt directly, kDate as days-since-epoch.
+// Returns false for every other kind (including NULL).
+bool ExtractIndexKey(const pdgf::Value& value, int64_t* key);
+
+// Row storage behind one Table. Rows are addressed by their logical
+// ordinal (0..row_count), which is stable across engines: ordinal order
+// IS insertion order, so scans over either engine visit identical rows
+// in identical positions and digests/CSV dumps match byte for byte.
+//
+// All rows handed to an engine are already coerced to the schema's
+// storage kinds (Table validates before calling Append).
+class TableEngine {
+ public:
+  virtual ~TableEngine() = default;
+
+  virtual size_t row_count() const = 0;
+
+  // Appends an already-coerced row at ordinal row_count().
+  virtual pdgf::Status Append(Row row) = 0;
+
+  // Copies the row at `ordinal` into `out`.
+  virtual pdgf::Status ReadRow(size_t ordinal, Row* out) const = 0;
+
+  // Replaces the row at `ordinal` (UPDATE execution).
+  virtual pdgf::Status WriteRow(size_t ordinal, const Row& row) = 0;
+
+  // Removes the rows at `sorted_ordinals` (ascending, in-range);
+  // surviving rows keep their relative order and compact downwards.
+  virtual pdgf::Status EraseRows(
+      const std::vector<size_t>& sorted_ordinals) = 0;
+
+  virtual pdgf::Status Clear() = 0;
+
+  virtual void Reserve(size_t rows) = 0;
+
+  // Visits rows in ordinal order; stops early when the visitor returns
+  // false. The Row reference is only valid during the call.
+  virtual pdgf::Status Scan(
+      const std::function<bool(const Row&)>& visitor) const = 0;
+
+  // Zero-copy peek at a stored row, or nullptr when the engine cannot
+  // hand out stable references (paged). Table falls back to ReadRow.
+  virtual const Row* PeekRow(size_t ordinal) const {
+    (void)ordinal;
+    return nullptr;
+  }
+
+  // ---- Primary-key index (optional capability) ----
+
+  virtual bool HasPkIndex() const { return false; }
+
+  // Appends every row whose PK equals `key` to `rows`.
+  virtual pdgf::Status PkLookup(int64_t key, std::vector<Row>* rows) const {
+    (void)key;
+    (void)rows;
+    return pdgf::UnimplementedError("engine has no primary-key index");
+  }
+
+  // ---- Durability (no-ops for volatile engines) ----
+
+  virtual pdgf::Status Checkpoint() { return pdgf::Status::Ok(); }
+
+  // ---- Bulk-load fast path ----
+  //
+  // Begin/Append*/Finish stream pre-coerced rows through the engine's
+  // cheapest insert path (sequential page fills, WAL bypassed, index
+  // built bottom-up at Finish). Between Begin and Finish no other
+  // mutation or read may run. Volatile engines degrade to Append.
+
+  virtual pdgf::Status BulkLoadBegin() { return pdgf::Status::Ok(); }
+  virtual pdgf::Status BulkLoadAppend(Row row) { return Append(std::move(row)); }
+  virtual pdgf::Status BulkLoadFinish() { return pdgf::Status::Ok(); }
+};
+
+// The original engine: an append-only std::vector of rows.
+class HeapEngine : public TableEngine {
+ public:
+  HeapEngine() = default;
+
+  size_t row_count() const override { return rows_.size(); }
+  pdgf::Status Append(Row row) override;
+  pdgf::Status ReadRow(size_t ordinal, Row* out) const override;
+  pdgf::Status WriteRow(size_t ordinal, const Row& row) override;
+  pdgf::Status EraseRows(
+      const std::vector<size_t>& sorted_ordinals) override;
+  pdgf::Status Clear() override;
+  void Reserve(size_t rows) override { rows_.reserve(rows); }
+  pdgf::Status Scan(
+      const std::function<bool(const Row&)>& visitor) const override;
+  const Row* PeekRow(size_t ordinal) const override {
+    return ordinal < rows_.size() ? &rows_[ordinal] : nullptr;
+  }
+
+ private:
+  std::vector<Row> rows_;
+};
+
+}  // namespace storage
+}  // namespace minidb
+
+#endif  // DBSYNTHPP_MINIDB_STORAGE_ENGINE_H_

@@ -1,0 +1,185 @@
+#include "minidb/storage/page.h"
+
+#include <cstring>
+#include <vector>
+
+namespace minidb {
+namespace storage {
+
+// Page layout:
+//   [0..2)  uint16 slot_count
+//   [2..4)  uint16 free_start (first unused byte of the record area)
+//   [4..8)  reserved
+//   [8..free_start)              record bytes
+//   [kPageSize - 4*slot_count .. kPageSize)  slot directory, entry i at
+//       kPageSize - 4*(i+1): {uint16 offset, uint16 length}
+namespace {
+constexpr size_t kHeaderSize = 8;
+constexpr size_t kSlotEntrySize = 4;
+
+uint16_t LoadU16(const char* p) {
+  uint16_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+void StoreU16(char* p, uint16_t v) { std::memcpy(p, &v, sizeof(v)); }
+
+}  // namespace
+
+void SlottedPage::Init() {
+  std::memset(data_, 0, kPageSize);
+  set_slot_count(0);
+  set_free_start(static_cast<uint16_t>(kHeaderSize));
+}
+
+uint16_t SlottedPage::slot_count() const { return LoadU16(data_); }
+uint16_t SlottedPage::free_start() const { return LoadU16(data_ + 2); }
+void SlottedPage::set_slot_count(uint16_t v) { StoreU16(data_, v); }
+void SlottedPage::set_free_start(uint16_t v) { StoreU16(data_ + 2, v); }
+
+size_t SlottedPage::SlotEntryPos(uint16_t slot) const {
+  return kPageSize - kSlotEntrySize * (static_cast<size_t>(slot) + 1);
+}
+
+uint16_t SlottedPage::SlotOffset(uint16_t slot) const {
+  return LoadU16(data_ + SlotEntryPos(slot));
+}
+
+uint16_t SlottedPage::SlotLength(uint16_t slot) const {
+  return LoadU16(data_ + SlotEntryPos(slot) + 2);
+}
+
+void SlottedPage::SetSlot(uint16_t slot, uint16_t offset, uint16_t length) {
+  StoreU16(data_ + SlotEntryPos(slot), offset);
+  StoreU16(data_ + SlotEntryPos(slot) + 2, length);
+}
+
+bool SlottedPage::IsLive(uint16_t slot) const {
+  return slot < slot_count() && SlotOffset(slot) != 0;
+}
+
+uint16_t SlottedPage::live_count() const {
+  uint16_t live = 0;
+  for (uint16_t s = 0; s < slot_count(); ++s) {
+    if (SlotOffset(s) != 0) ++live;
+  }
+  return live;
+}
+
+std::string_view SlottedPage::Read(uint16_t slot) const {
+  if (!IsLive(slot)) return {};
+  return std::string_view(data_ + SlotOffset(slot), SlotLength(slot));
+}
+
+size_t SlottedPage::FreeSpace() const {
+  // Live bytes if the record area were fully compacted.
+  size_t live_bytes = 0;
+  for (uint16_t s = 0; s < slot_count(); ++s) {
+    if (SlotOffset(s) != 0) live_bytes += SlotLength(s);
+  }
+  size_t directory = kSlotEntrySize * static_cast<size_t>(slot_count());
+  size_t used = kHeaderSize + live_bytes + directory;
+  if (used >= kPageSize) return 0;
+  size_t free = kPageSize - used;
+  // A fresh insert may also need a new slot entry; be conservative and
+  // always charge one (tombstone reuse only makes this cheaper).
+  return free > kSlotEntrySize ? free - kSlotEntrySize : 0;
+}
+
+void SlottedPage::Compact() {
+  struct Live {
+    uint16_t slot;
+    uint16_t offset;
+    uint16_t length;
+  };
+  std::vector<Live> live;
+  live.reserve(slot_count());
+  for (uint16_t s = 0; s < slot_count(); ++s) {
+    if (SlotOffset(s) != 0) live.push_back({s, SlotOffset(s), SlotLength(s)});
+  }
+  // Records are packed in their current physical order; a temporary copy
+  // keeps overlapping moves safe.
+  std::vector<char> scratch(kPageSize);
+  uint16_t write = static_cast<uint16_t>(kHeaderSize);
+  for (const Live& record : live) {
+    std::memcpy(scratch.data() + write, data_ + record.offset, record.length);
+    SetSlot(record.slot, write, record.length);
+    write = static_cast<uint16_t>(write + record.length);
+  }
+  std::memcpy(data_ + kHeaderSize, scratch.data() + kHeaderSize,
+              write - kHeaderSize);
+  set_free_start(write);
+}
+
+int SlottedPage::Insert(std::string_view record) {
+  if (record.size() > kMaxRecord) return -1;
+  // Reuse the first tombstone slot, if any.
+  int slot = -1;
+  for (uint16_t s = 0; s < slot_count(); ++s) {
+    if (SlotOffset(s) == 0) {
+      slot = s;
+      break;
+    }
+  }
+  size_t new_entry = slot < 0 ? kSlotEntrySize : 0;
+  size_t directory_low =
+      kPageSize - kSlotEntrySize * static_cast<size_t>(slot_count()) -
+      new_entry;
+  if (free_start() + record.size() > directory_low) {
+    // Contiguous free space is short; compaction may still make room.
+    size_t live_bytes = 0;
+    for (uint16_t s = 0; s < slot_count(); ++s) {
+      if (SlotOffset(s) != 0) live_bytes += SlotLength(s);
+    }
+    if (kHeaderSize + live_bytes + record.size() > directory_low) return -1;
+    Compact();
+  }
+  uint16_t offset = free_start();
+  std::memcpy(data_ + offset, record.data(), record.size());
+  set_free_start(static_cast<uint16_t>(offset + record.size()));
+  if (slot < 0) {
+    slot = slot_count();
+    set_slot_count(static_cast<uint16_t>(slot_count() + 1));
+  }
+  SetSlot(static_cast<uint16_t>(slot), offset,
+          static_cast<uint16_t>(record.size()));
+  return slot;
+}
+
+bool SlottedPage::Update(uint16_t slot, std::string_view record) {
+  if (!IsLive(slot) || record.size() > kMaxRecord) return false;
+  uint16_t offset = SlotOffset(slot);
+  uint16_t length = SlotLength(slot);
+  if (record.size() <= length) {
+    std::memcpy(data_ + offset, record.data(), record.size());
+    SetSlot(slot, offset, static_cast<uint16_t>(record.size()));
+    return true;
+  }
+  // Grow: tombstone the old copy, then re-insert (compacts as needed).
+  SetSlot(slot, 0, 0);
+  size_t directory_low =
+      kPageSize - kSlotEntrySize * static_cast<size_t>(slot_count());
+  size_t live_bytes = 0;
+  for (uint16_t s = 0; s < slot_count(); ++s) {
+    if (SlotOffset(s) != 0) live_bytes += SlotLength(s);
+  }
+  if (kHeaderSize + live_bytes + record.size() > directory_low) {
+    SetSlot(slot, offset, length);  // roll back; caller relocates
+    return false;
+  }
+  if (free_start() + record.size() > directory_low) Compact();
+  uint16_t new_offset = free_start();
+  std::memcpy(data_ + new_offset, record.data(), record.size());
+  set_free_start(static_cast<uint16_t>(new_offset + record.size()));
+  SetSlot(slot, new_offset, static_cast<uint16_t>(record.size()));
+  return true;
+}
+
+void SlottedPage::Erase(uint16_t slot) {
+  if (slot >= slot_count()) return;
+  SetSlot(slot, 0, 0);
+}
+
+}  // namespace storage
+}  // namespace minidb

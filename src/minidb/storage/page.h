@@ -1,0 +1,97 @@
+#ifndef DBSYNTHPP_MINIDB_STORAGE_PAGE_H_
+#define DBSYNTHPP_MINIDB_STORAGE_PAGE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace minidb {
+namespace storage {
+
+// All on-disk structures are built from fixed 4KB pages.
+inline constexpr size_t kPageSize = 4096;
+
+using PageId = uint32_t;
+inline constexpr PageId kInvalidPage = 0xFFFFFFFFu;
+
+// A record's physical address: page + slot within the page's directory.
+struct Rid {
+  PageId page = kInvalidPage;
+  uint16_t slot = 0;
+
+  bool operator==(const Rid& other) const {
+    return page == other.page && slot == other.slot;
+  }
+  bool operator!=(const Rid& other) const { return !(*this == other); }
+};
+
+// A slotted heap page: records grow upward from the 8-byte header, the
+// slot directory grows downward from the page end. Each slot entry holds
+// {offset, length}; offset 0 marks a tombstone (no record ever starts at
+// offset 0, which is inside the header). Erased record space is
+// reclaimed lazily by Compact() when an insert or grow-in-place would
+// otherwise fail.
+//
+// The class is a non-owning view over a kPageSize byte buffer (a buffer
+// pool frame); it holds no state of its own.
+class SlottedPage {
+ public:
+  // Largest record one empty page can hold.
+  static constexpr size_t kMaxRecord = kPageSize - 8 - 4;
+
+  explicit SlottedPage(char* data) : data_(data) {}
+
+  // Formats a fresh page (zero slots, empty record area).
+  void Init();
+
+  uint16_t slot_count() const;
+  // Live (non-tombstone) records on the page.
+  uint16_t live_count() const;
+  // Bytes available for one more record including its new slot entry
+  // (after compaction; tombstone slots are reusable for free).
+  size_t FreeSpace() const;
+
+  // Appends a record, reusing a tombstone slot when one exists. Returns
+  // the slot index, or -1 when the record cannot fit even after
+  // compaction.
+  int Insert(std::string_view record);
+
+  // Replaces the record in `slot`. Shrinking always succeeds in place;
+  // growing succeeds if the page can fit the new length (possibly after
+  // compaction). Returns false when the record must be relocated to
+  // another page.
+  bool Update(uint16_t slot, std::string_view record);
+
+  // Marks the slot as a tombstone. Space is reclaimed lazily.
+  void Erase(uint16_t slot);
+
+  // The record bytes at `slot` (empty view for tombstones).
+  std::string_view Read(uint16_t slot) const;
+
+  bool IsLive(uint16_t slot) const;
+
+ private:
+  // Header field accessors (all little-endian, memcpy for alignment).
+  uint16_t free_start() const;
+  void set_slot_count(uint16_t v);
+  void set_free_start(uint16_t v);
+
+  uint16_t SlotOffset(uint16_t slot) const;
+  uint16_t SlotLength(uint16_t slot) const;
+  void SetSlot(uint16_t slot, uint16_t offset, uint16_t length);
+  // Position of slot entry `slot` within the page (entries grow down
+  // from the end).
+  size_t SlotEntryPos(uint16_t slot) const;
+
+  // Moves all live records to the front of the record area, updating
+  // their slot offsets; tombstone slots are kept (their indices are
+  // stable RIDs).
+  void Compact();
+
+  char* data_;
+};
+
+}  // namespace storage
+}  // namespace minidb
+
+#endif  // DBSYNTHPP_MINIDB_STORAGE_PAGE_H_

@@ -1,0 +1,158 @@
+#ifndef DBSYNTHPP_MINIDB_STORAGE_PAGED_ENGINE_H_
+#define DBSYNTHPP_MINIDB_STORAGE_PAGED_ENGINE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "minidb/storage/btree.h"
+#include "minidb/storage/buffer_pool.h"
+#include "minidb/storage/engine.h"
+#include "minidb/storage/page.h"
+#include "minidb/storage/pager.h"
+#include "minidb/storage/wal.h"
+
+namespace minidb {
+namespace storage {
+
+struct StorageOptions {
+  // Buffer pool capacity in 4 KiB pages (soft: the pool grows past it
+  // when every frame is pinned or dirty-retained).
+  size_t pool_pages = 256;
+  // Auto-checkpoint once this many dirty pages accumulate; keeps the
+  // no-steal pool's memory bounded between explicit checkpoints.
+  size_t checkpoint_dirty_pages = 192;
+};
+
+// The durable table engine: rows live in slotted pages behind an LRU
+// buffer pool, mutations are redo-logged to a WAL before they touch a
+// page, and an optional B+ tree indexes an integer-family primary key.
+//
+// Files (per table): <base>.pages and <base>.wal.
+//
+// Page 0 is the meta page:
+//   "MDBPAGE1" magic, u64 epoch, u64 row_count, u32 next_free_page,
+//   u32 btree_root, u32 dir_head, u32 fill_page, u8 pk_index_enabled
+// The meta page is written LAST during a checkpoint, after every dirty
+// page has been flushed, so it atomically names the checkpoint state;
+// the WAL is then rewritten with the bumped epoch. A WAL whose epoch
+// differs from the meta page's is stale and ignored on open.
+//
+// The logical row order (ordinal -> rid) is kept in an in-memory
+// directory and persisted to a chain of directory pages at checkpoint.
+// Ordinal order is insertion order, which is what keeps scans — and
+// therefore CSV dumps and table digests — byte-identical to the heap
+// engine, even when an UPDATE relocates a grown record.
+class PagedEngine : public TableEngine, public PageAllocator {
+ public:
+  // Opens (or creates) the table files rooted at `base_path`. When the
+  // page file already exists, recovers: loads the checkpointed state and
+  // replays the WAL, truncating any torn tail. `pk_column` is the
+  // column ordinal of a single-column integer-family primary key, or -1
+  // for no index.
+  static pdgf::StatusOr<std::unique_ptr<PagedEngine>> Open(
+      const std::string& base_path, int pk_column,
+      const StorageOptions& options);
+
+  ~PagedEngine() override = default;
+
+  // TableEngine:
+  size_t row_count() const override { return directory_.size(); }
+  pdgf::Status Append(Row row) override;
+  pdgf::Status ReadRow(size_t ordinal, Row* out) const override;
+  pdgf::Status WriteRow(size_t ordinal, const Row& row) override;
+  pdgf::Status EraseRows(
+      const std::vector<size_t>& sorted_ordinals) override;
+  pdgf::Status Clear() override;
+  void Reserve(size_t rows) override { directory_.reserve(rows); }
+  pdgf::Status Scan(
+      const std::function<bool(const Row&)>& visitor) const override;
+  bool HasPkIndex() const override {
+    return pk_column_ >= 0 && pk_index_enabled_;
+  }
+  pdgf::Status PkLookup(int64_t key,
+                        std::vector<Row>* rows) const override;
+  pdgf::Status Checkpoint() override;
+  pdgf::Status BulkLoadBegin() override;
+  pdgf::Status BulkLoadAppend(Row row) override;
+  pdgf::Status BulkLoadFinish() override;
+
+  // PageAllocator:
+  pdgf::StatusOr<PageId> AllocatePage() override;
+
+  // Introspection (tests, metrics).
+  const BufferPool& pool() const { return *pool_; }
+  uint64_t epoch() const { return epoch_; }
+  uint64_t wal_records() const { return wal_records_; }
+  const std::string& page_path() const { return page_path_; }
+  const std::string& wal_path() const { return wal_path_; }
+
+ private:
+  PagedEngine(std::string base_path, int pk_column, StorageOptions options);
+
+  pdgf::Status Initialize(bool fresh);
+  pdgf::Status LoadMetaAndDirectory();
+  pdgf::Status RecoverFromWal();
+
+  // Mutation bodies shared by the public methods and WAL replay (replay
+  // calls them with logging_ off).
+  pdgf::Status ApplyAppend(std::string_view record, const Row& row);
+  pdgf::Status ApplyWrite(size_t ordinal, std::string_view record,
+                          const Row& row);
+  pdgf::Status ApplyErase(const std::vector<size_t>& sorted_ordinals);
+  pdgf::Status ApplyClear();
+
+  // Places a record on the current fill page, opening a new one when it
+  // does not fit. Returns the record's rid.
+  pdgf::StatusOr<Rid> PlaceRecord(std::string_view record);
+
+  pdgf::Status IndexInsert(const Row& row, Rid rid);
+  pdgf::Status IndexErase(const Row& row, Rid rid);
+  // Drops the index (a PK value that cannot be keyed showed up). The
+  // disabled flag persists in the meta page; Clear() re-enables.
+  void DisableIndex();
+
+  pdgf::Status WriteMetaPage();
+  pdgf::Status WriteDirectoryPages(PageId* head);
+  pdgf::Status MaybeAutoCheckpoint();
+
+  std::string base_path_;
+  std::string page_path_;
+  std::string wal_path_;
+  int pk_column_;
+  StorageOptions options_;
+
+  std::unique_ptr<Pager> pager_;
+  std::unique_ptr<BufferPool> pool_;
+  std::unique_ptr<Wal> wal_;
+  std::unique_ptr<BTree> tree_;
+
+  std::vector<Rid> directory_;  // ordinal -> rid, insertion order
+  uint64_t epoch_ = 1;
+  PageId next_free_page_ = 1;  // page 0 is the meta page
+  PageId fill_page_ = kInvalidPage;
+  PageId dir_head_ = kInvalidPage;
+  PageId dir_tree_root_ = kInvalidPage;  // checkpointed root (open path)
+  bool pk_index_enabled_ = true;
+  bool logging_ = true;    // off during replay and bulk load
+  bool replaying_ = false;
+  bool bulk_mode_ = false;
+  uint64_t wal_records_ = 0;
+
+  // Bulk-load state: records are packed into this local buffer and
+  // written straight through the pager, bypassing pool and WAL.
+  std::unique_ptr<char[]> bulk_buffer_;
+  PageId bulk_page_ = kInvalidPage;
+  std::vector<BTreeEntry> bulk_keys_;
+  bool bulk_had_tree_ = false;
+
+  mutable Row scratch_;      // scan/read decode buffer
+  std::string record_buf_;   // serialization buffer reused per mutation
+};
+
+}  // namespace storage
+}  // namespace minidb
+
+#endif  // DBSYNTHPP_MINIDB_STORAGE_PAGED_ENGINE_H_

@@ -1,0 +1,76 @@
+#include "minidb/storage/pager.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace minidb {
+namespace storage {
+
+pdgf::StatusOr<std::unique_ptr<Pager>> Pager::Open(const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
+  if (fd < 0) {
+    return pdgf::IoError("cannot open page file " + path + ": " +
+                         std::strerror(errno));
+  }
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    int saved = errno;
+    ::close(fd);
+    return pdgf::IoError("cannot stat page file " + path + ": " +
+                         std::strerror(saved));
+  }
+  uint64_t pages = static_cast<uint64_t>(st.st_size) / kPageSize;
+  return std::unique_ptr<Pager>(new Pager(fd, path, pages));
+}
+
+Pager::~Pager() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+pdgf::Status Pager::Read(PageId id, char* out) const {
+  if (id >= page_count_) {
+    return pdgf::OutOfRangeError("page " + std::to_string(id) +
+                                 " past end of " + path_);
+  }
+  size_t done = 0;
+  while (done < kPageSize) {
+    ssize_t n = ::pread(fd_, out + done, kPageSize - done,
+                        static_cast<off_t>(id) * kPageSize + done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return pdgf::IoError("pread failed on " + path_ + ": " +
+                           std::strerror(errno));
+    }
+    if (n == 0) {
+      return pdgf::IoError("short read of page " + std::to_string(id) +
+                           " from " + path_);
+    }
+    done += static_cast<size_t>(n);
+  }
+  return pdgf::Status::Ok();
+}
+
+pdgf::Status Pager::Write(PageId id, const char* data) {
+  size_t done = 0;
+  while (done < kPageSize) {
+    ssize_t n = ::pwrite(fd_, data + done, kPageSize - done,
+                         static_cast<off_t>(id) * kPageSize + done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return pdgf::IoError("pwrite failed on " + path_ + ": " +
+                           std::strerror(errno));
+    }
+    done += static_cast<size_t>(n);
+  }
+  if (static_cast<uint64_t>(id) + 1 > page_count_) {
+    page_count_ = static_cast<uint64_t>(id) + 1;
+  }
+  return pdgf::Status::Ok();
+}
+
+}  // namespace storage
+}  // namespace minidb

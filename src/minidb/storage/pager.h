@@ -1,0 +1,51 @@
+#ifndef DBSYNTHPP_MINIDB_STORAGE_PAGER_H_
+#define DBSYNTHPP_MINIDB_STORAGE_PAGER_H_
+
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "minidb/storage/page.h"
+
+namespace minidb {
+namespace storage {
+
+// Disk I/O for one table file: a flat array of kPageSize pages addressed
+// by PageId, accessed with positioned reads/writes so no seek state is
+// shared. The pager knows nothing about page contents; the engine's meta
+// page (page 0) carries all structure.
+class Pager {
+ public:
+  // Opens (creating if absent) the page file at `path`.
+  static pdgf::StatusOr<std::unique_ptr<Pager>> Open(const std::string& path);
+
+  ~Pager();
+
+  Pager(const Pager&) = delete;
+  Pager& operator=(const Pager&) = delete;
+
+  // Reads page `id` into `out` (kPageSize bytes). Reading a page past
+  // the current end of file is an error.
+  pdgf::Status Read(PageId id, char* out) const;
+
+  // Writes page `id` from `data`, extending the file as needed.
+  pdgf::Status Write(PageId id, const char* data);
+
+  // Pages currently backed by the file (from its size).
+  uint64_t page_count() const { return page_count_; }
+
+  const std::string& path() const { return path_; }
+
+ private:
+  Pager(int fd, std::string path, uint64_t page_count)
+      : fd_(fd), path_(std::move(path)), page_count_(page_count) {}
+
+  int fd_;
+  std::string path_;
+  uint64_t page_count_;
+};
+
+}  // namespace storage
+}  // namespace minidb
+
+#endif  // DBSYNTHPP_MINIDB_STORAGE_PAGER_H_

@@ -1,0 +1,185 @@
+#include "minidb/storage/record.h"
+
+#include <cstring>
+
+namespace minidb {
+namespace storage {
+
+using pdgf::Value;
+
+namespace {
+
+enum Tag : uint8_t {
+  kTagNull = 0,
+  kTagBool = 1,
+  kTagInt = 2,
+  kTagDouble = 3,
+  kTagDecimal = 4,
+  kTagString = 5,
+  kTagDate = 6,
+};
+
+template <typename T>
+void AppendRaw(T v, std::string* out) {
+  char buffer[sizeof(T)];
+  std::memcpy(buffer, &v, sizeof(T));
+  out->append(buffer, sizeof(T));
+}
+
+template <typename T>
+bool ReadRaw(std::string_view bytes, size_t* pos, T* v) {
+  if (*pos + sizeof(T) > bytes.size()) return false;
+  std::memcpy(v, bytes.data() + *pos, sizeof(T));
+  *pos += sizeof(T);
+  return true;
+}
+
+}  // namespace
+
+void SerializeRow(const Row& row, std::string* out) {
+  AppendRaw(static_cast<uint16_t>(row.size()), out);
+  for (const Value& value : row) {
+    switch (value.kind()) {
+      case Value::Kind::kNull:
+        out->push_back(static_cast<char>(kTagNull));
+        break;
+      case Value::Kind::kBool:
+        out->push_back(static_cast<char>(kTagBool));
+        out->push_back(value.bool_value() ? 1 : 0);
+        break;
+      case Value::Kind::kInt:
+        out->push_back(static_cast<char>(kTagInt));
+        AppendRaw(value.int_value(), out);
+        break;
+      case Value::Kind::kDouble:
+        out->push_back(static_cast<char>(kTagDouble));
+        AppendRaw(value.double_value(), out);
+        break;
+      case Value::Kind::kDecimal:
+        out->push_back(static_cast<char>(kTagDecimal));
+        AppendRaw(value.decimal_unscaled(), out);
+        out->push_back(static_cast<char>(value.decimal_scale()));
+        break;
+      case Value::Kind::kString: {
+        out->push_back(static_cast<char>(kTagString));
+        const std::string& text = value.string_value();
+        AppendRaw(static_cast<uint32_t>(text.size()), out);
+        out->append(text);
+        break;
+      }
+      case Value::Kind::kDate:
+        out->push_back(static_cast<char>(kTagDate));
+        AppendRaw(
+            static_cast<int32_t>(value.date_value().days_since_epoch()),
+            out);
+        break;
+    }
+  }
+}
+
+size_t SerializedRowSize(const Row& row) {
+  size_t size = sizeof(uint16_t);
+  for (const Value& value : row) {
+    size += 1;  // tag
+    switch (value.kind()) {
+      case Value::Kind::kNull:
+        break;
+      case Value::Kind::kBool:
+        size += 1;
+        break;
+      case Value::Kind::kInt:
+      case Value::Kind::kDouble:
+        size += 8;
+        break;
+      case Value::Kind::kDecimal:
+        size += 9;
+        break;
+      case Value::Kind::kString:
+        size += 4 + value.string_value().size();
+        break;
+      case Value::Kind::kDate:
+        size += 4;
+        break;
+    }
+  }
+  return size;
+}
+
+pdgf::Status DeserializeRow(std::string_view bytes, Row* out) {
+  size_t pos = 0;
+  uint16_t cells = 0;
+  if (!ReadRaw(bytes, &pos, &cells)) {
+    return pdgf::ParseError("record truncated: missing cell count");
+  }
+  // Keep existing Value slots (and their string capacity) where possible.
+  out->resize(cells);
+  for (uint16_t c = 0; c < cells; ++c) {
+    Value& value = (*out)[c];
+    if (pos >= bytes.size()) {
+      return pdgf::ParseError("record truncated: missing cell tag");
+    }
+    uint8_t tag = static_cast<uint8_t>(bytes[pos++]);
+    bool ok = true;
+    switch (tag) {
+      case kTagNull:
+        value.SetNull();
+        break;
+      case kTagBool: {
+        if (pos >= bytes.size()) {
+          ok = false;
+          break;
+        }
+        value.SetBool(bytes[pos++] != 0);
+        break;
+      }
+      case kTagInt: {
+        int64_t v;
+        ok = ReadRaw(bytes, &pos, &v);
+        if (ok) value.SetInt(v);
+        break;
+      }
+      case kTagDouble: {
+        double v;
+        ok = ReadRaw(bytes, &pos, &v);
+        if (ok) value.SetDouble(v);
+        break;
+      }
+      case kTagDecimal: {
+        int64_t unscaled;
+        ok = ReadRaw(bytes, &pos, &unscaled) && pos < bytes.size();
+        if (ok) {
+          int scale = static_cast<int8_t>(bytes[pos++]);
+          value.SetDecimal(unscaled, scale);
+        }
+        break;
+      }
+      case kTagString: {
+        uint32_t length;
+        ok = ReadRaw(bytes, &pos, &length) &&
+             pos + length <= bytes.size();
+        if (ok) {
+          value.SetString(std::string_view(bytes.data() + pos, length));
+          pos += length;
+        }
+        break;
+      }
+      case kTagDate: {
+        int32_t days;
+        ok = ReadRaw(bytes, &pos, &days);
+        if (ok) value.SetDate(pdgf::Date(days));
+        break;
+      }
+      default:
+        return pdgf::ParseError("record holds unknown cell tag " +
+                                   std::to_string(tag));
+    }
+    if (!ok) return pdgf::ParseError("record truncated inside a cell");
+  }
+  if (pos != bytes.size()) {
+    return pdgf::ParseError("record has trailing bytes");
+  }
+  return pdgf::Status::Ok();
+}
+
+}  // namespace storage
+}  // namespace minidb

@@ -1,0 +1,47 @@
+#ifndef DBSYNTHPP_MINIDB_STORAGE_RECORD_H_
+#define DBSYNTHPP_MINIDB_STORAGE_RECORD_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "common/value.h"
+
+namespace minidb {
+
+using Row = std::vector<pdgf::Value>;
+
+namespace storage {
+
+// Typed record serialization: one coerced Row <-> a byte string stored
+// in a slotted page (and in WAL redo records). The encoding is
+// self-describing per cell — a 1-byte kind tag followed by the payload —
+// so a deserialized Row reproduces the original Value kinds (and decimal
+// scales) exactly; round-tripping is byte-stable, which is what keeps
+// paged-engine table digests identical to the heap engine's.
+//
+// Record layout: uint16 cell count, then one encoded cell per column.
+// Cell encodings (little-endian):
+//   kNull     tag 0
+//   kBool     tag 1, 1 byte
+//   kInt      tag 2, int64
+//   kDouble   tag 3, 8 raw bytes
+//   kDecimal  tag 4, int64 unscaled + int8 scale
+//   kString   tag 5, uint32 length + bytes
+//   kDate     tag 6, int32 days-since-epoch
+
+// Appends the serialized form of `row` to `out`.
+void SerializeRow(const Row& row, std::string* out);
+
+// Exact number of bytes SerializeRow would append (cheap; no copies).
+size_t SerializedRowSize(const Row& row);
+
+// Parses a serialized record. `out` is cleared first; its Values reuse
+// their string buffers across calls (scan hot path).
+pdgf::Status DeserializeRow(std::string_view bytes, Row* out);
+
+}  // namespace storage
+}  // namespace minidb
+
+#endif  // DBSYNTHPP_MINIDB_STORAGE_RECORD_H_

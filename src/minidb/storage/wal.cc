@@ -1,0 +1,201 @@
+#include "minidb/storage/wal.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "util/files.h"
+#include "util/hash.h"
+
+namespace minidb {
+namespace storage {
+
+namespace {
+
+constexpr char kMagic[8] = {'M', 'D', 'B', 'W', 'A', 'L', '0', '1'};
+constexpr size_t kHeaderSize = 16;  // magic + epoch
+constexpr size_t kRecordHeader = 13;  // u32 length + u64 checksum + u8 op
+
+uint64_t Checksum(uint8_t op, std::string_view payload) {
+  std::string bytes;
+  bytes.reserve(payload.size() + 1);
+  bytes.push_back(static_cast<char>(op));
+  bytes.append(payload);
+  return pdgf::Hash128Bytes(bytes, /*seed=*/0x57414c31).lo;
+}
+
+pdgf::Status WriteFully(int fd, const char* data, size_t size) {
+  size_t done = 0;
+  while (done < size) {
+    ssize_t n = ::write(fd, data + done, size - done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return pdgf::IoError(std::string("WAL write failed: ") +
+                           std::strerror(errno));
+    }
+    done += static_cast<size_t>(n);
+  }
+  return pdgf::Status::Ok();
+}
+
+template <typename T>
+void AppendRaw(T v, std::string* out) {
+  char buffer[sizeof(T)];
+  std::memcpy(buffer, &v, sizeof(T));
+  out->append(buffer, sizeof(T));
+}
+
+template <typename T>
+bool ReadRaw(std::string_view bytes, size_t* pos, T* v) {
+  if (*pos + sizeof(T) > bytes.size()) return false;
+  std::memcpy(v, bytes.data() + *pos, sizeof(T));
+  *pos += sizeof(T);
+  return true;
+}
+
+}  // namespace
+
+pdgf::StatusOr<std::unique_ptr<Wal>> Wal::Open(const std::string& path,
+                                               uint64_t epoch) {
+  int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_CLOEXEC | O_APPEND,
+                  0644);
+  if (fd < 0) {
+    return pdgf::IoError("cannot open WAL " + path + ": " +
+                         std::strerror(errno));
+  }
+  off_t size = ::lseek(fd, 0, SEEK_END);
+  std::unique_ptr<Wal> wal(new Wal(fd, path, epoch));
+  if (size < static_cast<off_t>(kHeaderSize)) {
+    PDGF_RETURN_IF_ERROR(wal->Reset(epoch));
+    return wal;
+  }
+  // Keep the existing epoch from the file header.
+  char header[kHeaderSize];
+  ssize_t n = ::pread(fd, header, kHeaderSize, 0);
+  if (n != static_cast<ssize_t>(kHeaderSize) ||
+      std::memcmp(header, kMagic, sizeof(kMagic)) != 0) {
+    PDGF_RETURN_IF_ERROR(wal->Reset(epoch));
+    return wal;
+  }
+  uint64_t file_epoch;
+  std::memcpy(&file_epoch, header + sizeof(kMagic), sizeof(file_epoch));
+  wal->epoch_ = file_epoch;
+  return wal;
+}
+
+Wal::~Wal() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+pdgf::Status Wal::Append(Op op, std::string_view payload) {
+  std::string record;
+  record.reserve(kRecordHeader + payload.size());
+  AppendRaw(static_cast<uint32_t>(payload.size()), &record);
+  AppendRaw(Checksum(static_cast<uint8_t>(op), payload), &record);
+  record.push_back(static_cast<char>(op));
+  record.append(payload);
+  return WriteFully(fd_, record.data(), record.size());
+}
+
+pdgf::Status Wal::Reset(uint64_t epoch) {
+  if (::ftruncate(fd_, 0) != 0) {
+    return pdgf::IoError("cannot truncate WAL " + path_ + ": " +
+                         std::strerror(errno));
+  }
+  // O_APPEND writes always land at the (now zero) end.
+  std::string header(kMagic, sizeof(kMagic));
+  AppendRaw(epoch, &header);
+  PDGF_RETURN_IF_ERROR(WriteFully(fd_, header.data(), header.size()));
+  epoch_ = epoch;
+  return pdgf::Status::Ok();
+}
+
+pdgf::Status Wal::TruncateTo(uint64_t valid_bytes) {
+  if (::ftruncate(fd_, static_cast<off_t>(valid_bytes)) != 0) {
+    return pdgf::IoError("cannot truncate WAL " + path_ + ": " +
+                         std::strerror(errno));
+  }
+  return pdgf::Status::Ok();
+}
+
+pdgf::StatusOr<Wal::ReplayLog> Wal::ReadLog(const std::string& path) {
+  ReplayLog log;
+  if (!pdgf::PathExists(path)) return log;
+  PDGF_ASSIGN_OR_RETURN(std::string contents, pdgf::ReadFileToString(path));
+  if (contents.size() < kHeaderSize ||
+      std::memcmp(contents.data(), kMagic, sizeof(kMagic)) != 0) {
+    log.tail_torn = !contents.empty();
+    return log;
+  }
+  std::memcpy(&log.epoch, contents.data() + sizeof(kMagic),
+              sizeof(log.epoch));
+  size_t pos = kHeaderSize;
+  log.valid_bytes = pos;
+  while (pos < contents.size()) {
+    size_t record_start = pos;
+    uint32_t length;
+    uint64_t checksum;
+    std::string_view view(contents);
+    if (!ReadRaw(view, &pos, &length) || !ReadRaw(view, &pos, &checksum) ||
+        pos >= contents.size() || pos + 1 + length > contents.size()) {
+      log.tail_torn = true;
+      break;
+    }
+    uint8_t op = static_cast<uint8_t>(contents[pos++]);
+    std::string_view payload(contents.data() + pos, length);
+    pos += length;
+    if (Checksum(op, payload) != checksum || op < 1 || op > 4) {
+      log.tail_torn = true;
+      pos = record_start;
+      break;
+    }
+    log.records.push_back(
+        {static_cast<Op>(op), std::string(payload)});
+    log.valid_bytes = pos;
+  }
+  return log;
+}
+
+void EncodeOrdinal(uint64_t ordinal, std::string* out) {
+  AppendRaw(ordinal, out);
+}
+
+void EncodeOrdinals(const std::vector<size_t>& ordinals, std::string* out) {
+  AppendRaw(static_cast<uint64_t>(ordinals.size()), out);
+  for (size_t ordinal : ordinals) {
+    AppendRaw(static_cast<uint64_t>(ordinal), out);
+  }
+}
+
+pdgf::Status DecodeOrdinal(std::string_view payload, uint64_t* ordinal,
+                           std::string_view* rest) {
+  size_t pos = 0;
+  if (!ReadRaw(payload, &pos, ordinal)) {
+    return pdgf::ParseError("WAL record missing ordinal");
+  }
+  *rest = payload.substr(pos);
+  return pdgf::Status::Ok();
+}
+
+pdgf::Status DecodeOrdinals(std::string_view payload,
+                            std::vector<size_t>* ordinals) {
+  size_t pos = 0;
+  uint64_t count;
+  if (!ReadRaw(payload, &pos, &count) ||
+      payload.size() - pos < count * sizeof(uint64_t)) {
+    return pdgf::ParseError("WAL erase record truncated");
+  }
+  ordinals->clear();
+  ordinals->reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    uint64_t ordinal;
+    ReadRaw(payload, &pos, &ordinal);
+    ordinals->push_back(static_cast<size_t>(ordinal));
+  }
+  return pdgf::Status::Ok();
+}
+
+}  // namespace storage
+}  // namespace minidb

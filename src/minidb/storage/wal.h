@@ -1,0 +1,100 @@
+#ifndef DBSYNTHPP_MINIDB_STORAGE_WAL_H_
+#define DBSYNTHPP_MINIDB_STORAGE_WAL_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace minidb {
+namespace storage {
+
+// A redo-only write-ahead log for one table.
+//
+// File layout:
+//   header   "MDBWAL01" (8 bytes) + uint64 epoch
+//   records  uint32 payload length, uint64 checksum, uint8 op, payload
+//
+// The checksum covers op + payload. Every record is appended (and
+// reaches the OS via write(2)) BEFORE the corresponding page mutation is
+// applied, and dirty pages are retained in the buffer pool until a
+// checkpoint flushes them and rewrites the log with a bumped epoch — so
+// the page file always holds exactly the state of the last checkpoint
+// and recovery is: load the checkpoint, then replay the log in order.
+//
+// Replay tolerates a torn tail: a record that is truncated, or whose
+// checksum does not match (a torn in-place write), ends replay at the
+// last fully durable operation. A log whose epoch does not match the
+// page file's epoch is stale (the crash hit between the meta-page write
+// and the log rewrite of a checkpoint) and is ignored entirely.
+class Wal {
+ public:
+  enum class Op : uint8_t {
+    kInsert = 1,  // payload: serialized row
+    kUpdate = 2,  // payload: uint64 ordinal + serialized row
+    kErase = 3,   // payload: uint64 count + count x uint64 ordinals
+    kClear = 4,   // payload: empty
+  };
+
+  struct Record {
+    Op op;
+    std::string payload;
+  };
+
+  struct ReplayLog {
+    uint64_t epoch = 0;
+    std::vector<Record> records;
+    // Bytes of the file covered by the header + intact records; anything
+    // past this offset is a torn tail.
+    uint64_t valid_bytes = 0;
+    bool tail_torn = false;
+  };
+
+  // Opens the log for appending, creating it (with `epoch`) if absent.
+  // An existing file keeps its contents; call Reset() to start a new
+  // epoch after a checkpoint.
+  static pdgf::StatusOr<std::unique_ptr<Wal>> Open(const std::string& path,
+                                                   uint64_t epoch);
+
+  ~Wal();
+
+  Wal(const Wal&) = delete;
+  Wal& operator=(const Wal&) = delete;
+
+  // Appends one redo record and pushes it to the OS.
+  pdgf::Status Append(Op op, std::string_view payload);
+
+  // Truncates the log and writes a fresh header for `epoch` (checkpoint).
+  pdgf::Status Reset(uint64_t epoch);
+
+  // Drops any torn tail so future appends extend the intact prefix.
+  pdgf::Status TruncateTo(uint64_t valid_bytes);
+
+  uint64_t epoch() const { return epoch_; }
+
+  // Parses a log file without opening it for writing.
+  static pdgf::StatusOr<ReplayLog> ReadLog(const std::string& path);
+
+ private:
+  Wal(int fd, std::string path, uint64_t epoch)
+      : fd_(fd), path_(std::move(path)), epoch_(epoch) {}
+
+  int fd_;
+  std::string path_;
+  uint64_t epoch_;
+};
+
+// Payload builders/parsers shared by the engine and the replay path.
+void EncodeOrdinal(uint64_t ordinal, std::string* out);
+void EncodeOrdinals(const std::vector<size_t>& ordinals, std::string* out);
+pdgf::Status DecodeOrdinal(std::string_view payload, uint64_t* ordinal,
+                           std::string_view* rest);
+pdgf::Status DecodeOrdinals(std::string_view payload,
+                            std::vector<size_t>* ordinals);
+
+}  // namespace storage
+}  // namespace minidb
+
+#endif  // DBSYNTHPP_MINIDB_STORAGE_WAL_H_

@@ -108,29 +108,31 @@ pdgf::Status Table::Insert(Row row) {
   for (size_t i = 0; i < row.size(); ++i) {
     PDGF_ASSIGN_OR_RETURN(row[i], CoerceValue(schema_.columns[i], row[i]));
   }
-  rows_.push_back(std::move(row));
-  return pdgf::Status::Ok();
+  return engine_->Append(std::move(row));
 }
 
-void Table::EraseRows(const std::vector<size_t>& sorted_indices) {
-  if (sorted_indices.empty()) return;
-  // Single compaction pass: copy surviving rows over the gaps.
-  size_t write = sorted_indices.front();
-  size_t next_to_skip = 0;
-  for (size_t read = write; read < rows_.size(); ++read) {
-    if (next_to_skip < sorted_indices.size() &&
-        sorted_indices[next_to_skip] == read) {
-      ++next_to_skip;
-      continue;
-    }
-    rows_[write++] = std::move(rows_[read]);
+const Row& Table::row(size_t index) const {
+  if (const Row* peek = engine_->PeekRow(index)) return *peek;
+  (void)engine_->ReadRow(index, &scratch_);
+  return scratch_;
+}
+
+int Table::IndexableKeyColumn(const TableSchema& schema) {
+  int pk_column = -1;
+  for (size_t i = 0; i < schema.columns.size(); ++i) {
+    if (!schema.columns[i].primary_key) continue;
+    if (pk_column >= 0) return -1;  // composite key: not indexable
+    pk_column = static_cast<int>(i);
   }
-  rows_.resize(write);
-}
-
-void Table::Scan(const std::function<bool(const Row&)>& visitor) const {
-  for (const Row& row : rows_) {
-    if (!visitor(row)) return;
+  if (pk_column < 0) return -1;
+  switch (schema.columns[static_cast<size_t>(pk_column)].type) {
+    case DataType::kSmallInt:
+    case DataType::kInteger:
+    case DataType::kBigInt:
+    case DataType::kDate:
+      return pk_column;
+    default:
+      return -1;  // only the integer family maps onto B+ tree keys
   }
 }
 

@@ -2,15 +2,15 @@
 #define DBSYNTHPP_MINIDB_TABLE_H_
 
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "common/status.h"
 #include "common/value.h"
 #include "minidb/catalog.h"
+#include "minidb/storage/engine.h"
 
 namespace minidb {
-
-using Row = std::vector<pdgf::Value>;
 
 // Coerces `value` to the storage representation of `column` (int widths
 // collapse to kInt, FLOAT to kDouble, DECIMAL rescaled to the column
@@ -19,10 +19,18 @@ using Row = std::vector<pdgf::Value>;
 pdgf::StatusOr<pdgf::Value> CoerceValue(const ColumnDef& column,
                                         const pdgf::Value& value);
 
-// Row storage for one table: an append-only heap of typed rows.
+// One table: schema plus a row-storage engine. The default engine is the
+// in-memory heap; Database wires in the paged (durable) engine when
+// configured. Either way, rows are addressed by logical ordinal and
+// scans visit insertion order, so the two engines produce byte-identical
+// CSV dumps and digests.
 class Table {
  public:
-  explicit Table(TableSchema schema) : schema_(std::move(schema)) {}
+  explicit Table(TableSchema schema)
+      : schema_(std::move(schema)),
+        engine_(std::make_unique<storage::HeapEngine>()) {}
+  Table(TableSchema schema, std::unique_ptr<storage::TableEngine> engine)
+      : schema_(std::move(schema)), engine_(std::move(engine)) {}
 
   Table(Table&&) = default;
   Table& operator=(Table&&) = default;
@@ -30,30 +38,79 @@ class Table {
   const TableSchema& schema() const { return schema_; }
   const std::string& name() const { return schema_.name; }
 
-  size_t row_count() const { return rows_.size(); }
+  size_t row_count() const { return engine_->row_count(); }
 
   // Validates arity, NOT NULL constraints and type-coerces each cell.
   pdgf::Status Insert(Row row);
-  // Appends without validation (bulk load fast path; caller guarantees
-  // rows are already coerced).
-  void InsertUnchecked(Row row) { rows_.push_back(std::move(row)); }
+  // Appends without validation (bulk/CSV fast path; caller guarantees
+  // rows are already coerced to storage kinds).
+  pdgf::Status InsertUnchecked(Row row) {
+    return engine_->Append(std::move(row));
+  }
 
-  const Row& row(size_t index) const { return rows_[index]; }
-  // Mutable access for UPDATE execution. Callers must keep the schema's
-  // invariants (use CoerceValue for assigned cells).
-  Row* MutableRow(size_t index) { return &rows_[index]; }
-  // Removes the rows at `sorted_indices` (ascending, in-range).
-  void EraseRows(const std::vector<size_t>& sorted_indices);
+  // The row at `index` (< row_count). For engines without stable row
+  // references the bytes land in a per-table scratch row, so the
+  // reference is only valid until the next row()/Scan call on this
+  // table.
+  const Row& row(size_t index) const;
+
+  // Copies the row at `ordinal` into `out`.
+  pdgf::Status ReadRow(size_t ordinal, Row* out) const {
+    return engine_->ReadRow(ordinal, out);
+  }
+  // Replaces the row at `ordinal`. Cells must already be coerced (use
+  // CoerceValue for assigned cells — UPDATE execution does).
+  pdgf::Status WriteRow(size_t ordinal, const Row& row) {
+    return engine_->WriteRow(ordinal, row);
+  }
+  // Removes the rows at `sorted_ordinals` (ascending, in-range).
+  pdgf::Status EraseRows(const std::vector<size_t>& sorted_ordinals) {
+    return engine_->EraseRows(sorted_ordinals);
+  }
 
   // Invokes `visitor` for each row; stops early when it returns false.
-  void Scan(const std::function<bool(const Row&)>& visitor) const;
+  // Storage errors end the scan early (durable engines surface them
+  // through explicit ReadRow/Checkpoint calls instead).
+  void Scan(const std::function<bool(const Row&)>& visitor) const {
+    (void)engine_->Scan(visitor);
+  }
 
-  void Clear() { rows_.clear(); }
-  void Reserve(size_t rows) { rows_.reserve(rows); }
+  pdgf::Status Clear() { return engine_->Clear(); }
+  void Reserve(size_t rows) { engine_->Reserve(rows); }
+
+  // Flushes a durable engine's state to disk (no-op for the heap).
+  pdgf::Status Checkpoint() { return engine_->Checkpoint(); }
+
+  // ---- Primary-key point lookups ----
+
+  // The column ordinal a storage engine can index: a single-column
+  // integer-family (SMALLINT/INTEGER/BIGINT/DATE) primary key. -1 when
+  // the schema has no such key.
+  static int IndexableKeyColumn(const TableSchema& schema);
+
+  bool HasPkIndex() const { return engine_->HasPkIndex(); }
+  // Appends every row whose PK equals `key` to `rows`.
+  pdgf::Status PkLookup(int64_t key, std::vector<Row>* rows) const {
+    return engine_->PkLookup(key, rows);
+  }
+
+  // ---- Bulk-load fast path ----
+  // Streams pre-coerced rows through the engine's cheapest insert path
+  // (sequential page fills, WAL bypassed, index built at Finish). The
+  // heap engine degrades to plain appends.
+  pdgf::Status BulkLoadBegin() { return engine_->BulkLoadBegin(); }
+  pdgf::Status BulkLoadAppend(Row row) {
+    return engine_->BulkLoadAppend(std::move(row));
+  }
+  pdgf::Status BulkLoadFinish() { return engine_->BulkLoadFinish(); }
+
+  storage::TableEngine* engine() { return engine_.get(); }
+  const storage::TableEngine* engine() const { return engine_.get(); }
 
  private:
   TableSchema schema_;
-  std::vector<Row> rows_;
+  std::unique_ptr<storage::TableEngine> engine_;
+  mutable Row scratch_;  // row() fallback for paged engines
 };
 
 }  // namespace minidb

@@ -1,0 +1,186 @@
+#include "minidb/storage/btree.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <random>
+#include <vector>
+
+#include "minidb/storage/buffer_pool.h"
+#include "minidb/storage/pager.h"
+#include "util/files.h"
+
+namespace minidb {
+namespace storage {
+namespace {
+
+// Hands out consecutive page ids, as the engine's meta-page watermark
+// does.
+class CountingAllocator : public PageAllocator {
+ public:
+  pdgf::StatusOr<PageId> AllocatePage() override { return next_++; }
+
+ private:
+  PageId next_ = 0;
+};
+
+class BtreeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto dir = pdgf::MakeTempDir("minidb_btree_");
+    ASSERT_TRUE(dir.ok()) << dir.status().ToString();
+    auto pager = Pager::Open(pdgf::JoinPath(*dir, "t.pages"));
+    ASSERT_TRUE(pager.ok()) << pager.status().ToString();
+    pager_ = std::move(*pager);
+    pool_ = std::make_unique<BufferPool>(pager_.get(), 64);
+    tree_ = std::make_unique<BTree>(pool_.get(), &allocator_, kInvalidPage);
+  }
+
+  static Rid RidFor(int64_t key) {
+    return Rid{static_cast<PageId>(key / 100),
+               static_cast<uint16_t>(key % 100)};
+  }
+
+  CountingAllocator allocator_;
+  std::unique_ptr<Pager> pager_;
+  std::unique_ptr<BufferPool> pool_;
+  std::unique_ptr<BTree> tree_;
+};
+
+TEST_F(BtreeTest, EmptyTreeLookupsAreEmpty) {
+  EXPECT_EQ(tree_->root(), kInvalidPage);
+  auto rids = tree_->Lookup(5);
+  ASSERT_TRUE(rids.ok());
+  EXPECT_TRUE(rids->empty());
+  auto it = tree_->Seek(0, 100);
+  ASSERT_TRUE(it.ok());
+  BTreeEntry entry;
+  EXPECT_FALSE(it->Next(&entry));
+}
+
+TEST_F(BtreeTest, RandomInsertLookupTenThousand) {
+  std::vector<int64_t> keys(10000);
+  for (size_t i = 0; i < keys.size(); ++i) {
+    keys[i] = static_cast<int64_t>(i) * 3;  // gaps probe missing keys
+  }
+  std::mt19937 rng(42);
+  std::shuffle(keys.begin(), keys.end(), rng);
+  for (int64_t key : keys) {
+    ASSERT_TRUE(tree_->Insert(key, RidFor(key)).ok());
+  }
+  EXPECT_NE(tree_->root(), kInvalidPage);
+  for (int64_t key : keys) {
+    auto rids = tree_->Lookup(key);
+    ASSERT_TRUE(rids.ok());
+    ASSERT_EQ(rids->size(), 1u) << "key " << key;
+    EXPECT_EQ((*rids)[0], RidFor(key));
+  }
+  // Keys in the gaps are absent.
+  for (int64_t key : {1LL, 4LL, 29999LL}) {
+    auto rids = tree_->Lookup(key);
+    ASSERT_TRUE(rids.ok());
+    EXPECT_TRUE(rids->empty()) << "key " << key;
+  }
+}
+
+TEST_F(BtreeTest, DuplicateKeysKeepInsertionOrder) {
+  // Surround the duplicate run with enough other keys to force splits.
+  for (int64_t key = 0; key < 2000; ++key) {
+    ASSERT_TRUE(tree_->Insert(key, RidFor(key)).ok());
+  }
+  for (uint16_t i = 0; i < 5; ++i) {
+    ASSERT_TRUE(tree_->Insert(1000000, Rid{7, i}).ok());
+  }
+  auto rids = tree_->Lookup(1000000);
+  ASSERT_TRUE(rids.ok());
+  ASSERT_EQ(rids->size(), 5u);
+  for (uint16_t i = 0; i < 5; ++i) {
+    EXPECT_EQ((*rids)[i], (Rid{7, i}));
+  }
+}
+
+TEST_F(BtreeTest, DeleteRemovesExactEntry) {
+  for (int64_t key = 0; key < 3000; ++key) {
+    ASSERT_TRUE(tree_->Insert(key, RidFor(key)).ok());
+  }
+  auto deleted = tree_->Delete(1500, RidFor(1500));
+  ASSERT_TRUE(deleted.ok());
+  EXPECT_TRUE(*deleted);
+  EXPECT_TRUE(tree_->Lookup(1500)->empty());
+  // Deleting again (or a bogus rid) reports absence.
+  EXPECT_FALSE(*tree_->Delete(1500, RidFor(1500)));
+  EXPECT_FALSE(*tree_->Delete(1501, Rid{999, 0}));
+  EXPECT_EQ(tree_->Lookup(1501)->size(), 1u);
+}
+
+TEST_F(BtreeTest, SeekScansRangeInKeyOrder) {
+  std::vector<int64_t> keys;
+  for (int64_t key = 0; key < 5000; key += 2) keys.push_back(key);
+  std::mt19937 rng(7);
+  std::shuffle(keys.begin(), keys.end(), rng);
+  for (int64_t key : keys) {
+    ASSERT_TRUE(tree_->Insert(key, RidFor(key)).ok());
+  }
+  auto it = tree_->Seek(1001, 2001);  // both bounds between keys
+  ASSERT_TRUE(it.ok());
+  BTreeEntry entry;
+  int64_t expected = 1002;
+  while (it->Next(&entry)) {
+    EXPECT_EQ(entry.key, expected);
+    EXPECT_EQ(entry.rid, RidFor(expected));
+    expected += 2;
+  }
+  ASSERT_TRUE(it->status().ok());
+  EXPECT_EQ(expected, 2002);  // last yielded key was 2000
+}
+
+TEST_F(BtreeTest, BulkBuildMatchesInsertedTree) {
+  std::vector<BTreeEntry> entries;
+  for (int64_t key = 0; key < 8000; ++key) {
+    entries.push_back(BTreeEntry{key, RidFor(key)});
+  }
+  ASSERT_TRUE(tree_->BulkBuild(entries).ok());
+  EXPECT_NE(tree_->root(), kInvalidPage);
+  for (int64_t key : {0LL, 1LL, 4095LL, 7999LL}) {
+    auto rids = tree_->Lookup(key);
+    ASSERT_TRUE(rids.ok());
+    ASSERT_EQ(rids->size(), 1u) << "key " << key;
+    EXPECT_EQ((*rids)[0], RidFor(key));
+  }
+  // A full-range scan yields every entry in key order.
+  auto it = tree_->Seek(INT64_MIN, INT64_MAX);
+  ASSERT_TRUE(it.ok());
+  BTreeEntry entry;
+  int64_t expected = 0;
+  while (it->Next(&entry)) {
+    ASSERT_EQ(entry.key, expected);
+    ++expected;
+  }
+  ASSERT_TRUE(it->status().ok());
+  EXPECT_EQ(expected, 8000);
+  // The bulk-built tree accepts further point inserts.
+  ASSERT_TRUE(tree_->Insert(8000, RidFor(8000)).ok());
+  EXPECT_EQ(tree_->Lookup(8000)->size(), 1u);
+}
+
+TEST_F(BtreeTest, NegativeKeysOrderCorrectly) {
+  for (int64_t key = -500; key < 500; ++key) {
+    ASSERT_TRUE(tree_->Insert(key, RidFor(key + 500)).ok());
+  }
+  auto it = tree_->Seek(-500, -1);
+  ASSERT_TRUE(it.ok());
+  BTreeEntry entry;
+  int count = 0;
+  int64_t last = INT64_MIN;
+  while (it->Next(&entry)) {
+    EXPECT_GT(entry.key, last);
+    last = entry.key;
+    ++count;
+  }
+  EXPECT_EQ(count, 500);
+}
+
+}  // namespace
+}  // namespace storage
+}  // namespace minidb

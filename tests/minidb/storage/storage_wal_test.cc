@@ -1,0 +1,172 @@
+#include "minidb/storage/wal.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "util/files.h"
+
+namespace minidb {
+namespace storage {
+namespace {
+
+class WalTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto dir = pdgf::MakeTempDir("minidb_wal_");
+    ASSERT_TRUE(dir.ok()) << dir.status().ToString();
+    path_ = pdgf::JoinPath(*dir, "t.wal");
+  }
+
+  std::string ReadRaw() {
+    auto contents = pdgf::ReadFileToString(path_);
+    EXPECT_TRUE(contents.ok());
+    return contents.ok() ? *contents : "";
+  }
+
+  void WriteRaw(const std::string& contents) {
+    ASSERT_TRUE(pdgf::WriteStringToFile(path_, contents).ok());
+  }
+
+  std::string path_;
+};
+
+TEST_F(WalTest, AppendReadRoundtrip) {
+  {
+    auto wal = Wal::Open(path_, 7);
+    ASSERT_TRUE(wal.ok()) << wal.status().ToString();
+    ASSERT_TRUE((*wal)->Append(Wal::Op::kInsert, "row-bytes").ok());
+    ASSERT_TRUE((*wal)->Append(Wal::Op::kUpdate, "ord+row").ok());
+    ASSERT_TRUE((*wal)->Append(Wal::Op::kClear, "").ok());
+  }
+  auto log = Wal::ReadLog(path_);
+  ASSERT_TRUE(log.ok()) << log.status().ToString();
+  EXPECT_EQ(log->epoch, 7u);
+  EXPECT_FALSE(log->tail_torn);
+  ASSERT_EQ(log->records.size(), 3u);
+  EXPECT_EQ(log->records[0].op, Wal::Op::kInsert);
+  EXPECT_EQ(log->records[0].payload, "row-bytes");
+  EXPECT_EQ(log->records[1].op, Wal::Op::kUpdate);
+  EXPECT_EQ(log->records[1].payload, "ord+row");
+  EXPECT_EQ(log->records[2].op, Wal::Op::kClear);
+  EXPECT_EQ(log->records[2].payload, "");
+}
+
+TEST_F(WalTest, ReopenKeepsEpochAndAppends) {
+  {
+    auto wal = Wal::Open(path_, 3);
+    ASSERT_TRUE(wal.ok());
+    ASSERT_TRUE((*wal)->Append(Wal::Op::kInsert, "first").ok());
+  }
+  {
+    // Reopen must keep the on-disk epoch, not the caller's hint.
+    auto wal = Wal::Open(path_, 99);
+    ASSERT_TRUE(wal.ok());
+    EXPECT_EQ((*wal)->epoch(), 3u);
+    ASSERT_TRUE((*wal)->Append(Wal::Op::kInsert, "second").ok());
+  }
+  auto log = Wal::ReadLog(path_);
+  ASSERT_TRUE(log.ok());
+  EXPECT_EQ(log->epoch, 3u);
+  ASSERT_EQ(log->records.size(), 2u);
+  EXPECT_EQ(log->records[1].payload, "second");
+}
+
+TEST_F(WalTest, ResetStartsFreshEpoch) {
+  auto wal = Wal::Open(path_, 1);
+  ASSERT_TRUE(wal.ok());
+  ASSERT_TRUE((*wal)->Append(Wal::Op::kInsert, "old-epoch-row").ok());
+  ASSERT_TRUE((*wal)->Reset(2).ok());
+  EXPECT_EQ((*wal)->epoch(), 2u);
+  ASSERT_TRUE((*wal)->Append(Wal::Op::kInsert, "new-epoch-row").ok());
+  auto log = Wal::ReadLog(path_);
+  ASSERT_TRUE(log.ok());
+  EXPECT_EQ(log->epoch, 2u);
+  ASSERT_EQ(log->records.size(), 1u);
+  EXPECT_EQ(log->records[0].payload, "new-epoch-row");
+}
+
+TEST_F(WalTest, TruncatedTailStopsAtLastIntactRecord) {
+  {
+    auto wal = Wal::Open(path_, 1);
+    ASSERT_TRUE(wal.ok());
+    ASSERT_TRUE((*wal)->Append(Wal::Op::kInsert, "complete-one").ok());
+    ASSERT_TRUE((*wal)->Append(Wal::Op::kInsert, "complete-two").ok());
+    ASSERT_TRUE((*wal)->Append(Wal::Op::kInsert, "gets-truncated").ok());
+  }
+  std::string raw = ReadRaw();
+  // Chop into the middle of the last record's payload.
+  WriteRaw(raw.substr(0, raw.size() - 5));
+  auto log = Wal::ReadLog(path_);
+  ASSERT_TRUE(log.ok());
+  EXPECT_TRUE(log->tail_torn);
+  ASSERT_EQ(log->records.size(), 2u);
+  EXPECT_EQ(log->records[1].payload, "complete-two");
+
+  // TruncateTo drops the torn bytes; appends then extend cleanly.
+  {
+    auto wal = Wal::Open(path_, 1);
+    ASSERT_TRUE(wal.ok());
+    ASSERT_TRUE((*wal)->TruncateTo(log->valid_bytes).ok());
+    ASSERT_TRUE((*wal)->Append(Wal::Op::kInsert, "after-repair").ok());
+  }
+  auto repaired = Wal::ReadLog(path_);
+  ASSERT_TRUE(repaired.ok());
+  EXPECT_FALSE(repaired->tail_torn);
+  ASSERT_EQ(repaired->records.size(), 3u);
+  EXPECT_EQ(repaired->records[2].payload, "after-repair");
+}
+
+TEST_F(WalTest, CorruptedChecksumTearsTail) {
+  {
+    auto wal = Wal::Open(path_, 1);
+    ASSERT_TRUE(wal.ok());
+    ASSERT_TRUE((*wal)->Append(Wal::Op::kInsert, "intact").ok());
+    ASSERT_TRUE((*wal)->Append(Wal::Op::kInsert, "corrupted").ok());
+  }
+  std::string raw = ReadRaw();
+  raw[raw.size() - 1] ^= 0x5A;  // flip a payload byte of the last record
+  WriteRaw(raw);
+  auto log = Wal::ReadLog(path_);
+  ASSERT_TRUE(log.ok());
+  EXPECT_TRUE(log->tail_torn);
+  ASSERT_EQ(log->records.size(), 1u);
+  EXPECT_EQ(log->records[0].payload, "intact");
+}
+
+TEST_F(WalTest, MissingFileReadsAsEmptyLog) {
+  // A table that never logged has nothing to replay — not an error.
+  auto log = Wal::ReadLog(path_);
+  ASSERT_TRUE(log.ok());
+  EXPECT_TRUE(log->records.empty());
+  EXPECT_FALSE(log->tail_torn);
+}
+
+TEST(WalPayloadTest, OrdinalRoundtrip) {
+  std::string payload;
+  EncodeOrdinal(42, &payload);
+  payload += "rest";
+  uint64_t ordinal = 0;
+  std::string_view rest;
+  ASSERT_TRUE(DecodeOrdinal(payload, &ordinal, &rest).ok());
+  EXPECT_EQ(ordinal, 42u);
+  EXPECT_EQ(rest, "rest");
+  EXPECT_FALSE(DecodeOrdinal("abc", &ordinal, &rest).ok());
+}
+
+TEST(WalPayloadTest, OrdinalsRoundtrip) {
+  std::vector<size_t> ordinals = {3, 5, 8, 1000000};
+  std::string payload;
+  EncodeOrdinals(ordinals, &payload);
+  std::vector<size_t> decoded;
+  ASSERT_TRUE(DecodeOrdinals(payload, &decoded).ok());
+  EXPECT_EQ(decoded, ordinals);
+  // Count claims more entries than the payload holds.
+  EXPECT_FALSE(
+      DecodeOrdinals(payload.substr(0, payload.size() - 4), &decoded).ok());
+}
+
+}  // namespace
+}  // namespace storage
+}  // namespace minidb

@@ -56,6 +56,12 @@ if [[ "$RUN_TIER1" == 1 ]]; then
   # Inline vs. async writer stage against a throttled sink, plus the
   # default-scenario regression guard (WRITER_GATE_X / WRITER_REGRESSION_PCT).
   run ./build/bench/bench_fig5_scaleup 0.005 --writer-gate
+  echo "=== tier-1: bulk-load gate (paged bulk >= row-at-a-time ingest) ==="
+  # Self-calibrated: the same process loads TPC-H through the paged
+  # engine both ways and the bulk fast path must not lose to WAL-logged
+  # row inserts (LOAD_GATE_X, default 1.0). Also cross-checks that every
+  # engine/path combination digests to identical table bytes.
+  run ./build/bench/bench_load 0.01 --quick --load-gate
   echo "=== tier-1: serve daemon smoke (job + metrics + clean shutdown) ==="
   run tools/serve_smoke.sh ./build/tools/dbsynthpp
 fi
@@ -71,9 +77,9 @@ if [[ "$RUN_TSAN" == 1 ]]; then
   echo "=== sanitizer tier: TSan (concurrency suites) ==="
   run cmake --preset tsan
   run cmake --build --preset tsan -j "$(nproc)" --target \
-    tests_core tests_integration tests_cli tests_serve
+    tests_core tests_integration tests_cli tests_serve tests_minidb_storage
   run ctest --preset tsan --timeout "$CTEST_TIMEOUT" -R \
-    "Engine|Digest|SimCluster|Progress|Determinism|Cli|Metrics|NodeShare|Batch|Schedul|Writer|Serve"
+    "Engine|Digest|SimCluster|Progress|Determinism|Cli|Metrics|NodeShare|Batch|Schedul|Writer|Serve|Storage|Btree|Wal"
 fi
 
 echo "all requested tiers passed"
