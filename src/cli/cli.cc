@@ -4,6 +4,7 @@
 #include <cstdlib>
 #include <map>
 
+#include "common/topology.h"
 #include "core/config.h"
 #include "core/engine.h"
 #include "core/session.h"
@@ -147,8 +148,14 @@ int CmdGenerate(const ParsedArgs& args, std::string* output) {
   if (!formatter.ok()) return Fail(formatter.status(), output);
 
   pdgf::GenerationOptions options;
-  options.worker_count =
-      static_cast<int>(args.NumberFlagOr("workers", 1));
+  // --workers 0 sizes to the CPUs this process may actually run on (the
+  // affinity mask, which a container/cgroup cpuset shrinks), not the
+  // machine's full core count.
+  auto workers = CountFlagOr(args, "workers", 1, 0,
+                             "(0 sizes to the process affinity mask)");
+  if (!workers.ok()) return Fail(workers.status(), output);
+  options.worker_count = *workers > 0 ? static_cast<int>(*workers)
+                                      : pdgf::AffinityCpuCount();
   options.work_package_rows = static_cast<uint64_t>(
       args.NumberFlagOr("package-rows", 10000));
   options.node_count = static_cast<int>(args.NumberFlagOr("nodes", 1));
@@ -172,6 +179,13 @@ int CmdGenerate(const ParsedArgs& args, std::string* output) {
     auto scheduler = pdgf::ParseSchedulerKind(args.FlagOr("scheduler", ""));
     if (!scheduler.ok()) return Fail(scheduler.status(), output);
     options.scheduler = *scheduler;
+  }
+  // --numa overrides the DBSYNTHPP_NUMA environment default. Placement
+  // never changes output bytes; off|on|interleave produce identical data.
+  if (args.HasFlag("numa")) {
+    auto numa = pdgf::ParseNumaMode(args.FlagOr("numa", ""));
+    if (!numa.ok()) return Fail(numa.status(), output);
+    options.numa = *numa;
   }
   // --metrics-out writes the engine observability report (schema in
   // docs/metrics.md); --trace additionally records per-package spans.
@@ -648,6 +662,7 @@ struct VerifyConfig {
   bool sorted;
   pdgf::SchedulerKind scheduler = pdgf::SchedulerKind::kAtomic;
   int writer_threads = 1;  // engine default (async); 0 = inline
+  pdgf::NumaMode numa = pdgf::NumaMode::kOff;  // placement under test
 };
 
 // Resolves verify's model (LoadModelArg). Called twice when
@@ -672,6 +687,7 @@ StatusOr<pdgf::GenerationEngine::Stats> RunVerifyConfig(
   options.sorted_output = config.sorted;
   options.scheduler = config.scheduler;
   options.writer_threads = config.writer_threads;
+  options.numa = config.numa;
   options.compute_digests = true;
   options.metrics_enabled = collect_metrics;
   pdgf::SinkFactory factory =
@@ -774,15 +790,23 @@ int CmdVerify(const ParsedArgs& args, std::string* output) {
        SchedulerKind::kStriped, 1},
       {"workers=8 pkg=64 sorted striped w2", 8, 64, true,
        SchedulerKind::kStriped, 2},
+      {"workers=4 pkg=512 sorted numa", 4, 512, true, SchedulerKind::kNuma,
+       1, pdgf::NumaMode::kOn},
+      {"workers=8 pkg=64 sorted numa ilv w2", 8, 64, true,
+       SchedulerKind::kNuma, 2, pdgf::NumaMode::kInterleave},
       {"workers=2 pkg=4096 unsorted", 2, 4096, false},
       {"workers=8 pkg=511 unsorted", 8, 511, false},
       {"workers=4 pkg=511 unsorted striped w2", 4, 511, false,
        SchedulerKind::kStriped, 2},
+      {"workers=4 pkg=511 unsorted numa", 4, 511, false,
+       SchedulerKind::kNuma, 1, pdgf::NumaMode::kOn},
   };
   if (args.HasFlag("quick")) {
     matrix = {{"workers=2 pkg=997 sorted", 2, 997, true},
               {"workers=2 pkg=997 sorted striped w2", 2, 997, true,
                SchedulerKind::kStriped, 2},
+              {"workers=2 pkg=997 sorted numa", 2, 997, true,
+               SchedulerKind::kNuma, 1, pdgf::NumaMode::kOn},
               {"workers=4 pkg=4096 unsorted", 4, 4096, false}};
   }
   for (const VerifyConfig& config : matrix) {
@@ -1159,8 +1183,8 @@ std::string UsageText() {
       "           [--out DIR] [--workers N] [--package-rows N]\n"
       "           [--nodes N --node-id I] [--update U] [--unsorted]\n"
       "           [--digests] [--metrics-out FILE.json] [--trace]\n"
-      "           [--writer-threads N] [--scheduler atomic|striped]\n"
-      "           [--io-buffers N]\n"
+      "           [--writer-threads N] [--scheduler atomic|striped|numa]\n"
+      "           [--io-buffers N] [--numa off|on|interleave]\n"
       "  preview  <model.xml> <table> [--rows N] [--sf X]\n"
       "  ddl      (<model.xml> | --model tpch|ssb|imdb)\n"
       "  validate <model.xml> [--sf X]\n"

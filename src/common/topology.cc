@@ -1,0 +1,324 @@
+#include "common/topology.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <fstream>
+#include <mutex>
+#include <sstream>
+#include <thread>
+
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
+
+namespace pdgf {
+
+const char* NumaModeName(NumaMode mode) {
+  switch (mode) {
+    case NumaMode::kOff:
+      return "off";
+    case NumaMode::kOn:
+      return "on";
+    case NumaMode::kInterleave:
+      return "interleave";
+  }
+  return "off";
+}
+
+StatusOr<NumaMode> ParseNumaMode(const std::string& name) {
+  if (name == "off") return NumaMode::kOff;
+  if (name == "on") return NumaMode::kOn;
+  if (name == "interleave") return NumaMode::kInterleave;
+  return InvalidArgumentError("unknown numa mode '" + name +
+                              "': expected 'off', 'on' or 'interleave'");
+}
+
+NumaMode ActiveNumaMode() {
+  // -1 = not yet resolved; benign first-use race recomputes the same
+  // value (the DBSYNTHPP_SIMD discipline).
+  static std::atomic<int> g_mode{-1};
+  int mode = g_mode.load(std::memory_order_relaxed);
+  if (mode < 0) {
+    const char* env = std::getenv("DBSYNTHPP_NUMA");
+    NumaMode resolved = NumaMode::kOn;
+    if (env != nullptr) {
+      auto parsed = ParseNumaMode(env);
+      // Unrecognized values mean "best placement", like DBSYNTHPP_SIMD.
+      if (parsed.ok()) resolved = *parsed;
+    }
+    mode = static_cast<int>(resolved);
+    g_mode.store(mode, std::memory_order_relaxed);
+  }
+  return static_cast<NumaMode>(mode);
+}
+
+int AffinityCpuCount() {
+#if defined(__linux__)
+  cpu_set_t mask;
+  CPU_ZERO(&mask);
+  if (sched_getaffinity(0, sizeof(mask), &mask) == 0) {
+    int count = CPU_COUNT(&mask);
+    if (count > 0) return count;
+  }
+#endif
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+StatusOr<std::vector<int>> ParseCpuList(const std::string& text) {
+  std::vector<int> cpus;
+  // Trim trailing whitespace/newline the sysfs files carry.
+  std::string trimmed = text;
+  while (!trimmed.empty() &&
+         (trimmed.back() == '\n' || trimmed.back() == '\r' ||
+          trimmed.back() == ' ')) {
+    trimmed.pop_back();
+  }
+  if (trimmed.empty()) return cpus;  // a memory-only node: no CPUs
+  const std::string& s = trimmed;
+  const size_t n = s.size();
+  size_t i = 0;
+  auto read_int = [&](int* out) -> bool {
+    size_t start = i;
+    while (i < n && s[i] >= '0' && s[i] <= '9') ++i;
+    if (i == start || i - start > 9) return false;
+    *out = std::atoi(s.substr(start, i - start).c_str());
+    return true;
+  };
+  while (i < n) {
+    int begin = 0;
+    if (!read_int(&begin)) {
+      return InvalidArgumentError("malformed cpulist '" + trimmed + "'");
+    }
+    int end = begin;
+    if (i < n && s[i] == '-') {
+      ++i;
+      if (!read_int(&end) || end < begin) {
+        return InvalidArgumentError("malformed cpulist '" + trimmed + "'");
+      }
+    }
+    for (int cpu = begin; cpu <= end; ++cpu) cpus.push_back(cpu);
+    if (i < n) {
+      if (s[i] != ',') {
+        return InvalidArgumentError("malformed cpulist '" + trimmed + "'");
+      }
+      ++i;
+    }
+  }
+  std::sort(cpus.begin(), cpus.end());
+  cpus.erase(std::unique(cpus.begin(), cpus.end()), cpus.end());
+  return cpus;
+}
+
+namespace {
+
+// Reads one small sysfs file; empty optional on failure.
+bool ReadSmallFile(const std::string& path, std::string* out) {
+  std::ifstream in(path);
+  if (!in.good()) return false;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  *out = buffer.str();
+  return true;
+}
+
+// Single synthetic node covering the whole affinity mask (non-NUMA
+// hosts, non-Linux builds, unreadable sysfs).
+std::vector<TopologyNode> SyntheticSingleNode() {
+  TopologyNode node;
+  node.node_id = 0;
+#if defined(__linux__)
+  cpu_set_t mask;
+  CPU_ZERO(&mask);
+  if (sched_getaffinity(0, sizeof(mask), &mask) == 0) {
+    for (int cpu = 0; cpu < CPU_SETSIZE; ++cpu) {
+      if (CPU_ISSET(cpu, &mask)) node.cpus.push_back(cpu);
+    }
+  }
+#endif
+  if (node.cpus.empty()) {
+    int count = AffinityCpuCount();
+    for (int cpu = 0; cpu < count; ++cpu) node.cpus.push_back(cpu);
+  }
+  return {node};
+}
+
+}  // namespace
+
+Topology Topology::Detect() {
+  Topology topology;
+#if defined(__linux__)
+  cpu_set_t affinity;
+  CPU_ZERO(&affinity);
+  const bool have_affinity =
+      sched_getaffinity(0, sizeof(affinity), &affinity) == 0;
+
+  std::string online;
+  if (have_affinity &&
+      ReadSmallFile("/sys/devices/system/node/online", &online)) {
+    auto node_ids = ParseCpuList(online);
+    if (node_ids.ok()) {
+      for (int id : *node_ids) {
+        std::string cpulist;
+        if (!ReadSmallFile("/sys/devices/system/node/node" +
+                               std::to_string(id) + "/cpulist",
+                           &cpulist)) {
+          continue;
+        }
+        auto cpus = ParseCpuList(cpulist);
+        if (!cpus.ok()) continue;
+        TopologyNode node;
+        node.node_id = id;
+        for (int cpu : *cpus) {
+          if (cpu < CPU_SETSIZE && CPU_ISSET(cpu, &affinity)) {
+            node.cpus.push_back(cpu);
+          }
+        }
+        // Memory-only nodes and nodes fully outside the cpuset cannot
+        // host threads; drop them so every listed node is schedulable.
+        if (!node.cpus.empty()) topology.nodes_.push_back(std::move(node));
+      }
+    }
+  }
+  topology.can_bind_ = have_affinity;
+#endif
+  if (topology.nodes_.empty()) {
+    topology.nodes_ = SyntheticSingleNode();
+  }
+  for (const TopologyNode& node : topology.nodes_) {
+    topology.cpu_count_ += static_cast<int>(node.cpus.size());
+  }
+  return topology;
+}
+
+const Topology& Topology::System() {
+  static const Topology* system = new Topology(Detect());
+  return *system;
+}
+
+Topology Topology::ForTest(std::vector<std::vector<int>> node_cpus) {
+  Topology topology;
+  for (size_t n = 0; n < node_cpus.size(); ++n) {
+    TopologyNode node;
+    node.node_id = static_cast<int>(n);
+    node.cpus = std::move(node_cpus[n]);
+    topology.cpu_count_ += static_cast<int>(node.cpus.size());
+    topology.nodes_.push_back(std::move(node));
+  }
+  if (topology.nodes_.empty()) {
+    topology.nodes_.push_back(TopologyNode{});
+  }
+  topology.can_bind_ = false;
+  return topology;
+}
+
+std::vector<int> Topology::WorkersPerNode(int worker_count) const {
+  if (worker_count < 0) worker_count = 0;
+  const int nodes = node_count();
+  std::vector<int> per_node(static_cast<size_t>(nodes), 0);
+  if (nodes == 0) return per_node;
+  // Proportional contiguous split by CPU share: node i's worker block is
+  // [floor(W * cum_i / total), floor(W * cum_{i+1} / total)). Falls back
+  // to an even split when the CPU counts are degenerate (all zero).
+  int64_t total_cpus = 0;
+  for (const TopologyNode& node : nodes_) {
+    total_cpus += static_cast<int64_t>(node.cpus.size());
+  }
+  int64_t cumulative = 0;
+  int64_t previous_bound = 0;
+  for (int n = 0; n < nodes; ++n) {
+    cumulative += total_cpus > 0
+                      ? static_cast<int64_t>(nodes_[static_cast<size_t>(n)]
+                                                 .cpus.size())
+                      : 1;
+    const int64_t denominator = total_cpus > 0 ? total_cpus : nodes;
+    int64_t bound = static_cast<int64_t>(worker_count) * cumulative /
+                    denominator;
+    per_node[static_cast<size_t>(n)] =
+        static_cast<int>(bound - previous_bound);
+    previous_bound = bound;
+  }
+  return per_node;
+}
+
+int Topology::NodeForWorker(int worker, int worker_count) const {
+  if (worker_count < 1) worker_count = 1;
+  if (worker < 0) worker = 0;
+  if (worker >= worker_count) worker = worker_count - 1;
+  std::vector<int> per_node = WorkersPerNode(worker_count);
+  int begin = 0;
+  for (size_t n = 0; n < per_node.size(); ++n) {
+    int end = begin + per_node[n];
+    if (worker < end) return static_cast<int>(n);
+    begin = end;
+  }
+  // Rounding drift assigns stragglers to the last node with CPUs.
+  return node_count() - 1;
+}
+
+Status Topology::BindCurrentThread(int node) const {
+  if (node < 0 || node >= node_count()) {
+    return InvalidArgumentError("no topology node " + std::to_string(node));
+  }
+  if (!can_bind_) return Status::Ok();
+#if defined(__linux__)
+  const TopologyNode& target = nodes_[static_cast<size_t>(node)];
+  if (target.cpus.empty()) return Status::Ok();
+  cpu_set_t mask;
+  CPU_ZERO(&mask);
+  for (int cpu : target.cpus) {
+    if (cpu >= 0 && cpu < CPU_SETSIZE) CPU_SET(cpu, &mask);
+  }
+  // Best effort: a cpuset shrinking between detection and bind must not
+  // fail the run — placement is an optimization, never a correctness
+  // requirement.
+  (void)pthread_setaffinity_np(pthread_self(), sizeof(mask), &mask);
+#endif
+  return Status::Ok();
+}
+
+Status Topology::BindCurrentThreadToCpu(int cpu) const {
+  if (!can_bind_) return Status::Ok();
+#if defined(__linux__)
+  if (cpu < 0 || cpu >= CPU_SETSIZE) {
+    return InvalidArgumentError("cpu id out of range: " +
+                                std::to_string(cpu));
+  }
+  cpu_set_t mask;
+  CPU_ZERO(&mask);
+  CPU_SET(cpu, &mask);
+  (void)pthread_setaffinity_np(pthread_self(), sizeof(mask), &mask);
+#else
+  (void)cpu;
+#endif
+  return Status::Ok();
+}
+
+std::string Topology::Describe() const {
+  std::string out = std::to_string(node_count()) + " node" +
+                    (node_count() == 1 ? "" : "s") + ":";
+  for (const TopologyNode& node : nodes_) {
+    out += " node" + std::to_string(node.node_id) + " cpus";
+    // Compress ascending runs back into the sysfs range style.
+    size_t i = 0;
+    bool first = true;
+    while (i < node.cpus.size()) {
+      size_t j = i;
+      while (j + 1 < node.cpus.size() &&
+             node.cpus[j + 1] == node.cpus[j] + 1) {
+        ++j;
+      }
+      out += first ? " " : ",";
+      first = false;
+      out += std::to_string(node.cpus[i]);
+      if (j > i) out += "-" + std::to_string(node.cpus[j]);
+      i = j + 1;
+    }
+    if (node.cpus.empty()) out += " none";
+  }
+  return out;
+}
+
+}  // namespace pdgf

@@ -45,6 +45,29 @@ Status GenerationEngine::Run(ProgressTracker* progress) {
   }
   if (options_.work_package_rows < 1) options_.work_package_rows = 1;
 
+  // NUMA placement. Every decision below is an optimization only —
+  // which node generates a package, which free list a buffer sits on and
+  // where a thread runs never change the bytes produced. A single-node
+  // topology (or numa=off) degenerates to the historical behaviour.
+  const Topology& topology =
+      options_.topology != nullptr ? *options_.topology : Topology::System();
+  const bool placement_on =
+      options_.numa != NumaMode::kOff && topology.node_count() > 1;
+  // Worker -> home node map. kOn places contiguous proportional blocks
+  // (workers sharing a node share their stripe's cache traffic only);
+  // kInterleave round-robins workers across nodes so every table's
+  // packages spread over all memory controllers.
+  std::vector<int> worker_nodes(static_cast<size_t>(options_.worker_count),
+                                0);
+  if (placement_on) {
+    for (int w = 0; w < options_.worker_count; ++w) {
+      worker_nodes[static_cast<size_t>(w)] =
+          options_.numa == NumaMode::kInterleave
+              ? w % topology.node_count()
+              : topology.NodeForWorker(w, options_.worker_count);
+    }
+  }
+
   // Sorted-mode reorder bound: enough headroom that workers rarely
   // block, small enough that a stalled package cannot buffer the rest of
   // the table in memory. Inline mode parks up to this many packages per
@@ -102,8 +125,9 @@ Status GenerationEngine::Run(ProgressTracker* progress) {
   const std::vector<WorkPackage> packages =
       BuildWorkPackages(table_rows, options_.work_package_rows,
                         options_.node_count, options_.node_id);
-  std::unique_ptr<Scheduler> scheduler = MakeScheduler(
-      options_.scheduler, packages.size(), options_.worker_count);
+  std::unique_ptr<Scheduler> scheduler =
+      MakeScheduler(options_.scheduler, packages.size(),
+                    options_.worker_count, worker_nodes);
 
   Stopwatch stopwatch;
   std::atomic<bool> failed{false};
@@ -163,7 +187,8 @@ Status GenerationEngine::Run(ProgressTracker* progress) {
     }
     const size_t capacity =
         std::max<size_t>(static_cast<size_t>(options_.io_buffers), floor);
-    pool = std::make_unique<BufferPool>(capacity);
+    pool = std::make_unique<BufferPool>(
+        capacity, placement_on ? topology.node_count() : 1);
     std::vector<TableOutput*> raw_outputs;
     raw_outputs.reserve(outputs.size());
     for (std::unique_ptr<TableOutput>& output : outputs) {
@@ -174,6 +199,48 @@ Status GenerationEngine::Run(ProgressTracker* progress) {
     writer_options.sorted = options_.sorted_output;
     writer_options.reorder_window = window;
     writer_options.metrics = metrics_on;
+    if (placement_on && options_.scheduler == SchedulerKind::kNuma &&
+        !packages.empty()) {
+      // Route each writer thread to the node that generates the bulk of
+      // the packages of the tables it serves, using the same stripe
+      // split the kNuma scheduler dispatches with (packages are
+      // table-major, so package index i in [bounds[n], bounds[n+1])
+      // belongs to node n's stripe).
+      const size_t thread_count = std::min<size_t>(
+          static_cast<size_t>(options_.writer_threads), outputs.size());
+      std::vector<int> per_node(
+          static_cast<size_t>(topology.node_count()), 0);
+      for (int node : worker_nodes) {
+        if (node >= 0 && node < topology.node_count()) {
+          ++per_node[static_cast<size_t>(node)];
+        }
+      }
+      const std::vector<uint64_t> bounds =
+          PartitionPackagesByNode(packages.size(), per_node);
+      std::vector<std::vector<uint64_t>> counts(
+          thread_count, std::vector<uint64_t>(
+                            static_cast<size_t>(topology.node_count()), 0));
+      for (int n = 0; n < topology.node_count(); ++n) {
+        for (uint64_t i = bounds[static_cast<size_t>(n)];
+             i < bounds[static_cast<size_t>(n) + 1]; ++i) {
+          const size_t thread =
+              static_cast<size_t>(packages[i].table_index) % thread_count;
+          ++counts[thread][static_cast<size_t>(n)];
+        }
+      }
+      writer_options.thread_nodes.assign(thread_count, 0);
+      for (size_t th = 0; th < thread_count; ++th) {
+        int best = 0;
+        for (int n = 1; n < topology.node_count(); ++n) {
+          if (counts[th][static_cast<size_t>(n)] >
+              counts[th][static_cast<size_t>(best)]) {
+            best = n;
+          }
+        }
+        writer_options.thread_nodes[th] = best;
+      }
+      writer_options.topology = &topology;
+    }
     writer = std::make_unique<WriterStage>(std::move(raw_outputs),
                                            pool.get(), writer_options,
                                            record_failure);
@@ -185,6 +252,11 @@ Status GenerationEngine::Run(ProgressTracker* progress) {
       options_.batch_rows < 1 ? 1 : options_.batch_rows;
 
   auto worker_main = [&](int worker_id) {
+    const int home_node =
+        worker_id >= 0 &&
+                worker_id < static_cast<int>(worker_nodes.size())
+            ? worker_nodes[static_cast<size_t>(worker_id)]
+            : 0;
     std::vector<Value> row;
     std::string inline_buffer;
     std::string pooled_buffer;
@@ -219,7 +291,11 @@ Status GenerationEngine::Run(ProgressTracker* progress) {
           break;  // run aborted
         }
         const int64_t t0 = metrics_on ? MetricsNowNanos() : 0;
-        if (!pool->Acquire(&pooled_buffer)) break;  // run aborted
+        // Node-routed acquire: the home free list first, then a fresh
+        // allocation this thread first-touches on its own node.
+        if (!pool->AcquireOnNode(home_node, &pooled_buffer)) {
+          break;  // run aborted
+        }
         if (metrics_on) backpressure_nanos += MetricsNowNanos() - t0;
       } else {
         inline_buffer.clear();
@@ -326,9 +402,10 @@ Status GenerationEngine::Run(ProgressTracker* progress) {
       const size_t buffer_bytes = buffer.size();
       if (async_writer) {
         // Hand-off is a queue push — the buffer (and its heap block)
-        // travels to the writer thread and comes back via the pool.
+        // travels to the writer thread and comes back via the pool,
+        // landing on its home node's free list.
         writer->Submit(table_index, package.sequence,
-                       std::move(pooled_buffer));
+                       std::move(pooled_buffer), home_node);
       } else {
         Status status = outputs[table_index]->Deliver(
             package.sequence, buffer,
@@ -400,6 +477,7 @@ Status GenerationEngine::Run(ProgressTracker* progress) {
       }
     }
     if (metrics_on) {
+      local_metrics.set_node(home_node);
       local_metrics.set_active_nanos(MetricsNowNanos() - worker_start);
       std::lock_guard<std::mutex> lock(metrics_mutex);
       metrics_report.MergeWorker(local_metrics);
@@ -407,12 +485,21 @@ Status GenerationEngine::Run(ProgressTracker* progress) {
   };
 
   if (options_.worker_count == 1) {
+    // Runs inline on the caller's thread — never pinned, so the engine
+    // cannot leak an affinity mask back to the caller.
     worker_main(0);
   } else {
     std::vector<std::thread> workers;
     workers.reserve(static_cast<size_t>(options_.worker_count));
     for (int w = 0; w < options_.worker_count; ++w) {
-      workers.emplace_back(worker_main, w);
+      workers.emplace_back([&worker_main, &topology, &worker_nodes,
+                            placement_on, w]() {
+        if (placement_on) {
+          (void)topology.BindCurrentThread(
+              worker_nodes[static_cast<size_t>(w)]);
+        }
+        worker_main(w);
+      });
     }
     for (std::thread& worker : workers) {
       worker.join();
@@ -473,6 +560,8 @@ Status GenerationEngine::Run(ProgressTracker* progress) {
   if (metrics_on) {
     metrics_report.enabled = true;
     metrics_report.simd_dispatch = simd::SimdDispatchName();
+    metrics_report.numa_mode = NumaModeName(options_.numa);
+    metrics_report.topology = topology.Describe();
     metrics_report.wall_seconds = stats_.seconds;
     metrics_report.rows = stats_.rows;
     metrics_report.bytes = stats_.bytes;
@@ -513,6 +602,23 @@ Status GenerationEngine::Run(ProgressTracker* progress) {
       metrics_report.buffer_pool.capacity = pool->capacity();
       metrics_report.buffer_pool.allocations = pool->allocations();
       metrics_report.buffer_pool.peak_in_flight = pool->peak_in_flight();
+      metrics_report.buffer_pool.node_domains =
+          static_cast<uint64_t>(pool->node_count());
+      metrics_report.buffer_pool.cross_node_acquires =
+          pool->cross_node_acquires();
+    }
+    // Steal counters come from the dispatch layer (kNuma only); the
+    // rows/bytes/packages per node were rolled up at worker join.
+    for (const SchedulerNodeReport& node_report :
+         scheduler->node_reports()) {
+      const size_t n = static_cast<size_t>(node_report.node);
+      if (metrics_report.nodes.size() <= n) {
+        metrics_report.nodes.resize(n + 1);
+        for (size_t i = 0; i < metrics_report.nodes.size(); ++i) {
+          metrics_report.nodes[i].node = static_cast<int>(i);
+        }
+      }
+      metrics_report.nodes[n].steals = node_report.steals;
     }
     metrics_report.Finalize();
     stats_.metrics = std::move(metrics_report);

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "common/topology.h"
 #include "core/metrics/metrics.h"
 #include "core/output/formatter.h"
 #include "core/output/sink.h"
@@ -89,6 +90,21 @@ struct GenerationOptions {
   // floor (worker_count + 1 + tables x (reorder window - 1) in sorted
   // mode) are raised to it.
   uint64_t io_buffers = 0;
+  // NUMA placement (common/topology.h). Placement is pure optimization:
+  // output bytes and digests are identical in every mode.
+  //   kOff        — no pinning, single-domain buffer pool (historical).
+  //   kOn         — workers pinned in contiguous proportional blocks per
+  //                 node, per-node pool domains, writer threads routed to
+  //                 the node generating the bulk of their tables' packages
+  //                 (the kNuma scheduler's stripe split).
+  //   kInterleave — workers pinned round-robin across nodes (bandwidth
+  //                 interleaving); pool domains and writer routing as kOn.
+  // Defaults to the DBSYNTHPP_NUMA environment override (on when unset).
+  // On a single-node topology every mode degenerates to kOff behaviour.
+  NumaMode numa = ActiveNumaMode();
+  // Topology override for tests (Topology::ForTest); null = the detected
+  // system topology. Borrowed; must outlive the run.
+  const Topology* topology = nullptr;
 };
 
 // Creates the sink for a table. Invoked once per table at run start.

@@ -56,6 +56,7 @@ void WorkerMetrics::AddTrace(const char* name, int table_index,
 void MetricsReport::MergeWorker(const WorkerMetrics& worker) {
   WorkerReport report;
   report.worker = static_cast<int>(workers.size());
+  report.node = worker.node();
   report.active_seconds = static_cast<double>(worker.active_nanos()) * 1e-9;
   for (int p = 0; p < kPhaseCount; ++p) {
     report.phase_seconds[p] =
@@ -81,6 +82,21 @@ void MetricsReport::MergeWorker(const WorkerMetrics& worker) {
     trace.push_back(tagged);
   }
   dropped_trace_events += worker.dropped_trace_events();
+  // Per-node rollup (workers merge in completion order, so the node is
+  // carried in the accumulator, not derived from the merge index).
+  if (report.node >= 0) {
+    if (nodes.size() <= static_cast<size_t>(report.node)) {
+      nodes.resize(static_cast<size_t>(report.node) + 1);
+      for (size_t n = 0; n < nodes.size(); ++n) {
+        nodes[n].node = static_cast<int>(n);
+      }
+    }
+    NodeReport& node = nodes[static_cast<size_t>(report.node)];
+    node.workers += 1;
+    node.rows += report.rows;
+    node.bytes += report.bytes;
+    node.packages += report.packages;
+  }
   workers.push_back(report);
 }
 
@@ -253,6 +269,10 @@ std::string MetricsReport::ToJson(bool pretty) const {
   json.Number(worker_count);
   json.Key("simd_dispatch");
   json.String(simd_dispatch);
+  json.Key("numa_mode");
+  json.String(numa_mode);
+  json.Key("topology");
+  json.String(topology);
   json.Key("phase_seconds");
   EmitPhases(&json, phase_seconds);
   json.Key("workers");
@@ -261,6 +281,8 @@ std::string MetricsReport::ToJson(bool pretty) const {
     json.BeginObject();
     json.Key("worker");
     json.Number(worker.worker);
+    json.Key("node");
+    json.Number(worker.node);
     json.Key("active_seconds");
     json.Number(worker.active_seconds);
     json.Key("rows");
@@ -320,7 +342,30 @@ std::string MetricsReport::ToJson(bool pretty) const {
   json.Number(buffer_pool.allocations);
   json.Key("peak_in_flight");
   json.Number(buffer_pool.peak_in_flight);
+  json.Key("node_domains");
+  json.Number(buffer_pool.node_domains);
+  json.Key("cross_node_acquires");
+  json.Number(buffer_pool.cross_node_acquires);
   json.EndObject();
+  json.Key("nodes");
+  json.BeginArray();
+  for (const NodeReport& node : nodes) {
+    json.BeginObject();
+    json.Key("node");
+    json.Number(node.node);
+    json.Key("workers");
+    json.Number(node.workers);
+    json.Key("rows");
+    json.Number(node.rows);
+    json.Key("bytes");
+    json.Number(node.bytes);
+    json.Key("packages");
+    json.Number(node.packages);
+    json.Key("steals");
+    json.Number(node.steals);
+    json.EndObject();
+  }
+  json.EndArray();
   if (!trace.empty() || dropped_trace_events > 0) {
     json.Key("dropped_trace_events");
     json.Number(dropped_trace_events);

@@ -88,6 +88,9 @@ class WorkerMetrics {
                 int64_t start_nanos, int64_t duration_nanos);
 
   void set_active_nanos(int64_t nanos) { active_nanos_ = nanos; }
+  // Home topology node of the owning worker (0 when placement is off).
+  void set_node(int node) { node_ = node; }
+  int node() const { return node_; }
 
   int64_t phase_nanos(Phase phase) const {
     return phase_nanos_[static_cast<size_t>(phase)];
@@ -104,6 +107,7 @@ class WorkerMetrics {
  private:
   int64_t phase_nanos_[kPhaseCount] = {};
   int64_t active_nanos_ = 0;
+  int node_ = 0;
   std::vector<uint64_t> table_rows_;
   std::vector<uint64_t> table_bytes_;
   std::vector<uint64_t> table_packages_;
@@ -152,6 +156,7 @@ struct MetricsReport {
 
   struct WorkerReport {
     int worker = 0;
+    int node = 0;                        // home topology node (v2 additive)
     double active_seconds = 0;           // worker loop entry to exit
     double phase_seconds[kPhaseCount] = {};
     uint64_t rows = 0;
@@ -183,6 +188,19 @@ struct MetricsReport {
     uint64_t capacity = 0;
     uint64_t allocations = 0;     // buffers materialized (warm-up cost)
     uint64_t peak_in_flight = 0;
+    uint64_t node_domains = 0;        // per-node free lists (1 = placement off)
+    uint64_t cross_node_acquires = 0;  // acquires served off-node
+  };
+
+  // Per-NUMA-node aggregate (schema v2 additive; collapses to a single
+  // node-0 entry when placement is off or the host is single-node).
+  struct NodeReport {
+    int node = 0;
+    uint64_t workers = 0;   // workers homed on this node
+    uint64_t rows = 0;
+    uint64_t bytes = 0;     // formatted row bytes produced by those workers
+    uint64_t packages = 0;  // packages claimed by those workers
+    uint64_t steals = 0;    // of those, claimed from a remote node's stripe
   };
 
   bool enabled = false;
@@ -191,6 +209,11 @@ struct MetricsReport {
   // "avx2" | "neon"; see common/simd.h). Additive to schema v2 — bytes
   // and digests never depend on it, so it is context, not a config knob.
   std::string simd_dispatch;
+  // NUMA context (v2 additive): the active DBSYNTHPP_NUMA mode ("off" |
+  // "on" | "interleave") and a human-readable topology line. Context,
+  // not a config knob — bytes and digests never depend on placement.
+  std::string numa_mode;
+  std::string topology;
   double wall_seconds = 0;
   uint64_t rows = 0;
   uint64_t bytes = 0;
@@ -205,6 +228,7 @@ struct MetricsReport {
   std::vector<TableReport> tables;
   std::vector<WriterThreadReport> writer_threads;
   BufferPoolReport buffer_pool;
+  std::vector<NodeReport> nodes;
   // Populated only when trace collection was enabled; merged across
   // workers and sorted by start time.
   std::vector<TraceEvent> trace;

@@ -82,23 +82,43 @@ uint64_t TableOutput::reorder_high_water() {
 
 // --- BufferPool ------------------------------------------------------
 
-BufferPool::BufferPool(size_t capacity)
-    : capacity_(capacity < 1 ? 1 : capacity) {
-  free_.reserve(capacity_);
-}
+BufferPool::BufferPool(size_t capacity, int node_count)
+    : capacity_(capacity < 1 ? 1 : capacity),
+      free_(static_cast<size_t>(node_count < 1 ? 1 : node_count)) {}
 
-bool BufferPool::Acquire(std::string* out) {
+bool BufferPool::AcquireOnNode(int node, std::string* out) {
+  const size_t home =
+      node >= 0 && node < static_cast<int>(free_.size())
+          ? static_cast<size_t>(node)
+          : 0;
   std::unique_lock<std::mutex> lock(mutex_);
-  while (!aborted_ && free_.empty() && in_flight_ >= capacity_) {
+  while (!aborted_ && free_total_ == 0 && in_flight_ >= capacity_) {
     available_.wait(lock);
   }
   if (aborted_) return false;
-  if (free_.empty()) {
+  // Preference order: the home domain's recycled buffer, then a fresh
+  // allocation (its pages fault first-touch on the calling thread, i.e.
+  // node-local), then a remote domain's recycled buffer. Materialized
+  // buffers (in flight + free) never exceed capacity.
+  std::vector<std::string>* source = nullptr;
+  if (!free_[home].empty()) {
+    source = &free_[home];
+  } else if (in_flight_ + free_total_ < capacity_) {
     ++allocations_;
     out->clear();
   } else {
-    *out = std::move(free_.back());
-    free_.pop_back();
+    for (size_t n = 0; n < free_.size() && source == nullptr; ++n) {
+      if (!free_[n].empty()) source = &free_[n];
+    }
+    if (source != nullptr) ++cross_node_acquires_;
+    // source == nullptr is unreachable: free_total_ == 0 implies
+    // in_flight_ < capacity_ (the wait condition), i.e. the fresh
+    // branch above was taken.
+  }
+  if (source != nullptr) {
+    *out = std::move(source->back());
+    source->pop_back();
+    --free_total_;
     out->clear();  // clear() keeps the heap block for reuse
   }
   ++in_flight_;
@@ -106,10 +126,15 @@ bool BufferPool::Acquire(std::string* out) {
   return true;
 }
 
-void BufferPool::Release(std::string buffer) {
+void BufferPool::ReleaseToNode(int node, std::string buffer) {
+  const size_t home =
+      node >= 0 && node < static_cast<int>(free_.size())
+          ? static_cast<size_t>(node)
+          : 0;
   std::lock_guard<std::mutex> lock(mutex_);
   if (in_flight_ > 0) --in_flight_;
-  free_.push_back(std::move(buffer));
+  free_[home].push_back(std::move(buffer));
+  ++free_total_;
   available_.notify_one();
 }
 
@@ -127,6 +152,11 @@ uint64_t BufferPool::allocations() {
 uint64_t BufferPool::peak_in_flight() {
   std::lock_guard<std::mutex> lock(mutex_);
   return peak_in_flight_;
+}
+
+uint64_t BufferPool::cross_node_acquires() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return cross_node_acquires_;
 }
 
 // --- WriterStage -----------------------------------------------------
@@ -191,14 +221,14 @@ bool WriterStage::WaitForTurn(size_t table, uint64_t sequence,
   return !aborted_.load(std::memory_order_relaxed);
 }
 
-void WriterStage::Submit(size_t table, uint64_t sequence,
-                         std::string buffer) {
+void WriterStage::Submit(size_t table, uint64_t sequence, std::string buffer,
+                         int node) {
   TableChannel& channel = channels_[table];
   WriterThread& writer = *threads_[channel.writer];
   {
     std::lock_guard<std::mutex> lock(writer.mutex);
     if (!aborted_.load(std::memory_order_relaxed)) {
-      writer.queue.push_back(Item{table, sequence, std::move(buffer)});
+      writer.queue.push_back(Item{table, sequence, node, std::move(buffer)});
       writer.queue_high_water =
           std::max<uint64_t>(writer.queue_high_water, writer.queue.size());
       writer.work.notify_one();
@@ -207,7 +237,7 @@ void WriterStage::Submit(size_t table, uint64_t sequence,
   }
   // Aborted: shed straight back to the pool so no worker blocked in
   // Acquire waits on a buffer that would never return.
-  pool_->Release(std::move(buffer));
+  pool_->ReleaseToNode(node, std::move(buffer));
 }
 
 void WriterStage::Abort() {
@@ -226,7 +256,7 @@ void WriterStage::Abort() {
   pool_->Abort();
 }
 
-bool WriterStage::WriteAndRecycle(size_t table, std::string buffer,
+bool WriterStage::WriteAndRecycle(size_t table, std::string buffer, int node,
                                   WriterThread* thread) {
   const bool timed = options_.metrics;
   const int64_t t0 = timed ? MetricsNowNanos() : 0;
@@ -234,7 +264,7 @@ bool WriterStage::WriteAndRecycle(size_t table, std::string buffer,
   if (timed) thread->write_nanos += MetricsNowNanos() - t0;
   thread->packages += 1;
   thread->bytes += buffer.size();
-  pool_->Release(std::move(buffer));
+  pool_->ReleaseToNode(node, std::move(buffer));
   if (!status.ok()) {
     // First-error-wins lives in the engine's failure recorder; Abort
     // first so this stage sheds consistently even with a no-op callback.
@@ -247,6 +277,14 @@ bool WriterStage::WriteAndRecycle(size_t table, std::string buffer,
 
 void WriterStage::ThreadMain(size_t writer_index) {
   WriterThread& writer = *threads_[writer_index];
+  // NUMA routing: park this thread on the node that generates the bulk
+  // of its tables' packages, so the sink write reads node-local buffer
+  // pages. Best effort; never a correctness requirement.
+  if (options_.topology != nullptr &&
+      writer_index < options_.thread_nodes.size()) {
+    (void)options_.topology->BindCurrentThread(
+        options_.thread_nodes[writer_index]);
+  }
   const bool timed = options_.metrics;
   std::unique_lock<std::mutex> lock(writer.mutex);
   while (true) {
@@ -267,8 +305,10 @@ void WriterStage::ThreadMain(size_t writer_index) {
     TableChannel& channel = channels_[item.table];
     if (options_.sorted && item.sequence != channel.next_sequence) {
       // Out of order: park (bounded by the reorder window — producers
-      // cannot submit past it, so parked.size() < reorder_window).
-      channel.parked.emplace(item.sequence, std::move(item.buffer));
+      // cannot submit past it, so parked.size() < reorder_window). The
+      // whole Item is parked so the buffer's home node survives parking.
+      uint64_t sequence = item.sequence;
+      channel.parked.emplace(sequence, std::move(item));
       channel.parked_high_water = std::max<uint64_t>(
           channel.parked_high_water, channel.parked.size());
       continue;
@@ -276,7 +316,8 @@ void WriterStage::ThreadMain(size_t writer_index) {
     // Sink I/O happens outside the mutex: producers keep enqueueing at
     // memory speed while this thread is stuck in a slow write.
     lock.unlock();
-    bool ok = WriteAndRecycle(item.table, std::move(item.buffer), &writer);
+    bool ok = WriteAndRecycle(item.table, std::move(item.buffer), item.node,
+                              &writer);
     lock.lock();
     if (!ok || !options_.sorted) continue;
     ++channel.next_sequence;
@@ -284,10 +325,11 @@ void WriterStage::ThreadMain(size_t writer_index) {
     while (!aborted_.load(std::memory_order_relaxed) &&
            !channel.parked.empty() &&
            channel.parked.begin()->first == channel.next_sequence) {
-      std::string next = std::move(channel.parked.begin()->second);
+      Item next = std::move(channel.parked.begin()->second);
       channel.parked.erase(channel.parked.begin());
       lock.unlock();
-      ok = WriteAndRecycle(item.table, std::move(next), &writer);
+      ok = WriteAndRecycle(item.table, std::move(next.buffer), next.node,
+                           &writer);
       lock.lock();
       if (!ok) break;
       ++channel.next_sequence;
@@ -297,7 +339,8 @@ void WriterStage::ThreadMain(size_t writer_index) {
   // Shed whatever is still queued (abort path; empty on clean shutdown)
   // so every pooled buffer finds its way home.
   while (!writer.queue.empty()) {
-    pool_->Release(std::move(writer.queue.front().buffer));
+    pool_->ReleaseToNode(writer.queue.front().node,
+                         std::move(writer.queue.front().buffer));
     writer.queue.pop_front();
   }
 }
@@ -325,7 +368,8 @@ Status WriterStage::Finish() {
   }
   for (TableChannel& channel : channels_) {
     while (!channel.parked.empty()) {
-      pool_->Release(std::move(channel.parked.begin()->second));
+      Item& parked = channel.parked.begin()->second;
+      pool_->ReleaseToNode(parked.node, std::move(parked.buffer));
       channel.parked.erase(channel.parked.begin());
     }
   }

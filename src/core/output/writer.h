@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "common/topology.h"
 #include "core/metrics/metrics.h"
 #include "core/output/sink.h"
 
@@ -104,33 +105,53 @@ class TableOutput {
 // the hot path allocates nothing for payload bytes. Abort unblocks every
 // waiter; subsequent Acquire calls fail so an errored run winds down
 // instead of deadlocking.
+//
+// NUMA placement: the free list is segmented per node (`node_count`
+// domains). AcquireOnNode prefers the caller's node list, then a fresh
+// allocation — the buffer's pages are faulted first-touch by the owning
+// worker thread, which is what makes them node-local — and only then a
+// remote node's list (counted in cross_node_acquires). Releases return
+// each buffer to its home domain. Total materialized buffers never
+// exceed `capacity` and the blocking/abort semantics are unchanged, so
+// the engine's deadlock-freedom floor carries over verbatim.
 class BufferPool {
  public:
-  explicit BufferPool(size_t capacity);
+  explicit BufferPool(size_t capacity, int node_count = 1);
 
   // Blocks until a buffer is free (or the pool is aborted). Returns
-  // false only after Abort; `out` is then left untouched.
-  bool Acquire(std::string* out);
+  // false only after Abort; `out` is then left untouched. Single-domain
+  // shorthand for AcquireOnNode(0, out).
+  bool Acquire(std::string* out) { return AcquireOnNode(0, out); }
+  bool AcquireOnNode(int node, std::string* out);
 
   // Returns a buffer to the pool, retaining its capacity for reuse.
-  void Release(std::string buffer);
+  // `node` is the buffer's home domain (the node it was acquired for).
+  void Release(std::string buffer) { ReleaseToNode(0, std::move(buffer)); }
+  void ReleaseToNode(int node, std::string buffer);
 
   void Abort();
 
   size_t capacity() const { return capacity_; }
+  int node_count() const { return static_cast<int>(free_.size()); }
   // Buffers materialized so far (<= capacity; warm-up cost). Steady
   // state acquires recycle without allocating.
   uint64_t allocations();
   uint64_t peak_in_flight();
+  // Acquires served from a remote node's free list (ideally ~0 in
+  // steady state: each domain recycles its own buffers).
+  uint64_t cross_node_acquires();
 
  private:
   const size_t capacity_;
   std::mutex mutex_;
   std::condition_variable available_;
-  std::vector<std::string> free_;
+  // One free list per node domain; index clamped into range.
+  std::vector<std::vector<std::string>> free_;
+  size_t free_total_ = 0;
   size_t in_flight_ = 0;
   uint64_t allocations_ = 0;
   uint64_t peak_in_flight_ = 0;
+  uint64_t cross_node_acquires_ = 0;
   bool aborted_ = false;
 };
 
@@ -145,6 +166,12 @@ struct WriterStageOptions {
   uint64_t reorder_window = 8;
   // Collect writer_write / writer_idle timings and queue gauges.
   bool metrics = false;
+  // NUMA routing (engine-computed): thread_nodes[i] is writer thread
+  // i's home node — the node generating the bulk of the packages of the
+  // tables it serves — and each thread binds itself there at startup via
+  // `topology`. Empty thread_nodes or null topology disables routing.
+  std::vector<int> thread_nodes;
+  const Topology* topology = nullptr;
 };
 
 // Async writer stage: each table is bound to one writer thread
@@ -187,7 +214,10 @@ class WriterStage {
 
   // Hands a formatted package to the table's writer thread. Never
   // blocks; after Abort the buffer is shed straight back to the pool.
-  void Submit(size_t table, uint64_t sequence, std::string buffer);
+  // `node` is the buffer's home pool domain (0 when placement is off);
+  // the stage releases the buffer back to that domain.
+  void Submit(size_t table, uint64_t sequence, std::string buffer,
+              int node = 0);
 
   // Unblocks producers in WaitForTurn and makes writer threads shed
   // instead of write. Idempotent; does not join.
@@ -217,10 +247,14 @@ class WriterStage {
   struct Item {
     size_t table = 0;
     uint64_t sequence = 0;
+    int node = 0;  // buffer's home pool domain
     std::string buffer;
   };
 
-  struct WriterThread {
+  // Cache-line aligned: a writer thread's queue indices and counters
+  // must not false-share with a neighbouring thread's (each WriterThread
+  // is hammered by its owner plus the producers feeding it).
+  struct alignas(64) WriterThread {
     std::mutex mutex;
     std::condition_variable work;
     std::deque<Item> queue;
@@ -235,20 +269,23 @@ class WriterStage {
   };
 
   // Per-table ordering state, guarded by the owning writer thread's
-  // mutex.
-  struct TableChannel {
+  // mutex. Cache-line aligned: next_sequence is read by every producer
+  // in WaitForTurn while the neighbouring channel's is advanced by its
+  // writer — adjacent channels must not share a line.
+  struct alignas(64) TableChannel {
     size_t writer = 0;
     uint64_t next_sequence = 0;
-    std::map<uint64_t, std::string> parked;
+    std::map<uint64_t, Item> parked;
     uint64_t parked_high_water = 0;
     // Producers blocked in WaitForTurn (paired with the writer's mutex).
     std::condition_variable turn;
   };
 
   void ThreadMain(size_t writer_index);
-  // Writes one buffer (no locks held), recycles it, and reports errors.
-  // Returns false on write failure (after which aborted_ is set).
-  bool WriteAndRecycle(size_t table, std::string buffer,
+  // Writes one buffer (no locks held), recycles it to its home domain,
+  // and reports errors. Returns false on write failure (after which
+  // aborted_ is set).
+  bool WriteAndRecycle(size_t table, std::string buffer, int node,
                        WriterThread* thread);
 
   std::vector<TableOutput*> outputs_;

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "common/topology.h"
 
 namespace pdgf {
 
@@ -51,11 +52,36 @@ enum class SchedulerKind {
   // rely on (see writer.h). Near-zero cross-worker traffic on the happy
   // path, work stealing for ragged tails.
   kStriped,
+  // Topology-routed dispatch: one contiguous stripe per NUMA node, sized
+  // proportionally to the workers placed on that node, drained
+  // front-to-back by that node's workers through a per-node cursor.
+  // Cross-node stealing happens only when the local stripe drains, and
+  // always from the head of the victim stripe — claims stay a union of
+  // stripe prefixes, so the sorted-mode progress argument carries over
+  // from kStriped unchanged. Workers touch one shared cache line per
+  // node instead of one per process, and the packages a node claims are
+  // overwhelmingly the ones whose buffers fault on that node.
+  kNuma,
 };
 
-// "atomic" / "striped" (stable CLI spellings).
+// "atomic" / "striped" / "numa" (stable CLI spellings).
 const char* SchedulerKindName(SchedulerKind kind);
 StatusOr<SchedulerKind> ParseSchedulerKind(const std::string& name);
+
+// Contiguous per-node package ranges for kNuma: node n owns packages
+// [bounds[n], bounds[n+1]), proportional to workers_per_node (nodes with
+// zero workers own zero packages). bounds.size() == nodes + 1. Shared
+// with the engine, which uses the same split to route each table's
+// writer thread to the node generating the bulk of its packages.
+std::vector<uint64_t> PartitionPackagesByNode(
+    uint64_t package_count, const std::vector<int>& workers_per_node);
+
+// Post-run dispatch observability (kNuma; empty for other kinds).
+struct SchedulerNodeReport {
+  int node = 0;
+  uint64_t packages = 0;  // claims by workers homed on this node
+  uint64_t steals = 0;    // of those, claims taken from a remote stripe
+};
 
 // Thread-safe package dispenser. Every index in [0, package_count) is
 // returned exactly once across all workers; Next returns false when no
@@ -70,6 +96,12 @@ class Scheduler {
   // Claims the next package for `worker` (0-based engine worker id).
   virtual bool Next(int worker, size_t* index) = 0;
 
+  // Per-node claim/steal counters (kNuma only; empty otherwise). Only
+  // meaningful after all workers have drained the scheduler.
+  virtual std::vector<SchedulerNodeReport> node_reports() const {
+    return {};
+  }
+
   size_t package_count() const { return package_count_; }
 
  protected:
@@ -79,9 +111,12 @@ class Scheduler {
   size_t package_count_;
 };
 
-std::unique_ptr<Scheduler> MakeScheduler(SchedulerKind kind,
-                                         size_t package_count,
-                                         int worker_count);
+// `worker_nodes` maps each worker to its home topology node (size
+// worker_count; required for kNuma, ignored by the other kinds — pass
+// empty). kNuma with an empty map degenerates to one node-0 stripe.
+std::unique_ptr<Scheduler> MakeScheduler(
+    SchedulerKind kind, size_t package_count, int worker_count,
+    const std::vector<int>& worker_nodes = {});
 
 }  // namespace pdgf
 

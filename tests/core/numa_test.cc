@@ -1,0 +1,458 @@
+#include "common/topology.h"
+
+#include <algorithm>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "core/generators/generators.h"
+#include "core/output/formatter.h"
+#include "core/output/sink.h"
+#include "core/output/writer.h"
+#include "core/schedule.h"
+#include "core/session.h"
+
+namespace pdgf {
+namespace {
+
+// ---------------------------------------------------------------------
+// NumaMode parsing
+
+TEST(NumaModeTest, ParsesStableNamesAndRoundTrips) {
+  for (NumaMode mode :
+       {NumaMode::kOff, NumaMode::kOn, NumaMode::kInterleave}) {
+    auto parsed = ParseNumaMode(NumaModeName(mode));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, mode);
+  }
+}
+
+TEST(NumaModeTest, RejectsUnknownNameWithActionableError) {
+  auto parsed = ParseNumaMode("firsttouch");
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_NE(parsed.status().message().find("firsttouch"), std::string::npos);
+  EXPECT_NE(parsed.status().message().find("interleave"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// Cpulist parsing (the sysfs wire format)
+
+TEST(TopologyTest, ParsesCpuListRangesAndSingles) {
+  auto cpus = ParseCpuList("0-3,8,10-11\n");
+  ASSERT_TRUE(cpus.ok());
+  EXPECT_EQ(*cpus, (std::vector<int>{0, 1, 2, 3, 8, 10, 11}));
+  auto empty = ParseCpuList("\n");  // memory-only node
+  ASSERT_TRUE(empty.ok());
+  EXPECT_TRUE(empty->empty());
+  auto single = ParseCpuList("5");
+  ASSERT_TRUE(single.ok());
+  EXPECT_EQ(*single, std::vector<int>{5});
+}
+
+TEST(TopologyTest, RejectsMalformedCpuLists) {
+  EXPECT_FALSE(ParseCpuList("0-").ok());
+  EXPECT_FALSE(ParseCpuList("3-1").ok());  // descending range
+  EXPECT_FALSE(ParseCpuList("a,b").ok());
+  EXPECT_FALSE(ParseCpuList("1,,2").ok());
+}
+
+// ---------------------------------------------------------------------
+// Topology: detection fallback and injectable fakes
+
+TEST(TopologyTest, SystemTopologyHasAtLeastOneSchedulableNode) {
+  const Topology& topology = Topology::System();
+  ASSERT_GE(topology.node_count(), 1);
+  EXPECT_GE(topology.cpu_count(), 1);
+  for (int n = 0; n < topology.node_count(); ++n) {
+    EXPECT_FALSE(topology.node(n).cpus.empty());
+  }
+  EXPECT_GE(AffinityCpuCount(), 1);
+}
+
+TEST(TopologyTest, ForTestBuildsMultiNodeFakeWithoutBinding) {
+  Topology fake = Topology::ForTest({{0, 1, 2, 3}, {4, 5, 6, 7}});
+  EXPECT_EQ(fake.node_count(), 2);
+  EXPECT_EQ(fake.cpu_count(), 8);
+  EXPECT_FALSE(fake.single_node());
+  EXPECT_FALSE(fake.can_bind());
+  // Binding on a fake is a no-op, never an error — multi-node behaviour
+  // stays testable on a single-node CI host.
+  EXPECT_TRUE(fake.BindCurrentThread(1).ok());
+  EXPECT_FALSE(fake.BindCurrentThread(2).ok());  // no such node
+}
+
+TEST(TopologyTest, WorkersSplitProportionallyToCpuShare) {
+  Topology even = Topology::ForTest({{0, 1, 2, 3}, {4, 5, 6, 7}});
+  EXPECT_EQ(even.WorkersPerNode(8), (std::vector<int>{4, 4}));
+  EXPECT_EQ(even.WorkersPerNode(4), (std::vector<int>{2, 2}));
+  EXPECT_EQ(even.WorkersPerNode(1), (std::vector<int>{0, 1}));
+
+  // 6:2 CPU split — workers follow the share, not an even split.
+  Topology skewed = Topology::ForTest({{0, 1, 2, 3, 4, 5}, {6, 7}});
+  EXPECT_EQ(skewed.WorkersPerNode(4), (std::vector<int>{3, 1}));
+  EXPECT_EQ(skewed.WorkersPerNode(8), (std::vector<int>{6, 2}));
+
+  // Contiguous blocks: workers 0..3 on node 0, 4..7 on node 1.
+  for (int w = 0; w < 8; ++w) {
+    EXPECT_EQ(even.NodeForWorker(w, 8), w < 4 ? 0 : 1) << "worker " << w;
+  }
+}
+
+TEST(TopologyTest, DescribeCompressesCpuRuns) {
+  Topology fake = Topology::ForTest({{0, 1, 2, 3}, {8, 10, 11}});
+  EXPECT_EQ(fake.Describe(), "2 nodes: node0 cpus 0-3 node1 cpus 8,10-11");
+}
+
+// ---------------------------------------------------------------------
+// PartitionPackagesByNode
+
+TEST(PartitionPackagesTest, ProportionalBoundsCoverExactly) {
+  EXPECT_EQ(PartitionPackagesByNode(10, {2, 2}),
+            (std::vector<uint64_t>{0, 5, 10}));
+  EXPECT_EQ(PartitionPackagesByNode(10, {3, 1}),
+            (std::vector<uint64_t>{0, 7, 10}));
+  // A node with no workers owns no packages.
+  EXPECT_EQ(PartitionPackagesByNode(10, {0, 4}),
+            (std::vector<uint64_t>{0, 0, 10}));
+  // Degenerate maps put everything on node 0.
+  EXPECT_EQ(PartitionPackagesByNode(7, {}), (std::vector<uint64_t>{0, 7}));
+  EXPECT_EQ(PartitionPackagesByNode(7, {0, 0}),
+            (std::vector<uint64_t>{0, 7, 7}));
+}
+
+// ---------------------------------------------------------------------
+// NumaScheduler: partitioning, steal order, exactly-once
+
+// Same drain helper discipline as schedule_test.cc.
+std::vector<size_t> DrainConcurrently(Scheduler* scheduler,
+                                      int worker_count) {
+  std::vector<std::vector<size_t>> per_worker(
+      static_cast<size_t>(worker_count));
+  std::vector<std::thread> threads;
+  for (int w = 0; w < worker_count; ++w) {
+    threads.emplace_back([scheduler, w, &per_worker] {
+      size_t index = 0;
+      while (scheduler->Next(w, &index)) {
+        per_worker[static_cast<size_t>(w)].push_back(index);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  std::vector<size_t> all;
+  for (const auto& claimed : per_worker) {
+    all.insert(all.end(), claimed.begin(), claimed.end());
+  }
+  return all;
+}
+
+void ExpectExactlyOnce(std::vector<size_t> claimed, size_t package_count) {
+  ASSERT_EQ(claimed.size(), package_count);
+  std::sort(claimed.begin(), claimed.end());
+  for (size_t i = 0; i < claimed.size(); ++i) {
+    ASSERT_EQ(claimed[i], i) << "index claimed twice or skipped";
+  }
+}
+
+TEST(NumaSchedulerTest, WorkersClaimFromTheirHomeStripeFirst) {
+  // Workers 0,1 on node 0; workers 2,3 on node 1. 20 packages split
+  // evenly: node 0 owns [0,10), node 1 owns [10,20).
+  auto scheduler =
+      MakeScheduler(SchedulerKind::kNuma, 20, 4, {0, 0, 1, 1});
+  size_t index = 0;
+  ASSERT_TRUE(scheduler->Next(2, &index));
+  EXPECT_EQ(index, 10u);  // node 1's stripe head
+  ASSERT_TRUE(scheduler->Next(3, &index));
+  EXPECT_EQ(index, 11u);
+  ASSERT_TRUE(scheduler->Next(0, &index));
+  EXPECT_EQ(index, 0u);  // node 0's stripe untouched by node 1's claims
+}
+
+TEST(NumaSchedulerTest, StealsOnlyAfterLocalStripeDrainsFromVictimHead) {
+  // Node 1's worker drains its own stripe [6,12) front-to-back, then
+  // steals node 0's stripe from the *head* — claims stay a union of
+  // stripe prefixes throughout (the sorted-writer progress invariant).
+  auto scheduler = MakeScheduler(SchedulerKind::kNuma, 12, 2, {0, 1});
+  size_t index = 0;
+  std::vector<size_t> claimed;
+  while (scheduler->Next(1, &index)) claimed.push_back(index);
+  ASSERT_EQ(claimed.size(), 12u);
+  const std::vector<size_t> expected = {6, 7, 8, 9, 10, 11,
+                                        0, 1, 2, 3, 4, 5};
+  EXPECT_EQ(claimed, expected);
+
+  auto reports = scheduler->node_reports();
+  ASSERT_EQ(reports.size(), 2u);
+  EXPECT_EQ(reports[1].packages, 12u);  // all claims homed on node 1
+  EXPECT_EQ(reports[1].steals, 6u);     // of which node 0's stripe
+  EXPECT_EQ(reports[0].packages, 0u);
+  EXPECT_EQ(reports[0].steals, 0u);
+}
+
+TEST(NumaSchedulerTest, ExactlyOnceUnderContention) {
+  for (int workers : {1, 2, 7}) {
+    for (size_t packages : {0u, 1u, 13u, 64u, 257u}) {
+      // Round-robin node map over 2 nodes, plus a skewed 3-node map.
+      std::vector<int> round_robin;
+      std::vector<int> skewed;
+      for (int w = 0; w < workers; ++w) {
+        round_robin.push_back(w % 2);
+        skewed.push_back(w < 1 ? 0 : 2);  // node 1 has no workers
+      }
+      for (const std::vector<int>& map : {round_robin, skewed}) {
+        auto scheduler =
+            MakeScheduler(SchedulerKind::kNuma, packages, workers, map);
+        ExpectExactlyOnce(DrainConcurrently(scheduler.get(), workers),
+                          packages);
+      }
+    }
+  }
+}
+
+TEST(NumaSchedulerTest, EmptyWorkerMapDegeneratesToSingleStripe) {
+  // MakeScheduler's default (no worker_nodes) must still cover every
+  // package exactly once, in order.
+  auto scheduler = MakeScheduler(SchedulerKind::kNuma, 9, 3);
+  ExpectExactlyOnce(DrainConcurrently(scheduler.get(), 3), 9);
+}
+
+// ---------------------------------------------------------------------
+// BufferPool node domains
+
+TEST(NumaBufferPoolTest, PrefersHomeDomainAndCountsCrossNodeAcquires) {
+  BufferPool pool(/*capacity=*/2, /*node_count=*/2);
+  EXPECT_EQ(pool.node_count(), 2);
+  std::string a;
+  std::string b;
+  ASSERT_TRUE(pool.AcquireOnNode(0, &a));
+  ASSERT_TRUE(pool.AcquireOnNode(1, &b));
+  EXPECT_EQ(pool.allocations(), 2u);  // both fresh (first-touch path)
+  a.assign("aaaa");
+  b.assign("bbbb");
+  pool.ReleaseToNode(0, std::move(a));
+  pool.ReleaseToNode(1, std::move(b));
+
+  // Home hit: node 0 gets its own recycled buffer back.
+  std::string c;
+  ASSERT_TRUE(pool.AcquireOnNode(0, &c));
+  EXPECT_EQ(pool.allocations(), 2u);  // recycled, not fresh
+  EXPECT_EQ(pool.cross_node_acquires(), 0u);
+  EXPECT_TRUE(c.empty());  // recycled buffers come back cleared
+
+  // At capacity with only a remote buffer free: the acquire is served
+  // cross-node and counted.
+  std::string d;
+  ASSERT_TRUE(pool.AcquireOnNode(0, &d));
+  EXPECT_EQ(pool.allocations(), 2u);
+  EXPECT_EQ(pool.cross_node_acquires(), 1u);
+}
+
+TEST(NumaBufferPoolTest, OutOfRangeNodesClampToDomainZero) {
+  BufferPool pool(/*capacity=*/1, /*node_count=*/2);
+  std::string buffer;
+  ASSERT_TRUE(pool.AcquireOnNode(-3, &buffer));
+  pool.ReleaseToNode(99, std::move(buffer));  // lands on domain 0
+  std::string again;
+  ASSERT_TRUE(pool.AcquireOnNode(0, &again));
+  EXPECT_EQ(pool.allocations(), 1u);  // recycled from domain 0
+}
+
+TEST(NumaBufferPoolTest, SingleDomainShorthandStillWorks) {
+  BufferPool pool(/*capacity=*/1);
+  EXPECT_EQ(pool.node_count(), 1);
+  std::string buffer;
+  ASSERT_TRUE(pool.Acquire(&buffer));
+  pool.Release(std::move(buffer));
+  EXPECT_EQ(pool.cross_node_acquires(), 0u);
+}
+
+// ---------------------------------------------------------------------
+// Engine parity: bytes identical across placement modes
+
+SchemaDef MakeNumaParitySchema() {
+  SchemaDef schema;
+  schema.name = "numa_parity";
+  schema.seed = 4242;
+  TableDef big;
+  big.name = "big";
+  big.size_expression = "900";
+  FieldDef id;
+  id.name = "id";
+  id.type = DataType::kBigInt;
+  id.generator = GeneratorPtr(new IdGenerator(1, 1));
+  big.fields.push_back(std::move(id));
+  FieldDef payload;
+  payload.name = "payload";
+  payload.type = DataType::kVarchar;
+  payload.generator = GeneratorPtr(new RandomStringGenerator(4, 18));
+  big.fields.push_back(std::move(payload));
+  schema.tables.push_back(std::move(big));
+  TableDef small;
+  small.name = "small";
+  small.size_expression = "41";
+  FieldDef value;
+  value.name = "value";
+  value.type = DataType::kBigInt;
+  value.generator = GeneratorPtr(new LongGenerator(0, 999));
+  small.fields.push_back(std::move(value));
+  schema.tables.push_back(std::move(small));
+  return schema;
+}
+
+class CaptureSink final : public Sink {
+ public:
+  explicit CaptureSink(std::string* out) : out_(out) {}
+  Status Write(std::string_view data) override {
+    out_->append(data);
+    return Status::Ok();
+  }
+
+ private:
+  std::string* out_;
+};
+
+std::map<std::string, std::string> RunToMemory(
+    const GenerationSession& session, const RowFormatter& formatter,
+    GenerationOptions options) {
+  std::map<std::string, std::string> outputs;
+  SinkFactory factory =
+      [&outputs](const TableDef& table) -> StatusOr<std::unique_ptr<Sink>> {
+    return std::unique_ptr<Sink>(new CaptureSink(&outputs[table.name]));
+  };
+  GenerationEngine engine(&session, &formatter, factory, options);
+  Status status = engine.Run();
+  EXPECT_TRUE(status.ok()) << status.ToString();
+  return outputs;
+}
+
+TEST(NumaEngineParityTest, BytesIdenticalAcrossPlacementModes) {
+  SchemaDef schema = MakeNumaParitySchema();
+  auto session = GenerationSession::Create(&schema);
+  ASSERT_TRUE(session.ok());
+  auto formatter = MakeFormatter("csv");
+  ASSERT_TRUE(formatter.ok());
+
+  GenerationOptions baseline_options;
+  baseline_options.worker_count = 1;
+  baseline_options.work_package_rows = 4096;
+  baseline_options.writer_threads = 0;
+  baseline_options.numa = NumaMode::kOff;
+  auto baseline = RunToMemory(**session, **formatter, baseline_options);
+  ASSERT_FALSE(baseline["big"].empty());
+
+  // A fake two-node topology drives the multi-node code paths (stripe
+  // split, per-node pool domains, writer routing) deterministically on a
+  // single-node CI host; can_bind()==false makes every pin a no-op.
+  Topology fake = Topology::ForTest({{0, 1, 2, 3}, {4, 5, 6, 7}});
+  for (NumaMode numa :
+       {NumaMode::kOff, NumaMode::kOn, NumaMode::kInterleave}) {
+    for (SchedulerKind kind :
+         {SchedulerKind::kNuma, SchedulerKind::kStriped}) {
+      for (int writer_threads : {0, 1, 2}) {
+        GenerationOptions options;
+        options.worker_count = 4;
+        options.work_package_rows = 97;
+        options.scheduler = kind;
+        options.writer_threads = writer_threads;
+        options.numa = numa;
+        options.topology = &fake;
+        auto outputs = RunToMemory(**session, **formatter, options);
+        EXPECT_EQ(outputs, baseline)
+            << "numa=" << NumaModeName(numa) << " scheduler="
+            << SchedulerKindName(kind) << " writers=" << writer_threads;
+      }
+    }
+  }
+}
+
+TEST(NumaEngineParityTest, UnsortedRunsProduceIdenticalDigests) {
+  // Unsorted output has no byte-order guarantee; the order-insensitive
+  // digests must still match across placement modes.
+  SchemaDef schema = MakeNumaParitySchema();
+  auto session = GenerationSession::Create(&schema);
+  ASSERT_TRUE(session.ok());
+  auto formatter = MakeFormatter("csv");
+  ASSERT_TRUE(formatter.ok());
+  Topology fake = Topology::ForTest({{0, 1}, {2, 3}});
+
+  auto run_digests = [&](NumaMode numa) {
+    GenerationOptions options;
+    options.worker_count = 4;
+    options.work_package_rows = 64;
+    options.sorted_output = false;
+    options.scheduler = SchedulerKind::kNuma;
+    options.compute_digests = true;
+    options.numa = numa;
+    options.topology = &fake;
+    SinkFactory factory =
+        [](const TableDef&) -> StatusOr<std::unique_ptr<Sink>> {
+      return std::unique_ptr<Sink>(new NullSink());
+    };
+    GenerationEngine engine(&**session, &**formatter, factory, options);
+    Status status = engine.Run();
+    EXPECT_TRUE(status.ok()) << status.ToString();
+    std::vector<std::string> hex;
+    for (const TableDigest& digest : engine.stats().table_digests) {
+      hex.push_back(digest.Hex());
+    }
+    return hex;
+  };
+
+  const std::vector<std::string> off = run_digests(NumaMode::kOff);
+  EXPECT_EQ(run_digests(NumaMode::kOn), off);
+  EXPECT_EQ(run_digests(NumaMode::kInterleave), off);
+}
+
+TEST(NumaEngineMetricsTest, PerNodeRollupAndPoolDomainsReported) {
+  SchemaDef schema = MakeNumaParitySchema();
+  auto session = GenerationSession::Create(&schema);
+  ASSERT_TRUE(session.ok());
+  auto formatter = MakeFormatter("csv");
+  ASSERT_TRUE(formatter.ok());
+  Topology fake = Topology::ForTest({{0, 1}, {2, 3}});
+
+  GenerationOptions options;
+  options.worker_count = 4;
+  options.work_package_rows = 97;
+  options.scheduler = SchedulerKind::kNuma;
+  options.writer_threads = 2;
+  options.numa = NumaMode::kOn;
+  options.topology = &fake;
+  options.metrics_enabled = true;
+  SinkFactory factory =
+      [](const TableDef&) -> StatusOr<std::unique_ptr<Sink>> {
+    return std::unique_ptr<Sink>(new NullSink());
+  };
+  GenerationEngine engine(&**session, &**formatter, factory, options);
+  Status status = engine.Run();
+  ASSERT_TRUE(status.ok()) << status.ToString();
+
+  const MetricsReport& report = engine.stats().metrics;
+  EXPECT_EQ(report.numa_mode, "on");
+  EXPECT_EQ(report.topology, fake.Describe());
+  EXPECT_EQ(report.buffer_pool.node_domains, 2u);
+  ASSERT_EQ(report.nodes.size(), 2u);
+  uint64_t node_rows = 0;
+  uint64_t node_workers = 0;
+  for (const MetricsReport::NodeReport& node : report.nodes) {
+    node_rows += node.rows;
+    node_workers += node.workers;
+  }
+  EXPECT_EQ(node_rows, report.rows);
+  EXPECT_EQ(node_workers, 4u);  // 2 workers homed on each fake node
+  for (const MetricsReport::WorkerReport& worker : report.workers) {
+    EXPECT_GE(worker.node, 0);
+    EXPECT_LT(worker.node, 2);
+  }
+  // The JSON export carries the additive v2 fields.
+  const std::string json = report.ToJson(false);
+  EXPECT_NE(json.find("\"numa_mode\":\"on\""), std::string::npos);
+  EXPECT_NE(json.find("\"cross_node_acquires\""), std::string::npos);
+  EXPECT_NE(json.find("\"steals\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pdgf

@@ -43,6 +43,13 @@ if [[ "$RUN_TIER1" == 1 ]]; then
   # scalar fallback forced keeps that path from rotting.
   run env DBSYNTHPP_SIMD=off ctest --preset default \
     --timeout "$CTEST_TIMEOUT" -R "Simd|Batch|FormatRoundtrip"
+  echo "=== tier-1: scheduler/engine parity again under DBSYNTHPP_NUMA=off ==="
+  # The full pass above ran with the env default (placement on); forcing
+  # placement off re-proves the historical no-pinning path still produces
+  # identical bytes and keeps it from rotting (the DBSYNTHPP_SIMD=off
+  # discipline applied to NUMA).
+  run env DBSYNTHPP_NUMA=off ctest --preset default \
+    --timeout "$CTEST_TIMEOUT" -R "Schedul|Numa|Topology|Engine"
   echo "=== tier-1: metrics overhead gate (fail if metrics-on costs >10%) ==="
   # Best-of-5 engine runs with metrics off vs. on at a tiny scale factor;
   # exits non-zero if the delta exceeds METRICS_GATE_PCT (default 10).
@@ -56,6 +63,11 @@ if [[ "$RUN_TIER1" == 1 ]]; then
   # Inline vs. async writer stage against a throttled sink, plus the
   # default-scenario regression guard (WRITER_GATE_X / WRITER_REGRESSION_PCT).
   run ./build/bench/bench_fig5_scaleup 0.005 --writer-gate
+  echo "=== tier-1: NUMA placement gate (self-calibrating: parity single-node, >=1.1x multi-node) ==="
+  # Interleaved numa=off/on pairs under the kNuma scheduler with digest
+  # equality asserted; a single-node host proves placement is free, a
+  # multi-node host must show the NUMA_GATE_X win (default 1.1x).
+  run ./build/bench/bench_fig5_scaleup 0.005 --numa-gate
   echo "=== tier-1: bulk-load gate (paged bulk >= row-at-a-time ingest) ==="
   # Self-calibrated: the same process loads TPC-H through the paged
   # engine both ways and the bulk fast path must not lose to WAL-logged
@@ -79,7 +91,7 @@ if [[ "$RUN_TSAN" == 1 ]]; then
   run cmake --build --preset tsan -j "$(nproc)" --target \
     tests_core tests_integration tests_cli tests_serve tests_minidb_storage
   run ctest --preset tsan --timeout "$CTEST_TIMEOUT" -R \
-    "Engine|Digest|SimCluster|Progress|Determinism|Cli|Metrics|NodeShare|Batch|Schedul|Writer|Serve|Storage|Btree|Wal"
+    "Engine|Digest|SimCluster|Progress|Determinism|Cli|Metrics|NodeShare|Batch|Schedul|Writer|Serve|Storage|Btree|Wal|Numa|Topology"
 fi
 
 echo "all requested tiers passed"
