@@ -12,7 +12,7 @@
 #include <vector>
 
 #include "core/session.h"
-#include "dbsynth/virtual_query.h"
+#include "dbsynth/virtual_table.h"
 #include "workloads/ssb.h"
 
 namespace {

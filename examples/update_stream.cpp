@@ -11,7 +11,7 @@
 #include "core/engine.h"
 #include "core/generators/generators.h"
 #include "core/session.h"
-#include "dbsynth/virtual_query.h"
+#include "dbsynth/virtual_table.h"
 
 namespace {
 

@@ -9,13 +9,14 @@
 #include "core/engine.h"
 #include "core/session.h"
 #include "core/simcluster.h"
+#include "core/stream.h"
 #include "core/text/builtin_dictionaries.h"
 #include "dbsynth/model_builder.h"
 #include "dbsynth/profiler.h"
 #include "dbsynth/query_generator.h"
 #include "dbsynth/schema_translator.h"
 #include "dbsynth/synthesizer.h"
-#include "dbsynth/virtual_query.h"
+#include "dbsynth/virtual_table.h"
 #include "minidb/csv.h"
 #include "serve/client.h"
 #include "serve/protocol.h"
@@ -93,7 +94,8 @@ StatusOr<ParsedArgs> ParseArgs(const std::vector<std::string>& args,
                  name == "histograms" || name == "execute" ||
                  name == "digests" || name == "quick" ||
                  name == "trace" || name == "inject-perturbation" ||
-                 name == "row-inserts") {
+                 name == "row-inserts" || name == "snapshot" ||
+                 name == "streams") {
         value = "true";  // boolean flags
       } else {
         if (i + 1 >= args.size()) {
@@ -583,17 +585,20 @@ int CmdGenerateLoad(const ParsedArgs& args, std::string* output) {
 }
 
 int CmdQuery(const ParsedArgs& args, std::string* output) {
-  if (args.positional.size() < 2) {
+  auto schema = LoadModelArg(args, "query");
+  if (!schema.ok()) return Fail(schema.status(), output);
+  // With --model the SELECT is the first positional; with a model file
+  // it follows the path.
+  const size_t sql_index = args.HasFlag("model") ? 0 : 1;
+  if (args.positional.size() <= sql_index) {
     return Fail(
-        pdgf::InvalidArgumentError("query requires a model and a SELECT"),
+        pdgf::InvalidArgumentError("query requires a SELECT statement"),
         output);
   }
-  auto schema = pdgf::LoadSchemaFromFile(args.positional[0]);
-  if (!schema.ok()) return Fail(schema.status(), output);
   auto session = OpenSession(*schema, args);
   if (!session.ok()) return Fail(session.status(), output);
   auto result = dbsynth::ExecuteQueryWithoutData(
-      **session, args.positional[1],
+      **session, args.positional[sql_index],
       static_cast<uint64_t>(args.NumberFlagOr("update", 0)));
   if (!result.ok()) return Fail(result.status(), output);
   output->append(result->ToString());
@@ -641,6 +646,82 @@ int CmdWorkload(const ParsedArgs& args, std::string* output) {
   output->append(pdgf::StrPrintf(
       "total: %.1f ms over %llu queries (no data was materialized)\n",
       total_ms, static_cast<unsigned long long>(count)));
+  return 0;
+}
+
+// Plays a table's CDC update stream locally (core/stream.h): event lines
+// go to --out (or the CLI output), followed by a digest summary. The
+// digest keys every event by its sequence number, so two runs of the
+// same invocation printing the same digest PROVE the stream replays
+// identically — the serve daemon's `stream` op emits the same events.
+int CmdStream(const ParsedArgs& args, std::string* output) {
+  auto schema = LoadModelArg(args, "stream");
+  if (!schema.ok()) return Fail(schema.status(), output);
+  auto session = OpenSession(*schema, args);
+  if (!session.ok()) return Fail(session.status(), output);
+  auto formatter = pdgf::MakeFormatter(args.FlagOr("format", "csv"));
+  if (!formatter.ok()) return Fail(formatter.status(), output);
+  const std::string table_name = args.FlagOr("table", "");
+  if (table_name.empty()) {
+    return Fail(pdgf::InvalidArgumentError("stream requires --table NAME"),
+                output);
+  }
+  const int table_index = schema->FindTableIndex(table_name);
+  if (table_index < 0) {
+    return Fail(pdgf::NotFoundError("model has no table '" + table_name +
+                                    "'"),
+                output);
+  }
+
+  pdgf::UpdateStreamOptions options;
+  options.snapshot = args.HasFlag("snapshot");
+  auto first_update = CountFlagOr(args, "first-update", 1, 1,
+                                  "(first time unit to play)");
+  if (!first_update.ok()) return Fail(first_update.status(), output);
+  options.first_update = static_cast<uint64_t>(*first_update);
+  auto last_update = CountFlagOr(args, "last-update", 0, 0,
+                                 "(last time unit; 0 plays to the end)");
+  if (!last_update.ok()) return Fail(last_update.status(), output);
+  options.last_update = static_cast<uint64_t>(*last_update);
+  auto max_events =
+      CountFlagOr(args, "events", 0, 0, "(stop after N events; 0 = all)");
+  if (!max_events.ok()) return Fail(max_events.status(), output);
+
+  pdgf::UpdateStreamGenerator generator(session->get(), table_index,
+                                        formatter->get(), options);
+  pdgf::TableDigest digest;
+  std::string events;
+  std::string chunk;
+  uint64_t total = 0;
+  uint64_t bytes = 0;
+  const uint64_t cap = static_cast<uint64_t>(*max_events);
+  while (cap == 0 || total < cap) {
+    size_t want = 256;
+    if (cap > 0) want = static_cast<size_t>(std::min<uint64_t>(want, cap - total));
+    chunk.clear();
+    const size_t got = generator.NextEvents(&chunk, want);
+    if (got == 0) break;
+    size_t start = 0;
+    for (size_t i = 0; i < got; ++i) {
+      size_t end = chunk.find('\n', start) + 1;
+      digest.AddRowBytes(total + i,
+                         std::string_view(chunk).substr(start, end - start));
+      start = end;
+    }
+    total += got;
+    bytes += chunk.size();
+    events += chunk;
+  }
+  if (args.HasFlag("out")) {
+    Status written = pdgf::WriteStringToFile(args.FlagOr("out", ""), events);
+    if (!written.ok()) return Fail(written, output);
+  } else {
+    output->append(events);
+  }
+  output->append(pdgf::StrPrintf(
+      "stream %s: %llu events, %llu bytes, digest=%s\n", table_name.c_str(),
+      static_cast<unsigned long long>(total),
+      static_cast<unsigned long long>(bytes), digest.Hex().c_str()));
   return 0;
 }
 
@@ -971,6 +1052,127 @@ int CmdVerify(const ParsedArgs& args, std::string* output) {
     output->append("blessed   " + args.FlagOr("bless", "") + "\n");
   }
 
+  // CDC update-stream verification (--streams / --stream-golden FILE /
+  // --stream-bless FILE): digest every table's event stream, replay it,
+  // and demand bit-identical digests. Events are keyed by sequence
+  // number, so a reordered replay fails even though the accumulator is
+  // commutative.
+  if (args.HasFlag("streams") || args.HasFlag("stream-golden") ||
+      args.HasFlag("stream-bless")) {
+    auto digest_streams = [&]() {
+      std::vector<pdgf::TableDigestEntry> entries;
+      std::string chunk;
+      for (size_t t = 0; t < schema->tables.size(); ++t) {
+        // Snapshot inserts included: a static table (TableUpdates <= 1)
+        // still produces a non-empty, digestable stream.
+        pdgf::UpdateStreamOptions stream_options;
+        stream_options.snapshot = true;
+        pdgf::UpdateStreamGenerator generator(session->get(),
+                                              static_cast<int>(t),
+                                              formatter->get(),
+                                              stream_options);
+        pdgf::TableDigest digest;
+        uint64_t events = 0;
+        uint64_t bytes = 0;
+        while (true) {
+          chunk.clear();
+          const size_t got = generator.NextEvents(&chunk, 512);
+          if (got == 0) break;
+          size_t start = 0;
+          for (size_t i = 0; i < got; ++i) {
+            size_t end = chunk.find('\n', start) + 1;
+            digest.AddRowBytes(
+                events + i, std::string_view(chunk).substr(start, end - start));
+            start = end;
+          }
+          events += got;
+          bytes += chunk.size();
+        }
+        entries.push_back(
+            {schema->tables[t].name, events, bytes, digest.Hex()});
+      }
+      return entries;
+    };
+    const std::vector<pdgf::TableDigestEntry> streams = digest_streams();
+    const std::vector<pdgf::TableDigestEntry> replayed = digest_streams();
+    bool replay_ok = true;
+    for (size_t t = 0; t < streams.size(); ++t) {
+      if (streams[t].hex != replayed[t].hex ||
+          streams[t].rows != replayed[t].rows) {
+        ++failures;
+        replay_ok = false;
+        output->append(pdgf::StrPrintf(
+            "FAIL      stream replay of table %s diverged "
+            "(first %s, replay %s)\n",
+            streams[t].table.c_str(), streams[t].hex.c_str(),
+            replayed[t].hex.c_str()));
+      }
+    }
+    if (replay_ok) {
+      output->append(pdgf::StrPrintf(
+          "ok        stream replay (%zu tables bit-identical)\n",
+          streams.size()));
+    }
+    if (args.HasFlag("stream-golden")) {
+      auto contents =
+          pdgf::ReadFileToString(args.FlagOr("stream-golden", ""));
+      if (!contents.ok()) return Fail(contents.status(), output);
+      auto entries = pdgf::ParseDigestFixture(*contents);
+      if (!entries.ok()) return Fail(entries.status(), output);
+      std::map<std::string, pdgf::TableDigestEntry> by_table;
+      for (const pdgf::TableDigestEntry& entry : *entries) {
+        by_table[entry.table] = entry;
+      }
+      bool golden_ok = true;
+      for (const pdgf::TableDigestEntry& current : streams) {
+        auto it = by_table.find(current.table);
+        if (it == by_table.end()) {
+          ++failures;
+          golden_ok = false;
+          output->append(
+              "FAIL      stream golden fixture has no entry for table " +
+              current.table + "\n");
+          continue;
+        }
+        if (it->second.hex != current.hex ||
+            it->second.rows != current.rows ||
+            it->second.bytes != current.bytes) {
+          ++failures;
+          golden_ok = false;
+          output->append(pdgf::StrPrintf(
+              "FAIL      stream golden mismatch for table %s\n"
+              "          golden  %s (%llu events, %llu bytes)\n"
+              "          current %s (%llu events, %llu bytes)\n",
+              current.table.c_str(), it->second.hex.c_str(),
+              static_cast<unsigned long long>(it->second.rows),
+              static_cast<unsigned long long>(it->second.bytes),
+              current.hex.c_str(),
+              static_cast<unsigned long long>(current.rows),
+              static_cast<unsigned long long>(current.bytes)));
+        }
+      }
+      if (golden_ok) {
+        output->append(
+            pdgf::StrPrintf("ok        stream golden fixture %s\n",
+                            args.FlagOr("stream-golden", "").c_str()));
+      }
+    }
+    if (args.HasFlag("stream-bless")) {
+      std::string header = pdgf::StrPrintf(
+          "Golden CDC stream digests (model %s, SF %s); rows = events.\n"
+          "Regenerate with dbsynthpp verify ... --stream-bless <this file> "
+          "and audit the diff.",
+          args.HasFlag("model") ? args.FlagOr("model", "").c_str()
+                                : args.positional[0].c_str(),
+          args.FlagOr("sf", "1").c_str());
+      Status written = pdgf::WriteStringToFile(
+          args.FlagOr("stream-bless", ""),
+          pdgf::FormatDigestFixture(streams, header));
+      if (!written.ok()) return Fail(written, output);
+      output->append("blessed   " + args.FlagOr("stream-bless", "") + "\n");
+    }
+  }
+
   if (collect_metrics) {
     // One MetricsReport (docs/metrics.md schema) per verify run, keyed
     // by the configuration label.
@@ -1063,10 +1265,152 @@ StatusOr<int> ResolveRequestPort(const ParsedArgs& args) {
   return std::atoi(trimmed.c_str());
 }
 
+// Runs a streaming job line through the client and reports the result
+// (shared by the generate, range and stream request paths).
+int RunRequestJob(serve::ServeClient* client, const std::string& line,
+                  const ParsedArgs& args, std::string* output) {
+  auto job = client->RunJob(line);
+  if (!job.ok()) return Fail(job.status(), output);
+  if (!job->ok) {
+    return Fail(Status(pdgf::StatusCode::kInternal,
+                       "job failed: " + job->error_code + ": " +
+                           job->error_message),
+                output);
+  }
+  output->append(pdgf::StrPrintf(
+      "job %llu ok: %llu rows, %.2f MB in %.3f s\n",
+      static_cast<unsigned long long>(job->job_id),
+      static_cast<unsigned long long>(job->rows),
+      static_cast<double>(job->bytes) / (1024 * 1024), job->seconds));
+  for (const serve::ReceivedDigest& digest : job->digests) {
+    output->append(pdgf::StrPrintf(
+        "  %-24s %12llu rows  digest=%s\n", digest.table.c_str(),
+        static_cast<unsigned long long>(digest.rows), digest.hex.c_str()));
+  }
+  if (args.HasFlag("out")) {
+    std::string dir = args.FlagOr("out", "");
+    std::string ext = args.FlagOr("format", "csv");
+    if (ext.rfind("csv,", 0) == 0) ext = "csv";
+    for (const auto& [table, payload] : job->table_payload) {
+      Status written =
+          pdgf::WriteStringToFile(dir + "/" + table + "." + ext, payload);
+      if (!written.ok()) return Fail(written, output);
+    }
+    output->append("payload written to " + dir + "\n");
+  }
+  return 0;
+}
+
+// Builds the shared "op":"range"/"stream" request fields and validates
+// the op-specific flags strictly (a flag for the other op is an error,
+// not silently ignored).
+StatusOr<std::string> BuildOnTheFlyRequest(const std::string& op,
+                                           const ParsedArgs& args) {
+  if (!args.HasFlag("model")) {
+    return pdgf::InvalidArgumentError("--op " + op +
+                                      " requires --model tpch|ssb|imdb");
+  }
+  if (!args.HasFlag("table")) {
+    return pdgf::InvalidArgumentError("--op " + op +
+                                      " requires --table NAME");
+  }
+  const char* range_only[] = {"first-row", "row-count"};
+  const char* stream_only[] = {"rate", "events", "snapshot"};
+  for (const char* flag : range_only) {
+    if (op != "range" && args.HasFlag(flag)) {
+      return pdgf::InvalidArgumentError(std::string("--") + flag +
+                                        " is only valid with --op range");
+    }
+  }
+  for (const char* flag : stream_only) {
+    if (op != "stream" && args.HasFlag(flag)) {
+      return pdgf::InvalidArgumentError(std::string("--") + flag +
+                                        " is only valid with --op stream");
+    }
+  }
+  std::string line = "{\"op\":\"" + op + "\",\"model\":\"" +
+                     serve::JsonEscape(args.FlagOr("model", "")) +
+                     "\",\"table\":\"" +
+                     serve::JsonEscape(args.FlagOr("table", "")) + "\"";
+  if (args.HasFlag("sf")) {
+    const std::string sf = args.FlagOr("sf", "");
+    char* end = nullptr;
+    std::strtod(sf.c_str(), &end);
+    if (sf.empty() || end != sf.c_str() + sf.size()) {
+      return pdgf::InvalidArgumentError("--sf expects a number, got '" + sf +
+                                        "'");
+    }
+    line += ",\"scale_factor\":" + sf;
+  }
+  line += ",\"format\":\"" + serve::JsonEscape(args.FlagOr("format", "csv")) +
+          "\"";
+  PDGF_ASSIGN_OR_RETURN(
+      int64_t update,
+      CountFlagOr(args, "update", 0, 0, "(abstract time unit)"));
+  if (update > 0) {
+    line += pdgf::StrPrintf(",\"update\":%lld",
+                            static_cast<long long>(update));
+  }
+  if (op == "range") {
+    PDGF_ASSIGN_OR_RETURN(
+        int64_t first_row,
+        CountFlagOr(args, "first-row", 0, 0, "(0-based first row)"));
+    PDGF_ASSIGN_OR_RETURN(
+        int64_t row_count,
+        CountFlagOr(args, "row-count", 0, 1, "(rows to stream)"));
+    if (row_count == 0) {
+      return pdgf::InvalidArgumentError(
+          "--op range requires --row-count N (rows to stream)");
+    }
+    line += pdgf::StrPrintf(",\"first_row\":%lld,\"row_count\":%lld",
+                            static_cast<long long>(first_row),
+                            static_cast<long long>(row_count));
+  } else {
+    PDGF_ASSIGN_OR_RETURN(
+        int64_t rate,
+        CountFlagOr(args, "rate", 0, 0, "(events per second; 0 = full "
+                                        "speed)"));
+    PDGF_ASSIGN_OR_RETURN(
+        int64_t events,
+        CountFlagOr(args, "events", 0, 0, "(stop after N events; 0 = all)"));
+    if (rate > 0) {
+      line += pdgf::StrPrintf(",\"rate\":%lld", static_cast<long long>(rate));
+    }
+    if (events > 0) {
+      line += pdgf::StrPrintf(",\"events\":%lld",
+                              static_cast<long long>(events));
+    }
+    if (args.HasFlag("snapshot")) line += ",\"snapshot\":true";
+  }
+  if (args.HasFlag("digests")) line += ",\"digests\":true";
+  line += "}";
+  return line;
+}
+
 // One-shot client for the serve daemon: control ops print the response
-// line; generate requests stream the job, discarding payload bytes
-// unless --out DIR is given.
+// line; generate/range/stream requests stream the job, discarding
+// payload bytes unless --out DIR is given.
 int CmdRequest(const ParsedArgs& args, std::string* output) {
+  // Validate range/stream flags BEFORE dialing the daemon so a bad
+  // invocation fails the same way with or without a server running.
+  const std::string op = args.FlagOr("op", "");
+  pdgf::StatusOr<std::string> onthefly_line = std::string();
+  if (op == "range" || op == "stream") {
+    onthefly_line = BuildOnTheFlyRequest(op, args);
+    if (!onthefly_line.ok()) return Fail(onthefly_line.status(), output);
+  } else if (!op.empty()) {
+    const char* streaming_only[] = {"table",  "first-row", "row-count",
+                                    "rate",   "events",    "snapshot"};
+    for (const char* flag : streaming_only) {
+      if (args.HasFlag(flag)) {
+        return Fail(pdgf::InvalidArgumentError(
+                        std::string("--") + flag +
+                        " is only valid with --op range|stream"),
+                    output);
+      }
+    }
+  }
+
   auto port = ResolveRequestPort(args);
   if (!port.ok()) return Fail(port.status(), output);
   auto client = serve::ServeClient::Connect(
@@ -1074,7 +1418,9 @@ int CmdRequest(const ParsedArgs& args, std::string* output) {
   if (!client.ok()) return Fail(client.status(), output);
 
   if (args.HasFlag("op")) {
-    std::string op = args.FlagOr("op", "");
+    if (op == "range" || op == "stream") {
+      return RunRequestJob(&*client, *onthefly_line, args, output);
+    }
     std::string line = "{\"op\":\"" + serve::JsonEscape(op) + "\"";
     if (args.HasFlag("job")) {
       auto job = CountFlagOr(args, "job", 0, 1, "(a job id)");
@@ -1092,7 +1438,7 @@ int CmdRequest(const ParsedArgs& args, std::string* output) {
   if (!args.HasFlag("model")) {
     return Fail(pdgf::InvalidArgumentError(
                     "request needs --model tpch|ssb|imdb or --op "
-                    "metrics|ping|cancel|shutdown"),
+                    "metrics|ping|cancel|shutdown|range|stream"),
                 output);
   }
   std::string line =
@@ -1129,36 +1475,7 @@ int CmdRequest(const ParsedArgs& args, std::string* output) {
   if (args.HasFlag("digests")) line += ",\"digests\":true";
   line += "}";
 
-  auto job = client->RunJob(line);
-  if (!job.ok()) return Fail(job.status(), output);
-  if (!job->ok) {
-    return Fail(Status(pdgf::StatusCode::kInternal,
-                       "job failed: " + job->error_code + ": " +
-                           job->error_message),
-                output);
-  }
-  output->append(pdgf::StrPrintf(
-      "job %llu ok: %llu rows, %.2f MB in %.3f s\n",
-      static_cast<unsigned long long>(job->job_id),
-      static_cast<unsigned long long>(job->rows),
-      static_cast<double>(job->bytes) / (1024 * 1024), job->seconds));
-  for (const serve::ReceivedDigest& digest : job->digests) {
-    output->append(pdgf::StrPrintf(
-        "  %-24s %12llu rows  digest=%s\n", digest.table.c_str(),
-        static_cast<unsigned long long>(digest.rows), digest.hex.c_str()));
-  }
-  if (args.HasFlag("out")) {
-    std::string dir = args.FlagOr("out", "");
-    std::string ext = args.FlagOr("format", "csv");
-    if (ext.rfind("csv,", 0) == 0) ext = "csv";
-    for (const auto& [table, payload] : job->table_payload) {
-      Status written =
-          pdgf::WriteStringToFile(dir + "/" + table + "." + ext, payload);
-      if (!written.ok()) return Fail(written, output);
-    }
-    output->append("payload written to " + dir + "\n");
-  }
-  return 0;
+  return RunRequestJob(&*client, line, args, output);
 }
 
 int CmdDictionaries(std::string* output) {
@@ -1200,10 +1517,17 @@ std::string UsageText() {
       "  generate-load (<model.xml> | --model tpch|ssb|imdb) [--sf X]\n"
       "           [--engine heap|paged] [--data-dir DIR]\n"
       "           [--row-inserts] [--digests]\n"
-      "  query    <model.xml> <SQL> [--sf X] [--update U]\n"
+      "  query    (<model.xml> | --model tpch|ssb|imdb) <SQL>\n"
+      "           [--sf X] [--update U]\n"
+      "  stream   (<model.xml> | --model tpch|ssb|imdb) --table T\n"
+      "           [--sf X] [--snapshot] [--first-update U]\n"
+      "           [--last-update U] [--events N] [--format F]\n"
+      "           [--out FILE]\n"
       "  workload <model.xml> [--count N] [--seed S] [--execute]\n"
       "  verify   (<model.xml> | --model tpch|ssb|imdb) [--sf X]\n"
       "           [--golden FILE] [--bless FILE] [--quick]\n"
+      "           [--streams] [--stream-golden FILE]\n"
+      "           [--stream-bless FILE]\n"
       "           [--cluster-nodes N] [--inject-perturbation]\n"
       "           [--metrics-out FILE.json]\n"
       "  serve    [--port N] [--port-file PATH] [--max-jobs N]\n"
@@ -1214,7 +1538,11 @@ std::string UsageText() {
       "           (--model tpch|ssb|imdb [--sf X] [--format F]\n"
       "            [--nodes N --node-id I] [--workers N] [--update U]\n"
       "            [--digests] [--out DIR]\n"
-      "            | --op metrics|ping|cancel|shutdown [--job N])\n"
+      "            | --op metrics|ping|cancel|shutdown [--job N]\n"
+      "            | --op range --model M --table T --row-count N\n"
+      "              [--first-row N] [--sf X] [--update U] [--digests]\n"
+      "            | --op stream --model M --table T [--rate N]\n"
+      "              [--events N] [--snapshot] [--update U] [--digests])\n"
       "  dictionaries\n";
 }
 
@@ -1235,6 +1563,7 @@ int RunCli(const std::vector<std::string>& args, std::string* output) {
   if (command == "load") return CmdLoad(*parsed, output);
   if (command == "generate-load") return CmdGenerateLoad(*parsed, output);
   if (command == "query") return CmdQuery(*parsed, output);
+  if (command == "stream") return CmdStream(*parsed, output);
   if (command == "workload") return CmdWorkload(*parsed, output);
   if (command == "verify") return CmdVerify(*parsed, output);
   if (command == "serve") return CmdServe(*parsed, output);

@@ -1,0 +1,67 @@
+#include "core/cursor.h"
+
+namespace pdgf {
+
+void RowRangeCursor::Reset(const GenerationSession* session, int table_index,
+                           uint64_t first_row, uint64_t last_row,
+                           uint64_t update, uint64_t batch_rows) {
+  session_ = session;
+  table_index_ = table_index;
+  first_row_ = first_row;
+  last_row_ = last_row < first_row ? first_row : last_row;
+  update_ = update;
+  batch_rows_ = batch_rows < 1 ? 1 : batch_rows;
+  position_ = first_row_;
+  rows_yielded_ = 0;
+}
+
+void RowRangeCursor::Seek(uint64_t row) {
+  if (row < first_row_) row = first_row_;
+  if (row > last_row_) row = last_row_;
+  position_ = row;
+  rows_yielded_ = 0;
+}
+
+bool RowRangeCursor::Next() {
+  while (position_ < last_row_) {
+    uint64_t stop = position_ + batch_rows_;
+    if (stop > last_row_) stop = last_row_;
+    row_indices_.clear();
+    if (update_ > 0) {
+      // Update mode: batch only the rows the update black box selected
+      // for this time unit.
+      for (uint64_t r = position_; r < stop; ++r) {
+        if (session_->RowChangesInUpdate(table_index_, r, update_)) {
+          row_indices_.push_back(r);
+        }
+      }
+    } else {
+      for (uint64_t r = position_; r < stop; ++r) row_indices_.push_back(r);
+    }
+    position_ = stop;
+    if (row_indices_.empty()) continue;
+    session_->GenerateBatch(table_index_, row_indices_.data(),
+                            row_indices_.size(), update_, &batch_);
+    rows_yielded_ += row_indices_.size();
+    return true;
+  }
+  return false;
+}
+
+void FoldBatchIntoDigest(const RowBatch& batch, std::string_view buffer,
+                         const std::vector<size_t>& row_offsets,
+                         TableDigest* digest) {
+  for (size_t i = 0; i < batch.row_count(); ++i) {
+    digest->AddRowBytes(
+        batch.row_index(i),
+        buffer.substr(row_offsets[i], row_offsets[i + 1] - row_offsets[i]));
+  }
+  for (size_t c = 0; c < batch.column_count(); ++c) {
+    const ValueColumn& column = batch.column(c);
+    for (size_t i = 0; i < column.size(); ++i) {
+      digest->AddColumnValue(c, column.get(i));
+    }
+  }
+}
+
+}  // namespace pdgf

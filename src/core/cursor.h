@@ -1,0 +1,105 @@
+#ifndef DBSYNTHPP_CORE_CURSOR_H_
+#define DBSYNTHPP_CORE_CURSOR_H_
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "core/batch.h"
+#include "core/session.h"
+#include "util/hash.h"
+
+namespace pdgf {
+
+// Pull-based row-range addressing. A RowRangeCursor owns the walk the
+// engine's worker loop used to inline: it yields RowBatches for an
+// arbitrary [first_row, last_row) of one table, in fixed batch-row
+// strides anchored at the current position, applying the update black
+// box's row filter when generating an update stream (update > 0 batches
+// only the rows selected for that time unit).
+//
+// PDGF's seed hierarchy makes every cell a pure function of
+// (table, row, update), so a cursor over rows [10M, 11M) of lineitem at
+// SF 1000 costs exactly those rows — nothing before them is touched.
+// Consumers:
+//   - the generation engine drives one cursor per worker over its work
+//     packages (the materializing path),
+//   - MiniDB virtual tables scan SELECT row windows lazily,
+//   - the serve daemon's range/stream ops stream arbitrary windows.
+//
+// Batch boundaries never change bytes (RowFormatter::AppendBatch is
+// byte-identical to per-row AppendRow) and the digest accumulators are
+// commutative, so cursor output is byte-identical to the materializing
+// engine path — enforced by tests/core/cursor_test.cc and the golden
+// digest fixtures.
+//
+// A cursor is single-threaded and recycles its row-index list and
+// RowBatch (including per-Value string capacity) across batches, ranges
+// and Reset() calls; steady-state iteration is allocation-free.
+class RowRangeCursor {
+ public:
+  static constexpr uint64_t kDefaultBatchRows = 1024;
+
+  RowRangeCursor() = default;
+  RowRangeCursor(const GenerationSession* session, int table_index,
+                 uint64_t first_row, uint64_t last_row, uint64_t update = 0,
+                 uint64_t batch_rows = kDefaultBatchRows) {
+    Reset(session, table_index, first_row, last_row, update, batch_rows);
+  }
+
+  // Re-aims the cursor at a new table/range/update without releasing the
+  // recycled buffers; position rewinds to first_row. `last_row` is
+  // clamped up to `first_row`; `batch_rows` is clamped up to 1.
+  void Reset(const GenerationSession* session, int table_index,
+             uint64_t first_row, uint64_t last_row, uint64_t update = 0,
+             uint64_t batch_rows = kDefaultBatchRows);
+
+  // Moves the position to `row`, clamped into [first_row, last_row].
+  // Subsequent batch strides are anchored at the new position.
+  void Seek(uint64_t row);
+
+  // Generates the next batch; false when the range is exhausted. In
+  // update mode, strides whose rows were all skipped by the update black
+  // box are consumed internally — Next() only returns with a non-empty
+  // batch().
+  bool Next();
+
+  // The batch produced by the last successful Next().
+  const RowBatch& batch() const { return batch_; }
+
+  int table_index() const { return table_index_; }
+  uint64_t first_row() const { return first_row_; }
+  uint64_t last_row() const { return last_row_; }
+  uint64_t update() const { return update_; }
+  // The next unprocessed row (== last_row() once exhausted).
+  uint64_t position() const { return position_; }
+  bool done() const { return position_ >= last_row_; }
+  // Rows yielded across all Next() calls since the last Reset/Seek.
+  uint64_t rows_yielded() const { return rows_yielded_; }
+
+ private:
+  const GenerationSession* session_ = nullptr;
+  int table_index_ = 0;
+  uint64_t first_row_ = 0;
+  uint64_t last_row_ = 0;
+  uint64_t update_ = 0;
+  uint64_t batch_rows_ = kDefaultBatchRows;
+  uint64_t position_ = 0;
+  uint64_t rows_yielded_ = 0;
+  std::vector<uint64_t> row_indices_;
+  RowBatch batch_;
+};
+
+// Folds one formatted batch into `digest`: row-byte hashes from the
+// formatter's offset spans (`row_offsets` as filled by AppendBatch —
+// absolute offsets into `buffer`), column checksums column-major. Every
+// digest accumulator is commutative, so this matches the scalar
+// AddRow-per-row result exactly regardless of batch boundaries. Shared
+// by every cursor consumer that ships digests.
+void FoldBatchIntoDigest(const RowBatch& batch, std::string_view buffer,
+                         const std::vector<size_t>& row_offsets,
+                         TableDigest* digest);
+
+}  // namespace pdgf
+
+#endif  // DBSYNTHPP_CORE_CURSOR_H_

@@ -6,6 +6,7 @@
 #include <thread>
 
 #include "core/batch.h"
+#include "core/cursor.h"
 #include "core/output/writer.h"
 #include "util/files.h"
 #include "util/stopwatch.h"
@@ -260,11 +261,11 @@ Status GenerationEngine::Run(ProgressTracker* progress) {
     std::vector<Value> row;
     std::string inline_buffer;
     std::string pooled_buffer;
-    // Batch-pipeline working set, reused across packages: the row-index
-    // gather list, the column-major batch (Value string capacity is
-    // retained) and the formatter's per-row byte offsets.
-    std::vector<uint64_t> row_indices;
-    RowBatch batch;
+    // Batch-pipeline working set, reused across packages: one cursor
+    // (which recycles its row-index gather list and column-major batch,
+    // Value string capacity included) and the formatter's per-row byte
+    // offsets.
+    RowRangeCursor cursor;
     std::vector<size_t> row_offsets;
     std::vector<TableDigest> local_digests(digests ? schema.tables.size()
                                                    : 0);
@@ -312,51 +313,22 @@ Status GenerationEngine::Run(ProgressTracker* progress) {
       int64_t sampled_format = 0;
       int64_t sampled_digest = 0;
       if (use_batch) {
-        for (uint64_t start = package.begin_row; start < package.end_row;
-             start += batch_rows) {
-          uint64_t stop = start + batch_rows;
-          if (stop > package.end_row) stop = package.end_row;
-          row_indices.clear();
-          if (options_.update > 0) {
-            // Update mode: batch only the rows the update black box
-            // selected for this time unit.
-            for (uint64_t r = start; r < stop; ++r) {
-              if (session_->RowChangesInUpdate(package.table_index, r,
-                                               options_.update)) {
-                row_indices.push_back(r);
-              }
-            }
-            if (row_indices.empty()) continue;
-          } else {
-            for (uint64_t r = start; r < stop; ++r) row_indices.push_back(r);
-          }
+        // The engine is just one cursor consumer: the package's row range
+        // is pulled through a reused RowRangeCursor (row-index gathering,
+        // update filtering and batch generation live in the cursor now).
+        cursor.Reset(session_, package.table_index, package.begin_row,
+                     package.end_row, options_.update, batch_rows);
+        while (true) {
           const int64_t t0 = metrics_on ? MetricsNowNanos() : 0;
-          session_->GenerateBatch(package.table_index, row_indices.data(),
-                                  row_indices.size(), options_.update,
-                                  &batch);
+          if (!cursor.Next()) break;
+          const RowBatch& batch = cursor.batch();
           const int64_t t1 = metrics_on ? MetricsNowNanos() : 0;
           formatter_->AppendBatch(table, batch, &buffer,
                                   digests ? &row_offsets : nullptr);
           const int64_t t2 = metrics_on ? MetricsNowNanos() : 0;
           if (digests) {
-            // Row-byte hashes from the formatter's offset spans, column
-            // checksums column-major — every digest accumulator is
-            // commutative, so this matches the scalar AddRow-per-row
-            // result exactly.
-            TableDigest& digest = local_digests[table_index];
-            const std::string_view bytes_view(buffer);
-            for (size_t i = 0; i < batch.row_count(); ++i) {
-              digest.AddRowBytes(
-                  batch.row_index(i),
-                  bytes_view.substr(row_offsets[i],
-                                    row_offsets[i + 1] - row_offsets[i]));
-            }
-            for (size_t c = 0; c < batch.column_count(); ++c) {
-              const ValueColumn& column = batch.column(c);
-              for (size_t i = 0; i < column.size(); ++i) {
-                digest.AddColumnValue(c, column.get(i));
-              }
-            }
+            FoldBatchIntoDigest(batch, buffer, row_offsets,
+                                &local_digests[table_index]);
           }
           if (metrics_on) {
             const int64_t t3 = digests ? MetricsNowNanos() : t2;
@@ -364,7 +336,7 @@ Status GenerationEngine::Run(ProgressTracker* progress) {
             sampled_format += t2 - t1;
             sampled_digest += t3 - t2;
           }
-          rows_in_package += row_indices.size();
+          rows_in_package += batch.row_count();
         }
       } else {
         for (uint64_t r = package.begin_row; r < package.end_row; ++r) {
@@ -421,9 +393,10 @@ Status GenerationEngine::Run(ProgressTracker* progress) {
       }
       if (metrics_on) {
         if (use_batch) {
-          // Batch phases are measured exactly; the residual of the
-          // package block (row-index gathering, update filtering, loop
-          // bookkeeping) is charged to row generation.
+          // Batch phases are measured exactly; the cursor pull (row-index
+          // gathering, update filtering, generation) is timed as row
+          // generation and the package block's residual (loop
+          // bookkeeping) is charged there too.
           int64_t residual = generate_nanos - sampled_generate -
                              sampled_format - sampled_digest;
           if (residual < 0) residual = 0;
@@ -634,26 +607,12 @@ StatusOr<std::string> GenerateTableToString(const GenerationSession& session,
       session.schema().tables[static_cast<size_t>(table_index)];
   std::string out;
   formatter.AppendHeader(table, &out);
-  // Single-threaded batch pipeline: same per-chunk gather as the engine's
-  // worker loop, bit-identical to the historical per-row rendering.
-  constexpr uint64_t kChunkRows = 1024;
-  std::vector<uint64_t> row_indices;
-  RowBatch batch;
-  uint64_t rows = session.TableRows(table_index);
-  for (uint64_t start = 0; start < rows; start += kChunkRows) {
-    uint64_t stop = start + kChunkRows;
-    if (stop > rows) stop = rows;
-    row_indices.clear();
-    for (uint64_t r = start; r < stop; ++r) {
-      if (update > 0 && !session.RowChangesInUpdate(table_index, r, update)) {
-        continue;
-      }
-      row_indices.push_back(r);
-    }
-    if (row_indices.empty()) continue;
-    session.GenerateBatch(table_index, row_indices.data(),
-                          row_indices.size(), update, &batch);
-    formatter.AppendBatch(table, batch, &out);
+  // Single-threaded cursor pull over the whole table — bit-identical to
+  // the engine's worker loop over the same rows.
+  RowRangeCursor cursor(&session, table_index, 0,
+                        session.TableRows(table_index), update);
+  while (cursor.Next()) {
+    formatter.AppendBatch(table, cursor.batch(), &out);
   }
   formatter.AppendFooter(table, &out);
   return out;

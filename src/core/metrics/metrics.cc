@@ -408,6 +408,12 @@ std::string ServeCounters::ToJson(bool pretty) const {
   json.Number(jobs_rejected);
   json.Key("bytes_streamed");
   json.Number(bytes_streamed);
+  json.Key("rows_streamed");
+  json.Number(rows_streamed);
+  json.Key("stream_events");
+  json.Number(stream_events);
+  json.Key("streams_active");
+  json.Number(streams_active);
   json.Key("queue_depth");
   json.Number(queue_depth);
   json.Key("active_connections");

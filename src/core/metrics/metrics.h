@@ -260,6 +260,9 @@ struct ServeCounters {
   uint64_t jobs_cancelled = 0;   // aborted by an explicit cancel request
   uint64_t jobs_rejected = 0;    // refused at admission (queue saturated)
   uint64_t bytes_streamed = 0;   // payload + frame bytes written to clients
+  uint64_t rows_streamed = 0;    // rows shipped by range-window jobs
+  uint64_t stream_events = 0;    // CDC events shipped by stream jobs
+  uint64_t streams_active = 0;   // gauge: stream jobs currently playing
   uint64_t queue_depth = 0;      // gauge: admitted jobs not yet finished
   uint64_t active_connections = 0;      // gauge
   uint64_t connections_accepted = 0;

@@ -1,0 +1,138 @@
+#include "core/stream.h"
+
+#include <algorithm>
+
+#include "core/batch.h"
+#include "util/strings.h"
+
+namespace pdgf {
+
+namespace {
+
+// Minimal JSON string escaping for event payloads (the serve layer has
+// its own copy; core cannot depend on it).
+void AppendJsonEscaped(std::string_view text, std::string* out) {
+  for (char c : text) {
+    switch (c) {
+      case '"': out->append("\\\""); break;
+      case '\\': out->append("\\\\"); break;
+      case '\n': out->append("\\n"); break;
+      case '\r': out->append("\\r"); break;
+      case '\t': out->append("\\t"); break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out->append(StrPrintf("\\u%04x", c));
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+}
+
+}  // namespace
+
+UpdateStreamGenerator::UpdateStreamGenerator(const GenerationSession* session,
+                                             int table_index,
+                                             const RowFormatter* formatter,
+                                             UpdateStreamOptions options)
+    : session_(session),
+      table_index_(table_index),
+      formatter_(formatter),
+      options_(options),
+      table_(&session->schema().tables[static_cast<size_t>(table_index)]) {
+  const uint64_t units = session_->TableUpdates(table_index_);
+  last_update_ = options_.last_update > 0
+                     ? std::min(options_.last_update, units - 1)
+                     : units - 1;
+  if (options_.first_update == 0) options_.first_update = 1;
+  if (options_.batch_rows == 0) {
+    options_.batch_rows = RowRangeCursor::kDefaultBatchRows;
+  }
+  snapshot_phase_ = options_.snapshot;
+  current_update_ =
+      snapshot_phase_ ? 0 : options_.first_update;
+  if (!snapshot_phase_ && current_update_ > last_update_) {
+    done_ = true;
+    return;
+  }
+  ResetCursorForPhase();
+}
+
+void UpdateStreamGenerator::ResetCursorForPhase() {
+  cursor_.Reset(session_, table_index_, 0, session_->TableRows(table_index_),
+                current_update_, options_.batch_rows);
+}
+
+bool UpdateStreamGenerator::NextBatch() {
+  while (true) {
+    if (cursor_.Next()) {
+      render_buffer_.clear();
+      formatter_->AppendBatch(*table_, cursor_.batch(), &render_buffer_,
+                              &row_offsets_);
+      batch_pos_ = 0;
+      batch_valid_ = true;
+      return true;
+    }
+    // Phase exhausted: snapshot rolls into the first update unit, update
+    // units advance until the inclusive bound.
+    if (snapshot_phase_) {
+      snapshot_phase_ = false;
+      current_update_ = options_.first_update;
+      if (current_update_ > last_update_) return false;
+    } else {
+      if (current_update_ >= last_update_) return false;
+      ++current_update_;
+    }
+    ResetCursorForPhase();
+  }
+}
+
+size_t UpdateStreamGenerator::NextEvents(std::string* out, size_t max_events) {
+  size_t emitted = 0;
+  while (emitted < max_events && !done_) {
+    if (!batch_valid_ && !NextBatch()) {
+      done_ = true;
+      break;
+    }
+    const RowBatch& batch = cursor_.batch();
+    while (batch_pos_ < batch.row_count() && emitted < max_events) {
+      const size_t i = batch_pos_++;
+      std::string_view data(render_buffer_.data() + row_offsets_[i],
+                            row_offsets_[i + 1] - row_offsets_[i]);
+      // Strip the row terminator; the event line carries its own.
+      while (!data.empty() &&
+             (data.back() == '\n' || data.back() == '\r')) {
+        data.remove_suffix(1);
+      }
+      const bool is_insert = cursor_.update() == 0;
+      out->append(StrPrintf(
+          "{\"event\":%llu,\"op\":\"%s\",\"table\":\"%s\","
+          "\"update\":%llu,\"row\":%llu,\"data\":\"",
+          static_cast<unsigned long long>(event_index_),
+          is_insert ? "insert" : "update", table_->name.c_str(),
+          static_cast<unsigned long long>(cursor_.update()),
+          static_cast<unsigned long long>(batch.row_index(i))));
+      AppendJsonEscaped(data, out);
+      out->append("\"}\n");
+      ++event_index_;
+      ++emitted;
+    }
+    if (batch_valid_ && batch_pos_ >= batch.row_count()) {
+      batch_valid_ = false;
+    }
+  }
+  return emitted;
+}
+
+uint64_t UpdateStreamGenerator::CountTotalEvents() const {
+  const uint64_t rows = session_->TableRows(table_index_);
+  uint64_t total = options_.snapshot ? rows : 0;
+  for (uint64_t u = options_.first_update; u <= last_update_; ++u) {
+    for (uint64_t r = 0; r < rows; ++r) {
+      if (session_->RowChangesInUpdate(table_index_, r, u)) ++total;
+    }
+  }
+  return total;
+}
+
+}  // namespace pdgf

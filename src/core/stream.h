@@ -1,0 +1,86 @@
+#ifndef DBSYNTHPP_CORE_STREAM_H_
+#define DBSYNTHPP_CORE_STREAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/cursor.h"
+#include "core/output/formatter.h"
+#include "core/session.h"
+
+namespace pdgf {
+
+// CDC-style update stream generation on top of the update black box
+// (paper §2.2): turns a table's abstract time units into an ordered,
+// replayable sequence of insert/update events. Because every event is a
+// pure function of (table, row, update) — the same purity that makes
+// arbitrary-range generation possible — the stream is replayable by
+// construction: the same session and options always produce the same
+// byte sequence, so a consumer can restart from scratch and re-verify.
+//
+// Events are emitted as one JSON object per '\n'-terminated line:
+//
+//   {"event":0,"op":"insert","table":"orders","update":0,"row":7,
+//    "data":"8|35|O|154828.91|..."}
+//   {"event":1,"op":"update","table":"orders","update":1,"row":3,...}
+//
+// `event` is the 0-based sequence number, `data` the row rendered by the
+// formatter (terminator stripped, JSON-escaped). With `snapshot` set the
+// stream opens with every base row as an "insert" event (update 0), then
+// plays units first_update..last_update in order; within a unit, events
+// are ordered by row — the deterministic order the cursor yields.
+struct UpdateStreamOptions {
+  bool snapshot = false;      // open with base rows as insert events
+  uint64_t first_update = 1;  // first time unit to play
+  // Last unit to play, inclusive; 0 = through the table's final unit
+  // (TableUpdates - 1; a static table then plays no update events).
+  uint64_t last_update = 0;
+  uint64_t batch_rows = RowRangeCursor::kDefaultBatchRows;
+};
+
+class UpdateStreamGenerator {
+ public:
+  // `session` and `formatter` must outlive the generator.
+  UpdateStreamGenerator(const GenerationSession* session, int table_index,
+                        const RowFormatter* formatter,
+                        UpdateStreamOptions options = {});
+
+  // Appends up to `max_events` event lines to *out (not cleared) and
+  // returns the number appended; 0 = the stream is exhausted.
+  size_t NextEvents(std::string* out, size_t max_events);
+
+  bool done() const { return done_; }
+  // Events emitted so far == the next event's sequence number.
+  uint64_t events_emitted() const { return event_index_; }
+  // Total events this stream will emit (counts the update black box
+  // per unit up front only when asked; O(rows * units)).
+  uint64_t CountTotalEvents() const;
+
+ private:
+  // Renders the cursor's next non-empty batch; advances through the
+  // snapshot phase and the update units. False = stream exhausted.
+  bool NextBatch();
+  void ResetCursorForPhase();
+
+  const GenerationSession* session_;
+  int table_index_;
+  const RowFormatter* formatter_;
+  UpdateStreamOptions options_;
+  const TableDef* table_;
+  uint64_t last_update_;   // resolved inclusive bound
+  uint64_t current_update_ = 0;
+  bool snapshot_phase_ = false;
+  bool done_ = false;
+  uint64_t event_index_ = 0;
+
+  RowRangeCursor cursor_;
+  std::string render_buffer_;
+  std::vector<size_t> row_offsets_;
+  size_t batch_pos_ = 0;
+  bool batch_valid_ = false;
+};
+
+}  // namespace pdgf
+
+#endif  // DBSYNTHPP_CORE_STREAM_H_

@@ -1,0 +1,206 @@
+#include "dbsynth/virtual_table.h"
+
+#include <algorithm>
+#include <charconv>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "core/batch.h"
+#include "core/config.h"
+#include "core/cursor.h"
+#include "core/generators/generators.h"
+#include "dbsynth/schema_translator.h"
+#include "minidb/sql_parser.h"
+#include "minidb/table.h"
+
+namespace dbsynth {
+
+namespace {
+
+// Floor division for the key inversion: C++ `/` truncates toward zero,
+// which is wrong for negative numerators.
+__int128 FloorDiv(__int128 a, __int128 b) {
+  __int128 q = a / b;
+  if (a % b != 0 && ((a < 0) != (b < 0))) --q;
+  return q;
+}
+
+__int128 CeilDiv(__int128 a, __int128 b) { return -FloorDiv(-a, b); }
+
+pdgf::StatusOr<uint64_t> ParseModuleUint(const std::string& what,
+                                         const std::string& text) {
+  uint64_t value = 0;
+  const char* begin = text.data();
+  const char* end = begin + text.size();
+  auto [ptr, ec] = std::from_chars(begin, end, value);
+  if (ec != std::errc() || ptr != end) {
+    return pdgf::InvalidArgumentError("dbsynth module argument " + what +
+                                      " must be a non-negative integer, got '" +
+                                      text + "'");
+  }
+  return value;
+}
+
+}  // namespace
+
+GeneratedVirtualTable::GeneratedVirtualTable(
+    const pdgf::GenerationSession* session, int table_index, uint64_t update)
+    : session_(session),
+      table_index_(table_index),
+      update_(update),
+      schema_(TranslateTable(
+          session->schema(),
+          session->schema().tables[static_cast<size_t>(table_index)])) {
+  // Prove (or refuse) the key inversion once. TranslateTable maps model
+  // fields to columns 1:1, so the indexable column's index is also the
+  // field index whose generator we inspect. Mutable PKs never qualify:
+  // the inversion must hold at every time unit.
+  const int pk_column = minidb::Table::IndexableKeyColumn(schema_);
+  if (pk_column < 0) return;
+  const pdgf::FieldDef& field =
+      session_->schema().tables[static_cast<size_t>(table_index_)]
+          .fields[static_cast<size_t>(pk_column)];
+  if (field.mutable_across_updates) return;
+  const auto* id =
+      dynamic_cast<const pdgf::IdGenerator*>(field.generator.get());
+  if (id == nullptr || id->step() <= 0) return;
+  key_linear_ = true;
+  key_start_ = id->start();
+  key_step_ = id->step();
+}
+
+GeneratedVirtualTable::GeneratedVirtualTable(
+    std::shared_ptr<const VirtualModel> model, int table_index,
+    uint64_t update)
+    : GeneratedVirtualTable(model->session.get(), table_index, update) {
+  owner_ = std::move(model);
+}
+
+uint64_t GeneratedVirtualTable::row_count() const {
+  return session_->TableRows(table_index_);
+}
+
+void GeneratedVirtualTable::ScanRange(
+    uint64_t first_row, uint64_t last_row,
+    const std::function<bool(const minidb::Row&)>& visitor) const {
+  last_row = std::min(last_row, row_count());
+  if (first_row >= last_row) return;
+  pdgf::RowRangeCursor cursor(session_, table_index_, first_row, last_row,
+                              update_);
+  std::vector<pdgf::Value> row;
+  minidb::Row coerced(schema_.columns.size());
+  while (cursor.Next()) {
+    const pdgf::RowBatch& batch = cursor.batch();
+    for (size_t i = 0; i < batch.row_count(); ++i) {
+      batch.CopyRowTo(i, &row);
+      // Coerce to the column storage types so results are identical to
+      // querying a database the generated data was loaded into.
+      for (size_t c = 0; c < coerced.size() && c < row.size(); ++c) {
+        auto value = minidb::CoerceValue(schema_.columns[c], row[c]);
+        coerced[c] = value.ok() ? std::move(*value) : row[c];
+      }
+      if (!visitor(coerced)) return;
+    }
+  }
+}
+
+bool GeneratedVirtualTable::KeyRangeToRows(int64_t min_key, int64_t max_key,
+                                           uint64_t* first,
+                                           uint64_t* last) const {
+  if (!key_linear_) return false;
+  // key(row) = start + row * step, step > 0: the rows with key inside
+  // [min_key, max_key] are exactly [ceil((min-start)/step),
+  // floor((max-start)/step)] before clamping to the table.
+  const __int128 lo =
+      CeilDiv(static_cast<__int128>(min_key) - key_start_, key_step_);
+  const __int128 hi =
+      FloorDiv(static_cast<__int128>(max_key) - key_start_, key_step_);
+  const __int128 rows = static_cast<__int128>(row_count());
+  __int128 begin = lo < 0 ? 0 : lo;
+  __int128 end = hi + 1 > rows ? rows : hi + 1;
+  if (end < begin) end = begin;
+  *first = static_cast<uint64_t>(begin > rows ? rows : begin);
+  *last = static_cast<uint64_t>(end < 0 ? 0 : end);
+  return true;
+}
+
+void RegisterDbsynthModule(minidb::Database* database,
+                           ModelResolver resolver) {
+  if (!resolver) {
+    resolver = [](const std::string& model) {
+      return pdgf::LoadSchemaFromFile(model);
+    };
+  }
+  // One session per (model, sf), shared by every virtual table the
+  // database creates through this module.
+  auto cache = std::make_shared<
+      std::map<std::string, std::shared_ptr<const VirtualModel>>>();
+  database->RegisterVirtualModule(
+      "dbsynth",
+      [resolver = std::move(resolver), cache](
+          const std::string& table_name, const std::vector<std::string>& args)
+          -> pdgf::StatusOr<std::unique_ptr<minidb::VirtualTable>> {
+        (void)table_name;
+        if (args.size() < 2 || args.size() > 4) {
+          return pdgf::InvalidArgumentError(
+              "usage: USING dbsynth(model, table[, sf[, update]])");
+        }
+        const std::string& model = args[0];
+        const std::string& table = args[1];
+        const std::string sf = args.size() >= 3 ? args[2] : "";
+        uint64_t update = 0;
+        if (args.size() >= 4) {
+          PDGF_ASSIGN_OR_RETURN(update, ParseModuleUint("update", args[3]));
+        }
+        const std::string cache_key = model + "@" + sf;
+        std::shared_ptr<const VirtualModel> shared;
+        auto it = cache->find(cache_key);
+        if (it != cache->end()) {
+          shared = it->second;
+        } else {
+          auto owned = std::make_shared<VirtualModel>();
+          PDGF_ASSIGN_OR_RETURN(owned->schema, resolver(model));
+          std::map<std::string, std::string> overrides;
+          if (!sf.empty()) overrides["SF"] = sf;
+          PDGF_ASSIGN_OR_RETURN(
+              owned->session,
+              pdgf::GenerationSession::Create(&owned->schema, overrides));
+          shared = owned;
+          (*cache)[cache_key] = shared;
+        }
+        const int table_index = shared->schema.FindTableIndex(table);
+        if (table_index < 0) {
+          return pdgf::NotFoundError("model has no table '" + table + "'");
+        }
+        if (update > shared->session->TableUpdates(table_index)) {
+          return pdgf::InvalidArgumentError(
+              "update " + std::to_string(update) + " is out of range (table '" +
+              table + "' has " +
+              std::to_string(shared->session->TableUpdates(table_index)) +
+              " time units)");
+        }
+        return std::unique_ptr<minidb::VirtualTable>(
+            std::make_unique<GeneratedVirtualTable>(std::move(shared),
+                                                    table_index, update));
+      });
+}
+
+pdgf::StatusOr<minidb::ResultSet> ExecuteQueryWithoutData(
+    const pdgf::GenerationSession& session, std::string_view sql,
+    uint64_t update) {
+  PDGF_ASSIGN_OR_RETURN(minidb::Statement statement, minidb::ParseSql(sql));
+  const auto* select = std::get_if<minidb::SelectStatement>(&statement);
+  if (select == nullptr) {
+    return pdgf::InvalidArgumentError(
+        "queries without data must be SELECT statements");
+  }
+  int table_index = session.schema().FindTableIndex(select->table);
+  if (table_index < 0) {
+    return pdgf::NotFoundError("model has no table '" + select->table + "'");
+  }
+  GeneratedVirtualTable table(&session, table_index, update);
+  return minidb::ExecuteSelectOnVirtualTable(table, *select);
+}
+
+}  // namespace dbsynth

@@ -1,0 +1,102 @@
+#ifndef DBSYNTHPP_DBSYNTH_VIRTUAL_TABLE_H_
+#define DBSYNTHPP_DBSYNTH_VIRTUAL_TABLE_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "core/session.h"
+#include "minidb/database.h"
+#include "minidb/sql.h"
+#include "minidb/virtual_table.h"
+
+namespace dbsynth {
+
+// Query execution without data generation — the paper's future-work
+// feature (§6: "Given the deterministic approach of data generation, our
+// tool will then also be able to directly execute the query without ever
+// generating the data, which can be used to verify results for
+// correctness").
+//
+// A GeneratedVirtualTable streams a model table's rows straight out of
+// the generators (via a core RowRangeCursor) into the SQL executor:
+// nothing is written, nothing is stored; memory use is one batch.
+// Because generation is deterministic, the result is identical to
+// loading the generated data into a database and querying it there
+// (tested in tests/dbsynth/virtual_table_test.cc).
+
+// Resolves a model argument to a schema. The default resolver loads a
+// model file from disk; the CLI installs one that also knows the bundled
+// workload names (tpch, ssb, imdb).
+using ModelResolver =
+    std::function<pdgf::StatusOr<pdgf::SchemaDef>(const std::string& model)>;
+
+// A schema plus its resolved generation session, shared by every virtual
+// table created from the same (model, sf) pair. The session points into
+// the schema, so the two must live and die together.
+struct VirtualModel {
+  pdgf::SchemaDef schema;
+  std::unique_ptr<pdgf::GenerationSession> session;
+};
+
+class GeneratedVirtualTable final : public minidb::VirtualTable {
+ public:
+  // Non-owning view: `session` must outlive the table. `table_index`
+  // selects the model table to expose; `update` > 0 exposes that time
+  // unit's update rows instead of the base data.
+  GeneratedVirtualTable(const pdgf::GenerationSession* session,
+                        int table_index, uint64_t update = 0);
+
+  // Owning form used by the catalog module: keeps the model (and thus
+  // the session) alive for the table's lifetime.
+  GeneratedVirtualTable(std::shared_ptr<const VirtualModel> model,
+                        int table_index, uint64_t update);
+
+  const minidb::TableSchema& schema() const override { return schema_; }
+  uint64_t row_count() const override;
+  void ScanRange(uint64_t first_row, uint64_t last_row,
+                 const std::function<bool(const minidb::Row&)>& visitor)
+      const override;
+
+  // PK pushdown: when the primary key field is an IdGenerator (value =
+  // start + row * step with step > 0) the key interval inverts to a row
+  // window exactly; proven at construction, never guessed.
+  bool KeyRangeToRows(int64_t min_key, int64_t max_key, uint64_t* first,
+                      uint64_t* last) const override;
+
+ private:
+  std::shared_ptr<const VirtualModel> owner_;  // null for non-owning views
+  const pdgf::GenerationSession* session_;
+  int table_index_;
+  uint64_t update_;
+  minidb::TableSchema schema_;
+  bool key_linear_ = false;
+  int64_t key_start_ = 0;
+  int64_t key_step_ = 1;
+};
+
+// Registers the `dbsynth` virtual table module on `database`:
+//
+//   CREATE VIRTUAL TABLE t USING dbsynth(model, table[, sf[, update]])
+//
+// `model` is resolved through `resolver` (file path by default), `sf`
+// overrides the SF property, `update` > 0 exposes that time unit's
+// update rows. Sessions are cached per (model, sf) and shared across the
+// database's virtual tables.
+void RegisterDbsynthModule(minidb::Database* database,
+                           ModelResolver resolver = {});
+
+// Parses a SELECT whose FROM names a table of the session's model and
+// executes it over generated rows — with row-window and PK-predicate
+// pushdown, so point queries touch a handful of rows regardless of SF.
+// With `update` > 0 the query runs over that time unit's update stream
+// instead of the base data.
+pdgf::StatusOr<minidb::ResultSet> ExecuteQueryWithoutData(
+    const pdgf::GenerationSession& session, std::string_view sql,
+    uint64_t update = 0);
+
+}  // namespace dbsynth
+
+#endif  // DBSYNTHPP_DBSYNTH_VIRTUAL_TABLE_H_

@@ -30,7 +30,8 @@ pdgf::Status Database::CreateTable(TableSchema schema) {
   if (schema.name.empty()) {
     return pdgf::InvalidArgumentError("table name must not be empty");
   }
-  if (GetTable(schema.name) != nullptr) {
+  if (GetTable(schema.name) != nullptr ||
+      GetVirtualTable(schema.name) != nullptr) {
     return pdgf::AlreadyExistsError("table '" + schema.name +
                                     "' already exists");
   }
@@ -83,7 +84,51 @@ pdgf::Status Database::DropTable(const std::string& name) {
       return pdgf::Status::Ok();
     }
   }
+  for (size_t i = 0; i < virtual_tables_.size(); ++i) {
+    if (pdgf::EqualsIgnoreCase(virtual_tables_[i].name, name)) {
+      virtual_tables_.erase(virtual_tables_.begin() + static_cast<long>(i));
+      return pdgf::Status::Ok();
+    }
+  }
   return pdgf::NotFoundError("table '" + name + "' does not exist");
+}
+
+void Database::RegisterVirtualModule(const std::string& name,
+                                     VirtualTableFactory factory) {
+  modules_[pdgf::AsciiLower(name)] = std::move(factory);
+}
+
+pdgf::Status Database::CreateVirtualTable(
+    const std::string& table_name, const std::string& module,
+    const std::vector<std::string>& args) {
+  if (table_name.empty()) {
+    return pdgf::InvalidArgumentError("table name must not be empty");
+  }
+  if (GetTable(table_name) != nullptr ||
+      GetVirtualTable(table_name) != nullptr) {
+    return pdgf::AlreadyExistsError("table '" + table_name +
+                                    "' already exists");
+  }
+  auto it = modules_.find(pdgf::AsciiLower(module));
+  if (it == modules_.end()) {
+    return pdgf::NotFoundError("no virtual table module named '" + module +
+                               "' is registered");
+  }
+  PDGF_ASSIGN_OR_RETURN(std::unique_ptr<VirtualTable> table,
+                        it->second(table_name, args));
+  if (table == nullptr) {
+    return pdgf::InternalError("module '" + module +
+                               "' returned no virtual table");
+  }
+  virtual_tables_.push_back({table_name, std::move(table)});
+  return pdgf::Status::Ok();
+}
+
+const VirtualTable* Database::GetVirtualTable(std::string_view name) const {
+  for (const NamedVirtualTable& entry : virtual_tables_) {
+    if (pdgf::EqualsIgnoreCase(entry.name, name)) return entry.table.get();
+  }
+  return nullptr;
 }
 
 Table* Database::GetTable(std::string_view name) {
@@ -102,9 +147,12 @@ const Table* Database::GetTable(std::string_view name) const {
 
 std::vector<std::string> Database::TableNames() const {
   std::vector<std::string> names;
-  names.reserve(tables_.size());
+  names.reserve(tables_.size() + virtual_tables_.size());
   for (const auto& table : tables_) {
     names.push_back(table->name());
+  }
+  for (const NamedVirtualTable& entry : virtual_tables_) {
+    names.push_back(entry.name);
   }
   return names;
 }

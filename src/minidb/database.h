@@ -9,6 +9,7 @@
 #include "common/status.h"
 #include "minidb/storage/paged_engine.h"
 #include "minidb/table.h"
+#include "minidb/virtual_table.h"
 
 namespace minidb {
 
@@ -63,9 +64,23 @@ class Database {
   Table* GetTable(std::string_view name);
   const Table* GetTable(std::string_view name) const;
 
-  // Table names in creation order.
+  // Virtual tables (CREATE VIRTUAL TABLE name USING module(args...)).
+  // A module is registered once by name; creation instantiates one
+  // VirtualTable through its factory. Virtual names share the stored
+  // tables' namespace, and DropTable works on either kind.
+  void RegisterVirtualModule(const std::string& name,
+                             VirtualTableFactory factory);
+  pdgf::Status CreateVirtualTable(const std::string& table_name,
+                                  const std::string& module,
+                                  const std::vector<std::string>& args);
+  // nullptr when absent (case-insensitive; stored tables not included).
+  const VirtualTable* GetVirtualTable(std::string_view name) const;
+
+  // Stored then virtual table names, each in creation order.
   std::vector<std::string> TableNames() const;
-  size_t table_count() const { return tables_.size(); }
+  size_t table_count() const {
+    return tables_.size() + virtual_tables_.size();
+  }
 
   // Checkpoints every table (durable engines flush; heap is a no-op).
   pdgf::Status CheckpointAll();
@@ -77,6 +92,12 @@ class Database {
   EngineConfig config_;
   // Creation-ordered list; lookups scan (table counts are small).
   std::vector<std::unique_ptr<Table>> tables_;
+  struct NamedVirtualTable {
+    std::string name;
+    std::unique_ptr<VirtualTable> table;
+  };
+  std::vector<NamedVirtualTable> virtual_tables_;
+  std::map<std::string, VirtualTableFactory> modules_;  // lower-cased name
 };
 
 }  // namespace minidb

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <map>
 #include <unordered_set>
 
@@ -35,6 +36,68 @@ class VectorRowSource final : public RowSource {
   const TableSchema* schema_;
   const std::vector<Row>* rows_;
 };
+
+// SELECT pipeline view over a virtual table's [first, last) row window.
+class VirtualRowSource final : public RowSource {
+ public:
+  VirtualRowSource(const VirtualTable* table, uint64_t first, uint64_t last)
+      : table_(table), first_(first), last_(last) {}
+
+  const TableSchema& schema() const override { return table_->schema(); }
+  void Scan(
+      const std::function<bool(const Row&)>& visitor) const override {
+    table_->ScanRange(first_, last_, visitor);
+  }
+
+ private:
+  const VirtualTable* table_;
+  uint64_t first_;
+  uint64_t last_;
+};
+
+// Derives the inclusive key interval a condition implies for an integer
+// primary-key column; false when the condition does not constrain it.
+bool KeyIntervalFor(const ColumnDef& column, const Condition& condition,
+                    int64_t* lo, int64_t* hi) {
+  *lo = std::numeric_limits<int64_t>::min();
+  *hi = std::numeric_limits<int64_t>::max();
+  Value literal = condition.operand;
+  StatusOr<Value> coerced = CoerceValue(column, literal);
+  if (coerced.ok()) literal = *coerced;
+  int64_t key;
+  if (!storage::ExtractIndexKey(literal, &key)) return false;
+  switch (condition.op) {
+    case Condition::Op::kEq:
+      *lo = *hi = key;
+      return true;
+    case Condition::Op::kLe:
+      *hi = key;
+      return true;
+    case Condition::Op::kLt:
+      if (key == std::numeric_limits<int64_t>::min()) return false;
+      *hi = key - 1;
+      return true;
+    case Condition::Op::kGe:
+      *lo = key;
+      return true;
+    case Condition::Op::kGt:
+      if (key == std::numeric_limits<int64_t>::max()) return false;
+      *lo = key + 1;
+      return true;
+    case Condition::Op::kBetween: {
+      Value upper = condition.operand2;
+      StatusOr<Value> coerced_upper = CoerceValue(column, upper);
+      if (coerced_upper.ok()) upper = *coerced_upper;
+      int64_t upper_key;
+      if (!storage::ExtractIndexKey(upper, &upper_key)) return false;
+      *lo = key;
+      *hi = upper_key;
+      return true;
+    }
+    default:
+      return false;
+  }
+}
 
 // Evaluates one condition against a row; `index` is the pre-resolved
 // column position of condition.column.
@@ -455,6 +518,39 @@ pdgf::StatusOr<ResultSet> ExecuteSelectOnSource(
   return ExecuteSelectImpl(source, statement);
 }
 
+pdgf::StatusOr<ResultSet> ExecuteSelectOnVirtualTable(
+    const VirtualTable& table, const SelectStatement& statement) {
+  const TableSchema& schema = table.schema();
+  uint64_t first = 0;
+  uint64_t last = table.row_count();
+  // PK-predicate pushdown: every condition on the single integer primary
+  // key that the module can invert narrows the generated window — a
+  // point query against a never-materialized SF-1000 table touches one
+  // row. Conditions still run per scanned row, so semantics match a full
+  // scan exactly; an uninvertible module just scans [0, row_count).
+  const int pk_column = Table::IndexableKeyColumn(schema);
+  if (pk_column >= 0) {
+    for (const Condition& condition : statement.conditions) {
+      if (schema.FindColumn(condition.column) != pk_column) continue;
+      int64_t lo, hi;
+      if (!KeyIntervalFor(schema.columns[static_cast<size_t>(pk_column)],
+                          condition, &lo, &hi)) {
+        continue;
+      }
+      uint64_t condition_first = 0;
+      uint64_t condition_last = 0;
+      if (!table.KeyRangeToRows(lo, hi, &condition_first, &condition_last)) {
+        continue;
+      }
+      if (condition_first > first) first = condition_first;
+      if (condition_last < last) last = condition_last;
+    }
+    if (first > last) first = last;
+  }
+  VirtualRowSource source(&table, first, last);
+  return ExecuteSelectImpl(source, statement);
+}
+
 pdgf::StatusOr<ResultSet> ExecuteSqlOnSource(const RowSource& source,
                                              std::string_view sql) {
   PDGF_ASSIGN_OR_RETURN(Statement statement, ParseSql(sql));
@@ -473,6 +569,12 @@ pdgf::StatusOr<ResultSet> ExecuteStatement(Database* database,
     PDGF_RETURN_IF_ERROR(database->CreateTable(create->schema));
     return result;
   }
+  if (const auto* create_virtual =
+          std::get_if<CreateVirtualTableStatement>(&statement)) {
+    PDGF_RETURN_IF_ERROR(database->CreateVirtualTable(
+        create_virtual->table, create_virtual->module, create_virtual->args));
+    return result;
+  }
   if (const auto* drop = std::get_if<DropTableStatement>(&statement)) {
     PDGF_RETURN_IF_ERROR(database->DropTable(drop->table));
     return result;
@@ -480,6 +582,10 @@ pdgf::StatusOr<ResultSet> ExecuteStatement(Database* database,
   if (const auto* insert = std::get_if<InsertStatement>(&statement)) {
     Table* table = database->GetTable(insert->table);
     if (table == nullptr) {
+      if (database->GetVirtualTable(insert->table) != nullptr) {
+        return pdgf::InvalidArgumentError("virtual table '" + insert->table +
+                                          "' is read-only");
+      }
       return pdgf::NotFoundError("table '" + insert->table +
                                  "' does not exist");
     }
@@ -492,6 +598,10 @@ pdgf::StatusOr<ResultSet> ExecuteStatement(Database* database,
   if (const auto* update = std::get_if<UpdateStatement>(&statement)) {
     Table* table = database->GetTable(update->table);
     if (table == nullptr) {
+      if (database->GetVirtualTable(update->table) != nullptr) {
+        return pdgf::InvalidArgumentError("virtual table '" + update->table +
+                                          "' is read-only");
+      }
       return pdgf::NotFoundError("table '" + update->table +
                                  "' does not exist");
     }
@@ -544,6 +654,10 @@ pdgf::StatusOr<ResultSet> ExecuteStatement(Database* database,
   if (const auto* erase = std::get_if<DeleteStatement>(&statement)) {
     Table* table = database->GetTable(erase->table);
     if (table == nullptr) {
+      if (database->GetVirtualTable(erase->table) != nullptr) {
+        return pdgf::InvalidArgumentError("virtual table '" + erase->table +
+                                          "' is read-only");
+      }
       return pdgf::NotFoundError("table '" + erase->table +
                                  "' does not exist");
     }
@@ -576,6 +690,11 @@ pdgf::StatusOr<ResultSet> ExecuteStatement(Database* database,
   if (const auto* select = std::get_if<SelectStatement>(&statement)) {
     const Table* table = database->GetTable(select->table);
     if (table == nullptr) {
+      const VirtualTable* virtual_table =
+          database->GetVirtualTable(select->table);
+      if (virtual_table != nullptr) {
+        return ExecuteSelectOnVirtualTable(*virtual_table, *select);
+      }
       return pdgf::NotFoundError("table '" + select->table +
                                  "' does not exist");
     }

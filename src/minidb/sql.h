@@ -65,6 +65,14 @@ class TableRowSource final : public RowSource {
 pdgf::StatusOr<ResultSet> ExecuteSelectOnSource(
     const RowSource& source, const SelectStatement& statement);
 
+// Executes a parsed SELECT against a virtual table, pushing row-range
+// and primary-key predicates down into the scan window when the module
+// can invert keys to row ordinals (VirtualTable::KeyRangeToRows). The
+// conditions are still evaluated per row, so results are identical to a
+// full scan — the pushdown only shrinks the generated window.
+pdgf::StatusOr<ResultSet> ExecuteSelectOnVirtualTable(
+    const VirtualTable& table, const SelectStatement& statement);
+
 // Parses `sql` (must be a single SELECT) and executes it on `source`.
 pdgf::StatusOr<ResultSet> ExecuteSqlOnSource(const RowSource& source,
                                              std::string_view sql);

@@ -13,6 +13,7 @@ namespace minidb {
 // Statement ASTs for the supported SQL subset:
 //   CREATE TABLE t (col TYPE[(n[,s])] [NOT NULL] [PRIMARY KEY]
 //                   [REFERENCES t2(c2)], ...)
+//   CREATE VIRTUAL TABLE t USING module(arg[, arg...])
 //   DROP TABLE t
 //   INSERT INTO t VALUES (lit, ...)[, (lit, ...)]...
 //   SELECT */items FROM t [WHERE cond [AND cond]...] [GROUP BY col]
@@ -21,6 +22,16 @@ namespace minidb {
 
 struct CreateTableStatement {
   TableSchema schema;
+};
+
+// CREATE VIRTUAL TABLE t USING module(arg[, arg...]) — a catalog entry
+// whose rows a registered module computes on demand. Arguments are kept
+// as raw texts (string quotes resolved); their meaning belongs to the
+// module.
+struct CreateVirtualTableStatement {
+  std::string table;
+  std::string module;
+  std::vector<std::string> args;
 };
 
 struct DropTableStatement {
@@ -90,8 +101,9 @@ struct SelectStatement {
 };
 
 using Statement =
-    std::variant<CreateTableStatement, DropTableStatement, InsertStatement,
-                 UpdateStatement, DeleteStatement, SelectStatement>;
+    std::variant<CreateTableStatement, CreateVirtualTableStatement,
+                 DropTableStatement, InsertStatement, UpdateStatement,
+                 DeleteStatement, SelectStatement>;
 
 // Matches SQL LIKE patterns: '%' any run, '_' any single char.
 bool LikeMatch(std::string_view text, std::string_view pattern);

@@ -133,8 +133,37 @@ class Parser {
     return Error("expected literal");
   }
 
+  // CREATE VIRTUAL TABLE t USING module[(arg[, arg...])]; arguments are
+  // identifiers, numbers or quoted strings, kept as raw text for the
+  // module to interpret.
+  StatusOr<Statement> ParseCreateVirtualTable() {
+    PDGF_RETURN_IF_ERROR(ExpectKeyword("VIRTUAL"));
+    PDGF_RETURN_IF_ERROR(ExpectKeyword("TABLE"));
+    CreateVirtualTableStatement statement;
+    PDGF_ASSIGN_OR_RETURN(statement.table, ExpectIdentifier());
+    PDGF_RETURN_IF_ERROR(ExpectKeyword("USING"));
+    PDGF_ASSIGN_OR_RETURN(statement.module, ExpectIdentifier());
+    if (ConsumeSymbol("(")) {
+      if (!ConsumeSymbol(")")) {
+        while (true) {
+          if (Current().kind != TokenKind::kIdentifier &&
+              Current().kind != TokenKind::kNumber &&
+              Current().kind != TokenKind::kString) {
+            return Error("expected a module argument");
+          }
+          statement.args.push_back(Current().text);
+          ++pos_;
+          if (!ConsumeSymbol(",")) break;
+        }
+        PDGF_RETURN_IF_ERROR(ExpectSymbol(")"));
+      }
+    }
+    return Statement(std::move(statement));
+  }
+
   StatusOr<Statement> ParseCreateTable() {
     PDGF_RETURN_IF_ERROR(ExpectKeyword("CREATE"));
+    if (IsKeyword("VIRTUAL")) return ParseCreateVirtualTable();
     PDGF_RETURN_IF_ERROR(ExpectKeyword("TABLE"));
     CreateTableStatement statement;
     PDGF_ASSIGN_OR_RETURN(statement.schema.name, ExpectIdentifier());

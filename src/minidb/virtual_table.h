@@ -1,0 +1,66 @@
+#ifndef DBSYNTHPP_MINIDB_VIRTUAL_TABLE_H_
+#define DBSYNTHPP_MINIDB_VIRTUAL_TABLE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "minidb/catalog.h"
+#include "minidb/storage/record.h"
+
+namespace minidb {
+
+// A catalog entry whose rows are computed on demand instead of stored:
+// the target of CREATE VIRTUAL TABLE name USING module(args...). SELECT
+// scans it lazily through ScanRange, so a virtual table of any size
+// costs only the rows a query actually touches. MiniDB defines the
+// interface; modules (e.g. the dbsynth generator module) provide the
+// rows — minidb itself never depends on a generator.
+class VirtualTable {
+ public:
+  virtual ~VirtualTable() = default;
+
+  VirtualTable(const VirtualTable&) = delete;
+  VirtualTable& operator=(const VirtualTable&) = delete;
+
+  virtual const TableSchema& schema() const = 0;
+  virtual uint64_t row_count() const = 0;
+
+  // Streams rows [first_row, last_row) — clamped to the table — in row
+  // order, invoking `visitor` per row; stops early when it returns
+  // false. This is the row-range pushdown surface: SELECT narrows the
+  // window before scanning.
+  virtual void ScanRange(
+      uint64_t first_row, uint64_t last_row,
+      const std::function<bool(const Row&)>& visitor) const = 0;
+
+  // Maps the inclusive primary-key interval [min_key, max_key] to the
+  // row-ordinal range [*first, *last) containing exactly the rows whose
+  // key falls inside it (possibly empty). Returns false when the module
+  // cannot prove the inversion — the caller then scans the full range
+  // and filters. Only meaningful for single-column integer-family PKs.
+  virtual bool KeyRangeToRows(int64_t min_key, int64_t max_key,
+                              uint64_t* first, uint64_t* last) const {
+    (void)min_key;
+    (void)max_key;
+    (void)first;
+    (void)last;
+    return false;
+  }
+
+ protected:
+  VirtualTable() = default;
+};
+
+// Builds one virtual table from the CREATE VIRTUAL TABLE argument list
+// (raw argument texts, string quotes resolved).
+using VirtualTableFactory =
+    std::function<pdgf::StatusOr<std::unique_ptr<VirtualTable>>(
+        const std::string& table_name, const std::vector<std::string>& args)>;
+
+}  // namespace minidb
+
+#endif  // DBSYNTHPP_MINIDB_VIRTUAL_TABLE_H_

@@ -10,12 +10,19 @@
 #include <mutex>
 #include <string>
 
+#include <chrono>
+#include <thread>
+
+#include "core/cursor.h"
 #include "core/engine.h"
 #include "core/output/formatter.h"
 #include "core/output/sink.h"
+#include "core/stream.h"
 #include "serve/job_queue.h"
 #include "serve/protocol.h"
 #include "serve/server.h"
+#include "util/hash.h"
+#include "util/stopwatch.h"
 #include "util/strings.h"
 
 namespace serve {
@@ -219,6 +226,205 @@ Status HandleGenerate(Server* server, ConnectionStream* stream,
   return stream->WriteLocked(tail);
 }
 
+// Streams one arbitrary row window [first_row, first_row + row_count) of
+// one table — the serve face of the RowRangeCursor. Framing is identical
+// to a one-table generate job (chunk headers under the table's name, an
+// optional table_digest line, the ok trailer), so the generate-path
+// client consumes it without changes.
+Status HandleRange(Server* server, ConnectionStream* stream,
+                   const JobRequest& request) {
+  auto model = server->GetModel(request.model, request.scale_factor);
+  if (!model.ok()) return stream->WriteLocked(FormatErrorLine(model.status()));
+  auto formatter = pdgf::MakeFormatter(request.format);
+  if (!formatter.ok()) {
+    return stream->WriteLocked(FormatErrorLine(formatter.status()));
+  }
+  const pdgf::SchemaDef& schema = (*model)->schema;
+  const int table_index = schema.FindTableIndex(request.table);
+  if (table_index < 0) {
+    return stream->WriteLocked(FormatErrorLine(pdgf::NotFoundError(
+        "model '" + request.model + "' has no table '" + request.table +
+        "'")));
+  }
+  const pdgf::GenerationSession& session = *(*model)->session;
+  const pdgf::TableDef& table =
+      schema.tables[static_cast<size_t>(table_index)];
+
+  auto admitted = server->queue().Admit(request.model);
+  if (!admitted.ok()) {
+    return stream->WriteLocked(FormatErrorLine(admitted.status()));
+  }
+  std::shared_ptr<Job> job = *admitted;
+  Status sent = stream->WriteLocked(FormatStreamingHeader(job->id));
+  if (!sent.ok()) {
+    server->queue().FinishFailed(job);
+    return sent;
+  }
+
+  const uint64_t rows = session.TableRows(table_index);
+  const uint64_t first = std::min(request.first_row, rows);
+  const uint64_t last =
+      std::min(first + std::min(request.row_count, rows - first), rows);
+
+  pdgf::Stopwatch stopwatch;
+  ChunkedStreamSink sink(stream, job, table.name);
+  pdgf::RowRangeCursor cursor(&session, table_index, first, last,
+                              request.update);
+  pdgf::TableDigest digest;
+  std::string buffer;
+  std::vector<size_t> row_offsets;
+  uint64_t rows_shipped = 0;
+  uint64_t bytes_shipped = 0;
+  Status run = Status::Ok();
+  while (cursor.Next()) {
+    buffer.clear();
+    formatter->get()->AppendBatch(table, cursor.batch(), &buffer,
+                                  request.digests ? &row_offsets : nullptr);
+    if (request.digests) {
+      FoldBatchIntoDigest(cursor.batch(), buffer, row_offsets, &digest);
+    }
+    run = sink.Write(buffer);
+    if (!run.ok()) break;
+    rows_shipped += cursor.batch().row_count();
+    bytes_shipped += buffer.size();
+  }
+
+  if (!run.ok()) {
+    if (run.code() == pdgf::StatusCode::kCancelled) {
+      server->queue().FinishCancelled(job);
+    } else {
+      server->queue().FinishFailed(job);
+    }
+    return stream->WriteLocked(FormatErrorLine(run));
+  }
+
+  server->queue().FinishOk(job);
+  server->queue().AddRowsStreamed(rows_shipped);
+  std::string tail;
+  if (request.digests) {
+    tail += FormatTableDigestLine(table.name, digest.rows(), digest.bytes(),
+                                  digest.Hex(), digest.SerializeState());
+  }
+  tail += FormatOkTrailer(job->id, rows_shipped, bytes_shipped,
+                          stopwatch.ElapsedMillis() / 1000.0);
+  return stream->WriteLocked(tail);
+}
+
+// Plays a table's CDC update stream (core/stream.h) over the chunked
+// framing: each chunk carries whole '\n'-terminated event lines. The
+// stream digest keys every event line by its sequence number, so two
+// replays of the same request compare exactly — order included.
+Status HandleStream(Server* server, ConnectionStream* stream,
+                    const JobRequest& request) {
+  auto model = server->GetModel(request.model, request.scale_factor);
+  if (!model.ok()) return stream->WriteLocked(FormatErrorLine(model.status()));
+  auto formatter = pdgf::MakeFormatter(request.format);
+  if (!formatter.ok()) {
+    return stream->WriteLocked(FormatErrorLine(formatter.status()));
+  }
+  const pdgf::SchemaDef& schema = (*model)->schema;
+  const int table_index = schema.FindTableIndex(request.table);
+  if (table_index < 0) {
+    return stream->WriteLocked(FormatErrorLine(pdgf::NotFoundError(
+        "model '" + request.model + "' has no table '" + request.table +
+        "'")));
+  }
+
+  auto admitted = server->queue().Admit(request.model);
+  if (!admitted.ok()) {
+    return stream->WriteLocked(FormatErrorLine(admitted.status()));
+  }
+  std::shared_ptr<Job> job = *admitted;
+  Status sent = stream->WriteLocked(FormatStreamingHeader(job->id));
+  if (!sent.ok()) {
+    server->queue().FinishFailed(job);
+    return sent;
+  }
+
+  pdgf::UpdateStreamOptions options;
+  options.snapshot = request.snapshot;
+  options.last_update = request.update;
+  pdgf::UpdateStreamGenerator generator(
+      (*model)->session.get(), table_index, formatter->get(), options);
+
+  server->queue().StreamStarted();
+  pdgf::Stopwatch stopwatch;
+  ChunkedStreamSink sink(stream, job, request.table);
+  pdgf::TableDigest digest;
+  std::string buffer;
+  uint64_t events_shipped = 0;
+  uint64_t bytes_shipped = 0;
+  constexpr size_t kEventsPerChunk = 256;
+  Status run = Status::Ok();
+  while (true) {
+    size_t want = kEventsPerChunk;
+    if (request.events > 0) {
+      if (events_shipped >= request.events) break;
+      want = std::min<uint64_t>(want, request.events - events_shipped);
+    }
+    buffer.clear();
+    const size_t got = generator.NextEvents(&buffer, want);
+    if (got == 0) break;
+    if (request.digests) {
+      // Key each event line by its sequence number: replays must agree
+      // on content AND order.
+      size_t start = 0;
+      for (size_t i = 0; i < got; ++i) {
+        size_t end = buffer.find('\n', start) + 1;
+        digest.AddRowBytes(events_shipped + i,
+                           std::string_view(buffer).substr(start, end - start));
+        start = end;
+      }
+    }
+    run = sink.Write(buffer);
+    if (!run.ok()) break;
+    events_shipped += got;
+    bytes_shipped += buffer.size();
+    server->queue().AddStreamEvents(got);
+    if (request.rate > 0) {
+      // Hold the requested events/second, sleeping in short slices so a
+      // cancel (or shutdown) interrupts the pacing promptly.
+      const double target_seconds =
+          static_cast<double>(events_shipped) /
+          static_cast<double>(request.rate);
+      while (stopwatch.ElapsedMillis() / 1000.0 < target_seconds) {
+        if (job->IsCancelled()) break;
+        const double behind_ms =
+            target_seconds * 1000.0 - stopwatch.ElapsedMillis();
+        std::this_thread::sleep_for(std::chrono::milliseconds(
+            std::min<int64_t>(50, std::max<int64_t>(
+                                      1, static_cast<int64_t>(behind_ms)))));
+      }
+      if (job->IsCancelled()) {
+        run = pdgf::CancelledError("job " + std::to_string(job->id) +
+                                   " cancelled");
+        break;
+      }
+    }
+  }
+  server->queue().StreamFinished();
+
+  if (!run.ok()) {
+    if (run.code() == pdgf::StatusCode::kCancelled) {
+      server->queue().FinishCancelled(job);
+    } else {
+      server->queue().FinishFailed(job);
+    }
+    return stream->WriteLocked(FormatErrorLine(run));
+  }
+
+  server->queue().FinishOk(job);
+  std::string tail;
+  if (request.digests) {
+    tail += FormatTableDigestLine(request.table, events_shipped,
+                                  bytes_shipped, digest.Hex(),
+                                  digest.SerializeState());
+  }
+  tail += FormatOkTrailer(job->id, events_shipped, bytes_shipped,
+                          stopwatch.ElapsedMillis() / 1000.0);
+  return stream->WriteLocked(tail);
+}
+
 }  // namespace
 
 void RunConnection(Server* server, int fd) {
@@ -259,6 +465,10 @@ void RunConnection(Server* server, int fd) {
     Status handled;
     if (request->op == "generate") {
       handled = HandleGenerate(server, &stream, *request);
+    } else if (request->op == "range") {
+      handled = HandleRange(server, &stream, *request);
+    } else if (request->op == "stream") {
+      handled = HandleStream(server, &stream, *request);
     } else if (request->op == "metrics") {
       handled = stream.WriteLocked(server->MetricsJson() + "\n");
     } else if (request->op == "ping") {

@@ -91,6 +91,9 @@ void JobQueue::FillCounters(pdgf::ServeCounters* out) const {
   out->jobs_cancelled = jobs_cancelled_.load(std::memory_order_relaxed);
   out->jobs_rejected = jobs_rejected_.load(std::memory_order_relaxed);
   out->bytes_streamed = bytes_streamed_.load(std::memory_order_relaxed);
+  out->rows_streamed = rows_streamed_.load(std::memory_order_relaxed);
+  out->stream_events = stream_events_.load(std::memory_order_relaxed);
+  out->streams_active = streams_active_.load(std::memory_order_relaxed);
   out->requests_malformed =
       requests_malformed_.load(std::memory_order_relaxed);
   out->requests_truncated =

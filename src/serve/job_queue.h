@@ -59,6 +59,19 @@ class JobQueue {
   void AddBytesStreamed(uint64_t bytes) {
     bytes_streamed_.fetch_add(bytes, std::memory_order_relaxed);
   }
+  void AddRowsStreamed(uint64_t rows) {
+    rows_streamed_.fetch_add(rows, std::memory_order_relaxed);
+  }
+  void AddStreamEvents(uint64_t events) {
+    stream_events_.fetch_add(events, std::memory_order_relaxed);
+  }
+  // Gauge around each stream job's playback, cancel/disconnect included.
+  void StreamStarted() {
+    streams_active_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void StreamFinished() {
+    streams_active_.fetch_sub(1, std::memory_order_relaxed);
+  }
   void AddMalformedRequest() {
     requests_malformed_.fetch_add(1, std::memory_order_relaxed);
   }
@@ -95,6 +108,9 @@ class JobQueue {
   std::atomic<uint64_t> jobs_cancelled_{0};
   std::atomic<uint64_t> jobs_rejected_{0};
   std::atomic<uint64_t> bytes_streamed_{0};
+  std::atomic<uint64_t> rows_streamed_{0};
+  std::atomic<uint64_t> stream_events_{0};
+  std::atomic<uint64_t> streams_active_{0};
   std::atomic<uint64_t> requests_malformed_{0};
   std::atomic<uint64_t> requests_truncated_{0};
 

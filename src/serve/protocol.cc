@@ -251,6 +251,21 @@ StatusOr<JobRequest> ParseJobRequest(std::string_view line) {
         return pdgf::ParseError("field \"digests\" must be true or false");
       }
       request.digests = value == "true";
+    } else if (key == "table") {
+      request.table = value;
+    } else if (key == "first_row") {
+      PDGF_ASSIGN_OR_RETURN(request.first_row, ParseUint64Field(key, value));
+    } else if (key == "row_count") {
+      PDGF_ASSIGN_OR_RETURN(request.row_count, ParseUint64Field(key, value));
+    } else if (key == "rate") {
+      PDGF_ASSIGN_OR_RETURN(request.rate, ParseUint64Field(key, value));
+    } else if (key == "events") {
+      PDGF_ASSIGN_OR_RETURN(request.events, ParseUint64Field(key, value));
+    } else if (key == "snapshot") {
+      if (value != "true" && value != "false") {
+        return pdgf::ParseError("field \"snapshot\" must be true or false");
+      }
+      request.snapshot = value == "true";
     } else if (key == "job") {
       PDGF_ASSIGN_OR_RETURN(request.job_id, ParseUint64Field(key, value));
     } else {
@@ -267,6 +282,20 @@ StatusOr<JobRequest> ParseJobRequest(std::string_view line) {
   }
   if (request.op == "generate" && request.model.empty()) {
     return pdgf::InvalidArgumentError("generate request needs a \"model\"");
+  }
+  if (request.op == "range" || request.op == "stream") {
+    if (request.model.empty()) {
+      return pdgf::InvalidArgumentError(request.op +
+                                        " request needs a \"model\"");
+    }
+    if (request.table.empty()) {
+      return pdgf::InvalidArgumentError(request.op +
+                                        " request needs a \"table\"");
+    }
+    if (request.op == "range" && request.row_count == 0) {
+      return pdgf::InvalidArgumentError(
+          "range request needs a positive \"row_count\"");
+    }
   }
   if (request.node_id >= request.node_count) {
     return pdgf::InvalidArgumentError(pdgf::StrPrintf(

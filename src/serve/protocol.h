@@ -30,6 +30,14 @@ namespace serve {
 // {"op":"cancel","job":7}, {"op":"shutdown"}. Errors are
 // {"status":"error","code":"<StatusCodeName>","message":"..."}.
 //
+// On-the-fly ops reuse the chunked framing:
+//   {"op":"range","model":"tpch","table":"lineitem","first_row":500,
+//    "row_count":1000}             streams exactly that row window;
+//   {"op":"stream","model":"tpch","table":"orders","rate":500,
+//    "snapshot":true}              streams CDC insert/update event lines
+// (core/stream.h) chunked under the table's name, so the generate-path
+// client consumes both without changes.
+//
 // The parser is deliberately minimal: one flat JSON object per line,
 // string / number / true / false / null values, no nesting — exactly the
 // request grammar. Responses the daemon emits may nest (the metrics
@@ -46,9 +54,16 @@ struct JobRequest {
   int node_count = 1;
   std::string format = "csv";
   int workers = 1;           // engine worker threads for this job
-  uint64_t update = 0;       // 0 = base data, u > 0 = update stream u
+  uint64_t update = 0;       // generate/range: time unit; stream: last
+                             // unit to play (0 = through the final unit)
   bool digests = false;      // compute + ship per-table digest states
   uint64_t job_id = 0;       // cancel target
+  std::string table;         // range/stream: target table name
+  uint64_t first_row = 0;    // range: window start (row ordinal)
+  uint64_t row_count = 0;    // range: window length; required > 0
+  uint64_t rate = 0;         // stream: events/second pacing; 0 = full speed
+  uint64_t events = 0;       // stream: stop after N events; 0 = all
+  bool snapshot = false;     // stream: open with base-row insert events
 };
 
 // Parses one request line. Unknown keys fail (a typo must not silently

@@ -1,0 +1,241 @@
+// UpdateStreamGenerator (CDC) suite: replayable-by-construction event
+// streams over the update black box. Replay determinism is the paper's
+// repeatability property lifted to change-data-capture: the same
+// (model, SF, table, options) must yield the same event lines in the
+// same order, regardless of how the consumer chunks its reads.
+
+#include <cstdlib>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/generators/generators.h"
+#include "core/output/formatter.h"
+#include "core/session.h"
+#include "core/stream.h"
+#include "util/hash.h"
+#include "util/strings.h"
+#include "workloads/tpch.h"
+
+namespace pdgf {
+namespace {
+
+SchemaDef MakeUpdatableSchema() {
+  SchemaDef schema;
+  schema.name = "cdc";
+  schema.seed = 77;
+
+  TableDef table;
+  table.name = "accounts";
+  table.size_expression = "200";
+  table.updates_expression = "4";
+  table.update_fraction = 0.25;
+
+  FieldDef id;
+  id.name = "id";
+  id.type = DataType::kBigInt;
+  id.generator = GeneratorPtr(new IdGenerator(1, 1));
+  id.mutable_across_updates = false;
+  table.fields.push_back(std::move(id));
+
+  FieldDef balance;
+  balance.name = "balance";
+  balance.type = DataType::kBigInt;
+  balance.generator = GeneratorPtr(new LongGenerator(0, 1 << 30));
+  balance.mutable_across_updates = true;
+  table.fields.push_back(std::move(balance));
+
+  schema.tables.push_back(std::move(table));
+  return schema;
+}
+
+// Drains the generator in `chunk_events`-sized reads.
+std::string Drain(UpdateStreamGenerator* generator, size_t chunk_events) {
+  std::string all;
+  std::string chunk;
+  while (true) {
+    chunk.clear();
+    if (generator->NextEvents(&chunk, chunk_events) == 0) break;
+    all += chunk;
+  }
+  return all;
+}
+
+TEST(StreamTest, ReplayIsBitIdentical) {
+  SchemaDef schema = MakeUpdatableSchema();
+  auto session = GenerationSession::Create(&schema);
+  ASSERT_TRUE(session.ok());
+  CsvFormatter formatter;
+  UpdateStreamOptions options;
+  options.snapshot = true;
+  UpdateStreamGenerator first(session->get(), 0, &formatter, options);
+  UpdateStreamGenerator second(session->get(), 0, &formatter, options);
+  const std::string a = Drain(&first, 64);
+  const std::string b = Drain(&second, 64);
+  EXPECT_FALSE(a.empty());
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(first.events_emitted(), second.events_emitted());
+}
+
+TEST(StreamTest, ChunkSizeNeverChangesTheStream) {
+  SchemaDef schema = MakeUpdatableSchema();
+  auto session = GenerationSession::Create(&schema);
+  ASSERT_TRUE(session.ok());
+  CsvFormatter formatter;
+  UpdateStreamOptions options;
+  options.snapshot = true;
+  options.batch_rows = 16;  // force mid-batch chunk boundaries
+  UpdateStreamGenerator reference(session->get(), 0, &formatter, options);
+  const std::string expected = Drain(&reference, 100000);
+  for (size_t chunk : {size_t{1}, size_t{3}, size_t{17}, size_t{199}}) {
+    UpdateStreamGenerator generator(session->get(), 0, &formatter, options);
+    EXPECT_EQ(Drain(&generator, chunk), expected) << "chunk=" << chunk;
+  }
+}
+
+TEST(StreamTest, SnapshotInsertsPrecedeUpdateEvents) {
+  SchemaDef schema = MakeUpdatableSchema();
+  auto session = GenerationSession::Create(&schema);
+  ASSERT_TRUE(session.ok());
+  CsvFormatter formatter;
+  UpdateStreamOptions options;
+  options.snapshot = true;
+  UpdateStreamGenerator generator(session->get(), 0, &formatter, options);
+  const std::vector<std::string> lines =
+      Split(Drain(&generator, 57), '\n');
+  const uint64_t rows = (*session)->TableRows(0);
+  uint64_t index = 0;
+  bool seen_update = false;
+  for (const std::string& line : lines) {
+    if (line.empty()) continue;
+    // Sequence numbers are dense and ordered.
+    EXPECT_EQ(line.rfind(StrPrintf("{\"event\":%llu,",
+                                   static_cast<unsigned long long>(index)),
+                         0),
+              0u)
+        << line;
+    const bool is_insert = line.find("\"op\":\"insert\"") != std::string::npos;
+    if (index < rows) {
+      EXPECT_TRUE(is_insert) << line;
+      EXPECT_NE(line.find("\"update\":0,"), std::string::npos) << line;
+    } else {
+      EXPECT_FALSE(is_insert) << line;
+      seen_update = true;
+    }
+    ++index;
+  }
+  EXPECT_TRUE(seen_update);
+  EXPECT_EQ(generator.events_emitted(), index);
+}
+
+TEST(StreamTest, UpdateEventsCoverExactlyTheSelectedRows) {
+  SchemaDef schema = MakeUpdatableSchema();
+  auto session = GenerationSession::Create(&schema);
+  ASSERT_TRUE(session.ok());
+  CsvFormatter formatter;
+  UpdateStreamOptions options;
+  options.first_update = 2;
+  options.last_update = 2;
+  UpdateStreamGenerator generator(session->get(), 0, &formatter, options);
+  std::set<uint64_t> streamed;
+  for (const std::string& line : Split(Drain(&generator, 31), '\n')) {
+    if (line.empty()) continue;
+    EXPECT_NE(line.find("\"op\":\"update\""), std::string::npos) << line;
+    EXPECT_NE(line.find("\"update\":2,"), std::string::npos) << line;
+    const size_t at = line.find("\"row\":");
+    ASSERT_NE(at, std::string::npos);
+    streamed.insert(std::strtoull(line.c_str() + at + 6, nullptr, 10));
+  }
+  std::set<uint64_t> selected;
+  for (uint64_t r = 0; r < (*session)->TableRows(0); ++r) {
+    if ((*session)->RowChangesInUpdate(0, r, 2)) selected.insert(r);
+  }
+  EXPECT_EQ(streamed, selected);
+}
+
+TEST(StreamTest, CountTotalEventsMatchesEmission) {
+  SchemaDef schema = MakeUpdatableSchema();
+  auto session = GenerationSession::Create(&schema);
+  ASSERT_TRUE(session.ok());
+  CsvFormatter formatter;
+  for (bool snapshot : {false, true}) {
+    UpdateStreamOptions options;
+    options.snapshot = snapshot;
+    UpdateStreamGenerator generator(session->get(), 0, &formatter, options);
+    const uint64_t predicted = generator.CountTotalEvents();
+    Drain(&generator, 83);
+    EXPECT_EQ(generator.events_emitted(), predicted)
+        << "snapshot=" << snapshot;
+    EXPECT_TRUE(generator.done());
+  }
+}
+
+TEST(StreamTest, StaticTableWithoutSnapshotIsEmpty) {
+  // tpch tables resolve to a single update unit (static); with no
+  // snapshot phase there is nothing to play — done before the first read.
+  SchemaDef schema = workloads::BuildTpchSchema();
+  auto session = GenerationSession::Create(&schema, {{"SF", "0.0005"}});
+  ASSERT_TRUE(session.ok());
+  CsvFormatter formatter;
+  UpdateStreamGenerator generator(session->get(), 0, &formatter, {});
+  std::string out;
+  EXPECT_EQ(generator.NextEvents(&out, 100), 0u);
+  EXPECT_TRUE(generator.done());
+  EXPECT_TRUE(out.empty());
+  // With the snapshot the same table streams its full base data.
+  UpdateStreamOptions options;
+  options.snapshot = true;
+  UpdateStreamGenerator with_snapshot(session->get(), 0, &formatter,
+                                      options);
+  Drain(&with_snapshot, 64);
+  EXPECT_EQ(with_snapshot.events_emitted(), (*session)->TableRows(0));
+}
+
+TEST(StreamTest, DigestKeysEventOrder) {
+  // The stream digest keys each line by its sequence number, so a replay
+  // that delivers the same lines in a different order FAILS verification
+  // even though the accumulator itself is commutative.
+  const std::string a = "{\"event\":0}\n";
+  const std::string b = "{\"event\":1}\n";
+  TableDigest in_order;
+  in_order.AddRowBytes(0, a);
+  in_order.AddRowBytes(1, b);
+  TableDigest swapped;
+  swapped.AddRowBytes(0, b);
+  swapped.AddRowBytes(1, a);
+  EXPECT_NE(in_order.Hex(), swapped.Hex());
+  // Same keying, different fold order: identical (commutativity is what
+  // lets chunked consumers digest incrementally).
+  TableDigest reordered;
+  reordered.AddRowBytes(1, b);
+  reordered.AddRowBytes(0, a);
+  EXPECT_EQ(in_order.Hex(), reordered.Hex());
+}
+
+TEST(StreamTest, DataPayloadMatchesFormatterBytes) {
+  SchemaDef schema = MakeUpdatableSchema();
+  auto session = GenerationSession::Create(&schema);
+  ASSERT_TRUE(session.ok());
+  CsvFormatter formatter;
+  UpdateStreamOptions options;
+  options.snapshot = true;
+  UpdateStreamGenerator generator(session->get(), 0, &formatter, options);
+  std::string out;
+  ASSERT_EQ(generator.NextEvents(&out, 1), 1u);
+  // Event 0 carries row 0's formatted bytes, terminator stripped.
+  std::vector<Value> row;
+  (*session)->GenerateRow(0, 0, 0, &row);
+  std::string rendered;
+  formatter.AppendRow(schema.tables[0], row, &rendered);
+  while (!rendered.empty() &&
+         (rendered.back() == '\n' || rendered.back() == '\r')) {
+    rendered.pop_back();
+  }
+  EXPECT_NE(out.find("\"data\":\"" + rendered + "\"}"), std::string::npos)
+      << out;
+}
+
+}  // namespace
+}  // namespace pdgf

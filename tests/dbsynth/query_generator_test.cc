@@ -4,7 +4,7 @@
 #include <gtest/gtest.h>
 
 #include "dbsynth/schema_translator.h"
-#include "dbsynth/virtual_query.h"
+#include "dbsynth/virtual_table.h"
 #include "minidb/sql.h"
 #include "minidb/sql_parser.h"
 #include "workloads/tpch.h"

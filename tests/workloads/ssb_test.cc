@@ -5,7 +5,7 @@
 #include <gtest/gtest.h>
 
 #include "core/session.h"
-#include "dbsynth/virtual_query.h"
+#include "dbsynth/virtual_table.h"
 
 namespace workloads {
 namespace {

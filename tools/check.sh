@@ -76,6 +76,8 @@ if [[ "$RUN_TIER1" == 1 ]]; then
   run ./build/bench/bench_load 0.01 --quick --load-gate
   echo "=== tier-1: serve daemon smoke (job + metrics + clean shutdown) ==="
   run tools/serve_smoke.sh ./build/tools/dbsynthpp
+  echo "=== tier-1: on-the-fly smoke (virtual SELECT + stream replay) ==="
+  run tools/onthefly_smoke.sh ./build/tools/dbsynthpp
 fi
 
 if [[ "$RUN_ASAN" == 1 ]]; then
@@ -89,9 +91,10 @@ if [[ "$RUN_TSAN" == 1 ]]; then
   echo "=== sanitizer tier: TSan (concurrency suites) ==="
   run cmake --preset tsan
   run cmake --build --preset tsan -j "$(nproc)" --target \
-    tests_core tests_integration tests_cli tests_serve tests_minidb_storage
+    tests_core tests_integration tests_cli tests_serve tests_minidb \
+    tests_minidb_storage
   run ctest --preset tsan --timeout "$CTEST_TIMEOUT" -R \
-    "Engine|Digest|SimCluster|Progress|Determinism|Cli|Metrics|NodeShare|Batch|Schedul|Writer|Serve|Storage|Btree|Wal|Numa|Topology"
+    "Engine|Digest|SimCluster|Progress|Determinism|Cli|Metrics|NodeShare|Batch|Schedul|Writer|Serve|Storage|Btree|Wal|Numa|Topology|Cursor|Stream|VirtualCatalog"
 fi
 
 echo "all requested tiers passed"
